@@ -1,0 +1,102 @@
+//===- bench/ablation_filters.cpp - Filter-stage ablation ------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+//
+// DESIGN.md calls out the pipeline's central design choice: a sound
+// filtering core plus optional unsound filters that trade false-negative
+// risk for a dramatically smaller report. This ablation quantifies that
+// trade over the corpus plus the Table 2 injections:
+//
+//   * reviewer burden — warnings a programmer must triage under each
+//     configuration (none / sound-only / sound+unsound);
+//   * harm coverage — how many interpreter-confirmed bugs stay visible;
+//   * the CHB-style loss — harmful injections the unsound stage hides.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Evaluate.h"
+#include "corpus/Inject.h"
+#include "support/TableWriter.h"
+
+#include <iostream>
+
+using namespace nadroid;
+using corpus::SeedKind;
+
+int main() {
+  uint64_t Potential = 0, AfterSound = 0, AfterUnsound = 0;
+  unsigned HarmfulTotal = 0, HarmfulAfterSound = 0,
+           HarmfulAfterUnsound = 0;
+
+  // Corpus apps + the Table 2 injected apps (the CHB loss needs them).
+  std::vector<corpus::CorpusApp> Apps;
+  for (const corpus::Recipe &R : corpus::allRecipes())
+    Apps.push_back(corpus::buildApp(R));
+  for (const corpus::InjectionSpec &S : corpus::table2Injections())
+    Apps.push_back(corpus::buildInjectedApp(S));
+
+  for (corpus::CorpusApp &App : Apps) {
+    report::NadroidResult R = report::analyzeProgram(*App.Prog);
+    Potential += R.warnings().size();
+    AfterSound += R.Pipeline.RemainingAfterSound;
+    AfterUnsound += R.Pipeline.RemainingAfterUnsound;
+
+    // Ground truth from the seeds: harmful patterns and harmful-but-
+    // pruned constructions. A seed may own several warnings (e.g. the
+    // benign guard-load next to the real use); count the seed once, by
+    // its best-surviving warning.
+    std::map<const corpus::SeededBug *, filters::WarningVerdict::Stage>
+        BestBySeed;
+    for (size_t I = 0; I < R.warnings().size(); ++I) {
+      const race::UafWarning &W = R.warnings()[I];
+      const corpus::SeededBug *Seed =
+          corpus::findSeed(App, W.F->qualifiedName());
+      if (!Seed)
+        continue;
+      bool SeedHarmful = Seed->Kind == SeedKind::HarmfulUaf ||
+                         Seed->Kind == SeedKind::FnChbErrorPath;
+      if (!SeedHarmful)
+        continue;
+      filters::WarningVerdict::Stage Stage =
+          R.Pipeline.Verdicts[I].StageReached;
+      auto [It, Inserted] = BestBySeed.emplace(Seed, Stage);
+      if (!Inserted && Stage > It->second)
+        It->second = Stage; // Remaining is the largest enumerator
+    }
+    for (const auto &[Seed, Stage] : BestBySeed) {
+      ++HarmfulTotal;
+      if (Stage != filters::WarningVerdict::Stage::PrunedBySound)
+        ++HarmfulAfterSound;
+      if (Stage == filters::WarningVerdict::Stage::Remaining)
+        ++HarmfulAfterUnsound;
+    }
+  }
+
+  TableWriter Table({"Configuration", "To review", "Harmful visible",
+                     "Harmful hidden"});
+  Table.addRow({"no filters", TableWriter::cell(Potential),
+                TableWriter::cell(HarmfulTotal), "0"});
+  Table.addRow({"sound only", TableWriter::cell(AfterSound),
+                TableWriter::cell(HarmfulAfterSound),
+                TableWriter::cell(HarmfulTotal - HarmfulAfterSound)});
+  Table.addRow({"sound + unsound", TableWriter::cell(AfterUnsound),
+                TableWriter::cell(HarmfulAfterUnsound),
+                TableWriter::cell(HarmfulTotal - HarmfulAfterUnsound)});
+
+  std::cout << "Ablation: filter stages vs reviewer burden and harm "
+               "coverage\n(27 corpus apps + the 8 Table 2 injected "
+               "apps)\n\n";
+  Table.print(std::cout);
+  std::cout
+      << "\nThe sound stage must hide nothing; the unsound stage hides "
+         "exactly the CHB error-path constructions (the paper's §8.6 "
+         "trade) while cutting the review list by another ~"
+      << (AfterSound == 0
+              ? 0
+              : (100 * (AfterSound - AfterUnsound) / AfterSound))
+      << "%. §6.2's remedy: use the unsound filters as a ranking "
+         "(nadroid --rank), not a hard cut.\n";
+  return 0;
+}

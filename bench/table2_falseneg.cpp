@@ -1,0 +1,143 @@
+//===- bench/table2_falseneg.cpp - Regenerate Table 2 -------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates the paper's Table 2 (false-negative analysis): 28 artificial
+// UAF violations are injected into 8 apps; nAdroid should report all but
+// five — two escape detection entirely (framework round-trip breaks the
+// call graph) and three are wrongly pruned by the unsound CHB filter.
+// Every injected bug is additionally confirmed harmful by directed
+// schedule exploration — including the two the static detector misses,
+// which is exactly the point of the experiment.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Evaluate.h"
+#include "corpus/Inject.h"
+#include "interp/Interp.h"
+#include "support/TableWriter.h"
+
+#include <iostream>
+
+using namespace nadroid;
+using corpus::SeedKind;
+
+namespace {
+
+bool isInjectedSeed(const corpus::SeededBug &Seed) {
+  // Injected patterns carry the "X" prefix in their generated names.
+  return Seed.FieldName.find(".fX") != std::string::npos ||
+         Seed.FieldName.find(".pX") != std::string::npos;
+}
+
+} // namespace
+
+int main() {
+  TableWriter Table({"APP", "EC-EC", "EC-PC", "PC-PC", "C-RT", "C-NT",
+                     "All", "Missed", "PrunedUnsound", "Witnessed"});
+
+  unsigned TotAll = 0, TotMissed = 0, TotPruned = 0, TotWitnessed = 0;
+  std::map<report::PairType, unsigned> TotByType;
+
+  for (const corpus::InjectionSpec &Spec : corpus::table2Injections()) {
+    corpus::CorpusApp App = corpus::buildInjectedApp(Spec);
+    report::NadroidResult R = report::analyzeProgram(*App.Prog);
+
+    interp::ExploreOptions InterpOpts;
+    InterpOpts.Seed = 23;
+    interp::ScheduleExplorer Explorer(*App.Prog, InterpOpts);
+
+    unsigned Missed = 0, Pruned = 0, Witnessed = 0;
+    std::map<report::PairType, unsigned> ByType;
+    for (const corpus::SeededBug &Seed : App.Seeds) {
+      if (!isInjectedSeed(Seed))
+        continue;
+      ++ByType[Seed.ExpectedType];
+      ++TotByType[Seed.ExpectedType];
+
+      // Find the injected warning and its verdict. A seed's field can
+      // carry several warnings (e.g. the benign guard-load next to the
+      // real use); the seed counts as reported if any of them remains,
+      // and the seed's own use site is preferred for matching.
+      const race::UafWarning *Found = nullptr;
+      const filters::WarningVerdict *Verdict = nullptr;
+      int BestScore = -1;
+      for (size_t I = 0; I < R.warnings().size(); ++I) {
+        if (R.warnings()[I].F->qualifiedName() != Seed.FieldName)
+          continue;
+        bool Remaining = R.Pipeline.Verdicts[I].StageReached ==
+                         filters::WarningVerdict::Stage::Remaining;
+        bool UseMatches =
+            R.warnings()[I].Use->parentMethod()->qualifiedName() ==
+            Seed.UseMethod;
+        int Score = (Remaining ? 2 : 0) + (UseMatches ? 1 : 0);
+        if (Score > BestScore) {
+          BestScore = Score;
+          Found = &R.warnings()[I];
+          Verdict = &R.Pipeline.Verdicts[I];
+        }
+      }
+      if (!Found) {
+        ++Missed;
+      } else if (Verdict->StageReached !=
+                 filters::WarningVerdict::Stage::Remaining) {
+        ++Pruned;
+      }
+      if (Found && Explorer.tryWitness(Found->Use, Found->Free, 100)) {
+        ++Witnessed;
+      } else if (!Found) {
+        // Missed by detection: the detector produced no sites, so aim the
+        // directed explorer at the seed's own load/store statements.
+        const ir::LoadStmt *Use = nullptr;
+        const ir::StoreStmt *Free = nullptr;
+        for (const auto &C : App.Prog->classes())
+          for (const auto &M : C->methods())
+            ir::forEachStmt(*M, [&](const ir::Stmt &S) {
+              if (const auto *L = dyn_cast<ir::LoadStmt>(&S)) {
+                if (L->field()->qualifiedName() == Seed.FieldName &&
+                    M->qualifiedName() == Seed.UseMethod)
+                  Use = L;
+              } else if (const auto *St = dyn_cast<ir::StoreStmt>(&S)) {
+                if (St->isNullStore() &&
+                    St->field()->qualifiedName() == Seed.FieldName)
+                  Free = St;
+              }
+            });
+        if (Use && Free && Explorer.tryWitness(Use, Free, 100))
+          ++Witnessed;
+      }
+    }
+
+    unsigned All = Spec.total();
+    TotAll += All;
+    TotMissed += Missed;
+    TotPruned += Pruned;
+    TotWitnessed += Witnessed;
+    auto Cell = [&](report::PairType T) {
+      return TableWriter::cell(ByType.count(T) ? ByType[T] : 0);
+    };
+    Table.addRow({Spec.App, Cell(report::PairType::EcEc),
+                  Cell(report::PairType::EcPc), Cell(report::PairType::PcPc),
+                  Cell(report::PairType::CRt), Cell(report::PairType::CNt),
+                  TableWriter::cell(All), TableWriter::cell(Missed),
+                  TableWriter::cell(Pruned), TableWriter::cell(Witnessed)});
+  }
+
+  auto TCell = [&](report::PairType T) {
+    return TableWriter::cell(TotByType.count(T) ? TotByType[T] : 0);
+  };
+  Table.addRow({"Total", TCell(report::PairType::EcEc),
+                TCell(report::PairType::EcPc), TCell(report::PairType::PcPc),
+                TCell(report::PairType::CRt), TCell(report::PairType::CNt),
+                TableWriter::cell(TotAll), TableWriter::cell(TotMissed),
+                TableWriter::cell(TotPruned),
+                TableWriter::cell(TotWitnessed)});
+
+  std::cout << "Table 2: false-negative analysis with injected UAFs\n"
+            << "(paper: 28 injected; 2 missed by detection; 3 pruned by "
+               "the unsound CHB filter)\n\n";
+  Table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,56 @@
+//===- examples/connectbot_uaf.cpp - Figure 1 (a)/(b) walk-through -------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces the paper's ConnectBot case study (Figure 1 (a) and (b)):
+// parses examples/apps/connectbot.air, shows the threadified forest, the
+// two harmful warnings (one EC-PC, one PC-PC), and confirms both with
+// crashing schedules.
+//
+// Run from the repository root (the input path is relative), or pass the
+// .air path as argv[1].
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+#include "interp/Interp.h"
+#include "report/Nadroid.h"
+
+#include <iostream>
+
+using namespace nadroid;
+
+int main(int argc, char **argv) {
+  std::string Path =
+      argc > 1 ? argv[1] : "examples/apps/connectbot.air";
+  frontend::ParseResult Parsed = frontend::parseProgramFile(Path);
+  if (!Parsed.Success) {
+    for (const Diagnostic &D : Parsed.Diags)
+      std::cerr << D.Message << "\n";
+    std::cerr << "hint: run from the repository root or pass the .air "
+                 "path\n";
+    return 1;
+  }
+  const ir::Program &P = *Parsed.Prog;
+
+  report::NadroidResult R = report::analyzeProgram(P);
+  std::cout << "ConnectBot (Figure 1 (a)/(b)): " << report::summaryLine(R)
+            << "\n\nThreadified forest:\n";
+  for (const auto &T : R.Forest->threads())
+    std::cout << "  " << R.Forest->lineage(T.get()) << "\n";
+
+  interp::ScheduleExplorer Explorer(P);
+  std::cout << "\nRemaining warnings:\n\n";
+  for (size_t I : R.remainingIndices()) {
+    std::cout << report::renderWarning(R, I, P);
+    const race::UafWarning &W = R.warnings()[I];
+    std::cout << "  dynamic validation: "
+              << (Explorer.tryWitness(W.Use, W.Free, 60)
+                      ? "CONFIRMED (disconnect-first schedule crashes)"
+                      : "not witnessed")
+              << "\n\n";
+  }
+  return 0;
+}

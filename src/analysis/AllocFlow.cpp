@@ -1,0 +1,117 @@
+//===- analysis/AllocFlow.cpp - Allocation dataflow (IA/MA/RHB) ---------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AllocFlow.h"
+
+#include <map>
+
+using namespace nadroid;
+using namespace nadroid::analysis;
+using namespace nadroid::ir;
+
+namespace {
+
+class AllocFlowWalker {
+public:
+  AllocFlowWalker(const Method &M, bool TreatCallResultAsAlloc)
+      : M(M), CallCountsAsAlloc(TreatCallResultAsAlloc) {
+    // Flow-insensitive freshness of locals: every def is an allocation
+    // (or, for MA, a call result).
+    forEachStmt(M, [&](const Stmt &S) {
+      if (const auto *New = dyn_cast<NewStmt>(&S)) {
+        noteDef(New->dst(), /*Fresh=*/true);
+      } else if (const auto *Call = dyn_cast<CallStmt>(&S)) {
+        if (Call->dst())
+          noteDef(Call->dst(), CallCountsAsAlloc);
+      } else if (const auto *Copy = dyn_cast<CopyStmt>(&S)) {
+        noteDef(Copy->dst(), /*Fresh=*/false);
+      } else if (const auto *Load = dyn_cast<LoadStmt>(&S)) {
+        noteDef(Load->dst(), /*Fresh=*/false);
+      }
+    });
+  }
+
+  AllocFlowResult run() {
+    std::set<const Field *> Must;
+    walk(M.body(), Must);
+    return std::move(Result);
+  }
+
+private:
+  const Method &M;
+  bool CallCountsAsAlloc;
+  AllocFlowResult Result;
+  std::map<const Local *, bool> FreshLocal; // false once any def is opaque
+
+  void noteDef(const Local *L, bool Fresh) {
+    auto [It, Inserted] = FreshLocal.emplace(L, Fresh);
+    if (!Inserted)
+      It->second &= Fresh;
+  }
+
+  bool isFresh(const Local *L) const {
+    auto It = FreshLocal.find(L);
+    return It != FreshLocal.end() && It->second;
+  }
+
+  /// Walks \p B updating the must-allocated field set in place.
+  void walk(const Block &B, std::set<const Field *> &Must) {
+    for (const auto &SPtr : B.stmts()) {
+      const Stmt &S = *SPtr;
+      switch (S.kind()) {
+      case Stmt::Kind::Store: {
+        const auto *Store = cast<StoreStmt>(&S);
+        if (!Store->base()->isThis())
+          break; // only receiver fields participate
+        if (Store->src() && isFresh(Store->src())) {
+          Must.insert(Store->field());
+          Result.MayAllocFields.insert(Store->field());
+        } else {
+          // Free, or a value of unknown nullness.
+          Must.erase(Store->field());
+        }
+        break;
+      }
+      case Stmt::Kind::Load: {
+        const auto *Load = cast<LoadStmt>(&S);
+        if (Load->base()->isThis() && Must.count(Load->field()))
+          Result.ProtectedLoads.insert(Load);
+        break;
+      }
+      case Stmt::Kind::If: {
+        const auto *If = cast<IfStmt>(&S);
+        std::set<const Field *> ThenMust = Must;
+        std::set<const Field *> ElseMust = Must;
+        walk(If->thenBlock(), ThenMust);
+        walk(If->elseBlock(), ElseMust);
+        // Join: a field is must-allocated only when both branches agree.
+        std::set<const Field *> Joined;
+        for (const Field *F : ThenMust)
+          if (ElseMust.count(F))
+            Joined.insert(F);
+        Must = std::move(Joined);
+        break;
+      }
+      case Stmt::Kind::Sync:
+        walk(cast<SyncStmt>(&S)->body(), Must);
+        break;
+      case Stmt::Kind::New:
+      case Stmt::Kind::Copy:
+      case Stmt::Kind::Call:
+      case Stmt::Kind::Return:
+        // Calls are assumed field-preserving intra-procedurally (§6.1.3).
+        break;
+      }
+    }
+  }
+};
+
+} // namespace
+
+AllocFlowResult analysis::analyzeAllocFlow(const Method &M,
+                                           bool TreatCallResultAsAlloc) {
+  return AllocFlowWalker(M, TreatCallResultAsAlloc).run();
+}

@@ -1,0 +1,44 @@
+//===- analysis/AllocFlow.h - Allocation dataflow (IA/MA/RHB) ---*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The intra-procedural allocation dataflow behind three filters:
+///
+///  * IA (§6.1.3, sound): a load of this.f is *must-alloc protected* when
+///    every path from the method entry to the load stores a freshly
+///    allocated object into this.f with no intervening free.
+///  * MA (§6.2.2, unsound): same, but values returned from calls (custom
+///    getters) also count as allocations.
+///  * RHB (§6.2.1, unsound): needs only may-allocation facts — does any
+///    path in onResume allocate this.f at all.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_ANALYSIS_ALLOCFLOW_H
+#define NADROID_ANALYSIS_ALLOCFLOW_H
+
+#include "ir/Stmt.h"
+
+#include <set>
+
+namespace nadroid::analysis {
+
+/// The per-method result of the allocation dataflow.
+struct AllocFlowResult {
+  /// Loads of this.f dominated by a fresh allocation of this.f (must).
+  std::set<const ir::LoadStmt *> ProtectedLoads;
+  /// Fields some path stores a fresh allocation into (may).
+  std::set<const ir::Field *> MayAllocFields;
+};
+
+/// Runs the dataflow over \p M. \p TreatCallResultAsAlloc enables the MA
+/// filter's getter assumption.
+AllocFlowResult analyzeAllocFlow(const ir::Method &M,
+                                 bool TreatCallResultAsAlloc);
+
+} // namespace nadroid::analysis
+
+#endif // NADROID_ANALYSIS_ALLOCFLOW_H

@@ -1,0 +1,33 @@
+//===- analysis/CancelReach.cpp - Cancellation reachability (CHB) -------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CancelReach.h"
+
+#include "android/SyntacticReach.h"
+
+using namespace nadroid;
+using namespace nadroid::analysis;
+using namespace nadroid::ir;
+
+const std::vector<CancelInfo> &CancelReach::cancelsFrom(Method *M) const {
+  auto It = Cache.find(M);
+  if (It != Cache.end())
+    return It->second;
+
+  std::vector<CancelInfo> Cancels;
+  for (Method *Reached : android::collectReachableMethods(M, Apis)) {
+    forEachStmt(*Reached, [&](const Stmt &S) {
+      const auto *Call = dyn_cast<CallStmt>(&S);
+      if (!Call)
+        return;
+      const android::ApiCallInfo &Info = Apis.lookup(*Call);
+      if (!android::isCancellationApi(Info.Kind))
+        return;
+      Cancels.push_back({Info.Kind, Info.Target, Call});
+    });
+  }
+  return Cache.emplace(M, std::move(Cancels)).first->second;
+}

@@ -1,0 +1,56 @@
+//===- analysis/CancelReach.h - Cancellation reachability (CHB) -*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// May-reachability of cancellation APIs for the CHB filter (§6.2.1): for
+/// a callback method, which of finish / unbindService /
+/// unregisterReceiver / removeCallbacksAndMessages it may invoke
+/// (transitively, path-insensitively). The deliberate path-insensitivity
+/// — one error-handling path through finish() counts — is what produces
+/// the paper's three injected-bug false negatives (§8.6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_ANALYSIS_CANCELREACH_H
+#define NADROID_ANALYSIS_CANCELREACH_H
+
+#include "android/Api.h"
+
+#include <map>
+#include <vector>
+
+namespace nadroid::analysis {
+
+/// One reachable cancellation call.
+struct CancelInfo {
+  android::ApiKind Kind = android::ApiKind::None;
+  /// What the cancellation targets: the activity class for finish, the
+  /// connection/receiver class for unbind/unregister when resolvable
+  /// (nullptr = "all of this component's"), the handler class for
+  /// removeCallbacksAndMessages.
+  ir::Clazz *Target = nullptr;
+  const ir::CallStmt *Site = nullptr;
+};
+
+/// Lazily computes and caches cancellations reachable from methods.
+class CancelReach {
+public:
+  CancelReach(const ir::Program &P, const android::ApiIndex &Apis)
+      : Apis(Apis) {
+    (void)P;
+  }
+
+  /// Cancellation APIs \p M may reach over ordinary calls.
+  const std::vector<CancelInfo> &cancelsFrom(ir::Method *M) const;
+
+private:
+  const android::ApiIndex &Apis;
+  mutable std::map<const ir::Method *, std::vector<CancelInfo>> Cache;
+};
+
+} // namespace nadroid::analysis
+
+#endif // NADROID_ANALYSIS_CANCELREACH_H

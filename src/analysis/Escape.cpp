@@ -1,0 +1,42 @@
+//===- analysis/Escape.cpp - Thread-escape analysis ----------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Escape.h"
+
+using namespace nadroid;
+using namespace nadroid::analysis;
+using namespace nadroid::ir;
+
+EscapeAnalysis::EscapeAnalysis(const PointsToAnalysis &PTA,
+                               const ThreadReach &Reach,
+                               const threadify::ThreadForest &Forest) {
+  for (const auto &T : Forest.threads()) {
+    for (const MethodCtx &Ctx : Reach.contextsOf(T.get())) {
+      forEachStmt(*Ctx.M, [&](const Stmt &S) {
+        const Local *Base = nullptr;
+        if (const auto *Load = dyn_cast<LoadStmt>(&S))
+          Base = Load->base();
+        else if (const auto *Store = dyn_cast<StoreStmt>(&S))
+          Base = Store->base();
+        if (!Base)
+          return;
+        for (ObjectId Obj : PTA.ptsOf(Base, Ctx))
+          AccessedBy[Obj].insert(T.get());
+      });
+    }
+  }
+  for (const auto &[Obj, Threads] : AccessedBy)
+    if (Threads.size() >= 2)
+      Escaping.insert(Obj);
+}
+
+std::vector<const threadify::ModeledThread *>
+EscapeAnalysis::accessors(ObjectId Obj) const {
+  auto It = AccessedBy.find(Obj);
+  if (It == AccessedBy.end())
+    return {};
+  return {It->second.begin(), It->second.end()};
+}

@@ -1,0 +1,56 @@
+//===- analysis/Escape.h - Thread-escape analysis ---------------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Chord-style thread-escape analysis (§5): an abstract object escapes
+/// when the code of two different modeled threads may access one of its
+/// fields. Over the threadified program, escape is what turns the
+/// classical "only escaping objects can race" precondition into the
+/// event-aware one — an object touched by two event callbacks escapes
+/// even though a conventional thread-based analysis would call it
+/// looper-local.
+///
+/// The detector's racy-pair condition (distinct modeled threads with
+/// aliasing bases) subsumes this check pair-by-pair; the standalone
+/// analysis exists for Chord architectural fidelity, for statistics, and
+/// as a cheap prefilter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_ANALYSIS_ESCAPE_H
+#define NADROID_ANALYSIS_ESCAPE_H
+
+#include "analysis/PointsTo.h"
+#include "analysis/ThreadReach.h"
+
+namespace nadroid::analysis {
+
+/// Computes, per abstract object, the set of modeled threads that may
+/// access its fields.
+class EscapeAnalysis {
+public:
+  EscapeAnalysis(const PointsToAnalysis &PTA, const ThreadReach &Reach,
+                 const threadify::ThreadForest &Forest);
+
+  /// True when ≥2 modeled threads may access \p Obj.
+  bool escapes(ObjectId Obj) const { return Escaping.count(Obj) != 0; }
+
+  /// All escaping objects.
+  const std::set<ObjectId> &escapingObjects() const { return Escaping; }
+
+  /// Threads that may access \p Obj (empty when never accessed).
+  std::vector<const threadify::ModeledThread *>
+  accessors(ObjectId Obj) const;
+
+private:
+  std::map<ObjectId, std::set<const threadify::ModeledThread *>>
+      AccessedBy;
+  std::set<ObjectId> Escaping;
+};
+
+} // namespace nadroid::analysis
+
+#endif // NADROID_ANALYSIS_ESCAPE_H

@@ -1,0 +1,192 @@
+//===- analysis/Guards.cpp - If-guard detection (IG, §6.1.2) ------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Guards.h"
+
+#include <map>
+#include <vector>
+
+using namespace nadroid;
+using namespace nadroid::analysis;
+using namespace nadroid::ir;
+
+namespace {
+
+/// A (base local, field) pair a guard has null-checked.
+using FieldRef = std::pair<const Local *, const Field *>;
+
+/// Collects every statement lexically inside \p B (recursively).
+void collectSubtree(const Block &B, std::set<const Stmt *> &Out) {
+  forEachStmt(B, [&](const Stmt &S) { Out.insert(&S); });
+}
+
+class GuardWalker {
+public:
+  explicit GuardWalker(const Method &M) : M(M) {}
+
+  std::set<const LoadStmt *> run() {
+    std::map<const Local *, FieldRef> FieldOf;
+    std::map<const Local *, const LoadStmt *> DefLoad;
+    std::set<FieldRef> Active;
+    walk(M.body(), FieldOf, DefLoad, Active);
+    resolveCheckThenDeref();
+    return std::move(Guarded);
+  }
+
+private:
+  const Method &M;
+  std::set<const LoadStmt *> Guarded;
+  /// Shape (b) candidates: the load feeding the check, and the region its
+  /// dereferences must stay inside.
+  struct Candidate {
+    const LoadStmt *Def;
+    const Block *Region;
+  };
+  std::vector<Candidate> Candidates;
+
+  void invalidateField(std::map<const Local *, FieldRef> &FieldOf,
+                       std::set<FieldRef> &Active, const Field *F) {
+    for (auto It = FieldOf.begin(); It != FieldOf.end();) {
+      if (It->second.second == F)
+        It = FieldOf.erase(It);
+      else
+        ++It;
+    }
+    for (auto It = Active.begin(); It != Active.end();) {
+      if (It->second == F)
+        It = Active.erase(It);
+      else
+        ++It;
+    }
+  }
+
+  void walk(const Block &B, std::map<const Local *, FieldRef> &FieldOf,
+            std::map<const Local *, const LoadStmt *> &DefLoad,
+            std::set<FieldRef> &Active) {
+    for (const auto &SPtr : B.stmts()) {
+      const Stmt &S = *SPtr;
+      switch (S.kind()) {
+      case Stmt::Kind::Load: {
+        const auto *Load = cast<LoadStmt>(&S);
+        FieldRef Ref{Load->base(), Load->field()};
+        if (Active.count(Ref))
+          Guarded.insert(Load);
+        FieldOf[Load->dst()] = Ref;
+        DefLoad[Load->dst()] = Load;
+        break;
+      }
+      case Stmt::Kind::New:
+        FieldOf.erase(cast<NewStmt>(&S)->dst());
+        DefLoad.erase(cast<NewStmt>(&S)->dst());
+        break;
+      case Stmt::Kind::Copy:
+        FieldOf.erase(cast<CopyStmt>(&S)->dst());
+        DefLoad.erase(cast<CopyStmt>(&S)->dst());
+        break;
+      case Stmt::Kind::Call: {
+        const auto *Call = cast<CallStmt>(&S);
+        if (Call->dst()) {
+          FieldOf.erase(Call->dst());
+          DefLoad.erase(Call->dst());
+        }
+        break;
+      }
+      case Stmt::Kind::Store: {
+        // Any store to (b, f) invalidates null-knowledge about f — a
+        // free may have installed null, a fresh store is fine either
+        // way; conservatively drop both mappings and active guards.
+        invalidateField(FieldOf, Active, cast<StoreStmt>(&S)->field());
+        break;
+      }
+      case Stmt::Kind::Return:
+        break;
+      case Stmt::Kind::Sync: {
+        const auto *Sync = cast<SyncStmt>(&S);
+        walk(Sync->body(), FieldOf, DefLoad, Active);
+        break;
+      }
+      case Stmt::Kind::If: {
+        const auto *If = cast<IfStmt>(&S);
+        const Block *Protected = nullptr;
+        const Block *Other = nullptr;
+        if (If->test() == IfStmt::TestKind::NotNull) {
+          Protected = &If->thenBlock();
+          Other = &If->elseBlock();
+        } else if (If->test() == IfStmt::TestKind::IsNull) {
+          Protected = &If->elseBlock();
+          Other = &If->thenBlock();
+        }
+
+        if (Protected && If->cond()) {
+          auto RefIt = FieldOf.find(If->cond());
+          std::set<FieldRef> BranchActive = Active;
+          if (RefIt != FieldOf.end()) {
+            BranchActive.insert(RefIt->second);
+            if (auto DefIt = DefLoad.find(If->cond());
+                DefIt != DefLoad.end())
+              Candidates.push_back({DefIt->second, Protected});
+          }
+          // Branch-local copies: mutations inside a branch must not leak.
+          auto FieldOfCopy = FieldOf;
+          auto DefLoadCopy = DefLoad;
+          walk(*Protected, FieldOfCopy, DefLoadCopy, BranchActive);
+          if (Other) {
+            auto FieldOfCopy2 = FieldOf;
+            auto DefLoadCopy2 = DefLoad;
+            std::set<FieldRef> OtherActive = Active;
+            walk(*Other, FieldOfCopy2, DefLoadCopy2, OtherActive);
+          }
+        } else {
+          // Unknown predicate: both branches, no new guards.
+          auto FieldOfCopy = FieldOf;
+          auto DefLoadCopy = DefLoad;
+          std::set<FieldRef> BranchActive = Active;
+          walk(If->thenBlock(), FieldOfCopy, DefLoadCopy, BranchActive);
+          auto FieldOfCopy2 = FieldOf;
+          auto DefLoadCopy2 = DefLoad;
+          std::set<FieldRef> BranchActive2 = Active;
+          walk(If->elseBlock(), FieldOfCopy2, DefLoadCopy2, BranchActive2);
+        }
+        // After a branch join the tracked null-facts are unreliable:
+        // conservatively forget everything defined so far.
+        FieldOf.clear();
+        DefLoad.clear();
+        break;
+      }
+      }
+    }
+  }
+
+  /// Shape (b): the load feeding a null check is guarded when every
+  /// dereference of its destination stays inside the guarded region.
+  void resolveCheckThenDeref() {
+    for (const Candidate &C : Candidates) {
+      std::set<const Stmt *> Region;
+      collectSubtree(*C.Region, Region);
+      const Local *Val = C.Def->dst();
+      bool AllInside = true;
+      bool AnyDeref = false;
+      forEachStmt(M, [&](const Stmt &S) {
+        const auto *Call = dyn_cast<CallStmt>(&S);
+        if (!Call || Call->recv() != Val)
+          return;
+        AnyDeref = true;
+        if (!Region.count(&S))
+          AllInside = false;
+      });
+      // A check whose value is never dereferenced is the UR filter's
+      // business; IG guards only check-then-deref.
+      if (AnyDeref && AllInside)
+        Guarded.insert(C.Def);
+    }
+  }
+};
+
+} // namespace
+
+GuardAnalysis::GuardAnalysis(const Method &M) {
+  Guarded = GuardWalker(M).run();
+}

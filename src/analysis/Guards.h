@@ -1,0 +1,57 @@
+//===- analysis/Guards.h - If-guard detection (IG, §6.1.2) ------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Detects if-guarded uses for the IG filter. A field load is guarded in
+/// two (bytecode-level) shapes:
+///
+///   (a) re-load under guard:            (b) check-then-deref of one load:
+///       g = this.f;                         x = this.f;
+///       if (g != null) {                    if (x != null) {
+///         u = this.f;   // guarded              x.use();
+///         u.use();                          }
+///       }                                  // the load x is guarded when
+///                                          // every deref of x sits inside
+///                                          // the guarded region
+///
+/// The analysis is intra-procedural and conservative: an intervening free
+/// of the same field invalidates the tracked null-check, and assignments
+/// through branches discard tracking. Whether a guard actually *prunes* a
+/// warning (atomicity / common lock) is the filter's job, not this one's.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_ANALYSIS_GUARDS_H
+#define NADROID_ANALYSIS_GUARDS_H
+
+#include "ir/Stmt.h"
+
+#include <set>
+
+namespace nadroid::analysis {
+
+/// Per-method guard facts.
+class GuardAnalysis {
+public:
+  explicit GuardAnalysis(const ir::Method &M);
+
+  /// True when the use at \p Load executes only under a null-check of the
+  /// same field (shapes (a)/(b) above).
+  bool isGuarded(const ir::LoadStmt *Load) const {
+    return Guarded.count(Load) != 0;
+  }
+
+  const std::set<const ir::LoadStmt *> &guardedLoads() const {
+    return Guarded;
+  }
+
+private:
+  std::set<const ir::LoadStmt *> Guarded;
+};
+
+} // namespace nadroid::analysis
+
+#endif // NADROID_ANALYSIS_GUARDS_H

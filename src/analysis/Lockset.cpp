@@ -1,0 +1,60 @@
+//===- analysis/Lockset.cpp - Lockset analysis --------------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lockset.h"
+
+using namespace nadroid;
+using namespace nadroid::analysis;
+using namespace nadroid::ir;
+
+namespace {
+
+void buildNesting(
+    const Block &B, std::vector<const SyncStmt *> &Stack,
+    std::map<const Stmt *, std::vector<const SyncStmt *>> &Out) {
+  for (const auto &S : B.stmts()) {
+    Out.emplace(S.get(), Stack);
+    if (const auto *If = dyn_cast<IfStmt>(S.get())) {
+      buildNesting(If->thenBlock(), Stack, Out);
+      buildNesting(If->elseBlock(), Stack, Out);
+    } else if (const auto *Sync = dyn_cast<SyncStmt>(S.get())) {
+      Stack.push_back(Sync);
+      buildNesting(Sync->body(), Stack, Out);
+      Stack.pop_back();
+    }
+  }
+}
+
+} // namespace
+
+const std::map<const Stmt *, std::vector<const SyncStmt *>> &
+LocksetAnalysis::nestingFor(const Method *M) const {
+  auto It = NestingCache.find(M);
+  if (It != NestingCache.end())
+    return It->second;
+  std::map<const Stmt *, std::vector<const SyncStmt *>> Nesting;
+  std::vector<const SyncStmt *> Stack;
+  buildNesting(M->body(), Stack, Nesting);
+  return NestingCache.emplace(M, std::move(Nesting)).first->second;
+}
+
+const std::vector<const SyncStmt *> &
+LocksetAnalysis::enclosingSyncs(const Stmt *S) const {
+  static const std::vector<const SyncStmt *> Empty;
+  const auto &Nesting = nestingFor(S->parentMethod());
+  auto It = Nesting.find(S);
+  return It == Nesting.end() ? Empty : It->second;
+}
+
+std::set<ObjectId> LocksetAnalysis::locksHeldAt(const Stmt *S,
+                                                const MethodCtx &Ctx) const {
+  std::set<ObjectId> Locks;
+  for (const SyncStmt *Sync : enclosingSyncs(S)) {
+    const std::set<ObjectId> &Pts = PTA.ptsOf(Sync->lock(), Ctx);
+    Locks.insert(Pts.begin(), Pts.end());
+  }
+  return Locks;
+}

@@ -1,0 +1,52 @@
+//===- analysis/Lockset.h - Lockset analysis --------------------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Locks held at a statement. Per §5, nAdroid ignores locksets for the
+/// detection itself (locks provide atomicity, not ordering) and consults
+/// them only inside the IG/IA filters: an if-guard or intra-allocation is
+/// safe across *threads* only when both sides hold a common lock (§6.1.2).
+/// The lockset is the statically-enclosing synchronized regions' lock
+/// objects under the queried context (intra-procedural nesting, like
+/// Chord's per-method monitor regions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_ANALYSIS_LOCKSET_H
+#define NADROID_ANALYSIS_LOCKSET_H
+
+#include "analysis/PointsTo.h"
+
+namespace nadroid::analysis {
+
+/// Answers "which abstract lock objects are held at statement S in context
+/// Ctx". Nesting maps are built lazily per method and cached.
+class LocksetAnalysis {
+public:
+  explicit LocksetAnalysis(const PointsToAnalysis &PTA) : PTA(PTA) {}
+
+  /// Lock objects held at \p S when its method runs in \p Ctx.
+  std::set<ObjectId> locksHeldAt(const ir::Stmt *S,
+                                 const MethodCtx &Ctx) const;
+
+  /// The SyncStmts statically enclosing \p S within its method.
+  const std::vector<const ir::SyncStmt *> &
+  enclosingSyncs(const ir::Stmt *S) const;
+
+private:
+  const PointsToAnalysis &PTA;
+  mutable std::map<const ir::Method *,
+                   std::map<const ir::Stmt *,
+                            std::vector<const ir::SyncStmt *>>>
+      NestingCache;
+
+  const std::map<const ir::Stmt *, std::vector<const ir::SyncStmt *>> &
+  nestingFor(const ir::Method *M) const;
+};
+
+} // namespace nadroid::analysis
+
+#endif // NADROID_ANALYSIS_LOCKSET_H

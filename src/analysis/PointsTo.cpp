@@ -1,0 +1,321 @@
+//===- analysis/PointsTo.cpp - k-object-sensitive points-to ------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/PointsTo.h"
+
+#include <cassert>
+
+using namespace nadroid;
+using namespace nadroid::analysis;
+using namespace nadroid::ir;
+using android::ApiCallInfo;
+using android::ApiKind;
+using android::CallbackKind;
+using threadify::ModeledThread;
+using threadify::ThreadOrigin;
+
+std::string AbstractObject::describe() const {
+  std::string Result;
+  if (Site) {
+    Result = "new " + Site->allocClass()->name() + "@" +
+             std::to_string(Site->id());
+  } else {
+    Result = "<component " + Synthetic->name() + ">";
+  }
+  if (!HeapCtx.empty())
+    Result += " [ctx:" + std::to_string(HeapCtx.size()) + "]";
+  return Result;
+}
+
+PointsToAnalysis::PointsToAnalysis(const Program &P,
+                                   const threadify::ThreadForest &Forest,
+                                   const android::ApiIndex &Apis,
+                                   Options Opts)
+    : P(P), Forest(Forest), Apis(Apis), Opts(Opts) {
+  assert(Opts.K >= 1 && "k must be at least 1");
+}
+
+PointsToAnalysis::PointsToAnalysis(const Program &P,
+                                   const threadify::ThreadForest &Forest,
+                                   const android::ApiIndex &Apis)
+    : PointsToAnalysis(P, Forest, Apis, Options()) {}
+
+bool PointsToAnalysis::addAll(std::set<ObjectId> &Dst,
+                              const std::set<ObjectId> &Src) {
+  bool Added = false;
+  for (ObjectId Id : Src)
+    Added |= Dst.insert(Id).second;
+  Changed |= Added;
+  return Added;
+}
+
+bool PointsToAnalysis::addOne(std::set<ObjectId> &Dst, ObjectId Id) {
+  bool Added = Dst.insert(Id).second;
+  Changed |= Added;
+  return Added;
+}
+
+ObjectId PointsToAnalysis::internObject(const void *SiteKey,
+                                        const NewStmt *Site,
+                                        const Clazz *Synthetic,
+                                        std::vector<const void *> HeapCtx,
+                                        Clazz *RuntimeClass) {
+  auto Key = std::make_pair(SiteKey, HeapCtx);
+  auto It = ObjectIntern.find(Key);
+  if (It != ObjectIntern.end())
+    return It->second;
+  ObjectId Id = static_cast<ObjectId>(Objects.size());
+  Objects.push_back({Site, Synthetic, std::move(HeapCtx), RuntimeClass});
+  ObjectIntern.emplace(std::move(Key), Id);
+  return Id;
+}
+
+ObjectId PointsToAnalysis::syntheticObject(Clazz *C) {
+  auto It = SyntheticByClass.find(C);
+  if (It != SyntheticByClass.end())
+    return It->second;
+  ObjectId Id = internObject(C, nullptr, C, {}, C);
+  SyntheticByClass.emplace(C, Id);
+  return Id;
+}
+
+bool PointsToAnalysis::syntheticObjectFor(const Clazz *C,
+                                          ObjectId &IdOut) const {
+  auto It = SyntheticByClass.find(C);
+  if (It == SyntheticByClass.end())
+    return false;
+  IdOut = It->second;
+  return true;
+}
+
+std::vector<const void *> PointsToAnalysis::heapCtxFor(ObjectId Recv) const {
+  // The new object's heap context is the receiver's site chain
+  // [site, ctx...] truncated to k-1 entries.
+  const AbstractObject &R = Objects[Recv];
+  std::vector<const void *> Ctx;
+  Ctx.push_back(R.siteKey());
+  for (const void *Key : R.HeapCtx) {
+    if (Ctx.size() >= Opts.K - 1)
+      break;
+    Ctx.push_back(Key);
+  }
+  if (Ctx.size() > Opts.K - 1)
+    Ctx.resize(Opts.K - 1);
+  return Ctx;
+}
+
+void PointsToAnalysis::addReachable(Method *M, ObjectId Recv) {
+  MethodCtx Ctx{M, Recv};
+  if (!Reachable.insert(Ctx).second)
+    return;
+  ReachableList.push_back(Ctx);
+  // Bind `this`.
+  addOne(varSet(M->thisLocal(), Recv), Recv);
+  Changed = true;
+}
+
+/// Component entry callbacks run on synthetic component objects; every
+/// other thread's contexts are discovered through spawn edges during the
+/// solve.
+void PointsToAnalysis::seedRoots() {
+  for (const auto &T : Forest.threads()) {
+    if (T->origin() != ThreadOrigin::EntryCallback || T->spawnSite())
+      continue;
+    Clazz *Component = T->component();
+    assert(Component && "component EC without a component");
+    addReachable(T->callback(), syntheticObject(Component));
+  }
+}
+
+void PointsToAnalysis::run() {
+  assert(!HasRun && "run() must be called exactly once");
+  HasRun = true;
+  seedRoots();
+  unsigned Sweeps = 0;
+  do {
+    Changed = false;
+    sweep();
+    ++Sweeps;
+  } while (Changed);
+  Stats.set("pointsto.sweeps", Sweeps);
+  Stats.set("pointsto.contexts", Reachable.size());
+  Stats.set("pointsto.objects", Objects.size());
+  Stats.set("pointsto.spawns", Spawns.size());
+  uint64_t Edges = 0;
+  for (const auto &[From, Tos] : CallEdges)
+    Edges += Tos.size();
+  Stats.set("pointsto.calledges", Edges);
+}
+
+void PointsToAnalysis::sweep() {
+  // ReachableList can grow while we iterate; index loop keeps it valid.
+  for (size_t I = 0; I < ReachableList.size(); ++I) {
+    MethodCtx Ctx = ReachableList[I];
+    processContext(Ctx);
+  }
+}
+
+void PointsToAnalysis::processContext(const MethodCtx &Ctx) {
+  forEachStmt(*Ctx.M, [&](const Stmt &S) { processStmt(S, Ctx); });
+}
+
+void PointsToAnalysis::processStmt(const Stmt &S, const MethodCtx &Ctx) {
+  switch (S.kind()) {
+  case Stmt::Kind::New: {
+    const auto *New = cast<NewStmt>(&S);
+    ObjectId Obj = internObject(New, New, nullptr, heapCtxFor(Ctx.Recv),
+                                New->allocClass());
+    addOne(varSet(New->dst(), Ctx.Recv), Obj);
+    return;
+  }
+  case Stmt::Kind::Copy: {
+    const auto *Copy = cast<CopyStmt>(&S);
+    addAll(varSet(Copy->dst(), Ctx.Recv), varSet(Copy->src(), Ctx.Recv));
+    return;
+  }
+  case Stmt::Kind::Load: {
+    const auto *Load = cast<LoadStmt>(&S);
+    // Copy the base set: field insertions must not invalidate iteration.
+    std::set<ObjectId> Base = varSet(Load->base(), Ctx.Recv);
+    for (ObjectId O : Base)
+      addAll(varSet(Load->dst(), Ctx.Recv),
+             FieldPtsMap[{O, Load->field()}]);
+    return;
+  }
+  case Stmt::Kind::Store: {
+    const auto *Store = cast<StoreStmt>(&S);
+    if (!Store->src())
+      return; // null store: the "free" adds no pointees
+    std::set<ObjectId> Base = varSet(Store->base(), Ctx.Recv);
+    for (ObjectId O : Base)
+      addAll(FieldPtsMap[{O, Store->field()}],
+             varSet(Store->src(), Ctx.Recv));
+    return;
+  }
+  case Stmt::Kind::Call: {
+    const auto *Call = cast<CallStmt>(&S);
+    const ApiCallInfo &Info = Apis.lookup(*Call);
+    if (Info.isApi())
+      processApiCall(*Call, Info, Ctx);
+    else
+      processOrdinaryCall(*Call, Ctx);
+    return;
+  }
+  case Stmt::Kind::Return: {
+    const auto *Ret = cast<ReturnStmt>(&S);
+    if (Ret->src())
+      addAll(RetPts[{Ctx.M, Ctx.Recv}], varSet(Ret->src(), Ctx.Recv));
+    return;
+  }
+  case Stmt::Kind::If:
+  case Stmt::Kind::Sync:
+    return; // children visited by forEachStmt
+  }
+}
+
+void PointsToAnalysis::processOrdinaryCall(const CallStmt &Call,
+                                           const MethodCtx &Ctx) {
+  std::set<ObjectId> Recvs = varSet(Call.recv(), Ctx.Recv);
+  for (ObjectId O : Recvs) {
+    Method *Target = Objects[O].RuntimeClass->findMethod(Call.callee());
+    if (!Target)
+      continue; // framework method we do not model; edge dropped
+    addReachable(Target, O);
+    CallEdges[Ctx].insert({Target, O});
+    // Parameter binding (arity mismatches bind the common prefix).
+    size_t N = std::min(Call.args().size(), Target->params().size());
+    for (size_t I = 0; I < N; ++I)
+      addAll(varSet(Target->params()[I], O),
+             varSet(Call.args()[I], Ctx.Recv));
+    if (Call.dst())
+      addAll(varSet(Call.dst(), Ctx.Recv), RetPts[{Target, O}]);
+  }
+}
+
+void PointsToAnalysis::spawn(const CallStmt &Call, ApiKind Kind,
+                             Method *Target, ObjectId Recv,
+                             const MethodCtx &Poster) {
+  addReachable(Target, Recv);
+  SpawnRecord Record{&Call, Kind, Target, Recv, Poster};
+  if (Spawns.insert(Record).second)
+    Changed = true;
+}
+
+void PointsToAnalysis::processApiCall(const CallStmt &Call,
+                                      const ApiCallInfo &Info,
+                                      const MethodCtx &Ctx) {
+  auto Arg0Set = [&]() -> std::set<ObjectId> {
+    if (Call.args().empty())
+      return {};
+    return varSet(Call.args()[0], Ctx.Recv);
+  };
+  auto RecvSet = [&]() -> std::set<ObjectId> {
+    return varSet(Call.recv(), Ctx.Recv);
+  };
+  auto SpawnOn = [&](const std::set<ObjectId> &Objs, const char *Name,
+                     ApiKind Kind) {
+    for (ObjectId O : Objs)
+      if (Method *Target = Objects[O].RuntimeClass->findMethod(Name))
+        spawn(Call, Kind, Target, O, Ctx);
+  };
+
+  switch (Info.Kind) {
+  case ApiKind::HandlerPost:
+  case ApiKind::RunOnUiThread:
+    SpawnOn(Arg0Set(), "run", Info.Kind);
+    return;
+  case ApiKind::HandlerSend:
+    SpawnOn(RecvSet(), "handleMessage", Info.Kind);
+    return;
+  case ApiKind::BindService:
+    SpawnOn(Arg0Set(), "onServiceConnected", Info.Kind);
+    SpawnOn(Arg0Set(), "onServiceDisconnected", Info.Kind);
+    return;
+  case ApiKind::RegisterReceiver:
+    SpawnOn(Arg0Set(), "onReceive", Info.Kind);
+    return;
+  case ApiKind::SetListener: {
+    for (ObjectId O : Arg0Set()) {
+      Clazz *C = Objects[O].RuntimeClass;
+      for (const auto &M : C->methods())
+        if (android::classifyCallback(C->kind(), M->name()) !=
+            CallbackKind::None)
+          spawn(Call, Info.Kind, M.get(), O, Ctx);
+    }
+    return;
+  }
+  case ApiKind::AsyncExecute:
+    SpawnOn(RecvSet(), "doInBackground", Info.Kind);
+    SpawnOn(RecvSet(), "onPreExecute", Info.Kind);
+    SpawnOn(RecvSet(), "onProgressUpdate", Info.Kind);
+    SpawnOn(RecvSet(), "onPostExecute", Info.Kind);
+    return;
+  case ApiKind::ThreadStart:
+    SpawnOn(RecvSet(), "run", Info.Kind);
+    return;
+  case ApiKind::PublishProgress:
+  case ApiKind::Finish:
+  case ApiKind::UnbindService:
+  case ApiKind::UnregisterReceiver:
+  case ApiKind::RemoveCallbacks:
+  case ApiKind::None:
+    return;
+  }
+}
+
+const std::set<ObjectId> &
+PointsToAnalysis::ptsOf(const Local *L, const MethodCtx &Ctx) const {
+  static const std::set<ObjectId> Empty;
+  auto It = VarPts.find({L, Ctx.Recv});
+  return It == VarPts.end() ? Empty : It->second;
+}
+
+const std::set<ObjectId> &
+PointsToAnalysis::fieldPts(ObjectId Obj, const Field *F) const {
+  static const std::set<ObjectId> Empty;
+  auto It = FieldPtsMap.find({Obj, F});
+  return It == FieldPtsMap.end() ? Empty : It->second;
+}

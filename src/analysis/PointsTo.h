@@ -1,0 +1,207 @@
+//===- analysis/PointsTo.h - k-object-sensitive points-to -------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Chord-equivalent substrate (§5): an inclusion-based (Andersen)
+/// points-to analysis with k-object-sensitive heap naming and an
+/// on-the-fly call graph, run over the threadified program.
+///
+/// Abstract objects are (allocation site, heap context) pairs, where the
+/// heap context is the allocator's receiver-object site chain truncated to
+/// k-1 entries (k = 2 by default, matching the paper). Components the
+/// Android runtime instantiates get synthetic allocation sites. Method
+/// analysis contexts are receiver objects, so virtual dispatch, parameter
+/// binding, and field flow are all context-sensitive.
+///
+/// Framework-API calls contribute *spawn edges* instead of call edges:
+/// post/sendMessage/bindService/registerReceiver/set*Listener/execute/
+/// start make their target callback reachable with the posted object as
+/// receiver; SpawnRecords preserve which site installed which context so
+/// ThreadReach can attribute code to modeled threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_ANALYSIS_POINTSTO_H
+#define NADROID_ANALYSIS_POINTSTO_H
+
+#include "android/Api.h"
+#include "ir/Stmt.h"
+#include "support/Statistic.h"
+#include "threadify/ThreadForest.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace nadroid::analysis {
+
+/// Index into PointsToAnalysis::objects().
+using ObjectId = uint32_t;
+
+/// An abstract heap object: a real NewStmt or a synthetic component
+/// allocation, qualified by a truncated allocator-site chain.
+struct AbstractObject {
+  /// The allocation statement; nullptr for synthetic component objects.
+  const ir::NewStmt *Site = nullptr;
+  /// The component class for synthetic objects.
+  const ir::Clazz *Synthetic = nullptr;
+  /// Heap context: allocator receiver's site chain, length ≤ k-1. Keys are
+  /// NewStmt* or Clazz* pointers (identity only).
+  std::vector<const void *> HeapCtx;
+  /// The object's runtime class (drives virtual dispatch).
+  ir::Clazz *RuntimeClass = nullptr;
+
+  const void *siteKey() const {
+    return Site ? static_cast<const void *>(Site)
+                : static_cast<const void *>(Synthetic);
+  }
+
+  /// Human-readable name for reports, e.g. "new Binder@12 [MainActivity]".
+  std::string describe() const;
+};
+
+/// A context-qualified method: analyzed once per receiver object.
+struct MethodCtx {
+  ir::Method *M = nullptr;
+  ObjectId Recv = 0;
+
+  friend bool operator<(const MethodCtx &A, const MethodCtx &B) {
+    if (A.M != B.M)
+      return A.M < B.M;
+    return A.Recv < B.Recv;
+  }
+  friend bool operator==(const MethodCtx &A, const MethodCtx &B) {
+    return A.M == B.M && A.Recv == B.Recv;
+  }
+};
+
+/// One spawn edge: an API call installed callback \p Target with receiver
+/// \p Recv, from poster context \p Poster.
+struct SpawnRecord {
+  const ir::CallStmt *Site = nullptr;
+  android::ApiKind Kind = android::ApiKind::None;
+  ir::Method *Target = nullptr;
+  ObjectId Recv = 0;
+  MethodCtx Poster;
+
+  friend bool operator<(const SpawnRecord &A, const SpawnRecord &B) {
+    return std::tie(A.Site, A.Kind, A.Target, A.Recv, A.Poster) <
+           std::tie(B.Site, B.Kind, B.Target, B.Recv, B.Poster);
+  }
+};
+
+/// Runs the analysis over a threadified program and answers queries.
+class PointsToAnalysis {
+public:
+  struct Options {
+    /// Context depth. k=1 is context-insensitive heap naming; k=2 is the
+    /// paper's default balance of precision and scalability (§8.5).
+    unsigned K = 2;
+  };
+
+  PointsToAnalysis(const ir::Program &P,
+                   const threadify::ThreadForest &Forest,
+                   const android::ApiIndex &Apis, Options Opts);
+  /// Convenience: the paper's default k=2.
+  PointsToAnalysis(const ir::Program &P,
+                   const threadify::ThreadForest &Forest,
+                   const android::ApiIndex &Apis);
+
+  /// Solves to fixpoint. Must be called exactly once before any query.
+  void run();
+
+  //===--------------------------------------------------------------------===//
+  // Queries
+  //===--------------------------------------------------------------------===//
+
+  const AbstractObject &object(ObjectId Id) const { return Objects[Id]; }
+  size_t objectCount() const { return Objects.size(); }
+
+  /// Points-to set of \p L when its method runs in context \p Ctx; empty
+  /// set when unknown.
+  const std::set<ObjectId> &ptsOf(const ir::Local *L,
+                                  const MethodCtx &Ctx) const;
+
+  /// Field points-to set of (\p Obj, \p F).
+  const std::set<ObjectId> &fieldPts(ObjectId Obj, const ir::Field *F) const;
+
+  /// Every (method, receiver) pair the solver reached.
+  const std::set<MethodCtx> &reachableContexts() const { return Reachable; }
+
+  /// Ordinary call edges (caller ctx → callee ctx), excluding spawns.
+  const std::map<MethodCtx, std::set<MethodCtx>> &callEdges() const {
+    return CallEdges;
+  }
+
+  /// All spawn edges recorded during the solve.
+  const std::set<SpawnRecord> &spawnRecords() const { return Spawns; }
+
+  /// The synthetic object for component \p C, creating it if the solve
+  /// seeded one; returns false when \p C was never seeded.
+  bool syntheticObjectFor(const ir::Clazz *C, ObjectId &IdOut) const;
+
+  /// Counters: "pointsto.sweeps", "pointsto.contexts", "pointsto.objects",
+  /// "pointsto.calledges", "pointsto.spawns".
+  const StatRegistry &stats() const { return Stats; }
+
+private:
+  const ir::Program &P;
+  const threadify::ThreadForest &Forest;
+  const android::ApiIndex &Apis;
+  Options Opts;
+
+  std::vector<AbstractObject> Objects;
+  std::map<std::pair<const void *, std::vector<const void *>>, ObjectId>
+      ObjectIntern;
+  std::map<const ir::Clazz *, ObjectId> SyntheticByClass;
+
+  using VarKey = std::pair<const ir::Local *, ObjectId>;
+  std::map<VarKey, std::set<ObjectId>> VarPts;
+  using FieldKey = std::pair<ObjectId, const ir::Field *>;
+  std::map<FieldKey, std::set<ObjectId>> FieldPtsMap;
+  using RetKey = std::pair<const ir::Method *, ObjectId>;
+  std::map<RetKey, std::set<ObjectId>> RetPts;
+
+  std::set<MethodCtx> Reachable;
+  std::vector<MethodCtx> ReachableList;
+  std::map<MethodCtx, std::set<MethodCtx>> CallEdges;
+  std::set<SpawnRecord> Spawns;
+
+  StatRegistry Stats;
+  bool Changed = false;
+  bool HasRun = false;
+
+  ObjectId internObject(const void *SiteKey, const ir::NewStmt *Site,
+                        const ir::Clazz *Synthetic,
+                        std::vector<const void *> HeapCtx,
+                        ir::Clazz *RuntimeClass);
+  ObjectId syntheticObject(ir::Clazz *C);
+  /// Heap context for an allocation inside receiver object \p Recv.
+  std::vector<const void *> heapCtxFor(ObjectId Recv) const;
+
+  void addReachable(ir::Method *M, ObjectId Recv);
+  void seedRoots();
+  void sweep();
+  void processContext(const MethodCtx &Ctx);
+  void processStmt(const ir::Stmt &S, const MethodCtx &Ctx);
+  void processOrdinaryCall(const ir::CallStmt &Call, const MethodCtx &Ctx);
+  void processApiCall(const ir::CallStmt &Call,
+                      const android::ApiCallInfo &Info,
+                      const MethodCtx &Ctx);
+  void spawn(const ir::CallStmt &Call, android::ApiKind Kind,
+             ir::Method *Target, ObjectId Recv, const MethodCtx &Poster);
+
+  std::set<ObjectId> &varSet(const ir::Local *L, ObjectId Recv) {
+    return VarPts[{L, Recv}];
+  }
+  bool addAll(std::set<ObjectId> &Dst, const std::set<ObjectId> &Src);
+  bool addOne(std::set<ObjectId> &Dst, ObjectId Id);
+};
+
+} // namespace nadroid::analysis
+
+#endif // NADROID_ANALYSIS_POINTSTO_H

@@ -1,0 +1,79 @@
+//===- analysis/ThreadReach.cpp - Thread-to-code attribution ------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ThreadReach.h"
+
+#include <deque>
+
+using namespace nadroid;
+using namespace nadroid::analysis;
+using threadify::ModeledThread;
+using threadify::ThreadOrigin;
+
+ThreadReach::ThreadReach(const PointsToAnalysis &PTA,
+                         const threadify::ThreadForest &Forest) {
+  const auto &Edges = PTA.callEdges();
+
+  auto Closure = [&](std::vector<MethodCtx> Roots) {
+    std::vector<MethodCtx> Result;
+    std::set<MethodCtx> Visited;
+    std::deque<MethodCtx> Pending(Roots.begin(), Roots.end());
+    while (!Pending.empty()) {
+      MethodCtx Ctx = Pending.front();
+      Pending.pop_front();
+      if (!Visited.insert(Ctx).second)
+        continue;
+      Result.push_back(Ctx);
+      auto It = Edges.find(Ctx);
+      if (It == Edges.end())
+        continue;
+      for (const MethodCtx &Next : It->second)
+        Pending.push_back(Next);
+    }
+    return Result;
+  };
+
+  for (const auto &T : Forest.threads()) {
+    std::vector<MethodCtx> Roots;
+    if (T->origin() == ThreadOrigin::DummyMain) {
+      // The dummy main owns no code.
+    } else if (T->origin() == ThreadOrigin::EntryCallback &&
+               !T->spawnSite()) {
+      ObjectId Synth;
+      if (PTA.syntheticObjectFor(T->component(), Synth))
+        Roots.push_back({T->callback(), Synth});
+    } else {
+      // Posted/listener/native threads: every spawn record installing this
+      // callback contributes its receiver object as a root context. The
+      // threadifier memoizes identical (poster, target, kind) spawns into
+      // one modeled thread, so matching by target callback slightly
+      // over-approximates root contexts — a union, never a miss.
+      for (const SpawnRecord &R : PTA.spawnRecords())
+        if (R.Target == T->callback())
+          Roots.push_back({R.Target, R.Recv});
+    }
+    Reach.emplace(T.get(), Closure(std::move(Roots)));
+  }
+}
+
+const std::vector<MethodCtx> &
+ThreadReach::contextsOf(const ModeledThread *T) const {
+  static const std::vector<MethodCtx> Empty;
+  auto It = Reach.find(T);
+  return It == Reach.end() ? Empty : It->second;
+}
+
+std::vector<const ModeledThread *>
+ThreadReach::threadsExecuting(const MethodCtx &Ctx) const {
+  std::vector<const ModeledThread *> Result;
+  for (const auto &[T, Ctxs] : Reach)
+    for (const MethodCtx &C : Ctxs)
+      if (C == Ctx) {
+        Result.push_back(T);
+        break;
+      }
+  return Result;
+}

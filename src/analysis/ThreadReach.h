@@ -1,0 +1,44 @@
+//===- analysis/ThreadReach.h - Thread-to-code attribution ------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Attributes analyzed code to modeled threads: a (method, context) pair
+/// belongs to thread T when it is reachable from T's root contexts over
+/// ordinary call edges (spawn edges belong to the spawned thread). Root
+/// contexts come from the points-to solve: synthetic component objects for
+/// component entry callbacks, and SpawnRecords matched by target callback
+/// for posted/listener/native threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_ANALYSIS_THREADREACH_H
+#define NADROID_ANALYSIS_THREADREACH_H
+
+#include "analysis/PointsTo.h"
+
+namespace nadroid::analysis {
+
+/// Per-thread reachable contexts.
+class ThreadReach {
+public:
+  ThreadReach(const PointsToAnalysis &PTA,
+              const threadify::ThreadForest &Forest);
+
+  /// Contexts thread \p T may execute (deterministic order).
+  const std::vector<MethodCtx> &
+  contextsOf(const threadify::ModeledThread *T) const;
+
+  /// All threads that may execute \p Ctx.
+  std::vector<const threadify::ModeledThread *>
+  threadsExecuting(const MethodCtx &Ctx) const;
+
+private:
+  std::map<const threadify::ModeledThread *, std::vector<MethodCtx>> Reach;
+};
+
+} // namespace nadroid::analysis
+
+#endif // NADROID_ANALYSIS_THREADREACH_H

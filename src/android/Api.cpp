@@ -1,0 +1,152 @@
+//===- android/Api.cpp - Android framework API classification ----------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "android/Api.h"
+
+#include "ir/LocalInfo.h"
+
+using namespace nadroid;
+using namespace nadroid::android;
+using namespace nadroid::ir;
+
+const char *android::apiKindName(ApiKind Kind) {
+  switch (Kind) {
+  case ApiKind::None:
+    return "none";
+  case ApiKind::BindService:
+    return "bindService";
+  case ApiKind::UnbindService:
+    return "unbindService";
+  case ApiKind::RegisterReceiver:
+    return "registerReceiver";
+  case ApiKind::UnregisterReceiver:
+    return "unregisterReceiver";
+  case ApiKind::SetListener:
+    return "setListener";
+  case ApiKind::HandlerPost:
+    return "post";
+  case ApiKind::HandlerSend:
+    return "sendMessage";
+  case ApiKind::RemoveCallbacks:
+    return "removeCallbacksAndMessages";
+  case ApiKind::RunOnUiThread:
+    return "runOnUiThread";
+  case ApiKind::AsyncExecute:
+    return "execute";
+  case ApiKind::ThreadStart:
+    return "start";
+  case ApiKind::PublishProgress:
+    return "publishProgress";
+  case ApiKind::Finish:
+    return "finish";
+  }
+  return "none";
+}
+
+bool android::isCancellationApi(ApiKind Kind) {
+  switch (Kind) {
+  case ApiKind::Finish:
+  case ApiKind::UnbindService:
+  case ApiKind::UnregisterReceiver:
+  case ApiKind::RemoveCallbacks:
+    return true;
+  default:
+    return false;
+  }
+}
+
+ApiIndex::ApiIndex(const Program &P) {
+  for (const auto &C : P.classes())
+    for (const auto &M : C->methods()) {
+      LocalTypeInference Types(*M);
+      forEachStmt(*M, [&](const Stmt &S) {
+        if (const auto *Call = dyn_cast<CallStmt>(&S))
+          Cache.emplace(Call, classifyApiCall(*Call, Types));
+      });
+    }
+}
+
+const ApiCallInfo &ApiIndex::lookup(const CallStmt &Call) const {
+  auto It = Cache.find(&Call);
+  return It == Cache.end() ? NoneInfo : It->second;
+}
+
+ApiCallInfo android::classifyApiCall(const CallStmt &Call) {
+  return classifyApiCall(Call, LocalTypeInference(*Call.parentMethod()));
+}
+
+ApiCallInfo android::classifyApiCall(const CallStmt &Call,
+                                     const LocalTypeInference &Types) {
+  const std::string &Name = Call.callee();
+  ApiCallInfo Info;
+
+  auto ResolveArg0 = [&]() -> Clazz * {
+    if (Call.args().empty())
+      return nullptr;
+    return Types.query(Call.args()[0]).uniqueClass();
+  };
+  auto ArgTarget = [&](ApiKind Kind, ClassKind Expected) {
+    Clazz *Target = ResolveArg0();
+    if (!Target || Target->kind() != Expected)
+      return; // unresolved → ordinary call
+    Info.Kind = Kind;
+    Info.Target = Target;
+  };
+  auto RecvTarget = [&](ApiKind Kind, ClassKind Expected) {
+    Clazz *Target = Types.query(Call.recv()).uniqueClass();
+    if (!Target || Target->kind() != Expected)
+      return;
+    Info.Kind = Kind;
+    Info.Target = Target;
+  };
+
+  if (Name == "bindService") {
+    ArgTarget(ApiKind::BindService, ClassKind::ServiceConnection);
+  } else if (Name == "registerReceiver") {
+    ArgTarget(ApiKind::RegisterReceiver, ClassKind::Receiver);
+  } else if (Name == "setOnClickListener" || Name == "setOnLongClickListener" ||
+             Name == "setOnTouchListener" || Name == "setOnItemClickListener" ||
+             Name == "requestLocationUpdates" || Name == "registerListener") {
+    ArgTarget(ApiKind::SetListener, ClassKind::Listener);
+  } else if (Name == "post" || Name == "postDelayed") {
+    // Handler.post / View.post: accepted whenever the argument is a
+    // Runnable — the receiver may be an unresolved framework View. The
+    // receiver class, when known, decides which looper runs the callback.
+    ArgTarget(ApiKind::HandlerPost, ClassKind::Runnable);
+    if (Info.isApi())
+      Info.Via = Types.query(Call.recv()).uniqueClass();
+  } else if (Name == "runOnUiThread") {
+    ArgTarget(ApiKind::RunOnUiThread, ClassKind::Runnable);
+  } else if (Name == "sendMessage" || Name == "sendEmptyMessage" ||
+             Name == "sendMessageDelayed") {
+    RecvTarget(ApiKind::HandlerSend, ClassKind::Handler);
+    if (!Info.isApi())
+      RecvTarget(ApiKind::HandlerSend, ClassKind::BackgroundHandler);
+  } else if (Name == "removeCallbacksAndMessages") {
+    RecvTarget(ApiKind::RemoveCallbacks, ClassKind::Handler);
+    if (!Info.isApi())
+      RecvTarget(ApiKind::RemoveCallbacks, ClassKind::BackgroundHandler);
+  } else if (Name == "execute") {
+    RecvTarget(ApiKind::AsyncExecute, ClassKind::AsyncTask);
+  } else if (Name == "start") {
+    RecvTarget(ApiKind::ThreadStart, ClassKind::ThreadClass);
+  } else if (Name == "publishProgress") {
+    RecvTarget(ApiKind::PublishProgress, ClassKind::AsyncTask);
+  } else if (Name == "finish") {
+    RecvTarget(ApiKind::Finish, ClassKind::Activity);
+  } else if (Name == "unbindService") {
+    Info.Kind = ApiKind::UnbindService;
+    Info.Target = ResolveArg0(); // may stay null: "all connections"
+    if (Info.Target && Info.Target->kind() != ClassKind::ServiceConnection)
+      Info.Target = nullptr;
+  } else if (Name == "unregisterReceiver") {
+    Info.Kind = ApiKind::UnregisterReceiver;
+    Info.Target = ResolveArg0();
+    if (Info.Target && Info.Target->kind() != ClassKind::Receiver)
+      Info.Target = nullptr;
+  }
+  return Info;
+}

@@ -1,0 +1,106 @@
+//===- android/Api.h - Android framework API classification -----*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classifies CallStmts against the Android framework APIs whose
+/// concurrency semantics the paper's modeling recognizes (§4): posting
+/// (Handler.post/sendMessage, View.post, runOnUiThread), registration
+/// (bindService, registerReceiver, set*Listener, requestLocationUpdates),
+/// task/thread creation (AsyncTask.execute, Thread.start,
+/// publishProgress), and the cancellation APIs the CHB filter consumes
+/// (§6.2.1: finish, unbindService, unregisterReceiver,
+/// removeCallbacksAndMessages).
+///
+/// Resolution is syntactic, mirroring nAdroid: the receiver/argument class
+/// comes from intra-procedural allocation inference. A call whose target
+/// class cannot be resolved is treated as an ordinary call — exactly the
+/// imprecision that produces the paper's framework-round-trip false
+/// negatives (Table 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_ANDROID_API_H
+#define NADROID_ANDROID_API_H
+
+#include "ir/LocalInfo.h"
+#include "ir/Stmt.h"
+
+#include <map>
+
+namespace nadroid::android {
+
+enum class ApiKind {
+  None,               ///< Ordinary application call.
+  BindService,        ///< bindService(conn): installs ServiceConnection PCs.
+  UnbindService,      ///< unbindService(): cancels connection callbacks.
+  RegisterReceiver,   ///< registerReceiver(r): installs onReceive PC.
+  UnregisterReceiver, ///< unregisterReceiver(): cancels onReceive.
+  SetListener,        ///< set*Listener/requestLocationUpdates: installs ECs.
+  HandlerPost,        ///< post(runnable): posts Runnable.run to the looper.
+  HandlerSend,        ///< sendMessage(): posts handleMessage to the looper.
+  RemoveCallbacks,    ///< removeCallbacksAndMessages(): cancels posts.
+  RunOnUiThread,      ///< runOnUiThread(runnable): posts to the UI looper.
+  AsyncExecute,       ///< AsyncTask.execute(): spawns the task machinery.
+  ThreadStart,        ///< Thread.start(): spawns a native thread.
+  PublishProgress,    ///< publishProgress(): posts onProgressUpdate.
+  Finish,             ///< Activity.finish(): cancels the activity's ECs.
+};
+
+const char *apiKindName(ApiKind Kind);
+
+/// The classification result for one CallStmt.
+struct ApiCallInfo {
+  ApiKind Kind = ApiKind::None;
+  /// The class whose callbacks the API installs/posts/cancels:
+  ///  - BindService/RegisterReceiver/SetListener/HandlerPost/RunOnUiThread:
+  ///    the argument's class (ServiceConnection / Receiver / Listener /
+  ///    Runnable).
+  ///  - HandlerSend/RemoveCallbacks/AsyncExecute/ThreadStart/
+  ///    PublishProgress/Finish: the receiver's class.
+  ///  - UnbindService/UnregisterReceiver: the argument's class when
+  ///    resolvable, else nullptr (meaning "all of this component's").
+  ir::Clazz *Target = nullptr;
+  /// For HandlerPost/RunOnUiThread: the receiver's class when resolvable
+  /// (the handler the runnable goes through). A BackgroundHandler routes
+  /// the callback to its own looper.
+  ir::Clazz *Via = nullptr;
+
+  bool isApi() const { return Kind != ApiKind::None; }
+};
+
+/// Classifies \p Call within its enclosing method. Returns Kind == None
+/// for ordinary calls and for framework-looking calls whose target class
+/// cannot be resolved syntactically.
+ApiCallInfo classifyApiCall(const ir::CallStmt &Call);
+
+/// As above, reusing a prebuilt per-method type inference (the fast path
+/// ApiIndex uses when classifying every call of a method).
+ApiCallInfo classifyApiCall(const ir::CallStmt &Call,
+                            const ir::LocalTypeInference &Types);
+
+/// True for the cancellation APIs the CHB filter recognizes.
+bool isCancellationApi(ApiKind Kind);
+
+/// Caches classifyApiCall over a whole program. Classification runs
+/// intra-procedural type inference, so the hot analyses (points-to sweeps,
+/// threadification, CHB) share this index instead of re-deriving it.
+class ApiIndex {
+public:
+  /// Builds the index for every CallStmt in \p P.
+  explicit ApiIndex(const ir::Program &P);
+
+  /// Returns the cached classification (Kind == None for ordinary calls
+  /// and for calls outside the indexed program).
+  const ApiCallInfo &lookup(const ir::CallStmt &Call) const;
+
+private:
+  std::map<const ir::CallStmt *, ApiCallInfo> Cache;
+  ApiCallInfo NoneInfo;
+};
+
+} // namespace nadroid::android
+
+#endif // NADROID_ANDROID_API_H

@@ -1,0 +1,247 @@
+//===- android/Callbacks.cpp - Android callback model ------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "android/Callbacks.h"
+
+#include <array>
+#include <string_view>
+
+using namespace nadroid;
+using namespace nadroid::android;
+using ir::ClassKind;
+
+const char *android::callbackKindName(CallbackKind Kind) {
+  switch (Kind) {
+  case CallbackKind::None:
+    return "none";
+  case CallbackKind::Lifecycle:
+    return "lifecycle";
+  case CallbackKind::Ui:
+    return "ui";
+  case CallbackKind::SystemEvent:
+    return "system";
+  case CallbackKind::ServiceConnect:
+    return "onServiceConnected";
+  case CallbackKind::ServiceDisconn:
+    return "onServiceDisconnected";
+  case CallbackKind::Receive:
+    return "onReceive";
+  case CallbackKind::HandleMessage:
+    return "handleMessage";
+  case CallbackKind::RunnableRun:
+    return "runnable-run";
+  case CallbackKind::ThreadRun:
+    return "thread-run";
+  case CallbackKind::AsyncPre:
+    return "onPreExecute";
+  case CallbackKind::AsyncBackground:
+    return "doInBackground";
+  case CallbackKind::AsyncProgress:
+    return "onProgressUpdate";
+  case CallbackKind::AsyncPost:
+    return "onPostExecute";
+  }
+  return "none";
+}
+
+/// Lifecycle callback names per component kind. The lists follow the
+/// Android framework (and the FlowDroid table nAdroid consumed).
+static bool isActivityLifecycle(std::string_view Name) {
+  static constexpr std::array<std::string_view, 7> Names = {
+      "onCreate", "onStart",   "onResume", "onPause",
+      "onStop",   "onRestart", "onDestroy"};
+  for (std::string_view N : Names)
+    if (Name == N)
+      return true;
+  return false;
+}
+
+static bool isServiceLifecycle(std::string_view Name) {
+  static constexpr std::array<std::string_view, 5> Names = {
+      "onCreate", "onStartCommand", "onBind", "onUnbind", "onDestroy"};
+  for (std::string_view N : Names)
+    if (Name == N)
+      return true;
+  return false;
+}
+
+/// UI-interaction callbacks (registered imperatively via set*Listener or
+/// declared in layout XML; either way the runtime posts them externally).
+static bool isUiCallback(std::string_view Name) {
+  static constexpr std::array<std::string_view, 16> Names = {
+      "onClick",
+      "onLongClick",
+      "onTouch",
+      "onKeyDown",
+      "onItemClick",
+      "onItemSelected",
+      "onCreateContextMenu",
+      "onContextItemSelected",
+      "onCreateOptionsMenu",
+      "onOptionsItemSelected",
+      "onBackPressed",
+      "onActivityResult",
+      "onRetainNonConfigurationInstance",
+      "onWindowFocusChanged",
+      "onScroll",
+      "onProgressChanged",
+  };
+  for (std::string_view N : Names)
+    if (Name == N)
+      return true;
+  return false;
+}
+
+/// System/sensor event callbacks.
+static bool isSystemCallback(std::string_view Name) {
+  static constexpr std::array<std::string_view, 6> Names = {
+      "onLocationChanged",      "onSensorChanged", "onStatusChanged",
+      "onConfigurationChanged", "onLowMemory",     "onTextChanged",
+  };
+  for (std::string_view N : Names)
+    if (Name == N)
+      return true;
+  return false;
+}
+
+CallbackKind android::classifyCallback(ClassKind Kind,
+                                       const std::string &Name) {
+  switch (Kind) {
+  case ClassKind::Activity:
+    if (isActivityLifecycle(Name))
+      return CallbackKind::Lifecycle;
+    if (isUiCallback(Name))
+      return CallbackKind::Ui;
+    if (isSystemCallback(Name))
+      return CallbackKind::SystemEvent;
+    return CallbackKind::None;
+  case ClassKind::Service:
+    if (isServiceLifecycle(Name))
+      return CallbackKind::Lifecycle;
+    return CallbackKind::None;
+  case ClassKind::Receiver:
+    if (Name == "onReceive")
+      return CallbackKind::Receive;
+    return CallbackKind::None;
+  case ClassKind::Handler:
+  case ClassKind::BackgroundHandler:
+    if (Name == "handleMessage")
+      return CallbackKind::HandleMessage;
+    return CallbackKind::None;
+  case ClassKind::AsyncTask:
+    if (Name == "onPreExecute")
+      return CallbackKind::AsyncPre;
+    if (Name == "doInBackground")
+      return CallbackKind::AsyncBackground;
+    if (Name == "onProgressUpdate")
+      return CallbackKind::AsyncProgress;
+    if (Name == "onPostExecute")
+      return CallbackKind::AsyncPost;
+    return CallbackKind::None;
+  case ClassKind::Runnable:
+    if (Name == "run")
+      return CallbackKind::RunnableRun;
+    return CallbackKind::None;
+  case ClassKind::ThreadClass:
+    if (Name == "run")
+      return CallbackKind::ThreadRun;
+    return CallbackKind::None;
+  case ClassKind::ServiceConnection:
+    if (Name == "onServiceConnected")
+      return CallbackKind::ServiceConnect;
+    if (Name == "onServiceDisconnected")
+      return CallbackKind::ServiceDisconn;
+    return CallbackKind::None;
+  case ClassKind::Listener:
+    if (isUiCallback(Name))
+      return CallbackKind::Ui;
+    if (isSystemCallback(Name))
+      return CallbackKind::SystemEvent;
+    return CallbackKind::None;
+  case ClassKind::Fragment:
+    // nAdroid's modeling does not support Fragment (§8.1); its callbacks
+    // are invisible to threadification. The DEvA baseline still analyzes
+    // the class body.
+    return CallbackKind::None;
+  case ClassKind::Plain:
+    return CallbackKind::None;
+  }
+  return CallbackKind::None;
+}
+
+bool android::isEntryCallbackKind(CallbackKind Kind) {
+  switch (Kind) {
+  case CallbackKind::Lifecycle:
+  case CallbackKind::Ui:
+  case CallbackKind::SystemEvent:
+  case CallbackKind::Receive: // manifest-declared receivers only; the
+                              // threadifier decides based on registration
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool android::isPostedCallbackKind(CallbackKind Kind) {
+  switch (Kind) {
+  case CallbackKind::ServiceConnect:
+  case CallbackKind::ServiceDisconn:
+  case CallbackKind::Receive:
+  case CallbackKind::HandleMessage:
+  case CallbackKind::RunnableRun:
+  case CallbackKind::AsyncPre:
+  case CallbackKind::AsyncProgress:
+  case CallbackKind::AsyncPost:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool android::runsOnLooper(CallbackKind Kind) {
+  switch (Kind) {
+  case CallbackKind::None:
+  case CallbackKind::ThreadRun:
+  case CallbackKind::AsyncBackground:
+    return false;
+  default:
+    return true;
+  }
+}
+
+bool android::lifecycleMustPrecede(const std::string &A,
+                                   const std::string &B) {
+  if (A == B)
+    return false;
+  // onCreate precedes every other callback of the component; every
+  // callback precedes onDestroy. Nothing else is statically sound (the
+  // back edge from onPause to onResume makes the rest cyclic).
+  if (A == "onCreate" && B != "onCreate")
+    return true;
+  if (B == "onDestroy" && A != "onDestroy")
+    return true;
+  return false;
+}
+
+bool android::asyncTaskMustPrecede(CallbackKind A, CallbackKind B) {
+  auto Rank = [](CallbackKind K) -> int {
+    switch (K) {
+    case CallbackKind::AsyncPre:
+      return 0;
+    case CallbackKind::AsyncBackground:
+    case CallbackKind::AsyncProgress:
+      return 1;
+    case CallbackKind::AsyncPost:
+      return 2;
+    default:
+      return -1;
+    }
+  };
+  int RA = Rank(A), RB = Rank(B);
+  if (RA < 0 || RB < 0)
+    return false;
+  return RA < RB;
+}

@@ -1,0 +1,78 @@
+//===- android/Callbacks.h - Android callback model -------------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Android framework callback model: which method names the framework
+/// invokes on which class kinds, whether a callback is an Entry Callback
+/// (externally invoked by the runtime — lifecycle, UI, system events) or a
+/// Posted Callback (triggered from within the app — Handler, Service
+/// connection, Receiver, AsyncTask), and the statically-sound
+/// must-happens-before relations of §6.1.1. This plays the role of
+/// FlowDroid's listener/callback list in the original nAdroid.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_ANDROID_CALLBACKS_H
+#define NADROID_ANDROID_CALLBACKS_H
+
+#include "ir/Ir.h"
+
+#include <string>
+
+namespace nadroid::android {
+
+/// Fine-grained callback classification.
+enum class CallbackKind {
+  None,            ///< Not a framework callback.
+  Lifecycle,       ///< Activity/Service lifecycle (onCreate, onResume, ...).
+  Ui,              ///< UI interaction (onClick, onCreateContextMenu, ...).
+  SystemEvent,     ///< System/sensor events (onLocationChanged, ...).
+  ServiceConnect,  ///< ServiceConnection.onServiceConnected.
+  ServiceDisconn,  ///< ServiceConnection.onServiceDisconnected.
+  Receive,         ///< BroadcastReceiver.onReceive.
+  HandleMessage,   ///< Handler.handleMessage.
+  RunnableRun,     ///< Runnable.run (posted to a looper).
+  ThreadRun,       ///< Thread.run (a native thread body).
+  AsyncPre,        ///< AsyncTask.onPreExecute.
+  AsyncBackground, ///< AsyncTask.doInBackground (native thread).
+  AsyncProgress,   ///< AsyncTask.onProgressUpdate.
+  AsyncPost,       ///< AsyncTask.onPostExecute.
+};
+
+const char *callbackKindName(CallbackKind Kind);
+
+/// Classifies method \p Name on a class of kind \p Kind.
+CallbackKind classifyCallback(ir::ClassKind Kind, const std::string &Name);
+
+/// True for callbacks the Android runtime invokes externally on a
+/// component/listener (the paper's Entry Callbacks): lifecycle, UI, and
+/// system-event callbacks.
+bool isEntryCallbackKind(CallbackKind Kind);
+
+/// True for callbacks triggered from within the application (the paper's
+/// Posted Callbacks): Handler, Service connection, registered Receiver,
+/// and AsyncTask looper-side callbacks.
+bool isPostedCallbackKind(CallbackKind Kind);
+
+/// True when the callback runs on a looper thread (atomic w.r.t. other
+/// callbacks of the same looper); false for doInBackground/Thread.run.
+bool runsOnLooper(CallbackKind Kind);
+
+/// §6.1.1 MHB-Lifecycle: true when, within one component instance,
+/// callback \p A must always execute before callback \p B. Statically
+/// sound relations only: onCreate precedes everything, everything
+/// precedes onDestroy. There is deliberately no onResume/onPause order
+/// (the back-button edge makes the lifecycle cyclic).
+bool lifecycleMustPrecede(const std::string &A, const std::string &B);
+
+/// §6.1.1 MHB-AsyncTask: must-precede among AsyncTask callbacks of the
+/// same task instance (onPreExecute < {doInBackground, onProgressUpdate}
+/// < onPostExecute).
+bool asyncTaskMustPrecede(CallbackKind A, CallbackKind B);
+
+} // namespace nadroid::android
+
+#endif // NADROID_ANDROID_CALLBACKS_H

@@ -1,0 +1,44 @@
+//===- android/SyntacticReach.cpp - Syntactic CHA reachability ---------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "android/SyntacticReach.h"
+
+#include "ir/LocalInfo.h"
+
+#include <deque>
+#include <set>
+
+using namespace nadroid;
+using namespace nadroid::android;
+using namespace nadroid::ir;
+
+std::vector<Method *>
+android::collectReachableMethods(Method *Root,
+                                  const android::ApiIndex &Apis) {
+  std::vector<Method *> Result;
+  std::set<Method *> Visited;
+  std::deque<Method *> Pending{Root};
+  while (!Pending.empty()) {
+    Method *M = Pending.front();
+    Pending.pop_front();
+    if (!Visited.insert(M).second)
+      continue;
+    Result.push_back(M);
+    LocalTypeInference Types(*M);
+    forEachStmt(*M, [&](const Stmt &S) {
+      const auto *Call = dyn_cast<CallStmt>(&S);
+      if (!Call)
+        return;
+      if (Apis.lookup(*Call).isApi())
+        return;
+      LocalClassSet Recv = Types.query(Call->recv());
+      for (Clazz *C : Recv.Classes)
+        if (Method *Target = C->findMethod(Call->callee()))
+          Pending.push_back(Target);
+    });
+  }
+  return Result;
+}

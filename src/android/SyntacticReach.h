@@ -1,0 +1,34 @@
+//===- android/SyntacticReach.h - Syntactic CHA reachability ---*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cheap syntactic method reachability: from a root method, follow call
+/// statements whose receiver class can be inferred intra-procedurally.
+/// Framework-API calls are not followed (they are spawn edges, not call
+/// edges). This is the walk threadification and the CHB cancel-reach
+/// analysis use; the precise points-to call graph supersedes it inside the
+/// detector itself.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_ANDROID_SYNTACTICREACH_H
+#define NADROID_ANDROID_SYNTACTICREACH_H
+
+#include "android/Api.h"
+#include "ir/Stmt.h"
+
+#include <vector>
+
+namespace nadroid::android {
+
+/// Returns \p Root plus every method reachable from it over ordinary
+/// (non-API) calls; deterministic order (BFS discovery).
+std::vector<ir::Method *>
+collectReachableMethods(ir::Method *Root, const android::ApiIndex &Apis);
+
+} // namespace nadroid::android
+
+#endif // NADROID_ANDROID_SYNTACTICREACH_H

@@ -1,0 +1,656 @@
+//===- corpus/Corpus.cpp - The 27-app synthetic corpus -------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+#include "ir/IRBuilder.h"
+
+#include <cassert>
+
+using namespace nadroid;
+using namespace nadroid::corpus;
+
+namespace {
+
+/// Bulk idioms put at most this many uses in one pattern (one callback).
+constexpr unsigned BulkCap = 40;
+
+/// Emits `Count` warnings' worth of a bulk idiom via `Fn(usesThisRound)`.
+template <typename Fn> void emitBulk(unsigned Count, Fn Emit) {
+  while (Count > 0) {
+    unsigned N = std::min(Count, BulkCap);
+    Emit(N);
+    Count -= N;
+  }
+}
+
+} // namespace
+
+CorpusApp corpus::buildApp(const Recipe &R) {
+  CorpusApp App;
+  App.Name = R.Name;
+  App.Train = R.Train;
+  App.Paper = R.Paper;
+  App.Prog = std::make_unique<ir::Program>(R.Name);
+
+  ir::IRBuilder B(*App.Prog);
+  PatternEmitter E(B);
+
+  // True harmful shapes first (stable naming for the reports).
+  for (unsigned I = 0; I < R.HEcEc; ++I)
+    E.harmfulEcEc();
+  for (unsigned I = 0; I < R.HEcPc; ++I)
+    E.harmfulEcPc();
+  for (unsigned I = 0; I < R.HPcPc; ++I)
+    E.harmfulPcPc();
+  for (unsigned I = 0; I < R.HCRt; ++I)
+    E.harmfulCRt();
+  for (unsigned I = 0; I < R.HCNt; ++I)
+    E.harmfulCNt();
+  for (unsigned I = 0; I < R.HAsyncDestroy; ++I)
+    E.harmfulAsyncVsDestroy();
+
+  // Surviving false positives.
+  for (unsigned I = 0; I < R.FpPath; ++I)
+    E.fpPathInsensitive();
+  for (unsigned I = 0; I < R.FpPts; ++I)
+    E.fpPointsTo();
+  for (unsigned I = 0; I < R.FpPtsK1; ++I)
+    E.fpPointsToKSensitive();
+  for (unsigned I = 0; I < R.FpNotReach; ++I)
+    E.fpNotReachable();
+  for (unsigned I = 0; I < R.FpMissHb; ++I)
+    E.fpMissingHb();
+
+  // Unsound-prunable idioms (one warning per pattern except UR).
+  emitBulk(R.UnsUr, [&](unsigned N) { E.falseUr(N); });
+  for (unsigned I = 0; I < R.UnsMa; ++I)
+    E.falseMa();
+  for (unsigned I = 0; I < R.UnsTt; ++I)
+    E.falseTt();
+  for (unsigned I = 0; I < R.UnsPhb; ++I)
+    E.falsePhb();
+  for (unsigned I = 0; I < R.UnsChb; ++I)
+    E.falseChb();
+  for (unsigned I = 0; I < R.UnsRhb; ++I)
+    E.falseRhb();
+
+  // Sound-prunable bulk.
+  emitBulk(R.SoundIg, [&](unsigned N) { E.falseIg(N); });
+  emitBulk(R.SoundMhbLife, [&](unsigned N) { E.falseMhbLifecycle(N); });
+  emitBulk(R.SoundMhbSvc, [&](unsigned N) { E.falseMhbService(N); });
+  for (unsigned I = 0; I < R.SoundMhbAsync; ++I)
+    E.falseMhbAsync();
+  emitBulk(R.SoundIa, [&](unsigned N) { E.falseIa(N); });
+
+  // DEvA-only Fragment bugs.
+  for (unsigned I = 0; I < R.FnFragment; ++I)
+    E.fnFragment();
+
+  // Benign mass (split across a few filler activities for realism).
+  if (R.FillerUi || R.FillerPosts || R.FillerHelpers) {
+    unsigned Ui = R.FillerUi, Posts = R.FillerPosts,
+             Helpers = R.FillerHelpers;
+    while (Ui || Posts || Helpers) {
+      unsigned U = std::min(Ui, 12u), P = std::min(Posts, 8u),
+               H = std::min(Helpers, 10u);
+      E.safeFiller(U, P, H);
+      Ui -= U;
+      Posts -= P;
+      Helpers -= H;
+    }
+  }
+  if (R.FillerThreads)
+    E.safeThreads(R.FillerThreads);
+
+  App.Seeds = E.seeds();
+  return App;
+}
+
+const std::vector<Recipe> &corpus::allRecipes() {
+  static const std::vector<Recipe> Recipes = [] {
+    std::vector<Recipe> Rs;
+    auto Add = [&](Recipe R) { Rs.push_back(std::move(R)); };
+
+    // ==================== Train group (7 apps) ====================
+    {
+      Recipe R;
+      R.Name = "ToDoList";
+      R.Train = true;
+      R.SoundIg = 14;
+      R.SoundMhbLife = 8;
+      R.SoundIa = 4;
+      R.UnsUr = 10;
+      R.UnsMa = 4;
+      R.UnsTt = 2;
+      R.UnsPhb = 3;
+      R.UnsChb = 2;
+      R.UnsRhb = 2;
+      R.FillerUi = 10;
+      R.FillerPosts = 1;
+      R.FillerHelpers = 8;
+      R.Paper = {2637, 45, 1, 1, 54, 32, 0, 0};
+      Add(R);
+    }
+    {
+      Recipe R;
+      R.Name = "Zxing";
+      R.Train = true;
+      R.SoundIg = 140;
+      R.SoundMhbLife = 60;
+      R.SoundMhbSvc = 10;
+      R.SoundMhbAsync = 2;
+      R.SoundIa = 28;
+      R.UnsUr = 2;
+      R.UnsMa = 1;
+      R.UnsTt = 1;
+      R.FpPath = 2;
+      R.FillerUi = 16;
+      R.FillerPosts = 4;
+      R.FillerHelpers = 12;
+      R.FillerThreads = 6;
+      R.Paper = {6453, 65, 15, 14, 263, 6, 2, 0};
+      Add(R);
+    }
+    {
+      Recipe R;
+      R.Name = "Music";
+      R.FpPtsK1 = 3;
+      R.Train = true;
+      R.SoundIg = 460;
+      R.SoundMhbLife = 170;
+      R.SoundMhbSvc = 40;
+      R.SoundMhbAsync = 5;
+      R.SoundIa = 100;
+      R.UnsUr = 50;
+      R.UnsMa = 25;
+      R.UnsTt = 15;
+      R.UnsPhb = 12;
+      R.UnsChb = 5;
+      R.UnsRhb = 5;
+      R.FpPath = 5;
+      R.FpPts = 1;
+      R.FpNotReach = 1;
+      R.FpMissHb = 3;
+      R.FillerUi = 60;
+      R.FillerPosts = 12;
+      R.FillerHelpers = 30;
+      R.Paper = {10518, 271, 41, 1, 19167, 2491, 207, 0};
+      Add(R);
+    }
+    {
+      Recipe R;
+      R.Name = "MyTracks_1";
+      R.Train = true;
+      R.HEcEc = 1;
+      R.HEcPc = 2;
+      R.HPcPc = 26;
+      R.FpPath = 6;
+      R.FpPts = 2;
+      R.FpMissHb = 2;
+      R.SoundIg = 45;
+      R.SoundMhbLife = 20;
+      R.SoundIa = 11;
+      R.UnsUr = 10;
+      R.UnsMa = 5;
+      R.UnsTt = 4;
+      R.UnsPhb = 3;
+      R.UnsChb = 2;
+      R.UnsRhb = 1;
+      R.FillerUi = 40;
+      R.FillerPosts = 8;
+      R.FillerHelpers = 20;
+      R.FillerThreads = 12;
+      R.Paper = {27080, 280, 58, 38, 825, 173, 80, 29};
+      Add(R);
+    }
+    {
+      Recipe R;
+      R.Name = "Browser";
+      R.FpPtsK1 = 6;
+      R.Train = true;
+      R.SoundIg = 720;
+      R.SoundMhbLife = 310;
+      R.SoundMhbSvc = 60;
+      R.SoundMhbAsync = 10;
+      R.SoundIa = 170;
+      R.UnsUr = 220;
+      R.UnsMa = 90;
+      R.UnsTt = 40;
+      R.UnsPhb = 30;
+      R.UnsChb = 10;
+      R.UnsRhb = 10;
+      R.FnFragment = 1; // Table 3's AccessibilityPreferencesFragment
+      R.FillerUi = 50;
+      R.FillerPosts = 12;
+      R.FillerHelpers = 30;
+      R.FillerThreads = 20;
+      R.Paper = {30675, 216, 47, 53, 34185, 8077, 0, 0};
+      Add(R);
+    }
+    {
+      Recipe R;
+      R.Name = "ConnectBot";
+      R.Train = true;
+      R.HEcPc = 12;
+      R.HPcPc = 1;
+      R.SoundIg = 95;
+      R.SoundMhbLife = 40;
+      R.SoundMhbSvc = 15;
+      R.SoundIa = 14;
+      R.UnsUr = 8;
+      R.UnsMa = 4;
+      R.UnsTt = 2;
+      R.UnsPhb = 3;
+      R.UnsChb = 2;
+      R.UnsRhb = 1;
+      R.FillerUi = 25;
+      R.FillerPosts = 6;
+      R.FillerHelpers = 15;
+      R.FillerThreads = 8;
+      R.Paper = {32645, 105, 31, 19, 197, 33, 13, 13};
+      Add(R);
+    }
+    {
+      Recipe R;
+      R.Name = "FireFox";
+      R.FpPtsK1 = 4;
+      R.Train = true;
+      R.HCNt = 1;
+      R.FpPath = 50;
+      R.FpPts = 5;
+      R.FpNotReach = 1;
+      R.FpMissHb = 20;
+      R.SoundIg = 180;
+      R.SoundMhbLife = 90;
+      R.SoundMhbSvc = 20;
+      R.SoundMhbAsync = 7;
+      R.SoundIa = 30;
+      R.UnsUr = 200;
+      R.UnsMa = 100;
+      R.UnsTt = 60;
+      R.UnsPhb = 40;
+      R.UnsChb = 13;
+      R.UnsRhb = 10;
+      R.FillerUi = 80;
+      R.FillerPosts = 10;
+      R.FillerHelpers = 40;
+      R.FillerThreads = 40;
+      R.Paper = {102658, 748, 28, 135, 16546, 10004, 1540, 1};
+      Add(R);
+    }
+
+    // ==================== Test group (20 apps) ====================
+    {
+      Recipe R;
+      R.Name = "SoundRecorder";
+      R.SoundIg = 5;
+      R.SoundMhbLife = 3;
+      R.SoundIa = 1;
+      R.FillerUi = 5;
+      R.Paper = {1194, 14, 0, 1, 9, 0, 0, 0};
+      Add(R);
+    }
+    {
+      Recipe R;
+      R.Name = "Swiftnotes";
+      R.FillerUi = 10;
+      R.FillerPosts = 1;
+      R.FillerHelpers = 6;
+      R.Paper = {1571, 32, 1, 1, 0, 0, 0, 0};
+      Add(R);
+    }
+    {
+      Recipe R;
+      R.Name = "PhotoAffix";
+      R.SoundIg = 50;
+      R.SoundMhbLife = 14;
+      R.SoundIa = 10;
+      R.UnsUr = 2;
+      R.UnsMa = 2;
+      R.UnsTt = 1;
+      R.FpPath = 2;
+      R.FpMissHb = 2;
+      R.FillerUi = 16;
+      R.FillerPosts = 3;
+      R.FillerHelpers = 8;
+      R.Paper = {1924, 52, 9, 2, 84, 10, 4, 0};
+      Add(R);
+    }
+    {
+      Recipe R;
+      R.Name = "MLManager";
+      R.SoundIg = 200;
+      R.SoundMhbLife = 40;
+      R.SoundMhbSvc = 10;
+      R.SoundIa = 26;
+      R.UnsUr = 10;
+      R.UnsMa = 12;
+      R.UnsTt = 7;
+      R.UnsPhb = 4;
+      R.UnsChb = 2;
+      R.UnsRhb = 2;
+      R.FillerUi = 45;
+      R.FillerPosts = 4;
+      R.FillerHelpers = 16;
+      R.FillerThreads = 5;
+      R.Paper = {2073, 153, 11, 10, 304, 38, 0, 0};
+      Add(R);
+    }
+    {
+      Recipe R;
+      R.Name = "InstaMaterial";
+      R.FpPtsK1 = 2;
+      R.SoundIg = 450;
+      R.SoundMhbLife = 80;
+      R.SoundIa = 66;
+      R.UnsUr = 12;
+      R.UnsMa = 18;
+      R.UnsTt = 10;
+      R.UnsPhb = 5;
+      R.UnsChb = 3;
+      R.UnsRhb = 3;
+      R.FillerUi = 14;
+      R.FillerPosts = 10;
+      R.FillerHelpers = 10;
+      R.Paper = {2248, 42, 29, 4, 6496, 544, 0, 0};
+      Add(R);
+    }
+    {
+      Recipe R;
+      R.Name = "Tomdroid";
+      R.FillerUi = 8;
+      R.FillerPosts = 2;
+      R.FillerHelpers = 6;
+      R.Paper = {2372, 24, 4, 3, 0, 0, 0, 0};
+      Add(R);
+    }
+    {
+      Recipe R;
+      R.Name = "SGTPuzzles";
+      R.SoundIg = 330;
+      R.SoundMhbLife = 120;
+      R.SoundIa = 90;
+      R.SoundMhbSvc = 40;
+      R.SoundMhbAsync = 10;
+      R.FillerUi = 20;
+      R.FillerPosts = 5;
+      R.FillerHelpers = 10;
+      R.Paper = {2944, 60, 14, 5, 591, 0, 0, 0};
+      Add(R);
+    }
+    {
+      Recipe R;
+      R.Name = "Aard";
+      R.FpPtsK1 = 2;
+      R.HEcPc = 8;
+      R.FpPath = 9;
+      R.FpPts = 5;
+      R.FpMissHb = 5;
+      R.FpNotReach = 2;
+      R.SoundIg = 75;
+      R.SoundMhbLife = 20;
+      R.SoundIa = 15;
+      R.UnsUr = 14;
+      R.UnsMa = 18;
+      R.UnsTt = 12;
+      R.UnsPhb = 6;
+      R.UnsChb = 4;
+      R.UnsRhb = 4;
+      R.FillerUi = 18;
+      R.FillerPosts = 6;
+      R.FillerHelpers = 10;
+      R.FillerThreads = 10;
+      R.Paper = {3684, 53, 20, 25, 216, 111, 48, 8};
+      Add(R);
+    }
+    {
+      Recipe R;
+      R.Name = "ClipStack";
+      R.SoundMhbLife = 4;
+      R.FillerUi = 30;
+      R.FillerPosts = 6;
+      R.FillerHelpers = 10;
+      R.Paper = {3948, 106, 18, 2, 4, 0, 0, 0};
+      Add(R);
+    }
+    {
+      Recipe R;
+      R.Name = "KissLauncher";
+      R.FpMissHb = 8;
+      R.SoundIg = 170;
+      R.SoundMhbLife = 25;
+      R.SoundIa = 30;
+      R.UnsUr = 3;
+      R.UnsMa = 2;
+      R.UnsTt = 1;
+      R.FillerUi = 20;
+      R.FillerPosts = 2;
+      R.FillerHelpers = 10;
+      R.FillerThreads = 6;
+      R.Paper = {5210, 66, 7, 13, 264, 42, 36, 0};
+      Add(R);
+    }
+    {
+      Recipe R;
+      R.Name = "DashClock";
+      R.SoundIg = 39;
+      R.SoundMhbLife = 15;
+      R.SoundIa = 20;
+      R.UnsUr = 1;
+      R.FillerUi = 20;
+      R.FillerPosts = 4;
+      R.FillerHelpers = 10;
+      R.Paper = {10147, 67, 13, 1, 74, 1, 0, 0};
+      Add(R);
+    }
+    {
+      Recipe R;
+      R.Name = "Dns66";
+      R.SoundIg = 50;
+      R.SoundMhbLife = 20;
+      R.SoundIa = 16;
+      R.FpPath = 5;
+      R.FpPts = 2;
+      R.FillerUi = 7;
+      R.FillerPosts = 1;
+      R.FillerHelpers = 8;
+      R.FillerThreads = 3;
+      R.Paper = {10423, 22, 4, 6, 99, 13, 13, 0};
+      Add(R);
+    }
+    {
+      Recipe R;
+      R.Name = "CleanMaster";
+      R.SoundMhbLife = 7;
+      R.FillerUi = 36;
+      R.FillerPosts = 12;
+      R.FillerHelpers = 14;
+      R.FillerThreads = 5;
+      R.Paper = {11014, 117, 38, 12, 7, 0, 0, 0};
+      Add(R);
+    }
+    {
+      Recipe R;
+      R.Name = "OmniNotes";
+      R.FpPtsK1 = 2;
+      R.SoundMhbLife = 200;
+      R.SoundIa = 120;
+      R.SoundMhbSvc = 60;
+      R.SoundMhbAsync = 16;
+      R.SoundIg = 640;
+      R.UnsUr = 1;
+      R.FillerUi = 80;
+      R.FillerPosts = 6;
+      R.FillerHelpers = 30;
+      R.FillerThreads = 10;
+      R.Paper = {13720, 764, 19, 22, 10360, 32, 0, 0};
+      Add(R);
+    }
+    {
+      Recipe R;
+      R.Name = "Solitaire";
+      R.SoundIg = 10;
+      R.SoundMhbLife = 10;
+      R.SoundIa = 7;
+      R.UnsUr = 8;
+      R.UnsMa = 10;
+      R.UnsTt = 5;
+      R.UnsPhb = 3;
+      R.UnsChb = 2;
+      R.UnsRhb = 1;
+      R.FpPath = 1;
+      R.FillerUi = 15;
+      R.FillerPosts = 20;
+      R.FillerHelpers = 8;
+      R.Paper = {15478, 47, 70, 2, 48, 31, 1, 0};
+      Add(R);
+    }
+    {
+      Recipe R;
+      R.Name = "Mms";
+      R.FpPtsK1 = 4;
+      R.SoundIg = 280;
+      R.SoundMhbLife = 40;
+      R.SoundMhbSvc = 15;
+      R.SoundIa = 32;
+      R.UnsUr = 45;
+      R.UnsMa = 60;
+      R.UnsTt = 35;
+      R.UnsPhb = 15;
+      R.UnsChb = 8;
+      R.UnsRhb = 7;
+      R.FpPath = 10;
+      R.FpPts = 8;
+      R.FpMissHb = 2;
+      R.FpNotReach = 1;
+      R.FillerUi = 90;
+      R.FillerPosts = 10;
+      R.FillerHelpers = 40;
+      R.FillerThreads = 25;
+      R.Paper = {27578, 413, 37, 52, 10439, 3990, 1207, 0};
+      Add(R);
+    }
+    {
+      Recipe R;
+      R.Name = "MyTracks_2";
+      R.HEcPc = 20;
+      R.HAsyncDestroy = 7;
+      R.FpPts = 2;
+      R.FpPath = 2;
+      R.SoundIg = 30;
+      R.SoundMhbLife = 20;
+      R.SoundMhbSvc = 10;
+      R.SoundIa = 5;
+      R.UnsUr = 6;
+      R.UnsMa = 3;
+      R.UnsTt = 2;
+      R.UnsPhb = 1;
+      R.UnsChb = 1;
+      R.UnsRhb = 1;
+      R.FillerUi = 80;
+      R.FillerPosts = 12;
+      R.FillerHelpers = 30;
+      R.FillerThreads = 15;
+      R.Paper = {37031, 1029, 59, 52, 1104, 145, 71, 27};
+      Add(R);
+    }
+    {
+      Recipe R;
+      R.Name = "MiMangaNu";
+      R.SoundMhbLife = 6;
+      R.SoundIa = 3;
+      R.UnsUr = 1;
+      R.FillerUi = 8;
+      R.FillerPosts = 2;
+      R.FillerHelpers = 10;
+      R.FillerThreads = 4;
+      R.Paper = {37827, 24, 9, 10, 10, 1, 0, 0};
+      Add(R);
+    }
+    {
+      Recipe R;
+      R.Name = "QKSMS";
+      R.HPcPc = 10;
+      R.FpPath = 4;
+      R.FpPts = 1;
+      R.SoundIg = 50;
+      R.SoundMhbLife = 25;
+      R.SoundMhbSvc = 8;
+      R.SoundIa = 8;
+      R.UnsUr = 9;
+      R.UnsMa = 12;
+      R.UnsTt = 8;
+      R.UnsPhb = 4;
+      R.UnsChb = 2;
+      R.UnsRhb = 2;
+      R.FillerUi = 60;
+      R.FillerPosts = 10;
+      R.FillerHelpers = 25;
+      R.FillerThreads = 12;
+      R.Paper = {56082, 225, 37, 35, 536, 171, 19, 10};
+      Add(R);
+    }
+    {
+      Recipe R;
+      R.Name = "K9Mail";
+      R.FpPtsK1 = 5;
+      R.SoundIg = 900;
+      R.SoundMhbLife = 160;
+      R.SoundMhbSvc = 40;
+      R.SoundMhbAsync = 9;
+      R.SoundIa = 80;
+      R.UnsUr = 20;
+      R.UnsMa = 30;
+      R.UnsTt = 20;
+      R.UnsPhb = 8;
+      R.UnsChb = 4;
+      R.UnsRhb = 4;
+      R.FpPath = 14;
+      R.FpPts = 6;
+      R.FpMissHb = 3;
+      R.FillerUi = 120;
+      R.FillerPosts = 8;
+      R.FillerHelpers = 50;
+      R.FillerThreads = 8;
+      R.Paper = {78437, 499, 27, 20, 45336, 4143, 918, 0};
+      Add(R);
+    }
+    return Rs;
+  }();
+  return Recipes;
+}
+
+std::vector<CorpusApp> corpus::buildCorpus() {
+  std::vector<CorpusApp> Apps;
+  for (const Recipe &R : allRecipes())
+    Apps.push_back(buildApp(R));
+  return Apps;
+}
+
+std::vector<CorpusApp> corpus::buildTrainCorpus() {
+  std::vector<CorpusApp> Apps;
+  for (const Recipe &R : allRecipes())
+    if (R.Train)
+      Apps.push_back(buildApp(R));
+  return Apps;
+}
+
+std::vector<CorpusApp> corpus::buildTestCorpus() {
+  std::vector<CorpusApp> Apps;
+  for (const Recipe &R : allRecipes())
+    if (!R.Train)
+      Apps.push_back(buildApp(R));
+  return Apps;
+}
+
+CorpusApp corpus::buildAppNamed(const std::string &Name) {
+  for (const Recipe &R : allRecipes())
+    if (R.Name == Name)
+      return buildApp(R);
+  assert(false && "unknown corpus app name");
+  return CorpusApp();
+}

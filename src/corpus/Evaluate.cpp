@@ -1,0 +1,72 @@
+//===- corpus/Evaluate.cpp - Per-app evaluation harness ------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Evaluate.h"
+
+#include "interp/Interp.h"
+
+using namespace nadroid;
+using namespace nadroid::corpus;
+
+const SeededBug *corpus::findSeed(const CorpusApp &App,
+                                  const std::string &FieldQualifiedName) {
+  for (const SeededBug &Seed : App.Seeds)
+    if (Seed.FieldName == FieldQualifiedName)
+      return &Seed;
+  return nullptr;
+}
+
+AppEvaluation corpus::evaluateApp(const CorpusApp &App) {
+  return evaluateApp(App, EvaluateOptions());
+}
+
+AppEvaluation corpus::evaluateApp(const CorpusApp &App,
+                                  EvaluateOptions Opts) {
+  AppEvaluation Eval;
+  Eval.Name = App.Name;
+  Eval.Train = App.Train;
+  Eval.Paper = App.Paper;
+  Eval.Loc = App.Prog->statementCount();
+
+  Eval.Result = report::analyzeProgram(*App.Prog);
+  report::NadroidResult &R = Eval.Result;
+
+  Eval.Ec = R.Forest->entryCallbackCount();
+  Eval.Pc = R.Forest->postedCallbackCount();
+  Eval.T = R.Forest->threadCount();
+  Eval.Potential = static_cast<unsigned>(R.warnings().size());
+  Eval.AfterSound = R.Pipeline.RemainingAfterSound;
+  Eval.AfterUnsound = R.Pipeline.RemainingAfterUnsound;
+
+  interp::ExploreOptions InterpOpts;
+  InterpOpts.Seed = 17;
+  interp::ScheduleExplorer Explorer(*App.Prog, InterpOpts);
+
+  for (size_t I : R.remainingIndices()) {
+    const race::UafWarning &W = R.warnings()[I];
+    const filters::WarningVerdict &V = R.Pipeline.Verdicts[I];
+    report::PairType Type =
+        report::classifyWarning(*R.Forest, V.PairsRemaining);
+    ++Eval.RemainingByType[Type];
+
+    const SeededBug *Seed = findSeed(App, W.F->qualifiedName());
+    bool Harmful;
+    if (Opts.RunInterpreter) {
+      Harmful = Explorer.tryWitness(W.Use, W.Free, Opts.WitnessTrials);
+    } else {
+      Harmful = Seed && Seed->Kind == SeedKind::HarmfulUaf;
+    }
+    if (Harmful) {
+      ++Eval.TrueHarmful;
+      continue;
+    }
+    if (Seed)
+      ++Eval.FalseBySeed[Seed->Kind];
+    else
+      ++Eval.Unattributed;
+  }
+  return Eval;
+}

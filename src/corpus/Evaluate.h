@@ -1,0 +1,67 @@
+//===- corpus/Evaluate.h - Per-app evaluation harness -----------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs the full pipeline over one corpus app and summarizes it the way
+/// Table 1 does: EC/PC/T counts, potential warnings, warnings remaining
+/// after sound/unsound filters, pair-type breakdown, interpreter-confirmed
+/// true harmful UAFs, and §8.5 false-positive attribution (via the seeded
+/// ground truth).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_CORPUS_EVALUATE_H
+#define NADROID_CORPUS_EVALUATE_H
+
+#include "corpus/Corpus.h"
+#include "report/Nadroid.h"
+
+#include <map>
+
+namespace nadroid::corpus {
+
+/// The Table 1 row for one app.
+struct AppEvaluation {
+  std::string Name;
+  bool Train = false;
+  PaperRow Paper;
+
+  unsigned Loc = 0; ///< AIR statement count (the paper's LOC proxy)
+  unsigned Ec = 0, Pc = 0, T = 0;
+  unsigned Potential = 0, AfterSound = 0, AfterUnsound = 0;
+
+  /// Remaining warnings by pair type.
+  std::map<report::PairType, unsigned> RemainingByType;
+  /// Interpreter-confirmed harmful remaining warnings.
+  unsigned TrueHarmful = 0;
+  /// Remaining non-harmful warnings by seeded FP category.
+  std::map<SeedKind, unsigned> FalseBySeed;
+  /// Remaining warnings whose field matches no seed (should be zero).
+  unsigned Unattributed = 0;
+
+  /// The full pipeline result, kept for deeper inspection.
+  report::NadroidResult Result;
+};
+
+struct EvaluateOptions {
+  /// Confirm remaining warnings with directed schedule exploration; when
+  /// false, TrueHarmful falls back to the seeded expectation.
+  bool RunInterpreter = true;
+  /// Directed trials per remaining warning.
+  unsigned WitnessTrials = 40;
+};
+
+/// Evaluates one app.
+AppEvaluation evaluateApp(const CorpusApp &App, EvaluateOptions Opts);
+AppEvaluation evaluateApp(const CorpusApp &App);
+
+/// Looks up the seed owning \p FieldQualifiedName; nullptr when unseeded.
+const SeededBug *findSeed(const CorpusApp &App,
+                          const std::string &FieldQualifiedName);
+
+} // namespace nadroid::corpus
+
+#endif // NADROID_CORPUS_EVALUATE_H

@@ -1,0 +1,59 @@
+//===- corpus/Inject.cpp - Artificial UAF injection (Table 2) ------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Inject.h"
+
+#include "ir/IRBuilder.h"
+
+using namespace nadroid;
+using namespace nadroid::corpus;
+using report::PairType;
+
+const std::vector<InjectionSpec> &corpus::table2Injections() {
+  // 28 injections over 8 apps; totals per pair type follow Table 2
+  // (EC-EC 4, EC-PC 11, PC-PC 5, C-RT 1, C-NT 7), with the 2 detection
+  // misses in Mms and the 3 CHB-pruned cases in Puzzles/Browser (§8.6).
+  static const std::vector<InjectionSpec> Specs = [] {
+    std::vector<InjectionSpec> S;
+    S.push_back({"Tomdroid", /*EcEc=*/1, 0, 0, 0, 0, 0, 0});
+    S.push_back({"SGTPuzzles", 0, /*EcPc=*/5, 0, 0, /*CNt=*/3, 0,
+                 /*ChbErrorPath=*/1});
+    S.push_back({"Aard", 0, /*EcPc=*/1, 0, 0, 0, 0, 0});
+    S.push_back({"Music", 0, /*EcPc=*/2, /*PcPc=*/2, 0, /*CNt=*/2, 0, 0});
+    S.push_back({"Mms", 0, /*EcPc=*/1, /*PcPc=*/2, /*CRt=*/1, 0,
+                 /*OpaquePath=*/2, 0});
+    S.push_back({"Browser", /*EcEc=*/1, 0, 0, 0, 0, 0,
+                 /*ChbErrorPath=*/2});
+    S.push_back({"MyTracks_2", 0, /*EcPc=*/1, 0, 0, 0, 0, 0});
+    S.push_back({"K9Mail", 0, 0, 0, 0, /*CNt=*/1, 0, 0});
+    return S;
+  }();
+  return Specs;
+}
+
+CorpusApp corpus::buildInjectedApp(const InjectionSpec &Spec) {
+  CorpusApp App = buildAppNamed(Spec.App);
+  ir::IRBuilder B(*App.Prog);
+  PatternEmitter E(B, "X");
+
+  for (unsigned I = 0; I < Spec.EcEc; ++I)
+    E.harmfulOfType(PairType::EcEc);
+  for (unsigned I = 0; I < Spec.EcPc; ++I)
+    E.harmfulOfType(PairType::EcPc);
+  for (unsigned I = 0; I < Spec.PcPc; ++I)
+    E.harmfulOfType(PairType::PcPc);
+  for (unsigned I = 0; I < Spec.CRt; ++I)
+    E.harmfulOfType(PairType::CRt);
+  for (unsigned I = 0; I < Spec.CNt; ++I)
+    E.harmfulOfType(PairType::CNt);
+  for (unsigned I = 0; I < Spec.OpaquePath; ++I)
+    E.fnOpaquePath();
+  for (unsigned I = 0; I < Spec.ChbErrorPath; ++I)
+    E.fnChbErrorPath();
+
+  App.Seeds.insert(App.Seeds.end(), E.seeds().begin(), E.seeds().end());
+  return App;
+}

@@ -1,0 +1,50 @@
+//===- corpus/Inject.h - Artificial UAF injection (Table 2) -----*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The §8.6 false-negative experiment: the paper injects 28 artificial
+/// UAF violations (at DroidRacer-reported race locations) into 8 apps and
+/// checks whether nAdroid finds them. Two escape detection (objects
+/// round-tripping through the framework break the call graph) and three
+/// are wrongly pruned by the unsound CHB filter (finish() on an error
+/// path). The injector reproduces that construction: it extends a corpus
+/// app with harmful patterns of prescribed pair types plus the two
+/// escape constructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_CORPUS_INJECT_H
+#define NADROID_CORPUS_INJECT_H
+
+#include "corpus/Corpus.h"
+
+namespace nadroid::corpus {
+
+/// Injections for one app.
+struct InjectionSpec {
+  std::string App;
+  unsigned EcEc = 0, EcPc = 0, PcPc = 0, CRt = 0, CNt = 0;
+  /// Framework-round-trip UAFs (missed by detection, §8.6's IBinder case).
+  unsigned OpaquePath = 0;
+  /// finish()-on-error-path UAFs (pruned by the unsound CHB filter).
+  unsigned ChbErrorPath = 0;
+
+  unsigned total() const {
+    return EcEc + EcPc + PcPc + CRt + CNt + OpaquePath + ChbErrorPath;
+  }
+};
+
+/// The 8-app, 28-injection layout of Table 2 (2 opaque-path in Mms, 3
+/// CHB-error-path split Puzzles/Browser, per §8.6).
+const std::vector<InjectionSpec> &table2Injections();
+
+/// Builds the named app and injects per \p Spec; injected seeds carry the
+/// "X"-prefixed class names and are appended to CorpusApp::Seeds.
+CorpusApp buildInjectedApp(const InjectionSpec &Spec);
+
+} // namespace nadroid::corpus
+
+#endif // NADROID_CORPUS_INJECT_H

@@ -1,0 +1,761 @@
+//===- corpus/Patterns.cpp - Seeded bug/idiom patterns -------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Patterns.h"
+
+using namespace nadroid;
+using namespace nadroid::corpus;
+using namespace nadroid::ir;
+using report::PairType;
+
+const char *corpus::seedKindName(SeedKind Kind) {
+  switch (Kind) {
+  case SeedKind::HarmfulUaf:
+    return "harmful";
+  case SeedKind::FalseMhb:
+    return "false-mhb";
+  case SeedKind::FalseIg:
+    return "false-ig";
+  case SeedKind::FalseIa:
+    return "false-ia";
+  case SeedKind::FalseRhb:
+    return "false-rhb";
+  case SeedKind::FalseChb:
+    return "false-chb";
+  case SeedKind::FalsePhb:
+    return "false-phb";
+  case SeedKind::FalseMa:
+    return "false-ma";
+  case SeedKind::FalseUr:
+    return "false-ur";
+  case SeedKind::FalseTt:
+    return "false-tt";
+  case SeedKind::FpPathInsens:
+    return "fp-path-insensitive";
+  case SeedKind::FpPointsTo:
+    return "fp-points-to";
+  case SeedKind::FpNotReach:
+    return "fp-not-reachable";
+  case SeedKind::FpMissingHb:
+    return "fp-missing-hb";
+  case SeedKind::FnOpaquePath:
+    return "fn-opaque-path";
+  case SeedKind::FnChbErrorPath:
+    return "fn-chb-error-path";
+  case SeedKind::FnFragment:
+    return "fn-fragment";
+  }
+  return "?";
+}
+
+std::string PatternEmitter::tag() { return Prefix + std::to_string(Index++); }
+
+PatternEmitter::Host PatternEmitter::makeHost(const std::string &Tag,
+                                              bool Manifest) {
+  Host H;
+  H.Payload = B.makeClass("Obj" + Tag, ClassKind::Plain);
+  Method *Use = B.makeMethod(H.Payload, "use");
+  B.emitReturn();
+  (void)Use;
+
+  H.Activity = B.makeClass("Act" + Tag, ClassKind::Activity);
+  H.F = B.addField(H.Activity, "f" + Tag, H.Payload);
+  B.makeMethod(H.Activity, "onCreate");
+  Local *X = B.emitNew("x", H.Payload);
+  B.emitStore(B.thisLocal(), H.F, X);
+  if (Manifest)
+    B.program().addManifestComponent(H.Activity);
+  return H;
+}
+
+void PatternEmitter::record(SeedKind Kind, const Field *F, const Method *Use,
+                            const Method *Free, PairType Type) {
+  SeededBug Bug;
+  Bug.Kind = Kind;
+  Bug.FieldName = F->qualifiedName();
+  Bug.UseMethod = Use ? Use->qualifiedName() : "";
+  Bug.FreeMethod = Free ? Free->qualifiedName() : "";
+  Bug.ExpectedType = Type;
+  Seeds.push_back(std::move(Bug));
+}
+
+//===----------------------------------------------------------------------===//
+// Harmful patterns
+//===----------------------------------------------------------------------===//
+
+void PatternEmitter::harmfulEcEc() {
+  Host H = makeHost(tag());
+  Method *Use = B.makeMethod(H.Activity, "onClick");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), H.F);
+  B.emitCall(nullptr, U, "use");
+  Method *Free = B.makeMethod(H.Activity, "onCreateOptionsMenu");
+  B.emitStore(B.thisLocal(), H.F, nullptr);
+  record(SeedKind::HarmfulUaf, H.F, Use, Free, PairType::EcEc);
+}
+
+void PatternEmitter::harmfulEcPc() {
+  Host H = makeHost(tag());
+  std::string T = innerTag();
+
+  Clazz *Conn = B.makeClass("Conn" + T, ClassKind::ServiceConnection);
+  Field *ActF = B.addField(Conn, "act", H.Activity);
+  B.makeMethod(Conn, "onServiceConnected");
+  Local *A = B.local("a");
+  B.emitLoad(A, B.thisLocal(), ActF);
+  Local *X = B.emitNew("x", H.Payload);
+  B.emitStore(A, H.F, X);
+  Method *Free = B.makeMethod(Conn, "onServiceDisconnected");
+  A = B.local("a");
+  B.emitLoad(A, B.thisLocal(), ActF);
+  B.emitStore(A, H.F, nullptr);
+
+  B.makeMethod(H.Activity, "onStart");
+  Local *C = B.emitNew("c", Conn);
+  B.emitStore(C, ActF, B.thisLocal());
+  B.emitCall(nullptr, B.thisLocal(), "bindService", {C});
+
+  Method *Use = B.makeMethod(H.Activity, "onCreateContextMenu");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), H.F);
+  B.emitCall(nullptr, U, "use");
+  record(SeedKind::HarmfulUaf, H.F, Use, Free, PairType::EcPc);
+}
+
+void PatternEmitter::harmfulPcPc() {
+  Host H = makeHost(tag());
+  std::string T = innerTag();
+
+  Clazz *Run = B.makeClass("Run" + T, ClassKind::Runnable);
+  Field *RunAct = B.addField(Run, "act", H.Activity);
+  Method *Use = B.makeMethod(Run, "run");
+  Local *A = B.local("a");
+  B.emitLoad(A, B.thisLocal(), RunAct);
+  Local *U = B.local("u");
+  B.emitLoad(U, A, H.F);
+  B.emitCall(nullptr, U, "use");
+
+  Clazz *Conn = B.makeClass("Conn" + T, ClassKind::ServiceConnection);
+  Field *ConnAct = B.addField(Conn, "act", H.Activity);
+  Method *Free = B.makeMethod(Conn, "onServiceDisconnected");
+  A = B.local("a");
+  B.emitLoad(A, B.thisLocal(), ConnAct);
+  B.emitStore(A, H.F, nullptr);
+
+  B.makeMethod(H.Activity, "onStart");
+  Local *C = B.emitNew("c", Conn);
+  B.emitStore(C, ConnAct, B.thisLocal());
+  B.emitCall(nullptr, B.thisLocal(), "bindService", {C});
+
+  B.makeMethod(H.Activity, "onClick");
+  Local *R = B.emitNew("r", Run);
+  B.emitStore(R, RunAct, B.thisLocal());
+  B.emitCall(nullptr, B.thisLocal(), "runOnUiThread", {R});
+  record(SeedKind::HarmfulUaf, H.F, Use, Free, PairType::PcPc);
+}
+
+void PatternEmitter::harmfulCNt() {
+  Host H = makeHost(tag());
+  std::string T = innerTag();
+
+  Clazz *Killer = B.makeClass("Killer" + T, ClassKind::ThreadClass);
+  Field *ActF = B.addField(Killer, "act", H.Activity);
+  Method *Free = B.makeMethod(Killer, "run");
+  Local *A = B.local("a");
+  B.emitLoad(A, B.thisLocal(), ActF);
+  B.emitStore(A, H.F, nullptr);
+
+  B.makeMethod(H.Activity, "onStart");
+  Local *K = B.emitNew("t", Killer);
+  B.emitStore(K, ActF, B.thisLocal());
+  B.emitCall(nullptr, K, "start");
+
+  // Figure 1(c): the guard does not help — no atomicity against the
+  // thread.
+  Method *Use = B.makeMethod(H.Activity, "onPause");
+  Local *G = B.local("g");
+  B.emitLoad(G, B.thisLocal(), H.F);
+  B.beginIfNotNull(G);
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), H.F);
+  B.emitCall(nullptr, U, "use");
+  B.endIf();
+  record(SeedKind::HarmfulUaf, H.F, Use, Free, PairType::CNt);
+}
+
+void PatternEmitter::harmfulCRt() {
+  Host H = makeHost(tag());
+  std::string T = innerTag();
+
+  Clazz *Killer = B.makeClass("Killer" + T, ClassKind::ThreadClass);
+  Field *ActF = B.addField(Killer, "act", H.Activity);
+  Method *Free = B.makeMethod(Killer, "run");
+  Local *A = B.local("a");
+  B.emitLoad(A, B.thisLocal(), ActF);
+  B.emitStore(A, H.F, nullptr);
+
+  Method *Use = B.makeMethod(H.Activity, "onClick");
+  Local *K = B.emitNew("t", Killer);
+  B.emitStore(K, ActF, B.thisLocal());
+  B.emitCall(nullptr, K, "start");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), H.F);
+  B.emitCall(nullptr, U, "use");
+  record(SeedKind::HarmfulUaf, H.F, Use, Free, PairType::CRt);
+}
+
+void PatternEmitter::harmfulAsyncVsDestroy() {
+  Host H = makeHost(tag());
+  std::string T = innerTag();
+
+  Clazz *Task = B.makeClass("Task" + T, ClassKind::AsyncTask);
+  Task->setOuterClass(H.Activity); // anonymous inner task: DEvA sees it
+  Field *ActF = B.addField(Task, "act", H.Activity);
+  B.makeMethod(Task, "doInBackground");
+  B.emitCall(nullptr, B.thisLocal(), "publishProgress");
+  Method *Use = B.makeMethod(Task, "onProgressUpdate");
+  Local *A = B.local("a");
+  B.emitLoad(A, B.thisLocal(), ActF);
+  Local *U = B.local("u");
+  B.emitLoad(U, A, H.F);
+  B.emitCall(nullptr, U, "use");
+
+  B.makeMethod(H.Activity, "onLocationChanged");
+  Local *TK = B.emitNew("t", Task);
+  B.emitStore(TK, ActF, B.thisLocal());
+  B.emitCall(nullptr, TK, "execute");
+
+  Method *Free = B.makeMethod(H.Activity, "onDestroy");
+  B.emitStore(B.thisLocal(), H.F, nullptr);
+  record(SeedKind::HarmfulUaf, H.F, Use, Free, PairType::EcPc);
+}
+
+//===----------------------------------------------------------------------===//
+// Filter-target idioms
+//===----------------------------------------------------------------------===//
+
+void PatternEmitter::falseMhbLifecycle(unsigned Uses) {
+  Host H = makeHost(tag());
+  Method *Use = B.makeMethod(H.Activity, "onClick");
+  for (unsigned I = 0; I < Uses; ++I) {
+    Local *U = B.local("u" + std::to_string(I));
+    B.emitLoad(U, B.thisLocal(), H.F);
+    B.emitCall(nullptr, U, "use");
+  }
+  Method *Free = B.makeMethod(H.Activity, "onDestroy");
+  B.emitStore(B.thisLocal(), H.F, nullptr);
+  record(SeedKind::FalseMhb, H.F, Use, Free, PairType::EcEc);
+}
+
+void PatternEmitter::falseMhbService(unsigned Uses) {
+  Host H = makeHost(tag());
+  std::string T = innerTag();
+
+  Clazz *Conn = B.makeClass("Conn" + T, ClassKind::ServiceConnection);
+  Field *ActF = B.addField(Conn, "act", H.Activity);
+  Method *Use = B.makeMethod(Conn, "onServiceConnected");
+  Local *A = B.local("a");
+  B.emitLoad(A, B.thisLocal(), ActF);
+  for (unsigned I = 0; I < Uses; ++I) {
+    Local *U = B.local("u" + std::to_string(I));
+    B.emitLoad(U, A, H.F);
+    B.emitCall(nullptr, U, "use");
+  }
+  Method *Free = B.makeMethod(Conn, "onServiceDisconnected");
+  A = B.local("a");
+  B.emitLoad(A, B.thisLocal(), ActF);
+  B.emitStore(A, H.F, nullptr);
+
+  // Bound once, from onCreate: connect-before-disconnect then holds per
+  // the single binding. (Rebinding from a repeatable callback would let
+  // a second connection's onServiceConnected observe the first's free —
+  // the same per-instance caveat as MHB-AsyncTask.)
+  B.setInsertMethod(H.Activity->findOwnMethod("onCreate"));
+  Local *C = B.emitNew("c", Conn);
+  B.emitStore(C, ActF, B.thisLocal());
+  B.emitCall(nullptr, B.thisLocal(), "bindService", {C});
+  record(SeedKind::FalseMhb, H.F, Use, Free, PairType::PcPc);
+}
+
+void PatternEmitter::falseMhbAsync() {
+  Host H = makeHost(tag());
+  std::string T = innerTag();
+
+  Clazz *Task = B.makeClass("Task" + T, ClassKind::AsyncTask);
+  Field *ActF = B.addField(Task, "act", H.Activity);
+  Method *Use = B.makeMethod(Task, "doInBackground");
+  Local *A = B.local("a");
+  B.emitLoad(A, B.thisLocal(), ActF);
+  Local *U = B.local("u");
+  B.emitLoad(U, A, H.F);
+  B.emitCall(nullptr, U, "use");
+  Method *Free = B.makeMethod(Task, "onPostExecute");
+  A = B.local("a");
+  B.emitLoad(A, B.thisLocal(), ActF);
+  B.emitStore(A, H.F, nullptr);
+
+  // Executed from onCreate: exactly one task instance, so the MHB
+  // ordering is airtight dynamically too. (Executing from a repeatable
+  // callback would let two instances cross-interleave — the latent
+  // per-instance limitation MHB-AsyncTask shares with Chord's heap
+  // naming; see InterpSemantics.AsyncTaskOrderIsOnlyPerInstance.)
+  B.setInsertMethod(H.Activity->findOwnMethod("onCreate"));
+  Local *TK = B.emitNew("t", Task);
+  B.emitStore(TK, ActF, B.thisLocal());
+  B.emitCall(nullptr, TK, "execute");
+  record(SeedKind::FalseMhb, H.F, Use, Free, PairType::EcPc);
+}
+
+void PatternEmitter::falseIg(unsigned Uses) {
+  Host H = makeHost(tag());
+  // Check-then-deref shape (Figure 4(b) as compiled): each load feeds its
+  // own null test and is dereferenced only under it.
+  Method *Use = B.makeMethod(H.Activity, "onClick");
+  for (unsigned I = 0; I < Uses; ++I) {
+    Local *U = B.local("u" + std::to_string(I));
+    B.emitLoad(U, B.thisLocal(), H.F);
+    B.beginIfNotNull(U);
+    B.emitCall(nullptr, U, "use");
+    B.endIf();
+  }
+  Method *Free = B.makeMethod(H.Activity, "onCreateOptionsMenu");
+  B.emitStore(B.thisLocal(), H.F, nullptr);
+  record(SeedKind::FalseIg, H.F, Use, Free, PairType::EcEc);
+}
+
+void PatternEmitter::falseIa(unsigned Uses) {
+  Host H = makeHost(tag());
+  Method *Use = B.makeMethod(H.Activity, "onClick");
+  Local *X = B.emitNew("x", H.Payload);
+  B.emitStore(B.thisLocal(), H.F, X);
+  for (unsigned I = 0; I < Uses; ++I) {
+    Local *U = B.local("u" + std::to_string(I));
+    B.emitLoad(U, B.thisLocal(), H.F);
+    B.emitCall(nullptr, U, "use");
+  }
+  Method *Free = B.makeMethod(H.Activity, "onCreateOptionsMenu");
+  B.emitStore(B.thisLocal(), H.F, nullptr);
+  record(SeedKind::FalseIa, H.F, Use, Free, PairType::EcEc);
+}
+
+void PatternEmitter::falseRhb() {
+  Host H = makeHost(tag());
+  Method *Free = B.makeMethod(H.Activity, "onPause");
+  B.emitStore(B.thisLocal(), H.F, nullptr);
+  B.makeMethod(H.Activity, "onResume");
+  Local *X = B.emitNew("x", H.Payload);
+  B.emitStore(B.thisLocal(), H.F, X);
+  Method *Use = B.makeMethod(H.Activity, "onClick");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), H.F);
+  B.emitCall(nullptr, U, "use");
+  record(SeedKind::FalseRhb, H.F, Use, Free, PairType::EcEc);
+}
+
+void PatternEmitter::falseChb() {
+  Host H = makeHost(tag());
+  Method *Free = B.makeMethod(H.Activity, "onClick");
+  B.emitFinish();
+  B.emitStore(B.thisLocal(), H.F, nullptr);
+  Method *Use = B.makeMethod(H.Activity, "onLongClick");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), H.F);
+  B.emitCall(nullptr, U, "use");
+  record(SeedKind::FalseChb, H.F, Use, Free, PairType::EcEc);
+}
+
+void PatternEmitter::falsePhb() {
+  Host H = makeHost(tag());
+  std::string T = innerTag();
+
+  Clazz *H2 = B.makeClass("Hdl" + T, ClassKind::Handler);
+  Field *ActF = B.addField(H2, "act", H.Activity);
+  Method *Free = B.makeMethod(H2, "handleMessage");
+  Local *A = B.local("a");
+  B.emitLoad(A, B.thisLocal(), ActF);
+  B.emitStore(A, H.F, nullptr);
+
+  Field *HandlerF = B.addField(H.Activity, "h" + T, H2);
+  B.setInsertMethod(H.Activity->findOwnMethod("onCreate"));
+  Local *HH = B.emitNew("hh", H2);
+  B.emitStore(HH, ActF, B.thisLocal());
+  B.emitStore(B.thisLocal(), HandlerF, HH);
+
+  Method *Use = B.makeMethod(H.Activity, "onClick");
+  Local *M = B.local("m");
+  B.emitLoad(M, B.thisLocal(), HandlerF);
+  B.emitCall(nullptr, M, "sendMessage");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), H.F);
+  B.emitCall(nullptr, U, "use");
+  record(SeedKind::FalsePhb, H.F, Use, Free, PairType::EcPc);
+}
+
+void PatternEmitter::falseMa() {
+  Host H = makeHost(tag());
+  B.makeMethod(H.Activity, "mk");
+  Local *R = B.emitNew("r", H.Payload);
+  B.emitReturn(R);
+
+  Method *Use = B.makeMethod(H.Activity, "onClick");
+  Local *TV = B.local("t");
+  B.emitCall(TV, B.thisLocal(), "mk");
+  B.emitStore(B.thisLocal(), H.F, TV);
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), H.F);
+  B.emitCall(nullptr, U, "use");
+
+  Method *Free = B.makeMethod(H.Activity, "onCreateOptionsMenu");
+  B.emitStore(B.thisLocal(), H.F, nullptr);
+  record(SeedKind::FalseMa, H.F, Use, Free, PairType::EcEc);
+}
+
+void PatternEmitter::falseUr(unsigned Uses) {
+  Host H = makeHost(tag());
+  Method *Log = B.makeMethod(H.Activity, "log");
+  Log->addParam("p");
+  B.emitReturn();
+
+  Method *Use = B.makeMethod(H.Activity, "onClick");
+  for (unsigned I = 0; I < Uses; ++I) {
+    Local *G = B.local("g" + std::to_string(I));
+    B.emitLoad(G, B.thisLocal(), H.F);
+    B.emitCall(nullptr, B.thisLocal(), "log", {G});
+  }
+  Method *Free = B.makeMethod(H.Activity, "onCreateOptionsMenu");
+  B.emitStore(B.thisLocal(), H.F, nullptr);
+  record(SeedKind::FalseUr, H.F, Use, Free, PairType::EcEc);
+}
+
+void PatternEmitter::falseTt() {
+  std::string T = tag();
+  Clazz *Payload = B.makeClass("Obj" + T, ClassKind::Plain);
+  B.makeMethod(Payload, "use");
+  B.emitReturn();
+
+  Clazz *Shared = B.makeClass("Shared" + T, ClassKind::Plain);
+  Field *SF = B.addField(Shared, "f" + T, Payload);
+
+  Clazz *TU = B.makeClass("UserThread" + T, ClassKind::ThreadClass);
+  Field *TUS = B.addField(TU, "s", Shared);
+  Method *Use = B.makeMethod(TU, "run");
+  Local *HS = B.local("h");
+  B.emitLoad(HS, B.thisLocal(), TUS);
+  Local *U = B.local("u");
+  B.emitLoad(U, HS, SF);
+  B.emitCall(nullptr, U, "use");
+
+  Clazz *TF = B.makeClass("FreeThread" + T, ClassKind::ThreadClass);
+  Field *TFS = B.addField(TF, "s", Shared);
+  Method *Free = B.makeMethod(TF, "run");
+  HS = B.local("h");
+  B.emitLoad(HS, B.thisLocal(), TFS);
+  B.emitStore(HS, SF, nullptr);
+
+  Clazz *Act = B.makeClass("Act" + T, ClassKind::Activity);
+  B.program().addManifestComponent(Act);
+  B.makeMethod(Act, "onStart");
+  Local *S = B.emitNew("s", Shared);
+  Local *X = B.emitNew("x", Payload);
+  B.emitStore(S, SF, X);
+  Local *T1 = B.emitNew("t1", TU);
+  B.emitStore(T1, TUS, S);
+  B.emitCall(nullptr, T1, "start");
+  Local *T2 = B.emitNew("t2", TF);
+  B.emitStore(T2, TFS, S);
+  B.emitCall(nullptr, T2, "start");
+  record(SeedKind::FalseTt, SF, Use, Free, PairType::CNt);
+}
+
+//===----------------------------------------------------------------------===//
+// Surviving false positives (§8.5)
+//===----------------------------------------------------------------------===//
+
+void PatternEmitter::fpPathInsensitive() {
+  Host H = makeHost(tag());
+  std::string T = innerTag();
+  Field *Flag = B.addField(H.Activity, "flag" + T, H.Payload);
+  B.setInsertMethod(H.Activity->findOwnMethod("onCreate"));
+  Local *FL = B.emitNew("fl", H.Payload);
+  B.emitStore(B.thisLocal(), Flag, FL);
+
+  Method *Use = B.makeMethod(H.Activity, "onClick");
+  Local *G = B.local("g");
+  B.emitLoad(G, B.thisLocal(), Flag);
+  B.beginIfNotNull(G);
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), H.F);
+  B.emitCall(nullptr, U, "use");
+  B.endIf();
+
+  Method *Free = B.makeMethod(H.Activity, "onCreateOptionsMenu");
+  B.emitStore(B.thisLocal(), Flag, nullptr);
+  B.emitStore(B.thisLocal(), H.F, nullptr);
+  record(SeedKind::FpPathInsens, H.F, Use, Free, PairType::EcEc);
+}
+
+void PatternEmitter::fpPointsTo() {
+  std::string T = tag();
+  Clazz *Payload = B.makeClass("Obj" + T, ClassKind::Plain);
+  B.makeMethod(Payload, "use");
+  B.emitReturn();
+  Clazz *Holder = B.makeClass("Holder" + T, ClassKind::Plain);
+  Field *PF = B.addField(Holder, "p" + T, Payload);
+
+  Clazz *Act = B.makeClass("Act" + T, ClassKind::Activity);
+  B.program().addManifestComponent(Act);
+  Field *Ha = B.addField(Act, "ha", Holder);
+  Field *Hb = B.addField(Act, "hb", Holder);
+
+  // A factory shared by both holders: with k=2, both runtime holders are
+  // named by the same (site, activity) pair and merge.
+  B.makeMethod(Act, "mkHolder");
+  Local *R = B.emitNew("r", Holder);
+  Local *X = B.emitNew("x", Payload);
+  B.emitStore(R, PF, X);
+  B.emitReturn(R);
+
+  B.makeMethod(Act, "onCreate");
+  Local *A = B.local("a");
+  B.emitCall(A, B.thisLocal(), "mkHolder");
+  B.emitStore(B.thisLocal(), Ha, A);
+  Local *BB = B.local("b");
+  B.emitCall(BB, B.thisLocal(), "mkHolder");
+  B.emitStore(B.thisLocal(), Hb, BB);
+
+  Method *Use = B.makeMethod(Act, "onClick");
+  Local *HL = B.local("h");
+  B.emitLoad(HL, B.thisLocal(), Ha);
+  Local *U = B.local("u");
+  B.emitLoad(U, HL, PF);
+  B.emitCall(nullptr, U, "use");
+
+  Method *Free = B.makeMethod(Act, "onCreateOptionsMenu");
+  HL = B.local("h2");
+  B.emitLoad(HL, B.thisLocal(), Hb);
+  B.emitStore(HL, PF, nullptr);
+  record(SeedKind::FpPointsTo, PF, Use, Free, PairType::EcEc);
+}
+
+void PatternEmitter::fpPointsToKSensitive() {
+  std::string T = tag();
+  Clazz *Payload = B.makeClass("Obj" + T, ClassKind::Plain);
+  B.makeMethod(Payload, "use");
+  B.emitReturn();
+  Clazz *Holder = B.makeClass("Holder" + T, ClassKind::Plain);
+  Field *PF = B.addField(Holder, "p" + T, Payload);
+  Clazz *Factory = B.makeClass("Factory" + T, ClassKind::Plain);
+  B.makeMethod(Factory, "make");
+  Local *R = B.emitNew("r", Holder);
+  Local *X = B.emitNew("x", Payload);
+  B.emitStore(R, PF, X);
+  B.emitReturn(R);
+
+  Clazz *Act = B.makeClass("Act" + T, ClassKind::Activity);
+  B.program().addManifestComponent(Act);
+  Field *Ha = B.addField(Act, "ha", Holder);
+  Field *Hb = B.addField(Act, "hb", Holder);
+  B.makeMethod(Act, "onCreate");
+  // Two factory *objects*: under k=2 the holders they make are named by
+  // their factory, so ha and hb stay apart; under k=1 they merge.
+  Local *Fa = B.emitNew("fa", Factory);
+  Local *Fb = B.emitNew("fb", Factory);
+  Local *A = B.local("a");
+  B.emitCall(A, Fa, "make");
+  B.emitStore(B.thisLocal(), Ha, A);
+  Local *Bv = B.local("b");
+  B.emitCall(Bv, Fb, "make");
+  B.emitStore(B.thisLocal(), Hb, Bv);
+
+  Method *Use = B.makeMethod(Act, "onClick");
+  Local *HL = B.local("h");
+  B.emitLoad(HL, B.thisLocal(), Ha);
+  Local *U = B.local("u");
+  B.emitLoad(U, HL, PF);
+  B.emitCall(nullptr, U, "use");
+
+  Method *Free = B.makeMethod(Act, "onCreateOptionsMenu");
+  HL = B.local("h2");
+  B.emitLoad(HL, B.thisLocal(), Hb);
+  B.emitStore(HL, PF, nullptr);
+  record(SeedKind::FpPointsTo, PF, Use, Free, PairType::EcEc);
+}
+
+void PatternEmitter::fpNotReachable() {
+  Host H = makeHost(tag(), /*Manifest=*/false);
+  Method *Use = B.makeMethod(H.Activity, "onClick");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), H.F);
+  B.emitCall(nullptr, U, "use");
+  Method *Free = B.makeMethod(H.Activity, "onCreateOptionsMenu");
+  B.emitStore(B.thisLocal(), H.F, nullptr);
+  record(SeedKind::FpNotReach, H.F, Use, Free, PairType::EcEc);
+}
+
+void PatternEmitter::fpMissingHb() {
+  Host H = makeHost(tag());
+  Method *Free = B.makeMethod(H.Activity, "onLongClick");
+  B.emitCall(nullptr, B.thisLocal(), "disableClicks");
+  B.emitStore(B.thisLocal(), H.F, nullptr);
+  Method *Use = B.makeMethod(H.Activity, "onClick");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), H.F);
+  B.emitCall(nullptr, U, "use");
+  record(SeedKind::FpMissingHb, H.F, Use, Free, PairType::EcEc);
+}
+
+//===----------------------------------------------------------------------===//
+// False-negative constructions (§8.6)
+//===----------------------------------------------------------------------===//
+
+void PatternEmitter::fnOpaquePath() {
+  std::string T = tag();
+  Clazz *Payload = B.makeClass("Obj" + T, ClassKind::Plain);
+  B.makeMethod(Payload, "use");
+  B.emitReturn();
+  Clazz *Holder = B.makeClass("Binder" + T, ClassKind::Plain);
+  Field *PF = B.addField(Holder, "p" + T, Payload);
+
+  Clazz *Act = B.makeClass("Act" + T, ClassKind::Activity);
+  B.program().addManifestComponent(Act);
+  B.makeMethod(Act, "onCreate");
+  Local *HL = B.emitNew("h", Holder);
+  Local *X = B.emitNew("x", Payload);
+  B.emitStore(HL, PF, X);
+  // The holder round-trips through the framework: statically opaque.
+  B.emitCall(nullptr, B.thisLocal(), "stash", {HL});
+
+  Method *Use = B.makeMethod(Act, "onClick");
+  Local *H2 = B.local("h2");
+  B.emitCall(H2, B.thisLocal(), "fetchStash");
+  Local *U = B.local("u");
+  B.emitLoad(U, H2, PF);
+  B.emitCall(nullptr, U, "use");
+
+  Method *Free = B.makeMethod(Act, "onCreateOptionsMenu");
+  Local *H3 = B.local("h3");
+  B.emitCall(H3, B.thisLocal(), "fetchStash");
+  B.emitStore(H3, PF, nullptr);
+  record(SeedKind::FnOpaquePath, PF, Use, Free, PairType::EcEc);
+}
+
+void PatternEmitter::fnChbErrorPath() {
+  Host H = makeHost(tag());
+  Method *Free = B.makeMethod(H.Activity, "onClick");
+  B.beginIfUnknown();
+  B.emitFinish(); // rare error path — CHB's may-analysis still fires
+  B.endIf();
+  B.emitStore(B.thisLocal(), H.F, nullptr);
+  Method *Use = B.makeMethod(H.Activity, "onLongClick");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), H.F);
+  B.emitCall(nullptr, U, "use");
+  record(SeedKind::FnChbErrorPath, H.F, Use, Free, PairType::EcEc);
+}
+
+void PatternEmitter::fnFragment() {
+  std::string T = tag();
+  Clazz *Payload = B.makeClass("Obj" + T, ClassKind::Plain);
+  B.makeMethod(Payload, "use");
+  B.emitReturn();
+
+  Clazz *Frag = B.makeClass("Frag" + T, ClassKind::Fragment);
+  Field *F = B.addField(Frag, "f" + T, Payload);
+  B.makeMethod(Frag, "onCreate");
+  Local *X = B.emitNew("x", Payload);
+  B.emitStore(B.thisLocal(), F, X);
+  Method *Use = B.makeMethod(Frag, "onResume");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), F);
+  B.emitCall(nullptr, U, "use");
+  Method *Free = B.makeMethod(Frag, "onDestroy");
+  B.emitStore(B.thisLocal(), F, nullptr);
+  record(SeedKind::FnFragment, F, Use, Free, PairType::EcEc);
+}
+
+void PatternEmitter::harmfulOfType(PairType Type) {
+  switch (Type) {
+  case PairType::EcEc:
+    harmfulEcEc();
+    return;
+  case PairType::EcPc:
+    harmfulEcPc();
+    return;
+  case PairType::PcPc:
+    harmfulPcPc();
+    return;
+  case PairType::CRt:
+    harmfulCRt();
+    return;
+  case PairType::CNt:
+    harmfulCNt();
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Benign mass
+//===----------------------------------------------------------------------===//
+
+void PatternEmitter::safeFiller(unsigned UiCallbacks, unsigned Posts,
+                                unsigned Helpers) {
+  std::string T = tag();
+  Clazz *Payload = B.makeClass("Obj" + T, ClassKind::Plain);
+  B.makeMethod(Payload, "use");
+  B.emitReturn();
+
+  Clazz *Act = B.makeClass("Act" + T, ClassKind::Activity);
+  B.program().addManifestComponent(Act);
+  Method *Create = B.makeMethod(Act, "onCreate");
+
+  for (unsigned I = 0; I < UiCallbacks; ++I) {
+    Clazz *L = B.makeClass("Listener" + T + "_" + std::to_string(I),
+                           ClassKind::Listener);
+    B.makeMethod(L, "onClick");
+    Local *X = B.emitNew("x", Payload);
+    B.emitCall(nullptr, X, "use");
+    B.setInsertMethod(Create);
+    B.emitSetOnClickListener(L);
+  }
+  for (unsigned I = 0; I < Posts; ++I) {
+    Clazz *R = B.makeClass("Job" + T + "_" + std::to_string(I),
+                           ClassKind::Runnable);
+    B.makeMethod(R, "run");
+    Local *X = B.emitNew("x", Payload);
+    B.emitCall(nullptr, X, "use");
+    B.setInsertMethod(Create);
+    B.emitRunOnUiThread(R);
+  }
+  B.setInsertMethod(Create);
+  for (unsigned I = 0; I < Helpers; ++I)
+    B.emitCall(nullptr, B.thisLocal(), "helper" + std::to_string(I));
+  for (unsigned I = 0; I < Helpers; ++I) {
+    B.makeMethod(Act, "helper" + std::to_string(I));
+    Local *X = B.emitNew("x", Payload);
+    B.emitCall(nullptr, X, "use");
+    B.emitReturn(X);
+  }
+}
+
+void PatternEmitter::safeThreads(unsigned Count) {
+  std::string T = tag();
+  Clazz *Payload = B.makeClass("Obj" + T, ClassKind::Plain);
+  B.makeMethod(Payload, "use");
+  B.emitReturn();
+
+  Clazz *Act = B.makeClass("Act" + T, ClassKind::Activity);
+  B.program().addManifestComponent(Act);
+  Method *Start = B.makeMethod(Act, "onStart");
+  for (unsigned I = 0; I < Count; ++I) {
+    Clazz *W = B.makeClass("Worker" + T + "_" + std::to_string(I),
+                           ClassKind::ThreadClass);
+    B.makeMethod(W, "run");
+    Local *X = B.emitNew("x", Payload);
+    B.emitCall(nullptr, X, "use");
+    B.setInsertMethod(Start);
+    B.emitStartThread(W);
+  }
+}

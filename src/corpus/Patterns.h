@@ -1,0 +1,203 @@
+//===- corpus/Patterns.h - Seeded bug/idiom patterns ------------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The building blocks of the synthetic corpus: each emitter writes one
+/// self-contained bug or idiom cluster (its own field, its own host
+/// classes) into a program and records ground truth about it. The pattern
+/// vocabulary covers:
+///
+///  * every harmful UAF shape the paper reports (Figure 1's three bugs,
+///    by pair type EC-EC / EC-PC / PC-PC / C-RT / C-NT),
+///  * every filter's target idiom (Figure 4 (a)–(g) plus MHB-Lifecycle,
+///    MHB-AsyncTask, TT),
+///  * every §8.5 false-positive category that survives filtering
+///    (path-insensitivity, points-to merging, unreachable components,
+///    missing UI happens-before), and
+///  * the §8.6 false-negative constructions (framework round-trip,
+///    cancel-on-error-path).
+///
+/// Emitters place each pattern on a dedicated Activity so patterns cannot
+/// interfere (finish(), pause/resume, and onDestroy have activity-global
+/// effects).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_CORPUS_PATTERNS_H
+#define NADROID_CORPUS_PATTERNS_H
+
+#include "ir/IRBuilder.h"
+#include "report/Classify.h"
+
+#include <string>
+#include <vector>
+
+namespace nadroid::corpus {
+
+/// What a seeded pattern is expected to do downstream.
+enum class SeedKind : uint8_t {
+  HarmfulUaf,     ///< remaining + interpreter-witnessable
+  FalseMhb,       ///< pruned by the sound MHB filter
+  FalseIg,        ///< pruned by the sound IG filter
+  FalseIa,        ///< pruned by the sound IA filter
+  FalseRhb,       ///< pruned by the unsound RHB filter
+  FalseChb,       ///< pruned by the unsound CHB filter
+  FalsePhb,       ///< pruned by the unsound PHB filter
+  FalseMa,        ///< pruned by the unsound MA filter
+  FalseUr,        ///< pruned by the unsound UR filter
+  FalseTt,        ///< pruned by the unsound TT filter
+  FpPathInsens,   ///< remaining; infeasible path correlation (§8.5)
+  FpPointsTo,     ///< remaining; k-obj heap merging (§8.5)
+  FpNotReach,     ///< remaining; component unreachable (§8.5)
+  FpMissingHb,    ///< remaining; UI enable/disable HB unknown (§8.5)
+  FnOpaquePath,   ///< harmful but invisible to the static call graph
+  FnChbErrorPath, ///< harmful but pruned by CHB's may-analysis
+  FnFragment,     ///< visible to DEvA only — nAdroid skips Fragments (§8.1)
+};
+
+const char *seedKindName(SeedKind Kind);
+
+/// Ground-truth record for one seeded pattern.
+struct SeededBug {
+  SeedKind Kind = SeedKind::HarmfulUaf;
+  /// Qualified racy field, e.g. "ZxA3.f3".
+  std::string FieldName;
+  /// Qualified methods holding the use / free.
+  std::string UseMethod;
+  std::string FreeMethod;
+  /// Pair type a harmful seed manifests as.
+  report::PairType ExpectedType = report::PairType::EcEc;
+};
+
+/// Emits patterns into one program; Index-disambiguated names keep
+/// clusters independent.
+class PatternEmitter {
+public:
+  /// \p Prefix disambiguates generated class names; the Table 2 injector
+  /// uses it to add patterns to an already-built app.
+  explicit PatternEmitter(ir::IRBuilder &B, std::string Prefix = "")
+      : B(B), Prefix(std::move(Prefix)) {}
+
+  const std::vector<SeededBug> &seeds() const { return Seeds; }
+
+  //===--------------------------------------------------------------------===//
+  // Harmful patterns (Figure 1 shapes, by pair type)
+  //===--------------------------------------------------------------------===//
+
+  /// Use in one UI callback, free in another (no guard, no order).
+  void harmfulEcEc();
+  /// Figure 1(a): use in a UI callback, free in onServiceDisconnected.
+  void harmfulEcPc();
+  /// Figure 1(b): a posted Runnable uses what onServiceDisconnected frees.
+  void harmfulPcPc();
+  /// Figure 1(c): a background thread frees under a useless if-guard.
+  void harmfulCNt();
+  /// A callback races with a thread it started itself.
+  void harmfulCRt();
+  /// MyTracks-style: an AsyncTask progress callback uses what onDestroy
+  /// frees (survives MHB-Lifecycle, which covers entry callbacks only).
+  void harmfulAsyncVsDestroy();
+
+  //===--------------------------------------------------------------------===//
+  // Filter-target idioms (Figure 4 and §6)
+  //===--------------------------------------------------------------------===//
+
+  /// Free in onDestroy vs \p Uses UI-callback uses (MHB-Lifecycle).
+  /// These are also exactly the warnings DEvA reports as harmful
+  /// (Table 3's onDestroy rows).
+  void falseMhbLifecycle(unsigned Uses = 1);
+  /// Figure 4(a): use inside onServiceConnected (MHB-Service).
+  void falseMhbService(unsigned Uses = 1);
+  /// doInBackground uses, onPostExecute frees (MHB-AsyncTask).
+  void falseMhbAsync();
+  /// Figure 4(b): guarded use between same-looper callbacks (IG).
+  void falseIg(unsigned Uses = 1);
+  /// Figure 4(c): allocation dominates the use (IA).
+  void falseIa(unsigned Uses = 1);
+  /// Figure 4(d) benign form: onResume re-allocates (RHB).
+  void falseRhb();
+  /// Figure 4(e): the freeing callback calls finish() (CHB).
+  void falseChb();
+  /// Figure 4(f): poster uses, postee frees (PHB).
+  void falsePhb();
+  /// Getter-backed allocation before use (MA).
+  void falseMa();
+  /// Figure 4(g): the loaded value only flows to a call argument (UR).
+  void falseUr(unsigned Uses = 1);
+  /// Two native threads race without any looper involvement (TT).
+  void falseTt();
+
+  //===--------------------------------------------------------------------===//
+  // Surviving false positives (§8.5 categories)
+  //===--------------------------------------------------------------------===//
+
+  /// Correlated-flag guard the path-insensitive analysis cannot see.
+  void fpPathInsensitive();
+  /// Two runtime objects share one k-limited abstract object.
+  void fpPointsTo();
+  /// A points-to FP that k=2 resolves but k=1 does not: payloads made by
+  /// two distinct factory *objects* merge only when heap contexts are
+  /// dropped. Invisible at the paper's default k=2 (no warning at all);
+  /// the k-ablation bench surfaces it.
+  void fpPointsToKSensitive();
+  /// A harmful-looking pattern on a component no intent launches.
+  void fpNotReachable();
+  /// The freeing callback disables the using button first.
+  void fpMissingHb();
+
+  //===--------------------------------------------------------------------===//
+  // False-negative constructions (§8.6, Table 2)
+  //===--------------------------------------------------------------------===//
+
+  /// Harmful UAF on an object round-tripped through the framework
+  /// (IBinder pattern): the detector's call graph loses it.
+  void fnOpaquePath();
+  /// Harmful UAF whose freeing callback calls finish() only on an error
+  /// path: CHB's may-analysis wrongly prunes it.
+  void fnChbErrorPath();
+  /// A UAF inside a Fragment: invisible to nAdroid's modeling (§8.1) but
+  /// reported by the class-based DEvA baseline — Table 3's Browser row.
+  void fnFragment();
+
+  /// A harmful UAF of the requested pair type (Table 2 injection helper).
+  void harmfulOfType(report::PairType Type);
+
+  //===--------------------------------------------------------------------===//
+  // Benign mass
+  //===--------------------------------------------------------------------===//
+
+  /// Callback/helper/post mass with no warnings at all: \p UiCallbacks UI
+  /// entry points, \p Posts posted runnables, \p Helpers helper methods.
+  void safeFiller(unsigned UiCallbacks, unsigned Posts, unsigned Helpers);
+
+  /// \p Count benign native threads (Table 1's T column mass).
+  void safeThreads(unsigned Count);
+
+private:
+  ir::IRBuilder &B;
+  std::string Prefix;
+  std::vector<SeededBug> Seeds;
+  unsigned Index = 0;
+
+  /// Fresh per-pattern suffix (consumes an index).
+  std::string tag();
+  /// Suffix for a pattern's auxiliary classes (peeks the next index).
+  std::string innerTag() const { return Prefix + std::to_string(Index); }
+  /// Creates the pattern's dedicated manifest Activity with a payload
+  /// class and field "f<tag>"; onCreate pre-allocates the field.
+  struct Host {
+    ir::Clazz *Activity = nullptr;
+    ir::Clazz *Payload = nullptr;
+    ir::Field *F = nullptr;
+  };
+  Host makeHost(const std::string &Tag, bool Manifest = true);
+  void record(SeedKind Kind, const ir::Field *F, const ir::Method *Use,
+              const ir::Method *Free, report::PairType Type);
+};
+
+} // namespace nadroid::corpus
+
+#endif // NADROID_CORPUS_PATTERNS_H

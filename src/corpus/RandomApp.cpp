@@ -1,0 +1,255 @@
+//===- corpus/RandomApp.cpp - Seeded random app generation ---------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/RandomApp.h"
+
+#include "ir/IRBuilder.h"
+#include "support/Rng.h"
+
+#include <set>
+
+using namespace nadroid;
+using namespace nadroid::corpus;
+using namespace nadroid::ir;
+
+namespace {
+
+/// Per-activity generation state.
+struct ActState {
+  Clazz *Act = nullptr;
+  Clazz *Payload = nullptr;
+  std::vector<Field *> Fields;
+  Field *Monitor = nullptr;
+};
+
+class Generator {
+public:
+  Generator(const RandomAppOptions &O, Program &P)
+      : O(O), P(P), B(P), Rand(O.Seed) {}
+
+  void run() {
+    for (unsigned A = 0; A < O.Activities; ++A)
+      makeActivity(A);
+  }
+
+private:
+  const RandomAppOptions &O;
+  Program &P;
+  IRBuilder B;
+  Rng Rand;
+  unsigned NextAux = 0;
+
+  static const char *callbackName(unsigned I) {
+    // UI, system, and unordered-lifecycle names; onCreate/onDestroy are
+    // handled separately so the generator controls their semantics.
+    static const char *Names[] = {
+        "onClick",          "onLongClick",       "onCreateOptionsMenu",
+        "onCreateContextMenu", "onItemClick",    "onLocationChanged",
+        "onSensorChanged",  "onPause",           "onResume",
+        "onStart",          "onStop",            "onActivityResult",
+    };
+    return Names[I % (sizeof(Names) / sizeof(Names[0]))];
+  }
+
+  std::string aux(const char *Prefix) {
+    return std::string(Prefix) + std::to_string(NextAux++);
+  }
+
+  void makeActivity(unsigned Index) {
+    ActState S;
+    std::string Tag = std::to_string(Index);
+    S.Payload = B.makeClass("Data" + Tag, ClassKind::Plain);
+    B.makeMethod(S.Payload, "use");
+    B.emitReturn();
+
+    S.Act = B.makeClass("Screen" + Tag, ClassKind::Activity);
+    P.addManifestComponent(S.Act);
+    for (unsigned F = 0; F < O.FieldsPerActivity; ++F)
+      S.Fields.push_back(
+          B.addField(S.Act, "f" + std::to_string(F), S.Payload));
+    S.Monitor = B.addField(S.Act, "mon", S.Payload);
+
+    // onCreate allocates every field plus the monitor: the generator
+    // rules out uninitialized reads so crashes always mean a free.
+    B.makeMethod(S.Act, "onCreate");
+    for (Field *F : S.Fields) {
+      Local *X = B.emitNew(aux("x"), S.Payload);
+      B.emitStore(B.thisLocal(), F, X);
+    }
+    Local *M = B.emitNew(aux("m"), S.Payload);
+    B.emitStore(B.thisLocal(), S.Monitor, M);
+
+    for (unsigned C = 0; C < O.CallbacksPerActivity; ++C) {
+      const char *Name = callbackName(C);
+      if (S.Act->findOwnMethod(Name))
+        continue;
+      B.makeMethod(S.Act, Name);
+      emitBody(S);
+    }
+  }
+
+  /// Per-body constraint state: a callback may use a field or free it,
+  /// never both — a callback that does both crashes its own *second*
+  /// activation, a sequential bug outside the race-detector contract
+  /// (the paper concedes the same blind spot for repeated callbacks in
+  /// §6.2.1's PHB discussion).
+  struct BodyState {
+    std::set<const Field *> Used;
+    std::set<const Field *> Freed;
+  };
+
+  /// Emits a random operation sequence into the current method.
+  void emitBody(ActState &S) {
+    BodyState BS;
+    unsigned Ops = 1 + static_cast<unsigned>(
+                           Rand.below(O.MaxOpsPerCallback));
+    for (unsigned I = 0; I < Ops; ++I)
+      emitOp(S, BS);
+  }
+
+  Field *pickField(ActState &S) {
+    return S.Fields[Rand.below(S.Fields.size())];
+  }
+
+  void emitUse(ActState &S, BodyState &BS, bool Guarded) {
+    Field *F = pickField(S);
+    if (BS.Freed.count(F))
+      return;
+    BS.Used.insert(F);
+    Local *U = B.local(aux("u"));
+    B.emitLoad(U, B.thisLocal(), F);
+    if (Guarded) {
+      B.beginIfNotNull(U);
+      B.emitCall(nullptr, U, "use");
+      B.endIf();
+    } else {
+      B.emitCall(nullptr, U, "use");
+    }
+  }
+
+  void emitOp(ActState &S, BodyState &BS) {
+    switch (Rand.below(10)) {
+    case 0: // plain use
+      emitUse(S, BS, false);
+      return;
+    case 1: // guarded use
+      emitUse(S, BS, true);
+      return;
+    case 2: { // free
+      Field *F = pickField(S);
+      if (BS.Used.count(F))
+        return; // never both use and free one field (see BodyState)
+      B.emitStore(B.thisLocal(), F, nullptr);
+      BS.Freed.insert(F);
+      return;
+    }
+    case 3: { // re-allocation
+      Field *F = pickField(S);
+      Local *X = B.emitNew(aux("x"), S.Payload);
+      B.emitStore(B.thisLocal(), F, X);
+      return;
+    }
+    case 4: { // locked op
+      Local *L = B.local(aux("l"));
+      B.emitLoad(L, B.thisLocal(), S.Monitor);
+      B.beginSync(L);
+      emitUse(S, BS, Rand.chance(1, 2));
+      B.endSync();
+      return;
+    }
+    case 5: { // opaque branch around a free
+      Field *F = pickField(S);
+      if (BS.Used.count(F))
+        return;
+      B.beginIfUnknown();
+      B.emitStore(B.thisLocal(), F, nullptr);
+      B.endIf();
+      BS.Freed.insert(F);
+      return;
+    }
+    case 6: { // helper call (helper only does safe local work)
+      std::string Name = aux("helper");
+      Method *Caller = B.currentMethod();
+      B.emitCall(nullptr, B.thisLocal(), Name);
+      B.makeMethod(S.Act, Name);
+      Local *X = B.emitNew(aux("x"), S.Payload);
+      B.emitCall(nullptr, X, "use");
+      B.emitReturn(X);
+      B.setInsertMethod(Caller);
+      return;
+    }
+    case 7: { // post a runnable that uses or frees a field
+      Field *F = pickField(S);
+      bool RunFrees = Rand.chance(1, 2);
+      Clazz *Run = B.makeClass(aux("Job"), ClassKind::Runnable);
+      Field *ActF = B.addField(Run, "act", S.Act);
+      Method *Caller = B.currentMethod();
+      B.makeMethod(Run, "run");
+      Local *A = B.local("a");
+      B.emitLoad(A, B.thisLocal(), ActF);
+      if (RunFrees) {
+        B.emitStore(A, F, nullptr);
+      } else {
+        Local *U = B.local("u");
+        B.emitLoad(U, A, F);
+        B.emitCall(nullptr, U, "use");
+      }
+      B.setInsertMethod(Caller);
+      Local *R = B.emitNew(aux("r"), Run);
+      B.emitStore(R, ActF, B.thisLocal());
+      B.emitCall(nullptr, B.thisLocal(), "runOnUiThread", {R});
+      return;
+    }
+    case 8: { // start a thread that uses or frees a field (maybe locked)
+      Field *F = pickField(S);
+      bool ThreadFrees = Rand.chance(1, 2);
+      bool Locked = Rand.chance(1, 3);
+      Clazz *W = B.makeClass(aux("Worker"), ClassKind::ThreadClass);
+      Field *ActF = B.addField(W, "act", S.Act);
+      Method *Caller = B.currentMethod();
+      B.makeMethod(W, "run");
+      Local *A = B.local("a");
+      B.emitLoad(A, B.thisLocal(), ActF);
+      Local *L = nullptr;
+      if (Locked) {
+        L = B.local("l");
+        B.emitLoad(L, A, S.Monitor);
+        B.beginSync(L);
+      }
+      if (ThreadFrees) {
+        B.emitStore(A, F, nullptr);
+      } else {
+        Local *U = B.local("u");
+        B.emitLoad(U, A, F);
+        B.emitCall(nullptr, U, "use");
+      }
+      if (Locked)
+        B.endSync();
+      B.setInsertMethod(Caller);
+      Local *T = B.emitNew(aux("t"), W);
+      B.emitStore(T, ActF, B.thisLocal());
+      B.emitCall(nullptr, T, "start");
+      return;
+    }
+    case 9: // rare cancellation
+      if (Rand.chance(1, 4)) {
+        B.emitFinish();
+        return;
+      }
+      emitUse(S, BS, false);
+      return;
+    }
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Program>
+corpus::generateRandomApp(const RandomAppOptions &O) {
+  auto P = std::make_unique<Program>("fuzz" + std::to_string(O.Seed));
+  Generator(O, *P).run();
+  return P;
+}

@@ -1,0 +1,47 @@
+//===- corpus/RandomApp.h - Seeded random app generation --------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded random-program generator for adversarial property testing:
+/// random activities with random fields, callbacks, helpers, guards,
+/// monitors, frees, posts, threads, and cancellations. Unlike the curated
+/// corpus, nothing here is labeled — the fuzz properties
+/// (tests/FuzzTest.cpp) only assert relationships that must hold for
+/// *any* program: verifier acceptance, print/parse round-trips, pipeline
+/// determinism, and dynamic soundness of detection and of the sound
+/// filters.
+///
+/// One deliberate generation constraint: a callback never uses a field it
+/// freed earlier in its own body. Sequential single-callback null
+/// dereferences are plain bugs, not ordering violations, and sit outside
+/// a race detector's contract — exactly the boundary the properties
+/// check.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_CORPUS_RANDOMAPP_H
+#define NADROID_CORPUS_RANDOMAPP_H
+
+#include "ir/Ir.h"
+
+#include <memory>
+
+namespace nadroid::corpus {
+
+struct RandomAppOptions {
+  uint64_t Seed = 1;
+  unsigned Activities = 2;
+  unsigned FieldsPerActivity = 2;
+  unsigned CallbacksPerActivity = 4;
+  unsigned MaxOpsPerCallback = 5;
+};
+
+/// Generates a verifier-clean random app. Deterministic in the options.
+std::unique_ptr<ir::Program> generateRandomApp(const RandomAppOptions &O);
+
+} // namespace nadroid::corpus
+
+#endif // NADROID_CORPUS_RANDOMAPP_H

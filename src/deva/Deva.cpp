@@ -1,0 +1,185 @@
+//===- deva/Deva.cpp - DEvA baseline reimplementation --------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "deva/Deva.h"
+
+#include "analysis/AllocFlow.h"
+#include "analysis/Guards.h"
+#include "android/Callbacks.h"
+#include "ir/LocalInfo.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace nadroid;
+using namespace nadroid::deva;
+using namespace nadroid::ir;
+using android::CallbackKind;
+
+namespace {
+
+/// DEvA classifies callbacks by name alone; Fragment callbacks count like
+/// Activity callbacks (DEvA has no modeling gap there).
+CallbackKind devaCallbackKind(const Clazz &C, const std::string &Name) {
+  ClassKind Kind = C.kind();
+  if (Kind == ClassKind::Fragment)
+    Kind = ClassKind::Activity;
+  return android::classifyCallback(Kind, Name);
+}
+
+/// Event handlers only: native thread bodies are not events.
+bool isEventCallback(CallbackKind K) {
+  switch (K) {
+  case CallbackKind::None:
+  case CallbackKind::ThreadRun:
+  case CallbackKind::AsyncBackground:
+    return false;
+  default:
+    return true;
+  }
+}
+
+/// The lexical class group: a root class plus classes naming it (or a
+/// member) as outer.
+struct ClassGroup {
+  Clazz *Root = nullptr;
+  std::vector<Clazz *> Members;
+  std::set<const Field *> Fields;
+};
+
+Clazz *groupRoot(Clazz *C) {
+  while (C->outerClass())
+    C = C->outerClass();
+  return C;
+}
+
+std::vector<ClassGroup> buildGroups(const Program &P) {
+  std::map<Clazz *, ClassGroup> ByRoot;
+  std::vector<Clazz *> RootOrder;
+  for (const auto &C : P.classes()) {
+    Clazz *Root = groupRoot(C.get());
+    auto [It, Inserted] = ByRoot.try_emplace(Root);
+    if (Inserted) {
+      It->second.Root = Root;
+      RootOrder.push_back(Root);
+    }
+    It->second.Members.push_back(C.get());
+    for (const auto &F : C->fields())
+      It->second.Fields.insert(F.get());
+  }
+  std::vector<ClassGroup> Groups;
+  for (Clazz *Root : RootOrder)
+    Groups.push_back(std::move(ByRoot[Root]));
+  return Groups;
+}
+
+/// Per-callback read/write-null sets over the group's fields, following
+/// helper calls that stay within the group.
+struct AccessSets {
+  std::map<const Field *, const LoadStmt *> Reads;      // first read site
+  std::map<const Field *, const StoreStmt *> NullWrites; // first free site
+  /// Uses protected by DEvA's unsound IG/IA filters.
+  std::set<const Field *> ProtectedReads;
+};
+
+class GroupAnalyzer {
+public:
+  GroupAnalyzer(const ClassGroup &G) : G(G) {
+    for (Clazz *C : G.Members)
+      InGroup.insert(C);
+  }
+
+  AccessSets analyzeCallback(Method *Cb) {
+    AccessSets Sets;
+    std::set<const Method *> Visited;
+    visit(Cb, Sets, Visited);
+    return Sets;
+  }
+
+private:
+  const ClassGroup &G;
+  std::set<const Clazz *> InGroup;
+
+  void visit(Method *M, AccessSets &Sets,
+             std::set<const Method *> &Visited) {
+    if (!Visited.insert(M).second)
+      return;
+    const analysis::GuardAnalysis Guards(*M);
+    const analysis::AllocFlowResult Alloc =
+        analysis::analyzeAllocFlow(*M, /*TreatCallResultAsAlloc=*/false);
+
+    forEachStmt(*M, [&](const Stmt &S) {
+      if (const auto *Load = dyn_cast<LoadStmt>(&S)) {
+        if (!G.Fields.count(Load->field()))
+          return;
+        Sets.Reads.try_emplace(Load->field(), Load);
+        // DEvA's unsound IG/IA: any guard or dominating allocation
+        // counts, atomicity unchecked.
+        if (Guards.isGuarded(Load) || Alloc.ProtectedLoads.count(Load))
+          Sets.ProtectedReads.insert(Load->field());
+      } else if (const auto *Store = dyn_cast<StoreStmt>(&S)) {
+        if (!Store->isNullStore() || !G.Fields.count(Store->field()))
+          return;
+        Sets.NullWrites.try_emplace(Store->field(), Store);
+      } else if (const auto *Call = dyn_cast<CallStmt>(&S)) {
+        // Follow helpers that stay inside the class group.
+        LocalClassSet Recv = inferLocalClasses(*M, Call->recv());
+        for (Clazz *C : Recv.Classes) {
+          if (!InGroup.count(C))
+            continue;
+          if (Method *Target = C->findMethod(Call->callee()))
+            visit(Target, Sets, Visited);
+        }
+      }
+    });
+  }
+};
+
+} // namespace
+
+DevaResult deva::runDeva(const Program &P) {
+  DevaResult Result;
+
+  for (const ClassGroup &G : buildGroups(P)) {
+    // Collect the group's event callbacks and their access sets.
+    std::vector<std::pair<Method *, AccessSets>> Callbacks;
+    GroupAnalyzer Analyzer(G);
+    for (Clazz *C : G.Members)
+      for (const auto &M : C->methods())
+        if (isEventCallback(devaCallbackKind(*C, M->name())))
+          Callbacks.emplace_back(M.get(), Analyzer.analyzeCallback(M.get()));
+
+    // Pair callbacks: a read in A vs a null-write in B (A != B).
+    for (const auto &[UseCb, UseSets] : Callbacks) {
+      for (const auto &[FreeCb, FreeSets] : Callbacks) {
+        if (UseCb == FreeCb)
+          continue;
+        for (const auto &[F, UseSite] : UseSets.Reads) {
+          auto It = FreeSets.NullWrites.find(F);
+          if (It == FreeSets.NullWrites.end())
+            continue;
+          DevaWarning W;
+          W.F = F;
+          W.UseCallback = UseCb;
+          W.FreeCallback = FreeCb;
+          W.Use = UseSite;
+          W.Free = It->second;
+          W.Harmful = !UseSets.ProtectedReads.count(F);
+          Result.Warnings.push_back(W);
+        }
+      }
+    }
+  }
+
+  std::sort(Result.Warnings.begin(), Result.Warnings.end(),
+            [](const DevaWarning &A, const DevaWarning &B) {
+              if (A.Use->id() != B.Use->id())
+                return A.Use->id() < B.Use->id();
+              return A.Free->id() < B.Free->id();
+            });
+  return Result;
+}

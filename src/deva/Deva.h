@@ -1,0 +1,69 @@
+//===- deva/Deva.h - DEvA baseline reimplementation -------------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reimplementation of DEvA (Safi et al., ESEC/FSE'15), the
+/// state-of-the-art static "event anomaly" detector nAdroid compares
+/// against (§2.3, §8.7). Faithful to its published limitations:
+///
+///  * Intra-class scope: read/write sets are computed per event callback
+///    within one class group (a class plus its lexically-inner classes);
+///    inter-class racy accesses are invisible — the paper's main DEvA
+///    false-negative source.
+///  * No thread model: native threads (Thread.run, doInBackground) are not
+///    event handlers and are ignored entirely.
+///  * No happens-before reasoning: onCreate/onDestroy and
+///    connect/disconnect orderings are not consulted — the paper's main
+///    DEvA false-positive source (Table 3's onDestroy frees).
+///  * Unsound IG/IA: the if-guard and intra-allocation filters assume all
+///    methods execute atomically, so they fire without any atomicity or
+///    lockset evidence.
+///  * Fragments: DEvA is purely class-based, so Fragment callbacks are
+///    analyzed like any other — unlike nAdroid's modeling (§8.1), which
+///    skips them (Table 3's Browser row).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_DEVA_DEVA_H
+#define NADROID_DEVA_DEVA_H
+
+#include "ir/Stmt.h"
+
+#include <vector>
+
+namespace nadroid::deva {
+
+/// One DEvA event anomaly (UAF form): a callback reads a field another
+/// callback of the same class group nulls.
+struct DevaWarning {
+  const ir::Field *F = nullptr;
+  ir::Method *UseCallback = nullptr;
+  ir::Method *FreeCallback = nullptr;
+  const ir::LoadStmt *Use = nullptr;   // representative site
+  const ir::StoreStmt *Free = nullptr; // representative site
+  /// DEvA marks a warning harmful when neither its (unsound) if-guard nor
+  /// intra-allocation filter protects the use (§8.7).
+  bool Harmful = false;
+};
+
+struct DevaResult {
+  std::vector<DevaWarning> Warnings;
+
+  std::vector<const DevaWarning *> harmful() const {
+    std::vector<const DevaWarning *> Result;
+    for (const DevaWarning &W : Warnings)
+      if (W.Harmful)
+        Result.push_back(&W);
+    return Result;
+  }
+};
+
+/// Runs the DEvA baseline over \p P.
+DevaResult runDeva(const ir::Program &P);
+
+} // namespace nadroid::deva
+
+#endif // NADROID_DEVA_DEVA_H

@@ -1,0 +1,260 @@
+//===- driver/Main.cpp - The nadroid command-line tool -------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+//
+// The `nadroid` tool: parse an AIR application and report potential UAF
+// ordering violations, Figure 2 end to end.
+//
+//   nadroid app.air                  report remaining warnings
+//   nadroid --all app.air            also show filtered warnings
+//   nadroid --validate app.air       confirm remaining warnings by
+//                                    directed schedule exploration
+//   nadroid --deva app.air           run the DEvA baseline instead
+//   nadroid --dump-threads app.air   print the threadified forest
+//   nadroid --print-ir app.air       echo the parsed program
+//   nadroid --stats app.air          print analysis statistics
+//   nadroid --k N app.air            points-to context depth (default 2)
+//   nadroid --rank app.air           ranked review order (§6.2/§7)
+//   nadroid --fragments app.air      model Fragment callbacks (extension)
+//   nadroid --export-corpus DIR      write the 27 evaluation apps as .air
+//   nadroid --dot app.air            emit the thread forest + warnings
+//                                    as Graphviz DOT
+//   nadroid --explain app.air        add per-pair prose explaining each
+//                                    verdict
+//   nadroid --json app.air           machine-readable report (CI)
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "deva/Deva.h"
+#include "frontend/Frontend.h"
+#include "interp/Interp.h"
+#include "ir/Printer.h"
+#include "report/Nadroid.h"
+#include "report/Dot.h"
+#include "report/Explain.h"
+#include "report/Json.h"
+#include "report/Rank.h"
+
+#include <fstream>
+
+#include <cstring>
+#include <iostream>
+
+using namespace nadroid;
+
+namespace {
+
+struct CliOptions {
+  bool ShowAll = false;
+  bool Validate = false;
+  bool RunDeva = false;
+  bool DumpThreads = false;
+  bool PrintIr = false;
+  bool Stats = false;
+  bool Rank = false;
+  bool Fragments = false;
+  bool Dot = false;
+  bool Explain = false;
+  bool Json = false;
+  unsigned K = 2;
+  std::string ExportCorpusDir;
+  std::vector<std::string> Files;
+};
+
+void printUsage() {
+  std::cerr
+      << "usage: nadroid [--all] [--validate] [--deva] [--dump-threads]\n"
+      << "               [--print-ir] [--stats] [--rank] [--fragments]\n"
+      << "               [--k N] [--export-corpus DIR] file.air...\n";
+}
+
+bool parseArgs(int argc, char **argv, CliOptions &Opts) {
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (!std::strcmp(Arg, "--all"))
+      Opts.ShowAll = true;
+    else if (!std::strcmp(Arg, "--validate"))
+      Opts.Validate = true;
+    else if (!std::strcmp(Arg, "--deva"))
+      Opts.RunDeva = true;
+    else if (!std::strcmp(Arg, "--dump-threads"))
+      Opts.DumpThreads = true;
+    else if (!std::strcmp(Arg, "--print-ir"))
+      Opts.PrintIr = true;
+    else if (!std::strcmp(Arg, "--stats"))
+      Opts.Stats = true;
+    else if (!std::strcmp(Arg, "--rank"))
+      Opts.Rank = true;
+    else if (!std::strcmp(Arg, "--dot"))
+      Opts.Dot = true;
+    else if (!std::strcmp(Arg, "--explain"))
+      Opts.Explain = true;
+    else if (!std::strcmp(Arg, "--json"))
+      Opts.Json = true;
+    else if (!std::strcmp(Arg, "--fragments"))
+      Opts.Fragments = true;
+    else if (!std::strcmp(Arg, "--export-corpus")) {
+      if (++I >= argc) {
+        std::cerr << "error: --export-corpus needs a directory\n";
+        return false;
+      }
+      Opts.ExportCorpusDir = argv[I];
+    }
+    else if (!std::strcmp(Arg, "--k")) {
+      if (++I >= argc) {
+        std::cerr << "error: --k needs a value\n";
+        return false;
+      }
+      Opts.K = static_cast<unsigned>(std::atoi(argv[I]));
+      if (Opts.K < 1) {
+        std::cerr << "error: --k must be at least 1\n";
+        return false;
+      }
+    } else if (!std::strcmp(Arg, "--help") || !std::strcmp(Arg, "-h")) {
+      printUsage();
+      std::exit(0);
+    } else if (Arg[0] == '-') {
+      std::cerr << "error: unknown option '" << Arg << "'\n";
+      return false;
+    } else {
+      Opts.Files.push_back(Arg);
+    }
+  }
+  if (Opts.Files.empty() && Opts.ExportCorpusDir.empty()) {
+    printUsage();
+    return false;
+  }
+  return true;
+}
+
+/// Writes all 27 evaluation apps as .air files into \p Dir.
+int exportCorpus(const std::string &Dir) {
+  unsigned Written = 0;
+  for (const corpus::Recipe &R : corpus::allRecipes()) {
+    corpus::CorpusApp App = corpus::buildApp(R);
+    std::string Path = Dir + "/" + R.Name + ".air";
+    std::ofstream Out(Path);
+    if (!Out) {
+      std::cerr << "error: cannot write '" << Path << "'\n";
+      return 2;
+    }
+    ir::printProgram(*App.Prog, Out);
+    ++Written;
+  }
+  std::cout << "wrote " << Written << " apps to " << Dir << "\n";
+  return 0;
+}
+
+int runDevaBaseline(const ir::Program &P) {
+  deva::DevaResult Result = deva::runDeva(P);
+  std::cout << P.name() << ": DEvA found " << Result.Warnings.size()
+            << " event anomalies, " << Result.harmful().size()
+            << " marked harmful\n";
+  for (const deva::DevaWarning &W : Result.Warnings)
+    std::cout << "  " << (W.Harmful ? "harmful " : "guarded ")
+              << W.F->qualifiedName() << ": use in "
+              << W.UseCallback->qualifiedName() << ", free in "
+              << W.FreeCallback->qualifiedName() << "\n";
+  return Result.harmful().empty() ? 0 : 1;
+}
+
+int analyzeFile(const std::string &Path, const CliOptions &Opts) {
+  frontend::ParseResult Parsed = frontend::parseProgramFile(Path);
+  if (!Parsed.Success) {
+    DiagnosticEngine Diags(Parsed.Prog->sourceManager());
+    for (const Diagnostic &D : Parsed.Diags)
+      std::cerr << Parsed.Prog->sourceManager().render(D.Loc) << ": "
+                << D.Message << "\n";
+    return 2;
+  }
+  const ir::Program &P = *Parsed.Prog;
+
+  if (Opts.PrintIr)
+    ir::printProgram(P, std::cout);
+  if (Opts.RunDeva)
+    return runDevaBaseline(P);
+
+  report::NadroidOptions NOpts;
+  NOpts.K = Opts.K;
+  NOpts.ModelFragments = Opts.Fragments;
+  report::NadroidResult R = report::analyzeProgram(P, NOpts);
+
+  if (Opts.Dot) {
+    std::cout << report::analysisToDot(R);
+    return R.Pipeline.RemainingAfterUnsound == 0 ? 0 : 1;
+  }
+  if (Opts.Json) {
+    std::cout << report::renderJson(R, P);
+    return R.Pipeline.RemainingAfterUnsound == 0 ? 0 : 1;
+  }
+  if (Opts.DumpThreads) {
+    std::cout << "thread forest (" << R.Forest->threads().size()
+              << " modeled threads):\n";
+    for (const auto &T : R.Forest->threads())
+      std::cout << "  " << R.Forest->lineage(T.get()) << "\n";
+    std::cout << "\n";
+  }
+  if (Opts.Stats) {
+    R.PTA->stats().print(std::cout);
+    R.Detection.Stats.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << P.name() << ": " << report::summaryLine(R) << "\n";
+
+  if (Opts.Rank) {
+    std::vector<report::RankedWarning> Ranked = report::rankWarnings(R);
+    std::cout << "\nreview order (most suspicious first):\n";
+    for (size_t I = 0; I < Ranked.size(); ++I)
+      std::cout << "  "
+                << report::renderRankedLine(R, Ranked[I], I + 1) << "\n";
+  }
+
+  interp::ScheduleExplorer Explorer(P);
+  unsigned Confirmed = 0;
+  for (size_t I = 0; I < R.warnings().size(); ++I) {
+    bool Remaining = R.Pipeline.Verdicts[I].StageReached ==
+                     filters::WarningVerdict::Stage::Remaining;
+    if (!Remaining && !Opts.ShowAll)
+      continue;
+    std::cout << "\n" << (Remaining ? "[remaining] " : "[filtered]  ")
+              << report::renderWarning(R, I, P);
+    if (Opts.Explain)
+      std::cout << report::renderExplanation(R, I);
+    if (Remaining && Opts.Validate) {
+      const race::UafWarning &W = R.warnings()[I];
+      interp::WitnessSchedule Schedule;
+      if (Explorer.tryWitness(W.Use, W.Free, 60, &Schedule)) {
+        std::cout << "  validation: CONFIRMED harmful — crashing "
+                     "schedule:\n";
+        for (const std::string &Step : Schedule.Activations)
+          std::cout << "    " << Step << "\n";
+        std::cout << "    *** NullPointerException at: "
+                  << Schedule.CrashSite << "\n";
+        ++Confirmed;
+      } else {
+        std::cout << "  validation: no crashing schedule found\n";
+      }
+    }
+  }
+  if (Opts.Validate)
+    std::cout << "\n" << Confirmed << " warning(s) confirmed harmful\n";
+  return R.Pipeline.RemainingAfterUnsound == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  CliOptions Opts;
+  if (!parseArgs(argc, argv, Opts))
+    return 2;
+  if (!Opts.ExportCorpusDir.empty())
+    return exportCorpus(Opts.ExportCorpusDir);
+  int Status = 0;
+  for (const std::string &File : Opts.Files)
+    Status = std::max(Status, analyzeFile(File, Opts));
+  return Status;
+}

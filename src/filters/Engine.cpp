@@ -1,0 +1,98 @@
+//===- filters/Engine.cpp - Filter pipeline orchestration ----------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "filters/Engine.h"
+
+using namespace nadroid;
+using namespace nadroid::filters;
+using race::ThreadPair;
+using race::UafWarning;
+
+FilterEngine::FilterEngine(FilterContext &Ctx) : Ctx(Ctx) {
+  for (FilterKind Kind : allFilterKinds())
+    Instances.emplace(Kind, makeFilter(Kind));
+}
+
+const Filter &FilterEngine::filter(FilterKind Kind) {
+  return *Instances.at(Kind);
+}
+
+bool FilterEngine::pairPrunedBy(const UafWarning &W, const ThreadPair &TP,
+                                const std::vector<FilterKind> &Kinds) {
+  for (FilterKind Kind : Kinds)
+    if (filter(Kind).prunesPair(W, TP, Ctx))
+      return true;
+  return false;
+}
+
+std::vector<bool>
+FilterEngine::pruneMask(const std::vector<UafWarning> &Warnings,
+                        const std::vector<FilterKind> &Kinds) {
+  std::vector<bool> Mask(Warnings.size(), false);
+  for (size_t I = 0; I < Warnings.size(); ++I) {
+    const UafWarning &W = Warnings[I];
+    bool AllPruned = true;
+    for (const ThreadPair &TP : W.Pairs) {
+      if (!pairPrunedBy(W, TP, Kinds)) {
+        AllPruned = false;
+        break;
+      }
+    }
+    Mask[I] = AllPruned && !W.Pairs.empty();
+  }
+  return Mask;
+}
+
+PipelineResult FilterEngine::run(const std::vector<UafWarning> &Warnings) {
+  PipelineResult Result;
+  Result.Verdicts.resize(Warnings.size());
+
+  std::vector<FilterKind> Sound = soundFilterKinds();
+  std::vector<FilterKind> Unsound = unsoundFilterKinds();
+
+  for (size_t I = 0; I < Warnings.size(); ++I) {
+    const UafWarning &W = Warnings[I];
+    WarningVerdict &V = Result.Verdicts[I];
+
+    // Sound stage: keep the pairs no sound filter prunes.
+    for (const ThreadPair &TP : W.Pairs) {
+      bool Pruned = false;
+      for (FilterKind Kind : Sound) {
+        if (filter(Kind).prunesPair(W, TP, Ctx)) {
+          V.FiredFilters.insert(Kind);
+          Pruned = true;
+        }
+      }
+      if (!Pruned)
+        V.PairsAfterSound.push_back(TP);
+    }
+    if (V.PairsAfterSound.empty()) {
+      V.StageReached = WarningVerdict::Stage::PrunedBySound;
+      continue;
+    }
+    ++Result.RemainingAfterSound;
+
+    // Unsound stage on the sound survivors.
+    for (const ThreadPair &TP : V.PairsAfterSound) {
+      bool Pruned = false;
+      for (FilterKind Kind : Unsound) {
+        if (filter(Kind).prunesPair(W, TP, Ctx)) {
+          V.FiredFilters.insert(Kind);
+          Pruned = true;
+        }
+      }
+      if (!Pruned)
+        V.PairsRemaining.push_back(TP);
+    }
+    if (V.PairsRemaining.empty()) {
+      V.StageReached = WarningVerdict::Stage::PrunedByUnsound;
+      continue;
+    }
+    V.StageReached = WarningVerdict::Stage::Remaining;
+    ++Result.RemainingAfterUnsound;
+  }
+  return Result;
+}

@@ -1,0 +1,78 @@
+//===- filters/Engine.h - Filter pipeline orchestration ---------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Orchestrates filters over a warning list, in two modes:
+///
+///  * pruneMask — apply an arbitrary filter subset together (a pair is
+///    pruned when any enabled filter prunes it; a warning when every pair
+///    is). Figure 5 evaluates each filter independently with this.
+///  * run — the full pipeline: sound filters, then unsound filters on the
+///    survivors, with per-warning attribution of which filters fired —
+///    Table 1's "remaining after sound/unsound" columns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_FILTERS_ENGINE_H
+#define NADROID_FILTERS_ENGINE_H
+
+#include "filters/Filter.h"
+
+#include <set>
+
+namespace nadroid::filters {
+
+/// Per-warning pipeline outcome.
+struct WarningVerdict {
+  enum class Stage : uint8_t {
+    PrunedBySound,   ///< no pair survived the sound filters
+    PrunedByUnsound, ///< survived sound, no pair survived unsound
+    Remaining,       ///< at least one pair survived everything
+  };
+
+  Stage StageReached = Stage::Remaining;
+  /// Filters that pruned at least one pair of this warning.
+  std::set<FilterKind> FiredFilters;
+  /// Pairs surviving the sound stage.
+  std::vector<race::ThreadPair> PairsAfterSound;
+  /// Pairs surviving both stages (nonempty iff Remaining).
+  std::vector<race::ThreadPair> PairsRemaining;
+};
+
+/// Full-pipeline result.
+struct PipelineResult {
+  std::vector<WarningVerdict> Verdicts; // parallel to the warning list
+  unsigned RemainingAfterSound = 0;
+  unsigned RemainingAfterUnsound = 0;
+};
+
+/// Applies filters; owns the filter instances, shares one context.
+class FilterEngine {
+public:
+  explicit FilterEngine(FilterContext &Ctx);
+
+  /// True when any filter in \p Kinds prunes pair \p TP of \p W.
+  bool pairPrunedBy(const race::UafWarning &W, const race::ThreadPair &TP,
+                    const std::vector<FilterKind> &Kinds);
+
+  /// Warning-level mask: Mask[i] is true when warning i is fully pruned
+  /// by \p Kinds applied together.
+  std::vector<bool> pruneMask(const std::vector<race::UafWarning> &Warnings,
+                              const std::vector<FilterKind> &Kinds);
+
+  /// The full sound-then-unsound pipeline with attribution.
+  PipelineResult run(const std::vector<race::UafWarning> &Warnings);
+
+private:
+  FilterContext &Ctx;
+  std::map<FilterKind, std::unique_ptr<Filter>> Instances;
+
+  const Filter &filter(FilterKind Kind);
+};
+
+} // namespace nadroid::filters
+
+#endif // NADROID_FILTERS_ENGINE_H

@@ -1,0 +1,128 @@
+//===- filters/Filter.h - Filter interface and context ----------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The filtering stage of §6. Each filter decides, per warning and per
+/// (use-thread, free-thread) pair, whether that realization is false or
+/// benign; a warning is pruned once every pair is pruned by some enabled
+/// filter.
+///
+/// Sound filters (§6.1): MHB (must-happens-before), IG (if-guard with
+/// atomicity), IA (intra-allocation with atomicity). Unsound filters
+/// (§6.2): RHB, CHB, PHB (may-happens-before), MA (maybe-allocation), UR
+/// (used-for-return), TT (thread-thread).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_FILTERS_FILTER_H
+#define NADROID_FILTERS_FILTER_H
+
+#include "analysis/AllocFlow.h"
+#include "analysis/CancelReach.h"
+#include "analysis/Guards.h"
+#include "analysis/Lockset.h"
+#include "analysis/PointsTo.h"
+#include "analysis/ThreadReach.h"
+#include "ir/LocalInfo.h"
+#include "race/Warning.h"
+
+#include <memory>
+
+namespace nadroid::filters {
+
+enum class FilterKind : uint8_t { MHB, IG, IA, RHB, CHB, PHB, MA, UR, TT };
+
+const char *filterKindName(FilterKind Kind);
+bool isSoundFilter(FilterKind Kind);
+
+/// All filters in pipeline order (sound first).
+std::vector<FilterKind> allFilterKinds();
+/// The §6.1 sound set {MHB, IG, IA}.
+std::vector<FilterKind> soundFilterKinds();
+/// The §6.2 unsound set {RHB, CHB, PHB, MA, UR, TT}.
+std::vector<FilterKind> unsoundFilterKinds();
+/// The may-happens-before group Figure 5(b) reports as one bar.
+std::vector<FilterKind> mayHbFilterKinds();
+
+/// Shared analysis handles plus per-method caches the filters consult.
+class FilterContext {
+public:
+  FilterContext(const ir::Program &P, const threadify::ThreadForest &Forest,
+                const analysis::PointsToAnalysis &PTA,
+                const analysis::ThreadReach &Reach,
+                const android::ApiIndex &Apis);
+
+  const ir::Program &program() const { return P; }
+  const threadify::ThreadForest &forest() const { return Forest; }
+  const analysis::PointsToAnalysis &pointsTo() const { return PTA; }
+  const analysis::ThreadReach &reach() const { return Reach; }
+  const android::ApiIndex &apis() const { return Apis; }
+
+  /// Per-method guard facts (cached).
+  const analysis::GuardAnalysis &guards(const ir::Method *M);
+  /// Per-method must-allocation facts, IA mode (cached).
+  const analysis::AllocFlowResult &allocFlow(const ir::Method *M);
+  /// Per-method must-allocation facts, MA mode (getters count; cached).
+  const analysis::AllocFlowResult &allocFlowMA(const ir::Method *M);
+  /// Per-method load-consumer summaries (cached).
+  const std::map<const ir::LoadStmt *, ir::LoadConsumers> &
+  consumers(const ir::Method *M);
+  /// Cancellations reachable from \p M (cached).
+  const std::vector<analysis::CancelInfo> &cancels(ir::Method *M);
+
+  /// Lock objects held at \p S across every context thread \p T reaches
+  /// S's method under.
+  std::set<analysis::ObjectId> locksFor(const ir::Stmt *S,
+                                        const threadify::ModeledThread *T);
+
+  /// §6.1.2's atomicity requirement: both sides are looper callbacks
+  /// (callbacks of the single UI looper are atomic w.r.t. each other), or
+  /// the two sites share a lock object.
+  bool atomicityHolds(const race::UafWarning &W, const race::ThreadPair &TP);
+
+  /// The Handler class a posted-Runnable thread was posted through, when
+  /// resolvable (for CHB's removeCallbacksAndMessages scope).
+  ir::Clazz *posterHandlerClass(const threadify::ModeledThread *T);
+
+private:
+  const ir::Program &P;
+  const threadify::ThreadForest &Forest;
+  const analysis::PointsToAnalysis &PTA;
+  const analysis::ThreadReach &Reach;
+  const android::ApiIndex &Apis;
+  analysis::LocksetAnalysis Locks;
+  analysis::CancelReach Cancel;
+
+  std::map<const ir::Method *, analysis::GuardAnalysis> GuardCache;
+  std::map<const ir::Method *, analysis::AllocFlowResult> AllocCache;
+  std::map<const ir::Method *, analysis::AllocFlowResult> AllocMACache;
+  std::map<const ir::Method *,
+           std::map<const ir::LoadStmt *, ir::LoadConsumers>>
+      ConsumerCache;
+};
+
+/// One filter. Stateless; all data comes through the context.
+class Filter {
+public:
+  virtual ~Filter();
+
+  virtual FilterKind kind() const = 0;
+  bool isSound() const { return isSoundFilter(kind()); }
+  const char *name() const { return filterKindName(kind()); }
+
+  /// True when this filter establishes that the (use-thread, free-thread)
+  /// realization \p TP of \p W is false or benign.
+  virtual bool prunesPair(const race::UafWarning &W,
+                          const race::ThreadPair &TP,
+                          FilterContext &Ctx) const = 0;
+};
+
+/// Instantiates the filter implementing \p Kind.
+std::unique_ptr<Filter> makeFilter(FilterKind Kind);
+
+} // namespace nadroid::filters
+
+#endif // NADROID_FILTERS_FILTER_H

@@ -1,0 +1,153 @@
+//===- filters/FilterContext.cpp - Shared filter state ------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "filters/Filter.h"
+
+using namespace nadroid;
+using namespace nadroid::filters;
+using namespace nadroid::ir;
+using analysis::MethodCtx;
+using analysis::ObjectId;
+using threadify::ModeledThread;
+
+const char *filters::filterKindName(FilterKind Kind) {
+  switch (Kind) {
+  case FilterKind::MHB:
+    return "MHB";
+  case FilterKind::IG:
+    return "IG";
+  case FilterKind::IA:
+    return "IA";
+  case FilterKind::RHB:
+    return "RHB";
+  case FilterKind::CHB:
+    return "CHB";
+  case FilterKind::PHB:
+    return "PHB";
+  case FilterKind::MA:
+    return "MA";
+  case FilterKind::UR:
+    return "UR";
+  case FilterKind::TT:
+    return "TT";
+  }
+  return "?";
+}
+
+bool filters::isSoundFilter(FilterKind Kind) {
+  switch (Kind) {
+  case FilterKind::MHB:
+  case FilterKind::IG:
+  case FilterKind::IA:
+    return true;
+  default:
+    return false;
+  }
+}
+
+std::vector<FilterKind> filters::allFilterKinds() {
+  return {FilterKind::MHB, FilterKind::IG,  FilterKind::IA,
+          FilterKind::RHB, FilterKind::CHB, FilterKind::PHB,
+          FilterKind::MA,  FilterKind::UR,  FilterKind::TT};
+}
+
+std::vector<FilterKind> filters::soundFilterKinds() {
+  return {FilterKind::MHB, FilterKind::IG, FilterKind::IA};
+}
+
+std::vector<FilterKind> filters::unsoundFilterKinds() {
+  return {FilterKind::RHB, FilterKind::CHB, FilterKind::PHB,
+          FilterKind::MA,  FilterKind::UR,  FilterKind::TT};
+}
+
+std::vector<FilterKind> filters::mayHbFilterKinds() {
+  return {FilterKind::RHB, FilterKind::CHB, FilterKind::PHB};
+}
+
+FilterContext::FilterContext(const Program &P,
+                             const threadify::ThreadForest &Forest,
+                             const analysis::PointsToAnalysis &PTA,
+                             const analysis::ThreadReach &Reach,
+                             const android::ApiIndex &Apis)
+    : P(P), Forest(Forest), PTA(PTA), Reach(Reach), Apis(Apis), Locks(PTA),
+      Cancel(P, Apis) {}
+
+const analysis::GuardAnalysis &FilterContext::guards(const Method *M) {
+  auto It = GuardCache.find(M);
+  if (It != GuardCache.end())
+    return It->second;
+  return GuardCache.emplace(M, analysis::GuardAnalysis(*M)).first->second;
+}
+
+const analysis::AllocFlowResult &FilterContext::allocFlow(const Method *M) {
+  auto It = AllocCache.find(M);
+  if (It != AllocCache.end())
+    return It->second;
+  return AllocCache
+      .emplace(M, analysis::analyzeAllocFlow(*M,
+                                             /*TreatCallResultAsAlloc=*/false))
+      .first->second;
+}
+
+const analysis::AllocFlowResult &
+FilterContext::allocFlowMA(const Method *M) {
+  auto It = AllocMACache.find(M);
+  if (It != AllocMACache.end())
+    return It->second;
+  return AllocMACache
+      .emplace(M, analysis::analyzeAllocFlow(*M,
+                                             /*TreatCallResultAsAlloc=*/true))
+      .first->second;
+}
+
+const std::map<const LoadStmt *, LoadConsumers> &
+FilterContext::consumers(const Method *M) {
+  auto It = ConsumerCache.find(M);
+  if (It != ConsumerCache.end())
+    return It->second;
+  return ConsumerCache.emplace(M, computeLoadConsumers(*M)).first->second;
+}
+
+const std::vector<analysis::CancelInfo> &FilterContext::cancels(Method *M) {
+  return Cancel.cancelsFrom(M);
+}
+
+std::set<ObjectId> FilterContext::locksFor(const Stmt *S,
+                                           const ModeledThread *T) {
+  std::set<ObjectId> Result;
+  for (const MethodCtx &Ctx : Reach.contextsOf(T)) {
+    if (Ctx.M != S->parentMethod())
+      continue;
+    std::set<ObjectId> Held = Locks.locksHeldAt(S, Ctx);
+    Result.insert(Held.begin(), Held.end());
+  }
+  return Result;
+}
+
+bool FilterContext::atomicityHolds(const race::UafWarning &W,
+                                   const race::ThreadPair &TP) {
+  // Same-looper callbacks are mutually atomic; callbacks of *different*
+  // loopers are not (§8.1's multi-looper caveat).
+  if (TP.UseThread->onLooper() && TP.FreeThread->onLooper() &&
+      TP.UseThread->looperId() == TP.FreeThread->looperId())
+    return true;
+  std::set<ObjectId> UseLocks = locksFor(W.Use, TP.UseThread);
+  if (UseLocks.empty())
+    return false;
+  std::set<ObjectId> FreeLocks = locksFor(W.Free, TP.FreeThread);
+  for (ObjectId Id : UseLocks)
+    if (FreeLocks.count(Id))
+      return true;
+  return false;
+}
+
+Clazz *FilterContext::posterHandlerClass(const ModeledThread *T) {
+  const CallStmt *Spawn = T->spawnSite();
+  if (!Spawn)
+    return nullptr;
+  return inferLocalClasses(*Spawn->parentMethod(), Spawn->recv())
+      .uniqueClass();
+}

@@ -1,0 +1,289 @@
+//===- filters/Filters.cpp - The nine filters of §6 ---------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "filters/Filter.h"
+
+using namespace nadroid;
+using namespace nadroid::filters;
+using namespace nadroid::ir;
+using android::ApiKind;
+using android::CallbackKind;
+using race::ThreadPair;
+using race::UafWarning;
+using threadify::ModeledThread;
+using threadify::ThreadOrigin;
+
+Filter::~Filter() = default;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Sound filters (§6.1)
+//===----------------------------------------------------------------------===//
+
+/// MHB (§6.1.1): prune a pair when the use-thread must happen before the
+/// free-thread — then no execution can order the free first.
+class MhbFilter : public Filter {
+public:
+  FilterKind kind() const override { return FilterKind::MHB; }
+
+  bool prunesPair(const UafWarning &W, const ThreadPair &TP,
+                  FilterContext &Ctx) const override {
+    const ModeledThread *Tu = TP.UseThread;
+    const ModeledThread *Tf = TP.FreeThread;
+
+    // MHB-Service: onServiceConnected always precedes
+    // onServiceDisconnected of the same binding.
+    if (Tu->callbackKind() == CallbackKind::ServiceConnect &&
+        Tf->callbackKind() == CallbackKind::ServiceDisconn &&
+        Tu->connectionInstance() != 0 &&
+        Tu->connectionInstance() == Tf->connectionInstance())
+      return true;
+
+    // MHB-AsyncTask: onPreExecute < {doInBackground, onProgressUpdate} <
+    // onPostExecute within one task instance.
+    if (Tu->asyncInstance() != 0 &&
+        Tu->asyncInstance() == Tf->asyncInstance() &&
+        android::asyncTaskMustPrecede(Tu->callbackKind(),
+                                      Tf->callbackKind()))
+      return true;
+
+    // MHB-Lifecycle: within one component, onCreate precedes every entry
+    // callback and every entry callback precedes onDestroy. Applies to
+    // entry callbacks only — a posted callback may still run after
+    // onDestroy.
+    if (Tu->origin() == ThreadOrigin::EntryCallback &&
+        Tf->origin() == ThreadOrigin::EntryCallback &&
+        Tu->component() && Tu->component() == Tf->component() &&
+        android::lifecycleMustPrecede(Tu->callback()->name(),
+                                      Tf->callback()->name()))
+      return true;
+
+    return false;
+  }
+};
+
+/// IG (§6.1.2): a null-guarded use is safe when nothing can interleave
+/// between the check and the dereference — same-looper callbacks are
+/// mutually atomic; across threads a common lock is required.
+class IgFilter : public Filter {
+public:
+  FilterKind kind() const override { return FilterKind::IG; }
+
+  bool prunesPair(const UafWarning &W, const ThreadPair &TP,
+                  FilterContext &Ctx) const override {
+    if (!Ctx.guards(W.Use->parentMethod()).isGuarded(W.Use))
+      return false;
+    return Ctx.atomicityHolds(W, TP);
+  }
+};
+
+/// IA (§6.1.3): an allocation dominating the use within the same atomic
+/// callback means no foreign free can leave null behind.
+class IaFilter : public Filter {
+public:
+  FilterKind kind() const override { return FilterKind::IA; }
+
+  bool prunesPair(const UafWarning &W, const ThreadPair &TP,
+                  FilterContext &Ctx) const override {
+    if (!Ctx.allocFlow(W.Use->parentMethod()).ProtectedLoads.count(W.Use))
+      return false;
+    return Ctx.atomicityHolds(W, TP);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Unsound filters (§6.2)
+//===----------------------------------------------------------------------===//
+
+/// RHB (§6.2.1): careful apps re-allocate in onResume, so a free in
+/// onPause cannot reach a UI callback's use. May-analysis on onResume
+/// makes this unsound.
+class RhbFilter : public Filter {
+public:
+  FilterKind kind() const override { return FilterKind::RHB; }
+
+  bool prunesPair(const UafWarning &W, const ThreadPair &TP,
+                  FilterContext &Ctx) const override {
+    const ModeledThread *Tu = TP.UseThread;
+    const ModeledThread *Tf = TP.FreeThread;
+    if (Tf->origin() != ThreadOrigin::EntryCallback ||
+        Tf->callback()->name() != "onPause")
+      return false;
+    if (Tu->origin() != ThreadOrigin::EntryCallback)
+      return false;
+    // UI event callbacks only: a paused activity takes no input, but
+    // system events (GPS, sensors) keep firing, so onResume's
+    // re-allocation guarantees nothing for them.
+    if (Tu->callbackKind() != CallbackKind::Ui)
+      return false;
+    if (!Tu->component() || Tu->component() != Tf->component())
+      return false;
+    Method *Resume = Tf->component()->findMethod("onResume");
+    if (!Resume)
+      return false;
+    return Ctx.allocFlow(Resume).MayAllocFields.count(W.F) != 0;
+  }
+};
+
+/// CHB (§6.2.1): a cancellation API reachable from the free callback
+/// forbids future runs of the covered callbacks, so any covered use must
+/// have preceded the free. Path-insensitive — the filter fires even when
+/// the cancel sits on a rare error path (the paper's §8.6 false-negative
+/// source).
+class ChbFilter : public Filter {
+public:
+  FilterKind kind() const override { return FilterKind::CHB; }
+
+  bool prunesPair(const UafWarning &W, const ThreadPair &TP,
+                  FilterContext &Ctx) const override {
+    const ModeledThread *Tu = TP.UseThread;
+    const ModeledThread *Tf = TP.FreeThread;
+    for (const analysis::CancelInfo &C : Ctx.cancels(Tf->callback()))
+      if (covers(C, Tu, Tf, Ctx))
+        return true;
+    return false;
+  }
+
+private:
+  static bool covers(const analysis::CancelInfo &C, const ModeledThread *Tu,
+                     const ModeledThread *Tf, FilterContext &Ctx) {
+    switch (C.Kind) {
+    case ApiKind::Finish:
+      // No entry callback of the finished activity runs after finish()
+      // — except onDestroy, which finish() itself triggers.
+      return Tu->origin() == ThreadOrigin::EntryCallback &&
+             Tu->component() == C.Target &&
+             Tu->callback()->name() != "onDestroy";
+    case ApiKind::UnbindService: {
+      CallbackKind K = Tu->callbackKind();
+      if (K != CallbackKind::ServiceConnect &&
+          K != CallbackKind::ServiceDisconn)
+        return false;
+      if (C.Target)
+        return Tu->callback()->parent() == C.Target;
+      return Tu->component() == Tf->component();
+    }
+    case ApiKind::UnregisterReceiver: {
+      if (Tu->callbackKind() != CallbackKind::Receive ||
+          Tu->origin() != ThreadOrigin::PostedCallback)
+        return false;
+      if (C.Target)
+        return Tu->callback()->parent() == C.Target;
+      return Tu->component() == Tf->component();
+    }
+    case ApiKind::RemoveCallbacks: {
+      if (Tu->callbackKind() == CallbackKind::HandleMessage)
+        return Tu->callback()->parent() == C.Target;
+      if (Tu->callbackKind() == CallbackKind::RunnableRun)
+        return Ctx.posterHandlerClass(Tu) == C.Target && C.Target;
+      return false;
+    }
+    default:
+      return false;
+    }
+  }
+};
+
+/// PHB (§6.2.1): a poster callback completes before its postee runs on
+/// the same looper, ordering every operation of the two callbacks.
+/// Unsound when two runtime instances of the poster share the field.
+class PhbFilter : public Filter {
+public:
+  FilterKind kind() const override { return FilterKind::PHB; }
+
+  bool prunesPair(const UafWarning &W, const ThreadPair &TP,
+                  FilterContext &Ctx) const override {
+    return postedAfter(TP.UseThread, TP.FreeThread) ||
+           postedAfter(TP.FreeThread, TP.UseThread);
+  }
+
+private:
+  /// True when \p Postee transitively descends from \p Poster through
+  /// same-looper posting links (each hop poster-side atomic).
+  static bool postedAfter(const ModeledThread *Postee,
+                          const ModeledThread *Poster) {
+    const ModeledThread *Cur = Postee;
+    while (Cur->origin() == ThreadOrigin::PostedCallback &&
+           Cur->onLooper()) {
+      const ModeledThread *P = Cur->parent();
+      if (!P || !P->onLooper() || P->looperId() != Cur->looperId())
+        return false; // a cross-looper hop loses the atomic ordering
+      if (P == Poster)
+        return true;
+      Cur = P;
+    }
+    return false;
+  }
+};
+
+/// MA (§6.2.2): IA with the unsound assumption that custom getters never
+/// return null.
+class MaFilter : public Filter {
+public:
+  FilterKind kind() const override { return FilterKind::MA; }
+
+  bool prunesPair(const UafWarning &W, const ThreadPair &TP,
+                  FilterContext &Ctx) const override {
+    if (!Ctx.allocFlowMA(W.Use->parentMethod()).ProtectedLoads.count(W.Use))
+      return false;
+    return Ctx.atomicityHolds(W, TP);
+  }
+};
+
+/// UR (§6.2.3): a loaded value that only flows into returns, call
+/// arguments, or null comparisons is a benign use.
+class UrFilter : public Filter {
+public:
+  FilterKind kind() const override { return FilterKind::UR; }
+
+  bool prunesPair(const UafWarning &W, const ThreadPair &TP,
+                  FilterContext &Ctx) const override {
+    const auto &Summaries = Ctx.consumers(W.Use->parentMethod());
+    auto It = Summaries.find(W.Use);
+    if (It == Summaries.end())
+      return false;
+    return It->second.isReturnOrCompareOnly();
+  }
+};
+
+/// TT (§6.2.4): races purely between native threads are conventional
+/// multithreaded races outside nAdroid's Android-specific scope.
+class TtFilter : public Filter {
+public:
+  FilterKind kind() const override { return FilterKind::TT; }
+
+  bool prunesPair(const UafWarning &W, const ThreadPair &TP,
+                  FilterContext &Ctx) const override {
+    return TP.UseThread->isNative() && TP.FreeThread->isNative();
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Filter> filters::makeFilter(FilterKind Kind) {
+  switch (Kind) {
+  case FilterKind::MHB:
+    return std::make_unique<MhbFilter>();
+  case FilterKind::IG:
+    return std::make_unique<IgFilter>();
+  case FilterKind::IA:
+    return std::make_unique<IaFilter>();
+  case FilterKind::RHB:
+    return std::make_unique<RhbFilter>();
+  case FilterKind::CHB:
+    return std::make_unique<ChbFilter>();
+  case FilterKind::PHB:
+    return std::make_unique<PhbFilter>();
+  case FilterKind::MA:
+    return std::make_unique<MaFilter>();
+  case FilterKind::UR:
+    return std::make_unique<UrFilter>();
+  case FilterKind::TT:
+    return std::make_unique<TtFilter>();
+  }
+  return nullptr;
+}

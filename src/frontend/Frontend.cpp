@@ -1,0 +1,57 @@
+//===- frontend/Frontend.cpp - AIR parsing entry points ---------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "ir/Verifier.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace nadroid;
+using namespace nadroid::frontend;
+
+ParseResult frontend::parseProgramText(std::string_view Source,
+                                       const std::string &BufferName,
+                                       const std::string &AppName) {
+  ParseResult Result;
+  Result.Prog = std::make_unique<ir::Program>(AppName);
+  uint32_t FileId = Result.Prog->sourceManager().addFile(BufferName);
+
+  DiagnosticEngine Diags(Result.Prog->sourceManager());
+  Lexer Lex(Source, FileId, Diags);
+  Parser P(Lex.lexAll(), *Result.Prog, Diags);
+  bool Parsed = P.parseProgram();
+  bool Verified = Parsed && ir::verifyProgram(*Result.Prog, Diags);
+
+  Result.Diags = Diags.diagnostics();
+  Result.Success = Parsed && Verified;
+  return Result;
+}
+
+ParseResult frontend::parseProgramFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    ParseResult Result;
+    Result.Prog = std::make_unique<ir::Program>("invalid");
+    Result.Diags.push_back(
+        {DiagSeverity::Error, SourceLoc(), "cannot open file '" + Path + "'"});
+    return Result;
+  }
+  std::ostringstream Contents;
+  Contents << In.rdbuf();
+
+  // App name: file stem.
+  std::string Stem = Path;
+  if (size_t Slash = Stem.find_last_of('/'); Slash != std::string::npos)
+    Stem = Stem.substr(Slash + 1);
+  if (size_t Ext = Stem.find_last_of('.'); Ext != std::string::npos)
+    Stem = Stem.substr(0, Ext);
+
+  return parseProgramText(Contents.str(), Path, Stem);
+}

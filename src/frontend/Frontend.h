@@ -1,0 +1,44 @@
+//===- frontend/Frontend.h - AIR parsing entry points -----------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience entry points: parse AIR source text (or a file) into a
+/// Program, run the IR verifier, and hand back diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_FRONTEND_FRONTEND_H
+#define NADROID_FRONTEND_FRONTEND_H
+
+#include "ir/Ir.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace nadroid::frontend {
+
+/// The result of parsing: the program (always present, possibly partial on
+/// error) plus collected diagnostics.
+struct ParseResult {
+  std::unique_ptr<ir::Program> Prog;
+  std::vector<Diagnostic> Diags;
+  bool Success = false;
+};
+
+/// Parses \p Source (named \p BufferName in diagnostics) and verifies the
+/// result. \p AppName names the resulting Program.
+ParseResult parseProgramText(std::string_view Source,
+                             const std::string &BufferName,
+                             const std::string &AppName);
+
+/// Reads and parses \p Path; the app name is the file stem.
+ParseResult parseProgramFile(const std::string &Path);
+
+} // namespace nadroid::frontend
+
+#endif // NADROID_FRONTEND_FRONTEND_H

@@ -1,0 +1,212 @@
+//===- frontend/Lexer.cpp - AIR tokenizer -----------------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include "support/StringUtils.h"
+
+#include <unordered_map>
+
+using namespace nadroid;
+using namespace nadroid::frontend;
+
+const char *frontend::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Ident:
+    return "identifier";
+  case TokenKind::String:
+    return "string literal";
+  case TokenKind::KwApp:
+    return "'app'";
+  case TokenKind::KwManifest:
+    return "'manifest'";
+  case TokenKind::KwClass:
+    return "'class'";
+  case TokenKind::KwField:
+    return "'field'";
+  case TokenKind::KwMethod:
+    return "'method'";
+  case TokenKind::KwExtends:
+    return "'extends'";
+  case TokenKind::KwOuter:
+    return "'outer'";
+  case TokenKind::KwNew:
+    return "'new'";
+  case TokenKind::KwNull:
+    return "'null'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwSynchronized:
+    return "'synchronized'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Equal:
+    return "'='";
+  case TokenKind::EqualEqual:
+    return "'=='";
+  case TokenKind::BangEqual:
+    return "'!='";
+  case TokenKind::Question:
+    return "'?'";
+  case TokenKind::EndOfFile:
+    return "end of file";
+  case TokenKind::Error:
+    return "invalid token";
+  }
+  return "unknown";
+}
+
+Lexer::Lexer(std::string_view Buffer, uint32_t FileId, DiagnosticEngine &Diags)
+    : Buffer(Buffer), FileId(FileId), Diags(Diags) {}
+
+char Lexer::peek(size_t Ahead) const {
+  return Pos + Ahead < Buffer.size() ? Buffer[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = Buffer[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+void Lexer::skipTrivia() {
+  while (Pos < Buffer.size()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Buffer.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::make(TokenKind Kind, SourceLoc Loc, std::string Text) {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = Loc;
+  T.Text = std::move(Text);
+  return T;
+}
+
+Token Lexer::lexToken() {
+  skipTrivia();
+  SourceLoc Loc = here();
+  if (Pos >= Buffer.size())
+    return make(TokenKind::EndOfFile, Loc);
+
+  char C = advance();
+  switch (C) {
+  case '{':
+    return make(TokenKind::LBrace, Loc);
+  case '}':
+    return make(TokenKind::RBrace, Loc);
+  case '(':
+    return make(TokenKind::LParen, Loc);
+  case ')':
+    return make(TokenKind::RParen, Loc);
+  case ';':
+    return make(TokenKind::Semi, Loc);
+  case ',':
+    return make(TokenKind::Comma, Loc);
+  case ':':
+    return make(TokenKind::Colon, Loc);
+  case '.':
+    return make(TokenKind::Dot, Loc);
+  case '?':
+    return make(TokenKind::Question, Loc);
+  case '=':
+    if (peek() == '=') {
+      advance();
+      return make(TokenKind::EqualEqual, Loc);
+    }
+    return make(TokenKind::Equal, Loc);
+  case '!':
+    if (peek() == '=') {
+      advance();
+      return make(TokenKind::BangEqual, Loc);
+    }
+    Diags.error(Loc, "expected '=' after '!'");
+    return make(TokenKind::Error, Loc);
+  case '"': {
+    std::string Text;
+    while (Pos < Buffer.size() && peek() != '"' && peek() != '\n')
+      Text += advance();
+    if (Pos >= Buffer.size() || peek() != '"') {
+      Diags.error(Loc, "unterminated string literal");
+      return make(TokenKind::Error, Loc, std::move(Text));
+    }
+    advance(); // closing quote
+    return make(TokenKind::String, Loc, std::move(Text));
+  }
+  default:
+    break;
+  }
+
+  if (isIdentStart(C)) {
+    std::string Text(1, C);
+    while (Pos < Buffer.size() && isIdentCont(peek()))
+      Text += advance();
+    static const std::unordered_map<std::string_view, TokenKind> Keywords = {
+        {"app", TokenKind::KwApp},
+        {"manifest", TokenKind::KwManifest},
+        {"class", TokenKind::KwClass},
+        {"field", TokenKind::KwField},
+        {"method", TokenKind::KwMethod},
+        {"extends", TokenKind::KwExtends},
+        {"outer", TokenKind::KwOuter},
+        {"new", TokenKind::KwNew},
+        {"null", TokenKind::KwNull},
+        {"return", TokenKind::KwReturn},
+        {"if", TokenKind::KwIf},
+        {"else", TokenKind::KwElse},
+        {"synchronized", TokenKind::KwSynchronized},
+    };
+    auto It = Keywords.find(Text);
+    if (It != Keywords.end())
+      return make(It->second, Loc);
+    return make(TokenKind::Ident, Loc, std::move(Text));
+  }
+
+  Diags.error(Loc, std::string("unexpected character '") + C + "'");
+  return make(TokenKind::Error, Loc);
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Tokens.push_back(lexToken());
+    if (Tokens.back().is(TokenKind::EndOfFile))
+      return Tokens;
+  }
+}

@@ -1,0 +1,96 @@
+//===- frontend/Lexer.h - AIR tokenizer -------------------------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the AIR concrete syntax. Line comments use `//`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_FRONTEND_LEXER_H
+#define NADROID_FRONTEND_LEXER_H
+
+#include "support/Diagnostics.h"
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nadroid::frontend {
+
+enum class TokenKind : uint8_t {
+  Ident,
+  String,     // "..."
+  KwApp,
+  KwManifest,
+  KwClass,
+  KwField,
+  KwMethod,
+  KwExtends,
+  KwOuter,
+  KwNew,
+  KwNull,
+  KwReturn,
+  KwIf,
+  KwElse,
+  KwSynchronized,
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  Semi,
+  Comma,
+  Colon,
+  Dot,
+  Equal,      // =
+  EqualEqual, // ==
+  BangEqual,  // !=
+  Question,   // ?
+  EndOfFile,
+  Error,
+};
+
+/// Returns a printable token-kind name for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+struct Token {
+  TokenKind Kind = TokenKind::Error;
+  /// Identifier or string contents (unquoted for strings).
+  std::string Text;
+  SourceLoc Loc;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+/// Tokenizes a whole buffer up front (the parser pre-scans class headers,
+/// which is simplest over a token vector).
+class Lexer {
+public:
+  /// \p FileId is the SourceManager id of the buffer being lexed.
+  Lexer(std::string_view Buffer, uint32_t FileId, DiagnosticEngine &Diags);
+
+  /// Lexes the entire buffer; the result ends with an EndOfFile token.
+  std::vector<Token> lexAll();
+
+private:
+  std::string_view Buffer;
+  uint32_t FileId;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+
+  SourceLoc here() const { return SourceLoc(FileId, Line, Column); }
+  char peek(size_t Ahead = 0) const;
+  char advance();
+  void skipTrivia();
+  Token lexToken();
+  Token make(TokenKind Kind, SourceLoc Loc, std::string Text = "");
+};
+
+} // namespace nadroid::frontend
+
+#endif // NADROID_FRONTEND_LEXER_H

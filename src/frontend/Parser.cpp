@@ -1,0 +1,589 @@
+//===- frontend/Parser.cpp - AIR parser --------------------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include <cassert>
+
+using namespace nadroid;
+using namespace nadroid::frontend;
+using namespace nadroid::ir;
+
+//===----------------------------------------------------------------------===//
+// Token cursor
+//===----------------------------------------------------------------------===//
+
+const Token &Parser::peek(size_t Ahead) const {
+  size_t Index = Pos + Ahead;
+  if (Index >= Tokens.size())
+    Index = Tokens.size() - 1; // EndOfFile
+  return Tokens[Index];
+}
+
+const Token &Parser::advance() {
+  const Token &T = Tokens[Pos];
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::match(TokenKind Kind) {
+  if (!check(Kind))
+    return false;
+  advance();
+  return true;
+}
+
+const Token *Parser::expect(TokenKind Kind, const char *Context) {
+  if (check(Kind))
+    return &advance();
+  error(peek(), std::string("expected ") + tokenKindName(Kind) + " " +
+                    Context + ", found " + tokenKindName(peek().Kind));
+  return nullptr;
+}
+
+void Parser::error(const Token &Tok, std::string Message) {
+  Diags.error(Tok.Loc, std::move(Message));
+}
+
+void Parser::sync(std::initializer_list<TokenKind> StopKinds) {
+  while (!check(TokenKind::EndOfFile)) {
+    for (TokenKind Stop : StopKinds) {
+      if (check(Stop)) {
+        if (Stop == TokenKind::Semi)
+          advance();
+        return;
+      }
+    }
+    advance();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Grammar
+//===----------------------------------------------------------------------===//
+
+bool Parser::parseProgram() {
+  prescanClasses();
+  prescanFields();
+  while (!check(TokenKind::EndOfFile))
+    parseTopLevel();
+  return !Diags.hasErrors();
+}
+
+/// Registers every `class Name : Kind` header up front so classes can be
+/// referenced before their declaration (the real parse re-checks details).
+void Parser::prescanClasses() {
+  for (size_t I = 0; I + 3 < Tokens.size(); ++I) {
+    if (!Tokens[I].is(TokenKind::KwClass) ||
+        !Tokens[I + 1].is(TokenKind::Ident) ||
+        !Tokens[I + 2].is(TokenKind::Colon) ||
+        !Tokens[I + 3].is(TokenKind::Ident))
+      continue;
+    const std::string &Name = Tokens[I + 1].Text;
+    if (P.findClass(Name))
+      continue; // duplicate: reported during the real parse
+    ClassKind Kind = ClassKind::Plain;
+    classKindFromName(Tokens[I + 3].Text, Kind); // unknown: reported later
+    P.addClass(Name, Kind, Tokens[I + 1].Loc);
+  }
+}
+
+/// Registers every well-formed field declaration up front so that a load
+/// through a typed field can resolve members of classes declared later in
+/// the file. Runs after prescanClasses so field types resolve forward.
+void Parser::prescanFields() {
+  Clazz *Cur = nullptr;
+  int Depth = 0;
+  int ClassDepth = -1;
+  for (size_t I = 0; I < Tokens.size(); ++I) {
+    const Token &Tok = Tokens[I];
+    if (Tok.is(TokenKind::LBrace)) {
+      ++Depth;
+    } else if (Tok.is(TokenKind::RBrace)) {
+      --Depth;
+      if (Cur && Depth < ClassDepth)
+        Cur = nullptr;
+    } else if (Tok.is(TokenKind::KwClass) && I + 1 < Tokens.size() &&
+               Tokens[I + 1].is(TokenKind::Ident)) {
+      Cur = P.findClass(Tokens[I + 1].Text);
+      ClassDepth = Depth + 1;
+    } else if (Tok.is(TokenKind::KwField) && Cur && Depth == ClassDepth &&
+               I + 1 < Tokens.size() && Tokens[I + 1].is(TokenKind::Ident)) {
+      const Token &NameTok = Tokens[I + 1];
+      if (Cur->findField(NameTok.Text))
+        continue; // duplicate: reported during the real parse
+      Field *F = Cur->addField(NameTok.Text, NameTok.Loc);
+      if (I + 3 < Tokens.size() && Tokens[I + 2].is(TokenKind::Colon) &&
+          Tokens[I + 3].is(TokenKind::Ident))
+        F->setDeclaredType(P.findClass(Tokens[I + 3].Text));
+    }
+  }
+}
+
+void Parser::parseTopLevel() {
+  if (check(TokenKind::KwApp)) {
+    advance();
+    if (const Token *Name = expect(TokenKind::String, "after 'app'")) {
+      // The program keeps its constructor-given name unless the source
+      // names one; Program has no setter, so names must match or the
+      // source name wins via a fresh diagnostic-free convention: we accept
+      // any name silently (the driver creates the Program with the file's
+      // stem and the directive is documentation).
+      (void)Name;
+    }
+    expect(TokenKind::Semi, "after app directive");
+    return;
+  }
+  if (check(TokenKind::KwManifest)) {
+    parseManifestDirective();
+    return;
+  }
+  if (check(TokenKind::KwClass)) {
+    parseClass();
+    return;
+  }
+  error(peek(), std::string("expected a declaration, found ") +
+                    tokenKindName(peek().Kind));
+  sync({TokenKind::KwClass, TokenKind::KwManifest, TokenKind::Semi});
+}
+
+void Parser::parseManifestDirective() {
+  advance(); // 'manifest'
+  const Token *Name = expect(TokenKind::Ident, "after 'manifest'");
+  expect(TokenKind::Semi, "after manifest directive");
+  if (!Name)
+    return;
+  Clazz *C = P.findClass(Name->Text);
+  if (!C) {
+    error(*Name, "manifest references unknown class '" + Name->Text + "'");
+    return;
+  }
+  P.addManifestComponent(C);
+}
+
+void Parser::parseClass() {
+  advance(); // 'class'
+  const Token *Name = expect(TokenKind::Ident, "after 'class'");
+  if (!Name) {
+    sync({TokenKind::KwClass});
+    return;
+  }
+  Clazz *C = P.findClass(Name->Text);
+  if (!C) {
+    // The prescan only registers well-formed `class Name : Kind` headers;
+    // a malformed header lands here.
+    error(*Name, "malformed class header for '" + Name->Text +
+                     "' (expected `class Name : Kind`)");
+    sync({TokenKind::KwClass});
+    return;
+  }
+  if (C->loc() != Name->Loc) {
+    error(*Name, "duplicate class '" + Name->Text + "'");
+    sync({TokenKind::KwClass});
+    return;
+  }
+
+  expect(TokenKind::Colon, "after class name");
+  if (const Token *KindTok = expect(TokenKind::Ident, "as class kind")) {
+    ClassKind Kind;
+    if (!classKindFromName(KindTok->Text, Kind))
+      error(*KindTok, "unknown class kind '" + KindTok->Text + "'");
+  }
+  if (match(TokenKind::KwExtends)) {
+    if (const Token *Super = expect(TokenKind::Ident, "after 'extends'")) {
+      if (Clazz *S = P.findClass(Super->Text)) {
+        if (S == C)
+          error(*Super, "class '" + C->name() + "' extends itself");
+        else
+          C->setSuperClass(S);
+      } else {
+        error(*Super, "unknown superclass '" + Super->Text + "'");
+      }
+    }
+  }
+  if (match(TokenKind::KwOuter)) {
+    if (const Token *Outer = expect(TokenKind::Ident, "after 'outer'")) {
+      if (Clazz *O = P.findClass(Outer->Text))
+        C->setOuterClass(O);
+      else
+        error(*Outer, "unknown outer class '" + Outer->Text + "'");
+    }
+  }
+
+  if (!expect(TokenKind::LBrace, "to open class body")) {
+    sync({TokenKind::KwClass});
+    return;
+  }
+  while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile)) {
+    if (check(TokenKind::KwField)) {
+      parseField(*C);
+    } else if (check(TokenKind::KwMethod)) {
+      parseMethod(*C);
+    } else {
+      error(peek(), std::string("expected 'field' or 'method', found ") +
+                        tokenKindName(peek().Kind));
+      sync({TokenKind::KwField, TokenKind::KwMethod, TokenKind::RBrace,
+            TokenKind::Semi});
+    }
+  }
+  expect(TokenKind::RBrace, "to close class body");
+}
+
+void Parser::parseField(Clazz &C) {
+  advance(); // 'field'
+  const Token *Name = expect(TokenKind::Ident, "after 'field'");
+  Clazz *DeclaredType = nullptr;
+  if (match(TokenKind::Colon)) {
+    if (const Token *TypeTok = expect(TokenKind::Ident, "as field type")) {
+      DeclaredType = P.findClass(TypeTok->Text);
+      if (!DeclaredType)
+        error(*TypeTok, "unknown field type '" + TypeTok->Text + "'");
+    }
+  }
+  expect(TokenKind::Semi, "after field declaration");
+  if (!Name)
+    return;
+  // The prescan registered well-formed declarations already; detect the
+  // re-encounter by source location.
+  if (Field *Existing = C.findField(Name->Text)) {
+    if (Existing->loc() == Name->Loc)
+      return; // this very declaration, registered by the prescan
+    error(*Name, "duplicate field '" + Name->Text + "'");
+    return;
+  }
+  Field *F = C.addField(Name->Text, Name->Loc);
+  F->setDeclaredType(DeclaredType);
+}
+
+void Parser::parseMethod(Clazz &C) {
+  advance(); // 'method'
+  const Token *Name = expect(TokenKind::Ident, "after 'method'");
+  if (!Name) {
+    sync({TokenKind::KwMethod, TokenKind::RBrace});
+    return;
+  }
+  if (C.findOwnMethod(Name->Text)) {
+    error(*Name, "duplicate method '" + Name->Text + "'");
+    sync({TokenKind::KwMethod, TokenKind::RBrace});
+    return;
+  }
+  Method *M = C.addMethod(Name->Text, Name->Loc);
+  CurMethod = M;
+  LocalCandidates.clear();
+
+  expect(TokenKind::LParen, "after method name");
+  if (!check(TokenKind::RParen)) {
+    do {
+      if (const Token *Param = expect(TokenKind::Ident, "as parameter name")) {
+        if (M->findLocal(Param->Text))
+          error(*Param, "duplicate parameter '" + Param->Text + "'");
+        else
+          M->addParam(Param->Text);
+      } else {
+        break;
+      }
+    } while (match(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "after parameter list");
+  if (expect(TokenKind::LBrace, "to open method body")) {
+    parseBlock(M->body());
+    expect(TokenKind::RBrace, "to close method body");
+  }
+  CurMethod = nullptr;
+}
+
+void Parser::parseBlock(Block &B) {
+  while (parseStmt(B)) {
+  }
+}
+
+bool Parser::parseStmt(Block &B) {
+  switch (peek().Kind) {
+  case TokenKind::RBrace:
+  case TokenKind::EndOfFile:
+    return false;
+  case TokenKind::KwReturn:
+    parseReturn(B);
+    return true;
+  case TokenKind::KwIf:
+    parseIf(B);
+    return true;
+  case TokenKind::KwSynchronized:
+    parseSynchronized(B);
+    return true;
+  case TokenKind::Ident:
+    parseIdentLedStmt(B);
+    return true;
+  default:
+    error(peek(), std::string("expected a statement, found ") +
+                      tokenKindName(peek().Kind));
+    sync({TokenKind::Semi, TokenKind::RBrace});
+    return !check(TokenKind::RBrace) && !check(TokenKind::EndOfFile);
+  }
+}
+
+template <typename T, typename... ArgTs>
+T *Parser::emit(Block &B, SourceLoc Loc, ArgTs &&...Args) {
+  auto S = std::make_unique<T>(CurMethod, P.nextStmtId(), Loc,
+                               std::forward<ArgTs>(Args)...);
+  T *Raw = S.get();
+  B.append(std::move(S));
+  return Raw;
+}
+
+void Parser::parseReturn(Block &B) {
+  SourceLoc Loc = peek().Loc;
+  advance(); // 'return'
+  Local *Src = nullptr;
+  if (match(TokenKind::KwNull)) {
+    // `return null;` — modeled as a plain return (the analyses treat both
+    // as a value-less exit; UAF uses are about loads, not returns).
+  } else if (check(TokenKind::Ident)) {
+    Src = localFor(advance());
+  }
+  expect(TokenKind::Semi, "after return statement");
+  emit<ReturnStmt>(B, Loc, Src);
+}
+
+void Parser::parseIf(Block &B) {
+  SourceLoc Loc = peek().Loc;
+  advance(); // 'if'
+  expect(TokenKind::LParen, "after 'if'");
+
+  IfStmt *If = nullptr;
+  if (match(TokenKind::Question)) {
+    If = emit<IfStmt>(B, Loc, nullptr, IfStmt::TestKind::Unknown);
+  } else if (const Token *CondTok = expect(TokenKind::Ident,
+                                           "as if condition")) {
+    Local *Cond = localFor(*CondTok);
+    IfStmt::TestKind Test = IfStmt::TestKind::NotNull;
+    if (match(TokenKind::BangEqual))
+      Test = IfStmt::TestKind::NotNull;
+    else if (match(TokenKind::EqualEqual))
+      Test = IfStmt::TestKind::IsNull;
+    else
+      error(peek(), "expected '!=' or '==' in if condition");
+    expect(TokenKind::KwNull, "as null comparison operand");
+    If = emit<IfStmt>(B, Loc, Cond, Test);
+  } else {
+    sync({TokenKind::Semi, TokenKind::RBrace});
+    return;
+  }
+
+  expect(TokenKind::RParen, "after if condition");
+  if (expect(TokenKind::LBrace, "to open then-block")) {
+    parseBlock(If->thenBlock());
+    expect(TokenKind::RBrace, "to close then-block");
+  }
+  if (match(TokenKind::KwElse)) {
+    if (expect(TokenKind::LBrace, "to open else-block")) {
+      parseBlock(If->elseBlock());
+      expect(TokenKind::RBrace, "to close else-block");
+    }
+  }
+}
+
+void Parser::parseSynchronized(Block &B) {
+  SourceLoc Loc = peek().Loc;
+  advance(); // 'synchronized'
+  expect(TokenKind::LParen, "after 'synchronized'");
+  Local *Lock = nullptr;
+  if (const Token *LockTok = expect(TokenKind::Ident, "as lock expression"))
+    Lock = localFor(*LockTok);
+  expect(TokenKind::RParen, "after lock expression");
+  if (!Lock) {
+    sync({TokenKind::Semi, TokenKind::RBrace});
+    return;
+  }
+  SyncStmt *Sync = emit<SyncStmt>(B, Loc, Lock);
+  if (expect(TokenKind::LBrace, "to open synchronized body")) {
+    parseBlock(Sync->body());
+    expect(TokenKind::RBrace, "to close synchronized body");
+  }
+}
+
+/// Parses statements starting with an identifier:
+///   x.f = y;  x.f = null;     (store)
+///   x.m(a, b);                (call, result discarded)
+///   x = new C; x = new C();   (allocation)
+///   x = y;                    (copy)
+///   x = y.f;                  (load)
+///   x = y.m(a);               (call with result)
+void Parser::parseIdentLedStmt(Block &B) {
+  const Token &First = advance();
+  SourceLoc Loc = First.Loc;
+
+  if (match(TokenKind::Dot)) {
+    const Token *Member = expect(TokenKind::Ident, "after '.'");
+    if (!Member) {
+      sync({TokenKind::Semi, TokenKind::RBrace});
+      return;
+    }
+    Local *Base = localFor(First);
+    if (match(TokenKind::Equal)) {
+      // Store.
+      Field *F = resolveField(Base, *Member);
+      Local *Src = nullptr;
+      if (match(TokenKind::KwNull)) {
+        Src = nullptr;
+      } else if (const Token *SrcTok =
+                     expect(TokenKind::Ident, "as store source")) {
+        Src = localFor(*SrcTok);
+      }
+      expect(TokenKind::Semi, "after store");
+      if (F)
+        emit<StoreStmt>(B, Loc, Base, F, Src);
+      return;
+    }
+    if (check(TokenKind::LParen)) {
+      std::vector<Local *> Args = parseArgList();
+      expect(TokenKind::Semi, "after call");
+      emit<CallStmt>(B, Loc, nullptr, Base, Member->Text, std::move(Args));
+      return;
+    }
+    error(peek(), "expected '=' or '(' after member access");
+    sync({TokenKind::Semi, TokenKind::RBrace});
+    return;
+  }
+
+  if (!expect(TokenKind::Equal, "in assignment")) {
+    sync({TokenKind::Semi, TokenKind::RBrace});
+    return;
+  }
+  Local *Dst = localFor(First);
+
+  if (match(TokenKind::KwNew)) {
+    const Token *ClassTok = expect(TokenKind::Ident, "after 'new'");
+    if (match(TokenKind::LParen))
+      expect(TokenKind::RParen, "after 'new C('");
+    expect(TokenKind::Semi, "after allocation");
+    if (!ClassTok)
+      return;
+    Clazz *C = classFor(*ClassTok);
+    if (!C)
+      return;
+    emit<NewStmt>(B, Loc, Dst, C);
+    noteAllocation(Dst, C);
+    return;
+  }
+
+  const Token *RhsTok = expect(TokenKind::Ident, "as assignment source");
+  if (!RhsTok) {
+    sync({TokenKind::Semi, TokenKind::RBrace});
+    return;
+  }
+  Local *Rhs = localFor(*RhsTok);
+
+  if (match(TokenKind::Dot)) {
+    const Token *Member = expect(TokenKind::Ident, "after '.'");
+    if (!Member) {
+      sync({TokenKind::Semi, TokenKind::RBrace});
+      return;
+    }
+    if (check(TokenKind::LParen)) {
+      std::vector<Local *> Args = parseArgList();
+      expect(TokenKind::Semi, "after call");
+      emit<CallStmt>(B, Loc, Dst, Rhs, Member->Text, std::move(Args));
+      return;
+    }
+    expect(TokenKind::Semi, "after load");
+    if (Field *F = resolveField(Rhs, *Member)) {
+      emit<LoadStmt>(B, Loc, Dst, Rhs, F);
+      // Typed fields make the loaded value's class visible downstream
+      // (may-set, like the allocation/copy notes).
+      if (F->declaredType())
+        LocalCandidates[Dst].insert(F->declaredType());
+    }
+    return;
+  }
+
+  expect(TokenKind::Semi, "after copy");
+  emit<CopyStmt>(B, Loc, Dst, Rhs);
+  noteCopy(Dst, Rhs);
+}
+
+std::vector<Local *> Parser::parseArgList() {
+  std::vector<Local *> Args;
+  expect(TokenKind::LParen, "to open argument list");
+  if (!check(TokenKind::RParen)) {
+    do {
+      if (const Token *Arg = expect(TokenKind::Ident, "as call argument"))
+        Args.push_back(localFor(*Arg));
+      else
+        break;
+    } while (match(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "to close argument list");
+  return Args;
+}
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+Local *Parser::localFor(const Token &NameTok) {
+  assert(CurMethod && "statement outside a method");
+  return CurMethod->getOrCreateLocal(NameTok.Text);
+}
+
+Clazz *Parser::classFor(const Token &NameTok) {
+  if (Clazz *C = P.findClass(NameTok.Text))
+    return C;
+  error(NameTok, "unknown class '" + NameTok.Text + "'");
+  return nullptr;
+}
+
+Field *Parser::resolveField(Local *Base, const Token &FieldTok) {
+  Clazz *Current = CurMethod->parent();
+  if (Base->isThis()) {
+    if (Field *F = Current->findField(FieldTok.Text))
+      return F;
+    error(FieldTok, "class '" + Current->name() + "' has no field '" +
+                        FieldTok.Text + "'");
+    return nullptr;
+  }
+
+  auto It = LocalCandidates.find(Base);
+  if (It == LocalCandidates.end() || It->second.empty()) {
+    error(FieldTok,
+          "cannot resolve field '" + FieldTok.Text + "' on local '" +
+              Base->name() +
+              "': no visible allocation determines its class (dereference "
+              "`this` or a locally-allocated object)");
+    return nullptr;
+  }
+  Field *Found = nullptr;
+  for (Clazz *C : It->second) {
+    Field *F = C->findField(FieldTok.Text);
+    if (!F)
+      continue;
+    if (Found && Found != F) {
+      error(FieldTok, "field '" + FieldTok.Text + "' on local '" +
+                          Base->name() + "' is ambiguous");
+      return nullptr;
+    }
+    Found = F;
+  }
+  if (!Found)
+    error(FieldTok, "no candidate class of local '" + Base->name() +
+                        "' declares field '" + FieldTok.Text + "'");
+  return Found;
+}
+
+void Parser::noteAllocation(Local *Dst, Clazz *C) {
+  LocalCandidates[Dst].insert(C);
+}
+
+void Parser::noteCopy(Local *Dst, Local *Src) {
+  if (Src->isThis()) {
+    LocalCandidates[Dst].insert(CurMethod->parent());
+    return;
+  }
+  auto It = LocalCandidates.find(Src);
+  if (It != LocalCandidates.end())
+    LocalCandidates[Dst].insert(It->second.begin(), It->second.end());
+}

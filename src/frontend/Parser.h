@@ -1,0 +1,99 @@
+//===- frontend/Parser.h - AIR parser ---------------------------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for AIR. The parser pre-scans class headers so
+/// classes may be referenced before their declaration, resolves fields on
+/// `this` via the class hierarchy and on other locals via the allocations
+/// parsed so far, and recovers at statement boundaries so several errors
+/// can be reported per run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_FRONTEND_PARSER_H
+#define NADROID_FRONTEND_PARSER_H
+
+#include "frontend/Lexer.h"
+#include "ir/Stmt.h"
+
+#include <map>
+#include <set>
+
+namespace nadroid::frontend {
+
+/// Parses a token stream into an existing (empty) Program.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, ir::Program &P, DiagnosticEngine &Diags)
+      : Tokens(std::move(Tokens)), P(P), Diags(Diags) {}
+
+  /// Parses the whole buffer. Returns true when no errors were reported.
+  bool parseProgram();
+
+private:
+  std::vector<Token> Tokens;
+  ir::Program &P;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+
+  // Per-method parse state.
+  ir::Method *CurMethod = nullptr;
+  /// Classes each local may hold, from allocations/copies parsed so far;
+  /// used to resolve `x.f` on non-this bases.
+  std::map<ir::Local *, std::set<ir::Clazz *>> LocalCandidates;
+
+  //===--------------------------------------------------------------------===//
+  // Token cursor
+  //===--------------------------------------------------------------------===//
+  const Token &peek(size_t Ahead = 0) const;
+  const Token &advance();
+  bool check(TokenKind Kind) const { return peek().is(Kind); }
+  bool match(TokenKind Kind);
+  /// Consumes a token of \p Kind or reports an error; returns nullptr on
+  /// mismatch (the cursor does not advance).
+  const Token *expect(TokenKind Kind, const char *Context);
+  void error(const Token &Tok, std::string Message);
+  /// Skips tokens until one of \p StopKinds (consuming a Semi stop).
+  void sync(std::initializer_list<TokenKind> StopKinds);
+
+  //===--------------------------------------------------------------------===//
+  // Grammar
+  //===--------------------------------------------------------------------===//
+  void prescanClasses();
+  void prescanFields();
+  void parseTopLevel();
+  void parseManifestDirective();
+  void parseClass();
+  void parseField(ir::Clazz &C);
+  void parseMethod(ir::Clazz &C);
+  void parseBlock(ir::Block &B);
+  /// Parses one statement into \p B; returns false when the next token
+  /// ends the block.
+  bool parseStmt(ir::Block &B);
+  void parseIdentLedStmt(ir::Block &B);
+  void parseIf(ir::Block &B);
+  void parseSynchronized(ir::Block &B);
+  void parseReturn(ir::Block &B);
+
+  //===--------------------------------------------------------------------===//
+  // Helpers
+  //===--------------------------------------------------------------------===//
+  ir::Local *localFor(const Token &NameTok);
+  ir::Clazz *classFor(const Token &NameTok);
+  /// Resolves field \p FieldTok on base \p Base (this → hierarchy lookup;
+  /// otherwise the candidate classes recorded so far).
+  ir::Field *resolveField(ir::Local *Base, const Token &FieldTok);
+  void noteAllocation(ir::Local *Dst, ir::Clazz *C);
+  void noteCopy(ir::Local *Dst, ir::Local *Src);
+  std::vector<ir::Local *> parseArgList();
+
+  template <typename T, typename... ArgTs>
+  T *emit(ir::Block &B, SourceLoc Loc, ArgTs &&...Args);
+};
+
+} // namespace nadroid::frontend
+
+#endif // NADROID_FRONTEND_PARSER_H

@@ -1,0 +1,1069 @@
+//===- interp/Interp.cpp - Concrete schedule exploration -----------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+
+#include "android/Api.h"
+#include "android/Callbacks.h"
+#include "android/SyntacticReach.h"
+#include "interp/Linearize.h"
+#include "ir/Printer.h"
+
+#include <cassert>
+#include <map>
+
+using namespace nadroid;
+using namespace nadroid::interp;
+using namespace nadroid::ir;
+using android::CallbackKind;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Runtime values and heap
+//===----------------------------------------------------------------------===//
+
+/// A runtime value: heap index or null. Nulls remember the freeing store;
+/// every value remembers the last load that produced it, so a crash names
+/// the exact (use, free) pair.
+struct Value {
+  int32_t Obj = -1;
+  const StoreStmt *NullOrigin = nullptr;
+  const LoadStmt *ViaLoad = nullptr;
+
+  bool isNull() const { return Obj < 0; }
+
+  static Value object(int32_t Idx) {
+    Value V;
+    V.Obj = Idx;
+    return V;
+  }
+  static Value nullFrom(const StoreStmt *Origin) {
+    Value V;
+    V.NullOrigin = Origin;
+    return V;
+  }
+};
+
+struct HeapObject {
+  Clazz *Class = nullptr;
+  std::map<const Field *, Value> Fields;
+};
+
+//===----------------------------------------------------------------------===//
+// Tasks
+//===----------------------------------------------------------------------===//
+
+struct Frame {
+  const Method *M = nullptr;
+  const Code *C = nullptr;
+  size_t PC = 0;
+  Value This;
+  std::map<const Local *, Value> Locals;
+  /// The call that created this frame (for return-value delivery).
+  const CallStmt *CallerSite = nullptr;
+};
+
+/// Effects applied when a task's activation completes (AsyncTask MHB).
+enum class CompleteEffect : uint8_t { None, AsyncPreDone, AsyncBgDone };
+
+struct Task {
+  bool IsLooper = true;
+  /// Which looper serializes this task (0 = UI); -1 for native tasks.
+  int Looper = 0;
+  std::vector<Frame> Stack;
+  std::vector<int32_t> HeldLocks; // multiset: re-entrant monitors
+  CompleteEffect OnComplete = CompleteEffect::None;
+  size_t EffectIdx = 0; // AsyncInsts index for the effect
+  bool Done = false;
+};
+
+//===----------------------------------------------------------------------===//
+// Framework bookkeeping
+//===----------------------------------------------------------------------===//
+
+struct CompState {
+  Clazz *Class = nullptr;
+  int32_t Obj = -1;
+  bool Created = false;
+  bool Destroyed = false;
+  bool Finished = false;
+  bool Paused = false;
+  /// Set by the dynamic-only disableClicks API: models a UI interaction
+  /// (hiding/disabling a view) whose happens-before effect static analysis
+  /// cannot see — the §8.5 "Missing Happens-Before" FP category.
+  bool ClicksDisabled = false;
+};
+
+struct ListenerReg {
+  int32_t Obj = -1;
+  Clazz *Class = nullptr;
+  int CompIdx = -1; // owning component for UI gating, -1 = ungated
+};
+
+struct ConnInst {
+  int32_t Conn = -1;
+  int CompIdx = -1;
+  bool Connected = false;
+  bool Disconnected = false;
+  bool Unbound = false;
+};
+
+struct ReceiverReg {
+  int32_t Obj = -1;
+  bool Unregistered = false;
+};
+
+struct AsyncInst {
+  int32_t Task = -1;
+  const Method *Pre = nullptr, *Bg = nullptr, *Progress = nullptr,
+               *Post = nullptr;
+  bool PreStarted = false, PreDone = false;
+  bool BgStarted = false, BgDone = false;
+  bool PostStarted = false;
+  unsigned PendingProgress = 0;
+};
+
+struct PendingPost {
+  const Method *Cb = nullptr;
+  int32_t Recv = -1;
+  int32_t Handler = -1; // for removeCallbacksAndMessages matching
+  /// The looper the callback runs on: 0 = UI, else a per-
+  /// BackgroundHandler-object looper.
+  int Looper = 0;
+  bool Consumed = false;
+};
+
+struct PendingThread {
+  const Method *Run = nullptr;
+  int32_t Recv = -1;
+  bool Started = false;
+};
+
+/// One startable callback activation.
+struct Activation {
+  const Method *Cb = nullptr;
+  int32_t Recv = -1;
+  bool Native = false;
+  /// Looper for non-native activations (0 = UI).
+  int Looper = 0;
+  /// Start-time bookkeeping.
+  enum class Src : uint8_t {
+    Component,
+    Listener,
+    Conn,
+    Disconn,
+    Receive,
+    Post,
+    AsyncPre,
+    AsyncBg,
+    AsyncProgress,
+    AsyncPost,
+    ThreadRun,
+  } Source = Src::Component;
+  size_t SrcIdx = 0;
+};
+
+/// Directed-search bias.
+struct Bias {
+  const LoadStmt *Use = nullptr;
+  const StoreStmt *Free = nullptr;
+  const std::set<const Method *> *FreeRelevant = nullptr;
+  const std::set<const Method *> *UseRelevant = nullptr;
+  /// Classes heap-connected to the use/free sites; directed runs only
+  /// start activations on receivers of these classes, slicing a large app
+  /// down to the cluster under investigation.
+  const std::set<const Clazz *> *Cluster = nullptr;
+};
+
+//===----------------------------------------------------------------------===//
+// One schedule run
+//===----------------------------------------------------------------------===//
+
+class Run {
+public:
+  Run(const Program &P, CodeCache &Codes, const ExploreOptions &Opts,
+      uint64_t Seed, const Bias *B)
+      : P(P), Codes(Codes), Opts(Opts), Rand(Seed), Directed(B) {}
+
+  /// The activation sequence of the schedule just run.
+  const std::vector<std::string> &trace() const { return TraceLog; }
+  /// The crashing statement, empty when the schedule did not crash.
+  const std::string &crashSite() const { return Crash; }
+
+  /// Executes one schedule; returns the witnesses it produced.
+  std::set<UafWitness> run() {
+    initComponents();
+    for (unsigned Step = 0; Step < Opts.MaxSteps && !Crashed; ++Step)
+      if (!stepOnce())
+        break;
+    return std::move(Witnesses);
+  }
+
+private:
+  const Program &P;
+  CodeCache &Codes;
+  const ExploreOptions &Opts;
+  Rng Rand;
+  const Bias *Directed;
+
+  std::vector<HeapObject> Heap;
+  std::vector<Task> Tasks;
+  /// Per-looper running task: each looper runs one callback at a time,
+  /// but distinct loopers (UI vs HandlerThreads) interleave like threads.
+  std::map<int, size_t> RunningLooper;
+  std::map<int32_t, std::pair<size_t, unsigned>> LockHolder; // obj→(task,n)
+
+  std::vector<CompState> Components;
+  std::vector<ListenerReg> Listeners;
+  std::vector<ConnInst> Conns;
+  std::vector<ReceiverReg> Receivers;
+  std::vector<AsyncInst> AsyncInsts;
+  std::vector<PendingPost> Posts;
+  std::vector<PendingThread> PendingThreads;
+
+  std::map<std::pair<const Method *, int32_t>, unsigned> ActivationCount;
+  unsigned TotalActivations = 0;
+
+  std::set<UafWitness> Witnesses;
+  std::map<int32_t, Value> Stash; // per-receiver framework stash
+  std::vector<std::string> TraceLog; // activation labels, start order
+  std::string Crash;                 // crashing statement, rendered
+  bool Crashed = false;
+  bool FreeDone = false;
+
+  //===--------------------------------------------------------------------===//
+  // Setup
+  //===--------------------------------------------------------------------===//
+
+  int32_t allocate(Clazz *C) {
+    Heap.push_back({C, {}});
+    return static_cast<int32_t>(Heap.size() - 1);
+  }
+
+  /// Fragments-as-components mapping for the future-work extension.
+  ClassKind effectiveKind(const Clazz *C) const {
+    if (Opts.ModelFragments && C->kind() == ClassKind::Fragment)
+      return ClassKind::Activity;
+    return C->kind();
+  }
+
+  void initComponents() {
+    for (const auto &C : P.classes()) {
+      bool IsFragment =
+          Opts.ModelFragments && C->kind() == ClassKind::Fragment;
+      if (!P.isManifestComponent(C.get()) && !IsFragment)
+        continue;
+      CompState State;
+      State.Class = C.get();
+      State.Obj = allocate(C.get());
+      // A component without onCreate is born created; a plain receiver
+      // has no creation lifecycle at all.
+      if (!C->findMethod("onCreate") ||
+          effectiveKind(C.get()) == ClassKind::Receiver)
+        State.Created = true;
+      Components.push_back(State);
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Scheduling
+  //===--------------------------------------------------------------------===//
+
+  struct Choice {
+    enum class K : uint8_t { StepTask, Start } Kind = K::StepTask;
+    size_t TaskIdx = 0;
+    Activation Act;
+  };
+
+  bool taskSteppable(size_t Idx) const {
+    const Task &T = Tasks[Idx];
+    if (T.Done || T.Stack.empty())
+      return false;
+    const Frame &F = T.Stack.back();
+    if (F.PC >= F.C->size())
+      return true; // frame epilogue is always possible
+    const Instr &I = (*F.C)[F.PC];
+    if (I.Kind != Instr::Op::SyncEnter)
+      return true;
+    // Blocked when another task holds the monitor.
+    const auto *Sync = cast<SyncStmt>(I.S);
+    Value L = readLocal(F, Sync->lock());
+    if (L.isNull())
+      return true; // stepping will raise the NPE
+    auto It = LockHolder.find(L.Obj);
+    return It == LockHolder.end() || It->second.first == Idx;
+  }
+
+  unsigned activationsOf(const Method *Cb, int32_t Recv) const {
+    auto It = ActivationCount.find({Cb, Recv});
+    return It == ActivationCount.end() ? 0 : It->second;
+  }
+
+  bool underCaps(const Method *Cb, int32_t Recv) const {
+    return TotalActivations < Opts.MaxTotalActivations &&
+           activationsOf(Cb, Recv) < Opts.MaxActivationsPerCallback;
+  }
+
+  void collectComponentActivations(std::vector<Activation> &Out) {
+    for (size_t CI = 0; CI < Components.size(); ++CI) {
+      CompState &C = Components[CI];
+      for (const auto &M : C.Class->methods()) {
+        CallbackKind K =
+            android::classifyCallback(effectiveKind(C.Class), M->name());
+        if (K == CallbackKind::None)
+          continue;
+        if (!componentCallbackAvailable(C, K, M->name()))
+          continue;
+        if (!underCaps(M.get(), C.Obj))
+          continue;
+        Activation A;
+        A.Cb = M.get();
+        A.Recv = C.Obj;
+        A.Source = Activation::Src::Component;
+        A.SrcIdx = CI;
+        Out.push_back(A);
+      }
+    }
+  }
+
+  bool componentCallbackAvailable(const CompState &C, CallbackKind K,
+                                  const std::string &Name) const {
+    if (Name == "onCreate")
+      return !C.Created;
+    if (!C.Created || C.Destroyed)
+      return false;
+    if (Name == "onDestroy")
+      return true; // destruction can follow even finish()
+    if (C.Finished)
+      return false;
+    if (Name == "onPause")
+      return !C.Paused;
+    if (Name == "onResume")
+      return C.Paused;
+    if (K == CallbackKind::Ui) // UI input needs a resumed, enabled view
+      return !C.Paused && !C.ClicksDisabled;
+    return true; // other lifecycle + system events fire even when paused
+  }
+
+  void collectActivations(std::vector<Activation> &Out) {
+    collectComponentActivations(Out);
+
+    for (size_t LI = 0; LI < Listeners.size(); ++LI) {
+      const ListenerReg &L = Listeners[LI];
+      const CompState *Comp =
+          L.CompIdx >= 0 ? &Components[L.CompIdx] : nullptr;
+      for (const auto &M : L.Class->methods()) {
+        CallbackKind K = android::classifyCallback(L.Class->kind(),
+                                                   M->name());
+        if (K == CallbackKind::None)
+          continue;
+        if (Comp) {
+          if (!Comp->Created || Comp->Destroyed || Comp->Finished)
+            continue;
+          if (K == CallbackKind::Ui &&
+              (Comp->Paused || Comp->ClicksDisabled))
+            continue;
+        }
+        if (!underCaps(M.get(), L.Obj))
+          continue;
+        Out.push_back({M.get(), L.Obj, false, 0, Activation::Src::Listener, LI});
+      }
+    }
+
+    for (size_t CI = 0; CI < Conns.size(); ++CI) {
+      const ConnInst &C = Conns[CI];
+      if (C.Unbound)
+        continue;
+      Clazz *Class = Heap[C.Conn].Class;
+      if (!C.Connected) {
+        if (Method *M = Class->findMethod("onServiceConnected"))
+          if (underCaps(M, C.Conn))
+            Out.push_back({M, C.Conn, false, 0, Activation::Src::Conn, CI});
+      } else if (!C.Disconnected) {
+        if (Method *M = Class->findMethod("onServiceDisconnected"))
+          if (underCaps(M, C.Conn))
+            Out.push_back({M, C.Conn, false, 0, Activation::Src::Disconn, CI});
+      }
+    }
+
+    for (size_t RI = 0; RI < Receivers.size(); ++RI) {
+      const ReceiverReg &R = Receivers[RI];
+      if (R.Unregistered)
+        continue;
+      if (Method *M = Heap[R.Obj].Class->findMethod("onReceive"))
+        if (underCaps(M, R.Obj))
+          Out.push_back({M, R.Obj, false, 0, Activation::Src::Receive, RI});
+    }
+
+    for (size_t PI = 0; PI < Posts.size(); ++PI) {
+      const PendingPost &PP = Posts[PI];
+      if (PP.Consumed)
+        continue;
+      Activation A{PP.Cb, PP.Recv, false, PP.Looper,
+                   Activation::Src::Post, PI};
+      Out.push_back(A);
+    }
+
+    for (size_t AI = 0; AI < AsyncInsts.size(); ++AI) {
+      const AsyncInst &A = AsyncInsts[AI];
+      if (A.Pre && !A.PreStarted)
+        Out.push_back(
+            {A.Pre, A.Task, false, 0, Activation::Src::AsyncPre, AI});
+      if (A.Bg && !A.BgStarted && A.PreDone)
+        Out.push_back({A.Bg, A.Task, true, 0, Activation::Src::AsyncBg, AI});
+      if (A.Progress && A.PendingProgress > 0)
+        Out.push_back({A.Progress, A.Task, false, 0,
+                       Activation::Src::AsyncProgress, AI});
+      if (A.Post && !A.PostStarted && A.BgDone)
+        Out.push_back(
+            {A.Post, A.Task, false, 0, Activation::Src::AsyncPost, AI});
+    }
+
+    for (size_t TI = 0; TI < PendingThreads.size(); ++TI) {
+      const PendingThread &T = PendingThreads[TI];
+      if (T.Started)
+        continue;
+      Out.push_back({T.Run, T.Recv, true, 0, Activation::Src::ThreadRun, TI});
+    }
+  }
+
+  uint64_t choiceWeight(const Choice &C) const {
+    if (!Directed)
+      return 1;
+    if (C.Kind == Choice::K::StepTask)
+      return 3; // finish started work so dependents unblock
+    const Method *Cb = C.Act.Cb;
+    if (!FreeDone && Directed->FreeRelevant->count(Cb))
+      return 12;
+    if (FreeDone && Directed->UseRelevant->count(Cb))
+      return 12;
+    return 1;
+  }
+
+  bool stepOnce() {
+    std::vector<Choice> Choices;
+    // Step items.
+    for (size_t I = 0; I < Tasks.size(); ++I) {
+      if (!taskSteppable(I))
+        continue;
+      Choice C;
+      C.Kind = Choice::K::StepTask;
+      C.TaskIdx = I;
+      Choices.push_back(C);
+    }
+    // Start items.
+    std::vector<Activation> Acts;
+    collectActivations(Acts);
+    for (const Activation &A : Acts) {
+      if (!A.Native && RunningLooper.count(A.Looper))
+        continue; // each looper runs callbacks one at a time
+      if (TotalActivations >= Opts.MaxTotalActivations)
+        continue;
+      if (Directed && Directed->Cluster &&
+          !Directed->Cluster->count(Heap[A.Recv].Class))
+        continue; // directed mode: stay inside the relevant cluster
+      Choice C;
+      C.Kind = Choice::K::Start;
+      C.Act = A;
+      Choices.push_back(C);
+    }
+    if (Choices.empty())
+      return false;
+
+    // Weighted pick.
+    uint64_t Total = 0;
+    for (const Choice &C : Choices)
+      Total += choiceWeight(C);
+    uint64_t Ball = Rand.below(Total);
+    size_t Picked = 0;
+    for (size_t I = 0; I < Choices.size(); ++I) {
+      uint64_t W = choiceWeight(Choices[I]);
+      if (Ball < W) {
+        Picked = I;
+        break;
+      }
+      Ball -= W;
+    }
+
+    const Choice &C = Choices[Picked];
+    if (C.Kind == Choice::K::StepTask)
+      stepTask(C.TaskIdx);
+    else
+      startActivation(C.Act);
+    return true;
+  }
+
+  void startActivation(const Activation &A) {
+    ++TotalActivations;
+    ++ActivationCount[{A.Cb, A.Recv}];
+    TraceLog.push_back(A.Cb->qualifiedName() +
+                       (A.Native ? " [native]" : ""));
+
+    CompleteEffect Effect = CompleteEffect::None;
+    size_t EffectIdx = 0;
+    switch (A.Source) {
+    case Activation::Src::Component: {
+      CompState &C = Components[A.SrcIdx];
+      const std::string &Name = A.Cb->name();
+      if (Name == "onCreate")
+        C.Created = true;
+      else if (Name == "onDestroy")
+        C.Destroyed = true;
+      else if (Name == "onPause")
+        C.Paused = true;
+      else if (Name == "onResume")
+        C.Paused = false;
+      break;
+    }
+    case Activation::Src::Conn:
+      Conns[A.SrcIdx].Connected = true;
+      break;
+    case Activation::Src::Disconn:
+      Conns[A.SrcIdx].Disconnected = true;
+      break;
+    case Activation::Src::Post:
+      Posts[A.SrcIdx].Consumed = true;
+      break;
+    case Activation::Src::AsyncPre:
+      AsyncInsts[A.SrcIdx].PreStarted = true;
+      Effect = CompleteEffect::AsyncPreDone;
+      EffectIdx = A.SrcIdx;
+      break;
+    case Activation::Src::AsyncBg:
+      AsyncInsts[A.SrcIdx].BgStarted = true;
+      Effect = CompleteEffect::AsyncBgDone;
+      EffectIdx = A.SrcIdx;
+      break;
+    case Activation::Src::AsyncProgress:
+      --AsyncInsts[A.SrcIdx].PendingProgress;
+      break;
+    case Activation::Src::AsyncPost:
+      AsyncInsts[A.SrcIdx].PostStarted = true;
+      break;
+    case Activation::Src::ThreadRun:
+      PendingThreads[A.SrcIdx].Started = true;
+      break;
+    case Activation::Src::Listener:
+    case Activation::Src::Receive:
+      break;
+    }
+
+    bool IsLooper = !A.Native;
+    Task T;
+    T.IsLooper = IsLooper;
+    T.Looper = IsLooper ? A.Looper : -1;
+    T.OnComplete = Effect;
+    T.EffectIdx = EffectIdx;
+    Frame F;
+    F.M = A.Cb;
+    F.C = &Codes.codeFor(A.Cb);
+    F.This = Value::object(A.Recv);
+    T.Stack.push_back(std::move(F));
+    Tasks.push_back(std::move(T));
+    if (IsLooper)
+      RunningLooper[A.Looper] = Tasks.size() - 1;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Execution
+  //===--------------------------------------------------------------------===//
+
+  Value readLocal(const Frame &F, const Local *L) const {
+    if (L->isThis())
+      return F.This;
+    auto It = F.Locals.find(L);
+    return It == F.Locals.end() ? Value() : It->second;
+  }
+
+  void writeLocal(Frame &F, const Local *L, Value V) { F.Locals[L] = V; }
+
+  void raiseNpe(const Value &V, const Stmt &At) {
+    Crashed = true;
+    Crash = stmtToString(At);
+    if (V.ViaLoad && V.NullOrigin)
+      Witnesses.insert({V.ViaLoad, V.NullOrigin});
+  }
+
+  void finishTask(size_t Idx) {
+    Task &T = Tasks[Idx];
+    T.Done = true;
+    // Release any monitors still recorded (robustness; balanced
+    // enter/exit normally clears them).
+    for (int32_t Obj : T.HeldLocks)
+      releaseLock(Obj, Idx);
+    T.HeldLocks.clear();
+    switch (T.OnComplete) {
+    case CompleteEffect::AsyncPreDone:
+      AsyncInsts[T.EffectIdx].PreDone = true;
+      break;
+    case CompleteEffect::AsyncBgDone:
+      AsyncInsts[T.EffectIdx].BgDone = true;
+      break;
+    case CompleteEffect::None:
+      break;
+    }
+    if (T.IsLooper) {
+      auto It = RunningLooper.find(T.Looper);
+      if (It != RunningLooper.end() && It->second == Idx)
+        RunningLooper.erase(It);
+    }
+  }
+
+  void acquireLock(int32_t Obj, size_t TaskIdx) {
+    auto [It, Inserted] = LockHolder.emplace(Obj, std::make_pair(TaskIdx, 1u));
+    if (!Inserted) {
+      assert(It->second.first == TaskIdx && "lock stolen");
+      ++It->second.second;
+    }
+  }
+
+  void releaseLock(int32_t Obj, size_t TaskIdx) {
+    auto It = LockHolder.find(Obj);
+    if (It == LockHolder.end() || It->second.first != TaskIdx)
+      return;
+    if (--It->second.second == 0)
+      LockHolder.erase(It);
+  }
+
+  void popFrame(size_t TaskIdx, Value ReturnValue) {
+    Task &T = Tasks[TaskIdx];
+    const CallStmt *Site = T.Stack.back().CallerSite;
+    T.Stack.pop_back();
+    if (T.Stack.empty()) {
+      finishTask(TaskIdx);
+      return;
+    }
+    if (Site && Site->dst())
+      writeLocal(T.Stack.back(), Site->dst(), ReturnValue);
+  }
+
+  void stepTask(size_t TaskIdx) {
+    Task &T = Tasks[TaskIdx];
+    Frame &F = T.Stack.back();
+    if (F.PC >= F.C->size()) {
+      popFrame(TaskIdx, Value());
+      return;
+    }
+    const Instr &I = (*F.C)[F.PC];
+    switch (I.Kind) {
+    case Instr::Op::Jump:
+      F.PC = I.Target;
+      return;
+    case Instr::Op::Branch: {
+      const auto *If = cast<IfStmt>(I.S);
+      bool TakeThen = false;
+      switch (If->test()) {
+      case IfStmt::TestKind::NotNull:
+        TakeThen = !readLocal(F, If->cond()).isNull();
+        break;
+      case IfStmt::TestKind::IsNull:
+        TakeThen = readLocal(F, If->cond()).isNull();
+        break;
+      case IfStmt::TestKind::Unknown:
+        TakeThen = Rand.chance(1, 2);
+        break;
+      }
+      F.PC = TakeThen ? F.PC + 1 : I.Target;
+      return;
+    }
+    case Instr::Op::SyncEnter: {
+      const auto *Sync = cast<SyncStmt>(I.S);
+      Value L = readLocal(F, Sync->lock());
+      if (L.isNull()) {
+        raiseNpe(L, *Sync);
+        return;
+      }
+      acquireLock(L.Obj, TaskIdx);
+      T.HeldLocks.push_back(L.Obj);
+      ++F.PC;
+      return;
+    }
+    case Instr::Op::SyncExit: {
+      const auto *Sync = cast<SyncStmt>(I.S);
+      Value L = readLocal(F, Sync->lock());
+      if (!L.isNull()) {
+        releaseLock(L.Obj, TaskIdx);
+        for (auto It = T.HeldLocks.rbegin(); It != T.HeldLocks.rend(); ++It)
+          if (*It == L.Obj) {
+            T.HeldLocks.erase(std::next(It).base());
+            break;
+          }
+      }
+      ++F.PC;
+      return;
+    }
+    case Instr::Op::Exec:
+      execStmt(TaskIdx, *I.S);
+      return;
+    }
+  }
+
+  void execStmt(size_t TaskIdx, const Stmt &S) {
+    Task &T = Tasks[TaskIdx];
+    Frame &F = T.Stack.back();
+    switch (S.kind()) {
+    case Stmt::Kind::New: {
+      const auto *New = cast<NewStmt>(&S);
+      writeLocal(F, New->dst(), Value::object(allocate(New->allocClass())));
+      ++F.PC;
+      return;
+    }
+    case Stmt::Kind::Load: {
+      const auto *Load = cast<LoadStmt>(&S);
+      Value B = readLocal(F, Load->base());
+      if (B.isNull()) {
+        raiseNpe(B, *Load);
+        return;
+      }
+      Value V;
+      auto It = Heap[B.Obj].Fields.find(Load->field());
+      if (It != Heap[B.Obj].Fields.end())
+        V = It->second;
+      V.ViaLoad = Load;
+      writeLocal(F, Load->dst(), V);
+      ++F.PC;
+      return;
+    }
+    case Stmt::Kind::Store: {
+      const auto *Store = cast<StoreStmt>(&S);
+      Value B = readLocal(F, Store->base());
+      if (B.isNull()) {
+        raiseNpe(B, *Store);
+        return;
+      }
+      Value V = Store->src() ? readLocal(F, Store->src())
+                             : Value::nullFrom(Store);
+      Heap[B.Obj].Fields[Store->field()] = V;
+      if (Directed && Store == Directed->Free && V.isNull())
+        FreeDone = true;
+      ++F.PC;
+      return;
+    }
+    case Stmt::Kind::Copy: {
+      const auto *Copy = cast<CopyStmt>(&S);
+      writeLocal(F, Copy->dst(), readLocal(F, Copy->src()));
+      ++F.PC;
+      return;
+    }
+    case Stmt::Kind::Return: {
+      const auto *Ret = cast<ReturnStmt>(&S);
+      Value V = Ret->src() ? readLocal(F, Ret->src()) : Value();
+      popFrame(TaskIdx, V);
+      return;
+    }
+    case Stmt::Kind::Call:
+      execCall(TaskIdx, *cast<CallStmt>(&S));
+      return;
+    case Stmt::Kind::If:
+    case Stmt::Kind::Sync:
+      assert(false && "structured statements are linearized away");
+      ++F.PC;
+      return;
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Calls and dynamic framework semantics
+  //===--------------------------------------------------------------------===//
+
+  int componentIndexOf(int32_t Obj) const {
+    for (size_t I = 0; I < Components.size(); ++I)
+      if (Components[I].Obj == Obj)
+        return static_cast<int>(I);
+    return -1;
+  }
+
+  void execCall(size_t TaskIdx, const CallStmt &Call) {
+    Task &T = Tasks[TaskIdx];
+    Frame &F = T.Stack.back();
+    Value R = readLocal(F, Call.recv());
+    if (R.isNull()) {
+      raiseNpe(R, Call);
+      return;
+    }
+    if (handleFrameworkCall(F, Call, R)) {
+      ++F.PC;
+      return;
+    }
+    Method *Target = Heap[R.Obj].Class->findMethod(Call.callee());
+    if (!Target) {
+      // Unmodeled framework method: result unknown (null without UAF
+      // provenance, so a crash on it is not misattributed).
+      if (Call.dst())
+        writeLocal(F, Call.dst(), Value());
+      ++F.PC;
+      return;
+    }
+    ++F.PC; // resume after the call on return
+    Frame Callee;
+    Callee.M = Target;
+    Callee.C = &Codes.codeFor(Target);
+    Callee.This = R;
+    Callee.CallerSite = &Call;
+    size_t N = std::min(Call.args().size(), Target->params().size());
+    for (size_t I = 0; I < N; ++I)
+      Callee.Locals[Target->params()[I]] = readLocal(F, Call.args()[I]);
+    T.Stack.push_back(std::move(Callee));
+  }
+
+  /// Interprets Android framework APIs by their dynamic receiver/argument
+  /// classes. Returns false for ordinary application calls.
+  bool handleFrameworkCall(Frame &F, const CallStmt &Call, Value R) {
+    const std::string &Name = Call.callee();
+    Clazz *RecvClass = Heap[R.Obj].Class;
+    Value A0 = Call.args().empty() ? Value()
+                                   : readLocal(F, Call.args()[0]);
+    Clazz *Arg0Class = A0.isNull() ? nullptr : Heap[A0.Obj].Class;
+
+    auto Arg0Is = [&](ClassKind K) {
+      return Arg0Class && Arg0Class->kind() == K;
+    };
+    auto RecvIs = [&](ClassKind K) { return RecvClass->kind() == K; };
+
+    if (Name == "bindService" && Arg0Is(ClassKind::ServiceConnection)) {
+      // A connection with no onServiceConnected body still connects — the
+      // framework transition is not contingent on the app observing it.
+      bool AutoConnected = Arg0Class->findMethod("onServiceConnected") ==
+                           nullptr;
+      Conns.push_back(
+          {A0.Obj, componentIndexOf(R.Obj), AutoConnected, false, false});
+      return true;
+    }
+    if (Name == "unbindService") {
+      int Comp = componentIndexOf(R.Obj);
+      for (ConnInst &C : Conns) {
+        if (Arg0Class && C.Conn != A0.Obj)
+          continue;
+        if (!Arg0Class && C.CompIdx != Comp)
+          continue;
+        C.Unbound = true;
+      }
+      return true;
+    }
+    if (Name == "registerReceiver" && Arg0Is(ClassKind::Receiver)) {
+      Receivers.push_back({A0.Obj, false});
+      return true;
+    }
+    if (Name == "unregisterReceiver") {
+      for (ReceiverReg &Reg : Receivers)
+        if (!Arg0Class || Reg.Obj == A0.Obj)
+          Reg.Unregistered = true;
+      return true;
+    }
+    if ((Name == "setOnClickListener" || Name == "setOnLongClickListener" ||
+         Name == "setOnTouchListener" || Name == "setOnItemClickListener" ||
+         Name == "requestLocationUpdates" || Name == "registerListener") &&
+        Arg0Is(ClassKind::Listener)) {
+      Listeners.push_back({A0.Obj, Arg0Class, componentIndexOf(R.Obj)});
+      return true;
+    }
+    if ((Name == "post" || Name == "postDelayed" ||
+         Name == "runOnUiThread") &&
+        Arg0Is(ClassKind::Runnable)) {
+      // A BackgroundHandler routes the runnable to its own looper; every
+      // other receiver (UI handler, view, activity) targets the UI one.
+      int Looper = RecvIs(ClassKind::BackgroundHandler) ? R.Obj + 1 : 0;
+      if (Method *RunM = Arg0Class->findMethod("run"))
+        Posts.push_back({RunM, A0.Obj, R.Obj, Looper, false});
+      return true;
+    }
+    if ((Name == "sendMessage" || Name == "sendEmptyMessage" ||
+         Name == "sendMessageDelayed") &&
+        (RecvIs(ClassKind::Handler) ||
+         RecvIs(ClassKind::BackgroundHandler))) {
+      int Looper = RecvIs(ClassKind::BackgroundHandler) ? R.Obj + 1 : 0;
+      if (Method *HM = RecvClass->findMethod("handleMessage"))
+        Posts.push_back({HM, R.Obj, R.Obj, Looper, false});
+      return true;
+    }
+    if (Name == "removeCallbacksAndMessages" &&
+        (RecvIs(ClassKind::Handler) ||
+         RecvIs(ClassKind::BackgroundHandler))) {
+      for (PendingPost &PP : Posts)
+        if (PP.Handler == R.Obj)
+          PP.Consumed = true;
+      return true;
+    }
+    if (Name == "execute" && RecvIs(ClassKind::AsyncTask)) {
+      AsyncInst A;
+      A.Task = R.Obj;
+      A.Pre = RecvClass->findMethod("onPreExecute");
+      A.Bg = RecvClass->findMethod("doInBackground");
+      A.Progress = RecvClass->findMethod("onProgressUpdate");
+      A.Post = RecvClass->findMethod("onPostExecute");
+      A.PreDone = A.Pre == nullptr;
+      A.BgDone = A.Bg == nullptr;
+      AsyncInsts.push_back(A);
+      return true;
+    }
+    if (Name == "publishProgress" && RecvIs(ClassKind::AsyncTask)) {
+      for (AsyncInst &A : AsyncInsts)
+        if (A.Task == R.Obj)
+          ++A.PendingProgress;
+      return true;
+    }
+    if (Name == "start" && RecvIs(ClassKind::ThreadClass)) {
+      if (Method *RunM = RecvClass->findMethod("run"))
+        PendingThreads.push_back({RunM, R.Obj, false});
+      return true;
+    }
+    if (Name == "finish" && RecvIs(ClassKind::Activity)) {
+      int Comp = componentIndexOf(R.Obj);
+      if (Comp >= 0)
+        Components[Comp].Finished = true;
+      return true;
+    }
+    // Dynamic-only APIs, invisible to the static analyses by design:
+    //  * disableClicks models a view being hidden/disabled — the "Missing
+    //    Happens-Before" FP category of §8.5.
+    //  * stash/fetchStash model an object round-tripping through the
+    //    framework (the IBinder pattern of §8.6) — the static call graph
+    //    loses it, the runtime does not.
+    if (Name == "disableClicks" && RecvIs(ClassKind::Activity)) {
+      int Comp = componentIndexOf(R.Obj);
+      if (Comp >= 0)
+        Components[Comp].ClicksDisabled = true;
+      return true;
+    }
+    if (Name == "stash") {
+      Stash[R.Obj] = A0;
+      return true;
+    }
+    if (Name == "fetchStash") {
+      if (Call.dst()) {
+        auto It = Stash.find(R.Obj);
+        writeLocal(F, Call.dst(), It == Stash.end() ? Value() : It->second);
+      }
+      return true;
+    }
+    return false;
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ScheduleExplorer
+//===----------------------------------------------------------------------===//
+
+struct ScheduleExplorer::Impl {
+  const Program &P;
+  ExploreOptions Opts;
+  CodeCache Codes;
+  android::ApiIndex Apis;
+  /// Cached "callbacks from which method X is syntactically reachable".
+  std::map<const Method *, std::set<const Method *>> RelevanceCache;
+  /// Undirected class-connectivity graph (field types, allocations,
+  /// inheritance) for directed-run slicing.
+  std::map<const Clazz *, std::set<const Clazz *>> ClassGraph;
+
+  Impl(const Program &P, ExploreOptions Opts)
+      : P(P), Opts(Opts), Apis(P) {
+    buildClassGraph();
+  }
+
+  void buildClassGraph() {
+    auto Link = [&](const Clazz *A, const Clazz *B) {
+      if (!A || !B || A == B)
+        return;
+      ClassGraph[A].insert(B);
+      ClassGraph[B].insert(A);
+    };
+    for (const auto &C : P.classes()) {
+      Link(C.get(), C->superClass());
+      Link(C.get(), C->outerClass());
+      for (const auto &F : C->fields())
+        Link(C.get(), F->declaredType());
+      for (const auto &M : C->methods())
+        forEachStmt(*M, [&](const Stmt &S) {
+          if (const auto *New = dyn_cast<NewStmt>(&S))
+            Link(C.get(), New->allocClass());
+        });
+    }
+  }
+
+  std::set<const Clazz *> clusterOf(const Clazz *A, const Clazz *B) {
+    std::set<const Clazz *> Cluster;
+    std::vector<const Clazz *> Pending{A, B};
+    while (!Pending.empty()) {
+      const Clazz *C = Pending.back();
+      Pending.pop_back();
+      if (!C || !Cluster.insert(C).second)
+        continue;
+      auto It = ClassGraph.find(C);
+      if (It == ClassGraph.end())
+        continue;
+      for (const Clazz *N : It->second)
+        Pending.push_back(N);
+    }
+    return Cluster;
+  }
+
+  const std::set<const Method *> &relevantRoots(const Method *Target) {
+    auto It = RelevanceCache.find(Target);
+    if (It != RelevanceCache.end())
+      return It->second;
+    std::set<const Method *> Roots;
+    for (const auto &C : P.classes())
+      for (const auto &M : C->methods()) {
+        for (Method *Reached :
+             android::collectReachableMethods(M.get(), Apis))
+          if (Reached == Target) {
+            Roots.insert(M.get());
+            break;
+          }
+      }
+    return RelevanceCache.emplace(Target, std::move(Roots)).first->second;
+  }
+};
+
+ScheduleExplorer::ScheduleExplorer(const Program &P, ExploreOptions Opts)
+    : I(std::make_unique<Impl>(P, Opts)) {}
+
+ScheduleExplorer::ScheduleExplorer(const Program &P)
+    : I(std::make_unique<Impl>(P, ExploreOptions())) {}
+
+ScheduleExplorer::~ScheduleExplorer() = default;
+
+std::set<UafWitness> ScheduleExplorer::explore() {
+  std::set<UafWitness> All;
+  Rng Seeder(I->Opts.Seed);
+  for (unsigned S = 0; S < I->Opts.Schedules; ++S) {
+    Run R(I->P, I->Codes, I->Opts, Seeder.next(), nullptr);
+    std::set<UafWitness> Found = R.run();
+    All.insert(Found.begin(), Found.end());
+  }
+  return All;
+}
+
+bool ScheduleExplorer::tryWitness(const LoadStmt *Use, const StoreStmt *Free,
+                                  unsigned Trials,
+                                  WitnessSchedule *ScheduleOut) {
+  Bias B;
+  B.Use = Use;
+  B.Free = Free;
+  B.FreeRelevant = &I->relevantRoots(Free->parentMethod());
+  B.UseRelevant = &I->relevantRoots(Use->parentMethod());
+  std::set<const Clazz *> Cluster = I->clusterOf(
+      Use->parentMethod()->parent(), Free->parentMethod()->parent());
+  B.Cluster = &Cluster;
+
+  Rng Seeder(I->Opts.Seed ^ (uint64_t(Use->id()) << 32 | Free->id()));
+  UafWitness Wanted{Use, Free};
+  for (unsigned T = 0; T < Trials; ++T) {
+    Run R(I->P, I->Codes, I->Opts, Seeder.next(), &B);
+    std::set<UafWitness> Found = R.run();
+    if (Found.count(Wanted)) {
+      if (ScheduleOut) {
+        ScheduleOut->Activations = R.trace();
+        ScheduleOut->CrashSite = R.crashSite();
+      }
+      return true;
+    }
+  }
+  return false;
+}

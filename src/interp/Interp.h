@@ -1,0 +1,109 @@
+//===- interp/Interp.h - Concrete schedule exploration ----------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A concrete interpreter for AIR programs under the Android concurrency
+/// model, used as the harmfulness oracle (§7): the paper's authors
+/// validated warnings by manually constructing schedules that trigger a
+/// NullPointerException; this module automates that search.
+///
+/// Semantics: manifest components are instantiated; their entry callbacks
+/// fire under lifecycle legality (onCreate first, onDestroy last, UI
+/// callbacks only while resumed and not finished, pause/resume alternate);
+/// posted callbacks become available when their post executes; looper
+/// callbacks run atomically on the single UI looper; native threads
+/// (Thread.run, doInBackground) interleave statement-by-statement and
+/// respect monitors; AsyncTask callbacks follow the framework order.
+/// Framework APIs are interpreted by their *dynamic* receiver/argument
+/// classes — deliberately more complete than the static analyses, so the
+/// interpreter can witness bugs the detector misses (Table 2).
+///
+/// Null values carry provenance (the freeing store) and loads stamp the
+/// values they produce, so a crash identifies the exact (use, free) pair —
+/// directly comparable to detector warnings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_INTERP_INTERP_H
+#define NADROID_INTERP_INTERP_H
+
+#include "ir/Stmt.h"
+#include "support/Rng.h"
+
+#include <set>
+
+namespace nadroid::interp {
+
+/// A dynamically observed use-after-free: dereferencing a null that load
+/// \p Use read after store \p Free wrote it.
+struct UafWitness {
+  const ir::LoadStmt *Use = nullptr;
+  const ir::StoreStmt *Free = nullptr;
+
+  friend bool operator<(const UafWitness &A, const UafWitness &B) {
+    if (A.Use != B.Use)
+      return A.Use->id() < B.Use->id();
+    return A.Free->id() < B.Free->id();
+  }
+  friend bool operator==(const UafWitness &A, const UafWitness &B) {
+    return A.Use == B.Use && A.Free == B.Free;
+  }
+};
+
+/// Exploration bounds. Defaults suit corpus-sized apps.
+struct ExploreOptions {
+  uint64_t Seed = 1;
+  /// Random schedules per explore() call.
+  unsigned Schedules = 200;
+  /// Statement-step budget per schedule.
+  unsigned MaxSteps = 20000;
+  /// How often one repeatable callback may fire per schedule.
+  unsigned MaxActivationsPerCallback = 3;
+  /// Global activation budget per schedule (bounds re-posting loops).
+  unsigned MaxTotalActivations = 64;
+  /// Future-work extension (§8.1/§8.7): treat Fragment classes as
+  /// always-attached components so their callbacks fire. Off by default —
+  /// the paper's prototype does not model Fragments.
+  bool ModelFragments = false;
+};
+
+/// The callback activation sequence of a crashing schedule — the §7
+/// "construct an execution" aid, automated: replaying these activations
+/// in order (native threads interleaving freely) reproduces the NPE.
+struct WitnessSchedule {
+  /// Human-readable activation labels in start order, ending at the
+  /// crash, e.g. "onCreate@MainAct", "run@Killer [native]".
+  std::vector<std::string> Activations;
+  /// The crashing statement rendered as text.
+  std::string CrashSite;
+};
+
+/// Explores schedules of one program.
+class ScheduleExplorer {
+public:
+  ScheduleExplorer(const ir::Program &P, ExploreOptions Opts);
+  explicit ScheduleExplorer(const ir::Program &P);
+  ~ScheduleExplorer();
+
+  /// Runs Opts.Schedules random schedules; returns every distinct UAF
+  /// witness observed.
+  std::set<UafWitness> explore();
+
+  /// Directed search: biases \p Trials schedules toward executing \p Free
+  /// before \p Use. Returns true when the exact (use, free) NPE fires;
+  /// \p ScheduleOut (when non-null) receives the crashing activation
+  /// sequence.
+  bool tryWitness(const ir::LoadStmt *Use, const ir::StoreStmt *Free,
+                  unsigned Trials, WitnessSchedule *ScheduleOut = nullptr);
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
+} // namespace nadroid::interp
+
+#endif // NADROID_INTERP_INTERP_H

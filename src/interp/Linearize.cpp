@@ -1,0 +1,58 @@
+//===- interp/Linearize.cpp - Flatten method bodies ----------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Linearize.h"
+
+using namespace nadroid;
+using namespace nadroid::interp;
+using namespace nadroid::ir;
+
+namespace {
+
+void flatten(const Block &B, Code &Out) {
+  for (const auto &SPtr : B.stmts()) {
+    const Stmt &S = *SPtr;
+    switch (S.kind()) {
+    case Stmt::Kind::If: {
+      const auto *If = cast<IfStmt>(&S);
+      size_t BranchIdx = Out.size();
+      Out.push_back({Instr::Op::Branch, If, 0});
+      flatten(If->thenBlock(), Out);
+      size_t JumpIdx = Out.size();
+      Out.push_back({Instr::Op::Jump, nullptr, 0});
+      Out[BranchIdx].Target = Out.size(); // else starts here
+      flatten(If->elseBlock(), Out);
+      Out[JumpIdx].Target = Out.size(); // join point
+      break;
+    }
+    case Stmt::Kind::Sync: {
+      const auto *Sync = cast<SyncStmt>(&S);
+      Out.push_back({Instr::Op::SyncEnter, Sync, 0});
+      flatten(Sync->body(), Out);
+      Out.push_back({Instr::Op::SyncExit, Sync, 0});
+      break;
+    }
+    default:
+      Out.push_back({Instr::Op::Exec, &S, 0});
+      break;
+    }
+  }
+}
+
+} // namespace
+
+Code interp::linearize(const Method &M) {
+  Code Out;
+  flatten(M.body(), Out);
+  return Out;
+}
+
+const Code &CodeCache::codeFor(const Method *M) {
+  auto It = Cache.find(M);
+  if (It != Cache.end())
+    return It->second;
+  return Cache.emplace(M, linearize(*M)).first->second;
+}

@@ -1,0 +1,59 @@
+//===- interp/Linearize.h - Flatten method bodies for stepping --*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The schedule-exploring interpreter steps native threads one statement
+/// at a time, so structured bodies are flattened into instruction vectors
+/// with explicit jump targets:
+///
+///   Exec      — run a straight-line statement
+///   Branch    — evaluate an IfStmt; fall through into then, jump to the
+///               else offset otherwise (then ends with a Jump past else)
+///   Jump      — unconditional
+///   SyncEnter — acquire the SyncStmt's lock (may block a native task)
+///   SyncExit  — release it
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_INTERP_LINEARIZE_H
+#define NADROID_INTERP_LINEARIZE_H
+
+#include "ir/Stmt.h"
+
+#include <map>
+#include <vector>
+
+namespace nadroid::interp {
+
+/// One flattened instruction.
+struct Instr {
+  enum class Op : uint8_t { Exec, Branch, Jump, SyncEnter, SyncExit };
+
+  Op Kind = Op::Exec;
+  /// The originating statement (null only for Jump).
+  const ir::Stmt *S = nullptr;
+  /// Branch: index of the else-block start. Jump: the target index.
+  size_t Target = 0;
+};
+
+/// A method's flattened body.
+using Code = std::vector<Instr>;
+
+/// Flattens \p M (cached per program by the interpreter).
+Code linearize(const ir::Method &M);
+
+/// Lazy cache of linearized bodies.
+class CodeCache {
+public:
+  const Code &codeFor(const ir::Method *M);
+
+private:
+  std::map<const ir::Method *, Code> Cache;
+};
+
+} // namespace nadroid::interp
+
+#endif // NADROID_INTERP_LINEARIZE_H

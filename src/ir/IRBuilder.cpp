@@ -1,0 +1,258 @@
+//===- ir/IRBuilder.cpp - Programmatic AIR construction --------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+
+#include <cassert>
+
+using namespace nadroid;
+using namespace nadroid::ir;
+
+Clazz *IRBuilder::makeClass(const std::string &Name, ClassKind Kind,
+                            const std::string &SuperName) {
+  Clazz *C = P.addClass(Name, Kind);
+  if (!SuperName.empty()) {
+    Clazz *Super = P.findClass(SuperName);
+    assert(Super && "superclass must be declared first");
+    C->setSuperClass(Super);
+  }
+  return C;
+}
+
+Method *IRBuilder::makeMethod(Clazz *C, const std::string &Name) {
+  Method *M = C->addMethod(Name);
+  setInsertMethod(M);
+  return M;
+}
+
+Field *IRBuilder::addField(Clazz *C, const std::string &Name, Clazz *Type) {
+  Field *F = C->addField(Name);
+  F->setDeclaredType(Type);
+  return F;
+}
+
+void IRBuilder::setInsertMethod(Method *M) {
+  assert(IfStack.empty() && "switching methods with open control flow");
+  CurMethod = M;
+  BlockStack.clear();
+  if (M)
+    BlockStack.push_back(&M->body());
+}
+
+Clazz *IRBuilder::currentClass() const {
+  assert(CurMethod && "no insertion point");
+  return CurMethod->parent();
+}
+
+Local *IRBuilder::thisLocal() const {
+  assert(CurMethod && "no insertion point");
+  return CurMethod->thisLocal();
+}
+
+Local *IRBuilder::local(const std::string &Name) {
+  assert(CurMethod && "no insertion point");
+  return CurMethod->getOrCreateLocal(Name);
+}
+
+Block &IRBuilder::insertBlock() {
+  assert(!BlockStack.empty() && "no insertion point");
+  return *BlockStack.back();
+}
+
+Field *IRBuilder::resolveThisField(const std::string &FieldName) {
+  Field *F = currentClass()->findField(FieldName);
+  assert(F && "unknown field on current class");
+  return F;
+}
+
+template <typename T, typename... ArgTs> T *IRBuilder::create(ArgTs &&...Args) {
+  auto S = std::make_unique<T>(CurMethod, P.nextStmtId(), SourceLoc(),
+                               std::forward<ArgTs>(Args)...);
+  T *Raw = S.get();
+  insertBlock().append(std::move(S));
+  return Raw;
+}
+
+//===----------------------------------------------------------------------===//
+// Core statements
+//===----------------------------------------------------------------------===//
+
+Local *IRBuilder::emitNew(const std::string &DstName, Clazz *C) {
+  Local *Dst = local(DstName);
+  emitNewInto(Dst, C);
+  return Dst;
+}
+
+NewStmt *IRBuilder::emitNewInto(Local *Dst, Clazz *C) {
+  assert(C && "allocating an unknown class");
+  return create<NewStmt>(Dst, C);
+}
+
+LoadStmt *IRBuilder::emitLoad(Local *Dst, Local *Base, Field *F) {
+  return create<LoadStmt>(Dst, Base, F);
+}
+
+Local *IRBuilder::emitLoadThis(const std::string &DstName,
+                               const std::string &FieldName) {
+  Local *Dst = local(DstName);
+  emitLoad(Dst, thisLocal(), resolveThisField(FieldName));
+  return Dst;
+}
+
+StoreStmt *IRBuilder::emitStore(Local *Base, Field *F, Local *Src) {
+  return create<StoreStmt>(Base, F, Src);
+}
+
+StoreStmt *IRBuilder::emitStoreThis(const std::string &FieldName,
+                                    Local *Src) {
+  return emitStore(thisLocal(), resolveThisField(FieldName), Src);
+}
+
+StoreStmt *IRBuilder::emitFreeThis(const std::string &FieldName) {
+  return emitStore(thisLocal(), resolveThisField(FieldName), nullptr);
+}
+
+CopyStmt *IRBuilder::emitCopy(Local *Dst, Local *Src) {
+  return create<CopyStmt>(Dst, Src);
+}
+
+CallStmt *IRBuilder::emitCall(Local *Dst, Local *Recv,
+                              const std::string &Callee,
+                              std::vector<Local *> Args) {
+  assert(Recv && "calls require a receiver");
+  return create<CallStmt>(Dst, Recv, Callee, std::move(Args));
+}
+
+ReturnStmt *IRBuilder::emitReturn(Local *Src) {
+  return create<ReturnStmt>(Src);
+}
+
+LoadStmt *IRBuilder::emitUseThis(const std::string &FieldName) {
+  Local *Tmp = CurMethod->makeTemp();
+  LoadStmt *Use = emitLoad(Tmp, thisLocal(), resolveThisField(FieldName));
+  emitCall(nullptr, Tmp, "use");
+  return Use;
+}
+
+//===----------------------------------------------------------------------===//
+// Structured control flow
+//===----------------------------------------------------------------------===//
+
+IfStmt *IRBuilder::beginIfNotNull(Local *Cond) {
+  IfStmt *If = create<IfStmt>(Cond, IfStmt::TestKind::NotNull);
+  IfStack.push_back(If);
+  BlockStack.push_back(&If->thenBlock());
+  return If;
+}
+
+IfStmt *IRBuilder::beginIfIsNull(Local *Cond) {
+  IfStmt *If = create<IfStmt>(Cond, IfStmt::TestKind::IsNull);
+  IfStack.push_back(If);
+  BlockStack.push_back(&If->thenBlock());
+  return If;
+}
+
+IfStmt *IRBuilder::beginIfUnknown() {
+  IfStmt *If =
+      create<IfStmt>(static_cast<Local *>(nullptr), IfStmt::TestKind::Unknown);
+  IfStack.push_back(If);
+  BlockStack.push_back(&If->thenBlock());
+  return If;
+}
+
+void IRBuilder::beginElse() {
+  assert(!IfStack.empty() && "else without an open if");
+  BlockStack.pop_back();
+  BlockStack.push_back(&IfStack.back()->elseBlock());
+}
+
+void IRBuilder::endIf() {
+  assert(!IfStack.empty() && "endIf without an open if");
+  IfStack.pop_back();
+  BlockStack.pop_back();
+}
+
+SyncStmt *IRBuilder::beginSync(Local *Lock) {
+  SyncStmt *Sync = create<SyncStmt>(Lock);
+  BlockStack.push_back(&Sync->body());
+  return Sync;
+}
+
+void IRBuilder::endSync() {
+  assert(BlockStack.size() > 1 && "endSync without an open synchronized");
+  BlockStack.pop_back();
+}
+
+//===----------------------------------------------------------------------===//
+// Android framework API sugar
+//===----------------------------------------------------------------------===//
+
+Local *IRBuilder::freshNew(Clazz *C) {
+  Local *Tmp = CurMethod->makeTemp();
+  emitNewInto(Tmp, C);
+  return Tmp;
+}
+
+CallStmt *IRBuilder::emitBindService(Clazz *ConnClass) {
+  return emitCall(nullptr, thisLocal(), "bindService",
+                  {freshNew(ConnClass)});
+}
+
+CallStmt *IRBuilder::emitUnbindService() {
+  return emitCall(nullptr, thisLocal(), "unbindService");
+}
+
+CallStmt *IRBuilder::emitRegisterReceiver(Clazz *ReceiverClass) {
+  return emitCall(nullptr, thisLocal(), "registerReceiver",
+                  {freshNew(ReceiverClass)});
+}
+
+CallStmt *IRBuilder::emitUnregisterReceiver() {
+  return emitCall(nullptr, thisLocal(), "unregisterReceiver");
+}
+
+CallStmt *IRBuilder::emitSetOnClickListener(Clazz *ListenerClass) {
+  return emitCall(nullptr, thisLocal(), "setOnClickListener",
+                  {freshNew(ListenerClass)});
+}
+
+CallStmt *IRBuilder::emitRequestLocationUpdates(Clazz *ListenerClass) {
+  return emitCall(nullptr, thisLocal(), "requestLocationUpdates",
+                  {freshNew(ListenerClass)});
+}
+
+CallStmt *IRBuilder::emitPost(Local *HandlerLocal, Clazz *RunnableClass) {
+  return emitCall(nullptr, HandlerLocal, "post", {freshNew(RunnableClass)});
+}
+
+CallStmt *IRBuilder::emitSendMessage(Local *HandlerLocal) {
+  return emitCall(nullptr, HandlerLocal, "sendMessage");
+}
+
+CallStmt *IRBuilder::emitRemoveCallbacksAndMessages(Local *HandlerLocal) {
+  return emitCall(nullptr, HandlerLocal, "removeCallbacksAndMessages");
+}
+
+CallStmt *IRBuilder::emitRunOnUiThread(Clazz *RunnableClass) {
+  return emitCall(nullptr, thisLocal(), "runOnUiThread",
+                  {freshNew(RunnableClass)});
+}
+
+CallStmt *IRBuilder::emitExecuteAsyncTask(Clazz *TaskClass) {
+  return emitCall(nullptr, freshNew(TaskClass), "execute");
+}
+
+CallStmt *IRBuilder::emitStartThread(Clazz *ThreadClass) {
+  return emitCall(nullptr, freshNew(ThreadClass), "start");
+}
+
+CallStmt *IRBuilder::emitPublishProgress() {
+  return emitCall(nullptr, thisLocal(), "publishProgress");
+}
+
+CallStmt *IRBuilder::emitFinish() {
+  return emitCall(nullptr, thisLocal(), "finish");
+}

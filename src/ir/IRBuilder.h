@@ -1,0 +1,156 @@
+//===- ir/IRBuilder.h - Programmatic AIR construction -----------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IRBuilder constructs AIR programs programmatically; the corpus, the
+/// examples, and most tests use it instead of parsing text. It tracks an
+/// insertion point (a stack of blocks, so If/Sync nesting is a matter of
+/// begin/end calls) and offers sugar for the Android framework APIs the
+/// paper's modeling recognizes (§4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_IR_IRBUILDER_H
+#define NADROID_IR_IRBUILDER_H
+
+#include "ir/Stmt.h"
+
+#include <string>
+#include <vector>
+
+namespace nadroid::ir {
+
+/// Builds statements into a method body with RAII-free begin/end nesting.
+class IRBuilder {
+public:
+  explicit IRBuilder(Program &P) : P(P) {}
+
+  Program &program() { return P; }
+
+  //===--------------------------------------------------------------------===//
+  // Declarations
+  //===--------------------------------------------------------------------===//
+
+  /// Creates a class. \p SuperName, when nonempty, must already exist.
+  Clazz *makeClass(const std::string &Name, ClassKind Kind,
+                   const std::string &SuperName = "");
+
+  /// Creates a method on \p C and makes it the insertion point.
+  Method *makeMethod(Clazz *C, const std::string &Name);
+
+  /// Declares a field, optionally typed (typed fields keep loaded values
+  /// resolvable by the syntactic analyses).
+  Field *addField(Clazz *C, const std::string &Name, Clazz *Type = nullptr);
+
+  /// Moves the insertion point to the end of \p M's body.
+  void setInsertMethod(Method *M);
+
+  /// The method currently being built.
+  Method *currentMethod() const { return CurMethod; }
+  /// The class of the method currently being built.
+  Clazz *currentClass() const;
+  /// The `this` local of the current method.
+  Local *thisLocal() const;
+  /// Gets or creates a named local in the current method.
+  Local *local(const std::string &Name);
+
+  //===--------------------------------------------------------------------===//
+  // Core statements (each returns the created statement)
+  //===--------------------------------------------------------------------===//
+
+  /// Dst = new C(); returns Dst for chaining.
+  Local *emitNew(const std::string &DstName, Clazz *C);
+  NewStmt *emitNewInto(Local *Dst, Clazz *C);
+
+  /// Dst = Base.F.
+  LoadStmt *emitLoad(Local *Dst, Local *Base, Field *F);
+  /// Dst = this.FieldName (field resolved on the current class).
+  Local *emitLoadThis(const std::string &DstName,
+                      const std::string &FieldName);
+
+  /// Base.F = Src (Src == nullptr encodes null).
+  StoreStmt *emitStore(Local *Base, Field *F, Local *Src);
+  /// this.FieldName = Src.
+  StoreStmt *emitStoreThis(const std::string &FieldName, Local *Src);
+  /// this.FieldName = null — a "free".
+  StoreStmt *emitFreeThis(const std::string &FieldName);
+
+  CopyStmt *emitCopy(Local *Dst, Local *Src);
+  CallStmt *emitCall(Local *Dst, Local *Recv, const std::string &Callee,
+                     std::vector<Local *> Args = {});
+  ReturnStmt *emitReturn(Local *Src = nullptr);
+
+  /// Sugar: t = this.FieldName; t.use(); — the canonical dereference-use.
+  /// Returns the LoadStmt (the use site the detector reports).
+  LoadStmt *emitUseThis(const std::string &FieldName);
+
+  //===--------------------------------------------------------------------===//
+  // Structured control flow
+  //===--------------------------------------------------------------------===//
+
+  /// Opens `if (Cond != null) {`.
+  IfStmt *beginIfNotNull(Local *Cond);
+  /// Opens `if (Cond == null) {`.
+  IfStmt *beginIfIsNull(Local *Cond);
+  /// Opens an opaque-predicate if (both branches reachable).
+  IfStmt *beginIfUnknown();
+  /// Switches insertion to the else-block of the innermost open if.
+  void beginElse();
+  /// Closes the innermost open if.
+  void endIf();
+
+  /// Opens `synchronized (Lock) {`.
+  SyncStmt *beginSync(Local *Lock);
+  /// Closes the innermost open synchronized.
+  void endSync();
+
+  //===--------------------------------------------------------------------===//
+  // Android framework API sugar (§4's recognized registration/post calls)
+  //===--------------------------------------------------------------------===//
+
+  /// this.bindService(Conn) — Conn freshly allocated from \p ConnClass.
+  CallStmt *emitBindService(Clazz *ConnClass);
+  CallStmt *emitUnbindService();
+  /// this.registerReceiver(R) — R freshly allocated from \p ReceiverClass.
+  CallStmt *emitRegisterReceiver(Clazz *ReceiverClass);
+  CallStmt *emitUnregisterReceiver();
+  /// this.setOnClickListener(L) — L freshly allocated from
+  /// \p ListenerClass.
+  CallStmt *emitSetOnClickListener(Clazz *ListenerClass);
+  /// this.requestLocationUpdates(L).
+  CallStmt *emitRequestLocationUpdates(Clazz *ListenerClass);
+  /// Handler.post: \p HandlerLocal.post(R), R allocated from
+  /// \p RunnableClass.
+  CallStmt *emitPost(Local *HandlerLocal, Clazz *RunnableClass);
+  /// Handler.sendMessage: \p HandlerLocal.sendMessage().
+  CallStmt *emitSendMessage(Local *HandlerLocal);
+  CallStmt *emitRemoveCallbacksAndMessages(Local *HandlerLocal);
+  /// this.runOnUiThread(R), R allocated from \p RunnableClass.
+  CallStmt *emitRunOnUiThread(Clazz *RunnableClass);
+  /// T = new TaskClass(); T.execute();
+  CallStmt *emitExecuteAsyncTask(Clazz *TaskClass);
+  /// T = new ThreadClass(); T.start();
+  CallStmt *emitStartThread(Clazz *ThreadClass);
+  /// this.publishProgress() — inside doInBackground.
+  CallStmt *emitPublishProgress();
+  /// this.finish().
+  CallStmt *emitFinish();
+
+private:
+  Program &P;
+  Method *CurMethod = nullptr;
+  std::vector<Block *> BlockStack;
+  std::vector<IfStmt *> IfStack;
+
+  Block &insertBlock();
+  Field *resolveThisField(const std::string &FieldName);
+  template <typename T, typename... ArgTs> T *create(ArgTs &&...Args);
+  Local *freshNew(Clazz *C);
+};
+
+} // namespace nadroid::ir
+
+#endif // NADROID_IR_IRBUILDER_H

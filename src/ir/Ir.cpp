@@ -1,0 +1,207 @@
+//===- ir/Ir.cpp - AIR program structure implementation -------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Ir.h"
+
+#include "ir/Stmt.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace nadroid;
+using namespace nadroid::ir;
+
+const char *ir::classKindName(ClassKind Kind) {
+  switch (Kind) {
+  case ClassKind::Plain:
+    return "Plain";
+  case ClassKind::Activity:
+    return "Activity";
+  case ClassKind::Service:
+    return "Service";
+  case ClassKind::Receiver:
+    return "Receiver";
+  case ClassKind::Handler:
+    return "Handler";
+  case ClassKind::BackgroundHandler:
+    return "BackgroundHandler";
+  case ClassKind::AsyncTask:
+    return "AsyncTask";
+  case ClassKind::Runnable:
+    return "Runnable";
+  case ClassKind::ThreadClass:
+    return "Thread";
+  case ClassKind::ServiceConnection:
+    return "ServiceConnection";
+  case ClassKind::Listener:
+    return "Listener";
+  case ClassKind::Fragment:
+    return "Fragment";
+  }
+  return "Plain";
+}
+
+bool ir::classKindFromName(const std::string &Name, ClassKind &KindOut) {
+  static const std::pair<const char *, ClassKind> Table[] = {
+      {"Plain", ClassKind::Plain},
+      {"Activity", ClassKind::Activity},
+      {"Service", ClassKind::Service},
+      {"Receiver", ClassKind::Receiver},
+      {"Handler", ClassKind::Handler},
+      {"BackgroundHandler", ClassKind::BackgroundHandler},
+      {"AsyncTask", ClassKind::AsyncTask},
+      {"Runnable", ClassKind::Runnable},
+      {"Thread", ClassKind::ThreadClass},
+      {"ServiceConnection", ClassKind::ServiceConnection},
+      {"Listener", ClassKind::Listener},
+      {"Fragment", ClassKind::Fragment},
+  };
+  for (const auto &[N, K] : Table) {
+    if (Name == N) {
+      KindOut = K;
+      return true;
+    }
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Field
+//===----------------------------------------------------------------------===//
+
+std::string Field::qualifiedName() const {
+  return Parent->name() + "." + Name;
+}
+
+//===----------------------------------------------------------------------===//
+// Method
+//===----------------------------------------------------------------------===//
+
+Method::Method(Clazz *Parent, std::string Name, unsigned Id, SourceLoc Loc)
+    : Parent(Parent), Name(std::move(Name)), Id(Id), Loc(Loc),
+      Body(std::make_unique<Block>()) {
+  This = createLocal("this");
+}
+
+Method::~Method() = default;
+
+std::string Method::qualifiedName() const {
+  return Parent->name() + "." + Name;
+}
+
+Local *Method::createLocal(std::string LocalName) {
+  Locals.push_back(std::make_unique<Local>(
+      this, std::move(LocalName), Parent->program()->nextLocalId()));
+  return Locals.back().get();
+}
+
+Local *Method::addParam(std::string ParamName) {
+  assert(!findLocal(ParamName) && "parameter shadows an existing local");
+  Local *L = createLocal(std::move(ParamName));
+  Params.push_back(L);
+  return L;
+}
+
+Local *Method::getOrCreateLocal(std::string LocalName) {
+  if (Local *L = findLocal(LocalName))
+    return L;
+  return createLocal(std::move(LocalName));
+}
+
+Local *Method::makeTemp() {
+  return createLocal("$t" + std::to_string(NextTemp++));
+}
+
+Local *Method::findLocal(const std::string &LocalName) const {
+  for (const auto &L : Locals)
+    if (L->name() == LocalName)
+      return L.get();
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Clazz
+//===----------------------------------------------------------------------===//
+
+Field *Clazz::addField(std::string FieldName, SourceLoc Loc) {
+  assert(!findField(FieldName) && "duplicate field");
+  Fields.push_back(std::make_unique<Field>(this, std::move(FieldName),
+                                           Parent->nextFieldId(), Loc));
+  return Fields.back().get();
+}
+
+Field *Clazz::findField(const std::string &FieldName) const {
+  for (const Clazz *C = this; C; C = C->Super)
+    for (const auto &F : C->Fields)
+      if (F->name() == FieldName)
+        return F.get();
+  return nullptr;
+}
+
+Method *Clazz::addMethod(std::string MethodName, SourceLoc Loc) {
+  assert(!findOwnMethod(MethodName) && "duplicate method");
+  Methods.push_back(std::make_unique<Method>(this, std::move(MethodName),
+                                             Parent->nextDeclId(), Loc));
+  return Methods.back().get();
+}
+
+Method *Clazz::findOwnMethod(const std::string &MethodName) const {
+  for (const auto &M : Methods)
+    if (M->name() == MethodName)
+      return M.get();
+  return nullptr;
+}
+
+Method *Clazz::findMethod(const std::string &MethodName) const {
+  for (const Clazz *C = this; C; C = C->Super)
+    if (Method *M = C->findOwnMethod(MethodName))
+      return M;
+  return nullptr;
+}
+
+bool Clazz::isSubclassOf(const Clazz *Other) const {
+  for (const Clazz *C = this; C; C = C->Super)
+    if (C == Other)
+      return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Program
+//===----------------------------------------------------------------------===//
+
+Clazz *Program::addClass(std::string ClassName, ClassKind Kind,
+                         SourceLoc Loc) {
+  assert(!findClass(ClassName) && "duplicate class");
+  Classes.push_back(std::make_unique<Clazz>(this, ClassName, Kind,
+                                            nextDeclId(), Loc));
+  Clazz *C = Classes.back().get();
+  ClassByName.emplace(std::move(ClassName), C);
+  return C;
+}
+
+Clazz *Program::findClass(const std::string &ClassName) const {
+  auto It = ClassByName.find(ClassName);
+  return It == ClassByName.end() ? nullptr : It->second;
+}
+
+void Program::addManifestComponent(Clazz *C) {
+  assert(C && "null manifest component");
+  if (!isManifestComponent(C))
+    Manifest.push_back(C);
+}
+
+bool Program::isManifestComponent(const Clazz *C) const {
+  return std::find(Manifest.begin(), Manifest.end(), C) != Manifest.end();
+}
+
+unsigned Program::statementCount() const {
+  unsigned Count = 0;
+  for (const auto &C : Classes)
+    for (const auto &M : C->methods())
+      forEachStmt(*M, [&](const Stmt &) { ++Count; });
+  return Count;
+}

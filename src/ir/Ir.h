@@ -1,0 +1,263 @@
+//===- ir/Ir.h - AIR program structure declarations -------------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The AIR (Android mini-IR) program structure: Program, Clazz, Field,
+/// Method, and Local. AIR plays the role Jimple plays for the original
+/// nAdroid: a three-address, statement-oriented view of an Android app that
+/// exposes exactly the surface the analyses consume — field loads/stores,
+/// allocations, calls (including Android framework APIs), null-guards,
+/// monitors, and returns. Statements live in ir/Stmt.h.
+///
+/// Ownership: a Program owns its classes; a Clazz owns its fields and
+/// methods; a Method owns its locals and its body. Everything else refers
+/// by raw pointer, LLVM-style.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_IR_IR_H
+#define NADROID_IR_IR_H
+
+#include "support/SourceLoc.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace nadroid::ir {
+
+class Program;
+class Clazz;
+class Field;
+class Method;
+class Block;
+
+/// The Android-relevant role of a class. Mirrors the component and
+/// concurrency-construct taxonomy of §2.1/§4 of the paper.
+enum class ClassKind {
+  Plain,             ///< Ordinary Java class.
+  Activity,          ///< android.app.Activity subclass.
+  Service,           ///< android.app.Service subclass.
+  Receiver,          ///< android.content.BroadcastReceiver subclass.
+  Handler,           ///< android.os.Handler subclass (UI looper).
+  BackgroundHandler, ///< Handler bound to its own HandlerThread looper —
+                     ///< the multi-looper case of §8.1, where callbacks
+                     ///< are atomic only against callbacks of the *same*
+                     ///< looper.
+  AsyncTask,         ///< android.os.AsyncTask subclass.
+  Runnable,          ///< java.lang.Runnable implementation.
+  ThreadClass,       ///< java.lang.Thread subclass.
+  ServiceConnection, ///< android.content.ServiceConnection implementation.
+  Listener,          ///< UI/system listener (OnClickListener, ...).
+  Fragment,          ///< android.app.Fragment — unsupported by nAdroid's
+                     ///< modeling (paper §8.1); kept so the DEvA baseline
+                     ///< can still analyze it (Table 3 Browser row).
+};
+
+/// Returns a stable printable name ("Activity", "Runnable", ...).
+const char *classKindName(ClassKind Kind);
+
+/// Parses \p Name back to a kind; returns false if unknown.
+bool classKindFromName(const std::string &Name, ClassKind &KindOut);
+
+/// A named reference-typed instance field.
+class Field {
+public:
+  Field(Clazz *Parent, std::string Name, unsigned Id, SourceLoc Loc)
+      : Parent(Parent), Name(std::move(Name)), Id(Id), Loc(Loc) {}
+
+  Clazz *parent() const { return Parent; }
+  const std::string &name() const { return Name; }
+  /// Program-unique field id.
+  unsigned id() const { return Id; }
+  SourceLoc loc() const { return Loc; }
+
+  /// Optional declared (static) type. Loads from a typed field let the
+  /// frontend and the syntactic analyses resolve members on the loaded
+  /// value; untyped fields are opaque, like erased framework references.
+  Clazz *declaredType() const { return DeclaredType; }
+  void setDeclaredType(Clazz *T) { DeclaredType = T; }
+
+  /// "Owner.field" for reports.
+  std::string qualifiedName() const;
+
+private:
+  Clazz *Parent;
+  std::string Name;
+  unsigned Id;
+  SourceLoc Loc;
+  Clazz *DeclaredType = nullptr;
+};
+
+/// A method-scoped SSA-less local variable (three-address temporaries and
+/// named source locals alike). Each method has an implicit `this` local.
+class Local {
+public:
+  Local(Method *Parent, std::string Name, unsigned Id)
+      : Parent(Parent), Name(std::move(Name)), Id(Id) {}
+
+  Method *parent() const { return Parent; }
+  const std::string &name() const { return Name; }
+  /// Program-unique local id.
+  unsigned id() const { return Id; }
+  bool isThis() const { return Name == "this"; }
+
+private:
+  Method *Parent;
+  std::string Name;
+  unsigned Id;
+};
+
+/// An instance method with a structured statement body.
+class Method {
+public:
+  Method(Clazz *Parent, std::string Name, unsigned Id, SourceLoc Loc);
+  ~Method();
+
+  Clazz *parent() const { return Parent; }
+  const std::string &name() const { return Name; }
+  unsigned id() const { return Id; }
+  SourceLoc loc() const { return Loc; }
+
+  /// "Owner.method" for reports.
+  std::string qualifiedName() const;
+
+  /// The implicit receiver local.
+  Local *thisLocal() const { return This; }
+
+  /// Declares a parameter local (after `this`).
+  Local *addParam(std::string Name);
+  const std::vector<Local *> &params() const { return Params; }
+
+  /// Gets or creates a body local named \p Name.
+  Local *getOrCreateLocal(std::string Name);
+  /// Creates a fresh compiler temporary (named "$tN").
+  Local *makeTemp();
+  /// Returns the local named \p Name or nullptr.
+  Local *findLocal(const std::string &Name) const;
+  const std::vector<std::unique_ptr<Local>> &locals() const { return Locals; }
+
+  Block &body() { return *Body; }
+  const Block &body() const { return *Body; }
+
+private:
+  Clazz *Parent;
+  std::string Name;
+  unsigned Id;
+  SourceLoc Loc;
+  Local *This = nullptr;
+  std::vector<Local *> Params;
+  std::vector<std::unique_ptr<Local>> Locals;
+  std::unique_ptr<Block> Body;
+  unsigned NextTemp = 0;
+
+  Local *createLocal(std::string Name);
+};
+
+/// A class: kind + optional superclass + optional lexical outer class
+/// (inner classes matter only to the DEvA baseline's intra-class scope).
+class Clazz {
+public:
+  Clazz(Program *Parent, std::string Name, ClassKind Kind, unsigned Id,
+        SourceLoc Loc)
+      : Parent(Parent), Name(std::move(Name)), Kind(Kind), Id(Id), Loc(Loc) {}
+
+  Program *program() const { return Parent; }
+  const std::string &name() const { return Name; }
+  ClassKind kind() const { return Kind; }
+  unsigned id() const { return Id; }
+  SourceLoc loc() const { return Loc; }
+
+  Clazz *superClass() const { return Super; }
+  void setSuperClass(Clazz *S) { Super = S; }
+
+  Clazz *outerClass() const { return Outer; }
+  void setOuterClass(Clazz *O) { Outer = O; }
+
+  /// Adds a field; name must be unique within this class.
+  Field *addField(std::string Name, SourceLoc Loc = SourceLoc());
+  /// Looks a field up in this class and its superclasses.
+  Field *findField(const std::string &Name) const;
+  const std::vector<std::unique_ptr<Field>> &fields() const { return Fields; }
+
+  /// Adds a method; name must be unique within this class.
+  Method *addMethod(std::string Name, SourceLoc Loc = SourceLoc());
+  /// Looks a method up in this class and its superclasses (virtual
+  /// dispatch resolution for a receiver of this runtime class).
+  Method *findMethod(const std::string &Name) const;
+  /// Looks only in this class.
+  Method *findOwnMethod(const std::string &Name) const;
+  const std::vector<std::unique_ptr<Method>> &methods() const {
+    return Methods;
+  }
+
+  /// True if this class equals \p Other or transitively extends it.
+  bool isSubclassOf(const Clazz *Other) const;
+
+private:
+  Program *Parent;
+  std::string Name;
+  ClassKind Kind;
+  unsigned Id;
+  SourceLoc Loc;
+  Clazz *Super = nullptr;
+  Clazz *Outer = nullptr;
+  std::vector<std::unique_ptr<Field>> Fields;
+  std::vector<std::unique_ptr<Method>> Methods;
+};
+
+/// A whole application: classes plus the "manifest" list of component
+/// classes the Android runtime instantiates directly (nAdroid reads this
+/// from the APK manifest; AIR declares it with `manifest C;`).
+class Program {
+public:
+  explicit Program(std::string Name = "app") : Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+  SourceManager &sourceManager() { return SM; }
+  const SourceManager &sourceManager() const { return SM; }
+
+  /// Creates a class; the name must be unused.
+  Clazz *addClass(std::string ClassName, ClassKind Kind,
+                  SourceLoc Loc = SourceLoc());
+  /// Returns the class named \p ClassName or nullptr.
+  Clazz *findClass(const std::string &ClassName) const;
+  const std::vector<std::unique_ptr<Clazz>> &classes() const {
+    return Classes;
+  }
+
+  /// Declares \p C as a manifest-launched component.
+  void addManifestComponent(Clazz *C);
+  const std::vector<Clazz *> &manifestComponents() const {
+    return Manifest;
+  }
+  bool isManifestComponent(const Clazz *C) const;
+
+  /// Id allocators shared program-wide so sites are globally unique.
+  unsigned nextStmtId() { return NextStmtId++; }
+  unsigned nextLocalId() { return NextLocalId++; }
+  unsigned nextFieldId() { return NextFieldId++; }
+  unsigned nextDeclId() { return NextDeclId++; }
+
+  /// Total number of statements (recursive); AIR's "LOC" proxy in Table 1.
+  unsigned statementCount() const;
+
+private:
+  std::string Name;
+  SourceManager SM;
+  std::vector<std::unique_ptr<Clazz>> Classes;
+  std::unordered_map<std::string, Clazz *> ClassByName;
+  std::vector<Clazz *> Manifest;
+  unsigned NextStmtId = 0;
+  unsigned NextLocalId = 0;
+  unsigned NextFieldId = 0;
+  unsigned NextDeclId = 0;
+};
+
+} // namespace nadroid::ir
+
+#endif // NADROID_IR_IR_H

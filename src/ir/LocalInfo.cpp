@@ -1,0 +1,169 @@
+//===- ir/LocalInfo.cpp - Intra-method local/use summaries -----------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/LocalInfo.h"
+
+using namespace nadroid;
+using namespace nadroid::ir;
+
+LocalTypeInference::LocalTypeInference(const Method &M) : M(M) {
+  forEachStmt(M, [&](const Stmt &S) {
+    if (const auto *New = dyn_cast<NewStmt>(&S))
+      NewDefs[New->dst()].insert(New->allocClass());
+    else if (const auto *Copy = dyn_cast<CopyStmt>(&S))
+      CopyDefs[Copy->dst()].insert(Copy->src());
+    else if (const auto *Load = dyn_cast<LoadStmt>(&S)) {
+      // A typed field contributes its declared class (CHA-style: a
+      // subclass instance is approximated by the declared class).
+      if (Clazz *T = Load->field()->declaredType())
+        NewDefs[Load->dst()].insert(T);
+      else
+        Opaque.insert(Load->dst());
+    } else if (const auto *Call = dyn_cast<CallStmt>(&S)) {
+      if (Call->dst())
+        Opaque.insert(Call->dst());
+    }
+  });
+  for (const Local *Param : M.params())
+    Opaque.insert(Param);
+}
+
+void LocalTypeInference::walk(const Local *L, LocalClassSet &Result,
+                              std::set<const Local *> &Visited) const {
+  if (!Visited.insert(L).second)
+    return;
+  if (L->isThis()) {
+    Result.Classes.insert(M.parent());
+    return;
+  }
+  if (Opaque.count(L))
+    Result.Unknown = true;
+  if (auto It = NewDefs.find(L); It != NewDefs.end())
+    Result.Classes.insert(It->second.begin(), It->second.end());
+  if (auto It = CopyDefs.find(L); It != CopyDefs.end())
+    for (const Local *Src : It->second)
+      walk(Src, Result, Visited);
+  // A local with no defs at all (e.g. never assigned) is treated as
+  // opaque: the verifier flags it, but analyses must stay total.
+  if (!Opaque.count(L) && !NewDefs.count(L) && !CopyDefs.count(L) &&
+      !L->isThis())
+    Result.Unknown = true;
+}
+
+LocalClassSet LocalTypeInference::query(const Local *L) const {
+  LocalClassSet Result;
+  std::set<const Local *> Visited;
+  walk(L, Result, Visited);
+  return Result;
+}
+
+LocalClassSet ir::inferLocalClasses(const Method &M, const Local *L) {
+  return LocalTypeInference(M).query(L);
+}
+
+std::map<const LoadStmt *, LoadConsumers>
+ir::computeLoadConsumers(const Method &M) {
+  // Map each local to the loads that define it, then attribute consumers.
+  std::map<const Local *, std::vector<const LoadStmt *>> LoadsOf;
+  forEachStmt(M, [&](const Stmt &S) {
+    if (const auto *Load = dyn_cast<LoadStmt>(&S))
+      LoadsOf[Load->dst()].push_back(Load);
+  });
+
+  std::map<const LoadStmt *, LoadConsumers> Result;
+  for (const auto &[L, Loads] : LoadsOf)
+    for (const LoadStmt *Load : Loads)
+      Result[Load]; // ensure every load has an entry
+
+  auto Mark = [&](const Local *L, auto Setter) {
+    auto It = LoadsOf.find(L);
+    if (It == LoadsOf.end())
+      return;
+    for (const LoadStmt *Load : It->second)
+      Setter(Result[Load]);
+  };
+
+  forEachStmt(M, [&](const Stmt &S) {
+    switch (S.kind()) {
+    case Stmt::Kind::Call: {
+      const auto *Call = cast<CallStmt>(&S);
+      Mark(Call->recv(), [](LoadConsumers &C) { C.Dereferenced = true; });
+      for (const Local *Arg : Call->args())
+        Mark(Arg, [](LoadConsumers &C) { C.PassedAsArg = true; });
+      break;
+    }
+    case Stmt::Kind::Return: {
+      const auto *Ret = cast<ReturnStmt>(&S);
+      if (Ret->src())
+        Mark(Ret->src(), [](LoadConsumers &C) { C.Returned = true; });
+      break;
+    }
+    case Stmt::Kind::If: {
+      const auto *If = cast<IfStmt>(&S);
+      if (If->cond())
+        Mark(If->cond(), [](LoadConsumers &C) { C.NullCompared = true; });
+      break;
+    }
+    case Stmt::Kind::Store: {
+      const auto *Store = cast<StoreStmt>(&S);
+      if (Store->src())
+        Mark(Store->src(), [](LoadConsumers &C) { C.StoredToField = true; });
+      break;
+    }
+    case Stmt::Kind::Copy: {
+      const auto *Copy = cast<CopyStmt>(&S);
+      Mark(Copy->src(), [](LoadConsumers &C) { C.CopiedOut = true; });
+      break;
+    }
+    case Stmt::Kind::Sync: {
+      const auto *Sync = cast<SyncStmt>(&S);
+      Mark(Sync->lock(), [](LoadConsumers &C) { C.SyncedOn = true; });
+      break;
+    }
+    case Stmt::Kind::New:
+    case Stmt::Kind::Load:
+      break;
+    }
+  });
+  return Result;
+}
+
+bool ir::isGetterMethod(const Method &M, Field **FieldOut) {
+  // Pattern: the body contains exactly one load of this.F and every return
+  // returns that loaded local (guards around it are permitted).
+  const LoadStmt *TheLoad = nullptr;
+  bool Disqualified = false;
+  unsigned Returns = 0;
+  forEachStmt(M, [&](const Stmt &S) {
+    switch (S.kind()) {
+    case Stmt::Kind::Load: {
+      const auto *Load = cast<LoadStmt>(&S);
+      if (TheLoad || !Load->base()->isThis())
+        Disqualified = true;
+      else
+        TheLoad = Load;
+      break;
+    }
+    case Stmt::Kind::Return: {
+      const auto *Ret = cast<ReturnStmt>(&S);
+      ++Returns;
+      if (!Ret->src() || !TheLoad || Ret->src() != TheLoad->dst())
+        Disqualified = true;
+      break;
+    }
+    case Stmt::Kind::If:
+      break; // guards permitted
+    default:
+      Disqualified = true;
+      break;
+    }
+  });
+  if (Disqualified || !TheLoad || Returns == 0)
+    return false;
+  if (FieldOut)
+    *FieldOut = TheLoad->field();
+  return true;
+}

@@ -1,0 +1,103 @@
+//===- ir/LocalInfo.h - Intra-method local/use summaries --------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two cheap intra-procedural summaries used throughout the pipeline:
+///
+///  * inferLocalClasses — the set of classes a local may hold, derived by a
+///    flow-insensitive walk over New/Copy defs. This is how the frontend
+///    resolves fields on non-this bases, how the android module classifies
+///    framework API calls (receiver kind), and how threadification resolves
+///    which callback class a registration installs. When a def is opaque
+///    (field load, call result, parameter), the summary is marked Unknown —
+///    reproducing the static imprecision the paper observes when objects
+///    round-trip through the framework (Table 2's detection misses).
+///
+///  * LoadConsumers — for each LoadStmt, how its destination local is
+///    consumed within the method (dereference, call argument, return,
+///    null-comparison, stored onward). The UR filter (§6.2.3) prunes uses
+///    whose value only flows to returns/arguments/comparisons.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_IR_LOCALINFO_H
+#define NADROID_IR_LOCALINFO_H
+
+#include "ir/Stmt.h"
+
+#include <map>
+#include <set>
+
+namespace nadroid::ir {
+
+/// Result of inferLocalClasses.
+struct LocalClassSet {
+  /// Classes from New defs (and `this`).
+  std::set<Clazz *> Classes;
+  /// True when some def is opaque (load/call/param): the set is a lower
+  /// bound on the possible runtime classes.
+  bool Unknown = false;
+
+  /// The single inferred class, or nullptr when empty or ambiguous.
+  Clazz *uniqueClass() const {
+    return (Classes.size() == 1 && !Unknown) ? *Classes.begin() : nullptr;
+  }
+};
+
+/// Reusable per-method inference: builds the def index once, then answers
+/// queries in O(defs of the queried chain). Prefer this over repeated
+/// inferLocalClasses calls when classifying many statements of one method.
+class LocalTypeInference {
+public:
+  explicit LocalTypeInference(const Method &M);
+
+  /// The may-class set of \p L.
+  LocalClassSet query(const Local *L) const;
+
+private:
+  const Method &M;
+  std::map<const Local *, std::set<Clazz *>> NewDefs;
+  std::map<const Local *, std::set<const Local *>> CopyDefs;
+  std::set<const Local *> Opaque;
+
+  void walk(const Local *L, LocalClassSet &Result,
+            std::set<const Local *> &Visited) const;
+};
+
+/// Computes the may-class set of \p L within \p M (flow-insensitive).
+/// One-shot convenience over LocalTypeInference.
+LocalClassSet inferLocalClasses(const Method &M, const Local *L);
+
+/// How a loaded value is consumed downstream (flow-insensitive, within the
+/// defining method).
+struct LoadConsumers {
+  bool Dereferenced = false;  ///< used as a call receiver
+  bool PassedAsArg = false;   ///< used as a call argument
+  bool Returned = false;      ///< used as a return operand
+  bool NullCompared = false;  ///< used as an if-null condition
+  bool StoredToField = false; ///< stored into some field
+  bool CopiedOut = false;     ///< copied to another local
+  bool SyncedOn = false;      ///< used as a synchronized lock
+
+  /// The UR-filter notion of a benign use: the value flows only into
+  /// returns, call arguments, and null comparisons (§6.2.3).
+  bool isReturnOrCompareOnly() const {
+    return !Dereferenced && !StoredToField && !CopiedOut && !SyncedOn &&
+           (Returned || PassedAsArg || NullCompared);
+  }
+};
+
+/// Computes consumer summaries for every LoadStmt in \p M.
+std::map<const LoadStmt *, LoadConsumers> computeLoadConsumers(const Method &M);
+
+/// True when \p M is a "getter": its body (ignoring guards) just returns
+/// the value of a field of `this`. Used by the MA and UR filters.
+/// \p FieldOut receives the returned field when the result is true.
+bool isGetterMethod(const Method &M, Field **FieldOut = nullptr);
+
+} // namespace nadroid::ir
+
+#endif // NADROID_IR_LOCALINFO_H

@@ -1,0 +1,179 @@
+//===- ir/Printer.cpp - AIR textual output ---------------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include <sstream>
+
+using namespace nadroid;
+using namespace nadroid::ir;
+
+namespace {
+
+class PrinterImpl {
+public:
+  explicit PrinterImpl(std::ostream &OS) : OS(OS) {}
+
+  void printProgram(const Program &P) {
+    OS << "app \"" << P.name() << "\";\n";
+    for (const Clazz *C : P.manifestComponents())
+      OS << "manifest " << C->name() << ";\n";
+    for (const auto &C : P.classes()) {
+      OS << "\n";
+      printClass(*C);
+    }
+  }
+
+  void printClass(const Clazz &C) {
+    OS << "class " << C.name() << " : " << classKindName(C.kind());
+    if (C.superClass())
+      OS << " extends " << C.superClass()->name();
+    if (C.outerClass())
+      OS << " outer " << C.outerClass()->name();
+    OS << " {\n";
+    for (const auto &F : C.fields()) {
+      OS << "  field " << F->name();
+      if (F->declaredType())
+        OS << " : " << F->declaredType()->name();
+      OS << ";\n";
+    }
+    for (const auto &M : C.methods()) {
+      OS << "\n";
+      printMethod(*M);
+    }
+    OS << "}\n";
+  }
+
+  void printMethod(const Method &M) {
+    OS << "  method " << M.name() << "(";
+    for (size_t I = 0; I < M.params().size(); ++I) {
+      if (I != 0)
+        OS << ", ";
+      OS << M.params()[I]->name();
+    }
+    OS << ") {\n";
+    printBlock(M.body(), 2);
+    OS << "  }\n";
+  }
+
+  void printBlock(const Block &B, unsigned Depth) {
+    for (const auto &S : B.stmts()) {
+      indent(Depth);
+      printStmt(*S, Depth);
+      OS << "\n";
+    }
+  }
+
+  void printStmt(const Stmt &S, unsigned Depth) {
+    switch (S.kind()) {
+    case Stmt::Kind::New: {
+      const auto *New = cast<NewStmt>(&S);
+      OS << New->dst()->name() << " = new " << New->allocClass()->name()
+         << ";";
+      return;
+    }
+    case Stmt::Kind::Load: {
+      const auto *Load = cast<LoadStmt>(&S);
+      OS << Load->dst()->name() << " = " << Load->base()->name() << "."
+         << Load->field()->name() << ";";
+      return;
+    }
+    case Stmt::Kind::Store: {
+      const auto *Store = cast<StoreStmt>(&S);
+      OS << Store->base()->name() << "." << Store->field()->name() << " = "
+         << (Store->src() ? Store->src()->name() : "null") << ";";
+      return;
+    }
+    case Stmt::Kind::Copy: {
+      const auto *Copy = cast<CopyStmt>(&S);
+      OS << Copy->dst()->name() << " = " << Copy->src()->name() << ";";
+      return;
+    }
+    case Stmt::Kind::Call: {
+      const auto *Call = cast<CallStmt>(&S);
+      if (Call->dst())
+        OS << Call->dst()->name() << " = ";
+      OS << Call->recv()->name() << "." << Call->callee() << "(";
+      for (size_t I = 0; I < Call->args().size(); ++I) {
+        if (I != 0)
+          OS << ", ";
+        OS << Call->args()[I]->name();
+      }
+      OS << ");";
+      return;
+    }
+    case Stmt::Kind::Return: {
+      const auto *Ret = cast<ReturnStmt>(&S);
+      if (Ret->src())
+        OS << "return " << Ret->src()->name() << ";";
+      else
+        OS << "return;";
+      return;
+    }
+    case Stmt::Kind::If: {
+      const auto *If = cast<IfStmt>(&S);
+      switch (If->test()) {
+      case IfStmt::TestKind::NotNull:
+        OS << "if (" << If->cond()->name() << " != null) {\n";
+        break;
+      case IfStmt::TestKind::IsNull:
+        OS << "if (" << If->cond()->name() << " == null) {\n";
+        break;
+      case IfStmt::TestKind::Unknown:
+        OS << "if (?) {\n";
+        break;
+      }
+      printBlock(If->thenBlock(), Depth + 1);
+      if (!If->elseBlock().empty()) {
+        indent(Depth);
+        OS << "} else {\n";
+        printBlock(If->elseBlock(), Depth + 1);
+      }
+      indent(Depth);
+      OS << "}";
+      return;
+    }
+    case Stmt::Kind::Sync: {
+      const auto *Sync = cast<SyncStmt>(&S);
+      OS << "synchronized (" << Sync->lock()->name() << ") {\n";
+      printBlock(Sync->body(), Depth + 1);
+      indent(Depth);
+      OS << "}";
+      return;
+    }
+    }
+  }
+
+private:
+  std::ostream &OS;
+
+  void indent(unsigned Depth) {
+    for (unsigned I = 0; I < Depth; ++I)
+      OS << "  ";
+  }
+};
+
+} // namespace
+
+void ir::printProgram(const Program &P, std::ostream &OS) {
+  PrinterImpl(OS).printProgram(P);
+}
+
+std::string ir::programToString(const Program &P) {
+  std::ostringstream OS;
+  printProgram(P, OS);
+  return OS.str();
+}
+
+void ir::printStmt(const Stmt &S, std::ostream &OS) {
+  PrinterImpl(OS).printStmt(S, 0);
+}
+
+std::string ir::stmtToString(const Stmt &S) {
+  std::ostringstream OS;
+  printStmt(S, OS);
+  return OS.str();
+}

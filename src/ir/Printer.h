@@ -1,0 +1,38 @@
+//===- ir/Printer.h - AIR textual output ------------------------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints AIR programs in the concrete syntax the frontend parses; the
+/// printer and parser round-trip (print ∘ parse ∘ print is a fixpoint),
+/// which the property tests rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_IR_PRINTER_H
+#define NADROID_IR_PRINTER_H
+
+#include "ir/Stmt.h"
+
+#include <ostream>
+#include <string>
+
+namespace nadroid::ir {
+
+/// Prints \p P as AIR source text.
+void printProgram(const Program &P, std::ostream &OS);
+
+/// Renders \p P to a string (convenience for tests).
+std::string programToString(const Program &P);
+
+/// Prints a single statement (no trailing newline) — used in reports.
+void printStmt(const Stmt &S, std::ostream &OS);
+
+/// Renders one statement to a string.
+std::string stmtToString(const Stmt &S);
+
+} // namespace nadroid::ir
+
+#endif // NADROID_IR_PRINTER_H

@@ -1,0 +1,47 @@
+//===- ir/Stmt.cpp - AIR statement AST implementation ----------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Stmt.h"
+
+#include <cassert>
+
+using namespace nadroid;
+using namespace nadroid::ir;
+
+Block::~Block() = default;
+
+Stmt *Block::append(std::unique_ptr<Stmt> S) {
+  assert(S && "appending null statement");
+  Stmts.push_back(std::move(S));
+  return Stmts.back().get();
+}
+
+template <typename BlockT, typename Fn>
+static void walkBlock(BlockT &B, const Fn &Callback) {
+  for (auto &S : B.stmts()) {
+    Callback(*S);
+    if (auto *If = dyn_cast<IfStmt>(S.get())) {
+      walkBlock(If->thenBlock(), Callback);
+      walkBlock(If->elseBlock(), Callback);
+    } else if (auto *Sync = dyn_cast<SyncStmt>(S.get())) {
+      walkBlock(Sync->body(), Callback);
+    }
+  }
+}
+
+void ir::forEachStmt(const Block &B,
+                     const std::function<void(const Stmt &)> &Fn) {
+  walkBlock(B, Fn);
+}
+
+void ir::forEachStmt(Block &B, const std::function<void(Stmt &)> &Fn) {
+  walkBlock(B, Fn);
+}
+
+void ir::forEachStmt(const Method &M,
+                     const std::function<void(const Stmt &)> &Fn) {
+  walkBlock(M.body(), Fn);
+}

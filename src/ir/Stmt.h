@@ -1,0 +1,269 @@
+//===- ir/Stmt.h - AIR statement AST ----------------------------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured statement AST of AIR. Statements are deliberately close
+/// to the Jimple subset nAdroid's analyses consume:
+///
+///   NewStmt      Dst = new C()            — allocation site
+///   LoadStmt     Dst = Base.F             — getfield: the "use" of §5
+///   StoreStmt    Base.F = Src | null      — putfield: null is the "free"
+///   CopyStmt     Dst = Src | this
+///   CallStmt     [Dst =] Recv.name(Args)  — virtual invoke (incl. Android
+///                                           framework APIs)
+///   ReturnStmt   return [Src]
+///   IfStmt       if (Cond ==/!= null) Then [else Else]
+///   SyncStmt     synchronized (Lock) Body — monitorenter/exit region
+///
+/// Structured control flow (rather than a CFG) is sufficient: the paper's
+/// intra-procedural analyses (if-guard dominance, intra-allocation
+/// dataflow) are defined on exactly this nesting structure, and the
+/// detector itself is flow-insensitive.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_IR_STMT_H
+#define NADROID_IR_STMT_H
+
+#include "ir/Ir.h"
+#include "support/Casting.h"
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace nadroid::ir {
+
+class Stmt;
+
+/// An ordered, owning sequence of statements.
+class Block {
+public:
+  Block() = default;
+  Block(const Block &) = delete;
+  Block &operator=(const Block &) = delete;
+  ~Block();
+
+  Stmt *append(std::unique_ptr<Stmt> S);
+  const std::vector<std::unique_ptr<Stmt>> &stmts() const { return Stmts; }
+  bool empty() const { return Stmts.empty(); }
+  size_t size() const { return Stmts.size(); }
+
+private:
+  std::vector<std::unique_ptr<Stmt>> Stmts;
+};
+
+/// Base statement. Subclasses carry operands; identity (for "site" keys in
+/// the analyses) is the program-unique Id.
+class Stmt {
+public:
+  enum class Kind : uint8_t {
+    New,
+    Load,
+    Store,
+    Copy,
+    Call,
+    Return,
+    If,
+    Sync,
+  };
+
+  Kind kind() const { return K; }
+  unsigned id() const { return Id; }
+  SourceLoc loc() const { return Loc; }
+  /// The method whose body (transitively) contains this statement.
+  Method *parentMethod() const { return Parent; }
+
+  virtual ~Stmt() = default;
+
+protected:
+  Stmt(Kind K, Method *Parent, unsigned Id, SourceLoc Loc)
+      : K(K), Parent(Parent), Id(Id), Loc(Loc) {}
+
+private:
+  Kind K;
+  Method *Parent;
+  unsigned Id;
+  SourceLoc Loc;
+};
+
+/// Dst = new C()
+class NewStmt : public Stmt {
+public:
+  NewStmt(Method *Parent, unsigned Id, SourceLoc Loc, Local *Dst,
+          Clazz *AllocClass)
+      : Stmt(Kind::New, Parent, Id, Loc), Dst(Dst), AllocClass(AllocClass) {}
+
+  Local *dst() const { return Dst; }
+  Clazz *allocClass() const { return AllocClass; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::New; }
+
+private:
+  Local *Dst;
+  Clazz *AllocClass;
+};
+
+/// Dst = Base.F — a getfield, i.e. a potential "use".
+class LoadStmt : public Stmt {
+public:
+  LoadStmt(Method *Parent, unsigned Id, SourceLoc Loc, Local *Dst,
+           Local *Base, Field *F)
+      : Stmt(Kind::Load, Parent, Id, Loc), Dst(Dst), Base(Base), F(F) {}
+
+  Local *dst() const { return Dst; }
+  Local *base() const { return Base; }
+  Field *field() const { return F; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Load; }
+
+private:
+  Local *Dst;
+  Local *Base;
+  Field *F;
+};
+
+/// Base.F = Src, or Base.F = null when Src is nullptr — a putfield; the
+/// null form is the "free" of §5.
+class StoreStmt : public Stmt {
+public:
+  StoreStmt(Method *Parent, unsigned Id, SourceLoc Loc, Local *Base, Field *F,
+            Local *Src)
+      : Stmt(Kind::Store, Parent, Id, Loc), Base(Base), F(F), Src(Src) {}
+
+  Local *base() const { return Base; }
+  Field *field() const { return F; }
+  /// nullptr encodes the null constant.
+  Local *src() const { return Src; }
+  bool isNullStore() const { return Src == nullptr; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Store; }
+
+private:
+  Local *Base;
+  Field *F;
+  Local *Src;
+};
+
+/// Dst = Src (Src may be the `this` local).
+class CopyStmt : public Stmt {
+public:
+  CopyStmt(Method *Parent, unsigned Id, SourceLoc Loc, Local *Dst, Local *Src)
+      : Stmt(Kind::Copy, Parent, Id, Loc), Dst(Dst), Src(Src) {}
+
+  Local *dst() const { return Dst; }
+  Local *src() const { return Src; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Copy; }
+
+private:
+  Local *Dst;
+  Local *Src;
+};
+
+/// [Dst =] Recv.Callee(Args...). All calls are virtual invokes on a
+/// receiver local; Android framework APIs are calls whose (receiver kind,
+/// name) pair the android module classifies specially.
+class CallStmt : public Stmt {
+public:
+  CallStmt(Method *Parent, unsigned Id, SourceLoc Loc, Local *Dst,
+           Local *Recv, std::string Callee, std::vector<Local *> Args)
+      : Stmt(Kind::Call, Parent, Id, Loc), Dst(Dst), Recv(Recv),
+        Callee(std::move(Callee)), Args(std::move(Args)) {}
+
+  /// nullptr when the result is discarded.
+  Local *dst() const { return Dst; }
+  Local *recv() const { return Recv; }
+  const std::string &callee() const { return Callee; }
+  const std::vector<Local *> &args() const { return Args; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Call; }
+
+private:
+  Local *Dst;
+  Local *Recv;
+  std::string Callee;
+  std::vector<Local *> Args;
+};
+
+/// return [Src]; Src may be nullptr for `return;` / `return null;`.
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(Method *Parent, unsigned Id, SourceLoc Loc, Local *Src)
+      : Stmt(Kind::Return, Parent, Id, Loc), Src(Src) {}
+
+  Local *src() const { return Src; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Return; }
+
+private:
+  Local *Src;
+};
+
+/// if (Cond ==/!= null) Then [else Else]. This is the only branch form in
+/// AIR — null tests are the only predicates the paper's filters reason
+/// about; anything else is abstracted as nondeterministic choice, which we
+/// encode by an IfStmt whose Cond carries TestKind::Unknown.
+class IfStmt : public Stmt {
+public:
+  enum class TestKind : uint8_t {
+    NotNull, ///< then-branch taken when Cond != null
+    IsNull,  ///< then-branch taken when Cond == null
+    Unknown, ///< opaque predicate (e.g. a boolean flag) — both reachable
+  };
+
+  IfStmt(Method *Parent, unsigned Id, SourceLoc Loc, Local *Cond,
+         TestKind Test)
+      : Stmt(Kind::If, Parent, Id, Loc), Cond(Cond), Test(Test),
+        Then(std::make_unique<Block>()), Else(std::make_unique<Block>()) {}
+
+  /// nullptr when Test is Unknown.
+  Local *cond() const { return Cond; }
+  TestKind test() const { return Test; }
+  Block &thenBlock() { return *Then; }
+  const Block &thenBlock() const { return *Then; }
+  Block &elseBlock() { return *Else; }
+  const Block &elseBlock() const { return *Else; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::If; }
+
+private:
+  Local *Cond;
+  TestKind Test;
+  std::unique_ptr<Block> Then;
+  std::unique_ptr<Block> Else;
+};
+
+/// synchronized (Lock) Body.
+class SyncStmt : public Stmt {
+public:
+  SyncStmt(Method *Parent, unsigned Id, SourceLoc Loc, Local *Lock)
+      : Stmt(Kind::Sync, Parent, Id, Loc), Lock(Lock),
+        Body(std::make_unique<Block>()) {}
+
+  Local *lock() const { return Lock; }
+  Block &body() { return *Body; }
+  const Block &body() const { return *Body; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Sync; }
+
+private:
+  Local *Lock;
+  std::unique_ptr<Block> Body;
+};
+
+/// Walks \p B recursively (into If/Sync bodies), calling \p Fn on every
+/// statement in lexical order.
+void forEachStmt(const Block &B, const std::function<void(const Stmt &)> &Fn);
+void forEachStmt(Block &B, const std::function<void(Stmt &)> &Fn);
+
+/// Walks every statement of \p M's body.
+void forEachStmt(const Method &M,
+                 const std::function<void(const Stmt &)> &Fn);
+
+} // namespace nadroid::ir
+
+#endif // NADROID_IR_STMT_H

@@ -1,0 +1,157 @@
+//===- ir/Verifier.cpp - AIR structural invariants --------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/Stmt.h"
+
+#include <set>
+
+using namespace nadroid;
+using namespace nadroid::ir;
+
+namespace {
+
+class VerifierImpl {
+public:
+  VerifierImpl(const Program &P, DiagnosticEngine &Diags)
+      : P(P), Diags(Diags) {}
+
+  bool run() {
+    for (const auto &C : P.classes())
+      verifyClass(*C);
+    for (const Clazz *C : P.manifestComponents())
+      verifyManifestComponent(*C);
+    return !Failed;
+  }
+
+private:
+  const Program &P;
+  DiagnosticEngine &Diags;
+  bool Failed = false;
+
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.error(Loc, std::move(Message));
+    Failed = true;
+  }
+
+  void verifyManifestComponent(const Clazz &C) {
+    switch (C.kind()) {
+    case ClassKind::Activity:
+    case ClassKind::Service:
+    case ClassKind::Receiver:
+      return;
+    default:
+      error(C.loc(), "manifest component '" + C.name() +
+                         "' is not an Activity, Service, or Receiver");
+    }
+  }
+
+  void verifyClass(const Clazz &C) {
+    // Acyclic superclass chain.
+    std::set<const Clazz *> Seen;
+    for (const Clazz *S = &C; S; S = S->superClass()) {
+      if (!Seen.insert(S).second) {
+        error(C.loc(), "class '" + C.name() + "' has a cyclic super chain");
+        break;
+      }
+    }
+    for (const auto &M : C.methods())
+      verifyMethod(*M);
+  }
+
+  void verifyMethod(const Method &M) {
+    // Gather defined locals: params, this, and all statement dsts.
+    std::set<const Local *> Defined;
+    Defined.insert(M.thisLocal());
+    for (const Local *Param : M.params())
+      Defined.insert(Param);
+    forEachStmt(M, [&](const Stmt &S) {
+      if (const auto *New = dyn_cast<NewStmt>(&S))
+        Defined.insert(New->dst());
+      else if (const auto *Load = dyn_cast<LoadStmt>(&S))
+        Defined.insert(Load->dst());
+      else if (const auto *Copy = dyn_cast<CopyStmt>(&S))
+        Defined.insert(Copy->dst());
+      else if (const auto *Call = dyn_cast<CallStmt>(&S)) {
+        if (Call->dst())
+          Defined.insert(Call->dst());
+      }
+    });
+
+    auto CheckLocal = [&](const Stmt &S, const Local *L, const char *Role) {
+      if (!L)
+        return;
+      if (L->parent() != &M)
+        error(S.loc(), "local '" + L->name() + "' used as " + Role + " in '" +
+                           M.qualifiedName() +
+                           "' belongs to a different method");
+      else if (!Defined.count(L))
+        error(S.loc(), "local '" + L->name() + "' used as " + Role + " in '" +
+                           M.qualifiedName() + "' has no definition");
+    };
+    auto CheckField = [&](const Stmt &S, const Field *F) {
+      if (!P.findClass(F->parent()->name()))
+        error(S.loc(), "field '" + F->qualifiedName() +
+                           "' belongs to a class outside the program");
+    };
+
+    forEachStmt(M, [&](const Stmt &S) {
+      if (S.parentMethod() != &M)
+        error(S.loc(), "statement in '" + M.qualifiedName() +
+                           "' claims a different parent method");
+      switch (S.kind()) {
+      case Stmt::Kind::New:
+        break;
+      case Stmt::Kind::Load: {
+        const auto *Load = cast<LoadStmt>(&S);
+        CheckLocal(S, Load->base(), "load base");
+        CheckField(S, Load->field());
+        break;
+      }
+      case Stmt::Kind::Store: {
+        const auto *Store = cast<StoreStmt>(&S);
+        CheckLocal(S, Store->base(), "store base");
+        CheckLocal(S, Store->src(), "store source");
+        CheckField(S, Store->field());
+        break;
+      }
+      case Stmt::Kind::Copy:
+        CheckLocal(S, cast<CopyStmt>(&S)->src(), "copy source");
+        break;
+      case Stmt::Kind::Call: {
+        const auto *Call = cast<CallStmt>(&S);
+        CheckLocal(S, Call->recv(), "call receiver");
+        for (const Local *Arg : Call->args())
+          CheckLocal(S, Arg, "call argument");
+        break;
+      }
+      case Stmt::Kind::Return:
+        CheckLocal(S, cast<ReturnStmt>(&S)->src(), "return value");
+        break;
+      case Stmt::Kind::If: {
+        const auto *If = cast<IfStmt>(&S);
+        if (If->test() != IfStmt::TestKind::Unknown) {
+          if (!If->cond())
+            error(S.loc(), "null-test if without a condition local");
+          else
+            CheckLocal(S, If->cond(), "if condition");
+        }
+        break;
+      }
+      case Stmt::Kind::Sync:
+        CheckLocal(S, cast<SyncStmt>(&S)->lock(), "lock");
+        break;
+      }
+    });
+  }
+};
+
+} // namespace
+
+bool ir::verifyProgram(const Program &P, DiagnosticEngine &Diags) {
+  return VerifierImpl(P, Diags).run();
+}

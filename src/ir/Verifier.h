@@ -1,0 +1,31 @@
+//===- ir/Verifier.h - AIR structural invariants ----------------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks structural invariants of an AIR program: locals belong to their
+/// enclosing method, fields belong to (a superclass of) a class in the
+/// program, superclass chains are acyclic, every used local has at least
+/// one definition, and manifest components are component-kind classes.
+/// The frontend runs this after parsing; the builder-based corpus runs it
+/// in tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_IR_VERIFIER_H
+#define NADROID_IR_VERIFIER_H
+
+#include "ir/Ir.h"
+#include "support/Diagnostics.h"
+
+namespace nadroid::ir {
+
+/// Verifies \p P, reporting problems to \p Diags. Returns true when no
+/// errors were found.
+bool verifyProgram(const Program &P, DiagnosticEngine &Diags);
+
+} // namespace nadroid::ir
+
+#endif // NADROID_IR_VERIFIER_H

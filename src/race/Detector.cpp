@@ -1,0 +1,137 @@
+//===- race/Detector.cpp - UAF racy-pair enumeration (§5) ---------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "race/Detector.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace nadroid;
+using namespace nadroid::race;
+using namespace nadroid::ir;
+using analysis::MethodCtx;
+using analysis::ObjectId;
+using threadify::ModeledThread;
+
+std::string UafWarning::key() const {
+  return F->qualifiedName() + " use@" + std::to_string(Use->id()) +
+         " free@" + std::to_string(Free->id());
+}
+
+namespace {
+
+/// One access site as executed by one thread: the union of base points-to
+/// sets over every context the thread reaches the site under.
+template <typename StmtT> struct AccessRec {
+  const StmtT *Site = nullptr;
+  const ModeledThread *Thread = nullptr;
+  std::set<ObjectId> BaseObjs;
+};
+
+bool intersects(const std::set<ObjectId> &A, const std::set<ObjectId> &B) {
+  auto ItA = A.begin(), ItB = B.begin();
+  while (ItA != A.end() && ItB != B.end()) {
+    if (*ItA < *ItB)
+      ++ItA;
+    else if (*ItB < *ItA)
+      ++ItB;
+    else
+      return true;
+  }
+  return false;
+}
+
+} // namespace
+
+DetectorResult race::detectUafWarnings(const threadify::ThreadForest &Forest,
+                                       const analysis::PointsToAnalysis &PTA,
+                                       const analysis::ThreadReach &Reach) {
+  DetectorResult Result;
+
+  // Per field: uses and frees, each attributed to (site, thread) with the
+  // union of base objects over the thread's contexts.
+  std::map<const Field *, std::vector<AccessRec<LoadStmt>>> UsesOf;
+  std::map<const Field *, std::vector<AccessRec<StoreStmt>>> FreesOf;
+  uint64_t NumUses = 0, NumFrees = 0;
+
+  for (const auto &T : Forest.threads()) {
+    // (site → accumulated objects) for this thread.
+    std::map<const LoadStmt *, std::set<ObjectId>> ThreadUses;
+    std::map<const StoreStmt *, std::set<ObjectId>> ThreadFrees;
+    for (const MethodCtx &Ctx : Reach.contextsOf(T.get())) {
+      forEachStmt(*Ctx.M, [&](const Stmt &S) {
+        if (const auto *Load = dyn_cast<LoadStmt>(&S)) {
+          const auto &Pts = PTA.ptsOf(Load->base(), Ctx);
+          ThreadUses[Load].insert(Pts.begin(), Pts.end());
+        } else if (const auto *Store = dyn_cast<StoreStmt>(&S)) {
+          if (!Store->isNullStore())
+            return;
+          const auto &Pts = PTA.ptsOf(Store->base(), Ctx);
+          ThreadFrees[Store].insert(Pts.begin(), Pts.end());
+        }
+      });
+    }
+    for (auto &[Load, Objs] : ThreadUses) {
+      if (Objs.empty())
+        continue;
+      UsesOf[Load->field()].push_back({Load, T.get(), std::move(Objs)});
+      ++NumUses;
+    }
+    for (auto &[Store, Objs] : ThreadFrees) {
+      if (Objs.empty())
+        continue;
+      FreesOf[Store->field()].push_back({Store, T.get(), std::move(Objs)});
+      ++NumFrees;
+    }
+  }
+
+  // Enumerate (use, free) pairs with aliasing bases across distinct
+  // threads; group thread pairs by (use site, free site).
+  std::map<std::pair<const LoadStmt *, const StoreStmt *>,
+           std::vector<ThreadPair>>
+      Grouped;
+  uint64_t NumPairs = 0;
+  for (const auto &[F, Uses] : UsesOf) {
+    auto FreeIt = FreesOf.find(F);
+    if (FreeIt == FreesOf.end())
+      continue;
+    for (const auto &U : Uses) {
+      for (const auto &Fr : FreeIt->second) {
+        if (U.Thread == Fr.Thread)
+          continue; // one thread is sequential with itself
+        if (!intersects(U.BaseObjs, Fr.BaseObjs))
+          continue;
+        Grouped[{U.Site, Fr.Site}].push_back({U.Thread, Fr.Thread});
+        ++NumPairs;
+      }
+    }
+  }
+
+  for (auto &[Key, Pairs] : Grouped) {
+    std::sort(Pairs.begin(), Pairs.end());
+    Pairs.erase(std::unique(Pairs.begin(), Pairs.end()), Pairs.end());
+    UafWarning W;
+    W.Use = Key.first;
+    W.Free = Key.second;
+    W.F = Key.first->field();
+    W.Pairs = std::move(Pairs);
+    Result.Warnings.push_back(std::move(W));
+  }
+
+  // Deterministic report order: by use site id, then free site id.
+  std::sort(Result.Warnings.begin(), Result.Warnings.end(),
+            [](const UafWarning &A, const UafWarning &B) {
+              if (A.Use->id() != B.Use->id())
+                return A.Use->id() < B.Use->id();
+              return A.Free->id() < B.Free->id();
+            });
+
+  Result.Stats.set("race.uses", NumUses);
+  Result.Stats.set("race.frees", NumFrees);
+  Result.Stats.set("race.pairs", NumPairs);
+  Result.Stats.set("race.warnings", Result.Warnings.size());
+  return Result;
+}

@@ -1,0 +1,40 @@
+//===- race/Detector.h - UAF racy-pair enumeration (§5) ---------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The modified-Chord detector of §5: enumerate (use, free) pairs on the
+/// same field whose bases may alias under the k-object-sensitive points-to
+/// analysis, across distinct modeled threads. Per the paper, lockset
+/// evidence does NOT suppress a pair (locks give atomicity, not ordering)
+/// and no MHP analysis runs (the HB filters replace it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_RACE_DETECTOR_H
+#define NADROID_RACE_DETECTOR_H
+
+#include "analysis/PointsTo.h"
+#include "analysis/ThreadReach.h"
+#include "race/Warning.h"
+#include "support/Statistic.h"
+
+namespace nadroid::race {
+
+/// Detection output: warnings in deterministic order plus counters
+/// ("race.uses", "race.frees", "race.pairs", "race.warnings").
+struct DetectorResult {
+  std::vector<UafWarning> Warnings;
+  StatRegistry Stats;
+};
+
+/// Runs detection over the analyzed program.
+DetectorResult detectUafWarnings(const threadify::ThreadForest &Forest,
+                                 const analysis::PointsToAnalysis &PTA,
+                                 const analysis::ThreadReach &Reach);
+
+} // namespace nadroid::race
+
+#endif // NADROID_RACE_DETECTOR_H

@@ -1,0 +1,55 @@
+//===- race/Warning.h - UAF warning representation --------------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A potential UAF ordering violation (§5): a (free, use) pair of
+/// operations on the same field whose base objects may alias, reachable
+/// from at least one pair of distinct modeled threads. Each warning tracks
+/// every (use-thread, free-thread) combination that realizes it — filters
+/// prune combinations, and a warning dies when none survive.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_RACE_WARNING_H
+#define NADROID_RACE_WARNING_H
+
+#include "ir/Stmt.h"
+#include "threadify/ThreadForest.h"
+
+#include <vector>
+
+namespace nadroid::race {
+
+/// One (use-thread, free-thread) realization of a warning.
+struct ThreadPair {
+  const threadify::ModeledThread *UseThread = nullptr;
+  const threadify::ModeledThread *FreeThread = nullptr;
+
+  friend bool operator<(const ThreadPair &A, const ThreadPair &B) {
+    if (A.UseThread != B.UseThread)
+      return A.UseThread->id() < B.UseThread->id();
+    return A.FreeThread->id() < B.FreeThread->id();
+  }
+  friend bool operator==(const ThreadPair &A, const ThreadPair &B) {
+    return A.UseThread == B.UseThread && A.FreeThread == B.FreeThread;
+  }
+};
+
+/// A potential UAF: use (getfield) vs free (putfield null) on one field.
+struct UafWarning {
+  const ir::LoadStmt *Use = nullptr;
+  const ir::StoreStmt *Free = nullptr;
+  const ir::Field *F = nullptr;
+  /// Every thread pair under which the base objects may alias; sorted.
+  std::vector<ThreadPair> Pairs;
+
+  /// Stable identity for reports: "<field> use@<id> free@<id>".
+  std::string key() const;
+};
+
+} // namespace nadroid::race
+
+#endif // NADROID_RACE_WARNING_H

@@ -1,0 +1,84 @@
+//===- report/Classify.cpp - Warning classification (§7) -----------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "report/Classify.h"
+
+#include <cassert>
+
+using namespace nadroid;
+using namespace nadroid::report;
+using threadify::ModeledThread;
+using threadify::ThreadOrigin;
+
+const char *report::pairTypeName(PairType Type) {
+  switch (Type) {
+  case PairType::EcEc:
+    return "EC-EC";
+  case PairType::EcPc:
+    return "EC-PC";
+  case PairType::PcPc:
+    return "PC-PC";
+  case PairType::CRt:
+    return "C-RT";
+  case PairType::CNt:
+    return "C-NT";
+  }
+  return "?";
+}
+
+PairType report::classifyPair(const threadify::ThreadForest &Forest,
+                              const race::ThreadPair &TP) {
+  const ModeledThread *U = TP.UseThread;
+  const ModeledThread *F = TP.FreeThread;
+  bool UNative = U->isNative();
+  bool FNative = F->isNative();
+
+  if (UNative || FNative) {
+    // Both native would normally be TT-filtered; classify as C-NT to keep
+    // the function total.
+    if (UNative && FNative)
+      return PairType::CNt;
+    const ModeledThread *Callback = UNative ? F : U;
+    const ModeledThread *Native = UNative ? U : F;
+    return Forest.isReachableThreadOf(Native, Callback) ? PairType::CRt
+                                                        : PairType::CNt;
+  }
+
+  bool UEntry = U->origin() == ThreadOrigin::EntryCallback;
+  bool FEntry = F->origin() == ThreadOrigin::EntryCallback;
+  if (UEntry && FEntry)
+    return PairType::EcEc;
+  if (!UEntry && !FEntry)
+    return PairType::PcPc;
+  return PairType::EcPc;
+}
+
+PairType report::classifyWarning(const threadify::ThreadForest &Forest,
+                                 const std::vector<race::ThreadPair> &Pairs) {
+  assert(!Pairs.empty() && "classifying a warning with no pairs");
+  auto Rank = [](PairType T) {
+    switch (T) {
+    case PairType::CNt:
+      return 4;
+    case PairType::CRt:
+      return 3;
+    case PairType::PcPc:
+      return 2;
+    case PairType::EcPc:
+      return 1;
+    case PairType::EcEc:
+      return 0;
+    }
+    return 0;
+  };
+  PairType Best = classifyPair(Forest, Pairs.front());
+  for (size_t I = 1; I < Pairs.size(); ++I) {
+    PairType T = classifyPair(Forest, Pairs[I]);
+    if (Rank(T) > Rank(Best))
+      Best = T;
+  }
+  return Best;
+}

@@ -1,0 +1,47 @@
+//===- report/Classify.h - Warning classification (§7) ----------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classifies warnings by the origins of their use/free operations, the
+/// §7 programmer aid: callbacks split into Entry (EC) and Posted (PC)
+/// callbacks; native threads split into Reachable (RT) and Non-Reachable
+/// (NT) threads relative to the callback they race with. The paper's
+/// hypotheses: PC-involved and NT-involved warnings are the likeliest to
+/// be harmful.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_REPORT_CLASSIFY_H
+#define NADROID_REPORT_CLASSIFY_H
+
+#include "race/Warning.h"
+
+namespace nadroid::report {
+
+/// Table 1's "Type of Remaining UAFs" categories.
+enum class PairType : uint8_t {
+  EcEc, ///< two entry callbacks
+  EcPc, ///< entry vs posted callback
+  PcPc, ///< two posted callbacks
+  CRt,  ///< callback vs a native thread it (transitively) created
+  CNt,  ///< callback vs an unrelated native thread
+};
+
+const char *pairTypeName(PairType Type);
+
+/// Classifies one (use-thread, free-thread) pair.
+PairType classifyPair(const threadify::ThreadForest &Forest,
+                      const race::ThreadPair &TP);
+
+/// Classifies a warning by its surviving pairs, reporting the
+/// highest-suspicion category present (C-NT > C-RT > PC-PC > EC-PC >
+/// EC-EC, per the paper's hypotheses about harmfulness).
+PairType classifyWarning(const threadify::ThreadForest &Forest,
+                         const std::vector<race::ThreadPair> &Pairs);
+
+} // namespace nadroid::report
+
+#endif // NADROID_REPORT_CLASSIFY_H

@@ -1,0 +1,96 @@
+//===- report/Dot.cpp - Graphviz export of the thread forest -------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "report/Dot.h"
+
+#include <sstream>
+
+using namespace nadroid;
+using namespace nadroid::report;
+using threadify::ModeledThread;
+using threadify::ThreadForest;
+using threadify::ThreadOrigin;
+
+namespace {
+
+std::string nodeId(const ModeledThread *T) {
+  return "t" + std::to_string(T->id());
+}
+
+std::string escaped(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+void emitNodes(const ThreadForest &Forest, std::ostringstream &OS,
+               const std::set<const ModeledThread *> &Highlight) {
+  for (const auto &T : Forest.threads()) {
+    OS << "  " << nodeId(T.get()) << " [label=\""
+       << escaped(T->label()) << "\"";
+    switch (T->origin()) {
+    case ThreadOrigin::DummyMain:
+      OS << ", shape=box, style=bold";
+      break;
+    case ThreadOrigin::EntryCallback:
+      OS << ", shape=ellipse";
+      break;
+    case ThreadOrigin::PostedCallback:
+      OS << ", shape=ellipse, style=dashed";
+      break;
+    case ThreadOrigin::NativeThread:
+      OS << ", shape=doublecircle";
+      break;
+    }
+    if (Highlight.count(T.get()))
+      OS << ", color=red, fontcolor=red";
+    if (!T->componentReachable())
+      OS << ", style=dotted";
+    OS << "];\n";
+  }
+  for (const auto &T : Forest.threads())
+    if (T->parent())
+      OS << "  " << nodeId(T->parent()) << " -> " << nodeId(T.get())
+         << ";\n";
+}
+
+} // namespace
+
+std::string report::threadForestToDot(const ThreadForest &Forest) {
+  std::ostringstream OS;
+  OS << "digraph nadroid {\n  rankdir=TB;\n";
+  emitNodes(Forest, OS, {});
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string report::analysisToDot(const NadroidResult &R) {
+  std::set<const ModeledThread *> Highlight;
+  std::vector<std::pair<const ModeledThread *, const ModeledThread *>>
+      RaceEdges;
+  for (size_t I : R.remainingIndices()) {
+    for (const race::ThreadPair &TP :
+         R.Pipeline.Verdicts[I].PairsRemaining) {
+      Highlight.insert(TP.UseThread);
+      Highlight.insert(TP.FreeThread);
+      RaceEdges.emplace_back(TP.UseThread, TP.FreeThread);
+    }
+  }
+
+  std::ostringstream OS;
+  OS << "digraph nadroid {\n  rankdir=TB;\n";
+  emitNodes(*R.Forest, OS, Highlight);
+  for (const auto &[Use, Free] : RaceEdges)
+    OS << "  " << nodeId(Use) << " -> " << nodeId(Free)
+       << " [color=red, style=bold, dir=both, constraint=false, "
+          "label=\"UAF\"];\n";
+  OS << "}\n";
+  return OS.str();
+}

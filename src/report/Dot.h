@@ -1,0 +1,34 @@
+//===- report/Dot.h - Graphviz export of the thread forest ------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the threadified program (Figure 3) as Graphviz DOT: the dummy
+/// main at the root, entry callbacks as children, posted callbacks under
+/// their posters, native threads double-circled. When a pipeline result
+/// is supplied, the threads of remaining warnings are highlighted and
+/// use/free edges drawn between them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_REPORT_DOT_H
+#define NADROID_REPORT_DOT_H
+
+#include "report/Nadroid.h"
+
+#include <string>
+
+namespace nadroid::report {
+
+/// Renders \p Forest alone.
+std::string threadForestToDot(const threadify::ThreadForest &Forest);
+
+/// Renders the forest plus the remaining warnings of \p R as red
+/// use→free edges.
+std::string analysisToDot(const NadroidResult &R);
+
+} // namespace nadroid::report
+
+#endif // NADROID_REPORT_DOT_H

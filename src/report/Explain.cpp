@@ -1,0 +1,136 @@
+//===- report/Explain.cpp - Natural-language verdict explanations ---------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "report/Explain.h"
+
+#include "filters/Filter.h"
+
+#include <sstream>
+
+using namespace nadroid;
+using namespace nadroid::report;
+using filters::FilterKind;
+using race::ThreadPair;
+using race::UafWarning;
+using threadify::ModeledThread;
+
+namespace {
+
+std::string threadName(const ModeledThread *T) { return T->label(); }
+
+/// The per-filter prose. Mirrors each filter's §6 rationale, specialized
+/// with the pair's details.
+std::string proseFor(FilterKind Kind, const UafWarning &W,
+                     const ThreadPair &TP) {
+  const ModeledThread *Tu = TP.UseThread;
+  const ModeledThread *Tf = TP.FreeThread;
+  std::ostringstream OS;
+  switch (Kind) {
+  case FilterKind::MHB:
+    if (Tu->connectionInstance() != 0 &&
+        Tu->connectionInstance() == Tf->connectionInstance())
+      OS << "MHB-Service: onServiceConnected always precedes "
+            "onServiceDisconnected of the same binding, so the use "
+            "cannot follow the free";
+    else if (Tu->asyncInstance() != 0 &&
+             Tu->asyncInstance() == Tf->asyncInstance())
+      OS << "MHB-AsyncTask: the framework orders this task's callbacks "
+            "(onPreExecute < doInBackground/onProgressUpdate < "
+            "onPostExecute), so the use cannot follow the free";
+    else if (Tu->callback() && Tu->callback()->name() == "onCreate")
+      OS << "MHB-Lifecycle: onCreate precedes every other callback of "
+         << (Tu->component() ? Tu->component()->name() : "the component")
+         << ", so the use cannot follow the free";
+    else
+      OS << "MHB-Lifecycle: every entry callback of "
+         << (Tf->component() ? Tf->component()->name() : "the component")
+         << " precedes its onDestroy, so the use cannot follow the free";
+    break;
+  case FilterKind::IG:
+    OS << "IG: the use is null-checked, and "
+       << (Tu->onLooper() && Tf->onLooper()
+               ? "both callbacks run atomically on the UI looper, so the "
+                 "free cannot interleave between check and use"
+               : "both sides hold a common lock, so the free cannot "
+                 "interleave between check and use");
+    break;
+  case FilterKind::IA:
+    OS << "IA: the callback installs a fresh allocation before the use, "
+          "and the free cannot interleave (same-looper atomicity or a "
+          "common lock)";
+    break;
+  case FilterKind::RHB:
+    OS << "RHB (unsound): the free sits in onPause; while paused the UI "
+          "takes no input, and onResume may re-allocate the field before "
+          "the next "
+       << (Tu->callback() ? Tu->callback()->name() : "UI event");
+    break;
+  case FilterKind::CHB:
+    OS << "CHB (unsound): some path of " << threadName(Tf)
+       << " cancels " << threadName(Tu)
+       << " (finish/unbind/unregister/removeCallbacks), so on that "
+          "reasoning the use must precede the free";
+    break;
+  case FilterKind::PHB:
+    OS << "PHB (unsound): one of the callbacks posted the other on the "
+          "same looper; the poster completes before the postee runs, "
+          "ordering the two operations";
+    break;
+  case FilterKind::MA:
+    OS << "MA (unsound): the use follows a getter-provided assignment, "
+          "assumed non-null";
+    break;
+  case FilterKind::UR:
+    OS << "UR (unsound): the loaded value only flows into returns, call "
+          "arguments, or null comparisons — a benign use";
+    break;
+  case FilterKind::TT:
+    OS << "TT (unsound): both sides are native threads; conventional "
+          "thread races are outside nAdroid's Android-specific scope";
+    break;
+  }
+  return OS.str();
+}
+
+} // namespace
+
+std::vector<std::string> report::explainVerdict(const NadroidResult &R,
+                                                size_t Index) {
+  const UafWarning &W = R.warnings()[Index];
+  const filters::WarningVerdict &V = R.Pipeline.Verdicts[Index];
+  std::vector<std::string> Lines;
+
+  // Rebuild the per-pair picture: which filters prune which pair.
+  filters::FilterEngine Engine(*R.FilterCtx);
+  for (const ThreadPair &TP : W.Pairs) {
+    bool Survived = std::find(V.PairsRemaining.begin(),
+                              V.PairsRemaining.end(),
+                              TP) != V.PairsRemaining.end();
+    std::string PairName =
+        threadName(TP.UseThread) + " vs " + threadName(TP.FreeThread);
+    if (Survived) {
+      Lines.push_back(PairName +
+                      ": no happens-before order and no protecting "
+                      "idiom — a real schedule may order the free first");
+      continue;
+    }
+    for (FilterKind Kind : filters::allFilterKinds()) {
+      if (!Engine.pairPrunedBy(W, TP, {Kind}))
+        continue;
+      Lines.push_back(PairName + ": " + proseFor(Kind, W, TP));
+      break; // the first (soundest) reason suffices
+    }
+  }
+  return Lines;
+}
+
+std::string report::renderExplanation(const NadroidResult &R,
+                                      size_t Index) {
+  std::string Result;
+  for (const std::string &Line : explainVerdict(R, Index))
+    Result += "  why: " + Line + "\n";
+  return Result;
+}

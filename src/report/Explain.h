@@ -1,0 +1,36 @@
+//===- report/Explain.h - Natural-language verdict explanations -*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns a warning's verdict into prose a developer can act on: which
+/// filter disposed of each thread pair and the concrete happens-before
+/// or idiom fact it relied on ("onServiceConnected always precedes
+/// onServiceDisconnected of the same binding", "the check and the use
+/// are atomic on the UI looper", ...). False-positive reports are only
+/// useful when the tool can say *why* it believed them false — the §6
+/// filters each encode one such reason.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_REPORT_EXPLAIN_H
+#define NADROID_REPORT_EXPLAIN_H
+
+#include "report/Nadroid.h"
+
+namespace nadroid::report {
+
+/// One explanation line per (thread pair, firing filter) of warning
+/// \p Index; for remaining warnings, one line per surviving pair saying
+/// why nothing applied.
+std::vector<std::string> explainVerdict(const NadroidResult &R,
+                                        size_t Index);
+
+/// Convenience: the lines joined with newlines and indentation.
+std::string renderExplanation(const NadroidResult &R, size_t Index);
+
+} // namespace nadroid::report
+
+#endif // NADROID_REPORT_EXPLAIN_H

@@ -1,0 +1,111 @@
+//===- report/Json.cpp - Machine-readable report output -------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "report/Json.h"
+
+#include "ir/Printer.h"
+
+#include <sstream>
+
+using namespace nadroid;
+using namespace nadroid::report;
+using filters::WarningVerdict;
+
+std::string report::jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+const char *stageName(WarningVerdict::Stage Stage) {
+  switch (Stage) {
+  case WarningVerdict::Stage::PrunedBySound:
+    return "sound";
+  case WarningVerdict::Stage::PrunedByUnsound:
+    return "unsound";
+  case WarningVerdict::Stage::Remaining:
+    return "remaining";
+  }
+  return "?";
+}
+
+void emitSite(std::ostringstream &OS, const char *Key, const ir::Stmt &S,
+              const SourceManager &SM) {
+  OS << "\"" << Key << "\": {\"method\": \""
+     << jsonEscape(S.parentMethod()->qualifiedName()) << "\", \"stmt\": \""
+     << jsonEscape(ir::stmtToString(S)) << "\", \"loc\": \""
+     << jsonEscape(SM.render(S.loc())) << "\"}";
+}
+
+} // namespace
+
+std::string report::renderJson(const NadroidResult &R,
+                               const ir::Program &P) {
+  const SourceManager &SM = P.sourceManager();
+  std::ostringstream OS;
+  OS << "{\n  \"app\": \"" << jsonEscape(P.name()) << "\",\n";
+  OS << "  \"summary\": {\"potential\": " << R.warnings().size()
+     << ", \"afterSound\": " << R.Pipeline.RemainingAfterSound
+     << ", \"afterUnsound\": " << R.Pipeline.RemainingAfterUnsound
+     << "},\n";
+  OS << "  \"warnings\": [";
+  for (size_t I = 0; I < R.warnings().size(); ++I) {
+    const race::UafWarning &W = R.warnings()[I];
+    const WarningVerdict &V = R.Pipeline.Verdicts[I];
+    OS << (I ? ",\n    " : "\n    ") << "{";
+    OS << "\"field\": \"" << jsonEscape(W.F->qualifiedName()) << "\", ";
+    OS << "\"stage\": \"" << stageName(V.StageReached) << "\", ";
+    const std::vector<race::ThreadPair> &Pairs =
+        !V.PairsRemaining.empty()
+            ? V.PairsRemaining
+            : (!V.PairsAfterSound.empty() ? V.PairsAfterSound : W.Pairs);
+    OS << "\"type\": \""
+       << pairTypeName(classifyWarning(*R.Forest, Pairs)) << "\", ";
+    OS << "\"filters\": [";
+    bool First = true;
+    for (filters::FilterKind Kind : V.FiredFilters) {
+      OS << (First ? "" : ", ") << "\""
+         << filters::filterKindName(Kind) << "\"";
+      First = false;
+    }
+    OS << "], ";
+    emitSite(OS, "use", *W.Use, SM);
+    OS << ", ";
+    emitSite(OS, "free", *W.Free, SM);
+    OS << ", \"useThread\": \""
+       << jsonEscape(R.Forest->lineage(Pairs.front().UseThread))
+       << "\", \"freeThread\": \""
+       << jsonEscape(R.Forest->lineage(Pairs.front().FreeThread)) << "\"";
+    OS << "}";
+  }
+  OS << "\n  ]\n}\n";
+  return OS.str();
+}

@@ -1,0 +1,44 @@
+//===- report/Json.h - Machine-readable report output -----------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes a pipeline result as JSON for CI integration: one object
+/// per warning with its sites, verdict, fired filters, classification,
+/// and thread lineages, plus the summary counters. The emitter is
+/// self-contained (no external JSON dependency) and deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_REPORT_JSON_H
+#define NADROID_REPORT_JSON_H
+
+#include "report/Nadroid.h"
+
+#include <string>
+
+namespace nadroid::report {
+
+/// Renders the whole result. Shape:
+/// \code
+/// {
+///   "app": "...",
+///   "summary": {"potential": N, "afterSound": N, "afterUnsound": N},
+///   "warnings": [
+///     {"field": "...", "stage": "remaining|sound|unsound",
+///      "type": "EC-PC", "filters": ["MHB", ...],
+///      "use":  {"method": "...", "stmt": "...", "loc": "..."},
+///      "free": {"method": "...", "stmt": "...", "loc": "..."},
+///      "useThread": "...", "freeThread": "..."}]
+/// }
+/// \endcode
+std::string renderJson(const NadroidResult &R, const ir::Program &P);
+
+/// Escapes \p S for inclusion in a JSON string literal.
+std::string jsonEscape(const std::string &S);
+
+} // namespace nadroid::report
+
+#endif // NADROID_REPORT_JSON_H

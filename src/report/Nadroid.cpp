@@ -1,0 +1,176 @@
+//===- report/Nadroid.cpp - End-to-end pipeline facade -------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "report/Nadroid.h"
+
+#include "ir/Printer.h"
+#include "threadify/Threadifier.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <sstream>
+
+using namespace nadroid;
+using namespace nadroid::report;
+using Clock = std::chrono::steady_clock;
+
+static double secondsSince(Clock::time_point Start) {
+  return std::chrono::duration<double>(Clock::now() - Start).count();
+}
+
+std::vector<size_t> NadroidResult::remainingIndices() const {
+  std::vector<size_t> Result;
+  for (size_t I = 0; I < Pipeline.Verdicts.size(); ++I)
+    if (Pipeline.Verdicts[I].StageReached ==
+        filters::WarningVerdict::Stage::Remaining)
+      Result.push_back(I);
+  return Result;
+}
+
+NadroidResult report::analyzeProgram(const ir::Program &P,
+                                     NadroidOptions Options) {
+  NadroidResult R;
+
+  // Phase 1 — modeling (§4): API classification + threadification.
+  auto T0 = Clock::now();
+  R.Apis = std::make_unique<android::ApiIndex>(P);
+  threadify::ThreadifyOptions TOpts;
+  TOpts.ModelFragments = Options.ModelFragments;
+  R.Forest = std::make_unique<threadify::ThreadForest>(
+      threadify::threadify(P, TOpts));
+  R.Timings.ModelingSec = secondsSince(T0);
+
+  // Phase 2 — detection (§5): points-to + racy-pair enumeration.
+  auto T1 = Clock::now();
+  analysis::PointsToAnalysis::Options PtaOpts;
+  PtaOpts.K = Options.K;
+  R.PTA = std::make_unique<analysis::PointsToAnalysis>(P, *R.Forest,
+                                                       *R.Apis, PtaOpts);
+  R.PTA->run();
+  R.Reach = std::make_unique<analysis::ThreadReach>(*R.PTA, *R.Forest);
+  R.Detection = race::detectUafWarnings(*R.Forest, *R.PTA, *R.Reach);
+  R.Timings.DetectionSec = secondsSince(T1);
+
+  // Phase 3 — filtering (§6).
+  auto T2 = Clock::now();
+  R.FilterCtx = std::make_unique<filters::FilterContext>(P, *R.Forest,
+                                                         *R.PTA, *R.Reach,
+                                                         *R.Apis);
+  filters::FilterEngine Engine(*R.FilterCtx);
+  R.Pipeline = Engine.run(R.Detection.Warnings);
+  R.Timings.FilteringSec = secondsSince(T2);
+
+  return R;
+}
+
+std::vector<const ir::Method *>
+report::callPathTo(const NadroidResult &R,
+                   const threadify::ModeledThread *T,
+                   const ir::Stmt *Site) {
+  const ir::Method *Target = Site->parentMethod();
+  const auto &Edges = R.PTA->callEdges();
+
+  // BFS from the thread's root contexts over ordinary call edges,
+  // tracking predecessors until the target method appears.
+  const std::vector<analysis::MethodCtx> &All = R.Reach->contextsOf(T);
+  if (All.empty())
+    return {};
+  // Root contexts are the entries whose method is the thread's callback.
+  std::deque<analysis::MethodCtx> Pending;
+  std::map<analysis::MethodCtx, analysis::MethodCtx> Pred;
+  for (const analysis::MethodCtx &Ctx : All)
+    if (Ctx.M == T->callback()) {
+      Pending.push_back(Ctx);
+      Pred.emplace(Ctx, Ctx); // self-pred marks a root
+    }
+  while (!Pending.empty()) {
+    analysis::MethodCtx Ctx = Pending.front();
+    Pending.pop_front();
+    if (Ctx.M == Target) {
+      std::vector<const ir::Method *> Path;
+      analysis::MethodCtx Cur = Ctx;
+      while (true) {
+        Path.push_back(Cur.M);
+        analysis::MethodCtx P2 = Pred.at(Cur);
+        if (P2 == Cur)
+          break;
+        Cur = P2;
+      }
+      std::reverse(Path.begin(), Path.end());
+      return Path;
+    }
+    auto It = Edges.find(Ctx);
+    if (It == Edges.end())
+      continue;
+    for (const analysis::MethodCtx &Next : It->second)
+      if (Pred.emplace(Next, Ctx).second)
+        Pending.push_back(Next);
+  }
+  return {};
+}
+
+std::string report::renderCallPath(
+    const std::vector<const ir::Method *> &Path) {
+  std::string Result;
+  for (const ir::Method *M : Path) {
+    if (!Result.empty())
+      Result += " > ";
+    Result += M->qualifiedName();
+  }
+  return Result;
+}
+
+std::string report::renderWarning(const NadroidResult &R, size_t Index,
+                                  const ir::Program &P) {
+  const race::UafWarning &W = R.warnings()[Index];
+  const filters::WarningVerdict &V = R.Pipeline.Verdicts[Index];
+  const SourceManager &SM = P.sourceManager();
+
+  std::ostringstream OS;
+  OS << "potential UAF on field " << W.F->qualifiedName() << "\n";
+  OS << "  use : " << ir::stmtToString(*W.Use) << "  in "
+     << W.Use->parentMethod()->qualifiedName() << " ("
+     << SM.render(W.Use->loc()) << ")\n";
+  OS << "  free: " << ir::stmtToString(*W.Free) << "  in "
+     << W.Free->parentMethod()->qualifiedName() << " ("
+     << SM.render(W.Free->loc()) << ")\n";
+
+  const std::vector<race::ThreadPair> &Pairs =
+      !V.PairsRemaining.empty()
+          ? V.PairsRemaining
+          : (!V.PairsAfterSound.empty() ? V.PairsAfterSound : W.Pairs);
+  OS << "  type: " << pairTypeName(classifyWarning(*R.Forest, Pairs))
+     << "\n";
+  const race::ThreadPair &TP = Pairs.front();
+  OS << "  use thread : " << R.Forest->lineage(TP.UseThread) << "\n";
+  OS << "  free thread: " << R.Forest->lineage(TP.FreeThread) << "\n";
+  // §7's call-path aid, shown when the site sits in a helper rather than
+  // directly in the callback.
+  std::vector<const ir::Method *> UsePath =
+      callPathTo(R, TP.UseThread, W.Use);
+  if (UsePath.size() > 1)
+    OS << "  use path   : " << renderCallPath(UsePath) << "\n";
+  std::vector<const ir::Method *> FreePath =
+      callPathTo(R, TP.FreeThread, W.Free);
+  if (FreePath.size() > 1)
+    OS << "  free path  : " << renderCallPath(FreePath) << "\n";
+  if (!V.FiredFilters.empty()) {
+    OS << "  filters fired:";
+    for (filters::FilterKind Kind : V.FiredFilters)
+      OS << " " << filterKindName(Kind);
+    OS << "\n";
+  }
+  return OS.str();
+}
+
+std::string report::summaryLine(const NadroidResult &R) {
+  std::ostringstream OS;
+  OS << R.warnings().size() << " potential UAFs, "
+     << R.Pipeline.RemainingAfterSound << " after sound filters, "
+     << R.Pipeline.RemainingAfterUnsound << " after unsound filters";
+  return OS.str();
+}

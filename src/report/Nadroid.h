@@ -1,0 +1,98 @@
+//===- report/Nadroid.h - End-to-end pipeline facade ------------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one-call public API: run the whole nAdroid pipeline (Figure 2) over
+/// an AIR program — threadify, detect, filter — and keep every
+/// intermediate product alive for inspection. Phase wall-clock timings are
+/// recorded for the §8.8 experiment.
+///
+/// Typical use:
+/// \code
+///   ir::Program P = ...;
+///   report::NadroidResult R = report::analyzeProgram(P);
+///   for (size_t I = 0; I < R.warnings().size(); ++I)
+///     if (R.Pipeline.Verdicts[I].StageReached ==
+///         filters::WarningVerdict::Stage::Remaining)
+///       std::cout << report::renderWarning(R, I);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_REPORT_NADROID_H
+#define NADROID_REPORT_NADROID_H
+
+#include "filters/Engine.h"
+#include "race/Detector.h"
+#include "report/Classify.h"
+
+#include <memory>
+
+namespace nadroid::report {
+
+/// Pipeline knobs.
+struct NadroidOptions {
+  /// Points-to context depth (§8.5's precision/scalability dial).
+  unsigned K = 2;
+  /// Future-work extension: model Fragment callbacks as entry callbacks
+  /// (recovers Table 3's Browser miss). Off by default, like the paper's
+  /// prototype (§8.1).
+  bool ModelFragments = false;
+};
+
+/// Wall-clock seconds per phase (§8.8's breakdown).
+struct PhaseTimings {
+  double ModelingSec = 0;  ///< threadification
+  double DetectionSec = 0; ///< points-to + racy-pair enumeration
+  double FilteringSec = 0; ///< both filter stages
+};
+
+/// Everything the pipeline produced. Movable; all internal references stay
+/// valid because each stage lives behind a unique_ptr.
+struct NadroidResult {
+  std::unique_ptr<android::ApiIndex> Apis;
+  std::unique_ptr<threadify::ThreadForest> Forest;
+  std::unique_ptr<analysis::PointsToAnalysis> PTA;
+  std::unique_ptr<analysis::ThreadReach> Reach;
+  race::DetectorResult Detection;
+  std::unique_ptr<filters::FilterContext> FilterCtx;
+  filters::PipelineResult Pipeline;
+  PhaseTimings Timings;
+
+  const std::vector<race::UafWarning> &warnings() const {
+    return Detection.Warnings;
+  }
+
+  /// Indices of warnings that survived every filter.
+  std::vector<size_t> remainingIndices() const;
+};
+
+/// Runs the full pipeline over \p P.
+NadroidResult analyzeProgram(const ir::Program &P,
+                             NadroidOptions Options = NadroidOptions{});
+
+/// Renders warning \p Index as a multi-line §7-style report: racy field,
+/// use/free sites, classification, and the callback/thread lineage of a
+/// surviving pair.
+std::string renderWarning(const NadroidResult &R, size_t Index,
+                          const ir::Program &P);
+
+/// §7's "call path" aid: the helper-call chain from \p T's callback to
+/// the method containing \p Site, reconstructed over the points-to call
+/// graph. Empty when the thread does not reach the site.
+std::vector<const ir::Method *>
+callPathTo(const NadroidResult &R, const threadify::ModeledThread *T,
+           const ir::Stmt *Site);
+
+/// Renders a call path as "onClick > helper > readIt".
+std::string renderCallPath(const std::vector<const ir::Method *> &Path);
+
+/// One-line summary: "N potential, S after sound, U after unsound".
+std::string summaryLine(const NadroidResult &R);
+
+} // namespace nadroid::report
+
+#endif // NADROID_REPORT_NADROID_H

@@ -1,0 +1,83 @@
+//===- report/Rank.cpp - Warning ranking (§6.2 / §7) ---------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "report/Rank.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace nadroid;
+using namespace nadroid::report;
+using filters::FilterKind;
+using filters::WarningVerdict;
+
+static int suspicionRank(PairType T) {
+  switch (T) {
+  case PairType::CNt:
+    return 0;
+  case PairType::CRt:
+    return 1;
+  case PairType::PcPc:
+    return 2;
+  case PairType::EcPc:
+    return 3;
+  case PairType::EcEc:
+    return 4;
+  }
+  return 4;
+}
+
+std::vector<RankedWarning> report::rankWarnings(const NadroidResult &R) {
+  std::vector<RankedWarning> Ranked;
+  for (size_t I = 0; I < R.warnings().size(); ++I) {
+    const WarningVerdict &V = R.Pipeline.Verdicts[I];
+    RankedWarning Entry;
+    Entry.Index = I;
+    switch (V.StageReached) {
+    case WarningVerdict::Stage::PrunedBySound:
+      continue; // proven false — not part of the review order
+    case WarningVerdict::Stage::Remaining:
+      Entry.Tier = 0;
+      Entry.Type = classifyWarning(*R.Forest, V.PairsRemaining);
+      break;
+    case WarningVerdict::Stage::PrunedByUnsound: {
+      Entry.Tier = 1;
+      Entry.Type = classifyWarning(*R.Forest, V.PairsAfterSound);
+      for (FilterKind Kind : V.FiredFilters)
+        if (!filters::isSoundFilter(Kind))
+          ++Entry.UnsoundReasons;
+      break;
+    }
+    }
+    Ranked.push_back(Entry);
+  }
+
+  std::stable_sort(Ranked.begin(), Ranked.end(),
+                   [](const RankedWarning &A, const RankedWarning &B) {
+                     if (A.Tier != B.Tier)
+                       return A.Tier < B.Tier;
+                     if (A.Tier == 0)
+                       return suspicionRank(A.Type) <
+                              suspicionRank(B.Type);
+                     return A.UnsoundReasons < B.UnsoundReasons;
+                   });
+  return Ranked;
+}
+
+std::string report::renderRankedLine(const NadroidResult &R,
+                                     const RankedWarning &Entry,
+                                     size_t Position) {
+  const race::UafWarning &W = R.warnings()[Entry.Index];
+  std::ostringstream OS;
+  OS << "#" << Position << " ["
+     << (Entry.Tier == 0 ? "remaining" : "unsound-pruned") << " "
+     << pairTypeName(Entry.Type);
+  if (Entry.Tier == 1)
+    OS << ", " << Entry.UnsoundReasons
+       << (Entry.UnsoundReasons == 1 ? " reason" : " reasons");
+  OS << "] " << W.key();
+  return OS.str();
+}

@@ -1,0 +1,52 @@
+//===- report/Rank.h - Warning ranking (§6.2 / §7) --------------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// For users who demand soundness, the unsound filters "serve as a
+/// ranking system that allows programmers to focus on the still-unpruned
+/// remaining races first" (§6.2); and within a tier, §7's hypotheses say
+/// PC-involved and NT-involved warnings are the likeliest harmful. This
+/// module combines both into one review order:
+///
+///   tier 0 — remaining warnings, ordered C-NT > C-RT > PC-PC > EC-PC >
+///            EC-EC (§7's suspicion order);
+///   tier 1 — unsound-pruned warnings, the fewer distinct unsound filters
+///            fired the higher (one weak reason to dismiss ranks above
+///            three independent reasons);
+///   (sound-pruned warnings are proven false and excluded.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_REPORT_RANK_H
+#define NADROID_REPORT_RANK_H
+
+#include "report/Nadroid.h"
+
+namespace nadroid::report {
+
+/// One entry of the review order.
+struct RankedWarning {
+  /// Index into NadroidResult::warnings().
+  size_t Index = 0;
+  /// 0 = remaining, 1 = unsound-pruned.
+  unsigned Tier = 0;
+  /// The §7 classification used for ordering within tier 0.
+  PairType Type = PairType::EcEc;
+  /// Distinct unsound filters that fired (tier 1 ordering key).
+  unsigned UnsoundReasons = 0;
+};
+
+/// Builds the review order for \p R (most suspicious first).
+std::vector<RankedWarning> rankWarnings(const NadroidResult &R);
+
+/// Renders one ranked entry as a single line, e.g.
+/// "#3 [remaining C-NT] Act.f use@12 free@7".
+std::string renderRankedLine(const NadroidResult &R,
+                             const RankedWarning &Entry, size_t Position);
+
+} // namespace nadroid::report
+
+#endif // NADROID_REPORT_RANK_H

@@ -1,0 +1,49 @@
+//===- support/Casting.h - isa/cast/dyn_cast helpers ------------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal LLVM-style RTTI replacement. A class hierarchy opts in by
+/// providing `static bool classof(const Base *)` on each derived class;
+/// isa<>, cast<>, and dyn_cast<> then work without compiler RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_SUPPORT_CASTING_H
+#define NADROID_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace nadroid {
+
+/// Returns true if \p Val is an instance of \p To.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast; asserts on kind mismatch.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> to incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> to incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast; returns nullptr on kind mismatch.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace nadroid
+
+#endif // NADROID_SUPPORT_CASTING_H

@@ -1,0 +1,68 @@
+//===- support/Diagnostics.h - Diagnostic reporting -------------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostic engine used by the frontend and the IR verifier.
+/// Diagnostics are collected (not printed eagerly) so tests can assert on
+/// them; callers render them to a stream at the end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_SUPPORT_DIAGNOSTICS_H
+#define NADROID_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nadroid {
+
+enum class DiagSeverity { Note, Warning, Error };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics emitted by a frontend pass or the verifier.
+class DiagnosticEngine {
+public:
+  explicit DiagnosticEngine(const SourceManager &SM) : SM(SM) {}
+
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagSeverity::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagSeverity::Warning, Loc, std::move(Message)});
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagSeverity::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders every collected diagnostic as "loc: severity: message".
+  void print(std::ostream &OS) const;
+
+  /// Returns true if any collected message contains \p Needle (test aid).
+  bool containsMessage(const std::string &Needle) const;
+
+private:
+  const SourceManager &SM;
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace nadroid
+
+#endif // NADROID_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,71 @@
+//===- support/Rng.h - Deterministic random numbers -------------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A splitmix64-based deterministic RNG. The corpus generator and the
+/// schedule-exploring interpreter must be reproducible across runs and
+/// platforms, so we avoid std::mt19937's distribution portability issues
+/// and own the whole pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_SUPPORT_RNG_H
+#define NADROID_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace nadroid {
+
+/// Deterministic 64-bit RNG (splitmix64).
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "empty range");
+    // Rejection sampling to avoid modulo bias for large bounds.
+    uint64_t Threshold = (0 - Bound) % Bound;
+    while (true) {
+      uint64_t V = next();
+      if (V >= Threshold)
+        return V % Bound;
+    }
+  }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  uint64_t range(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + below(Hi - Lo + 1);
+  }
+
+  /// True with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) {
+    assert(Den != 0 && "zero denominator");
+    return below(Den) < Num;
+  }
+
+  /// Derives an independent child RNG; used to keep per-app corpus streams
+  /// stable when one app's recipe changes.
+  Rng fork() { return Rng(next() ^ 0xa5a5a5a55a5a5a5aULL); }
+
+private:
+  uint64_t State;
+};
+
+} // namespace nadroid
+
+#endif // NADROID_SUPPORT_RNG_H

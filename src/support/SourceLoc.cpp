@@ -1,0 +1,30 @@
+//===- support/SourceLoc.cpp ----------------------------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SourceLoc.h"
+
+#include <cassert>
+
+using namespace nadroid;
+
+SourceManager::SourceManager() { Files.push_back("<builtin>"); }
+
+uint32_t SourceManager::addFile(std::string Name) {
+  Files.push_back(std::move(Name));
+  return static_cast<uint32_t>(Files.size() - 1);
+}
+
+const std::string &SourceManager::fileName(uint32_t FileId) const {
+  assert(FileId < Files.size() && "unknown file id");
+  return Files[FileId];
+}
+
+std::string SourceManager::render(SourceLoc Loc) const {
+  if (!Loc.isValid())
+    return "<builtin>";
+  return fileName(Loc.FileId) + ":" + std::to_string(Loc.Line) + ":" +
+         std::to_string(Loc.Column);
+}

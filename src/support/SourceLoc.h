@@ -1,0 +1,81 @@
+//===- support/SourceLoc.h - Source positions for AIR inputs ---*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight source locations used by the AIR frontend and carried on IR
+/// statements so that warnings can point back at the offending input line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_SUPPORT_SOURCELOC_H
+#define NADROID_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nadroid {
+
+/// A (file, line, column) position in an AIR source file.
+///
+/// Programmatically-built IR uses the invalid location (line 0), which
+/// renders as "<builtin>".
+struct SourceLoc {
+  /// Index into the owning SourceManager's file table; 0 for builtin IR.
+  uint32_t FileId = 0;
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  constexpr SourceLoc() = default;
+  constexpr SourceLoc(uint32_t FileId, uint32_t Line, uint32_t Column)
+      : FileId(FileId), Line(Line), Column(Column) {}
+
+  bool isValid() const { return Line != 0; }
+
+  friend bool operator==(const SourceLoc &A, const SourceLoc &B) {
+    return A.FileId == B.FileId && A.Line == B.Line && A.Column == B.Column;
+  }
+  friend bool operator!=(const SourceLoc &A, const SourceLoc &B) {
+    return !(A == B);
+  }
+};
+
+/// A half-open [Begin, End) span of source positions.
+struct SourceRange {
+  SourceLoc Begin;
+  SourceLoc End;
+
+  constexpr SourceRange() = default;
+  constexpr SourceRange(SourceLoc Begin, SourceLoc End)
+      : Begin(Begin), End(End) {}
+  explicit constexpr SourceRange(SourceLoc Loc) : Begin(Loc), End(Loc) {}
+
+  bool isValid() const { return Begin.isValid(); }
+};
+
+/// Maps FileIds to file names so diagnostics can render locations.
+class SourceManager {
+public:
+  SourceManager();
+
+  /// Registers \p Name and returns its FileId (stable for the manager's
+  /// lifetime). Registering the same name twice yields distinct ids; the
+  /// frontend registers each buffer once.
+  uint32_t addFile(std::string Name);
+
+  /// Returns the name registered for \p FileId ("<builtin>" for id 0).
+  const std::string &fileName(uint32_t FileId) const;
+
+  /// Renders \p Loc as "file:line:col" (or "<builtin>").
+  std::string render(SourceLoc Loc) const;
+
+private:
+  std::vector<std::string> Files;
+};
+
+} // namespace nadroid
+
+#endif // NADROID_SUPPORT_SOURCELOC_H

@@ -1,0 +1,58 @@
+//===- support/Statistic.h - Named analysis counters ------------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A registry of named counters, in the spirit of LLVM's Statistic class,
+/// used by analyses to report work done (constraints solved, pairs
+/// enumerated, warnings pruned per filter). Unlike LLVM's, the registry is
+/// an explicit object — no static constructors — so tests can isolate runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_SUPPORT_STATISTIC_H
+#define NADROID_SUPPORT_STATISTIC_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace nadroid {
+
+/// Holds counters keyed by "group.name".
+class StatRegistry {
+public:
+  /// Adds \p Delta to the counter \p Key, creating it at zero first.
+  void add(const std::string &Key, uint64_t Delta = 1) {
+    Counters[Key] += Delta;
+  }
+
+  /// Sets \p Key to \p Value outright.
+  void set(const std::string &Key, uint64_t Value) { Counters[Key] = Value; }
+
+  /// Returns the counter value, zero when absent.
+  uint64_t get(const std::string &Key) const {
+    auto It = Counters.find(Key);
+    return It == Counters.end() ? 0 : It->second;
+  }
+
+  const std::map<std::string, uint64_t> &all() const { return Counters; }
+
+  /// Prints "value  key" lines sorted by key.
+  void print(std::ostream &OS) const {
+    for (const auto &[Key, Value] : Counters)
+      OS << Value << "\t" << Key << "\n";
+  }
+
+  void clear() { Counters.clear(); }
+
+private:
+  std::map<std::string, uint64_t> Counters;
+};
+
+} // namespace nadroid
+
+#endif // NADROID_SUPPORT_STATISTIC_H

@@ -1,0 +1,87 @@
+//===- support/StringUtils.cpp --------------------------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdio>
+
+using namespace nadroid;
+
+std::string_view nadroid::trim(std::string_view S) {
+  size_t Begin = 0;
+  while (Begin < S.size() && std::isspace(static_cast<unsigned char>(S[Begin])))
+    ++Begin;
+  size_t End = S.size();
+  while (End > Begin && std::isspace(static_cast<unsigned char>(S[End - 1])))
+    --End;
+  return S.substr(Begin, End - Begin);
+}
+
+std::vector<std::string_view> nadroid::split(std::string_view S, char Sep) {
+  std::vector<std::string_view> Parts;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = S.find(Sep, Start);
+    if (Pos == std::string_view::npos) {
+      Parts.push_back(S.substr(Start));
+      return Parts;
+    }
+    Parts.push_back(S.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::string nadroid::join(const std::vector<std::string> &Parts,
+                          std::string_view Sep) {
+  std::string Result;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Result += Sep;
+    Result += Parts[I];
+  }
+  return Result;
+}
+
+bool nadroid::startsWith(std::string_view S, std::string_view Prefix) {
+  return S.size() >= Prefix.size() && S.substr(0, Prefix.size()) == Prefix;
+}
+
+bool nadroid::endsWith(std::string_view S, std::string_view Suffix) {
+  return S.size() >= Suffix.size() &&
+         S.substr(S.size() - Suffix.size()) == Suffix;
+}
+
+bool nadroid::isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == '$';
+}
+
+bool nadroid::isIdentCont(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '$';
+}
+
+std::string nadroid::csvEscape(std::string_view S) {
+  bool NeedsQuotes = S.find_first_of(",\"\n") != std::string_view::npos;
+  if (!NeedsQuotes)
+    return std::string(S);
+  std::string Result = "\"";
+  for (char C : S) {
+    if (C == '"')
+      Result += '"';
+    Result += C;
+  }
+  Result += '"';
+  return Result;
+}
+
+std::string nadroid::percent(double Numerator, double Denominator) {
+  if (Denominator == 0.0)
+    return "n/a";
+  char Buffer[32];
+  std::snprintf(Buffer, sizeof(Buffer), "%.1f%%",
+                100.0 * Numerator / Denominator);
+  return Buffer;
+}

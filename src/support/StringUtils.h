@@ -1,0 +1,48 @@
+//===- support/StringUtils.h - Small string helpers -------------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String helpers shared across the project. These intentionally operate on
+/// std::string_view so callers avoid copies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_SUPPORT_STRINGUTILS_H
+#define NADROID_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nadroid {
+
+/// Returns \p S with leading/trailing ASCII whitespace removed.
+std::string_view trim(std::string_view S);
+
+/// Splits \p S on \p Sep; empty pieces are kept.
+std::vector<std::string_view> split(std::string_view S, char Sep);
+
+/// Joins \p Parts with \p Sep.
+std::string join(const std::vector<std::string> &Parts,
+                 std::string_view Sep);
+
+bool startsWith(std::string_view S, std::string_view Prefix);
+bool endsWith(std::string_view S, std::string_view Suffix);
+
+/// True for [A-Za-z_$], the identifier start set of the AIR language.
+bool isIdentStart(char C);
+/// True for [A-Za-z0-9_$], identifier continuation characters.
+bool isIdentCont(char C);
+
+/// Escapes \p S for inclusion in a CSV field (RFC 4180 quoting).
+std::string csvEscape(std::string_view S);
+
+/// Renders a ratio as a percentage with one decimal, e.g. "87.5%".
+std::string percent(double Numerator, double Denominator);
+
+} // namespace nadroid
+
+#endif // NADROID_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,61 @@
+//===- support/TableWriter.cpp --------------------------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TableWriter.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace nadroid;
+
+void TableWriter::addRow(std::vector<std::string> Row) {
+  assert(Row.size() <= Header.size() && "row wider than header");
+  Row.resize(Header.size());
+  Rows.push_back(std::move(Row));
+}
+
+void TableWriter::print(std::ostream &OS) const {
+  std::vector<size_t> Widths(Header.size());
+  for (size_t I = 0; I < Header.size(); ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I < Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      OS << Row[I];
+      if (I + 1 == Row.size())
+        break;
+      OS << std::string(Widths[I] - Row[I].size() + 2, ' ');
+    }
+    OS << "\n";
+  };
+
+  PrintRow(Header);
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+  OS << std::string(Total > 2 ? Total - 2 : Total, '-') << "\n";
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}
+
+void TableWriter::printCsv(std::ostream &OS) const {
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      if (I != 0)
+        OS << ",";
+      OS << csvEscape(Row[I]);
+    }
+    OS << "\n";
+  };
+  PrintRow(Header);
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}

@@ -1,0 +1,51 @@
+//===- support/TableWriter.h - Aligned text tables & CSV --------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TableWriter renders rows both as an aligned monospace table (for the
+/// bench binaries that regenerate the paper's tables) and as CSV (mirroring
+/// the artifact's ResultAnalysis.csv output).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_SUPPORT_TABLEWRITER_H
+#define NADROID_SUPPORT_TABLEWRITER_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nadroid {
+
+/// Accumulates a header plus rows of string cells and prints them aligned.
+class TableWriter {
+public:
+  explicit TableWriter(std::vector<std::string> Header)
+      : Header(std::move(Header)) {}
+
+  /// Appends a row; short rows are padded with empty cells, long rows are
+  /// a programming error.
+  void addRow(std::vector<std::string> Row);
+
+  /// Convenience: renders integral cells.
+  static std::string cell(long long V) { return std::to_string(V); }
+
+  /// Prints an aligned table with a separator under the header.
+  void print(std::ostream &OS) const;
+
+  /// Prints RFC 4180 CSV (header first).
+  void printCsv(std::ostream &OS) const;
+
+  size_t rowCount() const { return Rows.size(); }
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace nadroid
+
+#endif // NADROID_SUPPORT_TABLEWRITER_H

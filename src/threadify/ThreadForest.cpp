@@ -1,0 +1,99 @@
+//===- threadify/ThreadForest.cpp - Modeled threads --------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "threadify/ThreadForest.h"
+
+using namespace nadroid;
+using namespace nadroid::threadify;
+
+const char *threadify::threadOriginName(ThreadOrigin Origin) {
+  switch (Origin) {
+  case ThreadOrigin::DummyMain:
+    return "main";
+  case ThreadOrigin::EntryCallback:
+    return "EC";
+  case ThreadOrigin::PostedCallback:
+    return "PC";
+  case ThreadOrigin::NativeThread:
+    return "NT";
+  }
+  return "?";
+}
+
+std::string ModeledThread::label() const {
+  if (Origin == ThreadOrigin::DummyMain)
+    return "main";
+  std::string Result = threadOriginName(Origin);
+  Result += " ";
+  Result += Callback->name();
+  Result += "@";
+  Result += Callback->parent()->name();
+  return Result;
+}
+
+ThreadForest::ThreadForest() {
+  Threads.push_back(std::make_unique<ModeledThread>(
+      0, ThreadOrigin::DummyMain, android::CallbackKind::None, nullptr,
+      nullptr, nullptr));
+  Root = Threads.back().get();
+}
+
+ModeledThread *ThreadForest::create(ThreadOrigin Origin,
+                                    android::CallbackKind CbKind,
+                                    ir::Method *Callback,
+                                    ModeledThread *Parent,
+                                    const ir::CallStmt *SpawnSite) {
+  Threads.push_back(std::make_unique<ModeledThread>(
+      static_cast<unsigned>(Threads.size()), Origin, CbKind, Callback, Parent,
+      SpawnSite));
+  return Threads.back().get();
+}
+
+bool ThreadForest::isAncestorOrSelf(const ModeledThread *Ancestor,
+                                    const ModeledThread *T) const {
+  for (const ModeledThread *Cur = T; Cur; Cur = Cur->parent())
+    if (Cur == Ancestor)
+      return true;
+  return false;
+}
+
+std::string ThreadForest::lineage(const ModeledThread *T) const {
+  std::vector<const ModeledThread *> Chain;
+  for (const ModeledThread *Cur = T; Cur; Cur = Cur->parent())
+    Chain.push_back(Cur);
+  std::string Result;
+  for (auto It = Chain.rbegin(); It != Chain.rend(); ++It) {
+    if (!Result.empty())
+      Result += " > ";
+    Result += (*It)->label();
+  }
+  return Result;
+}
+
+unsigned ThreadForest::entryCallbackCount() const {
+  unsigned Count = 0;
+  for (const auto &T : Threads)
+    if (T->origin() == ThreadOrigin::EntryCallback)
+      ++Count;
+  return Count;
+}
+
+unsigned ThreadForest::postedCallbackCount() const {
+  unsigned Count = 0;
+  for (const auto &T : Threads)
+    if (T->origin() == ThreadOrigin::PostedCallback)
+      ++Count;
+  return Count;
+}
+
+unsigned ThreadForest::threadCount() const {
+  unsigned Count = 0;
+  for (const auto &T : Threads)
+    if (T->origin() == ThreadOrigin::DummyMain ||
+        T->origin() == ThreadOrigin::NativeThread)
+      ++Count;
+  return Count;
+}

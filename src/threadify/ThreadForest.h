@@ -1,0 +1,163 @@
+//===- threadify/ThreadForest.h - Modeled threads ---------------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The result of threadification (§4): a forest of modeled threads rooted
+/// at the dummy main (the initial looper thread). Entry Callbacks become
+/// children of the dummy main; Posted Callbacks become children of the
+/// posting callback/thread (preserving the poster→postee causal lineage);
+/// AsyncTask machinery and Thread.start create native threads. The forest
+/// is what turns single-looper event-ordering bugs into multi-thread
+/// ordering bugs a conventional detector can find.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_THREADIFY_THREADFOREST_H
+#define NADROID_THREADIFY_THREADFOREST_H
+
+#include "android/Callbacks.h"
+#include "ir/Stmt.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nadroid::threadify {
+
+/// How a modeled thread came to exist.
+enum class ThreadOrigin : uint8_t {
+  DummyMain,      ///< The synthetic root (initial looper thread).
+  EntryCallback,  ///< EC: externally invoked by the Android runtime.
+  PostedCallback, ///< PC: posted/registered from within the app.
+  NativeThread,   ///< Thread.run or AsyncTask.doInBackground.
+};
+
+const char *threadOriginName(ThreadOrigin Origin);
+
+/// One modeled thread: a callback (or native thread body) plus its lineage
+/// and the Android identities the filters need (component, service
+/// connection instance, AsyncTask instance).
+class ModeledThread {
+public:
+  ModeledThread(unsigned Id, ThreadOrigin Origin,
+                android::CallbackKind CbKind, ir::Method *Callback,
+                ModeledThread *Parent, const ir::CallStmt *SpawnSite)
+      : Id(Id), Origin(Origin), CbKind(CbKind), Callback(Callback),
+        Parent(Parent), SpawnSite(SpawnSite) {}
+
+  unsigned id() const { return Id; }
+  ThreadOrigin origin() const { return Origin; }
+  android::CallbackKind callbackKind() const { return CbKind; }
+  /// The callback/body method; nullptr only for the dummy main.
+  ir::Method *callback() const { return Callback; }
+  ModeledThread *parent() const { return Parent; }
+  /// The API call that installed/posted/spawned this thread; nullptr for
+  /// the dummy main and for component entry callbacks.
+  const ir::CallStmt *spawnSite() const { return SpawnSite; }
+
+  /// The component whose lifecycle window contains this thread (the
+  /// Activity/Service/Receiver class); nullptr for the dummy main.
+  ir::Clazz *component() const { return Component; }
+  void setComponent(ir::Clazz *C) { Component = C; }
+
+  /// False when the owning component is not launchable via the manifest —
+  /// warnings involving only such threads are the paper's "Not Reachable"
+  /// false-positive category (§8.5).
+  bool componentReachable() const { return Reachable; }
+  void setComponentReachable(bool R) { Reachable = R; }
+
+  /// Nonzero groups onServiceConnected/onServiceDisconnected threads of
+  /// one bindService site (MHB-Service, §6.1.1).
+  unsigned connectionInstance() const { return ConnInstance; }
+  void setConnectionInstance(unsigned I) { ConnInstance = I; }
+
+  /// Nonzero groups the four AsyncTask callbacks of one execute site
+  /// (MHB-AsyncTask, §6.1.1).
+  unsigned asyncInstance() const { return AsyncInstance; }
+  void setAsyncInstance(unsigned I) { AsyncInstance = I; }
+
+  /// True when this thread executes as a callback on *some* looper.
+  /// Callbacks are atomic only against callbacks of the same looper —
+  /// compare looperId() too (the §8.1 multi-looper extension).
+  bool onLooper() const {
+    return Origin != ThreadOrigin::NativeThread &&
+           android::runsOnLooper(CbKind);
+  }
+
+  /// Which looper runs this callback: 0 is the UI looper; nonzero ids
+  /// are per-BackgroundHandler loopers. Meaningless for native threads.
+  unsigned looperId() const { return LooperId; }
+  void setLooperId(unsigned Id) { LooperId = Id; }
+
+  bool isNative() const { return Origin == ThreadOrigin::NativeThread; }
+
+  /// Short label for reports, e.g. "EC onClick@MainActivity".
+  std::string label() const;
+
+private:
+  unsigned Id;
+  ThreadOrigin Origin;
+  android::CallbackKind CbKind;
+  ir::Method *Callback;
+  ModeledThread *Parent;
+  const ir::CallStmt *SpawnSite;
+  ir::Clazz *Component = nullptr;
+  bool Reachable = true;
+  unsigned ConnInstance = 0;
+  unsigned AsyncInstance = 0;
+  unsigned LooperId = 0;
+};
+
+/// Owns the modeled threads and answers lineage queries.
+class ThreadForest {
+public:
+  ThreadForest();
+
+  ModeledThread *root() const { return Root; }
+  const std::vector<std::unique_ptr<ModeledThread>> &threads() const {
+    return Threads;
+  }
+
+  /// Creates a thread; called by the threadifier.
+  ModeledThread *create(ThreadOrigin Origin, android::CallbackKind CbKind,
+                        ir::Method *Callback, ModeledThread *Parent,
+                        const ir::CallStmt *SpawnSite);
+
+  /// True when \p Ancestor is on \p T's parent chain (or equal).
+  bool isAncestorOrSelf(const ModeledThread *Ancestor,
+                        const ModeledThread *T) const;
+
+  /// §7 Reachable Thread: native thread \p N is reachable from callback
+  /// thread \p C when N descends from C (transitively across creation and
+  /// posting).
+  bool isReachableThreadOf(const ModeledThread *N,
+                           const ModeledThread *C) const {
+    return isAncestorOrSelf(C, N);
+  }
+
+  /// Renders "main > onClick@A > run@R" for §7's lineage aid.
+  std::string lineage(const ModeledThread *T) const;
+
+  /// Table 1 columns: static EC / PC counts and thread count (dummy main +
+  /// native threads).
+  unsigned entryCallbackCount() const;
+  unsigned postedCallbackCount() const;
+  unsigned threadCount() const;
+
+  /// Fresh instance-id allocators used by the threadifier.
+  unsigned nextConnectionInstance() { return ++LastConnInstance; }
+  unsigned nextAsyncInstance() { return ++LastAsyncInstance; }
+
+private:
+  std::vector<std::unique_ptr<ModeledThread>> Threads;
+  ModeledThread *Root;
+  unsigned LastConnInstance = 0;
+  unsigned LastAsyncInstance = 0;
+};
+
+} // namespace nadroid::threadify
+
+#endif // NADROID_THREADIFY_THREADFOREST_H

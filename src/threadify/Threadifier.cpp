@@ -1,0 +1,269 @@
+//===- threadify/Threadifier.cpp - Threadification (§4) -----------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "threadify/Threadifier.h"
+
+#include "android/Api.h"
+#include "android/SyntacticReach.h"
+#include "ir/LocalInfo.h"
+
+#include <deque>
+#include <set>
+#include <tuple>
+
+using namespace nadroid;
+using namespace nadroid::threadify;
+using namespace nadroid::ir;
+using android::ApiCallInfo;
+using android::ApiKind;
+using android::CallbackKind;
+
+namespace {
+
+class ThreadifierImpl {
+public:
+  ThreadifierImpl(const Program &P, const ThreadifyOptions &Options)
+      : P(P), Options(Options), Apis(P) {}
+
+  ThreadForest run() {
+    seedComponentCallbacks();
+    while (!Worklist.empty()) {
+      ModeledThread *T = Worklist.front();
+      Worklist.pop_front();
+      scanThread(T);
+    }
+    return std::move(Forest);
+  }
+
+private:
+  const Program &P;
+  const ThreadifyOptions &Options;
+  android::ApiIndex Apis;
+  ThreadForest Forest;
+  std::deque<ModeledThread *> Worklist;
+  /// (poster callback, target callback, api kind) triples already modeled;
+  /// bounds the recursion when callbacks (re-)post themselves.
+  std::set<std::tuple<const Method *, const Method *, int>> SpawnMemo;
+
+  ModeledThread *create(ThreadOrigin Origin, CallbackKind CbKind, Method *M,
+                        ModeledThread *Parent, const CallStmt *SpawnSite,
+                        Clazz *Component, bool Reachable) {
+    ModeledThread *T = Forest.create(Origin, CbKind, M, Parent, SpawnSite);
+    T->setComponent(Component);
+    T->setComponentReachable(Reachable);
+    Worklist.push_back(T);
+    return T;
+  }
+
+  /// Entry callbacks of components: every lifecycle/UI/system callback of
+  /// an Activity or Service, and onReceive of manifest-declared receivers,
+  /// becomes an EC thread under the dummy main. Components absent from the
+  /// manifest are still modeled (the paper's entry-point identification
+  /// over-approximates) but flagged unreachable for the §8.5 report.
+  void seedComponentCallbacks() {
+    for (const auto &C : P.classes()) {
+      switch (C->kind()) {
+      case ClassKind::Activity:
+      case ClassKind::Service: {
+        bool Reachable = P.isManifestComponent(C.get());
+        for (const auto &M : C->methods()) {
+          CallbackKind K = android::classifyCallback(C->kind(), M->name());
+          if (K == CallbackKind::None)
+            continue;
+          create(ThreadOrigin::EntryCallback, K, M.get(), Forest.root(),
+                 nullptr, C.get(), Reachable);
+        }
+        break;
+      }
+      case ClassKind::Receiver: {
+        if (!P.isManifestComponent(C.get()))
+          break; // non-manifest receivers only run once registered
+        if (Method *M = C->findOwnMethod("onReceive"))
+          create(ThreadOrigin::EntryCallback, CallbackKind::Receive, M,
+                 Forest.root(), nullptr, C.get(), true);
+        break;
+      }
+      case ClassKind::Fragment:
+        // §8.1: the prototype does not model Fragment callbacks. The
+        // opt-in extension treats a Fragment like an always-attached
+        // Activity (fragments live inside a resumed host), which is
+        // enough to recover Table 3's Browser miss.
+        if (Options.ModelFragments) {
+          for (const auto &M : C->methods()) {
+            CallbackKind K =
+                android::classifyCallback(ClassKind::Activity, M->name());
+            if (K == CallbackKind::None)
+              continue;
+            create(ThreadOrigin::EntryCallback, K, M.get(), Forest.root(),
+                   nullptr, C.get(), /*Reachable=*/true);
+          }
+        }
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+  void scanThread(ModeledThread *T) {
+    if (!T->callback())
+      return; // dummy main owns no code
+    for (Method *M : android::collectReachableMethods(T->callback(), Apis)) {
+      forEachStmt(*M, [&](const Stmt &S) {
+        const auto *Call = dyn_cast<CallStmt>(&S);
+        if (!Call)
+          return;
+        const ApiCallInfo &Info = Apis.lookup(*Call);
+        if (Info.isApi())
+          handleSpawn(T, Call, Info);
+      });
+    }
+  }
+
+  bool memoize(ModeledThread *Poster, const Method *Target, ApiKind Kind) {
+    return SpawnMemo
+        .emplace(Poster->callback(), Target, static_cast<int>(Kind))
+        .second;
+  }
+
+  void handleSpawn(ModeledThread *T, const CallStmt *Call,
+                   const ApiCallInfo &Info) {
+    Clazz *Target = Info.Target;
+    Clazz *Component = T->component();
+    bool Reachable = T->componentReachable();
+
+    switch (Info.Kind) {
+    case ApiKind::HandlerPost:
+    case ApiKind::RunOnUiThread: {
+      Method *Run = Target->findMethod("run");
+      if (Run && memoize(T, Run, ApiKind::HandlerPost)) {
+        ModeledThread *RT =
+            create(ThreadOrigin::PostedCallback, CallbackKind::RunnableRun,
+                   Run, T, Call, Component, Reachable);
+        // A runnable posted through a BackgroundHandler runs on that
+        // handler's own looper (§8.1 multi-looper extension).
+        if (Info.Via &&
+            Info.Via->kind() == ClassKind::BackgroundHandler)
+          RT->setLooperId(Info.Via->id() + 1);
+      }
+      return;
+    }
+    case ApiKind::HandlerSend: {
+      Method *Handle = Target->findMethod("handleMessage");
+      if (Handle && memoize(T, Handle, ApiKind::HandlerSend)) {
+        ModeledThread *HT =
+            create(ThreadOrigin::PostedCallback, CallbackKind::HandleMessage,
+                   Handle, T, Call, Component, Reachable);
+        if (Target->kind() == ClassKind::BackgroundHandler)
+          HT->setLooperId(Target->id() + 1);
+      }
+      return;
+    }
+    case ApiKind::BindService: {
+      Method *Conn = Target->findMethod("onServiceConnected");
+      Method *Disc = Target->findMethod("onServiceDisconnected");
+      if (!Conn && !Disc)
+        return;
+      Method *MemoKey = Conn ? Conn : Disc;
+      if (!memoize(T, MemoKey, ApiKind::BindService))
+        return;
+      unsigned Instance = Forest.nextConnectionInstance();
+      if (Conn) {
+        ModeledThread *CT =
+            create(ThreadOrigin::PostedCallback, CallbackKind::ServiceConnect,
+                   Conn, T, Call, Component, Reachable);
+        CT->setConnectionInstance(Instance);
+      }
+      if (Disc) {
+        ModeledThread *DT =
+            create(ThreadOrigin::PostedCallback, CallbackKind::ServiceDisconn,
+                   Disc, T, Call, Component, Reachable);
+        DT->setConnectionInstance(Instance);
+      }
+      return;
+    }
+    case ApiKind::RegisterReceiver: {
+      Method *Receive = Target->findMethod("onReceive");
+      if (Receive && memoize(T, Receive, ApiKind::RegisterReceiver))
+        create(ThreadOrigin::PostedCallback, CallbackKind::Receive, Receive,
+               T, Call, Component, Reachable);
+      return;
+    }
+    case ApiKind::SetListener: {
+      // Imperatively registered listeners are still *entry* callbacks
+      // (Figure 3(b)): the runtime posts them externally, so they hang
+      // off the dummy main, not off the registering callback.
+      for (const auto &M : Target->methods()) {
+        CallbackKind K =
+            android::classifyCallback(Target->kind(), M->name());
+        if (K == CallbackKind::None)
+          continue;
+        if (memoize(T, M.get(), ApiKind::SetListener))
+          create(ThreadOrigin::EntryCallback, K, M.get(), Forest.root(),
+                 Call, Component, Reachable);
+      }
+      return;
+    }
+    case ApiKind::AsyncExecute: {
+      Method *Background = Target->findMethod("doInBackground");
+      Method *MemoKey =
+          Background ? Background : Target->findMethod("onPostExecute");
+      if (!MemoKey || !memoize(T, MemoKey, ApiKind::AsyncExecute))
+        return;
+      unsigned Instance = Forest.nextAsyncInstance();
+      // Figure 3(e): the looper-side callbacks are children of the
+      // doInBackground thread (or of the poster when the task has no
+      // background body).
+      ModeledThread *TaskParent = T;
+      if (Background) {
+        ModeledThread *BG = create(ThreadOrigin::NativeThread,
+                                   CallbackKind::AsyncBackground, Background,
+                                   T, Call, Component, Reachable);
+        BG->setAsyncInstance(Instance);
+        TaskParent = BG;
+      }
+      const std::pair<const char *, CallbackKind> LooperSide[] = {
+          {"onPreExecute", CallbackKind::AsyncPre},
+          {"onProgressUpdate", CallbackKind::AsyncProgress},
+          {"onPostExecute", CallbackKind::AsyncPost},
+      };
+      for (const auto &[Name, Kind] : LooperSide) {
+        if (Method *M = Target->findMethod(Name)) {
+          ModeledThread *CT = create(ThreadOrigin::PostedCallback, Kind, M,
+                                     TaskParent, Call, Component, Reachable);
+          CT->setAsyncInstance(Instance);
+        }
+      }
+      return;
+    }
+    case ApiKind::ThreadStart: {
+      Method *Run = Target->findMethod("run");
+      if (Run && memoize(T, Run, ApiKind::ThreadStart))
+        create(ThreadOrigin::NativeThread, CallbackKind::ThreadRun, Run, T,
+               Call, Component, Reachable);
+      return;
+    }
+    case ApiKind::PublishProgress:
+      // onProgressUpdate is already modeled at the execute site.
+      return;
+    case ApiKind::Finish:
+    case ApiKind::UnbindService:
+    case ApiKind::UnregisterReceiver:
+    case ApiKind::RemoveCallbacks:
+      // Cancellation APIs spawn nothing; the CHB filter consumes them.
+      return;
+    case ApiKind::None:
+      return;
+    }
+  }
+};
+
+} // namespace
+
+ThreadForest threadify::threadify(const Program &P,
+                                  const ThreadifyOptions &Options) {
+  return ThreadifierImpl(P, Options).run();
+}

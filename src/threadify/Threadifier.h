@@ -1,0 +1,52 @@
+//===- threadify/Threadifier.h - Threadification (§4) -----------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Threadification transforms an event-driven AIR program into the thread
+/// forest a conventional multi-threaded race detector can consume:
+///
+///  * Component entry callbacks (Activity/Service lifecycle and UI/system
+///    callbacks, manifest receivers) become EC threads under the dummy
+///    main.
+///  * Imperatively registered listeners (set*Listener,
+///    requestLocationUpdates) also become EC threads under the dummy main
+///    — Figure 3(b).
+///  * Handler.post/sendMessage, runOnUiThread, bindService, and
+///    registerReceiver targets become PC threads under the posting thread
+///    — Figure 3(c)/(d) — preserving the poster→postee causal lineage.
+///  * AsyncTask.execute spawns a native doInBackground thread whose
+///    onPreExecute/onProgressUpdate/onPostExecute callbacks hang off it —
+///    Figure 3(e). Thread.start spawns a plain native thread.
+///
+/// The walk is recursive (callbacks registered by callbacks become new
+/// threads) and terminates by memoizing (poster callback, target callback,
+/// API kind) triples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_THREADIFY_THREADIFIER_H
+#define NADROID_THREADIFY_THREADIFIER_H
+
+#include "threadify/ThreadForest.h"
+
+namespace nadroid::threadify {
+
+/// Options controlling the modeling.
+struct ThreadifyOptions {
+  /// When false, Fragment classes are skipped entirely, reproducing the
+  /// prototype limitation of §8.1 (Table 3's Browser miss). There is no
+  /// supported "true" mode — the flag exists so tests can assert the
+  /// limitation is intentional.
+  bool ModelFragments = false;
+};
+
+/// Runs threadification over \p P.
+ThreadForest threadify(const ir::Program &P,
+                       const ThreadifyOptions &Options = ThreadifyOptions());
+
+} // namespace nadroid::threadify
+
+#endif // NADROID_THREADIFY_THREADIFIER_H

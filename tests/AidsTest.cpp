@@ -1,0 +1,251 @@
+//===- tests/AidsTest.cpp - Escape, DOT, call paths, engine masks -----------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Escape.h"
+#include "threadify/Threadifier.h"
+#include "corpus/Evaluate.h"
+#include "corpus/Patterns.h"
+#include "ir/IRBuilder.h"
+#include "report/Dot.h"
+#include "report/Nadroid.h"
+
+#include <gtest/gtest.h>
+
+using namespace nadroid;
+using namespace nadroid::ir;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Thread-escape analysis
+//===----------------------------------------------------------------------===//
+
+TEST(Escape, SharedComponentEscapesCallbackLocalDoesNot) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *Payload = B.makeClass("Pl", ClassKind::Plain);
+  B.makeMethod(Payload, "use");
+  B.emitReturn();
+  Clazz *Act = B.makeClass("Act", ClassKind::Activity);
+  Field *F = B.addField(Act, "f", Payload);
+  P.addManifestComponent(Act);
+  B.makeMethod(Act, "onCreate");
+  Local *Shared = B.emitNew("s", Payload);
+  B.emitStore(B.thisLocal(), F, Shared);
+  // A callback-local allocation nobody else sees.
+  B.makeMethod(Act, "onClick");
+  Local *LocalOnly = B.emitNew("l", Payload);
+  B.emitStore(LocalOnly, F, nullptr); // field write keeps it "accessed"
+  // Another callback touching the component's field.
+  B.makeMethod(Act, "onLongClick");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), F);
+
+  android::ApiIndex Apis(P);
+  threadify::ThreadForest Forest = threadify::threadify(P);
+  analysis::PointsToAnalysis PTA(P, Forest, Apis);
+  PTA.run();
+  analysis::ThreadReach Reach(PTA, Forest);
+  analysis::EscapeAnalysis Escape(PTA, Reach, Forest);
+
+  // The synthetic activity object is touched by all three callbacks.
+  analysis::ObjectId ActObj = 0;
+  ASSERT_TRUE(PTA.syntheticObjectFor(Act, ActObj));
+  EXPECT_TRUE(Escape.escapes(ActObj));
+  EXPECT_GE(Escape.accessors(ActObj).size(), 2u);
+
+  // The onClick-local payload is touched by one thread only.
+  bool FoundLocal = false;
+  for (analysis::ObjectId Obj = 0; Obj < PTA.objectCount(); ++Obj) {
+    const analysis::AbstractObject &AO = PTA.object(Obj);
+    if (!AO.Site || AO.Site->parentMethod()->name() != "onClick")
+      continue;
+    FoundLocal = true;
+    EXPECT_FALSE(Escape.escapes(Obj));
+  }
+  EXPECT_TRUE(FoundLocal);
+}
+
+TEST(Escape, EventCallbacksAloneMakeObjectsEscape) {
+  // The crux of threadification: two *callbacks* (no native threads)
+  // suffice for an escape — a conventional thread-based analysis would
+  // have called this object thread-local.
+  Program P("t");
+  IRBuilder B(P);
+  corpus::PatternEmitter E(B);
+  E.harmfulEcEc();
+
+  android::ApiIndex Apis(P);
+  threadify::ThreadForest Forest = threadify::threadify(P);
+  analysis::PointsToAnalysis PTA(P, Forest, Apis);
+  PTA.run();
+  analysis::ThreadReach Reach(PTA, Forest);
+  analysis::EscapeAnalysis Escape(PTA, Reach, Forest);
+  EXPECT_FALSE(Escape.escapingObjects().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// DOT export
+//===----------------------------------------------------------------------===//
+
+TEST(Dot, ForestStructureAndStyles) {
+  Program P("t");
+  IRBuilder B(P);
+  corpus::PatternEmitter E(B);
+  E.harmfulCNt();
+  report::NadroidResult R = report::analyzeProgram(P);
+
+  std::string Dot = report::threadForestToDot(*R.Forest);
+  EXPECT_NE(Dot.find("digraph nadroid"), std::string::npos);
+  EXPECT_NE(Dot.find("label=\"main\""), std::string::npos);
+  EXPECT_NE(Dot.find("doublecircle"), std::string::npos); // native thread
+  // One edge per non-root thread.
+  size_t Edges = 0, Pos = 0;
+  while ((Pos = Dot.find(" -> ", Pos)) != std::string::npos) {
+    ++Edges;
+    Pos += 4;
+  }
+  EXPECT_EQ(Edges, R.Forest->threads().size() - 1);
+}
+
+TEST(Dot, AnalysisOverlayAddsRaceEdges) {
+  Program P("t");
+  IRBuilder B(P);
+  corpus::PatternEmitter E(B);
+  E.harmfulEcEc();
+  report::NadroidResult R = report::analyzeProgram(P);
+  std::string Dot = report::analysisToDot(R);
+  EXPECT_NE(Dot.find("label=\"UAF\""), std::string::npos);
+  EXPECT_NE(Dot.find("color=red"), std::string::npos);
+}
+
+TEST(Dot, CleanAppHasNoRaceEdges) {
+  Program P("t");
+  IRBuilder B(P);
+  corpus::PatternEmitter E(B);
+  E.falseIa(1);
+  report::NadroidResult R = report::analyzeProgram(P);
+  std::string Dot = report::analysisToDot(R);
+  EXPECT_EQ(Dot.find("label=\"UAF\""), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Call paths (§7)
+//===----------------------------------------------------------------------===//
+
+TEST(CallPath, ReconstructsHelperChain) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *Payload = B.makeClass("Pl", ClassKind::Plain);
+  B.makeMethod(Payload, "use");
+  B.emitReturn();
+  Clazz *Act = B.makeClass("Act", ClassKind::Activity);
+  Field *F = B.addField(Act, "f", Payload);
+  P.addManifestComponent(Act);
+  B.makeMethod(Act, "onCreate");
+  Local *X = B.emitNew("x", Payload);
+  B.emitStore(B.thisLocal(), F, X);
+  // onClick -> outer -> inner -> use
+  B.makeMethod(Act, "inner");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), F);
+  B.emitCall(nullptr, U, "use");
+  B.makeMethod(Act, "outer");
+  B.emitCall(nullptr, B.thisLocal(), "inner");
+  B.makeMethod(Act, "onClick");
+  B.emitCall(nullptr, B.thisLocal(), "outer");
+  B.makeMethod(Act, "onCreateOptionsMenu");
+  B.emitStore(B.thisLocal(), F, nullptr);
+
+  report::NadroidResult R = report::analyzeProgram(P);
+  ASSERT_FALSE(R.remainingIndices().empty());
+  size_t I = R.remainingIndices()[0];
+  const race::ThreadPair &TP = R.Pipeline.Verdicts[I].PairsRemaining[0];
+  std::vector<const Method *> Path =
+      report::callPathTo(R, TP.UseThread, R.warnings()[I].Use);
+  EXPECT_EQ(report::renderCallPath(Path),
+            "Act.onClick > Act.outer > Act.inner");
+
+  // And the rendered warning shows it.
+  std::string Text = report::renderWarning(R, I, P);
+  EXPECT_NE(Text.find("use path"), std::string::npos);
+}
+
+TEST(CallPath, DirectSiteIsSingleHop) {
+  Program P("t");
+  IRBuilder B(P);
+  corpus::PatternEmitter E(B);
+  E.harmfulEcEc();
+  report::NadroidResult R = report::analyzeProgram(P);
+  ASSERT_FALSE(R.remainingIndices().empty());
+  size_t I = R.remainingIndices()[0];
+  const race::ThreadPair &TP = R.Pipeline.Verdicts[I].PairsRemaining[0];
+  std::vector<const Method *> Path =
+      report::callPathTo(R, TP.UseThread, R.warnings()[I].Use);
+  ASSERT_EQ(Path.size(), 1u);
+  EXPECT_EQ(Path[0], TP.UseThread->callback());
+}
+
+//===----------------------------------------------------------------------===//
+// FilterEngine masks
+//===----------------------------------------------------------------------===//
+
+TEST(Engine, PruneMaskRespectsSubsets) {
+  Program P("t");
+  IRBuilder B(P);
+  corpus::PatternEmitter E(B);
+  E.falseMhbLifecycle(1); // MHB target
+  E.falseIa(1);           // IA target
+
+  report::NadroidResult R = report::analyzeProgram(P);
+  filters::FilterEngine Engine(*R.FilterCtx);
+  auto MaskMhb =
+      Engine.pruneMask(R.warnings(), {filters::FilterKind::MHB});
+  auto MaskIa = Engine.pruneMask(R.warnings(), {filters::FilterKind::IA});
+  auto MaskBoth = Engine.pruneMask(
+      R.warnings(), {filters::FilterKind::MHB, filters::FilterKind::IA});
+
+  unsigned Mhb = 0, Ia = 0, Both = 0;
+  for (size_t I = 0; I < R.warnings().size(); ++I) {
+    Mhb += MaskMhb[I];
+    Ia += MaskIa[I];
+    Both += MaskBoth[I];
+    // Union semantics: anything a single filter prunes, the pair does.
+    EXPECT_TRUE(!MaskMhb[I] || MaskBoth[I]);
+    EXPECT_TRUE(!MaskIa[I] || MaskBoth[I]);
+  }
+  EXPECT_EQ(Mhb, 1u);
+  EXPECT_EQ(Ia, 1u);
+  EXPECT_EQ(Both, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Evaluate harness
+//===----------------------------------------------------------------------===//
+
+TEST(Evaluate, InterpreterModeMatchesSeededModeOnCleanApp) {
+  corpus::CorpusApp App = corpus::buildAppNamed("ToDoList");
+  corpus::EvaluateOptions Fast;
+  Fast.RunInterpreter = false;
+  corpus::AppEvaluation E1 = corpus::evaluateApp(App, Fast);
+  corpus::CorpusApp App2 = corpus::buildAppNamed("ToDoList");
+  corpus::AppEvaluation E2 = corpus::evaluateApp(App2);
+  EXPECT_EQ(E1.TrueHarmful, E2.TrueHarmful);
+  EXPECT_EQ(E1.Potential, E2.Potential);
+  EXPECT_EQ(E1.AfterUnsound, E2.AfterUnsound);
+}
+
+TEST(Evaluate, FindSeedByField) {
+  corpus::CorpusApp App = corpus::buildAppNamed("ConnectBot");
+  ASSERT_FALSE(App.Seeds.empty());
+  const corpus::SeededBug *Seed =
+      corpus::findSeed(App, App.Seeds[0].FieldName);
+  ASSERT_NE(Seed, nullptr);
+  EXPECT_EQ(Seed->FieldName, App.Seeds[0].FieldName);
+  EXPECT_EQ(corpus::findSeed(App, "No.SuchField"), nullptr);
+}
+
+} // namespace

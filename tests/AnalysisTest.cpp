@@ -1,0 +1,313 @@
+//===- tests/AnalysisTest.cpp - Guard/alloc/lockset/cancel analyses -------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AllocFlow.h"
+#include "analysis/CancelReach.h"
+#include "analysis/Guards.h"
+#include "analysis/Lockset.h"
+#include "analysis/ThreadReach.h"
+#include "ir/IRBuilder.h"
+#include "threadify/Threadifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace nadroid;
+using namespace nadroid::analysis;
+using namespace nadroid::ir;
+
+namespace {
+
+struct MethodFixture {
+  Program P{"t"};
+  IRBuilder B{P};
+  Clazz *Payload;
+  Clazz *Act;
+  Field *F;
+  Method *M = nullptr;
+
+  MethodFixture() {
+    Payload = B.makeClass("P", ClassKind::Plain);
+    Act = B.makeClass("Act", ClassKind::Activity);
+    F = B.addField(Act, "f", Payload);
+  }
+
+  Method *method(const char *Name = "m") {
+    M = B.makeMethod(Act, Name);
+    return M;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// GuardAnalysis (IG support)
+//===----------------------------------------------------------------------===//
+
+TEST(Guards, ReloadUnderGuardIsGuarded) {
+  MethodFixture Fx;
+  Fx.method();
+  Local *G = Fx.B.local("g");
+  Fx.B.emitLoad(G, Fx.B.thisLocal(), Fx.F);
+  Fx.B.beginIfNotNull(G);
+  Local *U = Fx.B.local("u");
+  LoadStmt *Use = Fx.B.emitLoad(U, Fx.B.thisLocal(), Fx.F);
+  Fx.B.emitCall(nullptr, U, "use");
+  Fx.B.endIf();
+  GuardAnalysis GA(*Fx.M);
+  EXPECT_TRUE(GA.isGuarded(Use));
+}
+
+TEST(Guards, CheckThenDerefGuardsTheLoad) {
+  MethodFixture Fx;
+  Fx.method();
+  Local *X = Fx.B.local("x");
+  LoadStmt *Load = Fx.B.emitLoad(X, Fx.B.thisLocal(), Fx.F);
+  Fx.B.beginIfNotNull(X);
+  Fx.B.emitCall(nullptr, X, "use");
+  Fx.B.endIf();
+  GuardAnalysis GA(*Fx.M);
+  EXPECT_TRUE(GA.isGuarded(Load));
+}
+
+TEST(Guards, DerefOutsideGuardedRegionNotGuarded) {
+  MethodFixture Fx;
+  Fx.method();
+  Local *X = Fx.B.local("x");
+  LoadStmt *Load = Fx.B.emitLoad(X, Fx.B.thisLocal(), Fx.F);
+  Fx.B.beginIfNotNull(X);
+  Fx.B.endIf();
+  Fx.B.emitCall(nullptr, X, "use"); // after the if: unprotected
+  GuardAnalysis GA(*Fx.M);
+  EXPECT_FALSE(GA.isGuarded(Load));
+}
+
+TEST(Guards, UnguardedLoadNotGuarded) {
+  MethodFixture Fx;
+  Fx.method();
+  Local *U = Fx.B.local("u");
+  LoadStmt *Use = Fx.B.emitLoad(U, Fx.B.thisLocal(), Fx.F);
+  Fx.B.emitCall(nullptr, U, "use");
+  GuardAnalysis GA(*Fx.M);
+  EXPECT_FALSE(GA.isGuarded(Use));
+}
+
+TEST(Guards, IsNullGuardProtectsElseBranch) {
+  MethodFixture Fx;
+  Fx.method();
+  Local *G = Fx.B.local("g");
+  Fx.B.emitLoad(G, Fx.B.thisLocal(), Fx.F);
+  Fx.B.beginIfIsNull(G);
+  Local *Bad = Fx.B.local("bad");
+  LoadStmt *ThenLoad = Fx.B.emitLoad(Bad, Fx.B.thisLocal(), Fx.F);
+  Fx.B.emitCall(nullptr, Bad, "use");
+  Fx.B.beginElse();
+  Local *Ok = Fx.B.local("ok");
+  LoadStmt *ElseLoad = Fx.B.emitLoad(Ok, Fx.B.thisLocal(), Fx.F);
+  Fx.B.emitCall(nullptr, Ok, "use");
+  Fx.B.endIf();
+  GuardAnalysis GA(*Fx.M);
+  EXPECT_FALSE(GA.isGuarded(ThenLoad)); // the null branch!
+  EXPECT_TRUE(GA.isGuarded(ElseLoad));
+}
+
+TEST(Guards, GuardOnDifferentFieldDoesNotProtect) {
+  MethodFixture Fx;
+  Field *Other = Fx.B.addField(Fx.Act, "other", Fx.Payload);
+  Fx.method();
+  Local *G = Fx.B.local("g");
+  Fx.B.emitLoad(G, Fx.B.thisLocal(), Other);
+  Fx.B.beginIfNotNull(G);
+  Local *U = Fx.B.local("u");
+  LoadStmt *Use = Fx.B.emitLoad(U, Fx.B.thisLocal(), Fx.F);
+  Fx.B.emitCall(nullptr, U, "use");
+  Fx.B.endIf();
+  GuardAnalysis GA(*Fx.M);
+  EXPECT_FALSE(GA.isGuarded(Use));
+}
+
+TEST(Guards, InterveningStoreInvalidatesGuard) {
+  MethodFixture Fx;
+  Fx.method();
+  Local *G = Fx.B.local("g");
+  Fx.B.emitLoad(G, Fx.B.thisLocal(), Fx.F);
+  Fx.B.emitStore(Fx.B.thisLocal(), Fx.F, nullptr); // free between
+  Fx.B.beginIfNotNull(G);
+  Local *U = Fx.B.local("u");
+  LoadStmt *Use = Fx.B.emitLoad(U, Fx.B.thisLocal(), Fx.F);
+  Fx.B.emitCall(nullptr, U, "use");
+  Fx.B.endIf();
+  GuardAnalysis GA(*Fx.M);
+  EXPECT_FALSE(GA.isGuarded(Use));
+}
+
+TEST(Guards, UnknownPredicateGivesNoGuard) {
+  MethodFixture Fx;
+  Fx.method();
+  Fx.B.beginIfUnknown();
+  Local *U = Fx.B.local("u");
+  LoadStmt *Use = Fx.B.emitLoad(U, Fx.B.thisLocal(), Fx.F);
+  Fx.B.emitCall(nullptr, U, "use");
+  Fx.B.endIf();
+  GuardAnalysis GA(*Fx.M);
+  EXPECT_FALSE(GA.isGuarded(Use));
+}
+
+//===----------------------------------------------------------------------===//
+// AllocFlow (IA/MA/RHB support)
+//===----------------------------------------------------------------------===//
+
+TEST(AllocFlow, AllocationDominatesUse) {
+  MethodFixture Fx;
+  Fx.method();
+  Local *X = Fx.B.emitNew("x", Fx.Payload);
+  Fx.B.emitStore(Fx.B.thisLocal(), Fx.F, X);
+  Local *U = Fx.B.local("u");
+  LoadStmt *Use = Fx.B.emitLoad(U, Fx.B.thisLocal(), Fx.F);
+  AllocFlowResult R = analyzeAllocFlow(*Fx.M, false);
+  EXPECT_TRUE(R.ProtectedLoads.count(Use));
+  EXPECT_TRUE(R.MayAllocFields.count(Fx.F));
+}
+
+TEST(AllocFlow, UseBeforeAllocationUnprotected) {
+  MethodFixture Fx;
+  Fx.method();
+  Local *U = Fx.B.local("u");
+  LoadStmt *Use = Fx.B.emitLoad(U, Fx.B.thisLocal(), Fx.F);
+  Local *X = Fx.B.emitNew("x", Fx.Payload);
+  Fx.B.emitStore(Fx.B.thisLocal(), Fx.F, X);
+  AllocFlowResult R = analyzeAllocFlow(*Fx.M, false);
+  EXPECT_FALSE(R.ProtectedLoads.count(Use));
+  EXPECT_TRUE(R.MayAllocFields.count(Fx.F)); // may-analysis still sees it
+}
+
+TEST(AllocFlow, FreeKillsTheFact) {
+  MethodFixture Fx;
+  Fx.method();
+  Local *X = Fx.B.emitNew("x", Fx.Payload);
+  Fx.B.emitStore(Fx.B.thisLocal(), Fx.F, X);
+  Fx.B.emitStore(Fx.B.thisLocal(), Fx.F, nullptr);
+  Local *U = Fx.B.local("u");
+  LoadStmt *Use = Fx.B.emitLoad(U, Fx.B.thisLocal(), Fx.F);
+  AllocFlowResult R = analyzeAllocFlow(*Fx.M, false);
+  EXPECT_FALSE(R.ProtectedLoads.count(Use));
+}
+
+TEST(AllocFlow, BranchJoinRequiresBothSides) {
+  MethodFixture Fx;
+  Fx.method();
+  Fx.B.beginIfUnknown();
+  Local *X = Fx.B.emitNew("x", Fx.Payload);
+  Fx.B.emitStore(Fx.B.thisLocal(), Fx.F, X);
+  Fx.B.endIf();
+  Local *U = Fx.B.local("u");
+  LoadStmt *Use = Fx.B.emitLoad(U, Fx.B.thisLocal(), Fx.F);
+  AllocFlowResult R = analyzeAllocFlow(*Fx.M, false);
+  EXPECT_FALSE(R.ProtectedLoads.count(Use)) << "one-sided alloc is may";
+  EXPECT_TRUE(R.MayAllocFields.count(Fx.F));
+}
+
+TEST(AllocFlow, BothBranchesAllocating) {
+  MethodFixture Fx;
+  Fx.method();
+  Fx.B.beginIfUnknown();
+  Local *X = Fx.B.emitNew("x", Fx.Payload);
+  Fx.B.emitStore(Fx.B.thisLocal(), Fx.F, X);
+  Fx.B.beginElse();
+  Local *Y = Fx.B.emitNew("y", Fx.Payload);
+  Fx.B.emitStore(Fx.B.thisLocal(), Fx.F, Y);
+  Fx.B.endIf();
+  Local *U = Fx.B.local("u");
+  LoadStmt *Use = Fx.B.emitLoad(U, Fx.B.thisLocal(), Fx.F);
+  AllocFlowResult R = analyzeAllocFlow(*Fx.M, false);
+  EXPECT_TRUE(R.ProtectedLoads.count(Use));
+}
+
+TEST(AllocFlow, GetterResultCountsOnlyInMaMode) {
+  MethodFixture Fx;
+  Fx.method();
+  Local *T = Fx.B.local("t");
+  Fx.B.emitCall(T, Fx.B.thisLocal(), "mk");
+  Fx.B.emitStore(Fx.B.thisLocal(), Fx.F, T);
+  Local *U = Fx.B.local("u");
+  LoadStmt *Use = Fx.B.emitLoad(U, Fx.B.thisLocal(), Fx.F);
+  EXPECT_FALSE(analyzeAllocFlow(*Fx.M, false).ProtectedLoads.count(Use));
+  EXPECT_TRUE(analyzeAllocFlow(*Fx.M, true).ProtectedLoads.count(Use));
+}
+
+TEST(AllocFlow, NonThisBasesIgnored) {
+  MethodFixture Fx;
+  Clazz *Holder = Fx.B.makeClass("H", ClassKind::Plain);
+  Field *HF = Fx.B.addField(Holder, "hf", Fx.Payload);
+  Fx.method();
+  Local *H = Fx.B.emitNew("h", Holder);
+  Local *X = Fx.B.emitNew("x", Fx.Payload);
+  Fx.B.emitStore(H, HF, X);
+  Local *U = Fx.B.local("u");
+  LoadStmt *Use = Fx.B.emitLoad(U, H, HF);
+  AllocFlowResult R = analyzeAllocFlow(*Fx.M, false);
+  EXPECT_FALSE(R.ProtectedLoads.count(Use));
+}
+
+//===----------------------------------------------------------------------===//
+// Lockset
+//===----------------------------------------------------------------------===//
+
+TEST(Lockset, NestedSyncsAccumulate) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *Act = B.makeClass("Act", ClassKind::Activity);
+  Field *F = B.addField(Act, "f", Act);
+  P.addManifestComponent(Act);
+  Method *M = B.makeMethod(Act, "onCreate");
+  Local *L1 = B.emitNew("l1", Act);
+  Local *L2 = B.emitNew("l2", Act);
+  B.beginSync(L1);
+  B.beginSync(L2);
+  StoreStmt *Inner = B.emitStore(B.thisLocal(), F, L1);
+  B.endSync();
+  StoreStmt *Outer = B.emitStore(B.thisLocal(), F, L2);
+  B.endSync();
+  StoreStmt *Outside = B.emitStore(B.thisLocal(), F, nullptr);
+
+  android::ApiIndex Apis(P);
+  threadify::ThreadForest Forest = threadify::threadify(P);
+  PointsToAnalysis PTA(P, Forest, Apis);
+  PTA.run();
+  LocksetAnalysis Locks(PTA);
+  ObjectId Synth = 0;
+  ASSERT_TRUE(PTA.syntheticObjectFor(Act, Synth));
+  MethodCtx Ctx{M, Synth};
+  EXPECT_EQ(Locks.locksHeldAt(Inner, Ctx).size(), 2u);
+  EXPECT_EQ(Locks.locksHeldAt(Outer, Ctx).size(), 1u);
+  EXPECT_TRUE(Locks.locksHeldAt(Outside, Ctx).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// CancelReach (CHB support)
+//===----------------------------------------------------------------------===//
+
+TEST(CancelReach, FindsFinishThroughHelpers) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *Act = B.makeClass("Act", ClassKind::Activity);
+  P.addManifestComponent(Act);
+  B.makeMethod(Act, "bail");
+  B.emitFinish();
+  Method *Click = B.makeMethod(Act, "onClick");
+  B.beginIfUnknown();
+  B.emitCall(nullptr, B.thisLocal(), "bail");
+  B.endIf();
+  Method *Other = B.makeMethod(Act, "onLongClick");
+  B.emitReturn();
+
+  android::ApiIndex Apis(P);
+  CancelReach CR(P, Apis);
+  const auto &Cancels = CR.cancelsFrom(Click);
+  ASSERT_EQ(Cancels.size(), 1u);
+  EXPECT_EQ(Cancels[0].Kind, android::ApiKind::Finish);
+  EXPECT_EQ(Cancels[0].Target, Act);
+  EXPECT_TRUE(CR.cancelsFrom(Other).empty());
+}
+
+} // namespace

@@ -1,0 +1,267 @@
+//===- tests/AndroidTest.cpp - Android model unit tests --------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "android/Api.h"
+#include "android/Callbacks.h"
+#include "android/SyntacticReach.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace nadroid;
+using namespace nadroid::android;
+using namespace nadroid::ir;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Callback classification
+//===----------------------------------------------------------------------===//
+
+TEST(Callbacks, ActivityLifecycleAndUi) {
+  EXPECT_EQ(classifyCallback(ClassKind::Activity, "onCreate"),
+            CallbackKind::Lifecycle);
+  EXPECT_EQ(classifyCallback(ClassKind::Activity, "onDestroy"),
+            CallbackKind::Lifecycle);
+  EXPECT_EQ(classifyCallback(ClassKind::Activity, "onClick"),
+            CallbackKind::Ui);
+  EXPECT_EQ(classifyCallback(ClassKind::Activity, "onLocationChanged"),
+            CallbackKind::SystemEvent);
+  EXPECT_EQ(classifyCallback(ClassKind::Activity, "helper"),
+            CallbackKind::None);
+}
+
+TEST(Callbacks, ComponentSpecificTables) {
+  EXPECT_EQ(classifyCallback(ClassKind::Service, "onStartCommand"),
+            CallbackKind::Lifecycle);
+  EXPECT_EQ(classifyCallback(ClassKind::Service, "onClick"),
+            CallbackKind::None);
+  EXPECT_EQ(classifyCallback(ClassKind::Receiver, "onReceive"),
+            CallbackKind::Receive);
+  EXPECT_EQ(classifyCallback(ClassKind::Handler, "handleMessage"),
+            CallbackKind::HandleMessage);
+  EXPECT_EQ(classifyCallback(ClassKind::Runnable, "run"),
+            CallbackKind::RunnableRun);
+  EXPECT_EQ(classifyCallback(ClassKind::ThreadClass, "run"),
+            CallbackKind::ThreadRun);
+  EXPECT_EQ(
+      classifyCallback(ClassKind::ServiceConnection, "onServiceConnected"),
+      CallbackKind::ServiceConnect);
+  EXPECT_EQ(classifyCallback(ClassKind::Listener, "onClick"),
+            CallbackKind::Ui);
+}
+
+TEST(Callbacks, AsyncTaskQuartet) {
+  EXPECT_EQ(classifyCallback(ClassKind::AsyncTask, "onPreExecute"),
+            CallbackKind::AsyncPre);
+  EXPECT_EQ(classifyCallback(ClassKind::AsyncTask, "doInBackground"),
+            CallbackKind::AsyncBackground);
+  EXPECT_EQ(classifyCallback(ClassKind::AsyncTask, "onProgressUpdate"),
+            CallbackKind::AsyncProgress);
+  EXPECT_EQ(classifyCallback(ClassKind::AsyncTask, "onPostExecute"),
+            CallbackKind::AsyncPost);
+}
+
+TEST(Callbacks, FragmentCallbacksInvisible) {
+  // §8.1: the prototype does not model Fragment.
+  EXPECT_EQ(classifyCallback(ClassKind::Fragment, "onResume"),
+            CallbackKind::None);
+  EXPECT_EQ(classifyCallback(ClassKind::Fragment, "onClick"),
+            CallbackKind::None);
+}
+
+TEST(Callbacks, EntryVsPostedKinds) {
+  EXPECT_TRUE(isEntryCallbackKind(CallbackKind::Lifecycle));
+  EXPECT_TRUE(isEntryCallbackKind(CallbackKind::Ui));
+  EXPECT_FALSE(isEntryCallbackKind(CallbackKind::HandleMessage));
+  EXPECT_TRUE(isPostedCallbackKind(CallbackKind::HandleMessage));
+  EXPECT_TRUE(isPostedCallbackKind(CallbackKind::ServiceDisconn));
+  EXPECT_FALSE(isPostedCallbackKind(CallbackKind::ThreadRun));
+}
+
+TEST(Callbacks, LooperMembership) {
+  EXPECT_TRUE(runsOnLooper(CallbackKind::Ui));
+  EXPECT_TRUE(runsOnLooper(CallbackKind::AsyncPost));
+  EXPECT_FALSE(runsOnLooper(CallbackKind::AsyncBackground));
+  EXPECT_FALSE(runsOnLooper(CallbackKind::ThreadRun));
+}
+
+//===----------------------------------------------------------------------===//
+// Must-happens-before relations (§6.1.1)
+//===----------------------------------------------------------------------===//
+
+TEST(Callbacks, LifecycleMhbOnlyCreateAndDestroy) {
+  EXPECT_TRUE(lifecycleMustPrecede("onCreate", "onClick"));
+  EXPECT_TRUE(lifecycleMustPrecede("onCreate", "onDestroy"));
+  EXPECT_TRUE(lifecycleMustPrecede("onClick", "onDestroy"));
+  // The back edge makes pause/resume cyclic: no static order.
+  EXPECT_FALSE(lifecycleMustPrecede("onResume", "onPause"));
+  EXPECT_FALSE(lifecycleMustPrecede("onPause", "onResume"));
+  EXPECT_FALSE(lifecycleMustPrecede("onStart", "onStop"));
+  EXPECT_FALSE(lifecycleMustPrecede("onCreate", "onCreate"));
+  EXPECT_FALSE(lifecycleMustPrecede("onDestroy", "onClick"));
+}
+
+TEST(Callbacks, AsyncTaskMhbOrder) {
+  using CK = CallbackKind;
+  EXPECT_TRUE(asyncTaskMustPrecede(CK::AsyncPre, CK::AsyncBackground));
+  EXPECT_TRUE(asyncTaskMustPrecede(CK::AsyncPre, CK::AsyncProgress));
+  EXPECT_TRUE(asyncTaskMustPrecede(CK::AsyncPre, CK::AsyncPost));
+  EXPECT_TRUE(asyncTaskMustPrecede(CK::AsyncBackground, CK::AsyncPost));
+  EXPECT_TRUE(asyncTaskMustPrecede(CK::AsyncProgress, CK::AsyncPost));
+  EXPECT_FALSE(asyncTaskMustPrecede(CK::AsyncBackground, CK::AsyncProgress));
+  EXPECT_FALSE(asyncTaskMustPrecede(CK::AsyncPost, CK::AsyncPre));
+  EXPECT_FALSE(asyncTaskMustPrecede(CK::Ui, CK::AsyncPost));
+}
+
+//===----------------------------------------------------------------------===//
+// API classification
+//===----------------------------------------------------------------------===//
+
+struct ApiFixture {
+  Program P{"t"};
+  IRBuilder B{P};
+  Clazz *Act = nullptr;
+  Method *M = nullptr;
+
+  ApiFixture() {
+    Act = B.makeClass("Act", ClassKind::Activity);
+    M = B.makeMethod(Act, "onCreate");
+  }
+};
+
+TEST(Api, BindServiceResolvesConnectionArg) {
+  ApiFixture F;
+  Clazz *Conn =
+      F.B.makeClass("Conn", ClassKind::ServiceConnection);
+  F.B.setInsertMethod(F.M);
+  CallStmt *Call = F.B.emitBindService(Conn);
+  ApiCallInfo Info = classifyApiCall(*Call);
+  EXPECT_EQ(Info.Kind, ApiKind::BindService);
+  EXPECT_EQ(Info.Target, Conn);
+}
+
+TEST(Api, BindServiceWithWrongArgKindIsOrdinary) {
+  ApiFixture F;
+  Clazz *NotConn = F.B.makeClass("NotConn", ClassKind::Plain);
+  F.B.setInsertMethod(F.M);
+  Local *X = F.B.emitNew("x", NotConn);
+  CallStmt *Call =
+      F.B.emitCall(nullptr, F.B.thisLocal(), "bindService", {X});
+  EXPECT_EQ(classifyApiCall(*Call).Kind, ApiKind::None);
+}
+
+TEST(Api, PostRequiresRunnableArgRegardlessOfReceiver) {
+  ApiFixture F;
+  Clazz *Run = F.B.makeClass("Run", ClassKind::Runnable);
+  F.B.setInsertMethod(F.M);
+  Local *R = F.B.emitNew("r", Run);
+  // Receiver is the activity (a View in real code) — still a post.
+  CallStmt *Call = F.B.emitCall(nullptr, F.B.thisLocal(), "post", {R});
+  EXPECT_EQ(classifyApiCall(*Call).Kind, ApiKind::HandlerPost);
+  EXPECT_EQ(classifyApiCall(*Call).Target, Run);
+}
+
+TEST(Api, SendMessageNeedsHandlerReceiver) {
+  ApiFixture F;
+  Clazz *H = F.B.makeClass("H", ClassKind::Handler);
+  F.B.setInsertMethod(F.M);
+  Local *HL = F.B.emitNew("h", H);
+  CallStmt *Good = F.B.emitCall(nullptr, HL, "sendMessage");
+  EXPECT_EQ(classifyApiCall(*Good).Kind, ApiKind::HandlerSend);
+  CallStmt *Bad = F.B.emitCall(nullptr, F.B.thisLocal(), "sendMessage");
+  EXPECT_EQ(classifyApiCall(*Bad).Kind, ApiKind::None);
+}
+
+TEST(Api, ExecuteAndStartDependOnReceiverKind) {
+  ApiFixture F;
+  Clazz *Task = F.B.makeClass("T", ClassKind::AsyncTask);
+  Clazz *Th = F.B.makeClass("W", ClassKind::ThreadClass);
+  F.B.setInsertMethod(F.M);
+  Local *TL = F.B.emitNew("t", Task);
+  Local *WL = F.B.emitNew("w", Th);
+  EXPECT_EQ(classifyApiCall(*F.B.emitCall(nullptr, TL, "execute")).Kind,
+            ApiKind::AsyncExecute);
+  EXPECT_EQ(classifyApiCall(*F.B.emitCall(nullptr, WL, "start")).Kind,
+            ApiKind::ThreadStart);
+  // "start" on a non-thread receiver is an ordinary call.
+  EXPECT_EQ(classifyApiCall(*F.B.emitCall(nullptr, TL, "start")).Kind,
+            ApiKind::None);
+}
+
+TEST(Api, CancellationApis) {
+  ApiFixture F;
+  CallStmt *Finish = F.B.emitFinish();
+  ApiCallInfo Info = classifyApiCall(*Finish);
+  EXPECT_EQ(Info.Kind, ApiKind::Finish);
+  EXPECT_EQ(Info.Target, F.Act);
+  EXPECT_TRUE(isCancellationApi(ApiKind::Finish));
+  EXPECT_TRUE(isCancellationApi(ApiKind::UnbindService));
+  EXPECT_TRUE(isCancellationApi(ApiKind::RemoveCallbacks));
+  EXPECT_FALSE(isCancellationApi(ApiKind::HandlerPost));
+
+  CallStmt *Unbind = F.B.emitUnbindService();
+  ApiCallInfo UInfo = classifyApiCall(*Unbind);
+  EXPECT_EQ(UInfo.Kind, ApiKind::UnbindService);
+  EXPECT_EQ(UInfo.Target, nullptr); // "all of this component's"
+}
+
+TEST(Api, OpaqueArgumentDropsClassification) {
+  ApiFixture F;
+  // The runnable comes from an unresolved call: static analysis cannot
+  // classify the post — the Table 2 imprecision.
+  Local *R = F.B.local("r");
+  F.B.emitCall(R, F.B.thisLocal(), "somethingOpaque");
+  CallStmt *Post = F.B.emitCall(nullptr, F.B.thisLocal(), "post", {R});
+  EXPECT_EQ(classifyApiCall(*Post).Kind, ApiKind::None);
+}
+
+TEST(Api, IndexMatchesDirectClassification) {
+  ApiFixture F;
+  Clazz *Run = F.B.makeClass("Run", ClassKind::Runnable);
+  F.B.setInsertMethod(F.M);
+  CallStmt *Post = F.B.emitRunOnUiThread(Run);
+  ApiIndex Index(F.P);
+  EXPECT_EQ(Index.lookup(*Post).Kind, ApiKind::RunOnUiThread);
+  EXPECT_EQ(Index.lookup(*Post).Target, Run);
+}
+
+//===----------------------------------------------------------------------===//
+// Syntactic reachability
+//===----------------------------------------------------------------------===//
+
+TEST(SyntacticReach, FollowsOrdinaryCallsNotSpawns) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *Run = B.makeClass("Run", ClassKind::Runnable);
+  Method *RunM = B.makeMethod(Run, "run");
+  B.emitReturn();
+
+  Clazz *Act = B.makeClass("Act", ClassKind::Activity);
+  Method *Helper = B.makeMethod(Act, "helper");
+  B.emitReturn();
+  Method *Root = B.makeMethod(Act, "onCreate");
+  B.emitCall(nullptr, B.thisLocal(), "helper");
+  B.emitRunOnUiThread(Run); // spawn edge: must NOT be followed
+
+  ApiIndex Apis(P);
+  std::vector<Method *> Reach = collectReachableMethods(Root, Apis);
+  EXPECT_NE(std::find(Reach.begin(), Reach.end(), Helper), Reach.end());
+  EXPECT_EQ(std::find(Reach.begin(), Reach.end(), RunM), Reach.end());
+}
+
+TEST(SyntacticReach, TerminatesOnRecursion) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *Act = B.makeClass("Act", ClassKind::Activity);
+  Method *M = B.makeMethod(Act, "m");
+  B.emitCall(nullptr, B.thisLocal(), "m"); // self-recursive
+  ApiIndex Apis(P);
+  std::vector<Method *> Reach = collectReachableMethods(M, Apis);
+  EXPECT_EQ(Reach.size(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,286 @@
+//===- tests/CancellationTest.cpp - CHB scopes and PHB transitivity ---------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+//
+// The CHB filter recognizes four cancellation APIs (§6.2.1), each with
+// its own coverage scope; these tests pin each scope down, plus PHB's
+// behavior across posting chains.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "report/Json.h"
+#include "report/Nadroid.h"
+
+#include <gtest/gtest.h>
+
+using namespace nadroid;
+using namespace nadroid::ir;
+using filters::FilterKind;
+using filters::WarningVerdict;
+
+namespace {
+
+/// Shared scaffold: activity + payload field allocated in onCreate.
+struct Scaffold {
+  Program P{"t"};
+  IRBuilder B{P};
+  Clazz *Payload;
+  Clazz *Act;
+  Field *F;
+
+  Scaffold() {
+    Payload = B.makeClass("Pl", ClassKind::Plain);
+    B.makeMethod(Payload, "use");
+    B.emitReturn();
+    Act = B.makeClass("Act", ClassKind::Activity);
+    F = B.addField(Act, "f", Payload);
+    P.addManifestComponent(Act);
+    B.makeMethod(Act, "onCreate");
+    Local *X = B.emitNew("x", Payload);
+    B.emitStore(B.thisLocal(), F, X);
+  }
+
+  /// The verdict of the warning whose use method is \p UseMethod.
+  const WarningVerdict *verdictFor(const report::NadroidResult &R,
+                                   const std::string &UseMethod) {
+    for (size_t I = 0; I < R.warnings().size(); ++I)
+      if (R.warnings()[I].Use->parentMethod()->qualifiedName() ==
+          UseMethod)
+        return &R.Pipeline.Verdicts[I];
+    return nullptr;
+  }
+};
+
+TEST(Cancellation, UnbindServiceCoversConnectionCallbacks) {
+  Scaffold S;
+  // The connection's onServiceConnected uses the field (no MHB pair:
+  // the free is NOT in onServiceDisconnected).
+  Clazz *Conn = S.B.makeClass("Conn", ClassKind::ServiceConnection);
+  Field *ActF = S.B.addField(Conn, "act", S.Act);
+  S.B.makeMethod(Conn, "onServiceConnected");
+  Local *A = S.B.local("a");
+  S.B.emitLoad(A, S.B.thisLocal(), ActF);
+  Local *U = S.B.local("u");
+  S.B.emitLoad(U, A, S.F);
+  S.B.emitCall(nullptr, U, "use");
+
+  S.B.setInsertMethod(S.Act->findOwnMethod("onCreate"));
+  Local *C = S.B.emitNew("c", Conn);
+  S.B.emitStore(C, ActF, S.B.thisLocal());
+  S.B.emitCall(nullptr, S.B.thisLocal(), "bindService", {C});
+
+  // The freeing callback unbinds first: no connection callback can run
+  // after it — CHB prunes.
+  S.B.makeMethod(S.Act, "onClick");
+  S.B.emitUnbindService();
+  S.B.emitStore(S.B.thisLocal(), S.F, nullptr);
+
+  report::NadroidResult R = report::analyzeProgram(S.P);
+  const WarningVerdict *V = S.verdictFor(R, "Conn.onServiceConnected");
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(V->StageReached, WarningVerdict::Stage::PrunedByUnsound);
+  EXPECT_TRUE(V->FiredFilters.count(FilterKind::CHB));
+}
+
+TEST(Cancellation, UnregisterReceiverCoversOnReceive) {
+  Scaffold S;
+  Clazz *Recv = S.B.makeClass("Recv", ClassKind::Receiver);
+  Field *ActF = S.B.addField(Recv, "act", S.Act);
+  S.B.makeMethod(Recv, "onReceive");
+  Local *A = S.B.local("a");
+  S.B.emitLoad(A, S.B.thisLocal(), ActF);
+  Local *U = S.B.local("u");
+  S.B.emitLoad(U, A, S.F);
+  S.B.emitCall(nullptr, U, "use");
+
+  S.B.setInsertMethod(S.Act->findOwnMethod("onCreate"));
+  Local *RV = S.B.emitNew("r", Recv);
+  S.B.emitStore(RV, ActF, S.B.thisLocal());
+  S.B.emitCall(nullptr, S.B.thisLocal(), "registerReceiver", {RV});
+
+  S.B.makeMethod(S.Act, "onClick");
+  S.B.emitUnregisterReceiver();
+  S.B.emitStore(S.B.thisLocal(), S.F, nullptr);
+
+  report::NadroidResult R = report::analyzeProgram(S.P);
+  const WarningVerdict *V = S.verdictFor(R, "Recv.onReceive");
+  ASSERT_NE(V, nullptr);
+  EXPECT_TRUE(V->FiredFilters.count(FilterKind::CHB));
+}
+
+TEST(Cancellation, RemoveCallbacksCoversHandlerMessages) {
+  Scaffold S;
+  Clazz *H = S.B.makeClass("Hdl", ClassKind::Handler);
+  Field *ActF = S.B.addField(H, "act", S.Act);
+  S.B.makeMethod(H, "handleMessage");
+  Local *A = S.B.local("a");
+  S.B.emitLoad(A, S.B.thisLocal(), ActF);
+  Local *U = S.B.local("u");
+  S.B.emitLoad(U, A, S.F);
+  S.B.emitCall(nullptr, U, "use");
+
+  Field *HandlerF = S.B.addField(S.Act, "h", H);
+  S.B.setInsertMethod(S.Act->findOwnMethod("onCreate"));
+  Local *HH = S.B.emitNew("hh", H);
+  S.B.emitStore(HH, ActF, S.B.thisLocal());
+  S.B.emitStore(S.B.thisLocal(), HandlerF, HH);
+
+  S.B.makeMethod(S.Act, "onClick");
+  Local *M = S.B.local("m");
+  S.B.emitLoad(M, S.B.thisLocal(), HandlerF);
+  S.B.emitCall(nullptr, M, "sendMessage");
+
+  // A different callback drains the handler then frees.
+  S.B.makeMethod(S.Act, "onLongClick");
+  Local *M2 = S.B.local("m2");
+  S.B.emitLoad(M2, S.B.thisLocal(), HandlerF);
+  S.B.emitCall(nullptr, M2, "removeCallbacksAndMessages");
+  S.B.emitStore(S.B.thisLocal(), S.F, nullptr);
+
+  report::NadroidResult R = report::analyzeProgram(S.P);
+  const WarningVerdict *V = S.verdictFor(R, "Hdl.handleMessage");
+  ASSERT_NE(V, nullptr);
+  EXPECT_TRUE(V->FiredFilters.count(FilterKind::CHB));
+}
+
+TEST(Cancellation, FinishDoesNotCoverOnDestroy) {
+  // finish() triggers onDestroy — a use there can still follow the free.
+  Scaffold S;
+  S.B.makeMethod(S.Act, "onClick");
+  S.B.emitFinish();
+  S.B.emitStore(S.B.thisLocal(), S.F, nullptr);
+  S.B.makeMethod(S.Act, "onDestroy");
+  Local *U = S.B.local("u");
+  S.B.emitLoad(U, S.B.thisLocal(), S.F);
+  S.B.emitCall(nullptr, U, "use");
+
+  report::NadroidResult R = report::analyzeProgram(S.P);
+  const WarningVerdict *V = S.verdictFor(R, "Act.onDestroy");
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(V->StageReached, WarningVerdict::Stage::Remaining)
+      << "onDestroy runs after finish(); CHB must not prune it";
+}
+
+TEST(Cancellation, FinishInAnotherActivityDoesNotCover) {
+  Scaffold S;
+  // A second activity finishes itself; the first one's warning must
+  // survive.
+  Clazz *Other = S.B.makeClass("Other", ClassKind::Activity);
+  S.P.addManifestComponent(Other);
+  S.B.makeMethod(Other, "onClick");
+  S.B.emitFinish();
+
+  S.B.makeMethod(S.Act, "onClick");
+  Local *U = S.B.local("u");
+  S.B.emitLoad(U, S.B.thisLocal(), S.F);
+  S.B.emitCall(nullptr, U, "use");
+  S.B.makeMethod(S.Act, "onLongClick");
+  S.B.emitStore(S.B.thisLocal(), S.F, nullptr);
+
+  report::NadroidResult R = report::analyzeProgram(S.P);
+  const WarningVerdict *V = S.verdictFor(R, "Act.onClick");
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(V->StageReached, WarningVerdict::Stage::Remaining);
+}
+
+TEST(Cancellation, PhbIsTransitiveAcrossLooperPosts) {
+  // onClick posts A; A posts B; B frees. The whole chain is ordered
+  // after onClick, so onClick's use is PHB-protected.
+  Scaffold S;
+  Clazz *RunB = S.B.makeClass("RunB", ClassKind::Runnable);
+  Field *BAct = S.B.addField(RunB, "act", S.Act);
+  S.B.makeMethod(RunB, "run");
+  Local *A1 = S.B.local("a");
+  S.B.emitLoad(A1, S.B.thisLocal(), BAct);
+  S.B.emitStore(A1, S.F, nullptr);
+
+  Clazz *RunA = S.B.makeClass("RunA", ClassKind::Runnable);
+  Field *AAct = S.B.addField(RunA, "act", S.Act);
+  S.B.makeMethod(RunA, "run");
+  Local *A2 = S.B.local("a");
+  S.B.emitLoad(A2, S.B.thisLocal(), AAct);
+  Local *RB = S.B.emitNew("rb", RunB);
+  S.B.emitStore(RB, BAct, A2);
+  S.B.emitCall(nullptr, A2, "runOnUiThread", {RB});
+
+  S.B.makeMethod(S.Act, "onClick");
+  Local *RA = S.B.emitNew("ra", RunA);
+  S.B.emitStore(RA, AAct, S.B.thisLocal());
+  S.B.emitCall(nullptr, S.B.thisLocal(), "runOnUiThread", {RA});
+  Local *U = S.B.local("u");
+  S.B.emitLoad(U, S.B.thisLocal(), S.F);
+  S.B.emitCall(nullptr, U, "use");
+
+  report::NadroidResult R = report::analyzeProgram(S.P);
+  const WarningVerdict *V = S.verdictFor(R, "Act.onClick");
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(V->StageReached, WarningVerdict::Stage::PrunedByUnsound);
+  EXPECT_TRUE(V->FiredFilters.count(FilterKind::PHB));
+}
+
+TEST(Cancellation, PhbChainBrokenByNativeHop) {
+  // onClick starts a THREAD that posts the freeing runnable: the poster
+  // hop is not atomic, so PHB must not order onClick's use against it.
+  Scaffold S;
+  Clazz *RunB = S.B.makeClass("RunB", ClassKind::Runnable);
+  Field *BAct = S.B.addField(RunB, "act", S.Act);
+  S.B.makeMethod(RunB, "run");
+  Local *A1 = S.B.local("a");
+  S.B.emitLoad(A1, S.B.thisLocal(), BAct);
+  S.B.emitStore(A1, S.F, nullptr);
+
+  Clazz *W = S.B.makeClass("W", ClassKind::ThreadClass);
+  Field *WAct = S.B.addField(W, "act", S.Act);
+  S.B.makeMethod(W, "run");
+  Local *A2 = S.B.local("a");
+  S.B.emitLoad(A2, S.B.thisLocal(), WAct);
+  Local *RB = S.B.emitNew("rb", RunB);
+  S.B.emitStore(RB, BAct, A2);
+  S.B.emitCall(nullptr, A2, "runOnUiThread", {RB});
+
+  S.B.makeMethod(S.Act, "onClick");
+  Local *T = S.B.emitNew("t", W);
+  S.B.emitStore(T, WAct, S.B.thisLocal());
+  S.B.emitCall(nullptr, T, "start");
+  Local *U = S.B.local("u");
+  S.B.emitLoad(U, S.B.thisLocal(), S.F);
+  S.B.emitCall(nullptr, U, "use");
+
+  report::NadroidResult R = report::analyzeProgram(S.P);
+  const WarningVerdict *V = S.verdictFor(R, "Act.onClick");
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(V->StageReached, WarningVerdict::Stage::Remaining);
+}
+
+//===----------------------------------------------------------------------===//
+// JSON output
+//===----------------------------------------------------------------------===//
+
+TEST(Json, EscapesSpecials) {
+  EXPECT_EQ(report::jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(report::jsonEscape("plain"), "plain");
+}
+
+TEST(Json, StructureCoversWarnings) {
+  Scaffold S;
+  S.B.makeMethod(S.Act, "onClick");
+  Local *U = S.B.local("u");
+  S.B.emitLoad(U, S.B.thisLocal(), S.F);
+  S.B.emitCall(nullptr, U, "use");
+  S.B.makeMethod(S.Act, "onLongClick");
+  S.B.emitStore(S.B.thisLocal(), S.F, nullptr);
+
+  report::NadroidResult R = report::analyzeProgram(S.P);
+  std::string Json = report::renderJson(R, S.P);
+  EXPECT_NE(Json.find("\"app\": \"t\""), std::string::npos);
+  EXPECT_NE(Json.find("\"potential\": 1"), std::string::npos);
+  EXPECT_NE(Json.find("\"field\": \"Act.f\""), std::string::npos);
+  EXPECT_NE(Json.find("\"stage\": \"remaining\""), std::string::npos);
+  EXPECT_NE(Json.find("\"type\": \"EC-EC\""), std::string::npos);
+  EXPECT_NE(Json.find("\"useThread\""), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,162 @@
+//===- tests/CorpusTest.cpp - Corpus integration tests --------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+//
+// Parameterized over all 27 corpus apps: the pipeline's per-app profile
+// must match the seeded recipe — exactly the paper's Table 1 invariants —
+// plus injection-harness checks (Table 2's 28/2/3 layout).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Evaluate.h"
+#include "corpus/Inject.h"
+
+#include <gtest/gtest.h>
+
+using namespace nadroid;
+using corpus::Recipe;
+using corpus::SeedKind;
+
+namespace {
+
+class CorpusAppTest : public ::testing::TestWithParam<Recipe> {};
+
+TEST_P(CorpusAppTest, ProfileMatchesRecipe) {
+  const Recipe &R = GetParam();
+  corpus::CorpusApp App = corpus::buildApp(R);
+  corpus::EvaluateOptions Opts;
+  Opts.RunInterpreter = false; // the witness sweep runs in PropertyTest
+  corpus::AppEvaluation E = corpus::evaluateApp(App, Opts);
+
+  // True harmful count equals the seeded count (the paper's totals).
+  unsigned SeededHarmful = R.HEcEc + R.HEcPc + R.HPcPc + R.HCRt + R.HCNt +
+                           R.HAsyncDestroy;
+  EXPECT_EQ(E.TrueHarmful, SeededHarmful);
+
+  // Surviving false positives match the seeded FP categories.
+  auto FalseCount = [&](SeedKind K) {
+    auto It = E.FalseBySeed.find(K);
+    return It == E.FalseBySeed.end() ? 0u : It->second;
+  };
+  EXPECT_EQ(FalseCount(SeedKind::FpPathInsens), R.FpPath);
+  EXPECT_EQ(FalseCount(SeedKind::FpPointsTo), R.FpPts);
+  EXPECT_EQ(FalseCount(SeedKind::FpNotReach), R.FpNotReach);
+  EXPECT_EQ(FalseCount(SeedKind::FpMissingHb), R.FpMissHb);
+
+  // Remaining = harmful + FPs; every remaining warning is attributed.
+  EXPECT_EQ(E.AfterUnsound,
+            SeededHarmful + R.FpPath + R.FpPts + R.FpNotReach + R.FpMissHb);
+  EXPECT_EQ(E.Unattributed, 0u);
+
+  // Filter-stage monotonicity.
+  EXPECT_LE(E.AfterUnsound, E.AfterSound);
+  EXPECT_LE(E.AfterSound, E.Potential);
+
+  // The bulk sound idioms really are pruned in the sound stage.
+  unsigned SoundMass = R.SoundIg + R.SoundMhbLife + R.SoundMhbSvc +
+                       R.SoundMhbAsync + R.SoundIa;
+  EXPECT_GE(E.Potential - E.AfterSound, SoundMass);
+
+  // Apps the paper reports as fully clean end fully clean.
+  if (R.Paper.AfterUnsound == 0) {
+    EXPECT_EQ(E.AfterUnsound, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All27, CorpusAppTest, ::testing::ValuesIn(corpus::allRecipes()),
+    [](const ::testing::TestParamInfo<Recipe> &Info) {
+      return Info.param.Name;
+    });
+
+TEST(Corpus, TwentySevenAppsSplitTrainTest) {
+  EXPECT_EQ(corpus::allRecipes().size(), 27u);
+  EXPECT_EQ(corpus::buildTrainCorpus().size(), 7u);
+  EXPECT_EQ(corpus::buildTestCorpus().size(), 20u);
+}
+
+TEST(Corpus, TotalTrueHarmfulMatchesPaper) {
+  unsigned Total = 0;
+  for (const Recipe &R : corpus::allRecipes())
+    Total +=
+        R.HEcEc + R.HEcPc + R.HPcPc + R.HCRt + R.HCNt + R.HAsyncDestroy;
+  EXPECT_EQ(Total, 88u) << "the paper's headline count";
+}
+
+TEST(Corpus, BuildIsDeterministic) {
+  corpus::CorpusApp A = corpus::buildAppNamed("ConnectBot");
+  corpus::CorpusApp B = corpus::buildAppNamed("ConnectBot");
+  EXPECT_EQ(A.Prog->statementCount(), B.Prog->statementCount());
+  ASSERT_EQ(A.Seeds.size(), B.Seeds.size());
+  for (size_t I = 0; I < A.Seeds.size(); ++I) {
+    EXPECT_EQ(A.Seeds[I].FieldName, B.Seeds[I].FieldName);
+    EXPECT_EQ(A.Seeds[I].Kind, B.Seeds[I].Kind);
+  }
+}
+
+TEST(Corpus, SeedsHaveUniqueFields) {
+  for (const Recipe &R : corpus::allRecipes()) {
+    corpus::CorpusApp App = corpus::buildApp(R);
+    std::set<std::string> Fields;
+    for (const corpus::SeededBug &S : App.Seeds)
+      EXPECT_TRUE(Fields.insert(S.FieldName).second)
+          << R.Name << ": duplicate seeded field " << S.FieldName;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Injection harness (Table 2 invariants)
+//===----------------------------------------------------------------------===//
+
+TEST(Inject, TwentyEightInjectionsOverEightApps) {
+  unsigned Total = 0;
+  for (const corpus::InjectionSpec &S : corpus::table2Injections())
+    Total += S.total();
+  EXPECT_EQ(corpus::table2Injections().size(), 8u);
+  EXPECT_EQ(Total, 28u);
+}
+
+TEST(Inject, OpaquePathEscapesDetection) {
+  corpus::InjectionSpec Spec;
+  Spec.App = "Tomdroid";
+  Spec.OpaquePath = 1;
+  corpus::CorpusApp App = corpus::buildInjectedApp(Spec);
+  report::NadroidResult R = report::analyzeProgram(*App.Prog);
+  for (const race::UafWarning &W : R.warnings())
+    EXPECT_EQ(W.F->qualifiedName().find(".pX"), std::string::npos)
+        << "the framework round-trip must be invisible to detection";
+}
+
+TEST(Inject, ChbErrorPathDetectedButPruned) {
+  corpus::InjectionSpec Spec;
+  Spec.App = "Tomdroid";
+  Spec.ChbErrorPath = 1;
+  corpus::CorpusApp App = corpus::buildInjectedApp(Spec);
+  report::NadroidResult R = report::analyzeProgram(*App.Prog);
+  bool Found = false;
+  for (size_t I = 0; I < R.warnings().size(); ++I) {
+    if (R.warnings()[I].F->qualifiedName().find(".fX") ==
+        std::string::npos)
+      continue;
+    Found = true;
+    EXPECT_NE(R.Pipeline.Verdicts[I].StageReached,
+              filters::WarningVerdict::Stage::Remaining);
+    EXPECT_TRUE(R.Pipeline.Verdicts[I].FiredFilters.count(
+        filters::FilterKind::CHB));
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST(Inject, PlainInjectionsSurviveFilters) {
+  corpus::InjectionSpec Spec;
+  Spec.App = "Swiftnotes"; // a clean app: only injections can remain
+  Spec.EcEc = 1;
+  Spec.EcPc = 1;
+  corpus::CorpusApp App = corpus::buildInjectedApp(Spec);
+  report::NadroidResult R = report::analyzeProgram(*App.Prog);
+  EXPECT_EQ(R.Pipeline.RemainingAfterUnsound, 2u);
+}
+
+} // namespace

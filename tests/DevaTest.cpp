@@ -1,0 +1,198 @@
+//===- tests/DevaTest.cpp - DEvA baseline tests ---------------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Patterns.h"
+#include "deva/Deva.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace nadroid;
+using namespace nadroid::ir;
+using deva::DevaResult;
+using deva::runDeva;
+
+namespace {
+
+TEST(Deva, DetectsIntraClassAnomaly) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *Payload = B.makeClass("Pl", ClassKind::Plain);
+  Clazz *Act = B.makeClass("Act", ClassKind::Activity);
+  Field *F = B.addField(Act, "f", Payload);
+  B.makeMethod(Act, "onClick");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), F);
+  B.emitCall(nullptr, U, "use");
+  B.makeMethod(Act, "onDestroy");
+  B.emitStore(B.thisLocal(), F, nullptr);
+
+  DevaResult R = runDeva(P);
+  ASSERT_EQ(R.Warnings.size(), 1u);
+  EXPECT_EQ(R.Warnings[0].F, F);
+  EXPECT_EQ(R.Warnings[0].UseCallback->name(), "onClick");
+  EXPECT_EQ(R.Warnings[0].FreeCallback->name(), "onDestroy");
+  EXPECT_TRUE(R.Warnings[0].Harmful);
+}
+
+TEST(Deva, MissesInterClassRace) {
+  // The ConnectBot shape with NO outer link: the use and free live in
+  // unrelated classes, outside DEvA's intra-class scope (§2.3).
+  Program P("t");
+  IRBuilder B(P);
+  corpus::PatternEmitter E(B);
+  E.harmfulEcPc(); // Conn class frees the activity's field
+  DevaResult R = runDeva(P);
+  EXPECT_TRUE(R.Warnings.empty());
+}
+
+TEST(Deva, SeesInnerClassViaOuterLink) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *Payload = B.makeClass("Pl", ClassKind::Plain);
+  Clazz *Act = B.makeClass("Act", ClassKind::Activity);
+  Field *F = B.addField(Act, "f", Payload);
+  Clazz *Inner = B.makeClass("Inner", ClassKind::Handler);
+  Inner->setOuterClass(Act);
+  Field *ActF = B.addField(Inner, "act", Act);
+  B.makeMethod(Inner, "handleMessage");
+  Local *A = B.local("a");
+  B.emitLoad(A, B.thisLocal(), ActF);
+  B.emitStore(A, F, nullptr);
+  B.makeMethod(Act, "onClick");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), F);
+  B.emitCall(nullptr, U, "use");
+
+  DevaResult R = runDeva(P);
+  ASSERT_EQ(R.Warnings.size(), 1u);
+  EXPECT_EQ(R.Warnings[0].FreeCallback->qualifiedName(),
+            "Inner.handleMessage");
+}
+
+TEST(Deva, UnsoundIfGuardSuppressesHarmful) {
+  // DEvA's if-guard filter fires with no atomicity requirement — even
+  // against a thread (which is why it has false negatives).
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *Payload = B.makeClass("Pl", ClassKind::Plain);
+  Clazz *Act = B.makeClass("Act", ClassKind::Activity);
+  Field *F = B.addField(Act, "f", Payload);
+  B.makeMethod(Act, "onPause");
+  Local *G = B.local("g");
+  B.emitLoad(G, B.thisLocal(), F);
+  B.beginIfNotNull(G);
+  B.emitCall(nullptr, G, "use");
+  B.endIf();
+  B.makeMethod(Act, "onDestroy");
+  B.emitStore(B.thisLocal(), F, nullptr);
+
+  DevaResult R = runDeva(P);
+  ASSERT_EQ(R.Warnings.size(), 1u);
+  EXPECT_FALSE(R.Warnings[0].Harmful) << "guarded → not harmful for DEvA";
+}
+
+TEST(Deva, UnsoundIntraAllocationSuppresses) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *Payload = B.makeClass("Pl", ClassKind::Plain);
+  Clazz *Act = B.makeClass("Act", ClassKind::Activity);
+  Field *F = B.addField(Act, "f", Payload);
+  B.makeMethod(Act, "onClick");
+  Local *X = B.emitNew("x", Payload);
+  B.emitStore(B.thisLocal(), F, X);
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), F);
+  B.emitCall(nullptr, U, "use");
+  B.makeMethod(Act, "onLongClick");
+  B.emitStore(B.thisLocal(), F, nullptr);
+
+  DevaResult R = runDeva(P);
+  ASSERT_EQ(R.Warnings.size(), 1u);
+  EXPECT_FALSE(R.Warnings[0].Harmful);
+}
+
+TEST(Deva, AnalyzesFragments) {
+  // Unlike nAdroid (§8.1), DEvA treats Fragment classes like any other.
+  Program P("t");
+  IRBuilder B(P);
+  corpus::PatternEmitter E(B);
+  E.fnFragment();
+  DevaResult R = runDeva(P);
+  ASSERT_EQ(R.Warnings.size(), 1u);
+  EXPECT_TRUE(R.Warnings[0].Harmful);
+  EXPECT_EQ(R.Warnings[0].UseCallback->name(), "onResume");
+}
+
+TEST(Deva, IgnoresNativeThreadBodies) {
+  // Thread.run is not an event handler: DEvA does not pair it.
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *Payload = B.makeClass("Pl", ClassKind::Plain);
+  Clazz *Act = B.makeClass("Act", ClassKind::Activity);
+  Field *F = B.addField(Act, "f", Payload);
+  Clazz *W = B.makeClass("W", ClassKind::ThreadClass);
+  W->setOuterClass(Act); // even inside the class group
+  Field *ActF = B.addField(W, "act", Act);
+  B.makeMethod(W, "run");
+  Local *A = B.local("a");
+  B.emitLoad(A, B.thisLocal(), ActF);
+  B.emitStore(A, F, nullptr);
+  B.makeMethod(Act, "onClick");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), F);
+  B.emitCall(nullptr, U, "use");
+
+  DevaResult R = runDeva(P);
+  EXPECT_TRUE(R.Warnings.empty());
+}
+
+TEST(Deva, FollowsIntraGroupHelpers) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *Payload = B.makeClass("Pl", ClassKind::Plain);
+  Clazz *Act = B.makeClass("Act", ClassKind::Activity);
+  Field *F = B.addField(Act, "f", Payload);
+  B.makeMethod(Act, "readIt");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), F);
+  B.emitCall(nullptr, U, "use");
+  B.makeMethod(Act, "onClick");
+  B.emitCall(nullptr, B.thisLocal(), "readIt");
+  B.makeMethod(Act, "onLongClick");
+  B.emitStore(B.thisLocal(), F, nullptr);
+
+  DevaResult R = runDeva(P);
+  ASSERT_EQ(R.Warnings.size(), 1u);
+  EXPECT_EQ(R.Warnings[0].UseCallback->name(), "onClick");
+}
+
+TEST(Deva, NoSelfPairs) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *Payload = B.makeClass("Pl", ClassKind::Plain);
+  Clazz *Act = B.makeClass("Act", ClassKind::Activity);
+  Field *F = B.addField(Act, "f", Payload);
+  B.makeMethod(Act, "onClick");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), F);
+  B.emitStore(B.thisLocal(), F, nullptr);
+  DevaResult R = runDeva(P);
+  EXPECT_TRUE(R.Warnings.empty());
+}
+
+TEST(Deva, HarmfulAccessorFiltersResults) {
+  Program P("t");
+  IRBuilder B(P);
+  corpus::PatternEmitter E(B);
+  E.falseMhbLifecycle(1); // DEvA-harmful (no HB reasoning)
+  E.falseIg(1);           // DEvA-guarded
+  DevaResult R = runDeva(P);
+  ASSERT_EQ(R.Warnings.size(), 2u);
+  EXPECT_EQ(R.harmful().size(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,95 @@
+//===- tests/ExamplesTest.cpp - Shipped .air example apps --------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+//
+// The example .air files double as end-to-end fixtures: each one's
+// analysis outcome is part of the repository's contract (the README and
+// the file headers promise specific warnings).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+#include "interp/Interp.h"
+#include "report/Nadroid.h"
+
+#include <gtest/gtest.h>
+
+using namespace nadroid;
+
+namespace {
+
+std::string appPath(const std::string &Name) {
+  return std::string(NADROID_SOURCE_DIR) + "/examples/apps/" + Name;
+}
+
+report::NadroidResult analyzeExample(const std::string &Name,
+                                     std::unique_ptr<ir::Program> &Keep) {
+  frontend::ParseResult R = frontend::parseProgramFile(appPath(Name));
+  EXPECT_TRUE(R.Success) << Name;
+  Keep = std::move(R.Prog);
+  return report::analyzeProgram(*Keep);
+}
+
+TEST(Examples, ConnectBotHasTheTwoFigure1Bugs) {
+  std::unique_ptr<ir::Program> P;
+  report::NadroidResult R = analyzeExample("connectbot.air", P);
+  ASSERT_EQ(R.Pipeline.RemainingAfterUnsound, 2u);
+  std::set<std::string> Fields;
+  for (size_t I : R.remainingIndices())
+    Fields.insert(R.warnings()[I].F->qualifiedName());
+  EXPECT_TRUE(Fields.count("ConsoleActivity.bound"));
+  EXPECT_TRUE(Fields.count("ConsoleActivity.hostBridge"));
+
+  interp::ScheduleExplorer Explorer(*P);
+  for (size_t I : R.remainingIndices())
+    EXPECT_TRUE(Explorer.tryWitness(R.warnings()[I].Use,
+                                    R.warnings()[I].Free, 60));
+}
+
+TEST(Examples, FireFoxHasTheFigure1cBug) {
+  std::unique_ptr<ir::Program> P;
+  report::NadroidResult R = analyzeExample("firefox.air", P);
+  ASSERT_EQ(R.Pipeline.RemainingAfterUnsound, 1u);
+  size_t I = R.remainingIndices()[0];
+  EXPECT_EQ(R.warnings()[I].F->qualifiedName(), "GeckoApp.jClient");
+  EXPECT_EQ(report::classifyWarning(*R.Forest,
+                                    R.Pipeline.Verdicts[I].PairsRemaining),
+            report::PairType::CNt);
+}
+
+TEST(Examples, MyTracksAsyncDestroyBugConfirmed) {
+  std::unique_ptr<ir::Program> P;
+  report::NadroidResult R = analyzeExample("mytracks.air", P);
+  ASSERT_EQ(R.Pipeline.RemainingAfterUnsound, 1u);
+  size_t I = R.remainingIndices()[0];
+  EXPECT_EQ(R.warnings()[I].Free->parentMethod()->name(), "onDestroy");
+  interp::ScheduleExplorer Explorer(*P);
+  EXPECT_TRUE(
+      Explorer.tryWitness(R.warnings()[I].Use, R.warnings()[I].Free, 60));
+}
+
+TEST(Examples, MessengerIsFullyFiltered) {
+  std::unique_ptr<ir::Program> P;
+  report::NadroidResult R = analyzeExample("messenger.air", P);
+  EXPECT_EQ(R.Pipeline.RemainingAfterUnsound, 0u);
+  // Its header promises each of these filters fires somewhere.
+  std::set<filters::FilterKind> Fired;
+  for (const filters::WarningVerdict &V : R.Pipeline.Verdicts)
+    Fired.insert(V.FiredFilters.begin(), V.FiredFilters.end());
+  for (filters::FilterKind Kind :
+       {filters::FilterKind::IG, filters::FilterKind::IA,
+        filters::FilterKind::MHB, filters::FilterKind::CHB,
+        filters::FilterKind::PHB})
+    EXPECT_TRUE(Fired.count(Kind)) << filters::filterKindName(Kind);
+
+  // And dynamically nothing crashes.
+  interp::ExploreOptions Opts;
+  Opts.Schedules = 400;
+  Opts.Seed = 19;
+  interp::ScheduleExplorer Explorer(*P, Opts);
+  EXPECT_TRUE(Explorer.explore().empty());
+}
+
+} // namespace

@@ -1,0 +1,99 @@
+//===- tests/ExplainTest.cpp - Verdict explanation tests --------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Patterns.h"
+#include "ir/IRBuilder.h"
+#include "report/Explain.h"
+
+#include <functional>
+
+#include <gtest/gtest.h>
+
+using namespace nadroid;
+using namespace nadroid::ir;
+
+namespace {
+
+/// Emits one pattern, analyzes, and returns the explanation lines of the
+/// warning whose use sits in the seed's use method.
+std::vector<std::string> explainPattern(
+    const std::function<void(corpus::PatternEmitter &)> &Emit) {
+  Program P("t");
+  IRBuilder B(P);
+  corpus::PatternEmitter E(B);
+  Emit(E);
+  report::NadroidResult R = report::analyzeProgram(P);
+  EXPECT_FALSE(E.seeds().empty());
+  for (size_t I = 0; I < R.warnings().size(); ++I)
+    if (R.warnings()[I].Use->parentMethod()->qualifiedName() ==
+        E.seeds()[0].UseMethod)
+      return report::explainVerdict(R, I);
+  ADD_FAILURE() << "seeded warning not found";
+  return {};
+}
+
+bool anyLineContains(const std::vector<std::string> &Lines,
+                     const std::string &Needle) {
+  for (const std::string &L : Lines)
+    if (L.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+TEST(Explain, MhbServiceMentionsTheBindingOrder) {
+  auto Lines = explainPattern(
+      [](corpus::PatternEmitter &E) { E.falseMhbService(1); });
+  EXPECT_TRUE(anyLineContains(Lines, "MHB-Service"));
+  EXPECT_TRUE(anyLineContains(Lines, "same binding"));
+}
+
+TEST(Explain, MhbLifecycleMentionsOnDestroy) {
+  auto Lines = explainPattern(
+      [](corpus::PatternEmitter &E) { E.falseMhbLifecycle(1); });
+  EXPECT_TRUE(anyLineContains(Lines, "MHB-Lifecycle"));
+  EXPECT_TRUE(anyLineContains(Lines, "onDestroy"));
+}
+
+TEST(Explain, MhbAsyncMentionsTaskOrder) {
+  auto Lines = explainPattern(
+      [](corpus::PatternEmitter &E) { E.falseMhbAsync(); });
+  EXPECT_TRUE(anyLineContains(Lines, "MHB-AsyncTask"));
+}
+
+TEST(Explain, IgMentionsLooperAtomicity) {
+  auto Lines =
+      explainPattern([](corpus::PatternEmitter &E) { E.falseIg(1); });
+  EXPECT_TRUE(anyLineContains(Lines, "IG:"));
+  EXPECT_TRUE(anyLineContains(Lines, "atomically on the UI looper"));
+}
+
+TEST(Explain, ChbMentionsCancellation) {
+  auto Lines =
+      explainPattern([](corpus::PatternEmitter &E) { E.falseChb(); });
+  EXPECT_TRUE(anyLineContains(Lines, "CHB"));
+  EXPECT_TRUE(anyLineContains(Lines, "cancels"));
+}
+
+TEST(Explain, RemainingWarningSaysWhyNothingApplied) {
+  auto Lines =
+      explainPattern([](corpus::PatternEmitter &E) { E.harmfulEcEc(); });
+  EXPECT_TRUE(anyLineContains(Lines, "no happens-before order"));
+}
+
+TEST(Explain, OneLinePerThreadPair) {
+  Program P("t");
+  IRBuilder B(P);
+  corpus::PatternEmitter E(B);
+  E.harmfulEcEc();
+  report::NadroidResult R = report::analyzeProgram(P);
+  ASSERT_EQ(R.warnings().size(), 1u);
+  auto Lines = report::explainVerdict(R, 0);
+  EXPECT_EQ(Lines.size(), R.warnings()[0].Pairs.size());
+  std::string Rendered = report::renderExplanation(R, 0);
+  EXPECT_NE(Rendered.find("  why: "), std::string::npos);
+}
+
+} // namespace

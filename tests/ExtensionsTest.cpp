@@ -1,0 +1,213 @@
+//===- tests/ExtensionsTest.cpp - Ranking, Fragments, schedules -------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+//
+// Tests for the features beyond the paper's core pipeline: the §6.2/§7
+// ranking view, the witness-schedule aid, and the Fragment-modeling
+// future-work extension (§8.1/§8.7).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Patterns.h"
+#include "interp/Interp.h"
+#include "ir/IRBuilder.h"
+#include "report/Rank.h"
+
+#include <gtest/gtest.h>
+
+using namespace nadroid;
+using namespace nadroid::ir;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Ranking
+//===----------------------------------------------------------------------===//
+
+TEST(Rank, RemainingBeforeUnsoundSoundExcluded) {
+  Program P("t");
+  IRBuilder B(P);
+  corpus::PatternEmitter E(B);
+  E.harmfulEcEc();         // remaining
+  E.falseUr(1);            // unsound-pruned
+  E.falseMhbLifecycle(1);  // sound-pruned: excluded
+
+  report::NadroidResult R = report::analyzeProgram(P);
+  std::vector<report::RankedWarning> Ranked = report::rankWarnings(R);
+  ASSERT_EQ(Ranked.size(), 2u);
+  EXPECT_EQ(Ranked[0].Tier, 0u);
+  EXPECT_EQ(Ranked[1].Tier, 1u);
+  EXPECT_EQ(R.warnings()[Ranked[0].Index].Use->parentMethod()->name(),
+            "onClick");
+}
+
+TEST(Rank, SuspicionOrderWithinRemaining) {
+  Program P("t");
+  IRBuilder B(P);
+  corpus::PatternEmitter E(B);
+  E.harmfulEcEc(); // least suspicious type
+  E.harmfulCNt();  // most suspicious type
+  E.harmfulPcPc(); // middle
+
+  report::NadroidResult R = report::analyzeProgram(P);
+  std::vector<report::RankedWarning> Ranked = report::rankWarnings(R);
+  // The C-NT pattern also yields a UR-pruned guard-load entry; look only
+  // at tier 0.
+  std::vector<report::PairType> Tier0;
+  for (const report::RankedWarning &W : Ranked)
+    if (W.Tier == 0)
+      Tier0.push_back(W.Type);
+  ASSERT_EQ(Tier0.size(), 3u);
+  EXPECT_EQ(Tier0[0], report::PairType::CNt);
+  EXPECT_EQ(Tier0[1], report::PairType::PcPc);
+  EXPECT_EQ(Tier0[2], report::PairType::EcEc);
+}
+
+TEST(Rank, FewerUnsoundReasonsRankHigher) {
+  Program P("t");
+  IRBuilder B(P);
+  corpus::PatternEmitter E(B);
+  E.falseUr(1);  // one reason (UR)
+  E.falseRhb();  // RHB fires; often PHB/CHB do not
+
+  report::NadroidResult R = report::analyzeProgram(P);
+  std::vector<report::RankedWarning> Ranked = report::rankWarnings(R);
+  ASSERT_GE(Ranked.size(), 2u);
+  for (size_t I = 1; I < Ranked.size(); ++I)
+    EXPECT_LE(Ranked[I - 1].UnsoundReasons, Ranked[I].UnsoundReasons);
+}
+
+TEST(Rank, RenderedLineMentionsTierAndType) {
+  Program P("t");
+  IRBuilder B(P);
+  corpus::PatternEmitter E(B);
+  E.harmfulCNt();
+  report::NadroidResult R = report::analyzeProgram(P);
+  std::vector<report::RankedWarning> Ranked = report::rankWarnings(R);
+  ASSERT_FALSE(Ranked.empty());
+  std::string Line = report::renderRankedLine(R, Ranked[0], 1);
+  EXPECT_NE(Line.find("#1"), std::string::npos);
+  EXPECT_NE(Line.find("remaining"), std::string::npos);
+  EXPECT_NE(Line.find("C-NT"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Witness schedules
+//===----------------------------------------------------------------------===//
+
+TEST(WitnessSchedule, TraceEndsAtTheCrashAndContainsBothSides) {
+  Program P("t");
+  IRBuilder B(P);
+  corpus::PatternEmitter E(B);
+  E.harmfulEcEc(); // use onClick, free onCreateOptionsMenu
+
+  report::NadroidResult R = report::analyzeProgram(P);
+  ASSERT_EQ(R.remainingIndices().size(), 1u);
+  const race::UafWarning &W = R.warnings()[R.remainingIndices()[0]];
+
+  interp::ScheduleExplorer Explorer(*&P);
+  interp::WitnessSchedule Schedule;
+  ASSERT_TRUE(Explorer.tryWitness(W.Use, W.Free, 60, &Schedule));
+  ASSERT_FALSE(Schedule.Activations.empty());
+  EXPECT_FALSE(Schedule.CrashSite.empty());
+
+  // The last activation is the crashing use callback; the free callback
+  // appears before it.
+  EXPECT_NE(Schedule.Activations.back().find("onClick"),
+            std::string::npos);
+  bool FreeSeen = false;
+  for (size_t I = 0; I + 1 < Schedule.Activations.size(); ++I)
+    FreeSeen |= Schedule.Activations[I].find("onCreateOptionsMenu") !=
+                std::string::npos;
+  EXPECT_TRUE(FreeSeen);
+  EXPECT_NE(Schedule.CrashSite.find("use"), std::string::npos);
+}
+
+TEST(WitnessSchedule, NativeThreadsAreLabelled) {
+  Program P("t");
+  IRBuilder B(P);
+  corpus::PatternEmitter E(B);
+  E.harmfulCRt();
+  report::NadroidResult R = report::analyzeProgram(P);
+  ASSERT_FALSE(R.remainingIndices().empty());
+  const race::UafWarning &W = R.warnings()[R.remainingIndices()[0]];
+
+  interp::ScheduleExplorer Explorer(P);
+  interp::WitnessSchedule Schedule;
+  ASSERT_TRUE(Explorer.tryWitness(W.Use, W.Free, 60, &Schedule));
+  bool NativeSeen = false;
+  for (const std::string &Step : Schedule.Activations)
+    NativeSeen |= Step.find("[native]") != std::string::npos;
+  EXPECT_TRUE(NativeSeen);
+}
+
+//===----------------------------------------------------------------------===//
+// Fragment-modeling extension
+//===----------------------------------------------------------------------===//
+
+TEST(Fragments, OffByDefaultMatchesPrototype) {
+  Program P("t");
+  IRBuilder B(P);
+  corpus::PatternEmitter E(B);
+  E.fnFragment();
+  report::NadroidResult R = report::analyzeProgram(P);
+  EXPECT_TRUE(R.warnings().empty()) << "§8.1: Fragments not modeled";
+}
+
+TEST(Fragments, ExtensionDetectsTheBrowserMiss) {
+  Program P("t");
+  IRBuilder B(P);
+  corpus::PatternEmitter E(B);
+  E.fnFragment(); // onResume uses, onDestroy frees
+
+  report::NadroidOptions Opts;
+  Opts.ModelFragments = true;
+  report::NadroidResult R = report::analyzeProgram(P, Opts);
+  ASSERT_EQ(R.warnings().size(), 1u);
+  // use in onResume vs free in onDestroy: MHB-Lifecycle proves the order
+  // — exactly how the paper's Table 3 onDestroy rows get filtered.
+  EXPECT_EQ(R.Pipeline.Verdicts[0].StageReached,
+            filters::WarningVerdict::Stage::PrunedBySound);
+  EXPECT_TRUE(R.Pipeline.Verdicts[0].FiredFilters.count(
+      filters::FilterKind::MHB));
+}
+
+TEST(Fragments, ExtensionFindsGenuineFragmentBugs) {
+  // A real ordering bug inside a Fragment (free NOT in onDestroy).
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *Payload = B.makeClass("Pl", ClassKind::Plain);
+  B.makeMethod(Payload, "use");
+  B.emitReturn();
+  Clazz *Frag = B.makeClass("Frag", ClassKind::Fragment);
+  Field *F = B.addField(Frag, "f", Payload);
+  B.makeMethod(Frag, "onCreate");
+  Local *X = B.emitNew("x", Payload);
+  B.emitStore(B.thisLocal(), F, X);
+  B.makeMethod(Frag, "onClick");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), F);
+  B.emitCall(nullptr, U, "use");
+  B.makeMethod(Frag, "onCreateOptionsMenu");
+  B.emitStore(B.thisLocal(), F, nullptr);
+
+  report::NadroidOptions Opts;
+  Opts.ModelFragments = true;
+  report::NadroidResult R = report::analyzeProgram(P, Opts);
+  ASSERT_EQ(R.remainingIndices().size(), 1u);
+
+  // And the interpreter extension can witness it.
+  interp::ExploreOptions IOpts;
+  IOpts.ModelFragments = true;
+  IOpts.Schedules = 300;
+  interp::ScheduleExplorer Explorer(P, IOpts);
+  EXPECT_FALSE(Explorer.explore().empty());
+
+  // Without the interpreter extension the fragment never runs.
+  interp::ScheduleExplorer Vanilla(P);
+  EXPECT_TRUE(Vanilla.explore().empty());
+}
+
+} // namespace

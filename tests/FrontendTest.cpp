@@ -1,0 +1,332 @@
+//===- tests/FrontendTest.cpp - Lexer and parser tests --------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+#include "frontend/Lexer.h"
+#include "ir/Printer.h"
+#include "ir/Stmt.h"
+
+#include <gtest/gtest.h>
+
+using namespace nadroid;
+using namespace nadroid::frontend;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Source,
+                       unsigned *ErrorsOut = nullptr) {
+  static SourceManager SM;
+  DiagnosticEngine Diags(SM);
+  Lexer L(Source, 0, Diags);
+  std::vector<Token> Tokens = L.lexAll();
+  if (ErrorsOut)
+    *ErrorsOut = Diags.errorCount();
+  return Tokens;
+}
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  auto T = lex("class Foo extends if synchronized fieldling");
+  ASSERT_EQ(T.size(), 7u); // 6 tokens + EOF
+  EXPECT_EQ(T[0].Kind, TokenKind::KwClass);
+  EXPECT_EQ(T[1].Kind, TokenKind::Ident);
+  EXPECT_EQ(T[1].Text, "Foo");
+  EXPECT_EQ(T[2].Kind, TokenKind::KwExtends);
+  EXPECT_EQ(T[3].Kind, TokenKind::KwIf);
+  EXPECT_EQ(T[4].Kind, TokenKind::KwSynchronized);
+  // "fieldling" is an identifier, not the 'field' keyword plus junk.
+  EXPECT_EQ(T[5].Kind, TokenKind::Ident);
+}
+
+TEST(Lexer, PunctuationAndComparisons) {
+  auto T = lex("{ } ( ) ; , : . = == != ?");
+  std::vector<TokenKind> Expected = {
+      TokenKind::LBrace, TokenKind::RBrace,     TokenKind::LParen,
+      TokenKind::RParen, TokenKind::Semi,       TokenKind::Comma,
+      TokenKind::Colon,  TokenKind::Dot,        TokenKind::Equal,
+      TokenKind::EqualEqual, TokenKind::BangEqual, TokenKind::Question,
+      TokenKind::EndOfFile};
+  ASSERT_EQ(T.size(), Expected.size());
+  for (size_t I = 0; I < Expected.size(); ++I)
+    EXPECT_EQ(T[I].Kind, Expected[I]) << "token " << I;
+}
+
+TEST(Lexer, LineCommentsSkipped) {
+  auto T = lex("a // the rest is ignored = ;\nb");
+  ASSERT_EQ(T.size(), 3u);
+  EXPECT_EQ(T[0].Text, "a");
+  EXPECT_EQ(T[1].Text, "b");
+  EXPECT_EQ(T[1].Loc.Line, 2u);
+}
+
+TEST(Lexer, StringLiterals) {
+  auto T = lex("app \"My App\";");
+  ASSERT_GE(T.size(), 3u);
+  EXPECT_EQ(T[1].Kind, TokenKind::String);
+  EXPECT_EQ(T[1].Text, "My App");
+}
+
+TEST(Lexer, UnterminatedStringIsError) {
+  unsigned Errors = 0;
+  lex("\"oops", &Errors);
+  EXPECT_EQ(Errors, 1u);
+}
+
+TEST(Lexer, LoneBangIsError) {
+  unsigned Errors = 0;
+  lex("a ! b", &Errors);
+  EXPECT_EQ(Errors, 1u);
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  auto T = lex("a\n  b");
+  EXPECT_EQ(T[0].Loc.Line, 1u);
+  EXPECT_EQ(T[0].Loc.Column, 1u);
+  EXPECT_EQ(T[1].Loc.Line, 2u);
+  EXPECT_EQ(T[1].Loc.Column, 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Parser: statement forms
+//===----------------------------------------------------------------------===//
+
+ParseResult parse(const std::string &Source) {
+  return parseProgramText(Source, "test.air", "test");
+}
+
+std::string wrapBody(const std::string &Body) {
+  return "class F : Plain { }\n"
+         "class A : Activity {\n  field f : F;\n  field g : F;\n"
+         "  method m(p) {\n" +
+         Body + "\n  }\n}\n";
+}
+
+TEST(Parser, ParsesEveryStatementForm) {
+  ParseResult R = parse(wrapBody(R"(
+    x = new F;
+    y = new F();
+    z = x;
+    this.f = x;
+    this.g = null;
+    w = this.f;
+    x.use();
+    r = x.make(y, z);
+    if (w != null) {
+      return w;
+    } else {
+      return null;
+    }
+    if (w == null) {
+    }
+    if (?) {
+    }
+    synchronized (x) {
+      return;
+    }
+  )"));
+  ASSERT_TRUE(R.Success) << R.Diags.size();
+  ir::Method *M = R.Prog->findClass("A")->findMethod("m");
+  ASSERT_NE(M, nullptr);
+  // new, new, copy, store, free, load, call, call, if, if, if, sync = 12
+  EXPECT_EQ(M->body().size(), 12u);
+}
+
+TEST(Parser, ForwardClassReferencesResolve) {
+  // B extends and references A before A is declared.
+  ParseResult R = parse(R"(
+class B : Plain extends A {
+  method m() {
+    x = new A;
+    this.other = x;
+  }
+}
+class A : Plain {
+  field other : A;
+}
+)");
+  ASSERT_TRUE(R.Success);
+  EXPECT_EQ(R.Prog->findClass("B")->superClass(),
+            R.Prog->findClass("A"));
+}
+
+TEST(Parser, FieldResolutionThroughTypedFields) {
+  ParseResult R = parse(R"(
+class Payload : Plain { }
+class Holder : Plain {
+  field act : Main;
+}
+class Main : Activity {
+  field data : Payload;
+  method m() {
+    h = new Holder;
+    h.act = this;
+    a = h.act;
+    a.data = null;
+  }
+}
+)");
+  ASSERT_TRUE(R.Success);
+}
+
+TEST(Parser, ManifestDirective) {
+  ParseResult R = parse(R"(
+manifest A;
+class A : Activity { }
+)");
+  ASSERT_TRUE(R.Success);
+  EXPECT_TRUE(
+      R.Prog->isManifestComponent(R.Prog->findClass("A")));
+}
+
+TEST(Parser, OuterClassRelation) {
+  ParseResult R = parse(R"(
+class Outer : Activity { }
+class Inner : Runnable outer Outer {
+  method run() {
+    return;
+  }
+}
+)");
+  ASSERT_TRUE(R.Success);
+  EXPECT_EQ(R.Prog->findClass("Inner")->outerClass(),
+            R.Prog->findClass("Outer"));
+}
+
+//===----------------------------------------------------------------------===//
+// Parser: errors and recovery
+//===----------------------------------------------------------------------===//
+
+bool hasError(const ParseResult &R, const std::string &Needle) {
+  for (const Diagnostic &D : R.Diags)
+    if (D.Message.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+TEST(Parser, UnknownClassKind) {
+  ParseResult R = parse("class A : Widget { }");
+  EXPECT_FALSE(R.Success);
+  EXPECT_TRUE(hasError(R, "unknown class kind"));
+}
+
+TEST(Parser, DuplicateClass) {
+  ParseResult R = parse("class A : Plain { }\nclass A : Plain { }");
+  EXPECT_FALSE(R.Success);
+  EXPECT_TRUE(hasError(R, "duplicate class"));
+}
+
+TEST(Parser, DuplicateField) {
+  ParseResult R =
+      parse("class A : Plain {\n  field f;\n  field f;\n}");
+  EXPECT_FALSE(R.Success);
+  EXPECT_TRUE(hasError(R, "duplicate field"));
+}
+
+TEST(Parser, DuplicateMethod) {
+  ParseResult R = parse(
+      "class A : Plain {\n  method m() { }\n  method m() { }\n}");
+  EXPECT_FALSE(R.Success);
+  EXPECT_TRUE(hasError(R, "duplicate method"));
+}
+
+TEST(Parser, UnknownFieldOnThis) {
+  ParseResult R = parse(wrapBody("this.missing = null;"));
+  EXPECT_FALSE(R.Success);
+  EXPECT_TRUE(hasError(R, "has no field"));
+}
+
+TEST(Parser, UnresolvableBaseLocal) {
+  ParseResult R = parse(wrapBody("q = p.f;"));
+  EXPECT_FALSE(R.Success);
+  EXPECT_TRUE(hasError(R, "cannot resolve field"));
+}
+
+TEST(Parser, UnknownManifestClass) {
+  ParseResult R = parse("manifest Ghost;\nclass A : Activity { }");
+  EXPECT_FALSE(R.Success);
+  EXPECT_TRUE(hasError(R, "unknown class"));
+}
+
+TEST(Parser, RecoversAndReportsMultipleErrors) {
+  ParseResult R = parse(R"(
+class A : Activity {
+  field f;
+  method m() {
+    this.missing1 = null;
+    this.missing2 = null;
+  }
+}
+)");
+  EXPECT_FALSE(R.Success);
+  unsigned Errors = 0;
+  for (const Diagnostic &D : R.Diags)
+    if (D.Severity == DiagSeverity::Error)
+      ++Errors;
+  EXPECT_GE(Errors, 2u);
+}
+
+TEST(Parser, EmptyAndCommentOnlyInputsAreValid) {
+  ParseResult R1 = parse("");
+  EXPECT_TRUE(R1.Success);
+  EXPECT_TRUE(R1.Prog->classes().empty());
+  ParseResult R2 = parse("// nothing but commentary\n");
+  EXPECT_TRUE(R2.Success);
+}
+
+TEST(Parser, MissingFileReportsError) {
+  ParseResult R = parseProgramFile("/nonexistent/x.air");
+  EXPECT_FALSE(R.Success);
+  EXPECT_TRUE(hasError(R, "cannot open"));
+}
+
+//===----------------------------------------------------------------------===//
+// Round trip: print ∘ parse ∘ print is a fixpoint
+//===----------------------------------------------------------------------===//
+
+TEST(Parser, PrintParsePrintFixpoint) {
+  ParseResult R = parse(R"(
+app "roundtrip";
+manifest Main;
+
+class Payload : Plain {
+  method use() {
+    return;
+  }
+}
+
+class Main : Activity {
+  field data : Payload;
+
+  method onCreate() {
+    x = new Payload;
+    this.data = x;
+  }
+
+  method onClick() {
+    u = this.data;
+    if (u != null) {
+      u.use();
+    } else {
+      this.data = null;
+    }
+    synchronized (u) {
+      r = u.use();
+    }
+  }
+}
+)");
+  ASSERT_TRUE(R.Success);
+  std::string Once = ir::programToString(*R.Prog);
+  ParseResult R2 = parseProgramText(Once, "gen.air", "test");
+  ASSERT_TRUE(R2.Success);
+  std::string Twice = ir::programToString(*R2.Prog);
+  EXPECT_EQ(Once, Twice);
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+//===- tests/FuzzTest.cpp - Random-program properties ----------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+//
+// Adversarial counterpart to PropertyTest: the same whole-pipeline
+// properties, but over seeded *random* programs whose bug structure
+// nobody curated. Anything that holds here holds by construction of the
+// analyses, not of the corpus.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/RandomApp.h"
+#include "frontend/Frontend.h"
+#include "interp/Interp.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "report/Nadroid.h"
+
+#include <gtest/gtest.h>
+
+using namespace nadroid;
+
+namespace {
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {
+protected:
+  std::unique_ptr<ir::Program> generate() {
+    corpus::RandomAppOptions O;
+    O.Seed = GetParam();
+    O.Activities = 2 + GetParam() % 2;
+    O.FieldsPerActivity = 2;
+    O.CallbacksPerActivity = 4 + GetParam() % 3;
+    return corpus::generateRandomApp(O);
+  }
+};
+
+TEST_P(FuzzTest, GeneratedProgramsAreVerifierClean) {
+  auto P = generate();
+  DiagnosticEngine Diags(P->sourceManager());
+  EXPECT_TRUE(ir::verifyProgram(*P, Diags)) << [&] {
+    std::ostringstream OS;
+    Diags.print(OS);
+    return OS.str();
+  }();
+}
+
+TEST_P(FuzzTest, PrintParseRoundTripPreservesAnalysis) {
+  auto P = generate();
+  std::string Text = ir::programToString(*P);
+  frontend::ParseResult Reparsed =
+      frontend::parseProgramText(Text, "fuzz.air", P->name());
+  ASSERT_TRUE(Reparsed.Success) << Text.substr(0, 2000);
+  report::NadroidResult R1 = report::analyzeProgram(*P);
+  report::NadroidResult R2 = report::analyzeProgram(*Reparsed.Prog);
+  EXPECT_EQ(R1.warnings().size(), R2.warnings().size());
+  EXPECT_EQ(R1.Pipeline.RemainingAfterUnsound,
+            R2.Pipeline.RemainingAfterUnsound);
+}
+
+TEST_P(FuzzTest, PipelineIsDeterministic) {
+  auto P = generate();
+  report::NadroidResult R1 = report::analyzeProgram(*P);
+  report::NadroidResult R2 = report::analyzeProgram(*P);
+  ASSERT_EQ(R1.warnings().size(), R2.warnings().size());
+  for (size_t I = 0; I < R1.warnings().size(); ++I)
+    EXPECT_EQ(R1.warnings()[I].key(), R2.warnings()[I].key());
+}
+
+TEST_P(FuzzTest, WitnessesAreDetectedAndNeverSoundPruned) {
+  auto P = generate();
+  report::NadroidResult R = report::analyzeProgram(*P);
+
+  interp::ExploreOptions Opts;
+  Opts.Schedules = 120;
+  Opts.Seed = GetParam() * 7919 + 1;
+  interp::ScheduleExplorer Explorer(*P, Opts);
+
+  for (const interp::UafWitness &W : Explorer.explore()) {
+    // Sequential same-callback bugs are excluded by construction, so
+    // every witness must be a detected racy pair...
+    const filters::WarningVerdict *V = nullptr;
+    for (size_t I = 0; I < R.warnings().size(); ++I)
+      if (R.warnings()[I].Use == W.Use && R.warnings()[I].Free == W.Free)
+        V = &R.Pipeline.Verdicts[I];
+    ASSERT_NE(V, nullptr)
+        << "witnessed but undetected: "
+        << W.Use->field()->qualifiedName() << " use in "
+        << W.Use->parentMethod()->qualifiedName() << ", free in "
+        << W.Free->parentMethod()->qualifiedName();
+    // ...and the sound filters must not have pruned it.
+    EXPECT_NE(V->StageReached,
+              filters::WarningVerdict::Stage::PrunedBySound)
+        << "sound-pruned a witnessed pair: "
+        << W.Use->field()->qualifiedName();
+  }
+}
+
+TEST_P(FuzzTest, CoarserContextsNeverLoseWarnings) {
+  auto P = generate();
+  report::NadroidOptions K1;
+  K1.K = 1;
+  report::NadroidResult R1 = report::analyzeProgram(*P, K1);
+  report::NadroidResult R2 = report::analyzeProgram(*P);
+  std::set<std::string> Coarse;
+  for (const race::UafWarning &W : R1.warnings())
+    Coarse.insert(W.key());
+  for (const race::UafWarning &W : R2.warnings())
+    EXPECT_TRUE(Coarse.count(W.key())) << W.key();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+} // namespace

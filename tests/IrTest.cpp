@@ -1,0 +1,422 @@
+//===- tests/IrTest.cpp - IR structure/builder/verifier tests -------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/LocalInfo.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace nadroid;
+using namespace nadroid::ir;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+TEST(Ir, ClassLookupAndKinds) {
+  Program P("t");
+  Clazz *A = P.addClass("A", ClassKind::Activity);
+  EXPECT_EQ(P.findClass("A"), A);
+  EXPECT_EQ(P.findClass("B"), nullptr);
+  EXPECT_EQ(A->kind(), ClassKind::Activity);
+  EXPECT_STREQ(classKindName(ClassKind::ServiceConnection),
+               "ServiceConnection");
+  ClassKind K;
+  EXPECT_TRUE(classKindFromName("Handler", K));
+  EXPECT_EQ(K, ClassKind::Handler);
+  EXPECT_FALSE(classKindFromName("Nonsense", K));
+}
+
+TEST(Ir, FieldLookupWalksSuperChain) {
+  Program P("t");
+  Clazz *Base = P.addClass("Base", ClassKind::Plain);
+  Clazz *Derived = P.addClass("Derived", ClassKind::Plain);
+  Derived->setSuperClass(Base);
+  Field *F = Base->addField("f");
+  EXPECT_EQ(Derived->findField("f"), F);
+  EXPECT_EQ(Base->findField("g"), nullptr);
+  EXPECT_EQ(F->qualifiedName(), "Base.f");
+}
+
+TEST(Ir, MethodLookupResolvesOverrides) {
+  Program P("t");
+  Clazz *Base = P.addClass("Base", ClassKind::Plain);
+  Clazz *Derived = P.addClass("Derived", ClassKind::Plain);
+  Derived->setSuperClass(Base);
+  Method *BaseRun = Base->addMethod("run");
+  Method *DerivedRun = Derived->addMethod("run");
+  EXPECT_EQ(Derived->findMethod("run"), DerivedRun);
+  EXPECT_EQ(Base->findMethod("run"), BaseRun);
+  EXPECT_EQ(Derived->findOwnMethod("missing"), nullptr);
+}
+
+TEST(Ir, IsSubclassOfIsReflexiveAndTransitive) {
+  Program P("t");
+  Clazz *A = P.addClass("A", ClassKind::Plain);
+  Clazz *B = P.addClass("B", ClassKind::Plain);
+  Clazz *C = P.addClass("C", ClassKind::Plain);
+  B->setSuperClass(A);
+  C->setSuperClass(B);
+  EXPECT_TRUE(C->isSubclassOf(A));
+  EXPECT_TRUE(A->isSubclassOf(A));
+  EXPECT_FALSE(A->isSubclassOf(C));
+}
+
+TEST(Ir, MethodHasImplicitThisAndFreshTemps) {
+  Program P("t");
+  Clazz *A = P.addClass("A", ClassKind::Plain);
+  Method *M = A->addMethod("m");
+  ASSERT_NE(M->thisLocal(), nullptr);
+  EXPECT_TRUE(M->thisLocal()->isThis());
+  Local *T1 = M->makeTemp();
+  Local *T2 = M->makeTemp();
+  EXPECT_NE(T1->name(), T2->name());
+  EXPECT_EQ(M->qualifiedName(), "A.m");
+}
+
+TEST(Ir, ManifestComponentsDeduplicated) {
+  Program P("t");
+  Clazz *A = P.addClass("A", ClassKind::Activity);
+  P.addManifestComponent(A);
+  P.addManifestComponent(A);
+  EXPECT_EQ(P.manifestComponents().size(), 1u);
+  EXPECT_TRUE(P.isManifestComponent(A));
+}
+
+TEST(Ir, StatementCountWalksNestedBlocks) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *A = B.makeClass("A", ClassKind::Plain);
+  Field *F = B.addField(A, "f");
+  B.makeMethod(A, "m");
+  Local *X = B.emitNew("x", A);
+  B.beginIfNotNull(X);
+  B.emitStore(B.thisLocal(), F, X);
+  B.endIf();
+  // new + if + store = 3 statements.
+  EXPECT_EQ(P.statementCount(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Builder / statement structure
+//===----------------------------------------------------------------------===//
+
+TEST(IrBuilder, IfElseBlocksReceiveStatements) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *A = B.makeClass("A", ClassKind::Plain);
+  Field *F = B.addField(A, "f");
+  B.makeMethod(A, "m");
+  Local *X = B.emitNew("x", A);
+  IfStmt *If = B.beginIfNotNull(X);
+  B.emitStore(B.thisLocal(), F, X);
+  B.beginElse();
+  B.emitStore(B.thisLocal(), F, nullptr);
+  B.endIf();
+  EXPECT_EQ(If->thenBlock().size(), 1u);
+  EXPECT_EQ(If->elseBlock().size(), 1u);
+  EXPECT_EQ(If->test(), IfStmt::TestKind::NotNull);
+}
+
+TEST(IrBuilder, SyncBodyNesting) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *A = B.makeClass("A", ClassKind::Plain);
+  B.makeMethod(A, "m");
+  Local *L = B.emitNew("l", A);
+  SyncStmt *Sync = B.beginSync(L);
+  B.emitReturn();
+  B.endSync();
+  EXPECT_EQ(Sync->body().size(), 1u);
+  EXPECT_EQ(Sync->lock(), L);
+}
+
+TEST(IrBuilder, UseThisEmitsLoadPlusDeref) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *A = B.makeClass("A", ClassKind::Plain);
+  B.addField(A, "f");
+  Method *M = B.makeMethod(A, "m");
+  LoadStmt *Use = B.emitUseThis("f");
+  ASSERT_EQ(M->body().size(), 2u);
+  EXPECT_EQ(M->body().stmts()[0].get(), Use);
+  EXPECT_EQ(M->body().stmts()[1]->kind(), Stmt::Kind::Call);
+}
+
+TEST(IrBuilder, NullStoreIsFree) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *A = B.makeClass("A", ClassKind::Plain);
+  B.addField(A, "f");
+  B.makeMethod(A, "m");
+  StoreStmt *Free = B.emitFreeThis("f");
+  EXPECT_TRUE(Free->isNullStore());
+  EXPECT_EQ(Free->src(), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// LocalInfo: class inference
+//===----------------------------------------------------------------------===//
+
+TEST(LocalInfo, ThisResolvesToEnclosingClass) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *A = B.makeClass("A", ClassKind::Activity);
+  Method *M = B.makeMethod(A, "m");
+  LocalClassSet S = inferLocalClasses(*M, M->thisLocal());
+  EXPECT_EQ(S.uniqueClass(), A);
+  EXPECT_FALSE(S.Unknown);
+}
+
+TEST(LocalInfo, NewAndCopyChainsResolve) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *A = B.makeClass("A", ClassKind::Plain);
+  Clazz *C = B.makeClass("C", ClassKind::Runnable);
+  Method *M = B.makeMethod(A, "m");
+  Local *X = B.emitNew("x", C);
+  Local *Y = B.local("y");
+  B.emitCopy(Y, X);
+  EXPECT_EQ(inferLocalClasses(*M, Y).uniqueClass(), C);
+}
+
+TEST(LocalInfo, TypedFieldLoadResolvesUntypedIsOpaque) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *A = B.makeClass("A", ClassKind::Plain);
+  Clazz *C = B.makeClass("C", ClassKind::Handler);
+  Field *Typed = B.addField(A, "typed", C);
+  Field *Untyped = B.addField(A, "untyped");
+  Method *M = B.makeMethod(A, "m");
+  Local *X = B.local("x");
+  B.emitLoad(X, B.thisLocal(), Typed);
+  Local *Y = B.local("y");
+  B.emitLoad(Y, B.thisLocal(), Untyped);
+  EXPECT_EQ(inferLocalClasses(*M, X).uniqueClass(), C);
+  EXPECT_TRUE(inferLocalClasses(*M, Y).Unknown);
+}
+
+TEST(LocalInfo, CallResultAndParamsAreOpaque) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *A = B.makeClass("A", ClassKind::Plain);
+  Method *M = B.makeMethod(A, "m");
+  Local *Param = M->addParam("p");
+  Local *R = B.local("r");
+  B.emitCall(R, B.thisLocal(), "getF");
+  EXPECT_TRUE(inferLocalClasses(*M, Param).Unknown);
+  EXPECT_TRUE(inferLocalClasses(*M, R).Unknown);
+}
+
+TEST(LocalInfo, CopyCycleTerminates) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *A = B.makeClass("A", ClassKind::Plain);
+  Method *M = B.makeMethod(A, "m");
+  Local *X = B.local("x");
+  Local *Y = B.local("y");
+  B.emitCopy(X, Y);
+  B.emitCopy(Y, X);
+  LocalClassSet S = inferLocalClasses(*M, X);
+  EXPECT_TRUE(S.Classes.empty());
+}
+
+TEST(LocalInfo, AmbiguousDefsHaveNoUniqueClass) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *A = B.makeClass("A", ClassKind::Plain);
+  Clazz *C1 = B.makeClass("C1", ClassKind::Plain);
+  Clazz *C2 = B.makeClass("C2", ClassKind::Plain);
+  Method *M = B.makeMethod(A, "m");
+  Local *X = B.local("x");
+  B.emitNewInto(X, C1);
+  B.emitNewInto(X, C2);
+  LocalClassSet S = inferLocalClasses(*M, X);
+  EXPECT_EQ(S.Classes.size(), 2u);
+  EXPECT_EQ(S.uniqueClass(), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// LocalInfo: load consumers and getters
+//===----------------------------------------------------------------------===//
+
+TEST(LocalInfo, ConsumerKindsTracked) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *A = B.makeClass("A", ClassKind::Plain);
+  Field *F = B.addField(A, "f");
+  Method *M = B.makeMethod(A, "m");
+
+  Local *Deref = B.local("d");
+  LoadStmt *L1 = B.emitLoad(Deref, B.thisLocal(), F);
+  B.emitCall(nullptr, Deref, "use");
+
+  Local *Arg = B.local("a");
+  LoadStmt *L2 = B.emitLoad(Arg, B.thisLocal(), F);
+  B.emitCall(nullptr, B.thisLocal(), "log", {Arg});
+
+  Local *Ret = B.local("r");
+  LoadStmt *L3 = B.emitLoad(Ret, B.thisLocal(), F);
+  B.emitReturn(Ret);
+
+  auto Consumers = computeLoadConsumers(*M);
+  EXPECT_TRUE(Consumers.at(L1).Dereferenced);
+  EXPECT_FALSE(Consumers.at(L1).isReturnOrCompareOnly());
+  EXPECT_TRUE(Consumers.at(L2).PassedAsArg);
+  EXPECT_TRUE(Consumers.at(L2).isReturnOrCompareOnly());
+  EXPECT_TRUE(Consumers.at(L3).Returned);
+  EXPECT_TRUE(Consumers.at(L3).isReturnOrCompareOnly());
+}
+
+TEST(LocalInfo, NullCompareOnlyIsBenign) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *A = B.makeClass("A", ClassKind::Plain);
+  Field *F = B.addField(A, "f");
+  Method *M = B.makeMethod(A, "m");
+  Local *G = B.local("g");
+  LoadStmt *L = B.emitLoad(G, B.thisLocal(), F);
+  B.beginIfNotNull(G);
+  B.endIf();
+  auto Consumers = computeLoadConsumers(*M);
+  EXPECT_TRUE(Consumers.at(L).NullCompared);
+  EXPECT_TRUE(Consumers.at(L).isReturnOrCompareOnly());
+}
+
+TEST(LocalInfo, LoadWithNoConsumersIsNotBenign) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *A = B.makeClass("A", ClassKind::Plain);
+  Field *F = B.addField(A, "f");
+  Method *M = B.makeMethod(A, "m");
+  Local *X = B.local("x");
+  LoadStmt *L = B.emitLoad(X, B.thisLocal(), F);
+  auto Consumers = computeLoadConsumers(*M);
+  EXPECT_FALSE(Consumers.at(L).isReturnOrCompareOnly());
+}
+
+TEST(LocalInfo, GetterRecognized) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *A = B.makeClass("A", ClassKind::Plain);
+  Field *F = B.addField(A, "f");
+  Method *M = B.makeMethod(A, "getF");
+  Local *R = B.local("r");
+  B.emitLoad(R, B.thisLocal(), F);
+  B.emitReturn(R);
+  Field *Got = nullptr;
+  EXPECT_TRUE(isGetterMethod(*M, &Got));
+  EXPECT_EQ(Got, F);
+}
+
+TEST(LocalInfo, NonGetterRejected) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *A = B.makeClass("A", ClassKind::Plain);
+  Field *F = B.addField(A, "f");
+  // A setter-ish method is not a getter.
+  Method *M = B.makeMethod(A, "setF");
+  B.emitFreeThis("f");
+  B.emitReturn();
+  EXPECT_FALSE(isGetterMethod(*M));
+  // A method returning a fresh object is not a getter either.
+  Method *M2 = B.makeMethod(A, "mk");
+  Local *R = B.emitNew("r", A);
+  B.emitReturn(R);
+  EXPECT_FALSE(isGetterMethod(*M2));
+  (void)F;
+}
+
+//===----------------------------------------------------------------------===//
+// Printer
+//===----------------------------------------------------------------------===//
+
+TEST(Printer, RendersStatements) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *A = B.makeClass("A", ClassKind::Plain);
+  Field *F = B.addField(A, "f", A);
+  B.makeMethod(A, "m");
+  Local *X = B.emitNew("x", A);
+  StoreStmt *St = B.emitStore(B.thisLocal(), F, X);
+  StoreStmt *Free = B.emitFreeThis("f");
+  EXPECT_EQ(stmtToString(*St), "this.f = x;");
+  EXPECT_EQ(stmtToString(*Free), "this.f = null;");
+  std::string Text = programToString(P);
+  EXPECT_NE(Text.find("class A : Plain {"), std::string::npos);
+  EXPECT_NE(Text.find("field f : A;"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier
+//===----------------------------------------------------------------------===//
+
+TEST(Verifier, AcceptsWellFormedProgram) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *A = B.makeClass("A", ClassKind::Activity);
+  B.addField(A, "f");
+  P.addManifestComponent(A);
+  B.makeMethod(A, "onCreate");
+  Local *X = B.emitNew("x", A);
+  B.emitStoreThis("f", X);
+  DiagnosticEngine D(P.sourceManager());
+  EXPECT_TRUE(verifyProgram(P, D));
+}
+
+TEST(Verifier, RejectsForeignLocal) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *A = B.makeClass("A", ClassKind::Plain);
+  Field *F = B.addField(A, "f");
+  Method *M1 = B.makeMethod(A, "m1");
+  Local *Foreign = B.emitNew("x", A);
+  (void)M1;
+  B.makeMethod(A, "m2");
+  B.emitStore(B.thisLocal(), F, Foreign); // local from m1 used in m2
+  DiagnosticEngine D(P.sourceManager());
+  EXPECT_FALSE(verifyProgram(P, D));
+  EXPECT_TRUE(D.containsMessage("different method"));
+}
+
+TEST(Verifier, RejectsUndefinedLocal) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *A = B.makeClass("A", ClassKind::Plain);
+  Field *F = B.addField(A, "f");
+  B.makeMethod(A, "m");
+  Local *Never = B.local("never"); // declared, never assigned
+  B.emitStore(B.thisLocal(), F, Never);
+  DiagnosticEngine D(P.sourceManager());
+  EXPECT_FALSE(verifyProgram(P, D));
+  EXPECT_TRUE(D.containsMessage("no definition"));
+}
+
+TEST(Verifier, RejectsNonComponentManifestEntry) {
+  Program P("t");
+  Clazz *R = P.addClass("R", ClassKind::Runnable);
+  P.addManifestComponent(R);
+  DiagnosticEngine D(P.sourceManager());
+  EXPECT_FALSE(verifyProgram(P, D));
+  EXPECT_TRUE(D.containsMessage("not an Activity"));
+}
+
+TEST(Verifier, RejectsCyclicSuperChain) {
+  Program P("t");
+  Clazz *A = P.addClass("A", ClassKind::Plain);
+  Clazz *B2 = P.addClass("B", ClassKind::Plain);
+  A->setSuperClass(B2);
+  B2->setSuperClass(A);
+  DiagnosticEngine D(P.sourceManager());
+  EXPECT_FALSE(verifyProgram(P, D));
+  EXPECT_TRUE(D.containsMessage("cyclic"));
+}
+
+} // namespace

@@ -1,0 +1,273 @@
+//===- tests/PointsToTest.cpp - k-obj points-to tests ---------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/PointsTo.h"
+#include "analysis/ThreadReach.h"
+#include "ir/IRBuilder.h"
+#include "threadify/Threadifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace nadroid;
+using namespace nadroid::analysis;
+using namespace nadroid::ir;
+
+namespace {
+
+/// Everything a points-to test needs, wired together.
+struct Fixture {
+  Program P{"t"};
+  IRBuilder B{P};
+  std::unique_ptr<android::ApiIndex> Apis;
+  std::unique_ptr<threadify::ThreadForest> Forest;
+  std::unique_ptr<PointsToAnalysis> PTA;
+
+  void solve(unsigned K = 2) {
+    Apis = std::make_unique<android::ApiIndex>(P);
+    Forest = std::make_unique<threadify::ThreadForest>(
+        threadify::threadify(P));
+    PointsToAnalysis::Options Opts;
+    Opts.K = K;
+    PTA = std::make_unique<PointsToAnalysis>(P, *Forest, *Apis, Opts);
+    PTA->run();
+  }
+
+  MethodCtx ctxOf(Method *M, const Clazz *Component) {
+    ObjectId Synth = 0;
+    EXPECT_TRUE(PTA->syntheticObjectFor(Component, Synth));
+    return {M, Synth};
+  }
+};
+
+TEST(PointsTo, NewCopyAndFieldFlow) {
+  Fixture F;
+  Clazz *Payload = F.B.makeClass("P", ClassKind::Plain);
+  Clazz *Act = F.B.makeClass("Act", ClassKind::Activity);
+  Field *Fld = F.B.addField(Act, "f", Payload);
+  F.P.addManifestComponent(Act);
+  Method *M = F.B.makeMethod(Act, "onCreate");
+  Local *X = F.B.emitNew("x", Payload);
+  Local *Y = F.B.local("y");
+  F.B.emitCopy(Y, X);
+  F.B.emitStore(F.B.thisLocal(), Fld, Y);
+  Local *Z = F.B.local("z");
+  F.B.emitLoad(Z, F.B.thisLocal(), Fld);
+  F.solve();
+
+  MethodCtx Ctx = F.ctxOf(M, Act);
+  const auto &PtsX = F.PTA->ptsOf(X, Ctx);
+  const auto &PtsZ = F.PTA->ptsOf(Z, Ctx);
+  ASSERT_EQ(PtsX.size(), 1u);
+  EXPECT_EQ(PtsZ, PtsX); // store-then-load round trip
+  EXPECT_EQ(F.PTA->object(*PtsX.begin()).RuntimeClass, Payload);
+}
+
+TEST(PointsTo, VirtualCallBindsParamsAndReturn) {
+  Fixture F;
+  Clazz *Payload = F.B.makeClass("P", ClassKind::Plain);
+  Clazz *Act = F.B.makeClass("Act", ClassKind::Activity);
+  F.P.addManifestComponent(Act);
+
+  Method *Id = F.B.makeMethod(Act, "identity");
+  Local *Param = Id->addParam("p");
+  F.B.emitReturn(Param);
+
+  Method *M = F.B.makeMethod(Act, "onCreate");
+  Local *X = F.B.emitNew("x", Payload);
+  Local *R = F.B.local("r");
+  F.B.emitCall(R, F.B.thisLocal(), "identity", {X});
+  F.solve();
+
+  MethodCtx Ctx = F.ctxOf(M, Act);
+  EXPECT_EQ(F.PTA->ptsOf(R, Ctx), F.PTA->ptsOf(X, Ctx));
+  // The call edge was recorded.
+  bool FoundEdge = false;
+  for (const auto &[From, Tos] : F.PTA->callEdges())
+    if (From.M == M)
+      for (const MethodCtx &To : Tos)
+        FoundEdge |= To.M == Id;
+  EXPECT_TRUE(FoundEdge);
+}
+
+TEST(PointsTo, UnknownCalleeDropsEdge) {
+  Fixture F;
+  Clazz *Act = F.B.makeClass("Act", ClassKind::Activity);
+  F.P.addManifestComponent(Act);
+  Method *M = F.B.makeMethod(Act, "onCreate");
+  Local *R = F.B.local("r");
+  F.B.emitCall(R, F.B.thisLocal(), "getSystemService");
+  F.solve();
+  MethodCtx Ctx = F.ctxOf(M, Act);
+  EXPECT_TRUE(F.PTA->ptsOf(R, Ctx).empty());
+}
+
+TEST(PointsTo, NullStoreAddsNoPointees) {
+  Fixture F;
+  Clazz *Payload = F.B.makeClass("P", ClassKind::Plain);
+  Clazz *Act = F.B.makeClass("Act", ClassKind::Activity);
+  Field *Fld = F.B.addField(Act, "f", Payload);
+  F.P.addManifestComponent(Act);
+  Method *M = F.B.makeMethod(Act, "onCreate");
+  F.B.emitStore(F.B.thisLocal(), Fld, nullptr);
+  Local *Z = F.B.local("z");
+  F.B.emitLoad(Z, F.B.thisLocal(), Fld);
+  F.solve();
+  EXPECT_TRUE(F.PTA->ptsOf(Z, F.ctxOf(M, Act)).empty());
+}
+
+TEST(PointsTo, KTwoSeparatesPerReceiverAllocations) {
+  // A factory class allocates a payload per call; with k=2 the payload
+  // is named per factory *object*, so two factories stay distinct.
+  Fixture F;
+  Clazz *Payload = F.B.makeClass("P", ClassKind::Plain);
+  Clazz *Factory = F.B.makeClass("Factory", ClassKind::Plain);
+  F.B.makeMethod(Factory, "make");
+  Local *N = F.B.emitNew("n", Payload);
+  F.B.emitReturn(N);
+
+  Clazz *Act = F.B.makeClass("Act", ClassKind::Activity);
+  F.P.addManifestComponent(Act);
+  Method *M = F.B.makeMethod(Act, "onCreate");
+  Local *F1 = F.B.emitNew("f1", Factory);
+  Local *F2 = F.B.emitNew("f2", Factory);
+  Local *A = F.B.local("a");
+  F.B.emitCall(A, F1, "make");
+  Local *Bv = F.B.local("b");
+  F.B.emitCall(Bv, F2, "make");
+
+  F.solve(/*K=*/2);
+  MethodCtx Ctx = F.ctxOf(M, Act);
+  const auto &PtsA = F.PTA->ptsOf(A, Ctx);
+  const auto &PtsB = F.PTA->ptsOf(Bv, Ctx);
+  ASSERT_EQ(PtsA.size(), 1u);
+  ASSERT_EQ(PtsB.size(), 1u);
+  EXPECT_NE(*PtsA.begin(), *PtsB.begin()) << "k=2 should separate";
+}
+
+TEST(PointsTo, KOneMergesPerReceiverAllocations) {
+  // The same program under k=1 merges both payloads: the paper's
+  // precision/scalability dial (§8.8).
+  Fixture F;
+  Clazz *Payload = F.B.makeClass("P", ClassKind::Plain);
+  Clazz *Factory = F.B.makeClass("Factory", ClassKind::Plain);
+  F.B.makeMethod(Factory, "make");
+  Local *N = F.B.emitNew("n", Payload);
+  F.B.emitReturn(N);
+  Clazz *Act = F.B.makeClass("Act", ClassKind::Activity);
+  F.P.addManifestComponent(Act);
+  Method *M = F.B.makeMethod(Act, "onCreate");
+  Local *F1 = F.B.emitNew("f1", Factory);
+  Local *F2 = F.B.emitNew("f2", Factory);
+  Local *A = F.B.local("a");
+  F.B.emitCall(A, F1, "make");
+  Local *Bv = F.B.local("b");
+  F.B.emitCall(Bv, F2, "make");
+
+  F.solve(/*K=*/1);
+  MethodCtx Ctx = F.ctxOf(M, Act);
+  const auto &PtsA = F.PTA->ptsOf(A, Ctx);
+  const auto &PtsB = F.PTA->ptsOf(Bv, Ctx);
+  ASSERT_EQ(PtsA.size(), 1u);
+  EXPECT_EQ(PtsA, PtsB) << "k=1 merges heap contexts";
+}
+
+TEST(PointsTo, SpawnRecordsCarryReceiverObjects) {
+  Fixture F;
+  Clazz *Run = F.B.makeClass("R", ClassKind::Runnable);
+  Method *RunM = F.B.makeMethod(Run, "run");
+  F.B.emitReturn();
+  Clazz *Act = F.B.makeClass("Act", ClassKind::Activity);
+  F.P.addManifestComponent(Act);
+  F.B.makeMethod(Act, "onClick");
+  F.B.emitRunOnUiThread(Run);
+  F.solve();
+
+  bool Found = false;
+  for (const SpawnRecord &S : F.PTA->spawnRecords()) {
+    if (S.Target != RunM)
+      continue;
+    Found = true;
+    EXPECT_EQ(F.PTA->object(S.Recv).RuntimeClass, Run);
+    EXPECT_EQ(S.Kind, android::ApiKind::RunOnUiThread);
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST(PointsTo, ThreadReachAttributesHelperToCallingThread) {
+  Fixture F;
+  Clazz *Act = F.B.makeClass("Act", ClassKind::Activity);
+  F.P.addManifestComponent(Act);
+  Method *Helper = F.B.makeMethod(Act, "helper");
+  F.B.emitReturn();
+  Method *Click = F.B.makeMethod(Act, "onClick");
+  F.B.emitCall(nullptr, F.B.thisLocal(), "helper");
+  Method *Menu = F.B.makeMethod(Act, "onCreateOptionsMenu");
+  F.B.emitReturn();
+  F.solve();
+
+  ThreadReach Reach(*F.PTA, *F.Forest);
+  const threadify::ModeledThread *ClickT = nullptr, *MenuT = nullptr;
+  for (const auto &T : F.Forest->threads()) {
+    if (T->callback() == Click)
+      ClickT = T.get();
+    if (T->callback() == Menu)
+      MenuT = T.get();
+  }
+  ASSERT_TRUE(ClickT && MenuT);
+  auto Contains = [&](const threadify::ModeledThread *T, Method *M) {
+    for (const MethodCtx &Ctx : Reach.contextsOf(T))
+      if (Ctx.M == M)
+        return true;
+    return false;
+  };
+  EXPECT_TRUE(Contains(ClickT, Helper));
+  EXPECT_FALSE(Contains(MenuT, Helper));
+  EXPECT_TRUE(Contains(MenuT, Menu));
+}
+
+TEST(PointsTo, ThreadsExecutingIsTheInverseOfContextsOf) {
+  Fixture F;
+  Clazz *Act = F.B.makeClass("Act", ClassKind::Activity);
+  F.P.addManifestComponent(Act);
+  Method *Shared = F.B.makeMethod(Act, "shared");
+  F.B.emitReturn();
+  F.B.makeMethod(Act, "onClick");
+  F.B.emitCall(nullptr, F.B.thisLocal(), "shared");
+  F.B.makeMethod(Act, "onLongClick");
+  F.B.emitCall(nullptr, F.B.thisLocal(), "shared");
+  F.solve();
+
+  ThreadReach Reach(*F.PTA, *F.Forest);
+  MethodCtx SharedCtx = F.ctxOf(Shared, Act);
+  auto Threads = Reach.threadsExecuting(SharedCtx);
+  // Both UI callbacks execute the shared helper.
+  std::set<std::string> Names;
+  for (const threadify::ModeledThread *T : Threads)
+    Names.insert(T->callback()->name());
+  EXPECT_TRUE(Names.count("onClick"));
+  EXPECT_TRUE(Names.count("onLongClick"));
+  // Consistency with the forward direction.
+  for (const threadify::ModeledThread *T : Threads) {
+    bool Found = false;
+    for (const MethodCtx &Ctx : Reach.contextsOf(T))
+      Found |= Ctx == SharedCtx;
+    EXPECT_TRUE(Found);
+  }
+}
+
+TEST(PointsTo, StatsPopulated) {
+  Fixture F;
+  Clazz *Act = F.B.makeClass("Act", ClassKind::Activity);
+  F.P.addManifestComponent(Act);
+  F.B.makeMethod(Act, "onCreate");
+  F.B.emitNew("x", Act);
+  F.solve();
+  EXPECT_GE(F.PTA->stats().get("pointsto.sweeps"), 1u);
+  EXPECT_GE(F.PTA->stats().get("pointsto.contexts"), 1u);
+  EXPECT_GE(F.PTA->stats().get("pointsto.objects"), 1u);
+}
+
+} // namespace

@@ -1,0 +1,162 @@
+//===- tests/PropertyTest.cpp - Cross-cutting properties -------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+//
+// Whole-pipeline properties checked across the corpus:
+//
+//  * Dynamic soundness of detection: every NPE the interpreter witnesses
+//    corresponds to a detected warning (modulo the deliberately-opaque
+//    framework round-trips, which the corpus apps do not contain).
+//  * Soundness of the sound filters: no witnessed (use, free) pair is
+//    sound-pruned.
+//  * Printer/parser round-trip over generated apps.
+//  * Determinism of the whole pipeline.
+//  * k-monotonicity: coarser contexts never lose warnings.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Evaluate.h"
+#include "frontend/Frontend.h"
+#include "interp/Interp.h"
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace nadroid;
+
+namespace {
+
+/// Apps exercised by the heavier properties (a representative slice:
+/// every harmful pattern type, FP categories, all filter idioms).
+const char *SampleApps[] = {"ToDoList",   "Zxing",      "ConnectBot",
+                            "MyTracks_1", "Aard",       "QKSMS",
+                            "Dns66",      "MyTracks_2", "FireFox"};
+
+class AppPropertyTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(AppPropertyTest, EveryWitnessIsADetectedWarning) {
+  corpus::CorpusApp App = corpus::buildAppNamed(GetParam());
+  report::NadroidResult R = report::analyzeProgram(*App.Prog);
+
+  interp::ExploreOptions Opts;
+  Opts.Schedules = 150;
+  Opts.Seed = 29;
+  interp::ScheduleExplorer Explorer(*App.Prog, Opts);
+  std::set<interp::UafWitness> Witnesses = Explorer.explore();
+
+  for (const interp::UafWitness &W : Witnesses) {
+    bool Detected = false;
+    for (const race::UafWarning &Warning : R.warnings())
+      Detected |= Warning.Use == W.Use && Warning.Free == W.Free;
+    EXPECT_TRUE(Detected) << "witnessed but undetected: "
+                          << W.Use->field()->qualifiedName();
+  }
+}
+
+TEST_P(AppPropertyTest, SoundFiltersNeverPruneWitnessedPairs) {
+  corpus::CorpusApp App = corpus::buildAppNamed(GetParam());
+  report::NadroidResult R = report::analyzeProgram(*App.Prog);
+
+  interp::ExploreOptions Opts;
+  Opts.Schedules = 150;
+  Opts.Seed = 31;
+  interp::ScheduleExplorer Explorer(*App.Prog, Opts);
+  std::set<interp::UafWitness> Witnesses = Explorer.explore();
+
+  for (const interp::UafWitness &W : Witnesses) {
+    for (size_t I = 0; I < R.warnings().size(); ++I) {
+      const race::UafWarning &Warning = R.warnings()[I];
+      if (Warning.Use != W.Use || Warning.Free != W.Free)
+        continue;
+      EXPECT_NE(R.Pipeline.Verdicts[I].StageReached,
+                filters::WarningVerdict::Stage::PrunedBySound)
+          << "SOUND filter pruned a dynamically-confirmed UAF on "
+          << Warning.F->qualifiedName();
+    }
+  }
+}
+
+TEST_P(AppPropertyTest, PrintParseRoundTripPreservesAnalysis) {
+  corpus::CorpusApp App = corpus::buildAppNamed(GetParam());
+  std::string Text = ir::programToString(*App.Prog);
+  frontend::ParseResult Reparsed =
+      frontend::parseProgramText(Text, "gen.air", App.Name);
+  ASSERT_TRUE(Reparsed.Success) << "generated app must reparse";
+
+  report::NadroidResult R1 = report::analyzeProgram(*App.Prog);
+  report::NadroidResult R2 = report::analyzeProgram(*Reparsed.Prog);
+  EXPECT_EQ(R1.warnings().size(), R2.warnings().size());
+  EXPECT_EQ(R1.Pipeline.RemainingAfterSound,
+            R2.Pipeline.RemainingAfterSound);
+  EXPECT_EQ(R1.Pipeline.RemainingAfterUnsound,
+            R2.Pipeline.RemainingAfterUnsound);
+}
+
+TEST_P(AppPropertyTest, PipelineIsDeterministic) {
+  corpus::CorpusApp App = corpus::buildAppNamed(GetParam());
+  report::NadroidResult R1 = report::analyzeProgram(*App.Prog);
+  report::NadroidResult R2 = report::analyzeProgram(*App.Prog);
+  ASSERT_EQ(R1.warnings().size(), R2.warnings().size());
+  for (size_t I = 0; I < R1.warnings().size(); ++I) {
+    EXPECT_EQ(R1.warnings()[I].key(), R2.warnings()[I].key());
+    EXPECT_EQ(R1.Pipeline.Verdicts[I].StageReached,
+              R2.Pipeline.Verdicts[I].StageReached);
+  }
+}
+
+TEST_P(AppPropertyTest, CoarserContextsNeverLoseWarnings) {
+  corpus::CorpusApp App = corpus::buildAppNamed(GetParam());
+  report::NadroidOptions K1;
+  K1.K = 1;
+  report::NadroidOptions K2;
+  K2.K = 2;
+  report::NadroidResult R1 = report::analyzeProgram(*App.Prog, K1);
+  report::NadroidResult R2 = report::analyzeProgram(*App.Prog, K2);
+  // k=1 merges heap contexts: aliasing only grows.
+  EXPECT_GE(R1.warnings().size(), R2.warnings().size());
+  // Every k=2 warning has a k=1 counterpart at the same sites.
+  std::set<std::string> Coarse;
+  for (const race::UafWarning &W : R1.warnings())
+    Coarse.insert(W.key());
+  for (const race::UafWarning &W : R2.warnings())
+    EXPECT_TRUE(Coarse.count(W.key())) << W.key();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sample, AppPropertyTest,
+                         ::testing::ValuesIn(SampleApps));
+
+//===----------------------------------------------------------------------===//
+// Whole-corpus aggregates (the Figure 5 shape as assertions)
+//===----------------------------------------------------------------------===//
+
+TEST(Property, SoundFiltersPruneMostWarningsOnTestApps) {
+  uint64_t Potential = 0, AfterSound = 0;
+  for (corpus::CorpusApp &App : corpus::buildTestCorpus()) {
+    report::NadroidResult R = report::analyzeProgram(*App.Prog);
+    Potential += R.warnings().size();
+    AfterSound += R.Pipeline.RemainingAfterSound;
+  }
+  ASSERT_GT(Potential, 0u);
+  double SoundShare = 1.0 - double(AfterSound) / double(Potential);
+  // Paper: 88%. Accept the neighborhood.
+  EXPECT_GT(SoundShare, 0.80);
+  EXPECT_LT(SoundShare, 0.95);
+}
+
+TEST(Property, UnsoundFiltersPruneMostSurvivors) {
+  uint64_t AfterSound = 0, AfterUnsound = 0;
+  for (corpus::CorpusApp &App : corpus::buildTestCorpus()) {
+    report::NadroidResult R = report::analyzeProgram(*App.Prog);
+    AfterSound += R.Pipeline.RemainingAfterSound;
+    AfterUnsound += R.Pipeline.RemainingAfterUnsound;
+  }
+  ASSERT_GT(AfterSound, 0u);
+  double UnsoundShare = 1.0 - double(AfterUnsound) / double(AfterSound);
+  // Paper: 70%. Accept the neighborhood.
+  EXPECT_GT(UnsoundShare, 0.55);
+  EXPECT_LT(UnsoundShare, 0.90);
+}
+
+} // namespace

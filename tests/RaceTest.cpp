@@ -1,0 +1,200 @@
+//===- tests/RaceTest.cpp - Detector unit tests (§5) ----------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ThreadReach.h"
+#include "ir/IRBuilder.h"
+#include "race/Detector.h"
+#include "threadify/Threadifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace nadroid;
+using namespace nadroid::ir;
+
+namespace {
+
+struct RaceFixture {
+  Program P{"t"};
+  IRBuilder B{P};
+  Clazz *Payload;
+  Clazz *Act;
+  Field *F;
+
+  RaceFixture() {
+    Payload = B.makeClass("P", ClassKind::Plain);
+    Act = B.makeClass("Act", ClassKind::Activity);
+    F = B.addField(Act, "f", Payload);
+    P.addManifestComponent(Act);
+    B.makeMethod(Act, "onCreate");
+    Local *X = B.emitNew("x", Payload);
+    B.emitStore(B.thisLocal(), F, X);
+  }
+
+  race::DetectorResult detect() {
+    android::ApiIndex Apis(P);
+    threadify::ThreadForest Forest = threadify::threadify(P);
+    analysis::PointsToAnalysis PTA(P, Forest, Apis);
+    PTA.run();
+    analysis::ThreadReach Reach(PTA, Forest);
+    return race::detectUafWarnings(Forest, PTA, Reach);
+  }
+};
+
+TEST(Race, UseAndFreeInDifferentCallbacksRace) {
+  RaceFixture Fx;
+  Fx.B.makeMethod(Fx.Act, "onClick");
+  Local *U = Fx.B.local("u");
+  Fx.B.emitLoad(U, Fx.B.thisLocal(), Fx.F);
+  Fx.B.makeMethod(Fx.Act, "onLongClick");
+  Fx.B.emitStore(Fx.B.thisLocal(), Fx.F, nullptr);
+
+  race::DetectorResult R = Fx.detect();
+  ASSERT_EQ(R.Warnings.size(), 1u);
+  EXPECT_EQ(R.Warnings[0].F, Fx.F);
+  EXPECT_FALSE(R.Warnings[0].Pairs.empty());
+}
+
+TEST(Race, SameCallbackNeverRacesWithItself) {
+  RaceFixture Fx;
+  Fx.B.makeMethod(Fx.Act, "onClick");
+  Local *U = Fx.B.local("u");
+  Fx.B.emitLoad(U, Fx.B.thisLocal(), Fx.F);
+  Fx.B.emitStore(Fx.B.thisLocal(), Fx.F, nullptr);
+
+  race::DetectorResult R = Fx.detect();
+  EXPECT_TRUE(R.Warnings.empty());
+}
+
+TEST(Race, NonNullStoreIsNotAFree) {
+  RaceFixture Fx;
+  Fx.B.makeMethod(Fx.Act, "onClick");
+  Local *U = Fx.B.local("u");
+  Fx.B.emitLoad(U, Fx.B.thisLocal(), Fx.F);
+  Fx.B.makeMethod(Fx.Act, "onLongClick");
+  Local *Y = Fx.B.emitNew("y", Fx.Payload);
+  Fx.B.emitStore(Fx.B.thisLocal(), Fx.F, Y);
+
+  race::DetectorResult R = Fx.detect();
+  EXPECT_TRUE(R.Warnings.empty());
+}
+
+TEST(Race, DifferentFieldsDoNotPair) {
+  RaceFixture Fx;
+  Field *Other = Fx.B.addField(Fx.Act, "other", Fx.Payload);
+  Fx.B.makeMethod(Fx.Act, "onClick");
+  Local *U = Fx.B.local("u");
+  Fx.B.emitLoad(U, Fx.B.thisLocal(), Fx.F);
+  Fx.B.makeMethod(Fx.Act, "onLongClick");
+  Fx.B.emitStore(Fx.B.thisLocal(), Other, nullptr);
+
+  race::DetectorResult R = Fx.detect();
+  EXPECT_TRUE(R.Warnings.empty());
+}
+
+TEST(Race, DistinctBaseObjectsDoNotAlias) {
+  // Use on activity A's field, free on activity B's same-declared field:
+  // different synthetic receivers, no alias, no race.
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *Payload = B.makeClass("P", ClassKind::Plain);
+  Clazz *A1 = B.makeClass("A1", ClassKind::Activity);
+  Field *F1 = B.addField(A1, "f", Payload);
+  Clazz *A2 = B.makeClass("A2", ClassKind::Activity);
+  Field *F2 = B.addField(A2, "f2", Payload);
+  P.addManifestComponent(A1);
+  P.addManifestComponent(A2);
+  B.makeMethod(A1, "onClick");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), F1);
+  B.makeMethod(A2, "onClick");
+  B.emitStore(B.thisLocal(), F2, nullptr);
+
+  android::ApiIndex Apis(P);
+  threadify::ThreadForest Forest = threadify::threadify(P);
+  analysis::PointsToAnalysis PTA(P, Forest, Apis);
+  PTA.run();
+  analysis::ThreadReach Reach(PTA, Forest);
+  race::DetectorResult R = race::detectUafWarnings(Forest, PTA, Reach);
+  EXPECT_TRUE(R.Warnings.empty());
+}
+
+TEST(Race, WarningAggregatesThreadPairs) {
+  // Two distinct use callbacks against one free → two warnings; each
+  // carries its own pair list.
+  RaceFixture Fx;
+  Fx.B.makeMethod(Fx.Act, "onClick");
+  Local *U1 = Fx.B.local("u");
+  Fx.B.emitLoad(U1, Fx.B.thisLocal(), Fx.F);
+  Fx.B.makeMethod(Fx.Act, "onLongClick");
+  Local *U2 = Fx.B.local("u");
+  Fx.B.emitLoad(U2, Fx.B.thisLocal(), Fx.F);
+  Fx.B.makeMethod(Fx.Act, "onCreateOptionsMenu");
+  Fx.B.emitStore(Fx.B.thisLocal(), Fx.F, nullptr);
+
+  race::DetectorResult R = Fx.detect();
+  ASSERT_EQ(R.Warnings.size(), 2u);
+  for (const race::UafWarning &W : R.Warnings)
+    EXPECT_EQ(W.Pairs.size(), 1u);
+  EXPECT_EQ(R.Stats.get("race.warnings"), 2u);
+  EXPECT_GE(R.Stats.get("race.uses"), 2u);
+  EXPECT_GE(R.Stats.get("race.frees"), 1u);
+}
+
+TEST(Race, DeterministicOrder) {
+  RaceFixture Fx;
+  Fx.B.makeMethod(Fx.Act, "onClick");
+  Local *U1 = Fx.B.local("u1");
+  Fx.B.emitLoad(U1, Fx.B.thisLocal(), Fx.F);
+  Local *U2 = Fx.B.local("u2");
+  Fx.B.emitLoad(U2, Fx.B.thisLocal(), Fx.F);
+  Fx.B.makeMethod(Fx.Act, "onLongClick");
+  Fx.B.emitStore(Fx.B.thisLocal(), Fx.F, nullptr);
+
+  race::DetectorResult R1 = Fx.detect();
+  race::DetectorResult R2 = Fx.detect();
+  ASSERT_EQ(R1.Warnings.size(), R2.Warnings.size());
+  for (size_t I = 0; I < R1.Warnings.size(); ++I)
+    EXPECT_EQ(R1.Warnings[I].key(), R2.Warnings[I].key());
+  // Sorted by use site id.
+  ASSERT_EQ(R1.Warnings.size(), 2u);
+  EXPECT_LT(R1.Warnings[0].Use->id(), R1.Warnings[1].Use->id());
+}
+
+TEST(Race, LocksDoNotSuppressDetection) {
+  // §5: locks give atomicity, not ordering — a fully locked use/free
+  // pair must still be reported by the detector (filters decide later).
+  RaceFixture Fx;
+  Field *LockF = Fx.B.addField(Fx.Act, "lock", Fx.Payload);
+  Fx.B.setInsertMethod(Fx.Act->findOwnMethod("onCreate"));
+  Local *LockObj = Fx.B.emitNew("l", Fx.Payload);
+  Fx.B.emitStore(Fx.B.thisLocal(), LockF, LockObj);
+
+  Fx.B.makeMethod(Fx.Act, "onClick");
+  Local *L1 = Fx.B.local("l1");
+  Fx.B.emitLoad(L1, Fx.B.thisLocal(), LockF);
+  Fx.B.beginSync(L1);
+  Local *U = Fx.B.local("u");
+  Fx.B.emitLoad(U, Fx.B.thisLocal(), Fx.F);
+  Fx.B.emitCall(nullptr, U, "use");
+  Fx.B.endSync();
+
+  Fx.B.makeMethod(Fx.Act, "onLongClick");
+  Local *L2 = Fx.B.local("l2");
+  Fx.B.emitLoad(L2, Fx.B.thisLocal(), LockF);
+  Fx.B.beginSync(L2);
+  Fx.B.emitStore(Fx.B.thisLocal(), Fx.F, nullptr);
+  Fx.B.endSync();
+
+  race::DetectorResult R = Fx.detect();
+  // Two uses race with the free: the lock field load and the guarded
+  // field load both count... only loads of Fx.F pair with the free.
+  bool Found = false;
+  for (const race::UafWarning &W : R.Warnings)
+    Found |= W.F == Fx.F;
+  EXPECT_TRUE(Found);
+}
+
+} // namespace

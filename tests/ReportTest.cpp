@@ -1,0 +1,109 @@
+//===- tests/ReportTest.cpp - Classification and reporting tests ----------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Patterns.h"
+#include "ir/IRBuilder.h"
+#include "report/Nadroid.h"
+
+#include <gtest/gtest.h>
+
+using namespace nadroid;
+using namespace nadroid::ir;
+using report::PairType;
+
+namespace {
+
+TEST(Report, PairTypeNames) {
+  EXPECT_STREQ(report::pairTypeName(PairType::EcEc), "EC-EC");
+  EXPECT_STREQ(report::pairTypeName(PairType::EcPc), "EC-PC");
+  EXPECT_STREQ(report::pairTypeName(PairType::PcPc), "PC-PC");
+  EXPECT_STREQ(report::pairTypeName(PairType::CRt), "C-RT");
+  EXPECT_STREQ(report::pairTypeName(PairType::CNt), "C-NT");
+}
+
+/// Each harmful pattern classifies as the pair type it was seeded as.
+struct TypeCase {
+  const char *Name;
+  PairType Type;
+};
+
+class ClassifyTest : public ::testing::TestWithParam<TypeCase> {};
+
+TEST_P(ClassifyTest, HarmfulPatternClassifiesAsSeeded) {
+  const TypeCase &Case = GetParam();
+  Program P("t");
+  IRBuilder B(P);
+  corpus::PatternEmitter E(B);
+  E.harmfulOfType(Case.Type);
+  ASSERT_EQ(E.seeds().size(), 1u);
+
+  report::NadroidResult R = report::analyzeProgram(P);
+  std::vector<size_t> Remaining = R.remainingIndices();
+  ASSERT_FALSE(Remaining.empty());
+  bool Found = false;
+  for (size_t I : Remaining) {
+    if (R.warnings()[I].Use->parentMethod()->qualifiedName() !=
+        E.seeds()[0].UseMethod)
+      continue;
+    Found = true;
+    EXPECT_EQ(report::classifyWarning(
+                  *R.Forest, R.Pipeline.Verdicts[I].PairsRemaining),
+              Case.Type);
+  }
+  EXPECT_TRUE(Found);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, ClassifyTest,
+    ::testing::Values(TypeCase{"EcEc", PairType::EcEc},
+                      TypeCase{"EcPc", PairType::EcPc},
+                      TypeCase{"PcPc", PairType::PcPc},
+                      TypeCase{"CRt", PairType::CRt},
+                      TypeCase{"CNt", PairType::CNt}),
+    [](const ::testing::TestParamInfo<TypeCase> &Info) {
+      return Info.param.Name;
+    });
+
+TEST(Report, RenderWarningContainsTheEssentials) {
+  Program P("t");
+  IRBuilder B(P);
+  corpus::PatternEmitter E(B);
+  E.harmfulEcPc();
+  report::NadroidResult R = report::analyzeProgram(P);
+  ASSERT_FALSE(R.remainingIndices().empty());
+  std::string Text =
+      report::renderWarning(R, R.remainingIndices()[0], P);
+  EXPECT_NE(Text.find("potential UAF"), std::string::npos);
+  EXPECT_NE(Text.find("use "), std::string::npos);
+  EXPECT_NE(Text.find("free"), std::string::npos);
+  EXPECT_NE(Text.find("EC-PC"), std::string::npos);
+  EXPECT_NE(Text.find("main > "), std::string::npos);
+}
+
+TEST(Report, SummaryLineCounts) {
+  Program P("t");
+  IRBuilder B(P);
+  corpus::PatternEmitter E(B);
+  E.falseMhbLifecycle(2);
+  E.harmfulEcEc();
+  report::NadroidResult R = report::analyzeProgram(P);
+  EXPECT_EQ(report::summaryLine(R),
+            "3 potential UAFs, 1 after sound filters, 1 after unsound "
+            "filters");
+}
+
+TEST(Report, TimingsPopulated) {
+  Program P("t");
+  IRBuilder B(P);
+  corpus::PatternEmitter E(B);
+  E.harmfulEcEc();
+  report::NadroidResult R = report::analyzeProgram(P);
+  EXPECT_GE(R.Timings.ModelingSec, 0.0);
+  EXPECT_GE(R.Timings.DetectionSec, 0.0);
+  EXPECT_GE(R.Timings.FilteringSec, 0.0);
+}
+
+} // namespace

@@ -1,0 +1,259 @@
+//===- tests/SupportTest.cpp - Support library unit tests ----------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Casting.h"
+#include "support/Diagnostics.h"
+#include "support/Rng.h"
+#include "support/SourceLoc.h"
+#include "support/Statistic.h"
+#include "support/StringUtils.h"
+#include "support/TableWriter.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace nadroid;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// StringUtils
+//===----------------------------------------------------------------------===//
+
+TEST(StringUtils, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  abc \t\n"), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StringUtils, SplitKeepsEmptyPieces) {
+  auto Parts = split("a,b,,c", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[2], "");
+  EXPECT_EQ(Parts[3], "c");
+}
+
+TEST(StringUtils, SplitWithoutSeparatorYieldsWhole) {
+  auto Parts = split("abc", ',');
+  ASSERT_EQ(Parts.size(), 1u);
+  EXPECT_EQ(Parts[0], "abc");
+}
+
+TEST(StringUtils, JoinConcatenatesWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(StringUtils, StartsEndsWith) {
+  EXPECT_TRUE(startsWith("onCreate", "on"));
+  EXPECT_FALSE(startsWith("on", "onCreate"));
+  EXPECT_TRUE(endsWith("MainActivity", "Activity"));
+  EXPECT_FALSE(endsWith("Activity", "MainActivity"));
+}
+
+TEST(StringUtils, IdentCharacterClasses) {
+  EXPECT_TRUE(isIdentStart('a'));
+  EXPECT_TRUE(isIdentStart('_'));
+  EXPECT_TRUE(isIdentStart('$'));
+  EXPECT_FALSE(isIdentStart('1'));
+  EXPECT_TRUE(isIdentCont('1'));
+  EXPECT_FALSE(isIdentCont('.'));
+  EXPECT_FALSE(isIdentCont('-'));
+}
+
+TEST(StringUtils, CsvEscapeQuotesOnlyWhenNeeded) {
+  EXPECT_EQ(csvEscape("plain"), "plain");
+  EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(StringUtils, PercentFormatting) {
+  EXPECT_EQ(percent(1, 2), "50.0%");
+  EXPECT_EQ(percent(0, 5), "0.0%");
+  EXPECT_EQ(percent(1, 0), "n/a");
+}
+
+//===----------------------------------------------------------------------===//
+// TableWriter
+//===----------------------------------------------------------------------===//
+
+TEST(TableWriter, AlignsColumns) {
+  TableWriter T({"A", "Name"});
+  T.addRow({"1", "x"});
+  T.addRow({"22", "longer"});
+  std::ostringstream OS;
+  T.print(OS);
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("A   Name"), std::string::npos);
+  EXPECT_NE(Out.find("22  longer"), std::string::npos);
+}
+
+TEST(TableWriter, PadsShortRows) {
+  TableWriter T({"A", "B", "C"});
+  T.addRow({"1"});
+  std::ostringstream OS;
+  T.printCsv(OS);
+  EXPECT_EQ(OS.str(), "A,B,C\n1,,\n");
+}
+
+TEST(TableWriter, CsvEscapesCells) {
+  TableWriter T({"x"});
+  T.addRow({"a,b"});
+  std::ostringstream OS;
+  T.printCsv(OS);
+  EXPECT_EQ(OS.str(), "x\n\"a,b\"\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Rng
+//===----------------------------------------------------------------------===//
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  bool AnyDifferent = false;
+  for (int I = 0; I < 10; ++I)
+    AnyDifferent |= A.next() != B.next();
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.below(13), 13u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng R(9);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 2000; ++I) {
+    uint64_t V = R.range(3, 5);
+    EXPECT_GE(V, 3u);
+    EXPECT_LE(V, 5u);
+    SawLo |= V == 3;
+    SawHi |= V == 5;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng R(11);
+  for (int I = 0; I < 50; ++I) {
+    EXPECT_TRUE(R.chance(1, 1));
+    EXPECT_FALSE(R.chance(0, 1));
+  }
+}
+
+TEST(Rng, ForkIsIndependentOfParentContinuation) {
+  Rng A(5);
+  Rng Child = A.fork();
+  // The child stream differs from the parent's continuation.
+  Rng B(5);
+  (void)B.fork();
+  EXPECT_EQ(A.next(), B.next()); // parents stay in sync
+  bool Diff = false;
+  Rng A2(5);
+  Rng Child2 = A2.fork();
+  for (int I = 0; I < 5; ++I)
+    Diff |= Child.next() != A.next();
+  (void)Child2;
+  EXPECT_TRUE(Diff);
+}
+
+//===----------------------------------------------------------------------===//
+// SourceLoc / Diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST(SourceLoc, RenderAndValidity) {
+  SourceManager SM;
+  uint32_t Id = SM.addFile("app.air");
+  EXPECT_EQ(SM.render(SourceLoc(Id, 3, 7)), "app.air:3:7");
+  EXPECT_EQ(SM.render(SourceLoc()), "<builtin>");
+  EXPECT_FALSE(SourceLoc().isValid());
+  EXPECT_TRUE(SourceLoc(Id, 1, 1).isValid());
+}
+
+TEST(Diagnostics, CountsErrorsOnly) {
+  SourceManager SM;
+  DiagnosticEngine D(SM);
+  D.warning(SourceLoc(), "a warning");
+  EXPECT_FALSE(D.hasErrors());
+  D.error(SourceLoc(), "an error");
+  D.note(SourceLoc(), "a note");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 1u);
+  EXPECT_EQ(D.diagnostics().size(), 3u);
+}
+
+TEST(Diagnostics, PrintIncludesSeverityAndLocation) {
+  SourceManager SM;
+  uint32_t Id = SM.addFile("x.air");
+  DiagnosticEngine D(SM);
+  D.error(SourceLoc(Id, 2, 4), "bad things");
+  std::ostringstream OS;
+  D.print(OS);
+  EXPECT_EQ(OS.str(), "x.air:2:4: error: bad things\n");
+  EXPECT_TRUE(D.containsMessage("bad"));
+  EXPECT_FALSE(D.containsMessage("good"));
+}
+
+//===----------------------------------------------------------------------===//
+// Statistic
+//===----------------------------------------------------------------------===//
+
+TEST(Statistic, AddSetGet) {
+  StatRegistry S;
+  EXPECT_EQ(S.get("x"), 0u);
+  S.add("x");
+  S.add("x", 4);
+  EXPECT_EQ(S.get("x"), 5u);
+  S.set("x", 2);
+  EXPECT_EQ(S.get("x"), 2u);
+  S.clear();
+  EXPECT_EQ(S.get("x"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Casting
+//===----------------------------------------------------------------------===//
+
+namespace casting {
+struct Base {
+  int Kind;
+  explicit Base(int K) : Kind(K) {}
+};
+struct DerivedA : Base {
+  DerivedA() : Base(0) {}
+  static bool classof(const Base *B) { return B->Kind == 0; }
+};
+struct DerivedB : Base {
+  DerivedB() : Base(1) {}
+  static bool classof(const Base *B) { return B->Kind == 1; }
+};
+} // namespace casting
+
+TEST(Casting, IsaCastDynCast) {
+  casting::DerivedA A;
+  casting::Base *B = &A;
+  EXPECT_TRUE(isa<casting::DerivedA>(B));
+  EXPECT_FALSE(isa<casting::DerivedB>(B));
+  EXPECT_EQ(cast<casting::DerivedA>(B), &A);
+  EXPECT_EQ(dyn_cast<casting::DerivedB>(B), nullptr);
+  EXPECT_EQ(dyn_cast<casting::DerivedA>(B), &A);
+}
+
+} // namespace

@@ -1,0 +1,333 @@
+//===- tests/ThreadifyTest.cpp - Threadification tests (§4 / Figure 3) ----------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "threadify/Threadifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace nadroid;
+using namespace nadroid::ir;
+using namespace nadroid::threadify;
+using android::CallbackKind;
+
+namespace {
+
+/// Builds a small multi-construct app (used by the determinism test).
+void corpusLike(IRBuilder &B) {
+  Program &P = B.program();
+  Clazz *Run = B.makeClass("R", ClassKind::Runnable);
+  B.makeMethod(Run, "run");
+  B.emitReturn();
+  Clazz *Conn = B.makeClass("C", ClassKind::ServiceConnection);
+  B.makeMethod(Conn, "onServiceConnected");
+  B.emitReturn();
+  Clazz *Task = B.makeClass("T", ClassKind::AsyncTask);
+  B.makeMethod(Task, "doInBackground");
+  B.emitReturn();
+  Clazz *Act = B.makeClass("Act", ClassKind::Activity);
+  P.addManifestComponent(Act);
+  B.makeMethod(Act, "onCreate");
+  B.emitBindService(Conn);
+  B.emitRunOnUiThread(Run);
+  B.makeMethod(Act, "onClick");
+  B.emitExecuteAsyncTask(Task);
+}
+
+const ModeledThread *findThread(const ThreadForest &F,
+                                const std::string &MethodName,
+                                const std::string &ClassName = "") {
+  for (const auto &T : F.threads()) {
+    if (!T->callback())
+      continue;
+    if (T->callback()->name() != MethodName)
+      continue;
+    if (!ClassName.empty() &&
+        T->callback()->parent()->name() != ClassName)
+      continue;
+    return T.get();
+  }
+  return nullptr;
+}
+
+TEST(Threadify, LifecycleCallbacksAreEcChildrenOfDummyMain) {
+  // Figure 3(a).
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *Act = B.makeClass("Act", ClassKind::Activity);
+  P.addManifestComponent(Act);
+  for (const char *Name : {"onCreate", "onStart", "onResume"}) {
+    B.makeMethod(Act, Name);
+    B.emitReturn();
+  }
+  ThreadForest F = threadify::threadify(P);
+  EXPECT_EQ(F.entryCallbackCount(), 3u);
+  EXPECT_EQ(F.threadCount(), 1u); // the dummy main only
+  const ModeledThread *Create = findThread(F, "onCreate");
+  ASSERT_NE(Create, nullptr);
+  EXPECT_EQ(Create->parent(), F.root());
+  EXPECT_EQ(Create->origin(), ThreadOrigin::EntryCallback);
+  EXPECT_EQ(Create->component(), Act);
+  EXPECT_TRUE(Create->onLooper());
+}
+
+TEST(Threadify, RegisteredListenersAreEcChildrenOfDummyMain) {
+  // Figure 3(b): imperative registration still yields entry callbacks.
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *Listener = B.makeClass("L", ClassKind::Listener);
+  B.makeMethod(Listener, "onClick");
+  B.emitReturn();
+  Clazz *Act = B.makeClass("Act", ClassKind::Activity);
+  P.addManifestComponent(Act);
+  B.makeMethod(Act, "onCreate");
+  B.emitSetOnClickListener(Listener);
+
+  ThreadForest F = threadify::threadify(P);
+  const ModeledThread *Click = findThread(F, "onClick", "L");
+  ASSERT_NE(Click, nullptr);
+  EXPECT_EQ(Click->origin(), ThreadOrigin::EntryCallback);
+  EXPECT_EQ(Click->parent(), F.root()); // NOT a child of onCreate
+  EXPECT_EQ(Click->component(), Act);
+  ASSERT_NE(Click->spawnSite(), nullptr);
+}
+
+TEST(Threadify, HandlerPostAndSendArePcChildrenOfPoster) {
+  // Figure 3(c).
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *Run = B.makeClass("R", ClassKind::Runnable);
+  B.makeMethod(Run, "run");
+  B.emitReturn();
+  Clazz *H = B.makeClass("H", ClassKind::Handler);
+  B.makeMethod(H, "handleMessage");
+  B.emitReturn();
+  Clazz *Act = B.makeClass("Act", ClassKind::Activity);
+  P.addManifestComponent(Act);
+  B.makeMethod(Act, "onClick");
+  Local *HL = B.emitNew("h", H);
+  B.emitPost(HL, Run);
+  B.emitSendMessage(HL);
+
+  ThreadForest F = threadify::threadify(P);
+  const ModeledThread *Click = findThread(F, "onClick");
+  const ModeledThread *RunT = findThread(F, "run", "R");
+  const ModeledThread *Msg = findThread(F, "handleMessage", "H");
+  ASSERT_NE(RunT, nullptr);
+  ASSERT_NE(Msg, nullptr);
+  EXPECT_EQ(RunT->parent(), Click);
+  EXPECT_EQ(Msg->parent(), Click);
+  EXPECT_EQ(RunT->origin(), ThreadOrigin::PostedCallback);
+  EXPECT_EQ(F.postedCallbackCount(), 2u);
+}
+
+TEST(Threadify, ServiceAndReceiverPcsShareConnectionInstance) {
+  // Figure 3(d).
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *Conn = B.makeClass("Conn", ClassKind::ServiceConnection);
+  B.makeMethod(Conn, "onServiceConnected");
+  B.emitReturn();
+  B.makeMethod(Conn, "onServiceDisconnected");
+  B.emitReturn();
+  Clazz *Recv = B.makeClass("Recv", ClassKind::Receiver);
+  B.makeMethod(Recv, "onReceive");
+  B.emitReturn();
+  Clazz *Act = B.makeClass("Act", ClassKind::Activity);
+  P.addManifestComponent(Act);
+  B.makeMethod(Act, "onStart");
+  B.emitBindService(Conn);
+  B.makeMethod(Act, "onResume");
+  B.emitRegisterReceiver(Recv);
+
+  ThreadForest F = threadify::threadify(P);
+  const ModeledThread *C = findThread(F, "onServiceConnected");
+  const ModeledThread *D = findThread(F, "onServiceDisconnected");
+  const ModeledThread *R = findThread(F, "onReceive");
+  ASSERT_TRUE(C && D && R);
+  EXPECT_EQ(C->parent(), findThread(F, "onStart"));
+  EXPECT_EQ(R->parent(), findThread(F, "onResume"));
+  EXPECT_NE(C->connectionInstance(), 0u);
+  EXPECT_EQ(C->connectionInstance(), D->connectionInstance());
+  EXPECT_EQ(R->origin(), ThreadOrigin::PostedCallback);
+}
+
+TEST(Threadify, AsyncTaskShapeMatchesFigure3e) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *Task = B.makeClass("T", ClassKind::AsyncTask);
+  for (const char *Name : {"onPreExecute", "doInBackground",
+                           "onProgressUpdate", "onPostExecute"}) {
+    B.makeMethod(Task, Name);
+    B.emitReturn();
+  }
+  Clazz *Act = B.makeClass("Act", ClassKind::Activity);
+  P.addManifestComponent(Act);
+  B.makeMethod(Act, "onLocationChanged");
+  B.emitExecuteAsyncTask(Task);
+
+  ThreadForest F = threadify::threadify(P);
+  const ModeledThread *Bg = findThread(F, "doInBackground");
+  const ModeledThread *Pre = findThread(F, "onPreExecute");
+  const ModeledThread *Prog = findThread(F, "onProgressUpdate");
+  const ModeledThread *Post = findThread(F, "onPostExecute");
+  ASSERT_TRUE(Bg && Pre && Prog && Post);
+  EXPECT_EQ(Bg->origin(), ThreadOrigin::NativeThread);
+  EXPECT_FALSE(Bg->onLooper());
+  // The looper-side callbacks hang off the doInBackground thread.
+  EXPECT_EQ(Pre->parent(), Bg);
+  EXPECT_EQ(Prog->parent(), Bg);
+  EXPECT_EQ(Post->parent(), Bg);
+  // All four share the AsyncTask instance id.
+  EXPECT_NE(Bg->asyncInstance(), 0u);
+  EXPECT_EQ(Bg->asyncInstance(), Pre->asyncInstance());
+  EXPECT_EQ(Bg->asyncInstance(), Post->asyncInstance());
+  // EC onLocationChanged + 3 PCs + bg native thread + dummy main.
+  EXPECT_EQ(F.threadCount(), 2u);
+}
+
+TEST(Threadify, ThreadStartIsNativeChild) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *W = B.makeClass("W", ClassKind::ThreadClass);
+  B.makeMethod(W, "run");
+  B.emitReturn();
+  Clazz *Act = B.makeClass("Act", ClassKind::Activity);
+  P.addManifestComponent(Act);
+  B.makeMethod(Act, "onCreate");
+  B.emitStartThread(W);
+
+  ThreadForest F = threadify::threadify(P);
+  const ModeledThread *Run = findThread(F, "run", "W");
+  ASSERT_NE(Run, nullptr);
+  EXPECT_EQ(Run->origin(), ThreadOrigin::NativeThread);
+  EXPECT_EQ(Run->parent(), findThread(F, "onCreate"));
+  EXPECT_TRUE(F.isReachableThreadOf(Run, findThread(F, "onCreate")));
+}
+
+TEST(Threadify, ReachabilityIsRelativeToTheCallback) {
+  // §7: the same native thread is RT to its creator and NT to others.
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *W = B.makeClass("W", ClassKind::ThreadClass);
+  B.makeMethod(W, "run");
+  B.emitReturn();
+  Clazz *Act = B.makeClass("Act", ClassKind::Activity);
+  P.addManifestComponent(Act);
+  B.makeMethod(Act, "onResume");
+  B.emitStartThread(W);
+  B.makeMethod(Act, "onPause");
+  B.emitReturn();
+
+  ThreadForest F = threadify::threadify(P);
+  const ModeledThread *Run = findThread(F, "run", "W");
+  EXPECT_TRUE(F.isReachableThreadOf(Run, findThread(F, "onResume")));
+  EXPECT_FALSE(F.isReachableThreadOf(Run, findThread(F, "onPause")));
+}
+
+TEST(Threadify, RecursivePostingTerminates) {
+  // A runnable that re-posts itself must not blow up the forest.
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *Run = B.makeClass("R", ClassKind::Runnable);
+  Clazz *Act = B.makeClass("Act", ClassKind::Activity);
+  P.addManifestComponent(Act);
+  Field *ActF = B.addField(Run, "act", Act);
+  B.makeMethod(Run, "run");
+  Local *A = B.local("a");
+  B.emitLoad(A, B.thisLocal(), ActF);
+  Local *Self = B.emitNew("r2", Run);
+  B.emitCall(nullptr, A, "runOnUiThread", {Self});
+  B.makeMethod(Act, "onClick");
+  Local *R = B.emitNew("r", Run);
+  B.emitStore(R, ActF, B.thisLocal());
+  B.emitCall(nullptr, B.thisLocal(), "runOnUiThread", {R});
+
+  ThreadForest F = threadify::threadify(P);
+  EXPECT_LT(F.threads().size(), 10u);
+  EXPECT_GE(F.postedCallbackCount(), 1u);
+}
+
+TEST(Threadify, NonManifestComponentsFlaggedUnreachable) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *Ghost = B.makeClass("Ghost", ClassKind::Activity);
+  B.makeMethod(Ghost, "onClick");
+  B.emitReturn();
+  ThreadForest F = threadify::threadify(P);
+  const ModeledThread *Click = findThread(F, "onClick");
+  ASSERT_NE(Click, nullptr);
+  EXPECT_FALSE(Click->componentReachable());
+}
+
+TEST(Threadify, FragmentsAreSkipped) {
+  // §8.1 limitation reproduced: no threads for Fragment callbacks.
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *Frag = B.makeClass("Frag", ClassKind::Fragment);
+  B.makeMethod(Frag, "onResume");
+  B.emitReturn();
+  ThreadForest F = threadify::threadify(P);
+  EXPECT_EQ(findThread(F, "onResume"), nullptr);
+  EXPECT_EQ(F.entryCallbackCount(), 0u);
+}
+
+TEST(Threadify, RegistrationsInsideHelpersAreFound) {
+  // The walk follows ordinary calls before looking for spawn sites.
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *Run = B.makeClass("R", ClassKind::Runnable);
+  B.makeMethod(Run, "run");
+  B.emitReturn();
+  Clazz *Act = B.makeClass("Act", ClassKind::Activity);
+  P.addManifestComponent(Act);
+  Method *Helper = B.makeMethod(Act, "setup");
+  B.emitRunOnUiThread(Run);
+  (void)Helper;
+  B.makeMethod(Act, "onCreate");
+  B.emitCall(nullptr, B.thisLocal(), "setup");
+
+  ThreadForest F = threadify::threadify(P);
+  const ModeledThread *RunT = findThread(F, "run", "R");
+  ASSERT_NE(RunT, nullptr);
+  EXPECT_EQ(RunT->parent(), findThread(F, "onCreate"));
+}
+
+TEST(Threadify, LineageRendersPosterChain) {
+  Program P("t");
+  IRBuilder B(P);
+  Clazz *Run = B.makeClass("R", ClassKind::Runnable);
+  B.makeMethod(Run, "run");
+  B.emitReturn();
+  Clazz *Act = B.makeClass("Act", ClassKind::Activity);
+  P.addManifestComponent(Act);
+  B.makeMethod(Act, "onClick");
+  B.emitRunOnUiThread(Run);
+
+  ThreadForest F = threadify::threadify(P);
+  const ModeledThread *RunT = findThread(F, "run", "R");
+  EXPECT_EQ(F.lineage(RunT), "main > EC onClick@Act > PC run@R");
+}
+
+TEST(Threadify, DeterministicAcrossRuns) {
+  auto Build = [] {
+    auto P = std::make_unique<Program>("t");
+    IRBuilder B(*P);
+    corpusLike(B);
+    return P;
+  };
+  // Two independent builds + threadifications produce identical lineages.
+  auto P1 = Build();
+  auto P2 = Build();
+  ThreadForest F1 = threadify::threadify(*P1);
+  ThreadForest F2 = threadify::threadify(*P2);
+  ASSERT_EQ(F1.threads().size(), F2.threads().size());
+  for (size_t I = 0; I < F1.threads().size(); ++I)
+    EXPECT_EQ(F1.lineage(F1.threads()[I].get()),
+              F2.lineage(F2.threads()[I].get()));
+}
+
+} // namespace
