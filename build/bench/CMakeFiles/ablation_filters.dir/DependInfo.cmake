@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_filters.cpp" "bench/CMakeFiles/ablation_filters.dir/ablation_filters.cpp.o" "gcc" "bench/CMakeFiles/ablation_filters.dir/ablation_filters.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/nadroid_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/deva/CMakeFiles/nadroid_deva.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/nadroid_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/nadroid_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/filters/CMakeFiles/nadroid_filters.dir/DependInfo.cmake"
+  "/root/repo/build/src/race/CMakeFiles/nadroid_race.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/nadroid_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/nadroid_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/threadify/CMakeFiles/nadroid_threadify.dir/DependInfo.cmake"
+  "/root/repo/build/src/android/CMakeFiles/nadroid_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/nadroid_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/nadroid_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

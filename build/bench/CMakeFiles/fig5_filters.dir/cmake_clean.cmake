@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_filters.dir/fig5_filters.cpp.o"
+  "CMakeFiles/fig5_filters.dir/fig5_filters.cpp.o.d"
+  "fig5_filters"
+  "fig5_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypotheses.dir/hypotheses.cpp.o"
+  "CMakeFiles/hypotheses.dir/hypotheses.cpp.o.d"
+  "hypotheses"
+  "hypotheses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypotheses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

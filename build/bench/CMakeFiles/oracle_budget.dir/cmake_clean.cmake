@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_budget.dir/oracle_budget.cpp.o"
+  "CMakeFiles/oracle_budget.dir/oracle_budget.cpp.o.d"
+  "oracle_budget"
+  "oracle_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

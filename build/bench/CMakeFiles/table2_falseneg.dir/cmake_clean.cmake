@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_falseneg.dir/table2_falseneg.cpp.o"
+  "CMakeFiles/table2_falseneg.dir/table2_falseneg.cpp.o.d"
+  "table2_falseneg"
+  "table2_falseneg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_falseneg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

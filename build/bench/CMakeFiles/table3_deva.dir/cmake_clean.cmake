@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_deva.dir/table3_deva.cpp.o"
+  "CMakeFiles/table3_deva.dir/table3_deva.cpp.o.d"
+  "table3_deva"
+  "table3_deva.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_deva.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

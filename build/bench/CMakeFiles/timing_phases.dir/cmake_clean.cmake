@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_phases.dir/timing_phases.cpp.o"
+  "CMakeFiles/timing_phases.dir/timing_phases.cpp.o.d"
+  "timing_phases"
+  "timing_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

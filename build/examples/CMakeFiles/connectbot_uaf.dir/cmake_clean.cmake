@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/connectbot_uaf.dir/connectbot_uaf.cpp.o"
+  "CMakeFiles/connectbot_uaf.dir/connectbot_uaf.cpp.o.d"
+  "connectbot_uaf"
+  "connectbot_uaf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connectbot_uaf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

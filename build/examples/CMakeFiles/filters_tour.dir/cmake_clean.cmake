@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filters_tour.dir/filters_tour.cpp.o"
+  "CMakeFiles/filters_tour.dir/filters_tour.cpp.o.d"
+  "filters_tour"
+  "filters_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filters_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

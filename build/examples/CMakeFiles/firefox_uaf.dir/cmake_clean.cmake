@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firefox_uaf.dir/firefox_uaf.cpp.o"
+  "CMakeFiles/firefox_uaf.dir/firefox_uaf.cpp.o.d"
+  "firefox_uaf"
+  "firefox_uaf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firefox_uaf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triage.dir/triage.cpp.o"
+  "CMakeFiles/triage.dir/triage.cpp.o.d"
+  "triage"
+  "triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

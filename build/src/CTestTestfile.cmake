@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("frontend")
+subdirs("android")
+subdirs("threadify")
+subdirs("analysis")
+subdirs("race")
+subdirs("filters")
+subdirs("report")
+subdirs("interp")
+subdirs("deva")
+subdirs("corpus")
+subdirs("driver")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/AllocFlow.cpp" "src/analysis/CMakeFiles/nadroid_analysis.dir/AllocFlow.cpp.o" "gcc" "src/analysis/CMakeFiles/nadroid_analysis.dir/AllocFlow.cpp.o.d"
+  "/root/repo/src/analysis/CancelReach.cpp" "src/analysis/CMakeFiles/nadroid_analysis.dir/CancelReach.cpp.o" "gcc" "src/analysis/CMakeFiles/nadroid_analysis.dir/CancelReach.cpp.o.d"
+  "/root/repo/src/analysis/Escape.cpp" "src/analysis/CMakeFiles/nadroid_analysis.dir/Escape.cpp.o" "gcc" "src/analysis/CMakeFiles/nadroid_analysis.dir/Escape.cpp.o.d"
+  "/root/repo/src/analysis/Guards.cpp" "src/analysis/CMakeFiles/nadroid_analysis.dir/Guards.cpp.o" "gcc" "src/analysis/CMakeFiles/nadroid_analysis.dir/Guards.cpp.o.d"
+  "/root/repo/src/analysis/Lockset.cpp" "src/analysis/CMakeFiles/nadroid_analysis.dir/Lockset.cpp.o" "gcc" "src/analysis/CMakeFiles/nadroid_analysis.dir/Lockset.cpp.o.d"
+  "/root/repo/src/analysis/PointsTo.cpp" "src/analysis/CMakeFiles/nadroid_analysis.dir/PointsTo.cpp.o" "gcc" "src/analysis/CMakeFiles/nadroid_analysis.dir/PointsTo.cpp.o.d"
+  "/root/repo/src/analysis/ThreadReach.cpp" "src/analysis/CMakeFiles/nadroid_analysis.dir/ThreadReach.cpp.o" "gcc" "src/analysis/CMakeFiles/nadroid_analysis.dir/ThreadReach.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/threadify/CMakeFiles/nadroid_threadify.dir/DependInfo.cmake"
+  "/root/repo/build/src/android/CMakeFiles/nadroid_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/nadroid_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/nadroid_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadroid_analysis.dir/AllocFlow.cpp.o"
+  "CMakeFiles/nadroid_analysis.dir/AllocFlow.cpp.o.d"
+  "CMakeFiles/nadroid_analysis.dir/CancelReach.cpp.o"
+  "CMakeFiles/nadroid_analysis.dir/CancelReach.cpp.o.d"
+  "CMakeFiles/nadroid_analysis.dir/Escape.cpp.o"
+  "CMakeFiles/nadroid_analysis.dir/Escape.cpp.o.d"
+  "CMakeFiles/nadroid_analysis.dir/Guards.cpp.o"
+  "CMakeFiles/nadroid_analysis.dir/Guards.cpp.o.d"
+  "CMakeFiles/nadroid_analysis.dir/Lockset.cpp.o"
+  "CMakeFiles/nadroid_analysis.dir/Lockset.cpp.o.d"
+  "CMakeFiles/nadroid_analysis.dir/PointsTo.cpp.o"
+  "CMakeFiles/nadroid_analysis.dir/PointsTo.cpp.o.d"
+  "CMakeFiles/nadroid_analysis.dir/ThreadReach.cpp.o"
+  "CMakeFiles/nadroid_analysis.dir/ThreadReach.cpp.o.d"
+  "libnadroid_analysis.a"
+  "libnadroid_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadroid_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

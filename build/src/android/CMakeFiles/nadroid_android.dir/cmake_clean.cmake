@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadroid_android.dir/Api.cpp.o"
+  "CMakeFiles/nadroid_android.dir/Api.cpp.o.d"
+  "CMakeFiles/nadroid_android.dir/Callbacks.cpp.o"
+  "CMakeFiles/nadroid_android.dir/Callbacks.cpp.o.d"
+  "CMakeFiles/nadroid_android.dir/SyntacticReach.cpp.o"
+  "CMakeFiles/nadroid_android.dir/SyntacticReach.cpp.o.d"
+  "libnadroid_android.a"
+  "libnadroid_android.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadroid_android.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

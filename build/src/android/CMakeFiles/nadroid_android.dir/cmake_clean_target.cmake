@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnadroid_android.a"
+)

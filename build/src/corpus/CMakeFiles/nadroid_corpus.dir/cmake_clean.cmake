@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadroid_corpus.dir/Corpus.cpp.o"
+  "CMakeFiles/nadroid_corpus.dir/Corpus.cpp.o.d"
+  "CMakeFiles/nadroid_corpus.dir/Evaluate.cpp.o"
+  "CMakeFiles/nadroid_corpus.dir/Evaluate.cpp.o.d"
+  "CMakeFiles/nadroid_corpus.dir/Inject.cpp.o"
+  "CMakeFiles/nadroid_corpus.dir/Inject.cpp.o.d"
+  "CMakeFiles/nadroid_corpus.dir/Patterns.cpp.o"
+  "CMakeFiles/nadroid_corpus.dir/Patterns.cpp.o.d"
+  "CMakeFiles/nadroid_corpus.dir/RandomApp.cpp.o"
+  "CMakeFiles/nadroid_corpus.dir/RandomApp.cpp.o.d"
+  "libnadroid_corpus.a"
+  "libnadroid_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadroid_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadroid_deva.dir/Deva.cpp.o"
+  "CMakeFiles/nadroid_deva.dir/Deva.cpp.o.d"
+  "libnadroid_deva.a"
+  "libnadroid_deva.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadroid_deva.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

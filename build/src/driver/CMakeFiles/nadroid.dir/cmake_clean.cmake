@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadroid.dir/Main.cpp.o"
+  "CMakeFiles/nadroid.dir/Main.cpp.o.d"
+  "nadroid"
+  "nadroid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadroid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

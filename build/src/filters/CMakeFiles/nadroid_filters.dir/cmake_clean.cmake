@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadroid_filters.dir/Engine.cpp.o"
+  "CMakeFiles/nadroid_filters.dir/Engine.cpp.o.d"
+  "CMakeFiles/nadroid_filters.dir/FilterContext.cpp.o"
+  "CMakeFiles/nadroid_filters.dir/FilterContext.cpp.o.d"
+  "CMakeFiles/nadroid_filters.dir/Filters.cpp.o"
+  "CMakeFiles/nadroid_filters.dir/Filters.cpp.o.d"
+  "libnadroid_filters.a"
+  "libnadroid_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadroid_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

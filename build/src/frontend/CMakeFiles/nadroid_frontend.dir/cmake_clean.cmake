@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadroid_frontend.dir/Frontend.cpp.o"
+  "CMakeFiles/nadroid_frontend.dir/Frontend.cpp.o.d"
+  "CMakeFiles/nadroid_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/nadroid_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/nadroid_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/nadroid_frontend.dir/Parser.cpp.o.d"
+  "libnadroid_frontend.a"
+  "libnadroid_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadroid_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadroid_interp.dir/Interp.cpp.o"
+  "CMakeFiles/nadroid_interp.dir/Interp.cpp.o.d"
+  "CMakeFiles/nadroid_interp.dir/Linearize.cpp.o"
+  "CMakeFiles/nadroid_interp.dir/Linearize.cpp.o.d"
+  "libnadroid_interp.a"
+  "libnadroid_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadroid_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadroid_ir.dir/IRBuilder.cpp.o"
+  "CMakeFiles/nadroid_ir.dir/IRBuilder.cpp.o.d"
+  "CMakeFiles/nadroid_ir.dir/Ir.cpp.o"
+  "CMakeFiles/nadroid_ir.dir/Ir.cpp.o.d"
+  "CMakeFiles/nadroid_ir.dir/LocalInfo.cpp.o"
+  "CMakeFiles/nadroid_ir.dir/LocalInfo.cpp.o.d"
+  "CMakeFiles/nadroid_ir.dir/Printer.cpp.o"
+  "CMakeFiles/nadroid_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/nadroid_ir.dir/Stmt.cpp.o"
+  "CMakeFiles/nadroid_ir.dir/Stmt.cpp.o.d"
+  "CMakeFiles/nadroid_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/nadroid_ir.dir/Verifier.cpp.o.d"
+  "libnadroid_ir.a"
+  "libnadroid_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadroid_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

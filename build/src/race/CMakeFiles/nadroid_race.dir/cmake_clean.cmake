@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadroid_race.dir/Detector.cpp.o"
+  "CMakeFiles/nadroid_race.dir/Detector.cpp.o.d"
+  "libnadroid_race.a"
+  "libnadroid_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadroid_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

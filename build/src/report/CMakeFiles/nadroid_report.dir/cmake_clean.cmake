@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadroid_report.dir/Classify.cpp.o"
+  "CMakeFiles/nadroid_report.dir/Classify.cpp.o.d"
+  "CMakeFiles/nadroid_report.dir/Dot.cpp.o"
+  "CMakeFiles/nadroid_report.dir/Dot.cpp.o.d"
+  "CMakeFiles/nadroid_report.dir/Explain.cpp.o"
+  "CMakeFiles/nadroid_report.dir/Explain.cpp.o.d"
+  "CMakeFiles/nadroid_report.dir/Json.cpp.o"
+  "CMakeFiles/nadroid_report.dir/Json.cpp.o.d"
+  "CMakeFiles/nadroid_report.dir/Nadroid.cpp.o"
+  "CMakeFiles/nadroid_report.dir/Nadroid.cpp.o.d"
+  "CMakeFiles/nadroid_report.dir/Rank.cpp.o"
+  "CMakeFiles/nadroid_report.dir/Rank.cpp.o.d"
+  "libnadroid_report.a"
+  "libnadroid_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadroid_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadroid_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/nadroid_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/nadroid_support.dir/SourceLoc.cpp.o"
+  "CMakeFiles/nadroid_support.dir/SourceLoc.cpp.o.d"
+  "CMakeFiles/nadroid_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/nadroid_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/nadroid_support.dir/TableWriter.cpp.o"
+  "CMakeFiles/nadroid_support.dir/TableWriter.cpp.o.d"
+  "libnadroid_support.a"
+  "libnadroid_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadroid_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

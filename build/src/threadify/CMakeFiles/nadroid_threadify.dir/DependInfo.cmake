@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/threadify/ThreadForest.cpp" "src/threadify/CMakeFiles/nadroid_threadify.dir/ThreadForest.cpp.o" "gcc" "src/threadify/CMakeFiles/nadroid_threadify.dir/ThreadForest.cpp.o.d"
+  "/root/repo/src/threadify/Threadifier.cpp" "src/threadify/CMakeFiles/nadroid_threadify.dir/Threadifier.cpp.o" "gcc" "src/threadify/CMakeFiles/nadroid_threadify.dir/Threadifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/android/CMakeFiles/nadroid_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/nadroid_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/nadroid_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadroid_threadify.dir/ThreadForest.cpp.o"
+  "CMakeFiles/nadroid_threadify.dir/ThreadForest.cpp.o.d"
+  "CMakeFiles/nadroid_threadify.dir/Threadifier.cpp.o"
+  "CMakeFiles/nadroid_threadify.dir/Threadifier.cpp.o.d"
+  "libnadroid_threadify.a"
+  "libnadroid_threadify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadroid_threadify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

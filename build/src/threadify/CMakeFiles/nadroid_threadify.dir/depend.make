@@ -1,0 +1,2 @@
+# Empty dependencies file for nadroid_threadify.
+# This may be replaced when dependencies are built.

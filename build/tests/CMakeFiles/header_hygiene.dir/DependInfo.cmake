@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/build/tests/hygiene/analysis_AllocFlow.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/analysis_AllocFlow.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/analysis_AllocFlow.cpp.o.d"
+  "/root/repo/build/tests/hygiene/analysis_CancelReach.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/analysis_CancelReach.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/analysis_CancelReach.cpp.o.d"
+  "/root/repo/build/tests/hygiene/analysis_Escape.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/analysis_Escape.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/analysis_Escape.cpp.o.d"
+  "/root/repo/build/tests/hygiene/analysis_Guards.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/analysis_Guards.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/analysis_Guards.cpp.o.d"
+  "/root/repo/build/tests/hygiene/analysis_Lockset.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/analysis_Lockset.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/analysis_Lockset.cpp.o.d"
+  "/root/repo/build/tests/hygiene/analysis_PointsTo.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/analysis_PointsTo.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/analysis_PointsTo.cpp.o.d"
+  "/root/repo/build/tests/hygiene/analysis_ThreadReach.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/analysis_ThreadReach.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/analysis_ThreadReach.cpp.o.d"
+  "/root/repo/build/tests/hygiene/android_Api.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/android_Api.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/android_Api.cpp.o.d"
+  "/root/repo/build/tests/hygiene/android_Callbacks.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/android_Callbacks.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/android_Callbacks.cpp.o.d"
+  "/root/repo/build/tests/hygiene/android_SyntacticReach.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/android_SyntacticReach.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/android_SyntacticReach.cpp.o.d"
+  "/root/repo/build/tests/hygiene/corpus_Corpus.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/corpus_Corpus.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/corpus_Corpus.cpp.o.d"
+  "/root/repo/build/tests/hygiene/corpus_Evaluate.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/corpus_Evaluate.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/corpus_Evaluate.cpp.o.d"
+  "/root/repo/build/tests/hygiene/corpus_Inject.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/corpus_Inject.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/corpus_Inject.cpp.o.d"
+  "/root/repo/build/tests/hygiene/corpus_Patterns.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/corpus_Patterns.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/corpus_Patterns.cpp.o.d"
+  "/root/repo/build/tests/hygiene/corpus_RandomApp.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/corpus_RandomApp.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/corpus_RandomApp.cpp.o.d"
+  "/root/repo/build/tests/hygiene/deva_Deva.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/deva_Deva.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/deva_Deva.cpp.o.d"
+  "/root/repo/build/tests/hygiene/filters_Engine.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/filters_Engine.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/filters_Engine.cpp.o.d"
+  "/root/repo/build/tests/hygiene/filters_Filter.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/filters_Filter.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/filters_Filter.cpp.o.d"
+  "/root/repo/build/tests/hygiene/frontend_Frontend.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/frontend_Frontend.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/frontend_Frontend.cpp.o.d"
+  "/root/repo/build/tests/hygiene/frontend_Lexer.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/frontend_Lexer.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/frontend_Lexer.cpp.o.d"
+  "/root/repo/build/tests/hygiene/frontend_Parser.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/frontend_Parser.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/frontend_Parser.cpp.o.d"
+  "/root/repo/build/tests/hygiene/interp_Interp.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/interp_Interp.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/interp_Interp.cpp.o.d"
+  "/root/repo/build/tests/hygiene/interp_Linearize.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/interp_Linearize.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/interp_Linearize.cpp.o.d"
+  "/root/repo/build/tests/hygiene/ir_IRBuilder.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/ir_IRBuilder.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/ir_IRBuilder.cpp.o.d"
+  "/root/repo/build/tests/hygiene/ir_Ir.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/ir_Ir.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/ir_Ir.cpp.o.d"
+  "/root/repo/build/tests/hygiene/ir_LocalInfo.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/ir_LocalInfo.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/ir_LocalInfo.cpp.o.d"
+  "/root/repo/build/tests/hygiene/ir_Printer.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/ir_Printer.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/ir_Printer.cpp.o.d"
+  "/root/repo/build/tests/hygiene/ir_Stmt.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/ir_Stmt.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/ir_Stmt.cpp.o.d"
+  "/root/repo/build/tests/hygiene/ir_Verifier.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/ir_Verifier.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/ir_Verifier.cpp.o.d"
+  "/root/repo/build/tests/hygiene/race_Detector.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/race_Detector.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/race_Detector.cpp.o.d"
+  "/root/repo/build/tests/hygiene/race_Warning.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/race_Warning.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/race_Warning.cpp.o.d"
+  "/root/repo/build/tests/hygiene/report_Classify.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/report_Classify.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/report_Classify.cpp.o.d"
+  "/root/repo/build/tests/hygiene/report_Dot.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/report_Dot.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/report_Dot.cpp.o.d"
+  "/root/repo/build/tests/hygiene/report_Explain.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/report_Explain.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/report_Explain.cpp.o.d"
+  "/root/repo/build/tests/hygiene/report_Json.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/report_Json.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/report_Json.cpp.o.d"
+  "/root/repo/build/tests/hygiene/report_Nadroid.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/report_Nadroid.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/report_Nadroid.cpp.o.d"
+  "/root/repo/build/tests/hygiene/report_Rank.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/report_Rank.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/report_Rank.cpp.o.d"
+  "/root/repo/build/tests/hygiene/support_Casting.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/support_Casting.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/support_Casting.cpp.o.d"
+  "/root/repo/build/tests/hygiene/support_Diagnostics.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/support_Diagnostics.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/support_Diagnostics.cpp.o.d"
+  "/root/repo/build/tests/hygiene/support_Rng.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/support_Rng.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/support_Rng.cpp.o.d"
+  "/root/repo/build/tests/hygiene/support_SourceLoc.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/support_SourceLoc.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/support_SourceLoc.cpp.o.d"
+  "/root/repo/build/tests/hygiene/support_Statistic.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/support_Statistic.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/support_Statistic.cpp.o.d"
+  "/root/repo/build/tests/hygiene/support_StringUtils.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/support_StringUtils.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/support_StringUtils.cpp.o.d"
+  "/root/repo/build/tests/hygiene/support_TableWriter.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/support_TableWriter.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/support_TableWriter.cpp.o.d"
+  "/root/repo/build/tests/hygiene/threadify_ThreadForest.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/threadify_ThreadForest.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/threadify_ThreadForest.cpp.o.d"
+  "/root/repo/build/tests/hygiene/threadify_Threadifier.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene/threadify_Threadifier.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene/threadify_Threadifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

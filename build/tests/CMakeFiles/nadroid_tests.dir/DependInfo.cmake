@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AidsTest.cpp" "tests/CMakeFiles/nadroid_tests.dir/AidsTest.cpp.o" "gcc" "tests/CMakeFiles/nadroid_tests.dir/AidsTest.cpp.o.d"
+  "/root/repo/tests/AnalysisTest.cpp" "tests/CMakeFiles/nadroid_tests.dir/AnalysisTest.cpp.o" "gcc" "tests/CMakeFiles/nadroid_tests.dir/AnalysisTest.cpp.o.d"
+  "/root/repo/tests/AndroidTest.cpp" "tests/CMakeFiles/nadroid_tests.dir/AndroidTest.cpp.o" "gcc" "tests/CMakeFiles/nadroid_tests.dir/AndroidTest.cpp.o.d"
+  "/root/repo/tests/CancellationTest.cpp" "tests/CMakeFiles/nadroid_tests.dir/CancellationTest.cpp.o" "gcc" "tests/CMakeFiles/nadroid_tests.dir/CancellationTest.cpp.o.d"
+  "/root/repo/tests/CorpusTest.cpp" "tests/CMakeFiles/nadroid_tests.dir/CorpusTest.cpp.o" "gcc" "tests/CMakeFiles/nadroid_tests.dir/CorpusTest.cpp.o.d"
+  "/root/repo/tests/DevaTest.cpp" "tests/CMakeFiles/nadroid_tests.dir/DevaTest.cpp.o" "gcc" "tests/CMakeFiles/nadroid_tests.dir/DevaTest.cpp.o.d"
+  "/root/repo/tests/ExamplesTest.cpp" "tests/CMakeFiles/nadroid_tests.dir/ExamplesTest.cpp.o" "gcc" "tests/CMakeFiles/nadroid_tests.dir/ExamplesTest.cpp.o.d"
+  "/root/repo/tests/ExplainTest.cpp" "tests/CMakeFiles/nadroid_tests.dir/ExplainTest.cpp.o" "gcc" "tests/CMakeFiles/nadroid_tests.dir/ExplainTest.cpp.o.d"
+  "/root/repo/tests/ExtensionsTest.cpp" "tests/CMakeFiles/nadroid_tests.dir/ExtensionsTest.cpp.o" "gcc" "tests/CMakeFiles/nadroid_tests.dir/ExtensionsTest.cpp.o.d"
+  "/root/repo/tests/FiltersTest.cpp" "tests/CMakeFiles/nadroid_tests.dir/FiltersTest.cpp.o" "gcc" "tests/CMakeFiles/nadroid_tests.dir/FiltersTest.cpp.o.d"
+  "/root/repo/tests/FrontendTest.cpp" "tests/CMakeFiles/nadroid_tests.dir/FrontendTest.cpp.o" "gcc" "tests/CMakeFiles/nadroid_tests.dir/FrontendTest.cpp.o.d"
+  "/root/repo/tests/FuzzTest.cpp" "tests/CMakeFiles/nadroid_tests.dir/FuzzTest.cpp.o" "gcc" "tests/CMakeFiles/nadroid_tests.dir/FuzzTest.cpp.o.d"
+  "/root/repo/tests/InterpConcurrencyTest.cpp" "tests/CMakeFiles/nadroid_tests.dir/InterpConcurrencyTest.cpp.o" "gcc" "tests/CMakeFiles/nadroid_tests.dir/InterpConcurrencyTest.cpp.o.d"
+  "/root/repo/tests/InterpSemanticsTest.cpp" "tests/CMakeFiles/nadroid_tests.dir/InterpSemanticsTest.cpp.o" "gcc" "tests/CMakeFiles/nadroid_tests.dir/InterpSemanticsTest.cpp.o.d"
+  "/root/repo/tests/InterpTest.cpp" "tests/CMakeFiles/nadroid_tests.dir/InterpTest.cpp.o" "gcc" "tests/CMakeFiles/nadroid_tests.dir/InterpTest.cpp.o.d"
+  "/root/repo/tests/IrTest.cpp" "tests/CMakeFiles/nadroid_tests.dir/IrTest.cpp.o" "gcc" "tests/CMakeFiles/nadroid_tests.dir/IrTest.cpp.o.d"
+  "/root/repo/tests/MultiLooperTest.cpp" "tests/CMakeFiles/nadroid_tests.dir/MultiLooperTest.cpp.o" "gcc" "tests/CMakeFiles/nadroid_tests.dir/MultiLooperTest.cpp.o.d"
+  "/root/repo/tests/PipelineTest.cpp" "tests/CMakeFiles/nadroid_tests.dir/PipelineTest.cpp.o" "gcc" "tests/CMakeFiles/nadroid_tests.dir/PipelineTest.cpp.o.d"
+  "/root/repo/tests/PointsToTest.cpp" "tests/CMakeFiles/nadroid_tests.dir/PointsToTest.cpp.o" "gcc" "tests/CMakeFiles/nadroid_tests.dir/PointsToTest.cpp.o.d"
+  "/root/repo/tests/PropertyTest.cpp" "tests/CMakeFiles/nadroid_tests.dir/PropertyTest.cpp.o" "gcc" "tests/CMakeFiles/nadroid_tests.dir/PropertyTest.cpp.o.d"
+  "/root/repo/tests/RaceTest.cpp" "tests/CMakeFiles/nadroid_tests.dir/RaceTest.cpp.o" "gcc" "tests/CMakeFiles/nadroid_tests.dir/RaceTest.cpp.o.d"
+  "/root/repo/tests/ReportTest.cpp" "tests/CMakeFiles/nadroid_tests.dir/ReportTest.cpp.o" "gcc" "tests/CMakeFiles/nadroid_tests.dir/ReportTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/nadroid_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/nadroid_tests.dir/SupportTest.cpp.o.d"
+  "/root/repo/tests/ThreadifyTest.cpp" "tests/CMakeFiles/nadroid_tests.dir/ThreadifyTest.cpp.o" "gcc" "tests/CMakeFiles/nadroid_tests.dir/ThreadifyTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/report/CMakeFiles/nadroid_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/nadroid_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/deva/CMakeFiles/nadroid_deva.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/nadroid_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/nadroid_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/nadroid_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/threadify/CMakeFiles/nadroid_threadify.dir/DependInfo.cmake"
+  "/root/repo/build/src/filters/CMakeFiles/nadroid_filters.dir/DependInfo.cmake"
+  "/root/repo/build/src/race/CMakeFiles/nadroid_race.dir/DependInfo.cmake"
+  "/root/repo/build/src/android/CMakeFiles/nadroid_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/nadroid_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/nadroid_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/nadroid_tests[1]_include.cmake")
+add_test(cli_connectbot "/root/repo/build/src/driver/nadroid" "/root/repo/examples/apps/connectbot.air")
+set_tests_properties(cli_connectbot PROPERTIES  PASS_REGULAR_EXPRESSION "3 potential UAFs, 3 after sound filters, 2 after unsound filters" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;46;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_messenger_clean "/root/repo/build/src/driver/nadroid" "/root/repo/examples/apps/messenger.air")
+set_tests_properties(cli_messenger_clean PROPERTIES  PASS_REGULAR_EXPRESSION "0 after unsound filters" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;51;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_firefox_json "/root/repo/build/src/driver/nadroid" "--json" "/root/repo/examples/apps/firefox.air")
+set_tests_properties(cli_firefox_json PROPERTIES  PASS_REGULAR_EXPRESSION "\"stage\": \"remaining\", \"type\": \"C-NT\"" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;56;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_firefox_dot "/root/repo/build/src/driver/nadroid" "--dot" "/root/repo/examples/apps/firefox.air")
+set_tests_properties(cli_firefox_dot PROPERTIES  PASS_REGULAR_EXPRESSION "label=\"UAF\"" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;61;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_deva_baseline "/root/repo/build/src/driver/nadroid" "--deva" "/root/repo/examples/apps/messenger.air")
+set_tests_properties(cli_deva_baseline PROPERTIES  PASS_REGULAR_EXPRESSION "DEvA found" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;66;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_args "/root/repo/build/src/driver/nadroid" "--no-such-flag")
+set_tests_properties(cli_rejects_bad_args PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;71;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_export_corpus "/root/repo/build/src/driver/nadroid" "--export-corpus" "/root/repo/build/tests")
+set_tests_properties(cli_export_corpus PROPERTIES  PASS_REGULAR_EXPRESSION "wrote 27 apps" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;74;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_reanalyze_exported "/root/repo/build/src/driver/nadroid" "/root/repo/build/tests/ConnectBot.air")
+set_tests_properties(cli_reanalyze_exported PROPERTIES  DEPENDS "cli_export_corpus" PASS_REGULAR_EXPRESSION "197 potential UAFs, 33 after sound filters, 13 after unsound filters" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;79;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_missing_file "/root/repo/build/src/driver/nadroid" "/does/not/exist.air")
+set_tests_properties(cli_missing_file PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;85;add_test;/root/repo/tests/CMakeLists.txt;0;")

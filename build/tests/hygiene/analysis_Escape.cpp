@@ -1,0 +1,1 @@
+#include "analysis/Escape.h"

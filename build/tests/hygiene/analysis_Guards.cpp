@@ -1,0 +1,1 @@
+#include "analysis/Guards.h"

@@ -1,0 +1,1 @@
+#include "analysis/PointsTo.h"

@@ -1,0 +1,1 @@
+#include "analysis/ThreadReach.h"

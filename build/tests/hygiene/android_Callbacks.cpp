@@ -1,0 +1,1 @@
+#include "android/Callbacks.h"

@@ -1,0 +1,1 @@
+#include "android/SyntacticReach.h"

@@ -1,0 +1,1 @@
+#include "corpus/Patterns.h"

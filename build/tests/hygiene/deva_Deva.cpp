@@ -1,0 +1,1 @@
+#include "deva/Deva.h"

@@ -1,0 +1,1 @@
+#include "filters/Engine.h"

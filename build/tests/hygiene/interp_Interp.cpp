@@ -1,0 +1,1 @@
+#include "interp/Interp.h"

@@ -1,0 +1,1 @@
+#include "interp/Linearize.h"

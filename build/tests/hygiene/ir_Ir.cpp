@@ -1,0 +1,1 @@
+#include "ir/Ir.h"

@@ -1,0 +1,1 @@
+#include "ir/LocalInfo.h"

@@ -1,0 +1,1 @@
+#include "ir/Verifier.h"

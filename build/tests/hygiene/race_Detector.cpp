@@ -1,0 +1,1 @@
+#include "race/Detector.h"

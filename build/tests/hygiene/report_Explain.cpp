@@ -1,0 +1,1 @@
+#include "report/Explain.h"

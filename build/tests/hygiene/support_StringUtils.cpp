@@ -1,0 +1,1 @@
+#include "support/StringUtils.h"

@@ -1,0 +1,1 @@
+#include "threadify/Threadifier.h"
