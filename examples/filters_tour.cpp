@@ -79,6 +79,11 @@ int main() {
        "IG prunes (callbacks of one looper are atomic)",
        [](corpus::PatternEmitter &E) { E.falseIg(1); });
 
+  demo("§8.7 — caller checks, this-called helper dereferences",
+       "IG prunes via the inter-procedural nullness analysis "
+       "(Remaining under --syntactic-filters)",
+       [](corpus::PatternEmitter &E) { E.falseIgInterproc(); });
+
   demo("Figure 4(c) — allocation dominates the use",
        "IA prunes", [](corpus::PatternEmitter &E) { E.falseIa(1); });
 

@@ -1,0 +1,203 @@
+//===- analysis/Cfg.cpp - Per-method control-flow graphs ------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Cfg.h"
+
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace nadroid;
+using namespace nadroid::analysis;
+using namespace nadroid::ir;
+
+uint32_t Cfg::newNode() {
+  Nodes.emplace_back();
+  return static_cast<uint32_t>(Nodes.size() - 1);
+}
+
+void Cfg::addEdge(uint32_t From, uint32_t To, const Local *Tested,
+                  bool NonNull) {
+  Nodes[From].Succs.push_back({To, Tested, NonNull});
+  Nodes[To].Preds.push_back(From);
+}
+
+uint32_t Cfg::lowerBlock(const Block &Blk, uint32_t Cur) {
+  for (const std::unique_ptr<Stmt> &SP : Blk.stmts()) {
+    const Stmt *S = SP.get();
+    switch (S->kind()) {
+    case Stmt::Kind::New:
+    case Stmt::Kind::Load:
+    case Stmt::Kind::Store:
+    case Stmt::Kind::Copy:
+    case Stmt::Kind::Call:
+      Nodes[Cur].Stmts.push_back(S);
+      StmtNode[S] = Cur;
+      break;
+
+    case Stmt::Kind::Return:
+      Nodes[Cur].Stmts.push_back(S);
+      StmtNode[S] = Cur;
+      addEdge(Cur, ExitNode, nullptr, false);
+      // Anything after a return in the same block is unreachable; park
+      // it in a fresh predecessor-less node so nodeOf still works.
+      Cur = newNode();
+      break;
+
+    case Stmt::Kind::Sync: {
+      // Locking is invisible to control flow: record the statement as a
+      // leaf (domains that care about atomicity can see it) and flatten
+      // the body into the current node sequence.
+      const auto *Sync = cast<SyncStmt>(S);
+      Nodes[Cur].Stmts.push_back(S);
+      StmtNode[S] = Cur;
+      Cur = lowerBlock(Sync->body(), Cur);
+      break;
+    }
+
+    case Stmt::Kind::If: {
+      const auto *If = cast<IfStmt>(S);
+      Nodes[Cur].Term = If;
+      StmtNode[S] = Cur;
+
+      const Local *Tested = nullptr;
+      bool ThenNonNull = false;
+      if (If->test() == IfStmt::TestKind::NotNull) {
+        Tested = If->cond();
+        ThenNonNull = true;
+      } else if (If->test() == IfStmt::TestKind::IsNull) {
+        Tested = If->cond();
+        ThenNonNull = false;
+      }
+
+      uint32_t ThenEntry = newNode();
+      uint32_t ElseEntry = newNode();
+      addEdge(Cur, ThenEntry, Tested, ThenNonNull);
+      addEdge(Cur, ElseEntry, Tested, !ThenNonNull);
+
+      uint32_t ThenEnd = lowerBlock(If->thenBlock(), ThenEntry);
+      uint32_t ElseEnd = lowerBlock(If->elseBlock(), ElseEntry);
+
+      uint32_t Join = newNode();
+      addEdge(ThenEnd, Join, nullptr, false);
+      addEdge(ElseEnd, Join, nullptr, false);
+      Cur = Join;
+      break;
+    }
+    }
+  }
+  return Cur;
+}
+
+Cfg::Cfg(const Method &M) : M(&M) {
+  uint32_t Entry = newNode();
+  (void)Entry;
+  ExitNode = newNode();
+  uint32_t End = lowerBlock(M.body(), 0);
+  // Fall off the end of the body.
+  addEdge(End, ExitNode, nullptr, false);
+  computeRpo();
+  computeDominators();
+}
+
+uint32_t Cfg::nodeOf(const Stmt *S) const {
+  auto It = StmtNode.find(S);
+  assert(It != StmtNode.end() && "statement not from this method");
+  return It->second;
+}
+
+void Cfg::computeRpo() {
+  std::vector<uint8_t> State(Nodes.size(), 0); // 0 unvisited, 1 open, 2 done
+  std::vector<uint32_t> Post;
+  Post.reserve(Nodes.size());
+  // Iterative DFS; AIR graphs are DAGs but keep the visited check anyway.
+  std::vector<std::pair<uint32_t, size_t>> Stack;
+  Stack.push_back({0, 0});
+  State[0] = 1;
+  while (!Stack.empty()) {
+    auto &[N, NextSucc] = Stack.back();
+    if (NextSucc < Nodes[N].Succs.size()) {
+      uint32_t S = Nodes[N].Succs[NextSucc++].To;
+      if (State[S] == 0) {
+        State[S] = 1;
+        Stack.push_back({S, 0});
+      }
+    } else {
+      State[N] = 2;
+      Post.push_back(N);
+      Stack.pop_back();
+    }
+  }
+  Rpo.assign(Post.rbegin(), Post.rend());
+  RpoIndex.assign(Nodes.size(), UINT32_MAX);
+  for (uint32_t I = 0; I < Rpo.size(); ++I)
+    RpoIndex[Rpo[I]] = I;
+}
+
+void Cfg::computeDominators() {
+  // Cooper-Harvey-Kennedy iterative dominators over the RPO.
+  Idom.assign(Nodes.size(), UINT32_MAX);
+  Idom[0] = 0;
+
+  auto Intersect = [&](uint32_t A, uint32_t B) {
+    while (A != B) {
+      while (RpoIndex[A] > RpoIndex[B])
+        A = Idom[A];
+      while (RpoIndex[B] > RpoIndex[A])
+        B = Idom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t N : Rpo) {
+      if (N == 0)
+        continue;
+      uint32_t NewIdom = UINT32_MAX;
+      for (uint32_t P : Nodes[N].Preds) {
+        if (Idom[P] == UINT32_MAX)
+          continue; // unreachable or not yet processed
+        NewIdom = NewIdom == UINT32_MAX ? P : Intersect(P, NewIdom);
+      }
+      if (NewIdom != UINT32_MAX && Idom[N] != NewIdom) {
+        Idom[N] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool Cfg::dominates(uint32_t A, uint32_t B) const {
+  if (Idom[A] == UINT32_MAX || Idom[B] == UINT32_MAX)
+    return false;
+  // Walk B's dominator chain toward the entry; RPO indices strictly
+  // decrease along it, so stop once we pass A.
+  while (RpoIndex[B] > RpoIndex[A])
+    B = Idom[B];
+  return A == B;
+}
+
+bool Cfg::dominates(const Stmt *A, const Stmt *B) const {
+  uint32_t NA = nodeOf(A), NB = nodeOf(B);
+  if (NA != NB)
+    return dominates(NA, NB);
+  const CfgNode &Node = Nodes[NA];
+  if (A == B)
+    return true;
+  // A branch terminator comes after every leaf in its node.
+  if (Node.Term == A)
+    return false;
+  if (Node.Term == B)
+    return true;
+  auto Pos = [&](const Stmt *S) {
+    return std::find(Node.Stmts.begin(), Node.Stmts.end(), S) -
+           Node.Stmts.begin();
+  };
+  return Pos(A) < Pos(B);
+}

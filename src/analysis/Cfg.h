@@ -1,0 +1,130 @@
+//===- analysis/Cfg.h - Per-method control-flow graphs ----------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An explicit control-flow graph over AIR's structured statement AST.
+///
+/// AIR bodies are trees of blocks (if/else, sync) rather than basic-block
+/// lists, which is convenient for the frontend and the interpreter but
+/// awkward for dataflow: the syntactic analyses in Guards.cpp and
+/// AllocFlow.cpp each re-derive their own ad-hoc notion of "region" from
+/// the tree. The Cfg class flattens one method into numbered nodes of
+/// leaf statements connected by edges, so that a single worklist solver
+/// (Dataflow.h) can serve every client.
+///
+/// Two properties of AIR keep the graphs simple:
+///
+///  * The only predicates are null tests (IfStmt::TestKind), so a branch
+///    edge can carry at most one refinement: "local L is (non)null on
+///    this edge". Edges record that refinement and flow-sensitive
+///    domains (Nullness.h) apply it in their edge transfer.
+///
+///  * There are no loop statements. Intra-procedural graphs are DAGs and
+///    every dataflow problem converges in one reverse-post-order sweep;
+///    the solver still iterates to a fixpoint so that future front ends
+///    with loops keep working.
+///
+/// Dominance: the paper's IA filter (§6.1.3) asks whether an allocation
+/// dominates a use. The Cfg computes immediate dominators with the
+/// standard iterative RPO algorithm (Cooper-Harvey-Kennedy) and exposes
+/// `dominates(a, b)` for clients and tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_ANALYSIS_CFG_H
+#define NADROID_ANALYSIS_CFG_H
+
+#include "ir/Ir.h"
+#include "ir/Stmt.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace nadroid::analysis {
+
+/// One control-flow edge. Branch edges out of a null test carry the
+/// refinement the test establishes on that edge; fall-through, join and
+/// return edges carry none.
+struct CfgEdge {
+  uint32_t To = 0;
+  /// The local the branch tested, or nullptr for unrefined edges (plain
+  /// fall-through, joins, and both edges of an opaque `if (?)`).
+  const ir::Local *TestedLocal = nullptr;
+  /// True when TestedLocal is known non-null on this edge, false when it
+  /// is known null. Meaningless if TestedLocal is nullptr.
+  bool NonNullOnEdge = false;
+};
+
+/// A CFG node: a maximal run of leaf statements, optionally ended by a
+/// branch terminator. SyncStmts appear in-line as leaves (their bodies
+/// are flattened into the surrounding node sequence); IfStmts appear
+/// only as terminators.
+struct CfgNode {
+  std::vector<const ir::Stmt *> Stmts;
+  /// The branch that ends this node, if any. Nodes ending in a return,
+  /// a fall-through, or the exit node itself have no terminator.
+  const ir::IfStmt *Term = nullptr;
+  std::vector<CfgEdge> Succs;
+  std::vector<uint32_t> Preds;
+};
+
+/// The control-flow graph of one method. Node 0 is the entry; a single
+/// synthetic exit node receives every return edge and the fall-off-end
+/// edge.
+class Cfg {
+public:
+  explicit Cfg(const ir::Method &M);
+
+  const ir::Method &method() const { return *M; }
+  uint32_t entry() const { return 0; }
+  uint32_t exit() const { return ExitNode; }
+  uint32_t size() const { return static_cast<uint32_t>(Nodes.size()); }
+  const CfgNode &node(uint32_t N) const { return Nodes[N]; }
+
+  /// Reverse post-order over nodes reachable from the entry. Iterating
+  /// a forward dataflow problem in this order visits every predecessor
+  /// of a node before the node itself (the graphs are DAGs).
+  const std::vector<uint32_t> &rpo() const { return Rpo; }
+
+  /// The node that contains \p S as a leaf statement, or the node whose
+  /// terminator \p S is. Aborts on statements from other methods.
+  uint32_t nodeOf(const ir::Stmt *S) const;
+
+  /// Immediate dominator of \p N; the entry node is its own idom.
+  /// Returns UINT32_MAX for nodes unreachable from the entry.
+  uint32_t idom(uint32_t N) const { return Idom[N]; }
+
+  /// True when every entry-to-\p B path passes through \p A. Reflexive.
+  /// False whenever either node is unreachable.
+  bool dominates(uint32_t A, uint32_t B) const;
+
+  /// Statement-level dominance: both statements mapped through nodeOf,
+  /// with intra-node ordering used when they share a node.
+  bool dominates(const ir::Stmt *A, const ir::Stmt *B) const;
+
+private:
+  uint32_t newNode();
+  /// Lowers \p Blk into the graph starting at node \p Cur; returns the
+  /// node where control continues after the block.
+  uint32_t lowerBlock(const ir::Block &Blk, uint32_t Cur);
+  void addEdge(uint32_t From, uint32_t To, const ir::Local *Tested,
+               bool NonNull);
+  void computeRpo();
+  void computeDominators();
+
+  const ir::Method *M;
+  std::vector<CfgNode> Nodes;
+  uint32_t ExitNode = 0;
+  std::vector<uint32_t> Rpo;
+  std::vector<uint32_t> RpoIndex; // node -> position in Rpo, UINT32_MAX if unreachable
+  std::vector<uint32_t> Idom;
+  std::map<const ir::Stmt *, uint32_t> StmtNode;
+};
+
+} // namespace nadroid::analysis
+
+#endif // NADROID_ANALYSIS_CFG_H

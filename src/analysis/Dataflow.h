@@ -1,0 +1,158 @@
+//===- analysis/Dataflow.h - Generic worklist dataflow solver ---*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, header-only worklist solver over Cfg. A client supplies a
+/// *domain* type modelling a join-semilattice and its transfer
+/// functions:
+///
+///   struct MyDomain {
+///     using State = ...;                 // copyable lattice element
+///     static constexpr DataflowDirection direction();
+///     State boundary() const;            // entry (fwd) / exit (bwd) state
+///     State bottom() const;              // identity of join; "unreachable"
+///     bool join(State &Into, const State &From) const; // true if changed
+///     void transferStmt(const ir::Stmt &S, State &St) const;
+///     void transferEdge(const CfgEdge &E, State &St) const;
+///   };
+///
+/// transferStmt sees only leaf statements (never IfStmt — branches are
+/// node terminators and act through transferEdge, which receives the
+/// per-edge null-test refinement). In a backward problem the solver
+/// walks statements in reverse and propagates across edges from
+/// successor to predecessor; transferEdge still receives the same edge.
+///
+/// The solver iterates nodes in (reverse-)RPO until a fixpoint. AIR
+/// method bodies are loop-free, so the first sweep already converges;
+/// the loop is kept so the solver stays correct for general graphs.
+///
+/// After solve(), inState/outState give per-node facts and replayNode
+/// re-runs the node-local transfers invoking a callback with the state
+/// *before* each leaf statement — the way clients read per-statement
+/// facts without the solver storing one state per statement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_ANALYSIS_DATAFLOW_H
+#define NADROID_ANALYSIS_DATAFLOW_H
+
+#include "analysis/Cfg.h"
+
+#include <vector>
+
+namespace nadroid::analysis {
+
+enum class DataflowDirection { Forward, Backward };
+
+template <typename Domain> class DataflowSolver {
+public:
+  using State = typename Domain::State;
+
+  DataflowSolver(const Cfg &G, Domain &D) : G(G), D(D) {}
+
+  void solve() {
+    const uint32_t N = G.size();
+    In.assign(N, D.bottom());
+    Out.assign(N, D.bottom());
+
+    constexpr bool Fwd = Domain::direction() == DataflowDirection::Forward;
+    const std::vector<uint32_t> &Order = G.rpo();
+
+    bool Changed = true;
+    bool First = true;
+    while (Changed) {
+      Changed = false;
+      if (Fwd) {
+        for (uint32_t Node : Order)
+          Changed |= step</*IsFwd=*/true>(Node, First);
+      } else {
+        for (auto It = Order.rbegin(); It != Order.rend(); ++It)
+          Changed |= step</*IsFwd=*/false>(*It, First);
+      }
+      First = false;
+    }
+  }
+
+  /// Facts at node entry (forward) resp. node exit (backward): the join
+  /// over incoming edges in the direction of analysis.
+  const State &inState(uint32_t Node) const { return In[Node]; }
+  /// Facts after the node's transfers in the direction of analysis.
+  const State &outState(uint32_t Node) const { return Out[Node]; }
+
+  /// Re-runs the node-local transfer chain of \p Node, calling
+  /// `Visit(const ir::Stmt *, const State &)` with the state *before*
+  /// each leaf statement (in analysis order). Returns the state after
+  /// the last statement — the out-state minus any terminator effects
+  /// (terminators act only on edges, so it equals outState today).
+  template <typename VisitT> State replayNode(uint32_t Node, VisitT &&Visit) const {
+    State St = In[Node];
+    const CfgNode &CN = G.node(Node);
+    if constexpr (Domain::direction() == DataflowDirection::Forward) {
+      for (const ir::Stmt *S : CN.Stmts) {
+        Visit(S, St);
+        D.transferStmt(*S, St);
+      }
+    } else {
+      for (auto It = CN.Stmts.rbegin(); It != CN.Stmts.rend(); ++It) {
+        Visit(*It, St);
+        D.transferStmt(**It, St);
+      }
+    }
+    return St;
+  }
+
+private:
+  template <bool IsFwd> bool step(uint32_t Node, bool Force) {
+    // Join over incoming edges (preds forward, succs backward), applying
+    // each edge's refinement to the source state first.
+    State NewIn = D.bottom();
+    if (Node == (IsFwd ? G.entry() : G.exit())) {
+      D.join(NewIn, D.boundary());
+    }
+    if constexpr (IsFwd) {
+      for (uint32_t P : G.node(Node).Preds) {
+        for (const CfgEdge &E : G.node(P).Succs) {
+          if (E.To != Node)
+            continue;
+          State Tmp = Out[P];
+          D.transferEdge(E, Tmp);
+          D.join(NewIn, Tmp);
+        }
+      }
+    } else {
+      for (const CfgEdge &E : G.node(Node).Succs) {
+        State Tmp = Out[E.To];
+        D.transferEdge(E, Tmp);
+        D.join(NewIn, Tmp);
+      }
+    }
+
+    bool InChanged = D.join(In[Node], NewIn);
+    if (!InChanged && !Force)
+      return false;
+
+    State NewOut = In[Node];
+    const CfgNode &CN = G.node(Node);
+    if constexpr (IsFwd) {
+      for (const ir::Stmt *S : CN.Stmts)
+        D.transferStmt(*S, NewOut);
+    } else {
+      for (auto It = CN.Stmts.rbegin(); It != CN.Stmts.rend(); ++It)
+        D.transferStmt(**It, NewOut);
+    }
+    // Out only ever moves up the lattice; join detects the change.
+    bool OutChanged = D.join(Out[Node], NewOut);
+    return InChanged || OutChanged;
+  }
+
+  const Cfg &G;
+  Domain &D;
+  std::vector<State> In, Out;
+};
+
+} // namespace nadroid::analysis
+
+#endif // NADROID_ANALYSIS_DATAFLOW_H

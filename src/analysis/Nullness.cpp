@@ -1,0 +1,804 @@
+//===- analysis/Nullness.cpp - Inter-procedural nullness analysis ---------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Nullness.h"
+
+#include "analysis/Cfg.h"
+#include "analysis/Dataflow.h"
+#include "android/Callbacks.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <string>
+
+using namespace nadroid;
+using namespace nadroid::analysis;
+using namespace nadroid::ir;
+
+NullVal analysis::joinNullVal(NullVal A, NullVal B) {
+  if (A == NullVal::Bottom)
+    return B;
+  if (B == NullVal::Bottom)
+    return A;
+  if (A == B)
+    return A;
+  return NullVal::Maybe;
+}
+
+const char *analysis::nullValName(NullVal V) {
+  switch (V) {
+  case NullVal::Bottom:
+    return "bottom";
+  case NullVal::Null:
+    return "null";
+  case NullVal::NonNull:
+    return "nonnull";
+  case NullVal::Maybe:
+    return "maybe";
+  }
+  return "?";
+}
+
+const char *analysis::lintKindName(LintKind Kind) {
+  switch (Kind) {
+  case LintKind::DoubleFree:
+    return "double-free";
+  case LintKind::NullDeref:
+    return "null-deref";
+  case LintKind::RedundantCheck:
+    return "redundant-null-check";
+  }
+  return "?";
+}
+
+namespace {
+
+NullFact joinFact(NullFact A, NullFact B) {
+  return {joinNullVal(A.Guard, B.Guard), joinNullVal(A.Alloc, B.Alloc)};
+}
+
+constexpr NullFact topFact() { return {NullVal::Maybe, NullVal::Maybe}; }
+
+/// Per-local state: the value's fact, which field reference the value
+/// mirrors (if loaded from one and not invalidated since), whether the
+/// value is the receiver, and the loads that may have defined it.
+struct LocalInfo {
+  NullFact F = topFact();
+  const Local *MirrorBase = nullptr;
+  const Field *MirrorField = nullptr;
+  bool ThisAlias = false;
+  std::set<const LoadStmt *> Defs;
+
+  bool trivial() const {
+    return F == topFact() && !MirrorBase && !ThisAlias && Defs.empty();
+  }
+  friend bool operator==(const LocalInfo &A, const LocalInfo &B) {
+    return A.F == B.F && A.MirrorBase == B.MirrorBase &&
+           A.MirrorField == B.MirrorField && A.ThisAlias == B.ThisAlias &&
+           A.Defs == B.Defs;
+  }
+};
+
+/// Per-field-reference state. FreeSite is provenance for lint: the store
+/// that made the fact Null, when unique.
+struct FieldInfo {
+  NullFact F = topFact();
+  const StoreStmt *FreeSite = nullptr;
+
+  friend bool operator==(const FieldInfo &A, const FieldInfo &B) {
+    return A.F == B.F && A.FreeSite == B.FreeSite;
+  }
+};
+
+using FieldKey = std::pair<const Local *, const Field *>;
+
+struct NState {
+  bool Reachable = false;
+  std::map<const Local *, LocalInfo> Locals;  // absent key = ⊤ / no info
+  std::map<FieldKey, FieldInfo> Fields;       // absent key = ⊤
+};
+
+/// Entry facts for a method: per-`this`-field facts (absent = ⊤).
+using EntryFields = std::map<const Field *, NullFact>;
+
+struct MethodState {
+  const Method *M = nullptr;
+  std::unique_ptr<Cfg> G;
+  bool IsRoot = false;
+  /// Set for roots and for the no-caller safety net: entry is ⊤.
+  bool EntryTop = false;
+  bool HasContribution = false;
+  EntryFields Entry;
+  MethodSummary Sum;
+};
+
+//===----------------------------------------------------------------------===//
+// The dataflow domain
+//===----------------------------------------------------------------------===//
+
+class NullnessImplRef;
+
+class NullDomain {
+public:
+  using State = NState;
+
+  NullDomain(const MethodState &MS, NullnessImplRef &Ctx)
+      : MS(MS), Ctx(Ctx) {}
+
+  static constexpr DataflowDirection direction() {
+    return DataflowDirection::Forward;
+  }
+
+  State bottom() const { return {}; }
+
+  State boundary() const {
+    State St;
+    St.Reachable = true;
+    if (!MS.EntryTop) {
+      const Local *This = MS.M->thisLocal();
+      for (const auto &[F, Fact] : MS.Entry)
+        if (Fact != topFact())
+          St.Fields[{This, F}] = {Fact, nullptr};
+    }
+    return St;
+  }
+
+  bool join(State &Into, const State &From) const;
+  void transferStmt(const Stmt &S, State &St) const;
+  void transferEdge(const CfgEdge &E, State &St) const;
+
+  /// `base` normalized so every alias of `this` uses the same key.
+  static const Local *normBase(const State &St, const Local *B,
+                               const Method &M) {
+    if (B->isThis())
+      return M.thisLocal();
+    auto It = St.Locals.find(B);
+    if (It != St.Locals.end() && It->second.ThisAlias)
+      return M.thisLocal();
+    return B;
+  }
+
+  static LocalInfo localInfo(const State &St, const Local *L) {
+    if (L->isThis()) {
+      LocalInfo LI;
+      LI.F = {NullVal::NonNull, NullVal::Maybe};
+      LI.ThisAlias = true;
+      return LI;
+    }
+    auto It = St.Locals.find(L);
+    return It == St.Locals.end() ? LocalInfo() : It->second;
+  }
+
+  static FieldInfo fieldInfo(const State &St, FieldKey K) {
+    auto It = St.Fields.find(K);
+    return It == St.Fields.end() ? FieldInfo() : It->second;
+  }
+
+private:
+  void killLocal(State &St, const Local *Dst) const {
+    St.Locals.erase(Dst);
+    for (auto It = St.Fields.begin(); It != St.Fields.end();) {
+      if (It->first.first == Dst)
+        It = St.Fields.erase(It);
+      else
+        ++It;
+    }
+    for (auto &[L, LI] : St.Locals)
+      if (LI.MirrorBase == Dst) {
+        LI.MirrorBase = nullptr;
+        LI.MirrorField = nullptr;
+      }
+  }
+
+  const MethodState &MS;
+  NullnessImplRef &Ctx;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Whole-program implementation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Gives the domain access to summaries and CHA without a dependency
+/// cycle; implemented by NullnessAnalysis::Impl below.
+class NullnessImplRef {
+public:
+  virtual ~NullnessImplRef() = default;
+  /// The this-call targets of (`class of this`, callee name) under CHA.
+  virtual const std::vector<const Method *> &
+  chaTargets(const Clazz *C, const std::string &Name) = 0;
+  virtual const MethodSummary &summary(const Method *M) const = 0;
+};
+
+} // namespace
+
+bool NullDomain::join(NState &Into, const NState &From) const {
+  if (!From.Reachable)
+    return false;
+  if (!Into.Reachable) {
+    Into = From;
+    return true;
+  }
+  bool Changed = false;
+
+  // Locals: pointwise join; a key absent on one side is ⊤ there except
+  // for reaching defs, which union (over-approximating defs only ever
+  // adds dereference sites a guard must cover — the safe direction).
+  for (auto It = Into.Locals.begin(); It != Into.Locals.end();) {
+    auto FIt = From.Locals.find(It->first);
+    LocalInfo Merged;
+    if (FIt == From.Locals.end()) {
+      Merged.Defs = It->second.Defs;
+    } else {
+      const LocalInfo &A = It->second, &B = FIt->second;
+      Merged.F = joinFact(A.F, B.F);
+      if (A.MirrorBase == B.MirrorBase && A.MirrorField == B.MirrorField) {
+        Merged.MirrorBase = A.MirrorBase;
+        Merged.MirrorField = A.MirrorField;
+      }
+      Merged.ThisAlias = A.ThisAlias && B.ThisAlias;
+      Merged.Defs = A.Defs;
+      Merged.Defs.insert(B.Defs.begin(), B.Defs.end());
+    }
+    if (!(Merged == It->second)) {
+      Changed = true;
+      if (Merged.trivial()) {
+        It = Into.Locals.erase(It);
+        continue;
+      }
+      It->second = Merged;
+    }
+    ++It;
+  }
+  for (const auto &[L, LI] : From.Locals) {
+    if (Into.Locals.count(L))
+      continue;
+    LocalInfo Merged;
+    Merged.Defs = LI.Defs; // fact/mirror/alias are ⊤-joined away
+    if (!Merged.trivial()) {
+      Into.Locals.emplace(L, std::move(Merged));
+      Changed = true;
+    }
+  }
+
+  // Fields: absent = ⊤, so keys missing on either side disappear.
+  for (auto It = Into.Fields.begin(); It != Into.Fields.end();) {
+    auto FIt = From.Fields.find(It->first);
+    if (FIt == From.Fields.end()) {
+      It = Into.Fields.erase(It);
+      Changed = true;
+      continue;
+    }
+    FieldInfo Merged;
+    Merged.F = joinFact(It->second.F, FIt->second.F);
+    Merged.FreeSite = It->second.FreeSite == FIt->second.FreeSite
+                          ? It->second.FreeSite
+                          : nullptr;
+    if (Merged.F == topFact() && !Merged.FreeSite) {
+      It = Into.Fields.erase(It);
+      Changed = true;
+      continue;
+    }
+    if (!(Merged == It->second)) {
+      It->second = Merged;
+      Changed = true;
+    }
+    ++It;
+  }
+  return Changed;
+}
+
+void NullDomain::transferStmt(const Stmt &S, NState &St) const {
+  if (!St.Reachable)
+    return;
+  const Method &M = *MS.M;
+
+  switch (S.kind()) {
+  case Stmt::Kind::New: {
+    const auto *NS = cast<NewStmt>(&S);
+    killLocal(St, NS->dst());
+    LocalInfo LI;
+    LI.F = {NullVal::NonNull, NullVal::NonNull};
+    St.Locals[NS->dst()] = LI;
+    return;
+  }
+
+  case Stmt::Kind::Load: {
+    const auto *LS = cast<LoadStmt>(&S);
+    const Local *NB = normBase(St, LS->base(), M);
+    FieldInfo FI = fieldInfo(St, {NB, LS->field()});
+    killLocal(St, LS->dst());
+    LocalInfo LI;
+    LI.F = FI.F;
+    LI.MirrorBase = NB;
+    LI.MirrorField = LS->field();
+    LI.Defs = {LS};
+    St.Locals[LS->dst()] = LI;
+    return;
+  }
+
+  case Stmt::Kind::Store: {
+    const auto *SS = cast<StoreStmt>(&S);
+    const Local *NB = normBase(St, SS->base(), M);
+    NullFact V{NullVal::Null, NullVal::Null};
+    const StoreStmt *Free = SS;
+    if (const Local *Src = SS->src()) {
+      Free = nullptr;
+      if (Src->isThis())
+        V = {NullVal::NonNull, NullVal::Maybe};
+      else
+        V = localInfo(St, Src).F;
+    }
+    // May-alias bases: any other reference to the same field joins with
+    // the stored value (the syntactic analyses invalidate outright).
+    for (auto &[K, FI] : St.Fields) {
+      if (K.second != SS->field() || K.first == NB)
+        continue;
+      FI.F = joinFact(FI.F, V);
+      if (FI.FreeSite != Free)
+        FI.FreeSite = nullptr;
+    }
+    St.Fields[{NB, SS->field()}] = {V, Free};
+    // Locals that mirrored this field no longer do.
+    for (auto &[L, LI] : St.Locals)
+      if (LI.MirrorField == SS->field()) {
+        LI.MirrorBase = nullptr;
+        LI.MirrorField = nullptr;
+      }
+    return;
+  }
+
+  case Stmt::Kind::Copy: {
+    const auto *CS = cast<CopyStmt>(&S);
+    LocalInfo LI = localInfo(St, CS->src());
+    killLocal(St, CS->dst());
+    if (!LI.trivial())
+      St.Locals[CS->dst()] = LI;
+    return;
+  }
+
+  case Stmt::Kind::Call: {
+    const auto *CS = cast<CallStmt>(&S);
+    const Local *Recv = CS->recv();
+    bool RecvIsThis = Recv->isThis() || localInfo(St, Recv).ThisAlias;
+
+    if (!RecvIsThis) {
+      // The dereference succeeded, so the receiver was non-null. Only
+      // the local's own guard fact is refined — not any mirrored field,
+      // which keeps this exactly as strong as the syntactic analysis on
+      // repeated-load shapes.
+      LocalInfo &LI = St.Locals[Recv];
+      LI.F.Guard = NullVal::NonNull;
+    } else {
+      // Apply callee summaries: fields every CHA target leaves NonNull.
+      const std::vector<const Method *> &Targets =
+          Ctx.chaTargets(M.parent(), CS->callee());
+      if (!Targets.empty()) {
+        const Local *This = M.thisLocal();
+        bool First = true;
+        std::set<const Field *> Guard, Alloc;
+        for (const Method *T : Targets) {
+          const MethodSummary &Sum = Ctx.summary(T);
+          if (First) {
+            Guard = Sum.EnsuresGuard;
+            Alloc = Sum.EnsuresAlloc;
+            First = false;
+            continue;
+          }
+          auto Intersect = [](std::set<const Field *> &A,
+                              const std::set<const Field *> &B) {
+            for (auto It = A.begin(); It != A.end();)
+              It = B.count(*It) ? std::next(It) : A.erase(It);
+          };
+          Intersect(Guard, Sum.EnsuresGuard);
+          Intersect(Alloc, Sum.EnsuresAlloc);
+        }
+        for (const Field *F : Guard) {
+          FieldInfo &FI = St.Fields[{This, F}];
+          FI.F.Guard = NullVal::NonNull;
+          FI.FreeSite = nullptr;
+        }
+        for (const Field *F : Alloc)
+          St.Fields[{This, F}].F.Alloc = NullVal::NonNull;
+      }
+    }
+    // Call results are always ⊤ — trusting getters for allocation or
+    // guarding is the unsound MA filter's territory, not IG/IA's.
+    if (CS->dst())
+      killLocal(St, CS->dst());
+    return;
+  }
+
+  case Stmt::Kind::Return:
+  case Stmt::Kind::Sync:
+    return; // control flow / atomicity only; no value effects
+
+  case Stmt::Kind::If:
+    assert(false && "IfStmt is a terminator, not a leaf");
+    return;
+  }
+}
+
+void NullDomain::transferEdge(const CfgEdge &E, NState &St) const {
+  if (!St.Reachable || !E.TestedLocal)
+    return;
+  const Local *L = E.TestedLocal;
+  LocalInfo LI = localInfo(St, L);
+  NullVal Refined = E.NonNullOnEdge ? NullVal::NonNull : NullVal::Null;
+  NullVal Opposite = E.NonNullOnEdge ? NullVal::Null : NullVal::NonNull;
+  if (LI.F.Guard == Opposite) {
+    // The branch contradicts an established fact: this edge is
+    // infeasible and everything beyond it (until a join with a feasible
+    // path) is unreachable.
+    St = {};
+    return;
+  }
+  LI.F.Guard = Refined;
+  // The alloc plane is untouched: refinements are guards, not
+  // allocations.
+  St.Locals[L] = LI;
+  if (LI.MirrorBase) {
+    FieldInfo &FI = St.Fields[{LI.MirrorBase, LI.MirrorField}];
+    FI.F.Guard = Refined;
+    if (E.NonNullOnEdge)
+      FI.FreeSite = nullptr;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// NullnessAnalysis::Impl
+//===----------------------------------------------------------------------===//
+
+struct NullnessAnalysis::Impl final : NullnessImplRef {
+  const Program &P;
+
+  std::vector<const Method *> Methods; // deterministic program order
+  std::map<const Method *, MethodState> MS;
+  /// Class -> (itself + transitive subclasses), for CHA.
+  std::map<const Clazz *, std::vector<const Clazz *>> SubTree;
+  std::map<std::pair<const Clazz *, std::string>,
+           std::vector<const Method *>>
+      ChaCache;
+  MethodSummary EmptySummary;
+
+  // Recorded results (filled by the final sweep).
+  std::map<const LoadStmt *, NullFact> AtLoad;
+  std::map<const LoadStmt *, unsigned> DerefCount;
+  std::set<const LoadStmt *> UnsafeDeref;
+  std::set<const LoadStmt *> SeenLoads; // loads in reachable nodes
+
+  explicit Impl(const Program &P) : P(P) {}
+
+  const std::vector<const Method *> &
+  chaTargets(const Clazz *C, const std::string &Name) override {
+    auto Key = std::make_pair(C, Name);
+    auto It = ChaCache.find(Key);
+    if (It != ChaCache.end())
+      return It->second;
+    std::vector<const Method *> Targets;
+    for (const Clazz *Sub : SubTree[C]) {
+      const Method *T = Sub->findMethod(Name);
+      if (T && std::find(Targets.begin(), Targets.end(), T) == Targets.end())
+        Targets.push_back(T);
+    }
+    return ChaCache.emplace(Key, std::move(Targets)).first->second;
+  }
+
+  const MethodSummary &summary(const Method *M) const override {
+    auto It = MS.find(M);
+    return It == MS.end() ? EmptySummary : It->second.Sum;
+  }
+
+  void setup();
+  bool analyzeOnce(MethodState &State, bool Record,
+                   std::vector<LintFinding> *Lints);
+  void run(std::vector<LintFinding> &Findings);
+};
+
+void NullnessAnalysis::Impl::setup() {
+  // Program order + subclass closure.
+  for (const auto &C : P.classes()) {
+    for (const Clazz *A = C.get(); A; A = A->superClass())
+      SubTree[A].push_back(C.get());
+    for (const auto &M : C->methods())
+      Methods.push_back(M.get());
+  }
+
+  // Root detection: framework callbacks, plus any method name invoked
+  // through a receiver that is not (a syntactic copy of) `this` —
+  // over-approximate on purpose; extra roots only weaken entry states.
+  std::set<std::string> NonThisCallees;
+  for (const Method *M : Methods) {
+    std::set<const Local *> ThisCopies;
+    ThisCopies.insert(M->thisLocal());
+    // Transitive closure of `x = this` / `y = x` copies.
+    bool Grew = true;
+    while (Grew) {
+      Grew = false;
+      forEachStmt(*M, [&](const Stmt &S) {
+        if (const auto *CS = dyn_cast<CopyStmt>(&S))
+          if (ThisCopies.count(CS->src()) && !ThisCopies.count(CS->dst())) {
+            ThisCopies.insert(CS->dst());
+            Grew = true;
+          }
+      });
+    }
+    forEachStmt(*M, [&](const Stmt &S) {
+      if (const auto *CS = dyn_cast<CallStmt>(&S))
+        if (!ThisCopies.count(CS->recv()))
+          NonThisCallees.insert(CS->callee());
+    });
+  }
+
+  for (const Method *M : Methods) {
+    MethodState &State = MS[M];
+    State.M = M;
+    State.G = std::make_unique<Cfg>(*M);
+    bool Callback = android::classifyCallback(M->parent()->kind(),
+                                              M->name()) !=
+                    android::CallbackKind::None;
+    State.IsRoot = Callback || NonThisCallees.count(M->name());
+    State.EntryTop = State.IsRoot;
+  }
+}
+
+/// Runs one method to its intra-procedural fixpoint under the current
+/// entry/summaries; shrinks its summary and raises callee entries.
+/// Returns true when any summary or entry state changed. When \p Record
+/// is set, also fills the per-load/per-deref tables and lint findings.
+bool NullnessAnalysis::Impl::analyzeOnce(MethodState &State, bool Record,
+                                         std::vector<LintFinding> *Lints) {
+  const Method &M = *State.M;
+  NullDomain D(State, *this);
+  DataflowSolver<NullDomain> Solver(*State.G, D);
+  Solver.solve();
+
+  bool Changed = false;
+
+  // Walk every node, replaying facts per statement.
+  for (uint32_t N : State.G->rpo()) {
+    if (!Solver.inState(N).Reachable)
+      continue;
+    NState End = Solver.replayNode(N, [&](const Stmt *S, const NState &St) {
+      if (!St.Reachable)
+        return;
+      switch (S->kind()) {
+      case Stmt::Kind::Load: {
+        const auto *LS = cast<LoadStmt>(S);
+        if (Record) {
+          const Local *NB = NullDomain::normBase(St, LS->base(), M);
+          AtLoad[LS] = NullDomain::fieldInfo(St, {NB, LS->field()}).F;
+          SeenLoads.insert(LS);
+        }
+        break;
+      }
+      case Stmt::Kind::Store: {
+        const auto *SS = cast<StoreStmt>(S);
+        if (Record && Lints && SS->isNullStore()) {
+          const Local *NB = NullDomain::normBase(St, SS->base(), M);
+          FieldInfo FI = NullDomain::fieldInfo(St, {NB, SS->field()});
+          if (FI.F.Guard == NullVal::Null)
+            Lints->push_back({LintKind::DoubleFree, SS, FI.FreeSite,
+                              SS->field(), false});
+        }
+        break;
+      }
+      case Stmt::Kind::Call: {
+        const auto *CS = cast<CallStmt>(S);
+        const Local *Recv = CS->recv();
+        LocalInfo RLI = NullDomain::localInfo(St, Recv);
+        bool RecvIsThis = Recv->isThis() || RLI.ThisAlias;
+        if (RecvIsThis) {
+          // A this-call: contribute the caller's `this`-field state to
+          // every CHA target's entry.
+          for (const Method *T : chaTargets(M.parent(), CS->callee())) {
+            MethodState &TS = MS[T];
+            if (TS.EntryTop)
+              continue;
+            EntryFields Contribution;
+            for (const auto &[K, FI] : St.Fields)
+              if (K.first == M.thisLocal())
+                Contribution[K.second] = FI.F;
+            if (!TS.HasContribution) {
+              TS.HasContribution = true;
+              TS.Entry = std::move(Contribution);
+              Changed = true;
+            } else {
+              // Join: a key missing from the contribution is ⊤ there.
+              for (auto It = TS.Entry.begin(); It != TS.Entry.end();) {
+                auto CIt = Contribution.find(It->first);
+                NullFact Merged = CIt == Contribution.end()
+                                      ? topFact()
+                                      : joinFact(It->second, CIt->second);
+                if (Merged == topFact()) {
+                  It = TS.Entry.erase(It);
+                  Changed = true;
+                  continue;
+                }
+                if (Merged != It->second) {
+                  It->second = Merged;
+                  Changed = true;
+                }
+                ++It;
+              }
+            }
+          }
+        } else if (Record) {
+          // A dereference: tally it against the loads that defined the
+          // receiver (the dataflow replacement for the syntactic
+          // check-then-dereference pattern).
+          for (const LoadStmt *DefL : RLI.Defs) {
+            ++DerefCount[DefL];
+            if (RLI.F.Guard != NullVal::NonNull)
+              UnsafeDeref.insert(DefL);
+          }
+          if (Lints && RLI.F.Guard == NullVal::Null) {
+            const Stmt *Prior = nullptr;
+            if (RLI.MirrorBase)
+              Prior = NullDomain::fieldInfo(
+                          St, {RLI.MirrorBase, RLI.MirrorField})
+                          .FreeSite;
+            Lints->push_back(
+                {LintKind::NullDeref, CS, Prior, RLI.MirrorField, false});
+          }
+        }
+        break;
+      }
+      default:
+        break;
+      }
+    });
+
+    // The branch terminator, for the redundant-check lint.
+    const CfgNode &Node = State.G->node(N);
+    if (Record && Lints && Node.Term && End.Reachable &&
+        Node.Term->test() != IfStmt::TestKind::Unknown) {
+      NullVal CondV = NullDomain::localInfo(End, Node.Term->cond()).F.Guard;
+      if (CondV == NullVal::NonNull || CondV == NullVal::Null) {
+        bool TestIsNotNull = Node.Term->test() == IfStmt::TestKind::NotNull;
+        bool AlwaysThen = (CondV == NullVal::NonNull) == TestIsNotNull;
+        Lints->push_back(
+            {LintKind::RedundantCheck, Node.Term, nullptr, nullptr,
+             AlwaysThen});
+      }
+    }
+  }
+
+  // Shrink the summary toward the exit state: a field is ensured when
+  // its fact at the (always reachable) exit is NonNull.
+  const NState &Exit = Solver.inState(State.G->exit());
+  auto Shrink = [&](std::set<const Field *> &Ensured, bool GuardPlane) {
+    for (auto It = Ensured.begin(); It != Ensured.end();) {
+      FieldInfo FI =
+          NullDomain::fieldInfo(Exit, {M.thisLocal(), *It});
+      NullVal V = GuardPlane ? FI.F.Guard : FI.F.Alloc;
+      if (Exit.Reachable && V == NullVal::NonNull) {
+        ++It;
+      } else {
+        It = Ensured.erase(It);
+        Changed = true;
+      }
+    }
+  };
+  Shrink(State.Sum.EnsuresGuard, /*GuardPlane=*/true);
+  Shrink(State.Sum.EnsuresAlloc, /*GuardPlane=*/false);
+  return Changed;
+}
+
+void NullnessAnalysis::Impl::run(std::vector<LintFinding> &Findings) {
+  setup();
+
+  // Optimistic summaries: every field "ensured" until an analysis round
+  // disproves it. Summaries only shrink and entries only rise, so the
+  // whole system is monotone; the cap is a safety valve, after which
+  // summaries are dropped wholesale (sound, just imprecise).
+  std::set<const Field *> AllFields;
+  for (const auto &C : P.classes())
+    for (const auto &F : C->fields())
+      AllFields.insert(F.get());
+  for (const Method *M : Methods) {
+    MS[M].Sum.EnsuresGuard = AllFields;
+    MS[M].Sum.EnsuresAlloc = AllFields;
+  }
+
+  bool Changed = true;
+  for (unsigned Round = 0; Changed && Round < 64; ++Round) {
+    Changed = false;
+    for (const Method *M : Methods) {
+      MethodState &State = MS[M];
+      if (!State.EntryTop && !State.HasContribution)
+        continue; // nothing reaches it yet
+      Changed |= analyzeOnce(State, /*Record=*/false, nullptr);
+    }
+  }
+  if (Changed) {
+    // Cap hit (possible only with pathological recursion): fall back to
+    // no inter-procedural facts at all.
+    for (const Method *M : Methods) {
+      MS[M].Sum = MethodSummary();
+      MS[M].EntryTop = true;
+    }
+    for (const Method *M : Methods)
+      analyzeOnce(MS[M], /*Record=*/false, nullptr);
+  }
+
+  // Safety net: methods nothing reached are analyzed intra-procedurally
+  // with a ⊤ entry, so every reachable statement gets facts.
+  for (const Method *M : Methods) {
+    MethodState &State = MS[M];
+    if (!State.EntryTop && !State.HasContribution) {
+      State.EntryTop = true;
+      // Its summary was never shrunk; reset it rather than trusting the
+      // optimistic initial value.
+      State.Sum = MethodSummary();
+      analyzeOnce(State, /*Record=*/false, nullptr);
+    }
+  }
+
+  // Final recording sweep with the fixpoint facts.
+  for (const Method *M : Methods)
+    analyzeOnce(MS[M], /*Record=*/true, &Findings);
+
+  std::sort(Findings.begin(), Findings.end(),
+            [](const LintFinding &A, const LintFinding &B) {
+              const Method *MA = A.At->parentMethod();
+              const Method *MB = B.At->parentMethod();
+              if (MA->id() != MB->id())
+                return MA->id() < MB->id();
+              return A.At->id() < B.At->id();
+            });
+}
+
+//===----------------------------------------------------------------------===//
+// Public interface
+//===----------------------------------------------------------------------===//
+
+NullnessAnalysis::NullnessAnalysis(const Program &P)
+    : I(std::make_unique<Impl>(P)) {
+  I->run(Findings);
+}
+
+NullnessAnalysis::~NullnessAnalysis() = default;
+
+bool NullnessAnalysis::isGuarded(const LoadStmt *L) const {
+  if (!I->SeenLoads.count(L))
+    return true; // statically unreachable: no execution reaches the use
+  auto It = I->AtLoad.find(L);
+  if (It != I->AtLoad.end() && It->second.Guard == NullVal::NonNull)
+    return true;
+  auto DIt = I->DerefCount.find(L);
+  return DIt != I->DerefCount.end() && DIt->second > 0 &&
+         !I->UnsafeDeref.count(L);
+}
+
+bool NullnessAnalysis::isAllocProtected(const LoadStmt *L) const {
+  if (!I->SeenLoads.count(L))
+    return true;
+  auto It = I->AtLoad.find(L);
+  return It != I->AtLoad.end() && It->second.Alloc == NullVal::NonNull;
+}
+
+std::optional<NullFact> NullnessAnalysis::factAtLoad(const LoadStmt *L) const {
+  auto It = I->AtLoad.find(L);
+  if (It == I->AtLoad.end())
+    return std::nullopt;
+  return It->second;
+}
+
+const MethodSummary *NullnessAnalysis::summaryOf(const Method &M) const {
+  auto It = I->MS.find(&M);
+  return It == I->MS.end() ? nullptr : &It->second.Sum;
+}
+
+bool NullnessAnalysis::isRoot(const Method &M) const {
+  auto It = I->MS.find(&M);
+  return It != I->MS.end() && It->second.IsRoot;
+}

@@ -1,0 +1,164 @@
+//===- analysis/Nullness.h - Inter-procedural nullness analysis -*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A flow-sensitive, summary-based inter-procedural nullness analysis
+/// over the Cfg/Dataflow framework. It subsumes the two syntactic
+/// analyses the IG and IA filters were built on (Guards.cpp,
+/// AllocFlow.cpp) and closes the §8.7 gap the paper concedes: a null
+/// check in a caller now protects a dereference in a callee.
+///
+/// Lattice. Every value carries a pair of facts from the four-point
+/// lattice  ⊥ < {Null, NonNull} < MaybeNull :
+///
+///  * the *guard* plane — what null tests, allocations and stores prove
+///    about the value. Drives the IG filter ("is this use guarded?")
+///    and the lint checkers.
+///
+///  * the *alloc* plane — what only allocations prove. Null-test
+///    refinements deliberately do not touch it, so it reproduces the IA
+///    filter's "a fresh allocation dominates the use" (§6.1.3) without
+///    conflating it with guardedness; the two filters keep distinct
+///    attribution in Figure 5.
+///
+/// State. Per program point: facts for locals and for field references
+/// keyed (base local, field) — the same key the syntactic guard
+/// analysis used, so `g = this.f; if (g != null) { u = this.f; ... }`
+/// re-load guards work: a local remembers which field reference it
+/// *mirrors*, and a branch refinement on the local refines the mirrored
+/// field too. Locals also carry their reaching load-definitions, which
+/// replaces the syntactic check-then-dereference pattern: a load is
+/// guarded when it has at least one dereference and every dereference
+/// it reaches sees a NonNull receiver.
+///
+/// Calls. Per the paper's §6.1.3 assumption, calls preserve field facts
+/// intra-procedurally. Summaries strengthen this conservatively in one
+/// direction only: a summary records the fields a callee leaves NonNull
+/// on every exit (per plane), and call results are always MaybeNull —
+/// never a source of guardedness or allocation facts. That asymmetry is
+/// what keeps the dataflow filters a strict *superset* of the syntactic
+/// ones (nothing the old analyses proved is lost, and the unsound MA
+/// filter's territory — trusting getter results — is not annexed).
+///
+/// Inter-procedural composition. Entry states start ⊤ at *roots*
+/// (framework callbacks and targets of non-this calls) and are the join
+/// of caller states at this-call sites elsewhere, resolved by CHA over
+/// subclass overrides. Summaries start optimistic and only shrink;
+/// entries only rise — the whole system is monotone and converges.
+/// Methods no caller reaches are analyzed with a ⊤ entry as a safety
+/// net, so every statement of every method has facts.
+///
+/// The same facts feed three AIR lint checkers (see findings()):
+/// double-free, dereference-of-definitely-null, and redundant
+/// null-check.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_ANALYSIS_NULLNESS_H
+#define NADROID_ANALYSIS_NULLNESS_H
+
+#include "ir/Ir.h"
+#include "ir/Stmt.h"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace nadroid::analysis {
+
+/// The four-point nullness lattice: Bottom < {Null, NonNull} < Maybe.
+enum class NullVal : uint8_t { Bottom, Null, NonNull, Maybe };
+
+NullVal joinNullVal(NullVal A, NullVal B);
+const char *nullValName(NullVal V);
+
+/// One value's facts on both planes (see file comment).
+struct NullFact {
+  NullVal Guard = NullVal::Maybe;
+  NullVal Alloc = NullVal::Maybe;
+
+  friend bool operator==(const NullFact &A, const NullFact &B) {
+    return A.Guard == B.Guard && A.Alloc == B.Alloc;
+  }
+  friend bool operator!=(const NullFact &A, const NullFact &B) {
+    return !(A == B);
+  }
+};
+
+/// What a method guarantees its callers about `this`-fields, per plane:
+/// the field is non-null at every exit. Call results and parameter
+/// effects are deliberately absent (see file comment).
+struct MethodSummary {
+  std::set<const ir::Field *> EnsuresGuard;
+  std::set<const ir::Field *> EnsuresAlloc;
+};
+
+/// AIR-level lint findings produced from the same nullness facts.
+enum class LintKind : uint8_t {
+  DoubleFree,     ///< Store of null to a field that is already Null.
+  NullDeref,      ///< Call through a receiver that is definitely Null.
+  RedundantCheck, ///< Null test whose outcome is statically known.
+};
+
+const char *lintKindName(LintKind Kind);
+
+struct LintFinding {
+  LintKind Kind;
+  /// The offending statement (the second free, the call, the if).
+  const ir::Stmt *At = nullptr;
+  /// Supporting statement when known: the first free for DoubleFree and
+  /// NullDeref (where the value was nulled), else nullptr.
+  const ir::Stmt *Prior = nullptr;
+  /// The field involved, when the finding is about a field.
+  const ir::Field *F = nullptr;
+  /// For RedundantCheck: true when the test always takes the then-edge.
+  bool AlwaysThen = false;
+};
+
+/// Whole-program nullness. Construction runs the analysis to fixpoint;
+/// queries are O(log n) lookups.
+class NullnessAnalysis {
+public:
+  explicit NullnessAnalysis(const ir::Program &P);
+  ~NullnessAnalysis();
+
+  NullnessAnalysis(const NullnessAnalysis &) = delete;
+  NullnessAnalysis &operator=(const NullnessAnalysis &) = delete;
+
+  /// IG's question: is this field load's value guarded — proven
+  /// non-null where it is loaded, or null-checked before every
+  /// dereference it reaches (with at least one dereference)?
+  /// Loads on statically infeasible paths count as guarded.
+  bool isGuarded(const ir::LoadStmt *L) const;
+
+  /// IA's question: does an allocation reach this load on every path
+  /// (alloc plane NonNull at the load)?
+  bool isAllocProtected(const ir::LoadStmt *L) const;
+
+  /// The field fact at \p L, or nullopt when the load is unreachable.
+  std::optional<NullFact> factAtLoad(const ir::LoadStmt *L) const;
+
+  /// The summary computed for \p M (null when \p M is unknown).
+  const MethodSummary *summaryOf(const ir::Method &M) const;
+
+  /// True when \p M 's entry state is ⊤ (framework callback, target of
+  /// a non-this call, or the no-caller safety net).
+  bool isRoot(const ir::Method &M) const;
+
+  /// All lint findings, in deterministic (method, statement) order.
+  const std::vector<LintFinding> &findings() const { return Findings; }
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+  std::vector<LintFinding> Findings;
+};
+
+} // namespace nadroid::analysis
+
+#endif // NADROID_ANALYSIS_NULLNESS_H

@@ -19,6 +19,8 @@ const char *corpus::seedKindName(SeedKind Kind) {
     return "false-mhb";
   case SeedKind::FalseIg:
     return "false-ig";
+  case SeedKind::FalseIgInterproc:
+    return "false-ig-interproc";
   case SeedKind::FalseIa:
     return "false-ia";
   case SeedKind::FalseRhb:
@@ -324,6 +326,26 @@ void PatternEmitter::falseIg(unsigned Uses) {
   Method *Free = B.makeMethod(H.Activity, "onCreateOptionsMenu");
   B.emitStore(B.thisLocal(), H.F, nullptr);
   record(SeedKind::FalseIg, H.F, Use, Free, PairType::EcEc);
+}
+
+void PatternEmitter::falseIgInterproc() {
+  Host H = makeHost(tag());
+  // §8.7: the dereference lives in a helper; only the caller checks.
+  Method *Helper = B.makeMethod(H.Activity, "readIt");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), H.F);
+  B.emitCall(nullptr, U, "use");
+
+  B.makeMethod(H.Activity, "onClick");
+  Local *G = B.local("g");
+  B.emitLoad(G, B.thisLocal(), H.F);
+  B.beginIfNotNull(G);
+  B.emitCall(nullptr, B.thisLocal(), "readIt");
+  B.endIf();
+
+  Method *Free = B.makeMethod(H.Activity, "onCreateOptionsMenu");
+  B.emitStore(B.thisLocal(), H.F, nullptr);
+  record(SeedKind::FalseIgInterproc, H.F, Helper, Free, PairType::EcEc);
 }
 
 void PatternEmitter::falseIa(unsigned Uses) {

@@ -42,6 +42,7 @@ enum class SeedKind : uint8_t {
   HarmfulUaf,     ///< remaining + interpreter-witnessable
   FalseMhb,       ///< pruned by the sound MHB filter
   FalseIg,        ///< pruned by the sound IG filter
+  FalseIgInterproc, ///< pruned by IG only inter-procedurally (§8.7)
   FalseIa,        ///< pruned by the sound IA filter
   FalseRhb,       ///< pruned by the unsound RHB filter
   FalseChb,       ///< pruned by the unsound CHB filter
@@ -115,6 +116,12 @@ public:
   void falseMhbAsync();
   /// Figure 4(b): guarded use between same-looper callbacks (IG).
   void falseIg(unsigned Uses = 1);
+  /// The §8.7 shape the paper's prototype misses: the null check sits in
+  /// the caller, the dereference in a this-called helper. Pruned by IG
+  /// under the inter-procedural nullness analysis; Remaining under
+  /// `--syntactic-filters`. Deliberately NOT part of any corpus recipe so
+  /// the pinned Table 1 counts are identical in both modes.
+  void falseIgInterproc();
   /// Figure 4(c): allocation dominates the use (IA).
   void falseIa(unsigned Uses = 1);
   /// Figure 4(d) benign form: onResume re-allocates (RHB).

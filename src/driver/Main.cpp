@@ -24,6 +24,10 @@
 //   nadroid --explain app.air        add per-pair prose explaining each
 //                                    verdict
 //   nadroid --json app.air           machine-readable report (CI)
+//   nadroid --lint app.air           run the AIR lint checkers instead
+//                                    of the UAF pipeline
+//   nadroid --syntactic-filters a.air paper-faithful intra-procedural
+//                                    IG/IA guard analyses
 //
 //===----------------------------------------------------------------------===//
 
@@ -34,6 +38,7 @@
 #include "ir/Printer.h"
 #include "report/Nadroid.h"
 #include "report/Dot.h"
+#include "report/Lint.h"
 #include "report/Explain.h"
 #include "report/Json.h"
 #include "report/Rank.h"
@@ -59,6 +64,8 @@ struct CliOptions {
   bool Dot = false;
   bool Explain = false;
   bool Json = false;
+  bool Lint = false;
+  bool SyntacticFilters = false;
   unsigned K = 2;
   std::string ExportCorpusDir;
   std::vector<std::string> Files;
@@ -68,6 +75,7 @@ void printUsage() {
   std::cerr
       << "usage: nadroid [--all] [--validate] [--deva] [--dump-threads]\n"
       << "               [--print-ir] [--stats] [--rank] [--fragments]\n"
+      << "               [--lint] [--syntactic-filters]\n"
       << "               [--k N] [--export-corpus DIR] file.air...\n";
 }
 
@@ -96,6 +104,10 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       Opts.Json = true;
     else if (!std::strcmp(Arg, "--fragments"))
       Opts.Fragments = true;
+    else if (!std::strcmp(Arg, "--lint"))
+      Opts.Lint = true;
+    else if (!std::strcmp(Arg, "--syntactic-filters"))
+      Opts.SyntacticFilters = true;
     else if (!std::strcmp(Arg, "--export-corpus")) {
       if (++I >= argc) {
         std::cerr << "error: --export-corpus needs a directory\n";
@@ -176,10 +188,19 @@ int analyzeFile(const std::string &Path, const CliOptions &Opts) {
     ir::printProgram(P, std::cout);
   if (Opts.RunDeva)
     return runDevaBaseline(P);
+  if (Opts.Lint) {
+    std::vector<analysis::LintFinding> Findings = report::runLint(P);
+    for (const analysis::LintFinding &F : Findings)
+      std::cout << report::renderLintFinding(P, F) << "\n";
+    std::cout << P.name() << ": " << Findings.size()
+              << " lint finding(s)\n";
+    return Findings.empty() ? 0 : 1;
+  }
 
   report::NadroidOptions NOpts;
   NOpts.K = Opts.K;
   NOpts.ModelFragments = Opts.Fragments;
+  NOpts.DataflowGuards = !Opts.SyntacticFilters;
   report::NadroidResult R = report::analyzeProgram(P, NOpts);
 
   if (Opts.Dot) {

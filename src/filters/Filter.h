@@ -24,6 +24,7 @@
 #include "analysis/CancelReach.h"
 #include "analysis/Guards.h"
 #include "analysis/Lockset.h"
+#include "analysis/Nullness.h"
 #include "analysis/PointsTo.h"
 #include "analysis/ThreadReach.h"
 #include "ir/LocalInfo.h"
@@ -47,19 +48,36 @@ std::vector<FilterKind> unsoundFilterKinds();
 /// The may-happens-before group Figure 5(b) reports as one bar.
 std::vector<FilterKind> mayHbFilterKinds();
 
+/// Knobs for the filter stage.
+struct FilterOptions {
+  /// When true (the default), IG and the allocation-dominance side of IA
+  /// consume the inter-procedural nullness analysis (Nullness.h); when
+  /// false, the paper-faithful syntactic analyses (Guards.cpp,
+  /// AllocFlow.cpp) — kept as a cross-check mode, and what
+  /// bench/ig_precision compares against.
+  bool DataflowGuards = true;
+};
+
 /// Shared analysis handles plus per-method caches the filters consult.
 class FilterContext {
 public:
   FilterContext(const ir::Program &P, const threadify::ThreadForest &Forest,
                 const analysis::PointsToAnalysis &PTA,
                 const analysis::ThreadReach &Reach,
-                const android::ApiIndex &Apis);
+                const android::ApiIndex &Apis,
+                FilterOptions Options = FilterOptions{});
+
+  const FilterOptions &options() const { return Opts; }
 
   const ir::Program &program() const { return P; }
   const threadify::ThreadForest &forest() const { return Forest; }
   const analysis::PointsToAnalysis &pointsTo() const { return PTA; }
   const analysis::ThreadReach &reach() const { return Reach; }
   const android::ApiIndex &apis() const { return Apis; }
+
+  /// The whole-program nullness analysis (built on first use). IG/IA
+  /// consult it when options().DataflowGuards is set.
+  const analysis::NullnessAnalysis &nullness();
 
   /// Per-method guard facts (cached).
   const analysis::GuardAnalysis &guards(const ir::Method *M);
@@ -93,8 +111,10 @@ private:
   const analysis::PointsToAnalysis &PTA;
   const analysis::ThreadReach &Reach;
   const android::ApiIndex &Apis;
+  FilterOptions Opts;
   analysis::LocksetAnalysis Locks;
   analysis::CancelReach Cancel;
+  std::unique_ptr<analysis::NullnessAnalysis> Nullness;
 
   std::map<const ir::Method *, analysis::GuardAnalysis> GuardCache;
   std::map<const ir::Method *, analysis::AllocFlowResult> AllocCache;

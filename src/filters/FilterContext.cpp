@@ -71,9 +71,16 @@ FilterContext::FilterContext(const Program &P,
                              const threadify::ThreadForest &Forest,
                              const analysis::PointsToAnalysis &PTA,
                              const analysis::ThreadReach &Reach,
-                             const android::ApiIndex &Apis)
-    : P(P), Forest(Forest), PTA(PTA), Reach(Reach), Apis(Apis), Locks(PTA),
-      Cancel(P, Apis) {}
+                             const android::ApiIndex &Apis,
+                             FilterOptions Options)
+    : P(P), Forest(Forest), PTA(PTA), Reach(Reach), Apis(Apis), Opts(Options),
+      Locks(PTA), Cancel(P, Apis) {}
+
+const analysis::NullnessAnalysis &FilterContext::nullness() {
+  if (!Nullness)
+    Nullness = std::make_unique<analysis::NullnessAnalysis>(P);
+  return *Nullness;
+}
 
 const analysis::GuardAnalysis &FilterContext::guards(const Method *M) {
   auto It = GuardCache.find(M);

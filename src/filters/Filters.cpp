@@ -75,7 +75,11 @@ public:
 
   bool prunesPair(const UafWarning &W, const ThreadPair &TP,
                   FilterContext &Ctx) const override {
-    if (!Ctx.guards(W.Use->parentMethod()).isGuarded(W.Use))
+    bool Guarded =
+        Ctx.options().DataflowGuards
+            ? Ctx.nullness().isGuarded(W.Use)
+            : Ctx.guards(W.Use->parentMethod()).isGuarded(W.Use);
+    if (!Guarded)
       return false;
     return Ctx.atomicityHolds(W, TP);
   }
@@ -89,7 +93,12 @@ public:
 
   bool prunesPair(const UafWarning &W, const ThreadPair &TP,
                   FilterContext &Ctx) const override {
-    if (!Ctx.allocFlow(W.Use->parentMethod()).ProtectedLoads.count(W.Use))
+    bool Protected =
+        Ctx.options().DataflowGuards
+            ? Ctx.nullness().isAllocProtected(W.Use)
+            : Ctx.allocFlow(W.Use->parentMethod())
+                      .ProtectedLoads.count(W.Use) != 0;
+    if (!Protected)
       return false;
     return Ctx.atomicityHolds(W, TP);
   }

@@ -1,0 +1,48 @@
+//===- report/Lint.cpp - AIR lint pass over nullness facts ----------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "report/Lint.h"
+
+#include <sstream>
+
+using namespace nadroid;
+using namespace nadroid::report;
+using analysis::LintFinding;
+using analysis::LintKind;
+
+std::vector<LintFinding> report::runLint(const ir::Program &P) {
+  analysis::NullnessAnalysis NA(P);
+  return NA.findings();
+}
+
+std::string report::renderLintFinding(const ir::Program &P,
+                                      const LintFinding &F) {
+  const SourceManager &SM = P.sourceManager();
+  std::ostringstream OS;
+  OS << SM.render(F.At->loc()) << ": warning: ";
+  switch (F.Kind) {
+  case LintKind::DoubleFree:
+    OS << "double free of field " << F.F->qualifiedName()
+       << " (already null here) [double-free]";
+    break;
+  case LintKind::NullDeref:
+    OS << "method call on ";
+    if (F.F)
+      OS << "field " << F.F->qualifiedName() << ", which is";
+    else
+      OS << "a receiver that is";
+    OS << " always null here [null-deref]";
+    break;
+  case LintKind::RedundantCheck:
+    OS << "redundant null check: condition is always "
+       << (F.AlwaysThen ? "taken" : "not taken") << " [redundant-check]";
+    break;
+  }
+  OS << "\n  in " << F.At->parentMethod()->qualifiedName();
+  if (F.Prior)
+    OS << "\n" << SM.render(F.Prior->loc()) << ": note: value set to null here";
+  return OS.str();
+}

@@ -1,0 +1,47 @@
+//===- report/Lint.h - AIR lint pass over nullness facts --------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `nadroid --lint`: three AIR-level checkers built on the same
+/// inter-procedural nullness analysis the IG/IA filters consume
+/// (analysis/Nullness.h):
+///
+///  * double-free         — a field nulled when it is already definitely
+///                          null (two frees with no intervening store);
+///  * null-deref          — a call through a receiver that is definitely
+///                          null on every path;
+///  * redundant-null-check — a null test whose outcome is statically
+///                          known.
+///
+/// Unlike the UAF pipeline, lint has no thread model: findings are
+/// per-method facts (strengthened by caller/callee summaries) rendered
+/// with file:line:col diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_REPORT_LINT_H
+#define NADROID_REPORT_LINT_H
+
+#include "analysis/Nullness.h"
+#include "ir/Ir.h"
+
+#include <string>
+#include <vector>
+
+namespace nadroid::report {
+
+/// Runs the lint checkers over \p P; findings come back in deterministic
+/// (method, statement) order.
+std::vector<analysis::LintFinding> runLint(const ir::Program &P);
+
+/// Renders one finding as a "file:line:col: warning: ..." diagnostic
+/// (plus a "note:" line when the prior free site is known).
+std::string renderLintFinding(const ir::Program &P,
+                              const analysis::LintFinding &F);
+
+} // namespace nadroid::report
+
+#endif // NADROID_REPORT_LINT_H

@@ -57,9 +57,10 @@ NadroidResult report::analyzeProgram(const ir::Program &P,
 
   // Phase 3 — filtering (§6).
   auto T2 = Clock::now();
-  R.FilterCtx = std::make_unique<filters::FilterContext>(P, *R.Forest,
-                                                         *R.PTA, *R.Reach,
-                                                         *R.Apis);
+  filters::FilterOptions FOpts;
+  FOpts.DataflowGuards = Options.DataflowGuards;
+  R.FilterCtx = std::make_unique<filters::FilterContext>(
+      P, *R.Forest, *R.PTA, *R.Reach, *R.Apis, FOpts);
   filters::FilterEngine Engine(*R.FilterCtx);
   R.Pipeline = Engine.run(R.Detection.Warnings);
   R.Timings.FilteringSec = secondsSince(T2);

@@ -41,6 +41,10 @@ struct NadroidOptions {
   /// (recovers Table 3's Browser miss). Off by default, like the paper's
   /// prototype (§8.1).
   bool ModelFragments = false;
+  /// IG/IA consume the inter-procedural nullness analysis (default); set
+  /// false for the paper-faithful syntactic guard/alloc analyses
+  /// (`--syntactic-filters` on the CLI).
+  bool DataflowGuards = true;
 };
 
 /// Wall-clock seconds per phase (§8.8's breakdown).

@@ -52,6 +52,9 @@ void emitPattern(PatternEmitter &E, SeedKind Kind) {
   case SeedKind::FalseIg:
     E.falseIg(1);
     return;
+  case SeedKind::FalseIgInterproc:
+    E.falseIgInterproc();
+    return;
   case SeedKind::FalseIa:
     E.falseIa(1);
     return;
@@ -132,6 +135,8 @@ INSTANTIATE_TEST_SUITE_P(
         PatternCase{"Mhb", SeedKind::FalseMhb, FilterKind::MHB,
                     WarningVerdict::Stage::PrunedBySound},
         PatternCase{"Ig", SeedKind::FalseIg, FilterKind::IG,
+                    WarningVerdict::Stage::PrunedBySound},
+        PatternCase{"IgInterproc", SeedKind::FalseIgInterproc, FilterKind::IG,
                     WarningVerdict::Stage::PrunedBySound},
         PatternCase{"Ia", SeedKind::FalseIa, FilterKind::IA,
                     WarningVerdict::Stage::PrunedBySound},
@@ -226,6 +231,36 @@ TEST(Filters, IgAcrossThreadsNeedsCommonLock) {
   for (size_t I : R2.remainingIndices())
     EXPECT_NE(R2.warnings()[I].F->name(), "f")
         << "locked guard should have been pruned";
+}
+
+/// The §8.7 shape: a caller-side null check protecting a callee-side
+/// dereference is seen by the inter-procedural nullness analysis only —
+/// the paper-faithful syntactic mode must leave the warning standing.
+TEST(Filters, IgInterprocNeedsDataflowGuards) {
+  auto Analyze = [](bool Dataflow) {
+    Program P("t");
+    IRBuilder B(P);
+    PatternEmitter E(B);
+    E.falseIgInterproc();
+    const corpus::SeededBug &Seed = E.seeds()[0];
+    report::NadroidOptions Opts;
+    Opts.DataflowGuards = Dataflow;
+    report::NadroidResult R = report::analyzeProgram(P, Opts);
+    for (size_t I = 0; I < R.warnings().size(); ++I)
+      if (R.warnings()[I].F->qualifiedName() == Seed.FieldName &&
+          R.warnings()[I].Use->parentMethod()->qualifiedName() ==
+              Seed.UseMethod)
+        return R.Pipeline.Verdicts[I];
+    ADD_FAILURE() << "seeded warning not detected";
+    return WarningVerdict{};
+  };
+
+  WarningVerdict Dataflow = Analyze(true);
+  EXPECT_EQ(Dataflow.StageReached, WarningVerdict::Stage::PrunedBySound);
+  EXPECT_TRUE(Dataflow.FiredFilters.count(FilterKind::IG));
+
+  WarningVerdict Syntactic = Analyze(false);
+  EXPECT_EQ(Syntactic.StageReached, WarningVerdict::Stage::Remaining);
 }
 
 /// MHB prunes only the direction "use must precede free".

@@ -11,6 +11,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/AllocFlow.h"
+#include "analysis/Guards.h"
+#include "analysis/Nullness.h"
 #include "corpus/RandomApp.h"
 #include "frontend/Frontend.h"
 #include "interp/Interp.h"
@@ -94,6 +97,52 @@ TEST_P(FuzzTest, WitnessesAreDetectedAndNeverSoundPruned) {
               filters::WarningVerdict::Stage::PrunedBySound)
         << "sound-pruned a witnessed pair: "
         << W.Use->field()->qualifiedName();
+  }
+}
+
+TEST_P(FuzzTest, DataflowGuardsSubsumeSyntactic) {
+  // The nullness analysis must prove everything the paper-faithful
+  // syntactic guard/alloc analyses prove (it may prove strictly more —
+  // the §8.7 inter-procedural shapes). Per load:
+  //   syntactically guarded        => dataflow guarded
+  //   syntactically alloc-protected => dataflow alloc-protected
+  auto P = generate();
+  analysis::NullnessAnalysis NA(*P);
+  for (const auto &C : P->classes()) {
+    for (const auto &M : C->methods()) {
+      analysis::GuardAnalysis GA(*M);
+      analysis::AllocFlowResult AF =
+          analysis::analyzeAllocFlow(*M, /*TreatCallResultAsAlloc=*/false);
+      ir::forEachStmt(*M, [&](const ir::Stmt &S) {
+        const auto *L = dyn_cast<ir::LoadStmt>(&S);
+        if (!L)
+          return;
+        if (GA.isGuarded(L))
+          EXPECT_TRUE(NA.isGuarded(L))
+              << "syntactically guarded load lost in "
+              << M->qualifiedName();
+        if (AF.ProtectedLoads.count(L))
+          EXPECT_TRUE(NA.isAllocProtected(L))
+              << "syntactically alloc-protected load lost in "
+              << M->qualifiedName();
+      });
+    }
+  }
+
+  // Pipeline-level corollary: every warning the sound stage prunes in
+  // syntactic mode is also sound-pruned in (default) dataflow mode.
+  report::NadroidOptions Syn;
+  Syn.DataflowGuards = false;
+  report::NadroidResult RSyn = report::analyzeProgram(*P, Syn);
+  report::NadroidResult RDf = report::analyzeProgram(*P);
+  ASSERT_EQ(RSyn.warnings().size(), RDf.warnings().size());
+  for (size_t I = 0; I < RSyn.warnings().size(); ++I) {
+    ASSERT_EQ(RSyn.warnings()[I].key(), RDf.warnings()[I].key());
+    if (RSyn.Pipeline.Verdicts[I].StageReached ==
+        filters::WarningVerdict::Stage::PrunedBySound)
+      EXPECT_EQ(RDf.Pipeline.Verdicts[I].StageReached,
+                filters::WarningVerdict::Stage::PrunedBySound)
+          << RSyn.warnings()[I].key();
   }
 }
 

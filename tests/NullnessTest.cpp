@@ -1,0 +1,372 @@
+//===- tests/NullnessTest.cpp - Inter-procedural nullness analysis -------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Nullness.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace nadroid;
+using namespace nadroid::ir;
+using analysis::LintFinding;
+using analysis::LintKind;
+using analysis::MethodSummary;
+using analysis::NullFact;
+using analysis::NullnessAnalysis;
+using analysis::NullVal;
+using analysis::joinNullVal;
+
+namespace {
+
+struct Scaffold {
+  Program P{"t"};
+  IRBuilder B{P};
+  Clazz *Payload = nullptr;
+  Clazz *Act = nullptr;
+  Field *F = nullptr;
+
+  Scaffold() {
+    Payload = B.makeClass("P", ClassKind::Plain);
+    Act = B.makeClass("Act", ClassKind::Activity);
+    F = B.addField(Act, "f", Payload);
+    P.addManifestComponent(Act);
+  }
+};
+
+TEST(Nullness, LatticeJoin) {
+  using V = NullVal;
+  EXPECT_EQ(joinNullVal(V::Bottom, V::Null), V::Null);
+  EXPECT_EQ(joinNullVal(V::NonNull, V::Bottom), V::NonNull);
+  EXPECT_EQ(joinNullVal(V::Null, V::Null), V::Null);
+  EXPECT_EQ(joinNullVal(V::NonNull, V::NonNull), V::NonNull);
+  EXPECT_EQ(joinNullVal(V::Null, V::NonNull), V::Maybe);
+  EXPECT_EQ(joinNullVal(V::Maybe, V::Null), V::Maybe);
+  EXPECT_EQ(joinNullVal(V::Bottom, V::Bottom), V::Bottom);
+}
+
+TEST(Nullness, GuardThroughMirroredReload) {
+  // Figure 4(b) as compiled: g = this.f; if (g != null) { u = this.f;
+  // u.use(); } — the reload u is guarded because g mirrors this.f.
+  Scaffold S;
+  S.B.makeMethod(S.Act, "onClick");
+  Local *G = S.B.local("g");
+  S.B.emitLoad(G, S.B.thisLocal(), S.F);
+  S.B.beginIfNotNull(G);
+  Local *U = S.B.local("u");
+  LoadStmt *Reload = S.B.emitLoad(U, S.B.thisLocal(), S.F);
+  S.B.emitCall(nullptr, U, "use");
+  S.B.endIf();
+
+  NullnessAnalysis NA(S.P);
+  EXPECT_TRUE(NA.isGuarded(Reload));
+  // Guardedness is not allocation: the alloc plane stays Maybe.
+  EXPECT_FALSE(NA.isAllocProtected(Reload));
+  auto Fact = NA.factAtLoad(Reload);
+  ASSERT_TRUE(Fact.has_value());
+  EXPECT_EQ(Fact->Guard, NullVal::NonNull);
+  EXPECT_EQ(Fact->Alloc, NullVal::Maybe);
+}
+
+TEST(Nullness, CheckThenDerefGuardsTheLoadItself) {
+  // u = this.f; if (u != null) { u.use(); } — the load's only
+  // dereference is dominated by the check.
+  Scaffold S;
+  S.B.makeMethod(S.Act, "onClick");
+  Local *U = S.B.local("u");
+  LoadStmt *L = S.B.emitLoad(U, S.B.thisLocal(), S.F);
+  S.B.beginIfNotNull(U);
+  S.B.emitCall(nullptr, U, "use");
+  S.B.endIf();
+
+  NullnessAnalysis NA(S.P);
+  EXPECT_TRUE(NA.isGuarded(L));
+}
+
+TEST(Nullness, UncheckedDerefIsNotGuarded) {
+  Scaffold S;
+  S.B.makeMethod(S.Act, "onClick");
+  Local *U = S.B.local("u");
+  LoadStmt *L = S.B.emitLoad(U, S.B.thisLocal(), S.F);
+  S.B.emitCall(nullptr, U, "use");
+
+  NullnessAnalysis NA(S.P);
+  EXPECT_FALSE(NA.isGuarded(L));
+  EXPECT_FALSE(NA.isAllocProtected(L));
+}
+
+TEST(Nullness, PartiallyCheckedDerefIsNotGuarded) {
+  // One dereference checked, a second one bare: not guarded.
+  Scaffold S;
+  S.B.makeMethod(S.Act, "onClick");
+  Local *U = S.B.local("u");
+  LoadStmt *L = S.B.emitLoad(U, S.B.thisLocal(), S.F);
+  S.B.beginIfNotNull(U);
+  S.B.emitCall(nullptr, U, "use");
+  S.B.endIf();
+  S.B.emitCall(nullptr, U, "use");
+
+  NullnessAnalysis NA(S.P);
+  EXPECT_FALSE(NA.isGuarded(L));
+}
+
+TEST(Nullness, AllocationDominanceProtects) {
+  // Figure 4(c): x = new P; this.f = x; u = this.f; u.use();
+  Scaffold S;
+  S.B.makeMethod(S.Act, "onClick");
+  Local *X = S.B.emitNew("x", S.Payload);
+  S.B.emitStore(S.B.thisLocal(), S.F, X);
+  Local *U = S.B.local("u");
+  LoadStmt *L = S.B.emitLoad(U, S.B.thisLocal(), S.F);
+  S.B.emitCall(nullptr, U, "use");
+
+  NullnessAnalysis NA(S.P);
+  EXPECT_TRUE(NA.isAllocProtected(L));
+  EXPECT_TRUE(NA.isGuarded(L)); // NonNull on the guard plane too
+}
+
+TEST(Nullness, AllocOnOneArmOnlyDoesNotProtect) {
+  Scaffold S;
+  S.B.makeMethod(S.Act, "onClick");
+  S.B.beginIfUnknown();
+  Local *X = S.B.emitNew("x", S.Payload);
+  S.B.emitStore(S.B.thisLocal(), S.F, X);
+  S.B.endIf();
+  Local *U = S.B.local("u");
+  LoadStmt *L = S.B.emitLoad(U, S.B.thisLocal(), S.F);
+  S.B.emitCall(nullptr, U, "use");
+
+  NullnessAnalysis NA(S.P);
+  EXPECT_FALSE(NA.isAllocProtected(L));
+  EXPECT_FALSE(NA.isGuarded(L));
+}
+
+TEST(Nullness, CallResultsAreAlwaysTop) {
+  // t = this.mk(); this.f = t; u = this.f; u.use(); — mk returns a
+  // fresh object, but trusting that is MA's unsound territory, so the
+  // sound analysis must keep the load unprotected on both planes.
+  Scaffold S;
+  S.B.makeMethod(S.Act, "mk");
+  Local *R = S.B.emitNew("r", S.Payload);
+  S.B.emitReturn(R);
+
+  S.B.makeMethod(S.Act, "onClick");
+  Local *T = S.B.local("t");
+  S.B.emitCall(T, S.B.thisLocal(), "mk");
+  S.B.emitStore(S.B.thisLocal(), S.F, T);
+  Local *U = S.B.local("u");
+  LoadStmt *L = S.B.emitLoad(U, S.B.thisLocal(), S.F);
+  S.B.emitCall(nullptr, U, "use");
+
+  NullnessAnalysis NA(S.P);
+  EXPECT_FALSE(NA.isGuarded(L));
+  EXPECT_FALSE(NA.isAllocProtected(L));
+}
+
+TEST(Nullness, SummaryRecordsEnsuredFields) {
+  // init() allocates this.f on every path -> EnsuresGuard/EnsuresAlloc
+  // both contain f; a method that frees it ensures nothing.
+  Scaffold S;
+  Method *Init = S.B.makeMethod(S.Act, "init");
+  Local *X = S.B.emitNew("x", S.Payload);
+  S.B.emitStore(S.B.thisLocal(), S.F, X);
+  Method *Teardown = S.B.makeMethod(S.Act, "teardown");
+  S.B.emitStore(S.B.thisLocal(), S.F, nullptr);
+  // Reach both from a callback so they get analyzed as callees.
+  S.B.makeMethod(S.Act, "onClick");
+  S.B.emitCall(nullptr, S.B.thisLocal(), "init");
+  S.B.emitCall(nullptr, S.B.thisLocal(), "teardown");
+
+  NullnessAnalysis NA(S.P);
+  const MethodSummary *SI = NA.summaryOf(*Init);
+  ASSERT_NE(SI, nullptr);
+  EXPECT_TRUE(SI->EnsuresGuard.count(S.F));
+  EXPECT_TRUE(SI->EnsuresAlloc.count(S.F));
+  const MethodSummary *ST = NA.summaryOf(*Teardown);
+  ASSERT_NE(ST, nullptr);
+  EXPECT_FALSE(ST->EnsuresGuard.count(S.F));
+  EXPECT_FALSE(ST->EnsuresAlloc.count(S.F));
+}
+
+TEST(Nullness, CalleeSummaryProtectsCallerUse) {
+  // this.init(); u = this.f; u.use(); — the callee's ensures-facts
+  // flow back to the caller.
+  Scaffold S;
+  S.B.makeMethod(S.Act, "init");
+  Local *X = S.B.emitNew("x", S.Payload);
+  S.B.emitStore(S.B.thisLocal(), S.F, X);
+
+  S.B.makeMethod(S.Act, "onClick");
+  S.B.emitCall(nullptr, S.B.thisLocal(), "init");
+  Local *U = S.B.local("u");
+  LoadStmt *L = S.B.emitLoad(U, S.B.thisLocal(), S.F);
+  S.B.emitCall(nullptr, U, "use");
+
+  NullnessAnalysis NA(S.P);
+  EXPECT_TRUE(NA.isGuarded(L));
+  EXPECT_TRUE(NA.isAllocProtected(L));
+}
+
+TEST(Nullness, CallerCheckProtectsCalleeDeref) {
+  // The §8.7 direction: onClick checks, readIt dereferences.
+  Scaffold S;
+  S.B.makeMethod(S.Act, "readIt");
+  Local *U = S.B.local("u");
+  LoadStmt *L = S.B.emitLoad(U, S.B.thisLocal(), S.F);
+  S.B.emitCall(nullptr, U, "use");
+
+  Method *OnClick = S.B.makeMethod(S.Act, "onClick");
+  Local *G = S.B.local("g");
+  S.B.emitLoad(G, S.B.thisLocal(), S.F);
+  S.B.beginIfNotNull(G);
+  S.B.emitCall(nullptr, S.B.thisLocal(), "readIt");
+  S.B.endIf();
+
+  NullnessAnalysis NA(S.P);
+  EXPECT_TRUE(NA.isGuarded(L));
+  EXPECT_TRUE(NA.isRoot(*OnClick));
+  // readIt is only reached through the guarded this-call: not a root.
+  EXPECT_FALSE(NA.isRoot(*L->parentMethod()));
+}
+
+TEST(Nullness, UncheckedCallerPollutesCalleeEntry) {
+  // Two callers, one unchecked: the callee's entry joins to Maybe.
+  Scaffold S;
+  S.B.makeMethod(S.Act, "readIt");
+  Local *U = S.B.local("u");
+  LoadStmt *L = S.B.emitLoad(U, S.B.thisLocal(), S.F);
+  S.B.emitCall(nullptr, U, "use");
+
+  S.B.makeMethod(S.Act, "onClick");
+  Local *G = S.B.local("g");
+  S.B.emitLoad(G, S.B.thisLocal(), S.F);
+  S.B.beginIfNotNull(G);
+  S.B.emitCall(nullptr, S.B.thisLocal(), "readIt");
+  S.B.endIf();
+
+  S.B.makeMethod(S.Act, "onLongClick");
+  S.B.emitCall(nullptr, S.B.thisLocal(), "readIt"); // no check
+
+  NullnessAnalysis NA(S.P);
+  EXPECT_FALSE(NA.isGuarded(L));
+}
+
+TEST(Nullness, NonThisCalleeIsRoot) {
+  // A method invoked through an object reference (CHA can't bound the
+  // caller states we'd have to join) is analyzed with a top entry.
+  Scaffold S;
+  Method *Use = S.B.makeMethod(S.Payload, "use");
+  S.B.emitReturn();
+  S.B.makeMethod(S.Act, "onClick");
+  Local *X = S.B.emitNew("x", S.Payload);
+  S.B.emitCall(nullptr, X, "use");
+
+  NullnessAnalysis NA(S.P);
+  EXPECT_TRUE(NA.isRoot(*Use));
+}
+
+TEST(Nullness, InfeasiblePathLoadCountsAsGuarded) {
+  // x = new P; if (x == null) { u = this.f; u.use(); } — the then-arm
+  // is statically dead, so its load must not block the IG filter.
+  Scaffold S;
+  S.B.makeMethod(S.Act, "onClick");
+  Local *X = S.B.emitNew("x", S.Payload);
+  S.B.beginIfIsNull(X);
+  Local *U = S.B.local("u");
+  LoadStmt *Dead = S.B.emitLoad(U, S.B.thisLocal(), S.F);
+  S.B.emitCall(nullptr, U, "use");
+  S.B.endIf();
+
+  NullnessAnalysis NA(S.P);
+  EXPECT_TRUE(NA.isGuarded(Dead));
+  EXPECT_TRUE(NA.isAllocProtected(Dead));
+  EXPECT_FALSE(NA.factAtLoad(Dead).has_value()); // unreachable
+}
+
+//===----------------------------------------------------------------------===//
+// Lint findings
+//===----------------------------------------------------------------------===//
+
+TEST(NullnessLint, DoubleFree) {
+  Scaffold S;
+  S.B.makeMethod(S.Act, "onClick");
+  StoreStmt *First = S.B.emitStore(S.B.thisLocal(), S.F, nullptr);
+  StoreStmt *Second = S.B.emitStore(S.B.thisLocal(), S.F, nullptr);
+
+  NullnessAnalysis NA(S.P);
+  ASSERT_EQ(NA.findings().size(), 1u);
+  const LintFinding &F = NA.findings()[0];
+  EXPECT_EQ(F.Kind, LintKind::DoubleFree);
+  EXPECT_EQ(F.At, Second);
+  EXPECT_EQ(F.Prior, First);
+  EXPECT_EQ(F.F, S.F);
+}
+
+TEST(NullnessLint, FreeOnOneArmOnlyIsNotDoubleFree) {
+  Scaffold S;
+  S.B.makeMethod(S.Act, "onClick");
+  S.B.beginIfUnknown();
+  S.B.emitStore(S.B.thisLocal(), S.F, nullptr);
+  S.B.endIf();
+  S.B.emitStore(S.B.thisLocal(), S.F, nullptr);
+
+  NullnessAnalysis NA(S.P);
+  EXPECT_TRUE(NA.findings().empty());
+}
+
+TEST(NullnessLint, NullDeref) {
+  Scaffold S;
+  S.B.makeMethod(S.Act, "onClick");
+  StoreStmt *Free = S.B.emitStore(S.B.thisLocal(), S.F, nullptr);
+  Local *U = S.B.local("u");
+  S.B.emitLoad(U, S.B.thisLocal(), S.F);
+  CallStmt *Deref = S.B.emitCall(nullptr, U, "use");
+
+  NullnessAnalysis NA(S.P);
+  ASSERT_EQ(NA.findings().size(), 1u);
+  const LintFinding &F = NA.findings()[0];
+  EXPECT_EQ(F.Kind, LintKind::NullDeref);
+  EXPECT_EQ(F.At, Deref);
+  EXPECT_EQ(F.Prior, Free);
+  EXPECT_EQ(F.F, S.F);
+}
+
+TEST(NullnessLint, RedundantCheckBothPolarities) {
+  Scaffold S;
+  S.B.makeMethod(S.Act, "onClick");
+  Local *X = S.B.emitNew("x", S.Payload);
+  IfStmt *AlwaysTaken = S.B.beginIfNotNull(X);
+  S.B.emitCall(nullptr, X, "use");
+  S.B.endIf();
+
+  S.B.makeMethod(S.Act, "onLongClick");
+  Local *Y = S.B.emitNew("y", S.Payload);
+  IfStmt *NeverTaken = S.B.beginIfIsNull(Y);
+  S.B.emitCall(nullptr, Y, "use");
+  S.B.endIf();
+
+  NullnessAnalysis NA(S.P);
+  ASSERT_EQ(NA.findings().size(), 2u);
+  EXPECT_EQ(NA.findings()[0].Kind, LintKind::RedundantCheck);
+  EXPECT_EQ(NA.findings()[0].At, AlwaysTaken);
+  EXPECT_TRUE(NA.findings()[0].AlwaysThen);
+  EXPECT_EQ(NA.findings()[1].At, NeverTaken);
+  EXPECT_FALSE(NA.findings()[1].AlwaysThen);
+}
+
+TEST(NullnessLint, HonestCheckIsNotRedundant) {
+  Scaffold S;
+  S.B.makeMethod(S.Act, "onClick");
+  Local *U = S.B.local("u");
+  S.B.emitLoad(U, S.B.thisLocal(), S.F);
+  S.B.beginIfNotNull(U);
+  S.B.emitCall(nullptr, U, "use");
+  S.B.endIf();
+
+  NullnessAnalysis NA(S.P);
+  EXPECT_TRUE(NA.findings().empty());
+}
+
+} // namespace
