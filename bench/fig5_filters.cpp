@@ -67,7 +67,7 @@ int main() {
     const auto &Warnings = R.warnings();
     A.Potential += Warnings.size();
 
-    filters::FilterEngine Engine(*R.FilterCtx);
+    filters::FilterEngine &Engine = R.Manager->engine();
     for (const auto &[Name, Kinds] : SoundSets)
       A.PrunedBy[Name] += countTrue(Engine.pruneMask(Warnings, Kinds));
 

@@ -12,12 +12,9 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/ThreadReach.h"
 #include "corpus/Corpus.h"
-#include "filters/Engine.h"
-#include "race/Detector.h"
+#include "pipeline/AnalysisManager.h"
 #include "report/Nadroid.h"
-#include "threadify/Threadifier.h"
 
 #include <benchmark/benchmark.h>
 
@@ -25,56 +22,63 @@ using namespace nadroid;
 
 namespace {
 
-const corpus::CorpusApp &appNamed(const std::string &Name) {
-  static std::map<std::string, corpus::CorpusApp> Cache;
+/// One manager per app, shared across the phase benchmarks. Each phase
+/// invalidates exactly the pass it times, so everything upstream stays
+/// cached — the same demand/invalidate machinery the CLI uses, now as
+/// the measurement harness.
+struct BenchApp {
+  corpus::CorpusApp App;
+  std::unique_ptr<pipeline::AnalysisManager> AM;
+};
+
+BenchApp &appNamed(const std::string &Name) {
+  static std::map<std::string, BenchApp> Cache;
   auto It = Cache.find(Name);
-  if (It == Cache.end())
-    It = Cache.emplace(Name, corpus::buildAppNamed(Name)).first;
+  if (It == Cache.end()) {
+    BenchApp B;
+    B.App = corpus::buildAppNamed(Name);
+    B.AM = std::make_unique<pipeline::AnalysisManager>(*B.App.Prog);
+    It = Cache.emplace(Name, std::move(B)).first;
+  }
   return It->second;
 }
 
 void BM_Modeling(benchmark::State &State, const std::string &Name) {
-  const corpus::CorpusApp &App = appNamed(Name);
-  android::ApiIndex Apis(*App.Prog);
+  pipeline::AnalysisManager &AM = *appNamed(Name).AM;
+  AM.apis(); // built outside the timed region
   for (auto _ : State) {
-    threadify::ThreadForest Forest = threadify::threadify(*App.Prog);
-    benchmark::DoNotOptimize(Forest.threads().size());
+    AM.invalidate<pipeline::ThreadForestPass>();
+    benchmark::DoNotOptimize(AM.forest().threads().size());
   }
 }
 
 void BM_Detection(benchmark::State &State, const std::string &Name) {
-  const corpus::CorpusApp &App = appNamed(Name);
-  android::ApiIndex Apis(*App.Prog);
-  threadify::ThreadForest Forest = threadify::threadify(*App.Prog);
+  pipeline::AnalysisManager &AM = *appNamed(Name).AM;
+  AM.forest();
   for (auto _ : State) {
-    analysis::PointsToAnalysis PTA(*App.Prog, Forest, Apis);
-    PTA.run();
-    analysis::ThreadReach Reach(PTA, Forest);
-    race::DetectorResult Detection =
-        race::detectUafWarnings(Forest, PTA, Reach);
-    benchmark::DoNotOptimize(Detection.Warnings.size());
+    // Dropping points-to cascades through reach and detection; the
+    // forest and API index stay cached, so this times detection alone.
+    AM.invalidate<pipeline::PointsToPass>();
+    benchmark::DoNotOptimize(AM.detection().Warnings.size());
   }
 }
 
 void BM_Filtering(benchmark::State &State, const std::string &Name) {
-  const corpus::CorpusApp &App = appNamed(Name);
-  android::ApiIndex Apis(*App.Prog);
-  threadify::ThreadForest Forest = threadify::threadify(*App.Prog);
-  analysis::PointsToAnalysis PTA(*App.Prog, Forest, Apis);
-  PTA.run();
-  analysis::ThreadReach Reach(PTA, Forest);
-  race::DetectorResult Detection =
-      race::detectUafWarnings(Forest, PTA, Reach);
+  pipeline::AnalysisManager &AM = *appNamed(Name).AM;
+  AM.detection();
   for (auto _ : State) {
-    filters::FilterContext Ctx(*App.Prog, Forest, PTA, Reach, Apis);
-    filters::FilterEngine Engine(Ctx);
-    filters::PipelineResult Result = Engine.run(Detection.Warnings);
-    benchmark::DoNotOptimize(Result.RemainingAfterUnsound);
+    // Nullness first (its lazy edge drops the context), then the
+    // context itself in case no filter ever asked for nullness. The
+    // per-method guard/alloc caches stay warm, as they do in the real
+    // pipeline.
+    AM.invalidate<pipeline::NullnessPass>();
+    AM.invalidate<pipeline::FilterContextPass>();
+    benchmark::DoNotOptimize(AM.verdicts().RemainingAfterUnsound);
   }
 }
 
 void BM_FullPipeline(benchmark::State &State, const std::string &Name) {
-  const corpus::CorpusApp &App = appNamed(Name);
+  const corpus::CorpusApp &App = appNamed(Name).App;
   for (auto _ : State) {
     report::NadroidResult R = report::analyzeProgram(*App.Prog);
     benchmark::DoNotOptimize(R.Pipeline.RemainingAfterUnsound);

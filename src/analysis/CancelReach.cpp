@@ -13,6 +13,7 @@ using namespace nadroid::analysis;
 using namespace nadroid::ir;
 
 const std::vector<CancelInfo> &CancelReach::cancelsFrom(Method *M) const {
+  std::lock_guard<std::mutex> Lock(CacheMu);
   auto It = Cache.find(M);
   if (It != Cache.end())
     return It->second;

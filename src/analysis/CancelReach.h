@@ -20,6 +20,7 @@
 #include "android/Api.h"
 
 #include <map>
+#include <mutex>
 #include <vector>
 
 namespace nadroid::analysis {
@@ -48,6 +49,9 @@ public:
 
 private:
   const android::ApiIndex &Apis;
+  /// Guards Cache against the filter engine's parallel verdict loop;
+  /// map node stability keeps returned references valid.
+  mutable std::mutex CacheMu;
   mutable std::map<const ir::Method *, std::vector<CancelInfo>> Cache;
 };
 

@@ -32,6 +32,7 @@ void buildNesting(
 
 const std::map<const Stmt *, std::vector<const SyncStmt *>> &
 LocksetAnalysis::nestingFor(const Method *M) const {
+  std::lock_guard<std::mutex> Lock(CacheMu);
   auto It = NestingCache.find(M);
   if (It != NestingCache.end())
     return It->second;

@@ -20,6 +20,8 @@
 
 #include "analysis/PointsTo.h"
 
+#include <mutex>
+
 namespace nadroid::analysis {
 
 /// Answers "which abstract lock objects are held at statement S in context
@@ -38,6 +40,10 @@ public:
 
 private:
   const PointsToAnalysis &PTA;
+  /// Guards NestingCache: the filter engine queries locksets from its
+  /// parallel verdict loop. Map nodes are stable, so references handed
+  /// out remain valid after later insertions.
+  mutable std::mutex CacheMu;
   mutable std::map<const ir::Method *,
                    std::map<const ir::Stmt *,
                             std::vector<const ir::SyncStmt *>>>

@@ -1,0 +1,46 @@
+//===- analysis/MethodCaches.cpp - Thread-safe per-method caches ----------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/MethodCaches.h"
+
+using namespace nadroid;
+using namespace nadroid::analysis;
+
+const Cfg &MethodCfgCache::get(const ir::Method &M) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Map.find(&M);
+  if (It != Map.end())
+    return It->second;
+  return Map.try_emplace(&M, M).first->second;
+}
+
+const GuardAnalysis &MethodGuardCache::get(const ir::Method &M) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Map.find(&M);
+  if (It != Map.end())
+    return It->second;
+  return Map.emplace(&M, GuardAnalysis(M)).first->second;
+}
+
+const AllocFlowResult &MethodAllocFlowCache::get(const ir::Method &M,
+                                                 bool TreatCallResultAsAlloc) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto &Table = TreatCallResultAsAlloc ? Ma : Ia;
+  auto It = Table.find(&M);
+  if (It != Table.end())
+    return It->second;
+  return Table.emplace(&M, analyzeAllocFlow(M, TreatCallResultAsAlloc))
+      .first->second;
+}
+
+const std::map<const ir::LoadStmt *, ir::LoadConsumers> &
+MethodConsumersCache::get(const ir::Method &M) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Map.find(&M);
+  if (It != Map.end())
+    return It->second;
+  return Map.emplace(&M, ir::computeLoadConsumers(M)).first->second;
+}

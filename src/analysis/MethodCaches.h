@@ -1,0 +1,82 @@
+//===- analysis/MethodCaches.h - Thread-safe per-method caches --*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memoization tables for the per-method analyses (Cfg, GuardAnalysis,
+/// AllocFlow, load-consumer summaries). Each cache builds the result for
+/// a method on first request and returns a stable reference afterwards —
+/// std::map nodes never move, so references stay valid across later
+/// insertions.
+///
+/// All caches are internally synchronized: the filter engine's parallel
+/// per-warning verdict loop hits them from several threads at once, and
+/// the pipeline AnalysisManager shares one instance between the filter
+/// stage and the DEvA baseline. The lock is held across the build — the
+/// analyses are cheap and per-method, and holding it guarantees each
+/// method is analyzed exactly once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_ANALYSIS_METHODCACHES_H
+#define NADROID_ANALYSIS_METHODCACHES_H
+
+#include "analysis/AllocFlow.h"
+#include "analysis/Cfg.h"
+#include "analysis/Guards.h"
+#include "ir/LocalInfo.h"
+
+#include <map>
+#include <mutex>
+
+namespace nadroid::analysis {
+
+/// Control-flow graphs, one per method.
+class MethodCfgCache {
+public:
+  const Cfg &get(const ir::Method &M);
+
+private:
+  std::mutex Mu;
+  std::map<const ir::Method *, Cfg> Map;
+};
+
+/// Syntactic guard facts (Guards.h), one per method.
+class MethodGuardCache {
+public:
+  const GuardAnalysis &get(const ir::Method &M);
+
+private:
+  std::mutex Mu;
+  std::map<const ir::Method *, GuardAnalysis> Map;
+};
+
+/// Must-allocation facts (AllocFlow.h) in both modes: the IA mode and
+/// the MA mode where call results count as allocations.
+class MethodAllocFlowCache {
+public:
+  const AllocFlowResult &get(const ir::Method &M, bool TreatCallResultAsAlloc);
+
+private:
+  std::mutex Mu;
+  std::map<const ir::Method *, AllocFlowResult> Ia;
+  std::map<const ir::Method *, AllocFlowResult> Ma;
+};
+
+/// Load-consumer summaries (ir/LocalInfo.h), one map per method.
+class MethodConsumersCache {
+public:
+  const std::map<const ir::LoadStmt *, ir::LoadConsumers> &
+  get(const ir::Method &M);
+
+private:
+  std::mutex Mu;
+  std::map<const ir::Method *, std::map<const ir::LoadStmt *, ir::LoadConsumers>>
+      Map;
+};
+
+} // namespace nadroid::analysis
+
+#endif // NADROID_ANALYSIS_METHODCACHES_H

@@ -88,7 +88,8 @@ struct AccessSets {
 
 class GroupAnalyzer {
 public:
-  GroupAnalyzer(const ClassGroup &G) : G(G) {
+  GroupAnalyzer(pipeline::AnalysisManager &AM, const ClassGroup &G)
+      : AM(AM), G(G) {
     for (Clazz *C : G.Members)
       InGroup.insert(C);
   }
@@ -101,6 +102,7 @@ public:
   }
 
 private:
+  pipeline::AnalysisManager &AM;
   const ClassGroup &G;
   std::set<const Clazz *> InGroup;
 
@@ -108,9 +110,9 @@ private:
              std::set<const Method *> &Visited) {
     if (!Visited.insert(M).second)
       return;
-    const analysis::GuardAnalysis Guards(*M);
-    const analysis::AllocFlowResult Alloc =
-        analysis::analyzeAllocFlow(*M, /*TreatCallResultAsAlloc=*/false);
+    const analysis::GuardAnalysis &Guards = AM.guards(*M);
+    const analysis::AllocFlowResult &Alloc =
+        AM.allocFlow(*M, /*TreatCallResultAsAlloc=*/false);
 
     forEachStmt(*M, [&](const Stmt &S) {
       if (const auto *Load = dyn_cast<LoadStmt>(&S)) {
@@ -142,12 +144,18 @@ private:
 } // namespace
 
 DevaResult deva::runDeva(const Program &P) {
+  pipeline::AnalysisManager AM(P);
+  return runDeva(AM);
+}
+
+DevaResult deva::runDeva(pipeline::AnalysisManager &AM) {
+  const Program &P = AM.program();
   DevaResult Result;
 
   for (const ClassGroup &G : buildGroups(P)) {
     // Collect the group's event callbacks and their access sets.
     std::vector<std::pair<Method *, AccessSets>> Callbacks;
-    GroupAnalyzer Analyzer(G);
+    GroupAnalyzer Analyzer(AM, G);
     for (Clazz *C : G.Members)
       for (const auto &M : C->methods())
         if (isEventCallback(devaCallbackKind(*C, M->name())))

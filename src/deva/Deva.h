@@ -31,6 +31,7 @@
 #define NADROID_DEVA_DEVA_H
 
 #include "ir/Stmt.h"
+#include "pipeline/AnalysisManager.h"
 
 #include <vector>
 
@@ -63,6 +64,11 @@ struct DevaResult {
 
 /// Runs the DEvA baseline over \p P.
 DevaResult runDeva(const ir::Program &P);
+
+/// Same through a caller's manager: the per-method guard/alloc facts
+/// come from the shared caches, so a Table 3 run that also runs nAdroid
+/// analyzes each method once, not twice.
+DevaResult runDeva(pipeline::AnalysisManager &AM);
 
 } // namespace nadroid::deva
 

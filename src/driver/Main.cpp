@@ -28,6 +28,11 @@
 //                                    of the UAF pipeline
 //   nadroid --syntactic-filters a.air paper-faithful intra-procedural
 //                                    IG/IA guard analyses
+//   nadroid --batch DIR              analyze every .air app in DIR and
+//                                    print an aggregate Table-1 summary
+//   nadroid --jobs N                 worker threads for --batch and the
+//                                    per-warning filter sweep (default:
+//                                    one per hardware thread)
 //
 //===----------------------------------------------------------------------===//
 
@@ -36,16 +41,20 @@
 #include "frontend/Frontend.h"
 #include "interp/Interp.h"
 #include "ir/Printer.h"
+#include "report/Batch.h"
 #include "report/Nadroid.h"
 #include "report/Dot.h"
 #include "report/Lint.h"
 #include "report/Explain.h"
 #include "report/Json.h"
 #include "report/Rank.h"
+#include "support/TableWriter.h"
+#include "support/ThreadPool.h"
 
-#include <fstream>
-
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 
 using namespace nadroid;
@@ -67,7 +76,9 @@ struct CliOptions {
   bool Lint = false;
   bool SyntacticFilters = false;
   unsigned K = 2;
+  unsigned Jobs = 0;
   std::string ExportCorpusDir;
+  std::string BatchDir;
   std::vector<std::string> Files;
 };
 
@@ -75,8 +86,10 @@ void printUsage() {
   std::cerr
       << "usage: nadroid [--all] [--validate] [--deva] [--dump-threads]\n"
       << "               [--print-ir] [--stats] [--rank] [--fragments]\n"
+      << "               [--dot] [--explain] [--json]\n"
       << "               [--lint] [--syntactic-filters]\n"
-      << "               [--k N] [--export-corpus DIR] file.air...\n";
+      << "               [--k N] [--jobs N] [--export-corpus DIR]\n"
+      << "               [--batch DIR] file.air...\n";
 }
 
 bool parseArgs(int argc, char **argv, CliOptions &Opts) {
@@ -115,6 +128,25 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       }
       Opts.ExportCorpusDir = argv[I];
     }
+    else if (!std::strcmp(Arg, "--batch")) {
+      if (++I >= argc) {
+        std::cerr << "error: --batch needs a directory\n";
+        return false;
+      }
+      Opts.BatchDir = argv[I];
+    }
+    else if (!std::strcmp(Arg, "--jobs")) {
+      if (++I >= argc) {
+        std::cerr << "error: --jobs needs a value\n";
+        return false;
+      }
+      int N = std::atoi(argv[I]);
+      if (N < 1) {
+        std::cerr << "error: --jobs must be at least 1\n";
+        return false;
+      }
+      Opts.Jobs = static_cast<unsigned>(N);
+    }
     else if (!std::strcmp(Arg, "--k")) {
       if (++I >= argc) {
         std::cerr << "error: --k needs a value\n";
@@ -135,7 +167,8 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       Opts.Files.push_back(Arg);
     }
   }
-  if (Opts.Files.empty() && Opts.ExportCorpusDir.empty()) {
+  if (Opts.Files.empty() && Opts.ExportCorpusDir.empty() &&
+      Opts.BatchDir.empty()) {
     printUsage();
     return false;
   }
@@ -144,6 +177,8 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
 
 /// Writes all 27 evaluation apps as .air files into \p Dir.
 int exportCorpus(const std::string &Dir) {
+  std::error_code Ec;
+  std::filesystem::create_directories(Dir, Ec);
   unsigned Written = 0;
   for (const corpus::Recipe &R : corpus::allRecipes()) {
     corpus::CorpusApp App = corpus::buildApp(R);
@@ -160,8 +195,9 @@ int exportCorpus(const std::string &Dir) {
   return 0;
 }
 
-int runDevaBaseline(const ir::Program &P) {
-  deva::DevaResult Result = deva::runDeva(P);
+int runDevaBaseline(pipeline::AnalysisManager &AM) {
+  deva::DevaResult Result = deva::runDeva(AM);
+  const ir::Program &P = AM.program();
   std::cout << P.name() << ": DEvA found " << Result.Warnings.size()
             << " event anomalies, " << Result.harmful().size()
             << " marked harmful\n";
@@ -186,10 +222,23 @@ int analyzeFile(const std::string &Path, const CliOptions &Opts) {
 
   if (Opts.PrintIr)
     ir::printProgram(P, std::cout);
+
+  // One manager per file is the composition root for every mode below;
+  // --deva and --lint pull just the analyses they need from it. The pool
+  // (declared first, so it outlives the manager) parallelizes the
+  // per-warning filter sweep.
+  report::NadroidOptions NOpts;
+  NOpts.K = Opts.K;
+  NOpts.ModelFragments = Opts.Fragments;
+  NOpts.DataflowGuards = !Opts.SyntacticFilters;
+  support::ThreadPool Pool(Opts.Jobs);
+  auto AM = std::make_shared<pipeline::AnalysisManager>(P, NOpts);
+  AM->setThreadPool(&Pool);
+
   if (Opts.RunDeva)
-    return runDevaBaseline(P);
+    return runDevaBaseline(*AM);
   if (Opts.Lint) {
-    std::vector<analysis::LintFinding> Findings = report::runLint(P);
+    std::vector<analysis::LintFinding> Findings = report::runLint(*AM);
     for (const analysis::LintFinding &F : Findings)
       std::cout << report::renderLintFinding(P, F) << "\n";
     std::cout << P.name() << ": " << Findings.size()
@@ -197,11 +246,7 @@ int analyzeFile(const std::string &Path, const CliOptions &Opts) {
     return Findings.empty() ? 0 : 1;
   }
 
-  report::NadroidOptions NOpts;
-  NOpts.K = Opts.K;
-  NOpts.ModelFragments = Opts.Fragments;
-  NOpts.DataflowGuards = !Opts.SyntacticFilters;
-  report::NadroidResult R = report::analyzeProgram(P, NOpts);
+  report::NadroidResult R = report::analyzeProgram(AM);
 
   if (Opts.Dot) {
     std::cout << report::analysisToDot(R);
@@ -219,8 +264,26 @@ int analyzeFile(const std::string &Path, const CliOptions &Opts) {
     std::cout << "\n";
   }
   if (Opts.Stats) {
-    R.PTA->stats().print(std::cout);
-    R.Detection.Stats.print(std::cout);
+    std::cout << "per-analysis profile:\n";
+    TableWriter PassTable({"Analysis", "Self(ms)", "Builds", "Hits",
+                           "RSS(KB)"});
+    for (const pipeline::PassStat &S : R.Manager->passStats()) {
+      char Ms[32];
+      std::snprintf(Ms, sizeof(Ms), "%.1f", S.Seconds * 1000.0);
+      PassTable.addRow({S.Name, Ms, TableWriter::cell((long long)S.Builds),
+                        TableWriter::cell((long long)S.Hits),
+                        TableWriter::cell(S.RssKb)});
+    }
+    PassTable.print(std::cout);
+    std::cout << "\nanalysis counters:\n";
+    TableWriter Counters({"Counter", "Value"});
+    auto AddAll = [&Counters](const StatRegistry &Stats) {
+      for (const auto &[Key, Value] : Stats.all())
+        Counters.addRow({Key, TableWriter::cell((long long)Value)});
+    };
+    AddAll(R.PTA->stats());
+    AddAll(R.Detection.Stats);
+    Counters.print(std::cout);
     std::cout << "\n";
   }
 
@@ -274,6 +337,22 @@ int main(int argc, char **argv) {
     return 2;
   if (!Opts.ExportCorpusDir.empty())
     return exportCorpus(Opts.ExportCorpusDir);
+  if (!Opts.BatchDir.empty()) {
+    if (!std::filesystem::is_directory(Opts.BatchDir)) {
+      std::cerr << "error: '" << Opts.BatchDir << "' is not a directory\n";
+      return 2;
+    }
+    report::BatchOptions BOpts;
+    BOpts.Dir = Opts.BatchDir;
+    BOpts.Jobs = Opts.Jobs;
+    BOpts.Pipeline.K = Opts.K;
+    BOpts.Pipeline.ModelFragments = Opts.Fragments;
+    BOpts.Pipeline.DataflowGuards = !Opts.SyntacticFilters;
+    report::BatchResult BR = report::runBatch(BOpts);
+    std::cout << (Opts.Json ? report::renderBatchJson(BR)
+                            : report::renderBatchReport(BR));
+    return BR.exitCode();
+  }
   int Status = 0;
   for (const std::string &File : Opts.Files)
     Status = std::max(Status, analyzeFile(File, Opts));

@@ -16,7 +16,7 @@ FilterEngine::FilterEngine(FilterContext &Ctx) : Ctx(Ctx) {
     Instances.emplace(Kind, makeFilter(Kind));
 }
 
-const Filter &FilterEngine::filter(FilterKind Kind) {
+const Filter &FilterEngine::filter(FilterKind Kind) const {
   return *Instances.at(Kind);
 }
 
@@ -46,14 +46,23 @@ FilterEngine::pruneMask(const std::vector<UafWarning> &Warnings,
   return Mask;
 }
 
-PipelineResult FilterEngine::run(const std::vector<UafWarning> &Warnings) {
+PipelineResult FilterEngine::run(const std::vector<UafWarning> &Warnings,
+                                 support::ThreadPool *Pool) {
   PipelineResult Result;
   Result.Verdicts.resize(Warnings.size());
 
   std::vector<FilterKind> Sound = soundFilterKinds();
   std::vector<FilterKind> Unsound = unsoundFilterKinds();
 
-  for (size_t I = 0; I < Warnings.size(); ++I) {
+  // The nullness analysis is the one whole-program lazy analysis the
+  // filters consult; materialize it before fanning out so the parallel
+  // tasks only ever read it.
+  if (Pool && Ctx.options().DataflowGuards && !Warnings.empty())
+    Ctx.nullness();
+
+  // Each task touches only Warnings[I] and Verdicts[I]; shared state is
+  // confined to the context's internally-synchronized caches.
+  auto Evaluate = [&](size_t I) {
     const UafWarning &W = Warnings[I];
     WarningVerdict &V = Result.Verdicts[I];
 
@@ -71,9 +80,8 @@ PipelineResult FilterEngine::run(const std::vector<UafWarning> &Warnings) {
     }
     if (V.PairsAfterSound.empty()) {
       V.StageReached = WarningVerdict::Stage::PrunedBySound;
-      continue;
+      return;
     }
-    ++Result.RemainingAfterSound;
 
     // Unsound stage on the sound survivors.
     for (const ThreadPair &TP : V.PairsAfterSound) {
@@ -87,12 +95,23 @@ PipelineResult FilterEngine::run(const std::vector<UafWarning> &Warnings) {
       if (!Pruned)
         V.PairsRemaining.push_back(TP);
     }
-    if (V.PairsRemaining.empty()) {
-      V.StageReached = WarningVerdict::Stage::PrunedByUnsound;
-      continue;
-    }
-    V.StageReached = WarningVerdict::Stage::Remaining;
-    ++Result.RemainingAfterUnsound;
+    V.StageReached = V.PairsRemaining.empty()
+                         ? WarningVerdict::Stage::PrunedByUnsound
+                         : WarningVerdict::Stage::Remaining;
+  };
+
+  if (Pool)
+    Pool->parallelFor(Warnings.size(), Evaluate);
+  else
+    for (size_t I = 0; I < Warnings.size(); ++I)
+      Evaluate(I);
+
+  // Fold the counters serially so they never depend on task order.
+  for (const WarningVerdict &V : Result.Verdicts) {
+    if (V.StageReached != WarningVerdict::Stage::PrunedBySound)
+      ++Result.RemainingAfterSound;
+    if (V.StageReached == WarningVerdict::Stage::Remaining)
+      ++Result.RemainingAfterUnsound;
   }
   return Result;
 }

@@ -20,6 +20,7 @@
 #define NADROID_FILTERS_ENGINE_H
 
 #include "filters/Filter.h"
+#include "support/ThreadPool.h"
 
 #include <set>
 
@@ -63,14 +64,21 @@ public:
   std::vector<bool> pruneMask(const std::vector<race::UafWarning> &Warnings,
                               const std::vector<FilterKind> &Kinds);
 
-  /// The full sound-then-unsound pipeline with attribution.
-  PipelineResult run(const std::vector<race::UafWarning> &Warnings);
+  /// The full sound-then-unsound pipeline with attribution. With a
+  /// \p Pool, per-warning verdicts are evaluated concurrently; each task
+  /// writes only its own slot of the index-parallel Verdicts vector and
+  /// the summary counters are folded serially afterwards, so the result
+  /// is identical to the serial run, byte for byte.
+  PipelineResult run(const std::vector<race::UafWarning> &Warnings,
+                     support::ThreadPool *Pool = nullptr);
 
 private:
   FilterContext &Ctx;
   std::map<FilterKind, std::unique_ptr<Filter>> Instances;
 
-  const Filter &filter(FilterKind Kind);
+  /// Thread-safe: Instances is fully built in the constructor and the
+  /// filters themselves are stateless.
+  const Filter &filter(FilterKind Kind) const;
 };
 
 } // namespace nadroid::filters

@@ -24,13 +24,16 @@
 #include "analysis/CancelReach.h"
 #include "analysis/Guards.h"
 #include "analysis/Lockset.h"
+#include "analysis/MethodCaches.h"
 #include "analysis/Nullness.h"
 #include "analysis/PointsTo.h"
 #include "analysis/ThreadReach.h"
 #include "ir/LocalInfo.h"
 #include "race/Warning.h"
 
+#include <functional>
 #include <memory>
+#include <mutex>
 
 namespace nadroid::filters {
 
@@ -58,14 +61,43 @@ struct FilterOptions {
   bool DataflowGuards = true;
 };
 
+/// Externally-owned analyses a FilterContext can borrow instead of
+/// building its own — how the pipeline AnalysisManager shares one set of
+/// analyses between the filter stage, the DEvA baseline, and --stats.
+/// Any member left null is built and owned by the context itself.
+struct SharedAnalyses {
+  /// Lazy handle to the whole-program nullness analysis. Invoked at most
+  /// once, on the context's first nullness() call, so a manager-backed
+  /// handle keeps the analysis demand-built.
+  std::function<const analysis::NullnessAnalysis &()> Nullness;
+  const analysis::LocksetAnalysis *Locks = nullptr;
+  const analysis::CancelReach *Cancel = nullptr;
+  analysis::MethodGuardCache *Guards = nullptr;
+  analysis::MethodAllocFlowCache *Alloc = nullptr;
+  analysis::MethodConsumersCache *Consumers = nullptr;
+};
+
 /// Shared analysis handles plus per-method caches the filters consult.
+/// Thread-compatible for queries: every lazily-built table behind the
+/// accessors is internally synchronized, which is what lets the filter
+/// engine evaluate verdicts for different warnings concurrently.
 class FilterContext {
 public:
+  /// Self-contained form: the context builds and owns every lazy
+  /// analysis itself.
   FilterContext(const ir::Program &P, const threadify::ThreadForest &Forest,
                 const analysis::PointsToAnalysis &PTA,
                 const analysis::ThreadReach &Reach,
                 const android::ApiIndex &Apis,
                 FilterOptions Options = FilterOptions{});
+
+  /// Borrowing form: non-null members of \p External are used instead of
+  /// self-built ones and must outlive the context.
+  FilterContext(const ir::Program &P, const threadify::ThreadForest &Forest,
+                const analysis::PointsToAnalysis &PTA,
+                const analysis::ThreadReach &Reach,
+                const android::ApiIndex &Apis, FilterOptions Options,
+                SharedAnalyses External);
 
   const FilterOptions &options() const { return Opts; }
 
@@ -112,16 +144,19 @@ private:
   const analysis::ThreadReach &Reach;
   const android::ApiIndex &Apis;
   FilterOptions Opts;
-  analysis::LocksetAnalysis Locks;
-  analysis::CancelReach Cancel;
-  std::unique_ptr<analysis::NullnessAnalysis> Nullness;
 
-  std::map<const ir::Method *, analysis::GuardAnalysis> GuardCache;
-  std::map<const ir::Method *, analysis::AllocFlowResult> AllocCache;
-  std::map<const ir::Method *, analysis::AllocFlowResult> AllocMACache;
-  std::map<const ir::Method *,
-           std::map<const ir::LoadStmt *, ir::LoadConsumers>>
-      ConsumerCache;
+  /// Normalized in the constructor: every member non-null afterwards,
+  /// pointing either at External's analyses or at the Own* ones below.
+  SharedAnalyses Shared;
+  std::unique_ptr<analysis::LocksetAnalysis> OwnLocks;
+  std::unique_ptr<analysis::CancelReach> OwnCancel;
+  std::unique_ptr<analysis::NullnessAnalysis> OwnNullness;
+  std::unique_ptr<analysis::MethodGuardCache> OwnGuards;
+  std::unique_ptr<analysis::MethodAllocFlowCache> OwnAlloc;
+  std::unique_ptr<analysis::MethodConsumersCache> OwnConsumers;
+
+  std::mutex NullnessMu;
+  const analysis::NullnessAnalysis *NullnessPtr = nullptr;
 };
 
 /// One filter. Stateless; all data comes through the context.

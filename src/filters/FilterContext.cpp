@@ -73,53 +73,72 @@ FilterContext::FilterContext(const Program &P,
                              const analysis::ThreadReach &Reach,
                              const android::ApiIndex &Apis,
                              FilterOptions Options)
+    : FilterContext(P, Forest, PTA, Reach, Apis, Options, SharedAnalyses{}) {}
+
+FilterContext::FilterContext(const Program &P,
+                             const threadify::ThreadForest &Forest,
+                             const analysis::PointsToAnalysis &PTA,
+                             const analysis::ThreadReach &Reach,
+                             const android::ApiIndex &Apis,
+                             FilterOptions Options, SharedAnalyses External)
     : P(P), Forest(Forest), PTA(PTA), Reach(Reach), Apis(Apis), Opts(Options),
-      Locks(PTA), Cancel(P, Apis) {}
+      Shared(std::move(External)) {
+  // Normalize: any analysis the caller did not share is built and owned
+  // here, so the accessors below never have to distinguish the two modes.
+  if (!Shared.Locks) {
+    OwnLocks = std::make_unique<analysis::LocksetAnalysis>(PTA);
+    Shared.Locks = OwnLocks.get();
+  }
+  if (!Shared.Cancel) {
+    OwnCancel = std::make_unique<analysis::CancelReach>(P, Apis);
+    Shared.Cancel = OwnCancel.get();
+  }
+  if (!Shared.Guards) {
+    OwnGuards = std::make_unique<analysis::MethodGuardCache>();
+    Shared.Guards = OwnGuards.get();
+  }
+  if (!Shared.Alloc) {
+    OwnAlloc = std::make_unique<analysis::MethodAllocFlowCache>();
+    Shared.Alloc = OwnAlloc.get();
+  }
+  if (!Shared.Consumers) {
+    OwnConsumers = std::make_unique<analysis::MethodConsumersCache>();
+    Shared.Consumers = OwnConsumers.get();
+  }
+  if (!Shared.Nullness)
+    Shared.Nullness = [this]() -> const analysis::NullnessAnalysis & {
+      OwnNullness = std::make_unique<analysis::NullnessAnalysis>(this->P);
+      return *OwnNullness;
+    };
+}
 
 const analysis::NullnessAnalysis &FilterContext::nullness() {
-  if (!Nullness)
-    Nullness = std::make_unique<analysis::NullnessAnalysis>(P);
-  return *Nullness;
+  std::lock_guard<std::mutex> Lock(NullnessMu);
+  if (!NullnessPtr)
+    NullnessPtr = &Shared.Nullness();
+  return *NullnessPtr;
 }
 
 const analysis::GuardAnalysis &FilterContext::guards(const Method *M) {
-  auto It = GuardCache.find(M);
-  if (It != GuardCache.end())
-    return It->second;
-  return GuardCache.emplace(M, analysis::GuardAnalysis(*M)).first->second;
+  return Shared.Guards->get(*M);
 }
 
 const analysis::AllocFlowResult &FilterContext::allocFlow(const Method *M) {
-  auto It = AllocCache.find(M);
-  if (It != AllocCache.end())
-    return It->second;
-  return AllocCache
-      .emplace(M, analysis::analyzeAllocFlow(*M,
-                                             /*TreatCallResultAsAlloc=*/false))
-      .first->second;
+  return Shared.Alloc->get(*M, /*TreatCallResultAsAlloc=*/false);
 }
 
 const analysis::AllocFlowResult &
 FilterContext::allocFlowMA(const Method *M) {
-  auto It = AllocMACache.find(M);
-  if (It != AllocMACache.end())
-    return It->second;
-  return AllocMACache
-      .emplace(M, analysis::analyzeAllocFlow(*M,
-                                             /*TreatCallResultAsAlloc=*/true))
-      .first->second;
+  return Shared.Alloc->get(*M, /*TreatCallResultAsAlloc=*/true);
 }
 
 const std::map<const LoadStmt *, LoadConsumers> &
 FilterContext::consumers(const Method *M) {
-  auto It = ConsumerCache.find(M);
-  if (It != ConsumerCache.end())
-    return It->second;
-  return ConsumerCache.emplace(M, computeLoadConsumers(*M)).first->second;
+  return Shared.Consumers->get(*M);
 }
 
 const std::vector<analysis::CancelInfo> &FilterContext::cancels(Method *M) {
-  return Cancel.cancelsFrom(M);
+  return Shared.Cancel->cancelsFrom(M);
 }
 
 std::set<ObjectId> FilterContext::locksFor(const Stmt *S,
@@ -128,7 +147,7 @@ std::set<ObjectId> FilterContext::locksFor(const Stmt *S,
   for (const MethodCtx &Ctx : Reach.contextsOf(T)) {
     if (Ctx.M != S->parentMethod())
       continue;
-    std::set<ObjectId> Held = Locks.locksHeldAt(S, Ctx);
+    std::set<ObjectId> Held = Shared.Locks->locksHeldAt(S, Ctx);
     Result.insert(Held.begin(), Held.end());
   }
   return Result;

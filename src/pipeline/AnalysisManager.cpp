@@ -1,0 +1,237 @@
+//===- pipeline/AnalysisManager.cpp - Lazy analysis registry --------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/AnalysisManager.h"
+
+#include "threadify/Threadifier.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace nadroid;
+using namespace nadroid::pipeline;
+using Clock = std::chrono::steady_clock;
+
+//===----------------------------------------------------------------------===//
+// Pass bodies
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<android::ApiIndex> ApiIndexPass::run(AnalysisManager &AM) {
+  return std::make_unique<android::ApiIndex>(AM.program());
+}
+
+std::unique_ptr<threadify::ThreadForest>
+ThreadForestPass::run(AnalysisManager &AM) {
+  threadify::ThreadifyOptions TOpts;
+  TOpts.ModelFragments = AM.options().ModelFragments;
+  return std::make_unique<threadify::ThreadForest>(
+      threadify::threadify(AM.program(), TOpts));
+}
+
+std::unique_ptr<analysis::PointsToAnalysis>
+PointsToPass::run(AnalysisManager &AM) {
+  analysis::PointsToAnalysis::Options PtaOpts;
+  PtaOpts.K = AM.options().K;
+  auto PTA = std::make_unique<analysis::PointsToAnalysis>(
+      AM.program(), AM.forest(), AM.apis(), PtaOpts);
+  PTA->run();
+  return PTA;
+}
+
+std::unique_ptr<analysis::ThreadReach>
+ThreadReachPass::run(AnalysisManager &AM) {
+  return std::make_unique<analysis::ThreadReach>(AM.pointsTo(), AM.forest());
+}
+
+std::unique_ptr<race::DetectorResult> DetectionPass::run(AnalysisManager &AM) {
+  return std::make_unique<race::DetectorResult>(
+      race::detectUafWarnings(AM.forest(), AM.pointsTo(), AM.reach()));
+}
+
+std::unique_ptr<analysis::NullnessAnalysis>
+NullnessPass::run(AnalysisManager &AM) {
+  return std::make_unique<analysis::NullnessAnalysis>(AM.program());
+}
+
+std::unique_ptr<analysis::LocksetAnalysis>
+LocksetPass::run(AnalysisManager &AM) {
+  return std::make_unique<analysis::LocksetAnalysis>(AM.pointsTo());
+}
+
+std::unique_ptr<analysis::CancelReach>
+CancelReachPass::run(AnalysisManager &AM) {
+  return std::make_unique<analysis::CancelReach>(AM.program(), AM.apis());
+}
+
+std::unique_ptr<analysis::EscapeAnalysis>
+EscapePass::run(AnalysisManager &AM) {
+  return std::make_unique<analysis::EscapeAnalysis>(AM.pointsTo(), AM.reach(),
+                                                    AM.forest());
+}
+
+std::unique_ptr<analysis::MethodCfgCache>
+CfgCachePass::run(AnalysisManager &) {
+  return std::make_unique<analysis::MethodCfgCache>();
+}
+
+std::unique_ptr<analysis::MethodGuardCache>
+GuardCachePass::run(AnalysisManager &) {
+  return std::make_unique<analysis::MethodGuardCache>();
+}
+
+std::unique_ptr<analysis::MethodAllocFlowCache>
+AllocFlowCachePass::run(AnalysisManager &) {
+  return std::make_unique<analysis::MethodAllocFlowCache>();
+}
+
+std::unique_ptr<analysis::MethodConsumersCache>
+ConsumersCachePass::run(AnalysisManager &) {
+  return std::make_unique<analysis::MethodConsumersCache>();
+}
+
+std::unique_ptr<filters::FilterContext>
+FilterContextPass::run(AnalysisManager &AM) {
+  filters::FilterOptions FOpts;
+  FOpts.DataflowGuards = AM.options().DataflowGuards;
+  filters::SharedAnalyses Shared;
+  Shared.Locks = &AM.lockset();
+  Shared.Cancel = &AM.cancelReach();
+  Shared.Guards = &AM.getMutable<GuardCachePass>();
+  Shared.Alloc = &AM.getMutable<AllocFlowCachePass>();
+  Shared.Consumers = &AM.getMutable<ConsumersCachePass>();
+  // The context pulls nullness through the manager only if a filter ever
+  // asks, keeping --syntactic-filters runs free of the dataflow cost.
+  // The edge below makes the deferred dependency visible to
+  // invalidation: dropping NullnessPass must drop the context (which
+  // caches the reference) even though no build-time request ties them.
+  Shared.Nullness = [&AM]() -> const analysis::NullnessAnalysis & {
+    return AM.nullness();
+  };
+  AM.addLazyEdge<NullnessPass, FilterContextPass>();
+  return std::make_unique<filters::FilterContext>(
+      AM.program(), AM.forest(), AM.pointsTo(), AM.reach(), AM.apis(), FOpts,
+      std::move(Shared));
+}
+
+std::unique_ptr<filters::FilterEngine>
+FilterEnginePass::run(AnalysisManager &AM) {
+  return std::make_unique<filters::FilterEngine>(AM.filterContext());
+}
+
+std::unique_ptr<filters::PipelineResult>
+VerdictsPass::run(AnalysisManager &AM) {
+  filters::FilterEngine &Engine = AM.engine();
+  const std::vector<race::UafWarning> &Warnings = AM.detection().Warnings;
+  return std::make_unique<filters::PipelineResult>(
+      Engine.run(Warnings, AM.threadPool()));
+}
+
+//===----------------------------------------------------------------------===//
+// The manager
+//===----------------------------------------------------------------------===//
+
+AnalysisManager::AnalysisManager(const ir::Program &P, PipelineOptions Opts)
+    : P(P), Opts(Opts) {}
+
+AnalysisManager::~AnalysisManager() {
+  // Entries reference each other (the filter context borrows manager-
+  // owned analyses); tear down dependents before their dependencies.
+  std::vector<std::type_index> Keys;
+  for (const auto &[Key, E] : Cache)
+    if (E.Data)
+      Keys.push_back(Key);
+  for (std::type_index Key : Keys)
+    invalidateKey(Key);
+}
+
+AnalysisManager::CacheEntry &AnalysisManager::slot(std::type_index Key,
+                                                   const char *Name) {
+  CacheEntry &E = Cache[Key]; // std::map: nodes stay put across inserts
+  E.Name = Name;
+  // A request issued while another pass builds is a dependency edge:
+  // the building pass must be dropped whenever this one is.
+  if (!BuildStack.empty() && BuildStack.back().Key != Key)
+    E.Dependents.insert(BuildStack.back().Key);
+  return E;
+}
+
+void AnalysisManager::noteHit(CacheEntry &E) {
+  ++E.Hits;
+  Stats.add(std::string("pipeline.") + E.Name + ".hits");
+}
+
+void AnalysisManager::beginBuild(std::type_index Key) {
+  BuildStack.push_back({Key, Clock::now(), currentRssKb(), 0.0});
+}
+
+void AnalysisManager::endBuild(std::type_index Key,
+                               std::unique_ptr<SlotBase> Data) {
+  assert(!BuildStack.empty() && BuildStack.back().Key == Key &&
+         "mismatched beginBuild/endBuild");
+  BuildFrame Frame = BuildStack.back();
+  BuildStack.pop_back();
+
+  const double Total =
+      std::chrono::duration<double>(Clock::now() - Frame.Start).count();
+  const double Self = std::max(0.0, Total - Frame.ChildSeconds);
+  // The parent's exclusive time must not include this whole build.
+  if (!BuildStack.empty())
+    BuildStack.back().ChildSeconds += Total;
+
+  CacheEntry &E = Cache[Key];
+  E.Data = std::move(Data);
+  E.Seconds += Self;
+  ++E.Builds;
+  E.RssKb += std::max(0L, currentRssKb() - Frame.RssStartKb);
+
+  const std::string Prefix = std::string("pipeline.") + E.Name;
+  Stats.add(Prefix + ".builds");
+  Stats.set(Prefix + ".ms", static_cast<uint64_t>(E.Seconds * 1000.0));
+  Stats.set(Prefix + ".rsskb", static_cast<uint64_t>(E.RssKb));
+}
+
+void AnalysisManager::invalidateKey(std::type_index Key) {
+  auto It = Cache.find(Key);
+  if (It == Cache.end() || !It->second.Data)
+    return;
+  // Empty the slot up front so re-entrant edges terminate, but destroy
+  // the result only after every dependent — dependents hold references
+  // into it. The set is copied because nested calls may touch the map.
+  std::unique_ptr<SlotBase> Doomed = std::move(It->second.Data);
+  const std::set<std::type_index> Deps = It->second.Dependents;
+  for (std::type_index Dep : Deps)
+    invalidateKey(Dep);
+}
+
+void AnalysisManager::setOptions(const PipelineOptions &New) {
+  assert(BuildStack.empty() && "cannot change options mid-build");
+  if (New.ModelFragments != Opts.ModelFragments)
+    invalidate<ThreadForestPass>();
+  if (New.K != Opts.K)
+    invalidate<PointsToPass>();
+  if (New.DataflowGuards != Opts.DataflowGuards)
+    invalidate<FilterContextPass>();
+  Opts = New;
+}
+
+std::vector<PassStat> AnalysisManager::passStats() const {
+  std::vector<PassStat> Rows;
+  for (const auto &[Key, E] : Cache) {
+    if (E.Builds == 0 && E.Hits == 0)
+      continue;
+    PassStat S;
+    S.Name = E.Name;
+    S.Seconds = E.Seconds;
+    S.Builds = E.Builds;
+    S.Hits = E.Hits;
+    S.RssKb = E.RssKb;
+    S.Cached = E.Data != nullptr;
+    Rows.push_back(std::move(S));
+  }
+  std::sort(Rows.begin(), Rows.end(),
+            [](const PassStat &A, const PassStat &B) { return A.Name < B.Name; });
+  return Rows;
+}

@@ -1,0 +1,364 @@
+//===- pipeline/AnalysisManager.h - Lazy analysis registry ------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The composition root of the whole pipeline. Every analysis the system
+/// knows — ApiIndex, ThreadForest, PointsTo, ThreadReach, detection,
+/// Nullness, Lockset, CancelReach, Escape, the per-method Cfg / Guards /
+/// AllocFlow / consumers caches, the filter context/engine and the final
+/// verdicts — is registered behind a typed key and computed lazily on
+/// first request, then cached for the lifetime of the manager (one
+/// manager per ir::Program).
+///
+/// Before this layer existed, report::analyzeProgram, --lint, --deva and
+/// every bench binary each hand-wired the same stages in slightly
+/// different orders. Now they all ask one manager, which buys three
+/// things:
+///
+///  * Demand-driven construction — `--lint` builds exactly the nullness
+///    analysis and nothing else; `--deva` shares the guard/alloc caches
+///    with the filters instead of recomputing them.
+///
+///  * Accounting — each build is timed (exclusive self-time: time spent
+///    inside dependencies requested mid-build is subtracted) and its
+///    resident-set growth sampled, recorded both in a StatRegistry
+///    (`pipeline.<name>.*`) and as passStats() rows for --stats/--json.
+///
+///  * Invalidation — setOptions() drops exactly the analyses the changed
+///    option feeds (K → points-to, ModelFragments → thread forest,
+///    DataflowGuards → filter stage) plus, transitively, everything
+///    recorded as depending on them. Dependency edges are observed, not
+///    declared: a get<B>() issued while A is building makes A a
+///    dependent of B.
+///
+/// The manager itself is single-threaded — callers must not request
+/// analyses from two threads at once. Parallelism lives elsewhere: the
+/// batch driver runs one manager per app on a support::ThreadPool, and
+/// the filter engine's verdict loop fans out over the same pool while
+/// every analysis it touches is already built or internally
+/// synchronized (see FilterContext).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_PIPELINE_ANALYSISMANAGER_H
+#define NADROID_PIPELINE_ANALYSISMANAGER_H
+
+#include "analysis/Escape.h"
+#include "analysis/MethodCaches.h"
+#include "filters/Engine.h"
+#include "race/Detector.h"
+#include "support/Statistic.h"
+#include "support/ThreadPool.h"
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <set>
+#include <typeindex>
+#include <vector>
+
+namespace nadroid::pipeline {
+
+class AnalysisManager;
+
+/// Options the analyses consume. Field-compatible with the pre-pipeline
+/// report::NadroidOptions (now an alias of this struct).
+struct PipelineOptions {
+  /// Context depth of the points-to analysis (§8.5; the paper's default).
+  unsigned K = 2;
+  /// Model Fragment callbacks (off by default, like the paper — the
+  /// Table 3 Browser miss depends on this being off).
+  bool ModelFragments = false;
+  /// Inter-procedural nullness behind IG/IA instead of the paper's
+  /// syntactic guard analyses.
+  bool DataflowGuards = true;
+};
+
+/// One row of per-analysis accounting, as rendered by --stats and --json.
+struct PassStat {
+  std::string Name;
+  double Seconds = 0;   ///< exclusive build self-time, summed over rebuilds
+  uint64_t Builds = 0;  ///< times constructed (>1 after invalidation)
+  uint64_t Hits = 0;    ///< cache hits after construction
+  long RssKb = 0;       ///< resident-set growth sampled around the builds
+  bool Cached = false;  ///< currently materialized
+};
+
+// Pass keys. Each names one analysis: `Result` is the cached type and
+// `run` builds it, requesting dependencies back through the manager so
+// that dependency edges and timings are recorded. Definitions live in
+// AnalysisManager.cpp; a pass is a key, not an object — it carries no
+// state of its own.
+
+/// Android API classification tables. Immutable once built, so the batch
+/// driver's concurrent per-app analyses can share the underlying static
+/// framework model freely.
+struct ApiIndexPass {
+  static constexpr const char *Name = "apiindex";
+  using Result = android::ApiIndex;
+  static std::unique_ptr<Result> run(AnalysisManager &AM);
+};
+
+/// §4 threadification. Depends on: options().ModelFragments.
+struct ThreadForestPass {
+  static constexpr const char *Name = "threadforest";
+  using Result = threadify::ThreadForest;
+  static std::unique_ptr<Result> run(AnalysisManager &AM);
+};
+
+/// §5 k-object-sensitive points-to, solved to fixpoint. Depends on:
+/// apis, forest, options().K.
+struct PointsToPass {
+  static constexpr const char *Name = "pointsto";
+  using Result = analysis::PointsToAnalysis;
+  static std::unique_ptr<Result> run(AnalysisManager &AM);
+};
+
+/// Thread-to-context reachability. Depends on: pointsto, forest.
+struct ThreadReachPass {
+  static constexpr const char *Name = "threadreach";
+  using Result = analysis::ThreadReach;
+  static std::unique_ptr<Result> run(AnalysisManager &AM);
+};
+
+/// §5 racy-pair enumeration (the potential-UAF warning list).
+struct DetectionPass {
+  static constexpr const char *Name = "detection";
+  using Result = race::DetectorResult;
+  static std::unique_ptr<Result> run(AnalysisManager &AM);
+};
+
+/// Whole-program inter-procedural nullness (backs IG/IA and --lint).
+struct NullnessPass {
+  static constexpr const char *Name = "nullness";
+  using Result = analysis::NullnessAnalysis;
+  static std::unique_ptr<Result> run(AnalysisManager &AM);
+};
+
+/// Lock nesting / locks-held-at queries. Depends on: pointsto.
+struct LocksetPass {
+  static constexpr const char *Name = "lockset";
+  using Result = analysis::LocksetAnalysis;
+  static std::unique_ptr<Result> run(AnalysisManager &AM);
+};
+
+/// Cancellation reachability (CHB's substrate). Depends on: apis.
+struct CancelReachPass {
+  static constexpr const char *Name = "cancelreach";
+  using Result = analysis::CancelReach;
+  static std::unique_ptr<Result> run(AnalysisManager &AM);
+};
+
+/// Thread-escape facts. Depends on: pointsto, threadreach, forest.
+struct EscapePass {
+  static constexpr const char *Name = "escape";
+  using Result = analysis::EscapeAnalysis;
+  static std::unique_ptr<Result> run(AnalysisManager &AM);
+};
+
+/// Per-method control-flow graphs, built on demand per method.
+struct CfgCachePass {
+  static constexpr const char *Name = "cfg";
+  using Result = analysis::MethodCfgCache;
+  static std::unique_ptr<Result> run(AnalysisManager &AM);
+};
+
+/// Per-method syntactic guard facts, shared by filters and DEvA.
+struct GuardCachePass {
+  static constexpr const char *Name = "guards";
+  using Result = analysis::MethodGuardCache;
+  static std::unique_ptr<Result> run(AnalysisManager &AM);
+};
+
+/// Per-method must-allocation facts (both IA and MA modes).
+struct AllocFlowCachePass {
+  static constexpr const char *Name = "allocflow";
+  using Result = analysis::MethodAllocFlowCache;
+  static std::unique_ptr<Result> run(AnalysisManager &AM);
+};
+
+/// Per-method load-consumer summaries (UR's substrate).
+struct ConsumersCachePass {
+  static constexpr const char *Name = "consumers";
+  using Result = analysis::MethodConsumersCache;
+  static std::unique_ptr<Result> run(AnalysisManager &AM);
+};
+
+/// The §6 filter context, borrowing every shared analysis from the
+/// manager. Depends on: forest, pointsto, threadreach, apis, lockset,
+/// cancelreach, the per-method caches, lazily nullness, and
+/// options().DataflowGuards.
+struct FilterContextPass {
+  static constexpr const char *Name = "filterctx";
+  using Result = filters::FilterContext;
+  static std::unique_ptr<Result> run(AnalysisManager &AM);
+};
+
+/// The filter engine over the shared context.
+struct FilterEnginePass {
+  static constexpr const char *Name = "filterengine";
+  using Result = filters::FilterEngine;
+  static std::unique_ptr<Result> run(AnalysisManager &AM);
+};
+
+/// The full sound-then-unsound verdict sweep over every detected
+/// warning — Table 1's "after sound/unsound" columns. Runs on the
+/// manager's thread pool when one is attached.
+struct VerdictsPass {
+  static constexpr const char *Name = "verdicts";
+  using Result = filters::PipelineResult;
+  static std::unique_ptr<Result> run(AnalysisManager &AM);
+};
+
+/// The lazy analysis registry for one program. See the file comment.
+class AnalysisManager {
+public:
+  explicit AnalysisManager(const ir::Program &P,
+                           PipelineOptions Opts = PipelineOptions{});
+  ~AnalysisManager();
+
+  AnalysisManager(const AnalysisManager &) = delete;
+  AnalysisManager &operator=(const AnalysisManager &) = delete;
+
+  const ir::Program &program() const { return P; }
+  const PipelineOptions &options() const { return Opts; }
+
+  /// Changes options, invalidating exactly the analyses (and their
+  /// transitive dependents) each changed field feeds.
+  void setOptions(const PipelineOptions &New);
+
+  /// Attaches a pool the VerdictsPass fans its per-warning loop over.
+  /// Not owned; pass nullptr to detach. Results are identical either way.
+  void setThreadPool(support::ThreadPool *Pool) { Pool_ = Pool; }
+  support::ThreadPool *threadPool() const { return Pool_; }
+
+  /// The analysis keyed by \p PassT, built on first request. References
+  /// stay valid until the pass is invalidated or the manager dies.
+  template <typename PassT> const typename PassT::Result &get() {
+    return getMutable<PassT>();
+  }
+
+  /// Mutable access, for results that are themselves demand-filled
+  /// caches (the per-method caches, the filter context/engine).
+  template <typename PassT> typename PassT::Result &getMutable() {
+    const std::type_index Key(typeid(PassT));
+    CacheEntry &E = slot(Key, PassT::Name);
+    if (E.Data) {
+      noteHit(E);
+      return *static_cast<Slot<typename PassT::Result> *>(E.Data.get())->Value;
+    }
+    beginBuild(Key);
+    std::unique_ptr<typename PassT::Result> Value = PassT::run(*this);
+    auto S = std::make_unique<Slot<typename PassT::Result>>();
+    typename PassT::Result &Ref = *Value;
+    S->Value = std::move(Value);
+    endBuild(Key, std::move(S));
+    return Ref;
+  }
+
+  /// True when the analysis is currently materialized. Never triggers a
+  /// build — this is how tests pin laziness.
+  template <typename PassT> bool isCached() const {
+    auto It = Cache.find(std::type_index(typeid(PassT)));
+    return It != Cache.end() && It->second.Data != nullptr;
+  }
+
+  /// Drops the analysis and, transitively, everything recorded as
+  /// depending on it. Accounting (build counts, times) survives.
+  template <typename PassT> void invalidate() {
+    invalidateKey(std::type_index(typeid(PassT)));
+  }
+
+  /// Records that \p DependentT must be dropped whenever \p DepT is,
+  /// without building either — for dependencies consumed lazily, where
+  /// the consuming build may finish before the dependency is requested.
+  template <typename DepT, typename DependentT> void addLazyEdge() {
+    slot(std::type_index(typeid(DepT)), DepT::Name)
+        .Dependents.insert(std::type_index(typeid(DependentT)));
+  }
+
+  // Named accessors — the vocabulary the rest of the system uses.
+  const android::ApiIndex &apis() { return get<ApiIndexPass>(); }
+  const threadify::ThreadForest &forest() { return get<ThreadForestPass>(); }
+  const analysis::PointsToAnalysis &pointsTo() { return get<PointsToPass>(); }
+  const analysis::ThreadReach &reach() { return get<ThreadReachPass>(); }
+  const race::DetectorResult &detection() { return get<DetectionPass>(); }
+  const analysis::NullnessAnalysis &nullness() { return get<NullnessPass>(); }
+  const analysis::LocksetAnalysis &lockset() { return get<LocksetPass>(); }
+  const analysis::CancelReach &cancelReach() { return get<CancelReachPass>(); }
+  const analysis::EscapeAnalysis &escape() { return get<EscapePass>(); }
+  const analysis::Cfg &cfg(const ir::Method &M) {
+    return getMutable<CfgCachePass>().get(M);
+  }
+  const analysis::GuardAnalysis &guards(const ir::Method &M) {
+    return getMutable<GuardCachePass>().get(M);
+  }
+  const analysis::AllocFlowResult &
+  allocFlow(const ir::Method &M, bool TreatCallResultAsAlloc = false) {
+    return getMutable<AllocFlowCachePass>().get(M, TreatCallResultAsAlloc);
+  }
+  const std::map<const ir::LoadStmt *, ir::LoadConsumers> &
+  consumers(const ir::Method &M) {
+    return getMutable<ConsumersCachePass>().get(M);
+  }
+  filters::FilterContext &filterContext() {
+    return getMutable<FilterContextPass>();
+  }
+  filters::FilterEngine &engine() { return getMutable<FilterEnginePass>(); }
+  const filters::PipelineResult &verdicts() { return get<VerdictsPass>(); }
+
+  /// The `pipeline.<name>.{ms,builds,hits,rsskb}` counters.
+  const StatRegistry &stats() const { return Stats; }
+
+  /// Accounting rows for every analysis touched so far, sorted by name.
+  std::vector<PassStat> passStats() const;
+
+private:
+  struct SlotBase {
+    virtual ~SlotBase() = default;
+  };
+  template <typename R> struct Slot : SlotBase {
+    std::unique_ptr<R> Value;
+  };
+
+  struct CacheEntry {
+    std::unique_ptr<SlotBase> Data;
+    const char *Name = "?";
+    double Seconds = 0;
+    uint64_t Builds = 0;
+    uint64_t Hits = 0;
+    long RssKb = 0;
+    /// Passes that requested this one while building — dropped when this
+    /// pass is invalidated. Edges persist across rebuilds.
+    std::set<std::type_index> Dependents;
+  };
+
+  struct BuildFrame {
+    std::type_index Key;
+    std::chrono::steady_clock::time_point Start;
+    long RssStartKb = 0;
+    /// Accumulated total time of dependencies built inside this frame,
+    /// subtracted to get exclusive self-time.
+    double ChildSeconds = 0;
+  };
+
+  CacheEntry &slot(std::type_index Key, const char *Name);
+  void noteHit(CacheEntry &E);
+  void beginBuild(std::type_index Key);
+  void endBuild(std::type_index Key, std::unique_ptr<SlotBase> Data);
+  void invalidateKey(std::type_index Key);
+
+  const ir::Program &P;
+  PipelineOptions Opts;
+  support::ThreadPool *Pool_ = nullptr;
+  std::map<std::type_index, CacheEntry> Cache;
+  std::vector<BuildFrame> BuildStack;
+  StatRegistry Stats;
+};
+
+} // namespace nadroid::pipeline
+
+#endif // NADROID_PIPELINE_ANALYSISMANAGER_H

@@ -1,0 +1,195 @@
+//===- report/Batch.cpp - Parallel corpus-scale batch driver --------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "report/Batch.h"
+
+#include "frontend/Frontend.h"
+#include "report/Json.h"
+#include "support/TableWriter.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+using namespace nadroid;
+using namespace nadroid::report;
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+/// Parse + analyze one app, keeping only aggregate numbers. The Program
+/// and the manager die with this frame — a batch run's live memory is
+/// one app per pool lane, not the whole corpus.
+void analyzeOne(const fs::path &Path, const BatchOptions &Opts,
+                support::ThreadPool &Pool, BatchApp &Out) {
+  Out.File = Path.filename().string();
+  frontend::ParseResult Parsed = frontend::parseProgramFile(Path.string());
+  Out.Name = Parsed.Prog ? Parsed.Prog->name() : Path.stem().string();
+  if (!Parsed.Success) {
+    Out.Ok = false;
+    std::ostringstream OS;
+    for (const Diagnostic &D : Parsed.Diags) {
+      OS << Parsed.Prog->sourceManager().render(D.Loc) << ": " << D.Message;
+      break; // first diagnostic is enough for the aggregate row
+    }
+    Out.Error = OS.str();
+    return;
+  }
+
+  auto AM = std::make_shared<pipeline::AnalysisManager>(*Parsed.Prog,
+                                                        Opts.Pipeline);
+  AM->setThreadPool(&Pool); // nested: verdicts fan out over the same pool
+  NadroidResult R = analyzeProgram(AM);
+
+  Out.Ok = true;
+  Out.Stmts = Parsed.Prog->statementCount();
+  Out.EntryCallbacks = R.Forest->entryCallbackCount();
+  Out.PostedCallbacks = R.Forest->postedCallbackCount();
+  Out.Threads = R.Forest->threadCount();
+  Out.Potential = static_cast<unsigned>(R.warnings().size());
+  Out.AfterSound = R.Pipeline.RemainingAfterSound;
+  Out.AfterUnsound = R.Pipeline.RemainingAfterUnsound;
+  Out.Timings = R.Timings;
+  Out.Analyses = AM->passStats();
+}
+
+std::string fixed1(double V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1f", V);
+  return Buf;
+}
+
+std::string fixed6(double V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.6f", V);
+  return Buf;
+}
+
+} // namespace
+
+int BatchResult::exitCode() const {
+  int Code = 0;
+  for (const BatchApp &A : Apps) {
+    if (!A.Ok)
+      return 2;
+    if (A.AfterUnsound > 0)
+      Code = 1;
+  }
+  return Code;
+}
+
+BatchResult report::runBatch(const BatchOptions &Opts) {
+  BatchResult R;
+
+  std::vector<fs::path> Files;
+  std::error_code Ec;
+  for (const fs::directory_entry &E : fs::directory_iterator(Opts.Dir, Ec))
+    if (E.is_regular_file() && E.path().extension() == ".air")
+      Files.push_back(E.path());
+  // directory_iterator order is unspecified; the sort is what makes the
+  // report independent of the filesystem and of --jobs.
+  std::sort(Files.begin(), Files.end(), [](const fs::path &A,
+                                           const fs::path &B) {
+    return A.filename().string() < B.filename().string();
+  });
+
+  support::ThreadPool Pool(Opts.Jobs);
+  R.Jobs = Pool.concurrency();
+  R.Apps.resize(Files.size());
+
+  auto T0 = Clock::now();
+  Pool.parallelFor(Files.size(), [&](size_t I) {
+    analyzeOne(Files[I], Opts, Pool, R.Apps[I]);
+  });
+  R.WallSec = std::chrono::duration<double>(Clock::now() - T0).count();
+  return R;
+}
+
+std::string report::renderBatchReport(const BatchResult &R) {
+  std::ostringstream OS;
+  TableWriter T({"App", "Stmts", "EC", "PC", "T", "Potential", "Sound",
+                 "Unsound"});
+  unsigned Apps = 0, Failed = 0;
+  unsigned long long Stmts = 0, Potential = 0, Sound = 0, Unsound = 0;
+  for (const BatchApp &A : R.Apps) {
+    if (!A.Ok) {
+      T.addRow({A.Name, "-", "-", "-", "-", "-", "-", "-"});
+      ++Failed;
+      continue;
+    }
+    T.addRow({A.Name, TableWriter::cell(A.Stmts),
+              TableWriter::cell(A.EntryCallbacks),
+              TableWriter::cell(A.PostedCallbacks),
+              TableWriter::cell(A.Threads), TableWriter::cell(A.Potential),
+              TableWriter::cell(A.AfterSound),
+              TableWriter::cell(A.AfterUnsound)});
+    ++Apps;
+    Stmts += A.Stmts;
+    Potential += A.Potential;
+    Sound += A.AfterSound;
+    Unsound += A.AfterUnsound;
+  }
+  T.addRow({"TOTAL", TableWriter::cell((long long)Stmts), "", "", "",
+            TableWriter::cell((long long)Potential),
+            TableWriter::cell((long long)Sound),
+            TableWriter::cell((long long)Unsound)});
+  T.print(OS);
+  OS << "\n" << Apps << " apps: " << Potential << " potential UAFs, " << Sound
+     << " after sound filters, " << Unsound << " after unsound filters\n";
+  if (Failed) {
+    OS << Failed << " app(s) failed to parse:\n";
+    for (const BatchApp &A : R.Apps)
+      if (!A.Ok)
+        OS << "  " << A.File << ": " << A.Error << "\n";
+  }
+  return OS.str();
+}
+
+std::string report::renderBatchJson(const BatchResult &R) {
+  std::ostringstream OS;
+  OS << "{\n  \"jobs\": " << R.Jobs << ",\n  \"wallSec\": " << fixed6(R.WallSec)
+     << ",\n  \"apps\": [";
+  bool FirstApp = true;
+  unsigned long long Potential = 0, Sound = 0, Unsound = 0;
+  for (const BatchApp &A : R.Apps) {
+    OS << (FirstApp ? "" : ",") << "\n    {\"file\": \"" << jsonEscape(A.File)
+       << "\", \"app\": \"" << jsonEscape(A.Name) << "\", \"ok\": "
+       << (A.Ok ? "true" : "false");
+    FirstApp = false;
+    if (!A.Ok) {
+      OS << ", \"error\": \"" << jsonEscape(A.Error) << "\"}";
+      continue;
+    }
+    Potential += A.Potential;
+    Sound += A.AfterSound;
+    Unsound += A.AfterUnsound;
+    OS << ",\n     \"summary\": {\"stmts\": " << A.Stmts
+       << ", \"potential\": " << A.Potential
+       << ", \"afterSound\": " << A.AfterSound
+       << ", \"afterUnsound\": " << A.AfterUnsound << "},\n"
+       << "     \"timings\": {\"modelingSec\": " << fixed6(A.Timings.ModelingSec)
+       << ", \"detectionSec\": " << fixed6(A.Timings.DetectionSec)
+       << ", \"filteringSec\": " << fixed6(A.Timings.FilteringSec) << "},\n"
+       << "     \"analyses\": [";
+    bool FirstPass = true;
+    for (const pipeline::PassStat &S : A.Analyses) {
+      OS << (FirstPass ? "" : ", ") << "{\"name\": \"" << jsonEscape(S.Name)
+         << "\", \"ms\": " << fixed1(S.Seconds * 1000.0)
+         << ", \"builds\": " << S.Builds << ", \"hits\": " << S.Hits
+         << ", \"rssKb\": " << S.RssKb << "}";
+      FirstPass = false;
+    }
+    OS << "]}";
+  }
+  OS << "\n  ],\n  \"totals\": {\"apps\": " << R.Apps.size()
+     << ", \"potential\": " << Potential << ", \"afterSound\": " << Sound
+     << ", \"afterUnsound\": " << Unsound << "}\n}\n";
+  return OS.str();
+}

@@ -1,0 +1,87 @@
+//===- report/Batch.h - Parallel corpus-scale batch driver ------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `nadroid --batch DIR [--jobs N]`: analyze every `.air` application in
+/// a directory — the paper's workflow over its 27-app corpus, but
+/// concurrent. Apps are discovered and ordered by file name, each gets
+/// its own AnalysisManager (the Android framework tables underneath the
+/// per-app ApiIndex are immutable statics, shared read-only), and the
+/// per-app tasks fan out over one support::ThreadPool, which the
+/// per-warning verdict loops inside each app reuse.
+///
+/// Determinism: results land in the slot of the app's sorted index, and
+/// the text report carries no timing, so its bytes are identical for any
+/// --jobs value. The JSON aggregate adds wall-clock and per-analysis
+/// accounting and is therefore not byte-stable across runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_REPORT_BATCH_H
+#define NADROID_REPORT_BATCH_H
+
+#include "report/Nadroid.h"
+
+#include <string>
+#include <vector>
+
+namespace nadroid::report {
+
+struct BatchOptions {
+  /// Directory scanned (non-recursively) for `.air` files.
+  std::string Dir;
+  /// Pool lanes; 0 = one per hardware thread, 1 = fully serial.
+  unsigned Jobs = 0;
+  /// Per-app analysis options (K, ModelFragments, DataflowGuards).
+  pipeline::PipelineOptions Pipeline;
+};
+
+/// Outcome for one app, reduced to what the aggregate report needs —
+/// the per-app manager and IR are torn down as soon as the app is done,
+/// keeping a corpus-scale run's footprint at O(largest app).
+struct BatchApp {
+  std::string File; ///< file name within the directory, e.g. "K9Mail.air"
+  std::string Name; ///< program name (the file stem)
+  bool Ok = false;
+  std::string Error; ///< first parse diagnostic when !Ok
+
+  unsigned Stmts = 0;
+  unsigned EntryCallbacks = 0;
+  unsigned PostedCallbacks = 0;
+  unsigned Threads = 0;
+  unsigned Potential = 0;
+  unsigned AfterSound = 0;
+  unsigned AfterUnsound = 0;
+
+  PhaseTimings Timings;
+  std::vector<pipeline::PassStat> Analyses;
+};
+
+struct BatchResult {
+  std::vector<BatchApp> Apps; ///< sorted by File
+  unsigned Jobs = 1;          ///< lanes actually used
+  double WallSec = 0;
+
+  /// 2 when any app failed to parse, else 1 when any warning remained
+  /// after all filters, else 0 — the single-file CLI convention, folded.
+  int exitCode() const;
+};
+
+/// Scans Opts.Dir and analyzes every app. Never throws on per-app
+/// failures; they come back as !Ok rows.
+BatchResult runBatch(const BatchOptions &Opts);
+
+/// The aggregate Table-1-style text report (byte-identical across job
+/// counts): one row per app plus a totals row and a summary line.
+std::string renderBatchReport(const BatchResult &R);
+
+/// The JSON aggregate: per-app summaries plus phase timings and
+/// per-analysis accounting rows.
+std::string renderBatchJson(const BatchResult &R);
+
+} // namespace nadroid::report
+
+#endif // NADROID_REPORT_BATCH_H

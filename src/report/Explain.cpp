@@ -104,7 +104,7 @@ std::vector<std::string> report::explainVerdict(const NadroidResult &R,
   std::vector<std::string> Lines;
 
   // Rebuild the per-pair picture: which filters prune which pair.
-  filters::FilterEngine Engine(*R.FilterCtx);
+  filters::FilterEngine &Engine = R.Manager->engine();
   for (const ThreadPair &TP : W.Pairs) {
     bool Survived = std::find(V.PairsRemaining.begin(),
                               V.PairsRemaining.end(),

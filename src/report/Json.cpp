@@ -76,6 +76,28 @@ std::string report::renderJson(const NadroidResult &R,
      << ", \"afterSound\": " << R.Pipeline.RemainingAfterSound
      << ", \"afterUnsound\": " << R.Pipeline.RemainingAfterUnsound
      << "},\n";
+  // Perf-tracking sections (CI diffs these run to run): the §8.8 phase
+  // split plus the manager's per-analysis accounting.
+  char Buf[32];
+  auto Sec = [&Buf](double V) {
+    std::snprintf(Buf, sizeof(Buf), "%.6f", V);
+    return std::string(Buf);
+  };
+  OS << "  \"timings\": {\"modelingSec\": " << Sec(R.Timings.ModelingSec)
+     << ", \"detectionSec\": " << Sec(R.Timings.DetectionSec)
+     << ", \"filteringSec\": " << Sec(R.Timings.FilteringSec) << "},\n";
+  OS << "  \"analyses\": [";
+  if (R.Manager) {
+    bool FirstPass = true;
+    for (const pipeline::PassStat &S : R.Manager->passStats()) {
+      std::snprintf(Buf, sizeof(Buf), "%.1f", S.Seconds * 1000.0);
+      OS << (FirstPass ? "" : ", ") << "{\"name\": \"" << jsonEscape(S.Name)
+         << "\", \"ms\": " << Buf << ", \"builds\": " << S.Builds
+         << ", \"hits\": " << S.Hits << ", \"rssKb\": " << S.RssKb << "}";
+      FirstPass = false;
+    }
+  }
+  OS << "],\n";
   OS << "  \"warnings\": [";
   for (size_t I = 0; I < R.warnings().size(); ++I) {
     const race::UafWarning &W = R.warnings()[I];

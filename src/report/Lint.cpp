@@ -14,8 +14,12 @@ using analysis::LintFinding;
 using analysis::LintKind;
 
 std::vector<LintFinding> report::runLint(const ir::Program &P) {
-  analysis::NullnessAnalysis NA(P);
-  return NA.findings();
+  pipeline::AnalysisManager AM(P);
+  return runLint(AM);
+}
+
+std::vector<LintFinding> report::runLint(pipeline::AnalysisManager &AM) {
+  return AM.nullness().findings();
 }
 
 std::string report::renderLintFinding(const ir::Program &P,

@@ -27,6 +27,7 @@
 
 #include "analysis/Nullness.h"
 #include "ir/Ir.h"
+#include "pipeline/AnalysisManager.h"
 
 #include <string>
 #include <vector>
@@ -36,6 +37,10 @@ namespace nadroid::report {
 /// Runs the lint checkers over \p P; findings come back in deterministic
 /// (method, statement) order.
 std::vector<analysis::LintFinding> runLint(const ir::Program &P);
+
+/// Same through a caller's manager — builds exactly the nullness
+/// analysis (reusing it if already cached) and nothing else.
+std::vector<analysis::LintFinding> runLint(pipeline::AnalysisManager &AM);
 
 /// Renders one finding as a "file:line:col: warning: ..." diagnostic
 /// (plus a "note:" line when the prior free site is known).

@@ -33,36 +33,38 @@ std::vector<size_t> NadroidResult::remainingIndices() const {
 
 NadroidResult report::analyzeProgram(const ir::Program &P,
                                      NadroidOptions Options) {
+  return analyzeProgram(
+      std::make_shared<pipeline::AnalysisManager>(P, Options));
+}
+
+NadroidResult report::analyzeProgram(
+    std::shared_ptr<pipeline::AnalysisManager> AM) {
   NadroidResult R;
+  R.Manager = std::move(AM);
+  pipeline::AnalysisManager &M = *R.Manager;
+
+  // The facade drives the manager in the paper's Figure 2 phase order,
+  // wall-clocking each request group so PhaseTimings keeps its meaning.
+  // Analyses the manager already has are free cache hits.
 
   // Phase 1 — modeling (§4): API classification + threadification.
   auto T0 = Clock::now();
-  R.Apis = std::make_unique<android::ApiIndex>(P);
-  threadify::ThreadifyOptions TOpts;
-  TOpts.ModelFragments = Options.ModelFragments;
-  R.Forest = std::make_unique<threadify::ThreadForest>(
-      threadify::threadify(P, TOpts));
+  R.Apis = &M.apis();
+  R.Forest = &M.forest();
   R.Timings.ModelingSec = secondsSince(T0);
 
   // Phase 2 — detection (§5): points-to + racy-pair enumeration.
   auto T1 = Clock::now();
-  analysis::PointsToAnalysis::Options PtaOpts;
-  PtaOpts.K = Options.K;
-  R.PTA = std::make_unique<analysis::PointsToAnalysis>(P, *R.Forest,
-                                                       *R.Apis, PtaOpts);
-  R.PTA->run();
-  R.Reach = std::make_unique<analysis::ThreadReach>(*R.PTA, *R.Forest);
-  R.Detection = race::detectUafWarnings(*R.Forest, *R.PTA, *R.Reach);
+  R.PTA = &M.pointsTo();
+  R.Reach = &M.reach();
+  R.Detection = M.detection();
   R.Timings.DetectionSec = secondsSince(T1);
 
-  // Phase 3 — filtering (§6).
+  // Phase 3 — filtering (§6). The snapshot copy keeps verdicts readable
+  // even after the manager invalidates its own (e.g. on setOptions).
   auto T2 = Clock::now();
-  filters::FilterOptions FOpts;
-  FOpts.DataflowGuards = Options.DataflowGuards;
-  R.FilterCtx = std::make_unique<filters::FilterContext>(
-      P, *R.Forest, *R.PTA, *R.Reach, *R.Apis, FOpts);
-  filters::FilterEngine Engine(*R.FilterCtx);
-  R.Pipeline = Engine.run(R.Detection.Warnings);
+  R.FilterCtx = &M.filterContext();
+  R.Pipeline = M.verdicts();
   R.Timings.FilteringSec = secondsSince(T2);
 
   return R;

@@ -17,7 +17,7 @@
 ///   for (size_t I = 0; I < R.warnings().size(); ++I)
 ///     if (R.Pipeline.Verdicts[I].StageReached ==
 ///         filters::WarningVerdict::Stage::Remaining)
-///       std::cout << report::renderWarning(R, I);
+///       std::cout << report::renderWarning(R, I, P);
 /// \endcode
 ///
 //===----------------------------------------------------------------------===//
@@ -26,6 +26,7 @@
 #define NADROID_REPORT_NADROID_H
 
 #include "filters/Engine.h"
+#include "pipeline/AnalysisManager.h"
 #include "race/Detector.h"
 #include "report/Classify.h"
 
@@ -33,19 +34,9 @@
 
 namespace nadroid::report {
 
-/// Pipeline knobs.
-struct NadroidOptions {
-  /// Points-to context depth (§8.5's precision/scalability dial).
-  unsigned K = 2;
-  /// Future-work extension: model Fragment callbacks as entry callbacks
-  /// (recovers Table 3's Browser miss). Off by default, like the paper's
-  /// prototype (§8.1).
-  bool ModelFragments = false;
-  /// IG/IA consume the inter-procedural nullness analysis (default); set
-  /// false for the paper-faithful syntactic guard/alloc analyses
-  /// (`--syntactic-filters` on the CLI).
-  bool DataflowGuards = true;
-};
+/// Pipeline knobs. An alias of the pipeline layer's options — the facade
+/// adds nothing of its own; see PipelineOptions for the field docs.
+using NadroidOptions = pipeline::PipelineOptions;
 
 /// Wall-clock seconds per phase (§8.8's breakdown).
 struct PhaseTimings {
@@ -54,15 +45,21 @@ struct PhaseTimings {
   double FilteringSec = 0; ///< both filter stages
 };
 
-/// Everything the pipeline produced. Movable; all internal references stay
-/// valid because each stage lives behind a unique_ptr.
+/// Everything the pipeline produced. The analyses live in (and are owned
+/// by) the AnalysisManager; the stage fields are non-owning views into it
+/// kept for source compatibility, so `R.Forest->...` keeps working.
+/// Movable and copyable — copies share the manager.
 struct NadroidResult {
-  std::unique_ptr<android::ApiIndex> Apis;
-  std::unique_ptr<threadify::ThreadForest> Forest;
-  std::unique_ptr<analysis::PointsToAnalysis> PTA;
-  std::unique_ptr<analysis::ThreadReach> Reach;
+  /// Owns every analysis below and answers further on-demand requests
+  /// (--stats reads its per-analysis accounting; benches re-query it).
+  std::shared_ptr<pipeline::AnalysisManager> Manager;
+
+  const android::ApiIndex *Apis = nullptr;
+  const threadify::ThreadForest *Forest = nullptr;
+  const analysis::PointsToAnalysis *PTA = nullptr;
+  const analysis::ThreadReach *Reach = nullptr;
   race::DetectorResult Detection;
-  std::unique_ptr<filters::FilterContext> FilterCtx;
+  filters::FilterContext *FilterCtx = nullptr;
   filters::PipelineResult Pipeline;
   PhaseTimings Timings;
 
@@ -74,9 +71,14 @@ struct NadroidResult {
   std::vector<size_t> remainingIndices() const;
 };
 
-/// Runs the full pipeline over \p P.
+/// Runs the full pipeline over \p P through a fresh AnalysisManager.
 NadroidResult analyzeProgram(const ir::Program &P,
                              NadroidOptions Options = NadroidOptions{});
+
+/// Same, over a caller-provided manager — how the batch driver attaches
+/// its thread pool and how callers retain the manager for further
+/// on-demand queries after the facade run.
+NadroidResult analyzeProgram(std::shared_ptr<pipeline::AnalysisManager> AM);
 
 /// Renders warning \p Index as a multi-line §7-style report: racy field,
 /// use/free sites, classification, and the callback/thread lineage of a

@@ -20,6 +20,11 @@
 #include <ostream>
 #include <string>
 
+#if defined(__linux__)
+#include <cstdio>
+#include <unistd.h>
+#endif
+
 namespace nadroid {
 
 /// Holds counters keyed by "group.name".
@@ -52,6 +57,22 @@ public:
 private:
   std::map<std::string, uint64_t> Counters;
 };
+
+/// Current resident-set size in KiB, or 0 where /proc is unavailable.
+/// The pipeline AnalysisManager samples this around each analysis build
+/// to attribute memory growth per analysis.
+inline long currentRssKb() {
+#if defined(__linux__)
+  if (std::FILE *F = std::fopen("/proc/self/statm", "r")) {
+    long Size = 0, Resident = 0;
+    int Got = std::fscanf(F, "%ld %ld", &Size, &Resident);
+    std::fclose(F);
+    if (Got == 2)
+      return Resident * (sysconf(_SC_PAGESIZE) / 1024);
+  }
+#endif
+  return 0;
+}
 
 } // namespace nadroid
 

@@ -1,0 +1,101 @@
+//===- support/ThreadPool.cpp - Data-parallel worker pool -----------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <memory>
+
+using namespace nadroid;
+using namespace nadroid::support;
+
+unsigned ThreadPool::defaultConcurrency() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned Concurrency) {
+  unsigned Lanes = Concurrency ? Concurrency : defaultConcurrency();
+  Workers.reserve(Lanes - 1);
+  for (unsigned I = 1; I < Lanes; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> L(QueueMu);
+    Stopping = true;
+  }
+  QueueCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::workerLoop() {
+  while (true) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> L(QueueMu);
+      QueueCv.wait(L, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping, nothing left to drain.
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Task();
+  }
+}
+
+void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Fn) {
+  if (N == 0)
+    return;
+  if (Workers.empty() || N == 1) {
+    for (size_t I = 0; I < N; ++I)
+      Fn(I);
+    return;
+  }
+
+  auto St = std::make_shared<LoopState>();
+  St->N = N;
+  St->Fn = &Fn; // Valid until Done == N, and only read while Next < N.
+
+  auto Work = [St] {
+    while (true) {
+      size_t I = St->Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= St->N)
+        return;
+      try {
+        (*St->Fn)(I);
+      } catch (...) {
+        std::lock_guard<std::mutex> L(St->Mu);
+        if (!St->Error)
+          St->Error = std::current_exception();
+      }
+      if (St->Done.fetch_add(1, std::memory_order_acq_rel) + 1 == St->N) {
+        // Lock before notifying so the wakeup cannot slip between the
+        // waiter's predicate check and its wait.
+        std::lock_guard<std::mutex> L(St->Mu);
+        St->Cv.notify_all();
+      }
+    }
+  };
+
+  // At most N - 1 helpers are useful; the caller is the Nth lane.
+  size_t Helpers = std::min(Workers.size(), N - 1);
+  {
+    std::lock_guard<std::mutex> L(QueueMu);
+    for (size_t I = 0; I < Helpers; ++I)
+      Queue.emplace_back(Work);
+  }
+  QueueCv.notify_all();
+
+  Work(); // The calling thread participates — see the nesting note in the
+          // header: this is what makes parallelFor-inside-parallelFor safe.
+
+  std::unique_lock<std::mutex> L(St->Mu);
+  St->Cv.wait(L, [&] { return St->Done.load(std::memory_order_acquire) == N; });
+  if (St->Error)
+    std::rethrow_exception(St->Error);
+}

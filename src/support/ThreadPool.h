@@ -1,0 +1,86 @@
+//===- support/ThreadPool.h - Data-parallel worker pool ---------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size worker pool for data-parallel loops. The one entry point,
+/// parallelFor, distributes indices [0, N) over the workers plus the
+/// calling thread via a shared atomic cursor.
+///
+/// Caller participation makes nesting safe: a pool task may itself call
+/// parallelFor on the same pool (the batch driver does — each per-app task
+/// fans the per-warning verdict loop back out). The inner call drains its
+/// own iteration space on the calling thread even when every worker is
+/// busy with outer tasks, so no cycle of waits can form.
+///
+/// Determinism contract: parallelFor only changes *when* Fn(I) runs, never
+/// *whether* or *with which I*. Callers that write Fn's result into slot I
+/// of a pre-sized vector get output identical to the serial loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_SUPPORT_THREADPOOL_H
+#define NADROID_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nadroid::support {
+
+class ThreadPool {
+public:
+  /// Spawns \p Concurrency - 1 workers; the calling thread is the final
+  /// lane. 0 means one lane per hardware thread; 1 means no workers at
+  /// all, making every parallelFor run inline and strictly serial.
+  explicit ThreadPool(unsigned Concurrency = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Total lanes, counting the caller.
+  unsigned concurrency() const {
+    return static_cast<unsigned>(Workers.size()) + 1;
+  }
+
+  /// One lane per hardware thread (at least one).
+  static unsigned defaultConcurrency();
+
+  /// Runs Fn(0) .. Fn(N-1), each exactly once, distributed over the
+  /// workers and the calling thread. Returns once all N calls finished.
+  /// If any call throws, the first exception is rethrown here after the
+  /// loop drains; the remaining indices still run.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
+
+private:
+  /// Shared state of one parallelFor invocation. Kept alive by
+  /// shared_ptr because helper tasks may be dequeued after the loop
+  /// already completed (they find Next >= N and return immediately).
+  struct LoopState {
+    std::atomic<size_t> Next{0};
+    std::atomic<size_t> Done{0};
+    size_t N = 0;
+    const std::function<void(size_t)> *Fn = nullptr;
+    std::mutex Mu;
+    std::condition_variable Cv;
+    std::exception_ptr Error;
+  };
+
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::mutex QueueMu;
+  std::condition_variable QueueCv;
+  std::deque<std::function<void()>> Queue;
+  bool Stopping = false;
+};
+
+} // namespace nadroid::support
+
+#endif // NADROID_SUPPORT_THREADPOOL_H

@@ -1,0 +1,297 @@
+//===- tests/PipelineManagerTest.cpp - AnalysisManager + batch tests ------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+//
+// The pipeline layer's contracts: analyses build lazily and cache with
+// stable references, option changes invalidate exactly the passes they
+// feed (plus observed dependents), the thread pool behaves under nesting
+// and exceptions, parallel verdicts match serial ones, and the batch
+// driver's text report is byte-identical for any --jobs value.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "corpus/Patterns.h"
+#include "ir/IRBuilder.h"
+#include "ir/Printer.h"
+#include "pipeline/AnalysisManager.h"
+#include "report/Batch.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+using namespace nadroid;
+using pipeline::AnalysisManager;
+
+namespace {
+
+/// A minimal program with one seeded harmful UAF — enough to exercise
+/// detection, the filter stage, and (in dataflow mode) nullness.
+void seedProgram(ir::Program &P) {
+  ir::IRBuilder B(P);
+  corpus::PatternEmitter E(B);
+  E.harmfulEcEc();
+}
+
+const pipeline::PassStat *statNamed(const std::vector<pipeline::PassStat> &Stats,
+                                    const std::string &Name) {
+  for (const pipeline::PassStat &S : Stats)
+    if (S.Name == Name)
+      return &S;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Laziness, caching, accounting
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisManagerTest, BuildsLazilyOnFirstRequest) {
+  ir::Program P("t");
+  seedProgram(P);
+  AnalysisManager AM(P);
+
+  EXPECT_FALSE(AM.isCached<pipeline::ThreadForestPass>());
+  EXPECT_FALSE(AM.isCached<pipeline::ApiIndexPass>());
+
+  const threadify::ThreadForest &F = AM.forest();
+  EXPECT_TRUE(AM.isCached<pipeline::ThreadForestPass>());
+  // Nothing the forest does not need was built.
+  EXPECT_FALSE(AM.isCached<pipeline::ApiIndexPass>());
+  EXPECT_FALSE(AM.isCached<pipeline::PointsToPass>());
+  EXPECT_FALSE(AM.isCached<pipeline::NullnessPass>());
+  EXPECT_FALSE(AM.isCached<pipeline::VerdictsPass>());
+
+  // Second request is a cache hit returning the same object.
+  EXPECT_EQ(&F, &AM.forest());
+  const pipeline::PassStat *S = statNamed(AM.passStats(), "threadforest");
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->Builds, 1u);
+  EXPECT_GE(S->Hits, 1u);
+  EXPECT_TRUE(S->Cached);
+}
+
+TEST(AnalysisManagerTest, DependenciesAreRequestedThroughTheManager) {
+  ir::Program P("t");
+  seedProgram(P);
+  AnalysisManager AM(P);
+
+  // One request for detection pulls in its whole upstream slice.
+  AM.detection();
+  EXPECT_TRUE(AM.isCached<pipeline::ApiIndexPass>());
+  EXPECT_TRUE(AM.isCached<pipeline::ThreadForestPass>());
+  EXPECT_TRUE(AM.isCached<pipeline::PointsToPass>());
+  EXPECT_TRUE(AM.isCached<pipeline::ThreadReachPass>());
+  // ...and nothing downstream of it.
+  EXPECT_FALSE(AM.isCached<pipeline::FilterContextPass>());
+  EXPECT_FALSE(AM.isCached<pipeline::VerdictsPass>());
+}
+
+//===----------------------------------------------------------------------===//
+// Invalidation
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisManagerTest, KChangeDropsPointsToButKeepsModeling) {
+  ir::Program P("t");
+  seedProgram(P);
+  AnalysisManager AM(P);
+  AM.detection();
+
+  pipeline::PipelineOptions Opts = AM.options();
+  Opts.K = 1;
+  AM.setOptions(Opts);
+
+  EXPECT_FALSE(AM.isCached<pipeline::PointsToPass>());
+  EXPECT_FALSE(AM.isCached<pipeline::ThreadReachPass>());
+  EXPECT_FALSE(AM.isCached<pipeline::DetectionPass>());
+  EXPECT_TRUE(AM.isCached<pipeline::ThreadForestPass>());
+  EXPECT_TRUE(AM.isCached<pipeline::ApiIndexPass>());
+
+  AM.detection(); // rebuild under the new K
+  const pipeline::PassStat *S = statNamed(AM.passStats(), "pointsto");
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->Builds, 2u);
+}
+
+TEST(AnalysisManagerTest, ForestInvalidationCascadesToDependents) {
+  ir::Program P("t");
+  seedProgram(P);
+  AnalysisManager AM(P);
+  AM.verdicts();
+
+  AM.invalidate<pipeline::ThreadForestPass>();
+
+  EXPECT_FALSE(AM.isCached<pipeline::ThreadForestPass>());
+  EXPECT_FALSE(AM.isCached<pipeline::PointsToPass>());
+  EXPECT_FALSE(AM.isCached<pipeline::ThreadReachPass>());
+  EXPECT_FALSE(AM.isCached<pipeline::DetectionPass>());
+  EXPECT_FALSE(AM.isCached<pipeline::FilterContextPass>());
+  EXPECT_FALSE(AM.isCached<pipeline::FilterEnginePass>());
+  EXPECT_FALSE(AM.isCached<pipeline::VerdictsPass>());
+  // The API index does not depend on the forest.
+  EXPECT_TRUE(AM.isCached<pipeline::ApiIndexPass>());
+}
+
+TEST(AnalysisManagerTest, GuardModeFlipDropsOnlyTheFilterStage) {
+  ir::Program P("t");
+  seedProgram(P);
+  AnalysisManager AM(P);
+  const filters::PipelineResult &Dataflow = AM.verdicts();
+  const unsigned AfterUnsound = Dataflow.RemainingAfterUnsound;
+
+  pipeline::PipelineOptions Opts = AM.options();
+  Opts.DataflowGuards = false;
+  AM.setOptions(Opts);
+
+  EXPECT_FALSE(AM.isCached<pipeline::FilterContextPass>());
+  EXPECT_FALSE(AM.isCached<pipeline::FilterEnginePass>());
+  EXPECT_FALSE(AM.isCached<pipeline::VerdictsPass>());
+  EXPECT_TRUE(AM.isCached<pipeline::DetectionPass>());
+  EXPECT_TRUE(AM.isCached<pipeline::PointsToPass>());
+  EXPECT_TRUE(AM.isCached<pipeline::ThreadForestPass>());
+
+  // Rebuild in syntactic mode; the seeded harmful warning survives both
+  // modes, so the headline count is mode-independent here.
+  EXPECT_EQ(AM.verdicts().RemainingAfterUnsound, AfterUnsound);
+}
+
+TEST(AnalysisManagerTest, NullnessLazyEdgeDropsTheFilterContext) {
+  ir::Program P("t");
+  seedProgram(P);
+  AnalysisManager AM(P);
+  AM.verdicts();
+  ASSERT_TRUE(AM.isCached<pipeline::FilterContextPass>());
+
+  // The context consumes nullness lazily (possibly after its own build
+  // frame closed); the recorded lazy edge must still cascade.
+  AM.invalidate<pipeline::NullnessPass>();
+  EXPECT_FALSE(AM.isCached<pipeline::FilterContextPass>());
+  EXPECT_FALSE(AM.isCached<pipeline::VerdictsPass>());
+  EXPECT_TRUE(AM.isCached<pipeline::DetectionPass>());
+}
+
+//===----------------------------------------------------------------------===//
+// Thread pool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  support::ThreadPool Pool(4);
+  std::vector<std::atomic<int>> Hits(1000);
+  Pool.parallelFor(Hits.size(), [&](size_t I) { ++Hits[I]; });
+  for (const std::atomic<int> &H : Hits)
+    EXPECT_EQ(H.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedLoopsDoNotDeadlock) {
+  support::ThreadPool Pool(4);
+  std::atomic<int> Sum{0};
+  Pool.parallelFor(8, [&](size_t) {
+    Pool.parallelFor(8, [&](size_t) { ++Sum; });
+  });
+  EXPECT_EQ(Sum.load(), 64);
+}
+
+TEST(ThreadPoolTest, PropagatesTheFirstException) {
+  support::ThreadPool Pool(2);
+  EXPECT_THROW(Pool.parallelFor(64,
+                                [](size_t I) {
+                                  if (I == 7)
+                                    throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ExplicitConcurrencyOneRunsInline) {
+  support::ThreadPool Pool(1);
+  EXPECT_EQ(Pool.concurrency(), 1u);
+  std::vector<size_t> Order;
+  Pool.parallelFor(5, [&](size_t I) { Order.push_back(I); });
+  EXPECT_EQ(Order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel verdicts and the batch driver
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisManagerTest, ParallelVerdictsMatchSerial) {
+  corpus::CorpusApp App = corpus::buildAppNamed("ConnectBot");
+
+  AnalysisManager Serial(*App.Prog);
+  const filters::PipelineResult &S = Serial.verdicts();
+
+  support::ThreadPool Pool(4);
+  AnalysisManager Parallel(*App.Prog);
+  Parallel.setThreadPool(&Pool);
+  const filters::PipelineResult &Q = Parallel.verdicts();
+
+  EXPECT_EQ(S.RemainingAfterSound, Q.RemainingAfterSound);
+  EXPECT_EQ(S.RemainingAfterUnsound, Q.RemainingAfterUnsound);
+  ASSERT_EQ(S.Verdicts.size(), Q.Verdicts.size());
+  for (size_t I = 0; I < S.Verdicts.size(); ++I) {
+    EXPECT_EQ(S.Verdicts[I].StageReached, Q.Verdicts[I].StageReached) << I;
+    EXPECT_EQ(S.Verdicts[I].FiredFilters, Q.Verdicts[I].FiredFilters) << I;
+    EXPECT_EQ(S.Verdicts[I].PairsAfterSound.size(),
+              Q.Verdicts[I].PairsAfterSound.size())
+        << I;
+    EXPECT_EQ(S.Verdicts[I].PairsRemaining.size(),
+              Q.Verdicts[I].PairsRemaining.size())
+        << I;
+  }
+}
+
+TEST(BatchDriverTest, ReportIsByteIdenticalAcrossJobCounts) {
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::temp_directory_path() / "nadroid-batch-determinism";
+  fs::create_directories(Dir);
+
+  for (const corpus::Recipe &R : corpus::allRecipes()) {
+    corpus::CorpusApp App = corpus::buildApp(R);
+    std::ofstream Out(Dir / (R.Name + ".air"));
+    ASSERT_TRUE(Out.good()) << R.Name;
+    ir::printProgram(*App.Prog, Out);
+  }
+
+  report::BatchOptions Opts;
+  Opts.Dir = Dir.string();
+  Opts.Jobs = 1;
+  report::BatchResult Ser = report::runBatch(Opts);
+  Opts.Jobs = 8;
+  report::BatchResult Par = report::runBatch(Opts);
+
+  EXPECT_EQ(Ser.Apps.size(), corpus::allRecipes().size());
+  EXPECT_EQ(Ser.exitCode(), Par.exitCode());
+  EXPECT_EQ(report::renderBatchReport(Ser), report::renderBatchReport(Par));
+
+  std::error_code Ec;
+  fs::remove_all(Dir, Ec);
+}
+
+TEST(BatchDriverTest, ParseFailuresBecomeRowsNotCrashes) {
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::temp_directory_path() / "nadroid-batch-badapp";
+  fs::create_directories(Dir);
+  {
+    std::ofstream Out(Dir / "broken.air");
+    Out << "this is not an AIR program\n";
+  }
+
+  report::BatchOptions Opts;
+  Opts.Dir = Dir.string();
+  Opts.Jobs = 2;
+  report::BatchResult R = report::runBatch(Opts);
+  ASSERT_EQ(R.Apps.size(), 1u);
+  EXPECT_FALSE(R.Apps[0].Ok);
+  EXPECT_FALSE(R.Apps[0].Error.empty());
+  EXPECT_EQ(R.exitCode(), 2);
+
+  std::error_code Ec;
+  fs::remove_all(Dir, Ec);
+}
+
+} // namespace
