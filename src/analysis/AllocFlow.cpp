@@ -37,6 +37,7 @@ public:
   AllocFlowResult run() {
     std::set<const Field *> Must;
     walk(M.body(), Must);
+    Result.MustAllocAtExitFields = std::move(Must);
     return std::move(Result);
   }
 

@@ -32,6 +32,11 @@ struct AllocFlowResult {
   std::set<const ir::LoadStmt *> ProtectedLoads;
   /// Fields some path stores a fresh allocation into (may).
   std::set<const ir::Field *> MayAllocFields;
+  /// Fields every path through the method leaves freshly allocated (must,
+  /// at exit). Early returns inside branches are not modeled separately,
+  /// so this can over-claim for methods that return mid-branch; the IR
+  /// emitted by the corpus and frontend keeps returns at the tail.
+  std::set<const ir::Field *> MustAllocAtExitFields;
 };
 
 /// Runs the dataflow over \p M. \p TreatCallResultAsAlloc enables the MA

@@ -1,0 +1,108 @@
+//===- analysis/HbRefuter.h - May-HB refutation engine ----------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A happens-before refutation engine for the §6.2.1 may-HB filters (RHB,
+/// CHB, PHB). Those filters suppress warnings on heuristics the paper
+/// admits are unsound (§8.5); this pass re-examines each suppressed
+/// (use-thread, free-thread) pair with a small event-order automaton over
+/// the threadification forest and either
+///
+///  * **proves** the pair ordered — no abstract message history runs the
+///    use after the free, so the suppression is sound and the proof chain
+///    is recorded — or
+///  * **demotes** the heuristic to "assumed", attaching the abstract
+///    history (a callback activation sequence) that ends with the use
+///    observing the freed field.
+///
+/// The automaton's events are atomic callback activations on one looper.
+/// Its edges come from the facts the rest of the system already computes:
+///
+///  * lifecycle legality (onCreate first, onDestroy last, UI events only
+///    while resumed, onPause/onResume alternate) over a per-component
+///    phase machine;
+///  * post edges — a posted callback activates only after its poster, at
+///    most once per poster activation for Runnable/Message postees — and
+///    per-looper FIFO serialization between sibling postees whose spawn
+///    sites are ordered by dominance;
+///  * kill edges from *must*-cancellations: a CancelReach site in the
+///    free's own method that dominates the free (finish / unbindService /
+///    unregisterReceiver / removeCallbacksAndMessages) forbids future
+///    activations of the covered callbacks once the free has executed;
+///  * revive edges from AllocFlow's must-alloc-at-exit facts: a callback
+///    that re-allocates the field on every path leaves it non-null.
+///
+/// States are memoized, so the exhaustive search is a reachability check
+/// over a finite graph: saturating activation counters keep it finite
+/// while still over-approximating unbounded histories.
+///
+/// The abstraction refuses to prove (returns a demotion) whenever its
+/// atomicity premise fails: a native thread in the pair, callbacks on
+/// different loopers, or — via the escape analysis — a native thread
+/// among the accessors of the warning's base objects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_ANALYSIS_HBREFUTER_H
+#define NADROID_ANALYSIS_HBREFUTER_H
+
+#include "analysis/CancelReach.h"
+#include "analysis/Escape.h"
+#include "analysis/MethodCaches.h"
+#include "analysis/PointsTo.h"
+#include "analysis/ThreadReach.h"
+
+#include <string>
+#include <vector>
+
+namespace nadroid::analysis {
+
+/// The outcome of one refutation query.
+struct HbRefutation {
+  /// True when every abstract history orders the use before the free —
+  /// the suppression is sound.
+  bool Ordered = false;
+  /// When Ordered: the happens-before facts the proof rests on.
+  std::vector<std::string> ProofChain;
+  /// When !Ordered: the abstract message history that runs the use after
+  /// the free (or the reason the abstraction is inapplicable).
+  std::vector<std::string> Counterexample;
+  /// Abstract states the search visited (0 when it never ran).
+  unsigned StatesExplored = 0;
+};
+
+/// Stateless-per-query refutation engine; thread-safe — all lazily built
+/// tables it consults (CFGs, alloc facts, cancellations) are internally
+/// synchronized, so the filter engine's parallel verdict sweep can query
+/// one instance concurrently.
+class HbRefuter {
+public:
+  HbRefuter(const ir::Program &P, const threadify::ThreadForest &Forest,
+            const PointsToAnalysis &PTA, const ThreadReach &Reach,
+            const CancelReach &Cancel, const EscapeAnalysis &Escape,
+            MethodCfgCache &Cfgs, MethodAllocFlowCache &Alloc);
+
+  /// Attempts to prove that, for the (use-thread, free-thread) pair
+  /// (\p UseT, \p FreeT), the load \p Use of field \p F can never observe
+  /// the store \p Free.
+  HbRefutation refute(const ir::LoadStmt *Use, const ir::StoreStmt *Free,
+                      const ir::Field *F,
+                      const threadify::ModeledThread *UseT,
+                      const threadify::ModeledThread *FreeT) const;
+
+private:
+  const threadify::ThreadForest &Forest;
+  const PointsToAnalysis &PTA;
+  const ThreadReach &Reach;
+  const CancelReach &Cancel;
+  const EscapeAnalysis &Escape;
+  MethodCfgCache &Cfgs;
+  MethodAllocFlowCache &Alloc;
+};
+
+} // namespace nadroid::analysis
+
+#endif // NADROID_ANALYSIS_HBREFUTER_H

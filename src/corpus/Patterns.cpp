@@ -29,6 +29,18 @@ const char *corpus::seedKindName(SeedKind Kind) {
     return "false-chb";
   case SeedKind::FalsePhb:
     return "false-phb";
+  case SeedKind::RhbProved:
+    return "rhb-proved";
+  case SeedKind::RhbRacy:
+    return "rhb-racy";
+  case SeedKind::ChbProved:
+    return "chb-proved";
+  case SeedKind::ChbRacy:
+    return "chb-racy";
+  case SeedKind::PhbProved:
+    return "phb-proved";
+  case SeedKind::PhbRacy:
+    return "phb-racy";
   case SeedKind::FalseMa:
     return "false-ma";
   case SeedKind::FalseUr:
@@ -414,6 +426,118 @@ void PatternEmitter::falsePhb() {
   B.emitLoad(U, B.thisLocal(), H.F);
   B.emitCall(nullptr, U, "use");
   record(SeedKind::FalsePhb, H.F, Use, Free, PairType::EcPc);
+}
+
+//===----------------------------------------------------------------------===//
+// Refutation-engine variants (--refute)
+//===----------------------------------------------------------------------===//
+
+void PatternEmitter::rhbProved() {
+  Host H = makeHost(tag());
+  Method *Free = B.makeMethod(H.Activity, "onPause");
+  B.emitStore(B.thisLocal(), H.F, nullptr);
+  // Unconditional re-allocation: every path through onResume leaves the
+  // field fresh, so the refuter's revive edge applies.
+  B.makeMethod(H.Activity, "onResume");
+  Local *X = B.emitNew("x", H.Payload);
+  B.emitStore(B.thisLocal(), H.F, X);
+  Method *Use = B.makeMethod(H.Activity, "onClick");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), H.F);
+  B.emitCall(nullptr, U, "use");
+  record(SeedKind::RhbProved, H.F, Use, Free, PairType::EcEc);
+}
+
+void PatternEmitter::rhbRacy() {
+  Host H = makeHost(tag());
+  Method *Free = B.makeMethod(H.Activity, "onPause");
+  B.emitStore(B.thisLocal(), H.F, nullptr);
+  // Branch-only re-allocation: RHB's may-analysis still fires, but the
+  // history pause -> resume(alloc skipped) -> click crashes.
+  B.makeMethod(H.Activity, "onResume");
+  B.beginIfUnknown();
+  Local *X = B.emitNew("x", H.Payload);
+  B.emitStore(B.thisLocal(), H.F, X);
+  B.endIf();
+  Method *Use = B.makeMethod(H.Activity, "onClick");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), H.F);
+  B.emitCall(nullptr, U, "use");
+  record(SeedKind::RhbRacy, H.F, Use, Free, PairType::EcEc);
+}
+
+void PatternEmitter::chbProved() {
+  Host H = makeHost(tag());
+  Method *Free = B.makeMethod(H.Activity, "onClick");
+  B.emitFinish(); // dominates the free: the kill edge is uncontested
+  B.emitStore(B.thisLocal(), H.F, nullptr);
+  Method *Use = B.makeMethod(H.Activity, "onLongClick");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), H.F);
+  B.emitCall(nullptr, U, "use");
+  record(SeedKind::ChbProved, H.F, Use, Free, PairType::EcEc);
+}
+
+void PatternEmitter::chbRacy() {
+  Host H = makeHost(tag());
+  Method *Free = B.makeMethod(H.Activity, "onClick");
+  B.beginIfUnknown();
+  B.emitFinish(); // error path only: no domination, no kill edge
+  B.endIf();
+  B.emitStore(B.thisLocal(), H.F, nullptr);
+  Method *Use = B.makeMethod(H.Activity, "onLongClick");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), H.F);
+  B.emitCall(nullptr, U, "use");
+  record(SeedKind::ChbRacy, H.F, Use, Free, PairType::EcEc);
+}
+
+void PatternEmitter::phbProved() {
+  Host H = makeHost(tag());
+  std::string T = innerTag();
+
+  Clazz *Run = B.makeClass("Run" + T, ClassKind::Runnable);
+  Field *ActF = B.addField(Run, "act", H.Activity);
+  Method *Free = B.makeMethod(Run, "run");
+  Local *A = B.local("a");
+  B.emitLoad(A, B.thisLocal(), ActF);
+  B.emitStore(A, H.F, nullptr);
+
+  // onDestroy uses, then posts the cleanup runnable that frees. PHB
+  // orders the pair; the refuter proves it — onDestroy is the last
+  // lifecycle activation, so nothing uses after the postee's free.
+  Method *Use = B.makeMethod(H.Activity, "onDestroy");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), H.F);
+  B.emitCall(nullptr, U, "use");
+  Local *R = B.emitNew("r", Run);
+  B.emitStore(R, ActF, B.thisLocal());
+  B.emitCall(nullptr, B.thisLocal(), "runOnUiThread", {R});
+  record(SeedKind::PhbProved, H.F, Use, Free, PairType::EcPc);
+}
+
+void PatternEmitter::phbRacy() {
+  Host H = makeHost(tag());
+  std::string T = innerTag();
+
+  Clazz *Run = B.makeClass("Run" + T, ClassKind::Runnable);
+  Field *ActF = B.addField(Run, "act", H.Activity);
+  Method *Free = B.makeMethod(Run, "run");
+  Local *A = B.local("a");
+  B.emitLoad(A, B.thisLocal(), ActF);
+  B.emitStore(A, H.F, nullptr);
+
+  // onClick posts the freeing runnable and uses. PHB orders each click
+  // against its own postee, but a second click lands after the first
+  // postee's free — the refuter's counterexample history.
+  Method *Use = B.makeMethod(H.Activity, "onClick");
+  Local *R = B.emitNew("r", Run);
+  B.emitStore(R, ActF, B.thisLocal());
+  B.emitCall(nullptr, B.thisLocal(), "runOnUiThread", {R});
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), H.F);
+  B.emitCall(nullptr, U, "use");
+  record(SeedKind::PhbRacy, H.F, Use, Free, PairType::EcPc);
 }
 
 void PatternEmitter::falseMa() {

@@ -47,6 +47,12 @@ enum class SeedKind : uint8_t {
   FalseRhb,       ///< pruned by the unsound RHB filter
   FalseChb,       ///< pruned by the unsound CHB filter
   FalsePhb,       ///< pruned by the unsound PHB filter
+  RhbProved,      ///< RHB suppression the refuter proves sound
+  RhbRacy,        ///< RHB suppression the refuter demotes (real race)
+  ChbProved,      ///< CHB suppression the refuter proves sound
+  ChbRacy,        ///< CHB suppression the refuter demotes (real race)
+  PhbProved,      ///< PHB suppression the refuter proves sound
+  PhbRacy,        ///< PHB suppression the refuter demotes (real race)
   FalseMa,        ///< pruned by the unsound MA filter
   FalseUr,        ///< pruned by the unsound UR filter
   FalseTt,        ///< pruned by the unsound TT filter
@@ -130,6 +136,34 @@ public:
   void falseChb();
   /// Figure 4(f): poster uses, postee frees (PHB).
   void falsePhb();
+  //===--------------------------------------------------------------------===//
+  // Refutation-engine variants (--refute): each unsound may-HB filter
+  // split into a provably-ordered shape and a genuinely racy one. Like
+  // falseIgInterproc, these are NOT part of any corpus recipe, so the
+  // pinned Table 1 counts are identical with and without --refute; the
+  // refuter benches and tests build them explicitly.
+  //===--------------------------------------------------------------------===//
+
+  /// RHB, sound instance: onResume re-allocates unconditionally, so no
+  /// abstract message history runs the use after the free.
+  void rhbProved();
+  /// RHB, unsound instance: onResume re-allocates only on one branch;
+  /// the history pause -> resume(no alloc) -> click crashes.
+  void rhbRacy();
+  /// CHB, sound instance: finish() dominates the free, killing every
+  /// later entry callback of the activity.
+  void chbProved();
+  /// CHB, unsound instance: finish() sits on an error branch and does
+  /// not dominate the free (the §8.6 fnChbErrorPath shape, labeled for
+  /// the refuter benches).
+  void chbRacy();
+  /// PHB, sound instance: onDestroy posts the freeing runnable; the
+  /// using callback (onDestroy itself) can never activate again.
+  void phbProved();
+  /// PHB, unsound instance: onClick posts the freeing runnable; a second
+  /// click lands after the postee's free.
+  void phbRacy();
+
   /// Getter-backed allocation before use (MA).
   void falseMa();
   /// Figure 4(g): the loaded value only flows to a call argument (UR).

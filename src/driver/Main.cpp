@@ -28,6 +28,8 @@
 //                                    of the UAF pipeline
 //   nadroid --syntactic-filters a.air paper-faithful intra-procedural
 //                                    IG/IA guard analyses
+//   nadroid --refute app.air         prove or demote each RHB/CHB/PHB
+//                                    suppression (provenance column)
 //   nadroid --batch DIR              analyze every .air app in DIR and
 //                                    print an aggregate Table-1 summary
 //   nadroid --jobs N                 worker threads for --batch and the
@@ -75,6 +77,7 @@ struct CliOptions {
   bool Json = false;
   bool Lint = false;
   bool SyntacticFilters = false;
+  bool Refute = false;
   unsigned K = 2;
   unsigned Jobs = 0;
   std::string ExportCorpusDir;
@@ -87,7 +90,7 @@ void printUsage() {
       << "usage: nadroid [--all] [--validate] [--deva] [--dump-threads]\n"
       << "               [--print-ir] [--stats] [--rank] [--fragments]\n"
       << "               [--dot] [--explain] [--json]\n"
-      << "               [--lint] [--syntactic-filters]\n"
+      << "               [--lint] [--syntactic-filters] [--refute]\n"
       << "               [--k N] [--jobs N] [--export-corpus DIR]\n"
       << "               [--batch DIR] file.air...\n";
 }
@@ -121,6 +124,8 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       Opts.Lint = true;
     else if (!std::strcmp(Arg, "--syntactic-filters"))
       Opts.SyntacticFilters = true;
+    else if (!std::strcmp(Arg, "--refute"))
+      Opts.Refute = true;
     else if (!std::strcmp(Arg, "--export-corpus")) {
       if (++I >= argc) {
         std::cerr << "error: --export-corpus needs a directory\n";
@@ -231,6 +236,7 @@ int analyzeFile(const std::string &Path, const CliOptions &Opts) {
   NOpts.K = Opts.K;
   NOpts.ModelFragments = Opts.Fragments;
   NOpts.DataflowGuards = !Opts.SyntacticFilters;
+  NOpts.Refute = Opts.Refute;
   support::ThreadPool Pool(Opts.Jobs);
   auto AM = std::make_shared<pipeline::AnalysisManager>(P, NOpts);
   AM->setThreadPool(&Pool);
@@ -348,6 +354,7 @@ int main(int argc, char **argv) {
     BOpts.Pipeline.K = Opts.K;
     BOpts.Pipeline.ModelFragments = Opts.Fragments;
     BOpts.Pipeline.DataflowGuards = !Opts.SyntacticFilters;
+    BOpts.Pipeline.Refute = Opts.Refute;
     report::BatchResult BR = report::runBatch(BOpts);
     std::cout << (Opts.Json ? report::renderBatchJson(BR)
                             : report::renderBatchReport(BR));

@@ -6,6 +6,8 @@
 
 #include "filters/Engine.h"
 
+#include <algorithm>
+
 using namespace nadroid;
 using namespace nadroid::filters;
 using race::ThreadPair;
@@ -54,11 +56,17 @@ PipelineResult FilterEngine::run(const std::vector<UafWarning> &Warnings,
   std::vector<FilterKind> Sound = soundFilterKinds();
   std::vector<FilterKind> Unsound = unsoundFilterKinds();
 
-  // The nullness analysis is the one whole-program lazy analysis the
-  // filters consult; materialize it before fanning out so the parallel
-  // tasks only ever read it.
+  // The whole-program lazy analyses the filters consult are materialized
+  // before fanning out so the parallel tasks only ever read them.
   if (Pool && Ctx.options().DataflowGuards && !Warnings.empty())
     Ctx.nullness();
+  if (Pool && Ctx.options().Refute && !Warnings.empty())
+    Ctx.refuter();
+
+  const std::vector<FilterKind> MayHb = mayHbFilterKinds();
+  auto isMayHb = [&MayHb](FilterKind Kind) {
+    return std::find(MayHb.begin(), MayHb.end(), Kind) != MayHb.end();
+  };
 
   // Each task touches only Warnings[I] and Verdicts[I]; shared state is
   // confined to the context's internally-synchronized caches.
@@ -66,34 +74,58 @@ PipelineResult FilterEngine::run(const std::vector<UafWarning> &Warnings,
     const UafWarning &W = Warnings[I];
     WarningVerdict &V = Result.Verdicts[I];
 
-    // Sound stage: keep the pairs no sound filter prunes.
+    // Sound stage: keep the pairs no sound filter prunes. A sound
+    // decision is proved by construction (§6.1 holds unconditionally).
     for (const ThreadPair &TP : W.Pairs) {
       bool Pruned = false;
+      FilterKind First = FilterKind::MHB;
       for (FilterKind Kind : Sound) {
         if (filter(Kind).prunesPair(W, TP, Ctx)) {
           V.FiredFilters.insert(Kind);
+          if (!Pruned)
+            First = Kind;
           Pruned = true;
         }
       }
-      if (!Pruned)
+      if (!Pruned) {
         V.PairsAfterSound.push_back(TP);
+        continue;
+      }
+      V.Decisions.push_back({TP, First, Provenance::Proved, {}});
     }
     if (V.PairsAfterSound.empty()) {
       V.StageReached = WarningVerdict::Stage::PrunedBySound;
       return;
     }
 
-    // Unsound stage on the sound survivors.
+    // Unsound stage on the sound survivors. When the refutation engine
+    // is on, each may-HB-pruned pair is either proved ordered (sound
+    // suppression with a proof chain) or demoted to assumed (with the
+    // counterexample history); the pruning outcome itself never changes.
     for (const ThreadPair &TP : V.PairsAfterSound) {
       bool Pruned = false;
+      FilterKind First = FilterKind::MHB;
       for (FilterKind Kind : Unsound) {
         if (filter(Kind).prunesPair(W, TP, Ctx)) {
           V.FiredFilters.insert(Kind);
+          if (!Pruned)
+            First = Kind;
           Pruned = true;
         }
       }
-      if (!Pruned)
+      if (!Pruned) {
         V.PairsRemaining.push_back(TP);
+        continue;
+      }
+      PairDecision D{TP, First, Provenance::Heuristic, {}};
+      if (Ctx.options().Refute && isMayHb(First)) {
+        analysis::HbRefutation Ref = Ctx.refuter().refute(
+            W.Use, W.Free, W.F, TP.UseThread, TP.FreeThread);
+        D.Prov = Ref.Ordered ? Provenance::Proved : Provenance::Assumed;
+        D.Evidence =
+            Ref.Ordered ? std::move(Ref.ProofChain) : std::move(Ref.Counterexample);
+      }
+      V.Decisions.push_back(std::move(D));
     }
     V.StageReached = V.PairsRemaining.empty()
                          ? WarningVerdict::Stage::PrunedByUnsound

@@ -26,6 +26,17 @@
 
 namespace nadroid::filters {
 
+/// One pruned pair with its attribution: the first filter (in pipeline
+/// order) that pruned it, how much evidence stands behind that decision,
+/// and — when the refutation engine ran — the proof chain (Proved) or
+/// counterexample history (Assumed).
+struct PairDecision {
+  race::ThreadPair Pair;
+  FilterKind By = FilterKind::MHB;
+  Provenance Prov = Provenance::Heuristic;
+  std::vector<std::string> Evidence;
+};
+
 /// Per-warning pipeline outcome.
 struct WarningVerdict {
   enum class Stage : uint8_t {
@@ -41,6 +52,19 @@ struct WarningVerdict {
   std::vector<race::ThreadPair> PairsAfterSound;
   /// Pairs surviving both stages (nonempty iff Remaining).
   std::vector<race::ThreadPair> PairsRemaining;
+  /// One decision per pruned pair, in pruning order (sound-stage prunes
+  /// first, then unsound-stage prunes). Sound decisions are Proved by
+  /// construction; may-HB decisions are Heuristic unless
+  /// FilterOptions::Refute upgraded or demoted them.
+  std::vector<PairDecision> Decisions;
+
+  /// The recorded decision for \p TP, or nullptr when the pair survived.
+  const PairDecision *decisionFor(const race::ThreadPair &TP) const {
+    for (const PairDecision &D : Decisions)
+      if (D.Pair == TP)
+        return &D;
+    return nullptr;
+  }
 };
 
 /// Full-pipeline result.

@@ -22,7 +22,9 @@
 
 #include "analysis/AllocFlow.h"
 #include "analysis/CancelReach.h"
+#include "analysis/Escape.h"
 #include "analysis/Guards.h"
+#include "analysis/HbRefuter.h"
 #include "analysis/Lockset.h"
 #include "analysis/MethodCaches.h"
 #include "analysis/Nullness.h"
@@ -51,6 +53,16 @@ std::vector<FilterKind> unsoundFilterKinds();
 /// The may-happens-before group Figure 5(b) reports as one bar.
 std::vector<FilterKind> mayHbFilterKinds();
 
+/// How much evidence stands behind one pruning decision. Sound filters
+/// always decide with `Proved`; the may-HB heuristics (RHB/CHB/PHB)
+/// decide with `Heuristic` unless the refutation engine upgraded the
+/// suppression to `Proved` (an ordering proof exists) or demoted it to
+/// `Assumed` (a counterexample history exists); MA/UR/TT stay
+/// `Heuristic` always.
+enum class Provenance : uint8_t { Heuristic, Assumed, Proved };
+
+const char *provenanceName(Provenance Prov);
+
 /// Knobs for the filter stage.
 struct FilterOptions {
   /// When true (the default), IG and the allocation-dominance side of IA
@@ -59,6 +71,12 @@ struct FilterOptions {
   /// AllocFlow.cpp) — kept as a cross-check mode, and what
   /// bench/ig_precision compares against.
   bool DataflowGuards = true;
+  /// When true, every pair pruned by a may-HB heuristic (RHB/CHB/PHB) is
+  /// re-examined by the HbRefuter: the suppression is either proved
+  /// ordered (sound, with a proof chain) or demoted to `assumed` (with a
+  /// counterexample history). Pruning outcomes are unchanged either way —
+  /// provenance is metadata.
+  bool Refute = false;
 };
 
 /// Externally-owned analyses a FilterContext can borrow instead of
@@ -70,8 +88,14 @@ struct SharedAnalyses {
   /// once, on the context's first nullness() call, so a manager-backed
   /// handle keeps the analysis demand-built.
   std::function<const analysis::NullnessAnalysis &()> Nullness;
+  /// Lazy handle to the happens-before refutation engine; invoked at
+  /// most once, on the context's first refuter() call (only reached when
+  /// options().Refute is set).
+  std::function<const analysis::HbRefuter &()> Refuter;
   const analysis::LocksetAnalysis *Locks = nullptr;
   const analysis::CancelReach *Cancel = nullptr;
+  const analysis::EscapeAnalysis *Escape = nullptr;
+  analysis::MethodCfgCache *Cfgs = nullptr;
   analysis::MethodGuardCache *Guards = nullptr;
   analysis::MethodAllocFlowCache *Alloc = nullptr;
   analysis::MethodConsumersCache *Consumers = nullptr;
@@ -110,6 +134,11 @@ public:
   /// The whole-program nullness analysis (built on first use). IG/IA
   /// consult it when options().DataflowGuards is set.
   const analysis::NullnessAnalysis &nullness();
+
+  /// The happens-before refutation engine (built on first use). The
+  /// filter engine consults it for may-HB-pruned pairs when
+  /// options().Refute is set.
+  const analysis::HbRefuter &refuter();
 
   /// Per-method guard facts (cached).
   const analysis::GuardAnalysis &guards(const ir::Method *M);
@@ -151,12 +180,17 @@ private:
   std::unique_ptr<analysis::LocksetAnalysis> OwnLocks;
   std::unique_ptr<analysis::CancelReach> OwnCancel;
   std::unique_ptr<analysis::NullnessAnalysis> OwnNullness;
+  std::unique_ptr<analysis::EscapeAnalysis> OwnEscape;
+  std::unique_ptr<analysis::MethodCfgCache> OwnCfgs;
   std::unique_ptr<analysis::MethodGuardCache> OwnGuards;
   std::unique_ptr<analysis::MethodAllocFlowCache> OwnAlloc;
   std::unique_ptr<analysis::MethodConsumersCache> OwnConsumers;
+  std::unique_ptr<analysis::HbRefuter> OwnRefuter;
 
   std::mutex NullnessMu;
   const analysis::NullnessAnalysis *NullnessPtr = nullptr;
+  std::mutex RefuterMu;
+  const analysis::HbRefuter *RefuterPtr = nullptr;
 };
 
 /// One filter. Stateless; all data comes through the context.

@@ -67,6 +67,18 @@ std::vector<FilterKind> filters::mayHbFilterKinds() {
   return {FilterKind::RHB, FilterKind::CHB, FilterKind::PHB};
 }
 
+const char *filters::provenanceName(Provenance Prov) {
+  switch (Prov) {
+  case Provenance::Heuristic:
+    return "heuristic";
+  case Provenance::Assumed:
+    return "assumed";
+  case Provenance::Proved:
+    return "proved";
+  }
+  return "?";
+}
+
 FilterContext::FilterContext(const Program &P,
                              const threadify::ThreadForest &Forest,
                              const analysis::PointsToAnalysis &PTA,
@@ -105,10 +117,28 @@ FilterContext::FilterContext(const Program &P,
     OwnConsumers = std::make_unique<analysis::MethodConsumersCache>();
     Shared.Consumers = OwnConsumers.get();
   }
+  if (!Shared.Cfgs) {
+    OwnCfgs = std::make_unique<analysis::MethodCfgCache>();
+    Shared.Cfgs = OwnCfgs.get();
+  }
   if (!Shared.Nullness)
     Shared.Nullness = [this]() -> const analysis::NullnessAnalysis & {
       OwnNullness = std::make_unique<analysis::NullnessAnalysis>(this->P);
       return *OwnNullness;
+    };
+  if (!Shared.Refuter)
+    Shared.Refuter = [this]() -> const analysis::HbRefuter & {
+      // The escape analysis is only needed here, so the self-contained
+      // fallback defers building it until the refuter is first used.
+      if (!Shared.Escape) {
+        OwnEscape = std::make_unique<analysis::EscapeAnalysis>(
+            this->PTA, this->Reach, this->Forest);
+        Shared.Escape = OwnEscape.get();
+      }
+      OwnRefuter = std::make_unique<analysis::HbRefuter>(
+          this->P, this->Forest, this->PTA, this->Reach, *Shared.Cancel,
+          *Shared.Escape, *Shared.Cfgs, *Shared.Alloc);
+      return *OwnRefuter;
     };
 }
 
@@ -117,6 +147,13 @@ const analysis::NullnessAnalysis &FilterContext::nullness() {
   if (!NullnessPtr)
     NullnessPtr = &Shared.Nullness();
   return *NullnessPtr;
+}
+
+const analysis::HbRefuter &FilterContext::refuter() {
+  std::lock_guard<std::mutex> Lock(RefuterMu);
+  if (!RefuterPtr)
+    RefuterPtr = &Shared.Refuter();
+  return *RefuterPtr;
 }
 
 const analysis::GuardAnalysis &FilterContext::guards(const Method *M) {

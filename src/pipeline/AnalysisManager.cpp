@@ -72,6 +72,13 @@ EscapePass::run(AnalysisManager &AM) {
                                                     AM.forest());
 }
 
+std::unique_ptr<analysis::HbRefuter> HbRefuterPass::run(AnalysisManager &AM) {
+  return std::make_unique<analysis::HbRefuter>(
+      AM.program(), AM.forest(), AM.pointsTo(), AM.reach(), AM.cancelReach(),
+      AM.escape(), AM.getMutable<CfgCachePass>(),
+      AM.getMutable<AllocFlowCachePass>());
+}
+
 std::unique_ptr<analysis::MethodCfgCache>
 CfgCachePass::run(AnalysisManager &) {
   return std::make_unique<analysis::MethodCfgCache>();
@@ -96,21 +103,28 @@ std::unique_ptr<filters::FilterContext>
 FilterContextPass::run(AnalysisManager &AM) {
   filters::FilterOptions FOpts;
   FOpts.DataflowGuards = AM.options().DataflowGuards;
+  FOpts.Refute = AM.options().Refute;
   filters::SharedAnalyses Shared;
   Shared.Locks = &AM.lockset();
   Shared.Cancel = &AM.cancelReach();
+  Shared.Cfgs = &AM.getMutable<CfgCachePass>();
   Shared.Guards = &AM.getMutable<GuardCachePass>();
   Shared.Alloc = &AM.getMutable<AllocFlowCachePass>();
   Shared.Consumers = &AM.getMutable<ConsumersCachePass>();
-  // The context pulls nullness through the manager only if a filter ever
-  // asks, keeping --syntactic-filters runs free of the dataflow cost.
-  // The edge below makes the deferred dependency visible to
-  // invalidation: dropping NullnessPass must drop the context (which
-  // caches the reference) even though no build-time request ties them.
+  // The context pulls nullness (and the refuter) through the manager
+  // only if a filter ever asks, keeping --syntactic-filters runs free of
+  // the dataflow cost and default runs free of the refutation cost. The
+  // edges below make the deferred dependencies visible to invalidation:
+  // dropping NullnessPass/HbRefuterPass must drop the context (which
+  // caches the references) even though no build-time request ties them.
   Shared.Nullness = [&AM]() -> const analysis::NullnessAnalysis & {
     return AM.nullness();
   };
+  Shared.Refuter = [&AM]() -> const analysis::HbRefuter & {
+    return AM.hbRefuter();
+  };
   AM.addLazyEdge<NullnessPass, FilterContextPass>();
+  AM.addLazyEdge<HbRefuterPass, FilterContextPass>();
   return std::make_unique<filters::FilterContext>(
       AM.program(), AM.forest(), AM.pointsTo(), AM.reach(), AM.apis(), FOpts,
       std::move(Shared));
@@ -213,6 +227,8 @@ void AnalysisManager::setOptions(const PipelineOptions &New) {
   if (New.K != Opts.K)
     invalidate<PointsToPass>();
   if (New.DataflowGuards != Opts.DataflowGuards)
+    invalidate<FilterContextPass>();
+  if (New.Refute != Opts.Refute)
     invalidate<FilterContextPass>();
   Opts = New;
 }

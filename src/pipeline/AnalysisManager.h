@@ -75,6 +75,11 @@ struct PipelineOptions {
   /// Inter-procedural nullness behind IG/IA instead of the paper's
   /// syntactic guard analyses.
   bool DataflowGuards = true;
+  /// Run the happens-before refutation engine over every may-HB-pruned
+  /// pair, labeling each RHB/CHB/PHB suppression proved or assumed
+  /// (--refute). Off by default: provenance is metadata and the default
+  /// pipeline stays heuristic-labeled and cheap.
+  bool Refute = false;
 };
 
 /// One row of per-analysis accounting, as rendered by --stats and --json.
@@ -156,6 +161,15 @@ struct CancelReachPass {
 struct EscapePass {
   static constexpr const char *Name = "escape";
   using Result = analysis::EscapeAnalysis;
+  static std::unique_ptr<Result> run(AnalysisManager &AM);
+};
+
+/// The may-HB refutation engine (--refute). Depends on: forest (so
+/// ModelFragments invalidation cascades here), pointsto, threadreach,
+/// cancelreach, escape, and the cfg/allocflow caches.
+struct HbRefuterPass {
+  static constexpr const char *Name = "hbrefuter";
+  using Result = analysis::HbRefuter;
   static std::unique_ptr<Result> run(AnalysisManager &AM);
 };
 
@@ -290,6 +304,7 @@ public:
   const analysis::LocksetAnalysis &lockset() { return get<LocksetPass>(); }
   const analysis::CancelReach &cancelReach() { return get<CancelReachPass>(); }
   const analysis::EscapeAnalysis &escape() { return get<EscapePass>(); }
+  const analysis::HbRefuter &hbRefuter() { return get<HbRefuterPass>(); }
   const analysis::Cfg &cfg(const ir::Method &M) {
     return getMutable<CfgCachePass>().get(M);
   }

@@ -117,6 +117,26 @@ std::vector<std::string> report::explainVerdict(const NadroidResult &R,
                       "idiom — a real schedule may order the free first");
       continue;
     }
+    // Prefer the verdict's recorded decision: it carries the refuter's
+    // provenance and evidence, which a fresh pairPrunedBy re-derivation
+    // would not.
+    if (const filters::PairDecision *D = V.decisionFor(TP)) {
+      std::string Line = PairName + ": " + proseFor(D->By, W, TP);
+      if (D->Prov == filters::Provenance::Proved &&
+          !filters::isSoundFilter(D->By)) {
+        Line += " [provenance: proved — ";
+        for (size_t I = 0; I < D->Evidence.size(); ++I)
+          Line += (I ? "; " : "") + D->Evidence[I];
+        Line += "]";
+      } else if (D->Prov == filters::Provenance::Assumed) {
+        Line += " [provenance: assumed — counterexample history: ";
+        for (size_t I = 0; I < D->Evidence.size(); ++I)
+          Line += (I ? " -> " : "") + D->Evidence[I];
+        Line += "]";
+      }
+      Lines.push_back(std::move(Line));
+      continue;
+    }
     for (FilterKind Kind : filters::allFilterKinds()) {
       if (!Engine.pairPrunedBy(W, TP, {Kind}))
         continue;

@@ -119,6 +119,26 @@ std::string report::renderJson(const NadroidResult &R,
       First = false;
     }
     OS << "], ";
+    // Per-pruned-pair provenance: which filter decided, how much evidence
+    // stands behind it, and the proof chain / counterexample history the
+    // refutation engine recorded (empty when it did not run).
+    OS << "\"decisions\": [";
+    bool FirstDecision = true;
+    for (const filters::PairDecision &D : V.Decisions) {
+      OS << (FirstDecision ? "" : ", ") << "{\"useThread\": \""
+         << jsonEscape(D.Pair.UseThread->label()) << "\", \"freeThread\": \""
+         << jsonEscape(D.Pair.FreeThread->label()) << "\", \"filter\": \""
+         << filters::filterKindName(D.By) << "\", \"provenance\": \""
+         << filters::provenanceName(D.Prov) << "\", \"evidence\": [";
+      bool FirstFact = true;
+      for (const std::string &Fact : D.Evidence) {
+        OS << (FirstFact ? "" : ", ") << "\"" << jsonEscape(Fact) << "\"";
+        FirstFact = false;
+      }
+      OS << "]}";
+      FirstDecision = false;
+    }
+    OS << "], ";
     emitSite(OS, "use", *W.Use, SM);
     OS << ", ";
     emitSite(OS, "free", *W.Free, SM);

@@ -167,6 +167,21 @@ std::string report::renderWarning(const NadroidResult &R, size_t Index,
       OS << " " << filterKindName(Kind);
     OS << "\n";
   }
+  // Refutation provenance (--refute): one line per may-HB decision the
+  // refuter upgraded to a sound proof or demoted to an assumption. With
+  // the engine off every decision is Heuristic and nothing is printed,
+  // keeping default output byte-identical.
+  for (const filters::PairDecision &D : V.Decisions) {
+    if (D.Prov == filters::Provenance::Heuristic ||
+        filters::isSoundFilter(D.By))
+      continue;
+    OS << "  suppression: " << filterKindName(D.By) << " "
+       << provenanceName(D.Prov) << " (" << D.Pair.UseThread->label()
+       << " vs " << D.Pair.FreeThread->label() << ")";
+    if (!D.Evidence.empty())
+      OS << " — " << D.Evidence.back();
+    OS << "\n";
+  }
   return OS.str();
 }
 

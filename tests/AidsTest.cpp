@@ -87,6 +87,86 @@ TEST(Escape, EventCallbacksAloneMakeObjectsEscape) {
   EXPECT_FALSE(Escape.escapingObjects().empty());
 }
 
+TEST(Escape, PostedCallbackCaptureSharesTheActivity) {
+  // A runnable capturing the activity (the refuter's phb shapes): the
+  // activity object must be accessed by both the posting UI callback and
+  // the posted-callback thread, and therefore escape.
+  Program P("t");
+  IRBuilder B(P);
+  corpus::PatternEmitter E(B);
+  E.phbRacy();
+
+  android::ApiIndex Apis(P);
+  threadify::ThreadForest Forest = threadify::threadify(P);
+  analysis::PointsToAnalysis PTA(P, Forest, Apis);
+  PTA.run();
+  analysis::ThreadReach Reach(PTA, Forest);
+  analysis::EscapeAnalysis Escape(PTA, Reach, Forest);
+
+  const Clazz *Act = P.findClass("Act0");
+  ASSERT_NE(Act, nullptr);
+  analysis::ObjectId ActObj = 0;
+  ASSERT_TRUE(PTA.syntheticObjectFor(Act, ActObj));
+  EXPECT_TRUE(Escape.escapes(ActObj));
+  bool PosterSeen = false, PosteeSeen = false;
+  for (const threadify::ModeledThread *T : Escape.accessors(ActObj)) {
+    PosterSeen |= T->origin() == threadify::ThreadOrigin::EntryCallback;
+    PosteeSeen |= T->origin() == threadify::ThreadOrigin::PostedCallback;
+  }
+  EXPECT_TRUE(PosterSeen) << "posting callback must access the activity";
+  EXPECT_TRUE(PosteeSeen) << "posted runnable must access the activity";
+
+  // The capturing runnable itself escapes: the poster writes its act
+  // field, the postee reads it back.
+  bool RunnableEscapes = false;
+  for (analysis::ObjectId Obj = 0; Obj < PTA.objectCount(); ++Obj) {
+    const analysis::AbstractObject &AO = PTA.object(Obj);
+    if (AO.Site && AO.RuntimeClass &&
+        AO.RuntimeClass->kind() == ClassKind::Runnable)
+      RunnableEscapes |= Escape.escapes(Obj);
+  }
+  EXPECT_TRUE(RunnableEscapes);
+}
+
+TEST(Escape, ReallocatingCallbackIsAnAccessorOfTheActivity) {
+  // The rhbProved shape re-allocates the field in onResume. The
+  // re-allocating store makes the onResume thread an accessor of the
+  // activity object — the fact the refuter's escape gate relies on when
+  // it checks that no native accessor can reach the field.
+  Program P("t");
+  IRBuilder B(P);
+  corpus::PatternEmitter E(B);
+  E.rhbProved();
+
+  android::ApiIndex Apis(P);
+  threadify::ThreadForest Forest = threadify::threadify(P);
+  analysis::PointsToAnalysis PTA(P, Forest, Apis);
+  PTA.run();
+  analysis::ThreadReach Reach(PTA, Forest);
+  analysis::EscapeAnalysis Escape(PTA, Reach, Forest);
+
+  const Clazz *Act = P.findClass("Act0");
+  ASSERT_NE(Act, nullptr);
+  analysis::ObjectId ActObj = 0;
+  ASSERT_TRUE(PTA.syntheticObjectFor(Act, ActObj));
+  EXPECT_TRUE(Escape.escapes(ActObj));
+
+  std::set<std::string> Callbacks;
+  bool AllOnLooper = true;
+  for (const threadify::ModeledThread *T : Escape.accessors(ActObj)) {
+    if (T->callback())
+      Callbacks.insert(T->callback()->name());
+    AllOnLooper &= T->onLooper();
+  }
+  // Writer generations (onCreate, onResume), the freeing onPause, and
+  // the reading onClick all access the one activity object.
+  EXPECT_TRUE(Callbacks.count("onCreate"));
+  EXPECT_TRUE(Callbacks.count("onResume"));
+  EXPECT_TRUE(Callbacks.count("onPause"));
+  EXPECT_TRUE(Callbacks.count("onClick"));
+  EXPECT_TRUE(AllOnLooper) << "no native accessor — the refuter may prove";
+}
+
 //===----------------------------------------------------------------------===//
 // DOT export
 //===----------------------------------------------------------------------===//

@@ -20,12 +20,13 @@ namespace {
 /// Emits one pattern, analyzes, and returns the explanation lines of the
 /// warning whose use sits in the seed's use method.
 std::vector<std::string> explainPattern(
-    const std::function<void(corpus::PatternEmitter &)> &Emit) {
+    const std::function<void(corpus::PatternEmitter &)> &Emit,
+    report::NadroidOptions Opts = {}) {
   Program P("t");
   IRBuilder B(P);
   corpus::PatternEmitter E(B);
   Emit(E);
-  report::NadroidResult R = report::analyzeProgram(P);
+  report::NadroidResult R = report::analyzeProgram(P, Opts);
   EXPECT_FALSE(E.seeds().empty());
   for (size_t I = 0; I < R.warnings().size(); ++I)
     if (R.warnings()[I].Use->parentMethod()->qualifiedName() ==
@@ -75,6 +76,35 @@ TEST(Explain, ChbMentionsCancellation) {
       explainPattern([](corpus::PatternEmitter &E) { E.falseChb(); });
   EXPECT_TRUE(anyLineContains(Lines, "CHB"));
   EXPECT_TRUE(anyLineContains(Lines, "cancels"));
+}
+
+TEST(Explain, RefuteAnnotatesProvedSuppressions) {
+  report::NadroidOptions Opts;
+  Opts.Refute = true;
+  auto Lines = explainPattern(
+      [](corpus::PatternEmitter &E) { E.rhbProved(); }, Opts);
+  EXPECT_TRUE(anyLineContains(Lines, "RHB"));
+  EXPECT_TRUE(anyLineContains(Lines, "[provenance: proved"));
+  EXPECT_TRUE(anyLineContains(Lines, "revive"));
+}
+
+TEST(Explain, RefuteAnnotatesDemotedSuppressionsWithAHistory) {
+  report::NadroidOptions Opts;
+  Opts.Refute = true;
+  auto Lines = explainPattern(
+      [](corpus::PatternEmitter &E) { E.chbRacy(); }, Opts);
+  EXPECT_TRUE(anyLineContains(Lines, "CHB"));
+  EXPECT_TRUE(anyLineContains(Lines, "[provenance: assumed"));
+  EXPECT_TRUE(anyLineContains(Lines, "counterexample history"));
+  // The history runs the use after the free and ends at the crash.
+  EXPECT_TRUE(anyLineContains(Lines, "crash"));
+}
+
+TEST(Explain, WithoutRefuteNoProvenanceSuffixAppears) {
+  auto Lines =
+      explainPattern([](corpus::PatternEmitter &E) { E.rhbProved(); });
+  EXPECT_TRUE(anyLineContains(Lines, "RHB"));
+  EXPECT_FALSE(anyLineContains(Lines, "[provenance:"));
 }
 
 TEST(Explain, RemainingWarningSaysWhyNothingApplied) {

@@ -67,6 +67,24 @@ void emitPattern(PatternEmitter &E, SeedKind Kind) {
   case SeedKind::FalsePhb:
     E.falsePhb();
     return;
+  case SeedKind::RhbProved:
+    E.rhbProved();
+    return;
+  case SeedKind::RhbRacy:
+    E.rhbRacy();
+    return;
+  case SeedKind::ChbProved:
+    E.chbProved();
+    return;
+  case SeedKind::ChbRacy:
+    E.chbRacy();
+    return;
+  case SeedKind::PhbProved:
+    E.phbProved();
+    return;
+  case SeedKind::PhbRacy:
+    E.phbRacy();
+    return;
   case SeedKind::FalseMa:
     E.falseMa();
     return;
@@ -145,6 +163,18 @@ INSTANTIATE_TEST_SUITE_P(
         PatternCase{"Chb", SeedKind::FalseChb, FilterKind::CHB,
                     WarningVerdict::Stage::PrunedByUnsound},
         PatternCase{"Phb", SeedKind::FalsePhb, FilterKind::PHB,
+                    WarningVerdict::Stage::PrunedByUnsound},
+        PatternCase{"RhbProved", SeedKind::RhbProved, FilterKind::RHB,
+                    WarningVerdict::Stage::PrunedByUnsound},
+        PatternCase{"RhbRacy", SeedKind::RhbRacy, FilterKind::RHB,
+                    WarningVerdict::Stage::PrunedByUnsound},
+        PatternCase{"ChbProved", SeedKind::ChbProved, FilterKind::CHB,
+                    WarningVerdict::Stage::PrunedByUnsound},
+        PatternCase{"ChbRacy", SeedKind::ChbRacy, FilterKind::CHB,
+                    WarningVerdict::Stage::PrunedByUnsound},
+        PatternCase{"PhbProved", SeedKind::PhbProved, FilterKind::PHB,
+                    WarningVerdict::Stage::PrunedByUnsound},
+        PatternCase{"PhbRacy", SeedKind::PhbRacy, FilterKind::PHB,
                     WarningVerdict::Stage::PrunedByUnsound},
         PatternCase{"Ma", SeedKind::FalseMa, FilterKind::MA,
                     WarningVerdict::Stage::PrunedByUnsound},

@@ -1,0 +1,266 @@
+//===- tests/RefuterTest.cpp - HB refutation engine tests -----------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+//
+// The --refute contract, cross-checked against the interpreter oracle:
+//
+//  * every RHB/CHB/PHB suppression carries a Proved or Assumed label,
+//  * a Proved pair has NO interpreter crash witness (the proof is sound),
+//  * a demoted (Assumed) seeded pair DOES have a witness — the refuter's
+//    counterexample history describes a real schedule,
+//  * provenance is metadata: pruning outcomes match the engine-off run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Patterns.h"
+#include "interp/Interp.h"
+#include "ir/IRBuilder.h"
+#include "report/Nadroid.h"
+
+#include <gtest/gtest.h>
+
+using namespace nadroid;
+using namespace nadroid::ir;
+using corpus::PatternEmitter;
+using corpus::SeedKind;
+using filters::FilterKind;
+using filters::PairDecision;
+using filters::Provenance;
+using filters::WarningVerdict;
+
+namespace {
+
+void emitRefuterPattern(PatternEmitter &E, SeedKind Kind) {
+  switch (Kind) {
+  case SeedKind::RhbProved:
+    E.rhbProved();
+    return;
+  case SeedKind::RhbRacy:
+    E.rhbRacy();
+    return;
+  case SeedKind::ChbProved:
+    E.chbProved();
+    return;
+  case SeedKind::ChbRacy:
+    E.chbRacy();
+    return;
+  case SeedKind::PhbProved:
+    E.phbProved();
+    return;
+  case SeedKind::PhbRacy:
+    E.phbRacy();
+    return;
+  default:
+    FAIL() << "not a refuter pattern";
+  }
+}
+
+/// Finds the seeded warning's verdict.
+const WarningVerdict *findVerdict(const report::NadroidResult &R,
+                                  const corpus::SeededBug &Seed) {
+  for (size_t I = 0; I < R.warnings().size(); ++I)
+    if (R.warnings()[I].F->qualifiedName() == Seed.FieldName &&
+        R.warnings()[I].Use->parentMethod()->qualifiedName() ==
+            Seed.UseMethod)
+      return &R.Pipeline.Verdicts[I];
+  return nullptr;
+}
+
+/// The first decision made by a may-HB filter (the refuter's domain).
+const PairDecision *mayHbDecision(const WarningVerdict &V) {
+  for (const PairDecision &D : V.Decisions)
+    for (FilterKind K : filters::mayHbFilterKinds())
+      if (D.By == K)
+        return &D;
+  return nullptr;
+}
+
+struct RefuterCase {
+  const char *Name;
+  SeedKind Kind;
+  FilterKind By;
+  /// Proved (sound suppression) or Assumed (demoted, counterexample).
+  Provenance Prov;
+};
+
+class RefuterPatternTest : public ::testing::TestWithParam<RefuterCase> {};
+
+/// One test drives the whole contract per pattern: provenance label,
+/// evidence presence, and agreement with the schedule-exploration oracle.
+TEST_P(RefuterPatternTest, ProvenanceMatchesOracle) {
+  const RefuterCase &Case = GetParam();
+  Program P("t");
+  IRBuilder B(P);
+  PatternEmitter E(B);
+  emitRefuterPattern(E, Case.Kind);
+  ASSERT_EQ(E.seeds().size(), 1u);
+  const corpus::SeededBug &Seed = E.seeds()[0];
+
+  report::NadroidOptions Opts;
+  Opts.Refute = true;
+  report::NadroidResult R = report::analyzeProgram(P, Opts);
+  const WarningVerdict *V = findVerdict(R, Seed);
+  ASSERT_NE(V, nullptr) << "seeded warning not detected";
+  EXPECT_EQ(V->StageReached, WarningVerdict::Stage::PrunedByUnsound);
+
+  const PairDecision *D = mayHbDecision(*V);
+  ASSERT_NE(D, nullptr) << "no may-HB decision recorded";
+  EXPECT_EQ(D->By, Case.By);
+  EXPECT_EQ(D->Prov, Case.Prov)
+      << "expected " << filters::provenanceName(Case.Prov) << ", got "
+      << filters::provenanceName(D->Prov);
+  EXPECT_FALSE(D->Evidence.empty())
+      << "both outcomes must carry evidence (proof chain or history)";
+
+  // Oracle cross-check. A proved pair must have no crash witness under a
+  // generous trial budget; a demoted pair's counterexample must be
+  // realizable as an actual crashing schedule.
+  const race::UafWarning *W = nullptr;
+  for (size_t I = 0; I < R.warnings().size(); ++I)
+    if (&R.Pipeline.Verdicts[I] == V)
+      W = &R.warnings()[I];
+  ASSERT_NE(W, nullptr);
+  interp::ScheduleExplorer Explorer(P);
+  if (Case.Prov == Provenance::Proved)
+    EXPECT_FALSE(Explorer.tryWitness(W->Use, W->Free, 200))
+        << "refuter proved a pair the interpreter can crash — unsound!";
+  else
+    EXPECT_TRUE(Explorer.tryWitness(W->Use, W->Free, 200))
+        << "demoted pair should have an interpreter witness";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRefuterPatterns, RefuterPatternTest,
+    ::testing::Values(
+        RefuterCase{"RhbProved", SeedKind::RhbProved, FilterKind::RHB,
+                    Provenance::Proved},
+        RefuterCase{"RhbRacy", SeedKind::RhbRacy, FilterKind::RHB,
+                    Provenance::Assumed},
+        RefuterCase{"ChbProved", SeedKind::ChbProved, FilterKind::CHB,
+                    Provenance::Proved},
+        RefuterCase{"ChbRacy", SeedKind::ChbRacy, FilterKind::CHB,
+                    Provenance::Assumed},
+        RefuterCase{"PhbProved", SeedKind::PhbProved, FilterKind::PHB,
+                    Provenance::Proved},
+        RefuterCase{"PhbRacy", SeedKind::PhbRacy, FilterKind::PHB,
+                    Provenance::Assumed}),
+    [](const ::testing::TestParamInfo<RefuterCase> &Info) {
+      return Info.param.Name;
+    });
+
+/// Acceptance sweep: with --refute on, every RHB/CHB/PHB suppression in
+/// a program mixing all may-HB shapes is labeled Proved or Assumed —
+/// Heuristic survives only on filters outside the refuter's domain.
+TEST(Refuter, EveryMayHbSuppressionIsLabeled) {
+  Program P("t");
+  IRBuilder B(P);
+  PatternEmitter E(B);
+  E.falseRhb();
+  E.falseChb();
+  E.falsePhb();
+  E.rhbProved();
+  E.rhbRacy();
+  E.chbProved();
+  E.chbRacy();
+  E.phbProved();
+  E.phbRacy();
+
+  report::NadroidOptions Opts;
+  Opts.Refute = true;
+  report::NadroidResult R = report::analyzeProgram(P, Opts);
+
+  unsigned MayHbDecisions = 0;
+  for (const WarningVerdict &V : R.Pipeline.Verdicts)
+    for (const PairDecision &D : V.Decisions) {
+      bool MayHb = !filters::isSoundFilter(D.By) &&
+                   (D.By == FilterKind::RHB || D.By == FilterKind::CHB ||
+                    D.By == FilterKind::PHB);
+      if (!MayHb)
+        continue;
+      ++MayHbDecisions;
+      EXPECT_NE(D.Prov, Provenance::Heuristic)
+          << filters::filterKindName(D.By)
+          << " suppression left unlabeled under --refute";
+    }
+  EXPECT_GE(MayHbDecisions, 9u);
+}
+
+/// Soundness acceptance: across the mixed program, zero pairs the
+/// refuter proved have interpreter crash witnesses.
+TEST(Refuter, NoProvedPairHasACrashWitness) {
+  Program P("t");
+  IRBuilder B(P);
+  PatternEmitter E(B);
+  E.rhbProved();
+  E.chbProved();
+  E.phbProved();
+  E.falseRhb(); // same shape as rhbProved — also proved
+  E.falseChb(); // finish dominates — also proved
+
+  report::NadroidOptions Opts;
+  Opts.Refute = true;
+  report::NadroidResult R = report::analyzeProgram(P, Opts);
+
+  interp::ScheduleExplorer Explorer(P);
+  unsigned Proved = 0;
+  for (size_t I = 0; I < R.warnings().size(); ++I)
+    for (const PairDecision &D : R.Pipeline.Verdicts[I].Decisions) {
+      if (filters::isSoundFilter(D.By) || D.Prov != Provenance::Proved)
+        continue;
+      ++Proved;
+      EXPECT_FALSE(Explorer.tryWitness(R.warnings()[I].Use,
+                                       R.warnings()[I].Free, 200))
+          << "proved pair on " << R.warnings()[I].F->qualifiedName()
+          << " has a crash witness";
+    }
+  EXPECT_GE(Proved, 5u);
+}
+
+/// Provenance is metadata: --refute must not change any pruning outcome.
+TEST(Refuter, PruningOutcomesUnchanged) {
+  auto Stages = [](bool Refute) {
+    Program P("t");
+    IRBuilder B(P);
+    PatternEmitter E(B);
+    E.rhbProved();
+    E.rhbRacy();
+    E.chbProved();
+    E.chbRacy();
+    E.phbProved();
+    E.phbRacy();
+    E.harmfulEcEc();
+    report::NadroidOptions Opts;
+    Opts.Refute = Refute;
+    report::NadroidResult R = report::analyzeProgram(P, Opts);
+    std::vector<WarningVerdict::Stage> S;
+    for (const WarningVerdict &V : R.Pipeline.Verdicts)
+      S.push_back(V.StageReached);
+    return S;
+  };
+  EXPECT_EQ(Stages(false), Stages(true));
+}
+
+/// With the engine off, every decision stays Heuristic (or Proved via a
+/// sound filter) and carries no evidence — the default path pays nothing.
+TEST(Refuter, OffByDefaultLeavesHeuristicLabels) {
+  Program P("t");
+  IRBuilder B(P);
+  PatternEmitter E(B);
+  E.rhbProved();
+  E.chbRacy();
+
+  report::NadroidResult R = report::analyzeProgram(P);
+  for (const WarningVerdict &V : R.Pipeline.Verdicts)
+    for (const PairDecision &D : V.Decisions) {
+      if (filters::isSoundFilter(D.By)) {
+        EXPECT_EQ(D.Prov, Provenance::Proved);
+      } else {
+        EXPECT_EQ(D.Prov, Provenance::Heuristic);
+      }
+      EXPECT_TRUE(D.Evidence.empty());
+    }
+}
+
+} // namespace

@@ -6,6 +6,7 @@
 
 #include "corpus/Patterns.h"
 #include "ir/IRBuilder.h"
+#include "report/Json.h"
 #include "report/Nadroid.h"
 
 #include <gtest/gtest.h>
@@ -93,6 +94,60 @@ TEST(Report, SummaryLineCounts) {
   EXPECT_EQ(report::summaryLine(R),
             "3 potential UAFs, 1 after sound filters, 1 after unsound "
             "filters");
+}
+
+/// --refute surfaces per-pair provenance in both renderers: the text
+/// report's "suppression:" line and the JSON "decisions" array.
+TEST(Report, RefuteProvenanceInTextAndJson) {
+  Program P("t");
+  IRBuilder B(P);
+  corpus::PatternEmitter E(B);
+  E.chbProved();
+  E.phbRacy();
+  report::NadroidOptions Opts;
+  Opts.Refute = true;
+  report::NadroidResult R = report::analyzeProgram(P, Opts);
+
+  std::string Proved, Assumed;
+  for (size_t I = 0; I < R.warnings().size(); ++I) {
+    std::string Text = report::renderWarning(R, I, P);
+    if (Text.find("CHB proved") != std::string::npos)
+      Proved = Text;
+    if (Text.find("PHB assumed") != std::string::npos)
+      Assumed = Text;
+  }
+  ASSERT_FALSE(Proved.empty()) << "no CHB proved suppression rendered";
+  ASSERT_FALSE(Assumed.empty()) << "no PHB assumed suppression rendered";
+  EXPECT_NE(Proved.find("suppression: CHB proved"), std::string::npos);
+  EXPECT_NE(Assumed.find("suppression: PHB assumed"), std::string::npos);
+
+  // JSON round-trip: the decisions array names the filter, the label,
+  // and carries the evidence strings.
+  std::string Json = report::renderJson(R, P);
+  EXPECT_NE(Json.find("\"decisions\": [{"), std::string::npos);
+  EXPECT_NE(Json.find("\"filter\": \"CHB\", \"provenance\": \"proved\""),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"filter\": \"PHB\", \"provenance\": \"assumed\""),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"evidence\": [\""), std::string::npos);
+}
+
+/// Without --refute the text report has no suppression lines and every
+/// JSON decision is heuristic with empty evidence — the default output
+/// shape is unchanged.
+TEST(Report, NoRefuteKeepsDefaultShape) {
+  Program P("t");
+  IRBuilder B(P);
+  corpus::PatternEmitter E(B);
+  E.chbProved();
+  report::NadroidResult R = report::analyzeProgram(P);
+  for (size_t I = 0; I < R.warnings().size(); ++I)
+    EXPECT_EQ(report::renderWarning(R, I, P).find("suppression:"),
+              std::string::npos);
+  std::string Json = report::renderJson(R, P);
+  EXPECT_EQ(Json.find("\"provenance\": \"assumed\""), std::string::npos);
+  EXPECT_NE(Json.find("\"provenance\": \"heuristic\", \"evidence\": []"),
+            std::string::npos);
 }
 
 TEST(Report, TimingsPopulated) {
