@@ -134,6 +134,7 @@ int main() {
     E.rhbRacy();
     E.chbProved();
     E.chbRacy();
+    E.chbResumeRacy();
     E.phbProved();
     E.phbRacy();
   }

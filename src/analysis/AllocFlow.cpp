@@ -7,6 +7,7 @@
 #include "analysis/AllocFlow.h"
 
 #include <map>
+#include <optional>
 
 using namespace nadroid;
 using namespace nadroid::analysis;
@@ -36,8 +37,10 @@ public:
 
   AllocFlowResult run() {
     std::set<const Field *> Must;
-    walk(M.body(), Must);
-    Result.MustAllocAtExitFields = std::move(Must);
+    if (walk(M.body(), Must))
+      mergeExit(Must); // the implicit return at the end of the body
+    if (ExitMust)
+      Result.MustAllocAtExitFields = std::move(*ExitMust);
     return std::move(Result);
   }
 
@@ -46,6 +49,19 @@ private:
   bool CallCountsAsAlloc;
   AllocFlowResult Result;
   std::map<const Local *, bool> FreshLocal; // false once any def is opaque
+  /// Intersection of the Must sets observed at every exit reached so far;
+  /// disengaged until the first exit.
+  std::optional<std::set<const Field *>> ExitMust;
+
+  /// Folds the Must set at one method exit into the at-exit accumulator.
+  void mergeExit(const std::set<const Field *> &Must) {
+    if (!ExitMust) {
+      ExitMust = Must;
+      return;
+    }
+    for (auto It = ExitMust->begin(); It != ExitMust->end();)
+      It = Must.count(*It) ? std::next(It) : ExitMust->erase(It);
+  }
 
   void noteDef(const Local *L, bool Fresh) {
     auto [It, Inserted] = FreshLocal.emplace(L, Fresh);
@@ -58,8 +74,10 @@ private:
     return It != FreshLocal.end() && It->second;
   }
 
-  /// Walks \p B updating the must-allocated field set in place.
-  void walk(const Block &B, std::set<const Field *> &Must) {
+  /// Walks \p B updating the must-allocated field set in place. Returns
+  /// false when the end of the block is unreachable (every path through
+  /// it returned); statements after that point are dead and ignored.
+  bool walk(const Block &B, std::set<const Field *> &Must) {
     for (const auto &SPtr : B.stmts()) {
       const Stmt &S = *SPtr;
       switch (S.kind()) {
@@ -86,27 +104,39 @@ private:
         const auto *If = cast<IfStmt>(&S);
         std::set<const Field *> ThenMust = Must;
         std::set<const Field *> ElseMust = Must;
-        walk(If->thenBlock(), ThenMust);
-        walk(If->elseBlock(), ElseMust);
-        // Join: a field is must-allocated only when both branches agree.
-        std::set<const Field *> Joined;
-        for (const Field *F : ThenMust)
-          if (ElseMust.count(F))
-            Joined.insert(F);
-        Must = std::move(Joined);
+        bool ThenLive = walk(If->thenBlock(), ThenMust);
+        bool ElseLive = walk(If->elseBlock(), ElseMust);
+        if (ThenLive && ElseLive) {
+          // Join: a field is must-allocated only when both branches agree.
+          std::set<const Field *> Joined;
+          for (const Field *F : ThenMust)
+            if (ElseMust.count(F))
+              Joined.insert(F);
+          Must = std::move(Joined);
+        } else if (ThenLive) {
+          Must = std::move(ThenMust);
+        } else if (ElseLive) {
+          Must = std::move(ElseMust);
+        } else {
+          return false; // both branches returned
+        }
         break;
       }
       case Stmt::Kind::Sync:
-        walk(cast<SyncStmt>(&S)->body(), Must);
+        if (!walk(cast<SyncStmt>(&S)->body(), Must))
+          return false;
         break;
+      case Stmt::Kind::Return:
+        mergeExit(Must);
+        return false;
       case Stmt::Kind::New:
       case Stmt::Kind::Copy:
       case Stmt::Kind::Call:
-      case Stmt::Kind::Return:
         // Calls are assumed field-preserving intra-procedurally (§6.1.3).
         break;
       }
     }
+    return true;
   }
 };
 

@@ -33,9 +33,9 @@ struct AllocFlowResult {
   /// Fields some path stores a fresh allocation into (may).
   std::set<const ir::Field *> MayAllocFields;
   /// Fields every path through the method leaves freshly allocated (must,
-  /// at exit). Early returns inside branches are not modeled separately,
-  /// so this can over-claim for methods that return mid-branch; the IR
-  /// emitted by the corpus and frontend keeps returns at the tail.
+  /// at exit). Every exit counts: explicit returns — including early
+  /// returns inside branches, which the parser accepts anywhere — and the
+  /// implicit fall-through at the end of the body.
   std::set<const ir::Field *> MustAllocAtExitFields;
 };
 

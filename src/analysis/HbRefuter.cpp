@@ -69,6 +69,10 @@ const char *lifecycleName(const ModeledThread *T) {
 ///   bit  24+i            thread i killed by a cancellation
 ///   bits [36+2c, 36+2c+2) phase of component c
 ///   bit  44              the field is currently freed
+///   bit  45+c            component c owes a framework onResume: the
+///                        framework resumes after every onCreate, so an
+///                        overriding onResume may fire while the phase is
+///                        already Resumed — but only once per transition
 class State {
 public:
   uint8_t count(size_t I) const { return (Bits >> (2 * I)) & 0x3; }
@@ -88,6 +92,10 @@ public:
   bool freed() const { return (Bits >> 44) & 0x1; }
   void setFreed(bool F) {
     Bits = (Bits & ~(uint64_t(1) << 44)) | (uint64_t(F) << 44);
+  }
+  bool resumePending(size_t C) const { return (Bits >> (45 + C)) & 0x1; }
+  void setResumePending(size_t C, bool P) {
+    Bits = (Bits & ~(uint64_t(1) << (45 + C))) | (uint64_t(P) << (45 + C));
   }
   uint64_t key() const { return Bits; }
 
@@ -109,10 +117,14 @@ public:
   /// ends with the use observing the freed field; Trace then holds it.
   bool findCrash(std::vector<std::string> &Trace) {
     State Init;
-    for (size_t C = 0; C < NumComponents(); ++C)
+    for (size_t C = 0; C < NumComponents(); ++C) {
       Init.setPhase(C, componentHasCreate(C) ? NotCreated : Resumed);
+      // Whatever brings a component to Resumed (the modeled onCreate or
+      // an unmodeled framework launch) owes it one onResume.
+      Init.setResumePending(C, true);
+    }
     Visited.clear();
-    return dfs(Init, Trace);
+    return search(Init, Trace);
   }
 
   unsigned statesExplored() const {
@@ -166,7 +178,12 @@ private:
       if (Name == "onPause")
         return Ph == Resumed;
       if (Name == "onResume")
-        return Ph == Paused;
+        // Legal when resuming from Paused, and also right after the
+        // component reached Resumed (launch path): the framework calls
+        // onResume after onCreate even when onPause is never overridden.
+        // Forbidding that would hide a free/use inside onResume and make
+        // a bogus proof — see the pending-bit invariant above.
+        return Ph == Paused || (Ph == Resumed && S.resumePending(TI.Comp));
       if (TI.T->callbackKind() == CallbackKind::Ui) {
         if (Ph != Resumed)
           return false;
@@ -189,8 +206,13 @@ private:
     }
 
     // Per-looper FIFO: a sibling posted earlier (its spawn site dominates
-    // ours in the poster) reaches the queue first, every time.
+    // ours in the poster) reaches the queue first, every time. A killed
+    // predecessor is treated as satisfied: its count froze when the
+    // cancellation removed it from the queue, and holding the sibling to
+    // that frozen count would remove real histories (unsound).
     for (int Pred : TI.FifoPred) {
+      if (S.killed(Pred))
+        continue;
       uint8_t PredCount = S.count(Pred);
       if (PredCount < CountCap && PredCount <= S.count(I))
         return false;
@@ -205,14 +227,18 @@ private:
     S.bumpCount(I);
     if (TI.Comp >= 0 && TI.T->origin() == ThreadOrigin::EntryCallback) {
       std::string Name = lifecycleName(TI.T);
-      if (Name == "onCreate")
+      if (Name == "onCreate") {
         S.setPhase(TI.Comp, Resumed);
-      else if (Name == "onDestroy")
+        S.setResumePending(TI.Comp, true);
+      } else if (Name == "onDestroy") {
         S.setPhase(TI.Comp, Destroyed);
-      else if (Name == "onPause")
+      } else if (Name == "onPause") {
         S.setPhase(TI.Comp, Paused);
-      else if (Name == "onResume")
+        S.setResumePending(TI.Comp, false);
+      } else if (Name == "onResume") {
         S.setPhase(TI.Comp, Resumed);
+        S.setResumePending(TI.Comp, false);
+      }
     }
     if (static_cast<int>(I) == FreeIdx && DoFree) {
       // The free executed; a must-realloc after it still revives the
@@ -240,30 +266,64 @@ private:
     return L;
   }
 
-  bool dfs(const State &S, std::vector<std::string> &Trace) {
-    if (!Visited.insert(S.key()).second)
-      return false;
-    if (Visited.size() > MaxStates) {
-      BudgetExceeded = true;
-      return false;
-    }
-    for (size_t I = 0; I < Threads.size(); ++I) {
-      if (!legal(S, I))
+  /// Depth-first search over an explicit frame stack: the path length is
+  /// bounded only by the number of distinct states (MaxStates), which
+  /// recursion would turn into tens of thousands of native frames — too
+  /// deep for a ThreadPool worker's stack during the parallel verdict
+  /// sweep.
+  bool search(const State &Init, std::vector<std::string> &Trace) {
+    struct Frame {
+      State S;
+      size_t NextThread = 0; ///< next thread index to try from S
+      unsigned NextAlt = 0;  ///< next DoFree alternative of NextThread
+      std::string Label;     ///< move that produced S (empty at the root)
+    };
+    std::vector<Frame> Stack;
+    auto push = [&](const State &S, std::string Label) {
+      if (!Visited.insert(S.key()).second)
+        return;
+      if (Visited.size() > MaxStates) {
+        BudgetExceeded = true;
+        return;
+      }
+      Stack.push_back(Frame{S, 0, 0, std::move(Label)});
+    };
+    push(Init, "");
+    while (!Stack.empty()) {
+      Frame &F = Stack.back();
+      if (F.NextThread >= Threads.size()) {
+        Stack.pop_back();
         continue;
-      // The crash event: the use-thread activates while the field is
-      // freed and no dominating re-allocation protects the load.
-      if (static_cast<int>(I) == UseIdx && S.freed() && !UseProtected) {
-        Trace.push_back(label(I, false, /*Crash=*/true));
-        return true;
       }
-      const bool IsFree = static_cast<int>(I) == FreeIdx;
-      for (bool DoFree : IsFree ? std::vector<bool>{true, false}
-                                : std::vector<bool>{false}) {
-        Trace.push_back(label(I, DoFree, false));
-        if (dfs(apply(S, I, DoFree), Trace))
+      const size_t I = F.NextThread;
+      if (F.NextAlt == 0) {
+        if (!legal(F.S, I)) {
+          ++F.NextThread;
+          continue;
+        }
+        // The crash event: the use-thread activates while the field is
+        // freed and no dominating re-allocation protects the load.
+        if (static_cast<int>(I) == UseIdx && F.S.freed() && !UseProtected) {
+          for (const Frame &G : Stack)
+            if (!G.Label.empty())
+              Trace.push_back(G.Label);
+          Trace.push_back(label(I, false, /*Crash=*/true));
           return true;
-        Trace.pop_back();
+        }
       }
+      const unsigned NumAlts = static_cast<int>(I) == FreeIdx ? 2 : 1;
+      if (F.NextAlt >= NumAlts) {
+        F.NextAlt = 0;
+        ++F.NextThread;
+        continue;
+      }
+      // The free thread tries the freeing path first, then the path that
+      // skips the free.
+      const bool DoFree = static_cast<int>(I) == FreeIdx && F.NextAlt == 0;
+      ++F.NextAlt;
+      const State NS = apply(F.S, I, DoFree);
+      std::string L = label(I, DoFree, false);
+      push(NS, std::move(L)); // invalidates F
     }
     return false;
   }
@@ -521,8 +581,8 @@ HbRefutation HbRefuter::refute(const ir::LoadStmt *Use,
     R.ProofChain.push_back(std::move(Fact));
   R.ProofChain.push_back(
       "lifecycle edges: onCreate first, onDestroy last, UI events only "
-      "while resumed; posted callbacks follow their poster (per-looper "
-      "FIFO)");
+      "while resumed, onResume after launch/onCreate and after each "
+      "onPause; posted callbacks follow their poster (per-looper FIFO)");
   std::ostringstream Done;
   Done << "exhausted " << R.StatesExplored
        << " abstract state(s): no history runs the use after the free";

@@ -22,8 +22,10 @@
 /// Its edges come from the facts the rest of the system already computes:
 ///
 ///  * lifecycle legality (onCreate first, onDestroy last, UI events only
-///    while resumed, onPause/onResume alternate) over a per-component
-///    phase machine;
+///    while resumed, onPause/onResume alternate — with one framework
+///    onResume owed after every launch/onCreate, so an activity that
+///    never overrides onPause still runs its onResume) over a
+///    per-component phase machine;
 ///  * post edges — a posted callback activates only after its poster, at
 ///    most once per poster activation for Runnable/Message postees — and
 ///    per-looper FIFO serialization between sibling postees whose spawn

@@ -37,6 +37,8 @@ const char *corpus::seedKindName(SeedKind Kind) {
     return "chb-proved";
   case SeedKind::ChbRacy:
     return "chb-racy";
+  case SeedKind::ChbResumeRacy:
+    return "chb-resume-racy";
   case SeedKind::PhbProved:
     return "phb-proved";
   case SeedKind::PhbRacy:
@@ -490,6 +492,25 @@ void PatternEmitter::chbRacy() {
   B.emitLoad(U, B.thisLocal(), H.F);
   B.emitCall(nullptr, U, "use");
   record(SeedKind::ChbRacy, H.F, Use, Free, PairType::EcEc);
+}
+
+void PatternEmitter::chbResumeRacy() {
+  Host H = makeHost(tag());
+  // The free lives in onResume and onPause is never overridden: the only
+  // way the free runs is the framework onResume owed after onCreate.
+  // finish() sits on an error branch, so it does not dominate the free
+  // (no kill edge), yet CHB's may-analysis prunes the pair anyway. The
+  // history create -> resume(free, no finish) -> click crashes.
+  Method *Free = B.makeMethod(H.Activity, "onResume");
+  B.beginIfUnknown();
+  B.emitFinish();
+  B.endIf();
+  B.emitStore(B.thisLocal(), H.F, nullptr);
+  Method *Use = B.makeMethod(H.Activity, "onClick");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), H.F);
+  B.emitCall(nullptr, U, "use");
+  record(SeedKind::ChbResumeRacy, H.F, Use, Free, PairType::EcEc);
 }
 
 void PatternEmitter::phbProved() {

@@ -51,6 +51,7 @@ enum class SeedKind : uint8_t {
   RhbRacy,        ///< RHB suppression the refuter demotes (real race)
   ChbProved,      ///< CHB suppression the refuter proves sound
   ChbRacy,        ///< CHB suppression the refuter demotes (real race)
+  ChbResumeRacy,  ///< CHB suppression demoted; free in onResume, no onPause
   PhbProved,      ///< PHB suppression the refuter proves sound
   PhbRacy,        ///< PHB suppression the refuter demotes (real race)
   FalseMa,        ///< pruned by the unsound MA filter
@@ -157,6 +158,12 @@ public:
   /// not dominate the free (the §8.6 fnChbErrorPath shape, labeled for
   /// the refuter benches).
   void chbRacy();
+  /// CHB, unsound instance exercising the lifecycle model's launch path:
+  /// the free sits in onResume and the activity never overrides onPause,
+  /// so the free is reachable only through the framework onResume that
+  /// follows onCreate. A phase machine that admits onResume solely after
+  /// onPause would never explore the free and wrongly prove this pair.
+  void chbResumeRacy();
   /// PHB, sound instance: onDestroy posts the freeing runnable; the
   /// using callback (onDestroy itself) can never activate again.
   void phbProved();

@@ -92,6 +92,11 @@ struct CompState {
   bool Destroyed = false;
   bool Finished = false;
   bool Paused = false;
+  /// The framework owes this component an onResume: set when it reaches
+  /// the resumed state without one (launch/onCreate), cleared once
+  /// onResume or onPause runs. Lets an overriding onResume fire even when
+  /// the activity never overrides onPause.
+  bool ResumePending = false;
   /// Set by the dynamic-only disableClicks API: models a UI interaction
   /// (hiding/disabling a view) whose happens-before effect static analysis
   /// cannot see — the §8.5 "Missing Happens-Before" FP category.
@@ -265,6 +270,7 @@ private:
       if (!C->findMethod("onCreate") ||
           effectiveKind(C.get()) == ClassKind::Receiver)
         State.Created = true;
+      State.ResumePending = State.Created;
       Components.push_back(State);
     }
   }
@@ -343,7 +349,7 @@ private:
     if (Name == "onPause")
       return !C.Paused;
     if (Name == "onResume")
-      return C.Paused;
+      return C.Paused || C.ResumePending;
     if (K == CallbackKind::Ui) // UI input needs a resumed, enabled view
       return !C.Paused && !C.ClicksDisabled;
     return true; // other lifecycle + system events fire even when paused
@@ -509,14 +515,18 @@ private:
     case Activation::Src::Component: {
       CompState &C = Components[A.SrcIdx];
       const std::string &Name = A.Cb->name();
-      if (Name == "onCreate")
+      if (Name == "onCreate") {
         C.Created = true;
-      else if (Name == "onDestroy")
+        C.ResumePending = true;
+      } else if (Name == "onDestroy") {
         C.Destroyed = true;
-      else if (Name == "onPause")
+      } else if (Name == "onPause") {
         C.Paused = true;
-      else if (Name == "onResume")
+        C.ResumePending = false;
+      } else if (Name == "onResume") {
         C.Paused = false;
+        C.ResumePending = false;
+      }
       break;
     }
     case Activation::Src::Conn:

@@ -235,6 +235,51 @@ TEST(AllocFlow, GetterResultCountsOnlyInMaMode) {
   EXPECT_TRUE(analyzeAllocFlow(*Fx.M, true).ProtectedLoads.count(Use));
 }
 
+TEST(AllocFlow, EarlyReturnBeforeReallocKillsMustAtExit) {
+  // An early return inside a branch exits before the re-allocation, so
+  // the field is NOT must-allocated at exit — the refuter must not get a
+  // revive edge from this method.
+  MethodFixture Fx;
+  Fx.method();
+  Fx.B.beginIfUnknown();
+  Fx.B.emitReturn();
+  Fx.B.endIf();
+  Local *X = Fx.B.emitNew("x", Fx.Payload);
+  Fx.B.emitStore(Fx.B.thisLocal(), Fx.F, X);
+  AllocFlowResult R = analyzeAllocFlow(*Fx.M, false);
+  EXPECT_FALSE(R.MustAllocAtExitFields.count(Fx.F));
+  EXPECT_TRUE(R.MayAllocFields.count(Fx.F));
+}
+
+TEST(AllocFlow, ReturnsOnAllPathsIntersectExitStates) {
+  // Both branches return after allocating: the fall-through is dead and
+  // the exit fact is the intersection of the two return states.
+  MethodFixture Fx;
+  Fx.method();
+  Fx.B.beginIfUnknown();
+  Local *X = Fx.B.emitNew("x", Fx.Payload);
+  Fx.B.emitStore(Fx.B.thisLocal(), Fx.F, X);
+  Fx.B.emitReturn();
+  Fx.B.beginElse();
+  Local *Y = Fx.B.emitNew("y", Fx.Payload);
+  Fx.B.emitStore(Fx.B.thisLocal(), Fx.F, Y);
+  Fx.B.emitReturn();
+  Fx.B.endIf();
+  Fx.B.emitStore(Fx.B.thisLocal(), Fx.F, nullptr); // dead: never reached
+  AllocFlowResult R = analyzeAllocFlow(*Fx.M, false);
+  EXPECT_TRUE(R.MustAllocAtExitFields.count(Fx.F));
+}
+
+TEST(AllocFlow, TailReturnKeepsMustAtExit) {
+  MethodFixture Fx;
+  Fx.method();
+  Local *X = Fx.B.emitNew("x", Fx.Payload);
+  Fx.B.emitStore(Fx.B.thisLocal(), Fx.F, X);
+  Fx.B.emitReturn();
+  AllocFlowResult R = analyzeAllocFlow(*Fx.M, false);
+  EXPECT_TRUE(R.MustAllocAtExitFields.count(Fx.F));
+}
+
 TEST(AllocFlow, NonThisBasesIgnored) {
   MethodFixture Fx;
   Clazz *Holder = Fx.B.makeClass("H", ClassKind::Plain);

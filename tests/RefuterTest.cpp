@@ -46,6 +46,9 @@ void emitRefuterPattern(PatternEmitter &E, SeedKind Kind) {
   case SeedKind::ChbRacy:
     E.chbRacy();
     return;
+  case SeedKind::ChbResumeRacy:
+    E.chbResumeRacy();
+    return;
   case SeedKind::PhbProved:
     E.phbProved();
     return;
@@ -142,6 +145,11 @@ INSTANTIATE_TEST_SUITE_P(
                     Provenance::Proved},
         RefuterCase{"ChbRacy", SeedKind::ChbRacy, FilterKind::CHB,
                     Provenance::Assumed},
+        // The free is reachable only through the framework onResume that
+        // follows onCreate (no onPause override): a lifecycle model that
+        // admits onResume solely after onPause would wrongly prove this.
+        RefuterCase{"ChbResumeRacy", SeedKind::ChbResumeRacy,
+                    FilterKind::CHB, Provenance::Assumed},
         RefuterCase{"PhbProved", SeedKind::PhbProved, FilterKind::PHB,
                     Provenance::Proved},
         RefuterCase{"PhbRacy", SeedKind::PhbRacy, FilterKind::PHB,
@@ -164,6 +172,7 @@ TEST(Refuter, EveryMayHbSuppressionIsLabeled) {
   E.rhbRacy();
   E.chbProved();
   E.chbRacy();
+  E.chbResumeRacy();
   E.phbProved();
   E.phbRacy();
 
@@ -184,7 +193,7 @@ TEST(Refuter, EveryMayHbSuppressionIsLabeled) {
           << filters::filterKindName(D.By)
           << " suppression left unlabeled under --refute";
     }
-  EXPECT_GE(MayHbDecisions, 9u);
+  EXPECT_GE(MayHbDecisions, 10u);
 }
 
 /// Soundness acceptance: across the mixed program, zero pairs the
