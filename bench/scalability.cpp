@@ -38,6 +38,9 @@ namespace {
 bool runBatchSection() {
   std::error_code Ec;
   fs::path Dir = fs::temp_directory_path(Ec) / "nadroid-scalability-corpus";
+  // A previous run (possibly of an older corpus) may have left files
+  // behind; stale .air apps would silently inflate the batch timings.
+  fs::remove_all(Dir, Ec);
   fs::create_directories(Dir, Ec);
   unsigned Written = 0;
   for (const corpus::Recipe &R : corpus::allRecipes()) {

@@ -108,10 +108,10 @@ class Search {
 public:
   Search(std::vector<ThreadInfo> Threads, std::vector<MustCancel> Cancels,
          int UseIdx, int FreeIdx, bool FreeMustRealloc, bool UseProtected,
-         const ir::Field *F)
+         const ir::Field *F, const support::Deadline *D)
       : Threads(std::move(Threads)), Cancels(std::move(Cancels)),
         UseIdx(UseIdx), FreeIdx(FreeIdx), FreeMustRealloc(FreeMustRealloc),
-        UseProtected(UseProtected), F(F) {}
+        UseProtected(UseProtected), F(F), D(D) {}
 
   /// Exhaustively explores the abstract histories. Returns true when one
   /// ends with the use observing the freed field; Trace then holds it.
@@ -138,6 +138,7 @@ private:
   int UseIdx, FreeIdx;
   bool FreeMustRealloc, UseProtected;
   const ir::Field *F;
+  const support::Deadline *D = nullptr;
   std::set<uint64_t> Visited;
   bool BudgetExceeded = false;
 
@@ -290,6 +291,10 @@ private:
     };
     push(Init, "");
     while (!Stack.empty()) {
+      // Safe point: each DFS step only reads the memo table it already
+      // extended; abandoning the search mid-way loses nothing shared.
+      if (D)
+        D->check("hbrefuter");
       Frame &F = Stack.back();
       if (F.NextThread >= Threads.size()) {
         Stack.pop_back();
@@ -382,9 +387,10 @@ HbRefuter::HbRefuter(const ir::Program &P,
                      const threadify::ThreadForest &Forest,
                      const PointsToAnalysis &PTA, const ThreadReach &Reach,
                      const CancelReach &Cancel, const EscapeAnalysis &Escape,
-                     MethodCfgCache &Cfgs, MethodAllocFlowCache &Alloc)
+                     MethodCfgCache &Cfgs, MethodAllocFlowCache &Alloc,
+                     const support::Deadline *D)
     : Forest(Forest), PTA(PTA), Reach(Reach), Cancel(Cancel),
-      Escape(Escape), Cfgs(Cfgs), Alloc(Alloc) {
+      Escape(Escape), Cfgs(Cfgs), Alloc(Alloc), D(D) {
   (void)P;
 }
 
@@ -551,7 +557,7 @@ HbRefutation HbRefuter::refute(const ir::LoadStmt *Use,
           .ProtectedLoads.count(Use) != 0;
 
   Search S(Infos, MustCancels, UseIdx, FreeIdx, FreeMustRealloc, UseProtected,
-           F);
+           F, D);
   std::vector<std::string> Trace;
   const bool Crash = S.findCrash(Trace);
 

@@ -82,10 +82,13 @@ struct HbRefutation {
 /// one instance concurrently.
 class HbRefuter {
 public:
+  /// \p D (not owned, may be null) is polled once per DFS step of every
+  /// refutation search; expiry throws DeadlineExceeded out of refute().
   HbRefuter(const ir::Program &P, const threadify::ThreadForest &Forest,
             const PointsToAnalysis &PTA, const ThreadReach &Reach,
             const CancelReach &Cancel, const EscapeAnalysis &Escape,
-            MethodCfgCache &Cfgs, MethodAllocFlowCache &Alloc);
+            MethodCfgCache &Cfgs, MethodAllocFlowCache &Alloc,
+            const support::Deadline *D = nullptr);
 
   /// Attempts to prove that, for the (use-thread, free-thread) pair
   /// (\p UseT, \p FreeT), the load \p Use of field \p F can never observe
@@ -103,6 +106,7 @@ private:
   const EscapeAnalysis &Escape;
   MethodCfgCache &Cfgs;
   MethodAllocFlowCache &Alloc;
+  const support::Deadline *D = nullptr;
 };
 
 } // namespace nadroid::analysis

@@ -459,6 +459,7 @@ void NullDomain::transferEdge(const CfgEdge &E, NState &St) const {
 
 struct NullnessAnalysis::Impl final : NullnessImplRef {
   const Program &P;
+  const support::Deadline *D = nullptr;
 
   std::vector<const Method *> Methods; // deterministic program order
   std::map<const Method *, MethodState> MS;
@@ -475,7 +476,7 @@ struct NullnessAnalysis::Impl final : NullnessImplRef {
   std::set<const LoadStmt *> UnsafeDeref;
   std::set<const LoadStmt *> SeenLoads; // loads in reachable nodes
 
-  explicit Impl(const Program &P) : P(P) {}
+  Impl(const Program &P, const support::Deadline *D) : P(P), D(D) {}
 
   const std::vector<const Method *> &
   chaTargets(const Clazz *C, const std::string &Name) override {
@@ -713,6 +714,9 @@ void NullnessAnalysis::Impl::run(std::vector<LintFinding> &Findings) {
   for (unsigned Round = 0; Changed && Round < 64; ++Round) {
     Changed = false;
     for (const Method *M : Methods) {
+      // Safe point: between methods the fixpoint is just unfinished.
+      if (D)
+        D->check("nullness");
       MethodState &State = MS[M];
       if (!State.EntryTop && !State.HasContribution)
         continue; // nothing reaches it yet
@@ -744,8 +748,11 @@ void NullnessAnalysis::Impl::run(std::vector<LintFinding> &Findings) {
   }
 
   // Final recording sweep with the fixpoint facts.
-  for (const Method *M : Methods)
+  for (const Method *M : Methods) {
+    if (D)
+      D->check("nullness");
     analyzeOnce(MS[M], /*Record=*/true, &Findings);
+  }
 
   std::sort(Findings.begin(), Findings.end(),
             [](const LintFinding &A, const LintFinding &B) {
@@ -761,8 +768,9 @@ void NullnessAnalysis::Impl::run(std::vector<LintFinding> &Findings) {
 // Public interface
 //===----------------------------------------------------------------------===//
 
-NullnessAnalysis::NullnessAnalysis(const Program &P)
-    : I(std::make_unique<Impl>(P)) {
+NullnessAnalysis::NullnessAnalysis(const Program &P,
+                                   const support::Deadline *D)
+    : I(std::make_unique<Impl>(P, D)) {
   I->run(Findings);
 }
 

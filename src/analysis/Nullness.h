@@ -62,6 +62,7 @@
 
 #include "ir/Ir.h"
 #include "ir/Stmt.h"
+#include "support/Deadline.h"
 
 #include <cstdint>
 #include <memory>
@@ -124,7 +125,10 @@ struct LintFinding {
 /// queries are O(log n) lookups.
 class NullnessAnalysis {
 public:
-  explicit NullnessAnalysis(const ir::Program &P);
+  /// \p D (not owned, may be null) is polled once per method per
+  /// fixpoint round; expiry throws DeadlineExceeded from the ctor.
+  explicit NullnessAnalysis(const ir::Program &P,
+                            const support::Deadline *D = nullptr);
   ~NullnessAnalysis();
 
   NullnessAnalysis(const NullnessAnalysis &) = delete;

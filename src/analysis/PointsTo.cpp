@@ -153,6 +153,10 @@ void PointsToAnalysis::run() {
 void PointsToAnalysis::sweep() {
   // ReachableList can grow while we iterate; index loop keeps it valid.
   for (size_t I = 0; I < ReachableList.size(); ++I) {
+    // Safe point: between contexts the solver state is merely
+    // incomplete, never inconsistent.
+    if (Opts.Deadline)
+      Opts.Deadline->check("pointsto");
     MethodCtx Ctx = ReachableList[I];
     processContext(Ctx);
   }

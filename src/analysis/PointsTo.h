@@ -29,6 +29,7 @@
 
 #include "android/Api.h"
 #include "ir/Stmt.h"
+#include "support/Deadline.h"
 #include "support/Statistic.h"
 #include "threadify/ThreadForest.h"
 
@@ -101,6 +102,10 @@ public:
     /// Context depth. k=1 is context-insensitive heap naming; k=2 is the
     /// paper's default balance of precision and scalability (§8.5).
     unsigned K = 2;
+    /// Optional cooperative deadline (not owned), polled once per
+    /// context in the fixpoint sweep; expiry throws DeadlineExceeded
+    /// out of run().
+    const support::Deadline *Deadline = nullptr;
   };
 
   PointsToAnalysis(const ir::Program &P,

@@ -32,6 +32,11 @@
 //                                    suppression (provenance column)
 //   nadroid --batch DIR              analyze every .air app in DIR and
 //                                    print an aggregate Table-1 summary
+//   nadroid --batch-timeout SEC      per-app soft budget; over-budget apps
+//                                    retry once with degraded options
+//                                    (§8.8), then report timed-out
+//   nadroid --batch-log FILE         append a JSONL row per finished app
+//   nadroid --resume                 skip apps already in --batch-log
 //   nadroid --jobs N                 worker threads for --batch and the
 //                                    per-warning filter sweep (default:
 //                                    one per hardware thread)
@@ -82,6 +87,9 @@ struct CliOptions {
   unsigned Jobs = 0;
   std::string ExportCorpusDir;
   std::string BatchDir;
+  double BatchTimeoutSec = 0;
+  std::string BatchLogPath;
+  bool Resume = false;
   std::vector<std::string> Files;
 };
 
@@ -92,7 +100,8 @@ void printUsage() {
       << "               [--dot] [--explain] [--json]\n"
       << "               [--lint] [--syntactic-filters] [--refute]\n"
       << "               [--k N] [--jobs N] [--export-corpus DIR]\n"
-      << "               [--batch DIR] file.air...\n";
+      << "               [--batch DIR] [--batch-timeout SEC]\n"
+      << "               [--batch-log FILE] [--resume] file.air...\n";
 }
 
 bool parseArgs(int argc, char **argv, CliOptions &Opts) {
@@ -140,6 +149,27 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       }
       Opts.BatchDir = argv[I];
     }
+    else if (!std::strcmp(Arg, "--batch-timeout")) {
+      if (++I >= argc) {
+        std::cerr << "error: --batch-timeout needs seconds\n";
+        return false;
+      }
+      Opts.BatchTimeoutSec = std::atof(argv[I]);
+      if (Opts.BatchTimeoutSec <= 0) {
+        std::cerr << "error: --batch-timeout must be positive\n";
+        return false;
+      }
+    }
+    else if (!std::strcmp(Arg, "--batch-log")) {
+      if (++I >= argc) {
+        std::cerr << "error: --batch-log needs a file\n";
+        return false;
+      }
+      Opts.BatchLogPath = argv[I];
+    }
+    else if (!std::strcmp(Arg, "--resume")) {
+      Opts.Resume = true;
+    }
     else if (!std::strcmp(Arg, "--jobs")) {
       if (++I >= argc) {
         std::cerr << "error: --jobs needs a value\n";
@@ -175,6 +205,10 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
   if (Opts.Files.empty() && Opts.ExportCorpusDir.empty() &&
       Opts.BatchDir.empty()) {
     printUsage();
+    return false;
+  }
+  if (Opts.Resume && Opts.BatchLogPath.empty()) {
+    std::cerr << "error: --resume needs --batch-log\n";
     return false;
   }
   return true;
@@ -355,6 +389,9 @@ int main(int argc, char **argv) {
     BOpts.Pipeline.ModelFragments = Opts.Fragments;
     BOpts.Pipeline.DataflowGuards = !Opts.SyntacticFilters;
     BOpts.Pipeline.Refute = Opts.Refute;
+    BOpts.TimeoutSec = Opts.BatchTimeoutSec;
+    BOpts.LogPath = Opts.BatchLogPath;
+    BOpts.Resume = Opts.Resume;
     report::BatchResult BR = report::runBatch(BOpts);
     std::cout << (Opts.Json ? report::renderBatchJson(BR)
                             : report::renderBatchReport(BR));

@@ -49,7 +49,8 @@ FilterEngine::pruneMask(const std::vector<UafWarning> &Warnings,
 }
 
 PipelineResult FilterEngine::run(const std::vector<UafWarning> &Warnings,
-                                 support::ThreadPool *Pool) {
+                                 support::ThreadPool *Pool,
+                                 const support::Deadline *D) {
   PipelineResult Result;
   Result.Verdicts.resize(Warnings.size());
 
@@ -71,6 +72,11 @@ PipelineResult FilterEngine::run(const std::vector<UafWarning> &Warnings,
   // Each task touches only Warnings[I] and Verdicts[I]; shared state is
   // confined to the context's internally-synchronized caches.
   auto Evaluate = [&](size_t I) {
+    // Safe point: a task that never starts leaves its Verdicts slot
+    // default-constructed, and the whole Result is discarded when the
+    // rethrown DeadlineExceeded unwinds run().
+    if (D)
+      D->check("verdicts");
     const UafWarning &W = Warnings[I];
     WarningVerdict &V = Result.Verdicts[I];
 

@@ -20,6 +20,7 @@
 #define NADROID_FILTERS_ENGINE_H
 
 #include "filters/Filter.h"
+#include "support/Deadline.h"
 #include "support/ThreadPool.h"
 
 #include <set>
@@ -92,9 +93,13 @@ public:
   /// \p Pool, per-warning verdicts are evaluated concurrently; each task
   /// writes only its own slot of the index-parallel Verdicts vector and
   /// the summary counters are folded serially afterwards, so the result
-  /// is identical to the serial run, byte for byte.
+  /// is identical to the serial run, byte for byte. \p D (not owned, may
+  /// be null) is polled before each warning's evaluation; on expiry the
+  /// DeadlineExceeded propagates out of run() once the in-flight tasks
+  /// drain.
   PipelineResult run(const std::vector<race::UafWarning> &Warnings,
-                     support::ThreadPool *Pool = nullptr);
+                     support::ThreadPool *Pool = nullptr,
+                     const support::Deadline *D = nullptr);
 
 private:
   FilterContext &Ctx;

@@ -34,11 +34,23 @@ ParseResult frontend::parseProgramText(std::string_view Source,
   return Result;
 }
 
+/// App name: file stem.
+static std::string stemOf(const std::string &Path) {
+  std::string Stem = Path;
+  if (size_t Slash = Stem.find_last_of('/'); Slash != std::string::npos)
+    Stem = Stem.substr(Slash + 1);
+  if (size_t Ext = Stem.find_last_of('.'); Ext != std::string::npos)
+    Stem = Stem.substr(0, Ext);
+  return Stem;
+}
+
 ParseResult frontend::parseProgramFile(const std::string &Path) {
   std::ifstream In(Path);
   if (!In) {
     ParseResult Result;
-    Result.Prog = std::make_unique<ir::Program>("invalid");
+    // Name the placeholder program after the file so downstream reports
+    // (e.g. batch rows) identify the app, not the literal "invalid".
+    Result.Prog = std::make_unique<ir::Program>(stemOf(Path));
     Result.Diags.push_back(
         {DiagSeverity::Error, SourceLoc(), "cannot open file '" + Path + "'"});
     return Result;
@@ -46,12 +58,5 @@ ParseResult frontend::parseProgramFile(const std::string &Path) {
   std::ostringstream Contents;
   Contents << In.rdbuf();
 
-  // App name: file stem.
-  std::string Stem = Path;
-  if (size_t Slash = Stem.find_last_of('/'); Slash != std::string::npos)
-    Stem = Stem.substr(Slash + 1);
-  if (size_t Ext = Stem.find_last_of('.'); Ext != std::string::npos)
-    Stem = Stem.substr(0, Ext);
-
-  return parseProgramText(Contents.str(), Path, Stem);
+  return parseProgramText(Contents.str(), Path, stemOf(Path));
 }

@@ -1043,6 +1043,8 @@ std::set<UafWitness> ScheduleExplorer::explore() {
   std::set<UafWitness> All;
   Rng Seeder(I->Opts.Seed);
   for (unsigned S = 0; S < I->Opts.Schedules; ++S) {
+    if (I->Opts.Deadline)
+      I->Opts.Deadline->check("interp");
     Run R(I->P, I->Codes, I->Opts, Seeder.next(), nullptr);
     std::set<UafWitness> Found = R.run();
     All.insert(Found.begin(), Found.end());
@@ -1065,6 +1067,8 @@ bool ScheduleExplorer::tryWitness(const LoadStmt *Use, const StoreStmt *Free,
   Rng Seeder(I->Opts.Seed ^ (uint64_t(Use->id()) << 32 | Free->id()));
   UafWitness Wanted{Use, Free};
   for (unsigned T = 0; T < Trials; ++T) {
+    if (I->Opts.Deadline)
+      I->Opts.Deadline->check("interp");
     Run R(I->P, I->Codes, I->Opts, Seeder.next(), &B);
     std::set<UafWitness> Found = R.run();
     if (Found.count(Wanted)) {

@@ -31,6 +31,7 @@
 #define NADROID_INTERP_INTERP_H
 
 #include "ir/Stmt.h"
+#include "support/Deadline.h"
 #include "support/Rng.h"
 
 #include <set>
@@ -68,6 +69,10 @@ struct ExploreOptions {
   /// always-attached components so their callbacks fire. Off by default —
   /// the paper's prototype does not model Fragments.
   bool ModelFragments = false;
+  /// Optional cooperative deadline (not owned), polled between schedules
+  /// in explore() and between trials in tryWitness(); expiry throws
+  /// DeadlineExceeded with the witnesses found so far discarded.
+  const support::Deadline *Deadline = nullptr;
 };
 
 /// The callback activation sequence of a crashing schedule — the §7

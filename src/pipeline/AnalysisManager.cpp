@@ -35,6 +35,7 @@ std::unique_ptr<analysis::PointsToAnalysis>
 PointsToPass::run(AnalysisManager &AM) {
   analysis::PointsToAnalysis::Options PtaOpts;
   PtaOpts.K = AM.options().K;
+  PtaOpts.Deadline = AM.deadline();
   auto PTA = std::make_unique<analysis::PointsToAnalysis>(
       AM.program(), AM.forest(), AM.apis(), PtaOpts);
   PTA->run();
@@ -53,7 +54,8 @@ std::unique_ptr<race::DetectorResult> DetectionPass::run(AnalysisManager &AM) {
 
 std::unique_ptr<analysis::NullnessAnalysis>
 NullnessPass::run(AnalysisManager &AM) {
-  return std::make_unique<analysis::NullnessAnalysis>(AM.program());
+  return std::make_unique<analysis::NullnessAnalysis>(AM.program(),
+                                                      AM.deadline());
 }
 
 std::unique_ptr<analysis::LocksetAnalysis>
@@ -76,7 +78,7 @@ std::unique_ptr<analysis::HbRefuter> HbRefuterPass::run(AnalysisManager &AM) {
   return std::make_unique<analysis::HbRefuter>(
       AM.program(), AM.forest(), AM.pointsTo(), AM.reach(), AM.cancelReach(),
       AM.escape(), AM.getMutable<CfgCachePass>(),
-      AM.getMutable<AllocFlowCachePass>());
+      AM.getMutable<AllocFlowCachePass>(), AM.deadline());
 }
 
 std::unique_ptr<analysis::MethodCfgCache>
@@ -140,7 +142,7 @@ VerdictsPass::run(AnalysisManager &AM) {
   filters::FilterEngine &Engine = AM.engine();
   const std::vector<race::UafWarning> &Warnings = AM.detection().Warnings;
   return std::make_unique<filters::PipelineResult>(
-      Engine.run(Warnings, AM.threadPool()));
+      Engine.run(Warnings, AM.threadPool(), AM.deadline()));
 }
 
 //===----------------------------------------------------------------------===//
@@ -178,7 +180,8 @@ void AnalysisManager::noteHit(CacheEntry &E) {
 }
 
 void AnalysisManager::beginBuild(std::type_index Key) {
-  BuildStack.push_back({Key, Clock::now(), currentRssKb(), 0.0});
+  BuildStack.push_back(
+      {Key, Clock::now(), TrackRss_ ? currentRssKb() : 0, 0.0});
 }
 
 void AnalysisManager::endBuild(std::type_index Key,
@@ -199,12 +202,30 @@ void AnalysisManager::endBuild(std::type_index Key,
   E.Data = std::move(Data);
   E.Seconds += Self;
   ++E.Builds;
-  E.RssKb += std::max(0L, currentRssKb() - Frame.RssStartKb);
+  // RSS is process-global: with concurrent batch lanes every lane would
+  // be charged everyone's allocations, so attribution is suppressed
+  // when tracking is off (the delta stays 0 rather than lying).
+  if (TrackRss_)
+    E.RssKb += std::max(0L, currentRssKb() - Frame.RssStartKb);
 
   const std::string Prefix = std::string("pipeline.") + E.Name;
   Stats.add(Prefix + ".builds");
   Stats.set(Prefix + ".ms", static_cast<uint64_t>(E.Seconds * 1000.0));
   Stats.set(Prefix + ".rsskb", static_cast<uint64_t>(E.RssKb));
+}
+
+void AnalysisManager::abortBuild(std::type_index Key) {
+  assert(!BuildStack.empty() && BuildStack.back().Key == Key &&
+         "mismatched beginBuild/abortBuild");
+  (void)Key;
+  BuildFrame Frame = BuildStack.back();
+  BuildStack.pop_back();
+  // Keep the parent's exclusive-time subtraction honest even though this
+  // build produced nothing.
+  const double Total =
+      std::chrono::duration<double>(Clock::now() - Frame.Start).count();
+  if (!BuildStack.empty())
+    BuildStack.back().ChildSeconds += Total;
 }
 
 void AnalysisManager::invalidateKey(std::type_index Key) {

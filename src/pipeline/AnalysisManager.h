@@ -50,6 +50,7 @@
 #include "analysis/MethodCaches.h"
 #include "filters/Engine.h"
 #include "race/Detector.h"
+#include "support/Deadline.h"
 #include "support/Statistic.h"
 #include "support/ThreadPool.h"
 
@@ -249,6 +250,21 @@ public:
   void setThreadPool(support::ThreadPool *Pool) { Pool_ = Pool; }
   support::ThreadPool *threadPool() const { return Pool_; }
 
+  /// Attaches a cooperative deadline (not owned; nullptr to detach).
+  /// Every pass build checks it first, and the expensive analyses poll
+  /// it at their safe points; expiry surfaces as DeadlineExceeded from
+  /// whatever get<>() was running. A completed result is never damaged:
+  /// cancellation only prevents builds, it does not evict.
+  void setDeadline(const support::Deadline *D) { Deadline_ = D; }
+  const support::Deadline *deadline() const { return Deadline_; }
+
+  /// Per-pass RSS deltas sample process-global residency, which is only
+  /// attributable when nothing else allocates concurrently. The batch
+  /// driver turns sampling off for its parallel lanes so they don't
+  /// cross-charge each other; single-app --stats keeps the default.
+  void setRssTracking(bool Track) { TrackRss_ = Track; }
+  bool rssTracking() const { return TrackRss_; }
+
   /// The analysis keyed by \p PassT, built on first request. References
   /// stay valid until the pass is invalidated or the manager dies.
   template <typename PassT> const typename PassT::Result &get() {
@@ -264,8 +280,21 @@ public:
       noteHit(E);
       return *static_cast<Slot<typename PassT::Result> *>(E.Data.get())->Value;
     }
+    // The inter-pass safe point: nothing is half-built between builds,
+    // so an expired deadline may abort the whole request chain here.
+    if (Deadline_)
+      Deadline_->check(PassT::Name);
     beginBuild(Key);
-    std::unique_ptr<typename PassT::Result> Value = PassT::run(*this);
+    std::unique_ptr<typename PassT::Result> Value;
+    try {
+      Value = PassT::run(*this);
+    } catch (...) {
+      // A throwing build (deadline expiry, a pathological input) must
+      // not leave its frame behind: the manager stays usable and the
+      // batch driver's per-app boundary sees a clean unwind.
+      abortBuild(Key);
+      throw;
+    }
     auto S = std::make_unique<Slot<typename PassT::Result>>();
     typename PassT::Result &Ref = *Value;
     S->Value = std::move(Value);
@@ -364,11 +393,14 @@ private:
   void noteHit(CacheEntry &E);
   void beginBuild(std::type_index Key);
   void endBuild(std::type_index Key, std::unique_ptr<SlotBase> Data);
+  void abortBuild(std::type_index Key);
   void invalidateKey(std::type_index Key);
 
   const ir::Program &P;
   PipelineOptions Opts;
   support::ThreadPool *Pool_ = nullptr;
+  const support::Deadline *Deadline_ = nullptr;
+  bool TrackRss_ = true;
   std::map<std::type_index, CacheEntry> Cache;
   std::vector<BuildFrame> BuildStack;
   StatRegistry Stats;

@@ -8,14 +8,20 @@
 
 #include "frontend/Frontend.h"
 #include "report/Json.h"
+#include "support/Deadline.h"
 #include "support/TableWriter.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
-#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
 #include <sstream>
+#include <stdexcept>
 
 using namespace nadroid;
 using namespace nadroid::report;
@@ -24,68 +30,298 @@ using Clock = std::chrono::steady_clock;
 
 namespace {
 
+/// The §8.8 degradation ladder, applied all at once: shallower contexts,
+/// the syntactic filter analyses, no refutation engine.
+pipeline::PipelineOptions degradedOptions(pipeline::PipelineOptions Opts) {
+  Opts.K = 1;
+  Opts.DataflowGuards = false;
+  Opts.Refute = false;
+  return Opts;
+}
+
 /// Parse + analyze one app, keeping only aggregate numbers. The Program
 /// and the manager die with this frame — a batch run's live memory is
-/// one app per pool lane, not the whole corpus.
-void analyzeOne(const fs::path &Path, const BatchOptions &Opts,
-                support::ThreadPool &Pool, BatchApp &Out) {
-  Out.File = Path.filename().string();
+/// one app per pool lane, not the whole corpus. Throws on crashes and
+/// test-hook injections; analyzeOne's boundary turns those into rows.
+void analyzeOneImpl(const fs::path &Path, const BatchOptions &Opts,
+                    support::ThreadPool &Pool, BatchApp &Out) {
   frontend::ParseResult Parsed = frontend::parseProgramFile(Path.string());
-  Out.Name = Parsed.Prog ? Parsed.Prog->name() : Path.stem().string();
+  if (Parsed.Prog)
+    Out.Name = Parsed.Prog->name();
   if (!Parsed.Success) {
-    Out.Ok = false;
-    std::ostringstream OS;
+    Out.Status = BatchStatus::ParseFailed;
     for (const Diagnostic &D : Parsed.Diags) {
-      OS << Parsed.Prog->sourceManager().render(D.Loc) << ": " << D.Message;
+      std::ostringstream OS;
+      // An unreadable file carries the invalid location; the "<builtin>"
+      // it would render as only obscures the message.
+      if (D.Loc.isValid())
+        OS << Parsed.Prog->sourceManager().render(D.Loc) << ": ";
+      OS << D.Message;
+      Out.Error = OS.str();
       break; // first diagnostic is enough for the aggregate row
     }
-    Out.Error = OS.str();
     return;
   }
 
-  auto AM = std::make_shared<pipeline::AnalysisManager>(*Parsed.Prog,
-                                                        Opts.Pipeline);
-  AM->setThreadPool(&Pool); // nested: verdicts fan out over the same pool
-  NadroidResult R = analyzeProgram(AM);
+  if (!Opts.TestCrashApp.empty() && Out.File == Opts.TestCrashApp)
+    throw std::runtime_error("injected test-hook crash");
 
-  Out.Ok = true;
-  Out.Stmts = Parsed.Prog->statementCount();
-  Out.EntryCallbacks = R.Forest->entryCallbackCount();
-  Out.PostedCallbacks = R.Forest->postedCallbackCount();
-  Out.Threads = R.Forest->threadCount();
-  Out.Potential = static_cast<unsigned>(R.warnings().size());
-  Out.AfterSound = R.Pipeline.RemainingAfterSound;
-  Out.AfterUnsound = R.Pipeline.RemainingAfterUnsound;
-  Out.Timings = R.Timings;
-  Out.Analyses = AM->passStats();
+  pipeline::PipelineOptions Pipe = Opts.Pipeline;
+  for (unsigned Attempt = 0;; ++Attempt) {
+    support::Deadline D(Opts.TimeoutSec);
+    if ((!Opts.TestExpireAlwaysApp.empty() &&
+         Out.File == Opts.TestExpireAlwaysApp) ||
+        (Attempt == 0 && !Opts.TestExpireApp.empty() &&
+         Out.File == Opts.TestExpireApp))
+      D.cancel();
+    try {
+      auto AM = std::make_shared<pipeline::AnalysisManager>(*Parsed.Prog,
+                                                            Pipe);
+      AM->setThreadPool(&Pool); // nested: verdicts fan out over the pool
+      AM->setDeadline(&D);
+      // Concurrent lanes share one process RSS, so per-pass deltas would
+      // charge one app's allocations to whichever pass another lane
+      // happens to be timing; only a serial batch can trust them.
+      bool TrustRss = Pool.concurrency() == 1;
+      AM->setRssTracking(TrustRss);
+      NadroidResult R = analyzeProgram(AM);
+
+      Out.Status = Attempt == 0 ? BatchStatus::Ok : BatchStatus::Degraded;
+      Out.RssTrusted = TrustRss;
+      Out.Stmts = Parsed.Prog->statementCount();
+      Out.EntryCallbacks = R.Forest->entryCallbackCount();
+      Out.PostedCallbacks = R.Forest->postedCallbackCount();
+      Out.Threads = R.Forest->threadCount();
+      Out.Potential = static_cast<unsigned>(R.warnings().size());
+      Out.AfterSound = R.Pipeline.RemainingAfterSound;
+      Out.AfterUnsound = R.Pipeline.RemainingAfterUnsound;
+      Out.Timings = R.Timings;
+      Out.Analyses = AM->passStats();
+      return;
+    } catch (const support::DeadlineExceeded &) {
+      pipeline::PipelineOptions Next = degradedOptions(Pipe);
+      bool CanDegrade = Attempt == 0 &&
+                        (Next.K != Pipe.K ||
+                         Next.DataflowGuards != Pipe.DataflowGuards ||
+                         Next.Refute != Pipe.Refute);
+      if (!CanDegrade) {
+        Out.Status = BatchStatus::TimedOut;
+        // Deliberately stable text (no site, no elapsed time): timed-out
+        // rows must not perturb the byte-identical report contract.
+        Out.Error = "per-app time budget exceeded";
+        return;
+      }
+      Pipe = Next; // retry once, degraded
+    }
+  }
 }
 
-std::string fixed1(double V) {
-  char Buf[32];
-  std::snprintf(Buf, sizeof(Buf), "%.1f", V);
-  return Buf;
+/// The per-app exception boundary: one misbehaving app becomes a failed
+/// row, never a dead batch.
+void analyzeOne(const fs::path &Path, const BatchOptions &Opts,
+                support::ThreadPool &Pool, BatchApp &Out) {
+  Out.File = Path.filename().string();
+  Out.Name = Path.stem().string();
+  try {
+    analyzeOneImpl(Path, Opts, Pool, Out);
+  } catch (const std::exception &E) {
+    Out.Status = BatchStatus::Crashed;
+    Out.Error = E.what();
+  } catch (...) {
+    Out.Status = BatchStatus::Crashed;
+    Out.Error = "unrecognized exception";
+  }
 }
 
-std::string fixed6(double V) {
-  char Buf[32];
-  std::snprintf(Buf, sizeof(Buf), "%.6f", V);
-  return Buf;
+/// Extracts the raw text of `"Key": value` from one log line: the body
+/// of a quoted string (still escaped), or the token up to the next
+/// delimiter for numbers. Returns false when the key is absent — which
+/// includes any line truncated by a killed writer mid-value.
+bool findRawValue(const std::string &Line, const std::string &Key,
+                  std::string &Out) {
+  std::string Needle = "\"" + Key + "\": ";
+  size_t At = Line.find(Needle);
+  if (At == std::string::npos)
+    return false;
+  At += Needle.size();
+  if (At >= Line.size())
+    return false;
+  if (Line[At] != '"') {
+    size_t End = Line.find_first_of(",}", At);
+    if (End == std::string::npos)
+      return false;
+    Out = Line.substr(At, End - At);
+    return true;
+  }
+  std::string Raw;
+  for (size_t I = At + 1; I < Line.size(); ++I) {
+    if (Line[I] == '\\' && I + 1 < Line.size()) {
+      Raw += Line[I];
+      Raw += Line[I + 1];
+      ++I;
+      continue;
+    }
+    if (Line[I] == '"') {
+      Out = std::move(Raw);
+      return true;
+    }
+    Raw += Line[I];
+  }
+  return false; // unterminated string: truncated line
+}
+
+std::string findString(const std::string &Line, const std::string &Key) {
+  std::string Raw;
+  return findRawValue(Line, Key, Raw) ? jsonUnescape(Raw) : std::string();
+}
+
+unsigned findUnsigned(const std::string &Line, const std::string &Key) {
+  std::string Raw;
+  if (!findRawValue(Line, Key, Raw))
+    return 0;
+  return static_cast<unsigned>(std::strtoul(Raw.c_str(), nullptr, 10));
+}
+
+/// Locale-independent inverse of jsonFixed: strtod would read the
+/// fraction through the *locale's* decimal point, not ".".
+double findFixed(const std::string &Line, const std::string &Key) {
+  std::string Raw;
+  if (!findRawValue(Line, Key, Raw))
+    return 0;
+  double Sign = 1;
+  size_t I = 0;
+  if (I < Raw.size() && Raw[I] == '-') {
+    Sign = -1;
+    ++I;
+  }
+  double V = 0;
+  for (; I < Raw.size() && std::isdigit(static_cast<unsigned char>(Raw[I]));
+       ++I)
+    V = V * 10 + (Raw[I] - '0');
+  if (I < Raw.size() && Raw[I] == '.') {
+    double Place = 0.1;
+    for (++I;
+         I < Raw.size() && std::isdigit(static_cast<unsigned char>(Raw[I]));
+         ++I, Place *= 0.1)
+      V += (Raw[I] - '0') * Place;
+  }
+  return Sign * V;
+}
+
+bool batchStatusFromName(const std::string &Name, BatchStatus &Out) {
+  for (BatchStatus S :
+       {BatchStatus::Ok, BatchStatus::Degraded, BatchStatus::ParseFailed,
+        BatchStatus::Crashed, BatchStatus::TimedOut})
+    if (Name == batchStatusName(S)) {
+      Out = S;
+      return true;
+    }
+  return false;
 }
 
 } // namespace
 
+const char *report::batchStatusName(BatchStatus S) {
+  switch (S) {
+  case BatchStatus::Ok:
+    return "ok";
+  case BatchStatus::Degraded:
+    return "degraded";
+  case BatchStatus::ParseFailed:
+    return "parse-failed";
+  case BatchStatus::Crashed:
+    return "crashed";
+  case BatchStatus::TimedOut:
+    return "timed-out";
+  }
+  return "unknown";
+}
+
 int BatchResult::exitCode() const {
   int Code = 0;
   for (const BatchApp &A : Apps) {
-    if (!A.Ok)
-      return 2;
-    if (A.AfterUnsound > 0)
-      Code = 1;
+    int Severity = 0;
+    switch (A.Status) {
+    case BatchStatus::Ok:
+    case BatchStatus::Degraded:
+      Severity = A.AfterUnsound > 0 ? 1 : 0;
+      break;
+    case BatchStatus::ParseFailed:
+      Severity = 2;
+      break;
+    case BatchStatus::Crashed:
+      Severity = 3;
+      break;
+    case BatchStatus::TimedOut:
+      Severity = 4;
+      break;
+    }
+    Code = std::max(Code, Severity);
   }
   return Code;
 }
 
-BatchResult report::runBatch(const BatchOptions &Opts) {
+std::string report::renderBatchLogLine(const BatchApp &A) {
+  std::ostringstream OS;
+  OS << "{\"file\": \"" << jsonEscape(A.File) << "\", \"name\": \""
+     << jsonEscape(A.Name) << "\", \"status\": \"" << batchStatusName(A.Status)
+     << "\", \"error\": \"" << jsonEscape(A.Error) << "\", \"stmts\": "
+     << A.Stmts << ", \"entryCallbacks\": " << A.EntryCallbacks
+     << ", \"postedCallbacks\": " << A.PostedCallbacks
+     << ", \"threads\": " << A.Threads << ", \"potential\": " << A.Potential
+     << ", \"afterSound\": " << A.AfterSound
+     << ", \"afterUnsound\": " << A.AfterUnsound
+     << ", \"modelingSec\": " << jsonFixed(A.Timings.ModelingSec, 6)
+     << ", \"detectionSec\": " << jsonFixed(A.Timings.DetectionSec, 6)
+     << ", \"filteringSec\": " << jsonFixed(A.Timings.FilteringSec, 6) << "}";
+  return OS.str();
+}
+
+bool report::parseBatchLogLine(const std::string &Line, BatchApp &Out) {
+  // A line a killed writer truncated cannot end in '}'; refusing it here
+  // makes resume re-run that app instead of trusting half a row.
+  if (Line.empty() || Line.back() != '}')
+    return false;
+  std::string File = findString(Line, "file");
+  if (File.empty())
+    return false;
+  BatchStatus Status;
+  if (!batchStatusFromName(findString(Line, "status"), Status))
+    return false;
+  Out = BatchApp();
+  Out.File = std::move(File);
+  Out.Name = findString(Line, "name");
+  Out.Status = Status;
+  Out.Error = findString(Line, "error");
+  Out.Stmts = findUnsigned(Line, "stmts");
+  Out.EntryCallbacks = findUnsigned(Line, "entryCallbacks");
+  Out.PostedCallbacks = findUnsigned(Line, "postedCallbacks");
+  Out.Threads = findUnsigned(Line, "threads");
+  Out.Potential = findUnsigned(Line, "potential");
+  Out.AfterSound = findUnsigned(Line, "afterSound");
+  Out.AfterUnsound = findUnsigned(Line, "afterUnsound");
+  Out.Timings.ModelingSec = findFixed(Line, "modelingSec");
+  Out.Timings.DetectionSec = findFixed(Line, "detectionSec");
+  Out.Timings.FilteringSec = findFixed(Line, "filteringSec");
+  // Per-pass accounting is not checkpointed; a restored row renders an
+  // empty analyses list and an untrusted RSS.
+  return true;
+}
+
+BatchResult report::runBatch(const BatchOptions &OptsIn) {
+  BatchOptions Opts = OptsIn;
+  // CLI tests reach the fault-injection hooks through the environment;
+  // explicit fields win when both are set.
+  if (Opts.TestCrashApp.empty())
+    if (const char *E = std::getenv("NADROID_TEST_CRASH_APP"))
+      Opts.TestCrashApp = E;
+  if (Opts.TestExpireApp.empty())
+    if (const char *E = std::getenv("NADROID_TEST_EXPIRE_APP"))
+      Opts.TestExpireApp = E;
+  if (Opts.TestExpireAlwaysApp.empty())
+    if (const char *E = std::getenv("NADROID_TEST_EXPIRE_ALWAYS_APP"))
+      Opts.TestExpireAlwaysApp = E;
+
   BatchResult R;
 
   std::vector<fs::path> Files;
@@ -104,9 +340,44 @@ BatchResult report::runBatch(const BatchOptions &Opts) {
   R.Jobs = Pool.concurrency();
   R.Apps.resize(Files.size());
 
+  // Restore checkpointed rows, then analyze only what is missing. Rows
+  // are keyed by file name, so a resumed run tolerates a grown corpus.
+  std::map<std::string, BatchApp> Logged;
+  if (Opts.Resume && !Opts.LogPath.empty()) {
+    std::ifstream In(Opts.LogPath);
+    std::string Line;
+    while (std::getline(In, Line)) {
+      BatchApp A;
+      if (parseBatchLogLine(Line, A))
+        Logged[A.File] = std::move(A);
+    }
+  }
+  std::vector<size_t> Pending;
+  for (size_t I = 0; I < Files.size(); ++I) {
+    auto It = Logged.find(Files[I].filename().string());
+    if (It != Logged.end()) {
+      R.Apps[I] = It->second;
+      ++R.Resumed;
+    } else {
+      Pending.push_back(I);
+    }
+  }
+
+  std::ofstream Log;
+  std::mutex LogMu;
+  if (!Opts.LogPath.empty())
+    Log.open(Opts.LogPath, Opts.Resume ? std::ios::app : std::ios::trunc);
+
   auto T0 = Clock::now();
-  Pool.parallelFor(Files.size(), [&](size_t I) {
-    analyzeOne(Files[I], Opts, Pool, R.Apps[I]);
+  Pool.parallelFor(Pending.size(), [&](size_t I) {
+    BatchApp &Out = R.Apps[Pending[I]];
+    analyzeOne(Files[Pending[I]], Opts, Pool, Out);
+    if (Log.is_open()) {
+      // Completion order, one line per app, flushed: a killed run loses
+      // at most the apps that were still in flight.
+      std::lock_guard<std::mutex> Lock(LogMu);
+      Log << renderBatchLogLine(Out) << "\n" << std::flush;
+    }
   });
   R.WallSec = std::chrono::duration<double>(Clock::now() - T0).count();
   return R;
@@ -114,57 +385,71 @@ BatchResult report::runBatch(const BatchOptions &Opts) {
 
 std::string report::renderBatchReport(const BatchResult &R) {
   std::ostringstream OS;
-  TableWriter T({"App", "Stmts", "EC", "PC", "T", "Potential", "Sound",
-                 "Unsound"});
-  unsigned Apps = 0, Failed = 0;
+  TableWriter T({"App", "Status", "Stmts", "EC", "PC", "T", "Potential",
+                 "Sound", "Unsound"});
+  unsigned Apps = 0, Degraded = 0, Failed = 0;
   unsigned long long Stmts = 0, Potential = 0, Sound = 0, Unsound = 0;
   for (const BatchApp &A : R.Apps) {
-    if (!A.Ok) {
-      T.addRow({A.Name, "-", "-", "-", "-", "-", "-", "-"});
+    if (!A.analyzed()) {
+      T.addRow({A.File, batchStatusName(A.Status), "-", "-", "-", "-", "-",
+                "-", "-"});
       ++Failed;
       continue;
     }
-    T.addRow({A.Name, TableWriter::cell(A.Stmts),
+    T.addRow({A.Name, batchStatusName(A.Status), TableWriter::cell(A.Stmts),
               TableWriter::cell(A.EntryCallbacks),
               TableWriter::cell(A.PostedCallbacks),
               TableWriter::cell(A.Threads), TableWriter::cell(A.Potential),
               TableWriter::cell(A.AfterSound),
               TableWriter::cell(A.AfterUnsound)});
     ++Apps;
+    if (A.Status == BatchStatus::Degraded)
+      ++Degraded;
     Stmts += A.Stmts;
     Potential += A.Potential;
     Sound += A.AfterSound;
     Unsound += A.AfterUnsound;
   }
-  T.addRow({"TOTAL", TableWriter::cell((long long)Stmts), "", "", "",
+  T.addRow({"TOTAL", "", TableWriter::cell((long long)Stmts), "", "", "",
             TableWriter::cell((long long)Potential),
             TableWriter::cell((long long)Sound),
             TableWriter::cell((long long)Unsound)});
   T.print(OS);
   OS << "\n" << Apps << " apps: " << Potential << " potential UAFs, " << Sound
      << " after sound filters, " << Unsound << " after unsound filters\n";
-  if (Failed) {
-    OS << Failed << " app(s) failed to parse:\n";
+  if (Degraded) {
+    OS << Degraded << " app(s) analyzed with degraded options:\n";
     for (const BatchApp &A : R.Apps)
-      if (!A.Ok)
-        OS << "  " << A.File << ": " << A.Error << "\n";
+      if (A.Status == BatchStatus::Degraded)
+        OS << "  " << A.File << "\n";
+  }
+  if (Failed) {
+    OS << Failed << " app(s) did not complete:\n";
+    for (const BatchApp &A : R.Apps)
+      if (!A.analyzed())
+        OS << "  " << A.File << " [" << batchStatusName(A.Status)
+           << "]: " << A.Error << "\n";
   }
   return OS.str();
 }
 
 std::string report::renderBatchJson(const BatchResult &R) {
   std::ostringstream OS;
-  OS << "{\n  \"jobs\": " << R.Jobs << ",\n  \"wallSec\": " << fixed6(R.WallSec)
-     << ",\n  \"apps\": [";
+  OS << "{\n  \"jobs\": " << R.Jobs
+     << ",\n  \"wallSec\": " << jsonFixed(R.WallSec, 6)
+     << ",\n  \"resumed\": " << R.Resumed << ",\n  \"apps\": [";
   bool FirstApp = true;
   unsigned long long Potential = 0, Sound = 0, Unsound = 0;
   for (const BatchApp &A : R.Apps) {
     OS << (FirstApp ? "" : ",") << "\n    {\"file\": \"" << jsonEscape(A.File)
-       << "\", \"app\": \"" << jsonEscape(A.Name) << "\", \"ok\": "
-       << (A.Ok ? "true" : "false");
+       << "\", \"app\": \"" << jsonEscape(A.Name) << "\", \"status\": \""
+       << batchStatusName(A.Status) << "\", \"ok\": "
+       << (A.analyzed() ? "true" : "false");
     FirstApp = false;
-    if (!A.Ok) {
-      OS << ", \"error\": \"" << jsonEscape(A.Error) << "\"}";
+    if (!A.Error.empty())
+      OS << ", \"error\": \"" << jsonEscape(A.Error) << "\"";
+    if (!A.analyzed()) {
+      OS << "}";
       continue;
     }
     Potential += A.Potential;
@@ -174,16 +459,25 @@ std::string report::renderBatchJson(const BatchResult &R) {
        << ", \"potential\": " << A.Potential
        << ", \"afterSound\": " << A.AfterSound
        << ", \"afterUnsound\": " << A.AfterUnsound << "},\n"
-       << "     \"timings\": {\"modelingSec\": " << fixed6(A.Timings.ModelingSec)
-       << ", \"detectionSec\": " << fixed6(A.Timings.DetectionSec)
-       << ", \"filteringSec\": " << fixed6(A.Timings.FilteringSec) << "},\n"
+       << "     \"timings\": {\"modelingSec\": "
+       << jsonFixed(A.Timings.ModelingSec, 6)
+       << ", \"detectionSec\": " << jsonFixed(A.Timings.DetectionSec, 6)
+       << ", \"filteringSec\": " << jsonFixed(A.Timings.FilteringSec, 6)
+       << "},\n"
        << "     \"analyses\": [";
     bool FirstPass = true;
     for (const pipeline::PassStat &S : A.Analyses) {
       OS << (FirstPass ? "" : ", ") << "{\"name\": \"" << jsonEscape(S.Name)
-         << "\", \"ms\": " << fixed1(S.Seconds * 1000.0)
+         << "\", \"ms\": " << jsonFixed(S.Seconds * 1000.0, 1)
          << ", \"builds\": " << S.Builds << ", \"hits\": " << S.Hits
-         << ", \"rssKb\": " << S.RssKb << "}";
+         << ", \"rssKb\": ";
+      // Suppressed samples are not zeros; null keeps consumers from
+      // averaging cross-charged garbage into real measurements.
+      if (A.RssTrusted)
+        OS << S.RssKb;
+      else
+        OS << "null";
+      OS << "}";
       FirstPass = false;
     }
     OS << "]}";

@@ -13,6 +13,16 @@
 /// per-app tasks fan out over one support::ThreadPool, which the
 /// per-warning verdict loops inside each app reuse.
 ///
+/// Fault tolerance: each app runs inside an exception boundary, so a
+/// crashing or unparseable app becomes a failed row instead of taking
+/// the whole batch down. With --batch-timeout, every app gets a
+/// cooperative support::Deadline; an app that exceeds it is retried once
+/// with the §8.8 degraded options (k=1, syntactic filters, no refuter)
+/// and its row is labeled `degraded` — or `timed-out` when even the
+/// retry expires. With --batch-log, every completed row is appended to a
+/// JSONL checkpoint as it finishes, and --resume skips the apps already
+/// logged there.
+///
 /// Determinism: results land in the slot of the app's sorted index, and
 /// the text report carries no timing, so its bytes are identical for any
 /// --jobs value. The JSON aggregate adds wall-clock and per-analysis
@@ -37,7 +47,37 @@ struct BatchOptions {
   unsigned Jobs = 0;
   /// Per-app analysis options (K, ModelFragments, DataflowGuards).
   pipeline::PipelineOptions Pipeline;
+  /// Per-app soft time budget in seconds; 0 = none. Expiry degrades the
+  /// app's options once (§8.8 ladder), then gives up.
+  double TimeoutSec = 0;
+  /// JSONL checkpoint path; empty = no checkpoint. Each completed app
+  /// appends one line as it finishes, flushed, so a killed run loses at
+  /// most the in-flight apps.
+  std::string LogPath;
+  /// Skip apps already present in LogPath, reusing their logged rows.
+  bool Resume = false;
+
+  /// Deterministic fault-injection hooks for tests (file names within
+  /// Dir; empty = off). Also settable via NADROID_TEST_CRASH_APP,
+  /// NADROID_TEST_EXPIRE_APP and NADROID_TEST_EXPIRE_ALWAYS_APP so CLI
+  /// tests can reach them.
+  std::string TestCrashApp;        ///< throws before analysis → crashed
+  std::string TestExpireApp;       ///< expires attempt 0 only → degraded
+  std::string TestExpireAlwaysApp; ///< expires every attempt → timed-out
 };
+
+/// How one app's analysis ended.
+enum class BatchStatus : uint8_t {
+  Ok,         ///< analyzed with the requested options
+  Degraded,   ///< analyzed, but only after the §8.8 degradation ladder
+  ParseFailed, ///< the frontend rejected the file
+  Crashed,    ///< the analysis threw; Error carries the exception text
+  TimedOut,   ///< exceeded the budget even with degraded options
+};
+
+/// Stable lower-case label, e.g. "parse-failed" — used by both reports
+/// and the checkpoint log.
+const char *batchStatusName(BatchStatus S);
 
 /// Outcome for one app, reduced to what the aggregate report needs —
 /// the per-app manager and IR are torn down as soon as the app is done,
@@ -45,8 +85,13 @@ struct BatchOptions {
 struct BatchApp {
   std::string File; ///< file name within the directory, e.g. "K9Mail.air"
   std::string Name; ///< program name (the file stem)
-  bool Ok = false;
-  std::string Error; ///< first parse diagnostic when !Ok
+  BatchStatus Status = BatchStatus::ParseFailed;
+  std::string Error; ///< first diagnostic / exception text when failed
+
+  /// True for the rows that carry analysis results (Ok or Degraded).
+  bool analyzed() const {
+    return Status == BatchStatus::Ok || Status == BatchStatus::Degraded;
+  }
 
   unsigned Stmts = 0;
   unsigned EntryCallbacks = 0;
@@ -58,20 +103,26 @@ struct BatchApp {
 
   PhaseTimings Timings;
   std::vector<pipeline::PassStat> Analyses;
+  /// False when per-pass RSS deltas were suppressed (concurrent lanes
+  /// share one process RSS and would cross-charge each other) or the row
+  /// was restored from a checkpoint; the JSON renders rssKb as null.
+  bool RssTrusted = false;
 };
 
 struct BatchResult {
   std::vector<BatchApp> Apps; ///< sorted by File
   unsigned Jobs = 1;          ///< lanes actually used
   double WallSec = 0;
+  unsigned Resumed = 0; ///< rows restored from the checkpoint log
 
-  /// 2 when any app failed to parse, else 1 when any warning remained
-  /// after all filters, else 0 — the single-file CLI convention, folded.
+  /// Worst outcome over the corpus: 4 when any app timed out, else 3
+  /// when any crashed, else 2 when any failed to parse, else 1 when any
+  /// warning remained after all filters, else 0.
   int exitCode() const;
 };
 
 /// Scans Opts.Dir and analyzes every app. Never throws on per-app
-/// failures; they come back as !Ok rows.
+/// failures; they come back as failed rows.
 BatchResult runBatch(const BatchOptions &Opts);
 
 /// The aggregate Table-1-style text report (byte-identical across job
@@ -81,6 +132,12 @@ std::string renderBatchReport(const BatchResult &R);
 /// The JSON aggregate: per-app summaries plus phase timings and
 /// per-analysis accounting rows.
 std::string renderBatchJson(const BatchResult &R);
+
+/// One checkpoint-log line for \p A (no trailing newline) and its
+/// inverse. parseBatchLogLine returns false on lines it cannot
+/// understand (corrupt tail of an interrupted write, blank lines).
+std::string renderBatchLogLine(const BatchApp &A);
+bool parseBatchLogLine(const std::string &Line, BatchApp &Out);
 
 } // namespace nadroid::report
 

@@ -8,6 +8,8 @@
 
 #include "ir/Printer.h"
 
+#include <clocale>
+#include <cstdlib>
 #include <sstream>
 
 using namespace nadroid;
@@ -38,6 +40,54 @@ std::string report::jsonEscape(const std::string &S) {
       } else {
         Out += C;
       }
+    }
+  }
+  return Out;
+}
+
+std::string report::jsonUnescape(const std::string &S) {
+  std::string Out;
+  for (size_t I = 0; I < S.size(); ++I) {
+    if (S[I] != '\\' || I + 1 >= S.size()) {
+      Out += S[I];
+      continue;
+    }
+    switch (S[++I]) {
+    case 'n':
+      Out += '\n';
+      break;
+    case 't':
+      Out += '\t';
+      break;
+    case 'u': {
+      if (I + 4 < S.size()) {
+        unsigned Code = std::strtoul(S.substr(I + 1, 4).c_str(), nullptr, 16);
+        // jsonEscape only emits \u00xx for control bytes; decode those
+        // and keep anything wider as-is (never produced by our writer).
+        Out += static_cast<char>(Code & 0xff);
+        I += 4;
+      }
+      break;
+    }
+    default:
+      Out += S[I]; // covers \" and \\ and tolerates unknown escapes
+    }
+  }
+  return Out;
+}
+
+std::string report::jsonFixed(double V, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, V);
+  std::string Out(Buf);
+  // printf renders the decimal separator per LC_NUMERIC; JSON demands
+  // '.'. The separator can be multi-byte (e.g. U+066B), so replace the
+  // whole localeconv() string, not just a ',' character.
+  if (const lconv *Lc = std::localeconv()) {
+    const std::string Dp = Lc->decimal_point ? Lc->decimal_point : ".";
+    if (Dp != ".") {
+      if (size_t Pos = Out.find(Dp); Pos != std::string::npos)
+        Out.replace(Pos, Dp.size(), ".");
     }
   }
   return Out;
@@ -77,23 +127,19 @@ std::string report::renderJson(const NadroidResult &R,
      << ", \"afterUnsound\": " << R.Pipeline.RemainingAfterUnsound
      << "},\n";
   // Perf-tracking sections (CI diffs these run to run): the §8.8 phase
-  // split plus the manager's per-analysis accounting.
-  char Buf[32];
-  auto Sec = [&Buf](double V) {
-    std::snprintf(Buf, sizeof(Buf), "%.6f", V);
-    return std::string(Buf);
-  };
-  OS << "  \"timings\": {\"modelingSec\": " << Sec(R.Timings.ModelingSec)
-     << ", \"detectionSec\": " << Sec(R.Timings.DetectionSec)
-     << ", \"filteringSec\": " << Sec(R.Timings.FilteringSec) << "},\n";
+  // split plus the manager's per-analysis accounting. All doubles go
+  // through jsonFixed — LC_NUMERIC must not leak into the output.
+  OS << "  \"timings\": {\"modelingSec\": " << jsonFixed(R.Timings.ModelingSec, 6)
+     << ", \"detectionSec\": " << jsonFixed(R.Timings.DetectionSec, 6)
+     << ", \"filteringSec\": " << jsonFixed(R.Timings.FilteringSec, 6) << "},\n";
   OS << "  \"analyses\": [";
   if (R.Manager) {
     bool FirstPass = true;
     for (const pipeline::PassStat &S : R.Manager->passStats()) {
-      std::snprintf(Buf, sizeof(Buf), "%.1f", S.Seconds * 1000.0);
       OS << (FirstPass ? "" : ", ") << "{\"name\": \"" << jsonEscape(S.Name)
-         << "\", \"ms\": " << Buf << ", \"builds\": " << S.Builds
-         << ", \"hits\": " << S.Hits << ", \"rssKb\": " << S.RssKb << "}";
+         << "\", \"ms\": " << jsonFixed(S.Seconds * 1000.0, 1)
+         << ", \"builds\": " << S.Builds << ", \"hits\": " << S.Hits
+         << ", \"rssKb\": " << S.RssKb << "}";
       FirstPass = false;
     }
   }

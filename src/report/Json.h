@@ -39,6 +39,17 @@ std::string renderJson(const NadroidResult &R, const ir::Program &P);
 /// Escapes \p S for inclusion in a JSON string literal.
 std::string jsonEscape(const std::string &S);
 
+/// Undoes jsonEscape: decodes \", \\, \n, \t, \uXXXX (and tolerates any
+/// other \X by keeping X). The batch driver's --resume path uses it to
+/// read its own checkpoint log back.
+std::string jsonUnescape(const std::string &S);
+
+/// Formats \p V with \p Precision digits after a '.' decimal point
+/// regardless of LC_NUMERIC. Every JSON number the reports emit goes
+/// through here: printf("%f") follows the host locale and can produce
+/// "0,5" — invalid JSON — when a locale-setting host embeds the library.
+std::string jsonFixed(double V, int Precision);
+
 } // namespace nadroid::report
 
 #endif // NADROID_REPORT_JSON_H

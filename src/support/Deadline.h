@@ -1,0 +1,118 @@
+//===- support/Deadline.h - Cooperative cancellation + time budget -*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cooperative cancel token with an optional soft wall-clock budget,
+/// the substrate of the batch driver's per-app deadlines (§8.8: "if the
+/// execution time or scalability becomes an issue, the k-value can be
+/// adjusted at the cost of precision" — to adjust anything, a runaway
+/// analysis first has to stop).
+///
+/// The expensive fixpoint loops (points-to sweeps, nullness rounds, the
+/// refuter's DFS, the verdict sweep, the interpreter's schedule loop)
+/// poll an optional `const Deadline *` at their safe points — places
+/// where no partially-updated shared state is live — and bail by
+/// throwing DeadlineExceeded. The exception unwinds to the batch
+/// driver's per-app boundary, which retries once with degraded options
+/// or labels the row timed-out; nothing below the boundary needs to
+/// know about either policy.
+///
+/// Polling is cheap by construction: one relaxed atomic load on the
+/// fast path, with the steady_clock read amortized over every 64th
+/// poll. Expiry latches — once expired() has returned true it never
+/// returns false again — and cancel() forces expiry immediately, which
+/// is how tests inject deterministic timeouts without depending on
+/// wall time.
+///
+/// Thread-safety: expired()/check() may race freely with each other and
+/// with cancel() from any thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_SUPPORT_DEADLINE_H
+#define NADROID_SUPPORT_DEADLINE_H
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+namespace nadroid::support {
+
+/// Thrown by Deadline::check. A distinct type (not std::runtime_error)
+/// so the batch driver can tell a timed-out app from a crashed one at
+/// its catch boundary.
+class DeadlineExceeded : public std::exception {
+public:
+  explicit DeadlineExceeded(const char *Where)
+      : Where_(Where ? Where : "?"),
+        Msg("analysis deadline exceeded in " + Where_) {}
+
+  const char *what() const noexcept override { return Msg.c_str(); }
+
+  /// The safe point that observed the expiry (an analysis name).
+  const std::string &where() const { return Where_; }
+
+private:
+  std::string Where_;
+  std::string Msg;
+};
+
+/// See the file comment. Not copyable: one token per attempt, shared by
+/// pointer with everything running under it.
+class Deadline {
+public:
+  /// \p BudgetSeconds <= 0 means no time budget: the token only expires
+  /// via cancel().
+  explicit Deadline(double BudgetSeconds = 0) {
+    if (BudgetSeconds > 0) {
+      HasLimit = true;
+      Limit = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(BudgetSeconds));
+    }
+  }
+
+  Deadline(const Deadline &) = delete;
+  Deadline &operator=(const Deadline &) = delete;
+
+  /// Forces expiry now (thread-safe). The deterministic path: fault-
+  /// injection tests cancel the token instead of waiting out a budget.
+  void cancel() const { Expired_.store(true, std::memory_order_relaxed); }
+
+  /// True once the budget ran out or cancel() was called; latches.
+  bool expired() const {
+    if (Expired_.load(std::memory_order_relaxed))
+      return true;
+    if (!HasLimit)
+      return false;
+    // Amortize the clock read: only every 64th poll pays for it.
+    if ((Polls_.fetch_add(1, std::memory_order_relaxed) & 63) != 0)
+      return false;
+    if (Clock::now() >= Limit) {
+      Expired_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// The safe-point idiom: `if (D) D->check("pointsto");`.
+  void check(const char *Where) const {
+    if (expired())
+      throw DeadlineExceeded(Where);
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+
+  Clock::time_point Limit{};
+  bool HasLimit = false;
+  mutable std::atomic<bool> Expired_{false};
+  mutable std::atomic<unsigned> Polls_{0};
+};
+
+} // namespace nadroid::support
+
+#endif // NADROID_SUPPORT_DEADLINE_H

@@ -19,6 +19,11 @@ uint32_t SourceManager::addFile(std::string Name) {
 
 const std::string &SourceManager::fileName(uint32_t FileId) const {
   assert(FileId < Files.size() && "unknown file id");
+  // A location whose FileId was never registered here (e.g. a default
+  // SourceLoc rendered against the wrong manager) degrades to the
+  // builtin name instead of reading out of bounds in release builds.
+  if (FileId >= Files.size())
+    return Files[0];
   return Files[FileId];
 }
 

@@ -283,6 +283,10 @@ TEST(Parser, MissingFileReportsError) {
   ParseResult R = parseProgramFile("/nonexistent/x.air");
   EXPECT_FALSE(R.Success);
   EXPECT_TRUE(hasError(R, "cannot open"));
+  // The placeholder program is named after the file, so downstream
+  // reports (batch rows) identify the app rather than saying "invalid".
+  ASSERT_TRUE(R.Prog != nullptr);
+  EXPECT_EQ(R.Prog->name(), "x");
 }
 
 //===----------------------------------------------------------------------===//

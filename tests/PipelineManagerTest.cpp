@@ -286,11 +286,195 @@ TEST(BatchDriverTest, ParseFailuresBecomeRowsNotCrashes) {
   Opts.Jobs = 2;
   report::BatchResult R = report::runBatch(Opts);
   ASSERT_EQ(R.Apps.size(), 1u);
-  EXPECT_FALSE(R.Apps[0].Ok);
+  EXPECT_EQ(R.Apps[0].Status, report::BatchStatus::ParseFailed);
+  EXPECT_FALSE(R.Apps[0].analyzed());
   EXPECT_FALSE(R.Apps[0].Error.empty());
   EXPECT_EQ(R.exitCode(), 2);
 
   std::error_code Ec;
+  fs::remove_all(Dir, Ec);
+}
+
+//===----------------------------------------------------------------------===//
+// Fault tolerance: isolation, deadlines with degradation, resume
+//===----------------------------------------------------------------------===//
+
+namespace fault {
+namespace fs = std::filesystem;
+
+/// Writes one seeded (valid, analyzable) app into \p Dir as \p Name.
+void writeSeededApp(const fs::path &Dir, const std::string &Name) {
+  ir::Program P(Name.substr(0, Name.find('.')));
+  seedProgram(P);
+  std::ofstream Out(Dir / Name);
+  ASSERT_TRUE(Out.good()) << Name;
+  ir::printProgram(P, Out);
+}
+
+/// A poisoned five-app corpus: one unparseable, one that throws, one
+/// that expires once (degrades), one that always expires (times out),
+/// and one healthy control.
+fs::path makePoisonedCorpus(const std::string &DirName) {
+  fs::path Dir = fs::temp_directory_path() / DirName;
+  std::error_code Ec;
+  fs::remove_all(Dir, Ec);
+  fs::create_directories(Dir);
+  {
+    std::ofstream Out(Dir / "broken.air");
+    Out << "this is not an AIR program\n";
+  }
+  writeSeededApp(Dir, "crash.air");
+  writeSeededApp(Dir, "expire-always.air");
+  writeSeededApp(Dir, "expire-once.air");
+  writeSeededApp(Dir, "healthy.air");
+  return Dir;
+}
+
+report::BatchOptions poisonedOptions(const fs::path &Dir) {
+  report::BatchOptions Opts;
+  Opts.Dir = Dir.string();
+  Opts.TestCrashApp = "crash.air";
+  Opts.TestExpireApp = "expire-once.air";
+  Opts.TestExpireAlwaysApp = "expire-always.air";
+  return Opts;
+}
+
+} // namespace fault
+
+TEST(BatchFaultToleranceTest, FaultsBecomeRowsAndLadderDegrades) {
+  namespace fs = std::filesystem;
+  fs::path Dir = fault::makePoisonedCorpus("nadroid-batch-poisoned");
+
+  report::BatchOptions Opts = fault::poisonedOptions(Dir);
+  Opts.Jobs = 1;
+  report::BatchResult R = report::runBatch(Opts);
+
+  // Sorted by file: broken, crash, expire-always, expire-once, healthy.
+  ASSERT_EQ(R.Apps.size(), 5u);
+  EXPECT_EQ(R.Apps[0].Status, report::BatchStatus::ParseFailed);
+  EXPECT_EQ(R.Apps[1].Status, report::BatchStatus::Crashed);
+  EXPECT_EQ(R.Apps[1].Error, "injected test-hook crash");
+  EXPECT_EQ(R.Apps[2].Status, report::BatchStatus::TimedOut);
+  EXPECT_EQ(R.Apps[2].Error, "per-app time budget exceeded");
+  EXPECT_EQ(R.Apps[3].Status, report::BatchStatus::Degraded);
+  EXPECT_TRUE(R.Apps[3].Error.empty());
+  EXPECT_EQ(R.Apps[4].Status, report::BatchStatus::Ok);
+
+  // The degraded retry really analyzed the app (k=1, syntactic filters).
+  EXPECT_TRUE(R.Apps[3].analyzed());
+  EXPECT_GT(R.Apps[3].Stmts, 0u);
+  EXPECT_EQ(R.Apps[3].Stmts, R.Apps[4].Stmts);
+
+  // Worst outcome over the corpus: a timed-out app dominates.
+  EXPECT_EQ(R.exitCode(), 4);
+
+  std::error_code Ec;
+  fs::remove_all(Dir, Ec);
+}
+
+TEST(BatchFaultToleranceTest, FaultyReportIsByteIdenticalAcrossJobCounts) {
+  namespace fs = std::filesystem;
+  fs::path Dir = fault::makePoisonedCorpus("nadroid-batch-poisoned-jobs");
+
+  report::BatchOptions Opts = fault::poisonedOptions(Dir);
+  Opts.Jobs = 1;
+  report::BatchResult Ser = report::runBatch(Opts);
+  Opts.Jobs = 4;
+  report::BatchResult Par = report::runBatch(Opts);
+
+  EXPECT_EQ(Ser.exitCode(), Par.exitCode());
+  EXPECT_EQ(report::renderBatchReport(Ser), report::renderBatchReport(Par));
+
+  std::error_code Ec;
+  fs::remove_all(Dir, Ec);
+}
+
+TEST(BatchFaultToleranceTest, LogLineRoundTrips) {
+  report::BatchApp A;
+  A.File = "we\"ird\napp.air";
+  A.Name = "weird";
+  A.Status = report::BatchStatus::Degraded;
+  A.Error = "";
+  A.Stmts = 42;
+  A.EntryCallbacks = 3;
+  A.PostedCallbacks = 2;
+  A.Threads = 5;
+  A.Potential = 7;
+  A.AfterSound = 4;
+  A.AfterUnsound = 1;
+  A.Timings.ModelingSec = 0.25;
+  A.Timings.DetectionSec = 1.5;
+  A.Timings.FilteringSec = 0.125;
+
+  std::string Line = report::renderBatchLogLine(A);
+  report::BatchApp B;
+  ASSERT_TRUE(report::parseBatchLogLine(Line, B));
+  EXPECT_EQ(B.File, A.File);
+  EXPECT_EQ(B.Name, A.Name);
+  EXPECT_EQ(B.Status, A.Status);
+  EXPECT_EQ(B.Error, A.Error);
+  EXPECT_EQ(B.Stmts, A.Stmts);
+  EXPECT_EQ(B.Potential, A.Potential);
+  EXPECT_EQ(B.AfterSound, A.AfterSound);
+  EXPECT_EQ(B.AfterUnsound, A.AfterUnsound);
+  EXPECT_DOUBLE_EQ(B.Timings.ModelingSec, 0.25);
+  EXPECT_DOUBLE_EQ(B.Timings.DetectionSec, 1.5);
+  EXPECT_DOUBLE_EQ(B.Timings.FilteringSec, 0.125);
+
+  // A line a killed writer truncated mid-value is refused, not half-read.
+  report::BatchApp C;
+  EXPECT_FALSE(report::parseBatchLogLine(Line.substr(0, Line.size() / 2), C));
+  EXPECT_FALSE(report::parseBatchLogLine("", C));
+}
+
+TEST(BatchFaultToleranceTest, ResumeSkipsLoggedAppsAndMatchesFullRun) {
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::temp_directory_path() / "nadroid-batch-resume";
+  std::error_code Ec;
+  fs::remove_all(Dir, Ec);
+  fs::create_directories(Dir);
+  fault::writeSeededApp(Dir, "alpha.air");
+  fault::writeSeededApp(Dir, "beta.air");
+  fs::path Log = Dir / "checkpoint.jsonl";
+
+  report::BatchOptions Opts;
+  Opts.Dir = Dir.string();
+  Opts.Jobs = 1;
+  Opts.LogPath = Log.string();
+  report::BatchResult Full = report::runBatch(Opts);
+  ASSERT_EQ(Full.Apps.size(), 2u);
+  EXPECT_EQ(Full.Resumed, 0u);
+  std::string FullReport = report::renderBatchReport(Full);
+
+  // Complete log: a resumed run re-analyzes nothing. The crash hook on
+  // alpha proves it — a restored row never reaches the analysis.
+  Opts.Resume = true;
+  Opts.TestCrashApp = "alpha.air";
+  report::BatchResult Resumed = report::runBatch(Opts);
+  EXPECT_EQ(Resumed.Resumed, 2u);
+  EXPECT_EQ(Resumed.Apps[0].Status, report::BatchStatus::Ok);
+  EXPECT_EQ(report::renderBatchReport(Resumed), FullReport);
+
+  // Interrupted log (first line only): resume re-runs exactly the
+  // missing app and the stitched report matches the uninterrupted one.
+  std::string FirstLine;
+  {
+    std::ifstream In(Log);
+    ASSERT_TRUE(std::getline(In, FirstLine));
+  }
+  {
+    std::ofstream Out(Log, std::ios::trunc);
+    Out << FirstLine << "\n";
+  }
+  Opts.TestCrashApp.clear();
+  report::BatchResult Stitched = report::runBatch(Opts);
+  EXPECT_EQ(Stitched.Resumed, 1u);
+  EXPECT_EQ(report::renderBatchReport(Stitched), FullReport);
+
+  // The re-run row was appended, so a third resume restores both.
+  report::BatchResult Again = report::runBatch(Opts);
+  EXPECT_EQ(Again.Resumed, 2u);
+
   fs::remove_all(Dir, Ec);
 }
 

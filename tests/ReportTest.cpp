@@ -11,11 +11,39 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
+
 using namespace nadroid;
 using namespace nadroid::ir;
 using report::PairType;
 
 namespace {
+
+TEST(Json, FixedIsLocaleIndependent) {
+  EXPECT_EQ(report::jsonFixed(0.5, 6), "0.500000");
+  EXPECT_EQ(report::jsonFixed(-1.25, 2), "-1.25");
+  EXPECT_EQ(report::jsonFixed(3.0, 1), "3.0");
+  EXPECT_EQ(report::jsonFixed(0.0, 6), "0.000000");
+
+  // Under a comma-decimal locale, printf("%f") emits "0,5" — invalid
+  // JSON. jsonFixed must still emit a '.'; skip quietly when the image
+  // carries no such locale.
+  std::string Old = std::setlocale(LC_NUMERIC, nullptr);
+  bool HaveLocale = std::setlocale(LC_NUMERIC, "de_DE.UTF-8") != nullptr ||
+                    std::setlocale(LC_NUMERIC, "de_DE.utf8") != nullptr;
+  if (HaveLocale) {
+    EXPECT_EQ(report::jsonFixed(0.5, 6), "0.500000");
+    EXPECT_EQ(report::jsonFixed(-12.75, 2), "-12.75");
+  }
+  std::setlocale(LC_NUMERIC, Old.c_str());
+}
+
+TEST(Json, UnescapeInvertsEscape) {
+  const std::string Raw = "a\"b\\c\nd\te\rf";
+  EXPECT_EQ(report::jsonUnescape(report::jsonEscape(Raw)), Raw);
+  EXPECT_EQ(report::jsonUnescape("plain"), "plain");
+  EXPECT_EQ(report::jsonUnescape("\\u0041"), "A");
+}
 
 TEST(Report, PairTypeNames) {
   EXPECT_STREQ(report::pairTypeName(PairType::EcEc), "EC-EC");

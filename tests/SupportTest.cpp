@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Casting.h"
+#include "support/Deadline.h"
 #include "support/Diagnostics.h"
 #include "support/Rng.h"
 #include "support/SourceLoc.h"
@@ -254,6 +255,54 @@ TEST(Casting, IsaCastDynCast) {
   EXPECT_EQ(cast<casting::DerivedA>(B), &A);
   EXPECT_EQ(dyn_cast<casting::DerivedB>(B), nullptr);
   EXPECT_EQ(dyn_cast<casting::DerivedA>(B), &A);
+}
+
+//===----------------------------------------------------------------------===//
+// Deadline
+//===----------------------------------------------------------------------===//
+
+TEST(Deadline, NoBudgetNeverExpiresOnItsOwn) {
+  support::Deadline D;
+  // Drive past the 64-poll clock amortization window several times.
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_FALSE(D.expired());
+  EXPECT_NO_THROW(D.check("test"));
+}
+
+TEST(Deadline, CancelLatchesAndCheckThrows) {
+  support::Deadline D;
+  EXPECT_FALSE(D.expired());
+  D.cancel();
+  EXPECT_TRUE(D.expired());
+  EXPECT_TRUE(D.expired()); // latches
+  try {
+    D.check("pointsto");
+    FAIL() << "check() did not throw";
+  } catch (const support::DeadlineExceeded &E) {
+    EXPECT_EQ(E.where(), "pointsto");
+    EXPECT_NE(std::string(E.what()).find("pointsto"), std::string::npos);
+  }
+}
+
+TEST(Deadline, ElapsedBudgetExpiresWithinThePollWindow) {
+  // A budget already in the past: expiry must surface within one
+  // 64-poll amortization window.
+  support::Deadline D(1e-9);
+  bool Expired = false;
+  for (int I = 0; I < 128 && !Expired; ++I)
+    Expired = D.expired();
+  EXPECT_TRUE(Expired);
+  EXPECT_TRUE(D.expired()); // latches
+}
+
+TEST(Deadline, DeadlineExceededIsNotARuntimeError) {
+  // The batch boundary tells timed-out from crashed by type; a refactor
+  // that derives DeadlineExceeded from runtime_error would silently
+  // reclassify every timeout as a crash.
+  support::DeadlineExceeded E("x");
+  EXPECT_EQ(dynamic_cast<std::runtime_error *>(
+                static_cast<std::exception *>(&E)),
+            nullptr);
 }
 
 } // namespace
