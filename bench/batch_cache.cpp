@@ -1,0 +1,94 @@
+//===- bench/batch_cache.cpp - Result-cache cold/warm benchmark -----------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+//
+// The persistent result cache's value proposition, measured: export the
+// 27-app corpus, run --batch cold (empty cache, everything analyzed and
+// stored), run it warm (everything restored), and emit one schema-stable
+// JSON object — BENCH_batch.json in CI — tracking the wall-time split,
+// the hit rate, and the cold run's per-phase timings over time. The
+// reports must be byte-identical between the two runs; a mismatch is a
+// correctness failure, not a slow benchmark, and exits nonzero.
+//
+// Output schema (keep stable — CI commits this file on main and its
+// history is the trend line):
+//   {"apps": N, "jobs": N, "coldWallSec": F, "warmWallSec": F,
+//    "speedup": F, "cacheHits": N, "cacheMisses": N, "cacheStores": N,
+//    "hitRate": F, "reportsIdentical": B,
+//    "phases": {"modelingSec": F, "detectionSec": F, "filteringSec": F}}
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "ir/Printer.h"
+#include "report/Batch.h"
+#include "report/Json.h"
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+using namespace nadroid;
+namespace fs = std::filesystem;
+
+int main() {
+  std::error_code Ec;
+  fs::path Dir = fs::temp_directory_path(Ec) / "nadroid-batch-cache-corpus";
+  fs::path CacheDir = fs::temp_directory_path(Ec) / "nadroid-batch-cache-store";
+  fs::remove_all(Dir, Ec);
+  fs::remove_all(CacheDir, Ec);
+  fs::create_directories(Dir, Ec);
+
+  unsigned Written = 0;
+  for (const corpus::Recipe &R : corpus::allRecipes()) {
+    corpus::CorpusApp App = corpus::buildApp(R);
+    std::ofstream Out(Dir / (R.Name + ".air"));
+    if (!Out)
+      continue;
+    ir::printProgram(*App.Prog, Out);
+    ++Written;
+  }
+
+  report::BatchOptions O;
+  O.Dir = Dir.string();
+  O.Jobs = 4;
+  O.CacheDir = CacheDir.string();
+
+  report::BatchResult Cold = report::runBatch(O);
+  report::BatchResult Warm = report::runBatch(O);
+  bool Identical =
+      report::renderBatchReport(Cold) == report::renderBatchReport(Warm);
+
+  double Modeling = 0, Detection = 0, Filtering = 0;
+  for (const report::BatchApp &A : Cold.Apps) {
+    Modeling += A.Timings.ModelingSec;
+    Detection += A.Timings.DetectionSec;
+    Filtering += A.Timings.FilteringSec;
+  }
+  unsigned Probed = Warm.CacheHits + Warm.CacheMisses;
+  double HitRate = Probed ? static_cast<double>(Warm.CacheHits) / Probed : 0.0;
+  double Speedup = Warm.WallSec > 0 ? Cold.WallSec / Warm.WallSec : 0.0;
+
+  std::cout << "{\"apps\": " << Written << ", \"jobs\": " << Cold.Jobs
+            << ", \"coldWallSec\": " << report::jsonFixed(Cold.WallSec, 3)
+            << ", \"warmWallSec\": " << report::jsonFixed(Warm.WallSec, 3)
+            << ", \"speedup\": " << report::jsonFixed(Speedup, 1)
+            << ", \"cacheHits\": " << Warm.CacheHits
+            << ", \"cacheMisses\": " << Warm.CacheMisses
+            << ", \"cacheStores\": " << Cold.CacheStores
+            << ", \"hitRate\": " << report::jsonFixed(HitRate, 3)
+            << ", \"reportsIdentical\": " << (Identical ? "true" : "false")
+            << ", \"phases\": {\"modelingSec\": "
+            << report::jsonFixed(Modeling, 3)
+            << ", \"detectionSec\": " << report::jsonFixed(Detection, 3)
+            << ", \"filteringSec\": " << report::jsonFixed(Filtering, 3)
+            << "}}\n";
+
+  fs::remove_all(Dir, Ec);
+  fs::remove_all(CacheDir, Ec);
+
+  // A cold/warm report divergence or a non-total hit rate is a bug.
+  return (Identical && Warm.CacheHits == Written) ? 0 : 1;
+}

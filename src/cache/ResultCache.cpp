@@ -1,0 +1,109 @@
+//===- cache/ResultCache.cpp - Content-addressed result store -------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/ResultCache.h"
+
+#include "support/Sha256.h"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+using namespace nadroid;
+using namespace nadroid::cache;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Folds one length-prefixed component into the digest. The prefix is a
+/// fixed-width 8-byte big-endian length, so "ab" + "c" and "a" + "bc"
+/// hash differently.
+void foldComponent(support::Sha256 &H, std::string_view Part) {
+  uint8_t Len[8];
+  uint64_t N = Part.size();
+  for (int I = 0; I < 8; ++I)
+    Len[I] = static_cast<uint8_t>(N >> (56 - 8 * I));
+  H.update(Len, sizeof(Len));
+  H.update(Part);
+}
+
+} // namespace
+
+std::string cache::resultCacheKey(std::string_view CanonicalAir,
+                                  std::string_view OptionsFingerprint,
+                                  unsigned Schema) {
+  support::Sha256 H;
+  foldComponent(H, CanonicalAir);
+  foldComponent(H, OptionsFingerprint);
+  foldComponent(H, "schema=" + std::to_string(Schema));
+  return H.finalHex();
+}
+
+std::string ResultCache::entryPath(const std::string &KeyHex) const {
+  return Dir + "/" + KeyHex.substr(0, 2) + "/" + KeyHex + ".json";
+}
+
+bool ResultCache::lookup(const std::string &KeyHex,
+                         std::string &EntryLine) const {
+  if (!enabled())
+    return false;
+  std::ifstream In(entryPath(KeyHex));
+  if (!In)
+    return false;
+  return static_cast<bool>(std::getline(In, EntryLine));
+}
+
+bool ResultCache::store(const std::string &KeyHex,
+                        const std::string &EntryLine) const {
+  if (!enabled())
+    return false;
+  fs::path Final = entryPath(KeyHex);
+  std::error_code Ec;
+  fs::create_directories(Final.parent_path(), Ec);
+  if (Ec)
+    return false;
+
+  // Unique within this process and across processes: pid + a process-wide
+  // counter. Collisions with a stale temp file from a dead process are
+  // harmless — the write truncates it.
+  static std::atomic<unsigned> Seq{0};
+#ifdef _WIN32
+  long Pid = _getpid();
+#else
+  long Pid = getpid();
+#endif
+  fs::path Tmp = Final;
+  Tmp += ".tmp." + std::to_string(Pid) + "." +
+         std::to_string(Seq.fetch_add(1, std::memory_order_relaxed));
+
+  {
+    std::ofstream Out(Tmp, std::ios::trunc);
+    if (!Out)
+      return false;
+    Out << EntryLine << "\n";
+    Out.flush();
+    if (!Out.good()) {
+      Out.close();
+      fs::remove(Tmp, Ec);
+      return false;
+    }
+  }
+  // The publish point: rename is atomic, so a concurrent reader sees the
+  // old entry, the new entry, or nothing — never a torn write.
+  fs::rename(Tmp, Final, Ec);
+  if (Ec) {
+    fs::remove(Tmp, Ec);
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,96 @@
+//===- cache/ResultCache.h - Content-addressed result store -----*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A persistent, content-addressed store for per-app batch results —
+/// the same trick compilation caches (ccache, Bazel's action cache)
+/// play, applicable here because the pipeline is a pure function of
+/// (app source, analysis options, analyzer version). The key is the
+/// SHA-256 of exactly those three components:
+///
+///   key = SHA256(len(canonical .air bytes) || canonical .air bytes ||
+///                len(options fingerprint)  || options fingerprint  ||
+///                len(schema version)       || schema version)
+///
+/// *Canonical* bytes are the printed form of the parsed program
+/// (`frontend::canonicalProgramBytes`), so edits the parser does not
+/// see — whitespace, comments, formatting — still hit. The options
+/// fingerprint (`pipeline::PipelineOptions::fingerprint()`) covers
+/// every knob that can change a result; the schema version invalidates
+/// the whole cache whenever the entry format or the analyzer's
+/// semantics change. Length-prefixing keeps component boundaries
+/// unambiguous (no crafted canonical text can impersonate a different
+/// fingerprint split).
+///
+/// This layer is deliberately dumb: keys in, opaque single-line entries
+/// out. What an entry *means* (the serialized BatchApp row) is the
+/// report layer's business — `report::renderAppResult` /
+/// `parseAppResult` — which keeps the dependency arrow pointing one way
+/// (report → cache, never back).
+///
+/// Concurrency: `store` writes to a unique temp file in the entry's
+/// own directory and renames it into place. POSIX rename is atomic, so
+/// concurrent stores of the same key — from `--jobs N` lanes or from
+/// separate nadroid processes sharing a cache directory — each install
+/// a complete entry; last writer wins and every reader sees either a
+/// whole entry or none. All failures (unwritable directory, ENOSPC,
+/// corrupt entry) are soft: the cache degrades to a miss, never to an
+/// error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_CACHE_RESULTCACHE_H
+#define NADROID_CACHE_RESULTCACHE_H
+
+#include <string>
+#include <string_view>
+
+namespace nadroid::cache {
+
+/// Bump on ANY change to the entry format or to analyzer semantics that
+/// old entries would misrepresent. Every bump orphans all prior entries
+/// (different keys), which is the intended, crash-proof invalidation.
+inline constexpr unsigned SchemaVersion = 1;
+
+/// The cache key for one (app, options) pair: 64 lowercase hex chars.
+/// \p CanonicalAir must be the *printed* program, not raw file bytes.
+std::string resultCacheKey(std::string_view CanonicalAir,
+                           std::string_view OptionsFingerprint,
+                           unsigned Schema = SchemaVersion);
+
+/// One cache directory. Cheap to construct; creates nothing until the
+/// first store.
+class ResultCache {
+public:
+  explicit ResultCache(std::string Dir) : Dir(std::move(Dir)) {}
+
+  /// True when a directory was configured (the object is inert otherwise).
+  bool enabled() const { return !Dir.empty(); }
+
+  /// Reads the entry for \p KeyHex into \p EntryLine. Returns false on
+  /// absence or any read failure. The caller still has to validate the
+  /// line (parseAppResult refuses truncated or alien content) — a
+  /// corrupted entry must degrade to a miss, not a crash.
+  bool lookup(const std::string &KeyHex, std::string &EntryLine) const;
+
+  /// Atomically installs \p EntryLine under \p KeyHex (temp file +
+  /// rename; see the file comment). Returns false on any I/O failure —
+  /// callers treat a failed store as "cache full/broken", never fatal.
+  bool store(const std::string &KeyHex, const std::string &EntryLine) const;
+
+  /// Where the entry for \p KeyHex lives: `<dir>/<first 2 hex>/<key>.json`
+  /// — two-level sharding keeps huge caches off single-directory limits.
+  std::string entryPath(const std::string &KeyHex) const;
+
+  const std::string &directory() const { return Dir; }
+
+private:
+  std::string Dir;
+};
+
+} // namespace nadroid::cache
+
+#endif // NADROID_CACHE_RESULTCACHE_H

@@ -37,6 +37,12 @@
 //                                    (§8.8), then report timed-out
 //   nadroid --batch-log FILE         append a JSONL row per finished app
 //   nadroid --resume                 skip apps already in --batch-log
+//                                    (rows from other options refused)
+//   nadroid --cache-dir DIR          persistent content-addressed result
+//                                    cache for --batch: unchanged apps
+//                                    hit and skip analysis entirely
+//   nadroid --cache-verify           re-analyze cache hits and fail
+//                                    (exit 5) on any divergence
 //   nadroid --jobs N                 worker threads for --batch and the
 //                                    per-warning filter sweep (default:
 //                                    one per hardware thread)
@@ -90,6 +96,8 @@ struct CliOptions {
   double BatchTimeoutSec = 0;
   std::string BatchLogPath;
   bool Resume = false;
+  std::string CacheDir;
+  bool CacheVerify = false;
   std::vector<std::string> Files;
 };
 
@@ -101,7 +109,8 @@ void printUsage() {
       << "               [--lint] [--syntactic-filters] [--refute]\n"
       << "               [--k N] [--jobs N] [--export-corpus DIR]\n"
       << "               [--batch DIR] [--batch-timeout SEC]\n"
-      << "               [--batch-log FILE] [--resume] file.air...\n";
+      << "               [--batch-log FILE] [--resume]\n"
+      << "               [--cache-dir DIR] [--cache-verify] file.air...\n";
 }
 
 bool parseArgs(int argc, char **argv, CliOptions &Opts) {
@@ -170,6 +179,16 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
     else if (!std::strcmp(Arg, "--resume")) {
       Opts.Resume = true;
     }
+    else if (!std::strcmp(Arg, "--cache-dir")) {
+      if (++I >= argc) {
+        std::cerr << "error: --cache-dir needs a directory\n";
+        return false;
+      }
+      Opts.CacheDir = argv[I];
+    }
+    else if (!std::strcmp(Arg, "--cache-verify")) {
+      Opts.CacheVerify = true;
+    }
     else if (!std::strcmp(Arg, "--jobs")) {
       if (++I >= argc) {
         std::cerr << "error: --jobs needs a value\n";
@@ -209,6 +228,10 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
   }
   if (Opts.Resume && Opts.BatchLogPath.empty()) {
     std::cerr << "error: --resume needs --batch-log\n";
+    return false;
+  }
+  if (Opts.CacheVerify && Opts.CacheDir.empty()) {
+    std::cerr << "error: --cache-verify needs --cache-dir\n";
     return false;
   }
   return true;
@@ -392,9 +415,14 @@ int main(int argc, char **argv) {
     BOpts.TimeoutSec = Opts.BatchTimeoutSec;
     BOpts.LogPath = Opts.BatchLogPath;
     BOpts.Resume = Opts.Resume;
+    BOpts.CacheDir = Opts.CacheDir;
+    BOpts.CacheVerify = Opts.CacheVerify;
     report::BatchResult BR = report::runBatch(BOpts);
     std::cout << (Opts.Json ? report::renderBatchJson(BR)
                             : report::renderBatchReport(BR));
+    // Cache accounting goes to stderr, never into the report: cold and
+    // warm text reports must stay byte-identical (CI cmp's them).
+    std::cerr << report::renderBatchCacheFooter(BR);
     return BR.exitCode();
   }
   int Status = 0;

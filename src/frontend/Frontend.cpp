@@ -8,6 +8,7 @@
 
 #include "frontend/Lexer.h"
 #include "frontend/Parser.h"
+#include "ir/Printer.h"
 #include "ir/Verifier.h"
 
 #include <fstream>
@@ -42,6 +43,18 @@ static std::string stemOf(const std::string &Path) {
   if (size_t Ext = Stem.find_last_of('.'); Ext != std::string::npos)
     Stem = Stem.substr(0, Ext);
   return Stem;
+}
+
+std::string frontend::canonicalProgramBytes(const ir::Program &P) {
+  std::string Text = ir::programToString(P);
+  // The printer's first line is `app "<name>";`, and the name is the
+  // file stem — identity, not content. Blank it so a renamed copy of an
+  // unchanged app keeps its cache key.
+  if (Text.rfind("app \"", 0) == 0) {
+    if (size_t Eol = Text.find('\n'); Eol != std::string::npos)
+      Text.replace(0, Eol, "app \"\";");
+  }
+  return Text;
 }
 
 ParseResult frontend::parseProgramFile(const std::string &Path) {

@@ -39,6 +39,16 @@ ParseResult parseProgramText(std::string_view Source,
 /// Reads and parses \p Path; the app name is the file stem.
 ParseResult parseProgramFile(const std::string &Path);
 
+/// The canonical byte form of \p P: the printer's output, which the
+/// parser round-trips to a fixpoint (print ∘ parse ∘ print = print).
+/// Because canonicalization goes through the parsed program, two files
+/// that differ only in formatting, comments or key order have identical
+/// canonical bytes — the property the batch result cache keys on, so a
+/// reformatted app still hits. The app *name* is deliberately excluded:
+/// it is derived from the file name, and a renamed-but-unchanged app
+/// must keep its key.
+std::string canonicalProgramBytes(const ir::Program &P);
+
 } // namespace nadroid::frontend
 
 #endif // NADROID_FRONTEND_FRONTEND_H

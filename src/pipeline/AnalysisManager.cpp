@@ -241,6 +241,20 @@ void AnalysisManager::invalidateKey(std::type_index Key) {
     invalidateKey(Dep);
 }
 
+std::string PipelineOptions::fingerprint() const {
+  // Deliberately not a hash: stamped verbatim into checkpoint rows and
+  // cache entries, where a human debugging a surprising miss can read
+  // exactly which knob moved.
+  std::string F = "opt1;k=" + std::to_string(K);
+  F += ";fragments=";
+  F += ModelFragments ? '1' : '0';
+  F += ";dataflowGuards=";
+  F += DataflowGuards ? '1' : '0';
+  F += ";refute=";
+  F += Refute ? '1' : '0';
+  return F;
+}
+
 void AnalysisManager::setOptions(const PipelineOptions &New) {
   assert(BuildStack.empty() && "cannot change options mid-build");
   if (New.ModelFragments != Opts.ModelFragments)

@@ -81,6 +81,16 @@ struct PipelineOptions {
   /// (--refute). Off by default: provenance is metadata and the default
   /// pipeline stays heuristic-labeled and cheap.
   bool Refute = false;
+
+  /// A stable, human-readable digest of every field that can change an
+  /// analysis result — the identity half of the batch result cache's
+  /// key and the staleness check on `--batch-log` rows. Two option
+  /// structs produce the same fingerprint iff the pipeline would
+  /// produce the same results (the §8.8 degraded ladder, for instance,
+  /// rewrites K/DataflowGuards/Refute and therefore fingerprints
+  /// differently). Any new result-bearing field MUST be folded in here;
+  /// the "opt1" prefix is this encoding's own version tag.
+  std::string fingerprint() const;
 };
 
 /// One row of per-analysis accounting, as rendered by --stats and --json.

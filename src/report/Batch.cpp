@@ -6,6 +6,7 @@
 
 #include "report/Batch.h"
 
+#include "cache/ResultCache.h"
 #include "frontend/Frontend.h"
 #include "report/Json.h"
 #include "support/Deadline.h"
@@ -13,7 +14,7 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
-#include <cctype>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
@@ -133,82 +134,21 @@ void analyzeOne(const fs::path &Path, const BatchOptions &Opts,
   }
 }
 
-/// Extracts the raw text of `"Key": value` from one log line: the body
-/// of a quoted string (still escaped), or the token up to the next
-/// delimiter for numbers. Returns false when the key is absent — which
-/// includes any line truncated by a killed writer mid-value.
-bool findRawValue(const std::string &Line, const std::string &Key,
-                  std::string &Out) {
-  std::string Needle = "\"" + Key + "\": ";
-  size_t At = Line.find(Needle);
-  if (At == std::string::npos)
-    return false;
-  At += Needle.size();
-  if (At >= Line.size())
-    return false;
-  if (Line[At] != '"') {
-    size_t End = Line.find_first_of(",}", At);
-    if (End == std::string::npos)
-      return false;
-    Out = Line.substr(At, End - At);
-    return true;
-  }
-  std::string Raw;
-  for (size_t I = At + 1; I < Line.size(); ++I) {
-    if (Line[I] == '\\' && I + 1 < Line.size()) {
-      Raw += Line[I];
-      Raw += Line[I + 1];
-      ++I;
-      continue;
-    }
-    if (Line[I] == '"') {
-      Out = std::move(Raw);
-      return true;
-    }
-    Raw += Line[I];
-  }
-  return false; // unterminated string: truncated line
+/// The report-visible fields of two rows agree — what --cache-verify
+/// compares between a cached entry and the fresh re-analysis. Timings
+/// and per-analysis accounting are measurements, not results, and are
+/// deliberately excluded.
+bool sameObservableResult(const BatchApp &A, const BatchApp &B) {
+  return A.Status == B.Status && A.Error == B.Error && A.Stmts == B.Stmts &&
+         A.EntryCallbacks == B.EntryCallbacks &&
+         A.PostedCallbacks == B.PostedCallbacks && A.Threads == B.Threads &&
+         A.Potential == B.Potential && A.AfterSound == B.AfterSound &&
+         A.AfterUnsound == B.AfterUnsound;
 }
 
-std::string findString(const std::string &Line, const std::string &Key) {
-  std::string Raw;
-  return findRawValue(Line, Key, Raw) ? jsonUnescape(Raw) : std::string();
-}
+} // namespace
 
-unsigned findUnsigned(const std::string &Line, const std::string &Key) {
-  std::string Raw;
-  if (!findRawValue(Line, Key, Raw))
-    return 0;
-  return static_cast<unsigned>(std::strtoul(Raw.c_str(), nullptr, 10));
-}
-
-/// Locale-independent inverse of jsonFixed: strtod would read the
-/// fraction through the *locale's* decimal point, not ".".
-double findFixed(const std::string &Line, const std::string &Key) {
-  std::string Raw;
-  if (!findRawValue(Line, Key, Raw))
-    return 0;
-  double Sign = 1;
-  size_t I = 0;
-  if (I < Raw.size() && Raw[I] == '-') {
-    Sign = -1;
-    ++I;
-  }
-  double V = 0;
-  for (; I < Raw.size() && std::isdigit(static_cast<unsigned char>(Raw[I]));
-       ++I)
-    V = V * 10 + (Raw[I] - '0');
-  if (I < Raw.size() && Raw[I] == '.') {
-    double Place = 0.1;
-    for (++I;
-         I < Raw.size() && std::isdigit(static_cast<unsigned char>(Raw[I]));
-         ++I, Place *= 0.1)
-      V += (Raw[I] - '0') * Place;
-  }
-  return Sign * V;
-}
-
-bool batchStatusFromName(const std::string &Name, BatchStatus &Out) {
+bool report::batchStatusFromName(const std::string &Name, BatchStatus &Out) {
   for (BatchStatus S :
        {BatchStatus::Ok, BatchStatus::Degraded, BatchStatus::ParseFailed,
         BatchStatus::Crashed, BatchStatus::TimedOut})
@@ -218,8 +158,6 @@ bool batchStatusFromName(const std::string &Name, BatchStatus &Out) {
     }
   return false;
 }
-
-} // namespace
 
 const char *report::batchStatusName(BatchStatus S) {
   switch (S) {
@@ -238,6 +176,11 @@ const char *report::batchStatusName(BatchStatus S) {
 }
 
 int BatchResult::exitCode() const {
+  // A divergent cache entry means the backstop caught either stale cache
+  // contents or a nondeterministic analysis — worse than any single-app
+  // failure, because it taints trust in every warm result.
+  if (CacheDivergent > 0)
+    return 5;
   int Code = 0;
   for (const BatchApp &A : Apps) {
     int Severity = 0;
@@ -264,7 +207,8 @@ int BatchResult::exitCode() const {
 std::string report::renderBatchLogLine(const BatchApp &A) {
   std::ostringstream OS;
   OS << "{\"file\": \"" << jsonEscape(A.File) << "\", \"name\": \""
-     << jsonEscape(A.Name) << "\", \"status\": \"" << batchStatusName(A.Status)
+     << jsonEscape(A.Name) << "\", \"fp\": \"" << jsonEscape(A.OptionsFp)
+     << "\", \"status\": \"" << batchStatusName(A.Status)
      << "\", \"error\": \"" << jsonEscape(A.Error) << "\", \"stmts\": "
      << A.Stmts << ", \"entryCallbacks\": " << A.EntryCallbacks
      << ", \"postedCallbacks\": " << A.PostedCallbacks
@@ -282,27 +226,31 @@ bool report::parseBatchLogLine(const std::string &Line, BatchApp &Out) {
   // makes resume re-run that app instead of trusting half a row.
   if (Line.empty() || Line.back() != '}')
     return false;
-  std::string File = findString(Line, "file");
+  std::string File = jsonFindString(Line, "file");
   if (File.empty())
     return false;
   BatchStatus Status;
-  if (!batchStatusFromName(findString(Line, "status"), Status))
+  if (!batchStatusFromName(jsonFindString(Line, "status"), Status))
     return false;
   Out = BatchApp();
   Out.File = std::move(File);
-  Out.Name = findString(Line, "name");
+  Out.Name = jsonFindString(Line, "name");
+  Out.OptionsFp = jsonFindString(Line, "fp");
   Out.Status = Status;
-  Out.Error = findString(Line, "error");
-  Out.Stmts = findUnsigned(Line, "stmts");
-  Out.EntryCallbacks = findUnsigned(Line, "entryCallbacks");
-  Out.PostedCallbacks = findUnsigned(Line, "postedCallbacks");
-  Out.Threads = findUnsigned(Line, "threads");
-  Out.Potential = findUnsigned(Line, "potential");
-  Out.AfterSound = findUnsigned(Line, "afterSound");
-  Out.AfterUnsound = findUnsigned(Line, "afterUnsound");
-  Out.Timings.ModelingSec = findFixed(Line, "modelingSec");
-  Out.Timings.DetectionSec = findFixed(Line, "detectionSec");
-  Out.Timings.FilteringSec = findFixed(Line, "filteringSec");
+  Out.Error = jsonFindString(Line, "error");
+  Out.Stmts = static_cast<unsigned>(jsonFindUnsigned(Line, "stmts"));
+  Out.EntryCallbacks =
+      static_cast<unsigned>(jsonFindUnsigned(Line, "entryCallbacks"));
+  Out.PostedCallbacks =
+      static_cast<unsigned>(jsonFindUnsigned(Line, "postedCallbacks"));
+  Out.Threads = static_cast<unsigned>(jsonFindUnsigned(Line, "threads"));
+  Out.Potential = static_cast<unsigned>(jsonFindUnsigned(Line, "potential"));
+  Out.AfterSound = static_cast<unsigned>(jsonFindUnsigned(Line, "afterSound"));
+  Out.AfterUnsound =
+      static_cast<unsigned>(jsonFindUnsigned(Line, "afterUnsound"));
+  Out.Timings.ModelingSec = jsonFindFixed(Line, "modelingSec");
+  Out.Timings.DetectionSec = jsonFindFixed(Line, "detectionSec");
+  Out.Timings.FilteringSec = jsonFindFixed(Line, "filteringSec");
   // Per-pass accounting is not checkpointed; a restored row renders an
   // empty analyses list and an untrusted RSS.
   return true;
@@ -340,45 +288,129 @@ BatchResult report::runBatch(const BatchOptions &OptsIn) {
   R.Jobs = Pool.concurrency();
   R.Apps.resize(Files.size());
 
+  const std::string Fp = Opts.Pipeline.fingerprint();
+  const cache::ResultCache Cache(Opts.CacheDir);
+  R.CacheEnabled = Cache.enabled();
+
+  auto T0 = Clock::now();
+
   // Restore checkpointed rows, then analyze only what is missing. Rows
   // are keyed by file name, so a resumed run tolerates a grown corpus.
+  // A row stamped with a different options fingerprint was produced by
+  // a different analysis and is refused — trusting it would stitch,
+  // say, k=1 numbers into a k=2 report.
   std::map<std::string, BatchApp> Logged;
   if (Opts.Resume && !Opts.LogPath.empty()) {
     std::ifstream In(Opts.LogPath);
     std::string Line;
     while (std::getline(In, Line)) {
       BatchApp A;
-      if (parseBatchLogLine(Line, A))
-        Logged[A.File] = std::move(A);
+      if (!parseBatchLogLine(Line, A))
+        continue;
+      if (A.OptionsFp != Fp) {
+        ++R.ResumedStale;
+        continue;
+      }
+      Logged[A.File] = std::move(A);
     }
   }
-  std::vector<size_t> Pending;
-  for (size_t I = 0; I < Files.size(); ++I) {
-    auto It = Logged.find(Files[I].filename().string());
-    if (It != Logged.end()) {
-      R.Apps[I] = It->second;
-      ++R.Resumed;
-    } else {
-      Pending.push_back(I);
-    }
-  }
+
+  /// One not-yet-restored app: its sorted slot, its cache key when the
+  /// probe could compute one, and — under --cache-verify — the hit row
+  /// the fresh analysis must reproduce.
+  struct PendingApp {
+    size_t Index = 0;
+    std::string Key;
+    bool VerifyHit = false;
+    BatchApp Cached;
+  };
 
   std::ofstream Log;
   std::mutex LogMu;
   if (!Opts.LogPath.empty())
     Log.open(Opts.LogPath, Opts.Resume ? std::ios::app : std::ios::trunc);
+  auto AppendLog = [&](const BatchApp &A) {
+    if (!Log.is_open())
+      return;
+    // Completion order, one line per app, flushed: a killed run loses
+    // at most the apps that were still in flight.
+    std::lock_guard<std::mutex> Lock(LogMu);
+    Log << renderBatchLogLine(A) << "\n" << std::flush;
+  };
 
-  auto T0 = Clock::now();
-  Pool.parallelFor(Pending.size(), [&](size_t I) {
-    BatchApp &Out = R.Apps[Pending[I]];
-    analyzeOne(Files[Pending[I]], Opts, Pool, Out);
-    if (Log.is_open()) {
-      // Completion order, one line per app, flushed: a killed run loses
-      // at most the apps that were still in flight.
-      std::lock_guard<std::mutex> Lock(LogMu);
-      Log << renderBatchLogLine(Out) << "\n" << std::flush;
+  std::vector<PendingApp> Pending;
+  for (size_t I = 0; I < Files.size(); ++I) {
+    auto It = Logged.find(Files[I].filename().string());
+    if (It != Logged.end()) {
+      R.Apps[I] = It->second;
+      ++R.Resumed;
+      continue;
     }
+    PendingApp P;
+    P.Index = I;
+    if (Cache.enabled()) {
+      // The probe: parse, canonicalize, hash, look up — all before the
+      // app ever occupies a pool lane. The probe parse is redundant
+      // work on a miss (analyzeOne parses again), but it is a small
+      // fraction of an analysis and it keeps hit handling allocation-
+      // light: a fully warm run never builds a single AnalysisManager.
+      frontend::ParseResult Probe =
+          frontend::parseProgramFile(Files[I].string());
+      if (Probe.Success) {
+        P.Key = cache::resultCacheKey(
+            frontend::canonicalProgramBytes(*Probe.Prog), Fp);
+        std::string Entry;
+        BatchApp Hit;
+        if (Cache.lookup(P.Key, Entry) &&
+            parseAppResult(Entry, cache::SchemaVersion, Hit) &&
+            Hit.OptionsFp == Fp && Hit.Status == BatchStatus::Ok) {
+          ++R.CacheHits;
+          // Identity comes from the current file, not the entry: the
+          // same content under a new name hits and reports as the new
+          // name.
+          Hit.File = Files[I].filename().string();
+          Hit.Name = Probe.Prog->name();
+          if (!Opts.CacheVerify) {
+            R.Apps[I] = Hit;
+            AppendLog(Hit);
+            continue; // never scheduled
+          }
+          P.VerifyHit = true;
+          P.Cached = std::move(Hit);
+        } else {
+          ++R.CacheMisses;
+        }
+      }
+      // Probe parse failures carry no key: the app still runs (and
+      // fails) through the normal per-app boundary, and nothing
+      // uncacheable is counted as a miss.
+    }
+    Pending.push_back(std::move(P));
+  }
+
+  std::atomic<unsigned> Stores{0}, Verified{0}, Divergent{0};
+  Pool.parallelFor(Pending.size(), [&](size_t I) {
+    const PendingApp &P = Pending[I];
+    BatchApp &Out = R.Apps[P.Index];
+    analyzeOne(Files[P.Index], Opts, Pool, Out);
+    Out.OptionsFp = Fp;
+    if (P.VerifyHit) {
+      Verified.fetch_add(1, std::memory_order_relaxed);
+      if (!sameObservableResult(P.Cached, Out))
+        Divergent.fetch_add(1, std::memory_order_relaxed);
+    } else if (!P.Key.empty() && Out.Status == BatchStatus::Ok) {
+      // Only rows analyzed cleanly under the requested options are
+      // cacheable. Degraded and timed-out rows encode a wall-clock
+      // accident, crashed rows a bug — all must be re-attempted next
+      // run, not replayed.
+      if (Cache.store(P.Key, renderAppResult(Out, cache::SchemaVersion)))
+        Stores.fetch_add(1, std::memory_order_relaxed);
+    }
+    AppendLog(Out);
   });
+  R.CacheStores = Stores.load();
+  R.CacheVerified = Verified.load();
+  R.CacheDivergent = Divergent.load();
   R.WallSec = std::chrono::duration<double>(Clock::now() - T0).count();
   return R;
 }
@@ -433,11 +465,30 @@ std::string report::renderBatchReport(const BatchResult &R) {
   return OS.str();
 }
 
+std::string report::renderBatchCacheFooter(const BatchResult &R) {
+  if (!R.CacheEnabled)
+    return "";
+  std::ostringstream OS;
+  OS << "cache: " << R.CacheHits << " hits, " << R.CacheMisses
+     << " misses, " << R.CacheStores << " stores";
+  if (R.CacheVerified || R.CacheDivergent)
+    OS << ", " << R.CacheVerified << " verified, " << R.CacheDivergent
+       << " divergent";
+  OS << "\n";
+  return OS.str();
+}
+
 std::string report::renderBatchJson(const BatchResult &R) {
   std::ostringstream OS;
   OS << "{\n  \"jobs\": " << R.Jobs
      << ",\n  \"wallSec\": " << jsonFixed(R.WallSec, 6)
-     << ",\n  \"resumed\": " << R.Resumed << ",\n  \"apps\": [";
+     << ",\n  \"resumed\": " << R.Resumed
+     << ",\n  \"resumedStale\": " << R.ResumedStale
+     << ",\n  \"cache\": {\"enabled\": "
+     << (R.CacheEnabled ? "true" : "false") << ", \"hits\": " << R.CacheHits
+     << ", \"misses\": " << R.CacheMisses << ", \"stores\": " << R.CacheStores
+     << ", \"verified\": " << R.CacheVerified
+     << ", \"divergent\": " << R.CacheDivergent << "},\n  \"apps\": [";
   bool FirstApp = true;
   unsigned long long Potential = 0, Sound = 0, Unsound = 0;
   for (const BatchApp &A : R.Apps) {

@@ -23,10 +23,18 @@
 /// JSONL checkpoint as it finishes, and --resume skips the apps already
 /// logged there.
 ///
+/// Caching: with --cache-dir, every app is first looked up in a
+/// persistent content-addressed result cache (src/cache) keyed by
+/// SHA-256 of (canonical .air bytes, options fingerprint, cache schema
+/// version); hits restore the complete row without touching the pool,
+/// misses analyze and store atomically, so a warm run is O(changed
+/// apps). --cache-verify re-analyzes hits and flags divergence.
+///
 /// Determinism: results land in the slot of the app's sorted index, and
 /// the text report carries no timing, so its bytes are identical for any
-/// --jobs value. The JSON aggregate adds wall-clock and per-analysis
-/// accounting and is therefore not byte-stable across runs.
+/// --jobs value — and between cold and warm cache runs, which CI
+/// byte-compares. The JSON aggregate adds wall-clock, per-analysis and
+/// cache accounting and is therefore not byte-stable across runs.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -55,7 +63,24 @@ struct BatchOptions {
   /// most the in-flight apps.
   std::string LogPath;
   /// Skip apps already present in LogPath, reusing their logged rows.
+  /// Rows whose stamped options fingerprint differs from this
+  /// invocation's are refused (re-analyzed), never trusted.
   bool Resume = false;
+
+  /// Persistent content-addressed result cache directory (`--cache-dir`);
+  /// empty = no cache. Each app is keyed by SHA-256 of (canonical .air
+  /// bytes, options fingerprint, cache schema version) and consulted
+  /// before the app is scheduled on the pool; only `ok` rows are ever
+  /// stored — degraded, timed-out, crashed and parse-failed rows are
+  /// re-attempted every run. The text report is byte-identical between
+  /// cold and warm runs; hit/miss/store counts live in the JSON
+  /// aggregate and the stderr footer (renderBatchCacheFooter).
+  std::string CacheDir;
+  /// Correctness backstop (`--cache-verify`): re-analyze every cache hit
+  /// anyway and compare the fresh row against the entry. A divergence
+  /// (a stale or corrupt-but-parseable entry, a nondeterministic
+  /// analysis) makes the batch exit code 5.
+  bool CacheVerify = false;
 
   /// Deterministic fault-injection hooks for tests (file names within
   /// Dir; empty = off). Also settable via NADROID_TEST_CRASH_APP,
@@ -79,6 +104,10 @@ enum class BatchStatus : uint8_t {
 /// and the checkpoint log.
 const char *batchStatusName(BatchStatus S);
 
+/// Inverse of batchStatusName; false on unknown labels (the checkpoint
+/// log and cache-entry parsers refuse such rows).
+bool batchStatusFromName(const std::string &Name, BatchStatus &Out);
+
 /// Outcome for one app, reduced to what the aggregate report needs —
 /// the per-app manager and IR are torn down as soon as the app is done,
 /// keeping a corpus-scale run's footprint at O(largest app).
@@ -87,6 +116,11 @@ struct BatchApp {
   std::string Name; ///< program name (the file stem)
   BatchStatus Status = BatchStatus::ParseFailed;
   std::string Error; ///< first diagnostic / exception text when failed
+  /// The invocation's PipelineOptions::fingerprint(), stamped on every
+  /// row. The checkpoint log persists it so --resume can refuse rows
+  /// analyzed under different options, and cache entries carry it for
+  /// human-debuggable misses.
+  std::string OptionsFp;
 
   /// True for the rows that carry analysis results (Ok or Degraded).
   bool analyzed() const {
@@ -114,10 +148,24 @@ struct BatchResult {
   unsigned Jobs = 1;          ///< lanes actually used
   double WallSec = 0;
   unsigned Resumed = 0; ///< rows restored from the checkpoint log
+  /// Checkpoint rows refused because their stamped options fingerprint
+  /// differed from this invocation's (the apps were re-analyzed).
+  unsigned ResumedStale = 0;
 
-  /// Worst outcome over the corpus: 4 when any app timed out, else 3
-  /// when any crashed, else 2 when any failed to parse, else 1 when any
-  /// warning remained after all filters, else 0.
+  // Result-cache accounting (all zero when no --cache-dir). Hits and
+  // misses count only apps that were actually probed — an app whose
+  // probe parse fails is neither.
+  bool CacheEnabled = false;
+  unsigned CacheHits = 0;
+  unsigned CacheMisses = 0;
+  unsigned CacheStores = 0;
+  unsigned CacheVerified = 0;  ///< hits re-analyzed under --cache-verify
+  unsigned CacheDivergent = 0; ///< verified hits whose entry disagreed
+
+  /// Worst outcome over the corpus: 5 when --cache-verify found a
+  /// divergent entry, else 4 when any app timed out, else 3 when any
+  /// crashed, else 2 when any failed to parse, else 1 when any warning
+  /// remained after all filters, else 0.
   int exitCode() const;
 };
 
@@ -129,9 +177,15 @@ BatchResult runBatch(const BatchOptions &Opts);
 /// counts): one row per app plus a totals row and a summary line.
 std::string renderBatchReport(const BatchResult &R);
 
-/// The JSON aggregate: per-app summaries plus phase timings and
-/// per-analysis accounting rows.
+/// The JSON aggregate: per-app summaries plus phase timings,
+/// per-analysis accounting rows and the cache counters.
 std::string renderBatchJson(const BatchResult &R);
+
+/// One line of cache accounting ("cache: 27 hits, 0 misses, ...\n"), or
+/// the empty string when no cache was configured. The driver prints it
+/// to stderr — never into the text report, whose bytes must not differ
+/// between cold and warm runs.
+std::string renderBatchCacheFooter(const BatchResult &R);
 
 /// One checkpoint-log line for \p A (no trailing newline) and its
 /// inverse. parseBatchLogLine returns false on lines it cannot

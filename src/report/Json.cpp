@@ -7,7 +7,9 @@
 #include "report/Json.h"
 
 #include "ir/Printer.h"
+#include "report/Batch.h"
 
+#include <cctype>
 #include <clocale>
 #include <cstdlib>
 #include <sstream>
@@ -91,6 +93,172 @@ std::string report::jsonFixed(double V, int Precision) {
     }
   }
   return Out;
+}
+
+bool report::jsonFindRaw(const std::string &Line, const std::string &Key,
+                         std::string &Out) {
+  std::string Needle = "\"" + Key + "\": ";
+  size_t At = Line.find(Needle);
+  if (At == std::string::npos)
+    return false;
+  At += Needle.size();
+  if (At >= Line.size())
+    return false;
+  if (Line[At] != '"') {
+    size_t End = Line.find_first_of(",}", At);
+    if (End == std::string::npos)
+      return false;
+    Out = Line.substr(At, End - At);
+    return true;
+  }
+  std::string Raw;
+  for (size_t I = At + 1; I < Line.size(); ++I) {
+    if (Line[I] == '\\' && I + 1 < Line.size()) {
+      Raw += Line[I];
+      Raw += Line[I + 1];
+      ++I;
+      continue;
+    }
+    if (Line[I] == '"') {
+      Out = std::move(Raw);
+      return true;
+    }
+    Raw += Line[I];
+  }
+  return false; // unterminated string: truncated line
+}
+
+std::string report::jsonFindString(const std::string &Line,
+                                   const std::string &Key) {
+  std::string Raw;
+  return jsonFindRaw(Line, Key, Raw) ? jsonUnescape(Raw) : std::string();
+}
+
+unsigned long long report::jsonFindUnsigned(const std::string &Line,
+                                            const std::string &Key) {
+  std::string Raw;
+  if (!jsonFindRaw(Line, Key, Raw))
+    return 0;
+  return std::strtoull(Raw.c_str(), nullptr, 10);
+}
+
+double report::jsonFindFixed(const std::string &Line, const std::string &Key) {
+  std::string Raw;
+  if (!jsonFindRaw(Line, Key, Raw))
+    return 0;
+  double Sign = 1;
+  size_t I = 0;
+  if (I < Raw.size() && Raw[I] == '-') {
+    Sign = -1;
+    ++I;
+  }
+  double V = 0;
+  for (; I < Raw.size() && std::isdigit(static_cast<unsigned char>(Raw[I]));
+       ++I)
+    V = V * 10 + (Raw[I] - '0');
+  if (I < Raw.size() && Raw[I] == '.') {
+    double Place = 0.1;
+    for (++I;
+         I < Raw.size() && std::isdigit(static_cast<unsigned char>(Raw[I]));
+         ++I, Place *= 0.1)
+      V += (Raw[I] - '0') * Place;
+  }
+  return Sign * V;
+}
+
+std::string report::renderAppResult(const BatchApp &A, unsigned Schema) {
+  std::ostringstream OS;
+  OS << "{\"schema\": " << Schema << ", \"fp\": \"" << jsonEscape(A.OptionsFp)
+     << "\", \"status\": \"" << batchStatusName(A.Status) << "\", \"error\": \""
+     << jsonEscape(A.Error) << "\", \"stmts\": " << A.Stmts
+     << ", \"entryCallbacks\": " << A.EntryCallbacks
+     << ", \"postedCallbacks\": " << A.PostedCallbacks
+     << ", \"threads\": " << A.Threads << ", \"potential\": " << A.Potential
+     << ", \"afterSound\": " << A.AfterSound
+     << ", \"afterUnsound\": " << A.AfterUnsound
+     << ", \"modelingSec\": " << jsonFixed(A.Timings.ModelingSec, 6)
+     << ", \"detectionSec\": " << jsonFixed(A.Timings.DetectionSec, 6)
+     << ", \"filteringSec\": " << jsonFixed(A.Timings.FilteringSec, 6)
+     // Last on purpose: the scalar scanners above search the whole line,
+     // so keys that also occur per-analysis ("builds", "hits") must only
+     // appear after every top-level key a reader will look for.
+     << ", \"analyses\": [";
+  bool First = true;
+  for (const pipeline::PassStat &S : A.Analyses) {
+    OS << (First ? "" : ", ") << "{\"analysis\": \"" << jsonEscape(S.Name)
+       << "\", \"ms\": " << jsonFixed(S.Seconds * 1000.0, 3)
+       << ", \"builds\": " << S.Builds << ", \"hits\": " << S.Hits << "}";
+    First = false;
+  }
+  OS << "]}";
+  return OS.str();
+}
+
+bool report::parseAppResult(const std::string &Line, unsigned Schema,
+                            BatchApp &Out) {
+  // An entry a killed writer truncated cannot end in "]}"; refusing it
+  // here turns corruption into a plain miss.
+  if (Line.size() < 2 || Line.compare(Line.size() - 2, 2, "]}") != 0)
+    return false;
+  static const std::string Marker = "\"analyses\": [";
+  size_t Split = Line.find(Marker);
+  if (Split == std::string::npos)
+    return false;
+  // Scalars live strictly before the array: per-analysis objects reuse
+  // key names ("builds", "hits") that must not shadow them.
+  const std::string Head = Line.substr(0, Split);
+  const std::string Tail =
+      Line.substr(Split + Marker.size(),
+                  Line.size() - (Split + Marker.size()) - 2);
+
+  if (jsonFindUnsigned(Head, "schema") != Schema)
+    return false;
+  BatchStatus Status;
+  if (!batchStatusFromName(jsonFindString(Head, "status"), Status))
+    return false;
+  std::string Raw;
+  if (!jsonFindRaw(Head, "fp", Raw) || !jsonFindRaw(Head, "afterUnsound", Raw))
+    return false;
+
+  Out = BatchApp();
+  Out.Status = Status;
+  Out.OptionsFp = jsonFindString(Head, "fp");
+  Out.Error = jsonFindString(Head, "error");
+  Out.Stmts = static_cast<unsigned>(jsonFindUnsigned(Head, "stmts"));
+  Out.EntryCallbacks =
+      static_cast<unsigned>(jsonFindUnsigned(Head, "entryCallbacks"));
+  Out.PostedCallbacks =
+      static_cast<unsigned>(jsonFindUnsigned(Head, "postedCallbacks"));
+  Out.Threads = static_cast<unsigned>(jsonFindUnsigned(Head, "threads"));
+  Out.Potential = static_cast<unsigned>(jsonFindUnsigned(Head, "potential"));
+  Out.AfterSound = static_cast<unsigned>(jsonFindUnsigned(Head, "afterSound"));
+  Out.AfterUnsound =
+      static_cast<unsigned>(jsonFindUnsigned(Head, "afterUnsound"));
+  Out.Timings.ModelingSec = jsonFindFixed(Head, "modelingSec");
+  Out.Timings.DetectionSec = jsonFindFixed(Head, "detectionSec");
+  Out.Timings.FilteringSec = jsonFindFixed(Head, "filteringSec");
+  Out.RssTrusted = false; // restored rows never carry attributable RSS
+
+  // The array elements hold only scalars, so a brace scan suffices.
+  for (size_t I = 0; I < Tail.size();) {
+    size_t Open = Tail.find('{', I);
+    if (Open == std::string::npos)
+      break;
+    size_t Close = Tail.find('}', Open);
+    if (Close == std::string::npos)
+      return false; // truncated element
+    const std::string Elem = Tail.substr(Open, Close - Open + 1);
+    pipeline::PassStat S;
+    S.Name = jsonFindString(Elem, "analysis");
+    if (S.Name.empty())
+      return false;
+    S.Seconds = jsonFindFixed(Elem, "ms") / 1000.0;
+    S.Builds = jsonFindUnsigned(Elem, "builds");
+    S.Hits = jsonFindUnsigned(Elem, "hits");
+    Out.Analyses.push_back(std::move(S));
+    I = Close + 1;
+  }
+  return true;
 }
 
 namespace {

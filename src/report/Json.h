@@ -21,6 +21,8 @@
 
 namespace nadroid::report {
 
+struct BatchApp; // report/Batch.h
+
 /// Renders the whole result. Shape:
 /// \code
 /// {
@@ -49,6 +51,55 @@ std::string jsonUnescape(const std::string &S);
 /// through here: printf("%f") follows the host locale and can produce
 /// "0,5" — invalid JSON — when a locale-setting host embeds the library.
 std::string jsonFixed(double V, int Precision);
+
+//===----------------------------------------------------------------------===//
+// Single-line JSON object scanning
+//
+// The checkpoint log (--batch-log) and the result cache both persist one
+// BatchApp per *line* and read it back with these key scanners instead
+// of a full JSON parser. The discipline is deliberate: a line truncated
+// by a killed writer (or a corrupted cache entry) makes the scanners
+// report the key as absent, so the whole row is refused and the app is
+// simply re-analyzed — never half-read.
+//===----------------------------------------------------------------------===//
+
+/// Extracts the raw text of `"Key": value` from \p Line: the body of a
+/// quoted string (still escaped) or the token up to the next `,`/`}` for
+/// numbers. Returns false when the key is absent — which includes any
+/// line truncated mid-value.
+bool jsonFindRaw(const std::string &Line, const std::string &Key,
+                 std::string &Out);
+
+/// `jsonFindRaw` + `jsonUnescape`; empty string when absent.
+std::string jsonFindString(const std::string &Line, const std::string &Key);
+
+/// Unsigned integer value of `"Key"`; 0 when absent.
+unsigned long long jsonFindUnsigned(const std::string &Line,
+                                    const std::string &Key);
+
+/// Locale-independent inverse of jsonFixed (strtod would read the
+/// fraction through the *locale's* decimal point, not "."); 0 when
+/// absent.
+double jsonFindFixed(const std::string &Line, const std::string &Key);
+
+//===----------------------------------------------------------------------===//
+// Cache-entry serialization (the batch result cache's value format)
+//===----------------------------------------------------------------------===//
+
+/// Serializes one completed batch row as a single-line, self-describing
+/// cache entry (no trailing newline): the schema tag, the options
+/// fingerprint, the status/summary/timing scalars, and the per-analysis
+/// accounting rows — a strict superset of the checkpoint-log line minus
+/// the file identity, which a content-addressed entry must not carry
+/// (the same bytes under a new name must still hit).
+std::string renderAppResult(const BatchApp &A, unsigned Schema);
+
+/// Inverse of renderAppResult. Returns false — a cache miss, never an
+/// error — on truncated lines, alien content, a schema tag different
+/// from \p Schema, or any missing required field. On success every
+/// field except File/Name (the caller's identity to fill in) and
+/// RssTrusted (always false for restored rows) is populated.
+bool parseAppResult(const std::string &Line, unsigned Schema, BatchApp &Out);
 
 } // namespace nadroid::report
 

@@ -1,0 +1,170 @@
+//===- support/Sha256.h - FIPS 180-4 SHA-256 ---------------------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, dependency-free SHA-256 — the content hash behind the batch
+/// result cache (`src/cache`). Streaming interface so callers can fold
+/// several length-prefixed components into one digest without
+/// concatenating them first:
+///
+/// \code
+///   support::Sha256 H;
+///   H.update(CanonicalAir);
+///   H.update(OptionsFingerprint);
+///   std::string Key = H.finalHex(); // 64 lowercase hex chars
+/// \endcode
+///
+/// Not a performance or security component: the cache only needs a hash
+/// whose collisions are never going to happen by accident, and whose
+/// value for given bytes is stable across platforms, compilers and
+/// endianness (the test suite pins the FIPS 180-4 vectors).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_SUPPORT_SHA256_H
+#define NADROID_SUPPORT_SHA256_H
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace nadroid::support {
+
+class Sha256 {
+public:
+  Sha256() { reset(); }
+
+  void reset() {
+    State = {0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u, 0xa54ff53au,
+             0x510e527fu, 0x9b05688cu, 0x1f83d9abu, 0x5be0cd19u};
+    BufLen = 0;
+    TotalBits = 0;
+  }
+
+  /// Absorbs \p N bytes. May be called any number of times.
+  void update(const void *Data, size_t N) {
+    const auto *P = static_cast<const uint8_t *>(Data);
+    TotalBits += static_cast<uint64_t>(N) * 8;
+    while (N > 0) {
+      size_t Take = std::min(N, sizeof(Buf) - BufLen);
+      std::memcpy(Buf.data() + BufLen, P, Take);
+      BufLen += Take;
+      P += Take;
+      N -= Take;
+      if (BufLen == sizeof(Buf)) {
+        compress(Buf.data());
+        BufLen = 0;
+      }
+    }
+  }
+
+  void update(std::string_view S) { update(S.data(), S.size()); }
+
+  /// Pads, finalizes and renders the digest as 64 lowercase hex chars.
+  /// The object is reset afterwards and may be reused.
+  std::string finalHex() {
+    // FIPS 180-4 §5.1.1 padding: 0x80, zeros, 64-bit big-endian length.
+    uint64_t Bits = TotalBits;
+    uint8_t Pad = 0x80;
+    update(&Pad, 1);
+    uint8_t Zero = 0;
+    while (BufLen != 56)
+      update(&Zero, 1);
+    // The two length updates above inflated TotalBits; the message
+    // length was latched in Bits before padding began.
+    uint8_t Len[8];
+    for (int I = 0; I < 8; ++I)
+      Len[I] = static_cast<uint8_t>(Bits >> (56 - 8 * I));
+    update(Len, 8);
+
+    static const char *Hex = "0123456789abcdef";
+    std::string Out;
+    Out.reserve(64);
+    for (uint32_t Word : State) {
+      for (int Shift = 28; Shift >= 0; Shift -= 4)
+        Out += Hex[(Word >> Shift) & 0xf];
+    }
+    reset();
+    return Out;
+  }
+
+private:
+  static uint32_t rotr(uint32_t X, unsigned N) {
+    return (X >> N) | (X << (32 - N));
+  }
+
+  void compress(const uint8_t *Block) {
+    static constexpr std::array<uint32_t, 64> K = {
+        0x428a2f98u, 0x71374491u, 0xb5c0fbcfu, 0xe9b5dba5u, 0x3956c25bu,
+        0x59f111f1u, 0x923f82a4u, 0xab1c5ed5u, 0xd807aa98u, 0x12835b01u,
+        0x243185beu, 0x550c7dc3u, 0x72be5d74u, 0x80deb1feu, 0x9bdc06a7u,
+        0xc19bf174u, 0xe49b69c1u, 0xefbe4786u, 0x0fc19dc6u, 0x240ca1ccu,
+        0x2de92c6fu, 0x4a7484aau, 0x5cb0a9dcu, 0x76f988dau, 0x983e5152u,
+        0xa831c66du, 0xb00327c8u, 0xbf597fc7u, 0xc6e00bf3u, 0xd5a79147u,
+        0x06ca6351u, 0x14292967u, 0x27b70a85u, 0x2e1b2138u, 0x4d2c6dfcu,
+        0x53380d13u, 0x650a7354u, 0x766a0abbu, 0x81c2c92eu, 0x92722c85u,
+        0xa2bfe8a1u, 0xa81a664bu, 0xc24b8b70u, 0xc76c51a3u, 0xd192e819u,
+        0xd6990624u, 0xf40e3585u, 0x106aa070u, 0x19a4c116u, 0x1e376c08u,
+        0x2748774cu, 0x34b0bcb5u, 0x391c0cb3u, 0x4ed8aa4au, 0x5b9cca4fu,
+        0x682e6ff3u, 0x748f82eeu, 0x78a5636fu, 0x84c87814u, 0x8cc70208u,
+        0x90befffau, 0xa4506cebu, 0xbef9a3f7u, 0xc67178f2u};
+
+    uint32_t W[64];
+    for (int I = 0; I < 16; ++I)
+      W[I] = (uint32_t(Block[4 * I]) << 24) | (uint32_t(Block[4 * I + 1]) << 16) |
+             (uint32_t(Block[4 * I + 2]) << 8) | uint32_t(Block[4 * I + 3]);
+    for (int I = 16; I < 64; ++I) {
+      uint32_t S0 = rotr(W[I - 15], 7) ^ rotr(W[I - 15], 18) ^ (W[I - 15] >> 3);
+      uint32_t S1 = rotr(W[I - 2], 17) ^ rotr(W[I - 2], 19) ^ (W[I - 2] >> 10);
+      W[I] = W[I - 16] + S0 + W[I - 7] + S1;
+    }
+
+    uint32_t A = State[0], B = State[1], C = State[2], D = State[3];
+    uint32_t E = State[4], F = State[5], G = State[6], H = State[7];
+    for (int I = 0; I < 64; ++I) {
+      uint32_t S1 = rotr(E, 6) ^ rotr(E, 11) ^ rotr(E, 25);
+      uint32_t Ch = (E & F) ^ (~E & G);
+      uint32_t T1 = H + S1 + Ch + K[I] + W[I];
+      uint32_t S0 = rotr(A, 2) ^ rotr(A, 13) ^ rotr(A, 22);
+      uint32_t Maj = (A & B) ^ (A & C) ^ (B & C);
+      uint32_t T2 = S0 + Maj;
+      H = G;
+      G = F;
+      F = E;
+      E = D + T1;
+      D = C;
+      C = B;
+      B = A;
+      A = T1 + T2;
+    }
+    State[0] += A;
+    State[1] += B;
+    State[2] += C;
+    State[3] += D;
+    State[4] += E;
+    State[5] += F;
+    State[6] += G;
+    State[7] += H;
+  }
+
+  std::array<uint32_t, 8> State;
+  std::array<uint8_t, 64> Buf;
+  size_t BufLen = 0;
+  uint64_t TotalBits = 0;
+};
+
+/// One-shot convenience: the hex digest of \p S.
+inline std::string sha256Hex(std::string_view S) {
+  Sha256 H;
+  H.update(S);
+  return H.finalHex();
+}
+
+} // namespace nadroid::support
+
+#endif // NADROID_SUPPORT_SHA256_H

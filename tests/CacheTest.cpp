@@ -1,0 +1,545 @@
+//===- tests/CacheTest.cpp - Result cache contracts -----------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+//
+// The persistent result cache's contracts: SHA-256 matches FIPS 180-4,
+// keys change exactly when (content, options, schema) change, cache
+// entries round-trip every BatchStatus and refuse truncation, corruption
+// degrades to a miss, concurrent stores of one key race safely, and a
+// warm batch run restores every row byte-identically without analyzing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/ResultCache.h"
+#include "corpus/Patterns.h"
+#include "frontend/Frontend.h"
+#include "ir/IRBuilder.h"
+#include "ir/Printer.h"
+#include "report/Batch.h"
+#include "report/Json.h"
+#include "support/Sha256.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+using namespace nadroid;
+namespace fs = std::filesystem;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// SHA-256 (FIPS 180-4 test vectors)
+//===----------------------------------------------------------------------===//
+
+TEST(Sha256Test, FipsVectors) {
+  EXPECT_EQ(
+      support::sha256Hex(""),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(
+      support::sha256Hex("abc"),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  // 56 bytes: forces the padding into a second compression block.
+  EXPECT_EQ(
+      support::sha256Hex(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  std::string M(1000000, 'a');
+  EXPECT_EQ(
+      support::sha256Hex(M),
+      "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, StreamingMatchesOneShot) {
+  // Split points straddling the 64-byte block boundary all agree.
+  std::string Msg;
+  for (int I = 0; I < 200; ++I)
+    Msg += static_cast<char>('a' + I % 26);
+  std::string Whole = support::sha256Hex(Msg);
+  for (size_t Cut : {size_t(1), size_t(63), size_t(64), size_t(65), size_t(128)}) {
+    support::Sha256 H;
+    H.update(std::string_view(Msg).substr(0, Cut));
+    H.update(std::string_view(Msg).substr(Cut));
+    EXPECT_EQ(H.finalHex(), Whole) << "cut at " << Cut;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Key composition
+//===----------------------------------------------------------------------===//
+
+TEST(ResultCacheKeyTest, SensitiveToEveryComponent) {
+  std::string Base = cache::resultCacheKey("prog", "opt1;k=2");
+  EXPECT_EQ(Base.size(), 64u);
+  EXPECT_EQ(Base, cache::resultCacheKey("prog", "opt1;k=2"));
+
+  EXPECT_NE(Base, cache::resultCacheKey("prog2", "opt1;k=2"));
+  EXPECT_NE(Base, cache::resultCacheKey("prog", "opt1;k=1"));
+  EXPECT_NE(Base, cache::resultCacheKey("prog", "opt1;k=2",
+                                        cache::SchemaVersion + 1));
+}
+
+TEST(ResultCacheKeyTest, LengthPrefixKeepsBoundariesUnambiguous) {
+  // Same concatenated bytes, different split — must not collide.
+  EXPECT_NE(cache::resultCacheKey("ab", "c"), cache::resultCacheKey("a", "bc"));
+  EXPECT_NE(cache::resultCacheKey("x", ""), cache::resultCacheKey("", "x"));
+}
+
+TEST(ResultCacheKeyTest, OptionsFingerprintCoversEveryKnob) {
+  pipeline::PipelineOptions Base;
+  std::string Fp = Base.fingerprint();
+
+  pipeline::PipelineOptions O = Base;
+  O.K = 1;
+  EXPECT_NE(O.fingerprint(), Fp);
+  O = Base;
+  O.ModelFragments = !O.ModelFragments;
+  EXPECT_NE(O.fingerprint(), Fp);
+  O = Base;
+  O.DataflowGuards = !O.DataflowGuards;
+  EXPECT_NE(O.fingerprint(), Fp);
+  O = Base;
+  O.Refute = !O.Refute;
+  EXPECT_NE(O.fingerprint(), Fp);
+
+  // Same options, same fingerprint — the cache depends on stability.
+  EXPECT_EQ(pipeline::PipelineOptions().fingerprint(), Fp);
+}
+
+//===----------------------------------------------------------------------===//
+// Canonical bytes
+//===----------------------------------------------------------------------===//
+
+TEST(CanonicalBytesTest, FormattingAndNameInsensitive) {
+  ir::Program P("alpha");
+  {
+    ir::IRBuilder B(P);
+    corpus::PatternEmitter E(B);
+    E.harmfulEcEc();
+  }
+  std::string Canon = frontend::canonicalProgramBytes(P);
+  ASSERT_FALSE(Canon.empty());
+
+  // Round-tripping through print -> parse reaches a fixpoint.
+  std::string Printed = ir::programToString(P);
+  frontend::ParseResult Re =
+      frontend::parseProgramText(Printed, "reprint", "alpha");
+  ASSERT_TRUE(Re.Success);
+  EXPECT_EQ(frontend::canonicalProgramBytes(*Re.Prog), Canon);
+
+  // Extra whitespace in the source does not change the canonical bytes.
+  frontend::ParseResult Ws = frontend::parseProgramText(
+      Printed + "\n\n   \n", "whitespace", "alpha");
+  ASSERT_TRUE(Ws.Success);
+  EXPECT_EQ(frontend::canonicalProgramBytes(*Ws.Prog), Canon);
+
+  // Neither does the app name (derived from the file name): a renamed
+  // but otherwise identical app must keep its cache key.
+  frontend::ParseResult Renamed =
+      frontend::parseProgramText(Printed, "renamed", "omega");
+  ASSERT_TRUE(Renamed.Success);
+  EXPECT_EQ(frontend::canonicalProgramBytes(*Renamed.Prog), Canon);
+
+  // A semantic edit does.
+  ir::Program Q("alpha");
+  {
+    ir::IRBuilder B(Q);
+    corpus::PatternEmitter E(B);
+    E.harmfulEcEc();
+    E.harmfulEcPc();
+  }
+  EXPECT_NE(frontend::canonicalProgramBytes(Q), Canon);
+}
+
+//===----------------------------------------------------------------------===//
+// Entry serialization
+//===----------------------------------------------------------------------===//
+
+report::BatchApp sampleApp(report::BatchStatus S) {
+  report::BatchApp A;
+  A.File = "sample.air";
+  A.Name = "sample";
+  A.Status = S;
+  A.Error = (S == report::BatchStatus::Ok || S == report::BatchStatus::Degraded)
+                ? ""
+                : "some \"quoted\" diagnostic";
+  A.OptionsFp = "opt1;k=2;fragments=0;dataflowGuards=1;refute=0";
+  A.Stmts = 42;
+  A.EntryCallbacks = 3;
+  A.PostedCallbacks = 2;
+  A.Threads = 5;
+  A.Potential = 7;
+  A.AfterSound = 4;
+  A.AfterUnsound = 1;
+  A.Timings.ModelingSec = 0.25;
+  A.Timings.DetectionSec = 1.5;
+  A.Timings.FilteringSec = 0.125;
+  A.Analyses.push_back({"threadforest", 0.5, 1, 3, 0, true});
+  A.Analyses.push_back({"pointsto", 1.25, 2, 9, 0, true});
+  return A;
+}
+
+TEST(CacheEntryTest, RoundTripsEveryStatus) {
+  for (report::BatchStatus S :
+       {report::BatchStatus::Ok, report::BatchStatus::Degraded,
+        report::BatchStatus::ParseFailed, report::BatchStatus::Crashed,
+        report::BatchStatus::TimedOut}) {
+    report::BatchApp A = sampleApp(S);
+    std::string Line = report::renderAppResult(A, cache::SchemaVersion);
+    EXPECT_EQ(Line.find('\n'), std::string::npos);
+
+    report::BatchApp B;
+    ASSERT_TRUE(report::parseAppResult(Line, cache::SchemaVersion, B))
+        << report::batchStatusName(S);
+    EXPECT_EQ(B.Status, A.Status);
+    EXPECT_EQ(B.Error, A.Error);
+    EXPECT_EQ(B.OptionsFp, A.OptionsFp);
+    EXPECT_EQ(B.Stmts, A.Stmts);
+    EXPECT_EQ(B.EntryCallbacks, A.EntryCallbacks);
+    EXPECT_EQ(B.PostedCallbacks, A.PostedCallbacks);
+    EXPECT_EQ(B.Threads, A.Threads);
+    EXPECT_EQ(B.Potential, A.Potential);
+    EXPECT_EQ(B.AfterSound, A.AfterSound);
+    EXPECT_EQ(B.AfterUnsound, A.AfterUnsound);
+    EXPECT_DOUBLE_EQ(B.Timings.ModelingSec, 0.25);
+    EXPECT_DOUBLE_EQ(B.Timings.DetectionSec, 1.5);
+    EXPECT_DOUBLE_EQ(B.Timings.FilteringSec, 0.125);
+    ASSERT_EQ(B.Analyses.size(), 2u);
+    EXPECT_EQ(B.Analyses[0].Name, "threadforest");
+    EXPECT_DOUBLE_EQ(B.Analyses[0].Seconds, 0.5);
+    EXPECT_EQ(B.Analyses[0].Builds, 1u);
+    EXPECT_EQ(B.Analyses[0].Hits, 3u);
+    EXPECT_EQ(B.Analyses[1].Name, "pointsto");
+    // Identity is the caller's to fill; RSS is never trusted restored.
+    EXPECT_TRUE(B.File.empty());
+    EXPECT_TRUE(B.Name.empty());
+    EXPECT_FALSE(B.RssTrusted);
+  }
+}
+
+TEST(CacheEntryTest, RefusesTruncationCorruptionAndAlienSchema) {
+  report::BatchApp A = sampleApp(report::BatchStatus::Ok);
+  std::string Line = report::renderAppResult(A, cache::SchemaVersion);
+
+  report::BatchApp B;
+  // Every strict prefix is refused — a killed writer cannot leave a
+  // half-believable entry behind (the rename publish makes this nearly
+  // impossible anyway; the parser does not rely on it).
+  for (size_t Len = 0; Len < Line.size(); ++Len)
+    EXPECT_FALSE(report::parseAppResult(Line.substr(0, Len),
+                                        cache::SchemaVersion, B))
+        << "prefix of length " << Len << " accepted";
+
+  // A different schema parameter refuses the same bytes.
+  EXPECT_FALSE(report::parseAppResult(Line, cache::SchemaVersion + 1, B));
+
+  // Alien but syntactically plausible content is refused too.
+  EXPECT_FALSE(report::parseAppResult("{}", cache::SchemaVersion, B));
+  EXPECT_FALSE(report::parseAppResult("not json at all", cache::SchemaVersion, B));
+  EXPECT_FALSE(report::parseAppResult(
+      "{\"schema\": 1, \"status\": \"no-such-status\", \"analyses\": []}",
+      cache::SchemaVersion, B));
+}
+
+//===----------------------------------------------------------------------===//
+// Store semantics
+//===----------------------------------------------------------------------===//
+
+struct TempCache {
+  fs::path Dir;
+  explicit TempCache(const std::string &Name)
+      : Dir(fs::temp_directory_path() / Name) {
+    std::error_code Ec;
+    fs::remove_all(Dir, Ec);
+  }
+  ~TempCache() {
+    std::error_code Ec;
+    fs::remove_all(Dir, Ec);
+  }
+};
+
+TEST(ResultCacheTest, StoreThenLookupRoundTrips) {
+  TempCache T("nadroid-cache-roundtrip");
+  cache::ResultCache C(T.Dir.string());
+  ASSERT_TRUE(C.enabled());
+
+  std::string Key = cache::resultCacheKey("prog", "fp");
+  std::string Entry;
+  EXPECT_FALSE(C.lookup(Key, Entry));
+  ASSERT_TRUE(C.store(Key, "{\"payload\": 1}"));
+  ASSERT_TRUE(C.lookup(Key, Entry));
+  EXPECT_EQ(Entry, "{\"payload\": 1}");
+
+  // Entries are sharded under the first two hex digits of the key.
+  EXPECT_TRUE(fs::exists(C.entryPath(Key)));
+  EXPECT_EQ(fs::path(C.entryPath(Key)).parent_path().filename().string(),
+            Key.substr(0, 2));
+}
+
+TEST(ResultCacheTest, DisabledCacheIsInert) {
+  cache::ResultCache C("");
+  EXPECT_FALSE(C.enabled());
+  std::string Entry;
+  EXPECT_FALSE(C.lookup("00", Entry));
+  EXPECT_FALSE(C.store("00", "x"));
+}
+
+TEST(ResultCacheTest, CorruptedEntryDegradesToMiss) {
+  TempCache T("nadroid-cache-corrupt");
+  cache::ResultCache C(T.Dir.string());
+  report::BatchApp A = sampleApp(report::BatchStatus::Ok);
+  std::string Key = cache::resultCacheKey("prog", "fp");
+  ASSERT_TRUE(C.store(Key, report::renderAppResult(A, cache::SchemaVersion)));
+
+  // Truncate the published entry on disk, as a torn filesystem might.
+  {
+    std::ofstream Out(C.entryPath(Key), std::ios::trunc);
+    Out << "{\"schema\": 1, \"fp\": \"t";
+  }
+  std::string Entry;
+  ASSERT_TRUE(C.lookup(Key, Entry)); // the raw line still reads back...
+  report::BatchApp B;
+  EXPECT_FALSE(
+      report::parseAppResult(Entry, cache::SchemaVersion, B)); // ...but is refused
+}
+
+TEST(ResultCacheTest, ConcurrentStoresOfOneKeyRaceSafely) {
+  TempCache T("nadroid-cache-race");
+  cache::ResultCache C(T.Dir.string());
+  std::string Key = cache::resultCacheKey("prog", "fp");
+  const std::string Entry =
+      report::renderAppResult(sampleApp(report::BatchStatus::Ok),
+                              cache::SchemaVersion);
+
+  std::vector<std::thread> Writers;
+  for (int I = 0; I < 8; ++I)
+    Writers.emplace_back([&] {
+      for (int J = 0; J < 50; ++J)
+        C.store(Key, Entry);
+    });
+  for (std::thread &W : Writers)
+    W.join();
+
+  // Whatever interleaving happened, the published entry is whole.
+  std::string Read;
+  ASSERT_TRUE(C.lookup(Key, Read));
+  EXPECT_EQ(Read, Entry);
+  report::BatchApp B;
+  EXPECT_TRUE(report::parseAppResult(Read, cache::SchemaVersion, B));
+
+  // No temp litter left behind: exactly the entry file exists.
+  unsigned Files = 0;
+  for (const fs::directory_entry &E : fs::recursive_directory_iterator(T.Dir))
+    if (E.is_regular_file()) {
+      ++Files;
+      EXPECT_EQ(E.path().extension(), ".json") << E.path();
+    }
+  EXPECT_EQ(Files, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Batch integration: cold/warm runs, invalidation, verify, faults
+//===----------------------------------------------------------------------===//
+
+/// Writes one analyzable app. \p Variant varies the emitted statements,
+/// because the cache is content-addressed: two seeded apps with equal
+/// bytes would share one key, and these tests need per-app entries.
+void writeSeededApp(const fs::path &Dir, const std::string &Name,
+                    unsigned Variant) {
+  ir::Program P(Name.substr(0, Name.find('.')));
+  ir::IRBuilder B(P);
+  corpus::PatternEmitter E(B);
+  E.harmfulEcEc();
+  E.falseMhbLifecycle(Variant);
+  std::ofstream Out(Dir / Name);
+  ASSERT_TRUE(Out.good()) << Name;
+  ir::printProgram(P, Out);
+}
+
+struct TempCorpus {
+  fs::path Dir;
+  explicit TempCorpus(const std::string &Name)
+      : Dir(fs::temp_directory_path() / Name) {
+    std::error_code Ec;
+    fs::remove_all(Dir, Ec);
+    fs::create_directories(Dir);
+  }
+  ~TempCorpus() {
+    std::error_code Ec;
+    fs::remove_all(Dir, Ec);
+  }
+};
+
+TEST(BatchCacheTest, WarmRunHitsEverythingAndMatchesByteForByte) {
+  TempCorpus Apps("nadroid-batch-cache-corpus");
+  TempCache Cache("nadroid-batch-cache-store");
+  writeSeededApp(Apps.Dir, "alpha.air", 1);
+  writeSeededApp(Apps.Dir, "beta.air", 2);
+  writeSeededApp(Apps.Dir, "gamma.air", 3);
+
+  report::BatchOptions Opts;
+  Opts.Dir = Apps.Dir.string();
+  Opts.Jobs = 2;
+  Opts.CacheDir = Cache.Dir.string();
+
+  report::BatchResult Cold = report::runBatch(Opts);
+  EXPECT_TRUE(Cold.CacheEnabled);
+  EXPECT_EQ(Cold.CacheHits, 0u);
+  EXPECT_EQ(Cold.CacheMisses, 3u);
+  EXPECT_EQ(Cold.CacheStores, 3u);
+
+  report::BatchResult Warm = report::runBatch(Opts);
+  EXPECT_EQ(Warm.CacheHits, 3u);
+  EXPECT_EQ(Warm.CacheMisses, 0u);
+  EXPECT_EQ(Warm.CacheStores, 0u);
+  EXPECT_EQ(report::renderBatchReport(Warm), report::renderBatchReport(Cold));
+  EXPECT_EQ(Warm.exitCode(), Cold.exitCode());
+
+  // Hits restore real rows, not placeholders.
+  ASSERT_EQ(Warm.Apps.size(), 3u);
+  EXPECT_EQ(Warm.Apps[0].File, "alpha.air");
+  EXPECT_EQ(Warm.Apps[0].Name, "alpha");
+  EXPECT_GT(Warm.Apps[0].Stmts, 0u);
+  EXPECT_FALSE(Warm.Apps[0].RssTrusted);
+
+  // Editing one app's semantics misses exactly that app.
+  writeSeededApp(Apps.Dir, "beta.air", 7);
+  report::BatchResult Edited = report::runBatch(Opts);
+  EXPECT_EQ(Edited.CacheHits, 2u);
+  EXPECT_EQ(Edited.CacheMisses, 1u);
+  EXPECT_EQ(Edited.CacheStores, 1u);
+
+  // A formatting-only change still hits (canonical bytes absorb it).
+  {
+    std::ofstream Out(Apps.Dir / "alpha.air", std::ios::app);
+    Out << "\n   \n";
+  }
+  report::BatchResult Reformatted = report::runBatch(Opts);
+  EXPECT_EQ(Reformatted.CacheHits, 3u);
+  EXPECT_EQ(Reformatted.CacheMisses, 0u);
+
+  // An options change misses everything (different fingerprint).
+  report::BatchOptions K1 = Opts;
+  K1.Pipeline.K = 1;
+  report::BatchResult Requalified = report::runBatch(K1);
+  EXPECT_EQ(Requalified.CacheHits, 0u);
+  EXPECT_EQ(Requalified.CacheMisses, 3u);
+}
+
+TEST(BatchCacheTest, VerifyReanalyzesHitsAndFlagsDivergence) {
+  TempCorpus Apps("nadroid-batch-cache-verify");
+  TempCache Cache("nadroid-batch-cache-verify-store");
+  writeSeededApp(Apps.Dir, "alpha.air", 1);
+  writeSeededApp(Apps.Dir, "beta.air", 2);
+
+  report::BatchOptions Opts;
+  Opts.Dir = Apps.Dir.string();
+  Opts.Jobs = 1;
+  Opts.CacheDir = Cache.Dir.string();
+  report::BatchResult Cold = report::runBatch(Opts);
+  ASSERT_EQ(Cold.CacheStores, 2u);
+
+  // Clean verify: every hit re-analyzed, none divergent, exit unchanged.
+  Opts.CacheVerify = true;
+  report::BatchResult Clean = report::runBatch(Opts);
+  EXPECT_EQ(Clean.CacheHits, 2u);
+  EXPECT_EQ(Clean.CacheVerified, 2u);
+  EXPECT_EQ(Clean.CacheDivergent, 0u);
+  EXPECT_EQ(Clean.exitCode(), Cold.exitCode());
+
+  // Poison one entry with a wrong-but-parseable counter: verify flags
+  // it and the batch exit code escalates to 5.
+  cache::ResultCache C(Cache.Dir.string());
+  frontend::ParseResult P =
+      frontend::parseProgramFile((Apps.Dir / "alpha.air").string());
+  ASSERT_TRUE(P.Success);
+  std::string Key = cache::resultCacheKey(
+      frontend::canonicalProgramBytes(*P.Prog), Opts.Pipeline.fingerprint());
+  std::string Entry;
+  ASSERT_TRUE(C.lookup(Key, Entry));
+  report::BatchApp Row;
+  ASSERT_TRUE(report::parseAppResult(Entry, cache::SchemaVersion, Row));
+  Row.AfterUnsound += 100;
+  ASSERT_TRUE(C.store(Key, report::renderAppResult(Row, cache::SchemaVersion)));
+
+  report::BatchResult Poisoned = report::runBatch(Opts);
+  EXPECT_EQ(Poisoned.CacheVerified, 2u);
+  EXPECT_EQ(Poisoned.CacheDivergent, 1u);
+  EXPECT_EQ(Poisoned.exitCode(), 5);
+}
+
+TEST(BatchCacheTest, OnlyOkRowsAreCached) {
+  TempCorpus Apps("nadroid-batch-cache-faults");
+  TempCache Cache("nadroid-batch-cache-faults-store");
+  {
+    std::ofstream Out(Apps.Dir / "broken.air");
+    Out << "this is not an AIR program\n";
+  }
+  writeSeededApp(Apps.Dir, "crash.air", 1);
+  writeSeededApp(Apps.Dir, "expire-always.air", 2);
+  writeSeededApp(Apps.Dir, "expire-once.air", 3);
+  writeSeededApp(Apps.Dir, "healthy.air", 4);
+
+  report::BatchOptions Opts;
+  Opts.Dir = Apps.Dir.string();
+  Opts.Jobs = 1;
+  Opts.CacheDir = Cache.Dir.string();
+  Opts.TestCrashApp = "crash.air";
+  Opts.TestExpireApp = "expire-once.air";
+  Opts.TestExpireAlwaysApp = "expire-always.air";
+
+  report::BatchResult Cold = report::runBatch(Opts);
+  ASSERT_EQ(Cold.Apps.size(), 5u);
+  // Four probed (broken.air fails the probe parse and is neither hit
+  // nor miss), and of those only the clean `ok` row is stored —
+  // degraded, timed-out and crashed rows must be re-attempted next run.
+  EXPECT_EQ(Cold.CacheMisses, 4u);
+  EXPECT_EQ(Cold.CacheStores, 1u);
+
+  report::BatchResult Warm = report::runBatch(Opts);
+  EXPECT_EQ(Warm.CacheHits, 1u);
+  EXPECT_EQ(Warm.CacheMisses, 3u);
+  EXPECT_EQ(Warm.CacheStores, 0u); // the faulty rows failed again
+  EXPECT_EQ(report::renderBatchReport(Warm), report::renderBatchReport(Cold));
+}
+
+TEST(BatchCacheTest, ResumeRefusesRowsFromDifferentOptions) {
+  TempCorpus Apps("nadroid-batch-cache-stale");
+  writeSeededApp(Apps.Dir, "alpha.air", 1);
+  writeSeededApp(Apps.Dir, "beta.air", 2);
+  fs::path Log = Apps.Dir / "checkpoint.jsonl";
+
+  report::BatchOptions Opts;
+  Opts.Dir = Apps.Dir.string();
+  Opts.Jobs = 1;
+  Opts.LogPath = Log.string();
+  report::BatchResult Full = report::runBatch(Opts);
+  ASSERT_EQ(Full.Apps.size(), 2u);
+
+  // Same options: every row restores.
+  Opts.Resume = true;
+  report::BatchResult Same = report::runBatch(Opts);
+  EXPECT_EQ(Same.Resumed, 2u);
+  EXPECT_EQ(Same.ResumedStale, 0u);
+
+  // Different options: the logged rows were analyzed under another
+  // fingerprint and must be refused — re-analyzed, not trusted.
+  report::BatchOptions K1 = Opts;
+  K1.Pipeline.K = 1;
+  K1.LogPath = Log.string();
+  report::BatchResult Stale = report::runBatch(K1);
+  EXPECT_EQ(Stale.Resumed, 0u);
+  EXPECT_EQ(Stale.ResumedStale, 2u);
+  ASSERT_EQ(Stale.Apps.size(), 2u);
+  EXPECT_EQ(Stale.Apps[0].Status, report::BatchStatus::Ok);
+  EXPECT_EQ(Stale.Apps[0].OptionsFp, K1.Pipeline.fingerprint());
+}
+
+} // namespace
