@@ -22,6 +22,7 @@
 #include "support/StringUtils.h"
 #include "support/TableWriter.h"
 
+#include <cstring>
 #include <iostream>
 
 using namespace nadroid;
@@ -43,9 +44,115 @@ unsigned countTrue(const std::vector<bool> &Mask) {
   return N;
 }
 
+/// Per-filter provenance split of the may-HB suppressions.
+struct ProvSplit {
+  uint64_t Proved = 0;
+  uint64_t ProvedV2 = 0;
+  uint64_t Assumed = 0;
+};
+
+/// Seeds every refuter pattern — the tier-1 variants plus the tier-2
+/// history variants — into \p P. Shared by both refutation runs so the
+/// tier-1 and tier-2 splits describe the same pair population.
+void seedRefuterPatterns(ir::Program &P) {
+  ir::IRBuilder B(P);
+  corpus::PatternEmitter E(B);
+  E.falseRhb();
+  E.falseChb();
+  E.falsePhb();
+  E.rhbProved();
+  E.rhbRacy();
+  E.chbProved();
+  E.chbRacy();
+  E.chbResumeRacy();
+  E.phbProved();
+  E.phbRacy();
+  E.rhbRepeatProved();
+  E.rhbRepeatRacy();
+  E.chbDeepProved();
+  E.chbRepeatProved();
+  E.chbRepeatRacy();
+  E.phbChainProved();
+  E.phbChainRacy();
+}
+
+/// Runs the refutation engine over the seeded pattern app and returns
+/// the per-filter provenance split of every may-HB pair decision.
+std::map<std::string, ProvSplit> refutationSplit(bool RefuteHistory) {
+  ir::Program RP("refuter-patterns");
+  seedRefuterPatterns(RP);
+  report::NadroidOptions ROpts;
+  ROpts.Refute = true;
+  ROpts.RefuteHistory = RefuteHistory;
+  report::NadroidResult RR = report::analyzeProgram(RP, ROpts);
+  std::map<std::string, ProvSplit> Split;
+  for (const filters::WarningVerdict &V : RR.Pipeline.Verdicts)
+    for (const filters::PairDecision &D : V.Decisions) {
+      bool MayHb = false;
+      for (FilterKind K : filters::mayHbFilterKinds())
+        MayHb |= D.By == K;
+      if (!MayHb || filters::isSoundFilter(D.By))
+        continue;
+      ProvSplit &S = Split[filters::filterKindName(D.By)];
+      switch (D.Prov) {
+      case filters::Provenance::Proved:
+        ++S.Proved;
+        break;
+      case filters::Provenance::ProvedV2:
+        ++S.ProvedV2;
+        break;
+      default:
+        ++S.Assumed;
+        break;
+      }
+    }
+  return Split;
+}
+
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  // --json: emit only the machine-readable refutation split (the
+  // BENCH_refute.json schema) and skip the corpus tables.
+  bool JsonOnly = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+  if (JsonOnly) {
+    std::map<std::string, ProvSplit> T1 = refutationSplit(false);
+    std::map<std::string, ProvSplit> T2 = refutationSplit(true);
+    ProvSplit Tot1, Tot2;
+    std::cout << "{\n  \"filters\": {\n";
+    bool First = true;
+    for (const char *Name : {"RHB", "CHB", "PHB"}) {
+      const ProvSplit &S1 = T1[Name];
+      const ProvSplit &S2 = T2[Name];
+      Tot1.Proved += S1.Proved;
+      Tot1.Assumed += S1.Assumed;
+      Tot2.Proved += S2.Proved;
+      Tot2.ProvedV2 += S2.ProvedV2;
+      Tot2.Assumed += S2.Assumed;
+      std::cout << (First ? "" : ",\n") << "    \"" << Name
+                << "\": {\"tier1Proved\": " << S1.Proved
+                << ", \"tier1Assumed\": " << S1.Assumed
+                << ", \"tier2Proved\": " << S2.Proved
+                << ", \"tier2ProvedV2\": " << S2.ProvedV2
+                << ", \"tier2Assumed\": " << S2.Assumed << "}";
+      First = false;
+    }
+    double Reduction =
+        Tot1.Assumed == 0
+            ? 0.0
+            : 100.0 * double(Tot1.Assumed - Tot2.Assumed) /
+                  double(Tot1.Assumed);
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.1f", Reduction);
+    std::cout << "\n  },\n  \"tier1\": {\"proved\": " << Tot1.Proved
+              << ", \"assumed\": " << Tot1.Assumed
+              << "},\n  \"tier2\": {\"proved\": " << Tot2.Proved
+              << ", \"provedV2\": " << Tot2.ProvedV2
+              << ", \"assumed\": " << Tot2.Assumed
+              << "},\n  \"assumedReductionPct\": " << Buf << "\n}\n";
+    return 0;
+  }
+
   Accum A;
 
   const std::vector<std::pair<std::string, std::vector<FilterKind>>>
@@ -120,46 +227,39 @@ int main() {
   // Refutation split: the may-HB suppressions over a dedicated app
   // seeding each filter's provably-ordered and genuinely-racy variants
   // (these patterns are not in any corpus recipe, so the tables above
-  // are untouched). Proved = the refuter found no abstract message
-  // history running the use after the free; Assumed = a counterexample
-  // history exists and the suppression rests on the filter's heuristic.
-  ir::Program RP("refuter-patterns");
-  {
-    ir::IRBuilder B(RP);
-    corpus::PatternEmitter E(B);
-    E.falseRhb();
-    E.falseChb();
-    E.falsePhb();
-    E.rhbProved();
-    E.rhbRacy();
-    E.chbProved();
-    E.chbRacy();
-    E.chbResumeRacy();
-    E.phbProved();
-    E.phbRacy();
-  }
-  report::NadroidOptions ROpts;
-  ROpts.Refute = true;
-  report::NadroidResult RR = report::analyzeProgram(RP, ROpts);
-  std::map<std::string, std::pair<uint64_t, uint64_t>> Split;
-  for (const filters::WarningVerdict &V : RR.Pipeline.Verdicts)
-    for (const filters::PairDecision &D : V.Decisions) {
-      bool MayHb = false;
-      for (FilterKind K : filters::mayHbFilterKinds())
-        MayHb |= D.By == K;
-      if (!MayHb || filters::isSoundFilter(D.By))
-        continue;
-      auto &S = Split[filters::filterKindName(D.By)];
-      ++(D.Prov == filters::Provenance::Proved ? S.first : S.second);
-    }
-  std::cout << "\nRefutation engine (--refute): may-HB suppressions over "
-               "the seeded variants\n\n";
-  TableWriter TC({"Filter", "Proved", "Assumed"});
+  // are untouched). Proved = tier 1 found no abstract message history
+  // running the use after the free; Proved-v2 = the tier-2 history
+  // refinement discharged a pair tier 1 assumed; Assumed = a stable
+  // counterexample history survived every refinement.
+  std::map<std::string, ProvSplit> T1 = refutationSplit(false);
+  std::map<std::string, ProvSplit> T2 = refutationSplit(true);
+  std::cout << "\nRefutation engine: may-HB suppressions over the seeded "
+               "variants (tier 1 --refute vs tier 2 --refute-v2)\n\n";
+  TableWriter TC({"Filter", "T1-Proved", "T1-Assumed", "T2-Proved",
+                  "T2-Proved-v2", "T2-Assumed"});
+  ProvSplit Tot1, Tot2;
   for (const char *Name : {"RHB", "CHB", "PHB"}) {
-    const auto &S = Split[Name];
-    TC.addRow({Name, TableWriter::cell(S.first),
-               TableWriter::cell(S.second)});
+    const ProvSplit &S1 = T1[Name];
+    const ProvSplit &S2 = T2[Name];
+    Tot1.Proved += S1.Proved;
+    Tot1.Assumed += S1.Assumed;
+    Tot2.Proved += S2.Proved;
+    Tot2.ProvedV2 += S2.ProvedV2;
+    Tot2.Assumed += S2.Assumed;
+    TC.addRow({Name, TableWriter::cell(S1.Proved),
+               TableWriter::cell(S1.Assumed), TableWriter::cell(S2.Proved),
+               TableWriter::cell(S2.ProvedV2),
+               TableWriter::cell(S2.Assumed)});
   }
+  TC.addRow({"Total", TableWriter::cell(Tot1.Proved),
+             TableWriter::cell(Tot1.Assumed), TableWriter::cell(Tot2.Proved),
+             TableWriter::cell(Tot2.ProvedV2),
+             TableWriter::cell(Tot2.Assumed)});
   TC.print(std::cout);
+  if (Tot1.Assumed)
+    std::cout << "\nAssumed reduced "
+              << percent(double(Tot1.Assumed - Tot2.Assumed),
+                         double(Tot1.Assumed))
+              << " by the tier-2 history refinement\n";
   return 0;
 }

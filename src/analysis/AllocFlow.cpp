@@ -17,8 +17,10 @@ namespace {
 
 class AllocFlowWalker {
 public:
-  AllocFlowWalker(const Method &M, bool TreatCallResultAsAlloc)
-      : M(M), CallCountsAsAlloc(TreatCallResultAsAlloc) {
+  AllocFlowWalker(const Method &M, bool TreatCallResultAsAlloc,
+                  const analysis::CallAllocResolver *Resolver)
+      : M(M), CallCountsAsAlloc(TreatCallResultAsAlloc),
+        Resolver(Resolver) {
     // Flow-insensitive freshness of locals: every def is an allocation
     // (or, for MA, a call result).
     forEachStmt(M, [&](const Stmt &S) {
@@ -47,6 +49,7 @@ public:
 private:
   const Method &M;
   bool CallCountsAsAlloc;
+  const analysis::CallAllocResolver *Resolver;
   AllocFlowResult Result;
   std::map<const Local *, bool> FreshLocal; // false once any def is opaque
   /// Intersection of the Must sets observed at every exit reached so far;
@@ -129,10 +132,20 @@ private:
       case Stmt::Kind::Return:
         mergeExit(Must);
         return false;
-      case Stmt::Kind::New:
-      case Stmt::Kind::Copy:
       case Stmt::Kind::Call:
         // Calls are assumed field-preserving intra-procedurally (§6.1.3).
+        // The interprocedural resolver, when present, contributes the
+        // callee's must-alloc-at-exit fields instead.
+        if (Resolver && *Resolver)
+          if (const std::set<const Field *> *Callee =
+                  (*Resolver)(*cast<CallStmt>(&S)))
+            for (const Field *F : *Callee) {
+              Must.insert(F);
+              Result.MayAllocFields.insert(F);
+            }
+        break;
+      case Stmt::Kind::New:
+      case Stmt::Kind::Copy:
         break;
       }
     }
@@ -142,7 +155,8 @@ private:
 
 } // namespace
 
-AllocFlowResult analysis::analyzeAllocFlow(const Method &M,
-                                           bool TreatCallResultAsAlloc) {
-  return AllocFlowWalker(M, TreatCallResultAsAlloc).run();
+AllocFlowResult
+analysis::analyzeAllocFlow(const Method &M, bool TreatCallResultAsAlloc,
+                           const CallAllocResolver *Resolver) {
+  return AllocFlowWalker(M, TreatCallResultAsAlloc, Resolver).run();
 }

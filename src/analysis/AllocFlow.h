@@ -22,6 +22,7 @@
 
 #include "ir/Stmt.h"
 
+#include <functional>
 #include <set>
 
 namespace nadroid::analysis {
@@ -39,10 +40,20 @@ struct AllocFlowResult {
   std::set<const ir::Field *> MustAllocAtExitFields;
 };
 
+/// Optional interprocedural extension point: given a call, returns the
+/// fields the callee must leave freshly allocated at exit (or nullptr /
+/// empty when the callee is unresolved). Used by the history refuter's
+/// revive refinement; the intra-procedural analyses pass nullptr and keep
+/// the §6.1.3 calls-are-field-preserving assumption.
+using CallAllocResolver =
+    std::function<const std::set<const ir::Field *> *(const ir::CallStmt &)>;
+
 /// Runs the dataflow over \p M. \p TreatCallResultAsAlloc enables the MA
-/// filter's getter assumption.
+/// filter's getter assumption. \p Resolver, when non-null, folds callee
+/// must-alloc-at-exit facts into the walk at each call site.
 AllocFlowResult analyzeAllocFlow(const ir::Method &M,
-                                 bool TreatCallResultAsAlloc);
+                                 bool TreatCallResultAsAlloc,
+                                 const CallAllocResolver *Resolver = nullptr);
 
 } // namespace nadroid::analysis
 

@@ -6,24 +6,27 @@
 
 #include "analysis/HbRefuter.h"
 
-#include "android/Api.h"
-
-#include <algorithm>
 #include <set>
 #include <sstream>
 
 using namespace nadroid;
 using namespace nadroid::analysis;
 using namespace nadroid::ir;
-using android::ApiKind;
-using android::CallbackKind;
+using android::FrameworkSpec;
 using threadify::ModeledThread;
 using threadify::ThreadOrigin;
 
 namespace {
 
-/// Per-component lifecycle phase of the abstract state machine.
+/// Per-component lifecycle phase of the abstract state machine. Values
+/// mirror FrameworkSpec::Phase (the spec's phase rules index this enum).
 enum Phase : uint8_t { NotCreated = 0, Resumed = 1, Paused = 2, Destroyed = 3 };
+static_assert(static_cast<uint8_t>(FrameworkSpec::Phase::NotCreated) ==
+                  NotCreated &&
+              static_cast<uint8_t>(FrameworkSpec::Phase::Resumed) == Resumed &&
+              static_cast<uint8_t>(FrameworkSpec::Phase::Paused) == Paused &&
+              static_cast<uint8_t>(FrameworkSpec::Phase::Destroyed) ==
+                  Destroyed);
 
 /// Saturating activation counters: 2 means "two or more", which keeps the
 /// state space finite while over-approximating unbounded histories.
@@ -33,36 +36,6 @@ constexpr uint8_t CountCap = 2;
 constexpr size_t MaxThreads = 12;
 constexpr size_t MaxComponents = 4;
 constexpr unsigned MaxStates = 50000;
-
-/// One relevant callback, with everything legality checks need resolved
-/// to indices up front.
-struct ThreadInfo {
-  const ModeledThread *T = nullptr;
-  int Parent = -1; ///< poster's index, -1 when externally triggered
-  int Comp = -1;   ///< component index, -1 when none
-  /// Runs at most once per poster activation (one post = one run).
-  bool OnePerPost = false;
-  /// Runs at most once overall (AsyncTask pre/post of one instance).
-  bool OnceOnly = false;
-  /// The callback re-allocates the racy field on every path: its
-  /// activation revives the field (the RHB proof mechanism).
-  bool MustRealloc = false;
-  /// Sibling postees that must stay ahead: same poster, same looper,
-  /// spawn site dominating ours (per-looper FIFO serialization).
-  std::vector<int> FifoPred;
-};
-
-/// One must-cancellation of the free: the cancel site dominates the free
-/// inside the free's own method, so whenever the free has executed, the
-/// covered callbacks can never activate again.
-struct MustCancel {
-  ApiKind Kind = ApiKind::None;
-  uint16_t KillMask = 0; ///< bit per relevant thread index
-};
-
-const char *lifecycleName(const ModeledThread *T) {
-  return T->callback() ? T->callback()->name().c_str() : "";
-}
 
 /// The packed search state:
 ///   bits [0, 2*i)        saturating activation count of thread i
@@ -103,22 +76,20 @@ private:
   uint64_t Bits = 0;
 };
 
-/// The event-order automaton for one refutation query.
+/// The event-order automaton for one refutation query, over the shared
+/// RefuterModel (spec-driven phase rules, post/FIFO/kill/revive edges).
 class Search {
 public:
-  Search(std::vector<ThreadInfo> Threads, std::vector<MustCancel> Cancels,
-         int UseIdx, int FreeIdx, bool FreeMustRealloc, bool UseProtected,
-         const ir::Field *F, const support::Deadline *D)
-      : Threads(std::move(Threads)), Cancels(std::move(Cancels)),
-        UseIdx(UseIdx), FreeIdx(FreeIdx), FreeMustRealloc(FreeMustRealloc),
-        UseProtected(UseProtected), F(F), D(D) {}
+  Search(const RefuterModel &M, const ir::Field *F,
+         const support::Deadline *D)
+      : M(M), F(F), D(D) {}
 
   /// Exhaustively explores the abstract histories. Returns true when one
   /// ends with the use observing the freed field; Trace then holds it.
   bool findCrash(std::vector<std::string> &Trace) {
     State Init;
-    for (size_t C = 0; C < NumComponents(); ++C) {
-      Init.setPhase(C, componentHasCreate(C) ? NotCreated : Resumed);
+    for (size_t C = 0; C < M.NumComponents; ++C) {
+      Init.setPhase(C, M.componentHasCreate(C) ? NotCreated : Resumed);
       // Whatever brings a component to Resumed (the modeled onCreate or
       // an unmodeled framework launch) owes it one onResume.
       Init.setResumePending(C, true);
@@ -133,59 +104,39 @@ public:
   bool budgetExceeded() const { return BudgetExceeded; }
 
 private:
-  std::vector<ThreadInfo> Threads;
-  std::vector<MustCancel> Cancels;
-  int UseIdx, FreeIdx;
-  bool FreeMustRealloc, UseProtected;
+  const RefuterModel &M;
   const ir::Field *F;
   const support::Deadline *D = nullptr;
   std::set<uint64_t> Visited;
   bool BudgetExceeded = false;
-
-  size_t NumComponents() const {
-    int Max = -1;
-    for (const ThreadInfo &TI : Threads)
-      Max = std::max(Max, TI.Comp);
-    return static_cast<size_t>(Max + 1);
-  }
-
-  bool componentHasCreate(size_t C) const {
-    for (const ThreadInfo &TI : Threads)
-      if (TI.Comp == static_cast<int>(C) &&
-          std::string(lifecycleName(TI.T)) == "onCreate")
-        return true;
-    return false;
-  }
 
   /// Whether activating thread \p I is legal in \p S. Only constraints
   /// that concretely always hold may be enforced here — every removed
   /// history must be impossible in the real event system, or the proof
   /// side of the search is unsound.
   bool legal(const State &S, size_t I) const {
-    const ThreadInfo &TI = Threads[I];
+    const ModelThread &TI = M.Threads[I];
     if (S.killed(I))
       return false;
     if (TI.OnceOnly && S.count(I) >= 1)
       return false;
 
-    // Lifecycle legality against the component phase machine.
+    // Lifecycle legality against the component phase machine, driven by
+    // the spec's phase rules (e.g. onResume is legal when resuming from
+    // Paused, and also right after the component reached Resumed — the
+    // launch path: the framework calls onResume after onCreate even when
+    // onPause is never overridden. Forbidding that would hide a free/use
+    // inside onResume and make a bogus proof.)
     if (TI.Comp >= 0 && TI.T->origin() == ThreadOrigin::EntryCallback) {
       Phase Ph = S.phase(TI.Comp);
-      std::string Name = lifecycleName(TI.T);
-      if (Name == "onCreate")
-        return Ph == NotCreated;
-      if (Name == "onDestroy")
-        return Ph == Resumed || Ph == Paused;
-      if (Name == "onPause")
-        return Ph == Resumed;
-      if (Name == "onResume")
-        // Legal when resuming from Paused, and also right after the
-        // component reached Resumed (launch path): the framework calls
-        // onResume after onCreate even when onPause is never overridden.
-        // Forbidding that would hide a free/use inside onResume and make
-        // a bogus proof — see the pending-bit invariant above.
-        return Ph == Paused || (Ph == Resumed && S.resumePending(TI.Comp));
-      if (TI.T->callbackKind() == CallbackKind::Ui) {
+      if (TI.PhaseRule) {
+        bool Admits = (TI.PhaseRule->FromMask >> Ph) & 1;
+        if (!Admits && TI.PhaseRule->FromResumedPending && Ph == Resumed &&
+            S.resumePending(TI.Comp))
+          Admits = true;
+        if (!Admits)
+          return false;
+      } else if (TI.NeedsResumed) {
         if (Ph != Resumed)
           return false;
       } else if (Ph == NotCreated || Ph == Destroyed) {
@@ -224,31 +175,23 @@ private:
   /// Applies the state effects of activating \p I. \p DoFree selects the
   /// freeing path through the free callback (the search tries both).
   State apply(State S, size_t I, bool DoFree) const {
-    const ThreadInfo &TI = Threads[I];
+    const ModelThread &TI = M.Threads[I];
     S.bumpCount(I);
-    if (TI.Comp >= 0 && TI.T->origin() == ThreadOrigin::EntryCallback) {
-      std::string Name = lifecycleName(TI.T);
-      if (Name == "onCreate") {
-        S.setPhase(TI.Comp, Resumed);
+    if (TI.PhaseRule) {
+      S.setPhase(TI.Comp, static_cast<Phase>(TI.PhaseRule->To));
+      if (TI.PhaseRule->SetsPending)
         S.setResumePending(TI.Comp, true);
-      } else if (Name == "onDestroy") {
-        S.setPhase(TI.Comp, Destroyed);
-      } else if (Name == "onPause") {
-        S.setPhase(TI.Comp, Paused);
+      if (TI.PhaseRule->ClearsPending)
         S.setResumePending(TI.Comp, false);
-      } else if (Name == "onResume") {
-        S.setPhase(TI.Comp, Resumed);
-        S.setResumePending(TI.Comp, false);
-      }
     }
-    if (static_cast<int>(I) == FreeIdx && DoFree) {
+    if (static_cast<int>(I) == M.FreeIdx && DoFree) {
       // The free executed; a must-realloc after it still revives the
       // field before the atomic activation ends.
-      S.setFreed(!FreeMustRealloc);
+      S.setFreed(!M.FreeMustRealloc);
       // Every must-cancel dominates the free, so it executed too.
-      for (const MustCancel &C : Cancels)
-        for (size_t J = 0; J < Threads.size(); ++J)
-          if (C.KillMask & (uint16_t(1) << J))
+      for (const ModelCancel &C : M.Cancels)
+        for (size_t J = 0; J < M.Threads.size(); ++J)
+          if (C.KillMask & (uint32_t(1) << J))
             S.kill(J);
     } else if (TI.MustRealloc) {
       S.setFreed(false);
@@ -257,12 +200,12 @@ private:
   }
 
   std::string label(size_t I, bool DoFree, bool Crash) const {
-    std::string L = Threads[I].T->label();
+    std::string L = M.Threads[I].T->label();
     if (DoFree)
       L += " — frees " + F->name();
     else if (Crash)
       L += " — uses " + F->name() + " after the free (crash)";
-    else if (Threads[I].MustRealloc)
+    else if (M.Threads[I].MustRealloc)
       L += " — re-allocates " + F->name();
     return L;
   }
@@ -296,7 +239,7 @@ private:
       if (D)
         D->check("hbrefuter");
       Frame &F = Stack.back();
-      if (F.NextThread >= Threads.size()) {
+      if (F.NextThread >= M.Threads.size()) {
         Stack.pop_back();
         continue;
       }
@@ -308,7 +251,8 @@ private:
         }
         // The crash event: the use-thread activates while the field is
         // freed and no dominating re-allocation protects the load.
-        if (static_cast<int>(I) == UseIdx && F.S.freed() && !UseProtected) {
+        if (static_cast<int>(I) == M.UseIdx && F.S.freed() &&
+            !M.UseProtected) {
           for (const Frame &G : Stack)
             if (!G.Label.empty())
               Trace.push_back(G.Label);
@@ -316,7 +260,7 @@ private:
           return true;
         }
       }
-      const unsigned NumAlts = static_cast<int>(I) == FreeIdx ? 2 : 1;
+      const unsigned NumAlts = static_cast<int>(I) == M.FreeIdx ? 2 : 1;
       if (F.NextAlt >= NumAlts) {
         F.NextAlt = 0;
         ++F.NextThread;
@@ -324,7 +268,8 @@ private:
       }
       // The free thread tries the freeing path first, then the path that
       // skips the free.
-      const bool DoFree = static_cast<int>(I) == FreeIdx && F.NextAlt == 0;
+      const bool DoFree =
+          static_cast<int>(I) == M.FreeIdx && F.NextAlt == 0;
       ++F.NextAlt;
       const State NS = apply(F.S, I, DoFree);
       std::string L = label(I, DoFree, false);
@@ -341,46 +286,6 @@ HbRefutation demoted(std::string Reason) {
   return R;
 }
 
-/// Does cancellation \p C forbid future activations of \p T? Mirrors the
-/// CHB filter's coverage, minus the poster-handler resolution for posted
-/// Runnables (not killing a thread only widens the search — safe).
-bool cancelCovers(const analysis::CancelInfo &C, const ModeledThread *T,
-                  const ModeledThread *FreeT) {
-  switch (C.Kind) {
-  case ApiKind::Finish:
-    return T->origin() == ThreadOrigin::EntryCallback &&
-           T->component() == C.Target &&
-           std::string(lifecycleName(T)) != "onDestroy";
-  case ApiKind::UnbindService: {
-    CallbackKind K = T->callbackKind();
-    if (K != CallbackKind::ServiceConnect && K != CallbackKind::ServiceDisconn)
-      return false;
-    if (C.Target)
-      return T->callback()->parent() == C.Target;
-    return T->component() == FreeT->component();
-  }
-  case ApiKind::UnregisterReceiver: {
-    if (T->callbackKind() != CallbackKind::Receive ||
-        T->origin() != ThreadOrigin::PostedCallback)
-      return false;
-    if (C.Target)
-      return T->callback()->parent() == C.Target;
-    return T->component() == FreeT->component();
-  }
-  case ApiKind::RemoveCallbacks:
-    return T->callbackKind() == CallbackKind::HandleMessage &&
-           T->callback()->parent() == C.Target && C.Target;
-  default:
-    return false;
-  }
-}
-
-bool isOneShotPostee(const ModeledThread *T) {
-  return T->origin() == ThreadOrigin::PostedCallback &&
-         (T->callbackKind() == CallbackKind::RunnableRun ||
-          T->callbackKind() == CallbackKind::HandleMessage);
-}
-
 } // namespace
 
 HbRefuter::HbRefuter(const ir::Program &P,
@@ -389,8 +294,9 @@ HbRefuter::HbRefuter(const ir::Program &P,
                      const CancelReach &Cancel, const EscapeAnalysis &Escape,
                      MethodCfgCache &Cfgs, MethodAllocFlowCache &Alloc,
                      const support::Deadline *D)
-    : Forest(Forest), PTA(PTA), Reach(Reach), Cancel(Cancel),
-      Escape(Escape), Cfgs(Cfgs), Alloc(Alloc), D(D) {
+    : Builder(Forest, PTA, Reach, Cancel, Escape, Cfgs, Alloc,
+              android::FrameworkSpec::builtin()),
+      D(D) {
   (void)P;
 }
 
@@ -398,166 +304,15 @@ HbRefutation HbRefuter::refute(const ir::LoadStmt *Use,
                                const ir::StoreStmt *Free, const ir::Field *F,
                                const ModeledThread *UseT,
                                const ModeledThread *FreeT) const {
-  // The abstraction's atomicity premise: both sides are callbacks of one
-  // looper, so activations serialize and the history is a sequence.
-  if (UseT->isNative() || FreeT->isNative() || !UseT->onLooper() ||
-      !FreeT->onLooper())
-    return demoted("no proof attempted: a native thread in the pair breaks "
-                   "activation atomicity");
-  if (UseT->looperId() != FreeT->looperId())
-    return demoted("no proof attempted: the callbacks run on different "
-                   "loopers, so activations may interleave");
+  ModelOptions O; // tier-1 capacities, intra-procedural facts only
+  O.MaxThreads = MaxThreads;
+  O.MaxComponents = MaxComponents;
+  RefuterModel Model;
+  std::string Demote = Builder.build(Use, Free, F, UseT, FreeT, O, Model);
+  if (!Demote.empty())
+    return demoted(std::move(Demote));
 
-  // Escape gate: if a native thread may touch one of the base objects,
-  // histories outside the event system could mutate the field between
-  // any two activations.
-  for (const ModeledThread *Pivot : {UseT, FreeT}) {
-    const ir::Stmt *Site = Pivot == UseT ? static_cast<const Stmt *>(Use)
-                                         : static_cast<const Stmt *>(Free);
-    const Local *Base = Pivot == UseT ? Use->base() : Free->base();
-    for (const MethodCtx &Ctx : Reach.contextsOf(Pivot)) {
-      if (Ctx.M != Site->parentMethod())
-        continue;
-      for (ObjectId Obj : PTA.ptsOf(Base, Ctx))
-        for (const ModeledThread *Acc : Escape.accessors(Obj))
-          if (Acc->isNative())
-            return demoted("no proof attempted: the base object escapes to "
-                           "native thread " +
-                           Acc->label());
-    }
-  }
-
-  // Collect the relevant callbacks: the poster lineages of both sides
-  // plus the lifecycle callbacks of every involved component.
-  std::set<const ModeledThread *> Rel;
-  for (const ModeledThread *Seed : {UseT, FreeT})
-    for (const ModeledThread *Cur = Seed;
-         Cur && Cur->origin() != ThreadOrigin::DummyMain; Cur = Cur->parent())
-      Rel.insert(Cur);
-  std::set<Clazz *> Comps;
-  for (const ModeledThread *T : Rel)
-    if (T->component())
-      Comps.insert(T->component());
-  static const char *LifecycleNames[] = {"onCreate", "onResume", "onPause",
-                                         "onDestroy"};
-  for (const auto &TPtr : Forest.threads()) {
-    const ModeledThread *T = TPtr.get();
-    if (T->origin() != ThreadOrigin::EntryCallback || !T->component() ||
-        !Comps.count(T->component()))
-      continue;
-    for (const char *N : LifecycleNames)
-      if (lifecycleName(T) == std::string(N))
-        Rel.insert(T);
-  }
-
-  std::vector<const ModeledThread *> Sorted(Rel.begin(), Rel.end());
-  std::sort(Sorted.begin(), Sorted.end(),
-            [](const ModeledThread *A, const ModeledThread *B) {
-              return A->id() < B->id();
-            });
-  if (Sorted.size() > MaxThreads)
-    return demoted("no proof attempted: too many interacting callbacks for "
-                   "the abstraction");
-  for (const ModeledThread *T : Sorted) {
-    if (T->isNative() || !T->onLooper())
-      return demoted("no proof attempted: native thread " + T->label() +
-                     " in the poster lineage breaks activation atomicity");
-    if (T->looperId() != UseT->looperId())
-      return demoted("no proof attempted: " + T->label() +
-                     " runs on a different looper");
-  }
-
-  std::vector<Clazz *> CompList(Comps.begin(), Comps.end());
-  std::sort(CompList.begin(), CompList.end(),
-            [](const Clazz *A, const Clazz *B) { return A->name() < B->name(); });
-  if (CompList.size() > MaxComponents)
-    return demoted("no proof attempted: too many components for the "
-                   "abstraction");
-
-  auto indexOf = [&](const ModeledThread *T) -> int {
-    for (size_t I = 0; I < Sorted.size(); ++I)
-      if (Sorted[I] == T)
-        return static_cast<int>(I);
-    return -1;
-  };
-  auto compIndexOf = [&](Clazz *C) -> int {
-    for (size_t I = 0; I < CompList.size(); ++I)
-      if (CompList[I] == C)
-        return static_cast<int>(I);
-    return -1;
-  };
-  auto mustRealloc = [&](const ModeledThread *T) {
-    return T->callback() &&
-           Alloc.get(*T->callback(), /*TreatCallResultAsAlloc=*/false)
-                   .MustAllocAtExitFields.count(F) != 0;
-  };
-
-  std::vector<ThreadInfo> Infos(Sorted.size());
-  for (size_t I = 0; I < Sorted.size(); ++I) {
-    ThreadInfo &TI = Infos[I];
-    TI.T = Sorted[I];
-    TI.Parent = TI.T->parent() ? indexOf(TI.T->parent()) : -1;
-    TI.Comp = TI.T->component() ? compIndexOf(TI.T->component()) : -1;
-    TI.OnePerPost = isOneShotPostee(TI.T);
-    TI.OnceOnly = TI.T->callbackKind() == CallbackKind::AsyncPre ||
-                  TI.T->callbackKind() == CallbackKind::AsyncPost;
-    TI.MustRealloc = mustRealloc(TI.T);
-  }
-  // FIFO predecessors: sibling one-shot postees of the same poster and
-  // looper whose spawn site dominates ours inside the poster's method.
-  for (size_t I = 0; I < Sorted.size(); ++I) {
-    const ModeledThread *T = Sorted[I];
-    if (!isOneShotPostee(T) || !T->spawnSite())
-      continue;
-    for (size_t J = 0; J < Sorted.size(); ++J) {
-      const ModeledThread *S = Sorted[J];
-      if (J == I || !isOneShotPostee(S) || !S->spawnSite() ||
-          S->parent() != T->parent() || S->looperId() != T->looperId())
-        continue;
-      const Method *M = T->spawnSite()->parentMethod();
-      if (S->spawnSite()->parentMethod() != M)
-        continue;
-      if (Cfgs.get(*M).dominates(S->spawnSite(), T->spawnSite()))
-        Infos[I].FifoPred.push_back(static_cast<int>(J));
-    }
-  }
-
-  // Must-cancellations: cancel sites in the free's own method that
-  // dominate the free. Path-reachable-only cancels (the §8.6 shapes) do
-  // not qualify — that is exactly what CHB gets wrong.
-  std::vector<MustCancel> MustCancels;
-  std::vector<std::string> CancelFacts;
-  if (FreeT->callback()) {
-    const Method *FreeM = Free->parentMethod();
-    for (const CancelInfo &C : Cancel.cancelsFrom(FreeT->callback())) {
-      if (!C.Site || C.Site->parentMethod() != FreeM ||
-          !Cfgs.get(*FreeM).dominates(C.Site, Free))
-        continue;
-      MustCancel MC;
-      MC.Kind = C.Kind;
-      for (size_t J = 0; J < Sorted.size(); ++J)
-        if (cancelCovers(C, Sorted[J], FreeT))
-          MC.KillMask |= uint16_t(1) << J;
-      if (MC.KillMask) {
-        MustCancels.push_back(MC);
-        CancelFacts.push_back(std::string(android::apiKindName(C.Kind)) +
-                              " in " + FreeT->label() +
-                              " dominates the free — covered callbacks "
-                              "cannot activate afterwards (kill edge)");
-      }
-    }
-  }
-
-  const int UseIdx = indexOf(UseT);
-  const int FreeIdx = indexOf(FreeT);
-  const bool FreeMustRealloc =
-      FreeT->callback() ? mustRealloc(FreeT) : false;
-  const bool UseProtected =
-      Alloc.get(*Use->parentMethod(), /*TreatCallResultAsAlloc=*/false)
-          .ProtectedLoads.count(Use) != 0;
-
-  Search S(Infos, MustCancels, UseIdx, FreeIdx, FreeMustRealloc, UseProtected,
-           F, D);
+  Search S(Model, F, D);
   std::vector<std::string> Trace;
   const bool Crash = S.findCrash(Trace);
 
@@ -574,17 +329,17 @@ HbRefutation HbRefuter::refute(const ir::LoadStmt *Use,
 
   R.Ordered = true;
   std::ostringstream Abs;
-  Abs << "event-atomic abstraction: " << Sorted.size()
-      << " same-looper callback(s) over " << CompList.size()
+  Abs << "event-atomic abstraction: " << Model.Threads.size()
+      << " same-looper callback(s) over " << Model.NumComponents
       << " component(s)";
   R.ProofChain.push_back(Abs.str());
-  for (const ThreadInfo &TI : Infos)
+  for (const ModelThread &TI : Model.Threads)
     if (TI.MustRealloc)
       R.ProofChain.push_back(TI.T->label() + " re-allocates " + F->name() +
                              " on every path — its activation revives the "
                              "field (revive edge)");
-  for (std::string &Fact : CancelFacts)
-    R.ProofChain.push_back(std::move(Fact));
+  for (const std::string &Fact : Model.CancelFacts)
+    R.ProofChain.push_back(Fact);
   R.ProofChain.push_back(
       "lifecycle edges: onCreate first, onDestroy last, UI events only "
       "while resumed, onResume after launch/onCreate and after each "

@@ -55,6 +55,7 @@
 #include "analysis/Escape.h"
 #include "analysis/MethodCaches.h"
 #include "analysis/PointsTo.h"
+#include "analysis/RefuterModel.h"
 #include "analysis/ThreadReach.h"
 
 #include <string>
@@ -99,13 +100,7 @@ public:
                       const threadify::ModeledThread *FreeT) const;
 
 private:
-  const threadify::ThreadForest &Forest;
-  const PointsToAnalysis &PTA;
-  const ThreadReach &Reach;
-  const CancelReach &Cancel;
-  const EscapeAnalysis &Escape;
-  MethodCfgCache &Cfgs;
-  MethodAllocFlowCache &Alloc;
+  ModelBuilder Builder;
   const support::Deadline *D = nullptr;
 };
 

@@ -1,0 +1,466 @@
+//===- analysis/HistoryRefuter.cpp - History-predicate refinement -------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/HistoryRefuter.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+using namespace nadroid;
+using namespace nadroid::analysis;
+using namespace nadroid::ir;
+using android::FrameworkSpec;
+using threadify::ThreadOrigin;
+
+namespace {
+
+/// Tier-2 capacities: roomier than tier 1 (deep post chains and
+/// multi-component pairs that tier 1 demoted get a real attempt), still
+/// bounded so the parallel sweep stays responsive.
+constexpr size_t MaxThreadsV2 = 24;
+constexpr size_t MaxComponentsV2 = 8;
+constexpr unsigned MaxStatesV2 = 200000;
+constexpr unsigned MaxRounds = 12;
+/// Ceiling of the per-thread activation caps the refinement may reach.
+constexpr uint8_t CapMax = 5;
+
+constexpr uint8_t PhNotCreated =
+    static_cast<uint8_t>(FrameworkSpec::Phase::NotCreated);
+constexpr uint8_t PhResumed =
+    static_cast<uint8_t>(FrameworkSpec::Phase::Resumed);
+constexpr uint8_t PhDestroyed =
+    static_cast<uint8_t>(FrameworkSpec::Phase::Destroyed);
+
+/// One step of an abstract history: which thread activated, and (for the
+/// free thread) whether it took the freeing path.
+struct Move {
+  size_t Thread = 0;
+  bool DoFree = false;
+};
+
+/// The unpacked search state of the tier-2 predicate: per-thread counts
+/// saturating at *individual* caps, plus the exact phase/kill/freed/
+/// pending machine. Keys are byte strings — 24 threads no longer fit a
+/// packed 64-bit word.
+struct HState {
+  std::vector<uint8_t> Count;
+  std::vector<uint8_t> PhaseOf;
+  uint32_t Killed = 0;
+  uint8_t Pending = 0;
+  bool Freed = false;
+
+  std::string key() const {
+    std::string K;
+    K.reserve(Count.size() + PhaseOf.size() + 6);
+    K.append(reinterpret_cast<const char *>(Count.data()), Count.size());
+    K.append(reinterpret_cast<const char *>(PhaseOf.data()), PhaseOf.size());
+    for (int B = 0; B < 4; ++B)
+      K.push_back(static_cast<char>((Killed >> (8 * B)) & 0xff));
+    K.push_back(static_cast<char>(Pending));
+    K.push_back(static_cast<char>(Freed));
+    return K;
+  }
+};
+
+/// Lifecycle legality shared by the abstract search and exact replay —
+/// the phase machine is exact, so both use the same predicate.
+bool phaseLegal(const ModelThread &TI, uint8_t Ph, bool Pending) {
+  if (TI.Comp < 0 || TI.T->origin() != ThreadOrigin::EntryCallback)
+    return true;
+  if (TI.PhaseRule) {
+    if ((TI.PhaseRule->FromMask >> Ph) & 1)
+      return true;
+    return TI.PhaseRule->FromResumedPending && Ph == PhResumed && Pending;
+  }
+  if (TI.NeedsResumed)
+    return Ph == PhResumed;
+  return Ph != PhNotCreated && Ph != PhDestroyed;
+}
+
+/// The event-order search under one history predicate (one cap vector).
+class HistorySearch {
+public:
+  HistorySearch(const RefuterModel &M, const ir::Field *F,
+                const std::vector<uint8_t> &Caps, const support::Deadline *D)
+      : M(M), F(F), Caps(Caps), D(D) {}
+
+  /// True when some abstract history ends with the use observing the
+  /// freed field; Moves/Trace then hold it (Trace = labeled Moves).
+  bool findCrash(std::vector<Move> &Moves, std::vector<std::string> &Trace) {
+    HState Init;
+    Init.Count.assign(M.Threads.size(), 0);
+    Init.PhaseOf.assign(M.NumComponents, PhResumed);
+    for (size_t C = 0; C < M.NumComponents; ++C) {
+      if (M.componentHasCreate(C))
+        Init.PhaseOf[C] = PhNotCreated;
+      Init.Pending |= uint8_t(1) << C;
+    }
+    Visited.clear();
+    return search(Init, Moves, Trace);
+  }
+
+  unsigned statesExplored() const {
+    return static_cast<unsigned>(Visited.size());
+  }
+  bool budgetExceeded() const { return BudgetExceeded; }
+
+  std::string label(size_t I, bool DoFree, bool Crash) const {
+    std::string L = M.Threads[I].T->label();
+    if (DoFree)
+      L += " — frees " + F->name();
+    else if (Crash)
+      L += " — uses " + F->name() + " after the free (crash)";
+    else if (M.Threads[I].MustRealloc)
+      L += " — re-allocates " + F->name();
+    return L;
+  }
+
+private:
+  const RefuterModel &M;
+  const ir::Field *F;
+  const std::vector<uint8_t> &Caps;
+  const support::Deadline *D = nullptr;
+  std::set<std::string> Visited;
+  bool BudgetExceeded = false;
+
+  bool legal(const HState &S, size_t I) const {
+    const ModelThread &TI = M.Threads[I];
+    if (S.Killed & (uint32_t(1) << I))
+      return false;
+    if (TI.OnceOnly && S.Count[I] >= 1)
+      return false;
+    if (TI.Comp >= 0 &&
+        !phaseLegal(TI, S.PhaseOf[TI.Comp],
+                    (S.Pending >> TI.Comp) & 1))
+      return false;
+    if (TI.Parent >= 0) {
+      uint8_t PCount = S.Count[TI.Parent];
+      if (PCount == 0)
+        return false;
+      // One run per post: a saturated poster count admits any number of
+      // runs (over-approximation the replay/refinement tightens).
+      if (TI.OnePerPost && PCount < Caps[TI.Parent] && S.Count[I] >= PCount)
+        return false;
+    }
+    for (int Pred : TI.FifoPred) {
+      if (S.Killed & (uint32_t(1) << Pred))
+        continue;
+      uint8_t PredCount = S.Count[Pred];
+      if (PredCount < Caps[Pred] && PredCount <= S.Count[I])
+        return false;
+    }
+    return true;
+  }
+
+  HState apply(HState S, size_t I, bool DoFree) const {
+    const ModelThread &TI = M.Threads[I];
+    if (S.Count[I] < Caps[I])
+      ++S.Count[I];
+    if (TI.PhaseRule) {
+      S.PhaseOf[TI.Comp] = static_cast<uint8_t>(TI.PhaseRule->To);
+      if (TI.PhaseRule->SetsPending)
+        S.Pending |= uint8_t(1) << TI.Comp;
+      if (TI.PhaseRule->ClearsPending)
+        S.Pending &= ~(uint8_t(1) << TI.Comp);
+    }
+    if (static_cast<int>(I) == M.FreeIdx && DoFree) {
+      S.Freed = !M.FreeMustRealloc;
+      for (const ModelCancel &C : M.Cancels)
+        S.Killed |= C.KillMask;
+    } else if (TI.MustRealloc) {
+      S.Freed = false;
+    }
+    return S;
+  }
+
+  bool search(const HState &Init, std::vector<Move> &Moves,
+              std::vector<std::string> &Trace) {
+    struct Frame {
+      HState S;
+      size_t NextThread = 0;
+      unsigned NextAlt = 0;
+      Move Mv;
+      bool HasMv = false;
+    };
+    std::vector<Frame> Stack;
+    auto push = [&](HState S, Move Mv, bool HasMv) {
+      if (!Visited.insert(S.key()).second)
+        return;
+      if (Visited.size() > MaxStatesV2) {
+        BudgetExceeded = true;
+        return;
+      }
+      Frame G;
+      G.S = std::move(S);
+      G.Mv = Mv;
+      G.HasMv = HasMv;
+      Stack.push_back(std::move(G));
+    };
+    push(Init, Move{}, false);
+    while (!Stack.empty()) {
+      if (D)
+        D->check("historyrefuter");
+      Frame &Fr = Stack.back();
+      if (Fr.NextThread >= M.Threads.size()) {
+        Stack.pop_back();
+        continue;
+      }
+      const size_t I = Fr.NextThread;
+      if (Fr.NextAlt == 0) {
+        if (!legal(Fr.S, I)) {
+          ++Fr.NextThread;
+          continue;
+        }
+        if (static_cast<int>(I) == M.UseIdx && Fr.S.Freed &&
+            !M.UseProtected) {
+          for (const Frame &G : Stack)
+            if (G.HasMv) {
+              Moves.push_back(G.Mv);
+              Trace.push_back(label(G.Mv.Thread, G.Mv.DoFree, false));
+            }
+          Moves.push_back(Move{I, false});
+          Trace.push_back(label(I, false, /*Crash=*/true));
+          return true;
+        }
+      }
+      const unsigned NumAlts = static_cast<int>(I) == M.FreeIdx ? 2 : 1;
+      if (Fr.NextAlt >= NumAlts) {
+        Fr.NextAlt = 0;
+        ++Fr.NextThread;
+        continue;
+      }
+      const bool DoFree = static_cast<int>(I) == M.FreeIdx && Fr.NextAlt == 0;
+      ++Fr.NextAlt;
+      HState NS = apply(Fr.S, I, DoFree);
+      push(std::move(NS), Move{I, DoFree}, true); // invalidates Fr
+    }
+    return false;
+  }
+};
+
+/// Replays \p Moves under unbounded exact counters. Returns the index of
+/// the first infeasible step, or -1 when the whole history is concretely
+/// feasible. Phases/kills/freed evolve exactly as in the abstract search
+/// (they are exact there too); only the count arithmetic differs.
+int replayExact(const RefuterModel &M, const std::vector<Move> &Moves) {
+  std::vector<uint64_t> Count(M.Threads.size(), 0);
+  std::vector<uint8_t> Ph(M.NumComponents, PhResumed);
+  uint32_t Killed = 0;
+  uint8_t Pending = 0;
+  bool Freed = false;
+  (void)Freed;
+  for (size_t C = 0; C < M.NumComponents; ++C) {
+    if (M.componentHasCreate(C))
+      Ph[C] = PhNotCreated;
+    Pending |= uint8_t(1) << C;
+  }
+  for (size_t K = 0; K < Moves.size(); ++K) {
+    const size_t I = Moves[K].Thread;
+    const ModelThread &TI = M.Threads[I];
+    if (Killed & (uint32_t(1) << I))
+      return static_cast<int>(K);
+    if (TI.OnceOnly && Count[I] >= 1)
+      return static_cast<int>(K);
+    if (TI.Comp >= 0 &&
+        !phaseLegal(TI, Ph[TI.Comp], (Pending >> TI.Comp) & 1))
+      return static_cast<int>(K);
+    if (TI.Parent >= 0) {
+      if (Count[TI.Parent] == 0)
+        return static_cast<int>(K);
+      if (TI.OnePerPost && Count[I] >= Count[TI.Parent])
+        return static_cast<int>(K);
+    }
+    for (int Pred : TI.FifoPred) {
+      if (Killed & (uint32_t(1) << Pred))
+        continue;
+      if (Count[Pred] <= Count[I])
+        return static_cast<int>(K);
+    }
+    ++Count[I];
+    if (TI.PhaseRule) {
+      Ph[TI.Comp] = static_cast<uint8_t>(TI.PhaseRule->To);
+      if (TI.PhaseRule->SetsPending)
+        Pending |= uint8_t(1) << TI.Comp;
+      if (TI.PhaseRule->ClearsPending)
+        Pending &= ~(uint8_t(1) << TI.Comp);
+    }
+    if (static_cast<int>(I) == M.FreeIdx && Moves[K].DoFree) {
+      Freed = !M.FreeMustRealloc;
+      for (const ModelCancel &C : M.Cancels)
+        Killed |= C.KillMask;
+    } else if (TI.MustRealloc) {
+      Freed = false;
+    }
+  }
+  return -1;
+}
+
+/// Whether the revive refinement actually added facts.
+bool reviveChanged(const RefuterModel &Old, const RefuterModel &New) {
+  if (!New.ReviveFacts.empty())
+    return true;
+  if (Old.FreeMustRealloc != New.FreeMustRealloc)
+    return true;
+  for (size_t I = 0; I < Old.Threads.size(); ++I)
+    if (Old.Threads[I].MustRealloc != New.Threads[I].MustRealloc)
+      return true;
+  return false;
+}
+
+std::string joinNames(const std::vector<std::string> &Names) {
+  std::string Out;
+  for (const std::string &N : Names) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += N;
+  }
+  return Out;
+}
+
+} // namespace
+
+HistoryRefuter::HistoryRefuter(const ir::Program &P,
+                               const threadify::ThreadForest &Forest,
+                               const PointsToAnalysis &PTA,
+                               const ThreadReach &Reach,
+                               const CancelReach &Cancel,
+                               const EscapeAnalysis &Escape,
+                               MethodCfgCache &Cfgs,
+                               MethodAllocFlowCache &Alloc,
+                               const support::Deadline *D)
+    : Builder(Forest, PTA, Reach, Cancel, Escape, Cfgs, Alloc,
+              android::FrameworkSpec::builtin()),
+      D(D) {
+  (void)P;
+}
+
+HistoryRefutation
+HistoryRefuter::refine(const ir::LoadStmt *Use, const ir::StoreStmt *Free,
+                       const ir::Field *F,
+                       const threadify::ModeledThread *UseT,
+                       const threadify::ModeledThread *FreeT) const {
+  HistoryRefutation R;
+
+  ModelOptions O;
+  O.MaxThreads = MaxThreadsV2;
+  O.MaxComponents = MaxComponentsV2;
+  RefuterModel Model;
+  if (!Builder.build(Use, Free, F, UseT, FreeT, O, Model).empty())
+    return R; // inapplicable even at tier-2 capacity: tier-1 evidence stands
+
+  // The history predicate: per-thread saturating activation caps,
+  // strengthened from spurious counterexamples.
+  std::vector<uint8_t> Caps(Model.Threads.size(), 2);
+  std::vector<std::string> RoundLog;
+
+  for (unsigned Round = 1; Round <= MaxRounds; ++Round) {
+    R.Rounds = Round;
+    HistorySearch S(Model, F, Caps, D);
+    std::vector<Move> Moves;
+    std::vector<std::string> Trace;
+    const bool Crash = S.findCrash(Moves, Trace);
+    R.StatesExplored += S.statesExplored();
+    if (S.budgetExceeded())
+      return R; // Assumed: the predicate got too fine for the budget
+
+    if (!Crash) {
+      // Obligation discharged: this predicate admits no history that
+      // runs the use after the free.
+      R.Ordered = true;
+      std::ostringstream Abs;
+      Abs << "history abstraction: " << Model.Threads.size()
+          << " same-looper callback(s) over " << Model.NumComponents
+          << " component(s), per-thread activation cap "
+          << unsigned(*std::max_element(Caps.begin(), Caps.end()));
+      R.ObligationChain.push_back(Abs.str());
+      for (const std::string &Line : RoundLog)
+        R.ObligationChain.push_back(Line);
+      for (const ModelThread &TI : Model.Threads)
+        if (TI.MustRealloc && !TI.ReviveViaHelper)
+          R.ObligationChain.push_back(
+              TI.T->label() + " re-allocates " + F->name() +
+              " on every path — its activation revives the field (revive "
+              "edge)");
+      for (const std::string &Fact : Model.ReviveFacts)
+        R.ObligationChain.push_back(Fact);
+      for (const std::string &Fact : Model.CancelFacts)
+        R.ObligationChain.push_back(Fact);
+      R.ObligationChain.push_back(
+          "lifecycle edges: onCreate first, onDestroy last, UI events only "
+          "while resumed, onResume after launch/onCreate and after each "
+          "onPause; posted callbacks follow their poster (per-looper FIFO)");
+      std::ostringstream Done;
+      Done << "discharged obligation: exhausted " << R.StatesExplored
+           << " abstract state(s) across " << R.Rounds
+           << " refinement round(s): no history runs the use after the free";
+      R.ObligationChain.push_back(Done.str());
+      return R;
+    }
+
+    const int Bad = replayExact(Model, Moves);
+    if (Bad >= 0) {
+      // Spurious: saturation admitted a history the exact counters
+      // refute. Strengthen the predicate around the failing step.
+      std::vector<std::string> Raised;
+      auto raise = [&](int I) {
+        if (I >= 0 && Caps[I] < CapMax) {
+          ++Caps[I];
+          Raised.push_back(Model.Threads[I].T->label());
+        }
+      };
+      const ModelThread &TI = Model.Threads[Moves[Bad].Thread];
+      raise(static_cast<int>(Moves[Bad].Thread));
+      raise(TI.Parent);
+      for (int Pred : TI.FifoPred)
+        raise(Pred);
+      if (Raised.empty())
+        return R; // caps maxed out and still spurious: give up, Assumed
+      std::ostringstream Line;
+      Line << "refinement round " << Round << ": spurious history at step "
+           << (Bad + 1) << " — raised activation cap of "
+           << joinNames(Raised);
+      RoundLog.push_back(Line.str());
+      continue;
+    }
+
+    // The history is concretely feasible under the current facts. Try to
+    // strengthen the facts themselves, one stage at a time.
+    if (!O.InterprocRevive) {
+      O.InterprocRevive = true;
+      RefuterModel M2;
+      if (Builder.build(Use, Free, F, UseT, FreeT, O, M2).empty() &&
+          reviveChanged(Model, M2)) {
+        std::ostringstream Line;
+        Line << "refinement round " << Round
+             << ": admitted inter-procedural revive facts ("
+             << M2.ReviveFacts.size() << ")";
+        RoundLog.push_back(Line.str());
+        Model = std::move(M2);
+        continue;
+      }
+    }
+    if (!O.InterprocKill) {
+      O.InterprocKill = true;
+      RefuterModel M2;
+      if (Builder.build(Use, Free, F, UseT, FreeT, O, M2).empty() &&
+          M2.CancelFacts.size() > Model.CancelFacts.size()) {
+        std::ostringstream Line;
+        Line << "refinement round " << Round
+             << ": admitted inter-procedural kill facts ("
+             << (M2.CancelFacts.size() - Model.CancelFacts.size()) << ")";
+        RoundLog.push_back(Line.str());
+        Model = std::move(M2);
+        continue;
+      }
+    }
+
+    // No refinement changes anything: the witness is stable and genuine.
+    R.Witness = std::move(Trace);
+    return R;
+  }
+  return R; // round budget exhausted: Assumed, tier-1 evidence stands
+}

@@ -1,0 +1,92 @@
+//===- analysis/HistoryRefuter.h - History-predicate refinement -*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The second refutation tier: a counterexample-guided refinement loop
+/// over the same event-system model HbRefuter searches, re-examining
+/// every pair tier 1 left *Assumed*. The pruning obligation — "no
+/// history runs the use after the free" — is checked against a history
+/// predicate (per-thread saturating activation caps plus the exact
+/// phase/kill/revive machine) that starts coarse and is strengthened
+/// from each concrete counterexample:
+///
+///  * a counterexample history that fails exact replay (unbounded
+///    counters, strict one-run-per-post and FIFO arithmetic) is
+///    *spurious*: the caps of the threads involved in the failing step
+///    are raised and the search repeats;
+///  * a counterexample that replays feasibly is attacked with staged
+///    fact refinements — inter-procedural revive facts first
+///    (must-alloc-at-exit through this-calls), then inter-procedural
+///    kill facts (must-cancel through this-calls dominating the free);
+///  * when no refinement changes anything, the witness is *stable* and
+///    the pair stays Assumed with a concrete history attached;
+///  * when some predicate admits no counterexample, the obligation is
+///    discharged — the pair is proved (Proved-v2) and the obligation
+///    chain (abstraction, refinement rounds, revive/kill facts) is the
+///    recorded provenance.
+///
+/// Soundness: saturating counters over-approximate at *any* cap, the
+/// phase/kill/freed machine is exact, and the fact refinements only add
+/// facts derived by must-analyses — so "no counterexample" is sound for
+/// every predicate the loop visits, and exact replay is a complete
+/// feasibility check for individual histories.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_ANALYSIS_HISTORYREFUTER_H
+#define NADROID_ANALYSIS_HISTORYREFUTER_H
+
+#include "analysis/RefuterModel.h"
+
+#include <string>
+#include <vector>
+
+namespace nadroid::analysis {
+
+/// The outcome of one tier-2 refinement run.
+struct HistoryRefutation {
+  /// True when some refined predicate admits no counterexample — the
+  /// pair is proved ordered (Proved-v2).
+  bool Ordered = false;
+  /// When Ordered: the obligation chain — abstraction, refinement
+  /// rounds, the facts the discharge rests on.
+  std::vector<std::string> ObligationChain;
+  /// When !Ordered and a counterexample survived exact replay under the
+  /// final predicate: the stable concrete history (empty when tier 2
+  /// could not run or exhausted its budget — tier-1 evidence stands).
+  std::vector<std::string> Witness;
+  /// Refinement rounds executed (1 = the initial search sufficed).
+  unsigned Rounds = 0;
+  /// Abstract states explored, summed across rounds.
+  unsigned StatesExplored = 0;
+};
+
+/// Stateless-per-query tier-2 engine; thread-safe for the same reason
+/// HbRefuter is — every shared table is internally synchronized.
+class HistoryRefuter {
+public:
+  /// \p D (not owned, may be null) is polled once per DFS step of every
+  /// search round; expiry throws DeadlineExceeded out of refine().
+  HistoryRefuter(const ir::Program &P, const threadify::ThreadForest &Forest,
+                 const PointsToAnalysis &PTA, const ThreadReach &Reach,
+                 const CancelReach &Cancel, const EscapeAnalysis &Escape,
+                 MethodCfgCache &Cfgs, MethodAllocFlowCache &Alloc,
+                 const support::Deadline *D = nullptr);
+
+  /// Runs the refinement loop for one pair tier 1 left Assumed.
+  HistoryRefutation refine(const ir::LoadStmt *Use, const ir::StoreStmt *Free,
+                           const ir::Field *F,
+                           const threadify::ModeledThread *UseT,
+                           const threadify::ModeledThread *FreeT) const;
+
+private:
+  ModelBuilder Builder;
+  const support::Deadline *D = nullptr;
+};
+
+} // namespace nadroid::analysis
+
+#endif // NADROID_ANALYSIS_HISTORYREFUTER_H

@@ -1,0 +1,329 @@
+//===- analysis/RefuterModel.cpp - Shared refuter event model -----------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RefuterModel.h"
+
+#include "analysis/AllocFlow.h"
+#include "android/Api.h"
+
+#include <algorithm>
+
+using namespace nadroid;
+using namespace nadroid::analysis;
+using namespace nadroid::ir;
+using android::ApiKind;
+using android::CallbackKind;
+using android::FrameworkSpec;
+using threadify::ModeledThread;
+using threadify::ThreadOrigin;
+
+namespace {
+
+const char *lifecycleName(const ModeledThread *T) {
+  return T->callback() ? T->callback()->name().c_str() : "";
+}
+
+/// Does cancellation \p C forbid future activations of \p T? Coverage is
+/// the spec's kill rule for the API; no rule means no kill (not killing a
+/// thread only widens the search — safe).
+bool cancelCovers(const FrameworkSpec &Spec, const CancelInfo &C,
+                  const ModeledThread *T, const ModeledThread *FreeT) {
+  const FrameworkSpec::KillRule *R = Spec.killRule(C.Kind);
+  if (!R)
+    return false;
+  auto Covered = [&] {
+    return std::find(R->Covers.begin(), R->Covers.end(),
+                     T->callbackKind()) != R->Covers.end();
+  };
+  switch (R->Scope) {
+  case FrameworkSpec::KillScope::EntryOfComponent: {
+    if (T->origin() != ThreadOrigin::EntryCallback ||
+        T->component() != C.Target)
+      return false;
+    for (const std::string &N : R->Except)
+      if (lifecycleName(T) == N)
+        return false;
+    return true;
+  }
+  case FrameworkSpec::KillScope::TargetOrComponent: {
+    if (!Covered())
+      return false;
+    if (R->PostedOnly && T->origin() != ThreadOrigin::PostedCallback)
+      return false;
+    if (C.Target)
+      return T->callback()->parent() == C.Target;
+    return T->component() == FreeT->component();
+  }
+  case FrameworkSpec::KillScope::TargetParent:
+    return Covered() && T->callback() &&
+           T->callback()->parent() == C.Target && C.Target;
+  }
+  return false;
+}
+
+} // namespace
+
+ir::Method *ModelBuilder::resolveThisCallee(const CallStmt &Call) const {
+  if (!Call.recv() || !Call.recv()->isThis())
+    return nullptr;
+  Clazz *C = Call.parentMethod()->parent();
+  return C ? C->findMethod(Call.callee()) : nullptr;
+}
+
+const std::set<const Field *> &
+ModelBuilder::interprocMustAlloc(const Method &M, unsigned Depth) const {
+  const auto Key = std::make_pair(&M, Depth);
+  {
+    std::lock_guard<std::mutex> Lock(MemoMu);
+    auto It = AllocMemo.find(Key);
+    if (It != AllocMemo.end())
+      return It->second;
+  }
+  std::set<const Field *> Result;
+  if (Depth == 0) {
+    Result = Alloc.get(M, /*TreatCallResultAsAlloc=*/false)
+                 .MustAllocAtExitFields;
+  } else {
+    CallAllocResolver R =
+        [&](const CallStmt &Call) -> const std::set<const Field *> * {
+      Method *Callee = resolveThisCallee(Call);
+      return Callee ? &interprocMustAlloc(*Callee, Depth - 1) : nullptr;
+    };
+    Result = analyzeAllocFlow(M, /*TreatCallResultAsAlloc=*/false, &R)
+                 .MustAllocAtExitFields;
+  }
+  std::lock_guard<std::mutex> Lock(MemoMu);
+  return AllocMemo.emplace(Key, std::move(Result)).first->second;
+}
+
+void ModelBuilder::mustCancelsAtExit(Method &M, unsigned Depth,
+                                     std::vector<CancelInfo> &Out) const {
+  if (Depth == 0)
+    return;
+  const Cfg &G = Cfgs.get(M);
+  for (const CancelInfo &C : Cancel.cancelsFrom(&M))
+    if (C.Site && C.Site->parentMethod() == &M &&
+        G.dominates(G.nodeOf(C.Site), G.exit()))
+      Out.push_back(C);
+  forEachStmt(M, [&](const Stmt &S) {
+    if (const auto *Call = dyn_cast<CallStmt>(&S))
+      if (Method *H = resolveThisCallee(*Call))
+        if (G.dominates(G.nodeOf(Call), G.exit()))
+          mustCancelsAtExit(*H, Depth - 1, Out);
+  });
+}
+
+std::string ModelBuilder::build(const LoadStmt *Use, const StoreStmt *Free,
+                                const Field *F, const ModeledThread *UseT,
+                                const ModeledThread *FreeT,
+                                const ModelOptions &O,
+                                RefuterModel &Out) const {
+  // The abstraction's atomicity premise: both sides are callbacks of one
+  // looper, so activations serialize and the history is a sequence.
+  if (UseT->isNative() || FreeT->isNative() || !UseT->onLooper() ||
+      !FreeT->onLooper())
+    return "no proof attempted: a native thread in the pair breaks "
+           "activation atomicity";
+  if (UseT->looperId() != FreeT->looperId())
+    return "no proof attempted: the callbacks run on different loopers, "
+           "so activations may interleave";
+
+  // Escape gate: if a native thread may touch one of the base objects,
+  // histories outside the event system could mutate the field between
+  // any two activations.
+  for (const ModeledThread *Pivot : {UseT, FreeT}) {
+    const Stmt *Site = Pivot == UseT ? static_cast<const Stmt *>(Use)
+                                     : static_cast<const Stmt *>(Free);
+    const Local *Base = Pivot == UseT ? Use->base() : Free->base();
+    for (const MethodCtx &Ctx : Reach.contextsOf(Pivot)) {
+      if (Ctx.M != Site->parentMethod())
+        continue;
+      for (ObjectId Obj : PTA.ptsOf(Base, Ctx))
+        for (const ModeledThread *Acc : Escape.accessors(Obj))
+          if (Acc->isNative())
+            return "no proof attempted: the base object escapes to "
+                   "native thread " +
+                   Acc->label();
+    }
+  }
+
+  // Collect the relevant callbacks: the poster lineages of both sides
+  // plus the phase-driving lifecycle callbacks of every involved
+  // component (the spec's phase rules name them).
+  std::set<const ModeledThread *> Rel;
+  for (const ModeledThread *Seed : {UseT, FreeT})
+    for (const ModeledThread *Cur = Seed;
+         Cur && Cur->origin() != ThreadOrigin::DummyMain;
+         Cur = Cur->parent())
+      Rel.insert(Cur);
+  std::set<Clazz *> Comps;
+  for (const ModeledThread *T : Rel)
+    if (T->component())
+      Comps.insert(T->component());
+  for (const auto &TPtr : Forest.threads()) {
+    const ModeledThread *T = TPtr.get();
+    if (T->origin() != ThreadOrigin::EntryCallback || !T->component() ||
+        !Comps.count(T->component()))
+      continue;
+    if (Spec.phaseRule(lifecycleName(T)))
+      Rel.insert(T);
+  }
+
+  std::vector<const ModeledThread *> Sorted(Rel.begin(), Rel.end());
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const ModeledThread *A, const ModeledThread *B) {
+              return A->id() < B->id();
+            });
+  if (Sorted.size() > O.MaxThreads)
+    return "no proof attempted: too many interacting callbacks for the "
+           "abstraction";
+  for (const ModeledThread *T : Sorted) {
+    if (T->isNative() || !T->onLooper())
+      return "no proof attempted: native thread " + T->label() +
+             " in the poster lineage breaks activation atomicity";
+    if (T->looperId() != UseT->looperId())
+      return "no proof attempted: " + T->label() +
+             " runs on a different looper";
+  }
+
+  std::vector<Clazz *> CompList(Comps.begin(), Comps.end());
+  std::sort(CompList.begin(), CompList.end(), [](const Clazz *A,
+                                                 const Clazz *B) {
+    return A->name() < B->name();
+  });
+  if (CompList.size() > O.MaxComponents)
+    return "no proof attempted: too many components for the abstraction";
+
+  auto indexOf = [&](const ModeledThread *T) -> int {
+    for (size_t I = 0; I < Sorted.size(); ++I)
+      if (Sorted[I] == T)
+        return static_cast<int>(I);
+    return -1;
+  };
+  auto compIndexOf = [&](Clazz *C) -> int {
+    for (size_t I = 0; I < CompList.size(); ++I)
+      if (CompList[I] == C)
+        return static_cast<int>(I);
+    return -1;
+  };
+  auto intraMustRealloc = [&](const ModeledThread *T) {
+    return T->callback() &&
+           Alloc.get(*T->callback(), /*TreatCallResultAsAlloc=*/false)
+                   .MustAllocAtExitFields.count(F) != 0;
+  };
+  auto mustRealloc = [&](const ModeledThread *T) {
+    if (intraMustRealloc(T))
+      return true;
+    return O.InterprocRevive && T->callback() &&
+           interprocMustAlloc(*T->callback(), O.InterprocDepth).count(F) !=
+               0;
+  };
+  auto isOneShotPostee = [&](const ModeledThread *T) {
+    return T->origin() == ThreadOrigin::PostedCallback &&
+           Spec.isOnePerPost(T->callbackKind());
+  };
+
+  Out = RefuterModel();
+  Out.NumComponents = CompList.size();
+  Out.Threads.resize(Sorted.size());
+  for (size_t I = 0; I < Sorted.size(); ++I) {
+    ModelThread &TI = Out.Threads[I];
+    TI.T = Sorted[I];
+    TI.Parent = TI.T->parent() ? indexOf(TI.T->parent()) : -1;
+    TI.Comp = TI.T->component() ? compIndexOf(TI.T->component()) : -1;
+    TI.OnePerPost = isOneShotPostee(TI.T);
+    TI.OnceOnly = Spec.isOnceOnly(TI.T->callbackKind());
+    TI.MustRealloc = mustRealloc(TI.T);
+    TI.ReviveViaHelper = TI.MustRealloc && !intraMustRealloc(TI.T);
+    TI.NeedsResumed = Spec.needsResumed(TI.T->callbackKind());
+    if (TI.Comp >= 0 && TI.T->origin() == ThreadOrigin::EntryCallback)
+      TI.PhaseRule = Spec.phaseRule(lifecycleName(TI.T));
+    if (TI.ReviveViaHelper)
+      Out.ReviveFacts.push_back(
+          TI.T->label() + " re-allocates " + F->name() +
+          " at exit through helper calls (inter-procedural revive edge)");
+  }
+  // FIFO predecessors: sibling one-shot postees of the same poster and
+  // looper whose spawn site dominates ours inside the poster's method.
+  for (size_t I = 0; I < Sorted.size(); ++I) {
+    const ModeledThread *T = Sorted[I];
+    if (!isOneShotPostee(T) || !T->spawnSite())
+      continue;
+    for (size_t J = 0; J < Sorted.size(); ++J) {
+      const ModeledThread *S = Sorted[J];
+      if (J == I || !isOneShotPostee(S) || !S->spawnSite() ||
+          S->parent() != T->parent() || S->looperId() != T->looperId())
+        continue;
+      const Method *M = T->spawnSite()->parentMethod();
+      if (S->spawnSite()->parentMethod() != M)
+        continue;
+      if (Cfgs.get(*M).dominates(S->spawnSite(), T->spawnSite()))
+        Out.Threads[I].FifoPred.push_back(static_cast<int>(J));
+    }
+  }
+
+  // Must-cancellations: cancel sites in the free's own method that
+  // dominate the free. Path-reachable-only cancels (the §8.6 shapes) do
+  // not qualify — that is exactly what CHB gets wrong. The tier-2 kill
+  // refinement additionally admits cancels reached through this-calls
+  // that dominate the free, when the cancel dominates the callee's exit.
+  if (FreeT->callback()) {
+    const Method *FreeM = Free->parentMethod();
+    std::set<const CallStmt *> SeenSites;
+    auto addCancel = [&](const CancelInfo &C, const std::string &Helper) {
+      if (C.Site && !SeenSites.insert(C.Site).second)
+        return;
+      ModelCancel MC;
+      MC.Kind = C.Kind;
+      for (size_t J = 0; J < Sorted.size(); ++J)
+        if (cancelCovers(Spec, C, Sorted[J], FreeT))
+          MC.KillMask |= uint32_t(1) << J;
+      if (!MC.KillMask)
+        return;
+      Out.Cancels.push_back(MC);
+      if (Helper.empty())
+        Out.CancelFacts.push_back(
+            std::string(android::apiKindName(C.Kind)) + " in " +
+            FreeT->label() +
+            " dominates the free — covered callbacks cannot activate "
+            "afterwards (kill edge)");
+      else
+        Out.CancelFacts.push_back(
+            std::string(android::apiKindName(C.Kind)) + " through helper " +
+            Helper + "() in " + FreeT->label() +
+            " dominates the free — covered callbacks cannot activate "
+            "afterwards (inter-procedural kill edge)");
+    };
+    for (const CancelInfo &C : Cancel.cancelsFrom(FreeT->callback())) {
+      if (!C.Site || C.Site->parentMethod() != FreeM ||
+          !Cfgs.get(*FreeM).dominates(C.Site, Free))
+        continue;
+      addCancel(C, "");
+    }
+    if (O.InterprocKill) {
+      forEachStmt(*FreeM, [&](const Stmt &S) {
+        const auto *Call = dyn_cast<CallStmt>(&S);
+        if (!Call)
+          return;
+        Method *H = resolveThisCallee(*Call);
+        if (!H || !Cfgs.get(*FreeM).dominates(Call, Free))
+          return;
+        std::vector<CancelInfo> Nested;
+        mustCancelsAtExit(*H, O.InterprocDepth, Nested);
+        for (const CancelInfo &C : Nested)
+          addCancel(C, Call->callee());
+      });
+    }
+  }
+
+  Out.UseIdx = indexOf(UseT);
+  Out.FreeIdx = indexOf(FreeT);
+  Out.FreeMustRealloc = FreeT->callback() ? mustRealloc(FreeT) : false;
+  Out.UseProtected =
+      Alloc.get(*Use->parentMethod(), /*TreatCallResultAsAlloc=*/false)
+          .ProtectedLoads.count(Use) != 0;
+  return "";
+}

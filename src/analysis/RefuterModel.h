@@ -1,0 +1,173 @@
+//===- analysis/RefuterModel.h - Shared refuter event model -----*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The event-system model both refutation tiers search: the relevant
+/// callbacks of one (use-thread, free-thread) pair resolved to indexed
+/// ModelThreads with post/FIFO/kill/revive edges, plus the applicability
+/// gates (activation atomicity, escape, capacity) that decide whether the
+/// abstraction may run at all. All framework facts — phase rules, kill
+/// rule coverage, activation multiplicity traits — come from the
+/// declarative android::FrameworkSpec rather than hard-coded tables, so
+/// HbRefuter (tier 1) and HistoryRefuter (tier 2) stay consistent by
+/// construction.
+///
+/// Tier 2 additionally asks the builder for *inter-procedural* revive and
+/// kill facts (must-alloc-at-exit / must-cancel through this-calls); tier
+/// 1 keeps the intra-procedural facts so its verdicts are unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_ANALYSIS_REFUTERMODEL_H
+#define NADROID_ANALYSIS_REFUTERMODEL_H
+
+#include "analysis/CancelReach.h"
+#include "analysis/Escape.h"
+#include "analysis/MethodCaches.h"
+#include "analysis/PointsTo.h"
+#include "analysis/ThreadReach.h"
+#include "android/FrameworkSpec.h"
+#include "threadify/ThreadForest.h"
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace nadroid::analysis {
+
+/// One relevant callback, with everything legality checks need resolved
+/// to indices up front.
+struct ModelThread {
+  const threadify::ModeledThread *T = nullptr;
+  int Parent = -1; ///< poster's index, -1 when externally triggered
+  int Comp = -1;   ///< component index, -1 when none
+  /// Runs at most once per poster activation (one post = one run).
+  bool OnePerPost = false;
+  /// Runs at most once overall (AsyncTask pre/post of one instance).
+  bool OnceOnly = false;
+  /// The callback re-allocates the racy field on every path: its
+  /// activation revives the field (the RHB proof mechanism).
+  bool MustRealloc = false;
+  /// MustRealloc holds only through helper calls (tier-2 refinement).
+  bool ReviveViaHelper = false;
+  /// Entry callback that activates only while resumed (UI events).
+  bool NeedsResumed = false;
+  /// The spec phase rule driving the component machine; null for
+  /// callbacks that do not change the phase (and for posted callbacks).
+  const android::FrameworkSpec::PhaseRule *PhaseRule = nullptr;
+  /// Sibling postees that must stay ahead: same poster, same looper,
+  /// spawn site dominating ours (per-looper FIFO serialization).
+  std::vector<int> FifoPred;
+};
+
+/// One must-cancellation of the free: whenever the free has executed, the
+/// covered callbacks can never activate again.
+struct ModelCancel {
+  android::ApiKind Kind = android::ApiKind::None;
+  uint32_t KillMask = 0; ///< bit per relevant thread index
+};
+
+/// The built model for one refutation query.
+struct RefuterModel {
+  std::vector<ModelThread> Threads;
+  std::vector<ModelCancel> Cancels;
+  /// Human-readable kill-edge facts, for the proof chain.
+  std::vector<std::string> CancelFacts;
+  /// Human-readable inter-procedural revive facts (tier 2 only).
+  std::vector<std::string> ReviveFacts;
+  int UseIdx = -1;
+  int FreeIdx = -1;
+  bool FreeMustRealloc = false;
+  bool UseProtected = false;
+  size_t NumComponents = 0;
+
+  /// True when component \p C has a callback whose phase rule admits
+  /// activation from NotCreated (a modeled onCreate).
+  bool componentHasCreate(size_t C) const {
+    for (const ModelThread &TI : Threads)
+      if (TI.Comp == static_cast<int>(C) && TI.PhaseRule &&
+          (TI.PhaseRule->FromMask &
+           (1u << static_cast<unsigned>(
+                android::FrameworkSpec::Phase::NotCreated))) != 0)
+        return true;
+    return false;
+  }
+};
+
+/// Capacity limits and fact sources for one build.
+struct ModelOptions {
+  size_t MaxThreads = 12;
+  size_t MaxComponents = 4;
+  /// Derive must-realloc facts through this-calls (tier-2 revive
+  /// refinement) instead of intra-procedurally.
+  bool InterprocRevive = false;
+  /// Derive must-cancel facts through this-calls that dominate the free
+  /// (tier-2 kill refinement).
+  bool InterprocKill = false;
+  /// Call-depth bound for the inter-procedural fact derivations.
+  unsigned InterprocDepth = 3;
+};
+
+/// Builds RefuterModels. Thread-safe: the underlying caches are
+/// internally synchronized and the inter-procedural memo takes a lock, so
+/// the filter engine's parallel verdict sweep can share one instance.
+class ModelBuilder {
+public:
+  ModelBuilder(const threadify::ThreadForest &Forest,
+               const PointsToAnalysis &PTA, const ThreadReach &Reach,
+               const CancelReach &Cancel, const EscapeAnalysis &Escape,
+               MethodCfgCache &Cfgs, MethodAllocFlowCache &Alloc,
+               const android::FrameworkSpec &Spec)
+      : Forest(Forest), PTA(PTA), Reach(Reach), Cancel(Cancel),
+        Escape(Escape), Cfgs(Cfgs), Alloc(Alloc), Spec(Spec) {}
+
+  /// Builds the model for one refutation query. On success returns an
+  /// empty string and fills \p Out; otherwise returns the reason the
+  /// abstraction is inapplicable (the demotion message).
+  std::string build(const ir::LoadStmt *Use, const ir::StoreStmt *Free,
+                    const ir::Field *F, const threadify::ModeledThread *UseT,
+                    const threadify::ModeledThread *FreeT,
+                    const ModelOptions &O, RefuterModel &Out) const;
+
+  const android::FrameworkSpec &spec() const { return Spec; }
+
+  /// Fields \p M leaves freshly allocated at exit on every path,
+  /// following this-calls up to \p Depth levels (Depth 0 = the
+  /// intra-procedural result). Memoized per (method, depth).
+  const std::set<const ir::Field *> &
+  interprocMustAlloc(const ir::Method &M, unsigned Depth) const;
+
+private:
+  /// The callee of a this-call, resolved within the receiver class;
+  /// nullptr for framework/unknown calls.
+  ir::Method *resolveThisCallee(const ir::CallStmt &Call) const;
+
+  /// Cancellations that must execute whenever \p M returns: direct
+  /// cancel sites dominating M's exit plus, recursively, this-calls
+  /// dominating M's exit whose callee must-cancels at exit.
+  void mustCancelsAtExit(ir::Method &M, unsigned Depth,
+                         std::vector<CancelInfo> &Out) const;
+
+  const threadify::ThreadForest &Forest;
+  const PointsToAnalysis &PTA;
+  const ThreadReach &Reach;
+  const CancelReach &Cancel;
+  const EscapeAnalysis &Escape;
+  MethodCfgCache &Cfgs;
+  MethodAllocFlowCache &Alloc;
+  const android::FrameworkSpec &Spec;
+
+  mutable std::mutex MemoMu;
+  mutable std::map<std::pair<const ir::Method *, unsigned>,
+                   std::set<const ir::Field *>>
+      AllocMemo;
+};
+
+} // namespace nadroid::analysis
+
+#endif // NADROID_ANALYSIS_REFUTERMODEL_H

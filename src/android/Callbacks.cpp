@@ -3,11 +3,16 @@
 // Part of the nAdroid reproduction. See README.md for details.
 //
 //===----------------------------------------------------------------------===//
+//
+// The callback tables themselves live in the declarative framework spec
+// (FrameworkSpec.cpp); these free functions are thin wrappers over the
+// built-in spec so existing call sites keep their signatures.
+//
+//===----------------------------------------------------------------------===//
 
 #include "android/Callbacks.h"
 
-#include <array>
-#include <string_view>
+#include "android/FrameworkSpec.h"
 
 using namespace nadroid;
 using namespace nadroid::android;
@@ -47,201 +52,28 @@ const char *android::callbackKindName(CallbackKind Kind) {
   return "none";
 }
 
-/// Lifecycle callback names per component kind. The lists follow the
-/// Android framework (and the FlowDroid table nAdroid consumed).
-static bool isActivityLifecycle(std::string_view Name) {
-  static constexpr std::array<std::string_view, 7> Names = {
-      "onCreate", "onStart",   "onResume", "onPause",
-      "onStop",   "onRestart", "onDestroy"};
-  for (std::string_view N : Names)
-    if (Name == N)
-      return true;
-  return false;
-}
-
-static bool isServiceLifecycle(std::string_view Name) {
-  static constexpr std::array<std::string_view, 5> Names = {
-      "onCreate", "onStartCommand", "onBind", "onUnbind", "onDestroy"};
-  for (std::string_view N : Names)
-    if (Name == N)
-      return true;
-  return false;
-}
-
-/// UI-interaction callbacks (registered imperatively via set*Listener or
-/// declared in layout XML; either way the runtime posts them externally).
-static bool isUiCallback(std::string_view Name) {
-  static constexpr std::array<std::string_view, 16> Names = {
-      "onClick",
-      "onLongClick",
-      "onTouch",
-      "onKeyDown",
-      "onItemClick",
-      "onItemSelected",
-      "onCreateContextMenu",
-      "onContextItemSelected",
-      "onCreateOptionsMenu",
-      "onOptionsItemSelected",
-      "onBackPressed",
-      "onActivityResult",
-      "onRetainNonConfigurationInstance",
-      "onWindowFocusChanged",
-      "onScroll",
-      "onProgressChanged",
-  };
-  for (std::string_view N : Names)
-    if (Name == N)
-      return true;
-  return false;
-}
-
-/// System/sensor event callbacks.
-static bool isSystemCallback(std::string_view Name) {
-  static constexpr std::array<std::string_view, 6> Names = {
-      "onLocationChanged",      "onSensorChanged", "onStatusChanged",
-      "onConfigurationChanged", "onLowMemory",     "onTextChanged",
-  };
-  for (std::string_view N : Names)
-    if (Name == N)
-      return true;
-  return false;
-}
-
 CallbackKind android::classifyCallback(ClassKind Kind,
                                        const std::string &Name) {
-  switch (Kind) {
-  case ClassKind::Activity:
-    if (isActivityLifecycle(Name))
-      return CallbackKind::Lifecycle;
-    if (isUiCallback(Name))
-      return CallbackKind::Ui;
-    if (isSystemCallback(Name))
-      return CallbackKind::SystemEvent;
-    return CallbackKind::None;
-  case ClassKind::Service:
-    if (isServiceLifecycle(Name))
-      return CallbackKind::Lifecycle;
-    return CallbackKind::None;
-  case ClassKind::Receiver:
-    if (Name == "onReceive")
-      return CallbackKind::Receive;
-    return CallbackKind::None;
-  case ClassKind::Handler:
-  case ClassKind::BackgroundHandler:
-    if (Name == "handleMessage")
-      return CallbackKind::HandleMessage;
-    return CallbackKind::None;
-  case ClassKind::AsyncTask:
-    if (Name == "onPreExecute")
-      return CallbackKind::AsyncPre;
-    if (Name == "doInBackground")
-      return CallbackKind::AsyncBackground;
-    if (Name == "onProgressUpdate")
-      return CallbackKind::AsyncProgress;
-    if (Name == "onPostExecute")
-      return CallbackKind::AsyncPost;
-    return CallbackKind::None;
-  case ClassKind::Runnable:
-    if (Name == "run")
-      return CallbackKind::RunnableRun;
-    return CallbackKind::None;
-  case ClassKind::ThreadClass:
-    if (Name == "run")
-      return CallbackKind::ThreadRun;
-    return CallbackKind::None;
-  case ClassKind::ServiceConnection:
-    if (Name == "onServiceConnected")
-      return CallbackKind::ServiceConnect;
-    if (Name == "onServiceDisconnected")
-      return CallbackKind::ServiceDisconn;
-    return CallbackKind::None;
-  case ClassKind::Listener:
-    if (isUiCallback(Name))
-      return CallbackKind::Ui;
-    if (isSystemCallback(Name))
-      return CallbackKind::SystemEvent;
-    return CallbackKind::None;
-  case ClassKind::Fragment:
-    // nAdroid's modeling does not support Fragment (§8.1); its callbacks
-    // are invisible to threadification. The DEvA baseline still analyzes
-    // the class body.
-    return CallbackKind::None;
-  case ClassKind::Plain:
-    return CallbackKind::None;
-  }
-  return CallbackKind::None;
+  return FrameworkSpec::builtin().classify(Kind, Name);
 }
 
 bool android::isEntryCallbackKind(CallbackKind Kind) {
-  switch (Kind) {
-  case CallbackKind::Lifecycle:
-  case CallbackKind::Ui:
-  case CallbackKind::SystemEvent:
-  case CallbackKind::Receive: // manifest-declared receivers only; the
-                              // threadifier decides based on registration
-    return true;
-  default:
-    return false;
-  }
+  return FrameworkSpec::builtin().isEntry(Kind);
 }
 
 bool android::isPostedCallbackKind(CallbackKind Kind) {
-  switch (Kind) {
-  case CallbackKind::ServiceConnect:
-  case CallbackKind::ServiceDisconn:
-  case CallbackKind::Receive:
-  case CallbackKind::HandleMessage:
-  case CallbackKind::RunnableRun:
-  case CallbackKind::AsyncPre:
-  case CallbackKind::AsyncProgress:
-  case CallbackKind::AsyncPost:
-    return true;
-  default:
-    return false;
-  }
+  return FrameworkSpec::builtin().isPosted(Kind);
 }
 
 bool android::runsOnLooper(CallbackKind Kind) {
-  switch (Kind) {
-  case CallbackKind::None:
-  case CallbackKind::ThreadRun:
-  case CallbackKind::AsyncBackground:
-    return false;
-  default:
-    return true;
-  }
+  return FrameworkSpec::builtin().onLooper(Kind);
 }
 
 bool android::lifecycleMustPrecede(const std::string &A,
                                    const std::string &B) {
-  if (A == B)
-    return false;
-  // onCreate precedes every other callback of the component; every
-  // callback precedes onDestroy. Nothing else is statically sound (the
-  // back edge from onPause to onResume makes the rest cyclic).
-  if (A == "onCreate" && B != "onCreate")
-    return true;
-  if (B == "onDestroy" && A != "onDestroy")
-    return true;
-  return false;
+  return FrameworkSpec::builtin().mustPrecedeWithinComponent(A, B);
 }
 
 bool android::asyncTaskMustPrecede(CallbackKind A, CallbackKind B) {
-  auto Rank = [](CallbackKind K) -> int {
-    switch (K) {
-    case CallbackKind::AsyncPre:
-      return 0;
-    case CallbackKind::AsyncBackground:
-    case CallbackKind::AsyncProgress:
-      return 1;
-    case CallbackKind::AsyncPost:
-      return 2;
-    default:
-      return -1;
-    }
-  };
-  int RA = Rank(A), RB = Rank(B);
-  if (RA < 0 || RB < 0)
-    return false;
-  return RA < RB;
+  return FrameworkSpec::builtin().mustPrecedeKinds(A, B);
 }

@@ -1,0 +1,622 @@
+//===- android/FrameworkSpec.cpp - Declarative framework spec ----------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "android/FrameworkSpec.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace nadroid;
+using namespace nadroid::android;
+using ir::ClassKind;
+
+//===----------------------------------------------------------------------===//
+// Builtin spec text
+//===----------------------------------------------------------------------===//
+
+/// The framework surface the paper models (§4, §6). This is the single
+/// source of truth: Callbacks.cpp's free functions and both refuter tiers
+/// read the parsed form. Kind tokens follow callbackKindName; class-kind
+/// tokens follow ir::classKindName.
+static const char BuiltinSpecText[] = R"spec(# nAdroid built-in Android framework spec
+spec-version 1
+
+# --- callback kinds and their traits ------------------------------------
+kind lifecycle entry looper
+kind ui entry looper needs-resumed
+kind system entry looper
+# Receivers are entry when manifest-declared, posted when registered
+# imperatively; the threadifier decides per registration site.
+kind onReceive entry posted looper
+kind onServiceConnected posted looper
+kind onServiceDisconnected posted looper
+kind handleMessage posted looper one-per-post
+kind runnable-run posted looper one-per-post
+kind thread-run
+kind onPreExecute posted looper once-only
+kind doInBackground
+kind onProgressUpdate posted looper
+kind onPostExecute posted looper once-only
+
+# --- callback registration table (the FlowDroid listener list) ----------
+callback Activity lifecycle onCreate onStart onResume onPause onStop onRestart onDestroy
+callback Service lifecycle onCreate onStartCommand onBind onUnbind onDestroy
+callback Activity,Listener ui onClick onLongClick onTouch onKeyDown onItemClick onItemSelected onCreateContextMenu onContextItemSelected onCreateOptionsMenu onOptionsItemSelected onBackPressed onActivityResult onRetainNonConfigurationInstance onWindowFocusChanged onScroll onProgressChanged
+callback Activity,Listener system onLocationChanged onSensorChanged onStatusChanged onConfigurationChanged onLowMemory onTextChanged
+callback Receiver onReceive onReceive
+callback Handler,BackgroundHandler handleMessage handleMessage
+callback AsyncTask onPreExecute onPreExecute
+callback AsyncTask doInBackground doInBackground
+callback AsyncTask onProgressUpdate onProgressUpdate
+callback AsyncTask onPostExecute onPostExecute
+callback Runnable runnable-run run
+callback Thread thread-run run
+callback ServiceConnection onServiceConnected onServiceConnected
+callback ServiceConnection onServiceDisconnected onServiceDisconnected
+
+# --- component phase machine (the refuters' lifecycle automaton) --------
+# resumed-pending = resumed with a framework onResume still owed (right
+# after launch/onCreate); onResume discharges it, onPause clears it.
+phase onCreate from not-created to resumed sets-pending
+phase onPause from resumed to paused clears-pending
+phase onResume from paused,resumed-pending to resumed clears-pending
+phase onDestroy from resumed,paused to destroyed
+
+# --- sound must-order edges (§6.1.1) ------------------------------------
+order onCreate before-all
+order onDestroy after-all
+order onPreExecute before doInBackground
+order onPreExecute before onProgressUpdate
+order doInBackground before onPostExecute
+order onProgressUpdate before onPostExecute
+
+# --- cancellation (kill) rules (§6.2.1) ---------------------------------
+kill finish scope entry-of-component except onDestroy
+kill unbindService covers onServiceConnected,onServiceDisconnected scope target-or-component
+kill unregisterReceiver covers onReceive scope target-or-component posted-only
+kill removeCallbacksAndMessages covers handleMessage scope target-parent
+
+# --- revive windows (the RHB idiom, §6.2.1) -----------------------------
+revive-window onPause onResume ui
+)spec";
+
+const char *FrameworkSpec::builtinText() { return BuiltinSpecText; }
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<std::string> splitWs(const std::string &Line) {
+  std::vector<std::string> Toks;
+  std::istringstream IS(Line);
+  std::string T;
+  while (IS >> T)
+    Toks.push_back(T);
+  return Toks;
+}
+
+std::vector<std::string> splitComma(const std::string &S) {
+  std::vector<std::string> Out;
+  std::string Cur;
+  for (char C : S) {
+    if (C == ',') {
+      if (!Cur.empty())
+        Out.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur += C;
+    }
+  }
+  if (!Cur.empty())
+    Out.push_back(Cur);
+  return Out;
+}
+
+bool kindFromToken(const std::string &Tok, CallbackKind &Out) {
+  for (int K = 0; K < 14; ++K) {
+    if (Tok == callbackKindName(static_cast<CallbackKind>(K)) &&
+        static_cast<CallbackKind>(K) != CallbackKind::None) {
+      Out = static_cast<CallbackKind>(K);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool phaseFromToken(const std::string &Tok, FrameworkSpec::Phase &Out) {
+  if (Tok == "not-created")
+    Out = FrameworkSpec::Phase::NotCreated;
+  else if (Tok == "resumed")
+    Out = FrameworkSpec::Phase::Resumed;
+  else if (Tok == "paused")
+    Out = FrameworkSpec::Phase::Paused;
+  else if (Tok == "destroyed")
+    Out = FrameworkSpec::Phase::Destroyed;
+  else
+    return false;
+  return true;
+}
+
+/// The cancellation APIs a kill rule may name.
+bool cancelApiFromToken(const std::string &Tok, ApiKind &Out) {
+  static const std::pair<const char *, ApiKind> Table[] = {
+      {"finish", ApiKind::Finish},
+      {"unbindService", ApiKind::UnbindService},
+      {"unregisterReceiver", ApiKind::UnregisterReceiver},
+      {"removeCallbacksAndMessages", ApiKind::RemoveCallbacks},
+  };
+  for (const auto &[N, K] : Table)
+    if (Tok == N) {
+      Out = K;
+      return true;
+    }
+  return false;
+}
+
+} // namespace
+
+namespace nadroid::android {
+
+/// Friend of FrameworkSpec: fills the private tables during parseText.
+struct SpecParser {
+  FrameworkSpec &S;
+  std::vector<std::string> &Diags;
+  int Line = 0;
+
+  void err(const std::string &Msg) {
+    Diags.push_back("spec line " + std::to_string(Line) + ": " + Msg);
+  }
+
+  void parseLine(const std::vector<std::string> &T) {
+    const std::string &D = T[0];
+    if (D == "spec-version")
+      parseVersion(T);
+    else if (D == "kind")
+      parseKind(T);
+    else if (D == "callback")
+      parseCallback(T);
+    else if (D == "phase")
+      parsePhase(T);
+    else if (D == "order")
+      parseOrder(T);
+    else if (D == "kill")
+      parseKill(T);
+    else if (D == "revive-window")
+      parseRevive(T);
+    else
+      err("unknown directive '" + D + "'");
+  }
+
+  void parseVersion(const std::vector<std::string> &T) {
+    if (T.size() != 2) {
+      err("expected: spec-version <number>");
+      return;
+    }
+    char *End = nullptr;
+    long V = std::strtol(T[1].c_str(), &End, 10);
+    if (*End != '\0' || V <= 0) {
+      err("bad spec version '" + T[1] + "'");
+      return;
+    }
+    S.Version = static_cast<unsigned>(V);
+    S.SawVersion = true;
+  }
+
+  void parseKind(const std::vector<std::string> &T) {
+    if (T.size() < 2) {
+      err("expected: kind <cb-kind> [traits...]");
+      return;
+    }
+    CallbackKind K;
+    if (!kindFromToken(T[1], K)) {
+      err("unknown callback kind '" + T[1] + "'");
+      return;
+    }
+    FrameworkSpec::KindTraits &Tr = S.Traits[static_cast<int>(K)];
+    if (Tr.Declared) {
+      err("duplicate kind declaration for '" + T[1] + "'");
+      return;
+    }
+    Tr.Declared = true;
+    for (size_t I = 2; I < T.size(); ++I) {
+      if (T[I] == "entry")
+        Tr.Entry = true;
+      else if (T[I] == "posted")
+        Tr.Posted = true;
+      else if (T[I] == "looper")
+        Tr.Looper = true;
+      else if (T[I] == "needs-resumed")
+        Tr.NeedsResumed = true;
+      else if (T[I] == "once-only")
+        Tr.OnceOnly = true;
+      else if (T[I] == "one-per-post")
+        Tr.OnePerPost = true;
+      else
+        err("unknown kind trait '" + T[I] + "'");
+    }
+  }
+
+  void parseCallback(const std::vector<std::string> &T) {
+    if (T.size() < 4) {
+      err("expected: callback <class-kinds> <cb-kind> <name>...");
+      return;
+    }
+    std::vector<ClassKind> Classes;
+    for (const std::string &C : splitComma(T[1])) {
+      ClassKind CK;
+      if (!ir::classKindFromName(C, CK)) {
+        err("unknown class kind '" + C + "'");
+        return;
+      }
+      Classes.push_back(CK);
+    }
+    CallbackKind K;
+    if (!kindFromToken(T[2], K)) {
+      err("unknown callback kind '" + T[2] + "'");
+      return;
+    }
+    for (size_t I = 3; I < T.size(); ++I) {
+      for (ClassKind CK : Classes) {
+        auto Key = std::make_pair(static_cast<int>(CK), T[I]);
+        auto [It, Inserted] = S.Registry.emplace(Key, K);
+        if (!Inserted)
+          err("duplicate registration of '" + T[I] + "' on class kind '" +
+              ir::classKindName(CK) + "'");
+        (void)It;
+      }
+      S.Names.insert(T[I]);
+    }
+  }
+
+  void parsePhase(const std::vector<std::string> &T) {
+    // phase <cb> from <list> to <phase> [sets-pending] [clears-pending]
+    if (T.size() < 6 || T[2] != "from" || T[4] != "to") {
+      err("expected: phase <callback> from <phases> to <phase> [flags]");
+      return;
+    }
+    FrameworkSpec::PhaseRule R;
+    R.Callback = T[1];
+    R.Line = Line;
+    for (const std::string &P : splitComma(T[3])) {
+      FrameworkSpec::Phase Ph;
+      if (P == "resumed-pending") {
+        R.FromResumedPending = true;
+      } else if (phaseFromToken(P, Ph)) {
+        R.FromMask |= uint8_t(1u << static_cast<unsigned>(Ph));
+      } else {
+        err("unknown phase '" + P + "'");
+        return;
+      }
+    }
+    if (!phaseFromToken(T[5], R.To)) {
+      err("unknown phase '" + T[5] + "'");
+      return;
+    }
+    for (size_t I = 6; I < T.size(); ++I) {
+      if (T[I] == "sets-pending")
+        R.SetsPending = true;
+      else if (T[I] == "clears-pending")
+        R.ClearsPending = true;
+      else
+        err("unknown phase flag '" + T[I] + "'");
+    }
+    S.Phases.push_back(std::move(R));
+  }
+
+  void parseOrder(const std::vector<std::string> &T) {
+    if (T.size() == 3 && (T[2] == "before-all" || T[2] == "after-all")) {
+      (T[2] == "before-all" ? S.BeforeAll : S.AfterAll).insert(T[1]);
+      return;
+    }
+    if (T.size() == 4 && T[2] == "before") {
+      CallbackKind A, B;
+      if (!kindFromToken(T[1], A)) {
+        err("unknown callback kind '" + T[1] + "'");
+        return;
+      }
+      if (!kindFromToken(T[3], B)) {
+        err("unknown callback kind '" + T[3] + "'");
+        return;
+      }
+      S.OrderEdges.emplace_back(A, B);
+      return;
+    }
+    err("expected: order <callback> before-all|after-all, or "
+        "order <cb-kind> before <cb-kind>");
+  }
+
+  void parseKill(const std::vector<std::string> &T) {
+    if (T.size() < 2) {
+      err("expected: kill <api> [covers <kinds>] scope <scope> [flags]");
+      return;
+    }
+    FrameworkSpec::KillRule R;
+    R.ApiToken = T[1];
+    R.Line = Line;
+    if (!cancelApiFromToken(T[1], R.Api))
+      err("'" + T[1] + "' is not a cancellation API");
+    bool SawScope = false;
+    size_t I = 2;
+    while (I < T.size()) {
+      if (T[I] == "covers" && I + 1 < T.size()) {
+        for (const std::string &K : splitComma(T[I + 1])) {
+          R.CoverTokens.push_back(K);
+          CallbackKind CK;
+          if (kindFromToken(K, CK))
+            R.Covers.push_back(CK);
+          else
+            err("unknown callback kind '" + K + "' in covers list");
+        }
+        I += 2;
+      } else if (T[I] == "scope" && I + 1 < T.size()) {
+        SawScope = true;
+        if (T[I + 1] == "entry-of-component")
+          R.Scope = FrameworkSpec::KillScope::EntryOfComponent;
+        else if (T[I + 1] == "target-or-component")
+          R.Scope = FrameworkSpec::KillScope::TargetOrComponent;
+        else if (T[I + 1] == "target-parent")
+          R.Scope = FrameworkSpec::KillScope::TargetParent;
+        else
+          err("unknown kill scope '" + T[I + 1] + "'");
+        I += 2;
+      } else if (T[I] == "except" && I + 1 < T.size()) {
+        for (const std::string &N : splitComma(T[I + 1]))
+          R.Except.push_back(N);
+        I += 2;
+      } else if (T[I] == "posted-only") {
+        R.PostedOnly = true;
+        I += 1;
+      } else {
+        err("unexpected token '" + T[I] + "' in kill rule");
+        return;
+      }
+    }
+    if (!SawScope)
+      err("kill rule for '" + T[1] + "' is missing a scope");
+    S.Kills.push_back(std::move(R));
+  }
+
+  void parseRevive(const std::vector<std::string> &T) {
+    if (T.size() != 4) {
+      err("expected: revive-window <free-cb> <revive-cb> <use-cb-kind>");
+      return;
+    }
+    FrameworkSpec::ReviveWindow W;
+    W.FreeCallback = T[1];
+    W.ReviveCallback = T[2];
+    W.UseKindToken = T[3];
+    W.Line = Line;
+    if (!kindFromToken(T[3], W.UseKind))
+      err("unknown callback kind '" + T[3] + "'");
+    S.Revives.push_back(std::move(W));
+  }
+
+  void finishClosure() {
+    // Transitive closure of the kind-level order edges (Floyd–Warshall
+    // over the 14 kinds). Cycles surface in validate().
+    for (const auto &[A, B] : S.OrderEdges)
+      S.OrderClosure[static_cast<int>(A)][static_cast<int>(B)] = true;
+    for (int K = 0; K < 14; ++K)
+      for (int I = 0; I < 14; ++I)
+        for (int J = 0; J < 14; ++J)
+          if (S.OrderClosure[I][K] && S.OrderClosure[K][J])
+            S.OrderClosure[I][J] = true;
+  }
+};
+
+} // namespace nadroid::android
+
+bool FrameworkSpec::parseText(const std::string &Text, FrameworkSpec &Out,
+                              std::vector<std::string> &Diags) {
+  Out = FrameworkSpec();
+  SpecParser P{Out, Diags};
+  size_t Before = Diags.size();
+  std::istringstream IS(Text);
+  std::string Line;
+  while (std::getline(IS, Line)) {
+    ++P.Line;
+    size_t Hash = Line.find('#');
+    if (Hash != std::string::npos)
+      Line.erase(Hash);
+    std::vector<std::string> Toks = splitWs(Line);
+    if (Toks.empty())
+      continue;
+    P.parseLine(Toks);
+  }
+  P.finishClosure();
+  return Diags.size() == Before;
+}
+
+bool FrameworkSpec::loadFile(const std::string &Path, FrameworkSpec &Out,
+                             std::vector<std::string> &Diags) {
+  std::ifstream In(Path);
+  if (!In) {
+    Diags.push_back("cannot read spec file '" + Path + "'");
+    return false;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return parseText(SS.str(), Out, Diags);
+}
+
+//===----------------------------------------------------------------------===//
+// Validation
+//===----------------------------------------------------------------------===//
+
+std::vector<std::string> FrameworkSpec::validate() const {
+  std::vector<std::string> Diags;
+  auto Err = [&](int Line, const std::string &Msg) {
+    if (Line > 0)
+      Diags.push_back("spec line " + std::to_string(Line) + ": " + Msg);
+    else
+      Diags.push_back("spec: " + Msg);
+  };
+
+  if (!SawVersion)
+    Err(0, "missing spec-version directive");
+  else if (Version != 1)
+    Err(0, "unsupported spec-version " + std::to_string(Version));
+
+  // Every kind referenced by a registration must be declared.
+  for (const auto &[Key, K] : Registry)
+    if (!traits(K).Declared)
+      Err(0, std::string("callback '") + Key.second +
+                 "' references undeclared kind '" + callbackKindName(K) +
+                 "'");
+
+  // Phase rules: known callbacks, one rule per callback.
+  std::set<std::string> PhaseSeen;
+  for (const PhaseRule &R : Phases) {
+    if (!Names.count(R.Callback))
+      Err(R.Line, "phase rule for unknown callback '" + R.Callback + "'");
+    if (!PhaseSeen.insert(R.Callback).second)
+      Err(R.Line, "conflicting phase rules for '" + R.Callback + "'");
+    if (R.FromMask == 0 && !R.FromResumedPending)
+      Err(R.Line, "phase rule for '" + R.Callback + "' admits no phase");
+  }
+
+  // Name-level order: known callbacks, no callback both first and last.
+  for (const std::string &N : BeforeAll)
+    if (!Names.count(N))
+      Err(0, "order before-all names unknown callback '" + N + "'");
+  for (const std::string &N : AfterAll) {
+    if (!Names.count(N))
+      Err(0, "order after-all names unknown callback '" + N + "'");
+    if (BeforeAll.count(N))
+      Err(0, "cyclic must-order: '" + N +
+                 "' is declared both before-all and after-all");
+  }
+
+  // Kind-level order: the closure must be irreflexive (acyclic edges).
+  for (int K = 0; K < 14; ++K)
+    if (OrderClosure[K][K])
+      Err(0, std::string("cyclic must-order edges through kind '") +
+                 callbackKindName(static_cast<CallbackKind>(K)) + "'");
+
+  // Kill rules: one per API; covered kinds must have registered callbacks
+  // (a dangling kill target covers nothing and is certainly a typo).
+  std::set<int> KillSeen;
+  for (const KillRule &R : Kills) {
+    if (R.Api != ApiKind::None && !KillSeen.insert(int(R.Api)).second)
+      Err(R.Line, "duplicate kill rule for '" + R.ApiToken + "'");
+    for (size_t I = 0; I < R.Covers.size(); ++I) {
+      bool Registered = false;
+      for (const auto &[Key, K] : Registry)
+        if (K == R.Covers[I])
+          Registered = true;
+      if (!Registered)
+        Err(R.Line, "kill rule for '" + R.ApiToken +
+                        "' covers kind '" + R.CoverTokens[I] +
+                        "' with no registered callback (dangling target)");
+    }
+    for (const std::string &N : R.Except)
+      if (!Names.count(N))
+        Err(R.Line, "kill rule for '" + R.ApiToken +
+                        "' excepts unknown callback '" + N + "'");
+  }
+
+  // Revive windows: both callbacks must exist (dangling revive target).
+  for (const ReviveWindow &W : Revives) {
+    if (!Names.count(W.FreeCallback))
+      Err(W.Line, "revive-window frees in unknown callback '" +
+                      W.FreeCallback + "' (dangling target)");
+    if (!Names.count(W.ReviveCallback))
+      Err(W.Line, "revive-window revives in unknown callback '" +
+                      W.ReviveCallback + "' (dangling target)");
+  }
+  return Diags;
+}
+
+//===----------------------------------------------------------------------===//
+// Queries
+//===----------------------------------------------------------------------===//
+
+const FrameworkSpec::KindTraits &
+FrameworkSpec::traits(CallbackKind K) const {
+  return Traits[static_cast<int>(K)];
+}
+
+CallbackKind FrameworkSpec::classify(ClassKind K,
+                                     const std::string &Name) const {
+  auto It = Registry.find({static_cast<int>(K), Name});
+  return It == Registry.end() ? CallbackKind::None : It->second;
+}
+
+bool FrameworkSpec::mustPrecedeWithinComponent(const std::string &A,
+                                               const std::string &B) const {
+  if (A == B)
+    return false;
+  if (BeforeAll.count(A))
+    return true;
+  if (AfterAll.count(B))
+    return true;
+  return false;
+}
+
+bool FrameworkSpec::mustPrecedeKinds(CallbackKind A, CallbackKind B) const {
+  return OrderClosure[static_cast<int>(A)][static_cast<int>(B)];
+}
+
+const FrameworkSpec::PhaseRule *
+FrameworkSpec::phaseRule(const std::string &Name) const {
+  for (const PhaseRule &R : Phases)
+    if (R.Callback == Name)
+      return &R;
+  return nullptr;
+}
+
+bool FrameworkSpec::createsComponent(const std::string &Name) const {
+  const PhaseRule *R = phaseRule(Name);
+  return R && (R->FromMask &
+               (1u << static_cast<unsigned>(Phase::NotCreated))) != 0;
+}
+
+const FrameworkSpec::KillRule *FrameworkSpec::killRule(ApiKind K) const {
+  for (const KillRule &R : Kills)
+    if (R.Api == K)
+      return &R;
+  return nullptr;
+}
+
+std::string FrameworkSpec::summary() const {
+  unsigned Kinds = 0;
+  for (const KindTraits &T : Traits)
+    Kinds += T.Declared;
+  std::ostringstream OS;
+  OS << "spec-version " << Version << ": " << Registry.size()
+     << " registrations over " << Names.size() << " callback names, "
+     << Kinds << " kinds, " << Phases.size() << " phase rules, "
+     << (BeforeAll.size() + AfterAll.size() + OrderEdges.size())
+     << " order rules, " << Kills.size() << " kill rules, "
+     << Revives.size() << " revive windows";
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Builtin
+//===----------------------------------------------------------------------===//
+
+const FrameworkSpec &FrameworkSpec::builtin() {
+  static const FrameworkSpec Spec = [] {
+    FrameworkSpec S;
+    std::vector<std::string> Diags;
+    bool Ok = parseText(BuiltinSpecText, S, Diags);
+    if (Ok)
+      for (const std::string &D : S.validate())
+        Diags.push_back(D);
+    if (!Diags.empty()) {
+      for (const std::string &D : Diags)
+        std::fprintf(stderr, "builtin framework spec: %s\n", D.c_str());
+      std::abort(); // programming error: the builtin must always be valid
+    }
+    return S;
+  }();
+  return Spec;
+}

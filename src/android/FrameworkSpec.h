@@ -1,0 +1,202 @@
+//===- android/FrameworkSpec.h - Declarative framework spec -----*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A declarative specification of the Android framework surface the
+/// analyses consume: which method names are callbacks on which class
+/// kinds, per-kind traits (entry/posted, looper affinity, activation
+/// multiplicity), component lifecycle phase rules, must-order edges, kill
+/// (cancellation) rules, and revive windows. The spec replaces the
+/// hand-coded tables that used to live in Callbacks.cpp so that
+/// threadification, the HB refuter, and the history refuter all read
+/// ordering facts from one data source, and extending the framework
+/// surface (Fragments, LiveData, ...) becomes a spec edit.
+///
+/// The format is line-based; `#` starts a comment. Directives:
+///
+///   spec-version N
+///   kind <cb-kind> [entry] [posted] [looper] [needs-resumed]
+///        [once-only] [one-per-post]
+///   callback <class-kind-list> <cb-kind> <method-name>...
+///   phase <callback> from <phase-list> to <phase>
+///        [sets-pending] [clears-pending]
+///   order <callback> before-all|after-all
+///   order <cb-kind> before <cb-kind>
+///   kill <api> [covers <cb-kind-list>] scope
+///        entry-of-component|target-or-component|target-parent
+///        [except <callback-list>] [posted-only]
+///   revive-window <free-callback> <revive-callback> <use-cb-kind>
+///
+/// Phase tokens: not-created, resumed, paused, destroyed, and the
+/// pseudo-phase resumed-pending (resumed with a framework onResume still
+/// owed, e.g. right after onCreate). Class-kind tokens follow
+/// ir::classKindName; cb-kind tokens follow android::callbackKindName.
+///
+/// `parseText` reports syntax errors; `validate` reports semantic ones
+/// (unknown callback names, cyclic must-order edges, dangling kill/revive
+/// targets). `nadroid --check-spec` runs both and exits nonzero on any
+/// diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_ANDROID_FRAMEWORKSPEC_H
+#define NADROID_ANDROID_FRAMEWORKSPEC_H
+
+#include "android/Api.h"
+#include "android/Callbacks.h"
+#include "ir/Ir.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace nadroid::android {
+
+class FrameworkSpec {
+public:
+  /// Component lifecycle phases, shared with both refuter tiers.
+  enum class Phase : uint8_t {
+    NotCreated = 0,
+    Resumed = 1,
+    Paused = 2,
+    Destroyed = 3,
+  };
+  static constexpr unsigned NumPhases = 4;
+
+  /// Per-callback-kind traits declared by `kind` lines.
+  struct KindTraits {
+    bool Declared = false;
+    bool Entry = false;        ///< Externally invoked by the runtime.
+    bool Posted = false;       ///< Triggered from within the app.
+    bool Looper = false;       ///< Runs atomically on a looper.
+    bool NeedsResumed = false; ///< Activates only while resumed (UI).
+    bool OnceOnly = false;     ///< At most one activation per instance.
+    bool OnePerPost = false;   ///< At most one activation per post.
+  };
+
+  /// A lifecycle phase transition: callback \p Callback may activate when
+  /// the component phase is in \p FromMask (or, for FromResumedPending,
+  /// resumed with a framework onResume still owed) and moves it to \p To.
+  struct PhaseRule {
+    std::string Callback;
+    uint8_t FromMask = 0; ///< Bit (1 << Phase) per admissible phase.
+    bool FromResumedPending = false;
+    Phase To = Phase::Resumed;
+    bool SetsPending = false;   ///< Activation owes a framework onResume.
+    bool ClearsPending = false; ///< Activation discharges the owed resume.
+    int Line = 0;
+  };
+
+  /// Which threads a cancellation API kills (§6.2.1 made declarative).
+  enum class KillScope : uint8_t {
+    EntryOfComponent,  ///< Entry callbacks of the target component.
+    TargetOrComponent, ///< Covered kinds of the target class, or of the
+                       ///< freeing component when the target is unknown.
+    TargetParent,      ///< Covered kinds declared on the target class.
+  };
+
+  struct KillRule {
+    ApiKind Api = ApiKind::None;
+    std::string ApiToken;
+    KillScope Scope = KillScope::EntryOfComponent;
+    std::vector<CallbackKind> Covers;
+    std::vector<std::string> CoverTokens;
+    std::vector<std::string> Except; ///< Callback names exempt from the kill.
+    bool PostedOnly = false; ///< Only posted instances are covered.
+    int Line = 0;
+  };
+
+  /// RHB's revive idiom: frees in \p FreeCallback are re-examined against
+  /// re-allocations in \p ReviveCallback for uses of kind \p UseKind.
+  struct ReviveWindow {
+    std::string FreeCallback;
+    std::string ReviveCallback;
+    CallbackKind UseKind = CallbackKind::None;
+    std::string UseKindToken;
+    int Line = 0;
+  };
+
+  /// The built-in spec mirroring the paper's framework surface (the table
+  /// Callbacks.cpp used to hard-code). Parsed once, never invalid.
+  static const FrameworkSpec &builtin();
+
+  /// The built-in spec source text (for --check-spec and tests).
+  static const char *builtinText();
+
+  /// Parses \p Text. Syntax diagnostics are appended to \p Diags; returns
+  /// false when any were produced. Semantic checks are separate: call
+  /// validate() on the result.
+  static bool parseText(const std::string &Text, FrameworkSpec &Out,
+                        std::vector<std::string> &Diags);
+
+  /// Reads and parses a spec file. Unreadable file => diagnostic + false.
+  static bool loadFile(const std::string &Path, FrameworkSpec &Out,
+                       std::vector<std::string> &Diags);
+
+  /// Semantic validation: unknown callback names in phase/order/kill/
+  /// revive lines, cyclic must-order edges, dangling kill/revive targets,
+  /// duplicate or conflicting rules. Empty result == valid.
+  std::vector<std::string> validate() const;
+
+  // --- Queries (the Callbacks.h functions delegate here) ---------------
+  CallbackKind classify(ir::ClassKind K, const std::string &Name) const;
+  bool isEntry(CallbackKind K) const { return traits(K).Entry; }
+  bool isPosted(CallbackKind K) const { return traits(K).Posted; }
+  bool onLooper(CallbackKind K) const { return traits(K).Looper; }
+  bool needsResumed(CallbackKind K) const { return traits(K).NeedsResumed; }
+  bool isOnceOnly(CallbackKind K) const { return traits(K).OnceOnly; }
+  bool isOnePerPost(CallbackKind K) const { return traits(K).OnePerPost; }
+
+  /// MHB-Lifecycle: must \p A precede \p B within one component instance?
+  bool mustPrecedeWithinComponent(const std::string &A,
+                                  const std::string &B) const;
+
+  /// MHB-AsyncTask (generalized): must kind \p A precede kind \p B within
+  /// one instance? Transitive closure of the spec's `before` edges.
+  bool mustPrecedeKinds(CallbackKind A, CallbackKind B) const;
+
+  /// The phase rule governing callback \p Name, or nullptr when the
+  /// callback does not drive the component phase machine.
+  const PhaseRule *phaseRule(const std::string &Name) const;
+
+  /// True when \p Name's phase rule admits activation from NotCreated —
+  /// i.e. the callback that brings the component into existence.
+  bool createsComponent(const std::string &Name) const;
+
+  const KillRule *killRule(ApiKind K) const;
+  const std::vector<KillRule> &killRules() const { return Kills; }
+  const std::vector<ReviveWindow> &reviveWindows() const { return Revives; }
+
+  unsigned specVersion() const { return Version; }
+
+  /// Human-readable one-line stats for --check-spec.
+  std::string summary() const;
+
+private:
+  const KindTraits &traits(CallbackKind K) const;
+
+  unsigned Version = 0;
+  /// (class kind, method name) -> callback kind.
+  std::map<std::pair<int, std::string>, CallbackKind> Registry;
+  /// Every registered callback method name.
+  std::set<std::string> Names;
+  KindTraits Traits[14] = {};
+  std::vector<PhaseRule> Phases;
+  std::set<std::string> BeforeAll, AfterAll;
+  /// Raw `A before B` kind edges, and their transitive closure.
+  std::vector<std::pair<CallbackKind, CallbackKind>> OrderEdges;
+  bool OrderClosure[14][14] = {};
+  std::vector<KillRule> Kills;
+  std::vector<ReviveWindow> Revives;
+  bool SawVersion = false;
+
+  friend struct SpecParser;
+};
+
+} // namespace nadroid::android
+
+#endif // NADROID_ANDROID_FRAMEWORKSPEC_H

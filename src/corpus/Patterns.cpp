@@ -43,6 +43,20 @@ const char *corpus::seedKindName(SeedKind Kind) {
     return "phb-proved";
   case SeedKind::PhbRacy:
     return "phb-racy";
+  case SeedKind::RhbRepeatProved:
+    return "rhb-repeat-proved";
+  case SeedKind::RhbRepeatRacy:
+    return "rhb-repeat-racy";
+  case SeedKind::ChbDeepProved:
+    return "chb-deep-proved";
+  case SeedKind::ChbRepeatProved:
+    return "chb-repeat-proved";
+  case SeedKind::ChbRepeatRacy:
+    return "chb-repeat-racy";
+  case SeedKind::PhbChainProved:
+    return "phb-chain-proved";
+  case SeedKind::PhbChainRacy:
+    return "phb-chain-racy";
   case SeedKind::FalseMa:
     return "false-ma";
   case SeedKind::FalseUr:
@@ -559,6 +573,186 @@ void PatternEmitter::phbRacy() {
   B.emitLoad(U, B.thisLocal(), H.F);
   B.emitCall(nullptr, U, "use");
   record(SeedKind::PhbRacy, H.F, Use, Free, PairType::EcPc);
+}
+
+//===----------------------------------------------------------------------===//
+// History-refuter variants (--refute-v2)
+//===----------------------------------------------------------------------===//
+
+void PatternEmitter::rhbRepeatProved() {
+  Host H = makeHost(tag());
+  Method *Free = B.makeMethod(H.Activity, "onPause");
+  B.emitStore(B.thisLocal(), H.F, nullptr);
+  // onResume itself re-allocates on a branch only, so the tier-1
+  // intra-procedural must-analysis sees no revive and assumes. But the
+  // refill helper it always calls re-allocates unconditionally — the
+  // tier-2 inter-procedural revive refinement proves the pair.
+  B.makeMethod(H.Activity, "onResume");
+  B.beginIfUnknown();
+  Local *X = B.emitNew("x", H.Payload);
+  B.emitStore(B.thisLocal(), H.F, X);
+  B.endIf();
+  B.emitCall(nullptr, B.thisLocal(), "refill");
+  B.makeMethod(H.Activity, "refill");
+  Local *Y = B.emitNew("y", H.Payload);
+  B.emitStore(B.thisLocal(), H.F, Y);
+  Method *Use = B.makeMethod(H.Activity, "onClick");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), H.F);
+  B.emitCall(nullptr, U, "use");
+  record(SeedKind::RhbRepeatProved, H.F, Use, Free, PairType::EcEc);
+}
+
+void PatternEmitter::rhbRepeatRacy() {
+  Host H = makeHost(tag());
+  Method *Free = B.makeMethod(H.Activity, "onPause");
+  B.emitStore(B.thisLocal(), H.F, nullptr);
+  // Like rhbRepeatProved, but the helper also re-allocates on a branch
+  // only. No depth of inter-procedural reasoning turns that into a
+  // revive; the history pause -> resume(both allocs skipped) -> click
+  // is a stable witness.
+  B.makeMethod(H.Activity, "onResume");
+  B.beginIfUnknown();
+  Local *X = B.emitNew("x", H.Payload);
+  B.emitStore(B.thisLocal(), H.F, X);
+  B.endIf();
+  B.emitCall(nullptr, B.thisLocal(), "refill");
+  B.makeMethod(H.Activity, "refill");
+  B.beginIfUnknown();
+  Local *Y = B.emitNew("y", H.Payload);
+  B.emitStore(B.thisLocal(), H.F, Y);
+  B.endIf();
+  Method *Use = B.makeMethod(H.Activity, "onClick");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), H.F);
+  B.emitCall(nullptr, U, "use");
+  record(SeedKind::RhbRepeatRacy, H.F, Use, Free, PairType::EcEc);
+}
+
+void PatternEmitter::chbDeepProved() {
+  Host H = makeHost(tag());
+  // The freeing onClick calls a teardown helper whose finish() dominates
+  // the helper's exit. Tier 1 only scans the free's own method for a
+  // dominating cancel and assumes; tier 2's inter-procedural kill
+  // refinement admits the helper's finish and proves the pair.
+  Method *Free = B.makeMethod(H.Activity, "onClick");
+  B.emitCall(nullptr, B.thisLocal(), "teardown");
+  B.emitStore(B.thisLocal(), H.F, nullptr);
+  B.makeMethod(H.Activity, "teardown");
+  B.emitFinish();
+  Method *Use = B.makeMethod(H.Activity, "onLongClick");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), H.F);
+  B.emitCall(nullptr, U, "use");
+  record(SeedKind::ChbDeepProved, H.F, Use, Free, PairType::EcEc);
+}
+
+void PatternEmitter::chbRepeatProved() {
+  Host H = makeHost(tag());
+  // Same helper-finish kill as chbDeepProved, but the use is a system
+  // callback that fires unboundedly often and even while paused — no
+  // lifecycle phase orders it, only the kill edge does.
+  Method *Free = B.makeMethod(H.Activity, "onClick");
+  B.emitCall(nullptr, B.thisLocal(), "teardown");
+  B.emitStore(B.thisLocal(), H.F, nullptr);
+  B.makeMethod(H.Activity, "teardown");
+  B.emitFinish();
+  Method *Use = B.makeMethod(H.Activity, "onLocationChanged");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), H.F);
+  B.emitCall(nullptr, U, "use");
+  record(SeedKind::ChbRepeatProved, H.F, Use, Free, PairType::EcEc);
+}
+
+void PatternEmitter::chbRepeatRacy() {
+  Host H = makeHost(tag());
+  // The teardown helper calls finish() on an error branch only: at no
+  // inter-procedural depth does the helper become a must-cancel, so the
+  // witness click(free, no finish) -> onLocationChanged is stable.
+  Method *Free = B.makeMethod(H.Activity, "onClick");
+  B.emitCall(nullptr, B.thisLocal(), "teardown");
+  B.emitStore(B.thisLocal(), H.F, nullptr);
+  B.makeMethod(H.Activity, "teardown");
+  B.beginIfUnknown();
+  B.emitFinish();
+  B.endIf();
+  Method *Use = B.makeMethod(H.Activity, "onLocationChanged");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), H.F);
+  B.emitCall(nullptr, U, "use");
+  record(SeedKind::ChbRepeatRacy, H.F, Use, Free, PairType::EcEc);
+}
+
+void PatternEmitter::phbChainProved() {
+  Host H = makeHost(tag());
+  std::string T = innerTag();
+  // An 11-deep relay of posted runnables: onDestroy posts link 1, each
+  // link posts the next, the last link frees. With onCreate, onDestroy
+  // and 11 links, the pair involves 13 interacting callbacks — beyond
+  // tier 1's per-model thread capacity (demoted to assumed) but inside
+  // tier 2's. The proof is the lifecycle: onDestroy never re-activates
+  // after Destroyed, so its use precedes the chain's free.
+  constexpr unsigned Depth = 11;
+  std::vector<Clazz *> Runs;
+  std::vector<Field *> ActFs;
+  for (unsigned I = 0; I < Depth; ++I) {
+    Clazz *Run =
+        B.makeClass("Run" + T + "L" + std::to_string(I + 1), ClassKind::Runnable);
+    Runs.push_back(Run);
+    ActFs.push_back(B.addField(Run, "act", H.Activity));
+  }
+  Method *Free = nullptr;
+  for (unsigned I = 0; I < Depth; ++I) {
+    Method *M = B.makeMethod(Runs[I], "run");
+    Local *A = B.local("a");
+    B.emitLoad(A, B.thisLocal(), ActFs[I]);
+    if (I + 1 < Depth) {
+      Local *R = B.emitNew("r", Runs[I + 1]);
+      B.emitStore(R, ActFs[I + 1], A);
+      B.emitCall(nullptr, A, "runOnUiThread", {R});
+    } else {
+      B.emitStore(A, H.F, nullptr);
+      Free = M;
+    }
+  }
+  Method *Use = B.makeMethod(H.Activity, "onDestroy");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), H.F);
+  B.emitCall(nullptr, U, "use");
+  Local *R = B.emitNew("r", Runs[0]);
+  B.emitStore(R, ActFs[0], B.thisLocal());
+  B.emitCall(nullptr, B.thisLocal(), "runOnUiThread", {R});
+  record(SeedKind::PhbChainProved, H.F, Use, Free, PairType::EcPc);
+}
+
+void PatternEmitter::phbChainRacy() {
+  Host H = makeHost(tag());
+  std::string T = innerTag();
+  // A short 2-deep chain, but posted from onClick: PHB orders each
+  // click against its own chain, yet a second click lands after the
+  // first chain's free. Racy at both tiers.
+  Clazz *Run1 = B.makeClass("Run" + T + "L1", ClassKind::Runnable);
+  Field *ActF1 = B.addField(Run1, "act", H.Activity);
+  Clazz *Run2 = B.makeClass("Run" + T + "L2", ClassKind::Runnable);
+  Field *ActF2 = B.addField(Run2, "act", H.Activity);
+  B.makeMethod(Run1, "run");
+  Local *A1 = B.local("a");
+  B.emitLoad(A1, B.thisLocal(), ActF1);
+  Local *R2 = B.emitNew("r", Run2);
+  B.emitStore(R2, ActF2, A1);
+  B.emitCall(nullptr, A1, "runOnUiThread", {R2});
+  Method *Free = B.makeMethod(Run2, "run");
+  Local *A2 = B.local("a");
+  B.emitLoad(A2, B.thisLocal(), ActF2);
+  B.emitStore(A2, H.F, nullptr);
+  Method *Use = B.makeMethod(H.Activity, "onClick");
+  Local *R1 = B.emitNew("r", Run1);
+  B.emitStore(R1, ActF1, B.thisLocal());
+  B.emitCall(nullptr, B.thisLocal(), "runOnUiThread", {R1});
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), H.F);
+  B.emitCall(nullptr, U, "use");
+  record(SeedKind::PhbChainRacy, H.F, Use, Free, PairType::EcPc);
 }
 
 void PatternEmitter::falseMa() {

@@ -54,6 +54,13 @@ enum class SeedKind : uint8_t {
   ChbResumeRacy,  ///< CHB suppression demoted; free in onResume, no onPause
   PhbProved,      ///< PHB suppression the refuter proves sound
   PhbRacy,        ///< PHB suppression the refuter demotes (real race)
+  RhbRepeatProved, ///< tier-1 assumed; tier-2 inter-procedural revive proves
+  RhbRepeatRacy,   ///< tier-1 assumed; helper re-allocates on a branch only
+  ChbDeepProved,   ///< tier-1 assumed; tier-2 inter-procedural kill proves
+  ChbRepeatProved, ///< same kill shape, unboundedly-repeating system use
+  ChbRepeatRacy,   ///< helper finish on an error branch: stays assumed
+  PhbChainProved,  ///< post chain beyond tier-1 capacity; tier-2 proves
+  PhbChainRacy,    ///< short freeing chain re-posted per click: real race
   FalseMa,        ///< pruned by the unsound MA filter
   FalseUr,        ///< pruned by the unsound UR filter
   FalseTt,        ///< pruned by the unsound TT filter
@@ -170,6 +177,43 @@ public:
   /// PHB, unsound instance: onClick posts the freeing runnable; a second
   /// click lands after the postee's free.
   void phbRacy();
+
+  //===--------------------------------------------------------------------===//
+  // History-refuter variants (--refute-v2): each tier-1 Assumed source
+  // split into a shape the tier-2 refinement discharges and a genuinely
+  // racy sibling. Like the tier-1 variants above, NOT part of any corpus
+  // recipe; the refuter benches and tests build them explicitly.
+  //===--------------------------------------------------------------------===//
+
+  /// RHB, tier-2 provable: onResume re-allocates on a branch only (the
+  /// intra-procedural must-analysis fails, tier 1 assumes) but then
+  /// calls a helper that re-allocates unconditionally — the
+  /// inter-procedural revive refinement proves the pair.
+  void rhbRepeatProved();
+  /// RHB, genuinely racy: same shape, but the helper also re-allocates
+  /// on a branch only. No refinement applies; the witness history
+  /// pause -> resume(no alloc anywhere) -> click is stable.
+  void rhbRepeatRacy();
+  /// CHB, tier-2 provable: the freeing onClick calls a teardown helper
+  /// whose finish() dominates its exit; tier 1 sees no must-cancel in
+  /// the free's own method, the inter-procedural kill refinement does.
+  void chbDeepProved();
+  /// CHB, tier-2 provable, repeating-history form: same helper-finish
+  /// kill, but the use is a system-event callback (onLocationChanged)
+  /// that activates unboundedly often and even while paused — only the
+  /// kill edge orders it.
+  void chbRepeatProved();
+  /// CHB, genuinely racy: the teardown helper calls finish() on an error
+  /// branch only, so it never becomes a must-cancel at any depth.
+  void chbRepeatRacy();
+  /// PHB, tier-2 provable: onDestroy uses, then posts an 11-deep relay
+  /// chain whose last link frees. The 13 interacting callbacks exceed
+  /// tier 1's capacity (demoted); tier 2's larger budget proves it —
+  /// onDestroy can never re-activate after Destroyed.
+  void phbChainProved();
+  /// PHB, genuinely racy: onClick uses and posts a 2-deep chain whose
+  /// last link frees; a second click lands after the free.
+  void phbChainRacy();
 
   /// Getter-backed allocation before use (MA).
   void falseMa();

@@ -30,6 +30,12 @@
 //                                    IG/IA guard analyses
 //   nadroid --refute app.air         prove or demote each RHB/CHB/PHB
 //                                    suppression (provenance column)
+//   nadroid --refute-v2 app.air      re-attack each assumed pair with the
+//                                    tier-2 history refuter (implies
+//                                    --refute)
+//   nadroid --check-spec             validate the framework spec and exit
+//   nadroid --spec-file FILE         check FILE instead of the builtin
+//                                    spec (with --check-spec)
 //   nadroid --batch DIR              analyze every .air app in DIR and
 //                                    print an aggregate Table-1 summary
 //   nadroid --batch-timeout SEC      per-app soft budget; over-budget apps
@@ -49,6 +55,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "android/FrameworkSpec.h"
 #include "corpus/Corpus.h"
 #include "deva/Deva.h"
 #include "frontend/Frontend.h"
@@ -89,6 +96,9 @@ struct CliOptions {
   bool Lint = false;
   bool SyntacticFilters = false;
   bool Refute = false;
+  bool RefuteHistory = false;
+  bool CheckSpec = false;
+  std::string SpecFile;
   unsigned K = 2;
   unsigned Jobs = 0;
   std::string ExportCorpusDir;
@@ -107,6 +117,7 @@ void printUsage() {
       << "               [--print-ir] [--stats] [--rank] [--fragments]\n"
       << "               [--dot] [--explain] [--json]\n"
       << "               [--lint] [--syntactic-filters] [--refute]\n"
+      << "               [--refute-v2] [--check-spec] [--spec-file FILE]\n"
       << "               [--k N] [--jobs N] [--export-corpus DIR]\n"
       << "               [--batch DIR] [--batch-timeout SEC]\n"
       << "               [--batch-log FILE] [--resume]\n"
@@ -144,6 +155,17 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       Opts.SyntacticFilters = true;
     else if (!std::strcmp(Arg, "--refute"))
       Opts.Refute = true;
+    else if (!std::strcmp(Arg, "--refute-v2"))
+      Opts.Refute = Opts.RefuteHistory = true;
+    else if (!std::strcmp(Arg, "--check-spec"))
+      Opts.CheckSpec = true;
+    else if (!std::strcmp(Arg, "--spec-file")) {
+      if (++I >= argc) {
+        std::cerr << "error: --spec-file needs a file\n";
+        return false;
+      }
+      Opts.SpecFile = argv[I];
+    }
     else if (!std::strcmp(Arg, "--export-corpus")) {
       if (++I >= argc) {
         std::cerr << "error: --export-corpus needs a directory\n";
@@ -222,8 +244,12 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
     }
   }
   if (Opts.Files.empty() && Opts.ExportCorpusDir.empty() &&
-      Opts.BatchDir.empty()) {
+      Opts.BatchDir.empty() && !Opts.CheckSpec) {
     printUsage();
+    return false;
+  }
+  if (!Opts.SpecFile.empty() && !Opts.CheckSpec) {
+    std::cerr << "error: --spec-file needs --check-spec\n";
     return false;
   }
   if (Opts.Resume && Opts.BatchLogPath.empty()) {
@@ -235,6 +261,35 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
     return false;
   }
   return true;
+}
+
+/// The --check-spec mode: parse and validate the framework spec (the
+/// builtin one, or --spec-file's), printing every diagnostic. Exit 0 on
+/// a clean spec, 2 otherwise — CI runs this so a spec edit that breaks
+/// an invariant (unknown callback name, cyclic must-order, dangling
+/// kill/revive target) fails the build with a readable message.
+int checkSpec(const std::string &SpecFile) {
+  android::FrameworkSpec Spec;
+  std::vector<std::string> Diags;
+  bool Ok;
+  const std::string Source =
+      SpecFile.empty() ? std::string("builtin spec") : SpecFile;
+  if (SpecFile.empty())
+    Ok = android::FrameworkSpec::parseText(
+        android::FrameworkSpec::builtinText(), Spec, Diags);
+  else
+    Ok = android::FrameworkSpec::loadFile(SpecFile, Spec, Diags);
+  if (Ok)
+    for (const std::string &D : Spec.validate())
+      Diags.push_back(D);
+  if (!Diags.empty()) {
+    for (const std::string &D : Diags)
+      std::cerr << Source << ": " << D << "\n";
+    std::cerr << Source << ": " << Diags.size() << " error(s)\n";
+    return 2;
+  }
+  std::cout << Source << ": framework spec OK — " << Spec.summary() << "\n";
+  return 0;
 }
 
 /// Writes all 27 evaluation apps as .air files into \p Dir.
@@ -294,6 +349,7 @@ int analyzeFile(const std::string &Path, const CliOptions &Opts) {
   NOpts.ModelFragments = Opts.Fragments;
   NOpts.DataflowGuards = !Opts.SyntacticFilters;
   NOpts.Refute = Opts.Refute;
+  NOpts.RefuteHistory = Opts.RefuteHistory;
   support::ThreadPool Pool(Opts.Jobs);
   auto AM = std::make_shared<pipeline::AnalysisManager>(P, NOpts);
   AM->setThreadPool(&Pool);
@@ -398,6 +454,8 @@ int main(int argc, char **argv) {
   CliOptions Opts;
   if (!parseArgs(argc, argv, Opts))
     return 2;
+  if (Opts.CheckSpec)
+    return checkSpec(Opts.SpecFile);
   if (!Opts.ExportCorpusDir.empty())
     return exportCorpus(Opts.ExportCorpusDir);
   if (!Opts.BatchDir.empty()) {
@@ -412,6 +470,7 @@ int main(int argc, char **argv) {
     BOpts.Pipeline.ModelFragments = Opts.Fragments;
     BOpts.Pipeline.DataflowGuards = !Opts.SyntacticFilters;
     BOpts.Pipeline.Refute = Opts.Refute;
+    BOpts.Pipeline.RefuteHistory = Opts.RefuteHistory;
     BOpts.TimeoutSec = Opts.BatchTimeoutSec;
     BOpts.LogPath = Opts.BatchLogPath;
     BOpts.Resume = Opts.Resume;

@@ -63,6 +63,8 @@ PipelineResult FilterEngine::run(const std::vector<UafWarning> &Warnings,
     Ctx.nullness();
   if (Pool && Ctx.options().Refute && !Warnings.empty())
     Ctx.refuter();
+  if (Pool && Ctx.options().RefuteHistory && !Warnings.empty())
+    Ctx.historyRefuter();
 
   const std::vector<FilterKind> MayHb = mayHbFilterKinds();
   auto isMayHb = [&MayHb](FilterKind Kind) {
@@ -130,6 +132,19 @@ PipelineResult FilterEngine::run(const std::vector<UafWarning> &Warnings,
         D.Prov = Ref.Ordered ? Provenance::Proved : Provenance::Assumed;
         D.Evidence =
             Ref.Ordered ? std::move(Ref.ProofChain) : std::move(Ref.Counterexample);
+        // Tier 2: re-attack each Assumed pair with the history refuter's
+        // counterexample-guided refinement. Still outcome-preserving —
+        // only the provenance (and its evidence) can improve.
+        if (D.Prov == Provenance::Assumed && Ctx.options().RefuteHistory) {
+          analysis::HistoryRefutation H = Ctx.historyRefuter().refine(
+              W.Use, W.Free, W.F, TP.UseThread, TP.FreeThread);
+          if (H.Ordered) {
+            D.Prov = Provenance::ProvedV2;
+            D.Evidence = std::move(H.ObligationChain);
+          } else if (!H.Witness.empty()) {
+            D.Evidence = std::move(H.Witness);
+          }
+        }
       }
       V.Decisions.push_back(std::move(D));
     }

@@ -25,6 +25,7 @@
 #include "analysis/Escape.h"
 #include "analysis/Guards.h"
 #include "analysis/HbRefuter.h"
+#include "analysis/HistoryRefuter.h"
 #include "analysis/Lockset.h"
 #include "analysis/MethodCaches.h"
 #include "analysis/Nullness.h"
@@ -57,9 +58,11 @@ std::vector<FilterKind> mayHbFilterKinds();
 /// always decide with `Proved`; the may-HB heuristics (RHB/CHB/PHB)
 /// decide with `Heuristic` unless the refutation engine upgraded the
 /// suppression to `Proved` (an ordering proof exists) or demoted it to
-/// `Assumed` (a counterexample history exists); MA/UR/TT stay
-/// `Heuristic` always.
-enum class Provenance : uint8_t { Heuristic, Assumed, Proved };
+/// `Assumed` (a counterexample history exists); pairs the tier-2 history
+/// refuter subsequently discharges carry `ProvedV2` (a refined history
+/// predicate admits no counterexample; the obligation chain is the
+/// evidence); MA/UR/TT stay `Heuristic` always.
+enum class Provenance : uint8_t { Heuristic, Assumed, Proved, ProvedV2 };
 
 const char *provenanceName(Provenance Prov);
 
@@ -77,6 +80,11 @@ struct FilterOptions {
   /// counterexample history). Pruning outcomes are unchanged either way —
   /// provenance is metadata.
   bool Refute = false;
+  /// When true (implies Refute), every pair tier 1 left `Assumed` is
+  /// re-examined by the tier-2 HistoryRefuter's counterexample-guided
+  /// refinement loop; discharged pairs upgrade to `ProvedV2`. Pruning
+  /// outcomes are still unchanged — provenance is metadata.
+  bool RefuteHistory = false;
 };
 
 /// Externally-owned analyses a FilterContext can borrow instead of
@@ -92,6 +100,10 @@ struct SharedAnalyses {
   /// most once, on the context's first refuter() call (only reached when
   /// options().Refute is set).
   std::function<const analysis::HbRefuter &()> Refuter;
+  /// Lazy handle to the tier-2 history refuter; invoked at most once, on
+  /// the context's first historyRefuter() call (only reached when
+  /// options().RefuteHistory is set).
+  std::function<const analysis::HistoryRefuter &()> HistoryRefuter;
   const analysis::LocksetAnalysis *Locks = nullptr;
   const analysis::CancelReach *Cancel = nullptr;
   const analysis::EscapeAnalysis *Escape = nullptr;
@@ -140,6 +152,11 @@ public:
   /// options().Refute is set.
   const analysis::HbRefuter &refuter();
 
+  /// The tier-2 history refuter (built on first use). The filter engine
+  /// consults it for tier-1-Assumed pairs when options().RefuteHistory
+  /// is set.
+  const analysis::HistoryRefuter &historyRefuter();
+
   /// Per-method guard facts (cached).
   const analysis::GuardAnalysis &guards(const ir::Method *M);
   /// Per-method must-allocation facts, IA mode (cached).
@@ -186,11 +203,14 @@ private:
   std::unique_ptr<analysis::MethodAllocFlowCache> OwnAlloc;
   std::unique_ptr<analysis::MethodConsumersCache> OwnConsumers;
   std::unique_ptr<analysis::HbRefuter> OwnRefuter;
+  std::unique_ptr<analysis::HistoryRefuter> OwnHistoryRefuter;
 
   std::mutex NullnessMu;
   const analysis::NullnessAnalysis *NullnessPtr = nullptr;
   std::mutex RefuterMu;
   const analysis::HbRefuter *RefuterPtr = nullptr;
+  std::mutex HistoryRefuterMu;
+  const analysis::HistoryRefuter *HistoryRefuterPtr = nullptr;
 };
 
 /// One filter. Stateless; all data comes through the context.

@@ -75,6 +75,8 @@ const char *filters::provenanceName(Provenance Prov) {
     return "assumed";
   case Provenance::Proved:
     return "proved";
+  case Provenance::ProvedV2:
+    return "proved-v2";
   }
   return "?";
 }
@@ -140,6 +142,18 @@ FilterContext::FilterContext(const Program &P,
           *Shared.Escape, *Shared.Cfgs, *Shared.Alloc);
       return *OwnRefuter;
     };
+  if (!Shared.HistoryRefuter)
+    Shared.HistoryRefuter = [this]() -> const analysis::HistoryRefuter & {
+      if (!Shared.Escape) {
+        OwnEscape = std::make_unique<analysis::EscapeAnalysis>(
+            this->PTA, this->Reach, this->Forest);
+        Shared.Escape = OwnEscape.get();
+      }
+      OwnHistoryRefuter = std::make_unique<analysis::HistoryRefuter>(
+          this->P, this->Forest, this->PTA, this->Reach, *Shared.Cancel,
+          *Shared.Escape, *Shared.Cfgs, *Shared.Alloc);
+      return *OwnHistoryRefuter;
+    };
 }
 
 const analysis::NullnessAnalysis &FilterContext::nullness() {
@@ -154,6 +168,13 @@ const analysis::HbRefuter &FilterContext::refuter() {
   if (!RefuterPtr)
     RefuterPtr = &Shared.Refuter();
   return *RefuterPtr;
+}
+
+const analysis::HistoryRefuter &FilterContext::historyRefuter() {
+  std::lock_guard<std::mutex> Lock(HistoryRefuterMu);
+  if (!HistoryRefuterPtr)
+    HistoryRefuterPtr = &Shared.HistoryRefuter();
+  return *HistoryRefuterPtr;
 }
 
 const analysis::GuardAnalysis &FilterContext::guards(const Method *M) {

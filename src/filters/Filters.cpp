@@ -110,7 +110,10 @@ public:
 
 /// RHB (§6.2.1): careful apps re-allocate in onResume, so a free in
 /// onPause cannot reach a UI callback's use. May-analysis on onResume
-/// makes this unsound.
+/// makes this unsound. The (free-callback, revive-callback, use-kind)
+/// triples come from the framework spec's revive-window declarations —
+/// the builtin spec carries the paper's single onPause/onResume/ui
+/// window.
 class RhbFilter : public Filter {
 public:
   FilterKind kind() const override { return FilterKind::RHB; }
@@ -120,21 +123,26 @@ public:
     const ModeledThread *Tu = TP.UseThread;
     const ModeledThread *Tf = TP.FreeThread;
     if (Tf->origin() != ThreadOrigin::EntryCallback ||
-        Tf->callback()->name() != "onPause")
-      return false;
-    if (Tu->origin() != ThreadOrigin::EntryCallback)
-      return false;
-    // UI event callbacks only: a paused activity takes no input, but
-    // system events (GPS, sensors) keep firing, so onResume's
-    // re-allocation guarantees nothing for them.
-    if (Tu->callbackKind() != CallbackKind::Ui)
+        Tu->origin() != ThreadOrigin::EntryCallback)
       return false;
     if (!Tu->component() || Tu->component() != Tf->component())
       return false;
-    Method *Resume = Tf->component()->findMethod("onResume");
-    if (!Resume)
-      return false;
-    return Ctx.allocFlow(Resume).MayAllocFields.count(W.F) != 0;
+    for (const android::FrameworkSpec::ReviveWindow &RW :
+         android::FrameworkSpec::builtin().reviveWindows()) {
+      if (Tf->callback()->name() != RW.FreeCallback)
+        continue;
+      // Use callbacks of the window's kind only: a paused activity takes
+      // no input, but system events (GPS, sensors) keep firing, so the
+      // revive callback's re-allocation guarantees nothing for them.
+      if (Tu->callbackKind() != RW.UseKind)
+        continue;
+      Method *Revive = Tf->component()->findMethod(RW.ReviveCallback);
+      if (!Revive)
+        continue;
+      if (Ctx.allocFlow(Revive).MayAllocFields.count(W.F) != 0)
+        return true;
+    }
+    return false;
   }
 };
 

@@ -81,6 +81,14 @@ std::unique_ptr<analysis::HbRefuter> HbRefuterPass::run(AnalysisManager &AM) {
       AM.getMutable<AllocFlowCachePass>(), AM.deadline());
 }
 
+std::unique_ptr<analysis::HistoryRefuter>
+HistoryRefuterPass::run(AnalysisManager &AM) {
+  return std::make_unique<analysis::HistoryRefuter>(
+      AM.program(), AM.forest(), AM.pointsTo(), AM.reach(), AM.cancelReach(),
+      AM.escape(), AM.getMutable<CfgCachePass>(),
+      AM.getMutable<AllocFlowCachePass>(), AM.deadline());
+}
+
 std::unique_ptr<analysis::MethodCfgCache>
 CfgCachePass::run(AnalysisManager &) {
   return std::make_unique<analysis::MethodCfgCache>();
@@ -106,6 +114,7 @@ FilterContextPass::run(AnalysisManager &AM) {
   filters::FilterOptions FOpts;
   FOpts.DataflowGuards = AM.options().DataflowGuards;
   FOpts.Refute = AM.options().Refute;
+  FOpts.RefuteHistory = AM.options().RefuteHistory;
   filters::SharedAnalyses Shared;
   Shared.Locks = &AM.lockset();
   Shared.Cancel = &AM.cancelReach();
@@ -125,8 +134,12 @@ FilterContextPass::run(AnalysisManager &AM) {
   Shared.Refuter = [&AM]() -> const analysis::HbRefuter & {
     return AM.hbRefuter();
   };
+  Shared.HistoryRefuter = [&AM]() -> const analysis::HistoryRefuter & {
+    return AM.historyRefuter();
+  };
   AM.addLazyEdge<NullnessPass, FilterContextPass>();
   AM.addLazyEdge<HbRefuterPass, FilterContextPass>();
+  AM.addLazyEdge<HistoryRefuterPass, FilterContextPass>();
   return std::make_unique<filters::FilterContext>(
       AM.program(), AM.forest(), AM.pointsTo(), AM.reach(), AM.apis(), FOpts,
       std::move(Shared));
@@ -252,6 +265,8 @@ std::string PipelineOptions::fingerprint() const {
   F += DataflowGuards ? '1' : '0';
   F += ";refute=";
   F += Refute ? '1' : '0';
+  F += ";refuteHistory=";
+  F += RefuteHistory ? '1' : '0';
   return F;
 }
 
@@ -264,6 +279,8 @@ void AnalysisManager::setOptions(const PipelineOptions &New) {
   if (New.DataflowGuards != Opts.DataflowGuards)
     invalidate<FilterContextPass>();
   if (New.Refute != Opts.Refute)
+    invalidate<FilterContextPass>();
+  if (New.RefuteHistory != Opts.RefuteHistory)
     invalidate<FilterContextPass>();
   Opts = New;
 }

@@ -81,6 +81,10 @@ struct PipelineOptions {
   /// (--refute). Off by default: provenance is metadata and the default
   /// pipeline stays heuristic-labeled and cheap.
   bool Refute = false;
+  /// Run the tier-2 history refuter over every pair tier 1 left assumed
+  /// (--refute-v2; implies Refute). Discharged pairs are labeled
+  /// proved-v2 with their obligation chain. Off by default.
+  bool RefuteHistory = false;
 
   /// A stable, human-readable digest of every field that can change an
   /// analysis result — the identity half of the batch result cache's
@@ -181,6 +185,14 @@ struct EscapePass {
 struct HbRefuterPass {
   static constexpr const char *Name = "hbrefuter";
   using Result = analysis::HbRefuter;
+  static std::unique_ptr<Result> run(AnalysisManager &AM);
+};
+
+/// The tier-2 history-predicate refinement engine (--refute-v2). Same
+/// dependency set as HbRefuterPass — both search the shared RefuterModel.
+struct HistoryRefuterPass {
+  static constexpr const char *Name = "historyrefuter";
+  using Result = analysis::HistoryRefuter;
   static std::unique_ptr<Result> run(AnalysisManager &AM);
 };
 
@@ -344,6 +356,9 @@ public:
   const analysis::CancelReach &cancelReach() { return get<CancelReachPass>(); }
   const analysis::EscapeAnalysis &escape() { return get<EscapePass>(); }
   const analysis::HbRefuter &hbRefuter() { return get<HbRefuterPass>(); }
+  const analysis::HistoryRefuter &historyRefuter() {
+    return get<HistoryRefuterPass>();
+  }
   const analysis::Cfg &cfg(const ir::Method &M) {
     return getMutable<CfgCachePass>().get(M);
   }

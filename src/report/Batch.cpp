@@ -394,6 +394,9 @@ BatchResult report::runBatch(const BatchOptions &OptsIn) {
     BatchApp &Out = R.Apps[P.Index];
     analyzeOne(Files[P.Index], Opts, Pool, Out);
     Out.OptionsFp = Fp;
+    // Anchor this row's phase timings on the batch clock so the phase
+    // aggregation can distinguish wall time from summed lane time.
+    Out.PhaseEndSec = std::chrono::duration<double>(Clock::now() - T0).count();
     if (P.VerifyHit) {
       Verified.fetch_add(1, std::memory_order_relaxed);
       if (!sameObservableResult(P.Cached, Out))
@@ -465,6 +468,59 @@ std::string report::renderBatchReport(const BatchResult &R) {
   return OS.str();
 }
 
+namespace {
+
+/// Length of the union of \p Intervals (merged after sorting by start).
+double unionLength(std::vector<std::pair<double, double>> &Intervals) {
+  std::sort(Intervals.begin(), Intervals.end());
+  double Total = 0, CurStart = 0, CurEnd = -1;
+  for (const auto &[S, E] : Intervals) {
+    if (E <= S)
+      continue;
+    if (CurEnd < CurStart || S > CurEnd) {
+      if (CurEnd > CurStart)
+        Total += CurEnd - CurStart;
+      CurStart = S;
+      CurEnd = E;
+    } else {
+      CurEnd = std::max(CurEnd, E);
+    }
+  }
+  if (CurEnd > CurStart)
+    Total += CurEnd - CurStart;
+  return Total;
+}
+
+} // namespace
+
+BatchPhaseTotals report::batchPhaseTotals(const BatchResult &R) {
+  BatchPhaseTotals T;
+  std::vector<std::pair<double, double>> Modeling, Detection, Filtering;
+  for (const BatchApp &A : R.Apps) {
+    if (!A.analyzed())
+      continue;
+    T.ModelingCpuSec += A.Timings.ModelingSec;
+    T.DetectionCpuSec += A.Timings.DetectionSec;
+    T.FilteringCpuSec += A.Timings.FilteringSec;
+    if (A.PhaseEndSec < 0)
+      continue; // restored row: CPU from an earlier run, no clock anchor
+    // The phases ran back-to-back and ended (up to the parse and report
+    // epilogue, which no phase claims) at the row's completion stamp —
+    // lay them out backwards from it.
+    double FEnd = A.PhaseEndSec;
+    double FStart = FEnd - A.Timings.FilteringSec;
+    double DStart = FStart - A.Timings.DetectionSec;
+    double MStart = DStart - A.Timings.ModelingSec;
+    Modeling.emplace_back(MStart, DStart);
+    Detection.emplace_back(DStart, FStart);
+    Filtering.emplace_back(FStart, FEnd);
+  }
+  T.ModelingWallSec = unionLength(Modeling);
+  T.DetectionWallSec = unionLength(Detection);
+  T.FilteringWallSec = unionLength(Filtering);
+  return T;
+}
+
 std::string report::renderBatchCacheFooter(const BatchResult &R) {
   if (!R.CacheEnabled)
     return "";
@@ -488,7 +544,15 @@ std::string report::renderBatchJson(const BatchResult &R) {
      << (R.CacheEnabled ? "true" : "false") << ", \"hits\": " << R.CacheHits
      << ", \"misses\": " << R.CacheMisses << ", \"stores\": " << R.CacheStores
      << ", \"verified\": " << R.CacheVerified
-     << ", \"divergent\": " << R.CacheDivergent << "},\n  \"apps\": [";
+     << ", \"divergent\": " << R.CacheDivergent << "},\n  \"phases\": {";
+  const BatchPhaseTotals PT = batchPhaseTotals(R);
+  OS << "\"modelingCpuSec\": " << jsonFixed(PT.ModelingCpuSec, 6)
+     << ", \"modelingWallSec\": " << jsonFixed(PT.ModelingWallSec, 6)
+     << ", \"detectionCpuSec\": " << jsonFixed(PT.DetectionCpuSec, 6)
+     << ", \"detectionWallSec\": " << jsonFixed(PT.DetectionWallSec, 6)
+     << ", \"filteringCpuSec\": " << jsonFixed(PT.FilteringCpuSec, 6)
+     << ", \"filteringWallSec\": " << jsonFixed(PT.FilteringWallSec, 6)
+     << "},\n  \"apps\": [";
   bool FirstApp = true;
   unsigned long long Potential = 0, Sound = 0, Unsound = 0;
   for (const BatchApp &A : R.Apps) {

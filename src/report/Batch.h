@@ -136,6 +136,13 @@ struct BatchApp {
   unsigned AfterUnsound = 0;
 
   PhaseTimings Timings;
+  /// Seconds since the batch started at which this row's analysis
+  /// finished — the anchor that places the per-phase CPU timings on the
+  /// shared batch clock (phases are laid out backwards from it).
+  /// Transient: -1 for rows restored from the checkpoint log or the
+  /// result cache, which carry no position on this run's clock; such
+  /// rows are excluded from the wall-clock phase aggregation.
+  double PhaseEndSec = -1;
   std::vector<pipeline::PassStat> Analyses;
   /// False when per-pass RSS deltas were suppressed (concurrent lanes
   /// share one process RSS and would cross-charge each other) or the row
@@ -172,6 +179,24 @@ struct BatchResult {
 /// Scans Opts.Dir and analyzes every app. Never throws on per-app
 /// failures; they come back as failed rows.
 BatchResult runBatch(const BatchOptions &Opts);
+
+/// Per-phase accounting over a whole batch. The two units answer
+/// different questions and diverge as soon as --jobs > 1:
+///  * CpuSec — the sum of the apps' per-phase timings: how much work the
+///    phase did. Summing lanes made the old "phase seconds" exceed the
+///    batch wall time on any parallel run.
+///  * WallSec — the measure of the union of the apps' phase intervals on
+///    the batch clock: how long the batch actually spent with that phase
+///    running somewhere. Never exceeds the batch wall time.
+/// Rows restored from the checkpoint log or the result cache carry CPU
+/// timings from some earlier run but no position on this run's clock;
+/// they are excluded from both sums.
+struct BatchPhaseTotals {
+  double ModelingCpuSec = 0, ModelingWallSec = 0;
+  double DetectionCpuSec = 0, DetectionWallSec = 0;
+  double FilteringCpuSec = 0, FilteringWallSec = 0;
+};
+BatchPhaseTotals batchPhaseTotals(const BatchResult &R);
 
 /// The aggregate Table-1-style text report (byte-identical across job
 /// counts): one row per app plus a totals row and a summary line.

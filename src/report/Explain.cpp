@@ -128,6 +128,11 @@ std::vector<std::string> report::explainVerdict(const NadroidResult &R,
         for (size_t I = 0; I < D->Evidence.size(); ++I)
           Line += (I ? "; " : "") + D->Evidence[I];
         Line += "]";
+      } else if (D->Prov == filters::Provenance::ProvedV2) {
+        Line += " [provenance: proved-v2 — ";
+        for (size_t I = 0; I < D->Evidence.size(); ++I)
+          Line += (I ? "; " : "") + D->Evidence[I];
+        Line += "]";
       } else if (D->Prov == filters::Provenance::Assumed) {
         Line += " [provenance: assumed — counterexample history: ";
         for (size_t I = 0; I < D->Evidence.size(); ++I)

@@ -55,6 +55,27 @@ void emitRefuterPattern(PatternEmitter &E, SeedKind Kind) {
   case SeedKind::PhbRacy:
     E.phbRacy();
     return;
+  case SeedKind::RhbRepeatProved:
+    E.rhbRepeatProved();
+    return;
+  case SeedKind::RhbRepeatRacy:
+    E.rhbRepeatRacy();
+    return;
+  case SeedKind::ChbDeepProved:
+    E.chbDeepProved();
+    return;
+  case SeedKind::ChbRepeatProved:
+    E.chbRepeatProved();
+    return;
+  case SeedKind::ChbRepeatRacy:
+    E.chbRepeatRacy();
+    return;
+  case SeedKind::PhbChainProved:
+    E.phbChainProved();
+    return;
+  case SeedKind::PhbChainRacy:
+    E.phbChainRacy();
+    return;
   default:
     FAIL() << "not a refuter pattern";
   }
@@ -227,9 +248,10 @@ TEST(Refuter, NoProvedPairHasACrashWitness) {
   EXPECT_GE(Proved, 5u);
 }
 
-/// Provenance is metadata: --refute must not change any pruning outcome.
+/// Provenance is metadata: neither --refute nor --refute-v2 may change
+/// any pruning outcome.
 TEST(Refuter, PruningOutcomesUnchanged) {
-  auto Stages = [](bool Refute) {
+  auto Stages = [](bool Refute, bool RefuteHistory) {
     Program P("t");
     IRBuilder B(P);
     PatternEmitter E(B);
@@ -239,16 +261,188 @@ TEST(Refuter, PruningOutcomesUnchanged) {
     E.chbRacy();
     E.phbProved();
     E.phbRacy();
+    E.rhbRepeatProved();
+    E.rhbRepeatRacy();
+    E.chbDeepProved();
+    E.chbRepeatProved();
+    E.chbRepeatRacy();
+    E.phbChainProved();
+    E.phbChainRacy();
     E.harmfulEcEc();
     report::NadroidOptions Opts;
     Opts.Refute = Refute;
+    Opts.RefuteHistory = RefuteHistory;
     report::NadroidResult R = report::analyzeProgram(P, Opts);
     std::vector<WarningVerdict::Stage> S;
     for (const WarningVerdict &V : R.Pipeline.Verdicts)
       S.push_back(V.StageReached);
     return S;
   };
-  EXPECT_EQ(Stages(false), Stages(true));
+  std::vector<WarningVerdict::Stage> Off = Stages(false, false);
+  EXPECT_EQ(Off, Stages(true, false));
+  EXPECT_EQ(Off, Stages(true, true));
+}
+
+//===----------------------------------------------------------------------===//
+// Tier-2 history refinement (--refute-v2)
+//===----------------------------------------------------------------------===//
+
+struct HistoryCase {
+  const char *Name;
+  SeedKind Kind;
+  FilterKind By;
+  /// The tier-2 verdict: ProvedV2 (refinement discharged the pair) or
+  /// Assumed (a stable witness survived every refinement).
+  Provenance Tier2;
+};
+
+class HistoryRefuterTest : public ::testing::TestWithParam<HistoryCase> {};
+
+/// Each tier-2 pattern is demoted by tier 1 (that is what makes it
+/// tier-2 work), then either discharged or left assumed by the history
+/// refinement — and the interpreter oracle must agree with whichever
+/// verdict tier 2 lands on.
+TEST_P(HistoryRefuterTest, TierTwoVerdictMatchesOracle) {
+  const HistoryCase &Case = GetParam();
+
+  // Tier 1 alone: the pair is suppressed by the expected filter and the
+  // refuter demotes it to Assumed.
+  {
+    Program P("t");
+    IRBuilder B(P);
+    PatternEmitter E(B);
+    emitRefuterPattern(E, Case.Kind);
+    ASSERT_EQ(E.seeds().size(), 1u);
+    report::NadroidOptions Opts;
+    Opts.Refute = true;
+    report::NadroidResult R = report::analyzeProgram(P, Opts);
+    const WarningVerdict *V = findVerdict(R, E.seeds()[0]);
+    ASSERT_NE(V, nullptr) << "seeded warning not detected";
+    EXPECT_EQ(V->StageReached, WarningVerdict::Stage::PrunedByUnsound);
+    const PairDecision *D = mayHbDecision(*V);
+    ASSERT_NE(D, nullptr);
+    EXPECT_EQ(D->By, Case.By);
+    EXPECT_EQ(D->Prov, Provenance::Assumed)
+        << "tier-2 patterns must be beyond tier 1 (got "
+        << filters::provenanceName(D->Prov) << ")";
+  }
+
+  // Tier 2: the refinement loop settles on the expected verdict, and
+  // the interpreter oracle agrees.
+  Program P("t");
+  IRBuilder B(P);
+  PatternEmitter E(B);
+  emitRefuterPattern(E, Case.Kind);
+  report::NadroidOptions Opts;
+  Opts.Refute = true;
+  Opts.RefuteHistory = true;
+  report::NadroidResult R = report::analyzeProgram(P, Opts);
+  const WarningVerdict *V = findVerdict(R, E.seeds()[0]);
+  ASSERT_NE(V, nullptr);
+  const PairDecision *D = mayHbDecision(*V);
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Prov, Case.Tier2)
+      << "expected " << filters::provenanceName(Case.Tier2) << ", got "
+      << filters::provenanceName(D->Prov);
+  EXPECT_FALSE(D->Evidence.empty());
+
+  const race::UafWarning *W = nullptr;
+  for (size_t I = 0; I < R.warnings().size(); ++I)
+    if (&R.Pipeline.Verdicts[I] == V)
+      W = &R.warnings()[I];
+  ASSERT_NE(W, nullptr);
+  interp::ScheduleExplorer Explorer(P);
+  if (Case.Tier2 == Provenance::ProvedV2) {
+    EXPECT_FALSE(Explorer.tryWitness(W->Use, W->Free, 200))
+        << "tier 2 proved a pair the interpreter can crash — unsound!";
+    // The obligation chain must record what discharged the proof.
+    bool Discharged = false;
+    for (const std::string &L : D->Evidence)
+      if (L.find("discharged obligation") != std::string::npos)
+        Discharged = true;
+    EXPECT_TRUE(Discharged)
+        << "proved-v2 evidence must end in a discharged obligation";
+  } else {
+    EXPECT_TRUE(Explorer.tryWitness(W->Use, W->Free, 200))
+        << "tier-2 assumed pair should have an interpreter witness";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllHistoryPatterns, HistoryRefuterTest,
+    ::testing::Values(
+        // RHB family — the repeating history pause/resume/click cycles
+        // unboundedly; only the helper's unconditional re-allocation
+        // (inter-procedural revive) discharges the proved variant.
+        HistoryCase{"RhbRepeatProved", SeedKind::RhbRepeatProved,
+                    FilterKind::RHB, Provenance::ProvedV2},
+        HistoryCase{"RhbRepeatRacy", SeedKind::RhbRepeatRacy,
+                    FilterKind::RHB, Provenance::Assumed},
+        // CHB family — the system-event use repeats unboundedly and even
+        // while paused; only the helper's finish() (inter-procedural
+        // kill) orders it.
+        HistoryCase{"ChbDeepProved", SeedKind::ChbDeepProved,
+                    FilterKind::CHB, Provenance::ProvedV2},
+        HistoryCase{"ChbRepeatProved", SeedKind::ChbRepeatProved,
+                    FilterKind::CHB, Provenance::ProvedV2},
+        HistoryCase{"ChbRepeatRacy", SeedKind::ChbRepeatRacy,
+                    FilterKind::CHB, Provenance::Assumed},
+        // PHB family — the 11-deep relay chain exceeds tier 1's thread
+        // capacity; tier 2's budget covers it. The racy sibling's chain
+        // re-posts on every click (unboundedly repeating history).
+        HistoryCase{"PhbChainProved", SeedKind::PhbChainProved,
+                    FilterKind::PHB, Provenance::ProvedV2},
+        HistoryCase{"PhbChainRacy", SeedKind::PhbChainRacy,
+                    FilterKind::PHB, Provenance::Assumed}),
+    [](const ::testing::TestParamInfo<HistoryCase> &Info) {
+      return Info.param.Name;
+    });
+
+/// Soundness acceptance for tier 2: across a program mixing every
+/// refuter pattern, EVERY proved-v2 decision is cross-checked against
+/// the interpreter — zero may have a crash witness. Tier-1 Proved pairs
+/// stay Proved (tier 2 never touches them).
+TEST(HistoryRefuter, EveryProvedV2HasNoCrashWitness) {
+  Program P("t");
+  IRBuilder B(P);
+  PatternEmitter E(B);
+  E.rhbProved();
+  E.rhbRacy();
+  E.chbProved();
+  E.chbRacy();
+  E.phbProved();
+  E.phbRacy();
+  E.rhbRepeatProved();
+  E.rhbRepeatRacy();
+  E.chbDeepProved();
+  E.chbRepeatProved();
+  E.chbRepeatRacy();
+  E.phbChainProved();
+  E.phbChainRacy();
+
+  report::NadroidOptions Opts;
+  Opts.Refute = true;
+  Opts.RefuteHistory = true;
+  report::NadroidResult R = report::analyzeProgram(P, Opts);
+
+  interp::ScheduleExplorer Explorer(P);
+  unsigned ProvedV2 = 0, Proved = 0;
+  for (size_t I = 0; I < R.warnings().size(); ++I)
+    for (const PairDecision &D : R.Pipeline.Verdicts[I].Decisions) {
+      if (filters::isSoundFilter(D.By))
+        continue;
+      if (D.Prov == Provenance::Proved)
+        ++Proved;
+      if (D.Prov != Provenance::ProvedV2)
+        continue;
+      ++ProvedV2;
+      EXPECT_FALSE(Explorer.tryWitness(R.warnings()[I].Use,
+                                       R.warnings()[I].Free, 200))
+          << "proved-v2 pair on " << R.warnings()[I].F->qualifiedName()
+          << " has a crash witness";
+    }
+  EXPECT_GE(ProvedV2, 4u) << "all four tier-2 proved shapes upgrade";
+  EXPECT_GE(Proved, 3u) << "tier-1 proofs are not re-litigated";
 }
 
 /// With the engine off, every decision stays Heuristic (or Proved via a

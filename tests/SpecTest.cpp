@@ -1,0 +1,187 @@
+//===- tests/SpecTest.cpp - Framework spec parse/validate tests -----------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+//
+// The declarative FrameworkSpec contract:
+//
+//  * the builtin spec parses and validates cleanly — the analyses can
+//    always trust it,
+//  * classify() over the parsed form agrees with the Callbacks.h free
+//    functions (which delegate to it),
+//  * each class of semantic error produces a specific, line-anchored
+//    diagnostic — a malformed spec never silently degrades the filters,
+//  * the shipped tests/data/malformed.spec fixture (shared with the
+//    --check-spec CLI test) reports every seeded error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "android/FrameworkSpec.h"
+
+#include <gtest/gtest.h>
+
+using namespace nadroid;
+using android::CallbackKind;
+using android::FrameworkSpec;
+using ir::ClassKind;
+
+namespace {
+
+/// Parses and validates \p Text, returning every diagnostic.
+std::vector<std::string> diagnose(const std::string &Text) {
+  FrameworkSpec S;
+  std::vector<std::string> Diags;
+  if (FrameworkSpec::parseText(Text, S, Diags))
+    for (const std::string &D : S.validate())
+      Diags.push_back(D);
+  return Diags;
+}
+
+bool anyContains(const std::vector<std::string> &Diags,
+                 const std::string &Needle) {
+  for (const std::string &D : Diags)
+    if (D.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+/// A minimal valid prologue the error cases extend.
+const char *Prologue = R"spec(spec-version 1
+kind lifecycle entry looper
+kind ui entry looper needs-resumed
+callback Activity lifecycle onCreate onPause onResume onDestroy
+callback Activity,Listener ui onClick
+)spec";
+
+TEST(Spec, BuiltinParsesAndValidatesCleanly) {
+  FrameworkSpec S;
+  std::vector<std::string> Diags;
+  ASSERT_TRUE(
+      FrameworkSpec::parseText(FrameworkSpec::builtinText(), S, Diags))
+      << (Diags.empty() ? "" : Diags.front());
+  EXPECT_TRUE(Diags.empty());
+  std::vector<std::string> Semantic = S.validate();
+  EXPECT_TRUE(Semantic.empty())
+      << (Semantic.empty() ? "" : Semantic.front());
+  EXPECT_EQ(S.specVersion(), 1u);
+}
+
+TEST(Spec, ClassifyAgreesWithCallbacksTable) {
+  const FrameworkSpec &S = FrameworkSpec::builtin();
+  // Spot checks across kinds and class-kind lists; each must also agree
+  // with the Callbacks.h free function, which delegates to the spec.
+  struct Case {
+    ClassKind CK;
+    const char *Name;
+    CallbackKind Expect;
+  } Cases[] = {
+      {ClassKind::Activity, "onCreate", CallbackKind::Lifecycle},
+      {ClassKind::Activity, "onClick", CallbackKind::Ui},
+      {ClassKind::Listener, "onClick", CallbackKind::Ui},
+      {ClassKind::Activity, "onLocationChanged", CallbackKind::SystemEvent},
+      {ClassKind::Runnable, "run", CallbackKind::RunnableRun},
+      {ClassKind::ThreadClass, "run", CallbackKind::ThreadRun},
+      {ClassKind::AsyncTask, "onPostExecute", CallbackKind::AsyncPost},
+      {ClassKind::Receiver, "onReceive", CallbackKind::Receive},
+      // Registrations are per class kind: a Plain class's onClick is not
+      // a framework callback, and Runnable.run is not Thread.run.
+      {ClassKind::Plain, "onClick", CallbackKind::None},
+      {ClassKind::Activity, "run", CallbackKind::None},
+  };
+  for (const Case &C : Cases) {
+    EXPECT_EQ(S.classify(C.CK, C.Name), C.Expect) << C.Name;
+    EXPECT_EQ(android::classifyCallback(C.CK, C.Name), C.Expect) << C.Name;
+  }
+}
+
+TEST(Spec, BuiltinOrderAndKillQueries) {
+  const FrameworkSpec &S = FrameworkSpec::builtin();
+  EXPECT_TRUE(S.mustPrecedeWithinComponent("onCreate", "onClick"));
+  EXPECT_TRUE(S.mustPrecedeWithinComponent("onClick", "onDestroy"));
+  EXPECT_FALSE(S.mustPrecedeWithinComponent("onPause", "onResume"));
+  EXPECT_TRUE(S.mustPrecedeKinds(CallbackKind::AsyncPre,
+                                 CallbackKind::AsyncPost));
+  EXPECT_FALSE(S.mustPrecedeKinds(CallbackKind::AsyncPost,
+                                  CallbackKind::AsyncPre));
+  ASSERT_NE(S.killRule(android::ApiKind::Finish), nullptr);
+  EXPECT_EQ(S.killRule(android::ApiKind::Finish)->Except,
+            std::vector<std::string>{"onDestroy"});
+  ASSERT_EQ(S.reviveWindows().size(), 1u);
+  EXPECT_EQ(S.reviveWindows()[0].FreeCallback, "onPause");
+  EXPECT_EQ(S.reviveWindows()[0].ReviveCallback, "onResume");
+  EXPECT_EQ(S.reviveWindows()[0].UseKind, CallbackKind::Ui);
+}
+
+TEST(Spec, MissingVersionIsRejected) {
+  EXPECT_TRUE(anyContains(diagnose("kind ui entry looper\n"),
+                          "missing spec-version directive"));
+}
+
+TEST(Spec, UnknownClassKindIsASyntaxError) {
+  EXPECT_TRUE(anyContains(
+      diagnose(std::string(Prologue) + "callback Widget ui onClick\n"),
+      "unknown class kind"));
+}
+
+TEST(Spec, UndeclaredCallbackKindIsRejected) {
+  // handleMessage is a known kind token but carries no `kind` line here.
+  EXPECT_TRUE(anyContains(
+      diagnose(std::string(Prologue) +
+               "callback Handler handleMessage handleMessage\n"),
+      "undeclared kind 'handleMessage'"));
+}
+
+TEST(Spec, PhaseRuleErrorsAreSpecific) {
+  std::vector<std::string> D = diagnose(
+      std::string(Prologue) + "phase onProgressChanged from paused to resumed\n"
+                              "phase onCreate from not-created to resumed\n"
+                              "phase onCreate from paused to resumed\n");
+  EXPECT_TRUE(
+      anyContains(D, "phase rule for unknown callback 'onProgressChanged'"));
+  EXPECT_TRUE(anyContains(D, "conflicting phase rules for 'onCreate'"));
+}
+
+TEST(Spec, CyclicOrderIsRejected) {
+  EXPECT_TRUE(anyContains(diagnose(std::string(Prologue) +
+                                   "order onCreate before-all\n"
+                                   "order onCreate after-all\n"),
+                          "cyclic must-order"));
+}
+
+TEST(Spec, DanglingKillCoverIsRejected) {
+  EXPECT_TRUE(anyContains(
+      diagnose(std::string(Prologue) +
+               "kill removeCallbacksAndMessages covers handleMessage "
+               "scope target-parent\n"),
+      "dangling target"));
+}
+
+TEST(Spec, DanglingReviveTargetIsRejected) {
+  std::vector<std::string> D = diagnose(
+      std::string(Prologue) + "revive-window onPause onRefill ui\n");
+  EXPECT_TRUE(
+      anyContains(D, "revives in unknown callback 'onRefill'"));
+}
+
+/// The shipped fixture (also exercised by the --check-spec CLI test and
+/// both CI spec-validation steps) reports every seeded error class.
+TEST(Spec, MalformedFixtureReportsEverySeededError) {
+  FrameworkSpec S;
+  std::vector<std::string> Diags;
+  ASSERT_TRUE(FrameworkSpec::loadFile(
+      std::string(NADROID_SOURCE_DIR) + "/tests/data/malformed.spec", S,
+      Diags))
+      << "fixture must be syntactically well-formed";
+  EXPECT_TRUE(Diags.empty());
+  Diags = S.validate();
+  EXPECT_EQ(Diags.size(), 6u);
+  EXPECT_TRUE(anyContains(Diags, "unknown callback 'onResume'"));
+  EXPECT_TRUE(anyContains(Diags, "conflicting phase rules for 'onCreate'"));
+  EXPECT_TRUE(anyContains(Diags, "cyclic must-order"));
+  EXPECT_TRUE(anyContains(Diags, "covers kind 'handleMessage'"));
+  EXPECT_TRUE(anyContains(Diags, "frees in unknown callback 'onPause'"));
+  EXPECT_TRUE(anyContains(Diags, "revives in unknown callback 'onResume'"));
+}
+
+} // namespace
