@@ -20,7 +20,15 @@
 //    "phases": {"modelingSec": F, "detectionSec": F, "filteringSec": F,
 //               "modelingCpuSec": F, "modelingWallSec": F,
 //               "detectionCpuSec": F, "detectionWallSec": F,
-//               "filteringCpuSec": F, "filteringWallSec": F}}
+//               "filteringCpuSec": F, "filteringWallSec": F},
+//    "filtering": {"MHBSec": F, "IGSec": F, "IASec": F, "RHBSec": F,
+//                  "CHBSec": F, "PHBSec": F, "MASec": F, "URSec": F,
+//                  "TTSec": F}}
+//
+// The "filtering" object splits filteringCpuSec by filter kind (per-pair
+// verdict self-time, summed over the cold run's apps); refuter time and
+// sweep overhead belong to no single filter, so the entries sum to less
+// than filteringCpuSec.
 //
 // The bare *Sec keys predate the CPU/wall split and always summed the
 // per-lane phase timings; they are kept equal to the *CpuSec values so
@@ -102,7 +110,12 @@ int main() {
             << report::jsonFixed(Phases.FilteringCpuSec, 3)
             << ", \"filteringWallSec\": "
             << report::jsonFixed(Phases.FilteringWallSec, 3)
-            << "}}\n";
+            << "}, \"filtering\": {";
+  for (size_t I = 0; I < filters::NumFilterKinds; ++I)
+    std::cout << (I ? ", " : "") << "\""
+              << filters::filterKindName(static_cast<filters::FilterKind>(I))
+              << "Sec\": " << report::jsonFixed(Phases.FilterCpuSec[I], 3);
+  std::cout << "}}\n";
 
   fs::remove_all(Dir, Ec);
   fs::remove_all(CacheDir, Ec);

@@ -78,13 +78,18 @@ void seedRefuterPatterns(ir::Program &P) {
 
 /// Runs the refutation engine over the seeded pattern app and returns
 /// the per-filter provenance split of every may-HB pair decision.
-std::map<std::string, ProvSplit> refutationSplit(bool RefuteHistory) {
-  ir::Program RP("refuter-patterns");
-  seedRefuterPatterns(RP);
-  report::NadroidOptions ROpts;
-  ROpts.Refute = true;
+///
+/// Both tiers run over the same manager: flipping RefuteHistory through
+/// setOptions() invalidates only the filter stage, so the forest,
+/// points-to, and HbQuery built for tier 1 are reused by tier 2 instead
+/// of being rebuilt from a fresh program.
+std::map<std::string, ProvSplit>
+refutationSplit(std::shared_ptr<pipeline::AnalysisManager> AM,
+                bool RefuteHistory) {
+  report::NadroidOptions ROpts = AM->options();
   ROpts.RefuteHistory = RefuteHistory;
-  report::NadroidResult RR = report::analyzeProgram(RP, ROpts);
+  AM->setOptions(ROpts);
+  report::NadroidResult RR = report::analyzeProgram(std::move(AM));
   std::map<std::string, ProvSplit> Split;
   for (const filters::WarningVerdict &V : RR.Pipeline.Verdicts)
     for (const filters::PairDecision &D : V.Decisions) {
@@ -112,12 +117,21 @@ std::map<std::string, ProvSplit> refutationSplit(bool RefuteHistory) {
 } // namespace
 
 int main(int argc, char **argv) {
+  // The refuter-patterns app and its manager, shared by the tier-1 and
+  // tier-2 splits in both output modes. The program must outlive the
+  // manager, so both live here rather than inside refutationSplit.
+  ir::Program RP("refuter-patterns");
+  seedRefuterPatterns(RP);
+  report::NadroidOptions ROpts;
+  ROpts.Refute = true;
+  auto RM = std::make_shared<pipeline::AnalysisManager>(RP, ROpts);
+
   // --json: emit only the machine-readable refutation split (the
   // BENCH_refute.json schema) and skip the corpus tables.
   bool JsonOnly = argc > 1 && std::strcmp(argv[1], "--json") == 0;
   if (JsonOnly) {
-    std::map<std::string, ProvSplit> T1 = refutationSplit(false);
-    std::map<std::string, ProvSplit> T2 = refutationSplit(true);
+    std::map<std::string, ProvSplit> T1 = refutationSplit(RM, false);
+    std::map<std::string, ProvSplit> T2 = refutationSplit(RM, true);
     ProvSplit Tot1, Tot2;
     std::cout << "{\n  \"filters\": {\n";
     bool First = true;
@@ -231,8 +245,8 @@ int main(int argc, char **argv) {
   // running the use after the free; Proved-v2 = the tier-2 history
   // refinement discharged a pair tier 1 assumed; Assumed = a stable
   // counterexample history survived every refinement.
-  std::map<std::string, ProvSplit> T1 = refutationSplit(false);
-  std::map<std::string, ProvSplit> T2 = refutationSplit(true);
+  std::map<std::string, ProvSplit> T1 = refutationSplit(RM, false);
+  std::map<std::string, ProvSplit> T2 = refutationSplit(RM, true);
   std::cout << "\nRefutation engine: may-HB suppressions over the seeded "
                "variants (tier 1 --refute vs tier 2 --refute-v2)\n\n";
   TableWriter TC({"Filter", "T1-Proved", "T1-Assumed", "T2-Proved",

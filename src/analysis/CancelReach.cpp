@@ -6,6 +6,7 @@
 
 #include "analysis/CancelReach.h"
 
+#include "analysis/HbQuery.h"
 #include "android/SyntacticReach.h"
 
 using namespace nadroid;
@@ -18,8 +19,19 @@ const std::vector<CancelInfo> &CancelReach::cancelsFrom(Method *M) const {
   if (It != Cache.end())
     return It->second;
 
+  // HbQuery reproduces collectReachableMethods' discovery order exactly,
+  // so the cancel list (and everything downstream of it) is unchanged.
+  std::vector<Method *> Fallback;
+  const std::vector<Method *> *Reachable;
+  if (HQ) {
+    Reachable = &HQ->reachableFrom(M);
+  } else {
+    Fallback = android::collectReachableMethods(M, Apis);
+    Reachable = &Fallback;
+  }
+
   std::vector<CancelInfo> Cancels;
-  for (Method *Reached : android::collectReachableMethods(M, Apis)) {
+  for (Method *Reached : *Reachable) {
     forEachStmt(*Reached, [&](const Stmt &S) {
       const auto *Call = dyn_cast<CallStmt>(&S);
       if (!Call)

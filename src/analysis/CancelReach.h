@@ -25,6 +25,8 @@
 
 namespace nadroid::analysis {
 
+class HbQuery;
+
 /// One reachable cancellation call.
 struct CancelInfo {
   android::ApiKind Kind = android::ApiKind::None;
@@ -37,10 +39,14 @@ struct CancelInfo {
 };
 
 /// Lazily computes and caches cancellations reachable from methods.
+/// With an HbQuery attached, the per-root reachability walk reads the
+/// shared program-wide memo instead of re-running the syntactic BFS —
+/// same discovery order, computed once per program.
 class CancelReach {
 public:
-  CancelReach(const ir::Program &P, const android::ApiIndex &Apis)
-      : Apis(Apis) {
+  CancelReach(const ir::Program &P, const android::ApiIndex &Apis,
+              const HbQuery *HQ = nullptr)
+      : Apis(Apis), HQ(HQ) {
     (void)P;
   }
 
@@ -49,6 +55,7 @@ public:
 
 private:
   const android::ApiIndex &Apis;
+  const HbQuery *HQ = nullptr;
   /// Guards Cache against the filter engine's parallel verdict loop;
   /// map node stability keeps returned references valid.
   mutable std::mutex CacheMu;

@@ -61,6 +61,12 @@ public:
     constexpr bool Fwd = Domain::direction() == DataflowDirection::Forward;
     const std::vector<uint32_t> &Order = G.rpo();
 
+    // On an acyclic graph one forced (reverse-)RPO sweep is already the
+    // fixpoint: every node's inputs are final before the node is
+    // stepped. AIR bodies are loop-free, so this is the common case;
+    // graphs with back edges iterate until quiescent as before.
+    const bool Acyclic = isAcyclicInOrder(Order, Fwd);
+
     bool Changed = true;
     bool First = true;
     while (Changed) {
@@ -72,6 +78,8 @@ public:
         for (auto It = Order.rbegin(); It != Order.rend(); ++It)
           Changed |= step</*IsFwd=*/false>(*It, First);
       }
+      if (Acyclic)
+        break;
       First = false;
     }
   }
@@ -146,6 +154,22 @@ private:
     // Out only ever moves up the lattice; join detects the change.
     bool OutChanged = D.join(Out[Node], NewOut);
     return InChanged || OutChanged;
+  }
+
+  /// True when every edge strictly increases RPO position. Then each
+  /// node's inputs are stepped before it in a forward sweep, and after
+  /// it in the reversed sweep a backward analysis uses — either way one
+  /// forced sweep settles. A back edge (loop) breaks both, so the
+  /// direction does not matter here.
+  bool isAcyclicInOrder(const std::vector<uint32_t> &Order, bool) const {
+    std::vector<uint32_t> Pos(G.size(), 0);
+    for (uint32_t I = 0; I < Order.size(); ++I)
+      Pos[Order[I]] = I;
+    for (uint32_t Node = 0; Node < G.size(); ++Node)
+      for (const CfgEdge &E : G.node(Node).Succs)
+        if (Pos[E.To] <= Pos[Node])
+          return false;
+    return true;
   }
 
   const Cfg &G;

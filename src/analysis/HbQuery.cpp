@@ -1,0 +1,104 @@
+//===- analysis/HbQuery.cpp - Shared HB/reachability query layer --------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/HbQuery.h"
+
+#include "ir/LocalInfo.h"
+
+#include <deque>
+#include <set>
+
+using namespace nadroid;
+using namespace nadroid::analysis;
+using namespace nadroid::ir;
+using threadify::ModeledThread;
+using threadify::ThreadOrigin;
+
+HbQuery::HbQuery(const Program &P, const android::ApiIndex &Apis,
+                 const threadify::ThreadForest &Forest)
+    : Apis(Apis) {
+  (void)P;
+  const auto &Threads = Forest.threads();
+  for (const auto &T : Threads)
+    Index.emplace(T.get(), static_cast<unsigned>(Index.size()));
+
+  // The transitive same-looper post relation: for each postee, walk its
+  // poster chain exactly as PhbFilter did per pair, recording every
+  // poster the walk legally reaches. One walk per thread instead of one
+  // per (pair, query).
+  PostedAfter.assign(Threads.size(), support::BitVector(Threads.size()));
+  for (const auto &TPtr : Threads) {
+    const ModeledThread *T = TPtr.get();
+    support::BitVector &Row = PostedAfter[Index.at(T)];
+    const ModeledThread *Cur = T;
+    while (Cur->origin() == ThreadOrigin::PostedCallback && Cur->onLooper()) {
+      const ModeledThread *Par = Cur->parent();
+      if (!Par || !Par->onLooper() || Par->looperId() != Cur->looperId())
+        break; // a cross-looper hop loses the atomic ordering
+      Row.set(Index.at(Par));
+      Cur = Par;
+    }
+  }
+
+  const size_t Cells = NumPairSlots * Threads.size() * Threads.size();
+  if (Cells != 0) {
+    PairBits = std::make_unique<std::atomic<uint8_t>[]>(Cells);
+    for (size_t I = 0; I < Cells; ++I)
+      PairBits[I].store(0, std::memory_order_relaxed);
+  }
+}
+
+const std::vector<Method *> &HbQuery::adjacencyOf(Method *M) const {
+  {
+    std::lock_guard<std::mutex> Lock(AdjMu);
+    auto It = Adjacency.find(M);
+    if (It != Adjacency.end())
+      return It->second;
+  }
+  // The expensive part of the old per-root BFS: local type inference per
+  // visited method. It now runs once per method for the whole program.
+  std::vector<Method *> Targets;
+  LocalTypeInference Types(*M);
+  forEachStmt(*M, [&](const Stmt &S) {
+    const auto *Call = dyn_cast<CallStmt>(&S);
+    if (!Call)
+      return;
+    if (Apis.lookup(*Call).isApi())
+      return;
+    LocalClassSet Recv = Types.query(Call->recv());
+    for (Clazz *C : Recv.Classes)
+      if (Method *Target = C->findMethod(Call->callee()))
+        Targets.push_back(Target);
+  });
+  std::lock_guard<std::mutex> Lock(AdjMu);
+  return Adjacency.emplace(M, std::move(Targets)).first->second;
+}
+
+const std::vector<Method *> &HbQuery::reachableFrom(Method *Root) const {
+  {
+    std::lock_guard<std::mutex> Lock(ReachMu);
+    auto It = ReachMemo.find(Root);
+    if (It != ReachMemo.end())
+      return It->second;
+  }
+  // The same FIFO discovery as android::collectReachableMethods — the
+  // adjacency preserves per-method push order (duplicates included), so
+  // the result vector is byte-for-byte the order consumers saw before.
+  std::vector<Method *> Result;
+  std::set<Method *> Visited;
+  std::deque<Method *> Pending{Root};
+  while (!Pending.empty()) {
+    Method *M = Pending.front();
+    Pending.pop_front();
+    if (!Visited.insert(M).second)
+      continue;
+    Result.push_back(M);
+    for (Method *Target : adjacencyOf(M))
+      Pending.push_back(Target);
+  }
+  std::lock_guard<std::mutex> Lock(ReachMu);
+  return ReachMemo.emplace(Root, std::move(Result)).first->second;
+}

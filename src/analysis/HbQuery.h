@@ -1,0 +1,218 @@
+//===- analysis/HbQuery.h - Shared HB/reachability query layer --*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A per-program query engine over the facts the §6.2.1 may-HB filters and
+/// both refuter tiers previously re-derived per racy pair:
+///
+///  * the threadification forest's transitive same-looper post relation,
+///    precomputed once as a dense bitset matrix (PhbFilter's per-pair
+///    parent-chain walk becomes one bit test);
+///  * syntactic method reachability with a per-method ordered callee
+///    adjacency, so the repeated per-root BFS (CancelReach, and through it
+///    CHB and the refuter kill edges) runs local type inference once per
+///    method for the whole program instead of once per (root, visit);
+///  * memoized pair verdicts for the filters whose answer depends only on
+///    the (use-thread, free-thread) pair — CHB — or on the pair plus the
+///    racy field — RHB; many warnings share the same pair, and the
+///    verdict sweep asks for each one many times;
+///  * a memoized *pair skeleton* for the refuter tiers: the relevant-
+///    callback set, component list, per-thread lifecycle-phase rules and
+///    FIFO predecessor edges of one (use-thread, free-thread) query are
+///    independent of the racy statements and of the tier's interproc
+///    flags, so every pair with the same thread pair shares one skeleton
+///    per capacity tier.
+///
+/// One HbQuery is built per program (HbQueryPass in the AnalysisManager)
+/// and shared by the filter context, CancelReach and both refuters. All
+/// caches are internally synchronized: the filter engine's parallel
+/// verdict sweep queries one instance concurrently. Every cached answer
+/// is a pure function of the program + forest, so a racing double-compute
+/// is benign — first store wins, both results are identical.
+///
+/// Invalidation: the pass depends on ApiIndexPass and ThreadForestPass,
+/// so a ModelFragments flip (which drops the forest) cascades here and to
+/// every dependent (cancelreach, the refuters, the filter context)
+/// through the manager's observed dependency edges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_ANALYSIS_HBQUERY_H
+#define NADROID_ANALYSIS_HBQUERY_H
+
+#include "android/Api.h"
+#include "android/FrameworkSpec.h"
+#include "support/BitVector.h"
+#include "threadify/ThreadForest.h"
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace nadroid::analysis {
+
+/// The statement-independent part of one refuter model build: everything
+/// ModelBuilder derives from the (use-thread, free-thread) pair alone,
+/// under one (MaxThreads, MaxComponents) capacity tier. A nonempty
+/// Demote means the capacity/looper gates rejected the pair — the string
+/// is the demotion message build() returns verbatim.
+struct PairSkeleton {
+  std::string Demote;
+  /// Relevant callbacks, sorted by thread id.
+  std::vector<const threadify::ModeledThread *> Threads;
+  /// Involved components, sorted by name.
+  std::vector<ir::Clazz *> Components;
+  /// Flag- and field-independent per-thread model facts, parallel to
+  /// Threads. MustRealloc/revive facts depend on the racy field and the
+  /// tier's interproc flags and deliberately stay out.
+  struct ThreadBits {
+    int Parent = -1;
+    int Comp = -1;
+    bool OnePerPost = false;
+    bool OnceOnly = false;
+    bool NeedsResumed = false;
+    const android::FrameworkSpec::PhaseRule *PhaseRule = nullptr;
+    std::vector<int> FifoPred;
+  };
+  std::vector<ThreadBits> Bits;
+};
+
+/// The shared query layer. See the file comment.
+class HbQuery {
+public:
+  HbQuery(const ir::Program &P, const android::ApiIndex &Apis,
+          const threadify::ThreadForest &Forest);
+
+  /// PHB's ordering fact as one matrix bit: true when \p Postee
+  /// transitively descends from \p Poster through same-looper posting
+  /// links (each hop poster-side atomic). Exactly PhbFilter's former
+  /// parent-chain walk, precomputed for every pair at construction.
+  bool postedAfter(const threadify::ModeledThread *Postee,
+                   const threadify::ModeledThread *Poster) const {
+    auto PI = Index.find(Postee);
+    auto QI = Index.find(Poster);
+    if (PI == Index.end() || QI == Index.end())
+      return false;
+    return PostedAfter[PI->second].test(QI->second);
+  }
+
+  /// \p Root plus every method reachable from it over ordinary (non-API)
+  /// calls, in the exact BFS discovery order of
+  /// android::collectReachableMethods. Memoized per root; the underlying
+  /// per-method callee adjacency is memoized program-wide.
+  const std::vector<ir::Method *> &reachableFrom(ir::Method *Root) const;
+
+  /// Slots of the (use-thread, free-thread) verdict memo. One slot per
+  /// filter whose pair verdict is statement-independent.
+  enum PairSlot : unsigned { SlotChb = 0, NumPairSlots = 1 };
+
+  /// Memoized pair verdict: returns the cached answer for
+  /// (\p Slot, \p A, \p B) or computes it with \p Fn and caches it.
+  /// \p Fn must be a pure function of the pair (and program state).
+  template <typename FnT>
+  bool pairVerdict(unsigned Slot, const threadify::ModeledThread *A,
+                   const threadify::ModeledThread *B, FnT &&Fn) const {
+    auto IA = Index.find(A);
+    auto IB = Index.find(B);
+    if (IA == Index.end() || IB == Index.end())
+      return Fn();
+    std::atomic<uint8_t> &Cell =
+        PairBits[Slot * Index.size() * Index.size() +
+                 IA->second * Index.size() + IB->second];
+    // 0 = unknown, 1 = false, 2 = true. A concurrent double-compute
+    // stores the same value twice — benign.
+    uint8_t V = Cell.load(std::memory_order_acquire);
+    if (V != 0)
+      return V == 2;
+    bool R = Fn();
+    Cell.store(R ? 2 : 1, std::memory_order_release);
+    return R;
+  }
+
+  /// Memoized (pair, field) verdict — RHB's shape: the answer depends on
+  /// the thread pair and the racy field but not on the statements.
+  template <typename FnT>
+  bool fieldPairVerdict(const threadify::ModeledThread *A,
+                        const threadify::ModeledThread *B,
+                        const ir::Field *F, FnT &&Fn) const {
+    const auto Key = std::make_tuple(A, B, F);
+    {
+      std::lock_guard<std::mutex> Lock(FieldPairMu);
+      auto It = FieldPairMemo.find(Key);
+      if (It != FieldPairMemo.end())
+        return It->second;
+    }
+    bool R = Fn();
+    std::lock_guard<std::mutex> Lock(FieldPairMu);
+    return FieldPairMemo.emplace(Key, R).first->second;
+  }
+
+  /// The memoized refuter pair skeleton for one capacity tier. Computes
+  /// with \p Fn on first request; tiers never share (their capacity
+  /// gates differ), but every (Use, Free, F) query with the same thread
+  /// pair within one tier does. References stay valid for the lifetime
+  /// of this HbQuery (map nodes are stable).
+  template <typename FnT>
+  const PairSkeleton &pairSkeleton(const threadify::ModeledThread *UseT,
+                                   const threadify::ModeledThread *FreeT,
+                                   size_t MaxThreads, size_t MaxComponents,
+                                   FnT &&Fn) const {
+    const auto Key = std::make_tuple(UseT, FreeT, MaxThreads, MaxComponents);
+    {
+      std::lock_guard<std::mutex> Lock(SkeletonMu);
+      auto It = Skeletons.find(Key);
+      if (It != Skeletons.end())
+        return It->second;
+    }
+    PairSkeleton S;
+    Fn(S);
+    std::lock_guard<std::mutex> Lock(SkeletonMu);
+    return Skeletons.emplace(Key, std::move(S)).first->second;
+  }
+
+private:
+  /// The ordered non-API callee targets of \p M — one entry per
+  /// (call site, inferred receiver class) resolution, in statement
+  /// order, duplicates preserved — so replaying them through a BFS
+  /// reproduces collectReachableMethods' push order exactly.
+  const std::vector<ir::Method *> &adjacencyOf(ir::Method *M) const;
+
+  const android::ApiIndex &Apis;
+  /// Dense thread indexing in forest order.
+  std::map<const threadify::ModeledThread *, unsigned> Index;
+  /// PostedAfter[postee] has bit poster set when postedAfter holds.
+  std::vector<support::BitVector> PostedAfter;
+
+  mutable std::mutex AdjMu;
+  mutable std::map<const ir::Method *, std::vector<ir::Method *>> Adjacency;
+  mutable std::mutex ReachMu;
+  mutable std::map<const ir::Method *, std::vector<ir::Method *>> ReachMemo;
+
+  /// NumPairSlots × N × N tri-state cells (0 unknown / 1 false / 2 true).
+  mutable std::unique_ptr<std::atomic<uint8_t>[]> PairBits;
+
+  mutable std::mutex FieldPairMu;
+  mutable std::map<std::tuple<const threadify::ModeledThread *,
+                              const threadify::ModeledThread *,
+                              const ir::Field *>,
+                   bool>
+      FieldPairMemo;
+
+  mutable std::mutex SkeletonMu;
+  mutable std::map<std::tuple<const threadify::ModeledThread *,
+                              const threadify::ModeledThread *, size_t,
+                              size_t>,
+                   PairSkeleton>
+      Skeletons;
+};
+
+} // namespace nadroid::analysis
+
+#endif // NADROID_ANALYSIS_HBQUERY_H

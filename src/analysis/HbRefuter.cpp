@@ -293,9 +293,9 @@ HbRefuter::HbRefuter(const ir::Program &P,
                      const PointsToAnalysis &PTA, const ThreadReach &Reach,
                      const CancelReach &Cancel, const EscapeAnalysis &Escape,
                      MethodCfgCache &Cfgs, MethodAllocFlowCache &Alloc,
-                     const support::Deadline *D)
+                     const support::Deadline *D, const HbQuery *HQ)
     : Builder(Forest, PTA, Reach, Cancel, Escape, Cfgs, Alloc,
-              android::FrameworkSpec::builtin()),
+              android::FrameworkSpec::builtin(), HQ),
       D(D) {
   (void)P;
 }

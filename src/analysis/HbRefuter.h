@@ -85,11 +85,14 @@ class HbRefuter {
 public:
   /// \p D (not owned, may be null) is polled once per DFS step of every
   /// refutation search; expiry throws DeadlineExceeded out of refute().
+  /// \p HQ (not owned, may be null) lets the model builder serve the
+  /// statement-independent pair skeleton from the shared HbQuery cache.
   HbRefuter(const ir::Program &P, const threadify::ThreadForest &Forest,
             const PointsToAnalysis &PTA, const ThreadReach &Reach,
             const CancelReach &Cancel, const EscapeAnalysis &Escape,
             MethodCfgCache &Cfgs, MethodAllocFlowCache &Alloc,
-            const support::Deadline *D = nullptr);
+            const support::Deadline *D = nullptr,
+            const HbQuery *HQ = nullptr);
 
   /// Attempts to prove that, for the (use-thread, free-thread) pair
   /// (\p UseT, \p FreeT), the load \p Use of field \p F can never observe

@@ -331,9 +331,9 @@ HistoryRefuter::HistoryRefuter(const ir::Program &P,
                                const EscapeAnalysis &Escape,
                                MethodCfgCache &Cfgs,
                                MethodAllocFlowCache &Alloc,
-                               const support::Deadline *D)
+                               const support::Deadline *D, const HbQuery *HQ)
     : Builder(Forest, PTA, Reach, Cancel, Escape, Cfgs, Alloc,
-              android::FrameworkSpec::builtin()),
+              android::FrameworkSpec::builtin(), HQ),
       D(D) {
   (void)P;
 }

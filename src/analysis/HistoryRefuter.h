@@ -70,11 +70,15 @@ class HistoryRefuter {
 public:
   /// \p D (not owned, may be null) is polled once per DFS step of every
   /// search round; expiry throws DeadlineExceeded out of refine().
+  /// \p HQ (not owned, may be null) lets the model builder serve the
+  /// statement-independent pair skeleton from the shared HbQuery cache —
+  /// keyed on the tier-2 capacities, so tier-1 skeletons are never reused.
   HistoryRefuter(const ir::Program &P, const threadify::ThreadForest &Forest,
                  const PointsToAnalysis &PTA, const ThreadReach &Reach,
                  const CancelReach &Cancel, const EscapeAnalysis &Escape,
                  MethodCfgCache &Cfgs, MethodAllocFlowCache &Alloc,
-                 const support::Deadline *D = nullptr);
+                 const support::Deadline *D = nullptr,
+                 const HbQuery *HQ = nullptr);
 
   /// Runs the refinement loop for one pair tier 1 left Assumed.
   HistoryRefutation refine(const ir::LoadStmt *Use, const ir::StoreStmt *Free,

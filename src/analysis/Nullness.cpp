@@ -9,12 +9,16 @@
 #include "analysis/Cfg.h"
 #include "analysis/Dataflow.h"
 #include "android/Callbacks.h"
+#include "support/BitVector.h"
 #include "support/Casting.h"
+#include "support/FlatMap.h"
 
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <set>
 #include <string>
+#include <unordered_map>
 
 using namespace nadroid;
 using namespace nadroid::analysis;
@@ -99,8 +103,11 @@ using FieldKey = std::pair<const Local *, const Field *>;
 
 struct NState {
   bool Reachable = false;
-  std::map<const Local *, LocalInfo> Locals;  // absent key = ⊤ / no info
-  std::map<FieldKey, FieldInfo> Fields;       // absent key = ⊤
+  // Flat sorted maps: states are copied on every join, and the entry
+  // counts are small, so contiguous storage beats node-based maps by a
+  // wide margin. Iteration order (pointer order) never reaches output.
+  support::FlatMap<const Local *, LocalInfo> Locals; // absent key = ⊤
+  support::FlatMap<FieldKey, FieldInfo> Fields;      // absent key = ⊤
 };
 
 /// Entry facts for a method: per-`this`-field facts (absent = ⊤).
@@ -114,7 +121,16 @@ struct MethodState {
   bool EntryTop = false;
   bool HasContribution = false;
   EntryFields Entry;
+  /// Public-facing summary, materialized from the bit planes once the
+  /// whole analysis settles (the sets are what summaryOf exposes).
   MethodSummary Sum;
+  /// The live summary during solving: one bit per program field, indexed
+  /// by Impl::FieldsByIdx. Starts all-ones (optimistic) and only shrinks.
+  support::BitVector SumG, SumA;
+  /// RPO nodes containing at least one CallStmt — the only nodes the
+  /// non-recording replay has to visit (contributions and summary
+  /// shrinking are the only observable effects while solving).
+  std::vector<uint32_t> CallNodes;
 };
 
 //===----------------------------------------------------------------------===//
@@ -197,6 +213,9 @@ private:
 
   const MethodState &MS;
   NullnessImplRef &Ctx;
+  /// Scratch for the call-summary intersection — reused across transfers
+  /// so applying a summary allocates nothing.
+  mutable support::BitVector GuardScratch, AllocScratch;
 };
 
 } // namespace
@@ -212,10 +231,15 @@ namespace {
 class NullnessImplRef {
 public:
   virtual ~NullnessImplRef() = default;
-  /// The this-call targets of (`class of this`, callee name) under CHA.
+  /// CHA targets of call statement \p CS — resolved once during setup,
+  /// never re-derived in a transfer.
   virtual const std::vector<const Method *> &
-  chaTargets(const Clazz *C, const std::string &Name) = 0;
-  virtual const MethodSummary &summary(const Method *M) const = 0;
+  callTargets(const CallStmt *CS) = 0;
+  /// The live summary bit planes of \p M.
+  virtual const support::BitVector &sumGuard(const Method *M) const = 0;
+  virtual const support::BitVector &sumAlloc(const Method *M) const = 0;
+  /// The field with dense index \p I.
+  virtual const Field *fieldAt(size_t I) const = 0;
 };
 
 } // namespace
@@ -379,35 +403,23 @@ void NullDomain::transferStmt(const Stmt &S, NState &St) const {
       LI.F.Guard = NullVal::NonNull;
     } else {
       // Apply callee summaries: fields every CHA target leaves NonNull.
-      const std::vector<const Method *> &Targets =
-          Ctx.chaTargets(M.parent(), CS->callee());
+      const std::vector<const Method *> &Targets = Ctx.callTargets(CS);
       if (!Targets.empty()) {
         const Local *This = M.thisLocal();
-        bool First = true;
-        std::set<const Field *> Guard, Alloc;
-        for (const Method *T : Targets) {
-          const MethodSummary &Sum = Ctx.summary(T);
-          if (First) {
-            Guard = Sum.EnsuresGuard;
-            Alloc = Sum.EnsuresAlloc;
-            First = false;
-            continue;
-          }
-          auto Intersect = [](std::set<const Field *> &A,
-                              const std::set<const Field *> &B) {
-            for (auto It = A.begin(); It != A.end();)
-              It = B.count(*It) ? std::next(It) : A.erase(It);
-          };
-          Intersect(Guard, Sum.EnsuresGuard);
-          Intersect(Alloc, Sum.EnsuresAlloc);
+        GuardScratch.assignFrom(Ctx.sumGuard(Targets.front()));
+        AllocScratch.assignFrom(Ctx.sumAlloc(Targets.front()));
+        for (size_t I = 1; I < Targets.size(); ++I) {
+          GuardScratch.intersectWith(Ctx.sumGuard(Targets[I]));
+          AllocScratch.intersectWith(Ctx.sumAlloc(Targets[I]));
         }
-        for (const Field *F : Guard) {
-          FieldInfo &FI = St.Fields[{This, F}];
+        GuardScratch.forEachSet([&](size_t I) {
+          FieldInfo &FI = St.Fields[{This, Ctx.fieldAt(I)}];
           FI.F.Guard = NullVal::NonNull;
           FI.FreeSite = nullptr;
-        }
-        for (const Field *F : Alloc)
-          St.Fields[{This, F}].F.Alloc = NullVal::NonNull;
+        });
+        AllocScratch.forEachSet([&](size_t I) {
+          St.Fields[{This, Ctx.fieldAt(I)}].F.Alloc = NullVal::NonNull;
+        });
       }
     }
     // Call results are always ⊤ — trusting getters for allocation or
@@ -457,6 +469,8 @@ void NullDomain::transferEdge(const CfgEdge &E, NState &St) const {
 // NullnessAnalysis::Impl
 //===----------------------------------------------------------------------===//
 
+namespace nadroid::analysis {
+
 struct NullnessAnalysis::Impl final : NullnessImplRef {
   const Program &P;
   const support::Deadline *D = nullptr;
@@ -469,6 +483,32 @@ struct NullnessAnalysis::Impl final : NullnessImplRef {
            std::vector<const Method *>>
       ChaCache;
   MethodSummary EmptySummary;
+  support::BitVector EmptyBits;
+
+  /// Dense field numbering (program order) backing the summary planes.
+  std::vector<const Field *> FieldsByIdx;
+  std::map<const Field *, unsigned> FieldIdxOf;
+  /// Fields of each class-hierarchy family (keyed by the topmost
+  /// superclass). A method's summary can only ever mention this-fields,
+  /// and `this`, its CHA targets, and its callers all live in one
+  /// family — so the family set is a superset of the greatest fixpoint
+  /// and seeding from it converges to the same summaries as seeding
+  /// from all program fields, without the transient state blowup.
+  std::map<const Clazz *, support::BitVector> FamilyBits;
+
+  const Clazz *familyRoot(const Clazz *C) const {
+    while (C->superClass())
+      C = C->superClass();
+    return C;
+  }
+  /// Per-call-site CHA targets, resolved once in setup — the transfer
+  /// functions never touch the string-keyed ChaCache.
+  std::unordered_map<const Stmt *, const std::vector<const Method *> *>
+      CallTargets;
+  /// Worklist plumbing: each method's dense index and, per method, the
+  /// (deduplicated) indices of methods with a call site targeting it.
+  std::map<const Method *, unsigned> IdxOf;
+  std::vector<std::vector<unsigned>> Callers;
 
   // Recorded results (filled by the final sweep).
   std::map<const LoadStmt *, NullFact> AtLoad;
@@ -479,7 +519,7 @@ struct NullnessAnalysis::Impl final : NullnessImplRef {
   Impl(const Program &P, const support::Deadline *D) : P(P), D(D) {}
 
   const std::vector<const Method *> &
-  chaTargets(const Clazz *C, const std::string &Name) override {
+  chaTargets(const Clazz *C, const std::string &Name) {
     auto Key = std::make_pair(C, Name);
     auto It = ChaCache.find(Key);
     if (It != ChaCache.end())
@@ -493,24 +533,60 @@ struct NullnessAnalysis::Impl final : NullnessImplRef {
     return ChaCache.emplace(Key, std::move(Targets)).first->second;
   }
 
-  const MethodSummary &summary(const Method *M) const override {
-    auto It = MS.find(M);
-    return It == MS.end() ? EmptySummary : It->second.Sum;
+  const std::vector<const Method *> &
+  callTargets(const CallStmt *CS) override {
+    auto It = CallTargets.find(CS);
+    assert(It != CallTargets.end() && "call site missed by setup");
+    return *It->second;
   }
 
+  const support::BitVector &sumGuard(const Method *M) const override {
+    auto It = MS.find(M);
+    return It == MS.end() ? EmptyBits : It->second.SumG;
+  }
+
+  const support::BitVector &sumAlloc(const Method *M) const override {
+    auto It = MS.find(M);
+    return It == MS.end() ? EmptyBits : It->second.SumA;
+  }
+
+  const Field *fieldAt(size_t I) const override { return FieldsByIdx[I]; }
+
+  /// What one analyzeOnce changed, for worklist scheduling: whether this
+  /// method's own summary shrank, and which callees' entry states rose.
+  struct SolveDelta {
+    bool SumChanged = false;
+    std::vector<const Method *> DirtyEntries;
+  };
+
   void setup();
-  bool analyzeOnce(MethodState &State, bool Record,
-                   std::vector<LintFinding> *Lints);
+  void analyzeOnce(MethodState &State, bool Record,
+                   std::vector<LintFinding> *Lints,
+                   SolveDelta *Delta = nullptr);
   void run(std::vector<LintFinding> &Findings);
 };
 
+} // namespace nadroid::analysis
+
 void NullnessAnalysis::Impl::setup() {
-  // Program order + subclass closure.
+  // Program order + subclass closure + dense field numbering.
   for (const auto &C : P.classes()) {
     for (const Clazz *A = C.get(); A; A = A->superClass())
       SubTree[A].push_back(C.get());
     for (const auto &M : C->methods())
       Methods.push_back(M.get());
+    for (const auto &F : C->fields())
+      FieldsByIdx.push_back(F.get());
+  }
+  for (unsigned I = 0; I < FieldsByIdx.size(); ++I)
+    FieldIdxOf[FieldsByIdx[I]] = I;
+  EmptyBits = support::BitVector(FieldsByIdx.size());
+  for (const auto &C : P.classes()) {
+    auto [It, New] = FamilyBits.try_emplace(familyRoot(C.get()),
+                                            FieldsByIdx.size());
+    for (const auto &F : C->fields())
+      It->second.set(FieldIdxOf[F.get()]);
+    (void)New;
   }
 
   // Root detection: framework callbacks, plus any method name invoked
@@ -539,6 +615,10 @@ void NullnessAnalysis::Impl::setup() {
     });
   }
 
+  for (unsigned I = 0; I < Methods.size(); ++I)
+    IdxOf[Methods[I]] = I;
+  Callers.resize(Methods.size());
+
   for (const Method *M : Methods) {
     MethodState &State = MS[M];
     State.M = M;
@@ -549,25 +629,54 @@ void NullnessAnalysis::Impl::setup() {
     State.IsRoot = Callback || NonThisCallees.count(M->name());
     State.EntryTop = State.IsRoot;
   }
+
+  // Resolve every call site's CHA target set once, record the reverse
+  // call graph, and note which CFG nodes the non-recording replay needs.
+  for (const Method *M : Methods) {
+    MethodState &State = MS[M];
+    const unsigned MIdx = IdxOf[M];
+    forEachStmt(*M, [&](const Stmt &S) {
+      const auto *CS = dyn_cast<CallStmt>(&S);
+      if (!CS)
+        return;
+      const std::vector<const Method *> &Targets =
+          chaTargets(M->parent(), CS->callee());
+      CallTargets.emplace(CS, &Targets);
+      for (const Method *T : Targets)
+        Callers[IdxOf[T]].push_back(MIdx);
+    });
+    for (uint32_t N : State.G->rpo()) {
+      const CfgNode &Node = State.G->node(N);
+      if (std::any_of(Node.Stmts.begin(), Node.Stmts.end(),
+                      [](const Stmt *S) { return isa<CallStmt>(S); }))
+        State.CallNodes.push_back(N);
+    }
+  }
+  for (std::vector<unsigned> &C : Callers) {
+    std::sort(C.begin(), C.end());
+    C.erase(std::unique(C.begin(), C.end()), C.end());
+  }
 }
 
 /// Runs one method to its intra-procedural fixpoint under the current
-/// entry/summaries; shrinks its summary and raises callee entries.
-/// Returns true when any summary or entry state changed. When \p Record
-/// is set, also fills the per-load/per-deref tables and lint findings.
-bool NullnessAnalysis::Impl::analyzeOnce(MethodState &State, bool Record,
-                                         std::vector<LintFinding> *Lints) {
+/// entry/summaries; shrinks its summary and raises callee entries. When
+/// \p Record is set, also fills the per-load/per-deref tables and lint
+/// findings. When \p Delta is set, reports what changed so the caller
+/// can schedule exactly the affected methods.
+void NullnessAnalysis::Impl::analyzeOnce(MethodState &State, bool Record,
+                                         std::vector<LintFinding> *Lints,
+                                         SolveDelta *Delta) {
   const Method &M = *State.M;
   NullDomain D(State, *this);
   DataflowSolver<NullDomain> Solver(*State.G, D);
   Solver.solve();
 
-  bool Changed = false;
-
-  // Walk every node, replaying facts per statement.
-  for (uint32_t N : State.G->rpo()) {
+  // Walk nodes, replaying facts per statement. Only call statements have
+  // observable effects while solving (callee-entry contributions), so
+  // the non-recording pass visits just the nodes that contain one.
+  auto VisitNode = [&](uint32_t N) {
     if (!Solver.inState(N).Reachable)
-      continue;
+      return;
     NState End = Solver.replayNode(N, [&](const Stmt *S, const NState &St) {
       if (!St.Reachable)
         return;
@@ -600,10 +709,11 @@ bool NullnessAnalysis::Impl::analyzeOnce(MethodState &State, bool Record,
         if (RecvIsThis) {
           // A this-call: contribute the caller's `this`-field state to
           // every CHA target's entry.
-          for (const Method *T : chaTargets(M.parent(), CS->callee())) {
+          for (const Method *T : callTargets(CS)) {
             MethodState &TS = MS[T];
             if (TS.EntryTop)
               continue;
+            bool EntryChanged = false;
             EntryFields Contribution;
             for (const auto &[K, FI] : St.Fields)
               if (K.first == M.thisLocal())
@@ -611,7 +721,7 @@ bool NullnessAnalysis::Impl::analyzeOnce(MethodState &State, bool Record,
             if (!TS.HasContribution) {
               TS.HasContribution = true;
               TS.Entry = std::move(Contribution);
-              Changed = true;
+              EntryChanged = true;
             } else {
               // Join: a key missing from the contribution is ⊤ there.
               for (auto It = TS.Entry.begin(); It != TS.Entry.end();) {
@@ -621,16 +731,18 @@ bool NullnessAnalysis::Impl::analyzeOnce(MethodState &State, bool Record,
                                       : joinFact(It->second, CIt->second);
                 if (Merged == topFact()) {
                   It = TS.Entry.erase(It);
-                  Changed = true;
+                  EntryChanged = true;
                   continue;
                 }
                 if (Merged != It->second) {
                   It->second = Merged;
-                  Changed = true;
+                  EntryChanged = true;
                 }
                 ++It;
               }
             }
+            if (EntryChanged && Delta)
+              Delta->DirtyEntries.push_back(T);
           }
         } else if (Record) {
           // A dereference: tally it against the loads that defined the
@@ -671,63 +783,100 @@ bool NullnessAnalysis::Impl::analyzeOnce(MethodState &State, bool Record,
              AlwaysThen});
       }
     }
+  };
+
+  if (Record) {
+    for (uint32_t N : State.G->rpo())
+      VisitNode(N);
+  } else {
+    for (uint32_t N : State.CallNodes)
+      VisitNode(N);
   }
 
-  // Shrink the summary toward the exit state: a field is ensured when
-  // its fact at the (always reachable) exit is NonNull.
+  // Shrink the summary toward the exit state: a field stays ensured only
+  // when its fact at the (always reachable) exit is NonNull — i.e. the
+  // plane intersects with the exit's NonNull field set. An unreachable
+  // exit clears everything, exactly as the per-field erase did.
   const NState &Exit = Solver.inState(State.G->exit());
-  auto Shrink = [&](std::set<const Field *> &Ensured, bool GuardPlane) {
-    for (auto It = Ensured.begin(); It != Ensured.end();) {
-      FieldInfo FI =
-          NullDomain::fieldInfo(Exit, {M.thisLocal(), *It});
-      NullVal V = GuardPlane ? FI.F.Guard : FI.F.Alloc;
-      if (Exit.Reachable && V == NullVal::NonNull) {
-        ++It;
-      } else {
-        It = Ensured.erase(It);
-        Changed = true;
-      }
+  support::BitVector ExitG(FieldsByIdx.size()), ExitA(FieldsByIdx.size());
+  if (Exit.Reachable) {
+    const Local *This = M.thisLocal();
+    for (const auto &[K, FI] : Exit.Fields) {
+      if (K.first != This)
+        continue;
+      auto It = FieldIdxOf.find(K.second);
+      if (It == FieldIdxOf.end())
+        continue;
+      size_t Idx = It->second;
+      if (FI.F.Guard == NullVal::NonNull)
+        ExitG.set(Idx);
+      if (FI.F.Alloc == NullVal::NonNull)
+        ExitA.set(Idx);
     }
-  };
-  Shrink(State.Sum.EnsuresGuard, /*GuardPlane=*/true);
-  Shrink(State.Sum.EnsuresAlloc, /*GuardPlane=*/false);
-  return Changed;
+  }
+  bool SumChanged = State.SumG.intersectWith(ExitG);
+  SumChanged |= State.SumA.intersectWith(ExitA);
+  if (SumChanged && Delta)
+    Delta->SumChanged = true;
 }
 
 void NullnessAnalysis::Impl::run(std::vector<LintFinding> &Findings) {
   setup();
 
-  // Optimistic summaries: every field "ensured" until an analysis round
+  // Optimistic summaries: every field "ensured" until an analysis
   // disproves it. Summaries only shrink and entries only rise, so the
-  // whole system is monotone; the cap is a safety valve, after which
+  // whole system is monotone with a unique fixpoint independent of the
+  // order methods are solved in; the cap is a safety valve, after which
   // summaries are dropped wholesale (sound, just imprecise).
-  std::set<const Field *> AllFields;
-  for (const auto &C : P.classes())
-    for (const auto &F : C->fields())
-      AllFields.insert(F.get());
   for (const Method *M : Methods) {
-    MS[M].Sum.EnsuresGuard = AllFields;
-    MS[M].Sum.EnsuresAlloc = AllFields;
+    const support::BitVector &Fam = FamilyBits[familyRoot(M->parent())];
+    MS[M].SumG = Fam;
+    MS[M].SumA = Fam;
   }
 
-  bool Changed = true;
-  for (unsigned Round = 0; Changed && Round < 64; ++Round) {
-    Changed = false;
-    for (const Method *M : Methods) {
-      // Safe point: between methods the fixpoint is just unfinished.
-      if (D)
-        D->check("nullness");
-      MethodState &State = MS[M];
-      if (!State.EntryTop && !State.HasContribution)
-        continue; // nothing reaches it yet
-      Changed |= analyzeOnce(State, /*Record=*/false, nullptr);
+  // Worklist fixpoint, seeded with the roots: a method re-solves only
+  // when its entry rose or a callee's summary shrank. The set keeps
+  // program order — cheap determinism, though any order converges to
+  // the same fixpoint.
+  std::set<unsigned> Worklist;
+  for (unsigned I = 0; I < Methods.size(); ++I)
+    if (MS[Methods[I]].EntryTop)
+      Worklist.insert(I);
+
+  const size_t MaxSolves = 64 * Methods.size();
+  size_t Solves = 0;
+  bool CapHit = false;
+  while (!Worklist.empty()) {
+    if (Solves >= MaxSolves) {
+      CapHit = true;
+      break;
     }
+    // Safe point: between methods the fixpoint is just unfinished.
+    if (D)
+      D->check("nullness");
+    const unsigned Idx = *Worklist.begin();
+    Worklist.erase(Worklist.begin());
+    MethodState &State = MS[Methods[Idx]];
+    if (!State.EntryTop && !State.HasContribution)
+      continue; // nothing reaches it yet
+    ++Solves;
+    SolveDelta Delta;
+    analyzeOnce(State, /*Record=*/false, nullptr, &Delta);
+    if (Delta.SumChanged)
+      for (unsigned Caller : Callers[Idx]) {
+        const MethodState &CS = MS[Methods[Caller]];
+        if (CS.EntryTop || CS.HasContribution)
+          Worklist.insert(Caller);
+      }
+    for (const Method *T : Delta.DirtyEntries)
+      Worklist.insert(IdxOf[T]);
   }
-  if (Changed) {
+  if (CapHit) {
     // Cap hit (possible only with pathological recursion): fall back to
     // no inter-procedural facts at all.
     for (const Method *M : Methods) {
-      MS[M].Sum = MethodSummary();
+      MS[M].SumG.clearAll();
+      MS[M].SumA.clearAll();
       MS[M].EntryTop = true;
     }
     for (const Method *M : Methods)
@@ -742,7 +891,8 @@ void NullnessAnalysis::Impl::run(std::vector<LintFinding> &Findings) {
       State.EntryTop = true;
       // Its summary was never shrunk; reset it rather than trusting the
       // optimistic initial value.
-      State.Sum = MethodSummary();
+      State.SumG.clearAll();
+      State.SumA.clearAll();
       analyzeOnce(State, /*Record=*/false, nullptr);
     }
   }
@@ -752,6 +902,17 @@ void NullnessAnalysis::Impl::run(std::vector<LintFinding> &Findings) {
     if (D)
       D->check("nullness");
     analyzeOnce(MS[M], /*Record=*/true, &Findings);
+  }
+
+  // Materialize the public summaries from the settled bit planes.
+  for (const Method *M : Methods) {
+    MethodState &State = MS[M];
+    State.Sum.EnsuresGuard.clear();
+    State.Sum.EnsuresAlloc.clear();
+    State.SumG.forEachSet(
+        [&](size_t I) { State.Sum.EnsuresGuard.insert(FieldsByIdx[I]); });
+    State.SumA.forEachSet(
+        [&](size_t I) { State.Sum.EnsuresAlloc.insert(FieldsByIdx[I]); });
   }
 
   std::sort(Findings.begin(), Findings.end(),

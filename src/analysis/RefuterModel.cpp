@@ -116,40 +116,10 @@ void ModelBuilder::mustCancelsAtExit(Method &M, unsigned Depth,
   });
 }
 
-std::string ModelBuilder::build(const LoadStmt *Use, const StoreStmt *Free,
-                                const Field *F, const ModeledThread *UseT,
-                                const ModeledThread *FreeT,
-                                const ModelOptions &O,
-                                RefuterModel &Out) const {
-  // The abstraction's atomicity premise: both sides are callbacks of one
-  // looper, so activations serialize and the history is a sequence.
-  if (UseT->isNative() || FreeT->isNative() || !UseT->onLooper() ||
-      !FreeT->onLooper())
-    return "no proof attempted: a native thread in the pair breaks "
-           "activation atomicity";
-  if (UseT->looperId() != FreeT->looperId())
-    return "no proof attempted: the callbacks run on different loopers, "
-           "so activations may interleave";
-
-  // Escape gate: if a native thread may touch one of the base objects,
-  // histories outside the event system could mutate the field between
-  // any two activations.
-  for (const ModeledThread *Pivot : {UseT, FreeT}) {
-    const Stmt *Site = Pivot == UseT ? static_cast<const Stmt *>(Use)
-                                     : static_cast<const Stmt *>(Free);
-    const Local *Base = Pivot == UseT ? Use->base() : Free->base();
-    for (const MethodCtx &Ctx : Reach.contextsOf(Pivot)) {
-      if (Ctx.M != Site->parentMethod())
-        continue;
-      for (ObjectId Obj : PTA.ptsOf(Base, Ctx))
-        for (const ModeledThread *Acc : Escape.accessors(Obj))
-          if (Acc->isNative())
-            return "no proof attempted: the base object escapes to "
-                   "native thread " +
-                   Acc->label();
-    }
-  }
-
+void ModelBuilder::computeSkeleton(const ModeledThread *UseT,
+                                   const ModeledThread *FreeT,
+                                   const ModelOptions &O,
+                                   PairSkeleton &Out) const {
   // Collect the relevant callbacks: the poster lineages of both sides
   // plus the phase-driving lifecycle callbacks of every involved
   // component (the spec's phase rules name them).
@@ -177,16 +147,22 @@ std::string ModelBuilder::build(const LoadStmt *Use, const StoreStmt *Free,
             [](const ModeledThread *A, const ModeledThread *B) {
               return A->id() < B->id();
             });
-  if (Sorted.size() > O.MaxThreads)
-    return "no proof attempted: too many interacting callbacks for the "
-           "abstraction";
+  if (Sorted.size() > O.MaxThreads) {
+    Out.Demote = "no proof attempted: too many interacting callbacks for "
+                 "the abstraction";
+    return;
+  }
   for (const ModeledThread *T : Sorted) {
-    if (T->isNative() || !T->onLooper())
-      return "no proof attempted: native thread " + T->label() +
-             " in the poster lineage breaks activation atomicity";
-    if (T->looperId() != UseT->looperId())
-      return "no proof attempted: " + T->label() +
-             " runs on a different looper";
+    if (T->isNative() || !T->onLooper()) {
+      Out.Demote = "no proof attempted: native thread " + T->label() +
+                   " in the poster lineage breaks activation atomicity";
+      return;
+    }
+    if (T->looperId() != UseT->looperId()) {
+      Out.Demote = "no proof attempted: " + T->label() +
+                   " runs on a different looper";
+      return;
+    }
   }
 
   std::vector<Clazz *> CompList(Comps.begin(), Comps.end());
@@ -194,8 +170,11 @@ std::string ModelBuilder::build(const LoadStmt *Use, const StoreStmt *Free,
                                                  const Clazz *B) {
     return A->name() < B->name();
   });
-  if (CompList.size() > O.MaxComponents)
-    return "no proof attempted: too many components for the abstraction";
+  if (CompList.size() > O.MaxComponents) {
+    Out.Demote = "no proof attempted: too many components for the "
+                 "abstraction";
+    return;
+  }
 
   auto indexOf = [&](const ModeledThread *T) -> int {
     for (size_t I = 0; I < Sorted.size(); ++I)
@@ -209,42 +188,22 @@ std::string ModelBuilder::build(const LoadStmt *Use, const StoreStmt *Free,
         return static_cast<int>(I);
     return -1;
   };
-  auto intraMustRealloc = [&](const ModeledThread *T) {
-    return T->callback() &&
-           Alloc.get(*T->callback(), /*TreatCallResultAsAlloc=*/false)
-                   .MustAllocAtExitFields.count(F) != 0;
-  };
-  auto mustRealloc = [&](const ModeledThread *T) {
-    if (intraMustRealloc(T))
-      return true;
-    return O.InterprocRevive && T->callback() &&
-           interprocMustAlloc(*T->callback(), O.InterprocDepth).count(F) !=
-               0;
-  };
   auto isOneShotPostee = [&](const ModeledThread *T) {
     return T->origin() == ThreadOrigin::PostedCallback &&
            Spec.isOnePerPost(T->callbackKind());
   };
 
-  Out = RefuterModel();
-  Out.NumComponents = CompList.size();
-  Out.Threads.resize(Sorted.size());
+  Out.Bits.resize(Sorted.size());
   for (size_t I = 0; I < Sorted.size(); ++I) {
-    ModelThread &TI = Out.Threads[I];
-    TI.T = Sorted[I];
-    TI.Parent = TI.T->parent() ? indexOf(TI.T->parent()) : -1;
-    TI.Comp = TI.T->component() ? compIndexOf(TI.T->component()) : -1;
-    TI.OnePerPost = isOneShotPostee(TI.T);
-    TI.OnceOnly = Spec.isOnceOnly(TI.T->callbackKind());
-    TI.MustRealloc = mustRealloc(TI.T);
-    TI.ReviveViaHelper = TI.MustRealloc && !intraMustRealloc(TI.T);
-    TI.NeedsResumed = Spec.needsResumed(TI.T->callbackKind());
-    if (TI.Comp >= 0 && TI.T->origin() == ThreadOrigin::EntryCallback)
-      TI.PhaseRule = Spec.phaseRule(lifecycleName(TI.T));
-    if (TI.ReviveViaHelper)
-      Out.ReviveFacts.push_back(
-          TI.T->label() + " re-allocates " + F->name() +
-          " at exit through helper calls (inter-procedural revive edge)");
+    const ModeledThread *T = Sorted[I];
+    PairSkeleton::ThreadBits &B = Out.Bits[I];
+    B.Parent = T->parent() ? indexOf(T->parent()) : -1;
+    B.Comp = T->component() ? compIndexOf(T->component()) : -1;
+    B.OnePerPost = isOneShotPostee(T);
+    B.OnceOnly = Spec.isOnceOnly(T->callbackKind());
+    B.NeedsResumed = Spec.needsResumed(T->callbackKind());
+    if (B.Comp >= 0 && T->origin() == ThreadOrigin::EntryCallback)
+      B.PhaseRule = Spec.phaseRule(lifecycleName(T));
   }
   // FIFO predecessors: sibling one-shot postees of the same poster and
   // looper whose spawn site dominates ours inside the poster's method.
@@ -261,8 +220,104 @@ std::string ModelBuilder::build(const LoadStmt *Use, const StoreStmt *Free,
       if (S->spawnSite()->parentMethod() != M)
         continue;
       if (Cfgs.get(*M).dominates(S->spawnSite(), T->spawnSite()))
-        Out.Threads[I].FifoPred.push_back(static_cast<int>(J));
+        Out.Bits[I].FifoPred.push_back(static_cast<int>(J));
     }
+  }
+  Out.Threads = std::move(Sorted);
+  Out.Components = std::move(CompList);
+}
+
+std::string ModelBuilder::build(const LoadStmt *Use, const StoreStmt *Free,
+                                const Field *F, const ModeledThread *UseT,
+                                const ModeledThread *FreeT,
+                                const ModelOptions &O,
+                                RefuterModel &Out) const {
+  // The abstraction's atomicity premise: both sides are callbacks of one
+  // looper, so activations serialize and the history is a sequence.
+  if (UseT->isNative() || FreeT->isNative() || !UseT->onLooper() ||
+      !FreeT->onLooper())
+    return "no proof attempted: a native thread in the pair breaks "
+           "activation atomicity";
+  if (UseT->looperId() != FreeT->looperId())
+    return "no proof attempted: the callbacks run on different loopers, "
+           "so activations may interleave";
+
+  // Escape gate: if a native thread may touch one of the base objects,
+  // histories outside the event system could mutate the field between
+  // any two activations. Statement-dependent, so never part of the
+  // shared skeleton.
+  for (const ModeledThread *Pivot : {UseT, FreeT}) {
+    const Stmt *Site = Pivot == UseT ? static_cast<const Stmt *>(Use)
+                                     : static_cast<const Stmt *>(Free);
+    const Local *Base = Pivot == UseT ? Use->base() : Free->base();
+    for (const MethodCtx &Ctx : Reach.contextsOf(Pivot)) {
+      if (Ctx.M != Site->parentMethod())
+        continue;
+      for (ObjectId Obj : PTA.ptsOf(Base, Ctx))
+        for (const ModeledThread *Acc : Escape.accessors(Obj))
+          if (Acc->isNative())
+            return "no proof attempted: the base object escapes to "
+                   "native thread " +
+                   Acc->label();
+    }
+  }
+
+  // The statement-independent half, shared across every (Use, Free, F)
+  // query with this thread pair within one capacity tier.
+  PairSkeleton Local;
+  const PairSkeleton *SK;
+  if (HQ) {
+    SK = &HQ->pairSkeleton(UseT, FreeT, O.MaxThreads, O.MaxComponents,
+                           [&](PairSkeleton &S) {
+                             computeSkeleton(UseT, FreeT, O, S);
+                           });
+  } else {
+    computeSkeleton(UseT, FreeT, O, Local);
+    SK = &Local;
+  }
+  if (!SK->Demote.empty())
+    return SK->Demote;
+  const std::vector<const ModeledThread *> &Sorted = SK->Threads;
+
+  auto indexOf = [&](const ModeledThread *T) -> int {
+    for (size_t I = 0; I < Sorted.size(); ++I)
+      if (Sorted[I] == T)
+        return static_cast<int>(I);
+    return -1;
+  };
+  auto intraMustRealloc = [&](const ModeledThread *T) {
+    return T->callback() &&
+           Alloc.get(*T->callback(), /*TreatCallResultAsAlloc=*/false)
+                   .MustAllocAtExitFields.count(F) != 0;
+  };
+  auto mustRealloc = [&](const ModeledThread *T) {
+    if (intraMustRealloc(T))
+      return true;
+    return O.InterprocRevive && T->callback() &&
+           interprocMustAlloc(*T->callback(), O.InterprocDepth).count(F) !=
+               0;
+  };
+
+  Out = RefuterModel();
+  Out.NumComponents = SK->Components.size();
+  Out.Threads.resize(Sorted.size());
+  for (size_t I = 0; I < Sorted.size(); ++I) {
+    ModelThread &TI = Out.Threads[I];
+    const PairSkeleton::ThreadBits &B = SK->Bits[I];
+    TI.T = Sorted[I];
+    TI.Parent = B.Parent;
+    TI.Comp = B.Comp;
+    TI.OnePerPost = B.OnePerPost;
+    TI.OnceOnly = B.OnceOnly;
+    TI.MustRealloc = mustRealloc(TI.T);
+    TI.ReviveViaHelper = TI.MustRealloc && !intraMustRealloc(TI.T);
+    TI.NeedsResumed = B.NeedsResumed;
+    TI.PhaseRule = B.PhaseRule;
+    TI.FifoPred = B.FifoPred;
+    if (TI.ReviveViaHelper)
+      Out.ReviveFacts.push_back(
+          TI.T->label() + " re-allocates " + F->name() +
+          " at exit through helper calls (inter-procedural revive edge)");
   }
 
   // Must-cancellations: cancel sites in the free's own method that

@@ -26,6 +26,7 @@
 
 #include "analysis/CancelReach.h"
 #include "analysis/Escape.h"
+#include "analysis/HbQuery.h"
 #include "analysis/MethodCaches.h"
 #include "analysis/PointsTo.h"
 #include "analysis/ThreadReach.h"
@@ -116,15 +117,24 @@ struct ModelOptions {
 /// Builds RefuterModels. Thread-safe: the underlying caches are
 /// internally synchronized and the inter-procedural memo takes a lock, so
 /// the filter engine's parallel verdict sweep can share one instance.
+///
+/// With an HbQuery attached, the statement-independent half of a build —
+/// the relevant-callback set, component list, phase rules and FIFO edges
+/// — is served from the shared pair-skeleton cache, keyed on the thread
+/// pair *and* the capacity tier (tier 1's 12/4 and tier 2's 24/8 gates
+/// demote different pairs, so tiers never share skeletons). The field-
+/// and flag-dependent facts (must-realloc, revive/kill edges) are always
+/// derived per call.
 class ModelBuilder {
 public:
   ModelBuilder(const threadify::ThreadForest &Forest,
                const PointsToAnalysis &PTA, const ThreadReach &Reach,
                const CancelReach &Cancel, const EscapeAnalysis &Escape,
                MethodCfgCache &Cfgs, MethodAllocFlowCache &Alloc,
-               const android::FrameworkSpec &Spec)
+               const android::FrameworkSpec &Spec,
+               const HbQuery *HQ = nullptr)
       : Forest(Forest), PTA(PTA), Reach(Reach), Cancel(Cancel),
-        Escape(Escape), Cfgs(Cfgs), Alloc(Alloc), Spec(Spec) {}
+        Escape(Escape), Cfgs(Cfgs), Alloc(Alloc), Spec(Spec), HQ(HQ) {}
 
   /// Builds the model for one refutation query. On success returns an
   /// empty string and fills \p Out; otherwise returns the reason the
@@ -143,6 +153,14 @@ public:
   interprocMustAlloc(const ir::Method &M, unsigned Depth) const;
 
 private:
+  /// The statement-independent half of build(): relevant-callback
+  /// collection, capacity/looper gating, component indexing, phase rules
+  /// and FIFO predecessor edges. Pure in (UseT, FreeT, O.MaxThreads,
+  /// O.MaxComponents) — exactly the skeleton cache's key.
+  void computeSkeleton(const threadify::ModeledThread *UseT,
+                       const threadify::ModeledThread *FreeT,
+                       const ModelOptions &O, PairSkeleton &Out) const;
+
   /// The callee of a this-call, resolved within the receiver class;
   /// nullptr for framework/unknown calls.
   ir::Method *resolveThisCallee(const ir::CallStmt &Call) const;
@@ -161,6 +179,7 @@ private:
   MethodCfgCache &Cfgs;
   MethodAllocFlowCache &Alloc;
   const android::FrameworkSpec &Spec;
+  const HbQuery *HQ = nullptr;
 
   mutable std::mutex MemoMu;
   mutable std::map<std::pair<const ir::Method *, unsigned>,

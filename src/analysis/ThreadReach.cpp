@@ -57,6 +57,12 @@ ThreadReach::ThreadReach(const PointsToAnalysis &PTA,
     }
     Reach.emplace(T.get(), Closure(std::move(Roots)));
   }
+
+  // Invert once, walking Reach in its own (map) order so each context's
+  // executor list is ordered exactly like the per-query scan it replaces.
+  for (const auto &[T, Ctxs] : Reach)
+    for (const MethodCtx &C : Ctxs)
+      Executors[C].push_back(T);
 }
 
 const std::vector<MethodCtx> &
@@ -68,12 +74,8 @@ ThreadReach::contextsOf(const ModeledThread *T) const {
 
 std::vector<const ModeledThread *>
 ThreadReach::threadsExecuting(const MethodCtx &Ctx) const {
-  std::vector<const ModeledThread *> Result;
-  for (const auto &[T, Ctxs] : Reach)
-    for (const MethodCtx &C : Ctxs)
-      if (C == Ctx) {
-        Result.push_back(T);
-        break;
-      }
-  return Result;
+  auto It = Executors.find(Ctx);
+  return It == Executors.end()
+             ? std::vector<const ModeledThread *>{}
+             : It->second;
 }

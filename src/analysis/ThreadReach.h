@@ -31,12 +31,16 @@ public:
   const std::vector<MethodCtx> &
   contextsOf(const threadify::ModeledThread *T) const;
 
-  /// All threads that may execute \p Ctx.
+  /// All threads that may execute \p Ctx. Served from an eager reverse
+  /// index built at construction; the per-context thread order matches
+  /// the forward map's iteration order, exactly as the former linear
+  /// scan produced it.
   std::vector<const threadify::ModeledThread *>
   threadsExecuting(const MethodCtx &Ctx) const;
 
 private:
   std::map<const threadify::ModeledThread *, std::vector<MethodCtx>> Reach;
+  std::map<MethodCtx, std::vector<const threadify::ModeledThread *>> Executors;
 };
 
 } // namespace nadroid::analysis

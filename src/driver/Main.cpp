@@ -394,6 +394,17 @@ int analyzeFile(const std::string &Path, const CliOptions &Opts) {
                         TableWriter::cell(S.RssKb)});
     }
     PassTable.print(std::cout);
+    std::cout << "\nfilter self-time (share of the filtering phase; lazy "
+                 "analyses are charged to the first filter that touches "
+                 "them):\n";
+    TableWriter FilterTable({"Filter", "Self(ms)"});
+    for (size_t I = 0; I < filters::NumFilterKinds; ++I) {
+      char Ms[32];
+      std::snprintf(Ms, sizeof(Ms), "%.3f", R.Timings.FilterSec[I] * 1000.0);
+      FilterTable.addRow(
+          {filters::filterKindName(static_cast<filters::FilterKind>(I)), Ms});
+    }
+    FilterTable.print(std::cout);
     std::cout << "\nanalysis counters:\n";
     TableWriter Counters({"Counter", "Value"});
     auto AddAll = [&Counters](const StatRegistry &Stats) {

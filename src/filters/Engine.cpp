@@ -7,6 +7,7 @@
 #include "filters/Engine.h"
 
 #include <algorithm>
+#include <chrono>
 
 using namespace nadroid;
 using namespace nadroid::filters;
@@ -22,10 +23,29 @@ const Filter &FilterEngine::filter(FilterKind Kind) const {
   return *Instances.at(Kind);
 }
 
+bool FilterEngine::timedPrune(FilterKind Kind, const UafWarning &W,
+                              const ThreadPair &TP) {
+  auto Start = std::chrono::steady_clock::now();
+  bool Pruned = filter(Kind).prunesPair(W, TP, Ctx);
+  auto Nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now() - Start)
+                   .count();
+  FilterNanos[static_cast<size_t>(Kind)].fetch_add(
+      static_cast<uint64_t>(Nanos), std::memory_order_relaxed);
+  return Pruned;
+}
+
+std::array<double, NumFilterKinds> FilterEngine::filterSecondsAll() const {
+  std::array<double, NumFilterKinds> Out{};
+  for (size_t I = 0; I < NumFilterKinds; ++I)
+    Out[I] = FilterNanos[I].load(std::memory_order_relaxed) * 1e-9;
+  return Out;
+}
+
 bool FilterEngine::pairPrunedBy(const UafWarning &W, const ThreadPair &TP,
                                 const std::vector<FilterKind> &Kinds) {
   for (FilterKind Kind : Kinds)
-    if (filter(Kind).prunesPair(W, TP, Ctx))
+    if (timedPrune(Kind, W, TP))
       return true;
   return false;
 }
@@ -88,7 +108,7 @@ PipelineResult FilterEngine::run(const std::vector<UafWarning> &Warnings,
       bool Pruned = false;
       FilterKind First = FilterKind::MHB;
       for (FilterKind Kind : Sound) {
-        if (filter(Kind).prunesPair(W, TP, Ctx)) {
+        if (timedPrune(Kind, W, TP)) {
           V.FiredFilters.insert(Kind);
           if (!Pruned)
             First = Kind;
@@ -114,7 +134,7 @@ PipelineResult FilterEngine::run(const std::vector<UafWarning> &Warnings,
       bool Pruned = false;
       FilterKind First = FilterKind::MHB;
       for (FilterKind Kind : Unsound) {
-        if (filter(Kind).prunesPair(W, TP, Ctx)) {
+        if (timedPrune(Kind, W, TP)) {
           V.FiredFilters.insert(Kind);
           if (!Pruned)
             First = Kind;

@@ -23,6 +23,8 @@
 #include "support/Deadline.h"
 #include "support/ThreadPool.h"
 
+#include <array>
+#include <atomic>
 #include <set>
 
 namespace nadroid::filters {
@@ -101,9 +103,25 @@ public:
                      support::ThreadPool *Pool = nullptr,
                      const support::Deadline *D = nullptr);
 
+  /// Seconds each filter kind has spent inside prunesPair since this
+  /// engine was constructed, indexed by FilterKind value. Accumulated
+  /// across every run()/pruneMask() call (callers wanting one sweep's
+  /// share take a before/after delta) and across pool lanes. A lazy
+  /// analysis a filter materializes on first touch (e.g. IG building
+  /// nullness in a serial run) is charged to that filter.
+  std::array<double, NumFilterKinds> filterSecondsAll() const;
+
 private:
   FilterContext &Ctx;
   std::map<FilterKind, std::unique_ptr<Filter>> Instances;
+
+  /// Per-kind self-time in nanoseconds; relaxed atomics, since the
+  /// parallel verdict sweep charges them from every lane.
+  std::array<std::atomic<uint64_t>, NumFilterKinds> FilterNanos{};
+
+  /// prunesPair with the verdict's wall time charged to Kind's counter.
+  bool timedPrune(FilterKind Kind, const race::UafWarning &W,
+                  const race::ThreadPair &TP);
 
   /// Thread-safe: Instances is fully built in the constructor and the
   /// filters themselves are stateless.

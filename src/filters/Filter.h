@@ -24,6 +24,7 @@
 #include "analysis/CancelReach.h"
 #include "analysis/Escape.h"
 #include "analysis/Guards.h"
+#include "analysis/HbQuery.h"
 #include "analysis/HbRefuter.h"
 #include "analysis/HistoryRefuter.h"
 #include "analysis/Lockset.h"
@@ -41,6 +42,10 @@
 namespace nadroid::filters {
 
 enum class FilterKind : uint8_t { MHB, IG, IA, RHB, CHB, PHB, MA, UR, TT };
+
+/// Number of FilterKind values — the bound for per-kind arrays (timing
+/// counters, breakdown tables) indexed by the enum's underlying value.
+constexpr size_t NumFilterKinds = 9;
 
 const char *filterKindName(FilterKind Kind);
 bool isSoundFilter(FilterKind Kind);
@@ -106,6 +111,9 @@ struct SharedAnalyses {
   std::function<const analysis::HistoryRefuter &()> HistoryRefuter;
   const analysis::LocksetAnalysis *Locks = nullptr;
   const analysis::CancelReach *Cancel = nullptr;
+  /// The shared HB/reachability query layer (post matrix, pair-verdict
+  /// memos, refuter skeletons). Null = the context builds its own.
+  const analysis::HbQuery *Hb = nullptr;
   const analysis::EscapeAnalysis *Escape = nullptr;
   analysis::MethodCfgCache *Cfgs = nullptr;
   analysis::MethodGuardCache *Guards = nullptr;
@@ -169,6 +177,11 @@ public:
   /// Cancellations reachable from \p M (cached).
   const std::vector<analysis::CancelInfo> &cancels(ir::Method *M);
 
+  /// The shared HB/reachability query layer (built on first use when not
+  /// borrowed). RHB/CHB/PHB read their precomputed relations and pair
+  /// memos through it.
+  const analysis::HbQuery &hbQuery();
+
   /// Lock objects held at \p S across every context thread \p T reaches
   /// S's method under.
   std::set<analysis::ObjectId> locksFor(const ir::Stmt *S,
@@ -204,7 +217,10 @@ private:
   std::unique_ptr<analysis::MethodConsumersCache> OwnConsumers;
   std::unique_ptr<analysis::HbRefuter> OwnRefuter;
   std::unique_ptr<analysis::HistoryRefuter> OwnHistoryRefuter;
+  std::unique_ptr<analysis::HbQuery> OwnHb;
 
+  std::mutex HbMu;
+  const analysis::HbQuery *HbPtr = nullptr;
   std::mutex NullnessMu;
   const analysis::NullnessAnalysis *NullnessPtr = nullptr;
   std::mutex RefuterMu;

@@ -139,7 +139,8 @@ FilterContext::FilterContext(const Program &P,
       }
       OwnRefuter = std::make_unique<analysis::HbRefuter>(
           this->P, this->Forest, this->PTA, this->Reach, *Shared.Cancel,
-          *Shared.Escape, *Shared.Cfgs, *Shared.Alloc);
+          *Shared.Escape, *Shared.Cfgs, *Shared.Alloc,
+          /*D=*/nullptr, &this->hbQuery());
       return *OwnRefuter;
     };
   if (!Shared.HistoryRefuter)
@@ -151,9 +152,23 @@ FilterContext::FilterContext(const Program &P,
       }
       OwnHistoryRefuter = std::make_unique<analysis::HistoryRefuter>(
           this->P, this->Forest, this->PTA, this->Reach, *Shared.Cancel,
-          *Shared.Escape, *Shared.Cfgs, *Shared.Alloc);
+          *Shared.Escape, *Shared.Cfgs, *Shared.Alloc,
+          /*D=*/nullptr, &this->hbQuery());
       return *OwnHistoryRefuter;
     };
+}
+
+const analysis::HbQuery &FilterContext::hbQuery() {
+  std::lock_guard<std::mutex> Lock(HbMu);
+  if (!HbPtr) {
+    if (Shared.Hb) {
+      HbPtr = Shared.Hb;
+    } else {
+      OwnHb = std::make_unique<analysis::HbQuery>(P, Apis, Forest);
+      HbPtr = OwnHb.get();
+    }
+  }
+  return *HbPtr;
 }
 
 const analysis::NullnessAnalysis &FilterContext::nullness() {

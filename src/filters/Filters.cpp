@@ -127,22 +127,28 @@ public:
       return false;
     if (!Tu->component() || Tu->component() != Tf->component())
       return false;
-    for (const android::FrameworkSpec::ReviveWindow &RW :
-         android::FrameworkSpec::builtin().reviveWindows()) {
-      if (Tf->callback()->name() != RW.FreeCallback)
-        continue;
-      // Use callbacks of the window's kind only: a paused activity takes
-      // no input, but system events (GPS, sensors) keep firing, so the
-      // revive callback's re-allocation guarantees nothing for them.
-      if (Tu->callbackKind() != RW.UseKind)
-        continue;
-      Method *Revive = Tf->component()->findMethod(RW.ReviveCallback);
-      if (!Revive)
-        continue;
-      if (Ctx.allocFlow(Revive).MayAllocFields.count(W.F) != 0)
-        return true;
-    }
-    return false;
+    // The verdict depends only on (use-thread, free-thread, field) —
+    // never on the racy statements — so pairs shared by many warnings
+    // resolve from the HbQuery memo after the first evaluation.
+    return Ctx.hbQuery().fieldPairVerdict(Tu, Tf, W.F, [&] {
+      for (const android::FrameworkSpec::ReviveWindow &RW :
+           android::FrameworkSpec::builtin().reviveWindows()) {
+        if (Tf->callback()->name() != RW.FreeCallback)
+          continue;
+        // Use callbacks of the window's kind only: a paused activity
+        // takes no input, but system events (GPS, sensors) keep firing,
+        // so the revive callback's re-allocation guarantees nothing for
+        // them.
+        if (Tu->callbackKind() != RW.UseKind)
+          continue;
+        Method *Revive = Tf->component()->findMethod(RW.ReviveCallback);
+        if (!Revive)
+          continue;
+        if (Ctx.allocFlow(Revive).MayAllocFields.count(W.F) != 0)
+          return true;
+      }
+      return false;
+    });
   }
 };
 
@@ -159,10 +165,15 @@ public:
                   FilterContext &Ctx) const override {
     const ModeledThread *Tu = TP.UseThread;
     const ModeledThread *Tf = TP.FreeThread;
-    for (const analysis::CancelInfo &C : Ctx.cancels(Tf->callback()))
-      if (covers(C, Tu, Tf, Ctx))
-        return true;
-    return false;
+    // covers() never reads the warning — the verdict is a pure function
+    // of the thread pair, so it memoizes in HbQuery's pair-slot cache.
+    return Ctx.hbQuery().pairVerdict(
+        analysis::HbQuery::SlotChb, Tu, Tf, [&] {
+          for (const analysis::CancelInfo &C : Ctx.cancels(Tf->callback()))
+            if (covers(C, Tu, Tf, Ctx))
+              return true;
+          return false;
+        });
   }
 
 private:
@@ -208,32 +219,17 @@ private:
 /// PHB (§6.2.1): a poster callback completes before its postee runs on
 /// the same looper, ordering every operation of the two callbacks.
 /// Unsound when two runtime instances of the poster share the field.
+/// The transitive same-looper post relation is precomputed in HbQuery's
+/// matrix, so the former per-pair parent-chain walk is two bit tests.
 class PhbFilter : public Filter {
 public:
   FilterKind kind() const override { return FilterKind::PHB; }
 
   bool prunesPair(const UafWarning &W, const ThreadPair &TP,
                   FilterContext &Ctx) const override {
-    return postedAfter(TP.UseThread, TP.FreeThread) ||
-           postedAfter(TP.FreeThread, TP.UseThread);
-  }
-
-private:
-  /// True when \p Postee transitively descends from \p Poster through
-  /// same-looper posting links (each hop poster-side atomic).
-  static bool postedAfter(const ModeledThread *Postee,
-                          const ModeledThread *Poster) {
-    const ModeledThread *Cur = Postee;
-    while (Cur->origin() == ThreadOrigin::PostedCallback &&
-           Cur->onLooper()) {
-      const ModeledThread *P = Cur->parent();
-      if (!P || !P->onLooper() || P->looperId() != Cur->looperId())
-        return false; // a cross-looper hop loses the atomic ordering
-      if (P == Poster)
-        return true;
-      Cur = P;
-    }
-    return false;
+    const analysis::HbQuery &HQ = Ctx.hbQuery();
+    return HQ.postedAfter(TP.UseThread, TP.FreeThread) ||
+           HQ.postedAfter(TP.FreeThread, TP.UseThread);
   }
 };
 

@@ -65,7 +65,13 @@ LocksetPass::run(AnalysisManager &AM) {
 
 std::unique_ptr<analysis::CancelReach>
 CancelReachPass::run(AnalysisManager &AM) {
-  return std::make_unique<analysis::CancelReach>(AM.program(), AM.apis());
+  return std::make_unique<analysis::CancelReach>(AM.program(), AM.apis(),
+                                                 &AM.hbQuery());
+}
+
+std::unique_ptr<analysis::HbQuery> HbQueryPass::run(AnalysisManager &AM) {
+  return std::make_unique<analysis::HbQuery>(AM.program(), AM.apis(),
+                                             AM.forest());
 }
 
 std::unique_ptr<analysis::EscapeAnalysis>
@@ -78,7 +84,7 @@ std::unique_ptr<analysis::HbRefuter> HbRefuterPass::run(AnalysisManager &AM) {
   return std::make_unique<analysis::HbRefuter>(
       AM.program(), AM.forest(), AM.pointsTo(), AM.reach(), AM.cancelReach(),
       AM.escape(), AM.getMutable<CfgCachePass>(),
-      AM.getMutable<AllocFlowCachePass>(), AM.deadline());
+      AM.getMutable<AllocFlowCachePass>(), AM.deadline(), &AM.hbQuery());
 }
 
 std::unique_ptr<analysis::HistoryRefuter>
@@ -86,7 +92,7 @@ HistoryRefuterPass::run(AnalysisManager &AM) {
   return std::make_unique<analysis::HistoryRefuter>(
       AM.program(), AM.forest(), AM.pointsTo(), AM.reach(), AM.cancelReach(),
       AM.escape(), AM.getMutable<CfgCachePass>(),
-      AM.getMutable<AllocFlowCachePass>(), AM.deadline());
+      AM.getMutable<AllocFlowCachePass>(), AM.deadline(), &AM.hbQuery());
 }
 
 std::unique_ptr<analysis::MethodCfgCache>
@@ -118,6 +124,7 @@ FilterContextPass::run(AnalysisManager &AM) {
   filters::SharedAnalyses Shared;
   Shared.Locks = &AM.lockset();
   Shared.Cancel = &AM.cancelReach();
+  Shared.Hb = &AM.hbQuery();
   Shared.Cfgs = &AM.getMutable<CfgCachePass>();
   Shared.Guards = &AM.getMutable<GuardCachePass>();
   Shared.Alloc = &AM.getMutable<AllocFlowCachePass>();

@@ -47,6 +47,7 @@
 #define NADROID_PIPELINE_ANALYSISMANAGER_H
 
 #include "analysis/Escape.h"
+#include "analysis/HbQuery.h"
 #include "analysis/MethodCaches.h"
 #include "filters/Engine.h"
 #include "race/Detector.h"
@@ -165,10 +166,21 @@ struct LocksetPass {
   static std::unique_ptr<Result> run(AnalysisManager &AM);
 };
 
-/// Cancellation reachability (CHB's substrate). Depends on: apis.
+/// Cancellation reachability (CHB's substrate). Depends on: apis,
+/// hbquery (the shared syntactic-reach memo).
 struct CancelReachPass {
   static constexpr const char *Name = "cancelreach";
   using Result = analysis::CancelReach;
+  static std::unique_ptr<Result> run(AnalysisManager &AM);
+};
+
+/// The shared happens-before/reachability query layer: the forest's
+/// transitive post matrix, the program-wide syntactic-reach memo and the
+/// refuter pair-skeleton cache. Depends on: apis, forest — so a
+/// ModelFragments flip cascades here and on to every consumer.
+struct HbQueryPass {
+  static constexpr const char *Name = "hbquery";
+  using Result = analysis::HbQuery;
   static std::unique_ptr<Result> run(AnalysisManager &AM);
 };
 
@@ -354,6 +366,7 @@ public:
   const analysis::NullnessAnalysis &nullness() { return get<NullnessPass>(); }
   const analysis::LocksetAnalysis &lockset() { return get<LocksetPass>(); }
   const analysis::CancelReach &cancelReach() { return get<CancelReachPass>(); }
+  const analysis::HbQuery &hbQuery() { return get<HbQueryPass>(); }
   const analysis::EscapeAnalysis &escape() { return get<EscapePass>(); }
   const analysis::HbRefuter &hbRefuter() { return get<HbRefuterPass>(); }
   const analysis::HistoryRefuter &historyRefuter() {

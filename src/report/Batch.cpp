@@ -217,7 +217,12 @@ std::string report::renderBatchLogLine(const BatchApp &A) {
      << ", \"afterUnsound\": " << A.AfterUnsound
      << ", \"modelingSec\": " << jsonFixed(A.Timings.ModelingSec, 6)
      << ", \"detectionSec\": " << jsonFixed(A.Timings.DetectionSec, 6)
-     << ", \"filteringSec\": " << jsonFixed(A.Timings.FilteringSec, 6) << "}";
+     << ", \"filteringSec\": " << jsonFixed(A.Timings.FilteringSec, 6);
+  for (size_t I = 0; I < filters::NumFilterKinds; ++I)
+    OS << ", \"filter"
+       << filters::filterKindName(static_cast<filters::FilterKind>(I))
+       << "Sec\": " << jsonFixed(A.Timings.FilterSec[I], 6);
+  OS << "}";
   return OS.str();
 }
 
@@ -251,6 +256,13 @@ bool report::parseBatchLogLine(const std::string &Line, BatchApp &Out) {
   Out.Timings.ModelingSec = jsonFindFixed(Line, "modelingSec");
   Out.Timings.DetectionSec = jsonFindFixed(Line, "detectionSec");
   Out.Timings.FilteringSec = jsonFindFixed(Line, "filteringSec");
+  // Older checkpoint lines lack the per-filter keys; the scanner's 0
+  // default keeps them parseable (the breakdown just reads as zero).
+  for (size_t I = 0; I < filters::NumFilterKinds; ++I)
+    Out.Timings.FilterSec[I] = jsonFindFixed(
+        Line, std::string("filter") +
+                  filters::filterKindName(static_cast<filters::FilterKind>(I)) +
+                  "Sec");
   // Per-pass accounting is not checkpointed; a restored row renders an
   // empty analyses list and an untrusted RSS.
   return true;
@@ -502,6 +514,8 @@ BatchPhaseTotals report::batchPhaseTotals(const BatchResult &R) {
     T.ModelingCpuSec += A.Timings.ModelingSec;
     T.DetectionCpuSec += A.Timings.DetectionSec;
     T.FilteringCpuSec += A.Timings.FilteringSec;
+    for (size_t I = 0; I < filters::NumFilterKinds; ++I)
+      T.FilterCpuSec[I] += A.Timings.FilterSec[I];
     if (A.PhaseEndSec < 0)
       continue; // restored row: CPU from an earlier run, no clock anchor
     // The phases ran back-to-back and ended (up to the parse and report
@@ -552,7 +566,12 @@ std::string report::renderBatchJson(const BatchResult &R) {
      << ", \"detectionWallSec\": " << jsonFixed(PT.DetectionWallSec, 6)
      << ", \"filteringCpuSec\": " << jsonFixed(PT.FilteringCpuSec, 6)
      << ", \"filteringWallSec\": " << jsonFixed(PT.FilteringWallSec, 6)
-     << "},\n  \"apps\": [";
+     << ", \"filtering\": {";
+  for (size_t I = 0; I < filters::NumFilterKinds; ++I)
+    OS << (I ? ", " : "") << "\""
+       << filters::filterKindName(static_cast<filters::FilterKind>(I))
+       << "Sec\": " << jsonFixed(PT.FilterCpuSec[I], 6);
+  OS << "}},\n  \"apps\": [";
   bool FirstApp = true;
   unsigned long long Potential = 0, Sound = 0, Unsound = 0;
   for (const BatchApp &A : R.Apps) {

@@ -195,6 +195,11 @@ struct BatchPhaseTotals {
   double ModelingCpuSec = 0, ModelingWallSec = 0;
   double DetectionCpuSec = 0, DetectionWallSec = 0;
   double FilteringCpuSec = 0, FilteringWallSec = 0;
+  /// FilteringCpuSec split by filter kind (summed per-app self-times,
+  /// indexed by filters::FilterKind value). Like the per-app breakdown,
+  /// the entries undercount the total: refuter time and sweep overhead
+  /// belong to no single filter.
+  std::array<double, filters::NumFilterKinds> FilterCpuSec{};
 };
 BatchPhaseTotals batchPhaseTotals(const BatchResult &R);
 

@@ -178,11 +178,15 @@ std::string report::renderAppResult(const BatchApp &A, unsigned Schema) {
      << ", \"afterUnsound\": " << A.AfterUnsound
      << ", \"modelingSec\": " << jsonFixed(A.Timings.ModelingSec, 6)
      << ", \"detectionSec\": " << jsonFixed(A.Timings.DetectionSec, 6)
-     << ", \"filteringSec\": " << jsonFixed(A.Timings.FilteringSec, 6)
-     // Last on purpose: the scalar scanners above search the whole line,
-     // so keys that also occur per-analysis ("builds", "hits") must only
-     // appear after every top-level key a reader will look for.
-     << ", \"analyses\": [";
+     << ", \"filteringSec\": " << jsonFixed(A.Timings.FilteringSec, 6);
+  for (size_t I = 0; I < filters::NumFilterKinds; ++I)
+    OS << ", \"filter"
+       << filters::filterKindName(static_cast<filters::FilterKind>(I))
+       << "Sec\": " << jsonFixed(A.Timings.FilterSec[I], 6);
+  // Last on purpose: the scalar scanners above search the whole line,
+  // so keys that also occur per-analysis ("builds", "hits") must only
+  // appear after every top-level key a reader will look for.
+  OS << ", \"analyses\": [";
   bool First = true;
   for (const pipeline::PassStat &S : A.Analyses) {
     OS << (First ? "" : ", ") << "{\"analysis\": \"" << jsonEscape(S.Name)
@@ -237,6 +241,11 @@ bool report::parseAppResult(const std::string &Line, unsigned Schema,
   Out.Timings.ModelingSec = jsonFindFixed(Head, "modelingSec");
   Out.Timings.DetectionSec = jsonFindFixed(Head, "detectionSec");
   Out.Timings.FilteringSec = jsonFindFixed(Head, "filteringSec");
+  for (size_t I = 0; I < filters::NumFilterKinds; ++I)
+    Out.Timings.FilterSec[I] = jsonFindFixed(
+        Head, std::string("filter") +
+                  filters::filterKindName(static_cast<filters::FilterKind>(I)) +
+                  "Sec");
   Out.RssTrusted = false; // restored rows never carry attributable RSS
 
   // The array elements hold only scalars, so a brace scan suffices.
@@ -299,7 +308,13 @@ std::string report::renderJson(const NadroidResult &R,
   // through jsonFixed — LC_NUMERIC must not leak into the output.
   OS << "  \"timings\": {\"modelingSec\": " << jsonFixed(R.Timings.ModelingSec, 6)
      << ", \"detectionSec\": " << jsonFixed(R.Timings.DetectionSec, 6)
-     << ", \"filteringSec\": " << jsonFixed(R.Timings.FilteringSec, 6) << "},\n";
+     << ", \"filteringSec\": " << jsonFixed(R.Timings.FilteringSec, 6)
+     << ", \"filters\": {";
+  for (size_t I = 0; I < filters::NumFilterKinds; ++I)
+    OS << (I ? ", " : "") << "\""
+       << filters::filterKindName(static_cast<filters::FilterKind>(I))
+       << "\": " << jsonFixed(R.Timings.FilterSec[I], 6);
+  OS << "}},\n";
   OS << "  \"analyses\": [";
   if (R.Manager) {
     bool FirstPass = true;

@@ -64,7 +64,17 @@ NadroidResult report::analyzeProgram(
   // even after the manager invalidates its own (e.g. on setOptions).
   auto T2 = Clock::now();
   R.FilterCtx = &M.filterContext();
+  // The engine's per-kind counters span its whole lifetime (a reused
+  // manager sweeps many times); the delta around this verdicts request
+  // is the share belonging to this run's filtering phase.
+  std::array<double, filters::NumFilterKinds> Before{};
+  if (M.isCached<pipeline::FilterEnginePass>())
+    Before = M.engine().filterSecondsAll();
   R.Pipeline = M.verdicts();
+  const std::array<double, filters::NumFilterKinds> After =
+      M.engine().filterSecondsAll();
+  for (size_t I = 0; I < filters::NumFilterKinds; ++I)
+    R.Timings.FilterSec[I] = After[I] - Before[I];
   R.Timings.FilteringSec = secondsSince(T2);
 
   return R;

@@ -30,6 +30,7 @@
 #include "race/Detector.h"
 #include "report/Classify.h"
 
+#include <array>
 #include <memory>
 
 namespace nadroid::report {
@@ -43,6 +44,13 @@ struct PhaseTimings {
   double ModelingSec = 0;  ///< threadification
   double DetectionSec = 0; ///< points-to + racy-pair enumeration
   double FilteringSec = 0; ///< both filter stages
+  /// FilteringSec split by filter kind: the self-time each filter spent
+  /// deciding pairs during this run's verdict sweep, indexed by
+  /// filters::FilterKind value (MHB..TT). Lazy analyses a filter
+  /// materializes on first touch are charged to that filter, and the
+  /// refuter's time belongs to no kind — so the entries sum to less than
+  /// FilteringSec, not to it.
+  std::array<double, filters::NumFilterKinds> FilterSec{};
 };
 
 /// Everything the pipeline produced. The analyses live in (and are owned

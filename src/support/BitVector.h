@@ -1,0 +1,121 @@
+//===- support/BitVector.h - Dense fixed-width bit vector -------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal dense bit vector over 64-bit words. The analyses use it for
+/// set-of-entities state where the universe is known up front and indices
+/// are dense: nullness method summaries (fields ensured non-null), the
+/// HbQuery reachability matrices (methods reachable from a root, threads
+/// ordered after a thread). Unlike std::set<T*>, copies are O(words),
+/// intersection is a word-wise AND, and iteration order is index order —
+/// never pointer order, so nothing downstream can accidentally depend on
+/// allocation addresses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_SUPPORT_BITVECTOR_H
+#define NADROID_SUPPORT_BITVECTOR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nadroid::support {
+
+class BitVector {
+public:
+  BitVector() = default;
+  explicit BitVector(size_t N, bool Ones = false)
+      : N(N), W((N + 63) / 64, Ones ? ~uint64_t(0) : 0) {
+    trimTail();
+  }
+
+  size_t size() const { return N; }
+  bool empty() const { return N == 0; }
+
+  void set(size_t I) { W[I / 64] |= uint64_t(1) << (I % 64); }
+  void reset(size_t I) { W[I / 64] &= ~(uint64_t(1) << (I % 64)); }
+  bool test(size_t I) const {
+    return (W[I / 64] >> (I % 64)) & 1;
+  }
+
+  void clearAll() {
+    for (uint64_t &X : W)
+      X = 0;
+  }
+
+  bool none() const {
+    for (uint64_t X : W)
+      if (X)
+        return false;
+    return true;
+  }
+
+  size_t count() const {
+    size_t C = 0;
+    for (uint64_t X : W)
+      C += static_cast<size_t>(__builtin_popcountll(X));
+    return C;
+  }
+
+  /// Destructive intersection; returns true when any bit was dropped.
+  bool intersectWith(const BitVector &O) {
+    bool Changed = false;
+    for (size_t I = 0; I < W.size(); ++I) {
+      uint64_t New = W[I] & O.W[I];
+      Changed |= New != W[I];
+      W[I] = New;
+    }
+    return Changed;
+  }
+
+  /// Destructive union; returns true when any bit was added.
+  bool uniteWith(const BitVector &O) {
+    bool Changed = false;
+    for (size_t I = 0; I < W.size(); ++I) {
+      uint64_t New = W[I] | O.W[I];
+      Changed |= New != W[I];
+      W[I] = New;
+    }
+    return Changed;
+  }
+
+  /// Copies \p O's bits into this vector (same universe).
+  void assignFrom(const BitVector &O) {
+    N = O.N;
+    W = O.W;
+  }
+
+  friend bool operator==(const BitVector &A, const BitVector &B) {
+    return A.N == B.N && A.W == B.W;
+  }
+
+  /// Calls \p Fn(index) for every set bit, in ascending index order.
+  template <typename FnT> void forEachSet(FnT &&Fn) const {
+    for (size_t WI = 0; WI < W.size(); ++WI) {
+      uint64_t X = W[WI];
+      while (X) {
+        unsigned B = static_cast<unsigned>(__builtin_ctzll(X));
+        Fn(WI * 64 + B);
+        X &= X - 1;
+      }
+    }
+  }
+
+private:
+  /// Bits past N must stay zero so none()/count()/== stay exact.
+  void trimTail() {
+    if (N % 64 != 0 && !W.empty())
+      W.back() &= (uint64_t(1) << (N % 64)) - 1;
+  }
+
+  size_t N = 0;
+  std::vector<uint64_t> W;
+};
+
+} // namespace nadroid::support
+
+#endif // NADROID_SUPPORT_BITVECTOR_H

@@ -1,0 +1,95 @@
+//===- support/FlatMap.h - Sorted-vector map ---------------------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sorted std::vector with a std::map-shaped interface, for the small
+/// hot maps dataflow states carry (a handful of entries, copied on every
+/// join). One contiguous allocation per map instead of one node per
+/// entry makes state copies cheap; the std::map subset implemented here
+/// is exactly what the analyses use. Iteration order is key order (for
+/// pointer keys: address order) — callers must not let it leak into
+/// output, the same contract std::map with pointer keys already had.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_SUPPORT_FLATMAP_H
+#define NADROID_SUPPORT_FLATMAP_H
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace nadroid::support {
+
+template <typename K, typename V> class FlatMap {
+  using Storage = std::vector<std::pair<K, V>>;
+  Storage Es;
+
+  typename Storage::iterator lowerBound(const K &Key) {
+    return std::lower_bound(
+        Es.begin(), Es.end(), Key,
+        [](const std::pair<K, V> &E, const K &Ky) { return E.first < Ky; });
+  }
+  typename Storage::const_iterator lowerBound(const K &Key) const {
+    return std::lower_bound(
+        Es.begin(), Es.end(), Key,
+        [](const std::pair<K, V> &E, const K &Ky) { return E.first < Ky; });
+  }
+
+public:
+  using iterator = typename Storage::iterator;
+  using const_iterator = typename Storage::const_iterator;
+
+  iterator begin() { return Es.begin(); }
+  iterator end() { return Es.end(); }
+  const_iterator begin() const { return Es.begin(); }
+  const_iterator end() const { return Es.end(); }
+
+  bool empty() const { return Es.empty(); }
+  size_t size() const { return Es.size(); }
+
+  iterator find(const K &Key) {
+    auto It = lowerBound(Key);
+    return It != Es.end() && It->first == Key ? It : Es.end();
+  }
+  const_iterator find(const K &Key) const {
+    auto It = lowerBound(Key);
+    return It != Es.end() && It->first == Key ? It : Es.end();
+  }
+  size_t count(const K &Key) const { return find(Key) != end() ? 1 : 0; }
+
+  V &operator[](const K &Key) {
+    auto It = lowerBound(Key);
+    if (It == Es.end() || It->first != Key)
+      It = Es.emplace(It, Key, V());
+    return It->second;
+  }
+
+  template <typename VV> std::pair<iterator, bool> emplace(const K &Key, VV &&Val) {
+    auto It = lowerBound(Key);
+    if (It != Es.end() && It->first == Key)
+      return {It, false};
+    return {Es.emplace(It, Key, std::forward<VV>(Val)), true};
+  }
+
+  iterator erase(iterator It) { return Es.erase(It); }
+  size_t erase(const K &Key) {
+    auto It = find(Key);
+    if (It == end())
+      return 0;
+    Es.erase(It);
+    return 1;
+  }
+
+  friend bool operator==(const FlatMap &A, const FlatMap &B) {
+    return A.Es == B.Es;
+  }
+};
+
+} // namespace nadroid::support
+
+#endif // NADROID_SUPPORT_FLATMAP_H

@@ -181,6 +181,7 @@ report::BatchApp sampleApp(report::BatchStatus S) {
   A.Timings.ModelingSec = 0.25;
   A.Timings.DetectionSec = 1.5;
   A.Timings.FilteringSec = 0.125;
+  A.Timings.FilterSec[3] = 0.0625; // RHB
   A.Analyses.push_back({"threadforest", 0.5, 1, 3, 0, true});
   A.Analyses.push_back({"pointsto", 1.25, 2, 9, 0, true});
   return A;
@@ -211,6 +212,8 @@ TEST(CacheEntryTest, RoundTripsEveryStatus) {
     EXPECT_DOUBLE_EQ(B.Timings.ModelingSec, 0.25);
     EXPECT_DOUBLE_EQ(B.Timings.DetectionSec, 1.5);
     EXPECT_DOUBLE_EQ(B.Timings.FilteringSec, 0.125);
+    EXPECT_DOUBLE_EQ(B.Timings.FilterSec[3], 0.0625);
+    EXPECT_DOUBLE_EQ(B.Timings.FilterSec[0], 0.0);
     ASSERT_EQ(B.Analyses.size(), 2u);
     EXPECT_EQ(B.Analyses[0].Name, "threadforest");
     EXPECT_DOUBLE_EQ(B.Analyses[0].Seconds, 0.5);

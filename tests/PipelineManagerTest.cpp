@@ -18,11 +18,14 @@
 #include "ir/Printer.h"
 #include "pipeline/AnalysisManager.h"
 #include "report/Batch.h"
+#include "report/Json.h"
 #include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cctype>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
@@ -46,6 +49,57 @@ const pipeline::PassStat *statNamed(const std::vector<pipeline::PassStat> &Stats
     if (S.Name == Name)
       return &S;
   return nullptr;
+}
+
+/// Strips the perf-tracking accounting from a JSON report so two runs
+/// can be compared byte-for-byte: the "analyses" arrays (pool lanes can
+/// trigger lazy builds in a different registration order), every
+/// fixed-point timing value, the rssKb samples, and the jobs count.
+/// Everything semantic — warnings, counts, statuses, key order —
+/// survives untouched.
+std::string normalizedJson(const std::string &Json) {
+  static const std::string Marker = "\"analyses\": [";
+  std::string Out;
+  Out.reserve(Json.size());
+  for (size_t I = 0; I < Json.size();) {
+    if (Json.compare(I, Marker.size(), Marker) == 0) {
+      I += Marker.size();
+      for (size_t Depth = 1; Depth && I < Json.size(); ++I) {
+        if (Json[I] == '[')
+          ++Depth;
+        else if (Json[I] == ']')
+          --Depth;
+      }
+      Out += "\"analyses\": []";
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(Json[I]))) {
+      size_t J = I;
+      bool Dotted = false;
+      while (J < Json.size() &&
+             (std::isdigit(static_cast<unsigned char>(Json[J])) ||
+              Json[J] == '.')) {
+        Dotted |= Json[J] == '.';
+        ++J;
+      }
+      auto after = [&](const char *Key) {
+        size_t N = std::strlen(Key);
+        return Out.size() >= N && Out.compare(Out.size() - N, N, Key) == 0;
+      };
+      if (Dotted)
+        Out += 'T'; // a timing — jsonFixed always prints a decimal point
+      else if (after("\"rssKb\": "))
+        Out += 'R';
+      else if (after("\"jobs\": "))
+        Out += 'J';
+      else
+        Out.append(Json, I, J - I); // a semantic count: keep it
+      I = J;
+      continue;
+    }
+    Out += Json[I++];
+  }
+  return Out;
 }
 
 //===----------------------------------------------------------------------===//
@@ -267,9 +321,43 @@ TEST(BatchDriverTest, ReportIsByteIdenticalAcrossJobCounts) {
   EXPECT_EQ(Ser.Apps.size(), corpus::allRecipes().size());
   EXPECT_EQ(Ser.exitCode(), Par.exitCode());
   EXPECT_EQ(report::renderBatchReport(Ser), report::renderBatchReport(Par));
+  EXPECT_EQ(normalizedJson(report::renderBatchJson(Ser)),
+            normalizedJson(report::renderBatchJson(Par)));
 
   std::error_code Ec;
   fs::remove_all(Dir, Ec);
+}
+
+// With verdicts fanning out over the pool *inside* one app, the rendered
+// reports — not just the verdict counts — must come out byte-identical.
+// Runs both the plain pipeline and the tier-2 refuter configuration,
+// which exercises the shared HbQuery memos (pair verdicts, skeleton
+// cache) under concurrent first-touch from multiple lanes.
+TEST(AnalysisManagerTest, ParallelReportBytesMatchSerial) {
+  corpus::CorpusApp App = corpus::buildAppNamed("ConnectBot");
+
+  report::NadroidOptions Tier2;
+  Tier2.Refute = true;
+  Tier2.RefuteHistory = true;
+
+  for (const report::NadroidOptions &O :
+       {report::NadroidOptions{}, Tier2}) {
+    auto Render = [&](support::ThreadPool *Pool) {
+      auto AM = std::make_shared<AnalysisManager>(*App.Prog, O);
+      AM->setThreadPool(Pool);
+      report::NadroidResult R = report::analyzeProgram(AM);
+      std::string Text = report::summaryLine(R) + "\n";
+      for (size_t I : R.remainingIndices())
+        Text += report::renderWarning(R, I, *App.Prog);
+      return std::make_pair(std::move(Text),
+                            normalizedJson(report::renderJson(R, *App.Prog)));
+    };
+    auto Serial = Render(nullptr);
+    support::ThreadPool Pool(4);
+    auto Parallel = Render(&Pool);
+    EXPECT_EQ(Serial.first, Parallel.first);
+    EXPECT_EQ(Serial.second, Parallel.second);
+  }
 }
 
 TEST(BatchDriverTest, ParseFailuresBecomeRowsNotCrashes) {
@@ -389,6 +477,31 @@ TEST(BatchFaultToleranceTest, FaultyReportIsByteIdenticalAcrossJobCounts) {
   fs::remove_all(Dir, Ec);
 }
 
+// Same poisoned corpus, but with a real --batch-timeout budget attached
+// and the JSON aggregate compared too. The budget is generous, so every
+// lane carries a live deadline (the timeout plumbing runs under
+// parallelism) while actual expiry stays in the injected hooks — which
+// apps time out is therefore deterministic across job counts.
+TEST(BatchFaultToleranceTest, PoisonedJsonReportIsByteIdenticalAcrossJobCounts) {
+  namespace fs = std::filesystem;
+  fs::path Dir = fault::makePoisonedCorpus("nadroid-batch-poisoned-json");
+
+  report::BatchOptions Opts = fault::poisonedOptions(Dir);
+  Opts.TimeoutSec = 300;
+  Opts.Jobs = 1;
+  report::BatchResult Ser = report::runBatch(Opts);
+  Opts.Jobs = 4;
+  report::BatchResult Par = report::runBatch(Opts);
+
+  EXPECT_EQ(Ser.exitCode(), Par.exitCode());
+  EXPECT_EQ(report::renderBatchReport(Ser), report::renderBatchReport(Par));
+  EXPECT_EQ(normalizedJson(report::renderBatchJson(Ser)),
+            normalizedJson(report::renderBatchJson(Par)));
+
+  std::error_code Ec;
+  fs::remove_all(Dir, Ec);
+}
+
 TEST(BatchFaultToleranceTest, LogLineRoundTrips) {
   report::BatchApp A;
   A.File = "we\"ird\napp.air";
@@ -405,6 +518,8 @@ TEST(BatchFaultToleranceTest, LogLineRoundTrips) {
   A.Timings.ModelingSec = 0.25;
   A.Timings.DetectionSec = 1.5;
   A.Timings.FilteringSec = 0.125;
+  A.Timings.FilterSec[0] = 0.0625;                             // MHB
+  A.Timings.FilterSec[filters::NumFilterKinds - 1] = 0.03125;  // TT
 
   std::string Line = report::renderBatchLogLine(A);
   report::BatchApp B;
@@ -420,6 +535,9 @@ TEST(BatchFaultToleranceTest, LogLineRoundTrips) {
   EXPECT_DOUBLE_EQ(B.Timings.ModelingSec, 0.25);
   EXPECT_DOUBLE_EQ(B.Timings.DetectionSec, 1.5);
   EXPECT_DOUBLE_EQ(B.Timings.FilteringSec, 0.125);
+  EXPECT_DOUBLE_EQ(B.Timings.FilterSec[0], 0.0625);
+  EXPECT_DOUBLE_EQ(B.Timings.FilterSec[filters::NumFilterKinds - 1], 0.03125);
+  EXPECT_DOUBLE_EQ(B.Timings.FilterSec[1], 0.0); // unset kinds stay zero
 
   // A line a killed writer truncated mid-value is refused, not half-read.
   report::BatchApp C;
