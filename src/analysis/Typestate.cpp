@@ -1,0 +1,488 @@
+//===- analysis/Typestate.cpp - Protocol typestate checking -------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Typestate.h"
+
+#include "analysis/Cfg.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <tuple>
+
+using namespace nadroid;
+using namespace nadroid::analysis;
+using android::ApiKind;
+using android::FrameworkSpec;
+using threadify::ModeledThread;
+using threadify::ThreadOrigin;
+using Protocol = FrameworkSpec::Protocol;
+
+namespace {
+
+/// Applies one API event to a state set, per bit: a bit within a matching
+/// transition's FromMask moves to that transition's To (first spec-order
+/// match wins); other bits are kept. In \p May mode the source bits are
+/// kept as well (the event may or may not happen on this path), and
+/// origins are stamped only on states that become newly possible.
+uint8_t applyEvent(const Protocol &Pr, ApiKind K, uint8_t Mask, bool May,
+                   const ir::Stmt *S, const ir::Stmt **Origin) {
+  uint8_t Out = 0, Moved = 0;
+  for (unsigned B = 0; B < Pr.States.size(); ++B) {
+    if (!(Mask & (1u << B)))
+      continue;
+    const Protocol::Transition *Match = nullptr;
+    for (const Protocol::Transition &Tr : Pr.Transitions)
+      if (Tr.Api == K && (Tr.FromMask & (1u << B))) {
+        Match = &Tr;
+        break;
+      }
+    if (Match) {
+      Out |= uint8_t(1u << Match->To);
+      Moved |= uint8_t(1u << Match->To);
+    }
+    if (!Match || May)
+      Out |= uint8_t(1u << B);
+  }
+  for (unsigned B = 0; B < Pr.States.size(); ++B) {
+    if (!(Moved & (1u << B)))
+      continue;
+    if (!May || !(Mask & (1u << B)))
+      Origin[B] = S;
+  }
+  return Out;
+}
+
+std::string firstStateName(const Protocol &Pr, uint8_t Mask) {
+  for (unsigned B = 0; B < Pr.States.size(); ++B)
+    if (Mask & (1u << B))
+      return Pr.States[B];
+  return "?";
+}
+
+/// The API kinds this machine watches: every transition trigger plus
+/// every error-call trigger. Events outside this mask cannot move the
+/// machine or fire a rule.
+uint32_t protoEventMask(const Protocol &Pr) {
+  uint32_t Mask = 0;
+  for (const Protocol::Transition &Tr : Pr.Transitions)
+    Mask |= 1u << static_cast<unsigned>(Tr.Api);
+  for (const Protocol::ErrorRule &R : Pr.Errors)
+    if (!R.AtCallback)
+      Mask |= 1u << static_cast<unsigned>(R.Api);
+  return Mask;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Per-callback transfer summaries
+//===----------------------------------------------------------------------===//
+
+/// The flow-sensitive summary of one callback body against one protocol:
+/// for each possible entry state, the exit state set, the transition
+/// statement that produced each exit state (null when the state was
+/// carried through unchanged), and every error-call rule hit with the
+/// entry states under which it fires.
+struct TypestateAnalysis::Transfer {
+  unsigned NumStates = 0;
+  uint8_t ExitMask[8] = {};
+  const ir::Stmt *ExitOrigin[8][8] = {};
+  struct CallHit {
+    const Protocol::ErrorRule *Rule = nullptr;
+    const ir::Stmt *At = nullptr;
+    uint8_t EntryMask = 0; ///< Entry states under which the rule fires.
+    uint8_t StateMask = 0; ///< Bad states live at the call.
+  };
+  std::vector<CallHit> CallHits;
+};
+
+uint32_t TypestateAnalysis::ownEventMask(const ir::Method *M) {
+  auto Found = OwnEvents.find(M);
+  if (Found != OwnEvents.end())
+    return Found->second;
+  uint32_t Mask = 0;
+  ir::forEachStmt(*M, [&](const ir::Stmt &S) {
+    const auto *Call = dyn_cast<ir::CallStmt>(&S);
+    if (!Call)
+      return;
+    ApiKind K = Apis.lookup(*Call).Kind;
+    if (K != ApiKind::None)
+      Mask |= 1u << static_cast<unsigned>(K);
+  });
+  OwnEvents.emplace(M, Mask);
+  return Mask;
+}
+
+uint32_t TypestateAnalysis::helperEventMask(ir::Method *M) {
+  auto Found = HelperEvents.find(M);
+  if (Found != HelperEvents.end())
+    return Found->second;
+  uint32_t Mask = 0;
+  for (ir::Method *R : Hb.reachableFrom(M))
+    if (R != M)
+      Mask |= ownEventMask(R);
+  HelperEvents.emplace(M, Mask);
+  return Mask;
+}
+
+const TypestateAnalysis::Transfer &
+TypestateAnalysis::transferOf(ir::Method *M, const Protocol &Pr) {
+  auto Key = std::make_pair(static_cast<const ir::Method *>(M), &Pr);
+  auto Found = Transfers.find(Key);
+  if (Found != Transfers.end())
+    return *Found->second;
+
+  auto TF = std::make_unique<Transfer>();
+  TF->NumStates = static_cast<unsigned>(Pr.States.size());
+
+  // API events reachable through ordinary calls out of this callback: a
+  // register hidden inside a helper makes its target state possible at
+  // the helper's call site instead of being missed entirely. The
+  // program-wide scan is cached per method across protocols; only the
+  // kinds some transition of *this* machine watches can move its states.
+  std::vector<ApiKind> HelperKinds;
+  uint32_t HelperMask = helperEventMask(M);
+  for (const Protocol::Transition &Tr : Pr.Transitions)
+    if (HelperMask & (1u << static_cast<unsigned>(Tr.Api)))
+      if (std::find(HelperKinds.begin(), HelperKinds.end(), Tr.Api) ==
+          HelperKinds.end())
+        HelperKinds.push_back(Tr.Api);
+
+  // A callback that neither performs nor reaches any event this machine
+  // watches is the identity transfer — no CFG sweep needed. This is the
+  // common case: most callbacks of most components touch none of a
+  // given protocol's APIs.
+  if (!((ownEventMask(M) | HelperMask) & protoEventMask(Pr))) {
+    for (unsigned E = 0; E < TF->NumStates; ++E)
+      TF->ExitMask[E] = uint8_t(1u << E);
+    const Transfer &Ref = *TF;
+    Transfers.emplace(Key, std::move(TF));
+    return Ref;
+  }
+
+  const Cfg &G = Cfgs.get(*M);
+  struct NodeState {
+    bool Reached = false;
+    uint8_t Mask = 0;
+    const ir::Stmt *Origin[8] = {};
+  };
+  auto Merge = [](NodeState &Dst, const NodeState &Src) {
+    if (!Dst.Reached) {
+      Dst = Src;
+      return;
+    }
+    Dst.Mask |= Src.Mask;
+    for (unsigned B = 0; B < 8; ++B)
+      if (!Dst.Origin[B] && Src.Origin[B])
+        Dst.Origin[B] = Src.Origin[B];
+  };
+
+  for (unsigned E = 0; E < TF->NumStates; ++E) {
+    std::vector<NodeState> In(G.size());
+    In[G.entry()].Reached = true;
+    In[G.entry()].Mask = uint8_t(1u << E);
+    for (uint32_t N : G.rpo()) {
+      NodeState Cur = In[N];
+      if (!Cur.Reached)
+        continue;
+      for (const ir::Stmt *S : G.node(N).Stmts) {
+        const auto *Call = dyn_cast<ir::CallStmt>(S);
+        if (!Call)
+          continue;
+        ApiKind K = Apis.lookup(*Call).Kind;
+        if (K == ApiKind::None) {
+          // Ordinary call: saturate under the helper event set.
+          bool Changed = !HelperKinds.empty();
+          while (Changed) {
+            Changed = false;
+            for (ApiKind HK : HelperKinds) {
+              uint8_t NewMask =
+                  applyEvent(Pr, HK, Cur.Mask, /*May=*/true, S, Cur.Origin);
+              if (NewMask != Cur.Mask) {
+                Cur.Mask = NewMask;
+                Changed = true;
+              }
+            }
+          }
+          continue;
+        }
+        for (const Protocol::ErrorRule &R : Pr.Errors) {
+          if (R.AtCallback || R.Api != K || !(Cur.Mask & R.InMask))
+            continue;
+          uint8_t Bad = Cur.Mask & R.InMask;
+          auto Same = std::find_if(TF->CallHits.begin(), TF->CallHits.end(),
+                                   [&](const Transfer::CallHit &H) {
+                                     return H.Rule == &R && H.At == S;
+                                   });
+          if (Same == TF->CallHits.end())
+            TF->CallHits.push_back({&R, S, uint8_t(1u << E), Bad});
+          else {
+            Same->EntryMask |= uint8_t(1u << E);
+            Same->StateMask |= Bad;
+          }
+        }
+        Cur.Mask = applyEvent(Pr, K, Cur.Mask, /*May=*/false, S, Cur.Origin);
+      }
+      for (const CfgEdge &Edge : G.node(N).Succs)
+        Merge(In[Edge.To], Cur);
+    }
+    const NodeState &X = In[G.exit()];
+    if (X.Reached) {
+      TF->ExitMask[E] = X.Mask;
+      for (unsigned B = 0; B < 8; ++B)
+        TF->ExitOrigin[E][B] = X.Origin[B];
+    } else {
+      TF->ExitMask[E] = uint8_t(1u << E); // defensive: identity
+    }
+  }
+
+  const Transfer &Ref = *TF;
+  Transfers.emplace(Key, std::move(TF));
+  return Ref;
+}
+
+TypestateAnalysis::~TypestateAnalysis() = default;
+
+//===----------------------------------------------------------------------===//
+// Inter-callback exploration
+//===----------------------------------------------------------------------===//
+
+TypestateAnalysis::TypestateAnalysis(
+    const ir::Program &P, const FrameworkSpec &Spec,
+    const android::ApiIndex &Apis, const threadify::ThreadForest &Forest,
+    const HbQuery &Hb, MethodCfgCache &Cfgs, const support::Deadline *D)
+    : P(P), Spec(Spec), Apis(Apis), Forest(Forest), Hb(Hb), Cfgs(Cfgs),
+      D(D) {
+  if (Spec.protocols().empty())
+    return;
+
+  // Group the forest's threads by owning component, in thread-id order.
+  std::map<ir::Clazz *, std::vector<const ModeledThread *>> ByComp;
+  for (const auto &T : Forest.threads())
+    if (T->component() && T->callback())
+      ByComp[T->component()].push_back(T.get());
+
+  std::vector<ir::Clazz *> Comps;
+  Comps.reserve(ByComp.size());
+  for (const auto &[C, Ts] : ByComp)
+    Comps.push_back(C);
+  std::sort(Comps.begin(), Comps.end(),
+            [](ir::Clazz *A, ir::Clazz *B) { return A->name() < B->name(); });
+
+  for (ir::Clazz *C : Comps)
+    checkComponent(C, ByComp[C]);
+
+  std::stable_sort(
+      Findings.begin(), Findings.end(),
+      [](const TypestateFinding &A, const TypestateFinding &B) {
+        return std::make_tuple(A.Component->name(), A.Proto->Name,
+                               A.Rule->Line, A.At ? A.At->id() : 0u) <
+               std::make_tuple(B.Component->name(), B.Proto->Name,
+                               B.Rule->Line, B.At ? B.At->id() : 0u);
+      });
+}
+
+void TypestateAnalysis::checkComponent(
+    ir::Clazz *C, const std::vector<const ModeledThread *> &Ts) {
+  constexpr unsigned NotCreated =
+      static_cast<unsigned>(FrameworkSpec::Phase::NotCreated);
+  constexpr unsigned Resumed =
+      static_cast<unsigned>(FrameworkSpec::Phase::Resumed);
+  constexpr unsigned Paused =
+      static_cast<unsigned>(FrameworkSpec::Phase::Paused);
+
+  for (const Protocol &Pr : Spec.protocols()) {
+    if (D)
+      D->check("typestate");
+
+    // Component-level fast path: if no callback of this component can
+    // produce an event the machine watches, the state never leaves the
+    // initial one, so the only way a rule fires is an `on-callback`
+    // transition moving it or an `error-at` rule naming the initial
+    // state. When none of those apply either, skip the exploration.
+    const uint32_t PrMask = protoEventMask(Pr);
+    uint32_t CompMask = 0;
+    bool AnyCallbackRule = false;
+    for (const ModeledThread *T : Ts) {
+      ir::Method *M = T->callback();
+      CompMask |= ownEventMask(M) | helperEventMask(M);
+      for (const Protocol::CallbackTransition &CT : Pr.CallbackTransitions)
+        if (CT.Callback == M->name())
+          AnyCallbackRule = true;
+      for (const Protocol::ErrorRule &R : Pr.Errors)
+        if (R.AtCallback && (R.InMask & (1u << Pr.Initial)) &&
+            R.Callback == M->name())
+          AnyCallbackRule = true;
+    }
+    if (!(CompMask & PrMask) && !AnyCallbackRule)
+      continue;
+
+    // Per-thread facts that do not depend on the configuration: the
+    // lifecycle rule, origin category, and this machine's per-callback
+    // transitions and error rules (matched by name once, not per config).
+    // Transfers stay lazy — a thread never admitted by the phase machine
+    // never pays for its CFG sweep.
+    struct ThreadInfo {
+      const FrameworkSpec::PhaseRule *PR = nullptr;
+      bool IsEntry = false;
+      bool NeedsResumed = false;
+      const Transfer *TF = nullptr;
+      std::vector<const Protocol::CallbackTransition *> CTs;
+      std::vector<const Protocol::ErrorRule *> AtRules;
+    };
+    std::vector<ThreadInfo> Infos(Ts.size());
+    for (size_t I = 0; I < Ts.size(); ++I) {
+      const ModeledThread *T = Ts[I];
+      const std::string &Name = T->callback()->name();
+      ThreadInfo &TI = Infos[I];
+      TI.PR = Spec.phaseRule(Name);
+      TI.IsEntry = T->origin() == ThreadOrigin::EntryCallback;
+      TI.NeedsResumed = TI.IsEntry && Spec.needsResumed(T->callbackKind());
+      for (const Protocol::CallbackTransition &CT : Pr.CallbackTransitions)
+        if (CT.Callback == Name)
+          TI.CTs.push_back(&CT);
+      for (const Protocol::ErrorRule &R : Pr.Errors)
+        if (R.AtCallback && R.Callback == Name)
+          TI.AtRules.push_back(&R);
+    }
+
+    const unsigned NS = static_cast<unsigned>(Pr.States.size());
+    const unsigned NumCfg = FrameworkSpec::NumPhases * 2 * NS;
+    auto Enc = [NS](unsigned Ph, unsigned Pend, unsigned St) {
+      return (Ph * 2 + Pend) * NS + St;
+    };
+
+    // BFS over (phase, pending, state) configurations. Prev pointers
+    // reconstruct the shortest activation chain to any configuration;
+    // Origin carries the statement that last moved the protocol state.
+    std::vector<int> PrevCfg(NumCfg, -2), PrevThread(NumCfg, -1);
+    std::vector<const ir::Stmt *> Origin(NumCfg, nullptr);
+    std::deque<unsigned> Work;
+    const unsigned Init = Enc(NotCreated, 0, Pr.Initial);
+    PrevCfg[Init] = -1;
+    Work.push_back(Init);
+
+    auto ChainTo = [&](int Cfg) {
+      std::vector<std::string> Chain;
+      for (int X = Cfg; X >= 0 && PrevThread[X] >= 0; X = PrevCfg[X])
+        Chain.push_back(Ts[static_cast<size_t>(PrevThread[X])]->label());
+      std::reverse(Chain.begin(), Chain.end());
+      return Chain;
+    };
+
+    std::set<std::tuple<const Protocol::ErrorRule *, const ir::Stmt *,
+                        const ir::Method *>>
+        Seen;
+    auto Emit = [&](const Protocol::ErrorRule &R, const ir::Stmt *At,
+                    const ir::Method *In, uint8_t BadMask,
+                    std::vector<std::string> Chain) {
+      if (!Seen.insert({&R, At, In}).second)
+        return;
+      TypestateFinding F;
+      F.Proto = &Pr;
+      F.Rule = &R;
+      F.Component = C;
+      F.At = At;
+      F.In = In;
+      F.State = firstStateName(Pr, BadMask);
+      F.Chain = std::move(Chain);
+      Findings.push_back(std::move(F));
+    };
+
+    while (!Work.empty()) {
+      const unsigned Cfg = Work.front();
+      Work.pop_front();
+      const unsigned St = Cfg % NS;
+      const unsigned Ph = (Cfg / NS) / 2;
+      const unsigned Pend = (Cfg / NS) % 2;
+
+      for (size_t I = 0; I < Ts.size(); ++I) {
+        const ModeledThread *T = Ts[I];
+        ThreadInfo &TI = Infos[I];
+
+        // Lifecycle legality — the same phase machine the refuter tiers
+        // interpret. Callbacks with a phase rule follow it; other entry
+        // callbacks need a live component (UI ones a resumed one);
+        // posted/native threads run in any created phase (including
+        // Destroyed — that is the ordering-violation window).
+        bool Adm;
+        unsigned NPh = Ph, NPend = Pend;
+        if (const FrameworkSpec::PhaseRule *PR = TI.PR) {
+          Adm = (PR->FromMask >> Ph) & 1;
+          if (!Adm && PR->FromResumedPending && Ph == Resumed && Pend)
+            Adm = true;
+          if (Adm) {
+            NPh = static_cast<unsigned>(PR->To);
+            if (PR->SetsPending)
+              NPend = 1;
+            if (PR->ClearsPending)
+              NPend = 0;
+          }
+        } else if (TI.IsEntry) {
+          Adm = TI.NeedsResumed ? Ph == Resumed : (Ph == Resumed || Ph == Paused);
+        } else {
+          Adm = Ph != NotCreated;
+        }
+        if (!Adm)
+          continue;
+
+        // `on-callback` transitions apply at activation, before the body.
+        unsigned CurSt = St;
+        for (const Protocol::CallbackTransition *CT : TI.CTs)
+          if (CT->FromMask & (1u << CurSt)) {
+            CurSt = CT->To;
+            break;
+          }
+
+        if (!TI.TF)
+          TI.TF = &transferOf(T->callback(), Pr);
+        const Transfer &TF = *TI.TF;
+
+        for (const Transfer::CallHit &H : TF.CallHits)
+          if (H.EntryMask & (1u << CurSt)) {
+            std::vector<std::string> Chain = ChainTo(int(Cfg));
+            Chain.push_back(T->label());
+            Emit(*H.Rule, H.At, H.At->parentMethod(), H.StateMask,
+                 std::move(Chain));
+          }
+
+        const uint8_t Exit = TF.ExitMask[CurSt];
+
+        // `error-at` rules judge the *exit* states of the named callback:
+        // discharging the obligation inside it is the canonical fix.
+        for (const Protocol::ErrorRule *R : TI.AtRules) {
+          const uint8_t Bad = Exit & R->InMask;
+          if (!Bad)
+            continue;
+          unsigned B = 0;
+          while (!(Bad & (1u << B)))
+            ++B;
+          const ir::Stmt *At =
+              TF.ExitOrigin[CurSt][B] ? TF.ExitOrigin[CurSt][B] : Origin[Cfg];
+          std::vector<std::string> Chain = ChainTo(int(Cfg));
+          Chain.push_back(T->label());
+          Emit(*R, At, At ? At->parentMethod() : T->callback(), Bad,
+               std::move(Chain));
+        }
+
+        for (unsigned B = 0; B < NS; ++B) {
+          if (!(Exit & (1u << B)))
+            continue;
+          const unsigned NC = Enc(NPh, NPend, B);
+          if (PrevCfg[NC] != -2)
+            continue;
+          PrevCfg[NC] = static_cast<int>(Cfg);
+          PrevThread[NC] = static_cast<int>(I);
+          Origin[NC] =
+              TF.ExitOrigin[CurSt][B] ? TF.ExitOrigin[CurSt][B] : Origin[Cfg];
+          Work.push_back(NC);
+        }
+      }
+    }
+  }
+}

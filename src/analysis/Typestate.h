@@ -1,0 +1,133 @@
+//===- analysis/Typestate.h - Protocol typestate checking -------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A flow- and lifecycle-sensitive typestate engine over the declarative
+/// `protocol` machines in the FrameworkSpec (see FrameworkSpec.h for the
+/// DSL grammar). The same insight that powers the UAF detector — model
+/// callbacks as threads, then reason about orderings between them —
+/// generalizes to any object protocol: register/unregister balance,
+/// listeners leaked at destroy, handler messages left pending.
+///
+/// The engine runs per (component, protocol):
+///
+///  * Intra-callback: one flow-sensitive pass over each callback's CFG
+///    (analysis/Cfg.h — the graphs are DAGs, so a single RPO sweep is a
+///    fixpoint) computes a transfer summary per possible entry state:
+///    the exit state set, the transition statement that produced each
+///    exit state, and every `error-call` rule hit. Framework API calls
+///    are recognized through the shared ApiIndex; ordinary calls are
+///    over-approximated by saturating the state set under the API events
+///    of methods reachable from the callback (HbQuery's program-wide
+///    syntactic-reach memo), so a register hidden in a helper makes the
+///    registered state *possible* rather than being missed. `error-call`
+///    rules are checked only at call sites directly in callback bodies.
+///
+///  * Inter-callback: an explicit-state exploration over configurations
+///    (lifecycle phase, pending-resume flag, protocol state) — at most
+///    4 x 2 x 8 per component — where a callback thread of the component
+///    may activate when the spec's phase machine admits it (the same
+///    rules the refuter tiers interpret), applies its `on-callback`
+///    transitions and its transfer summary, and yields successor
+///    configurations. Every configuration remembers the (thread, config)
+///    that produced it, so a finding carries the violating
+///    callback-order chain for --explain.
+///
+/// `error-at` rules are evaluated against the *exit* states of the named
+/// callback: unregistering inside onDestroy is the canonical fix, not a
+/// leak. Findings are deduplicated and deterministically ordered by
+/// (component, protocol, rule, site).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_ANALYSIS_TYPESTATE_H
+#define NADROID_ANALYSIS_TYPESTATE_H
+
+#include "analysis/HbQuery.h"
+#include "analysis/MethodCaches.h"
+#include "android/Api.h"
+#include "android/FrameworkSpec.h"
+#include "ir/Ir.h"
+#include "support/Deadline.h"
+#include "threadify/ThreadForest.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nadroid::analysis {
+
+/// One protocol violation.
+struct TypestateFinding {
+  const android::FrameworkSpec::Protocol *Proto = nullptr;
+  const android::FrameworkSpec::Protocol::ErrorRule *Rule = nullptr;
+  /// The component whose callback schedule violates the protocol.
+  ir::Clazz *Component = nullptr;
+  /// For error-call rules: the offending API call. For error-at rules:
+  /// the transition statement that entered the bad state (e.g. the
+  /// registerReceiver call that is never balanced). May be null when the
+  /// bad state is the protocol's initial state.
+  const ir::Stmt *At = nullptr;
+  /// The method containing At, or the error callback when At is null.
+  const ir::Method *In = nullptr;
+  /// Name of the protocol state the rule fired in.
+  std::string State;
+  /// The violating callback-order chain: thread labels from the first
+  /// activation to the one that triggered the rule.
+  std::vector<std::string> Chain;
+};
+
+/// See the file comment. Built once per program by TypestatePass.
+class TypestateAnalysis {
+public:
+  TypestateAnalysis(const ir::Program &P,
+                    const android::FrameworkSpec &Spec,
+                    const android::ApiIndex &Apis,
+                    const threadify::ThreadForest &Forest,
+                    const HbQuery &Hb, MethodCfgCache &Cfgs,
+                    const support::Deadline *D);
+  ~TypestateAnalysis(); // out of line: Transfer is incomplete here
+
+  /// All violations, deterministically ordered.
+  const std::vector<TypestateFinding> &findings() const { return Findings; }
+
+private:
+  struct Transfer;
+  struct Explorer;
+
+  const Transfer &transferOf(ir::Method *M,
+                             const android::FrameworkSpec::Protocol &Proto);
+  void checkComponent(ir::Clazz *C,
+                      const std::vector<const threadify::ModeledThread *> &Ts);
+
+  /// Bitmask over android::ApiKind of the framework calls directly in \p M.
+  uint32_t ownEventMask(const ir::Method *M);
+  /// Union of ownEventMask over the methods reachable from \p M, minus M
+  /// itself — protocol-independent, so it is computed once per callback
+  /// and shared by all protocol machines.
+  uint32_t helperEventMask(ir::Method *M);
+
+  const ir::Program &P;
+  const android::FrameworkSpec &Spec;
+  const android::ApiIndex &Apis;
+  const threadify::ThreadForest &Forest;
+  const HbQuery &Hb;
+  MethodCfgCache &Cfgs;
+  const support::Deadline *D;
+
+  std::map<std::pair<const ir::Method *,
+                     const android::FrameworkSpec::Protocol *>,
+           std::unique_ptr<Transfer>>
+      Transfers;
+  std::map<const ir::Method *, uint32_t> OwnEvents;
+  std::map<const ir::Method *, uint32_t> HelperEvents;
+  std::vector<TypestateFinding> Findings;
+};
+
+} // namespace nadroid::analysis
+
+#endif // NADROID_ANALYSIS_TYPESTATE_H

@@ -83,6 +83,44 @@ kill removeCallbacksAndMessages covers handleMessage scope target-parent
 
 # --- revive windows (the RHB idiom, §6.2.1) -----------------------------
 revive-window onPause onResume ui
+
+# --- object-protocol typestate machines (Typestate pass) ----------------
+# A receiver registered by the component must be unregistered before the
+# component is destroyed, or it leaks and keeps firing into freed state.
+protocol receiver-leak states unregistered,registered initial unregistered
+protocol receiver-leak on registerReceiver from any to registered
+protocol receiver-leak on unregisterReceiver from any to unregistered
+protocol receiver-leak error-at onDestroy in registered receiver still registered at destroy
+
+# Unregistering a receiver that was never registered throws
+# IllegalArgumentException at runtime. Three states so that a second
+# activation after a balanced register/unregister pair stays legal.
+protocol unbalanced-unregister states fresh,registered,done initial fresh
+protocol unbalanced-unregister on registerReceiver from any to registered
+protocol unbalanced-unregister on unregisterReceiver from registered,done to done
+protocol unbalanced-unregister error-call unregisterReceiver in fresh unregisterReceiver without a prior registerReceiver
+
+# A bound service connection must be unbound before destroy (leaked
+# ServiceConnection, the bind twin of receiver-leak).
+protocol service-bind-leak states unbound,bound initial unbound
+protocol service-bind-leak on bindService from any to bound
+protocol service-bind-leak on unbindService from any to unbound
+protocol service-bind-leak error-at onDestroy in bound service connection still bound at destroy
+
+# Unbinding a never-bound connection throws IllegalArgumentException.
+protocol unbalanced-unbind states fresh,bound,done initial fresh
+protocol unbalanced-unbind on bindService from any to bound
+protocol unbalanced-unbind on unbindService from bound,done to done
+protocol unbalanced-unbind error-call unbindService in fresh unbindService without a prior bindService
+
+# Messages posted to a handler must be drained before destroy, or the
+# looper runs them against the torn-down component. runOnUiThread is
+# deliberately excluded: it cannot be cancelled, so flagging it is noise.
+protocol handler-post-leak states idle,pending initial idle
+protocol handler-post-leak on post from any to pending
+protocol handler-post-leak on sendMessage from any to pending
+protocol handler-post-leak on removeCallbacksAndMessages from any to idle
+protocol handler-post-leak error-at onDestroy in pending pending handler messages at destroy
 )spec";
 
 const char *FrameworkSpec::builtinText() { return BuiltinSpecText; }
@@ -144,6 +182,33 @@ bool phaseFromToken(const std::string &Tok, FrameworkSpec::Phase &Out) {
   return true;
 }
 
+/// The framework APIs a protocol transition or error-call rule may name.
+/// A superset of the cancellation table: protocols watch the registering
+/// side too.
+bool protocolApiFromToken(const std::string &Tok, ApiKind &Out) {
+  static const std::pair<const char *, ApiKind> Table[] = {
+      {"bindService", ApiKind::BindService},
+      {"unbindService", ApiKind::UnbindService},
+      {"registerReceiver", ApiKind::RegisterReceiver},
+      {"unregisterReceiver", ApiKind::UnregisterReceiver},
+      {"setListener", ApiKind::SetListener},
+      {"post", ApiKind::HandlerPost},
+      {"sendMessage", ApiKind::HandlerSend},
+      {"removeCallbacksAndMessages", ApiKind::RemoveCallbacks},
+      {"runOnUiThread", ApiKind::RunOnUiThread},
+      {"execute", ApiKind::AsyncExecute},
+      {"start", ApiKind::ThreadStart},
+      {"publishProgress", ApiKind::PublishProgress},
+      {"finish", ApiKind::Finish},
+  };
+  for (const auto &[N, K] : Table)
+    if (Tok == N) {
+      Out = K;
+      return true;
+    }
+  return false;
+}
+
 /// The cancellation APIs a kill rule may name.
 bool cancelApiFromToken(const std::string &Tok, ApiKind &Out) {
   static const std::pair<const char *, ApiKind> Table[] = {
@@ -190,6 +255,8 @@ struct SpecParser {
       parseKill(T);
     else if (D == "revive-window")
       parseRevive(T);
+    else if (D == "protocol")
+      parseProtocol(T);
     else
       err("unknown directive '" + D + "'");
   }
@@ -398,6 +465,145 @@ struct SpecParser {
     S.Revives.push_back(std::move(W));
   }
 
+  FrameworkSpec::Protocol *findProtocol(const std::string &Name) {
+    for (FrameworkSpec::Protocol &P : S.Protocols)
+      if (P.Name == Name)
+        return &P;
+    return nullptr;
+  }
+
+  /// Resolves a comma-separated state list (or `any`) against \p Proto's
+  /// declared states into a bitmask; false + diagnostic on unknowns.
+  bool parseStateMask(const FrameworkSpec::Protocol &Proto,
+                      const std::string &Tok, uint8_t &Out) {
+    if (Tok == "any") {
+      Out = uint8_t((1u << Proto.States.size()) - 1);
+      return true;
+    }
+    Out = 0;
+    for (const std::string &St : splitComma(Tok)) {
+      size_t I = Proto.stateIndex(St);
+      if (I == Proto.States.size()) {
+        err("protocol '" + Proto.Name + "' has no state '" + St + "'");
+        return false;
+      }
+      Out |= uint8_t(1u << I);
+    }
+    if (Out == 0) {
+      err("empty state list in protocol '" + Proto.Name + "'");
+      return false;
+    }
+    return true;
+  }
+
+  void parseProtocol(const std::vector<std::string> &T) {
+    if (T.size() < 3) {
+      err("expected: protocol <name> "
+          "states|on|on-callback|error-call|error-at ...");
+      return;
+    }
+    const std::string &Name = T[1];
+    const std::string &Sub = T[2];
+    if (Sub == "states") {
+      if (T.size() != 6 || T[4] != "initial") {
+        err("expected: protocol <name> states <states> initial <state>");
+        return;
+      }
+      if (findProtocol(Name)) {
+        err("duplicate protocol '" + Name + "'");
+        return;
+      }
+      FrameworkSpec::Protocol P;
+      P.Name = Name;
+      P.Line = Line;
+      for (const std::string &St : splitComma(T[3])) {
+        if (P.stateIndex(St) != P.States.size()) {
+          err("duplicate state '" + St + "' in protocol '" + Name + "'");
+          return;
+        }
+        P.States.push_back(St);
+      }
+      if (P.States.empty() || P.States.size() > 8) {
+        err("protocol '" + Name + "' must declare between 1 and 8 states");
+        return;
+      }
+      size_t Init = P.stateIndex(T[5]);
+      if (Init == P.States.size()) {
+        err("protocol '" + Name + "' has no state '" + T[5] + "'");
+        return;
+      }
+      P.Initial = static_cast<unsigned>(Init);
+      S.Protocols.push_back(std::move(P));
+      return;
+    }
+    FrameworkSpec::Protocol *P = findProtocol(Name);
+    if (!P) {
+      err("protocol '" + Name +
+          "' has no states declaration (states must come first)");
+      return;
+    }
+    if (Sub == "on" || Sub == "on-callback") {
+      if (T.size() != 8 || T[4] != "from" || T[6] != "to") {
+        err("expected: protocol <name> " + Sub +
+            " <target> from <states>|any to <state>");
+        return;
+      }
+      uint8_t FromMask = 0;
+      if (!parseStateMask(*P, T[5], FromMask))
+        return;
+      size_t To = P->stateIndex(T[7]);
+      if (To == P->States.size()) {
+        err("protocol '" + Name + "' has no state '" + T[7] + "'");
+        return;
+      }
+      if (Sub == "on") {
+        FrameworkSpec::Protocol::Transition Tr;
+        Tr.ApiToken = T[3];
+        Tr.FromMask = FromMask;
+        Tr.To = static_cast<uint8_t>(To);
+        Tr.Line = Line;
+        if (!protocolApiFromToken(T[3], Tr.Api))
+          err("'" + T[3] + "' is not a framework API token");
+        P->Transitions.push_back(std::move(Tr));
+      } else {
+        FrameworkSpec::Protocol::CallbackTransition Tr;
+        Tr.Callback = T[3];
+        Tr.FromMask = FromMask;
+        Tr.To = static_cast<uint8_t>(To);
+        Tr.Line = Line;
+        P->CallbackTransitions.push_back(std::move(Tr));
+      }
+      return;
+    }
+    if (Sub == "error-call" || Sub == "error-at") {
+      if (T.size() < 7 || T[4] != "in") {
+        err("expected: protocol <name> " + Sub +
+            " <target> in <states> <message...>");
+        return;
+      }
+      FrameworkSpec::Protocol::ErrorRule R;
+      R.AtCallback = Sub == "error-at";
+      R.Line = Line;
+      if (R.AtCallback) {
+        R.Callback = T[3];
+      } else {
+        R.ApiToken = T[3];
+        if (!protocolApiFromToken(T[3], R.Api))
+          err("'" + T[3] + "' is not a framework API token");
+      }
+      if (!parseStateMask(*P, T[5], R.InMask))
+        return;
+      for (size_t I = 6; I < T.size(); ++I) {
+        if (I > 6)
+          R.Message += ' ';
+        R.Message += T[I];
+      }
+      P->Errors.push_back(std::move(R));
+      return;
+    }
+    err("unknown protocol subdirective '" + Sub + "'");
+  }
+
   void finishClosure() {
     // Transitive closure of the kind-level order edges (Floyd–Warshall
     // over the 14 kinds). Cycles surface in validate().
@@ -522,6 +728,23 @@ std::vector<std::string> FrameworkSpec::validate() const {
                         "' excepts unknown callback '" + N + "'");
   }
 
+  // Protocols: callback targets must be registered callbacks, and a
+  // protocol with no error rule can never fire (certainly a typo).
+  for (const Protocol &P : Protocols) {
+    for (const Protocol::CallbackTransition &T : P.CallbackTransitions)
+      if (!Names.count(T.Callback))
+        Err(T.Line, "protocol '" + P.Name +
+                        "' transitions on unknown callback '" + T.Callback +
+                        "'");
+    for (const Protocol::ErrorRule &R : P.Errors)
+      if (R.AtCallback && !Names.count(R.Callback))
+        Err(R.Line, "protocol '" + P.Name +
+                        "' error rule at unknown callback '" + R.Callback +
+                        "'");
+    if (P.Errors.empty())
+      Err(P.Line, "protocol '" + P.Name + "' declares no error rule");
+  }
+
   // Revive windows: both callbacks must exist (dangling revive target).
   for (const ReviveWindow &W : Revives) {
     if (!Names.count(W.FreeCallback))
@@ -595,7 +818,8 @@ std::string FrameworkSpec::summary() const {
      << Kinds << " kinds, " << Phases.size() << " phase rules, "
      << (BeforeAll.size() + AfterAll.size() + OrderEdges.size())
      << " order rules, " << Kills.size() << " kill rules, "
-     << Revives.size() << " revive windows";
+     << Revives.size() << " revive windows, " << Protocols.size()
+     << " protocols";
   return OS.str();
 }
 

@@ -29,6 +29,20 @@
 ///        entry-of-component|target-or-component|target-parent
 ///        [except <callback-list>] [posted-only]
 ///   revive-window <free-callback> <revive-callback> <use-cb-kind>
+///   protocol <name> states <state-list> initial <state>
+///   protocol <name> on <api-token> from <state-list>|any to <state>
+///   protocol <name> on-callback <callback> from <state-list>|any to <state>
+///   protocol <name> error-call <api-token> in <state-list> <message...>
+///   protocol <name> error-at <callback> in <state-list> <message...>
+///
+/// Protocol directives declare object-protocol typestate machines the
+/// Typestate pass checks over the threadification forest: each protocol
+/// is a small automaton (at most 8 states) whose transitions fire on
+/// framework API calls (`on`, api tokens like registerReceiver or post)
+/// or on callback activations (`on-callback`), with error rules that
+/// flag an API call made in a bad state (`error-call`) or a bad state
+/// still live when a callback runs (`error-at`). The `states` line must
+/// come first for its protocol and names the initial state.
 ///
 /// Phase tokens: not-created, resumed, paused, destroyed, and the
 /// pseudo-phase resumed-pending (resumed with a framework onResume still
@@ -110,6 +124,60 @@ public:
     int Line = 0;
   };
 
+  /// One declarative object-protocol typestate machine (a `protocol`
+  /// directive group). States are indexed into \p States; sets of states
+  /// are uint8_t bitmasks (1 << index), which is why a protocol may
+  /// declare at most 8 states.
+  struct Protocol {
+    std::string Name;
+    std::vector<std::string> States;
+    unsigned Initial = 0;
+    int Line = 0; ///< Line of the `states` declaration.
+
+    /// `on <api> from <mask> to <state>`: the API call moves every
+    /// current state in FromMask to To; states outside the mask are kept.
+    struct Transition {
+      ApiKind Api = ApiKind::None;
+      std::string ApiToken;
+      uint8_t FromMask = 0;
+      uint8_t To = 0;
+      int Line = 0;
+    };
+    std::vector<Transition> Transitions;
+
+    /// `on-callback <cb> from <mask> to <state>`: applied when the named
+    /// callback activates, before its body runs.
+    struct CallbackTransition {
+      std::string Callback;
+      uint8_t FromMask = 0;
+      uint8_t To = 0;
+      int Line = 0;
+    };
+    std::vector<CallbackTransition> CallbackTransitions;
+
+    /// `error-call`/`error-at`: the protocol is violated when the API is
+    /// called (or the callback activates / runs to completion) while the
+    /// state is within InMask.
+    struct ErrorRule {
+      bool AtCallback = false;
+      ApiKind Api = ApiKind::None;
+      std::string ApiToken;
+      std::string Callback;
+      uint8_t InMask = 0;
+      std::string Message;
+      int Line = 0;
+    };
+    std::vector<ErrorRule> Errors;
+
+    /// Index of \p State in States, or States.size() when unknown.
+    size_t stateIndex(const std::string &State) const {
+      for (size_t I = 0; I < States.size(); ++I)
+        if (States[I] == State)
+          return I;
+      return States.size();
+    }
+  };
+
   /// RHB's revive idiom: frees in \p FreeCallback are re-examined against
   /// re-allocations in \p ReviveCallback for uses of kind \p UseKind.
   struct ReviveWindow {
@@ -170,6 +238,7 @@ public:
   const KillRule *killRule(ApiKind K) const;
   const std::vector<KillRule> &killRules() const { return Kills; }
   const std::vector<ReviveWindow> &reviveWindows() const { return Revives; }
+  const std::vector<Protocol> &protocols() const { return Protocols; }
 
   unsigned specVersion() const { return Version; }
 
@@ -192,6 +261,7 @@ private:
   bool OrderClosure[14][14] = {};
   std::vector<KillRule> Kills;
   std::vector<ReviveWindow> Revives;
+  std::vector<Protocol> Protocols;
   bool SawVersion = false;
 
   friend struct SpecParser;

@@ -53,8 +53,9 @@ namespace nadroid::cache {
 /// Bump on ANY change to the entry format or to analyzer semantics that
 /// old entries would misrepresent. Every bump orphans all prior entries
 /// (different keys), which is the intended, crash-proof invalidation.
-/// History: 2 = per-filter-kind timing fields in the entry scalars.
-inline constexpr unsigned SchemaVersion = 2;
+/// History: 2 = per-filter-kind timing fields in the entry scalars;
+/// 3 = lint finding counts and the typestate phase timing.
+inline constexpr unsigned SchemaVersion = 3;
 
 /// The cache key for one (app, options) pair: 64 lowercase hex chars.
 /// \p CanonicalAir must be the *printed* program, not raw file bytes.

@@ -77,6 +77,26 @@ const char *corpus::seedKindName(SeedKind Kind) {
     return "fn-chb-error-path";
   case SeedKind::FnFragment:
     return "fn-fragment";
+  case SeedKind::ProtoReceiverLeak:
+    return "proto-receiver-leak";
+  case SeedKind::ProtoReceiverClean:
+    return "proto-receiver-clean";
+  case SeedKind::ProtoBindLeak:
+    return "proto-bind-leak";
+  case SeedKind::ProtoBindClean:
+    return "proto-bind-clean";
+  case SeedKind::ProtoPostLeak:
+    return "proto-post-leak";
+  case SeedKind::ProtoPostClean:
+    return "proto-post-clean";
+  case SeedKind::ProtoUnregNoReg:
+    return "proto-unreg-noreg";
+  case SeedKind::ProtoUnregClean:
+    return "proto-unreg-clean";
+  case SeedKind::ProtoUnbindNoBind:
+    return "proto-unbind-nobind";
+  case SeedKind::ProtoUnbindClean:
+    return "proto-unbind-clean";
   }
   return "?";
 }
@@ -1055,6 +1075,259 @@ void PatternEmitter::harmfulOfType(PairType Type) {
     harmfulCNt();
     return;
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Typestate protocol seeds (--lint)
+//===----------------------------------------------------------------------===//
+
+void PatternEmitter::protoReceiverLeak() {
+  Host H = makeHost(tag());
+  std::string T = innerTag();
+
+  // The receiver must hold the activity, so it is act-wired by hand:
+  // the emitRegisterReceiver sugar allocates a fresh, unwired argument.
+  Clazz *Rcv = B.makeClass("Rcv" + T, ClassKind::Receiver);
+  Field *ActF = B.addField(Rcv, "act", H.Activity);
+  Method *Use = B.makeMethod(Rcv, "onReceive");
+  Local *A = B.local("a");
+  B.emitLoad(A, B.thisLocal(), ActF);
+  Local *U = B.local("u");
+  B.emitLoad(U, A, H.F);
+  B.emitCall(nullptr, U, "use");
+
+  B.setInsertMethod(H.Activity->findOwnMethod("onCreate"));
+  Local *R = B.emitNew("r", Rcv);
+  B.emitStore(R, ActF, B.thisLocal());
+  B.emitCall(nullptr, B.thisLocal(), "registerReceiver", {R});
+
+  // No unregisterReceiver anywhere: the receiver-leak machine exits
+  // onDestroy registered, and the interpreter can land onReceive after
+  // the free — the leak's runtime consequence.
+  Method *Free = B.makeMethod(H.Activity, "onDestroy");
+  B.emitStore(B.thisLocal(), H.F, nullptr);
+  record(SeedKind::ProtoReceiverLeak, H.F, Use, Free, PairType::EcPc);
+}
+
+void PatternEmitter::protoReceiverClean() {
+  Host H = makeHost(tag());
+  std::string T = innerTag();
+
+  Clazz *Rcv = B.makeClass("Rcv" + T, ClassKind::Receiver);
+  Field *ActF = B.addField(Rcv, "act", H.Activity);
+  Method *Use = B.makeMethod(Rcv, "onReceive");
+  Local *A = B.local("a");
+  B.emitLoad(A, B.thisLocal(), ActF);
+  Local *U = B.local("u");
+  B.emitLoad(U, A, H.F);
+  B.emitCall(nullptr, U, "use");
+
+  B.setInsertMethod(H.Activity->findOwnMethod("onCreate"));
+  Local *R = B.emitNew("r", Rcv);
+  B.emitStore(R, ActF, B.thisLocal());
+  B.emitCall(nullptr, B.thisLocal(), "registerReceiver", {R});
+
+  // Unregistering inside onDestroy is the canonical fix: the machine
+  // judges the callback's *exit* state, and no schedule runs onReceive
+  // past the unregister.
+  Method *Free = B.makeMethod(H.Activity, "onDestroy");
+  B.emitUnregisterReceiver();
+  B.emitStore(B.thisLocal(), H.F, nullptr);
+  record(SeedKind::ProtoReceiverClean, H.F, Use, Free, PairType::EcPc);
+}
+
+void PatternEmitter::protoBindLeak() {
+  Host H = makeHost(tag());
+  std::string T = innerTag();
+
+  // Only onServiceDisconnected: the interpreter auto-connects such a
+  // connection at bind, so the disconnect callback is live until an
+  // unbind — which never comes.
+  Clazz *Conn = B.makeClass("Conn" + T, ClassKind::ServiceConnection);
+  Field *ActF = B.addField(Conn, "act", H.Activity);
+  Method *Use = B.makeMethod(Conn, "onServiceDisconnected");
+  Local *A = B.local("a");
+  B.emitLoad(A, B.thisLocal(), ActF);
+  Local *U = B.local("u");
+  B.emitLoad(U, A, H.F);
+  B.emitCall(nullptr, U, "use");
+
+  B.setInsertMethod(H.Activity->findOwnMethod("onCreate"));
+  Local *C = B.emitNew("c", Conn);
+  B.emitStore(C, ActF, B.thisLocal());
+  B.emitCall(nullptr, B.thisLocal(), "bindService", {C});
+
+  Method *Free = B.makeMethod(H.Activity, "onDestroy");
+  B.emitStore(B.thisLocal(), H.F, nullptr);
+  record(SeedKind::ProtoBindLeak, H.F, Use, Free, PairType::EcPc);
+}
+
+void PatternEmitter::protoBindClean() {
+  Host H = makeHost(tag());
+  std::string T = innerTag();
+
+  Clazz *Conn = B.makeClass("Conn" + T, ClassKind::ServiceConnection);
+  Field *ActF = B.addField(Conn, "act", H.Activity);
+  Method *Use = B.makeMethod(Conn, "onServiceDisconnected");
+  Local *A = B.local("a");
+  B.emitLoad(A, B.thisLocal(), ActF);
+  Local *U = B.local("u");
+  B.emitLoad(U, A, H.F);
+  B.emitCall(nullptr, U, "use");
+
+  B.setInsertMethod(H.Activity->findOwnMethod("onCreate"));
+  Local *C = B.emitNew("c", Conn);
+  B.emitStore(C, ActF, B.thisLocal());
+  B.emitCall(nullptr, B.thisLocal(), "bindService", {C});
+
+  Method *Free = B.makeMethod(H.Activity, "onDestroy");
+  B.emitUnbindService();
+  B.emitStore(B.thisLocal(), H.F, nullptr);
+  record(SeedKind::ProtoBindClean, H.F, Use, Free, PairType::EcPc);
+}
+
+void PatternEmitter::protoPostLeak() {
+  Host H = makeHost(tag());
+  std::string T = innerTag();
+
+  Clazz *Hdl = B.makeClass("Hdl" + T, ClassKind::Handler);
+  Clazz *Run = B.makeClass("Run" + T, ClassKind::Runnable);
+  Field *ActF = B.addField(Run, "act", H.Activity);
+  Method *Use = B.makeMethod(Run, "run");
+  Local *A = B.local("a");
+  B.emitLoad(A, B.thisLocal(), ActF);
+  Local *U = B.local("u");
+  B.emitLoad(U, A, H.F);
+  B.emitCall(nullptr, U, "use");
+
+  Field *HandlerF = B.addField(H.Activity, "h" + T, Hdl);
+  B.setInsertMethod(H.Activity->findOwnMethod("onCreate"));
+  Local *HH = B.emitNew("hh", Hdl);
+  B.emitStore(B.thisLocal(), HandlerF, HH);
+
+  // Act-wired by hand for the same reason as the receiver patterns.
+  B.makeMethod(H.Activity, "onClick");
+  Local *M = B.local("m");
+  B.emitLoad(M, B.thisLocal(), HandlerF);
+  Local *R = B.emitNew("r", Run);
+  B.emitStore(R, ActF, B.thisLocal());
+  B.emitCall(nullptr, M, "post", {R});
+
+  Method *Free = B.makeMethod(H.Activity, "onDestroy");
+  B.emitStore(B.thisLocal(), H.F, nullptr);
+  record(SeedKind::ProtoPostLeak, H.F, Use, Free, PairType::EcPc);
+}
+
+void PatternEmitter::protoPostClean() {
+  Host H = makeHost(tag());
+  std::string T = innerTag();
+
+  Clazz *Hdl = B.makeClass("Hdl" + T, ClassKind::Handler);
+  Clazz *Run = B.makeClass("Run" + T, ClassKind::Runnable);
+  Field *ActF = B.addField(Run, "act", H.Activity);
+  Method *Use = B.makeMethod(Run, "run");
+  Local *A = B.local("a");
+  B.emitLoad(A, B.thisLocal(), ActF);
+  Local *U = B.local("u");
+  B.emitLoad(U, A, H.F);
+  B.emitCall(nullptr, U, "use");
+
+  Field *HandlerF = B.addField(H.Activity, "h" + T, Hdl);
+  B.setInsertMethod(H.Activity->findOwnMethod("onCreate"));
+  Local *HH = B.emitNew("hh", Hdl);
+  B.emitStore(B.thisLocal(), HandlerF, HH);
+
+  B.makeMethod(H.Activity, "onClick");
+  Local *M = B.local("m");
+  B.emitLoad(M, B.thisLocal(), HandlerF);
+  Local *R = B.emitNew("r", Run);
+  B.emitStore(R, ActF, B.thisLocal());
+  B.emitCall(nullptr, M, "post", {R});
+
+  // Draining the handler before the free both satisfies the machine
+  // (exit state idle) and consumes the pending post in the interpreter.
+  Method *Free = B.makeMethod(H.Activity, "onDestroy");
+  Local *M2 = B.local("m2");
+  B.emitLoad(M2, B.thisLocal(), HandlerF);
+  B.emitRemoveCallbacksAndMessages(M2);
+  B.emitStore(B.thisLocal(), H.F, nullptr);
+  record(SeedKind::ProtoPostClean, H.F, Use, Free, PairType::EcPc);
+}
+
+void PatternEmitter::protoUnregNoReg() {
+  Host H = makeHost(tag());
+  Method *Free = B.makeMethod(H.Activity, "onPause");
+  B.emitStore(B.thisLocal(), H.F, nullptr);
+  // A system callback that fires even while paused: the unguarded use
+  // crashes after onPause, and the unregister runs with the machine
+  // still in its initial state — no registerReceiver exists anywhere.
+  Method *Use = B.makeMethod(H.Activity, "onLocationChanged");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), H.F);
+  B.emitCall(nullptr, U, "use");
+  B.emitUnregisterReceiver();
+  record(SeedKind::ProtoUnregNoReg, H.F, Use, Free, PairType::EcEc);
+}
+
+void PatternEmitter::protoUnregClean() {
+  Host H = makeHost(tag());
+  std::string T = innerTag();
+
+  Clazz *Rcv = B.makeClass("Rcv" + T, ClassKind::Receiver);
+  B.makeMethod(Rcv, "onReceive");
+  B.emitReturn();
+
+  B.setInsertMethod(H.Activity->findOwnMethod("onCreate"));
+  B.emitRegisterReceiver(Rcv);
+
+  Method *Free = B.makeMethod(H.Activity, "onPause");
+  B.emitStore(B.thisLocal(), H.F, nullptr);
+  // Guarded use plus an unregister that is always preceded by the
+  // onCreate register: every entry state of onLocationChanged is
+  // registered or done, never fresh.
+  Method *Use = B.makeMethod(H.Activity, "onLocationChanged");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), H.F);
+  B.beginIfNotNull(U);
+  B.emitCall(nullptr, U, "use");
+  B.endIf();
+  B.emitUnregisterReceiver();
+  record(SeedKind::ProtoUnregClean, H.F, Use, Free, PairType::EcEc);
+}
+
+void PatternEmitter::protoUnbindNoBind() {
+  Host H = makeHost(tag());
+  Method *Free = B.makeMethod(H.Activity, "onPause");
+  B.emitStore(B.thisLocal(), H.F, nullptr);
+  Method *Use = B.makeMethod(H.Activity, "onLocationChanged");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), H.F);
+  B.emitCall(nullptr, U, "use");
+  B.emitUnbindService();
+  record(SeedKind::ProtoUnbindNoBind, H.F, Use, Free, PairType::EcEc);
+}
+
+void PatternEmitter::protoUnbindClean() {
+  Host H = makeHost(tag());
+  std::string T = innerTag();
+
+  // A connection with no callbacks at all: the bind only matters to the
+  // unbalanced-unbind machine (and stays silent in the interpreter).
+  Clazz *Conn = B.makeClass("Conn" + T, ClassKind::ServiceConnection);
+
+  B.setInsertMethod(H.Activity->findOwnMethod("onCreate"));
+  B.emitBindService(Conn);
+
+  Method *Free = B.makeMethod(H.Activity, "onPause");
+  B.emitStore(B.thisLocal(), H.F, nullptr);
+  Method *Use = B.makeMethod(H.Activity, "onLocationChanged");
+  Local *U = B.local("u");
+  B.emitLoad(U, B.thisLocal(), H.F);
+  B.beginIfNotNull(U);
+  B.emitCall(nullptr, U, "use");
+  B.endIf();
+  B.emitUnbindService();
+  record(SeedKind::ProtoUnbindClean, H.F, Use, Free, PairType::EcEc);
 }
 
 //===----------------------------------------------------------------------===//

@@ -71,6 +71,23 @@ enum class SeedKind : uint8_t {
   FnOpaquePath,   ///< harmful but invisible to the static call graph
   FnChbErrorPath, ///< harmful but pruned by CHB's may-analysis
   FnFragment,     ///< visible to DEvA only — nAdroid skips Fragments (§8.1)
+  //===--------------------------------------------------------------------===//
+  // Typestate protocol seeds (--lint): each builtin `protocol` machine
+  // gets a violating instance (exactly one typestate finding, and a UAF
+  // the interpreter witnesses as the leak's consequence) and a clean
+  // twin (zero findings, no witness). Like the refuter variants, NOT
+  // part of any corpus recipe.
+  //===--------------------------------------------------------------------===//
+  ProtoReceiverLeak,  ///< registered receiver never unregistered (leak)
+  ProtoReceiverClean, ///< twin: onDestroy unregisters first
+  ProtoBindLeak,      ///< bound connection never unbound (leak)
+  ProtoBindClean,     ///< twin: onDestroy unbinds first
+  ProtoPostLeak,      ///< posted runnable pending at destroy (leak)
+  ProtoPostClean,     ///< twin: onDestroy removeCallbacksAndMessages
+  ProtoUnregNoReg,    ///< unregisterReceiver with no prior register
+  ProtoUnregClean,    ///< twin: onCreate registers first
+  ProtoUnbindNoBind,  ///< unbindService with no prior bind
+  ProtoUnbindClean,   ///< twin: onCreate binds first
 };
 
 const char *seedKindName(SeedKind Kind);
@@ -256,6 +273,43 @@ public:
 
   /// A harmful UAF of the requested pair type (Table 2 injection helper).
   void harmfulOfType(report::PairType Type);
+
+  //===--------------------------------------------------------------------===//
+  // Typestate protocol seeds (--lint). One emitter per (builtin
+  // protocol, verdict); see the SeedKind block for the contract. Each
+  // violating shape doubles as an interpreter-witnessable UAF — the
+  // crash a schedule past the leaked registration produces is the
+  // runtime consequence the protocol rule statically predicts.
+  //===--------------------------------------------------------------------===//
+
+  /// receiver-leak violating: onCreate registers an act-wired receiver,
+  /// onDestroy frees the payload but never unregisters — onReceive can
+  /// land after destroy and crash.
+  void protoReceiverLeak();
+  /// receiver-leak clean twin: onDestroy unregisters before freeing.
+  void protoReceiverClean();
+  /// service-bind-leak violating: onCreate binds an act-wired
+  /// connection, onDestroy never unbinds — onServiceDisconnected can
+  /// land after destroy.
+  void protoBindLeak();
+  /// service-bind-leak clean twin: onDestroy unbinds before freeing.
+  void protoBindClean();
+  /// handler-post-leak violating: onClick posts an act-wired runnable,
+  /// onDestroy frees without draining the handler.
+  void protoPostLeak();
+  /// handler-post-leak clean twin: onDestroy removeCallbacksAndMessages.
+  void protoPostClean();
+  /// unbalanced-unregister violating: onLocationChanged uses the payload
+  /// (onPause frees it) then calls unregisterReceiver with no
+  /// registerReceiver anywhere.
+  void protoUnregNoReg();
+  /// unbalanced-unregister clean twin: onCreate registers; the use is
+  /// null-guarded.
+  void protoUnregClean();
+  /// unbalanced-unbind violating: unbindService with no prior bind.
+  void protoUnbindNoBind();
+  /// unbalanced-unbind clean twin: onCreate binds; the use is guarded.
+  void protoUnbindClean();
 
   //===--------------------------------------------------------------------===//
   // Benign mass

@@ -25,7 +25,12 @@
 //                                    verdict
 //   nadroid --json app.air           machine-readable report (CI)
 //   nadroid --lint app.air           run the AIR lint checkers instead
-//                                    of the UAF pipeline
+//                                    of the UAF pipeline: the nullness
+//                                    checkers plus the typestate
+//                                    protocol engine over the spec's
+//                                    `protocol` machines (exit 6 on
+//                                    findings; combine with --json or
+//                                    --explain, or with --batch)
 //   nadroid --syntactic-filters a.air paper-faithful intra-procedural
 //                                    IG/IA guard analyses
 //   nadroid --refute app.air         prove or demote each RHB/CHB/PHB
@@ -350,6 +355,7 @@ int analyzeFile(const std::string &Path, const CliOptions &Opts) {
   NOpts.DataflowGuards = !Opts.SyntacticFilters;
   NOpts.Refute = Opts.Refute;
   NOpts.RefuteHistory = Opts.RefuteHistory;
+  NOpts.Lint = Opts.Lint;
   support::ThreadPool Pool(Opts.Jobs);
   auto AM = std::make_shared<pipeline::AnalysisManager>(P, NOpts);
   AM->setThreadPool(&Pool);
@@ -357,12 +363,24 @@ int analyzeFile(const std::string &Path, const CliOptions &Opts) {
   if (Opts.RunDeva)
     return runDevaBaseline(*AM);
   if (Opts.Lint) {
-    std::vector<analysis::LintFinding> Findings = report::runLint(*AM);
-    for (const analysis::LintFinding &F : Findings)
-      std::cout << report::renderLintFinding(P, F) << "\n";
-    std::cout << P.name() << ": " << Findings.size()
-              << " lint finding(s)\n";
-    return Findings.empty() ? 0 : 1;
+    report::LintResult L = report::runLintChecks(*AM);
+    if (Opts.Json) {
+      std::cout << report::renderLintJson(P, L);
+    } else {
+      for (const analysis::LintFinding &F : L.Nullness)
+        std::cout << report::renderLintFinding(P, F) << "\n";
+      for (const analysis::TypestateFinding &F : L.Typestate)
+        std::cout << report::renderTypestateFinding(P, F, Opts.Explain)
+                  << "\n";
+      std::cout << P.name() << ": "
+                << (L.Nullness.size() + L.Typestate.size())
+                << " lint finding(s) (" << L.Nullness.size()
+                << " nullness, " << L.Typestate.size() << " typestate)\n";
+    }
+    // Exit 6 is reserved for lint findings so CI can tell "the linters
+    // fired" from "the UAF pipeline found warnings" (1) or "bad input"
+    // (2); see the exit-code table in README.md.
+    return L.empty() ? 0 : 6;
   }
 
   report::NadroidResult R = report::analyzeProgram(AM);
@@ -482,6 +500,7 @@ int main(int argc, char **argv) {
     BOpts.Pipeline.DataflowGuards = !Opts.SyntacticFilters;
     BOpts.Pipeline.Refute = Opts.Refute;
     BOpts.Pipeline.RefuteHistory = Opts.RefuteHistory;
+    BOpts.Pipeline.Lint = Opts.Lint;
     BOpts.TimeoutSec = Opts.BatchTimeoutSec;
     BOpts.LogPath = Opts.BatchLogPath;
     BOpts.Resume = Opts.Resume;

@@ -95,6 +95,13 @@ HistoryRefuterPass::run(AnalysisManager &AM) {
       AM.getMutable<AllocFlowCachePass>(), AM.deadline(), &AM.hbQuery());
 }
 
+std::unique_ptr<analysis::TypestateAnalysis>
+TypestatePass::run(AnalysisManager &AM) {
+  return std::make_unique<analysis::TypestateAnalysis>(
+      AM.program(), android::FrameworkSpec::builtin(), AM.apis(), AM.forest(),
+      AM.hbQuery(), AM.getMutable<CfgCachePass>(), AM.deadline());
+}
+
 std::unique_ptr<analysis::MethodCfgCache>
 CfgCachePass::run(AnalysisManager &) {
   return std::make_unique<analysis::MethodCfgCache>();
@@ -274,6 +281,10 @@ std::string PipelineOptions::fingerprint() const {
   F += Refute ? '1' : '0';
   F += ";refuteHistory=";
   F += RefuteHistory ? '1' : '0';
+  // Appended only when set so that every pre-lint fingerprint — stamped
+  // into existing checkpoint logs and cache keys — stays byte-identical.
+  if (Lint)
+    F += ";lint=1";
   return F;
 }
 

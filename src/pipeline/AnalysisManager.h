@@ -49,6 +49,7 @@
 #include "analysis/Escape.h"
 #include "analysis/HbQuery.h"
 #include "analysis/MethodCaches.h"
+#include "analysis/Typestate.h"
 #include "filters/Engine.h"
 #include "race/Detector.h"
 #include "support/Deadline.h"
@@ -86,6 +87,11 @@ struct PipelineOptions {
   /// (--refute-v2; implies Refute). Discharged pairs are labeled
   /// proved-v2 with their obligation chain. Off by default.
   bool RefuteHistory = false;
+  /// Run the lint checkers (nullness lints + the typestate protocol
+  /// engine) alongside the pipeline (--lint). Off by default; when off
+  /// the TypestatePass is never built and every report is byte-identical
+  /// to a pre-lint build.
+  bool Lint = false;
 
   /// A stable, human-readable digest of every field that can change an
   /// analysis result — the identity half of the batch result cache's
@@ -205,6 +211,15 @@ struct HbRefuterPass {
 struct HistoryRefuterPass {
   static constexpr const char *Name = "historyrefuter";
   using Result = analysis::HistoryRefuter;
+  static std::unique_ptr<Result> run(AnalysisManager &AM);
+};
+
+/// The declarative-protocol typestate engine (--lint). Depends on: apis,
+/// forest, hbquery, the cfg cache, and the builtin FrameworkSpec's
+/// protocol machines.
+struct TypestatePass {
+  static constexpr const char *Name = "typestate";
+  using Result = analysis::TypestateAnalysis;
   static std::unique_ptr<Result> run(AnalysisManager &AM);
 };
 
@@ -371,6 +386,9 @@ public:
   const analysis::HbRefuter &hbRefuter() { return get<HbRefuterPass>(); }
   const analysis::HistoryRefuter &historyRefuter() {
     return get<HistoryRefuterPass>();
+  }
+  const analysis::TypestateAnalysis &typestate() {
+    return get<TypestatePass>();
   }
   const analysis::Cfg &cfg(const ir::Method &M) {
     return getMutable<CfgCachePass>().get(M);

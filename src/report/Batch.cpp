@@ -9,6 +9,7 @@
 #include "cache/ResultCache.h"
 #include "frontend/Frontend.h"
 #include "report/Json.h"
+#include "report/Lint.h"
 #include "support/Deadline.h"
 #include "support/TableWriter.h"
 #include "support/ThreadPool.h"
@@ -87,6 +88,15 @@ void analyzeOneImpl(const fs::path &Path, const BatchOptions &Opts,
       AM->setRssTracking(TrustRss);
       NadroidResult R = analyzeProgram(AM);
 
+      if (Pipe.Lint) {
+        // Same deadline as the pipeline proper: a typestate blow-up on
+        // one app degrades or times out that row, never the batch.
+        LintResult L = runLintChecks(*AM);
+        Out.LintNullness = static_cast<unsigned>(L.Nullness.size());
+        Out.LintTypestate = static_cast<unsigned>(L.Typestate.size());
+        R.Timings.TypestateSec = L.TypestateSec;
+      }
+
       Out.Status = Attempt == 0 ? BatchStatus::Ok : BatchStatus::Degraded;
       Out.RssTrusted = TrustRss;
       Out.Stmts = Parsed.Prog->statementCount();
@@ -143,7 +153,9 @@ bool sameObservableResult(const BatchApp &A, const BatchApp &B) {
          A.EntryCallbacks == B.EntryCallbacks &&
          A.PostedCallbacks == B.PostedCallbacks && A.Threads == B.Threads &&
          A.Potential == B.Potential && A.AfterSound == B.AfterSound &&
-         A.AfterUnsound == B.AfterUnsound;
+         A.AfterUnsound == B.AfterUnsound &&
+         A.LintNullness == B.LintNullness &&
+         A.LintTypestate == B.LintTypestate;
 }
 
 } // namespace
@@ -182,12 +194,14 @@ int BatchResult::exitCode() const {
   if (CacheDivergent > 0)
     return 5;
   int Code = 0;
+  bool AnyLint = false;
   for (const BatchApp &A : Apps) {
     int Severity = 0;
     switch (A.Status) {
     case BatchStatus::Ok:
     case BatchStatus::Degraded:
       Severity = A.AfterUnsound > 0 ? 1 : 0;
+      AnyLint |= A.LintNullness + A.LintTypestate > 0;
       break;
     case BatchStatus::ParseFailed:
       Severity = 2;
@@ -201,6 +215,10 @@ int BatchResult::exitCode() const {
     }
     Code = std::max(Code, Severity);
   }
+  // Lint findings (6, matching the single-file driver) slot between the
+  // infrastructure failures above and a plain warnings-remaining 1.
+  if (Code < 2 && AnyLint)
+    return 6;
   return Code;
 }
 
@@ -215,9 +233,12 @@ std::string report::renderBatchLogLine(const BatchApp &A) {
      << ", \"threads\": " << A.Threads << ", \"potential\": " << A.Potential
      << ", \"afterSound\": " << A.AfterSound
      << ", \"afterUnsound\": " << A.AfterUnsound
+     << ", \"lintNullness\": " << A.LintNullness
+     << ", \"lintTypestate\": " << A.LintTypestate
      << ", \"modelingSec\": " << jsonFixed(A.Timings.ModelingSec, 6)
      << ", \"detectionSec\": " << jsonFixed(A.Timings.DetectionSec, 6)
-     << ", \"filteringSec\": " << jsonFixed(A.Timings.FilteringSec, 6);
+     << ", \"filteringSec\": " << jsonFixed(A.Timings.FilteringSec, 6)
+     << ", \"typestateSec\": " << jsonFixed(A.Timings.TypestateSec, 6);
   for (size_t I = 0; I < filters::NumFilterKinds; ++I)
     OS << ", \"filter"
        << filters::filterKindName(static_cast<filters::FilterKind>(I))
@@ -253,9 +274,16 @@ bool report::parseBatchLogLine(const std::string &Line, BatchApp &Out) {
   Out.AfterSound = static_cast<unsigned>(jsonFindUnsigned(Line, "afterSound"));
   Out.AfterUnsound =
       static_cast<unsigned>(jsonFindUnsigned(Line, "afterUnsound"));
+  // Absent on pre-lint checkpoint lines; the scanner's 0 default keeps
+  // them parseable.
+  Out.LintNullness =
+      static_cast<unsigned>(jsonFindUnsigned(Line, "lintNullness"));
+  Out.LintTypestate =
+      static_cast<unsigned>(jsonFindUnsigned(Line, "lintTypestate"));
   Out.Timings.ModelingSec = jsonFindFixed(Line, "modelingSec");
   Out.Timings.DetectionSec = jsonFindFixed(Line, "detectionSec");
   Out.Timings.FilteringSec = jsonFindFixed(Line, "filteringSec");
+  Out.Timings.TypestateSec = jsonFindFixed(Line, "typestateSec");
   // Older checkpoint lines lack the per-filter keys; the scanner's 0
   // default keeps them parseable (the breakdown just reads as zero).
   for (size_t I = 0; I < filters::NumFilterKinds; ++I)
@@ -283,6 +311,7 @@ BatchResult report::runBatch(const BatchOptions &OptsIn) {
       Opts.TestExpireAlwaysApp = E;
 
   BatchResult R;
+  R.LintMode = Opts.Pipeline.Lint;
 
   std::vector<fs::path> Files;
   std::error_code Ec;
@@ -432,23 +461,36 @@ BatchResult report::runBatch(const BatchOptions &OptsIn) {
 
 std::string report::renderBatchReport(const BatchResult &R) {
   std::ostringstream OS;
-  TableWriter T({"App", "Status", "Stmts", "EC", "PC", "T", "Potential",
-                 "Sound", "Unsound"});
+  // The Lint column exists only in --lint batches; the default header
+  // and rows keep their pre-lint bytes exactly (CI cmp's the report).
+  std::vector<std::string> Header = {"App", "Status", "Stmts", "EC", "PC",
+                                     "T", "Potential", "Sound", "Unsound"};
+  if (R.LintMode)
+    Header.push_back("Lint");
+  TableWriter T(Header);
   unsigned Apps = 0, Degraded = 0, Failed = 0;
   unsigned long long Stmts = 0, Potential = 0, Sound = 0, Unsound = 0;
+  unsigned long long Lint = 0;
+  auto AddRow = [&](std::vector<std::string> Row, const std::string &Tail) {
+    if (R.LintMode)
+      Row.push_back(Tail);
+    T.addRow(Row);
+  };
   for (const BatchApp &A : R.Apps) {
     if (!A.analyzed()) {
-      T.addRow({A.File, batchStatusName(A.Status), "-", "-", "-", "-", "-",
-                "-", "-"});
+      AddRow({A.File, batchStatusName(A.Status), "-", "-", "-", "-", "-",
+              "-", "-"},
+             "-");
       ++Failed;
       continue;
     }
-    T.addRow({A.Name, batchStatusName(A.Status), TableWriter::cell(A.Stmts),
-              TableWriter::cell(A.EntryCallbacks),
-              TableWriter::cell(A.PostedCallbacks),
-              TableWriter::cell(A.Threads), TableWriter::cell(A.Potential),
-              TableWriter::cell(A.AfterSound),
-              TableWriter::cell(A.AfterUnsound)});
+    AddRow({A.Name, batchStatusName(A.Status), TableWriter::cell(A.Stmts),
+            TableWriter::cell(A.EntryCallbacks),
+            TableWriter::cell(A.PostedCallbacks),
+            TableWriter::cell(A.Threads), TableWriter::cell(A.Potential),
+            TableWriter::cell(A.AfterSound),
+            TableWriter::cell(A.AfterUnsound)},
+           TableWriter::cell(A.LintNullness + A.LintTypestate));
     ++Apps;
     if (A.Status == BatchStatus::Degraded)
       ++Degraded;
@@ -456,14 +498,19 @@ std::string report::renderBatchReport(const BatchResult &R) {
     Potential += A.Potential;
     Sound += A.AfterSound;
     Unsound += A.AfterUnsound;
+    Lint += A.LintNullness + A.LintTypestate;
   }
-  T.addRow({"TOTAL", "", TableWriter::cell((long long)Stmts), "", "", "",
-            TableWriter::cell((long long)Potential),
-            TableWriter::cell((long long)Sound),
-            TableWriter::cell((long long)Unsound)});
+  AddRow({"TOTAL", "", TableWriter::cell((long long)Stmts), "", "", "",
+          TableWriter::cell((long long)Potential),
+          TableWriter::cell((long long)Sound),
+          TableWriter::cell((long long)Unsound)},
+         TableWriter::cell((long long)Lint));
   T.print(OS);
   OS << "\n" << Apps << " apps: " << Potential << " potential UAFs, " << Sound
-     << " after sound filters, " << Unsound << " after unsound filters\n";
+     << " after sound filters, " << Unsound << " after unsound filters";
+  if (R.LintMode)
+    OS << ", " << Lint << " lint findings";
+  OS << "\n";
   if (Degraded) {
     OS << Degraded << " app(s) analyzed with degraded options:\n";
     for (const BatchApp &A : R.Apps)
@@ -507,31 +554,37 @@ double unionLength(std::vector<std::pair<double, double>> &Intervals) {
 
 BatchPhaseTotals report::batchPhaseTotals(const BatchResult &R) {
   BatchPhaseTotals T;
-  std::vector<std::pair<double, double>> Modeling, Detection, Filtering;
+  std::vector<std::pair<double, double>> Modeling, Detection, Filtering,
+      Typestate;
   for (const BatchApp &A : R.Apps) {
     if (!A.analyzed())
       continue;
     T.ModelingCpuSec += A.Timings.ModelingSec;
     T.DetectionCpuSec += A.Timings.DetectionSec;
     T.FilteringCpuSec += A.Timings.FilteringSec;
+    T.TypestateCpuSec += A.Timings.TypestateSec;
     for (size_t I = 0; I < filters::NumFilterKinds; ++I)
       T.FilterCpuSec[I] += A.Timings.FilterSec[I];
     if (A.PhaseEndSec < 0)
       continue; // restored row: CPU from an earlier run, no clock anchor
     // The phases ran back-to-back and ended (up to the parse and report
     // epilogue, which no phase claims) at the row's completion stamp —
-    // lay them out backwards from it.
-    double FEnd = A.PhaseEndSec;
-    double FStart = FEnd - A.Timings.FilteringSec;
+    // lay them out backwards from it. The typestate lint pass runs after
+    // the pipeline proper, so it is the last interval before the stamp.
+    double TEnd = A.PhaseEndSec;
+    double TStart = TEnd - A.Timings.TypestateSec;
+    double FStart = TStart - A.Timings.FilteringSec;
     double DStart = FStart - A.Timings.DetectionSec;
     double MStart = DStart - A.Timings.ModelingSec;
     Modeling.emplace_back(MStart, DStart);
     Detection.emplace_back(DStart, FStart);
-    Filtering.emplace_back(FStart, FEnd);
+    Filtering.emplace_back(FStart, TStart);
+    Typestate.emplace_back(TStart, TEnd);
   }
   T.ModelingWallSec = unionLength(Modeling);
   T.DetectionWallSec = unionLength(Detection);
   T.FilteringWallSec = unionLength(Filtering);
+  T.TypestateWallSec = unionLength(Typestate);
   return T;
 }
 
@@ -565,15 +618,20 @@ std::string report::renderBatchJson(const BatchResult &R) {
      << ", \"detectionCpuSec\": " << jsonFixed(PT.DetectionCpuSec, 6)
      << ", \"detectionWallSec\": " << jsonFixed(PT.DetectionWallSec, 6)
      << ", \"filteringCpuSec\": " << jsonFixed(PT.FilteringCpuSec, 6)
-     << ", \"filteringWallSec\": " << jsonFixed(PT.FilteringWallSec, 6)
-     << ", \"filtering\": {";
+     << ", \"filteringWallSec\": " << jsonFixed(PT.FilteringWallSec, 6);
+  // Lint-mode keys appear only in --lint batches, so a default batch
+  // JSON is byte-identical to a pre-lint build's.
+  if (R.LintMode)
+    OS << ", \"typestateCpuSec\": " << jsonFixed(PT.TypestateCpuSec, 6)
+       << ", \"typestateWallSec\": " << jsonFixed(PT.TypestateWallSec, 6);
+  OS << ", \"filtering\": {";
   for (size_t I = 0; I < filters::NumFilterKinds; ++I)
     OS << (I ? ", " : "") << "\""
        << filters::filterKindName(static_cast<filters::FilterKind>(I))
        << "Sec\": " << jsonFixed(PT.FilterCpuSec[I], 6);
   OS << "}},\n  \"apps\": [";
   bool FirstApp = true;
-  unsigned long long Potential = 0, Sound = 0, Unsound = 0;
+  unsigned long long Potential = 0, Sound = 0, Unsound = 0, LintTotal = 0;
   for (const BatchApp &A : R.Apps) {
     OS << (FirstApp ? "" : ",") << "\n    {\"file\": \"" << jsonEscape(A.File)
        << "\", \"app\": \"" << jsonEscape(A.Name) << "\", \"status\": \""
@@ -589,15 +647,21 @@ std::string report::renderBatchJson(const BatchResult &R) {
     Potential += A.Potential;
     Sound += A.AfterSound;
     Unsound += A.AfterUnsound;
+    LintTotal += A.LintNullness + A.LintTypestate;
     OS << ",\n     \"summary\": {\"stmts\": " << A.Stmts
        << ", \"potential\": " << A.Potential
        << ", \"afterSound\": " << A.AfterSound
-       << ", \"afterUnsound\": " << A.AfterUnsound << "},\n"
-       << "     \"timings\": {\"modelingSec\": "
+       << ", \"afterUnsound\": " << A.AfterUnsound << "},\n";
+    if (R.LintMode)
+      OS << "     \"lintFindings\": {\"nullness\": " << A.LintNullness
+         << ", \"typestate\": " << A.LintTypestate << "},\n";
+    OS << "     \"timings\": {\"modelingSec\": "
        << jsonFixed(A.Timings.ModelingSec, 6)
        << ", \"detectionSec\": " << jsonFixed(A.Timings.DetectionSec, 6)
-       << ", \"filteringSec\": " << jsonFixed(A.Timings.FilteringSec, 6)
-       << "},\n"
+       << ", \"filteringSec\": " << jsonFixed(A.Timings.FilteringSec, 6);
+    if (R.LintMode)
+      OS << ", \"typestateSec\": " << jsonFixed(A.Timings.TypestateSec, 6);
+    OS << "},\n"
        << "     \"analyses\": [";
     bool FirstPass = true;
     for (const pipeline::PassStat &S : A.Analyses) {
@@ -618,6 +682,9 @@ std::string report::renderBatchJson(const BatchResult &R) {
   }
   OS << "\n  ],\n  \"totals\": {\"apps\": " << R.Apps.size()
      << ", \"potential\": " << Potential << ", \"afterSound\": " << Sound
-     << ", \"afterUnsound\": " << Unsound << "}\n}\n";
+     << ", \"afterUnsound\": " << Unsound;
+  if (R.LintMode)
+    OS << ", \"lintFindings\": " << LintTotal;
+  OS << "}\n}\n";
   return OS.str();
 }

@@ -134,6 +134,10 @@ struct BatchApp {
   unsigned Potential = 0;
   unsigned AfterSound = 0;
   unsigned AfterUnsound = 0;
+  /// Lint finding counts (`--batch --lint` only; always 0 otherwise, so
+  /// non-lint rows, reports and cache entries are unchanged).
+  unsigned LintNullness = 0;
+  unsigned LintTypestate = 0;
 
   PhaseTimings Timings;
   /// Seconds since the batch started at which this row's analysis
@@ -153,6 +157,10 @@ struct BatchApp {
 struct BatchResult {
   std::vector<BatchApp> Apps; ///< sorted by File
   unsigned Jobs = 1;          ///< lanes actually used
+  /// True when the batch ran with --lint: the text report gains a Lint
+  /// column and the JSON gains lint counts and the typestate phase.
+  /// With it false both outputs are byte-identical to a pre-lint build.
+  bool LintMode = false;
   double WallSec = 0;
   unsigned Resumed = 0; ///< rows restored from the checkpoint log
   /// Checkpoint rows refused because their stamped options fingerprint
@@ -171,8 +179,10 @@ struct BatchResult {
 
   /// Worst outcome over the corpus: 5 when --cache-verify found a
   /// divergent entry, else 4 when any app timed out, else 3 when any
-  /// crashed, else 2 when any failed to parse, else 1 when any warning
-  /// remained after all filters, else 0.
+  /// crashed, else 2 when any failed to parse, else 6 when any lint
+  /// finding fired (--lint batches only), else 1 when any warning
+  /// remained after all filters, else 0. Lint findings outrank plain
+  /// warnings but never mask an infrastructure failure.
   int exitCode() const;
 };
 
@@ -195,6 +205,8 @@ struct BatchPhaseTotals {
   double ModelingCpuSec = 0, ModelingWallSec = 0;
   double DetectionCpuSec = 0, DetectionWallSec = 0;
   double FilteringCpuSec = 0, FilteringWallSec = 0;
+  /// The typestate lint phase (zero unless the batch ran with --lint).
+  double TypestateCpuSec = 0, TypestateWallSec = 0;
   /// FilteringCpuSec split by filter kind (summed per-app self-times,
   /// indexed by filters::FilterKind value). Like the per-app breakdown,
   /// the entries undercount the total: refuter time and sweep overhead

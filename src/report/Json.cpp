@@ -176,9 +176,12 @@ std::string report::renderAppResult(const BatchApp &A, unsigned Schema) {
      << ", \"threads\": " << A.Threads << ", \"potential\": " << A.Potential
      << ", \"afterSound\": " << A.AfterSound
      << ", \"afterUnsound\": " << A.AfterUnsound
+     << ", \"lintNullness\": " << A.LintNullness
+     << ", \"lintTypestate\": " << A.LintTypestate
      << ", \"modelingSec\": " << jsonFixed(A.Timings.ModelingSec, 6)
      << ", \"detectionSec\": " << jsonFixed(A.Timings.DetectionSec, 6)
-     << ", \"filteringSec\": " << jsonFixed(A.Timings.FilteringSec, 6);
+     << ", \"filteringSec\": " << jsonFixed(A.Timings.FilteringSec, 6)
+     << ", \"typestateSec\": " << jsonFixed(A.Timings.TypestateSec, 6);
   for (size_t I = 0; I < filters::NumFilterKinds; ++I)
     OS << ", \"filter"
        << filters::filterKindName(static_cast<filters::FilterKind>(I))
@@ -238,9 +241,14 @@ bool report::parseAppResult(const std::string &Line, unsigned Schema,
   Out.AfterSound = static_cast<unsigned>(jsonFindUnsigned(Head, "afterSound"));
   Out.AfterUnsound =
       static_cast<unsigned>(jsonFindUnsigned(Head, "afterUnsound"));
+  Out.LintNullness =
+      static_cast<unsigned>(jsonFindUnsigned(Head, "lintNullness"));
+  Out.LintTypestate =
+      static_cast<unsigned>(jsonFindUnsigned(Head, "lintTypestate"));
   Out.Timings.ModelingSec = jsonFindFixed(Head, "modelingSec");
   Out.Timings.DetectionSec = jsonFindFixed(Head, "detectionSec");
   Out.Timings.FilteringSec = jsonFindFixed(Head, "filteringSec");
+  Out.Timings.TypestateSec = jsonFindFixed(Head, "typestateSec");
   for (size_t I = 0; I < filters::NumFilterKinds; ++I)
     Out.Timings.FilterSec[I] = jsonFindFixed(
         Head, std::string("filter") +

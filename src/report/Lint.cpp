@@ -6,12 +6,16 @@
 
 #include "report/Lint.h"
 
+#include "report/Json.h"
+
+#include <chrono>
 #include <sstream>
 
 using namespace nadroid;
 using namespace nadroid::report;
 using analysis::LintFinding;
 using analysis::LintKind;
+using analysis::TypestateFinding;
 
 std::vector<LintFinding> report::runLint(const ir::Program &P) {
   pipeline::AnalysisManager AM(P);
@@ -20,6 +24,20 @@ std::vector<LintFinding> report::runLint(const ir::Program &P) {
 
 std::vector<LintFinding> report::runLint(pipeline::AnalysisManager &AM) {
   return AM.nullness().findings();
+}
+
+LintResult report::runLintChecks(pipeline::AnalysisManager &AM) {
+  using Clock = std::chrono::steady_clock;
+  LintResult L;
+  auto T0 = Clock::now();
+  L.Nullness = AM.nullness().findings();
+  auto T1 = Clock::now();
+  L.NullnessSec = std::chrono::duration<double>(T1 - T0).count();
+  if (AM.options().Lint) {
+    L.Typestate = AM.typestate().findings();
+    L.TypestateSec = std::chrono::duration<double>(Clock::now() - T1).count();
+  }
+  return L;
 }
 
 std::string report::renderLintFinding(const ir::Program &P,
@@ -48,5 +66,75 @@ std::string report::renderLintFinding(const ir::Program &P,
   OS << "\n  in " << F.At->parentMethod()->qualifiedName();
   if (F.Prior)
     OS << "\n" << SM.render(F.Prior->loc()) << ": note: value set to null here";
+  return OS.str();
+}
+
+std::string report::renderTypestateFinding(const ir::Program &P,
+                                           const TypestateFinding &F,
+                                           bool Explain) {
+  const SourceManager &SM = P.sourceManager();
+  std::ostringstream OS;
+  // error-at findings whose bad state is the initial one have no
+  // transition site to point at; anchor on the component instead.
+  if (F.At)
+    OS << SM.render(F.At->loc());
+  else
+    OS << F.Component->name();
+  OS << ": warning: " << F.Rule->Message << " [protocol " << F.Proto->Name
+     << "]";
+  if (F.In)
+    OS << "\n  in " << F.In->qualifiedName();
+  else
+    OS << "\n  in " << F.Component->name();
+  OS << " of component " << F.Component->name() << " (state " << F.State
+     << ")";
+  if (Explain && !F.Chain.empty()) {
+    OS << "\n  callback chain:";
+    for (size_t I = 0; I < F.Chain.size(); ++I)
+      OS << (I ? " > " : " ") << F.Chain[I];
+  }
+  return OS.str();
+}
+
+std::string report::renderLintJson(const ir::Program &P, const LintResult &L) {
+  const SourceManager &SM = P.sourceManager();
+  std::ostringstream OS;
+  OS << "{\n";
+  OS << "  \"app\": \"" << jsonEscape(P.name()) << "\",\n";
+  OS << "  \"nullness\": [";
+  for (size_t I = 0; I < L.Nullness.size(); ++I) {
+    const LintFinding &F = L.Nullness[I];
+    OS << (I ? ",\n    " : "\n    ");
+    OS << "{\"kind\": \"" << analysis::lintKindName(F.Kind) << "\", \"loc\": \""
+       << jsonEscape(SM.render(F.At->loc())) << "\", \"method\": \""
+       << jsonEscape(F.At->parentMethod()->qualifiedName()) << "\"";
+    if (F.F)
+      OS << ", \"field\": \"" << jsonEscape(F.F->qualifiedName()) << "\"";
+    OS << "}";
+  }
+  OS << (L.Nullness.empty() ? "],\n" : "\n  ],\n");
+  OS << "  \"typestate\": [";
+  for (size_t I = 0; I < L.Typestate.size(); ++I) {
+    const TypestateFinding &F = L.Typestate[I];
+    OS << (I ? ",\n    " : "\n    ");
+    OS << "{\"protocol\": \"" << jsonEscape(F.Proto->Name)
+       << "\", \"message\": \"" << jsonEscape(F.Rule->Message)
+       << "\", \"component\": \"" << jsonEscape(F.Component->name())
+       << "\", \"state\": \"" << jsonEscape(F.State) << "\"";
+    if (F.At)
+      OS << ", \"loc\": \"" << jsonEscape(SM.render(F.At->loc())) << "\"";
+    if (F.In)
+      OS << ", \"method\": \"" << jsonEscape(F.In->qualifiedName()) << "\"";
+    OS << ", \"chain\": [";
+    for (size_t J = 0; J < F.Chain.size(); ++J)
+      OS << (J ? ", " : "") << "\"" << jsonEscape(F.Chain[J]) << "\"";
+    OS << "]}";
+  }
+  OS << (L.Typestate.empty() ? "],\n" : "\n  ],\n");
+  OS << "  \"counts\": {\"nullness\": " << L.Nullness.size()
+     << ", \"typestate\": " << L.Typestate.size() << "},\n";
+  OS << "  \"timings\": {\"nullnessSec\": " << jsonFixed(L.NullnessSec, 3)
+     << ", \"typestateSec\": " << jsonFixed(L.TypestateSec, 3) << "}\n";
+  OS << "}\n";
   return OS.str();
 }

@@ -16,9 +16,14 @@
 ///  * redundant-null-check — a null test whose outcome is statically
 ///                          known.
 ///
-/// Unlike the UAF pipeline, lint has no thread model: findings are
-/// per-method facts (strengthened by caller/callee summaries) rendered
-/// with file:line:col diagnostics.
+/// The nullness checkers are per-method facts (strengthened by
+/// caller/callee summaries) rendered with file:line:col diagnostics.
+/// A fourth family — the typestate protocol checkers (analysis/
+/// Typestate.h) — DOES use the thread model: it runs the declarative
+/// `protocol` machines of the FrameworkSpec over the threadification
+/// forest, so its findings carry the violating callback-order chain.
+/// runLintChecks bundles both families with per-family timings; the
+/// driver and the batch runner consume that bundle.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +31,7 @@
 #define NADROID_REPORT_LINT_H
 
 #include "analysis/Nullness.h"
+#include "analysis/Typestate.h"
 #include "ir/Ir.h"
 #include "pipeline/AnalysisManager.h"
 
@@ -33,6 +39,17 @@
 #include <vector>
 
 namespace nadroid::report {
+
+/// Everything `--lint` produced: both checker families plus their
+/// wall-clock cost (the batch JSON reports TypestateSec; CI bounds it
+/// against the filtering phase).
+struct LintResult {
+  std::vector<analysis::LintFinding> Nullness;
+  std::vector<analysis::TypestateFinding> Typestate;
+  double NullnessSec = 0;
+  double TypestateSec = 0;
+  bool empty() const { return Nullness.empty() && Typestate.empty(); }
+};
 
 /// Runs the lint checkers over \p P; findings come back in deterministic
 /// (method, statement) order.
@@ -42,10 +59,28 @@ std::vector<analysis::LintFinding> runLint(const ir::Program &P);
 /// analysis (reusing it if already cached) and nothing else.
 std::vector<analysis::LintFinding> runLint(pipeline::AnalysisManager &AM);
 
+/// Runs both lint families through \p AM. The typestate engine is built
+/// only when AM.options().Lint is set — with it off this degenerates to
+/// runLint plus timing, and the TypestatePass is never constructed.
+LintResult runLintChecks(pipeline::AnalysisManager &AM);
+
 /// Renders one finding as a "file:line:col: warning: ..." diagnostic
 /// (plus a "note:" line when the prior free site is known).
 std::string renderLintFinding(const ir::Program &P,
                               const analysis::LintFinding &F);
+
+/// Renders one typestate violation as a "file:line:col: warning:
+/// <message> [protocol <name>]" diagnostic plus the containing method
+/// and component; with \p Explain, appends the violating callback-order
+/// chain ("callback chain: EC onCreate@Act > EC onDestroy@Act").
+std::string renderTypestateFinding(const ir::Program &P,
+                                   const analysis::TypestateFinding &F,
+                                   bool Explain);
+
+/// Machine-readable `--lint --json` report: one pretty-printed object
+/// with "nullness" and "typestate" finding arrays, counts, and
+/// per-family timings.
+std::string renderLintJson(const ir::Program &P, const LintResult &L);
 
 } // namespace nadroid::report
 

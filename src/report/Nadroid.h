@@ -51,6 +51,9 @@ struct PhaseTimings {
   /// refuter's time belongs to no kind — so the entries sum to less than
   /// FilteringSec, not to it.
   std::array<double, filters::NumFilterKinds> FilterSec{};
+  /// Typestate protocol engine (--lint only; 0 on default runs, and the
+  /// default JSON report omits it so pre-lint output is byte-identical).
+  double TypestateSec = 0;
 };
 
 /// Everything the pipeline produced. The analyses live in (and are owned

@@ -108,6 +108,9 @@ TEST(ResultCacheKeyTest, OptionsFingerprintCoversEveryKnob) {
   O = Base;
   O.Refute = !O.Refute;
   EXPECT_NE(O.fingerprint(), Fp);
+  O = Base;
+  O.Lint = !O.Lint;
+  EXPECT_NE(O.fingerprint(), Fp);
 
   // Same options, same fingerprint — the cache depends on stability.
   EXPECT_EQ(pipeline::PipelineOptions().fingerprint(), Fp);

@@ -164,6 +164,80 @@ TEST(Spec, DanglingReviveTargetIsRejected) {
       anyContains(D, "revives in unknown callback 'onRefill'"));
 }
 
+//===----------------------------------------------------------------------===//
+// Protocol directives (typestate machines)
+//===----------------------------------------------------------------------===//
+
+TEST(Spec, BuiltinShipsTheDocumentedProtocols) {
+  const FrameworkSpec &S = FrameworkSpec::builtin();
+  ASSERT_EQ(S.protocols().size(), 5u);
+  std::vector<std::string> Names;
+  for (const FrameworkSpec::Protocol &P : S.protocols())
+    Names.push_back(P.Name);
+  EXPECT_EQ(Names, (std::vector<std::string>{
+                       "receiver-leak", "unbalanced-unregister",
+                       "service-bind-leak", "unbalanced-unbind",
+                       "handler-post-leak"}));
+  // Every builtin machine can fire: at least one error rule each.
+  for (const FrameworkSpec::Protocol &P : S.protocols())
+    EXPECT_FALSE(P.Errors.empty()) << P.Name;
+}
+
+TEST(Spec, ProtocolStatesMustComeFirst) {
+  EXPECT_TRUE(anyContains(
+      diagnose(std::string(Prologue) +
+               "protocol ghost on post from any to pending\n"),
+      "no states declaration (states must come first)"));
+}
+
+TEST(Spec, ProtocolStateErrorsAreSpecific) {
+  std::vector<std::string> D = diagnose(
+      std::string(Prologue) +
+      "protocol p states a,b initial a\n"
+      "protocol p states a,b initial a\n"
+      "protocol q states a,a initial a\n"
+      "protocol r states s1,s2,s3,s4,s5,s6,s7,s8,s9 initial s1\n"
+      "protocol p on post from c to b\n"
+      "protocol p on frobnicate from a to b\n");
+  EXPECT_TRUE(anyContains(D, "duplicate protocol 'p'"));
+  EXPECT_TRUE(anyContains(D, "duplicate state 'a' in protocol 'q'"));
+  EXPECT_TRUE(
+      anyContains(D, "protocol 'r' must declare between 1 and 8 states"));
+  EXPECT_TRUE(anyContains(D, "protocol 'p' has no state 'c'"));
+  EXPECT_TRUE(anyContains(D, "'frobnicate' is not a framework API token"));
+}
+
+TEST(Spec, ProtocolValidationCatchesSilentMachines) {
+  std::vector<std::string> D = diagnose(
+      std::string(Prologue) +
+      "protocol p states a,b initial a\n"
+      "protocol p on-callback onRefill from a to b\n"
+      "protocol q states a,b initial a\n"
+      "protocol q error-at onRefill in b stuck\n");
+  EXPECT_TRUE(
+      anyContains(D, "protocol 'p' transitions on unknown callback 'onRefill'"));
+  EXPECT_TRUE(
+      anyContains(D, "protocol 'q' error rule at unknown callback 'onRefill'"));
+  EXPECT_TRUE(anyContains(D, "protocol 'p' declares no error rule"));
+}
+
+/// The protocol fixture (shared with the --check-spec CLI test) reports
+/// every seeded protocol error class.
+TEST(Spec, MalformedProtocolFixtureReportsEverySeededError) {
+  FrameworkSpec S;
+  std::vector<std::string> Diags;
+  ASSERT_TRUE(FrameworkSpec::loadFile(
+      std::string(NADROID_SOURCE_DIR) + "/tests/data/malformed-protocol.spec",
+      S, Diags))
+      << "fixture must be syntactically well-formed";
+  EXPECT_TRUE(Diags.empty());
+  Diags = S.validate();
+  EXPECT_EQ(Diags.size(), 3u);
+  EXPECT_TRUE(anyContains(Diags, "transitions on unknown callback"));
+  EXPECT_TRUE(anyContains(Diags, "error rule at unknown callback"));
+  EXPECT_TRUE(anyContains(Diags, "declares no error rule"));
+}
+
 /// The shipped fixture (also exercised by the --check-spec CLI test and
 /// both CI spec-validation steps) reports every seeded error class.
 TEST(Spec, MalformedFixtureReportsEverySeededError) {

@@ -1,0 +1,339 @@
+//===- tests/TypestateTest.cpp - Protocol typestate checker tests ---------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+//
+// The lifecycle-aware typestate checker's contracts: every builtin
+// protocol flags its seeded violating pattern (with the callback-order
+// chain --explain renders) and stays silent on the clean twin, each
+// static verdict agrees with the schedule-exploration oracle (violation
+// => a crashing schedule exists on the leaked field, clean => none),
+// the TypestatePass is only ever built under --lint and the default
+// options fingerprint is untouched, and the lint render/serialization
+// layers carry the findings through text, JSON, and batch rows.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Typestate.h"
+#include "cache/ResultCache.h"
+#include "corpus/Patterns.h"
+#include "interp/Interp.h"
+#include "ir/IRBuilder.h"
+#include "ir/Printer.h"
+#include "pipeline/AnalysisManager.h"
+#include "report/Batch.h"
+#include "report/Json.h"
+#include "report/Lint.h"
+#include "report/Nadroid.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+using namespace nadroid;
+namespace fs = std::filesystem;
+
+namespace {
+
+using EmitFn = void (corpus::PatternEmitter::*)();
+
+/// One builtin protocol with its seeded violating/clean pattern pair.
+struct ProtoCase {
+  const char *Protocol;
+  EmitFn Violating;
+  EmitFn Clean;
+};
+
+const ProtoCase Cases[] = {
+    {"receiver-leak", &corpus::PatternEmitter::protoReceiverLeak,
+     &corpus::PatternEmitter::protoReceiverClean},
+    {"service-bind-leak", &corpus::PatternEmitter::protoBindLeak,
+     &corpus::PatternEmitter::protoBindClean},
+    {"handler-post-leak", &corpus::PatternEmitter::protoPostLeak,
+     &corpus::PatternEmitter::protoPostClean},
+    {"unbalanced-unregister", &corpus::PatternEmitter::protoUnregNoReg,
+     &corpus::PatternEmitter::protoUnregClean},
+    {"unbalanced-unbind", &corpus::PatternEmitter::protoUnbindNoBind,
+     &corpus::PatternEmitter::protoUnbindClean},
+};
+
+corpus::SeededBug emitPattern(ir::Program &P, EmitFn Fn) {
+  ir::IRBuilder B(P);
+  corpus::PatternEmitter E(B);
+  (E.*Fn)();
+  EXPECT_EQ(E.seeds().size(), 1u);
+  return E.seeds().front();
+}
+
+pipeline::PipelineOptions lintOptions() {
+  pipeline::PipelineOptions O;
+  O.Lint = true;
+  return O;
+}
+
+const race::UafWarning *findWarning(const report::NadroidResult &R,
+                                    const std::string &FieldName) {
+  for (const race::UafWarning &W : R.warnings())
+    if (W.F->qualifiedName() == FieldName)
+      return &W;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Per-protocol verdicts, cross-checked against the oracle
+//===----------------------------------------------------------------------===//
+
+TEST(TypestateProtocolTest, ViolatingSeedsAreFlaggedAndWitnessed) {
+  for (const ProtoCase &C : Cases) {
+    ir::Program P("t");
+    corpus::SeededBug Seed = emitPattern(P, C.Violating);
+
+    pipeline::AnalysisManager AM(P, lintOptions());
+    const std::vector<analysis::TypestateFinding> &Fs =
+        AM.typestate().findings();
+    ASSERT_EQ(Fs.size(), 1u) << C.Protocol;
+    EXPECT_EQ(Fs[0].Proto->Name, C.Protocol);
+    ASSERT_NE(Fs[0].Rule, nullptr) << C.Protocol;
+    ASSERT_NE(Fs[0].Component, nullptr) << C.Protocol;
+    ASSERT_NE(Fs[0].In, nullptr) << C.Protocol;
+    EXPECT_FALSE(Fs[0].State.empty()) << C.Protocol;
+    EXPECT_FALSE(Fs[0].Chain.empty()) << C.Protocol;
+
+    // Oracle: the protocol violation's runtime consequence is a real
+    // use-after-free schedule on the seeded field.
+    report::NadroidResult R = report::analyzeProgram(P);
+    const race::UafWarning *W = findWarning(R, Seed.FieldName);
+    ASSERT_NE(W, nullptr) << C.Protocol << ": seeded pair not detected";
+    interp::ScheduleExplorer Explorer(P);
+    EXPECT_TRUE(Explorer.tryWitness(W->Use, W->Free, 200))
+        << C.Protocol << ": flagged pattern should have a crash witness";
+  }
+}
+
+TEST(TypestateProtocolTest, CleanTwinsAreUnflaggedAndUnwitnessable) {
+  for (const ProtoCase &C : Cases) {
+    ir::Program P("t");
+    corpus::SeededBug Seed = emitPattern(P, C.Clean);
+
+    pipeline::AnalysisManager AM(P, lintOptions());
+    EXPECT_TRUE(AM.typestate().findings().empty())
+        << C.Protocol << ": clean twin flagged";
+
+    // The same use/free pair exists syntactically; no schedule realizes
+    // it once the protocol is balanced.
+    report::NadroidResult R = report::analyzeProgram(P);
+    const race::UafWarning *W = findWarning(R, Seed.FieldName);
+    ASSERT_NE(W, nullptr) << C.Protocol;
+    interp::ScheduleExplorer Explorer(P);
+    EXPECT_FALSE(Explorer.tryWitness(W->Use, W->Free, 200))
+        << C.Protocol << ": clean twin has a crash witness — bad twin!";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Finding anatomy
+//===----------------------------------------------------------------------===//
+
+TEST(TypestateFindingTest, LeakFindingCarriesTheViolatingChain) {
+  ir::Program P("t");
+  emitPattern(P, &corpus::PatternEmitter::protoReceiverLeak);
+  pipeline::AnalysisManager AM(P, lintOptions());
+  const std::vector<analysis::TypestateFinding> &Fs =
+      AM.typestate().findings();
+  ASSERT_EQ(Fs.size(), 1u);
+  const analysis::TypestateFinding &F = Fs[0];
+
+  // error-at rule: At is the transition that entered the bad state (the
+  // registerReceiver call in onCreate), state is the leaked one, and the
+  // chain runs from the first activation to the rule's callback.
+  EXPECT_EQ(F.State, "registered");
+  EXPECT_EQ(F.Rule->Message, "receiver still registered at destroy");
+  ASSERT_NE(F.At, nullptr);
+  ASSERT_NE(F.In, nullptr);
+  EXPECT_NE(F.In->qualifiedName().find("onCreate"), std::string::npos);
+  ASSERT_GE(F.Chain.size(), 2u);
+  EXPECT_NE(F.Chain.front().find("onCreate"), std::string::npos);
+  EXPECT_NE(F.Chain.back().find("onDestroy"), std::string::npos);
+}
+
+TEST(TypestateFindingTest, ErrorCallFiresInTheInitialState) {
+  ir::Program P("t");
+  emitPattern(P, &corpus::PatternEmitter::protoUnregNoReg);
+  pipeline::AnalysisManager AM(P, lintOptions());
+  const std::vector<analysis::TypestateFinding> &Fs =
+      AM.typestate().findings();
+  ASSERT_EQ(Fs.size(), 1u);
+  const analysis::TypestateFinding &F = Fs[0];
+
+  // error-call rule: At is the offending API call site itself.
+  EXPECT_EQ(F.Proto->Name, "unbalanced-unregister");
+  EXPECT_EQ(F.State, "fresh");
+  ASSERT_NE(F.At, nullptr);
+  ASSERT_NE(F.In, nullptr);
+  EXPECT_NE(F.In->qualifiedName().find("onLocationChanged"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Gating: the pass exists only under --lint
+//===----------------------------------------------------------------------===//
+
+TEST(TypestateGatingTest, PassIsNeverBuiltWithLintOff) {
+  ir::Program P("t");
+  emitPattern(P, &corpus::PatternEmitter::protoReceiverLeak);
+
+  pipeline::AnalysisManager Off(P);
+  report::LintResult L = report::runLintChecks(Off);
+  EXPECT_TRUE(L.Typestate.empty());
+  EXPECT_DOUBLE_EQ(L.TypestateSec, 0.0);
+  EXPECT_FALSE(Off.isCached<pipeline::TypestatePass>());
+
+  pipeline::AnalysisManager On(P, lintOptions());
+  report::LintResult LOn = report::runLintChecks(On);
+  EXPECT_EQ(LOn.Typestate.size(), 1u);
+  EXPECT_TRUE(On.isCached<pipeline::TypestatePass>());
+}
+
+TEST(TypestateGatingTest, FingerprintChangesOnlyWhenLintIsOn) {
+  pipeline::PipelineOptions Base;
+  std::string Fp = Base.fingerprint();
+  // Pre-lint cache keys survive verbatim: the default fingerprint must
+  // not even mention the knob.
+  EXPECT_EQ(Fp.find("lint"), std::string::npos);
+
+  pipeline::PipelineOptions O = Base;
+  O.Lint = true;
+  EXPECT_NE(O.fingerprint(), Fp);
+  EXPECT_NE(O.fingerprint().find("lint=1"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Rendering
+//===----------------------------------------------------------------------===//
+
+TEST(TypestateRenderTest, TextDiagnosticNamesProtocolAndChain) {
+  ir::Program P("t");
+  emitPattern(P, &corpus::PatternEmitter::protoReceiverLeak);
+  pipeline::AnalysisManager AM(P, lintOptions());
+  const std::vector<analysis::TypestateFinding> &Fs =
+      AM.typestate().findings();
+  ASSERT_EQ(Fs.size(), 1u);
+
+  std::string Plain = report::renderTypestateFinding(P, Fs[0], false);
+  EXPECT_NE(Plain.find("warning: receiver still registered at destroy"),
+            std::string::npos);
+  EXPECT_NE(Plain.find("[protocol receiver-leak]"), std::string::npos);
+  EXPECT_NE(Plain.find("state registered"), std::string::npos);
+  EXPECT_EQ(Plain.find("callback chain:"), std::string::npos);
+
+  std::string Explained = report::renderTypestateFinding(P, Fs[0], true);
+  EXPECT_NE(Explained.find("callback chain:"), std::string::npos);
+  EXPECT_NE(Explained.find(" > "), std::string::npos);
+}
+
+TEST(TypestateRenderTest, JsonReportCarriesBothFamilies) {
+  ir::Program P("t");
+  emitPattern(P, &corpus::PatternEmitter::protoReceiverLeak);
+  pipeline::AnalysisManager AM(P, lintOptions());
+  report::LintResult L = report::runLintChecks(AM);
+  ASSERT_EQ(L.Typestate.size(), 1u);
+
+  std::string Json = report::renderLintJson(P, L);
+  EXPECT_NE(Json.find("\"nullness\": ["), std::string::npos);
+  EXPECT_NE(Json.find("\"typestate\": ["), std::string::npos);
+  EXPECT_NE(Json.find("\"protocol\": \"receiver-leak\""), std::string::npos);
+  EXPECT_NE(Json.find("\"chain\": ["), std::string::npos);
+  EXPECT_NE(Json.find("\"counts\""), std::string::npos);
+  EXPECT_NE(Json.find("\"typestateSec\": "), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Batch integration
+//===----------------------------------------------------------------------===//
+
+struct TempCorpus {
+  fs::path Dir;
+  explicit TempCorpus(const std::string &Name)
+      : Dir(fs::temp_directory_path() / Name) {
+    std::error_code Ec;
+    fs::remove_all(Dir, Ec);
+    fs::create_directories(Dir);
+  }
+  ~TempCorpus() {
+    std::error_code Ec;
+    fs::remove_all(Dir, Ec);
+  }
+};
+
+void writeProtoApp(const fs::path &File, EmitFn Fn) {
+  ir::Program P(File.stem().string());
+  ir::IRBuilder B(P);
+  corpus::PatternEmitter E(B);
+  (E.*Fn)();
+  std::ofstream Out(File);
+  ASSERT_TRUE(Out.good()) << File;
+  ir::printProgram(P, Out);
+}
+
+TEST(TypestateBatchTest, LintModeAddsRowsExitCodeAndJsonKeys) {
+  TempCorpus Apps("nadroid-typestate-batch");
+  writeProtoApp(Apps.Dir / "leaky.air",
+                &corpus::PatternEmitter::protoReceiverLeak);
+  writeProtoApp(Apps.Dir / "tidy.air",
+                &corpus::PatternEmitter::protoReceiverClean);
+
+  report::BatchOptions Opts;
+  Opts.Dir = Apps.Dir.string();
+  Opts.Jobs = 1;
+  Opts.Pipeline.Lint = true;
+  report::BatchResult R = report::runBatch(Opts);
+  ASSERT_EQ(R.Apps.size(), 2u);
+  EXPECT_TRUE(R.LintMode);
+  EXPECT_EQ(R.Apps[0].Name, "leaky");
+  EXPECT_EQ(R.Apps[0].LintTypestate, 1u);
+  EXPECT_EQ(R.Apps[1].LintTypestate, 0u);
+
+  std::string Text = report::renderBatchReport(R);
+  EXPECT_NE(Text.find("Lint"), std::string::npos);
+  EXPECT_NE(Text.find("lint finding"), std::string::npos);
+  std::string Json = report::renderBatchJson(R);
+  EXPECT_NE(Json.find("\"lintFindings\""), std::string::npos);
+  EXPECT_NE(Json.find("\"typestateCpuSec\""), std::string::npos);
+
+  // Findings dominate the exit code only below the fault codes: both
+  // rows are ok here, so the batch reports the lint-specific 6.
+  EXPECT_EQ(R.exitCode(), 6);
+
+  // The same corpus without --lint: no lint column, no lint keys, no
+  // typestate work — pre-lint reports stay byte-identical.
+  report::BatchOptions Plain = Opts;
+  Plain.Pipeline.Lint = false;
+  report::BatchResult R2 = report::runBatch(Plain);
+  EXPECT_FALSE(R2.LintMode);
+  EXPECT_EQ(report::renderBatchReport(R2).find("Lint"), std::string::npos);
+  EXPECT_EQ(report::renderBatchJson(R2).find("\"lintFindings\""),
+            std::string::npos);
+  EXPECT_EQ(report::renderBatchJson(R2).find("\"typestateCpuSec\""),
+            std::string::npos);
+  EXPECT_EQ(R2.exitCode(), 1); // the seeded UAF alone
+}
+
+TEST(TypestateBatchTest, CacheEntryRoundTripsLintCounts) {
+  report::BatchApp A;
+  A.Status = report::BatchStatus::Ok;
+  A.OptionsFp = "opt1;k=2;lint=1";
+  A.LintNullness = 3;
+  A.LintTypestate = 5;
+  A.Timings.TypestateSec = 0.125;
+
+  std::string Line = report::renderAppResult(A, cache::SchemaVersion);
+  report::BatchApp B;
+  ASSERT_TRUE(report::parseAppResult(Line, cache::SchemaVersion, B));
+  EXPECT_EQ(B.LintNullness, 3u);
+  EXPECT_EQ(B.LintTypestate, 5u);
+  EXPECT_DOUBLE_EQ(B.Timings.TypestateSec, 0.125);
+}
+
+} // namespace
