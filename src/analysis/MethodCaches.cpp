@@ -44,3 +44,24 @@ MethodConsumersCache::get(const ir::Method &M) {
     return It->second;
   return Map.emplace(&M, ir::computeLoadConsumers(M)).first->second;
 }
+
+void MethodCfgCache::evict(const ir::Method &M) {
+  std::lock_guard<std::mutex> L(Mu);
+  Map.erase(&M);
+}
+
+void MethodGuardCache::evict(const ir::Method &M) {
+  std::lock_guard<std::mutex> L(Mu);
+  Map.erase(&M);
+}
+
+void MethodAllocFlowCache::evict(const ir::Method &M) {
+  std::lock_guard<std::mutex> L(Mu);
+  Ia.erase(&M);
+  Ma.erase(&M);
+}
+
+void MethodConsumersCache::evict(const ir::Method &M) {
+  std::lock_guard<std::mutex> L(Mu);
+  Map.erase(&M);
+}

@@ -37,6 +37,12 @@ namespace nadroid::analysis {
 class MethodCfgCache {
 public:
   const Cfg &get(const ir::Method &M);
+  /// Drops the entry for \p M (no-op when absent) — the incremental
+  /// frontend regrafted its body, so the cached result describes
+  /// statements that no longer exist. Outstanding references to the
+  /// evicted entry become dangling; the AnalysisManager only evicts
+  /// after invalidating every analysis that could hold one.
+  void evict(const ir::Method &M);
 
 private:
   std::mutex Mu;
@@ -47,6 +53,8 @@ private:
 class MethodGuardCache {
 public:
   const GuardAnalysis &get(const ir::Method &M);
+  /// See MethodCfgCache::evict.
+  void evict(const ir::Method &M);
 
 private:
   std::mutex Mu;
@@ -58,6 +66,8 @@ private:
 class MethodAllocFlowCache {
 public:
   const AllocFlowResult &get(const ir::Method &M, bool TreatCallResultAsAlloc);
+  /// See MethodCfgCache::evict (drops both the IA and MA entries).
+  void evict(const ir::Method &M);
 
 private:
   std::mutex Mu;
@@ -70,6 +80,8 @@ class MethodConsumersCache {
 public:
   const std::map<const ir::LoadStmt *, ir::LoadConsumers> &
   get(const ir::Method &M);
+  /// See MethodCfgCache::evict.
+  void evict(const ir::Method &M);
 
 private:
   std::mutex Mu;

@@ -49,6 +49,18 @@ std::string cache::resultCacheKey(std::string_view CanonicalAir,
   return H.finalHex();
 }
 
+std::string cache::serveResponseKey(std::string_view RawAirBytes,
+                                    std::string_view OptionsFingerprint,
+                                    std::string_view RequestSignature,
+                                    unsigned Schema) {
+  support::Sha256 H;
+  foldComponent(H, RawAirBytes);
+  foldComponent(H, OptionsFingerprint);
+  foldComponent(H, RequestSignature);
+  foldComponent(H, "serve-schema=" + std::to_string(Schema));
+  return H.finalHex();
+}
+
 std::string ResultCache::entryPath(const std::string &KeyHex) const {
   return Dir + "/" + KeyHex.substr(0, 2) + "/" + KeyHex + ".json";
 }

@@ -63,6 +63,25 @@ std::string resultCacheKey(std::string_view CanonicalAir,
                            std::string_view OptionsFingerprint,
                            unsigned Schema = SchemaVersion);
 
+/// Bump on ANY change to the serve daemon's response entry format or to
+/// anything that changes response bytes for unchanged inputs. Separate
+/// from SchemaVersion: batch rows and serve responses evolve
+/// independently, and sharing one counter would orphan both caches on
+/// either's change.
+inline constexpr unsigned ServeSchemaVersion = 1;
+
+/// The key for one serve-daemon response — the L2 behind the session
+/// table. Keyed on RAW file bytes, not canonical bytes: a response
+/// embeds file:line:col locations, so two formattings of the same
+/// program need different entries even though their analysis results
+/// agree. \p RequestSignature is the protocol-level request identity
+/// (verb + rendering flags), which selects among the several responses
+/// one (file, options) pair can produce.
+std::string serveResponseKey(std::string_view RawAirBytes,
+                             std::string_view OptionsFingerprint,
+                             std::string_view RequestSignature,
+                             unsigned Schema = ServeSchemaVersion);
+
 /// One cache directory. Cheap to construct; creates nothing until the
 /// first store.
 class ResultCache {

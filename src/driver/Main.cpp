@@ -57,6 +57,13 @@
 //   nadroid --jobs N                 worker threads for --batch and the
 //                                    per-warning filter sweep (default:
 //                                    one per hardware thread)
+//   nadroid --serve SOCK             long-lived analyzer daemon on a unix
+//                                    socket; apps stay resident so edits
+//                                    re-run only what they invalidated
+//   nadroid --serve-sessions N       resident-session capacity (default 8)
+//   nadroid --connect SOCK REQ...    send one request to a --serve daemon
+//                                    and exit with the code the one-shot
+//                                    CLI would have used (7 = no daemon)
 //
 //===----------------------------------------------------------------------===//
 
@@ -73,6 +80,8 @@
 #include "report/Explain.h"
 #include "report/Json.h"
 #include "report/Rank.h"
+#include "serve/Server.h"
+#include "support/StringUtils.h"
 #include "support/TableWriter.h"
 #include "support/ThreadPool.h"
 
@@ -113,8 +122,30 @@ struct CliOptions {
   bool Resume = false;
   std::string CacheDir;
   bool CacheVerify = false;
+  std::string ServePath;
+  unsigned ServeSessions = 8;
+  std::string ConnectPath;
+  std::vector<std::string> ConnectWords;
   std::vector<std::string> Files;
 };
+
+/// Strict numeric flag parsing (no atoi: "abc" must not silently become
+/// 0). Distinguishes "not a number" from "out of range" so the user
+/// learns which rule they broke.
+bool parseCount(const char *Flag, const char *Value, unsigned &Out) {
+  unsigned long long N = 0;
+  if (!nadroid::parseUnsigned(Value, N)) {
+    std::cerr << "error: " << Flag << ": '" << Value
+              << "' is not a number\n";
+    return false;
+  }
+  if (N < 1 || N > (1ull << 31)) {
+    std::cerr << "error: " << Flag << " must be at least 1\n";
+    return false;
+  }
+  Out = static_cast<unsigned>(N);
+  return true;
+}
 
 void printUsage() {
   std::cerr
@@ -126,7 +157,10 @@ void printUsage() {
       << "               [--k N] [--jobs N] [--export-corpus DIR]\n"
       << "               [--batch DIR] [--batch-timeout SEC]\n"
       << "               [--batch-log FILE] [--resume]\n"
-      << "               [--cache-dir DIR] [--cache-verify] file.air...\n";
+      << "               [--cache-dir DIR] [--cache-verify] file.air...\n"
+      << "       nadroid --serve SOCK [--serve-sessions N] [--jobs N]\n"
+      << "               [--cache-dir DIR]\n"
+      << "       nadroid --connect SOCK <verb> [file.air] [flags...]\n";
 }
 
 bool parseArgs(int argc, char **argv, CliOptions &Opts) {
@@ -190,7 +224,11 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
         std::cerr << "error: --batch-timeout needs seconds\n";
         return false;
       }
-      Opts.BatchTimeoutSec = std::atof(argv[I]);
+      if (!parseDouble(argv[I], Opts.BatchTimeoutSec)) {
+        std::cerr << "error: --batch-timeout: '" << argv[I]
+                  << "' is not a number\n";
+        return false;
+      }
       if (Opts.BatchTimeoutSec <= 0) {
         std::cerr << "error: --batch-timeout must be positive\n";
         return false;
@@ -221,23 +259,42 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
         std::cerr << "error: --jobs needs a value\n";
         return false;
       }
-      int N = std::atoi(argv[I]);
-      if (N < 1) {
-        std::cerr << "error: --jobs must be at least 1\n";
+      if (!parseCount("--jobs", argv[I], Opts.Jobs))
         return false;
-      }
-      Opts.Jobs = static_cast<unsigned>(N);
     }
     else if (!std::strcmp(Arg, "--k")) {
       if (++I >= argc) {
         std::cerr << "error: --k needs a value\n";
         return false;
       }
-      Opts.K = static_cast<unsigned>(std::atoi(argv[I]));
-      if (Opts.K < 1) {
-        std::cerr << "error: --k must be at least 1\n";
+      if (!parseCount("--k", argv[I], Opts.K))
+        return false;
+    }
+    else if (!std::strcmp(Arg, "--serve")) {
+      if (++I >= argc) {
+        std::cerr << "error: --serve needs a socket path\n";
         return false;
       }
+      Opts.ServePath = argv[I];
+    }
+    else if (!std::strcmp(Arg, "--serve-sessions")) {
+      if (++I >= argc) {
+        std::cerr << "error: --serve-sessions needs a value\n";
+        return false;
+      }
+      if (!parseCount("--serve-sessions", argv[I], Opts.ServeSessions))
+        return false;
+    }
+    else if (!std::strcmp(Arg, "--connect")) {
+      if (++I >= argc) {
+        std::cerr << "error: --connect needs a socket path\n";
+        return false;
+      }
+      Opts.ConnectPath = argv[I];
+      // Everything after the socket is the request line, verbatim — the
+      // daemon parses it, so its diagnostics and the CLI's agree.
+      while (++I < argc)
+        Opts.ConnectWords.push_back(argv[I]);
     } else if (!std::strcmp(Arg, "--help") || !std::strcmp(Arg, "-h")) {
       printUsage();
       std::exit(0);
@@ -248,8 +305,39 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       Opts.Files.push_back(Arg);
     }
   }
+  // --serve is a resident mode: the one-shot sweeps cannot ride along,
+  // and each has its own story (mirroring the --spec-file/--check-spec
+  // pairing diagnostics).
+  if (!Opts.ServePath.empty()) {
+    if (!Opts.BatchDir.empty()) {
+      std::cerr << "error: --serve cannot run a --batch sweep; point "
+                   "clients at the daemon instead\n";
+      return false;
+    }
+    if (Opts.Resume) {
+      std::cerr << "error: --resume resumes a --batch-log; a --serve "
+                   "daemon keeps no batch log\n";
+      return false;
+    }
+    if (!Opts.ExportCorpusDir.empty()) {
+      std::cerr << "error: --export-corpus is a one-shot mode; run it "
+                   "without --serve\n";
+      return false;
+    }
+    if (!Opts.ConnectPath.empty()) {
+      std::cerr << "error: --serve and --connect are different ends of "
+                   "the socket; pick one\n";
+      return false;
+    }
+    if (!Opts.Files.empty()) {
+      std::cerr << "error: --serve takes no input files; clients name "
+                   "them per request\n";
+      return false;
+    }
+  }
   if (Opts.Files.empty() && Opts.ExportCorpusDir.empty() &&
-      Opts.BatchDir.empty() && !Opts.CheckSpec) {
+      Opts.BatchDir.empty() && !Opts.CheckSpec && Opts.ServePath.empty() &&
+      Opts.ConnectPath.empty()) {
     printUsage();
     return false;
   }
@@ -334,10 +422,7 @@ int runDevaBaseline(pipeline::AnalysisManager &AM) {
 int analyzeFile(const std::string &Path, const CliOptions &Opts) {
   frontend::ParseResult Parsed = frontend::parseProgramFile(Path);
   if (!Parsed.Success) {
-    DiagnosticEngine Diags(Parsed.Prog->sourceManager());
-    for (const Diagnostic &D : Parsed.Diags)
-      std::cerr << Parsed.Prog->sourceManager().render(D.Loc) << ": "
-                << D.Message << "\n";
+    std::cerr << report::renderParseDiagnostics(*Parsed.Prog, Parsed.Diags);
     return 2;
   }
   const ir::Program &P = *Parsed.Prog;
@@ -364,19 +449,7 @@ int analyzeFile(const std::string &Path, const CliOptions &Opts) {
     return runDevaBaseline(*AM);
   if (Opts.Lint) {
     report::LintResult L = report::runLintChecks(*AM);
-    if (Opts.Json) {
-      std::cout << report::renderLintJson(P, L);
-    } else {
-      for (const analysis::LintFinding &F : L.Nullness)
-        std::cout << report::renderLintFinding(P, F) << "\n";
-      for (const analysis::TypestateFinding &F : L.Typestate)
-        std::cout << report::renderTypestateFinding(P, F, Opts.Explain)
-                  << "\n";
-      std::cout << P.name() << ": "
-                << (L.Nullness.size() + L.Typestate.size())
-                << " lint finding(s) (" << L.Nullness.size()
-                << " nullness, " << L.Typestate.size() << " typestate)\n";
-    }
+    report::renderLintReport(P, L, Opts.Json, Opts.Explain, std::cout);
     // Exit 6 is reserved for lint findings so CI can tell "the linters
     // fired" from "the UAF pipeline found warnings" (1) or "bad input"
     // (2); see the exit-code table in README.md.
@@ -435,43 +508,41 @@ int analyzeFile(const std::string &Path, const CliOptions &Opts) {
     std::cout << "\n";
   }
 
-  std::cout << P.name() << ": " << report::summaryLine(R) << "\n";
-
-  if (Opts.Rank) {
-    std::vector<report::RankedWarning> Ranked = report::rankWarnings(R);
-    std::cout << "\nreview order (most suspicious first):\n";
-    for (size_t I = 0; I < Ranked.size(); ++I)
-      std::cout << "  "
-                << report::renderRankedLine(R, Ranked[I], I + 1) << "\n";
-  }
-
+  // The standard text report flows through the shared renderer — the
+  // serve daemon calls the same function, so CLI and daemon bytes agree
+  // by construction. The driver-only flags (--rank's review order,
+  // --validate's schedule exploration — interp stays out of the report
+  // layer) ride along as hooks.
   interp::ScheduleExplorer Explorer(P);
   unsigned Confirmed = 0;
-  for (size_t I = 0; I < R.warnings().size(); ++I) {
-    bool Remaining = R.Pipeline.Verdicts[I].StageReached ==
-                     filters::WarningVerdict::Stage::Remaining;
-    if (!Remaining && !Opts.ShowAll)
-      continue;
-    std::cout << "\n" << (Remaining ? "[remaining] " : "[filtered]  ")
-              << report::renderWarning(R, I, P);
-    if (Opts.Explain)
-      std::cout << report::renderExplanation(R, I);
-    if (Remaining && Opts.Validate) {
+  report::StandardReportHooks Hooks;
+  if (Opts.Rank)
+    Hooks.AfterSummary = [&R](std::ostream &OS) {
+      std::vector<report::RankedWarning> Ranked = report::rankWarnings(R);
+      OS << "\nreview order (most suspicious first):\n";
+      for (size_t I = 0; I < Ranked.size(); ++I)
+        OS << "  " << report::renderRankedLine(R, Ranked[I], I + 1) << "\n";
+    };
+  if (Opts.Validate)
+    Hooks.PerWarning = [&](std::ostream &OS, size_t I, bool Remaining) {
+      if (!Remaining)
+        return;
       const race::UafWarning &W = R.warnings()[I];
       interp::WitnessSchedule Schedule;
       if (Explorer.tryWitness(W.Use, W.Free, 60, &Schedule)) {
-        std::cout << "  validation: CONFIRMED harmful — crashing "
-                     "schedule:\n";
+        OS << "  validation: CONFIRMED harmful — crashing "
+              "schedule:\n";
         for (const std::string &Step : Schedule.Activations)
-          std::cout << "    " << Step << "\n";
-        std::cout << "    *** NullPointerException at: "
-                  << Schedule.CrashSite << "\n";
+          OS << "    " << Step << "\n";
+        OS << "    *** NullPointerException at: " << Schedule.CrashSite
+           << "\n";
         ++Confirmed;
       } else {
-        std::cout << "  validation: no crashing schedule found\n";
+        OS << "  validation: no crashing schedule found\n";
       }
-    }
-  }
+    };
+  report::renderStandardReport(R, P, Opts.ShowAll, Opts.Explain, std::cout,
+                               &Hooks);
   if (Opts.Validate)
     std::cout << "\n" << Confirmed << " warning(s) confirmed harmful\n";
   return R.Pipeline.RemainingAfterUnsound == 0 ? 0 : 1;
@@ -485,6 +556,19 @@ int main(int argc, char **argv) {
     return 2;
   if (Opts.CheckSpec)
     return checkSpec(Opts.SpecFile);
+  if (!Opts.ConnectPath.empty())
+    return serve::runClient(Opts.ConnectPath,
+                            join(Opts.ConnectWords, " "), std::cout,
+                            std::cerr);
+  if (!Opts.ServePath.empty()) {
+    serve::ServerOptions SOpts;
+    SOpts.SocketPath = Opts.ServePath;
+    SOpts.Jobs = Opts.Jobs;
+    SOpts.MaxSessions = Opts.ServeSessions;
+    SOpts.CacheDir = Opts.CacheDir;
+    SOpts.Log = &std::cerr;
+    return serve::runServe(SOpts);
+  }
   if (!Opts.ExportCorpusDir.empty())
     return exportCorpus(Opts.ExportCorpusDir);
   if (!Opts.BatchDir.empty()) {

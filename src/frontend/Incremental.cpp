@@ -1,0 +1,298 @@
+//===- frontend/Incremental.cpp - Re-parse reconciliation ------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Incremental.h"
+
+#include "frontend/Frontend.h"
+#include "ir/Printer.h"
+#include "ir/Stmt.h"
+#include "support/Casting.h"
+
+#include <unordered_map>
+
+using namespace nadroid;
+using namespace nadroid::frontend;
+
+const char *frontend::editKindName(EditKind K) {
+  switch (K) {
+  case EditKind::FormattingOnly:
+    return "formatting-only";
+  case EditKind::BodiesChanged:
+    return "bodies-changed";
+  case EditKind::Structural:
+    return "structural";
+  }
+  return "structural";
+}
+
+namespace {
+
+/// True when the two programs share a declaration skeleton: same classes
+/// in the same order with the same kinds/supers/outers, same fields and
+/// method signatures, same manifest. Bodies are NOT compared — that is
+/// the per-method diff's job. The app name is derived from the file name
+/// (both sides parsed the same path), so it always matches.
+bool sameSkeleton(const ir::Program &A, const ir::Program &B) {
+  auto SameName = [](const auto *X, const auto *Y) {
+    if (!X || !Y)
+      return X == nullptr && Y == nullptr;
+    return X->name() == Y->name();
+  };
+  if (A.name() != B.name())
+    return false;
+  if (A.manifestComponents().size() != B.manifestComponents().size())
+    return false;
+  for (size_t I = 0; I < A.manifestComponents().size(); ++I)
+    if (!SameName(A.manifestComponents()[I], B.manifestComponents()[I]))
+      return false;
+  if (A.classes().size() != B.classes().size())
+    return false;
+  for (size_t CI = 0; CI < A.classes().size(); ++CI) {
+    const ir::Clazz &Ca = *A.classes()[CI];
+    const ir::Clazz &Cb = *B.classes()[CI];
+    if (Ca.name() != Cb.name() || Ca.kind() != Cb.kind() ||
+        !SameName(Ca.superClass(), Cb.superClass()) ||
+        !SameName(Ca.outerClass(), Cb.outerClass()))
+      return false;
+    if (Ca.fields().size() != Cb.fields().size())
+      return false;
+    for (size_t FI = 0; FI < Ca.fields().size(); ++FI) {
+      const ir::Field &Fa = *Ca.fields()[FI];
+      const ir::Field &Fb = *Cb.fields()[FI];
+      if (Fa.name() != Fb.name() ||
+          !SameName(Fa.declaredType(), Fb.declaredType()))
+        return false;
+    }
+    if (Ca.methods().size() != Cb.methods().size())
+      return false;
+    for (size_t MI = 0; MI < Ca.methods().size(); ++MI) {
+      const ir::Method &Ma = *Ca.methods()[MI];
+      const ir::Method &Mb = *Cb.methods()[MI];
+      if (Ma.name() != Mb.name() ||
+          Ma.params().size() != Mb.params().size())
+        return false;
+      for (size_t PI = 0; PI < Ma.params().size(); ++PI)
+        if (Ma.params()[PI]->name() != Mb.params()[PI]->name())
+          return false;
+    }
+  }
+  return true;
+}
+
+/// Clones the fresh method's body into the (reset) resident method,
+/// resolving operands by name onto resident declarations. Ids and
+/// locations are copied verbatim from the fresh statements — the fresh
+/// program IS a one-shot parse, so its numbering is the ground truth the
+/// regrafted program must reproduce.
+class BodyGrafter {
+public:
+  BodyGrafter(ir::Program &RP, ir::Method &RM, const ir::Method &FM)
+      : RP(RP), RM(RM) {
+    LocalMap.emplace(FM.thisLocal(), RM.thisLocal());
+    for (size_t I = 0; I < FM.params().size(); ++I)
+      LocalMap.emplace(FM.params()[I], RM.params()[I]);
+  }
+
+  void graft(const ir::Block &From, ir::Block &To) {
+    for (const auto &S : From.stmts())
+      To.append(clone(*S));
+  }
+
+private:
+  ir::Program &RP;
+  ir::Method &RM;
+  std::unordered_map<const ir::Local *, ir::Local *> LocalMap;
+
+  /// Body locals are created on first mention in lexical operand order —
+  /// the same order the parser creates them — so the resident and fresh
+  /// Locals vectors line up for the id-copy pass that follows.
+  ir::Local *local(const ir::Local *L) {
+    if (!L)
+      return nullptr;
+    auto It = LocalMap.find(L);
+    if (It != LocalMap.end())
+      return It->second;
+    ir::Local *R = RM.getOrCreateLocal(L->name());
+    LocalMap.emplace(L, R);
+    return R;
+  }
+
+  ir::Clazz *clazz(const ir::Clazz *C) {
+    return C ? RP.findClass(C->name()) : nullptr;
+  }
+
+  ir::Field *field(const ir::Field *F) {
+    ir::Clazz *Owner = RP.findClass(F->parent()->name());
+    return Owner ? Owner->findField(F->name()) : nullptr;
+  }
+
+  std::unique_ptr<ir::Stmt> clone(const ir::Stmt &S) {
+    const unsigned Id = S.id();
+    const SourceLoc Loc = S.loc();
+    switch (S.kind()) {
+    case ir::Stmt::Kind::New: {
+      const auto *N = cast<ir::NewStmt>(&S);
+      return std::make_unique<ir::NewStmt>(&RM, Id, Loc, local(N->dst()),
+                                           clazz(N->allocClass()));
+    }
+    case ir::Stmt::Kind::Load: {
+      const auto *L = cast<ir::LoadStmt>(&S);
+      ir::Local *Dst = local(L->dst());
+      ir::Local *Base = local(L->base());
+      return std::make_unique<ir::LoadStmt>(&RM, Id, Loc, Dst, Base,
+                                            field(L->field()));
+    }
+    case ir::Stmt::Kind::Store: {
+      const auto *St = cast<ir::StoreStmt>(&S);
+      ir::Local *Base = local(St->base());
+      ir::Field *F = field(St->field());
+      return std::make_unique<ir::StoreStmt>(&RM, Id, Loc, Base, F,
+                                             local(St->src()));
+    }
+    case ir::Stmt::Kind::Copy: {
+      const auto *C = cast<ir::CopyStmt>(&S);
+      ir::Local *Dst = local(C->dst());
+      return std::make_unique<ir::CopyStmt>(&RM, Id, Loc, Dst,
+                                            local(C->src()));
+    }
+    case ir::Stmt::Kind::Call: {
+      const auto *C = cast<ir::CallStmt>(&S);
+      ir::Local *Dst = local(C->dst());
+      ir::Local *Recv = local(C->recv());
+      std::vector<ir::Local *> Args;
+      Args.reserve(C->args().size());
+      for (const ir::Local *A : C->args())
+        Args.push_back(local(A));
+      return std::make_unique<ir::CallStmt>(&RM, Id, Loc, Dst, Recv,
+                                            C->callee(), std::move(Args));
+    }
+    case ir::Stmt::Kind::Return: {
+      const auto *R = cast<ir::ReturnStmt>(&S);
+      return std::make_unique<ir::ReturnStmt>(&RM, Id, Loc, local(R->src()));
+    }
+    case ir::Stmt::Kind::If: {
+      const auto *If = cast<ir::IfStmt>(&S);
+      auto Cloned = std::make_unique<ir::IfStmt>(&RM, Id, Loc,
+                                                 local(If->cond()),
+                                                 If->test());
+      graft(If->thenBlock(), Cloned->thenBlock());
+      graft(If->elseBlock(), Cloned->elseBlock());
+      return Cloned;
+    }
+    case ir::Stmt::Kind::Sync: {
+      const auto *Sy = cast<ir::SyncStmt>(&S);
+      auto Cloned =
+          std::make_unique<ir::SyncStmt>(&RM, Id, Loc, local(Sy->lock()));
+      graft(Sy->body(), Cloned->body());
+      return Cloned;
+    }
+    }
+    return nullptr;
+  }
+};
+
+/// Copies ids and locations from \p From onto \p To, statement by
+/// statement. Returns false when the shapes disagree (which demotes the
+/// whole edit to Structural).
+bool rebaseBlock(ir::Block &To, const ir::Block &From) {
+  if (To.size() != From.size())
+    return false;
+  for (size_t I = 0; I < To.size(); ++I) {
+    ir::Stmt &T = *To.stmts()[I];
+    const ir::Stmt &F = *From.stmts()[I];
+    if (T.kind() != F.kind())
+      return false;
+    T.setId(F.id());
+    T.setLoc(F.loc());
+    if (T.kind() == ir::Stmt::Kind::If) {
+      auto &Ti = *cast<ir::IfStmt>(&T);
+      const auto &Fi = *cast<ir::IfStmt>(&F);
+      if (!rebaseBlock(Ti.thenBlock(), Fi.thenBlock()) ||
+          !rebaseBlock(Ti.elseBlock(), Fi.elseBlock()))
+        return false;
+    } else if (T.kind() == ir::Stmt::Kind::Sync) {
+      auto &Ts = *cast<ir::SyncStmt>(&T);
+      const auto &Fs = *cast<ir::SyncStmt>(&F);
+      if (!rebaseBlock(Ts.body(), Fs.body()))
+        return false;
+    }
+  }
+  return true;
+}
+
+/// Rebases every declaration and statement of \p R onto \p F: locations
+/// everywhere, ids where they are per-parse (statements and locals), and
+/// the program's id allocators. Requires identical shapes — a false
+/// return means reconciliation must fall back to a full swap.
+bool rebaseProgram(ir::Program &R, const ir::Program &F) {
+  for (size_t CI = 0; CI < R.classes().size(); ++CI) {
+    ir::Clazz &Rc = *R.classes()[CI];
+    const ir::Clazz &Fc = *F.classes()[CI];
+    Rc.setLoc(Fc.loc());
+    for (size_t FI = 0; FI < Rc.fields().size(); ++FI)
+      Rc.fields()[FI]->setLoc(Fc.fields()[FI]->loc());
+    for (size_t MI = 0; MI < Rc.methods().size(); ++MI) {
+      ir::Method &Rm = *Rc.methods()[MI];
+      const ir::Method &Fm = *Fc.methods()[MI];
+      Rm.setLoc(Fm.loc());
+      if (Rm.locals().size() != Fm.locals().size())
+        return false;
+      for (size_t LI = 0; LI < Rm.locals().size(); ++LI) {
+        if (Rm.locals()[LI]->name() != Fm.locals()[LI]->name())
+          return false;
+        Rm.locals()[LI]->setId(Fm.locals()[LI]->id());
+      }
+      if (!rebaseBlock(Rm.body(), Fm.body()))
+        return false;
+    }
+  }
+  R.setIdBounds(F.stmtIdBound(), F.localIdBound(), F.fieldIdBound(),
+                F.declIdBound());
+  return true;
+}
+
+} // namespace
+
+IncrementalEdit frontend::applyIncrementalEdit(ir::Program &Resident,
+                                               const ir::Program &Fresh) {
+  IncrementalEdit Edit;
+  if (!sameSkeleton(Resident, Fresh))
+    return Edit; // Structural
+
+  // Which bodies did the edit touch? The printed form is the canonical
+  // body identity — it ignores ids, locations and source formatting.
+  std::vector<std::pair<ir::Method *, const ir::Method *>> Changed;
+  for (size_t CI = 0; CI < Resident.classes().size(); ++CI) {
+    ir::Clazz &Rc = *Resident.classes()[CI];
+    const ir::Clazz &Fc = *Fresh.classes()[CI];
+    for (size_t MI = 0; MI < Rc.methods().size(); ++MI) {
+      ir::Method *Rm = Rc.methods()[MI].get();
+      const ir::Method *Fm = Fc.methods()[MI].get();
+      if (ir::methodToString(*Rm) != ir::methodToString(*Fm))
+        Changed.emplace_back(Rm, Fm);
+    }
+  }
+
+  for (auto &[Rm, Fm] : Changed) {
+    Rm->resetBodyForReparse();
+    BodyGrafter(Resident, *Rm, *Fm).graft(Fm->body(), Rm->body());
+  }
+
+  if (!rebaseProgram(Resident, Fresh))
+    return Edit; // Structural — shapes diverged mid-rebase
+
+  // The identity backstop: a regrafted program that does not print
+  // byte-for-byte like the fresh parse is thrown away, never served.
+  if (!Changed.empty() &&
+      canonicalProgramBytes(Resident) != canonicalProgramBytes(Fresh))
+    return Edit; // Structural
+
+  Edit.Kind = Changed.empty() ? EditKind::FormattingOnly
+                              : EditKind::BodiesChanged;
+  for (auto &Pair : Changed)
+    Edit.ChangedMethods.push_back(Pair.first);
+  return Edit;
+}

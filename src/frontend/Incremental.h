@@ -1,0 +1,76 @@
+//===- frontend/Incremental.h - Re-parse reconciliation ---------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reconciles a *resident* parsed program (held hot by the serve daemon's
+/// session table, with a live AnalysisManager hanging off it) with a
+/// *fresh* parse of the edited file, so re-analysis only pays for what
+/// the edit actually changed:
+///
+///  * formatting-only edit — the two programs print identically. Every
+///    declaration and statement keeps its object identity; only source
+///    locations are rebased onto the fresh parse. No analysis needs to
+///    rebuild.
+///
+///  * method-body edit — the declaration skeleton (classes, fields,
+///    method signatures, manifest) is unchanged but some bodies differ.
+///    Changed bodies are regrafted: the resident method's body is reset
+///    and the fresh body cloned into it, mapping operands by name onto
+///    resident declarations. Unchanged methods keep their statements, so
+///    the per-method CFG/guard/alloc/consumer caches stay valid for them
+///    (the manager evicts just the regrafted methods' entries).
+///
+///  * structural edit — anything else. The caller swaps in the fresh
+///    program and a cold AnalysisManager.
+///
+/// Identity contract: after reconciliation the resident program must be
+/// indistinguishable from the fresh parse — statement and local ids are
+/// copied node-by-node (report ordering sorts on them and they shift
+/// program-wide when an edit changes statement counts), id allocators
+/// are realigned, and the result is verified by comparing canonical
+/// printed bytes. Any discrepancy demotes the edit to Structural, so the
+/// fast path can never produce output that differs from a one-shot
+/// parse. Byte-identical daemon responses fall out of this contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_FRONTEND_INCREMENTAL_H
+#define NADROID_FRONTEND_INCREMENTAL_H
+
+#include "ir/Ir.h"
+
+#include <vector>
+
+namespace nadroid::frontend {
+
+/// What an edit turned out to be, after reconciliation.
+enum class EditKind {
+  FormattingOnly, ///< locations rebased; no statement changed
+  BodiesChanged,  ///< ChangedMethods regrafted; the rest untouched
+  Structural,     ///< reconciliation refused — swap in the fresh parse
+};
+
+const char *editKindName(EditKind K);
+
+struct IncrementalEdit {
+  EditKind Kind = EditKind::Structural;
+  /// Resident methods whose bodies were regrafted (BodiesChanged only).
+  /// These are the methods whose per-method cache entries are stale.
+  std::vector<const ir::Method *> ChangedMethods;
+};
+
+/// Reconciles \p Resident with \p Fresh (a just-parsed copy of the same
+/// application's edited source). On FormattingOnly/BodiesChanged returns
+/// with \p Resident semantically and byte-identically equal to \p Fresh;
+/// on Structural \p Resident may be partially rebased and must be
+/// discarded in favor of \p Fresh. \p Fresh is never mutated and is not
+/// retained — its ids and locations are copied, not referenced.
+IncrementalEdit applyIncrementalEdit(ir::Program &Resident,
+                                     const ir::Program &Fresh);
+
+} // namespace nadroid::frontend
+
+#endif // NADROID_FRONTEND_INCREMENTAL_H

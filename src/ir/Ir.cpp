@@ -115,6 +115,19 @@ Local *Method::makeTemp() {
   return createLocal("$t" + std::to_string(NextTemp++));
 }
 
+void Method::resetBodyForReparse() {
+  Body = std::make_unique<Block>();
+  std::vector<std::unique_ptr<Local>> Kept;
+  for (auto &L : Locals) {
+    bool IsParam =
+        std::find(Params.begin(), Params.end(), L.get()) != Params.end();
+    if (L.get() == This || IsParam)
+      Kept.push_back(std::move(L));
+  }
+  Locals = std::move(Kept);
+  NextTemp = 0;
+}
+
 Local *Method::findLocal(const std::string &LocalName) const {
   for (const auto &L : Locals)
     if (L->name() == LocalName)

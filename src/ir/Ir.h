@@ -75,6 +75,9 @@ public:
   /// Program-unique field id.
   unsigned id() const { return Id; }
   SourceLoc loc() const { return Loc; }
+  /// Rebases the declaration onto a fresh parse of an edited file
+  /// (frontend::applyIncrementalEdit) — the only sanctioned mutation.
+  void setLoc(SourceLoc L) { Loc = L; }
 
   /// Optional declared (static) type. Loads from a typed field let the
   /// frontend and the syntactic analyses resolve members on the loaded
@@ -105,6 +108,10 @@ public:
   /// Program-unique local id.
   unsigned id() const { return Id; }
   bool isThis() const { return Name == "this"; }
+  /// Realigns the id with the one a fresh one-shot parse assigns — ids
+  /// shift program-wide when an edit adds or removes locals, and report
+  /// ordering is id-driven (frontend::applyIncrementalEdit only).
+  void setId(unsigned NewId) { Id = NewId; }
 
 private:
   Method *Parent;
@@ -122,6 +129,8 @@ public:
   const std::string &name() const { return Name; }
   unsigned id() const { return Id; }
   SourceLoc loc() const { return Loc; }
+  /// See Field::setLoc.
+  void setLoc(SourceLoc L) { Loc = L; }
 
   /// "Owner.method" for reports.
   std::string qualifiedName() const;
@@ -143,6 +152,13 @@ public:
 
   Block &body() { return *Body; }
   const Block &body() const { return *Body; }
+
+  /// Discards the body, every body-only local and the temp counter,
+  /// keeping `this` and the parameters (other code holds no pointers
+  /// into a method the incremental frontend is about to regraft — it
+  /// invalidates every statement-derived analysis first). Afterwards the
+  /// method accepts a fresh body exactly as if just declared.
+  void resetBodyForReparse();
 
 private:
   Clazz *Parent;
@@ -171,6 +187,8 @@ public:
   ClassKind kind() const { return Kind; }
   unsigned id() const { return Id; }
   SourceLoc loc() const { return Loc; }
+  /// See Field::setLoc.
+  void setLoc(SourceLoc L) { Loc = L; }
 
   Clazz *superClass() const { return Super; }
   void setSuperClass(Clazz *S) { Super = S; }
@@ -242,6 +260,22 @@ public:
   unsigned nextLocalId() { return NextLocalId++; }
   unsigned nextFieldId() { return NextFieldId++; }
   unsigned nextDeclId() { return NextDeclId++; }
+
+  /// The next ids the allocators would hand out — together with
+  /// setIdBounds this lets the incremental frontend leave a regrafted
+  /// program's allocators exactly where a fresh one-shot parse would,
+  /// so ids stay dense and report ordering stays id-faithful.
+  unsigned stmtIdBound() const { return NextStmtId; }
+  unsigned localIdBound() const { return NextLocalId; }
+  unsigned fieldIdBound() const { return NextFieldId; }
+  unsigned declIdBound() const { return NextDeclId; }
+  void setIdBounds(unsigned StmtB, unsigned LocalB, unsigned FieldB,
+                   unsigned DeclB) {
+    NextStmtId = StmtB;
+    NextLocalId = LocalB;
+    NextFieldId = FieldB;
+    NextDeclId = DeclB;
+  }
 
   /// Total number of statements (recursive); AIR's "LOC" proxy in Table 1.
   unsigned statementCount() const;

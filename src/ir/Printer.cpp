@@ -172,6 +172,16 @@ void ir::printStmt(const Stmt &S, std::ostream &OS) {
   PrinterImpl(OS).printStmt(S, 0);
 }
 
+void ir::printMethod(const Method &M, std::ostream &OS) {
+  PrinterImpl(OS).printMethod(M);
+}
+
+std::string ir::methodToString(const Method &M) {
+  std::ostringstream OS;
+  printMethod(M, OS);
+  return OS.str();
+}
+
 std::string ir::stmtToString(const Stmt &S) {
   std::ostringstream OS;
   printStmt(S, OS);

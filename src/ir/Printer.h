@@ -33,6 +33,14 @@ void printStmt(const Stmt &S, std::ostream &OS);
 /// Renders one statement to a string.
 std::string stmtToString(const Stmt &S);
 
+/// Prints one method exactly as printProgram renders it inside its class
+/// ("  method name(params) { ... }"). The incremental frontend compares
+/// these renderings to find which bodies an edit touched.
+void printMethod(const Method &M, std::ostream &OS);
+
+/// Renders one method to a string.
+std::string methodToString(const Method &M);
+
 } // namespace nadroid::ir
 
 #endif // NADROID_IR_PRINTER_H

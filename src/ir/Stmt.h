@@ -77,6 +77,14 @@ public:
   /// The method whose body (transitively) contains this statement.
   Method *parentMethod() const { return Parent; }
 
+  /// Rebase hooks for frontend::applyIncrementalEdit, which realigns a
+  /// resident program with a fresh parse of the edited file: locations
+  /// shift on any formatting edit, and ids shift program-wide when a
+  /// body edit changes statement counts (analyses key and sort on them).
+  /// Nothing else may mutate a statement after construction.
+  void setId(unsigned NewId) { Id = NewId; }
+  void setLoc(SourceLoc L) { Loc = L; }
+
   virtual ~Stmt() = default;
 
 protected:

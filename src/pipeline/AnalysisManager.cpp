@@ -303,6 +303,45 @@ void AnalysisManager::setOptions(const PipelineOptions &New) {
   Opts = New;
 }
 
+void AnalysisManager::invalidateBodyEdit(
+    const std::vector<const ir::Method *> &ChangedMethods) {
+  assert(BuildStack.empty() && "cannot invalidate mid-build");
+  // Every whole-program analysis reads statements, so every one goes.
+  // Observed dependency edges would cascade most of these from the first
+  // few, but an edge only exists where some build actually exercised it;
+  // the explicit list cannot be defeated by an unusually lazy request
+  // history.
+  invalidate<ApiIndexPass>(); // classifies the bodies' CallStmts
+  invalidate<ThreadForestPass>();
+  invalidate<HbQueryPass>();
+  invalidate<PointsToPass>();
+  invalidate<ThreadReachPass>();
+  invalidate<DetectionPass>();
+  invalidate<NullnessPass>();
+  invalidate<LocksetPass>();
+  invalidate<CancelReachPass>();
+  invalidate<EscapePass>();
+  invalidate<HbRefuterPass>();
+  invalidate<HistoryRefuterPass>();
+  invalidate<TypestatePass>();
+  invalidate<FilterContextPass>();
+  invalidate<FilterEnginePass>();
+  invalidate<VerdictsPass>();
+  // What survives: the per-method caches. Unchanged methods kept their
+  // statement objects across the regraft, so only the changed methods'
+  // entries describe dead statements — evict exactly those.
+  for (const ir::Method *M : ChangedMethods) {
+    if (auto *C = peek<CfgCachePass>())
+      C->evict(*M);
+    if (auto *G = peek<GuardCachePass>())
+      G->evict(*M);
+    if (auto *A = peek<AllocFlowCachePass>())
+      A->evict(*M);
+    if (auto *U = peek<ConsumersCachePass>())
+      U->evict(*M);
+  }
+}
+
 std::vector<PassStat> AnalysisManager::passStats() const {
   std::vector<PassStat> Rows;
   for (const auto &[Key, E] : Cache) {

@@ -294,6 +294,16 @@ public:
   /// transitive dependents) each changed field feeds.
   void setOptions(const PipelineOptions &New);
 
+  /// The invalidation entry point for the incremental frontend: the
+  /// program's statements changed — \p ChangedMethods were regrafted,
+  /// everything else kept its statement objects. Drops every whole-
+  /// program analysis (they all read statements), but keeps the four
+  /// per-method caches, evicting only the regrafted methods' entries —
+  /// this is what makes a one-method edit rebuild strictly fewer passes
+  /// than a cold analyze. Accounting survives, so passStats() deltas
+  /// show exactly which passes the re-analysis then rebuilds.
+  void invalidateBodyEdit(const std::vector<const ir::Method *> &ChangedMethods);
+
   /// Attaches a pool the VerdictsPass fans its per-warning loop over.
   /// Not owned; pass nullptr to detach. Results are identical either way.
   void setThreadPool(support::ThreadPool *Pool) { Pool_ = Pool; }
@@ -444,6 +454,16 @@ private:
     /// subtracted to get exclusive self-time.
     double ChildSeconds = 0;
   };
+
+  /// The materialized result for \p PassT, or nullptr — never builds and
+  /// never counts as a hit (eviction plumbing, not a request).
+  template <typename PassT> typename PassT::Result *peek() {
+    auto It = Cache.find(std::type_index(typeid(PassT)));
+    if (It == Cache.end() || !It->second.Data)
+      return nullptr;
+    return static_cast<Slot<typename PassT::Result> *>(It->second.Data.get())
+        ->Value.get();
+  }
 
   CacheEntry &slot(std::type_index Key, const char *Name);
   void noteHit(CacheEntry &E);

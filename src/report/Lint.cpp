@@ -138,3 +138,18 @@ std::string report::renderLintJson(const ir::Program &P, const LintResult &L) {
   OS << "}\n";
   return OS.str();
 }
+
+void report::renderLintReport(const ir::Program &P, const LintResult &L,
+                              bool Json, bool Explain, std::ostream &OS) {
+  if (Json) {
+    OS << renderLintJson(P, L);
+    return;
+  }
+  for (const analysis::LintFinding &F : L.Nullness)
+    OS << renderLintFinding(P, F) << "\n";
+  for (const analysis::TypestateFinding &F : L.Typestate)
+    OS << renderTypestateFinding(P, F, Explain) << "\n";
+  OS << P.name() << ": " << (L.Nullness.size() + L.Typestate.size())
+     << " lint finding(s) (" << L.Nullness.size() << " nullness, "
+     << L.Typestate.size() << " typestate)\n";
+}

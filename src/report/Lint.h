@@ -35,6 +35,7 @@
 #include "ir/Ir.h"
 #include "pipeline/AnalysisManager.h"
 
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -81,6 +82,13 @@ std::string renderTypestateFinding(const ir::Program &P,
 /// with "nullness" and "typestate" finding arrays, counts, and
 /// per-family timings.
 std::string renderLintJson(const ir::Program &P, const LintResult &L);
+
+/// The complete `--lint` stdout: the JSON object with \p Json, else one
+/// diagnostic per finding plus the count line. The one-shot CLI and the
+/// serve daemon both render through this, which is what makes their
+/// lint responses byte-identical.
+void renderLintReport(const ir::Program &P, const LintResult &L, bool Json,
+                      bool Explain, std::ostream &OS);
 
 } // namespace nadroid::report
 

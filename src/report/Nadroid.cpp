@@ -7,6 +7,7 @@
 #include "report/Nadroid.h"
 
 #include "ir/Printer.h"
+#include "report/Explain.h"
 #include "threadify/Threadifier.h"
 
 #include <algorithm>
@@ -200,5 +201,34 @@ std::string report::summaryLine(const NadroidResult &R) {
   OS << R.warnings().size() << " potential UAFs, "
      << R.Pipeline.RemainingAfterSound << " after sound filters, "
      << R.Pipeline.RemainingAfterUnsound << " after unsound filters";
+  return OS.str();
+}
+
+void report::renderStandardReport(const NadroidResult &R,
+                                  const ir::Program &P, bool ShowAll,
+                                  bool Explain, std::ostream &OS,
+                                  const StandardReportHooks *Hooks) {
+  OS << P.name() << ": " << summaryLine(R) << "\n";
+  if (Hooks && Hooks->AfterSummary)
+    Hooks->AfterSummary(OS);
+  for (size_t I = 0; I < R.warnings().size(); ++I) {
+    bool Remaining = R.Pipeline.Verdicts[I].StageReached ==
+                     filters::WarningVerdict::Stage::Remaining;
+    if (!Remaining && !ShowAll)
+      continue;
+    OS << "\n" << (Remaining ? "[remaining] " : "[filtered]  ")
+       << renderWarning(R, I, P);
+    if (Explain)
+      OS << renderExplanation(R, I);
+    if (Hooks && Hooks->PerWarning)
+      Hooks->PerWarning(OS, I, Remaining);
+  }
+}
+
+std::string report::renderParseDiagnostics(const ir::Program &P,
+                                           const std::vector<Diagnostic> &Diags) {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags)
+    OS << P.sourceManager().render(D.Loc) << ": " << D.Message << "\n";
   return OS.str();
 }

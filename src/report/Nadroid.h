@@ -29,9 +29,12 @@
 #include "pipeline/AnalysisManager.h"
 #include "race/Detector.h"
 #include "report/Classify.h"
+#include "support/Diagnostics.h"
 
 #include <array>
+#include <functional>
 #include <memory>
+#include <ostream>
 
 namespace nadroid::report {
 
@@ -109,6 +112,31 @@ std::string renderCallPath(const std::vector<const ir::Method *> &Path);
 
 /// One-line summary: "N potential, S after sound, U after unsound".
 std::string summaryLine(const NadroidResult &R);
+
+/// Injection points for the CLI's extra flags, so the one-shot driver
+/// and the serve daemon render through one function and their default
+/// output is byte-identical by construction. AfterSummary runs after
+/// the summary line (--rank's review order); PerWarning after each
+/// warning block (--validate's schedule exploration). Both are
+/// optional.
+struct StandardReportHooks {
+  std::function<void(std::ostream &OS)> AfterSummary;
+  std::function<void(std::ostream &OS, size_t Index, bool Remaining)>
+      PerWarning;
+};
+
+/// The standard `nadroid [--all] [--explain] app.air` text report:
+/// summary line, then a block per (surviving, or with \p ShowAll every)
+/// warning, each optionally followed by its prose explanation.
+void renderStandardReport(const NadroidResult &R, const ir::Program &P,
+                          bool ShowAll, bool Explain, std::ostream &OS,
+                          const StandardReportHooks *Hooks = nullptr);
+
+/// Renders parse diagnostics exactly as the one-shot CLI prints them to
+/// stderr ("file:line:col: message" per line) — shared with the serve
+/// daemon, whose error payloads must match the CLI byte-for-byte.
+std::string renderParseDiagnostics(const ir::Program &P,
+                                   const std::vector<Diagnostic> &Diags);
 
 } // namespace nadroid::report
 

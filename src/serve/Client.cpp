@@ -1,0 +1,82 @@
+//===- serve/Client.cpp - The nadroid --connect client --------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+//
+// `nadroid --connect <socket> <request words...>`: one request, one
+// response, exit with the code the one-shot CLI would have used. The
+// client adds nothing to the payloads — the daemon's out/err bytes go to
+// stdout/stderr verbatim, which is what makes `--connect` a drop-in for
+// the one-shot invocation in scripts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+#include "serve/SocketIo.h"
+
+#include <csignal>
+#include <cstring>
+#include <ostream>
+
+using namespace nadroid;
+using namespace nadroid::serve;
+
+int serve::runClient(const std::string &SocketPath,
+                     const std::string &RequestLine, std::ostream &Out,
+                     std::ostream &Err) {
+  sockaddr_un Addr;
+  if (!socketAddress(SocketPath, Addr)) {
+    Err << "error: socket path too long: '" << SocketPath << "'\n";
+    return 7;
+  }
+  std::signal(SIGPIPE, SIG_IGN);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err << "error: cannot create socket: " << std::strerror(errno) << "\n";
+    return 7;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Err << "error: cannot connect to '" << SocketPath
+        << "': " << std::strerror(errno) << "\n";
+    ::close(Fd);
+    return 7;
+  }
+  if (!writeAllBytes(Fd, RequestLine + "\n")) {
+    Err << "error: daemon closed the connection\n";
+    ::close(Fd);
+    return 7;
+  }
+
+  // One header line, then exactly out+err payload bytes.
+  std::string Buffer;
+  size_t Eol;
+  while ((Eol = Buffer.find('\n')) == std::string::npos) {
+    if (!readChunk(Fd, Buffer)) {
+      Err << "error: daemon closed the connection mid-response\n";
+      ::close(Fd);
+      return 7;
+    }
+  }
+  Response R;
+  size_t OutLen = 0, ErrLen = 0;
+  if (!parseResponseHeader(Buffer.substr(0, Eol), R, OutLen, ErrLen)) {
+    Err << "error: not a nadroid-serve/1 response\n";
+    ::close(Fd);
+    return 7;
+  }
+  Buffer.erase(0, Eol + 1);
+  while (Buffer.size() < OutLen + ErrLen) {
+    if (!readChunk(Fd, Buffer)) {
+      Err << "error: daemon closed the connection mid-response\n";
+      ::close(Fd);
+      return 7;
+    }
+  }
+  ::close(Fd);
+  Out << Buffer.substr(0, OutLen);
+  Err << Buffer.substr(OutLen, ErrLen);
+  Out.flush();
+  Err.flush();
+  return R.Exit;
+}

@@ -1,0 +1,245 @@
+//===- serve/Protocol.cpp - Serve daemon wire protocol --------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Protocol.h"
+
+#include "cache/ResultCache.h"
+#include "report/Json.h"
+#include "support/StringUtils.h"
+
+#include <sstream>
+
+using namespace nadroid;
+using namespace nadroid::serve;
+
+const char *serve::verbName(Verb V) {
+  switch (V) {
+  case Verb::Analyze:
+    return "analyze";
+  case Verb::Lint:
+    return "lint";
+  case Verb::Explain:
+    return "explain";
+  case Verb::Status:
+    return "status";
+  case Verb::Shutdown:
+    return "shutdown";
+  }
+  return "?";
+}
+
+std::string Request::signature() const {
+  // `explain f` is `analyze f --explain`; collapse them so they share an
+  // L2 entry. The pipeline options are keyed separately (fingerprint()).
+  std::ostringstream OS;
+  OS << (V == Verb::Lint ? "lint" : "analyze");
+  OS << ";all=" << (ShowAll ? 1 : 0);
+  OS << ";explain=" << ((Explain || V == Verb::Explain) ? 1 : 0);
+  OS << ";json=" << (Json ? 1 : 0);
+  return OS.str();
+}
+
+static std::vector<std::string> splitWords(const std::string &Line) {
+  std::vector<std::string> Words;
+  std::istringstream IS(Line);
+  std::string W;
+  while (IS >> W)
+    Words.push_back(W);
+  return Words;
+}
+
+bool serve::parseRequest(const std::string &Line, Request &Out,
+                         std::string &Error) {
+  std::vector<std::string> Words = splitWords(Line);
+  if (Words.empty()) {
+    Error = "error: empty request";
+    return false;
+  }
+
+  Request Q;
+  const std::string &VerbWord = Words[0];
+  if (VerbWord == "analyze")
+    Q.V = Verb::Analyze;
+  else if (VerbWord == "lint")
+    Q.V = Verb::Lint;
+  else if (VerbWord == "explain")
+    Q.V = Verb::Explain;
+  else if (VerbWord == "status")
+    Q.V = Verb::Status;
+  else if (VerbWord == "shutdown")
+    Q.V = Verb::Shutdown;
+  else {
+    Error = "error: unknown request verb '" + VerbWord + "'";
+    return false;
+  }
+
+  if (Q.V == Verb::Status || Q.V == Verb::Shutdown) {
+    if (Words.size() > 1) {
+      Error = "error: " + std::string(verbName(Q.V)) + " takes no arguments";
+      return false;
+    }
+    Out = Q;
+    return true;
+  }
+
+  // analyze / lint / explain: <file> plus the one-shot CLI's analysis
+  // flags, parsed with the CLI's own diagnostics.
+  for (size_t I = 1; I < Words.size(); ++I) {
+    const std::string &W = Words[I];
+    if (W == "--all")
+      Q.ShowAll = true;
+    else if (W == "--explain")
+      Q.Explain = true;
+    else if (W == "--json")
+      Q.Json = true;
+    else if (W == "--fragments")
+      Q.Pipeline.ModelFragments = true;
+    else if (W == "--syntactic-filters")
+      Q.Pipeline.DataflowGuards = false;
+    else if (W == "--refute")
+      Q.Pipeline.Refute = true;
+    else if (W == "--refute-v2")
+      Q.Pipeline.RefuteHistory = Q.Pipeline.Refute = true;
+    else if (W == "--k") {
+      if (I + 1 >= Words.size()) {
+        Error = "error: --k needs a value";
+        return false;
+      }
+      const std::string &Value = Words[++I];
+      unsigned long long K = 0;
+      if (!parseUnsigned(Value, K)) {
+        Error = "error: --k: '" + Value + "' is not a number";
+        return false;
+      }
+      if (K < 1) {
+        Error = "error: --k must be at least 1";
+        return false;
+      }
+      Q.Pipeline.K = static_cast<unsigned>(K);
+    } else if (W.rfind("--", 0) == 0) {
+      Error = "error: unknown request flag '" + W + "'";
+      return false;
+    } else if (Q.Path.empty()) {
+      Q.Path = W;
+    } else {
+      Error = "error: " + std::string(verbName(Q.V)) + " takes one file";
+      return false;
+    }
+  }
+  if (Q.Path.empty()) {
+    Error = "error: " + std::string(verbName(Q.V)) + " needs a file";
+    return false;
+  }
+  if (Q.V == Verb::Explain)
+    Q.Explain = true;
+  if (Q.V == Verb::Lint)
+    Q.Pipeline.Lint = true;
+  Out = Q;
+  return true;
+}
+
+std::string serve::renderResponseHeader(const Response &R) {
+  std::ostringstream OS;
+  OS << ProtocolBanner << " " << (R.Ok ? "ok" : "error")
+     << " exit=" << R.Exit << " out=" << R.Out.size()
+     << " err=" << R.Err.size() << " l1=" << R.L1 << " l2=" << R.L2
+     << " built=";
+  if (R.Built.empty())
+    OS << "-";
+  else
+    for (size_t I = 0; I < R.Built.size(); ++I)
+      OS << (I ? "," : "") << R.Built[I];
+  OS << "\n";
+  return OS.str();
+}
+
+/// "key=value" words after the second; order is fixed by the renderer but
+/// the parser accepts any, so the format can grow fields compatibly.
+bool serve::parseResponseHeader(const std::string &Line, Response &Out,
+                                size_t &OutLen, size_t &ErrLen) {
+  std::vector<std::string> Words = splitWords(Line);
+  if (Words.size() < 2 || Words[0] != ProtocolBanner)
+    return false;
+  Response R;
+  if (Words[1] == "ok")
+    R.Ok = true;
+  else if (Words[1] == "error")
+    R.Ok = false;
+  else
+    return false;
+
+  OutLen = ErrLen = 0;
+  bool SawOut = false, SawErr = false;
+  for (size_t I = 2; I < Words.size(); ++I) {
+    size_t Eq = Words[I].find('=');
+    if (Eq == std::string::npos)
+      return false;
+    std::string Key = Words[I].substr(0, Eq);
+    std::string Value = Words[I].substr(Eq + 1);
+    unsigned long long N = 0;
+    if (Key == "exit") {
+      if (!parseUnsigned(Value, N) || N > 255)
+        return false;
+      R.Exit = static_cast<int>(N);
+    } else if (Key == "out") {
+      if (!parseUnsigned(Value, N))
+        return false;
+      OutLen = static_cast<size_t>(N);
+      SawOut = true;
+    } else if (Key == "err") {
+      if (!parseUnsigned(Value, N))
+        return false;
+      ErrLen = static_cast<size_t>(N);
+      SawErr = true;
+    } else if (Key == "l1") {
+      R.L1 = Value;
+    } else if (Key == "l2") {
+      R.L2 = Value;
+    } else if (Key == "built") {
+      if (Value != "-")
+        for (std::string_view Name : split(Value, ','))
+          R.Built.emplace_back(Name);
+    }
+    // Unknown keys are skipped: a newer server's extra fields must not
+    // strand an older client mid-stream.
+  }
+  if (!SawOut || !SawErr)
+    return false;
+  Out = R;
+  return true;
+}
+
+std::string serve::renderResponseEntry(const Response &R) {
+  std::ostringstream OS;
+  OS << "{\"serve\": " << cache::ServeSchemaVersion << ", \"exit\": " << R.Exit
+     << ", \"out\": \"" << report::jsonEscape(R.Out) << "\", \"err\": \""
+     << report::jsonEscape(R.Err) << "\"}";
+  return OS.str();
+}
+
+bool serve::parseResponseEntry(const std::string &Line, Response &Out) {
+  // Presence-checked scans: empty payloads are legitimate, so the
+  // convenience accessors' "empty when absent" is not distinguishing
+  // enough here.
+  std::string Raw;
+  unsigned long long N = 0;
+  if (!report::jsonFindRaw(Line, "serve", Raw) || !parseUnsigned(Raw, N) ||
+      N != cache::ServeSchemaVersion)
+    return false;
+  Response R;
+  if (!report::jsonFindRaw(Line, "exit", Raw) || !parseUnsigned(Raw, N) ||
+      N > 255)
+    return false;
+  R.Exit = static_cast<int>(N);
+  if (!report::jsonFindRaw(Line, "out", Raw))
+    return false;
+  R.Out = report::jsonUnescape(Raw);
+  if (!report::jsonFindRaw(Line, "err", Raw))
+    return false;
+  R.Err = report::jsonUnescape(Raw);
+  Out = R;
+  return true;
+}

@@ -1,0 +1,116 @@
+//===- serve/Protocol.h - Serve daemon wire protocol ------------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The line protocol `nadroid --serve` speaks over its unix-domain
+/// socket. A request is one newline-terminated line of space-separated
+/// words:
+///
+///   analyze <file.air> [--all] [--explain] [--json] [--k N]
+///           [--fragments] [--syntactic-filters] [--refute] [--refute-v2]
+///   lint    <file.air> [--json] [--explain] [--k N] [--fragments]
+///   explain <file.air> [...]      — analyze with --explain forced
+///   status                        — session-table / cache introspection
+///   shutdown                      — drain and exit 0
+///
+/// The per-request flags are exactly the one-shot CLI's analysis flags:
+/// a request means "what would `nadroid <flags> <file>` print?", and the
+/// response carries those bytes verbatim.
+///
+/// A response is one status line followed by two length-delimited
+/// payloads (the one-shot CLI's stdout and stderr bytes):
+///
+///   nadroid-serve/1 <ok|error> exit=<N> out=<bytes> err=<bytes>
+///       l1=<tag> l2=<tag> built=<csv|->     (one line, then a newline)
+///   <out bytes><err bytes>
+///
+/// `exit` is the exit code the one-shot CLI would have returned. `l1`
+/// tells what the session table did (hit, formatting-only rebase,
+/// incremental regraft, full swap, new session, ...), `l2` what the
+/// persistent response cache did, and `built` lists the passes this
+/// request actually rebuilt (from AnalysisManager::passStats deltas) —
+/// the integration tests assert incrementality through it. Fixed-width
+/// framing rather than JSON so payload bytes need no escaping and the
+/// client can forward them untouched.
+///
+/// Malformed input (unknown verb, unknown flag, bad --k, missing path)
+/// produces an `error` response with exit=2 and the diagnostic in the
+/// err payload — never a dropped connection, never a wedged slot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_SERVE_PROTOCOL_H
+#define NADROID_SERVE_PROTOCOL_H
+
+#include "pipeline/AnalysisManager.h"
+
+#include <string>
+#include <vector>
+
+namespace nadroid::serve {
+
+/// The protocol's own version tag, the first word of every response.
+inline constexpr const char *ProtocolBanner = "nadroid-serve/1";
+
+enum class Verb {
+  Analyze,
+  Lint,
+  Explain, ///< analyze with the explanation prose forced on
+  Status,
+  Shutdown,
+};
+
+const char *verbName(Verb V);
+
+/// One parsed request line.
+struct Request {
+  Verb V = Verb::Status;
+  std::string Path; ///< the .air file (analyze/lint/explain)
+  pipeline::PipelineOptions Pipeline;
+  bool ShowAll = false;
+  bool Explain = false;
+  bool Json = false;
+
+  /// The request identity the L2 response cache keys on: verb plus every
+  /// rendering flag, normalized so equivalent requests share entries
+  /// (`explain f` and `analyze f --explain` fingerprint identically; the
+  /// pipeline options are a separate key component).
+  std::string signature() const;
+};
+
+/// Parses one request line. On failure returns false and sets \p Error
+/// to the diagnostic (mirroring the CLI's "error: ..." wording).
+bool parseRequest(const std::string &Line, Request &Out, std::string &Error);
+
+/// One response, either side of the wire.
+struct Response {
+  bool Ok = true;
+  int Exit = 0;
+  std::string Out; ///< the one-shot CLI's stdout bytes
+  std::string Err; ///< the one-shot CLI's stderr bytes, or the protocol error
+  std::string L1 = "-"; ///< session-table outcome tag
+  std::string L2 = "-"; ///< response-cache outcome tag
+  std::vector<std::string> Built; ///< passes rebuilt by this request
+};
+
+/// The status line (with trailing newline); payloads are appended by the
+/// transport.
+std::string renderResponseHeader(const Response &R);
+
+/// Parses a status line; false when it is not a nadroid-serve/1 header.
+/// OutLen/ErrLen return the payload lengths the caller must then read.
+bool parseResponseHeader(const std::string &Line, Response &Out,
+                         size_t &OutLen, size_t &ErrLen);
+
+/// The single-line cache entry for a response (exit + payloads; the
+/// header tags are per-request observations and are not persisted), and
+/// its inverse. parseResponseEntry refuses alien or truncated lines.
+std::string renderResponseEntry(const Response &R);
+bool parseResponseEntry(const std::string &Line, Response &Out);
+
+} // namespace nadroid::serve
+
+#endif // NADROID_SERVE_PROTOCOL_H

@@ -1,0 +1,390 @@
+//===- serve/Server.cpp - The nadroid --serve daemon ----------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "frontend/Frontend.h"
+#include "frontend/Incremental.h"
+#include "report/Json.h"
+#include "report/Lint.h"
+#include "report/Nadroid.h"
+#include "serve/SocketIo.h"
+
+#include <csignal>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+using namespace nadroid;
+using namespace nadroid::serve;
+
+/// A request line is a verb, a path, and a handful of flags; anything
+/// growing past this without a newline is not a client.
+static constexpr size_t MaxRequestLine = 1 << 20;
+
+/// App name is the file stem, exactly as frontend::parseProgramFile
+/// derives it — the daemon parses from bytes it already read, so it
+/// mirrors the derivation.
+static std::string stemOf(const std::string &Path) {
+  std::string Stem = Path;
+  if (size_t Slash = Stem.find_last_of('/'); Slash != std::string::npos)
+    Stem = Stem.substr(Slash + 1);
+  if (size_t Ext = Stem.find_last_of('.'); Ext != std::string::npos)
+    Stem = Stem.substr(0, Ext);
+  return Stem;
+}
+
+Server::Server(ServerOptions O)
+    : Opts(std::move(O)), Pool(Opts.Jobs),
+      Sessions(Opts.MaxSessions), L2(Opts.CacheDir) {}
+
+Server::~Server() {
+  requestShutdown();
+  // The pool outlives this body (member destruction comes after), so
+  // queued connection tasks still run; wait for every one to retire its
+  // fd before the members they use go away.
+  std::unique_lock<std::mutex> L(ConnMu);
+  ConnCv.wait(L, [this] { return Conns.empty(); });
+  L.unlock();
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ::unlink(Opts.SocketPath.c_str());
+  }
+}
+
+Response Server::handle(const std::string &Line) {
+  Requests.fetch_add(1);
+  Request Q;
+  std::string Error;
+  if (!parseRequest(Line, Q, Error)) {
+    Malformed.fetch_add(1);
+    Response R;
+    R.Ok = false;
+    R.Exit = 2;
+    R.Err = Error + "\n";
+    return R;
+  }
+  if (Q.V == Verb::Status)
+    return statusResponse();
+  if (Q.V == Verb::Shutdown) {
+    requestShutdown();
+    Response R;
+    R.Out = "nadroid-serve: shutting down\n";
+    return R;
+  }
+  // An analysis crash poisons this response, never the daemon. The
+  // session keeps whatever consistent state it had.
+  try {
+    return handleAnalysis(Q);
+  } catch (const std::exception &E) {
+    Response R;
+    R.Ok = false;
+    R.Exit = 3;
+    R.Err = std::string("error: analysis failed: ") + E.what() + "\n";
+    return R;
+  } catch (...) {
+    Response R;
+    R.Ok = false;
+    R.Exit = 3;
+    R.Err = "error: analysis failed\n";
+    return R;
+  }
+}
+
+Response Server::handleAnalysis(const Request &Q) {
+  Response R;
+  std::shared_ptr<Session> S = Sessions.acquire(Q.Path);
+  std::lock_guard<std::mutex> Lock(S->Mu);
+  S->Requests.fetch_add(1);
+
+  std::ifstream In(Q.Path, std::ios::binary);
+  if (!In) {
+    // Byte-identical to the CLI path: parseProgramFile's cannot-open
+    // diagnostic through the shared renderer.
+    ir::Program Placeholder(stemOf(Q.Path));
+    std::vector<Diagnostic> Diags{{DiagSeverity::Error, SourceLoc(),
+                                   "cannot open file '" + Q.Path + "'"}};
+    R.Exit = 2;
+    R.Err = report::renderParseDiagnostics(Placeholder, Diags);
+    R.L1 = "error";
+    return R;
+  }
+  std::ostringstream Contents;
+  Contents << In.rdbuf();
+  std::string Raw = Contents.str();
+
+  std::string Key;
+  if (S->Prog && Raw == S->RawBytes) {
+    R.L1 = "hit";
+    S->RawHits.fetch_add(1);
+  } else {
+    // The session can't answer as-is; see whether a previous daemon run
+    // already computed this exact response (same bytes, same options,
+    // same request shape) before paying for parse + analysis.
+    if (L2.enabled()) {
+      Key = cache::serveResponseKey(Raw, Q.Pipeline.fingerprint(),
+                                    Q.signature());
+      std::string Entry;
+      Response Cached;
+      if (L2.lookup(Key, Entry) && parseResponseEntry(Entry, Cached)) {
+        Cached.L1 = S->Prog ? "stale" : "cold";
+        Cached.L2 = "hit";
+        L2Hits.fetch_add(1);
+        return Cached;
+      }
+      R.L2 = "miss";
+    }
+
+    frontend::ParseResult Fresh =
+        frontend::parseProgramText(Raw, Q.Path, stemOf(Q.Path));
+    if (!Fresh.Success) {
+      R.Exit = 2;
+      R.Err = report::renderParseDiagnostics(*Fresh.Prog, Fresh.Diags);
+      R.L1 = "parse-error"; // the session keeps its last good program
+      return R;
+    }
+
+    if (!S->Prog) {
+      S->Prog = std::move(Fresh.Prog);
+      S->AM = std::make_shared<pipeline::AnalysisManager>(*S->Prog,
+                                                          Q.Pipeline);
+      S->AM->setThreadPool(&Pool);
+      R.L1 = "new";
+    } else {
+      // Reconcile the fresh parse with the resident program so cached
+      // analyses survive everything the edit didn't touch.
+      frontend::IncrementalEdit Edit =
+          frontend::applyIncrementalEdit(*S->Prog, *Fresh.Prog);
+      switch (Edit.Kind) {
+      case frontend::EditKind::FormattingOnly:
+        R.L1 = "rebase"; // locations refreshed, no analysis invalidated
+        S->Rebases.fetch_add(1);
+        break;
+      case frontend::EditKind::BodiesChanged:
+        S->AM->invalidateBodyEdit(Edit.ChangedMethods);
+        R.L1 = "regraft";
+        S->Regrafts.fetch_add(1);
+        break;
+      case frontend::EditKind::Structural:
+        S->Prog = std::move(Fresh.Prog);
+        S->AM = std::make_shared<pipeline::AnalysisManager>(*S->Prog,
+                                                            Q.Pipeline);
+        S->AM->setThreadPool(&Pool);
+        R.L1 = "swap";
+        S->Swaps.fetch_add(1);
+        break;
+      }
+    }
+    S->RawBytes = std::move(Raw);
+  }
+
+  // Option-directed invalidation: a request with different knobs drops
+  // exactly the option-sensitive analyses (no-op when unchanged).
+  S->AM->setOptions(Q.Pipeline);
+
+  // Snapshot per-pass build counts so the response can report exactly
+  // what this request rebuilt — the incrementality tests assert on it.
+  std::map<std::string, uint64_t> Before;
+  for (const pipeline::PassStat &PS : S->AM->passStats())
+    Before[PS.Name] = PS.Builds;
+
+  if (Q.V == Verb::Lint) {
+    report::LintResult L = report::runLintChecks(*S->AM);
+    std::ostringstream OS;
+    report::renderLintReport(*S->Prog, L, Q.Json, Q.Explain, OS);
+    R.Out = OS.str();
+    R.Exit = L.empty() ? 0 : 6;
+  } else {
+    report::NadroidResult NR = report::analyzeProgram(S->AM);
+    if (Q.Json) {
+      R.Out = report::renderJson(NR, *S->Prog);
+    } else {
+      std::ostringstream OS;
+      report::renderStandardReport(NR, *S->Prog, Q.ShowAll, Q.Explain, OS);
+      R.Out = OS.str();
+    }
+    R.Exit = NR.Pipeline.RemainingAfterUnsound == 0 ? 0 : 1;
+  }
+
+  for (const pipeline::PassStat &PS : S->AM->passStats()) {
+    auto It = Before.find(PS.Name);
+    uint64_t Prior = It == Before.end() ? 0 : It->second;
+    if (PS.Builds > Prior)
+      R.Built.push_back(PS.Name);
+  }
+
+  if (!Key.empty() && L2.store(Key, renderResponseEntry(R))) {
+    R.L2 = "store";
+    L2Stores.fetch_add(1);
+  }
+  return R;
+}
+
+Response Server::statusResponse() const {
+  std::vector<std::shared_ptr<Session>> Snap = Sessions.snapshot();
+  std::ostringstream OS;
+  OS << "sessions: " << Snap.size() << "/" << Sessions.capacity()
+     << " resident, " << Sessions.evictions() << " evicted\n";
+  for (const auto &S : Snap)
+    OS << "  " << S->Path << ": requests=" << S->Requests.load()
+       << " raw-hits=" << S->RawHits.load()
+       << " rebases=" << S->Rebases.load()
+       << " regrafts=" << S->Regrafts.load() << " swaps=" << S->Swaps.load()
+       << "\n";
+  OS << "requests: " << Requests.load() << " total, " << Malformed.load()
+     << " malformed, " << Dropped.load() << " dropped connections\n";
+  if (L2.enabled())
+    OS << "l2: dir=" << L2.directory() << " hits=" << L2Hits.load()
+       << " stores=" << L2Stores.load() << "\n";
+  else
+    OS << "l2: disabled\n";
+  Response R;
+  R.Out = OS.str();
+  return R;
+}
+
+void Server::requestShutdown() {
+  if (Shutdown.exchange(true))
+    return;
+  // Unblock the accept loop and every blocked connection read; pending
+  // response writes still flush (reads only are shut down).
+  if (ListenFd >= 0)
+    ::shutdown(ListenFd, SHUT_RDWR);
+  std::lock_guard<std::mutex> L(ConnMu);
+  for (int Fd : Conns)
+    ::shutdown(Fd, SHUT_RD);
+}
+
+bool Server::start(std::string &Error) {
+  sockaddr_un Addr;
+  if (!socketAddress(Opts.SocketPath, Addr)) {
+    Error = "socket path too long: '" + Opts.SocketPath + "'";
+    return false;
+  }
+  // A client that disconnects mid-response must be a dropped connection,
+  // not a fatal signal. writeAllBytes passes MSG_NOSIGNAL too; this
+  // covers any other path that touches the socket.
+  std::signal(SIGPIPE, SIG_IGN);
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    Error = std::string("cannot create socket: ") + std::strerror(errno);
+    return false;
+  }
+  ::unlink(Opts.SocketPath.c_str()); // replace a stale socket file
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
+    Error = "cannot bind '" + Opts.SocketPath +
+            "': " + std::strerror(errno);
+    ::close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+  if (::listen(ListenFd, 64) < 0) {
+    Error = "cannot listen on '" + Opts.SocketPath +
+            "': " + std::strerror(errno);
+    ::close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+  if (Opts.Log)
+    *Opts.Log << "nadroid-serve: listening on " << Opts.SocketPath << "\n";
+  return true;
+}
+
+int Server::run() {
+  while (!Shutdown.load()) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      break; // listen socket shut down, or unrecoverable
+    }
+    if (Shutdown.load()) {
+      ::close(Fd);
+      break;
+    }
+    // Dead-client hygiene: a connection silent for five minutes gives
+    // its lane back.
+    timeval Tv{};
+    Tv.tv_sec = 300;
+    ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+    {
+      std::lock_guard<std::mutex> L(ConnMu);
+      Conns.insert(Fd);
+    }
+    Pool.submit([this, Fd] { connection(Fd); });
+  }
+  // Drain: blocked reads were unblocked by requestShutdown; in-flight
+  // analyses finish and their responses still go out.
+  {
+    std::unique_lock<std::mutex> L(ConnMu);
+    ConnCv.wait(L, [this] { return Conns.empty(); });
+  }
+  ::close(ListenFd);
+  ListenFd = -1;
+  ::unlink(Opts.SocketPath.c_str());
+  if (Opts.Log)
+    *Opts.Log << "nadroid-serve: shut down\n";
+  return 0;
+}
+
+void Server::connection(int Fd) {
+  std::string Buffer;
+  while (true) {
+    size_t Eol;
+    bool Gone = false;
+    while ((Eol = Buffer.find('\n')) == std::string::npos) {
+      if (Buffer.size() > MaxRequestLine) {
+        Response R;
+        R.Ok = false;
+        R.Exit = 2;
+        R.Err = "error: request line too long\n";
+        writeAllBytes(Fd, renderResponseHeader(R) + R.Out + R.Err);
+        Gone = true;
+        break;
+      }
+      if (!readChunk(Fd, Buffer)) {
+        Gone = true; // EOF, idle timeout, or shutdown
+        break;
+      }
+    }
+    if (Gone)
+      break;
+    std::string Line = Buffer.substr(0, Eol);
+    Buffer.erase(0, Eol + 1);
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+
+    Response R = handle(Line);
+    if (!writeAllBytes(Fd, renderResponseHeader(R) + R.Out + R.Err)) {
+      Dropped.fetch_add(1);
+      if (Opts.Log)
+        *Opts.Log << "nadroid-serve: dropped connection "
+                     "(client went away mid-response)\n";
+      break;
+    }
+    if (Shutdown.load())
+      break;
+  }
+  ::close(Fd);
+  {
+    std::lock_guard<std::mutex> L(ConnMu);
+    Conns.erase(Fd);
+  }
+  ConnCv.notify_all();
+}
+
+int serve::runServe(const ServerOptions &O) {
+  Server S(O);
+  std::string Error;
+  if (!S.start(Error)) {
+    std::cerr << "error: " << Error << "\n";
+    return 2;
+  }
+  return S.run();
+}

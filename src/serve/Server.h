@@ -1,0 +1,115 @@
+//===- serve/Server.h - The nadroid --serve daemon --------------*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-lived analyzer daemon behind `nadroid --serve <socket>`: a
+/// unix-domain-socket server speaking serve/Protocol.h, answering each
+/// request with the bytes the one-shot CLI would have printed. Apps stay
+/// resident between requests (serve/Session.h), so a re-analyze after an
+/// edit pays only for the passes the edit invalidated; the persistent
+/// ResultCache rides behind the session table as L2.
+///
+/// Request handling is two-layered: Server::handle answers one request
+/// line in-process (the integration tests drive it directly, no socket),
+/// and the transport — start()/run() — moves lines and payloads over the
+/// socket, one connection per pool task. Transport failures never kill
+/// the daemon: SIGPIPE is ignored, a short write is a logged dropped
+/// connection, and a malformed line is an `error` response on a healthy
+/// connection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_SERVE_SERVER_H
+#define NADROID_SERVE_SERVER_H
+
+#include "cache/ResultCache.h"
+#include "serve/Protocol.h"
+#include "serve/Session.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <set>
+#include <string>
+
+namespace nadroid::serve {
+
+struct ServerOptions {
+  std::string SocketPath;
+  unsigned Jobs = 0;        ///< pool lanes (0 = one per hardware thread)
+  unsigned MaxSessions = 8; ///< L1 session-table capacity
+  std::string CacheDir;     ///< L2 response cache directory (empty = off)
+  std::ostream *Log = nullptr; ///< connection/lifecycle log (null = quiet)
+};
+
+class Server {
+public:
+  explicit Server(ServerOptions O);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Answers one request line — the whole daemon minus the socket. Never
+  /// throws: analysis crashes come back as exit-3 error responses.
+  Response handle(const std::string &Line);
+
+  bool shutdownRequested() const { return Shutdown.load(); }
+
+  /// Flips the shutdown flag and unblocks the accept loop and every
+  /// blocked connection read. Idempotent; callable from any thread.
+  void requestShutdown();
+
+  /// Binds and listens on SocketPath (replacing a stale socket file).
+  /// False + \p Error on failure; no partial state to clean up.
+  bool start(std::string &Error);
+
+  /// Accepts until shutdown, then drains live connections. Returns the
+  /// process exit code (0 on a clean shutdown).
+  int run();
+
+  const SessionTable &sessionTable() const { return Sessions; }
+
+private:
+  Response handleAnalysis(const Request &Q);
+  Response statusResponse() const;
+  void connection(int Fd);
+
+  ServerOptions Opts;
+  support::ThreadPool Pool;
+  SessionTable Sessions;
+  cache::ResultCache L2;
+
+  std::atomic<bool> Shutdown{false};
+  int ListenFd = -1;
+
+  mutable std::mutex ConnMu;
+  std::set<int> Conns;          ///< fds of live connections
+  std::condition_variable ConnCv; ///< signaled as connections retire
+
+  // Daemon-lifetime counters for `status`.
+  std::atomic<uint64_t> Requests{0}, L2Hits{0}, L2Stores{0}, Malformed{0},
+      Dropped{0};
+};
+
+/// `nadroid --serve`: builds and runs a Server; exit 2 when the socket
+/// cannot be set up.
+int runServe(const ServerOptions &O);
+
+/// `nadroid --connect`: sends one request line to the daemon at
+/// \p SocketPath, streams the response payloads to \p Out / \p Err, and
+/// returns the exit code the response carries — or 7 when the daemon is
+/// unreachable or answers something that is not a nadroid-serve/1
+/// response.
+int runClient(const std::string &SocketPath, const std::string &RequestLine,
+              std::ostream &Out, std::ostream &Err);
+
+} // namespace nadroid::serve
+
+#endif // NADROID_SERVE_SERVER_H

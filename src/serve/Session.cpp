@@ -1,0 +1,47 @@
+//===- serve/Session.cpp - Resident per-app analysis sessions -------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Session.h"
+
+#include <algorithm>
+
+using namespace nadroid;
+using namespace nadroid::serve;
+
+std::shared_ptr<Session> SessionTable::acquire(const std::string &Path) {
+  std::lock_guard<std::mutex> L(Mu);
+  for (auto It = Lru.begin(); It != Lru.end(); ++It) {
+    if ((*It)->Path == Path) {
+      std::shared_ptr<Session> S = *It;
+      Lru.erase(It);
+      Lru.push_front(S);
+      return S;
+    }
+  }
+  auto S = std::make_shared<Session>(Path);
+  Lru.push_front(S);
+  if (Lru.size() > Cap) {
+    Lru.pop_back();
+    ++Evictions;
+  }
+  return S;
+}
+
+std::vector<std::shared_ptr<Session>> SessionTable::snapshot() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return {Lru.begin(), Lru.end()};
+}
+
+bool SessionTable::resident(const std::string &Path) const {
+  std::lock_guard<std::mutex> L(Mu);
+  return std::any_of(Lru.begin(), Lru.end(),
+                     [&](const auto &S) { return S->Path == Path; });
+}
+
+uint64_t SessionTable::evictions() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Evictions;
+}

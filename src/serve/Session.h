@@ -1,0 +1,88 @@
+//===- serve/Session.h - Resident per-app analysis sessions -----*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's L1: resident per-app sessions. A Session owns the last
+/// parsed ir::Program for one .air path together with its live
+/// AnalysisManager, so a re-analyze request pays only for what the edit
+/// actually invalidated (frontend/Incremental.h decides how much that
+/// is). The SessionTable bounds residency LRU-fashion; the persistent
+/// ResultCache sits behind it as L2, keyed on raw file bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_SERVE_SESSION_H
+#define NADROID_SERVE_SESSION_H
+
+#include "ir/Ir.h"
+#include "pipeline/AnalysisManager.h"
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nadroid::serve {
+
+/// One resident app. The mutex serializes requests touching this app
+/// (the AnalysisManager is single-threaded by contract); requests for
+/// different apps run concurrently on the server pool.
+struct Session {
+  explicit Session(std::string P) : Path(std::move(P)) {}
+
+  const std::string Path;
+  std::mutex Mu;
+
+  /// Bytes of the last successfully parsed source — the currency check
+  /// is raw byte equality, so an untouched file re-runs nothing at all.
+  std::string RawBytes;
+
+  std::unique_ptr<ir::Program> Prog;
+  std::shared_ptr<pipeline::AnalysisManager> AM;
+
+  // Lifetime counters for the `status` verb. Atomic so status can read
+  // them without queueing behind an in-flight analysis.
+  std::atomic<uint64_t> Requests{0}; ///< requests answered here
+  std::atomic<uint64_t> RawHits{0};  ///< source unchanged, nothing re-run
+  std::atomic<uint64_t> Rebases{0};  ///< formatting-only edits absorbed
+  std::atomic<uint64_t> Regrafts{0}; ///< body edits absorbed incrementally
+  std::atomic<uint64_t> Swaps{0};    ///< structural edits, full rebuild
+};
+
+/// LRU-bounded map from path to session. Sessions are handed out as
+/// shared_ptr, so evicting one that a request still holds never
+/// destroys it mid-analysis — the request finishes on the detached
+/// session, which dies when the last holder unlocks.
+class SessionTable {
+public:
+  explicit SessionTable(size_t Capacity) : Cap(Capacity ? Capacity : 1) {}
+
+  /// The session for \p Path: the resident one bumped to most-recent, or
+  /// a fresh one (evicting the least-recent when the table is full).
+  std::shared_ptr<Session> acquire(const std::string &Path);
+
+  /// Resident sessions, most recently used first.
+  std::vector<std::shared_ptr<Session>> snapshot() const;
+
+  /// True when \p Path is resident right now (tests poke this).
+  bool resident(const std::string &Path) const;
+
+  size_t capacity() const { return Cap; }
+  uint64_t evictions() const;
+
+private:
+  mutable std::mutex Mu;
+  size_t Cap;
+  uint64_t Evictions = 0;
+  std::list<std::shared_ptr<Session>> Lru; ///< front = most recent
+};
+
+} // namespace nadroid::serve
+
+#endif // NADROID_SERVE_SESSION_H

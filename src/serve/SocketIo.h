@@ -1,0 +1,77 @@
+//===- serve/SocketIo.h - Socket I/O helpers for the daemon -----*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The few lines of unix-socket plumbing the server and the client
+/// share. Everything here is resilient by policy: EINTR retries, partial
+/// writes loop, and a peer that vanished is a `false`/0 the caller turns
+/// into a dropped connection — never a signal (writes pass MSG_NOSIGNAL,
+/// and the daemon additionally ignores SIGPIPE for any path that writes
+/// without it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_SERVE_SOCKETIO_H
+#define NADROID_SERVE_SOCKETIO_H
+
+#include <cerrno>
+#include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace nadroid::serve {
+
+/// Writes all of \p Bytes to \p Fd, looping over short writes. False when
+/// the peer is gone (EPIPE/ECONNRESET/...) — with MSG_NOSIGNAL, so a dead
+/// client surfaces as an error return, not SIGPIPE.
+inline bool writeAllBytes(int Fd, const std::string &Bytes) {
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    ssize_t N =
+        ::send(Fd, Bytes.data() + Off, Bytes.size() - Off, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (N == 0)
+      return false;
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// Appends the next chunk from \p Fd to \p Buffer. False on EOF, timeout,
+/// or any terminal error — for the daemon all three mean the same thing:
+/// this connection is done.
+inline bool readChunk(int Fd, std::string &Buffer) {
+  char Chunk[4096];
+  while (true) {
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N > 0) {
+      Buffer.append(Chunk, static_cast<size_t>(N));
+      return true;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    return false;
+  }
+}
+
+/// Fills \p Addr for \p Path; false when the path exceeds sun_path.
+inline bool socketAddress(const std::string &Path, sockaddr_un &Addr) {
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return false;
+  Addr = {};
+  Addr.sun_family = AF_UNIX;
+  Path.copy(Addr.sun_path, Path.size());
+  return true;
+}
+
+} // namespace nadroid::serve
+
+#endif // NADROID_SERVE_SOCKETIO_H

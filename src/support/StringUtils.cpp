@@ -8,6 +8,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 using namespace nadroid;
 
@@ -61,6 +62,46 @@ bool nadroid::isIdentStart(char C) {
 
 bool nadroid::isIdentCont(char C) {
   return std::isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '$';
+}
+
+bool nadroid::parseUnsigned(std::string_view S, unsigned long long &Out) {
+  if (S.empty())
+    return false;
+  unsigned long long Value = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    unsigned Digit = static_cast<unsigned>(C - '0');
+    if (Value > (~0ull - Digit) / 10)
+      return false; // overflow
+    Value = Value * 10 + Digit;
+  }
+  Out = Value;
+  return true;
+}
+
+bool nadroid::parseDouble(std::string_view S, double &Out) {
+  if (S.empty())
+    return false;
+  // Digits and at most one dot: strict enough to refuse "2.5x", "1e9",
+  // " 3" and "-1" alike, while the subsequent strtod never fails on what
+  // survives.
+  bool SawDigit = false, SawDot = false;
+  for (char C : S) {
+    if (C >= '0' && C <= '9') {
+      SawDigit = true;
+    } else if (C == '.') {
+      if (SawDot)
+        return false;
+      SawDot = true;
+    } else {
+      return false;
+    }
+  }
+  if (!SawDigit)
+    return false;
+  Out = std::strtod(std::string(S).c_str(), nullptr);
+  return true;
 }
 
 std::string nadroid::csvEscape(std::string_view S) {

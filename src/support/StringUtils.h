@@ -37,6 +37,19 @@ bool isIdentStart(char C);
 /// True for [A-Za-z0-9_$], identifier continuation characters.
 bool isIdentCont(char C);
 
+/// Strict numeric parses for values arriving as text — CLI flags and
+/// serve-protocol fields. Unlike std::atoi/atof (whose silent failure
+/// modes these replace: "abc" → 0, "4x" → 4), the whole string must be
+/// a number: no leading whitespace or sign, no trailing junk, no
+/// overflow. False means "not a number" — range policy ("must be at
+/// least 1") stays with the caller so its diagnostic can say which.
+bool parseUnsigned(std::string_view S, unsigned long long &Out);
+
+/// Same contract for non-negative decimals ("2.5", "10"); rejects
+/// inf/nan/hex and exponents of the locale-dependent kind by requiring
+/// [0-9.] characters only.
+bool parseDouble(std::string_view S, double &Out);
+
 /// Escapes \p S for inclusion in a CSV field (RFC 4180 quoting).
 std::string csvEscape(std::string_view S);
 

@@ -48,6 +48,18 @@ void ThreadPool::workerLoop() {
   }
 }
 
+void ThreadPool::submit(std::function<void()> Task) {
+  if (Workers.empty()) {
+    Task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> L(QueueMu);
+    Queue.emplace_back(std::move(Task));
+  }
+  QueueCv.notify_one();
+}
+
 void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Fn) {
   if (N == 0)
     return;

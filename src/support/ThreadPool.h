@@ -58,6 +58,16 @@ public:
   /// loop drains; the remaining indices still run.
   void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
 
+  /// Hands one free-standing task to the workers and returns immediately
+  /// — the serve daemon's connection handlers ride on this. With no
+  /// workers (Concurrency 1) the task runs inline before returning, so a
+  /// single-lane pool degrades to a serial but still-correct server. A
+  /// submitted task may itself call parallelFor on this pool (caller
+  /// participation keeps that deadlock-free); it must not throw —
+  /// escaping exceptions terminate the process, as from any detached
+  /// task.
+  void submit(std::function<void()> Task);
+
 private:
   /// Shared state of one parallelFor invocation. Kept alive by
   /// shared_ptr because helper tasks may be dequeued after the loop

@@ -1,0 +1,488 @@
+//===- tests/ServeTest.cpp - Serve daemon tests ---------------------------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+//
+// The serve layer's contracts: the wire protocol round-trips, daemon
+// responses are byte-identical to the one-shot CLI's rendering, edits
+// re-run only what they invalidated (whitespace: nothing; one method:
+// a strict subset of a cold run, with the per-method caches kept), the
+// session table LRU-evicts, the L2 response cache survives a daemon
+// restart, and the real-socket transport serves concurrent clients and
+// shuts down cleanly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Patterns.h"
+#include "frontend/Frontend.h"
+#include "ir/IRBuilder.h"
+#include "ir/Printer.h"
+#include "report/Lint.h"
+#include "report/Nadroid.h"
+#include "serve/Protocol.h"
+#include "serve/Server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+using namespace nadroid;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Scratch directory per fixture, wiped on both ends.
+struct ScratchDir {
+  explicit ScratchDir(const std::string &Name)
+      : Dir(fs::temp_directory_path() / Name) {
+    fs::remove_all(Dir);
+    fs::create_directories(Dir);
+  }
+  ~ScratchDir() { fs::remove_all(Dir); }
+  std::string path(const std::string &File) const {
+    return (Dir / File).string();
+  }
+  fs::path Dir;
+};
+
+/// Prints the seeded harmful-UAF app to \p Path and returns its text.
+std::string writeSeedApp(const std::string &Path) {
+  ir::Program P("app");
+  ir::IRBuilder B(P);
+  corpus::PatternEmitter E(B);
+  E.harmfulEcEc();
+  std::string Text = ir::programToString(P);
+  std::ofstream(Path) << Text;
+  return Text;
+}
+
+void rewrite(const std::string &Path, const std::string &Text) {
+  std::ofstream(Path) << Text;
+}
+
+/// What the one-shot CLI would print for `nadroid [flags] Path` —
+/// computed through the same report layer, on a fresh manager, so the
+/// daemon's resident-session output can be compared byte-for-byte.
+std::string oneShotText(const std::string &Path,
+                        pipeline::PipelineOptions PO = {},
+                        bool ShowAll = false, bool Explain = false) {
+  frontend::ParseResult Parsed = frontend::parseProgramFile(Path);
+  EXPECT_TRUE(Parsed.Success);
+  auto AM = std::make_shared<pipeline::AnalysisManager>(*Parsed.Prog, PO);
+  report::NadroidResult R = report::analyzeProgram(AM);
+  std::ostringstream OS;
+  report::renderStandardReport(R, *Parsed.Prog, ShowAll, Explain, OS);
+  return OS.str();
+}
+
+std::string oneShotLint(const std::string &Path) {
+  frontend::ParseResult Parsed = frontend::parseProgramFile(Path);
+  EXPECT_TRUE(Parsed.Success);
+  pipeline::PipelineOptions PO;
+  PO.Lint = true;
+  auto AM = std::make_shared<pipeline::AnalysisManager>(*Parsed.Prog, PO);
+  report::LintResult L = report::runLintChecks(*AM);
+  std::ostringstream OS;
+  report::renderLintReport(*Parsed.Prog, L, /*Json=*/false,
+                           /*Explain=*/false, OS);
+  return OS.str();
+}
+
+bool built(const serve::Response &R, const std::string &Pass) {
+  return std::find(R.Built.begin(), R.Built.end(), Pass) != R.Built.end();
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol round-trips
+//===----------------------------------------------------------------------===//
+
+TEST(ServeProtocol, ParsesAnalyzeWithFlags) {
+  serve::Request Q;
+  std::string Error;
+  ASSERT_TRUE(serve::parseRequest(
+      "analyze app.air --all --json --k 3 --refute-v2", Q, Error));
+  EXPECT_EQ(Q.V, serve::Verb::Analyze);
+  EXPECT_EQ(Q.Path, "app.air");
+  EXPECT_TRUE(Q.ShowAll);
+  EXPECT_TRUE(Q.Json);
+  EXPECT_EQ(Q.Pipeline.K, 3u);
+  EXPECT_TRUE(Q.Pipeline.Refute);
+  EXPECT_TRUE(Q.Pipeline.RefuteHistory);
+}
+
+TEST(ServeProtocol, ExplainIsAnalyzeWithExplainForced) {
+  serve::Request A, E;
+  std::string Error;
+  ASSERT_TRUE(serve::parseRequest("explain app.air", E, Error));
+  EXPECT_TRUE(E.Explain);
+  ASSERT_TRUE(serve::parseRequest("analyze app.air --explain", A, Error));
+  // Same L2 identity: the cache must not store the same answer twice.
+  EXPECT_EQ(A.signature(), E.signature());
+}
+
+TEST(ServeProtocol, RejectsMalformedRequests) {
+  serve::Request Q;
+  std::string Error;
+  EXPECT_FALSE(serve::parseRequest("", Q, Error));
+  EXPECT_EQ(Error, "error: empty request");
+  EXPECT_FALSE(serve::parseRequest("frobnicate x", Q, Error));
+  EXPECT_EQ(Error, "error: unknown request verb 'frobnicate'");
+  EXPECT_FALSE(serve::parseRequest("analyze", Q, Error));
+  EXPECT_EQ(Error, "error: analyze needs a file");
+  EXPECT_FALSE(serve::parseRequest("analyze a.air b.air", Q, Error));
+  EXPECT_EQ(Error, "error: analyze takes one file");
+  EXPECT_FALSE(serve::parseRequest("analyze a.air --wat", Q, Error));
+  EXPECT_EQ(Error, "error: unknown request flag '--wat'");
+  EXPECT_FALSE(serve::parseRequest("lint a.air --k zebra", Q, Error));
+  EXPECT_EQ(Error, "error: --k: 'zebra' is not a number");
+  EXPECT_FALSE(serve::parseRequest("lint a.air --k 0", Q, Error));
+  EXPECT_EQ(Error, "error: --k must be at least 1");
+  EXPECT_FALSE(serve::parseRequest("status now", Q, Error));
+  EXPECT_EQ(Error, "error: status takes no arguments");
+}
+
+TEST(ServeProtocol, ResponseHeaderRoundTrips) {
+  serve::Response R;
+  R.Exit = 1;
+  R.Out = "hello\n";
+  R.Err = "warn\n";
+  R.L1 = "regraft";
+  R.L2 = "store";
+  R.Built = {"pointsto", "verdicts"};
+  std::string Header = serve::renderResponseHeader(R);
+  ASSERT_FALSE(Header.empty());
+  EXPECT_EQ(Header.back(), '\n');
+
+  serve::Response Parsed;
+  size_t OutLen = 0, ErrLen = 0;
+  ASSERT_TRUE(serve::parseResponseHeader(
+      Header.substr(0, Header.size() - 1), Parsed, OutLen, ErrLen));
+  EXPECT_TRUE(Parsed.Ok);
+  EXPECT_EQ(Parsed.Exit, 1);
+  EXPECT_EQ(OutLen, R.Out.size());
+  EXPECT_EQ(ErrLen, R.Err.size());
+  EXPECT_EQ(Parsed.L1, "regraft");
+  EXPECT_EQ(Parsed.L2, "store");
+  EXPECT_EQ(Parsed.Built, R.Built);
+
+  EXPECT_FALSE(serve::parseResponseHeader("HTTP/1.1 200 OK", Parsed, OutLen,
+                                          ErrLen));
+  EXPECT_FALSE(
+      serve::parseResponseHeader("nadroid-serve/1 ok exit=xx out=0 err=0",
+                                 Parsed, OutLen, ErrLen));
+}
+
+TEST(ServeProtocol, ResponseEntryRoundTrips) {
+  serve::Response R;
+  R.Exit = 6;
+  R.Out = "a \"quoted\" line\nwith two lines\n";
+  R.Err = "";
+  std::string Entry = serve::renderResponseEntry(R);
+  EXPECT_EQ(Entry.find('\n'), std::string::npos);
+
+  serve::Response Back;
+  ASSERT_TRUE(serve::parseResponseEntry(Entry, Back));
+  EXPECT_EQ(Back.Exit, 6);
+  EXPECT_EQ(Back.Out, R.Out);
+  EXPECT_EQ(Back.Err, R.Err);
+
+  EXPECT_FALSE(serve::parseResponseEntry("{\"schema\": 3}", Back));
+  EXPECT_FALSE(
+      serve::parseResponseEntry(Entry.substr(0, Entry.size() / 2), Back));
+}
+
+//===----------------------------------------------------------------------===//
+// In-process server: byte identity and incrementality
+//===----------------------------------------------------------------------===//
+
+TEST(ServeServer, ResponsesMatchOneShotRendering) {
+  ScratchDir Scratch("nadroid-serve-bytes");
+  std::string App = Scratch.path("app.air");
+  writeSeedApp(App);
+
+  serve::ServerOptions O;
+  serve::Server S(O);
+
+  serve::Response R = S.handle("analyze " + App);
+  EXPECT_TRUE(R.Ok);
+  EXPECT_EQ(R.Exit, 1); // the seeded UAF survives the filters
+  EXPECT_EQ(R.L1, "new");
+  EXPECT_EQ(R.Out, oneShotText(App));
+  EXPECT_EQ(R.Err, "");
+
+  serve::Response All = S.handle("analyze " + App + " --all --explain");
+  EXPECT_EQ(All.Out, oneShotText(App, {}, true, true));
+
+  serve::Response Lint = S.handle("lint " + App);
+  EXPECT_EQ(Lint.Out, oneShotLint(App));
+  EXPECT_EQ(Lint.Exit, 0) << Lint.Out; // no lint findings in the seed
+}
+
+TEST(ServeServer, UnchangedFileRebuildsNothing) {
+  ScratchDir Scratch("nadroid-serve-hit");
+  std::string App = Scratch.path("app.air");
+  writeSeedApp(App);
+
+  serve::ServerOptions O;
+  serve::Server S(O);
+  serve::Response Cold = S.handle("analyze " + App);
+  EXPECT_FALSE(Cold.Built.empty());
+
+  serve::Response Warm = S.handle("analyze " + App);
+  EXPECT_EQ(Warm.L1, "hit");
+  EXPECT_TRUE(Warm.Built.empty());
+  EXPECT_EQ(Warm.Out, Cold.Out);
+}
+
+TEST(ServeServer, WhitespaceEditRebuildsNothing) {
+  ScratchDir Scratch("nadroid-serve-ws");
+  std::string App = Scratch.path("app.air");
+  std::string Text = writeSeedApp(App);
+
+  serve::ServerOptions O;
+  serve::Server S(O);
+  S.handle("analyze " + App);
+
+  // Insert a blank line after the header: every later location shifts,
+  // but no analysis result changes — the rebase refreshes locations in
+  // place and rebuilds zero passes.
+  size_t Eol = Text.find('\n');
+  ASSERT_NE(Eol, std::string::npos);
+  std::string Shifted = Text.substr(0, Eol + 1) + "\n" + Text.substr(Eol + 1);
+  rewrite(App, Shifted);
+
+  serve::Response R = S.handle("analyze " + App);
+  EXPECT_EQ(R.L1, "rebase");
+  EXPECT_TRUE(R.Built.empty()) << "rebuilt: " << R.Built.size() << " passes";
+  // The refreshed locations must still match a from-scratch analysis of
+  // the edited file, byte for byte.
+  EXPECT_EQ(R.Out, oneShotText(App));
+}
+
+TEST(ServeServer, BodyEditRebuildsStrictSubset) {
+  ScratchDir Scratch("nadroid-serve-inc");
+  std::string App = Scratch.path("app.air");
+  std::string Text = writeSeedApp(App);
+
+  serve::ServerOptions O;
+  serve::Server S(O);
+  serve::Response Cold = S.handle("analyze " + App);
+
+  // One-method body edit: the use() call happens twice now. Same class
+  // and method skeleton, so the fresh bodies graft onto the resident
+  // program instead of replacing it.
+  const std::string UseCall = "u.use();\n";
+  size_t At = Text.find(UseCall);
+  ASSERT_NE(At, std::string::npos);
+  std::string Edited = Text;
+  Edited.insert(At, "u.use();\n    ");
+  rewrite(App, Edited);
+
+  serve::Response R = S.handle("analyze " + App);
+  EXPECT_EQ(R.L1, "regraft");
+  EXPECT_FALSE(R.Built.empty());
+  // Strictly fewer passes than the cold run: the per-method caches only
+  // dropped the edited method's rows and did not rebuild.
+  EXPECT_LT(R.Built.size(), Cold.Built.size());
+  for (const char *Kept : {"cfg", "guards", "allocflow", "consumers"})
+    EXPECT_FALSE(built(R, Kept)) << Kept << " should not rebuild";
+  EXPECT_TRUE(built(R, "detection"));
+  EXPECT_EQ(R.Out, oneShotText(App));
+}
+
+TEST(ServeServer, StructuralEditSwapsTheSession) {
+  ScratchDir Scratch("nadroid-serve-swap");
+  std::string App = Scratch.path("app.air");
+  std::string Text = writeSeedApp(App);
+
+  serve::ServerOptions O;
+  serve::Server S(O);
+  S.handle("analyze " + App);
+
+  // A new method changes the class skeleton: no graft possible, the
+  // session swaps to the fresh program wholesale.
+  size_t At = Text.rfind("}\n}\n");
+  ASSERT_NE(At, std::string::npos);
+  std::string Edited = Text;
+  Edited.insert(At + 2, "\n  method onExtra() {\n    return;\n  }\n");
+  rewrite(App, Edited);
+
+  serve::Response R = S.handle("analyze " + App);
+  EXPECT_EQ(R.L1, "swap");
+  EXPECT_EQ(R.Out, oneShotText(App));
+}
+
+TEST(ServeServer, OptionChangeRebuildsOptionSensitivePasses) {
+  ScratchDir Scratch("nadroid-serve-opts");
+  std::string App = Scratch.path("app.air");
+  writeSeedApp(App);
+
+  serve::ServerOptions O;
+  serve::Server S(O);
+  S.handle("analyze " + App);
+
+  pipeline::PipelineOptions K3;
+  K3.K = 3;
+  serve::Response R = S.handle("analyze " + App + " --k 3");
+  EXPECT_EQ(R.L1, "hit"); // same bytes; only the options moved
+  EXPECT_TRUE(built(R, "pointsto"));
+  EXPECT_EQ(R.Out, oneShotText(App, K3));
+}
+
+TEST(ServeServer, ParseErrorKeepsTheSessionServing) {
+  ScratchDir Scratch("nadroid-serve-err");
+  std::string App = Scratch.path("app.air");
+  std::string Text = writeSeedApp(App);
+
+  serve::ServerOptions O;
+  serve::Server S(O);
+  serve::Response Good = S.handle("analyze " + App);
+
+  rewrite(App, "app \"broken\"; class {");
+  serve::Response Bad = S.handle("analyze " + App);
+  EXPECT_EQ(Bad.Exit, 2);
+  EXPECT_EQ(Bad.L1, "parse-error");
+  EXPECT_FALSE(Bad.Err.empty());
+
+  // The resident program survived the broken intermediate state: putting
+  // the old bytes back is a plain re-analysis, not a cold start.
+  rewrite(App, Text);
+  serve::Response Again = S.handle("analyze " + App);
+  EXPECT_TRUE(Again.Ok);
+  EXPECT_EQ(Again.Out, Good.Out);
+
+  serve::Response Missing = S.handle("analyze " + Scratch.path("no.air"));
+  EXPECT_EQ(Missing.Exit, 2);
+  EXPECT_NE(Missing.Err.find("cannot open file"), std::string::npos);
+
+  serve::Response Garbage = S.handle("not a request");
+  EXPECT_FALSE(Garbage.Ok);
+  EXPECT_EQ(Garbage.Exit, 2);
+}
+
+TEST(ServeServer, SessionTableEvictsLru) {
+  ScratchDir Scratch("nadroid-serve-lru");
+  std::string A = Scratch.path("a.air"), B = Scratch.path("b.air"),
+              C = Scratch.path("c.air");
+  writeSeedApp(A);
+  writeSeedApp(B);
+  writeSeedApp(C);
+
+  serve::ServerOptions O;
+  O.MaxSessions = 2;
+  serve::Server S(O);
+  S.handle("analyze " + A);
+  S.handle("analyze " + B);
+  EXPECT_TRUE(S.sessionTable().resident(A));
+  S.handle("analyze " + C); // capacity 2: A is the LRU victim
+  EXPECT_FALSE(S.sessionTable().resident(A));
+  EXPECT_TRUE(S.sessionTable().resident(B));
+  EXPECT_TRUE(S.sessionTable().resident(C));
+  EXPECT_EQ(S.sessionTable().evictions(), 1u);
+
+  serve::Response R = S.handle("analyze " + A);
+  EXPECT_EQ(R.L1, "new"); // back from scratch, not from the table
+}
+
+TEST(ServeServer, L2AnswersAcrossRestart) {
+  ScratchDir Scratch("nadroid-serve-l2");
+  std::string App = Scratch.path("app.air");
+  writeSeedApp(App);
+
+  serve::ServerOptions O;
+  O.CacheDir = Scratch.path("cache");
+  std::string FirstOut;
+  {
+    serve::Server S(O);
+    serve::Response R = S.handle("analyze " + App);
+    EXPECT_EQ(R.L2, "store");
+    FirstOut = R.Out;
+  }
+  {
+    serve::Server S(O); // a new daemon, same cache directory
+    serve::Response R = S.handle("analyze " + App);
+    EXPECT_EQ(R.L2, "hit");
+    EXPECT_EQ(R.L1, "cold"); // answered without any resident session
+    EXPECT_TRUE(R.Built.empty());
+    EXPECT_EQ(R.Out, FirstOut);
+  }
+}
+
+TEST(ServeServer, StatusAndShutdown) {
+  ScratchDir Scratch("nadroid-serve-status");
+  std::string App = Scratch.path("app.air");
+  writeSeedApp(App);
+
+  serve::ServerOptions O;
+  serve::Server S(O);
+  S.handle("analyze " + App);
+  serve::Response Status = S.handle("status");
+  EXPECT_NE(Status.Out.find("sessions: 1/8 resident"), std::string::npos)
+      << Status.Out;
+  EXPECT_NE(Status.Out.find("app.air: requests=1"), std::string::npos);
+
+  EXPECT_FALSE(S.shutdownRequested());
+  serve::Response Down = S.handle("shutdown");
+  EXPECT_TRUE(Down.Ok);
+  EXPECT_TRUE(S.shutdownRequested());
+}
+
+//===----------------------------------------------------------------------===//
+// Real socket transport
+//===----------------------------------------------------------------------===//
+
+TEST(ServeSocket, ConcurrentClientsGetOneShotBytes) {
+  ScratchDir Scratch("nadroid-serve-sock");
+  // sun_path is ~108 bytes; keep the socket under /tmp directly.
+  std::string Sock = Scratch.path("d.sock");
+  constexpr int NumClients = 4;
+  std::vector<std::string> Apps, Expected;
+  for (int I = 0; I < NumClients; ++I) {
+    Apps.push_back(Scratch.path("app" + std::to_string(I) + ".air"));
+    writeSeedApp(Apps.back());
+    // Program names come from the file stem, so each app renders its
+    // own summary line.
+    Expected.push_back(oneShotText(Apps.back()));
+  }
+
+  serve::ServerOptions O;
+  O.SocketPath = Sock;
+  serve::Server S(O);
+  std::string Error;
+  ASSERT_TRUE(S.start(Error)) << Error;
+  std::thread Daemon([&S] { EXPECT_EQ(S.run(), 0); });
+
+  std::vector<std::thread> Clients;
+  std::vector<int> Exits(NumClients, -1);
+  std::vector<std::string> Outs(NumClients), Errs(NumClients);
+  for (int I = 0; I < NumClients; ++I)
+    Clients.emplace_back([&, I] {
+      std::ostringstream Out, Err;
+      Exits[I] =
+          serve::runClient(Sock, "analyze " + Apps[I], Out, Err);
+      Outs[I] = Out.str();
+      Errs[I] = Err.str();
+    });
+  for (std::thread &T : Clients)
+    T.join();
+  for (int I = 0; I < NumClients; ++I) {
+    EXPECT_EQ(Exits[I], 1) << Errs[I];
+    EXPECT_EQ(Outs[I], Expected[I]);
+    EXPECT_EQ(Errs[I], "");
+  }
+
+  std::ostringstream Out, Err;
+  EXPECT_EQ(serve::runClient(Sock, "shutdown", Out, Err), 0) << Err.str();
+  Daemon.join();
+  EXPECT_FALSE(fs::exists(Sock)); // a clean shutdown removes the socket
+
+  // With no daemon behind the socket, the client reports exit 7.
+  EXPECT_EQ(serve::runClient(Sock, "status", Out, Err), 7);
+}
+
+} // namespace

@@ -82,6 +82,36 @@ TEST(StringUtils, PercentFormatting) {
   EXPECT_EQ(percent(1, 0), "n/a");
 }
 
+TEST(StringUtils, ParseUnsignedIsStrict) {
+  unsigned long long N = 99;
+  EXPECT_TRUE(parseUnsigned("0", N));
+  EXPECT_EQ(N, 0u);
+  EXPECT_TRUE(parseUnsigned("18446744073709551615", N)); // ULLONG_MAX
+  EXPECT_EQ(N, ~0ull);
+  // Everything std::atoi silently mangles must be refused outright.
+  EXPECT_FALSE(parseUnsigned("", N));
+  EXPECT_FALSE(parseUnsigned("abc", N));
+  EXPECT_FALSE(parseUnsigned("4x", N));  // atoi: 4
+  EXPECT_FALSE(parseUnsigned(" 3", N));  // atoi: 3
+  EXPECT_FALSE(parseUnsigned("-1", N));  // atoi: -1
+  EXPECT_FALSE(parseUnsigned("+2", N));
+  EXPECT_FALSE(parseUnsigned("18446744073709551616", N)); // overflow
+}
+
+TEST(StringUtils, ParseDoubleIsStrict) {
+  double D = -1;
+  EXPECT_TRUE(parseDouble("2.5", D));
+  EXPECT_DOUBLE_EQ(D, 2.5);
+  EXPECT_TRUE(parseDouble("10", D));
+  EXPECT_DOUBLE_EQ(D, 10.0);
+  EXPECT_FALSE(parseDouble("", D));
+  EXPECT_FALSE(parseDouble("2.5x", D)); // atof: 2.5
+  EXPECT_FALSE(parseDouble("1e9", D));  // exponents are not CLI seconds
+  EXPECT_FALSE(parseDouble("-1", D));
+  EXPECT_FALSE(parseDouble("1.2.3", D));
+  EXPECT_FALSE(parseDouble(".", D));
+}
+
 //===----------------------------------------------------------------------===//
 // TableWriter
 //===----------------------------------------------------------------------===//

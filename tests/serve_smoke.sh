@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# End-to-end --serve smoke test: start the daemon, drive analyze /
+# explain / lint / status / shutdown through --connect, and byte-compare
+# every payload and exit code with the one-shot CLI on the same files.
+# Usage: serve_smoke.sh <path-to-nadroid> <work-dir>
+set -u
+
+NADROID=$1
+WORK=$2
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+# Keep the socket short: sun_path caps out around 107 bytes.
+SOCK=$(mktemp -u "${TMPDIR:-/tmp}/nadroid-smoke-XXXXXX.sock")
+
+"$NADROID" --export-corpus "$WORK/apps" > /dev/null || exit 1
+
+"$NADROID" --serve "$SOCK" 2> "$WORK/daemon.log" &
+DAEMON=$!
+trap 'kill $DAEMON 2>/dev/null' EXIT
+
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "FAIL: daemon never bound $SOCK"; exit 1; }
+
+fail=0
+for app in Aard Browser ConnectBot; do
+  f="$WORK/apps/$app.air"
+  for req in "analyze" "analyze --all" "explain" "lint"; do
+    verb=${req%% *}
+    flags=${req#"$verb"}
+    case $verb in
+      analyze) "$NADROID" $flags "$f" > "$WORK/cli.out" 2> "$WORK/cli.err" ;;
+      explain) "$NADROID" --explain "$f" > "$WORK/cli.out" 2> "$WORK/cli.err" ;;
+      lint)    "$NADROID" --lint "$f" > "$WORK/cli.out" 2> "$WORK/cli.err" ;;
+    esac
+    cli=$?
+    "$NADROID" --connect "$SOCK" "$verb" "$f" $flags \
+      > "$WORK/d.out" 2> "$WORK/d.err"
+    daemon=$?
+    if [ "$cli" -ne "$daemon" ]; then
+      echo "FAIL $app '$req': exit $cli (cli) vs $daemon (daemon)"
+      fail=1
+    fi
+    cmp -s "$WORK/cli.out" "$WORK/d.out" \
+      || { echo "FAIL $app '$req': stdout differs"; fail=1; }
+    cmp -s "$WORK/cli.err" "$WORK/d.err" \
+      || { echo "FAIL $app '$req': stderr differs"; fail=1; }
+  done
+done
+
+# The second pass answers from resident sessions — same bytes.
+"$NADROID" "$WORK/apps/Aard.air" > "$WORK/cli.out" 2> /dev/null
+"$NADROID" --connect "$SOCK" analyze "$WORK/apps/Aard.air" \
+  > "$WORK/d.out" 2> /dev/null
+cmp -s "$WORK/cli.out" "$WORK/d.out" \
+  || { echo "FAIL: warm analyze differs from CLI"; fail=1; }
+
+"$NADROID" --connect "$SOCK" status | grep -q "sessions:" \
+  || { echo "FAIL: status response"; fail=1; }
+
+# A malformed request is answered, not dropped, and the daemon survives.
+"$NADROID" --connect "$SOCK" frobnicate 2>&1 | grep -q "unknown request verb" \
+  || { echo "FAIL: malformed request diagnostic"; fail=1; }
+
+"$NADROID" --connect "$SOCK" shutdown > /dev/null \
+  || { echo "FAIL: shutdown request"; fail=1; }
+wait $DAEMON
+rc=$?
+[ "$rc" -eq 0 ] || { echo "FAIL: daemon exited $rc"; fail=1; }
+trap - EXIT
+
+[ "$fail" -eq 0 ] && echo "serve smoke OK"
+exit $fail
