@@ -23,7 +23,16 @@
 //               "filteringCpuSec": F, "filteringWallSec": F},
 //    "filtering": {"MHBSec": F, "IGSec": F, "IASec": F, "RHBSec": F,
 //                  "CHBSec": F, "PHBSec": F, "MASec": F, "URSec": F,
-//                  "TTSec": F}}
+//                  "TTSec": F},
+//    "sharded": {"shards": 3, "coldWallSec": F, "warmWallSec": F,
+//                "mergeIdentical": B, "warmHits": N, "warmMisses": N,
+//                "backend": S, "transportFailures": N}}
+//
+// The "sharded" object replays the same corpus as three --shard slices
+// against a fresh cache (cold, then warm), folds the three checkpoint
+// logs with mergeShardLogs, and records whether the merged text report
+// is byte-identical to the unsharded cold run's — the distributed-batch
+// contract, asserted here and again by the CI fan-in job.
 //
 // The "filtering" object splits filteringCpuSec by filter kind (per-pair
 // verdict self-time, summed over the cold run's apps); refuter time and
@@ -46,6 +55,8 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 using namespace nadroid;
 namespace fs = std::filesystem;
@@ -77,6 +88,39 @@ int main() {
   report::BatchResult Warm = report::runBatch(O);
   bool Identical =
       report::renderBatchReport(Cold) == report::renderBatchReport(Warm);
+
+  // The same corpus as three deterministic shards against a fresh cache:
+  // cold fan-out, warm fan-out, then the merge that a distributed run
+  // would perform on the collected checkpoint logs.
+  constexpr unsigned Shards = 3;
+  fs::path ShardCacheDir =
+      fs::temp_directory_path(Ec) / "nadroid-batch-cache-shard-store";
+  fs::remove_all(ShardCacheDir, Ec);
+  double ShardColdSec = 0, ShardWarmSec = 0;
+  unsigned ShardWarmHits = 0, ShardWarmMisses = 0, ShardFailures = 0;
+  std::string Backend = "dir";
+  std::vector<std::string> ShardLogs;
+  for (unsigned I = 1; I <= Shards; ++I) {
+    report::BatchOptions SO = O;
+    SO.CacheDir = ShardCacheDir.string();
+    SO.ShardIndex = I;
+    SO.ShardCount = Shards;
+    SO.LogPath =
+        (Dir / ("shard" + std::to_string(I) + ".jsonl")).string();
+    ShardLogs.push_back(SO.LogPath);
+    report::BatchResult SCold = report::runBatch(SO);
+    ShardColdSec += SCold.WallSec;
+    report::BatchResult SWarm = report::runBatch(SO);
+    ShardWarmSec += SWarm.WallSec;
+    ShardWarmHits += SWarm.CacheHits;
+    ShardWarmMisses += SWarm.CacheMisses;
+    ShardFailures += SWarm.CacheTransportFailures;
+    Backend = SWarm.CacheBackend;
+  }
+  report::MergeShardsResult MR = report::mergeShardLogs(ShardLogs);
+  bool MergeIdentical =
+      MR.ok() &&
+      report::renderBatchReport(MR.Merged) == report::renderBatchReport(Cold);
 
   report::BatchPhaseTotals Phases = report::batchPhaseTotals(Cold);
   unsigned Probed = Warm.CacheHits + Warm.CacheMisses;
@@ -115,11 +159,23 @@ int main() {
     std::cout << (I ? ", " : "") << "\""
               << filters::filterKindName(static_cast<filters::FilterKind>(I))
               << "Sec\": " << report::jsonFixed(Phases.FilterCpuSec[I], 3);
-  std::cout << "}}\n";
+  std::cout << "}, \"sharded\": {\"shards\": " << Shards
+            << ", \"coldWallSec\": " << report::jsonFixed(ShardColdSec, 3)
+            << ", \"warmWallSec\": " << report::jsonFixed(ShardWarmSec, 3)
+            << ", \"mergeIdentical\": " << (MergeIdentical ? "true" : "false")
+            << ", \"warmHits\": " << ShardWarmHits
+            << ", \"warmMisses\": " << ShardWarmMisses << ", \"backend\": \""
+            << Backend << "\", \"transportFailures\": " << ShardFailures
+            << "}}\n";
 
   fs::remove_all(Dir, Ec);
   fs::remove_all(CacheDir, Ec);
+  fs::remove_all(ShardCacheDir, Ec);
 
-  // A cold/warm report divergence or a non-total hit rate is a bug.
-  return (Identical && Warm.CacheHits == Written) ? 0 : 1;
+  // A cold/warm report divergence, a non-total hit rate, or a sharded
+  // merge that fails to reproduce the unsharded bytes is a bug.
+  return (Identical && Warm.CacheHits == Written && MergeIdentical &&
+          ShardWarmHits == Written)
+             ? 0
+             : 1;
 }

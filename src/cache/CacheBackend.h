@@ -1,0 +1,81 @@
+//===- cache/CacheBackend.h - Pluggable result-cache transport --*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport protocol behind ResultCache — Bazel-action-cache
+/// semantics reduced to two verbs:
+///
+///   lookup(key) -> entry | miss      (content-addressed GET)
+///   store(key, entry)   -> ok | drop (content-addressed PUT, atomic)
+///
+/// Keys are 64-hex SHA-256 strings; entries are opaque single lines the
+/// report layer serializes and validates. A backend never interprets
+/// either. The contract every backend must honor:
+///
+///  * **Atomicity.** A concurrent reader sees a whole entry or none —
+///    never a torn write. The dir backend gets this from POSIX rename;
+///    the HTTP backend from the server publishing bodies whole.
+///  * **Failure degrades to a miss.** Unreachable host, refused
+///    connection, timeout, 5xx, truncated body, unwritable directory,
+///    ENOSPC — every one returns false and the caller re-analyzes. A
+///    cache can make a batch slower, never wronger, and never dead.
+///  * **Failures are counted.** Clean misses (absent key, 404) are the
+///    cache working; transport and status failures are the cache
+///    *broken*, and `transportFailures()` keeps the two distinguishable
+///    so a shard pointed at a dead cache host shows up in the batch
+///    footer instead of masquerading as a cold corpus.
+///  * **Bounded waiting.** A backend call returns within its configured
+///    timeout. A dead cache host costs a shard O(apps × timeout), not a
+///    hang.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_CACHE_CACHEBACKEND_H
+#define NADROID_CACHE_CACHEBACKEND_H
+
+#include <atomic>
+#include <string>
+
+namespace nadroid::cache {
+
+class CacheBackend {
+public:
+  virtual ~CacheBackend() = default;
+
+  /// Reads the entry under \p KeyHex into \p EntryLine. False on a clean
+  /// miss *and* on any failure (the caller cannot tell — it re-analyzes
+  /// either way; the distinction lives in transportFailures()).
+  virtual bool lookup(const std::string &KeyHex,
+                      std::string &EntryLine) = 0;
+
+  /// Installs \p EntryLine under \p KeyHex atomically. False on any
+  /// failure — callers treat a failed store as "cache full/broken",
+  /// never fatal.
+  virtual bool store(const std::string &KeyHex,
+                     const std::string &EntryLine) = 0;
+
+  /// The URL scheme this backend answers to ("dir", "http") — the label
+  /// the batch JSON and footer report per-backend counters under.
+  virtual const char *scheme() const = 0;
+
+  /// Transport/status failures since construction: refused connections,
+  /// timeouts, non-404 error statuses, truncated bodies, I/O errors.
+  /// Clean misses are not failures. Thread-safe (batch stores run on
+  /// pool lanes).
+  unsigned transportFailures() const {
+    return Failures.load(std::memory_order_relaxed);
+  }
+
+protected:
+  void countFailure() { Failures.fetch_add(1, std::memory_order_relaxed); }
+
+private:
+  std::atomic<unsigned> Failures{0};
+};
+
+} // namespace nadroid::cache
+
+#endif // NADROID_CACHE_CACHEBACKEND_H

@@ -1,0 +1,318 @@
+//===- cache/HttpBackend.cpp - Remote HTTP action-cache backend -----------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/HttpBackend.h"
+
+#include "support/StringUtils.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+using namespace nadroid;
+using namespace nadroid::cache;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+#ifndef _WIN32
+
+/// RAII socket: every early return below must close, and there are many.
+struct Fd {
+  int Raw = -1;
+  ~Fd() {
+    if (Raw >= 0)
+      ::close(Raw);
+  }
+};
+
+/// Milliseconds left before \p Deadline; <= 0 means it passed.
+long msLeft(Clock::time_point Deadline) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(Deadline -
+                                                               Clock::now())
+      .count();
+}
+
+/// Non-blocking connect bounded by \p Deadline. The classic dance:
+/// O_NONBLOCK, connect, poll for writability, then read SO_ERROR —
+/// a plain blocking connect to a dead host would wait out the kernel's
+/// SYN retries (minutes), which is exactly the stall this backend
+/// promises not to have.
+bool connectDeadline(int Sock, const sockaddr *Addr, socklen_t Len,
+                     Clock::time_point Deadline) {
+  int Flags = ::fcntl(Sock, F_GETFL, 0);
+  if (Flags < 0 || ::fcntl(Sock, F_SETFL, Flags | O_NONBLOCK) < 0)
+    return false;
+  if (::connect(Sock, Addr, Len) == 0)
+    return true;
+  if (errno != EINPROGRESS)
+    return false;
+  pollfd P{Sock, POLLOUT, 0};
+  long Left = msLeft(Deadline);
+  if (Left <= 0 || ::poll(&P, 1, static_cast<int>(Left)) <= 0)
+    return false;
+  int Err = 0;
+  socklen_t ErrLen = sizeof(Err);
+  return ::getsockopt(Sock, SOL_SOCKET, SO_ERROR, &Err, &ErrLen) == 0 &&
+         Err == 0;
+}
+
+/// Sends all of \p Data before \p Deadline (the socket is non-blocking
+/// after connectDeadline, so short writes and EAGAIN are routine).
+bool sendAll(int Sock, const std::string &Data, Clock::time_point Deadline) {
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = ::send(Sock, Data.data() + Off, Data.size() - Off,
+#ifdef MSG_NOSIGNAL
+                       MSG_NOSIGNAL
+#else
+                       0
+#endif
+    );
+    if (N > 0) {
+      Off += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                  errno == EINTR)) {
+      pollfd P{Sock, POLLOUT, 0};
+      long Left = msLeft(Deadline);
+      if (Left <= 0 || ::poll(&P, 1, static_cast<int>(Left)) <= 0)
+        return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+/// Reads until EOF (the request said Connection: close) or \p Deadline.
+/// False only on the deadline or a read error — an early EOF is the
+/// *parser's* problem (it shows up as a truncated body).
+bool recvAll(int Sock, std::string &Out, Clock::time_point Deadline) {
+  char Buf[4096];
+  for (;;) {
+    ssize_t N = ::recv(Sock, Buf, sizeof(Buf), 0);
+    if (N > 0) {
+      Out.append(Buf, static_cast<size_t>(N));
+      // A response an adversarial or broken server pads forever must
+      // not balloon memory; entries are single lines, so 16 MiB is
+      // already absurd.
+      if (Out.size() > (16u << 20))
+        return false;
+      continue;
+    }
+    if (N == 0)
+      return true;
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      pollfd P{Sock, POLLIN, 0};
+      long Left = msLeft(Deadline);
+      if (Left <= 0 || ::poll(&P, 1, static_cast<int>(Left)) <= 0)
+        return false;
+      continue;
+    }
+    return false;
+  }
+}
+
+/// Parses an HTTP/1.1 response: status code out of the status line, the
+/// body after the first blank line. When Content-Length is present the
+/// body must be at least that long (a connection cut mid-body is a
+/// truncation, not a short entry) and is trimmed to exactly it.
+bool parseResponse(const std::string &Raw, int &Status, std::string &Body) {
+  size_t LineEnd = Raw.find("\r\n");
+  if (LineEnd == std::string::npos)
+    return false;
+  std::string StatusLine = Raw.substr(0, LineEnd);
+  if (StatusLine.compare(0, 5, "HTTP/") != 0)
+    return false;
+  size_t Sp = StatusLine.find(' ');
+  if (Sp == std::string::npos || Sp + 4 > StatusLine.size())
+    return false;
+  unsigned long long Code = 0;
+  if (!parseUnsigned(StatusLine.substr(Sp + 1, 3).c_str(), Code))
+    return false;
+  Status = static_cast<int>(Code);
+
+  size_t HdrEnd = Raw.find("\r\n\r\n");
+  if (HdrEnd == std::string::npos)
+    return false;
+  std::string Headers = Raw.substr(0, HdrEnd);
+  Body = Raw.substr(HdrEnd + 4);
+
+  // Case-insensitive Content-Length scan over the header block.
+  std::string Lower = Headers;
+  for (char &C : Lower)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  size_t Cl = Lower.find("content-length:");
+  if (Cl != std::string::npos) {
+    size_t ValStart = Cl + std::strlen("content-length:");
+    size_t ValEnd = Lower.find("\r\n", ValStart);
+    std::string Val = Headers.substr(
+        ValStart, (ValEnd == std::string::npos ? Headers.size() : ValEnd) -
+                      ValStart);
+    size_t B = Val.find_first_not_of(" \t");
+    size_t E = Val.find_last_not_of(" \t");
+    if (B == std::string::npos)
+      return false;
+    unsigned long long Len = 0;
+    if (!parseUnsigned(Val.substr(B, E - B + 1).c_str(), Len))
+      return false;
+    if (Body.size() < Len)
+      return false; // truncated mid-body
+    Body.resize(static_cast<size_t>(Len));
+  }
+  return true;
+}
+
+#endif // !_WIN32
+
+} // namespace
+
+bool HttpCacheBackend::parseUrl(const std::string &Url, std::string &Host,
+                                unsigned &Port, std::string &Prefix) {
+  const std::string Scheme = "http://";
+  if (Url.compare(0, Scheme.size(), Scheme) != 0)
+    return false;
+  std::string Rest = Url.substr(Scheme.size());
+  size_t Slash = Rest.find('/');
+  std::string HostPort = Rest.substr(0, Slash);
+  Prefix = Slash == std::string::npos ? "" : Rest.substr(Slash);
+  while (!Prefix.empty() && Prefix.back() == '/')
+    Prefix.pop_back();
+  size_t Colon = HostPort.rfind(':');
+  Port = 80;
+  if (Colon != std::string::npos) {
+    unsigned long long P = 0;
+    if (!parseUnsigned(HostPort.substr(Colon + 1).c_str(), P) || P < 1 ||
+        P > 65535)
+      return false;
+    Port = static_cast<unsigned>(P);
+    HostPort.resize(Colon);
+  }
+  Host = HostPort;
+  return !Host.empty();
+}
+
+HttpCacheBackend::HttpCacheBackend(const std::string &Url) : Url(Url) {
+  Valid = parseUrl(Url, Host, Port, Prefix);
+  if (const char *E = std::getenv("NADROID_CACHE_TIMEOUT_MS")) {
+    unsigned long long Ms = 0;
+    if (parseUnsigned(E, Ms) && Ms >= 1 && Ms <= 600000)
+      TimeoutMs = static_cast<long>(Ms);
+  }
+}
+
+std::string HttpCacheBackend::objectPath(const std::string &KeyHex) const {
+  return Prefix + "/" + KeyHex.substr(0, 2) + "/" + KeyHex;
+}
+
+bool HttpCacheBackend::exchange(const std::string &Request, int &Status,
+                                std::string &Body) {
+#ifdef _WIN32
+  (void)Request;
+  (void)Status;
+  (void)Body;
+  return false;
+#else
+  auto Deadline = Clock::now() + std::chrono::milliseconds(TimeoutMs);
+
+  // Numeric hosts skip the resolver; anything else goes through
+  // getaddrinfo with AI_NUMERICSERV (the port is already a number).
+  addrinfo Hints{};
+  Hints.ai_family = AF_INET;
+  Hints.ai_socktype = SOCK_STREAM;
+  addrinfo *Res = nullptr;
+  if (::getaddrinfo(Host.c_str(), std::to_string(Port).c_str(), &Hints,
+                    &Res) != 0 ||
+      !Res)
+    return false;
+
+  Fd Sock;
+  Sock.Raw = ::socket(Res->ai_family, Res->ai_socktype, Res->ai_protocol);
+  bool Ok = Sock.Raw >= 0 &&
+            connectDeadline(Sock.Raw, Res->ai_addr,
+                            static_cast<socklen_t>(Res->ai_addrlen),
+                            Deadline);
+  ::freeaddrinfo(Res);
+  if (!Ok)
+    return false;
+
+  if (!sendAll(Sock.Raw, Request, Deadline))
+    return false;
+  std::string Raw;
+  if (!recvAll(Sock.Raw, Raw, Deadline))
+    return false;
+  return parseResponse(Raw, Status, Body);
+#endif
+}
+
+bool HttpCacheBackend::lookup(const std::string &KeyHex,
+                              std::string &EntryLine) {
+  if (!Valid) {
+    countFailure();
+    return false;
+  }
+  std::ostringstream Req;
+  Req << "GET " << objectPath(KeyHex) << " HTTP/1.1\r\n"
+      << "Host: " << Host << ":" << Port << "\r\n"
+      << "Connection: close\r\n\r\n";
+  int Status = 0;
+  std::string Body;
+  if (!exchange(Req.str(), Status, Body)) {
+    countFailure();
+    return false;
+  }
+  if (Status == 404)
+    return false; // clean miss: the cache is healthy, the key is new
+  if (Status != 200) {
+    countFailure();
+    return false;
+  }
+  // Entries are single lines; the dir backend's reader getline-trims
+  // the trailing newline, so trim here too for byte-parity.
+  while (!Body.empty() && (Body.back() == '\n' || Body.back() == '\r'))
+    Body.pop_back();
+  EntryLine = std::move(Body);
+  return true;
+}
+
+bool HttpCacheBackend::store(const std::string &KeyHex,
+                             const std::string &EntryLine) {
+  if (!Valid) {
+    countFailure();
+    return false;
+  }
+  std::ostringstream Req;
+  Req << "PUT " << objectPath(KeyHex) << " HTTP/1.1\r\n"
+      << "Host: " << Host << ":" << Port << "\r\n"
+      << "Content-Length: " << EntryLine.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << EntryLine;
+  int Status = 0;
+  std::string Body;
+  if (!exchange(Req.str(), Status, Body)) {
+    countFailure();
+    return false;
+  }
+  if (Status < 200 || Status > 299) {
+    countFailure();
+    return false;
+  }
+  return true;
+}

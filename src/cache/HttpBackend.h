@@ -1,0 +1,83 @@
+//===- cache/HttpBackend.h - Remote HTTP action-cache backend ---*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `http://` ResultCache backend: a dumb content-addressed object
+/// store over HTTP/1.1, the protocol shape of Bazel's remote action
+/// cache. One entry is one object:
+///
+///   GET <prefix>/<2-hex>/<key>   200 + body = the entry line
+///                                404        = clean miss
+///   PUT <prefix>/<2-hex>/<key>   2xx        = stored
+///
+/// The two-level `<2-hex>/` split mirrors the dir backend's sharded
+/// layout exactly, so a directory cache exposed over any static file
+/// server (plus PUT) is already a valid remote cache.
+///
+/// Transport discipline (the CacheBackend contract, made concrete):
+/// every request runs on its own connection under one wall-clock
+/// deadline covering resolve + connect + send + receive — default
+/// 5000 ms, overridable via NADROID_CACHE_TIMEOUT_MS so tests can make
+/// a stalled server give up in milliseconds. Refused connections,
+/// timeouts, malformed responses, non-404 error statuses and bodies
+/// shorter than their Content-Length all degrade to a counted miss;
+/// only a 200 whose body length matches its header is a hit. No
+/// keep-alive, no TLS, no redirects — a cache host is infrastructure
+/// you point at, not negotiate with.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_CACHE_HTTPBACKEND_H
+#define NADROID_CACHE_HTTPBACKEND_H
+
+#include "cache/CacheBackend.h"
+
+#include <string>
+
+namespace nadroid::cache {
+
+class HttpCacheBackend : public CacheBackend {
+public:
+  /// \p Url must look like `http://host:port[/prefix]`; see parseUrl.
+  /// An unparseable URL yields a permanently-failing backend (every
+  /// call counts a failure) rather than a crash — the driver validates
+  /// the spec before constructing one.
+  explicit HttpCacheBackend(const std::string &Url);
+
+  bool lookup(const std::string &KeyHex, std::string &EntryLine) override;
+  bool store(const std::string &KeyHex, const std::string &EntryLine) override;
+  const char *scheme() const override { return "http"; }
+
+  /// Splits `http://host:port/prefix` into its parts (port defaults to
+  /// 80, prefix to ""). Returns false on anything else — no scheme, an
+  /// empty host, a non-numeric port. Exposed so the driver can reject a
+  /// bad --cache-dir spec with a diagnostic instead of a dead backend.
+  static bool parseUrl(const std::string &Url, std::string &Host,
+                       unsigned &Port, std::string &Prefix);
+
+  const std::string &url() const { return Url; }
+
+private:
+  /// `<prefix>/<first 2 hex>/<key>` — the object key for \p KeyHex.
+  std::string objectPath(const std::string &KeyHex) const;
+
+  /// One request/response exchange on a fresh connection under the
+  /// deadline. Returns false (counting a failure unless \p *CleanMiss
+  /// was set) on any transport or protocol error. On true, \p Status
+  /// and \p Body carry the response.
+  bool exchange(const std::string &Request, int &Status, std::string &Body);
+
+  std::string Url;
+  std::string Host;
+  unsigned Port = 0;
+  std::string Prefix;
+  bool Valid = false;
+  long TimeoutMs = 5000;
+};
+
+} // namespace nadroid::cache
+
+#endif // NADROID_CACHE_HTTPBACKEND_H

@@ -6,6 +6,8 @@
 
 #include "cache/ResultCache.h"
 
+#include "cache/CacheBackend.h"
+#include "cache/HttpBackend.h"
 #include "support/Sha256.h"
 
 #include <atomic>
@@ -37,6 +39,103 @@ void foldComponent(support::Sha256 &H, std::string_view Part) {
   H.update(Part);
 }
 
+/// The original sharded-directory layout, now one backend among several:
+/// `<dir>/<2-hex>/<key>.json` entries, atomic temp+rename stores safe
+/// under --jobs N and concurrent processes.
+class DirCacheBackend : public CacheBackend {
+public:
+  explicit DirCacheBackend(std::string Dir) : Dir(std::move(Dir)) {}
+
+  std::string entryPath(const std::string &KeyHex) const {
+    return Dir + "/" + KeyHex.substr(0, 2) + "/" + KeyHex + ".json";
+  }
+
+  bool lookup(const std::string &KeyHex, std::string &EntryLine) override {
+    std::ifstream In(entryPath(KeyHex));
+    if (!In)
+      return false; // clean miss: an absent entry is the cache working
+    if (!std::getline(In, EntryLine)) {
+      countFailure(); // the file exists but cannot be read: broken
+      return false;
+    }
+    return true;
+  }
+
+  bool store(const std::string &KeyHex, const std::string &EntryLine)
+      override {
+    fs::path Final = entryPath(KeyHex);
+    std::error_code Ec;
+    fs::create_directories(Final.parent_path(), Ec);
+    if (Ec) {
+      countFailure();
+      return false;
+    }
+
+    // Unique within this process and across processes: pid + a
+    // process-wide counter. Collisions with a stale temp file from a
+    // dead process are harmless — the write truncates it.
+    static std::atomic<unsigned> Seq{0};
+#ifdef _WIN32
+    long Pid = _getpid();
+#else
+    long Pid = getpid();
+#endif
+    fs::path Tmp = Final;
+    Tmp += ".tmp." + std::to_string(Pid) + "." +
+           std::to_string(Seq.fetch_add(1, std::memory_order_relaxed));
+
+    {
+      std::ofstream Out(Tmp, std::ios::trunc);
+      if (!Out) {
+        countFailure();
+        return false;
+      }
+      Out << EntryLine << "\n";
+      Out.flush();
+      if (!Out.good()) {
+        Out.close();
+        fs::remove(Tmp, Ec);
+        countFailure();
+        return false;
+      }
+    }
+    // The publish point: rename is atomic, so a concurrent reader sees
+    // the old entry, the new entry, or nothing — never a torn write.
+    fs::rename(Tmp, Final, Ec);
+    if (Ec) {
+      fs::remove(Tmp, Ec);
+      countFailure();
+      return false;
+    }
+    return true;
+  }
+
+  const char *scheme() const override { return "dir"; }
+
+private:
+  std::string Dir;
+};
+
+/// Strips the optional explicit `dir://` scheme off a directory spec.
+std::string dirPathOf(const std::string &Spec) {
+  const std::string Scheme = "dir://";
+  if (Spec.compare(0, Scheme.size(), Scheme) == 0)
+    return Spec.substr(Scheme.size());
+  return Spec;
+}
+
+bool isHttpSpec(const std::string &Spec) {
+  return Spec.compare(0, 7, "http://") == 0;
+}
+
+std::unique_ptr<CacheBackend> makeBackend(const std::string &Spec) {
+  if (Spec.empty())
+    return nullptr;
+  if (isHttpSpec(Spec))
+    return std::make_unique<HttpCacheBackend>(Spec);
+  return std::make_unique<DirCacheBackend>(dirPathOf(Spec));
+}
+
 } // namespace
 
 std::string cache::resultCacheKey(std::string_view CanonicalAir,
@@ -61,61 +160,53 @@ std::string cache::serveResponseKey(std::string_view RawAirBytes,
   return H.finalHex();
 }
 
-std::string ResultCache::entryPath(const std::string &KeyHex) const {
-  return Dir + "/" + KeyHex.substr(0, 2) + "/" + KeyHex + ".json";
+bool cache::validateCacheSpec(const std::string &Spec, std::string &Error) {
+  if (Spec.empty())
+    return true;
+  if (isHttpSpec(Spec)) {
+    std::string Host, Prefix;
+    unsigned Port = 0;
+    if (!HttpCacheBackend::parseUrl(Spec, Host, Port, Prefix)) {
+      Error = "'" + Spec +
+              "' is not a valid cache URL (want http://host[:port][/prefix])";
+      return false;
+    }
+    return true;
+  }
+  if (dirPathOf(Spec).empty()) {
+    Error = "'" + Spec + "' names no directory";
+    return false;
+  }
+  return true;
 }
+
+ResultCache::ResultCache(std::string SpecIn)
+    : Spec(std::move(SpecIn)), Backend(makeBackend(Spec)) {}
+
+ResultCache::~ResultCache() = default;
+ResultCache::ResultCache(ResultCache &&) noexcept = default;
+ResultCache &ResultCache::operator=(ResultCache &&) noexcept = default;
 
 bool ResultCache::lookup(const std::string &KeyHex,
                          std::string &EntryLine) const {
-  if (!enabled())
-    return false;
-  std::ifstream In(entryPath(KeyHex));
-  if (!In)
-    return false;
-  return static_cast<bool>(std::getline(In, EntryLine));
+  return Backend && Backend->lookup(KeyHex, EntryLine);
 }
 
 bool ResultCache::store(const std::string &KeyHex,
                         const std::string &EntryLine) const {
-  if (!enabled())
-    return false;
-  fs::path Final = entryPath(KeyHex);
-  std::error_code Ec;
-  fs::create_directories(Final.parent_path(), Ec);
-  if (Ec)
-    return false;
+  return Backend && Backend->store(KeyHex, EntryLine);
+}
 
-  // Unique within this process and across processes: pid + a process-wide
-  // counter. Collisions with a stale temp file from a dead process are
-  // harmless — the write truncates it.
-  static std::atomic<unsigned> Seq{0};
-#ifdef _WIN32
-  long Pid = _getpid();
-#else
-  long Pid = getpid();
-#endif
-  fs::path Tmp = Final;
-  Tmp += ".tmp." + std::to_string(Pid) + "." +
-         std::to_string(Seq.fetch_add(1, std::memory_order_relaxed));
+std::string ResultCache::entryPath(const std::string &KeyHex) const {
+  if (!Backend || isHttpSpec(Spec))
+    return "";
+  return static_cast<const DirCacheBackend &>(*Backend).entryPath(KeyHex);
+}
 
-  {
-    std::ofstream Out(Tmp, std::ios::trunc);
-    if (!Out)
-      return false;
-    Out << EntryLine << "\n";
-    Out.flush();
-    if (!Out.good()) {
-      Out.close();
-      fs::remove(Tmp, Ec);
-      return false;
-    }
-  }
-  // The publish point: rename is atomic, so a concurrent reader sees the
-  // old entry, the new entry, or nothing — never a torn write.
-  fs::rename(Tmp, Final, Ec);
-  if (Ec) {
-    fs::remove(Tmp, Ec);
-    return false;
-  }
-  return true;
+const char *ResultCache::backendScheme() const {
+  return Backend ? Backend->scheme() : "";
+}
+
+unsigned ResultCache::transportFailures() const {
+  return Backend ? Backend->transportFailures() : 0;
 }

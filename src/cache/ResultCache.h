@@ -31,24 +31,30 @@
 /// `parseAppResult` — which keeps the dependency arrow pointing one way
 /// (report → cache, never back).
 ///
-/// Concurrency: `store` writes to a unique temp file in the entry's
-/// own directory and renames it into place. POSIX rename is atomic, so
-/// concurrent stores of the same key — from `--jobs N` lanes or from
-/// separate nadroid processes sharing a cache directory — each install
-/// a complete entry; last writer wins and every reader sees either a
-/// whole entry or none. All failures (unwritable directory, ENOSPC,
-/// corrupt entry) are soft: the cache degrades to a miss, never to an
-/// error.
+/// Where entries *live* is the CacheBackend's business (CacheBackend.h).
+/// The spec string selects the transport:
+///
+///   /path/to/dir          local sharded directory (back-compat)
+///   dir:///path/to/dir    the same, spelled explicitly
+///   http://host:port/pfx  a remote action cache (HttpBackend.h) —
+///                         what lets N shard machines share one warm set
+///
+/// Whatever the transport, all failures are soft: the cache degrades to
+/// a miss, never to an error, and transport failures are counted so a
+/// dead cache host is visible in the batch footer.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef NADROID_CACHE_RESULTCACHE_H
 #define NADROID_CACHE_RESULTCACHE_H
 
+#include <memory>
 #include <string>
 #include <string_view>
 
 namespace nadroid::cache {
+
+class CacheBackend;
 
 /// Bump on ANY change to the entry format or to analyzer semantics that
 /// old entries would misrepresent. Every bump orphans all prior entries
@@ -82,14 +88,25 @@ std::string serveResponseKey(std::string_view RawAirBytes,
                              std::string_view RequestSignature,
                              unsigned Schema = ServeSchemaVersion);
 
-/// One cache directory. Cheap to construct; creates nothing until the
-/// first store.
+/// Validates a --cache-dir spec without constructing a backend: true
+/// for the empty spec, any dir path, and a well-formed http:// URL.
+/// On false, \p Error names what is wrong — the driver turns it into a
+/// CLI diagnostic instead of letting a typo'd URL fail silently on
+/// every probe.
+bool validateCacheSpec(const std::string &Spec, std::string &Error);
+
+/// One result cache behind one backend. Cheap to construct; creates
+/// nothing until the first store. Move-only (it owns the backend).
 class ResultCache {
 public:
-  explicit ResultCache(std::string Dir) : Dir(std::move(Dir)) {}
+  /// \p Spec as documented in the file comment; empty = disabled.
+  explicit ResultCache(std::string Spec);
+  ~ResultCache();
+  ResultCache(ResultCache &&) noexcept;
+  ResultCache &operator=(ResultCache &&) noexcept;
 
-  /// True when a directory was configured (the object is inert otherwise).
-  bool enabled() const { return !Dir.empty(); }
+  /// True when a spec was configured (the object is inert otherwise).
+  bool enabled() const { return Backend != nullptr; }
 
   /// Reads the entry for \p KeyHex into \p EntryLine. Returns false on
   /// absence or any read failure. The caller still has to validate the
@@ -97,19 +114,30 @@ public:
   /// corrupted entry must degrade to a miss, not a crash.
   bool lookup(const std::string &KeyHex, std::string &EntryLine) const;
 
-  /// Atomically installs \p EntryLine under \p KeyHex (temp file +
-  /// rename; see the file comment). Returns false on any I/O failure —
-  /// callers treat a failed store as "cache full/broken", never fatal.
+  /// Atomically installs \p EntryLine under \p KeyHex. Returns false on
+  /// any failure — callers treat a failed store as "cache full/broken",
+  /// never fatal.
   bool store(const std::string &KeyHex, const std::string &EntryLine) const;
 
-  /// Where the entry for \p KeyHex lives: `<dir>/<first 2 hex>/<key>.json`
-  /// — two-level sharding keeps huge caches off single-directory limits.
+  /// Where the entry for \p KeyHex lives under the dir backend:
+  /// `<dir>/<first 2 hex>/<key>.json` — two-level sharding keeps huge
+  /// caches off single-directory limits. Empty for remote backends
+  /// (entries have no local path).
   std::string entryPath(const std::string &KeyHex) const;
 
-  const std::string &directory() const { return Dir; }
+  /// The configured spec, verbatim (status lines, diagnostics).
+  const std::string &directory() const { return Spec; }
+
+  /// "dir", "http", or "" when disabled.
+  const char *backendScheme() const;
+
+  /// Transport/status failures so far (CacheBackend contract); 0 when
+  /// disabled or healthy.
+  unsigned transportFailures() const;
 
 private:
-  std::string Dir;
+  std::string Spec;
+  std::unique_ptr<CacheBackend> Backend;
 };
 
 } // namespace nadroid::cache

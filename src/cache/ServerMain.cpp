@@ -1,0 +1,97 @@
+//===- cache/ServerMain.cpp - nadroid-cache-server entry point ------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+//
+// The standalone wrapper around TestCacheServer for CI and manual
+// fleets: an in-memory HTTP action cache that shard jobs point their
+// `--cache-dir http://...` at.
+//
+//   nadroid-cache-server [--port-file PATH] [--fail-mode MODE]
+//
+// The server binds an ephemeral 127.0.0.1 port, prints
+// `listening on http://127.0.0.1:PORT` on stdout (flushed, so a shell
+// can `read` it), optionally writes the bare URL to --port-file (what a
+// CI step polls for), and runs until SIGINT/SIGTERM. --fail-mode
+// {none,500,truncate,stall} starts it misbehaving, for driving the
+// degradation paths from shell tests.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/TestCacheServer.h"
+
+#include <csignal>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+using namespace nadroid;
+
+namespace {
+
+volatile std::sig_atomic_t Interrupted = 0;
+void onSignal(int) { Interrupted = 1; }
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string PortFile;
+  cache::TestCacheServer::FailMode Mode =
+      cache::TestCacheServer::FailMode::None;
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--port-file") && I + 1 < argc) {
+      PortFile = argv[++I];
+    } else if (!std::strcmp(argv[I], "--fail-mode") && I + 1 < argc) {
+      std::string M = argv[++I];
+      if (M == "none")
+        Mode = cache::TestCacheServer::FailMode::None;
+      else if (M == "500")
+        Mode = cache::TestCacheServer::FailMode::Http500;
+      else if (M == "truncate")
+        Mode = cache::TestCacheServer::FailMode::TruncateBody;
+      else if (M == "stall")
+        Mode = cache::TestCacheServer::FailMode::Stall;
+      else {
+        std::cerr << "error: --fail-mode: '" << M
+                  << "' is not one of none|500|truncate|stall\n";
+        return 2;
+      }
+    } else {
+      std::cerr << "usage: nadroid-cache-server [--port-file PATH] "
+                   "[--fail-mode none|500|truncate|stall]\n";
+      return 2;
+    }
+  }
+
+  cache::TestCacheServer Server;
+  if (!Server.running()) {
+    std::cerr << "error: cannot bind a loopback port\n";
+    return 1;
+  }
+  Server.setFailMode(Mode);
+  std::cout << "listening on " << Server.url() << std::endl;
+  if (!PortFile.empty()) {
+    // Write to a temp name and rename so a polling reader never sees a
+    // half-written URL.
+    std::string Tmp = PortFile + ".tmp";
+    {
+      std::ofstream Out(Tmp, std::ios::trunc);
+      Out << Server.url() << "\n";
+    }
+    std::rename(Tmp.c_str(), PortFile.c_str());
+  }
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+#ifndef _WIN32
+  while (!Interrupted)
+    ::pause();
+#endif
+  Server.stop();
+  return 0;
+}

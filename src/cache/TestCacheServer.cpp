@@ -1,0 +1,242 @@
+//===- cache/TestCacheServer.cpp - In-memory HTTP cache server ------------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/TestCacheServer.h"
+
+#include "support/StringUtils.h"
+
+#include <chrono>
+#include <cstring>
+#include <sstream>
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+using namespace nadroid;
+using namespace nadroid::cache;
+
+TestCacheServer::TestCacheServer() {
+#ifndef _WIN32
+  ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (ListenFd < 0)
+    return;
+  int One = 1;
+  ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = 0; // ephemeral: the kernel picks a free port
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+          0 ||
+      ::listen(ListenFd, 64) < 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+    return;
+  }
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Addr), &Len) <
+      0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+    return;
+  }
+  Port = ntohs(Addr.sin_port);
+  Thread = std::thread([this] { serveLoop(); });
+#endif
+}
+
+TestCacheServer::~TestCacheServer() { stop(); }
+
+std::string TestCacheServer::url() const {
+  return "http://127.0.0.1:" + std::to_string(Port);
+}
+
+size_t TestCacheServer::entryCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Entries.size();
+}
+
+void TestCacheServer::stop() {
+#ifndef _WIN32
+  if (Stopping.exchange(true))
+    return;
+  StallCv.notify_all();
+  if (ListenFd >= 0) {
+    // shutdown unblocks the accept in serveLoop; close alone does not
+    // on all platforms.
+    ::shutdown(ListenFd, SHUT_RDWR);
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  if (Thread.joinable())
+    Thread.join();
+#endif
+}
+
+#ifndef _WIN32
+
+namespace {
+
+/// Reads from \p Fd until the full header block (and, given
+/// Content-Length, the full body) has arrived or the peer went away.
+bool readRequest(int Fd, std::string &Out) {
+  char Buf[4096];
+  size_t BodyNeeded = std::string::npos;
+  size_t HdrEnd = std::string::npos;
+  for (;;) {
+    if (HdrEnd != std::string::npos &&
+        Out.size() >= HdrEnd + 4 + (BodyNeeded == std::string::npos
+                                        ? 0
+                                        : BodyNeeded))
+      return true;
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N <= 0)
+      return HdrEnd != std::string::npos;
+    Out.append(Buf, static_cast<size_t>(N));
+    if (Out.size() > (16u << 20))
+      return false;
+    if (HdrEnd == std::string::npos) {
+      HdrEnd = Out.find("\r\n\r\n");
+      if (HdrEnd != std::string::npos) {
+        std::string Lower = Out.substr(0, HdrEnd);
+        for (char &C : Lower)
+          C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+        size_t Cl = Lower.find("content-length:");
+        if (Cl != std::string::npos) {
+          unsigned long long Len = 0;
+          size_t ValStart = Cl + std::strlen("content-length:");
+          size_t ValEnd = Lower.find("\r\n", ValStart);
+          std::string Val = Lower.substr(ValStart, ValEnd - ValStart);
+          size_t B = Val.find_first_not_of(" \t");
+          size_t E = Val.find_last_not_of(" \t\r\n");
+          if (B != std::string::npos &&
+              parseUnsigned(Val.substr(B, E - B + 1), Len))
+            BodyNeeded = static_cast<size_t>(Len);
+        } else {
+          BodyNeeded = 0;
+        }
+      }
+    }
+  }
+}
+
+void sendResponse(int Fd, int Status, const std::string &Reason,
+                  const std::string &Body, size_t AdvertisedLen) {
+  std::ostringstream OS;
+  OS << "HTTP/1.1 " << Status << " " << Reason << "\r\n"
+     << "Content-Length: " << AdvertisedLen << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << Body;
+  std::string Out = OS.str();
+  size_t Off = 0;
+  while (Off < Out.size()) {
+    ssize_t N = ::send(Fd, Out.data() + Off, Out.size() - Off,
+#ifdef MSG_NOSIGNAL
+                       MSG_NOSIGNAL
+#else
+                       0
+#endif
+    );
+    if (N <= 0)
+      return;
+    Off += static_cast<size_t>(N);
+  }
+}
+
+} // namespace
+
+void TestCacheServer::serveLoop() {
+  for (;;) {
+    int Client = ::accept(ListenFd, nullptr, nullptr);
+    if (Client < 0) {
+      if (Stopping.load())
+        return;
+      continue;
+    }
+    handleConnection(Client);
+    ::close(Client);
+    if (Stopping.load())
+      return;
+  }
+}
+
+void TestCacheServer::handleConnection(int Client) {
+  std::string Raw;
+  if (!readRequest(Client, Raw))
+    return;
+  size_t LineEnd = Raw.find("\r\n");
+  std::istringstream Line(Raw.substr(0, LineEnd));
+  std::string Method, Path;
+  Line >> Method >> Path;
+
+  if (Method == "GET")
+    Gets.fetch_add(1);
+  else if (Method == "PUT")
+    Puts.fetch_add(1);
+
+  FailMode M = Mode.load();
+  if (M == FailMode::Stall) {
+    // Hold the connection open, sending nothing, until the client's
+    // timeout fires or the server is stopped — bounded so a forgotten
+    // fail mode cannot wedge a test binary.
+    std::unique_lock<std::mutex> Lock(StallMu);
+    StallCv.wait_for(Lock, std::chrono::seconds(30),
+                     [this] { return Stopping.load(); });
+    return;
+  }
+  if (M == FailMode::Http500) {
+    sendResponse(Client, 500, "Internal Server Error", "", 0);
+    return;
+  }
+
+  if (Method == "GET") {
+    std::string Body;
+    bool Found = false;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      auto It = Entries.find(Path);
+      if (It != Entries.end()) {
+        Body = It->second;
+        Found = true;
+      }
+    }
+    if (!Found) {
+      sendResponse(Client, 404, "Not Found", "", 0);
+      return;
+    }
+    if (M == FailMode::TruncateBody) {
+      // Advertise the real length, deliver half: the client must treat
+      // the short body as a transport failure, never parse a prefix.
+      sendResponse(Client, 200, "OK", Body.substr(0, Body.size() / 2),
+                   Body.size());
+      return;
+    }
+    sendResponse(Client, 200, "OK", Body, Body.size());
+    return;
+  }
+  if (Method == "PUT") {
+    size_t HdrEnd = Raw.find("\r\n\r\n");
+    std::string Body = Raw.substr(HdrEnd + 4);
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Entries[Path] = std::move(Body); // one-step swap: never torn
+    }
+    sendResponse(Client, 201, "Created", "", 0);
+    return;
+  }
+  sendResponse(Client, 405, "Method Not Allowed", "", 0);
+}
+
+#else // _WIN32
+
+void TestCacheServer::serveLoop() {}
+void TestCacheServer::handleConnection(int) {}
+
+#endif

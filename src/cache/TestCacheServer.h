@@ -1,0 +1,95 @@
+//===- cache/TestCacheServer.h - In-memory HTTP cache server ----*- C++ -*-===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny HTTP object store speaking exactly the protocol HttpCacheBackend
+/// expects — GET returns a stored body or 404, PUT installs one whole —
+/// for tests and CI, where a real cache host would be a dependency and a
+/// flake. It listens on an ephemeral 127.0.0.1 port (no fixed-port
+/// collisions between parallel test shards), keeps entries in a mutexed
+/// map (a PUT swaps the value in one step, so GETs see old or new,
+/// never torn — the atomicity the backend contract demands), and serves
+/// connections serially on one background thread: requests are one line
+/// of payload each, so queueing on the listen backlog is cheaper than a
+/// thread per connection and keeps the server trivially race-free.
+///
+/// Fault injection, for the degradation tests: a FailMode makes every
+/// subsequent request misbehave in one specific way — 500, a body cut
+/// off mid-entry, or a stall past the client's timeout — so each failure
+/// path in the backend can be pinned to "counted miss, report bytes
+/// unchanged". The standalone `nadroid-cache-server` binary wraps this
+/// class for CI jobs and manual fleets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NADROID_CACHE_TESTCACHESERVER_H
+#define NADROID_CACHE_TESTCACHESERVER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace nadroid::cache {
+
+class TestCacheServer {
+public:
+  enum class FailMode {
+    None,         ///< behave: 200/404/PUT-ok
+    Http500,      ///< every request answers 500
+    TruncateBody, ///< GET hits advertise the full length, send half
+    Stall,        ///< accept, read the request, never respond
+  };
+
+  TestCacheServer();
+  ~TestCacheServer();
+
+  TestCacheServer(const TestCacheServer &) = delete;
+  TestCacheServer &operator=(const TestCacheServer &) = delete;
+
+  /// False when the listening socket could not be set up; port() is 0.
+  bool running() const { return Port != 0; }
+  unsigned port() const { return Port; }
+
+  /// `http://127.0.0.1:<port>` — ready to hand to --cache-dir.
+  std::string url() const;
+
+  void setFailMode(FailMode M) { Mode.store(M); }
+
+  /// Entries currently stored (all paths).
+  size_t entryCount() const;
+  /// Requests served since start, by verb (stall/500 responses count).
+  unsigned getCount() const { return Gets.load(); }
+  unsigned putCount() const { return Puts.load(); }
+
+  /// Stops accepting and joins the thread. Idempotent; the destructor
+  /// calls it.
+  void stop();
+
+private:
+  void serveLoop();
+  void handleConnection(int Client);
+
+  int ListenFd = -1;
+  unsigned Port = 0;
+  std::thread Thread;
+  std::atomic<bool> Stopping{false};
+  std::atomic<FailMode> Mode{FailMode::None};
+  std::atomic<unsigned> Gets{0}, Puts{0};
+
+  mutable std::mutex Mu;
+  std::map<std::string, std::string> Entries;
+  /// Stall mode parks handlers on its own mutex so a stalled connection
+  /// never holds the entry map against entryCount().
+  std::mutex StallMu;
+  std::condition_variable StallCv;
+};
+
+} // namespace nadroid::cache
+
+#endif // NADROID_CACHE_TESTCACHESERVER_H

@@ -49,9 +49,20 @@
 //   nadroid --batch-log FILE         append a JSONL row per finished app
 //   nadroid --resume                 skip apps already in --batch-log
 //                                    (rows from other options refused)
-//   nadroid --cache-dir DIR          persistent content-addressed result
+//   nadroid --shard I/N              analyze only this run's slice of the
+//                                    --batch corpus (deterministic,
+//                                    content-addressed partition)
+//   nadroid --merge-shards LOG...    fold per-shard --batch-log files back
+//                                    into the aggregate report an
+//                                    unsharded run would have printed
+//                                    (exit 8 on missing/overlapping/
+//                                    duplicated shard inputs)
+//   nadroid --cache-dir SPEC         persistent content-addressed result
 //                                    cache for --batch: unchanged apps
-//                                    hit and skip analysis entirely
+//                                    hit and skip analysis entirely.
+//                                    SPEC is a directory, dir://DIR, or
+//                                    http://host:port/prefix (a remote
+//                                    action cache shared by shard fleets)
 //   nadroid --cache-verify           re-analyze cache hits and fail
 //                                    (exit 5) on any divergence
 //   nadroid --jobs N                 worker threads for --batch and the
@@ -68,6 +79,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "android/FrameworkSpec.h"
+#include "cache/ResultCache.h"
 #include "corpus/Corpus.h"
 #include "deva/Deva.h"
 #include "frontend/Frontend.h"
@@ -120,6 +132,9 @@ struct CliOptions {
   double BatchTimeoutSec = 0;
   std::string BatchLogPath;
   bool Resume = false;
+  unsigned ShardIndex = 0; ///< --shard i/n; 0/0 = unsharded
+  unsigned ShardCount = 0;
+  bool MergeShards = false; ///< positional args become shard logs
   std::string CacheDir;
   bool CacheVerify = false;
   std::string ServePath;
@@ -156,10 +171,11 @@ void printUsage() {
       << "               [--refute-v2] [--check-spec] [--spec-file FILE]\n"
       << "               [--k N] [--jobs N] [--export-corpus DIR]\n"
       << "               [--batch DIR] [--batch-timeout SEC]\n"
-      << "               [--batch-log FILE] [--resume]\n"
-      << "               [--cache-dir DIR] [--cache-verify] file.air...\n"
+      << "               [--batch-log FILE] [--resume] [--shard I/N]\n"
+      << "               [--cache-dir SPEC] [--cache-verify] file.air...\n"
+      << "       nadroid --merge-shards [--json] shard.log...\n"
       << "       nadroid --serve SOCK [--serve-sessions N] [--jobs N]\n"
-      << "               [--cache-dir DIR]\n"
+      << "               [--cache-dir SPEC]\n"
       << "       nadroid --connect SOCK <verb> [file.air] [flags...]\n";
 }
 
@@ -244,9 +260,24 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
     else if (!std::strcmp(Arg, "--resume")) {
       Opts.Resume = true;
     }
+    else if (!std::strcmp(Arg, "--shard")) {
+      if (++I >= argc) {
+        std::cerr << "error: --shard needs a spec (I/N)\n";
+        return false;
+      }
+      if (!report::parseShardSpec(argv[I], Opts.ShardIndex,
+                                  Opts.ShardCount)) {
+        std::cerr << "error: --shard: '" << argv[I]
+                  << "' is not a shard spec I/N with 1 <= I <= N\n";
+        return false;
+      }
+    }
+    else if (!std::strcmp(Arg, "--merge-shards")) {
+      Opts.MergeShards = true;
+    }
     else if (!std::strcmp(Arg, "--cache-dir")) {
       if (++I >= argc) {
-        std::cerr << "error: --cache-dir needs a directory\n";
+        std::cerr << "error: --cache-dir needs a directory or URL\n";
         return false;
       }
       Opts.CacheDir = argv[I];
@@ -335,6 +366,39 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       return false;
     }
   }
+  // --merge-shards is a pure log-reader: it runs no analysis, so every
+  // flag that shapes one is a confusion worth naming.
+  if (Opts.MergeShards) {
+    if (!Opts.BatchDir.empty()) {
+      std::cerr << "error: --merge-shards merges finished logs; it cannot "
+                   "also run a --batch\n";
+      return false;
+    }
+    if (Opts.ShardCount) {
+      std::cerr << "error: --shard belongs to the producing --batch runs, "
+                   "not to --merge-shards\n";
+      return false;
+    }
+    if (Opts.Resume || !Opts.BatchLogPath.empty()) {
+      std::cerr << "error: --merge-shards takes its logs as positional "
+                   "arguments, not via --batch-log/--resume\n";
+      return false;
+    }
+    if (!Opts.CacheDir.empty()) {
+      std::cerr << "error: --merge-shards runs no analysis; there is "
+                   "nothing for --cache-dir to cache\n";
+      return false;
+    }
+    if (Opts.Files.empty()) {
+      std::cerr << "error: --merge-shards needs at least one shard log\n";
+      return false;
+    }
+  }
+  if (Opts.ShardCount && Opts.BatchDir.empty()) {
+    std::cerr << "error: --shard partitions a --batch corpus; add "
+                 "--batch DIR\n";
+    return false;
+  }
   if (Opts.Files.empty() && Opts.ExportCorpusDir.empty() &&
       Opts.BatchDir.empty() && !Opts.CheckSpec && Opts.ServePath.empty() &&
       Opts.ConnectPath.empty()) {
@@ -352,6 +416,16 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
   if (Opts.CacheVerify && Opts.CacheDir.empty()) {
     std::cerr << "error: --cache-verify needs --cache-dir\n";
     return false;
+  }
+  // Validate the cache spec at the CLI boundary: a typo'd URL must be a
+  // diagnostic here, not a silently-counted transport failure on every
+  // probe of the batch.
+  if (!Opts.CacheDir.empty()) {
+    std::string Err;
+    if (!cache::validateCacheSpec(Opts.CacheDir, Err)) {
+      std::cerr << "error: --cache-dir: " << Err << "\n";
+      return false;
+    }
   }
   return true;
 }
@@ -571,6 +645,16 @@ int main(int argc, char **argv) {
   }
   if (!Opts.ExportCorpusDir.empty())
     return exportCorpus(Opts.ExportCorpusDir);
+  if (Opts.MergeShards) {
+    report::MergeShardsResult MR = report::mergeShardLogs(Opts.Files);
+    for (const std::string &D : MR.Diags)
+      std::cerr << "merge-shards: " << D << "\n";
+    if (!MR.ok())
+      return report::MergeShardsExitCode;
+    std::cout << (Opts.Json ? report::renderBatchJson(MR.Merged)
+                            : report::renderBatchReport(MR.Merged));
+    return MR.exitCode();
+  }
   if (!Opts.BatchDir.empty()) {
     if (!std::filesystem::is_directory(Opts.BatchDir)) {
       std::cerr << "error: '" << Opts.BatchDir << "' is not a directory\n";
@@ -588,6 +672,8 @@ int main(int argc, char **argv) {
     BOpts.TimeoutSec = Opts.BatchTimeoutSec;
     BOpts.LogPath = Opts.BatchLogPath;
     BOpts.Resume = Opts.Resume;
+    BOpts.ShardIndex = Opts.ShardIndex;
+    BOpts.ShardCount = Opts.ShardCount;
     BOpts.CacheDir = Opts.CacheDir;
     BOpts.CacheVerify = Opts.CacheVerify;
     report::BatchResult BR = report::runBatch(BOpts);

@@ -11,6 +11,8 @@
 #include "report/Json.h"
 #include "report/Lint.h"
 #include "support/Deadline.h"
+#include "support/Sha256.h"
+#include "support/StringUtils.h"
 #include "support/TableWriter.h"
 #include "support/ThreadPool.h"
 
@@ -142,6 +144,21 @@ void analyzeOne(const fs::path &Path, const BatchOptions &Opts,
     Out.Status = BatchStatus::Crashed;
     Out.Error = "unrecognized exception";
   }
+}
+
+/// The bytes shardOfApp hashes for \p Path: the canonical printed
+/// program when the file parses (rename- and formatting-stable, the
+/// same invariances the result-cache key has), the raw file bytes
+/// otherwise — an unparseable app still belongs to exactly one shard,
+/// so exactly one shard reports its parse failure.
+std::string shardBytesOf(const fs::path &Path) {
+  frontend::ParseResult Parsed = frontend::parseProgramFile(Path.string());
+  if (Parsed.Success)
+    return frontend::canonicalProgramBytes(*Parsed.Prog);
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
 }
 
 /// The report-visible fields of two rows agree — what --cache-verify
@@ -325,6 +342,20 @@ BatchResult report::runBatch(const BatchOptions &OptsIn) {
     return A.filename().string() < B.filename().string();
   });
 
+  R.ShardIndex = Opts.ShardIndex;
+  R.ShardCount = Opts.ShardCount;
+  if (Opts.ShardCount > 0) {
+    // Partition before anything is scheduled: from here on, this shard's
+    // slice *is* the corpus — the checkpoint log, the cache probes and
+    // the report all agree on its extent, and merge-shards reassembles
+    // the full picture from the logs.
+    std::vector<fs::path> Mine;
+    for (const fs::path &P : Files)
+      if (shardOfApp(shardBytesOf(P), Opts.ShardCount) == Opts.ShardIndex)
+        Mine.push_back(P);
+    Files = std::move(Mine);
+  }
+
   support::ThreadPool Pool(Opts.Jobs);
   R.Jobs = Pool.concurrency();
   R.Apps.resize(Files.size());
@@ -340,14 +371,37 @@ BatchResult report::runBatch(const BatchOptions &OptsIn) {
   // A row stamped with a different options fingerprint was produced by
   // a different analysis and is refused — trusting it would stitch,
   // say, k=1 numbers into a k=2 report.
+  const std::string ShardSpec =
+      shardSpecString(Opts.ShardIndex, Opts.ShardCount);
   std::map<std::string, BatchApp> Logged;
+  bool LogHasContent = false;
+  bool LogShardStale = false;
   if (Opts.Resume && !Opts.LogPath.empty()) {
     std::ifstream In(Opts.LogPath);
     std::string Line;
+    std::string LogSpec = "-"; // pre-header-era logs are unsharded
+    bool First = true;
     while (std::getline(In, Line)) {
+      LogHasContent = true;
+      if (First) {
+        First = false;
+        std::string HeaderFp;
+        bool HeaderLint = false;
+        if (parseBatchLogHeader(Line, LogSpec, HeaderFp, HeaderLint))
+          continue;
+      }
       BatchApp A;
       if (!parseBatchLogLine(Line, A))
         continue;
+      // A log stamped with a different shard spec checkpoints different
+      // work — resuming it would stitch another shard's rows into this
+      // one's report and poison a later merge. Every row is refused
+      // (counted like fingerprint-stale rows) and the log starts over.
+      if (LogSpec != ShardSpec) {
+        LogShardStale = true;
+        ++R.ResumedStale;
+        continue;
+      }
       if (A.OptionsFp != Fp) {
         ++R.ResumedStale;
         continue;
@@ -368,8 +422,16 @@ BatchResult report::runBatch(const BatchOptions &OptsIn) {
 
   std::ofstream Log;
   std::mutex LogMu;
-  if (!Opts.LogPath.empty())
-    Log.open(Opts.LogPath, Opts.Resume ? std::ios::app : std::ios::trunc);
+  if (!Opts.LogPath.empty()) {
+    // Every fresh log leads with the header row. --resume appends —
+    // unless the existing log belongs to a different shard spec (start
+    // over) or is empty/missing (nothing to append under).
+    bool Fresh = !Opts.Resume || LogShardStale || !LogHasContent;
+    Log.open(Opts.LogPath, Fresh ? std::ios::trunc : std::ios::app);
+    if (Log.is_open() && Fresh)
+      Log << renderBatchLogHeader(ShardSpec, Fp, Opts.Pipeline.Lint) << "\n"
+          << std::flush;
+  }
   auto AppendLog = [&](const BatchApp &A) {
     if (!Log.is_open())
       return;
@@ -455,6 +517,8 @@ BatchResult report::runBatch(const BatchOptions &OptsIn) {
   R.CacheStores = Stores.load();
   R.CacheVerified = Verified.load();
   R.CacheDivergent = Divergent.load();
+  R.CacheBackend = Cache.backendScheme();
+  R.CacheTransportFailures = Cache.transportFailures();
   R.WallSec = std::chrono::duration<double>(Clock::now() - T0).count();
   return R;
 }
@@ -597,6 +661,10 @@ std::string report::renderBatchCacheFooter(const BatchResult &R) {
   if (R.CacheVerified || R.CacheDivergent)
     OS << ", " << R.CacheVerified << " verified, " << R.CacheDivergent
        << " divergent";
+  // Appended only when nonzero, so the established footer bytes (which
+  // CI greps) are untouched on a healthy cache.
+  if (R.CacheTransportFailures)
+    OS << ", " << R.CacheTransportFailures << " backend failures";
   OS << "\n";
   return OS.str();
 }
@@ -606,12 +674,22 @@ std::string report::renderBatchJson(const BatchResult &R) {
   OS << "{\n  \"jobs\": " << R.Jobs
      << ",\n  \"wallSec\": " << jsonFixed(R.WallSec, 6)
      << ",\n  \"resumed\": " << R.Resumed
-     << ",\n  \"resumedStale\": " << R.ResumedStale
-     << ",\n  \"cache\": {\"enabled\": "
+     << ",\n  \"resumedStale\": " << R.ResumedStale;
+  // Sharded runs only: an unsharded aggregate keeps its exact pre-shard
+  // bytes (and a merged result, whose ShardCount is 0, stays free of
+  // per-shard keys by the same test).
+  if (R.ShardCount > 0)
+    OS << ",\n  \"shard\": \"" << shardSpecString(R.ShardIndex, R.ShardCount)
+       << "\"";
+  OS << ",\n  \"cache\": {\"enabled\": "
      << (R.CacheEnabled ? "true" : "false") << ", \"hits\": " << R.CacheHits
      << ", \"misses\": " << R.CacheMisses << ", \"stores\": " << R.CacheStores
      << ", \"verified\": " << R.CacheVerified
-     << ", \"divergent\": " << R.CacheDivergent << "},\n  \"phases\": {";
+     << ", \"divergent\": " << R.CacheDivergent;
+  if (R.CacheEnabled)
+    OS << ", \"backend\": \"" << jsonEscape(R.CacheBackend)
+       << "\", \"transportFailures\": " << R.CacheTransportFailures;
+  OS << "},\n  \"phases\": {";
   const BatchPhaseTotals PT = batchPhaseTotals(R);
   OS << "\"modelingCpuSec\": " << jsonFixed(PT.ModelingCpuSec, 6)
      << ", \"modelingWallSec\": " << jsonFixed(PT.ModelingWallSec, 6)
@@ -687,4 +765,228 @@ std::string report::renderBatchJson(const BatchResult &R) {
     OS << ", \"lintFindings\": " << LintTotal;
   OS << "}\n}\n";
   return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Distributed batch: deterministic sharding + shard-merge
+//===----------------------------------------------------------------------===//
+
+unsigned report::shardOfApp(std::string_view CanonicalBytes,
+                            unsigned ShardCount) {
+  if (ShardCount <= 1)
+    return 1;
+  support::Sha256 H;
+  H.update(CanonicalBytes);
+  const std::string Hex = H.finalHex();
+  // First 64 digest bits, big-endian — the same prefix a human sees at
+  // the front of the hex key, so "which shard owns this entry" can be
+  // recomputed from a cache listing by eye.
+  uint64_t V = 0;
+  for (int I = 0; I < 16; ++I) {
+    char C = Hex[static_cast<size_t>(I)];
+    V = V * 16 + static_cast<uint64_t>(C <= '9' ? C - '0' : C - 'a' + 10);
+  }
+  return static_cast<unsigned>(V % ShardCount) + 1;
+}
+
+std::string report::shardSpecString(unsigned ShardIndex, unsigned ShardCount) {
+  if (ShardCount == 0)
+    return "-";
+  return std::to_string(ShardIndex) + "/" + std::to_string(ShardCount);
+}
+
+bool report::parseShardSpec(const std::string &Spec, unsigned &ShardIndex,
+                            unsigned &ShardCount) {
+  size_t Slash = Spec.find('/');
+  if (Slash == std::string::npos)
+    return false;
+  unsigned long long I = 0, N = 0;
+  if (!parseUnsigned(Spec.substr(0, Slash), I) ||
+      !parseUnsigned(Spec.substr(Slash + 1), N))
+    return false;
+  // The upper bound only rejects nonsense (a million-way shard of a
+  // 27-app corpus); any real fleet is far below it.
+  if (N < 1 || I < 1 || I > N || N > (1u << 20))
+    return false;
+  ShardIndex = static_cast<unsigned>(I);
+  ShardCount = static_cast<unsigned>(N);
+  return true;
+}
+
+std::string report::renderBatchLogHeader(const std::string &ShardSpec,
+                                         const std::string &OptionsFp,
+                                         bool Lint) {
+  std::ostringstream OS;
+  OS << "{\"nadroidBatchLog\": 1, \"shard\": \"" << jsonEscape(ShardSpec)
+     << "\", \"fp\": \"" << jsonEscape(OptionsFp)
+     << "\", \"lint\": " << (Lint ? 1 : 0) << "}";
+  return OS.str();
+}
+
+bool report::parseBatchLogHeader(const std::string &Line,
+                                 std::string &ShardSpec, std::string &OptionsFp,
+                                 bool &Lint) {
+  if (Line.empty() || Line.back() != '}')
+    return false;
+  if (jsonFindUnsigned(Line, "nadroidBatchLog") != 1)
+    return false;
+  std::string Spec = jsonFindString(Line, "shard");
+  if (Spec.empty())
+    return false;
+  ShardSpec = std::move(Spec);
+  OptionsFp = jsonFindString(Line, "fp");
+  Lint = jsonFindUnsigned(Line, "lint") != 0;
+  return true;
+}
+
+MergeShardsResult
+report::mergeShardLogs(const std::vector<std::string> &LogPaths) {
+  MergeShardsResult MR;
+  auto Diag = [&MR](std::string S) { MR.Diags.push_back(std::move(S)); };
+
+  /// One input log, decoded: the partition slice its header claims and
+  /// its surviving rows (later-wins within one log, exactly as --resume
+  /// reads it — a re-run row supersedes the one it replaced).
+  struct LogInfo {
+    std::string Path;
+    std::string Spec = "-"; ///< header-less logs are unsharded
+    unsigned Index = 0, Count = 0; ///< 0/0 when Spec is "-"
+    bool HasHeader = false;
+    bool Lint = false;
+    std::map<std::string, BatchApp> Rows;
+  };
+
+  if (LogPaths.empty()) {
+    Diag("no shard logs to merge");
+    return MR;
+  }
+
+  std::vector<LogInfo> Logs;
+  for (const std::string &Path : LogPaths) {
+    LogInfo L;
+    L.Path = Path;
+    std::ifstream In(Path);
+    if (!In) {
+      Diag("cannot read shard log '" + Path + "'");
+      continue;
+    }
+    std::string Line;
+    bool First = true;
+    while (std::getline(In, Line)) {
+      if (First) {
+        First = false;
+        std::string HeaderFp;
+        if (parseBatchLogHeader(Line, L.Spec, HeaderFp, L.Lint)) {
+          L.HasHeader = true;
+          continue;
+        }
+      }
+      BatchApp A;
+      if (!parseBatchLogLine(Line, A))
+        continue; // interrupted-write tail or blank line, as on --resume
+      L.Rows[A.File] = std::move(A);
+    }
+    if (L.Spec != "-" && !parseShardSpec(L.Spec, L.Index, L.Count)) {
+      Diag("log '" + Path + "' carries malformed shard spec '" + L.Spec +
+           "'");
+      continue;
+    }
+    Logs.push_back(std::move(L));
+  }
+  if (!MR.Diags.empty())
+    return MR; // unreadable inputs leave nothing worth cross-validating
+
+  // The logs must form exactly one complete partition. An unsharded log
+  // ("-") is a partition of one — which is how an unsharded run's log
+  // round-trips through this renderer — but mixing it with anything
+  // else double-covers the corpus.
+  bool AnyUnsharded = false;
+  for (const LogInfo &L : Logs)
+    AnyUnsharded |= L.Count == 0;
+  if (AnyUnsharded && Logs.size() > 1) {
+    for (const LogInfo &L : Logs)
+      if (L.Count == 0)
+        Diag("unsharded log '" + L.Path +
+             "' cannot be combined with other logs");
+    return MR;
+  }
+  const unsigned Count = Logs.front().Count;
+  for (const LogInfo &L : Logs)
+    if (L.Count != Count) {
+      Diag("shard-count mismatch: '" + Logs.front().Path + "' claims " +
+           shardSpecString(Logs.front().Index, Logs.front().Count) + ", '" +
+           L.Path + "' claims " + L.Spec);
+      return MR;
+    }
+  if (Count > 0) {
+    std::map<unsigned, const LogInfo *> ByIndex;
+    for (const LogInfo &L : Logs) {
+      auto [It, Inserted] = ByIndex.emplace(L.Index, &L);
+      if (!Inserted)
+        Diag("overlapping shards: '" + It->second->Path + "' and '" + L.Path +
+             "' both claim shard " + L.Spec);
+    }
+    for (unsigned I = 1; I <= Count; ++I)
+      if (!ByIndex.count(I))
+        Diag("missing shard " + shardSpecString(I, Count));
+  }
+
+  // shardOfApp assigns each app to exactly one shard, so the same file
+  // in two logs means someone analyzed the wrong slice (or merged the
+  // same shard's log twice under different names). One fingerprint and
+  // one lint mode across all rows, for the same reason --resume refuses
+  // stale rows: numbers from different options must not share a table.
+  std::map<std::string, const LogInfo *> Owner;
+  const LogInfo *FpLog = nullptr;
+  const BatchApp *FpRow = nullptr;
+  bool FpDiagged = false;
+  for (const LogInfo &L : Logs)
+    for (const auto &[File, Row] : L.Rows) {
+      auto [It, Inserted] = Owner.emplace(File, &L);
+      if (!Inserted)
+        Diag("duplicate row: '" + File + "' appears in both '" +
+             It->second->Path + "' and '" + L.Path + "'");
+      if (!FpRow) {
+        FpLog = &L;
+        FpRow = &Row;
+      } else if (!FpDiagged && Row.OptionsFp != FpRow->OptionsFp) {
+        FpDiagged = true;
+        Diag("options-fingerprint mismatch: '" + File + "' (" + L.Path +
+             ") was analyzed under different options than '" + FpRow->File +
+             "' (" + FpLog->Path + ")");
+      }
+    }
+  const LogInfo *LintRef = nullptr;
+  for (const LogInfo &L : Logs) {
+    if (!L.HasHeader)
+      continue;
+    if (!LintRef) {
+      LintRef = &L;
+    } else if (L.Lint != LintRef->Lint) {
+      Diag("lint-mode mismatch between '" + LintRef->Path + "' and '" +
+           L.Path + "'");
+      break;
+    }
+  }
+  if (!MR.Diags.empty())
+    return MR;
+
+  // Assemble. Timings are per-shard measurement artifacts: zeroing them
+  // (with the parse defaults already clearing PhaseEndSec, Analyses and
+  // RssTrusted) is what makes a merged JSON byte-deterministic — and
+  // equal whether it came from N shard logs or one unsharded log.
+  BatchResult &R = MR.Merged;
+  for (const LogInfo &L : Logs) {
+    R.LintMode |= L.Lint;
+    for (const auto &[File, Row] : L.Rows) {
+      BatchApp A = Row;
+      A.Timings = PhaseTimings();
+      R.Apps.push_back(std::move(A));
+    }
+  }
+  std::sort(R.Apps.begin(), R.Apps.end(),
+            [](const BatchApp &A, const BatchApp &B) {
+              return A.File < B.File;
+            });
+  return MR;
 }

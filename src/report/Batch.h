@@ -53,6 +53,14 @@ struct BatchOptions {
   std::string Dir;
   /// Pool lanes; 0 = one per hardware thread, 1 = fully serial.
   unsigned Jobs = 0;
+  /// Deterministic corpus partition (`--shard i/n`): with ShardCount
+  /// N > 0, only the apps whose shardOfApp() value equals ShardIndex
+  /// (1-based) are analyzed. Assignment hashes the app's *canonical*
+  /// bytes — not its name, not directory order — so renaming a file or
+  /// adding an unrelated app never reshuffles the other shards'
+  /// workloads (and their caches stay warm). 0/0 = unsharded.
+  unsigned ShardIndex = 0;
+  unsigned ShardCount = 0;
   /// Per-app analysis options (K, ModelFragments, DataflowGuards).
   pipeline::PipelineOptions Pipeline;
   /// Per-app soft time budget in seconds; 0 = none. Expiry degrades the
@@ -164,18 +172,29 @@ struct BatchResult {
   double WallSec = 0;
   unsigned Resumed = 0; ///< rows restored from the checkpoint log
   /// Checkpoint rows refused because their stamped options fingerprint
-  /// differed from this invocation's (the apps were re-analyzed).
+  /// differed from this invocation's, or because the whole log carried
+  /// a different shard spec (the apps were re-analyzed).
   unsigned ResumedStale = 0;
+  /// The partition this run covered (0/0 = unsharded). Stamped into the
+  /// checkpoint-log header and the JSON aggregate so merge-shards can
+  /// prove coverage.
+  unsigned ShardIndex = 0;
+  unsigned ShardCount = 0;
 
   // Result-cache accounting (all zero when no --cache-dir). Hits and
   // misses count only apps that were actually probed — an app whose
   // probe parse fails is neither.
   bool CacheEnabled = false;
+  std::string CacheBackend; ///< backend scheme: "dir", "http", "" = off
   unsigned CacheHits = 0;
   unsigned CacheMisses = 0;
   unsigned CacheStores = 0;
   unsigned CacheVerified = 0;  ///< hits re-analyzed under --cache-verify
   unsigned CacheDivergent = 0; ///< verified hits whose entry disagreed
+  /// Transport/status failures the backend degraded to misses
+  /// (CacheBackend contract): a dead cache host shows up here, not as
+  /// a hang or a wrong report.
+  unsigned CacheTransportFailures = 0;
 
   /// Worst outcome over the corpus: 5 when --cache-verify found a
   /// divergent entry, else 4 when any app timed out, else 3 when any
@@ -231,9 +250,86 @@ std::string renderBatchCacheFooter(const BatchResult &R);
 
 /// One checkpoint-log line for \p A (no trailing newline) and its
 /// inverse. parseBatchLogLine returns false on lines it cannot
-/// understand (corrupt tail of an interrupted write, blank lines).
+/// understand (corrupt tail of an interrupted write, blank lines,
+/// the header line).
 std::string renderBatchLogLine(const BatchApp &A);
 bool parseBatchLogLine(const std::string &Line, BatchApp &Out);
+
+//===----------------------------------------------------------------------===//
+// Distributed batch: deterministic sharding + shard-merge
+//
+// `--shard i/n` makes N machines each analyze a disjoint 1/N of the
+// corpus; `--merge-shards` folds their checkpoint logs back into the
+// aggregate report an unsharded run would have printed — byte-identical
+// text, and JSON that is deterministic by construction (measurement
+// fields are per-shard artifacts and render as zero in a merge).
+//===----------------------------------------------------------------------===//
+
+/// The shard (1-based, in [1, ShardCount]) that owns an app with these
+/// canonical bytes: the first 64 bits of the SHA-256, mod ShardCount.
+/// Content-addressed on purpose — stable under file renames, corpus
+/// reordering and formatting-only edits (the same invariances the
+/// result-cache key has), so growing the corpus only moves the new
+/// app. ShardCount <= 1 returns 1.
+unsigned shardOfApp(std::string_view CanonicalBytes, unsigned ShardCount);
+
+/// "i/n" for a sharded run, "-" for an unsharded one — the spec string
+/// stamped into checkpoint-log headers and compared on --resume.
+std::string shardSpecString(unsigned ShardIndex, unsigned ShardCount);
+
+/// Decodes "i/n" with 1 <= i <= n (strictly — "0/3", "4/3", "a/3" and
+/// trailing junk are all refused). One grammar serves both the driver's
+/// --shard flag and the checkpoint-log headers merge-shards reads.
+bool parseShardSpec(const std::string &Spec, unsigned &ShardIndex,
+                    unsigned &ShardCount);
+
+/// The checkpoint log's first line: `{"nadroidBatchLog": 1, "shard":
+/// "i/n", "fp": "...", "lint": 0|1}` (no trailing newline). Written
+/// whenever a log is created fresh; --resume refuses a log whose shard
+/// spec differs from the invocation's instead of silently analyzing
+/// the wrong partition, and merge-shards uses it to prove coverage.
+std::string renderBatchLogHeader(const std::string &ShardSpec,
+                                 const std::string &OptionsFp, bool Lint);
+
+/// Recognizes and decodes a header line. False when \p Line is not a
+/// header (ordinary rows and corrupt tails fall through to the row
+/// parser). Logs from before the header era have none; readers treat
+/// them as shard "-".
+bool parseBatchLogHeader(const std::string &Line, std::string &ShardSpec,
+                         std::string &OptionsFp, bool &Lint);
+
+/// Exit code for merge-shards input problems (missing / overlapping /
+/// duplicate shards, unreadable or mismatched logs) — distinct from
+/// every per-app severity so CI can tell "the fleet's output is
+/// incomplete" from "the fleet found problems".
+inline constexpr int MergeShardsExitCode = 8;
+
+struct MergeShardsResult {
+  /// The reassembled batch (valid only when Diags is empty). Volatile
+  /// measurement fields (timings, wall clock, cache counters) are
+  /// zeroed: they describe the shard runs, not the merged corpus, and
+  /// zeroing them makes the merged JSON byte-deterministic.
+  BatchResult Merged;
+  /// Input diagnostics, one human-readable line each; empty = merged.
+  std::vector<std::string> Diags;
+
+  bool ok() const { return Diags.empty(); }
+  /// MergeShardsExitCode on any diagnostic, else the merged rows' own
+  /// worst-row ladder (the same exitCode() an unsharded run computes).
+  int exitCode() const {
+    return Diags.empty() ? Merged.exitCode() : MergeShardsExitCode;
+  }
+};
+
+/// Combines per-shard checkpoint logs into one BatchResult, validating
+/// that the logs form exactly one complete partition: every shard
+/// 1..n present once (missing/duplicate shards diagnosed), no app row
+/// in two logs (overlap diagnosed), one options fingerprint and lint
+/// mode across all rows. Within one log the --resume semantics apply:
+/// a later row for the same file supersedes an earlier one. A single
+/// unsharded log ("-") is a complete partition by itself, which is how
+/// an unsharded run's log round-trips through the same renderer.
+MergeShardsResult mergeShardLogs(const std::vector<std::string> &LogPaths);
 
 } // namespace nadroid::report
 

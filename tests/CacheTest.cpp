@@ -12,7 +12,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "cache/HttpBackend.h"
 #include "cache/ResultCache.h"
+#include "cache/TestCacheServer.h"
 #include "corpus/Patterns.h"
 #include "frontend/Frontend.h"
 #include "ir/IRBuilder.h"
@@ -23,6 +25,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <thread>
@@ -546,6 +549,216 @@ TEST(BatchCacheTest, ResumeRefusesRowsFromDifferentOptions) {
   ASSERT_EQ(Stale.Apps.size(), 2u);
   EXPECT_EQ(Stale.Apps[0].Status, report::BatchStatus::Ok);
   EXPECT_EQ(Stale.Apps[0].OptionsFp, K1.Pipeline.fingerprint());
+}
+
+//===----------------------------------------------------------------------===//
+// Backend selection + spec validation
+//===----------------------------------------------------------------------===//
+
+TEST(CacheSpecTest, UrlParsingIsStrict) {
+  std::string Host, Prefix;
+  unsigned Port = 0;
+  ASSERT_TRUE(cache::HttpCacheBackend::parseUrl("http://cache.example:9000/n",
+                                                Host, Port, Prefix));
+  EXPECT_EQ(Host, "cache.example");
+  EXPECT_EQ(Port, 9000u);
+  EXPECT_EQ(Prefix, "/n");
+  ASSERT_TRUE(
+      cache::HttpCacheBackend::parseUrl("http://127.0.0.1", Host, Port,
+                                        Prefix));
+  EXPECT_EQ(Port, 80u); // default
+  EXPECT_EQ(Prefix, ""); // trailing slashes stripped
+  ASSERT_TRUE(cache::HttpCacheBackend::parseUrl("http://h:1/p///", Host, Port,
+                                                Prefix));
+  EXPECT_EQ(Prefix, "/p");
+
+  for (const char *Bad :
+       {"https://h/p", "http://", "http://:80", "http://h:0",
+        "http://h:65536", "http://h:80x", "http://h:abc", "ftp://h", "h:80"})
+    EXPECT_FALSE(cache::HttpCacheBackend::parseUrl(Bad, Host, Port, Prefix))
+        << Bad;
+}
+
+TEST(CacheSpecTest, ValidateCacheSpecMatchesTheBackends) {
+  std::string Err;
+  EXPECT_TRUE(cache::validateCacheSpec("", Err));
+  EXPECT_TRUE(cache::validateCacheSpec("/tmp/some-dir", Err));
+  EXPECT_TRUE(cache::validateCacheSpec("dir:///tmp/some-dir", Err));
+  EXPECT_TRUE(cache::validateCacheSpec("http://127.0.0.1:9000/nadroid", Err));
+
+  EXPECT_FALSE(cache::validateCacheSpec("http://", Err));
+  EXPECT_NE(Err.find("not a valid cache URL"), std::string::npos);
+  EXPECT_FALSE(cache::validateCacheSpec("http://host:notaport", Err));
+  EXPECT_FALSE(cache::validateCacheSpec("dir://", Err));
+}
+
+//===----------------------------------------------------------------------===//
+// HTTP backend: Bazel-action-cache semantics over a live loopback server
+//===----------------------------------------------------------------------===//
+
+TEST(HttpCacheTest, RoundTripsAndDistinguishesMissFromFailure) {
+  cache::TestCacheServer Server;
+  ASSERT_TRUE(Server.running());
+  cache::HttpCacheBackend B(Server.url());
+  EXPECT_EQ(std::string(B.scheme()), "http");
+
+  std::string Key = cache::resultCacheKey("prog", "fp");
+  std::string Entry;
+  // An absent key is the cache working, not a transport problem.
+  EXPECT_FALSE(B.lookup(Key, Entry));
+  EXPECT_EQ(B.transportFailures(), 0u);
+
+  ASSERT_TRUE(B.store(Key, "{\"payload\": 1}"));
+  ASSERT_TRUE(B.lookup(Key, Entry));
+  EXPECT_EQ(Entry, "{\"payload\": 1}");
+  EXPECT_EQ(B.transportFailures(), 0u);
+  EXPECT_EQ(Server.entryCount(), 1u);
+  EXPECT_EQ(Server.getCount(), 2u);
+  EXPECT_EQ(Server.putCount(), 1u);
+}
+
+TEST(HttpCacheTest, ResultCacheSelectsTheHttpBackend) {
+  cache::TestCacheServer Server;
+  ASSERT_TRUE(Server.running());
+  cache::ResultCache C(Server.url());
+  EXPECT_TRUE(C.enabled());
+  EXPECT_EQ(std::string(C.backendScheme()), "http");
+
+  std::string Key = cache::resultCacheKey("prog", "fp");
+  // Remote entries have no local path.
+  EXPECT_EQ(C.entryPath(Key), "");
+  std::string Entry;
+  EXPECT_FALSE(C.lookup(Key, Entry));
+  EXPECT_TRUE(C.store(Key, "{\"x\": 1}"));
+  EXPECT_TRUE(C.lookup(Key, Entry));
+  EXPECT_EQ(Entry, "{\"x\": 1}");
+}
+
+TEST(BatchHttpCacheTest, WarmRunHitsEverythingThroughTheWire) {
+  TempCorpus Apps("nadroid-batch-http-warm");
+  writeSeededApp(Apps.Dir, "alpha.air", 1);
+  writeSeededApp(Apps.Dir, "beta.air", 2);
+  cache::TestCacheServer Server;
+  ASSERT_TRUE(Server.running());
+
+  report::BatchOptions Opts;
+  Opts.Dir = Apps.Dir.string();
+  Opts.Jobs = 2;
+  Opts.CacheDir = Server.url();
+
+  report::BatchResult Cold = report::runBatch(Opts);
+  EXPECT_TRUE(Cold.CacheEnabled);
+  EXPECT_EQ(Cold.CacheBackend, "http");
+  EXPECT_EQ(Cold.CacheHits, 0u);
+  EXPECT_EQ(Cold.CacheMisses, 2u);
+  EXPECT_EQ(Cold.CacheStores, 2u);
+  EXPECT_EQ(Cold.CacheTransportFailures, 0u);
+  EXPECT_EQ(Server.entryCount(), 2u);
+
+  report::BatchResult Warm = report::runBatch(Opts);
+  EXPECT_EQ(Warm.CacheHits, 2u);
+  EXPECT_EQ(Warm.CacheMisses, 0u);
+  EXPECT_EQ(Warm.CacheStores, 0u);
+  EXPECT_EQ(Warm.CacheTransportFailures, 0u);
+  EXPECT_EQ(report::renderBatchReport(Warm), report::renderBatchReport(Cold));
+  EXPECT_NE(report::renderBatchCacheFooter(Warm).find("2 hits, 0 misses"),
+            std::string::npos);
+}
+
+/// Runs the batch against \p CacheSpec and asserts the degradation
+/// contract: no hits, every probed app a miss, at least one counted
+/// transport failure, and report bytes identical to \p Reference (the
+/// no-cache run) — a broken cache host may cost time, never correctness.
+void expectDegradedRun(const fs::path &Dir, const std::string &CacheSpec,
+                       const std::string &Reference, unsigned AppCount) {
+  report::BatchOptions Opts;
+  Opts.Dir = Dir.string();
+  Opts.Jobs = 2;
+  Opts.CacheDir = CacheSpec;
+  report::BatchResult R = report::runBatch(Opts);
+  EXPECT_EQ(R.CacheHits, 0u);
+  EXPECT_EQ(R.CacheMisses, AppCount);
+  EXPECT_GT(R.CacheTransportFailures, 0u);
+  EXPECT_EQ(report::renderBatchReport(R), Reference);
+  EXPECT_EQ(R.exitCode(), 1); // the corpus's own outcome, never the cache's
+  // The failures surface in the footer so a dead host is visible.
+  EXPECT_NE(report::renderBatchCacheFooter(R).find("backend failures"),
+            std::string::npos);
+}
+
+TEST(BatchHttpCacheTest, ConnectionRefusedDegradesToCountedMisses) {
+  TempCorpus Apps("nadroid-batch-http-refused");
+  writeSeededApp(Apps.Dir, "alpha.air", 1);
+  writeSeededApp(Apps.Dir, "beta.air", 2);
+  report::BatchOptions Plain;
+  Plain.Dir = Apps.Dir.string();
+  Plain.Jobs = 2;
+  const std::string Reference =
+      report::renderBatchReport(report::runBatch(Plain));
+
+  // Bind an ephemeral port, then shut the server down: connects to the
+  // now-dead port are refused immediately.
+  std::string DeadUrl;
+  {
+    cache::TestCacheServer Server;
+    ASSERT_TRUE(Server.running());
+    DeadUrl = Server.url();
+  }
+  expectDegradedRun(Apps.Dir, DeadUrl, Reference, 2);
+}
+
+TEST(BatchHttpCacheTest, ServerErrorsAndTruncationDegradeToCountedMisses) {
+  TempCorpus Apps("nadroid-batch-http-faulty");
+  writeSeededApp(Apps.Dir, "alpha.air", 1);
+  writeSeededApp(Apps.Dir, "beta.air", 2);
+  report::BatchOptions Plain;
+  Plain.Dir = Apps.Dir.string();
+  Plain.Jobs = 2;
+  const std::string Reference =
+      report::renderBatchReport(report::runBatch(Plain));
+
+  cache::TestCacheServer Server;
+  ASSERT_TRUE(Server.running());
+
+  // Every status-5xx answer is a counted failure, not a hang or a crash.
+  Server.setFailMode(cache::TestCacheServer::FailMode::Http500);
+  expectDegradedRun(Apps.Dir, Server.url(), Reference, 2);
+
+  // Prime real entries, then serve them truncated mid-body: the client
+  // must refuse the short body (advertised length unmet), never parse a
+  // believable prefix of an entry.
+  Server.setFailMode(cache::TestCacheServer::FailMode::None);
+  {
+    report::BatchOptions Prime;
+    Prime.Dir = Apps.Dir.string();
+    Prime.Jobs = 2;
+    Prime.CacheDir = Server.url();
+    report::BatchResult Primed = report::runBatch(Prime);
+    ASSERT_EQ(Primed.CacheStores, 2u);
+  }
+  Server.setFailMode(cache::TestCacheServer::FailMode::TruncateBody);
+  expectDegradedRun(Apps.Dir, Server.url(), Reference, 2);
+}
+
+TEST(BatchHttpCacheTest, StalledServerTimesOutWithinTheBudget) {
+  TempCorpus Apps("nadroid-batch-http-stall");
+  writeSeededApp(Apps.Dir, "alpha.air", 1);
+  writeSeededApp(Apps.Dir, "beta.air", 2);
+  report::BatchOptions Plain;
+  Plain.Dir = Apps.Dir.string();
+  Plain.Jobs = 2;
+  const std::string Reference =
+      report::renderBatchReport(report::runBatch(Plain));
+
+  cache::TestCacheServer Server;
+  ASSERT_TRUE(Server.running());
+  Server.setFailMode(cache::TestCacheServer::FailMode::Stall);
+
+  // A server that accepts and then sends nothing must cost at most the
+  // configured deadline per exchange — the batch completes regardless.
+  ::setenv("NADROID_CACHE_TIMEOUT_MS", "100", 1);
+  expectDegradedRun(Apps.Dir, Server.url(), Reference, 2);
+  ::unsetenv("NADROID_CACHE_TIMEOUT_MS");
 }
 
 } // namespace

@@ -573,16 +573,23 @@ TEST(BatchFaultToleranceTest, ResumeSkipsLoggedAppsAndMatchesFullRun) {
   EXPECT_EQ(Resumed.Apps[0].Status, report::BatchStatus::Ok);
   EXPECT_EQ(report::renderBatchReport(Resumed), FullReport);
 
-  // Interrupted log (first line only): resume re-runs exactly the
-  // missing app and the stitched report matches the uninterrupted one.
-  std::string FirstLine;
+  // Interrupted log (header + first row only): resume re-runs exactly
+  // the missing app and the stitched report matches the uninterrupted
+  // one.
+  std::string HeaderLine, FirstRow;
   {
     std::ifstream In(Log);
-    ASSERT_TRUE(std::getline(In, FirstLine));
+    ASSERT_TRUE(std::getline(In, HeaderLine));
+    std::string Spec, HeaderFp;
+    bool HeaderLint = false;
+    ASSERT_TRUE(
+        report::parseBatchLogHeader(HeaderLine, Spec, HeaderFp, HeaderLint));
+    EXPECT_EQ(Spec, "-"); // unsharded runs stamp the "-" spec
+    ASSERT_TRUE(std::getline(In, FirstRow));
   }
   {
     std::ofstream Out(Log, std::ios::trunc);
-    Out << FirstLine << "\n";
+    Out << HeaderLine << "\n" << FirstRow << "\n";
   }
   Opts.TestCrashApp.clear();
   report::BatchResult Stitched = report::runBatch(Opts);

@@ -1,0 +1,359 @@
+//===- tests/ShardTest.cpp - Distributed batch sharding + merge -----------===//
+//
+// Part of the nAdroid reproduction. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+//
+// The distributed-batch contracts: shard assignment is a deterministic,
+// content-addressed partition (complete and disjoint for any N), the
+// checkpoint-log header round-trips and gates --resume on the shard
+// spec, and merge-shards reassembles per-shard logs into the exact
+// report an unsharded run prints — or refuses with a specific
+// diagnostic and exit 8 when the logs do not form one complete
+// partition.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Patterns.h"
+#include "ir/IRBuilder.h"
+#include "ir/Printer.h"
+#include "report/Batch.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+using namespace nadroid;
+namespace fs = std::filesystem;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Shard assignment + spec grammar
+//===----------------------------------------------------------------------===//
+
+TEST(ShardSpecTest, ShardOfAppIsDeterministicAndInRange) {
+  for (unsigned N : {1u, 2u, 3u, 7u}) {
+    for (const char *Bytes : {"alpha", "beta", "gamma", "", "alpha"}) {
+      unsigned S = report::shardOfApp(Bytes, N);
+      EXPECT_GE(S, 1u);
+      EXPECT_LE(S, N);
+      EXPECT_EQ(S, report::shardOfApp(Bytes, N)) << "nondeterministic";
+    }
+  }
+  // ShardCount 0 and 1 both mean "everything is mine".
+  EXPECT_EQ(report::shardOfApp("anything", 0), 1u);
+  EXPECT_EQ(report::shardOfApp("anything", 1), 1u);
+  // Different content can land on different shards (this pair does for
+  // the fixed SHA-256 — a regression here means the hash changed).
+  bool AnySplit = false;
+  for (const char *Bytes : {"a", "b", "c", "d", "e", "f", "g", "h"})
+    AnySplit |= report::shardOfApp(Bytes, 2) == 2;
+  EXPECT_TRUE(AnySplit);
+}
+
+TEST(ShardSpecTest, ParseShardSpecIsStrict) {
+  unsigned I = 0, N = 0;
+  EXPECT_TRUE(report::parseShardSpec("1/3", I, N));
+  EXPECT_EQ(I, 1u);
+  EXPECT_EQ(N, 3u);
+  EXPECT_TRUE(report::parseShardSpec("3/3", I, N));
+  EXPECT_TRUE(report::parseShardSpec("1/1", I, N));
+
+  for (const char *Bad : {"0/3", "4/3", "a/3", "3/a", "1/0", "1/3x", "x1/3",
+                          "1/", "/3", "1", "", "-", "1//3", "-1/3", "1/-3"})
+    EXPECT_FALSE(report::parseShardSpec(Bad, I, N)) << Bad;
+}
+
+TEST(ShardSpecTest, SpecStringRoundTrips) {
+  EXPECT_EQ(report::shardSpecString(0, 0), "-");
+  EXPECT_EQ(report::shardSpecString(2, 5), "2/5");
+  unsigned I = 0, N = 0;
+  ASSERT_TRUE(report::parseShardSpec(report::shardSpecString(2, 5), I, N));
+  EXPECT_EQ(I, 2u);
+  EXPECT_EQ(N, 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint-log header
+//===----------------------------------------------------------------------===//
+
+TEST(BatchLogHeaderTest, RoundTripsAndIsDisjointFromRows) {
+  std::string Header = report::renderBatchLogHeader("2/3", "k=2;lint", true);
+  std::string Spec, Fp;
+  bool Lint = false;
+  ASSERT_TRUE(report::parseBatchLogHeader(Header, Spec, Fp, Lint));
+  EXPECT_EQ(Spec, "2/3");
+  EXPECT_EQ(Fp, "k=2;lint");
+  EXPECT_TRUE(Lint);
+
+  // The row parser must skip headers (no "file" key), and the header
+  // parser must skip rows and truncated lines — the two grammars
+  // partition the log's lines between them.
+  report::BatchApp Row;
+  EXPECT_FALSE(report::parseBatchLogLine(Header, Row));
+  Row.File = "app.air";
+  Row.Status = report::BatchStatus::Ok;
+  std::string RowLine = report::renderBatchLogLine(Row);
+  EXPECT_FALSE(report::parseBatchLogHeader(RowLine, Spec, Fp, Lint));
+  EXPECT_FALSE(report::parseBatchLogHeader(
+      Header.substr(0, Header.size() / 2), Spec, Fp, Lint));
+  EXPECT_FALSE(report::parseBatchLogHeader("", Spec, Fp, Lint));
+}
+
+//===----------------------------------------------------------------------===//
+// Sharded runs: partition + merge byte-identity
+//===----------------------------------------------------------------------===//
+
+/// Writes one analyzable app; \p Variant varies the emitted statements
+/// so each app has distinct canonical bytes (and hence its own shard
+/// assignment and cache key).
+void writeSeededApp(const fs::path &Dir, const std::string &Name,
+                    unsigned Variant) {
+  ir::Program P(Name.substr(0, Name.find('.')));
+  ir::IRBuilder B(P);
+  corpus::PatternEmitter E(B);
+  E.harmfulEcEc();
+  E.falseMhbLifecycle(Variant);
+  std::ofstream Out(Dir / Name);
+  ASSERT_TRUE(Out.good()) << Name;
+  ir::printProgram(P, Out);
+}
+
+struct TempCorpus {
+  fs::path Dir;
+  explicit TempCorpus(const std::string &Name)
+      : Dir(fs::temp_directory_path() / Name) {
+    std::error_code Ec;
+    fs::remove_all(Dir, Ec);
+    fs::create_directories(Dir);
+  }
+  ~TempCorpus() {
+    std::error_code Ec;
+    fs::remove_all(Dir, Ec);
+  }
+};
+
+/// One 6-app corpus, analyzed unsharded and as a 3-shard fleet, with a
+/// checkpoint log per run — the fixture every merge test reads from.
+struct ShardedFixture {
+  TempCorpus Apps{"nadroid-shard-corpus"};
+  std::string UnshardedLog;
+  std::vector<std::string> ShardLogs;
+  report::BatchResult Unsharded;
+  std::vector<report::BatchResult> Shards;
+
+  ShardedFixture() {
+    for (unsigned V = 1; V <= 6; ++V)
+      writeSeededApp(Apps.Dir, "app" + std::to_string(V) + ".air", V);
+
+    report::BatchOptions Opts;
+    Opts.Dir = Apps.Dir.string();
+    Opts.Jobs = 2;
+    UnshardedLog = (Apps.Dir / "full.jsonl").string();
+    Opts.LogPath = UnshardedLog;
+    Unsharded = report::runBatch(Opts);
+
+    for (unsigned I = 1; I <= 3; ++I) {
+      Opts.ShardIndex = I;
+      Opts.ShardCount = 3;
+      Opts.LogPath =
+          (Apps.Dir / ("shard" + std::to_string(I) + ".jsonl")).string();
+      ShardLogs.push_back(Opts.LogPath);
+      Shards.push_back(report::runBatch(Opts));
+    }
+  }
+};
+
+TEST(ShardedBatchTest, ShardsPartitionTheCorpusAndMergeByteIdentically) {
+  ShardedFixture F;
+  ASSERT_EQ(F.Unsharded.Apps.size(), 6u);
+
+  // Complete and disjoint: every app in exactly one shard.
+  std::set<std::string> Seen;
+  size_t Total = 0;
+  for (const report::BatchResult &S : F.Shards) {
+    Total += S.Apps.size();
+    for (const report::BatchApp &A : S.Apps)
+      EXPECT_TRUE(Seen.insert(A.File).second)
+          << A.File << " analyzed by two shards";
+  }
+  EXPECT_EQ(Total, 6u);
+  EXPECT_EQ(Seen.size(), 6u);
+  EXPECT_EQ(F.Shards[1].ShardIndex, 2u);
+  EXPECT_EQ(F.Shards[1].ShardCount, 3u);
+
+  // Each shard log leads with its spec.
+  for (unsigned I = 0; I < 3; ++I) {
+    std::ifstream In(F.ShardLogs[I]);
+    std::string Line, Spec, Fp;
+    bool Lint = false;
+    ASSERT_TRUE(std::getline(In, Line));
+    ASSERT_TRUE(report::parseBatchLogHeader(Line, Spec, Fp, Lint));
+    EXPECT_EQ(Spec, report::shardSpecString(I + 1, 3));
+  }
+
+  // The tentpole contract: merged shard logs reproduce the unsharded
+  // run's text report byte for byte...
+  report::MergeShardsResult MR = report::mergeShardLogs(F.ShardLogs);
+  ASSERT_TRUE(MR.ok()) << (MR.Diags.empty() ? "" : MR.Diags.front());
+  EXPECT_EQ(report::renderBatchReport(MR.Merged),
+            report::renderBatchReport(F.Unsharded));
+  EXPECT_EQ(MR.exitCode(), F.Unsharded.exitCode());
+
+  // ...and the merged JSON is deterministic: merging the 3 shard logs
+  // and merging the single unsharded log yield identical bytes.
+  report::MergeShardsResult One = report::mergeShardLogs({F.UnshardedLog});
+  ASSERT_TRUE(One.ok()) << (One.Diags.empty() ? "" : One.Diags.front());
+  EXPECT_EQ(report::renderBatchJson(MR.Merged),
+            report::renderBatchJson(One.Merged));
+  EXPECT_EQ(report::renderBatchReport(One.Merged),
+            report::renderBatchReport(F.Unsharded));
+}
+
+/// True when any diagnostic contains \p Needle.
+bool hasDiag(const report::MergeShardsResult &MR, const std::string &Needle) {
+  for (const std::string &D : MR.Diags)
+    if (D.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+TEST(MergeShardsTest, DiagnosesIncompleteOrOverlappingInputs) {
+  ShardedFixture F;
+
+  // Missing shard: two of three logs.
+  report::MergeShardsResult Missing =
+      report::mergeShardLogs({F.ShardLogs[0], F.ShardLogs[1]});
+  EXPECT_FALSE(Missing.ok());
+  EXPECT_TRUE(hasDiag(Missing, "missing shard 3/3"));
+  EXPECT_EQ(Missing.exitCode(), report::MergeShardsExitCode);
+
+  // Overlapping shards: the same slice handed in twice.
+  report::MergeShardsResult Overlap = report::mergeShardLogs(
+      {F.ShardLogs[0], F.ShardLogs[0], F.ShardLogs[1], F.ShardLogs[2]});
+  EXPECT_FALSE(Overlap.ok());
+  EXPECT_TRUE(hasDiag(Overlap, "overlapping shards"));
+  EXPECT_EQ(Overlap.exitCode(), report::MergeShardsExitCode);
+
+  // An unsharded log covers everything; combining it double-counts.
+  report::MergeShardsResult Mixed =
+      report::mergeShardLogs({F.UnshardedLog, F.ShardLogs[0]});
+  EXPECT_FALSE(Mixed.ok());
+  EXPECT_TRUE(hasDiag(Mixed, "cannot be combined"));
+  EXPECT_EQ(Mixed.exitCode(), report::MergeShardsExitCode);
+
+  // Unreadable input.
+  report::MergeShardsResult Gone =
+      report::mergeShardLogs({F.Apps.Dir / "no-such.jsonl"});
+  EXPECT_FALSE(Gone.ok());
+  EXPECT_TRUE(hasDiag(Gone, "cannot read"));
+  EXPECT_EQ(Gone.exitCode(), report::MergeShardsExitCode);
+
+  // Nothing at all.
+  report::MergeShardsResult Empty = report::mergeShardLogs({});
+  EXPECT_FALSE(Empty.ok());
+  EXPECT_EQ(Empty.exitCode(), report::MergeShardsExitCode);
+}
+
+/// Writes a shard log by hand: a header plus one row per (file, fp).
+void writeLog(const fs::path &Path, const std::string &Spec,
+              const std::vector<std::pair<std::string, std::string>> &Rows) {
+  std::ofstream Out(Path, std::ios::trunc);
+  Out << report::renderBatchLogHeader(Spec, Rows.empty() ? "" : Rows[0].second,
+                                      false)
+      << "\n";
+  for (const auto &[File, Fp] : Rows) {
+    report::BatchApp A;
+    A.File = File;
+    A.Name = File.substr(0, File.find('.'));
+    A.Status = report::BatchStatus::Ok;
+    A.OptionsFp = Fp;
+    Out << report::renderBatchLogLine(A) << "\n";
+  }
+}
+
+TEST(MergeShardsTest, DiagnosesDuplicateRowsAndMismatchedLogs) {
+  TempCorpus Dir("nadroid-merge-crafted");
+  fs::path L1 = Dir.Dir / "s1.jsonl", L2 = Dir.Dir / "s2.jsonl";
+
+  // The same app row claimed by two different shards.
+  writeLog(L1, "1/2", {{"alpha.air", "fp"}, {"beta.air", "fp"}});
+  writeLog(L2, "2/2", {{"alpha.air", "fp"}, {"gamma.air", "fp"}});
+  report::MergeShardsResult Dup = report::mergeShardLogs({L1, L2});
+  EXPECT_FALSE(Dup.ok());
+  EXPECT_TRUE(hasDiag(Dup, "duplicate row: 'alpha.air'"));
+  EXPECT_EQ(Dup.exitCode(), report::MergeShardsExitCode);
+
+  // Rows analyzed under different options must not share a table.
+  writeLog(L2, "2/2", {{"gamma.air", "other-fp"}});
+  report::MergeShardsResult Fp = report::mergeShardLogs({L1, L2});
+  EXPECT_FALSE(Fp.ok());
+  EXPECT_TRUE(hasDiag(Fp, "options-fingerprint mismatch"));
+
+  // Shard-count mismatch: slices of two different fleets.
+  writeLog(L2, "2/3", {{"gamma.air", "fp"}});
+  report::MergeShardsResult Count = report::mergeShardLogs({L1, L2});
+  EXPECT_FALSE(Count.ok());
+  EXPECT_TRUE(hasDiag(Count, "shard-count mismatch"));
+
+  // A header whose spec the grammar refuses.
+  writeLog(L2, "5/3", {{"gamma.air", "fp"}});
+  report::MergeShardsResult Malformed = report::mergeShardLogs({L1, L2});
+  EXPECT_FALSE(Malformed.ok());
+  EXPECT_TRUE(hasDiag(Malformed, "malformed shard spec"));
+
+  // A clean 2-shard pair merges, and duplicate rows WITHIN one log are
+  // the normal resume later-wins case, not an error.
+  writeLog(L2, "2/2", {{"gamma.air", "fp"}, {"gamma.air", "fp"}});
+  report::MergeShardsResult Ok = report::mergeShardLogs({L1, L2});
+  EXPECT_TRUE(Ok.ok()) << (Ok.Diags.empty() ? "" : Ok.Diags.front());
+  EXPECT_EQ(Ok.Merged.Apps.size(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// --resume × --shard
+//===----------------------------------------------------------------------===//
+
+TEST(ShardedBatchTest, ResumeRefusesALogFromADifferentShardSpec) {
+  TempCorpus Apps("nadroid-shard-resume");
+  for (unsigned V = 1; V <= 4; ++V)
+    writeSeededApp(Apps.Dir, "app" + std::to_string(V) + ".air", V);
+  fs::path Log = Apps.Dir / "shard.jsonl";
+
+  report::BatchOptions Opts;
+  Opts.Dir = Apps.Dir.string();
+  Opts.Jobs = 1;
+  Opts.LogPath = Log.string();
+  Opts.ShardIndex = 1;
+  Opts.ShardCount = 2;
+  report::BatchResult First = report::runBatch(Opts);
+  const size_t Rows = First.Apps.size();
+  ASSERT_GT(Rows, 0u);
+
+  // Same spec: every row restores.
+  Opts.Resume = true;
+  report::BatchResult Same = report::runBatch(Opts);
+  EXPECT_EQ(Same.Resumed, Rows);
+  EXPECT_EQ(Same.ResumedStale, 0u);
+
+  // Different spec over the same log: the checkpoint describes another
+  // shard's work — all rows refused (counted stale), nothing restored,
+  // and the log is restarted under the new spec's header.
+  Opts.ShardIndex = 2;
+  report::BatchResult Other = report::runBatch(Opts);
+  EXPECT_EQ(Other.Resumed, 0u);
+  EXPECT_EQ(Other.ResumedStale, Rows);
+  EXPECT_EQ(Other.Apps.size() + Rows, 4u);
+
+  std::ifstream In(Log);
+  std::string Line, Spec, Fp;
+  bool Lint = false;
+  ASSERT_TRUE(std::getline(In, Line));
+  ASSERT_TRUE(report::parseBatchLogHeader(Line, Spec, Fp, Lint));
+  EXPECT_EQ(Spec, "2/2");
+}
+
+} // namespace
